@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 3: the protocol violation caused by pausing a design
+ * incorrectly. A producer on the free-running clock streams values
+ * into a consumer inside the MUT over a valid/ready interface. The
+ * run is repeated twice — without pause buffers (naive clock
+ * gating; the frozen handshake loses/duplicates transactions) and
+ * with Zoomie's pause buffers — and both waveforms plus the
+ * transaction accounting are printed.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/zoomie.hh"
+#include "rtl/builder.hh"
+#include "sim/trace.hh"
+
+using namespace zoomie;
+using rtl::Builder;
+using rtl::Value;
+
+namespace {
+
+/** Producer (free clock) -> decoupled iface -> consumer (MUT). */
+rtl::Design
+handshakeDesign()
+{
+    Builder b("fig3");
+    auto next_val = b.reg("next_val", 8, 1);
+    auto vtoggle = b.reg("vtoggle", 2, 0);
+    b.connect(vtoggle, b.addLit(vtoggle.q, 1));
+    Value valid = b.ne(vtoggle.q, b.lit(3, 2));  // valid 3 of 4
+
+    b.pushScope("mut");
+    auto phase = b.reg("phase", 1, 0);
+    b.connect(phase, b.lnot(phase.q));
+    Value ready = phase.q;
+    auto sum = b.reg("sum", 16, 0);
+    auto cnt = b.reg("cnt", 8, 0);
+    Value fire = b.land(valid, ready);
+    b.connect(sum, b.mux(fire,
+                         b.add(sum.q, b.zext(b.handleFor(
+                             next_val.q.id), 16)),
+                         sum.q));
+    b.connect(cnt, b.mux(fire, b.addLit(cnt.q, 1), cnt.q));
+    b.declareIface("in", rtl::IfaceDir::In, valid, ready,
+                   {next_val.q});
+    b.popScope();
+
+    Value p_fire = b.land(valid, ready);
+    b.connect(next_val, b.mux(p_fire, b.addLit(next_val.q, 1),
+                              next_val.q));
+
+    b.output("valid", valid);
+    b.output("ready", ready);
+    b.output("sum", b.handleFor(sum.q.id));
+    b.output("cnt", b.handleFor(cnt.q.id));
+    return b.finish();
+}
+
+/** Run a pause/resume schedule and trace the handshake. */
+void
+runScenario(bool with_buffers, std::ostream &os)
+{
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    opts.instrument.watchSignals = {"mut/cnt"};
+    opts.instrument.insertPauseBuffers = with_buffers;
+    auto platform = core::Platform::create(handshakeDesign(), opts);
+
+    sim::Trace trace;
+    trace.addSignal("gated_clk_en", [&]() {
+        return platform->peek("zoomie/clk_en");
+    });
+    trace.addSignal("valid", [&]() {
+        return platform->peek("valid");
+    });
+    trace.addSignal("ready", [&]() {
+        return platform->peek("ready");
+    });
+
+    auto sampleRun = [&](unsigned n) {
+        for (unsigned i = 0; i < n; ++i) {
+            trace.sample();
+            platform->run(1);
+        }
+    };
+
+    sampleRun(5);
+    platform->debugger().pause();
+    sampleRun(4);
+    platform->debugger().resume();
+    sampleRun(5);
+    platform->run(40);
+
+    uint64_t cnt = platform->debugger().readRegister("mut/cnt");
+    uint64_t sum = platform->debugger().readRegister("mut/sum");
+    uint64_t expect = cnt * (cnt + 1) / 2;
+
+    os << (with_buffers
+               ? "--- WITH Zoomie pause buffers ---\n"
+               : "--- WITHOUT pause buffers (naive clock "
+                 "gating, Figure 3) ---\n");
+    trace.print(os);
+    os << "transactions=" << cnt << "  sum=" << sum
+       << "  expected=" << expect
+       << (sum == expect ? "  [stream intact]\n\n"
+                         : "  [STREAM CORRUPTED]\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 3 reproduction: pausing across a "
+                "latency-insensitive interface.\n"
+                "Producer runs on ext_clk; the consumer's clock is "
+                "gated mid-handshake.\n\n");
+    runScenario(false, std::cout);
+    runScenario(true, std::cout);
+    std::printf("The frozen 'valid' in the naive run re-fires the "
+                "handshake (values skipped/duplicated);\nthe pause "
+                "buffer restarts the transaction after resume "
+                "(§3.1 properties 1-3).\n");
+    return 0;
+}

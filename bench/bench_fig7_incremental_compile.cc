@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 7: compilation-speed comparison between the vendor
+ * incremental flow and Zoomie's VTI on the 5400-core SERV SoC.
+ * An initial compile is followed by five "expose a signal for
+ * debugging" edits to one core (the paper's workload); each edit is
+ * recompiled with both flows.
+ *
+ * Modeled wall-clock comes from the cost model applied to measured
+ * work quantities (gates lowered, cells placed, wirelength routed,
+ * frames generated) — the flows genuinely perform different amounts
+ * of work; no speedup is hard-coded.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "designs/serv_soc.hh"
+#include "fpga/device_spec.hh"
+#include "toolchain/flows.hh"
+
+using namespace zoomie;
+
+int
+main()
+{
+    designs::ServSocConfig config = designs::corescore5400();
+    const std::string mut = designs::servCoreScope(config, 0);
+    fpga::DeviceSpec spec = fpga::makeU200();
+
+    std::printf("Figure 7 reproduction: %u-core SERV SoC on %s, "
+                "MUT = %s\n\n",
+                config.cores, spec.name.c_str(), mut.c_str());
+
+    toolchain::VendorTool vendor(spec);
+    toolchain::Vti::Options vti_opts;
+    vti_opts.iteratedModules = {mut};
+    toolchain::Vti vti(spec, vti_opts);
+
+    rtl::Design base = designs::buildServSoc(config);
+
+    std::fprintf(stderr, "[initial compiles...]\n");
+    toolchain::CompileResult vendor_initial = vendor.compile(base);
+    toolchain::CompileResult vti_initial = vti.compileInitial(base);
+
+    TextTable table("Figure 7: compilation runs (modeled hours)");
+    table.setHeader({"Run", "Vivado Incremental", "Zoomie (VTI)",
+                     "Speedup vs Vivado initial"});
+    table.addRow({"initial",
+                  formatSeconds(vendor_initial.time.total()),
+                  formatSeconds(vti_initial.time.total()), "-"});
+
+    toolchain::CompileResult vendor_prev = std::move(vendor_initial);
+    double vendor_initial_total = vendor_prev.time.total();
+
+    for (int edit = 1; edit <= 5; ++edit) {
+        std::fprintf(stderr, "[edit #%d...]\n", edit);
+        designs::ServSocConfig edited_cfg = config;
+        edited_cfg.debugVariant = edit;
+        rtl::Design edited = designs::buildServSoc(edited_cfg);
+
+        toolchain::CompileResult vres =
+            vendor.compileIncremental(edited, vendor_prev);
+        toolchain::CompileResult zres =
+            vti.compileIncremental(edited, mut);
+
+        double speedup = vendor_initial_total / zres.time.total();
+        table.addRow({"#" + std::to_string(edit),
+                      formatSeconds(vres.time.total()),
+                      formatSeconds(zres.time.total()),
+                      formatRatio(speedup)});
+        vendor_prev = std::move(vres);
+    }
+    table.print(std::cout);
+
+    std::printf("\nPaper reference: initial ~4.5 h for both flows; "
+                "Vivado incremental stays within ~10%% of initial;\n"
+                "Zoomie incremental ~18x faster than a full "
+                "compile, consistently across edits.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 8: FPGA resource usage of synthesized SystemVerilog
+ * assertions. Eight Ariane/CVA6-style assertions (drawn from the
+ * idioms in that codebase: handshakes, flush/kill behaviour, scoreboard
+ * and commit properties) are compiled by the Assertion Synthesis
+ * compiler and mapped; flip-flop and LUT counts come from the real
+ * mapper. Assertion #3 uses $isunknown and is rejected —
+ * reproducing the paper's 7-of-8 outcome (§5.4).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "sva/compiler.hh"
+
+using namespace zoomie;
+
+namespace {
+
+struct Case
+{
+    const char *name;
+    const char *text;
+};
+
+const Case kAssertions[] = {
+    {"#1 ack_valid",
+     "assert property (@(posedge clk) disable iff (!rst_ni) "
+     "ready_o |-> ##1 ack_i);"},
+    {"#2 flush_kills_valid",
+     "assert property (@(posedge clk) flush_i |=> "
+     "(!issue_valid_q)[*2]);"},
+    {"#3 axi_known",
+     "assert property (@(posedge clk) axi_rvalid |-> "
+     "!$isunknown(axi_rdata));"},
+    {"#4 commit_needs_valid",
+     "assert property (@(posedge clk) disable iff (!rst_ni) "
+     "commit_ack_i |-> commit_valid_o);"},
+    {"#5 grant_window",
+     "assert property (@(posedge clk) gnt_i |-> ##[1:4] "
+     "(dtlb_hit_q || ptw_active_q));"},
+    {"#6 no_commit_while_flush",
+     "assert property (@(posedge clk) (flush_i && commit_valid_o) "
+     "|=> (!commit_ack_i ##1 !commit_ack_i) or fence_active_q);"},
+    {"#7 irrevocable_req",
+     "assert property (@(posedge clk) disable iff (!rst_ni) "
+     "(req_o && !gnt_i) |=> req_o);"},
+    {"#8 exception_had_instr",
+     "assert property (@(posedge clk) disable iff (!rst_ni) "
+     "ex_valid_o |-> $past(instr_valid_i, 1) || "
+     "$past(instr_valid_i, 2) || $past(instr_valid_i, 3));"},
+};
+
+} // namespace
+
+int
+main()
+{
+    TextTable table("Figure 8: SystemVerilog Assertion synthesis "
+                    "resource usage");
+    table.setHeader({"Assertion", "Flip-Flops", "LUTs", "Status"});
+
+    uint32_t total_ffs = 0, total_luts = 0, synthesized = 0;
+    for (const Case &test_case : kAssertions) {
+        sva::AssertionArea area =
+            sva::measureAssertionArea(test_case.text);
+        if (area.synthesizable) {
+            table.addRow({test_case.name,
+                          std::to_string(area.ffs),
+                          std::to_string(area.luts), "ok"});
+            total_ffs += area.ffs;
+            total_luts += area.luts;
+            ++synthesized;
+        } else {
+            table.addRow({test_case.name, "-", "-",
+                          "unsynthesizable: " + area.error});
+        }
+    }
+    table.addRow({"TOTAL (" + std::to_string(synthesized) + "/8)",
+                  std::to_string(total_ffs),
+                  std::to_string(total_luts), ""});
+    table.print(std::cout);
+
+    std::printf("\nPaper reference: 7 of 8 assertions synthesized "
+                "(#3 rejected: $isunknown only exists in\n"
+                "four-state simulation); totals ~40 FFs / ~88 LUTs "
+                "— negligible next to a full core (§5.4).\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the substrate itself:
+ * fabric execution rate, technology-mapping throughput, assertion
+ * monitor evaluation, and the cost of one debugger readback
+ * operation. These quantify the simulation platform, not the
+ * paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/zoomie.hh"
+#include "designs/tinyrv.hh"
+#include "rtl/builder.hh"
+#include "sim/simulator.hh"
+#include "sva/compiler.hh"
+#include "sva/eval.hh"
+#include "synth/techmap.hh"
+
+using namespace zoomie;
+
+namespace {
+
+rtl::Design
+makeCounterDesign()
+{
+    rtl::Builder b("bm_counter");
+    b.pushScope("mut");
+    auto count = b.reg("count", 32, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+void
+BM_RtlSimStep(benchmark::State &state)
+{
+    std::vector<uint32_t> prog = {
+        designs::rv::addi(1, 1, 1),
+        designs::rv::jal(0, -4),
+    };
+    rtl::Design design = designs::buildTinyRv(prog);
+    sim::Simulator sim(design);
+    for (auto _ : state) {
+        sim.step();
+        benchmark::DoNotOptimize(sim.peek("pc"));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtlSimStep);
+
+void
+BM_FabricStep(benchmark::State &state)
+{
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    auto platform = core::Platform::create(makeCounterDesign(),
+                                           opts);
+    for (auto _ : state) {
+        platform->run(1);
+        benchmark::DoNotOptimize(platform->device().cycles(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FabricStep);
+
+void
+BM_TechMapTinyRv(benchmark::State &state)
+{
+    std::vector<uint32_t> prog = {designs::rv::jal(0, 0)};
+    rtl::Design design = designs::buildTinyRv(prog);
+    for (auto _ : state) {
+        auto net = synth::techMap(design);
+        benchmark::DoNotOptimize(net.cells.size());
+    }
+}
+BENCHMARK(BM_TechMapTinyRv);
+
+void
+BM_DebuggerReadRegister(benchmark::State &state)
+{
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    auto platform = core::Platform::create(makeCounterDesign(),
+                                           opts);
+    platform->run(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            platform->debugger().readRegister("mut/count"));
+    }
+}
+BENCHMARK(BM_DebuggerReadRegister);
+
+void
+BM_AssertionEvaluator(benchmark::State &state)
+{
+    auto outcome = sva::compileAssertion(
+        "assert property (req |-> ##[1:3] gnt);");
+    sva::PropertyEvaluator eval(outcome.prop);
+    uint64_t t = 0;
+    for (auto _ : state) {
+        ++t;
+        benchmark::DoNotOptimize(eval.step(
+            [&](const std::string &name) {
+                return name == "req" ? (t % 5 == 0) : (t % 3 == 0);
+            }));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssertionEvaluator);
+
+} // namespace
+
+BENCHMARK_MAIN();

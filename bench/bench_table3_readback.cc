@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table 3: SLR-aware readback time on the 5400-core SoC. Three
+ * clusters are wrapped as the module under test and floorplanned
+ * one per SLR (the paper's design has the MUT split across all
+ * three chiplets). After the full bring-up (instrument -> compile
+ * -> configure over JTAG), each SLR's state is scanned twice:
+ * naively (every frame of the SLR, the prior-work approach) and
+ * with Zoomie's optimization (only the frames overlapping the
+ * MUT's placed region on that SLR, §4.7). Seconds come from the
+ * JTAG transfer-timing model driven by the words actually moved —
+ * including the ring-hop latency that makes the primary SLR
+ * slightly faster.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/debugger.hh"
+#include "core/instrument.hh"
+#include "designs/serv_soc.hh"
+#include "fpga/device.hh"
+#include "jtag/jtag.hh"
+#include "synth/techmap.hh"
+#include "toolchain/bitgen.hh"
+#include "toolchain/placer.hh"
+
+using namespace zoomie;
+
+int
+main()
+{
+    designs::ServSocConfig config = designs::corescore5400();
+    config.dutSpread = 3;  // dut0..dut2: one cluster per SLR
+    fpga::DeviceSpec spec = fpga::makeU200();
+
+    std::fprintf(stderr, "[bring-up: instrument + compile + "
+                         "configure (takes a minute)...]\n");
+    rtl::Design design = designs::buildServSoc(config);
+
+    core::InstrumentOptions iopts;
+    iopts.mutPrefix = "dut";  // matches dut0/, dut1/, dut2/
+    iopts.watchSignals = {"dut0/cluster0/core0/pc"};
+    core::InstrumentResult meta = core::instrument(design, iopts);
+
+    synth::MappedNetlist net = synth::techMap(meta.design);
+    toolchain::Floorplan floorplan;
+    for (int i = 0; i < 3; ++i) {
+        toolchain::FloorplanPart part;
+        part.scopePrefix = "dut" + std::to_string(i) + "/";
+        part.forcedSlr = i;
+        floorplan.parts.push_back(std::move(part));
+    }
+    toolchain::PlaceWork pw;
+    fpga::Placement placement =
+        toolchain::place(spec, net, &floorplan, &pw);
+    std::vector<uint32_t> bits =
+        toolchain::fullBitstream(spec, net, placement);
+
+    fpga::Device device(spec);
+    device.attach(net, placement);
+    jtag::JtagHost host(device);
+    host.send(bits);
+    device.bindClockGate(meta.gatedClock, "zoomie/clk_en");
+    device.runGlobal(4);
+
+    core::Debugger debugger(device, host, meta.design, net,
+                            placement, meta);
+
+    TextTable table("Table 3: readback seconds per SLR "
+                    "(MUT spans all SLRs; primary = SLR " +
+                    std::to_string(spec.primarySlr) + ")");
+    table.setHeader({"", "SLR 0", "SLR 1", "SLR 2"});
+
+    std::vector<std::string> optimized{"Zoomie"};
+    std::vector<std::string> naive{"Unoptimized Zoomie"};
+    double opt_sum = 0, naive_sum = 0;
+    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
+        std::fprintf(stderr, "[scanning SLR %u...]\n", slr);
+        double t_opt = debugger.scanSlrState(slr, true);
+        double t_naive = debugger.scanSlrState(slr, false);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3fs", t_opt);
+        optimized.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.3fs", t_naive);
+        naive.push_back(buf);
+        opt_sum += t_opt;
+        naive_sum += t_naive;
+    }
+    table.addRow(optimized);
+    table.addRow(naive);
+    table.print(std::cout);
+
+    std::printf("\nAverage speedup ~%.0fx (paper: ~80x; 0.38-0.40 s "
+                "vs ~33.6 s per SLR). The primary SLR needs no\n"
+                "ring hops, making it slightly faster — the §5.3 "
+                "confirmation of the chiplet-ring model.\n",
+                naive_sum / std::max(1e-9, opt_sum));
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Case study 2 (§5.6): distinguishing hardware from software bugs
+ * on a hanging RISC-V core.
+ *
+ * The program misconfigures mtvec to an invalid address and traps;
+ * the CPU then loops through nested exceptions showing no useful
+ * error. A Zoomie breakpoint on the double-nested-exception
+ * condition (mcause is an exception && MIE == 0 && MPIE == 0)
+ * pauses the core in the act; readback shows pc == mepc == mtvec,
+ * proving the hardware is legally re-trapping on a software
+ * misconfiguration — no recompile, no ILA.
+ */
+
+#include <cstdio>
+
+#include "core/zoomie.hh"
+#include "designs/tinyrv.hh"
+
+using namespace zoomie;
+using namespace zoomie::designs;
+
+int
+main()
+{
+    // The buggy software: points mtvec at 0x5000 (outside the
+    // 16 KiB code region), then takes an ecall.
+    using namespace rv;
+    std::vector<uint32_t> program = {
+        addi(1, 0, 1),
+        lui(2, 0x5),                  // x2 = 0x5000: invalid
+        csrrw(0, kCsrMtvec, 2),       // mtvec = 0x5000  (the bug)
+        addi(1, 1, 41),               // x1 = 42
+        ecall(),                      // -> trap -> invalid vector
+        sw(1, 0, 0x100),              // (reached after the repair)
+        jal(0, 0),
+    };
+
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "cpu/";
+    opts.instrument.watchSignals = {"cpu/mcause", "cpu/mstatus_mie",
+                                    "cpu/mstatus_mpie"};
+    auto platform = core::Platform::create(buildTinyRv(program),
+                                           opts);
+    core::Debugger &dbg = platform->debugger();
+
+    std::printf("Case study 2: hardware or software bug?\n\n");
+    std::printf("The core hangs after boot; software shows no "
+                "output. Set the paper's breakpoint:\n"
+                "  mcause == instr-access-fault && MIE == 0 && "
+                "MPIE == 0   (double-nested exception)\n\n");
+
+    dbg.setValueBreakpoint(
+        0, uint32_t(TrapCause::InstrAccessFault), true, false);
+    dbg.setValueBreakpoint(1, 0, true, false);  // MIE == 0
+    dbg.setValueBreakpoint(2, 0, true, false);  // MPIE == 0
+    dbg.armTriggers(true, false);
+
+    platform->run(4000);
+    if (!dbg.isPaused()) {
+        std::printf("breakpoint never hit — giving up\n");
+        return 1;
+    }
+
+    uint64_t pc = dbg.readRegister("cpu/pc");
+    uint64_t mepc = dbg.readRegister("cpu/mepc");
+    uint64_t mtvec = dbg.readRegister("cpu/mtvec");
+    uint64_t mcause = dbg.readRegister("cpu/mcause");
+    std::printf("breakpoint hit after %llu MUT cycles:\n",
+                (unsigned long long)platform->mutCycles());
+    std::printf("  pc     = 0x%llx\n  mepc   = 0x%llx\n"
+                "  mtvec  = 0x%llx\n  mcause = %llu "
+                "(instruction access fault)\n\n",
+                (unsigned long long)pc, (unsigned long long)mepc,
+                (unsigned long long)mtvec,
+                (unsigned long long)mcause);
+
+    if (pc == mepc && pc == mtvec) {
+        std::printf("pc == mepc == mtvec: the CPU keeps faulting on "
+                    "its own exception vector.\nThis is *legal* "
+                    "hardware behaviour — the trap vector points "
+                    "at an unmapped address.\nVerdict: software "
+                    "misconfiguration (bad mtvec), not an RTL "
+                    "bug.\n\n");
+    }
+
+    // The fix is a software fix: repair mtvec and mepc by state
+    // injection, then resume past the bad ecall.
+    dbg.clearValueBreakpoints();
+    dbg.forceRegister("cpu/mtvec", 0x80);
+    dbg.forceRegister("cpu/mepc", 5 * 4);
+    dbg.forceRegister("cpu/mstatus_mie", 1);
+    dbg.forceRegister("cpu/pc", 5 * 4);
+    dbg.forceRegister("cpu/state", 0);
+    dbg.resume();
+    platform->run(200);
+    std::printf("after repairing the vector by state injection the "
+                "core executes again:\n  mem[0x100] = %llu "
+                "(x1's value, stored by the post-ecall code) — "
+                "no recompilation.\n",
+                (unsigned long long)dbg.readMemWord("cpu/mem",
+                                                    0x40));
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The VTI incremental-compilation workflow on its own (§3.5): a
+ * small SoC is compiled once with declared iterated modules; an
+ * edit to one core then recompiles in a fraction of the time and
+ * produces a *partial* bitstream covering only that partition's
+ * frames. Also shows the honesty checks that make incremental
+ * reuse legitimate: unchanged partitions re-place to identical
+ * locations, and the incrementally linked netlist behaves exactly
+ * like a from-scratch compile.
+ */
+
+#include <cstdio>
+
+#include "bitstream/disassembler.hh"
+#include "common/rng.hh"
+#include "designs/serv_soc.hh"
+#include "fpga/device_spec.hh"
+#include "synth/netlistsim.hh"
+#include "toolchain/flows.hh"
+#include "toolchain/logicloc.hh"
+
+using namespace zoomie;
+
+int
+main()
+{
+    designs::ServSocConfig config;
+    config.cores = 16;
+    config.coresPerCluster = 8;
+    config.clusterBrams = 1;
+    config.l2Brams = 2;
+    const std::string mut = designs::servCoreScope(config, 0);
+    fpga::DeviceSpec spec = fpga::makeTestDevice();
+    spec.clbCols = 64;
+    spec.clbRows = 64;
+
+    std::printf("VTI incremental compilation, %u-core SoC, "
+                "iterated module: %s\n\n",
+                config.cores, mut.c_str());
+
+    toolchain::Vti::Options vti_opts;
+    vti_opts.iteratedModules = {mut};
+    toolchain::Vti vti(spec, vti_opts);
+
+    rtl::Design base = designs::buildServSoc(config);
+    toolchain::CompileResult initial = vti.compileInitial(base);
+    std::printf("initial compile: %.1f s modeled "
+                "(synth %.1f / place %.1f / route %.1f / "
+                "bitgen %.1f / link %.1f)\n",
+                initial.time.total(), initial.time.synth,
+                initial.time.place, initial.time.route,
+                initial.time.bitgen, initial.time.link);
+
+    designs::ServSocConfig edited_cfg = config;
+    edited_cfg.debugVariant = 2;  // expose a probe register
+    rtl::Design edited = designs::buildServSoc(edited_cfg);
+    toolchain::CompileResult incr =
+        vti.compileIncremental(edited, mut);
+    std::printf("incremental:     %.1f s modeled "
+                "(synth %.1f / place %.1f / route %.1f / "
+                "bitgen %.1f / link %.1f / fixed %.1f)\n",
+                incr.time.total(), incr.time.synth,
+                incr.time.place, incr.time.route, incr.time.bitgen,
+                incr.time.link, incr.time.overhead);
+    std::printf("on this toy SoC the DFX fixed costs dominate; at "
+                "the paper's 5400-core scale the same flow\n"
+                "is ~18x faster than a full compile (run "
+                "bench_fig7_incremental_compile).\n\n");
+
+    // The incremental result carries a partial bitstream: only the
+    // edited partition's frames travel to the FPGA.
+    auto full_stats = bitstream::analyze(initial.bitstream);
+    auto part_stats = bitstream::analyze(incr.bitstream);
+    std::printf("bitstream: full %u frame-words vs partial %u "
+                "(%.1f%% of the device)\n",
+                full_stats.frameDataWords, part_stats.frameDataWords,
+                100.0 * part_stats.frameDataWords /
+                    full_stats.frameDataWords);
+
+    // Honesty check 1: unchanged partitions kept their placement.
+    auto locs_a = toolchain::buildLogicLocations(
+        spec, base, initial.netlist, initial.placement);
+    auto locs_b = toolchain::buildLogicLocations(
+        spec, edited, incr.netlist, incr.placement);
+    std::string other = designs::servCoreScope(config, 5) + "pc";
+    const auto *ra = locs_a.findReg(other);
+    const auto *rb = locs_b.findReg(other);
+    bool stable = ra && rb && ra->bits[0].frame == rb->bits[0].frame
+        && ra->bits[0].bit == rb->bits[0].bit;
+    std::printf("placement stability of untouched core 5: %s\n",
+                stable ? "identical" : "MOVED (reuse unsound!)");
+
+    // Honesty check 2: the linked netlist behaves like a fresh
+    // compile of the edited design.
+    toolchain::VendorTool vendor(spec);
+    toolchain::CompileResult fresh = vendor.compile(edited);
+    synth::NetlistSim sim_a(fresh.netlist);
+    synth::NetlistSim sim_b(incr.netlist);
+    bool equal = true;
+    for (int cycle = 0; cycle < 300 && equal; ++cycle) {
+        equal = sim_a.peek("checksum") == sim_b.peek("checksum");
+        for (uint32_t c = 0; c < fresh.netlist.numClocks; ++c) {
+            sim_a.step(static_cast<uint8_t>(c));
+            sim_b.step(static_cast<uint8_t>(c));
+        }
+    }
+    std::printf("behavioural equivalence over 300 cycles: %s\n",
+                equal ? "identical" : "DIVERGED");
+    return equal && stable ? 0 : 1;
+}

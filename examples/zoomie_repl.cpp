@@ -1,0 +1,221 @@
+/**
+ * @file
+ * zoomie-dbg: a gdb-style interactive debugger shell over the
+ * platform — the "software-like debugging experience" of the title,
+ * as a tool. Drives the TinyRV CPU by default. Reads commands from
+ * stdin (or from the command line after "--", for scripted runs).
+ *
+ * Commands:
+ *   run N            advance the external clock N cycles
+ *   pause | resume   control the MUT clock gate
+ *   step N           execute exactly N MUT cycles, then pause
+ *   break SLOT VAL   value breakpoint (AND group) on a watch slot
+ *   watch SLOT       watchpoint: pause when the slot's signal changes
+ *   clear            clear all triggers
+ *   print NAME       read a register through the config plane
+ *   x NAME ADDR      read a memory word
+ *   force NAME VAL   inject a register value
+ *   regs PREFIX      dump every register under a scope prefix
+ *   snap | restore   snapshot / restore the whole design state
+ *   trace N FILE     sample watch signals for N cycles, write VCD
+ *   info             platform status
+ *   quit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/zoomie.hh"
+#include "designs/tinyrv.hh"
+#include "sim/trace.hh"
+#include "sim/vcd.hh"
+
+using namespace zoomie;
+
+namespace {
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream is(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (is >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace designs::rv;
+    // Default workload: sum loop with a store per iteration.
+    std::vector<uint32_t> program = {
+        addi(1, 0, 0), addi(2, 0, 1),
+        add(1, 1, 2), addi(2, 2, 1),
+        sw(1, 0, 0x200), jal(0, -12),
+    };
+
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "cpu/";
+    opts.instrument.watchSignals = {"cpu/pc", "cpu/mcause",
+                                    "cpu/state"};
+    fpga::DeviceSpec spec = fpga::makeTestDevice();
+    spec.clbCols = 32;
+    spec.clbRows = 64;
+    spec.bramCols = 4;
+    opts.spec = spec;
+
+    std::printf("zoomie-dbg: bringing up TinyRV on %s...\n",
+                spec.name.c_str());
+    auto platform = core::Platform::create(
+        designs::buildTinyRv(program), opts);
+    core::Debugger &dbg = platform->debugger();
+    std::printf("watch slots: 0=cpu/pc 1=cpu/mcause 2=cpu/state\n");
+
+    // Scripted mode: everything after "--" is a ';'-separated
+    // command list.
+    std::vector<std::string> script;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--") {
+            std::string joined;
+            for (int j = i + 1; j < argc; ++j) {
+                joined += argv[j];
+                joined += ' ';
+            }
+            std::string piece;
+            std::istringstream is(joined);
+            while (std::getline(is, piece, ';'))
+                script.push_back(piece);
+        }
+    }
+    size_t script_pos = 0;
+    std::unique_ptr<core::Snapshot> snapshot;
+
+    while (true) {
+        std::string line;
+        if (!script.empty()) {
+            if (script_pos >= script.size())
+                break;
+            line = script[script_pos++];
+            std::printf("(zoomie) %s\n", line.c_str());
+        } else {
+            std::printf("(zoomie) ");
+            std::fflush(stdout);
+            if (!std::getline(std::cin, line))
+                break;
+        }
+        auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        const std::string &cmd = tokens[0];
+        try {
+            if (cmd == "quit" || cmd == "q") {
+                break;
+            } else if (cmd == "run" && tokens.size() >= 2) {
+                platform->run(std::stoull(tokens[1]));
+                std::printf("mut cycles: %llu%s\n",
+                            (unsigned long long)platform->mutCycles(),
+                            dbg.isPaused() ? "  [paused]" : "");
+            } else if (cmd == "pause") {
+                dbg.pause();
+                platform->run(1);
+                std::printf("paused at mut cycle %llu\n",
+                            (unsigned long long)platform->mutCycles());
+            } else if (cmd == "resume" || cmd == "c") {
+                dbg.resume();
+                std::printf("running\n");
+            } else if (cmd == "step" && tokens.size() >= 2) {
+                uint64_t n = std::stoull(tokens[1]);
+                dbg.stepCycles(n);
+                platform->run(n + 4);
+                std::printf("stepped %llu; pc = 0x%llx\n",
+                            (unsigned long long)n,
+                            (unsigned long long)dbg.readRegister(
+                                "cpu/pc"));
+            } else if (cmd == "break" && tokens.size() >= 3) {
+                unsigned slot = std::stoul(tokens[1]);
+                dbg.setValueBreakpoint(
+                    slot, std::stoull(tokens[2], nullptr, 0), true,
+                    false);
+                dbg.armTriggers(true, false);
+                std::printf("breakpoint armed on slot %u\n", slot);
+            } else if (cmd == "watch" && tokens.size() >= 2) {
+                dbg.setWatchpoint(std::stoul(tokens[1]), true);
+                std::printf("watchpoint armed\n");
+            } else if (cmd == "clear") {
+                dbg.clearValueBreakpoints();
+                std::printf("triggers cleared\n");
+            } else if (cmd == "print" && tokens.size() >= 2) {
+                std::printf("%s = 0x%llx\n", tokens[1].c_str(),
+                            (unsigned long long)dbg.readRegister(
+                                tokens[1]));
+            } else if (cmd == "x" && tokens.size() >= 3) {
+                uint32_t addr = std::stoul(tokens[2], nullptr, 0);
+                std::printf("%s[0x%x] = 0x%llx\n", tokens[1].c_str(),
+                            addr,
+                            (unsigned long long)dbg.readMemWord(
+                                tokens[1], addr));
+            } else if (cmd == "force" && tokens.size() >= 3) {
+                dbg.forceRegister(tokens[1],
+                                  std::stoull(tokens[2], nullptr, 0));
+                std::printf("forced\n");
+            } else if (cmd == "regs" && tokens.size() >= 2) {
+                for (const auto &[name, value] :
+                     dbg.readAllRegisters(tokens[1])) {
+                    std::printf("  %-24s = 0x%llx\n", name.c_str(),
+                                (unsigned long long)value);
+                }
+            } else if (cmd == "snap") {
+                snapshot = std::make_unique<core::Snapshot>(
+                    dbg.snapshot());
+                std::printf("snapshot taken at mut cycle %llu\n",
+                            (unsigned long long)snapshot->mutCycles);
+            } else if (cmd == "restore") {
+                if (!snapshot) {
+                    std::printf("no snapshot\n");
+                    continue;
+                }
+                dbg.restore(*snapshot);
+                std::printf("restored\n");
+            } else if (cmd == "trace" && tokens.size() >= 3) {
+                uint64_t n = std::stoull(tokens[1]);
+                sim::Trace trace;
+                for (const std::string &signal :
+                     platform->instrumented().watchSignals) {
+                    trace.addSignal(signal, [&platform, &dbg,
+                                             signal]() {
+                        return dbg.readRegister(signal);
+                    });
+                }
+                for (uint64_t i = 0; i < n; ++i) {
+                    trace.sample();
+                    platform->run(1);
+                }
+                std::ofstream out(tokens[2]);
+                sim::writeVcd(trace, out);
+                std::printf("wrote %llu samples to %s\n",
+                            (unsigned long long)n,
+                            tokens[2].c_str());
+            } else if (cmd == "info") {
+                std::printf("mut cycles: %llu  paused: %s  "
+                            "assertions fired: 0x%llx\n",
+                            (unsigned long long)platform->mutCycles(),
+                            dbg.isPaused() ? "yes" : "no",
+                            (unsigned long long)0);
+            } else {
+                std::printf("unknown command: %s\n", cmd.c_str());
+            }
+        } catch (const std::exception &e) {
+            std::printf("error: %s\n", e.what());
+        }
+    }
+    return 0;
+}

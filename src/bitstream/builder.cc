@@ -1,0 +1,74 @@
+#include "builder.hh"
+
+namespace zoomie::bitstream {
+
+CommandBuilder &
+CommandBuilder::sync(unsigned dummy_words)
+{
+    for (unsigned i = 0; i < dummy_words; ++i)
+        _words.push_back(kDummyWord);
+    _words.push_back(kSyncWord);
+    return *this;
+}
+
+CommandBuilder &
+CommandBuilder::selectHop(uint32_t hop)
+{
+    for (uint32_t h = 0; h < hop; ++h) {
+        _words.push_back(type1(PacketOp::Write, ConfigReg::BOUT, 0));
+        // Padding compensates for the switch-fabric busy time.
+        _words.push_back(kDummyWord);
+        _words.push_back(kDummyWord);
+    }
+    if (hop > 0)
+        _words.push_back(kSyncWord);  // sync the selected controller
+    return *this;
+}
+
+CommandBuilder &
+CommandBuilder::writeReg(ConfigReg reg, uint32_t value)
+{
+    _words.push_back(type1(PacketOp::Write, reg, 1));
+    _words.push_back(value);
+    return *this;
+}
+
+CommandBuilder &
+CommandBuilder::command(Command cmd)
+{
+    return writeReg(ConfigReg::CMD, static_cast<uint32_t>(cmd));
+}
+
+CommandBuilder &
+CommandBuilder::writeFrames(uint32_t far,
+                            const std::vector<uint32_t> &words)
+{
+    command(Command::WCFG);
+    writeReg(ConfigReg::FAR, far);
+    _words.push_back(type1(PacketOp::Write, ConfigReg::FDRI, 0));
+    _words.push_back(
+        type2(PacketOp::Write, static_cast<uint32_t>(words.size())));
+    _words.insert(_words.end(), words.begin(), words.end());
+    return *this;
+}
+
+CommandBuilder &
+CommandBuilder::readRequest(uint32_t far, uint32_t word_count)
+{
+    command(Command::RCFG);
+    writeReg(ConfigReg::FAR, far);
+    _words.push_back(type1(PacketOp::Read, ConfigReg::FDRO, 0));
+    _words.push_back(type2(PacketOp::Read, word_count));
+    return *this;
+}
+
+CommandBuilder &
+CommandBuilder::desync()
+{
+    command(Command::Desync);
+    _words.push_back(kDummyWord);
+    _words.push_back(kDummyWord);
+    return *this;
+}
+
+} // namespace zoomie::bitstream

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Low-level construction of configuration word streams: the packet
+ * sequences Vivado would emit, plus the SLR-switch idiom (BOUT
+ * pulses) the paper reverse-engineers. Used by the toolchain's
+ * bitstream generator for full/partial configuration and by
+ * Zoomie's host-side debugger for runtime capture/readback/restore
+ * command sequences.
+ */
+
+#ifndef ZOOMIE_BITSTREAM_BUILDER_HH
+#define ZOOMIE_BITSTREAM_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/packets.hh"
+
+namespace zoomie::bitstream {
+
+/** Append-only builder over a word vector. */
+class CommandBuilder
+{
+  public:
+    /** Start a section: dummy padding followed by SYNC. */
+    CommandBuilder &sync(unsigned dummy_words = 8);
+
+    /**
+     * Select the SLR at ring hop @p hop: emit @p hop empty BOUT
+     * writes (each padded, as observed in real bitstreams), then a
+     * SYNC for the newly selected controller.
+     */
+    CommandBuilder &selectHop(uint32_t hop);
+
+    /** Write one word to a configuration register. */
+    CommandBuilder &writeReg(ConfigReg reg, uint32_t value);
+
+    /** Write a command to CMD. */
+    CommandBuilder &command(Command cmd);
+
+    /** Set FAR and stream frame data (any number of words). */
+    CommandBuilder &writeFrames(uint32_t far,
+                                const std::vector<uint32_t> &words);
+
+    /**
+     * Request a readback burst: CMD=RCFG, FAR, then a read packet
+     * for @p word_count words of FDRO.
+     */
+    CommandBuilder &readRequest(uint32_t far, uint32_t word_count);
+
+    /** End the section: CMD=DESYNC (routing returns to primary). */
+    CommandBuilder &desync();
+
+    const std::vector<uint32_t> &words() const { return _words; }
+    std::vector<uint32_t> take() { return std::move(_words); }
+
+  private:
+    std::vector<uint32_t> _words;
+};
+
+} // namespace zoomie::bitstream
+
+#endif // ZOOMIE_BITSTREAM_BUILDER_HH

@@ -1,0 +1,161 @@
+#include "disassembler.hh"
+
+namespace zoomie::bitstream {
+
+std::vector<DisasmEvent>
+disassemble(const std::vector<uint32_t> &words)
+{
+    std::vector<DisasmEvent> events;
+    size_t i = 0;
+    const size_t n = words.size();
+
+    auto pushDummyRun = [&](size_t &index) {
+        DisasmEvent ev;
+        ev.kind = DisasmEvent::Kind::Dummy;
+        while (index < n && words[index] == kDummyWord) {
+            ++ev.count;
+            ++index;
+        }
+        events.push_back(ev);
+    };
+
+    ConfigReg lastReg = ConfigReg::CRC;
+    while (i < n) {
+        uint32_t word = words[i];
+        if (word == kDummyWord) {
+            pushDummyRun(i);
+            continue;
+        }
+        if (word == kSyncWord) {
+            DisasmEvent ev;
+            ev.kind = DisasmEvent::Kind::Sync;
+            events.push_back(ev);
+            ++i;
+            continue;
+        }
+        PacketHeader header = decodeHeader(word);
+        ++i;
+        if (header.type == PacketHeader::Type::Invalid) {
+            DisasmEvent ev;
+            ev.kind = DisasmEvent::Kind::Unknown;
+            ev.data.push_back(word);
+            events.push_back(ev);
+            continue;
+        }
+        ConfigReg reg = header.type == PacketHeader::Type::Type1
+            ? header.reg : lastReg;
+        if (header.type == PacketHeader::Type::Type1)
+            lastReg = header.reg;
+
+        if (header.op == PacketOp::Write) {
+            if (reg == ConfigReg::BOUT && header.wordCount == 0) {
+                DisasmEvent ev;
+                ev.kind = DisasmEvent::Kind::BoutPulse;
+                events.push_back(ev);
+                continue;
+            }
+            if (header.wordCount == 0)
+                continue;  // address setup for a type-2 burst
+            DisasmEvent ev;
+            ev.count = header.wordCount;
+            size_t keep = std::min<size_t>(4, header.wordCount);
+            for (size_t k = 0; k < keep && i + k < n; ++k)
+                ev.data.push_back(words[i + k]);
+            if (reg == ConfigReg::FDRI) {
+                ev.kind = DisasmEvent::Kind::FrameData;
+            } else if (reg == ConfigReg::CMD) {
+                ev.kind = DisasmEvent::Kind::Command;
+                ev.cmd = static_cast<Command>(
+                    ev.data.empty() ? 0 : ev.data[0]);
+            } else {
+                ev.kind = DisasmEvent::Kind::RegWrite;
+            }
+            ev.reg = reg;
+            events.push_back(ev);
+            i += header.wordCount;
+        } else if (header.op == PacketOp::Read) {
+            if (header.wordCount == 0)
+                continue;
+            DisasmEvent ev;
+            ev.kind = DisasmEvent::Kind::ReadRequest;
+            ev.reg = reg;
+            ev.count = header.wordCount;
+            events.push_back(ev);
+        }
+    }
+    return events;
+}
+
+DisasmStats
+analyze(const std::vector<uint32_t> &words)
+{
+    DisasmStats stats;
+    uint32_t bout_since_section = 0;
+    for (const DisasmEvent &ev : disassemble(words)) {
+        switch (ev.kind) {
+          case DisasmEvent::Kind::Sync:
+            ++stats.syncCount;
+            break;
+          case DisasmEvent::Kind::Dummy:
+            stats.dummyWords += ev.count;
+            break;
+          case DisasmEvent::Kind::BoutPulse:
+            ++stats.boutPulses;
+            ++bout_since_section;
+            break;
+          case DisasmEvent::Kind::FrameData:
+            stats.frameDataWords += ev.count;
+            stats.boutBeforeSection.push_back(bout_since_section);
+            bout_since_section = 0;
+            break;
+          case DisasmEvent::Kind::RegWrite:
+            if (ev.reg == ConfigReg::IDCODE && !ev.data.empty())
+                stats.idcodes.push_back(ev.data[0]);
+            break;
+          default:
+            break;
+        }
+    }
+    return stats;
+}
+
+void
+printDisassembly(const std::vector<DisasmEvent> &events,
+                 std::ostream &os)
+{
+    for (const DisasmEvent &ev : events) {
+        switch (ev.kind) {
+          case DisasmEvent::Kind::Dummy:
+            os << "  dummy x" << ev.count << "\n";
+            break;
+          case DisasmEvent::Kind::Sync:
+            os << "  SYNC\n";
+            break;
+          case DisasmEvent::Kind::BoutPulse:
+            os << "  BOUT pulse (empty write, undocumented)\n";
+            break;
+          case DisasmEvent::Kind::RegWrite:
+            os << "  write " << regName(ev.reg) << " = 0x" << std::hex
+               << (ev.data.empty() ? 0u : ev.data[0]) << std::dec
+               << "\n";
+            break;
+          case DisasmEvent::Kind::Command:
+            os << "  CMD " << commandName(ev.cmd) << "\n";
+            break;
+          case DisasmEvent::Kind::FrameData:
+            os << "  FDRI burst: " << ev.count << " words\n";
+            break;
+          case DisasmEvent::Kind::ReadRequest:
+            os << "  read " << regName(ev.reg) << " x" << ev.count
+               << "\n";
+            break;
+          case DisasmEvent::Kind::Unknown:
+            os << "  ?? 0x" << std::hex
+               << (ev.data.empty() ? 0u : ev.data[0]) << std::dec
+               << "\n";
+            break;
+        }
+    }
+}
+
+} // namespace zoomie::bitstream

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structural disassembler for configuration word streams. This is
+ * the analysis tool the paper's §4.4 methodology relies on: finding
+ * repetitions of 0xFFFFFFFF / 0xAA995566, spotting the undocumented
+ * empty BOUT writes, and counting how many appear before each SLR's
+ * configuration section.
+ */
+
+#ifndef ZOOMIE_BITSTREAM_DISASSEMBLER_HH
+#define ZOOMIE_BITSTREAM_DISASSEMBLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bitstream/packets.hh"
+
+namespace zoomie::bitstream {
+
+/** One decoded stream event. */
+struct DisasmEvent
+{
+    enum class Kind {
+        Dummy,      ///< run of 0xFFFFFFFF (count in `count`)
+        Sync,       ///< 0xAA995566
+        BoutPulse,  ///< empty write to the undocumented BOUT register
+        RegWrite,   ///< write to a register (value in data[0])
+        FrameData,  ///< FDRI burst (count words; data holds a prefix)
+        ReadRequest,///< FDRO read of `count` words
+        Command,    ///< CMD write (decoded command in `cmd`)
+        Unknown,
+    };
+
+    Kind kind = Kind::Unknown;
+    ConfigReg reg = ConfigReg::CRC;
+    Command cmd = Command::Null;
+    uint32_t count = 0;
+    std::vector<uint32_t> data;  ///< at most 4 words retained
+};
+
+/** Aggregate statistics of a disassembled stream. */
+struct DisasmStats
+{
+    uint32_t syncCount = 0;
+    uint32_t dummyWords = 0;
+    uint32_t boutPulses = 0;
+    uint32_t frameDataWords = 0;
+    /** BOUT pulses seen before each configuration section (a
+     *  section = FDRI burst); reproduces the §4.4 observation. */
+    std::vector<uint32_t> boutBeforeSection;
+    /** IDCODE values written, in order. */
+    std::vector<uint32_t> idcodes;
+};
+
+/** Decode a stream into events. */
+std::vector<DisasmEvent> disassemble(const std::vector<uint32_t> &words);
+
+/** Compute aggregate statistics. */
+DisasmStats analyze(const std::vector<uint32_t> &words);
+
+/** Render events as text (one per line). */
+void printDisassembly(const std::vector<DisasmEvent> &events,
+                      std::ostream &os);
+
+} // namespace zoomie::bitstream
+
+#endif // ZOOMIE_BITSTREAM_DISASSEMBLER_HH

@@ -1,0 +1,57 @@
+#include "packets.hh"
+
+namespace zoomie::bitstream {
+
+PacketHeader
+decodeHeader(uint32_t word)
+{
+    PacketHeader header;
+    const uint32_t type = word >> 29;
+    if (type == 1) {
+        header.type = PacketHeader::Type::Type1;
+        header.op = static_cast<PacketOp>((word >> 27) & 0x3);
+        header.reg = static_cast<ConfigReg>((word >> 13) & 0x3FFF);
+        header.wordCount = word & 0x7FF;
+    } else if (type == 2) {
+        header.type = PacketHeader::Type::Type2;
+        header.op = static_cast<PacketOp>((word >> 27) & 0x3);
+        header.wordCount = word & 0x07FFFFFF;
+    }
+    return header;
+}
+
+std::string
+regName(ConfigReg reg)
+{
+    switch (reg) {
+      case ConfigReg::CRC: return "CRC";
+      case ConfigReg::FAR: return "FAR";
+      case ConfigReg::FDRI: return "FDRI";
+      case ConfigReg::FDRO: return "FDRO";
+      case ConfigReg::CMD: return "CMD";
+      case ConfigReg::CTL0: return "CTL0";
+      case ConfigReg::MASK: return "MASK";
+      case ConfigReg::STAT: return "STAT";
+      case ConfigReg::IDCODE: return "IDCODE";
+      case ConfigReg::BOUT: return "BOUT";
+    }
+    return "REG_" + std::to_string(static_cast<uint32_t>(reg));
+}
+
+std::string
+commandName(Command cmd)
+{
+    switch (cmd) {
+      case Command::Null: return "NULL";
+      case Command::WCFG: return "WCFG";
+      case Command::RCFG: return "RCFG";
+      case Command::Start: return "START";
+      case Command::RCRC: return "RCRC";
+      case Command::GRestore: return "GRESTORE";
+      case Command::GCapture: return "GCAPTURE";
+      case Command::Desync: return "DESYNC";
+    }
+    return "CMD_" + std::to_string(static_cast<uint32_t>(cmd));
+}
+
+} // namespace zoomie::bitstream

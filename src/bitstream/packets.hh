@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Configuration packet format, mirroring the Xilinx UltraScale
+ * bitstream programming model the paper reverse-engineers (§4):
+ * the bitstream is a *program* interpreted by a per-SLR
+ * microcontroller. Words of interest:
+ *
+ *  - 0xFFFFFFFF  dummy padding (compensates for µc busy time)
+ *  - 0xAA995566  SYNC: start of a command sequence
+ *  - type-1 packet headers addressing configuration registers
+ *  - type-2 packet headers carrying long data bursts
+ *
+ * The undocumented BOUT register (§4.4): an *empty* write to BOUT
+ * acts as a switch directing subsequent operations to the next SLR
+ * in the chiplet ring. IDCODE writes do NOT select SLRs (§4.3).
+ */
+
+#ifndef ZOOMIE_BITSTREAM_PACKETS_HH
+#define ZOOMIE_BITSTREAM_PACKETS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace zoomie::bitstream {
+
+/** Special words. */
+constexpr uint32_t kDummyWord = 0xFFFFFFFFu;
+constexpr uint32_t kSyncWord = 0xAA995566u;
+
+/** Configuration register addresses. */
+enum class ConfigReg : uint32_t {
+    CRC = 0x00,
+    FAR = 0x01,     ///< frame address register (auto-increments)
+    FDRI = 0x02,    ///< frame data input
+    FDRO = 0x03,    ///< frame data output (readback)
+    CMD = 0x04,
+    CTL0 = 0x05,
+    MASK = 0x06,    ///< GSR/capture/restore region restriction
+    STAT = 0x07,
+    IDCODE = 0x0C,
+    BOUT = 0x18,    ///< undocumented: SLR ring switch
+};
+
+/** CMD register opcodes. */
+enum class Command : uint32_t {
+    Null = 0x0,
+    WCFG = 0x1,      ///< enable configuration writes
+    RCFG = 0x4,      ///< enable readback
+    Start = 0x5,     ///< begin startup sequence (GSR pulse + clocks)
+    RCRC = 0x7,
+    GRestore = 0xA,  ///< load FF state from config memory
+    GCapture = 0xC,  ///< capture FF state into config memory
+    Desync = 0xD,    ///< end of sequence; routing returns to primary
+};
+
+/** Packet operations. */
+enum class PacketOp : uint32_t { Nop = 0, Read = 1, Write = 2 };
+
+/** Decoded packet header. */
+struct PacketHeader
+{
+    enum class Type { Type1, Type2, Invalid } type = Type::Invalid;
+    PacketOp op = PacketOp::Nop;
+    ConfigReg reg = ConfigReg::CRC;  ///< type-1 only
+    uint32_t wordCount = 0;
+};
+
+/** Encode a type-1 packet header. */
+constexpr uint32_t
+type1(PacketOp op, ConfigReg reg, uint32_t word_count)
+{
+    return (1u << 29) | (static_cast<uint32_t>(op) << 27) |
+           ((static_cast<uint32_t>(reg) & 0x3FFFu) << 13) |
+           (word_count & 0x7FFu);
+}
+
+/** Encode a type-2 packet header (large burst; uses previous reg). */
+constexpr uint32_t
+type2(PacketOp op, uint32_t word_count)
+{
+    return (2u << 29) | (static_cast<uint32_t>(op) << 27) |
+           (word_count & 0x07FFFFFFu);
+}
+
+/** Decode a packet header word. */
+PacketHeader decodeHeader(uint32_t word);
+
+/** Register name for dumps. */
+std::string regName(ConfigReg reg);
+
+/** Command name for dumps. */
+std::string commandName(Command cmd);
+
+} // namespace zoomie::bitstream
+
+#endif // ZOOMIE_BITSTREAM_PACKETS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the IR, the mapper and the
+ * configuration-memory model. All values are unsigned 64-bit words
+ * carrying signals of width 1..64.
+ */
+
+#ifndef ZOOMIE_COMMON_BITS_HH
+#define ZOOMIE_COMMON_BITS_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace zoomie {
+
+/** All-ones mask for a signal of the given width (1..64). */
+inline uint64_t
+maskForWidth(unsigned width)
+{
+    panic_if(width == 0 || width > 64, "bad signal width ", width);
+    return width == 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+/** Truncate a value to the given width. */
+inline uint64_t
+truncToWidth(uint64_t value, unsigned width)
+{
+    return value & maskForWidth(width);
+}
+
+/** Extract bits [lo + len - 1 : lo] of a value. */
+inline uint64_t
+extractBits(uint64_t value, unsigned lo, unsigned len)
+{
+    panic_if(lo + len > 64, "slice out of range");
+    return (value >> lo) & maskForWidth(len);
+}
+
+/** Return bit @p index of @p value as 0 or 1. */
+inline uint64_t
+getBit(uint64_t value, unsigned index)
+{
+    return (value >> index) & 1ULL;
+}
+
+/** Set or clear bit @p index of @p value. */
+inline uint64_t
+setBit(uint64_t value, unsigned index, bool on)
+{
+    const uint64_t mask = 1ULL << index;
+    return on ? (value | mask) : (value & ~mask);
+}
+
+/** Number of bits needed to represent values 0..n-1 (at least 1). */
+inline unsigned
+bitsToAddress(uint64_t n)
+{
+    unsigned bits = 1;
+    while ((1ULL << bits) < n && bits < 63)
+        ++bits;
+    return bits;
+}
+
+/** Population count helper for readability at call sites. */
+inline unsigned
+popCount(uint64_t value)
+{
+    return static_cast<unsigned>(__builtin_popcountll(value));
+}
+
+} // namespace zoomie
+
+#endif // ZOOMIE_COMMON_BITS_HH

@@ -1,0 +1,39 @@
+#include "logging.hh"
+
+#include <iostream>
+
+namespace zoomie {
+
+namespace {
+
+const char *
+prefixFor(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logFailureAndDie(LogLevel level, const char *where, const std::string &msg)
+{
+    std::cerr << prefixFor(level) << ": " << msg << " (" << where << ")"
+              << std::endl;
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::cerr << prefixFor(level) << ": " << msg << std::endl;
+}
+
+} // namespace zoomie

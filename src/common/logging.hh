@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (aborts), fatal() for user
+ * errors (exits cleanly), warn()/inform() for status messages.
+ */
+
+#ifndef ZOOMIE_COMMON_LOGGING_HH
+#define ZOOMIE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace zoomie {
+
+/** Severity classes understood by logMessage(). */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted message to stderr with a severity prefix.
+ *
+ * @param level severity class; Fatal exits(1), Panic aborts.
+ * @param where source location string ("file:line").
+ * @param msg   already-formatted message body.
+ */
+[[noreturn]] void logFailureAndDie(LogLevel level, const char *where,
+                                   const std::string &msg);
+
+/** Emit a non-fatal message (Inform or Warn) to stderr. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/** Build a message from streamable parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace zoomie
+
+#define ZOOMIE_STR2(x) #x
+#define ZOOMIE_STR(x) ZOOMIE_STR2(x)
+#define ZOOMIE_WHERE __FILE__ ":" ZOOMIE_STR(__LINE__)
+
+/** Internal invariant violation: print and abort (never user error). */
+#define panic(...)                                                         \
+    ::zoomie::logFailureAndDie(::zoomie::LogLevel::Panic, ZOOMIE_WHERE,    \
+                               ::zoomie::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user error: print and exit(1). */
+#define fatal(...)                                                         \
+    ::zoomie::logFailureAndDie(::zoomie::LogLevel::Fatal, ZOOMIE_WHERE,    \
+                               ::zoomie::detail::concat(__VA_ARGS__))
+
+/** Condition-checked panic, kept on in release builds. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            panic("condition '" #cond "' held: ", __VA_ARGS__);           \
+        }                                                                  \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            fatal(__VA_ARGS__);                                            \
+        }                                                                  \
+    } while (0)
+
+#define warn(...)                                                          \
+    ::zoomie::logMessage(::zoomie::LogLevel::Warn,                         \
+                         ::zoomie::detail::concat(__VA_ARGS__))
+
+#define inform(...)                                                        \
+    ::zoomie::logMessage(::zoomie::LogLevel::Inform,                       \
+                         ::zoomie::detail::concat(__VA_ARGS__))
+
+#endif // ZOOMIE_COMMON_LOGGING_HH

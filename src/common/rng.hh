@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small deterministic PRNG (SplitMix64) used for workload generation
+ * and property tests. Deterministic across platforms so tests and
+ * benches are reproducible.
+ */
+
+#ifndef ZOOMIE_COMMON_RNG_HH
+#define ZOOMIE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace zoomie {
+
+/** SplitMix64 generator; tiny state, good-enough statistical quality. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : _state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (_state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value masked to @p width bits. */
+    uint64_t
+    nextBits(unsigned width)
+    {
+        return width >= 64 ? next() : (next() & ((1ULL << width) - 1));
+    }
+
+    /** Bernoulli draw with probability @p numer / @p denom. */
+    bool
+    chance(uint64_t numer, uint64_t denom)
+    {
+        return nextBelow(denom) < numer;
+    }
+
+  private:
+    uint64_t _state;
+};
+
+} // namespace zoomie
+
+#endif // ZOOMIE_COMMON_RNG_HH

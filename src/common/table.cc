@@ -1,0 +1,102 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace zoomie {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    _header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(_header);
+    for (const auto &row : _rows)
+        grow(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                os << std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    if (!_title.empty())
+        os << "== " << _title << " ==\n";
+    if (!_header.empty()) {
+        emit(_header);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    }
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds >= 3600.0)
+        std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+    else if (seconds >= 60.0)
+        std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    return buf;
+}
+
+std::string
+formatCount(uint64_t value)
+{
+    std::string raw = std::to_string(value);
+    std::string out;
+    int digits = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (digits && digits % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++digits;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+formatRatio(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", fraction * 100.0);
+    return buf;
+}
+
+} // namespace zoomie

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit the
+ * same rows/series the paper's tables and figures report.
+ */
+
+#ifndef ZOOMIE_COMMON_TABLE_HH
+#define ZOOMIE_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace zoomie {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns. First row added via setHeader() is underlined.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : _title(std::move(title)) {}
+
+    /** Set the column headers. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format seconds compactly, e.g. "2.31 h", "14.2 min", "0.39 s". */
+std::string formatSeconds(double seconds);
+
+/** Format a count with thousands separators, e.g. "1,103,572". */
+std::string formatCount(uint64_t value);
+
+/** Format a ratio as e.g. "18.3x". */
+std::string formatRatio(double ratio);
+
+/** Format a percentage with two decimals, e.g. "95.32". */
+std::string formatPercent(double fraction);
+
+} // namespace zoomie
+
+#endif // ZOOMIE_COMMON_TABLE_HH

@@ -1,0 +1,436 @@
+#include "debugger.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "bitstream/builder.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "toolchain/bitgen.hh"
+#include "toolchain/placer.hh"
+
+namespace zoomie::core {
+
+using bitstream::Command;
+using bitstream::CommandBuilder;
+using bitstream::ConfigReg;
+using fpga::BitLoc;
+
+Debugger::Debugger(fpga::Device &device, jtag::JtagHost &host,
+                   const rtl::Design &design,
+                   const synth::MappedNetlist &netlist,
+                   const fpga::Placement &placement,
+                   const InstrumentResult &meta)
+    : _device(device), _host(host), _design(design),
+      _netlist(netlist), _placement(placement), _meta(meta),
+      _locs(toolchain::buildLogicLocations(device.spec(), design,
+                                           netlist, placement))
+{
+}
+
+uint32_t
+Debugger::hopOf(uint32_t slr) const
+{
+    auto ring = _device.spec().ringOrder();
+    for (uint32_t h = 0; h < ring.size(); ++h) {
+        if (ring[h] == slr)
+            return h;
+    }
+    panic("slr not in ring");
+}
+
+void
+Debugger::clearMaskAndCapture(const std::vector<uint32_t> &slrs)
+{
+    for (uint32_t slr : slrs) {
+        CommandBuilder cb;
+        cb.sync().selectHop(hopOf(slr));
+        // §4.7: always clear the (possibly stale) GSR mask before
+        // capture, or readback returns stale values.
+        cb.writeReg(ConfigReg::MASK, 0);
+        cb.command(Command::GCapture);
+        cb.desync();
+        _host.send(cb.take());
+    }
+}
+
+std::vector<uint32_t>
+Debugger::readFrame(uint32_t slr, uint32_t frame)
+{
+    CommandBuilder cb;
+    cb.sync().selectHop(hopOf(slr))
+        .readRequest(frame, fpga::kFrameWords);
+    _host.send(cb.take());
+    std::vector<uint32_t> words = _host.read(fpga::kFrameWords);
+    CommandBuilder fin;
+    fin.desync();
+    _host.send(fin.take());
+    return words;
+}
+
+uint64_t
+Debugger::decodeBits(const std::vector<BitLoc> &bits)
+{
+    // Group by (slr, frame) so each frame is read at most once.
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::vector<uint32_t>> frames;
+    uint64_t value = 0;
+    for (size_t i = 0; i < bits.size(); ++i) {
+        const BitLoc &loc = bits[i];
+        auto key = std::make_pair(loc.slr, loc.frame);
+        auto it = frames.find(key);
+        if (it == frames.end()) {
+            it = frames.emplace(key,
+                                readFrame(loc.slr, loc.frame)).first;
+        }
+        uint32_t word = it->second[loc.bit / 32];
+        value |= uint64_t((word >> (loc.bit % 32)) & 1) << i;
+    }
+    return value;
+}
+
+uint64_t
+Debugger::readRegister(const std::string &name)
+{
+    const toolchain::RegLocation *reg = _locs.findReg(name);
+    fatal_if(!reg, "Zoomie: unknown register '", name, "'");
+    std::set<uint32_t> slr_set;
+    for (const BitLoc &loc : reg->bits)
+        slr_set.insert(loc.slr);
+    clearMaskAndCapture({slr_set.begin(), slr_set.end()});
+    return decodeBits(reg->bits);
+}
+
+void
+Debugger::forceRegisters(
+    const std::vector<std::pair<std::string, uint64_t>> &writes)
+{
+    // Collect all touched frames, capture first (so neighbours in
+    // the same frames keep their live values), read-modify-write.
+    struct Patch { BitLoc loc; bool value; };
+    std::vector<Patch> patches;
+    std::set<uint32_t> slr_set;
+    for (const auto &[name, value] : writes) {
+        const toolchain::RegLocation *reg = _locs.findReg(name);
+        fatal_if(!reg, "Zoomie: unknown register '", name, "'");
+        for (unsigned bit = 0; bit < reg->width; ++bit) {
+            patches.push_back({reg->bits[bit],
+                               getBit(value, bit) != 0});
+            slr_set.insert(reg->bits[bit].slr);
+        }
+    }
+    clearMaskAndCapture({slr_set.begin(), slr_set.end()});
+
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::vector<uint32_t>> frames;
+    for (const Patch &patch : patches) {
+        auto key = std::make_pair(patch.loc.slr, patch.loc.frame);
+        auto it = frames.find(key);
+        if (it == frames.end()) {
+            it = frames.emplace(key, readFrame(patch.loc.slr,
+                                               patch.loc.frame))
+                     .first;
+        }
+        uint32_t &word = it->second[patch.loc.bit / 32];
+        uint32_t mask = 1u << (patch.loc.bit % 32);
+        word = patch.value ? (word | mask) : (word & ~mask);
+    }
+
+    std::vector<toolchain::FrameSpan> spans;
+    for (auto &[key, words] : frames) {
+        toolchain::FrameSpan span;
+        span.slr = key.first;
+        span.farStart = key.second;
+        span.words = std::move(words);
+        spans.push_back(std::move(span));
+    }
+    _host.send(toolchain::partialBitstream(_device.spec(), spans));
+}
+
+void
+Debugger::forceRegister(const std::string &name, uint64_t value)
+{
+    forceRegisters({{name, value}});
+}
+
+uint64_t
+Debugger::readMemWord(const std::string &name, uint32_t addr)
+{
+    const toolchain::MemLocation *mem = _locs.findMem(name);
+    fatal_if(!mem, "Zoomie: unknown memory '", name, "'");
+    const synth::MRam &ram = _netlist.rams[mem->ramIndex];
+    std::vector<BitLoc> bits;
+    for (uint32_t bit = 0; bit < mem->width; ++bit) {
+        bits.push_back(fpga::ramBitLoc(
+            _device.spec(), ram, _placement.ramSite[mem->ramIndex],
+            addr, bit));
+    }
+    std::set<uint32_t> slr_set;
+    for (const BitLoc &loc : bits)
+        slr_set.insert(loc.slr);
+    clearMaskAndCapture({slr_set.begin(), slr_set.end()});
+    return decodeBits(bits);
+}
+
+void
+Debugger::forceMemWord(const std::string &name, uint32_t addr,
+                       uint64_t value)
+{
+    const toolchain::MemLocation *mem = _locs.findMem(name);
+    fatal_if(!mem, "Zoomie: unknown memory '", name, "'");
+    const synth::MRam &ram = _netlist.rams[mem->ramIndex];
+
+    std::set<uint32_t> slr_set;
+    std::vector<BitLoc> bits;
+    for (uint32_t bit = 0; bit < mem->width; ++bit) {
+        bits.push_back(fpga::ramBitLoc(
+            _device.spec(), ram, _placement.ramSite[mem->ramIndex],
+            addr, bit));
+        slr_set.insert(bits.back().slr);
+    }
+    clearMaskAndCapture({slr_set.begin(), slr_set.end()});
+
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::vector<uint32_t>> frames;
+    for (uint32_t bit = 0; bit < mem->width; ++bit) {
+        const BitLoc &loc = bits[bit];
+        auto key = std::make_pair(loc.slr, loc.frame);
+        auto it = frames.find(key);
+        if (it == frames.end()) {
+            it = frames.emplace(key,
+                                readFrame(loc.slr, loc.frame)).first;
+        }
+        uint32_t &word = it->second[loc.bit / 32];
+        uint32_t mask = 1u << (loc.bit % 32);
+        word = getBit(value, bit) ? (word | mask) : (word & ~mask);
+    }
+    std::vector<toolchain::FrameSpan> spans;
+    for (auto &[key, words] : frames) {
+        toolchain::FrameSpan span;
+        span.slr = key.first;
+        span.farStart = key.second;
+        span.words = std::move(words);
+        spans.push_back(std::move(span));
+    }
+    _host.send(toolchain::partialBitstream(_device.spec(), spans));
+}
+
+std::map<std::string, uint64_t>
+Debugger::readAllRegisters(const std::string &prefix)
+{
+    std::set<uint32_t> slr_set;
+    auto regs = _locs.regsUnder(prefix);
+    for (const auto *reg : regs) {
+        for (const BitLoc &loc : reg->bits)
+            slr_set.insert(loc.slr);
+    }
+    clearMaskAndCapture({slr_set.begin(), slr_set.end()});
+
+    // One pass over unique frames, then decode every register.
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::vector<uint32_t>> frames;
+    std::map<std::string, uint64_t> out;
+    for (const auto *reg : regs) {
+        uint64_t value = 0;
+        for (size_t i = 0; i < reg->bits.size(); ++i) {
+            const BitLoc &loc = reg->bits[i];
+            auto key = std::make_pair(loc.slr, loc.frame);
+            auto it = frames.find(key);
+            if (it == frames.end()) {
+                it = frames.emplace(key, readFrame(loc.slr,
+                                                   loc.frame))
+                         .first;
+            }
+            uint32_t word = it->second[loc.bit / 32];
+            value |= uint64_t((word >> (loc.bit % 32)) & 1) << i;
+        }
+        out[reg->name] = value;
+    }
+    return out;
+}
+
+// ---- execution control ------------------------------------------------
+
+void
+Debugger::pause()
+{
+    forceRegister(ControlRegs::hostPause, 1);
+}
+
+void
+Debugger::resume()
+{
+    forceRegisters({{ControlRegs::hostPause, 0},
+                    {ControlRegs::stepArmed, 0},
+                    {ControlRegs::pauseState, 0}});
+}
+
+void
+Debugger::stepCycles(uint64_t n)
+{
+    // The counter pauses the design when it reaches 1, so n
+    // executed cycles need a preload of n + 1 (§3.4 / §4.7).
+    forceRegisters({{ControlRegs::stepCount, n + 1},
+                    {ControlRegs::stepArmed, 1},
+                    {ControlRegs::hostPause, 0},
+                    {ControlRegs::pauseState, 0}});
+}
+
+bool
+Debugger::isPaused()
+{
+    return readRegister(ControlRegs::pauseState) != 0;
+}
+
+void
+Debugger::setValueBreakpoint(unsigned slot, uint64_t ref_val,
+                             bool in_and_group, bool in_or_group)
+{
+    fatal_if(slot >= _meta.watchSignals.size(),
+             "Zoomie: breakpoint slot ", slot, " not instrumented");
+    forceRegisters({{ControlRegs::bpRef(slot), ref_val},
+                    {ControlRegs::bpAnd(slot), in_and_group ? 1u : 0u},
+                    {ControlRegs::bpOr(slot), in_or_group ? 1u : 0u}});
+}
+
+void
+Debugger::setWatchpoint(unsigned slot, bool enabled)
+{
+    fatal_if(slot >= _meta.watchSignals.size(),
+             "Zoomie: watchpoint slot ", slot, " not instrumented");
+    // Arm the change detector with the current value as baseline so
+    // it fires on the *next* change, not on stale history. When the
+    // watched signal is a register we can read its live value; for
+    // wires the shadow register (one gated cycle behind) is used.
+    std::vector<std::pair<std::string, uint64_t>> writes;
+    if (enabled) {
+        const std::string &watched = _meta.watchSignals[slot];
+        uint64_t baseline = _locs.findReg(watched)
+            ? readRegister(watched)
+            : readRegister(ControlRegs::bpPrev(slot));
+        writes.emplace_back(ControlRegs::bpPrev(slot), baseline);
+    }
+    writes.emplace_back(ControlRegs::bpChg(slot), enabled ? 1 : 0);
+    forceRegisters(writes);
+}
+
+void
+Debugger::clearValueBreakpoints()
+{
+    std::vector<std::pair<std::string, uint64_t>> writes;
+    for (unsigned i = 0; i < _meta.watchSignals.size(); ++i) {
+        writes.emplace_back(ControlRegs::bpAnd(i), 0);
+        writes.emplace_back(ControlRegs::bpOr(i), 0);
+        writes.emplace_back(ControlRegs::bpChg(i), 0);
+    }
+    writes.emplace_back(ControlRegs::andSel, 0);
+    writes.emplace_back(ControlRegs::orSel, 0);
+    if (!writes.empty())
+        forceRegisters(writes);
+}
+
+void
+Debugger::armTriggers(bool and_group, bool or_group)
+{
+    forceRegisters({{ControlRegs::andSel, and_group ? 1u : 0u},
+                    {ControlRegs::orSel, or_group ? 1u : 0u}});
+}
+
+void
+Debugger::enableAssertion(unsigned index, bool enabled)
+{
+    uint64_t mask = readRegister(ControlRegs::assertEn);
+    mask = setBit(mask, index, enabled);
+    forceRegister(ControlRegs::assertEn, mask);
+}
+
+uint64_t
+Debugger::assertionsFired()
+{
+    return readRegister(ControlRegs::assertFired);
+}
+
+// ---- snapshots ----------------------------------------------------------
+
+Snapshot
+Debugger::snapshot()
+{
+    const fpga::DeviceSpec &spec = _device.spec();
+    std::vector<uint32_t> all_slrs;
+    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr)
+        all_slrs.push_back(slr);
+    clearMaskAndCapture(all_slrs);
+
+    Snapshot snap;
+    snap.images.resize(spec.numSlrs);
+    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
+        CommandBuilder cb;
+        uint32_t words = spec.framesPerSlr() * fpga::kFrameWords;
+        cb.sync().selectHop(hopOf(slr)).readRequest(0, words);
+        _host.send(cb.take());
+        snap.images[slr] = _host.read(words);
+        CommandBuilder fin;
+        fin.desync();
+        _host.send(fin.take());
+    }
+    snap.mutCycles = _device.cycles(_meta.gatedClock);
+    return snap;
+}
+
+void
+Debugger::restore(const Snapshot &snap)
+{
+    const fpga::DeviceSpec &spec = _device.spec();
+    std::vector<toolchain::FrameSpan> spans;
+    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
+        toolchain::FrameSpan span;
+        span.slr = slr;
+        span.farStart = 0;
+        span.words = snap.images[slr];
+        spans.push_back(std::move(span));
+    }
+    _host.send(toolchain::partialBitstream(spec, spans));
+}
+
+// ---- readback measurement -----------------------------------------------
+
+double
+Debugger::scanSlrState(uint32_t slr, bool optimized)
+{
+    const fpga::DeviceSpec &spec = _device.spec();
+    _host.resetTimer();
+
+    clearMaskAndCapture({slr});
+
+    uint32_t frame_lo = 0;
+    uint32_t frame_hi = spec.framesPerSlr() - 1;
+    if (optimized) {
+        // Scan only the frames overlapping the MUT's placed region
+        // on this SLR (§4.7). If the MUT has no cells here, only
+        // the capture overhead is paid.
+        auto regions = toolchain::scopeBoundingBoxes(
+            _netlist, _placement, _meta.mutPrefix);
+        bool found = false;
+        for (const auto &region : regions) {
+            if (region.slr != slr)
+                continue;
+            region.frameRange(spec, frame_lo, frame_hi);
+            found = true;
+        }
+        if (!found)
+            return _host.elapsedSeconds();
+    }
+
+    uint32_t frames = frame_hi - frame_lo + 1;
+    CommandBuilder cb;
+    cb.sync().selectHop(hopOf(slr))
+        .readRequest(frame_lo, frames * fpga::kFrameWords);
+    _host.send(cb.take());
+    (void)_host.read(frames * fpga::kFrameWords);
+    CommandBuilder fin;
+    fin.desync();
+    _host.send(fin.take());
+    return _host.elapsedSeconds();
+}
+
+} // namespace zoomie::core

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Zoomie's host-side debugger. Every operation goes through the
+ * honest hardware path: GCAPTURE + frame readback for inspection,
+ * frame patching + partial reconfiguration + GRESTORE for state
+ * injection — including the controller's own trigger registers, so
+ * breakpoints are reconfigured at runtime exactly as §3.4
+ * describes. Readback always clears the GSR mask first (§4.7).
+ */
+
+#ifndef ZOOMIE_CORE_DEBUGGER_HH
+#define ZOOMIE_CORE_DEBUGGER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/instrument.hh"
+#include "fpga/device.hh"
+#include "jtag/jtag.hh"
+#include "toolchain/logicloc.hh"
+
+namespace zoomie::core {
+
+/** A stored snapshot: captured frames of the whole device. */
+struct Snapshot
+{
+    /** Per SLR: full frame image at capture time. */
+    std::vector<std::vector<uint32_t>> images;
+    uint64_t mutCycles = 0;
+};
+
+/** Host-side debugger bound to a configured device. */
+class Debugger
+{
+  public:
+    Debugger(fpga::Device &device, jtag::JtagHost &host,
+             const rtl::Design &design,
+             const synth::MappedNetlist &netlist,
+             const fpga::Placement &placement,
+             const InstrumentResult &meta);
+
+    // ---- execution control ---------------------------------------
+    /** Request a pause (takes effect at the next MUT cycle). */
+    void pause();
+
+    /** Resume execution (clears the pause latch and host request). */
+    void resume();
+
+    /**
+     * Arm the cycle breakpoint so the MUT executes exactly @p n
+     * more cycles, then pauses (gdb 'until'-style stepping).
+     */
+    void stepCycles(uint64_t n);
+
+    /** Is the MUT currently paused? */
+    bool isPaused();
+
+    // ---- triggers -------------------------------------------------
+    /**
+     * Configure value-breakpoint slot @p slot (a watch signal from
+     * instrumentation) to compare against @p ref_val.
+     */
+    void setValueBreakpoint(unsigned slot, uint64_t ref_val,
+                            bool in_and_group, bool in_or_group);
+
+    /**
+     * Watchpoint on slot @p slot: pause the moment the watched
+     * signal changes value (§3.4's watchpoints).
+     */
+    void setWatchpoint(unsigned slot, bool enabled);
+
+    /** Clear every value-breakpoint and watchpoint mask. */
+    void clearValueBreakpoints();
+
+    /** Arm/disarm the AND / OR trigger groups. */
+    void armTriggers(bool and_group, bool or_group);
+
+    /** Enable or disable assertion breakpoint @p index. */
+    void enableAssertion(unsigned index, bool enabled);
+
+    /** Sticky bitmask of assertions that have fired. */
+    uint64_t assertionsFired();
+
+    // ---- state inspection / manipulation ---------------------------
+    /** Read a register by hierarchical name (capture + readback). */
+    uint64_t readRegister(const std::string &name);
+
+    /** Force a register value (frame patch + partial reconfig). */
+    void forceRegister(const std::string &name, uint64_t value);
+
+    /** Force several registers in one partial reconfiguration. */
+    void forceRegisters(
+        const std::vector<std::pair<std::string, uint64_t>> &writes);
+
+    /** Read one word of a memory. */
+    uint64_t readMemWord(const std::string &name, uint32_t addr);
+
+    /** Force one word of a memory. */
+    void forceMemWord(const std::string &name, uint32_t addr,
+                      uint64_t value);
+
+    /** Read every register under a scope prefix (full visibility). */
+    std::map<std::string, uint64_t> readAllRegisters(
+        const std::string &prefix);
+
+    // ---- snapshots --------------------------------------------------
+    /** Capture the complete design state. */
+    Snapshot snapshot();
+
+    /** Restore a snapshot (partial reconfiguration + GRESTORE). */
+    void restore(const Snapshot &snap);
+
+    // ---- readback measurement (Table 3) ------------------------------
+    /**
+     * Scan state frames of one SLR and return the modeled seconds
+     * it took. Optimized mode scans only the frames overlapping the
+     * MUT's placed region (§4.7); naive mode scans the whole SLR.
+     */
+    double scanSlrState(uint32_t slr, bool optimized);
+
+    const InstrumentResult &meta() const { return _meta; }
+    const toolchain::LogicLocations &locations() const
+    {
+        return _locs;
+    }
+
+  private:
+    uint32_t hopOf(uint32_t slr) const;
+    void clearMaskAndCapture(const std::vector<uint32_t> &slrs);
+    std::vector<uint32_t> readFrame(uint32_t slr, uint32_t frame);
+    uint64_t decodeBits(const std::vector<fpga::BitLoc> &bits);
+
+    fpga::Device &_device;
+    jtag::JtagHost &_host;
+    const rtl::Design &_design;
+    const synth::MappedNetlist &_netlist;
+    const fpga::Placement &_placement;
+    const InstrumentResult &_meta;
+    toolchain::LogicLocations _locs;
+};
+
+} // namespace zoomie::core
+
+#endif // ZOOMIE_CORE_DEBUGGER_HH

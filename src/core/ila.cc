@@ -1,0 +1,129 @@
+#include "ila.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "core/debugger.hh"
+#include "rtl/builder.hh"
+
+namespace zoomie::core {
+
+using rtl::Builder;
+using rtl::Value;
+
+IlaResult
+attachIla(const rtl::Design &design, const IlaOptions &options)
+{
+    panic_if(options.probes.empty(), "ILA needs at least one probe");
+    panic_if(options.postTrigger >= options.depth,
+             "post-trigger window exceeds buffer depth");
+    IlaResult result;
+    Builder b(design);
+
+    b.pushScope("ila");
+
+    // Concatenate the probes into one sample word (probe 0 ends up
+    // in the low bits).
+    Value sample;
+    bool first = true;
+    for (auto it = options.probes.rbegin();
+         it != options.probes.rend(); ++it) {
+        rtl::NetId net = b.peek().findNet(*it);
+        Value v;
+        if (net != rtl::kNoNet) {
+            v = b.handleFor(net);
+        } else {
+            int reg = b.peek().findReg(*it);
+            fatal_if(reg < 0, "ILA: unknown probe '", *it, "'");
+            v = b.handleFor(b.peek().regs[reg].q);
+        }
+        sample = first ? v : b.concat(sample, v);
+        first = false;
+    }
+    unsigned offset = 0;
+    for (const std::string &probe : options.probes) {
+        rtl::NetId net = design.findNet(probe);
+        unsigned width = net != rtl::kNoNet
+            ? design.nodes[net].width
+            : design.regs[design.findReg(probe)].width;
+        result.probes.push_back(probe);
+        result.probeWidths.push_back(width);
+        result.probeOffsets.push_back(offset);
+        offset += width;
+    }
+    result.sampleWidth = offset;
+    fatal_if(offset > 64, "ILA sample wider than 64 bits");
+
+    // Control registers (host writes them by state injection, as
+    // Vivado's hw_ila does through JTAG).
+    auto trig_ref = b.reg("trig_ref",
+                          result.probeWidths[0], 0);
+    b.connect(trig_ref, trig_ref.q);
+    auto armed = b.reg("armed", 1, 0);
+    auto done = b.reg("done", 1, 0);
+    auto post = b.reg("post", 16, 0);
+    auto wr = b.reg("wr", 16, 0);
+
+    Value probe0 = b.slice(sample, 0, result.probeWidths[0]);
+    Value hit = b.land(armed.q, b.eq(probe0, trig_ref.q));
+    Value capturing = b.land(armed.q, b.lnot(done.q));
+
+    // Ring buffer in BRAM.
+    auto buf = b.mem("buf", result.sampleWidth, options.depth,
+                     rtl::MemStyle::Block);
+    const unsigned abits = bitsToAddress(options.depth);
+    b.memWrite(buf, b.slice(wr.q, 0, abits),
+               b.zext(sample, result.sampleWidth), capturing);
+    b.connect(wr, b.mux(capturing, b.addLit(wr.q, 1), wr.q));
+
+    // Post-trigger countdown; capture stops when it expires.
+    Value counting = b.ne(post.q, b.lit(0, 16));
+    b.connect(post,
+              b.mux(b.land(hit, b.lnot(counting)),
+                    b.lit(options.postTrigger, 16),
+                    b.mux(b.land(capturing, counting),
+                          b.sub(post.q, b.lit(1, 16)), post.q)));
+    b.connect(done,
+              b.lor(done.q,
+                    b.land(counting, b.eqLit(post.q, 1))));
+    b.connect(armed, armed.q);
+    b.popScope();
+
+    result.depth = options.depth;
+    result.design = b.finish();
+    return result;
+}
+
+void
+ilaArm(Debugger &debugger, uint64_t trigger_value)
+{
+    debugger.forceRegisters({{"ila/trig_ref", trigger_value},
+                             {"ila/done", 0},
+                             {"ila/post", 0},
+                             {"ila/wr", 0},
+                             {"ila/armed", 1}});
+}
+
+IlaCapture
+ilaReadCapture(Debugger &debugger, const IlaResult &meta)
+{
+    IlaCapture capture;
+    capture.triggered = debugger.readRegister("ila/done") != 0;
+    uint64_t wr = debugger.readRegister("ila/wr");
+
+    // Oldest sample first: the ring starts at wr (mod depth) once
+    // the buffer has wrapped.
+    for (uint32_t i = 0; i < meta.depth; ++i) {
+        uint32_t addr =
+            static_cast<uint32_t>((wr + i) % meta.depth);
+        uint64_t word = debugger.readMemWord("ila/buf", addr);
+        std::vector<uint64_t> sample;
+        for (size_t p = 0; p < meta.probes.size(); ++p) {
+            sample.push_back(extractBits(word, meta.probeOffsets[p],
+                                         meta.probeWidths[p]));
+        }
+        capture.samples.push_back(std::move(sample));
+    }
+    return capture;
+}
+
+} // namespace zoomie::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A traditional Integrated Logic Analyzer — the baseline debugging
+ * instrument Zoomie is compared against (§2.1, Figure 1). The ILA
+ * is everything the paper criticizes, implemented faithfully:
+ *
+ *  - the probe list is fixed at compile time: observing different
+ *    signals means re-instrumenting and recompiling the design;
+ *  - it only records a bounded window of samples into a BRAM ring
+ *    buffer around a trigger (print-style debugging);
+ *  - it observes without being able to pause or mutate the design.
+ *
+ * Host access goes through the same configuration-plane readback the
+ * rest of the platform uses (capture + BRAM frame reads).
+ */
+
+#ifndef ZOOMIE_CORE_ILA_HH
+#define ZOOMIE_CORE_ILA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device.hh"
+#include "jtag/jtag.hh"
+#include "toolchain/logicloc.hh"
+
+namespace zoomie::core {
+
+/** ILA insertion request. */
+struct IlaOptions
+{
+    /** Probed signals (net or register names) — fixed at compile. */
+    std::vector<std::string> probes;
+    /** Ring-buffer depth (samples). */
+    uint32_t depth = 64;
+    /** Samples recorded after the trigger fires. */
+    uint32_t postTrigger = 32;
+};
+
+/** Result of inserting an ILA. */
+struct IlaResult
+{
+    rtl::Design design;
+    std::vector<std::string> probes;
+    std::vector<unsigned> probeWidths;
+    std::vector<unsigned> probeOffsets;  ///< bit offset in a sample
+    unsigned sampleWidth = 0;
+    uint32_t depth = 0;
+};
+
+/**
+ * Attach an ILA to @p design. Control state (all under "ila/"):
+ * trig_ref (compared against probe 0), armed, done, wr.
+ * The capture buffer is the memory "ila/buf".
+ */
+IlaResult attachIla(const rtl::Design &design,
+                    const IlaOptions &options);
+
+/** One decoded capture. */
+struct IlaCapture
+{
+    bool triggered = false;
+    /** Oldest-first samples; sample[i][p] = value of probe p. */
+    std::vector<std::vector<uint64_t>> samples;
+};
+
+/**
+ * Host side: arm the ILA with a trigger value, by state injection.
+ */
+void ilaArm(class Debugger &debugger, uint64_t trigger_value);
+
+/**
+ * Read out and decode the capture buffer once `ila/done` is set.
+ */
+IlaCapture ilaReadCapture(class Debugger &debugger,
+                          const IlaResult &meta);
+
+} // namespace zoomie::core
+
+#endif // ZOOMIE_CORE_ILA_HH

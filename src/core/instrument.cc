@@ -1,0 +1,279 @@
+#include "instrument.hh"
+
+#include "common/logging.hh"
+#include "core/pause_buffer.hh"
+#include "rtl/builder.hh"
+
+namespace zoomie::core {
+
+using rtl::Builder;
+using rtl::Value;
+
+namespace {
+
+/** Resolve a user signal name to a net (named net or register q). */
+Value
+resolveSignal(Builder &b, const std::string &name)
+{
+    const rtl::Design &d = b.peek();
+    rtl::NetId net = d.findNet(name);
+    if (net != rtl::kNoNet)
+        return b.handleFor(net);
+    int reg = d.findReg(name);
+    if (reg >= 0)
+        return b.handleFor(d.regs[reg].q);
+    fatal("Zoomie: unknown signal '", name,
+          "' (name a net via nameNet() or use a register name)");
+}
+
+} // namespace
+
+InstrumentResult
+instrument(const rtl::Design &design, const InstrumentOptions &options)
+{
+    InstrumentResult result;
+    result.mutPrefix = options.mutPrefix;
+
+    Builder b(design);
+    uint8_t gated = b.addClock("zoomie_gated");
+    result.gatedClock = gated;
+    result.reclockedState = b.reclockScope(options.mutPrefix, gated);
+    fatal_if(result.reclockedState == 0 && !options.mutPrefix.empty(),
+             "Zoomie: no state found under MUT prefix '",
+             options.mutPrefix, "'");
+
+    // ---- trigger unit (Algorithm 1) ------------------------------
+    b.pushScope("zoomie");
+
+    auto configReg = [&](const std::string &name, unsigned width,
+                         uint64_t init = 0) {
+        auto r = b.reg(name, width, init);
+        b.connect(r, r.q);  // holds; written via state injection
+        return r;
+    };
+
+    auto host_pause = configReg("host_pause", 1);
+    auto and_sel = configReg("and_sel", 1);
+    auto or_sel = configReg("or_sel", 1);
+
+    // Value breakpoints.
+    Value one = b.lit(1, 1);
+    Value zero = b.lit(0, 1);
+    Value and_stop = one;
+    Value any_and_mask = zero;
+    Value or_stop = zero;
+    Value watch_stop = zero;
+    for (size_t i = 0; i < options.watchSignals.size(); ++i) {
+        Value sig = resolveSignal(b, options.watchSignals[i]);
+        result.watchSignals.push_back(options.watchSignals[i]);
+        result.watchWidths.push_back(sig.width);
+        auto ref = configReg("bp" + std::to_string(i) + "_ref",
+                             sig.width);
+        auto mask_and = configReg("bp" + std::to_string(i) + "_and",
+                                  1);
+        auto mask_or = configReg("bp" + std::to_string(i) + "_or", 1);
+        Value eq = b.eq(sig, ref.q);
+        // A signal not selected by the and-mask is neutral (the
+        // paper's Algorithm 1 gates it with the mask; we use the
+        // neutral form so partially-masked AND groups make sense).
+        and_stop = b.land(and_stop, b.lor(eq, b.lnot(mask_and.q)));
+        any_and_mask = b.lor(any_and_mask, mask_and.q);
+        or_stop = b.lor(or_stop, b.land(eq, mask_or.q));
+
+        // Watchpoint: pause when the signal *changes* (sampled on
+        // the gated clock so the comparison is in MUT time).
+        auto mask_chg = configReg("bp" + std::to_string(i) + "_chg",
+                                  1);
+        auto prev = b.reg("bp" + std::to_string(i) + "_prev",
+                          sig.width, 0, gated);
+        b.connect(prev, sig);
+        Value changed = b.ne(sig, prev.q);
+        watch_stop = b.lor(watch_stop,
+                           b.land(changed, mask_chg.q));
+    }
+    and_stop = b.land(and_stop, any_and_mask);
+
+    // Cycle breakpoint / single stepping (§3.4): a 64-bit counter
+    // of remaining cycles; the design pauses when it reaches one.
+    auto step_armed = configReg("step_armed", 1);
+    auto step_count = b.reg("step_count", 64);
+    Value step_hit = b.land(step_armed.q,
+                            b.eq(step_count.q, b.lit(1, 64)));
+
+    // ---- assertion breakpoints -----------------------------------
+    std::vector<Value> assert_fails;
+    for (size_t i = 0; i < options.assertions.size(); ++i) {
+        AssertionInfo info;
+        info.text = options.assertions[i];
+        auto outcome = sva::compileAssertion(info.text);
+        info.name = outcome.ok && !outcome.prop.ast.name.empty()
+            ? outcome.prop.ast.name
+            : "assert" + std::to_string(i);
+        if (!outcome.ok) {
+            info.error = outcome.error;
+            result.assertions.push_back(std::move(info));
+            continue;
+        }
+        b.pushScope("sva" + std::to_string(i));
+        Value fail = sva::buildMonitor(
+            b, outcome.prop,
+            [&](const std::string &name) {
+                return resolveSignal(b, name);
+            },
+            gated, &info.stats);
+        b.popScope();
+        info.synthesizable = true;
+        assert_fails.push_back(fail);
+        result.assertions.push_back(std::move(info));
+    }
+
+    Value assert_pulse = zero;
+    if (!assert_fails.empty()) {
+        unsigned n = static_cast<unsigned>(assert_fails.size());
+        auto assert_en = configReg("assert_en", n,
+                                   (n == 64 ? ~0ULL
+                                            : (1ULL << n) - 1));
+        // Sticky on the free-running clock: the gated domain stops
+        // in the violation cycle, so the record must latch outside
+        // it (the fail condition holds while frozen).
+        auto fired = b.reg("assert_fired", n, 0);
+        Value gated_fails = zero;
+        Value fired_next = fired.q;
+        for (unsigned i = 0; i < n; ++i) {
+            Value en = b.bit(assert_en.q, i);
+            Value hit = b.land(assert_fails[i], en);
+            gated_fails = b.lor(gated_fails, hit);
+            // Sticky record of which assertion fired.
+            Value bit_mask = b.lit(1ULL << i, n);
+            fired_next = b.mux(hit, b.bor(fired_next, bit_mask),
+                               fired_next);
+        }
+        b.connect(fired, fired_next);
+        assert_pulse = gated_fails;
+    }
+
+    // ---- pause control -------------------------------------------
+    Value stop_now = b.lor(
+        b.lor(b.lor(b.land(and_stop, and_sel.q),
+                    b.land(or_stop, or_sel.q)),
+              watch_stop),
+        b.lor(step_hit, b.lor(assert_pulse, host_pause.q)));
+    b.nameNet("stop_now", stop_now);
+
+    auto pause_state = b.reg("pause_state", 1);
+    b.connect(pause_state, b.lor(pause_state.q, stop_now));
+
+    Value clk_en = b.lnot(b.lor(stop_now, pause_state.q));
+    b.nameNet("clk_en", clk_en);
+
+    // The step counter decrements once per executed MUT cycle.
+    b.connect(step_count, b.sub(step_count.q, b.lit(1, 64)));
+    b.enable(step_count, b.land(step_armed.q, clk_en));
+
+    b.popScope();
+    b.output("zoomie/clk_en", clk_en);
+    b.output("zoomie/paused", pause_state.q);
+
+    // ---- pause buffers -------------------------------------------
+    if (options.insertPauseBuffers && !options.mutPrefix.empty()) {
+        Value pause = b.lnot(clk_en);
+        const rtl::Design &d = b.peek();
+        // Snapshot the interface list: buffers add no new ifaces.
+        std::vector<rtl::DecoupledIface> ifaces = d.ifaces;
+        uint32_t index = 0;
+        for (const auto &iface : ifaces) {
+            bool under = iface.scope.size() >=
+                             options.mutPrefix.size() &&
+                         iface.scope.compare(
+                             0, options.mutPrefix.size(),
+                             options.mutPrefix) == 0;
+            if (!under)
+                continue;
+
+            // Concatenate the payload nets (MSB-first) into one
+            // buffered word.
+            Value data;
+            bool first = true;
+            unsigned total = 0;
+            for (rtl::NetId net : iface.payload) {
+                Value v = b.handleFor(net);
+                total += v.width;
+                data = first ? v : b.concat(data, v);
+                first = false;
+            }
+            fatal_if(total > 64,
+                     "pause buffer payload wider than 64 bits on '",
+                     iface.name, "'");
+
+            const bool producer_paused =
+                iface.dir == rtl::IfaceDir::Out;
+            std::string scope = "zoomie_pbuf" + std::to_string(index);
+            b.pushScope(scope);
+            PauseBufferPorts ports = buildPauseBuffer(
+                b, b.handleFor(iface.valid), data,
+                b.handleFor(iface.ready), pause, producer_paused);
+            b.popScope();
+
+            // Rewire the paused side's consumers onto the buffer.
+            const std::string buf_prefix = scope + "/";
+            auto insideMut = [&](const std::string &s) {
+                return s.size() >= options.mutPrefix.size() &&
+                       s.compare(0, options.mutPrefix.size(),
+                                 options.mutPrefix) == 0;
+            };
+            auto outsideMut = [&](const std::string &s) {
+                if (insideMut(s))
+                    return false;
+                // The debug controller (and every pause buffer)
+                // observes the *raw* design signals — routing its
+                // monitors through a buffer whose gating depends on
+                // the trigger output would be a combinational loop.
+                if (s.rfind("zoomie", 0) == 0)
+                    return false;
+                return s.compare(0, buf_prefix.size(), buf_prefix) !=
+                       0;
+            };
+            (void)buf_prefix;
+
+            auto rewirePayload = [&](bool to_inside) {
+                unsigned hi = total;
+                for (rtl::NetId net : iface.payload) {
+                    Value v = b.handleFor(net);
+                    hi -= v.width;
+                    Value piece =
+                        b.slice(ports.consumerData, hi, v.width);
+                    b.rewireConsumers(
+                        net, piece.id,
+                        to_inside
+                            ? std::function<bool(
+                                  const std::string &)>(insideMut)
+                            : std::function<bool(
+                                  const std::string &)>(outsideMut));
+                }
+            };
+
+            if (iface.dir == rtl::IfaceDir::In) {
+                // Producer outside, consumer (MUT) paused.
+                b.rewireConsumers(iface.valid, ports.consumerValid.id,
+                                  insideMut);
+                rewirePayload(true);
+                b.rewireConsumers(iface.ready,
+                                  ports.producerReady.id, outsideMut);
+            } else {
+                // Producer (MUT) paused, consumer outside.
+                b.rewireConsumers(iface.valid, ports.consumerValid.id,
+                                  outsideMut);
+                rewirePayload(false);
+                b.rewireConsumers(iface.ready,
+                                  ports.producerReady.id, insideMut);
+            }
+            ++result.pauseBuffersInserted;
+            ++index;
+        }
+    }
+
+    result.design = b.finish();
+    return result;
+}
+
+} // namespace zoomie::core

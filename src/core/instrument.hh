@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Zoomie's instrumentation pass: inserts the Debug Controller (§3)
+ * into a user design. The module under test (a scope prefix) is
+ * moved onto a gated clock domain; pause buffers are interposed on
+ * its declared decoupled interfaces; a trigger unit implementing
+ * Algorithm 1 (value breakpoints with and/or masks, a 64-bit cycle
+ * counter for stepping, assertion breakpoints from synthesized
+ * SVAs, and a host pause request) drives the clock gate.
+ *
+ * Every controller knob is an ordinary register in the "zoomie/"
+ * scope, so the host configures triggers at runtime through the
+ * same state-injection mechanism used for user state (§3.3-3.4) —
+ * no recompilation, ever.
+ */
+
+#ifndef ZOOMIE_CORE_INSTRUMENT_HH
+#define ZOOMIE_CORE_INSTRUMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hh"
+#include "sva/compiler.hh"
+
+namespace zoomie::core {
+
+/** Instrumentation request. */
+struct InstrumentOptions
+{
+    /** Scope prefix of the module under test (e.g. "tile0/"). */
+    std::string mutPrefix;
+
+    /**
+     * Signals observed by the value-breakpoint comparators (net or
+     * register names). Reference values and masks are configured at
+     * runtime; the set of observed wires is fixed at compile time,
+     * like any hardware trigger.
+     */
+    std::vector<std::string> watchSignals;
+
+    /** SVA assertion texts to synthesize into breakpoints. */
+    std::vector<std::string> assertions;
+
+    /** Interpose pause buffers on the MUT's declared interfaces. */
+    bool insertPauseBuffers = true;
+};
+
+/** Outcome for one requested assertion. */
+struct AssertionInfo
+{
+    std::string name;
+    std::string text;
+    bool synthesizable = false;
+    std::string error;
+    sva::MonitorStats stats;
+};
+
+/** Names of the controller's state (all under "zoomie/"). */
+struct ControlRegs
+{
+    static constexpr const char *hostPause = "zoomie/host_pause";
+    static constexpr const char *pauseState = "zoomie/pause_state";
+    static constexpr const char *stepCount = "zoomie/step_count";
+    static constexpr const char *stepArmed = "zoomie/step_armed";
+    static constexpr const char *andSel = "zoomie/and_sel";
+    static constexpr const char *orSel = "zoomie/or_sel";
+    static constexpr const char *assertEn = "zoomie/assert_en";
+    static constexpr const char *assertFired = "zoomie/assert_fired";
+
+    static std::string bpRef(unsigned i)
+    {
+        return "zoomie/bp" + std::to_string(i) + "_ref";
+    }
+    static std::string bpAnd(unsigned i)
+    {
+        return "zoomie/bp" + std::to_string(i) + "_and";
+    }
+    static std::string bpOr(unsigned i)
+    {
+        return "zoomie/bp" + std::to_string(i) + "_or";
+    }
+    static std::string bpChg(unsigned i)
+    {
+        return "zoomie/bp" + std::to_string(i) + "_chg";
+    }
+    static std::string bpPrev(unsigned i)
+    {
+        return "zoomie/bp" + std::to_string(i) + "_prev";
+    }
+};
+
+/** Instrumentation result. */
+struct InstrumentResult
+{
+    rtl::Design design;
+    uint8_t gatedClock = 0;
+    std::string mutPrefix;
+    std::vector<std::string> watchSignals;   ///< resolved, in order
+    std::vector<unsigned> watchWidths;
+    std::vector<AssertionInfo> assertions;
+    uint32_t pauseBuffersInserted = 0;
+    uint32_t reclockedState = 0;
+};
+
+/**
+ * Instrument @p design with a Debug Controller.
+ *
+ * Unknown watch signals are fatal; unsynthesizable assertions are
+ * reported in the result (and skipped), mirroring §5.4.
+ */
+InstrumentResult instrument(const rtl::Design &design,
+                            const InstrumentOptions &options);
+
+} // namespace zoomie::core
+
+#endif // ZOOMIE_CORE_INSTRUMENT_HH

@@ -1,0 +1,73 @@
+#include "pause_buffer.hh"
+
+namespace zoomie::core {
+
+using rtl::Builder;
+using rtl::Value;
+
+PauseBufferPorts
+buildPauseBuffer(Builder &b, Value in_valid, Value in_data,
+                 Value consumer_ready, Value pause,
+                 bool producer_paused, uint8_t clock)
+{
+    Value run = b.lnot(pause);
+    Value one = b.lit(1, 1);
+    // Gates: the paused side's handshakes only count on cycles the
+    // MUT actually executes.
+    Value gp = producer_paused ? run : one;
+    Value gc = producer_paused ? one : run;
+
+    auto full = b.reg("full", 1, 0, clock);
+    auto data = b.reg("data", in_data.width, 0, clock);
+
+    Value consumer_valid =
+        b.land(gc, b.lor(full.q, b.land(in_valid, gp)));
+    Value consumer_data = b.mux(full.q, data.q, in_data);
+    Value producer_ready = b.lnot(full.q);
+
+    Value fire_in = b.land(in_valid, b.land(producer_ready, gp));
+    Value fire_out = b.land(consumer_valid, consumer_ready);
+
+    Value next_full = b.mux(full.q, b.lnot(fire_out),
+                            b.land(fire_in, b.lnot(fire_out)));
+    b.connect(full, next_full);
+    b.connect(data, b.mux(b.land(fire_in, b.lnot(fire_out)),
+                          in_data, data.q));
+
+    b.nameNet("pb_full", full.q);
+    return {producer_ready, consumer_valid, consumer_data};
+}
+
+PauseBufferModel::Outputs
+PauseBufferModel::outputs(bool in_valid, uint64_t in_data,
+                          bool consumer_ready, bool pause) const
+{
+    (void)consumer_ready;
+    const bool gp = _producerPaused ? !pause : true;
+    const bool gc = _producerPaused ? true : !pause;
+    Outputs out;
+    out.consumerValid = gc && (_full || (in_valid && gp));
+    out.consumerData = _full ? _data : in_data;
+    out.producerReady = !_full;
+    return out;
+}
+
+void
+PauseBufferModel::step(bool in_valid, uint64_t in_data,
+                       bool consumer_ready, bool pause)
+{
+    const bool gp = _producerPaused ? !pause : true;
+    Outputs out = outputs(in_valid, in_data, consumer_ready, pause);
+    const bool fire_in = in_valid && out.producerReady && gp;
+    const bool fire_out = out.consumerValid && consumer_ready;
+    if (_full) {
+        _full = !fire_out;
+    } else {
+        if (fire_in && !fire_out) {
+            _full = true;
+            _data = in_data;
+        }
+    }
+}
+
+} // namespace zoomie::core

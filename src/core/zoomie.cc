@@ -1,0 +1,79 @@
+#include "zoomie.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::core {
+
+std::unique_ptr<Platform>
+Platform::create(const rtl::Design &user_design,
+                 PlatformOptions options)
+{
+    auto platform = std::unique_ptr<Platform>(new Platform());
+    platform->_options = options;
+    platform->_meta = instrument(user_design, options.instrument);
+
+    if (options.useVti) {
+        toolchain::Vti::Options vti_opts;
+        fatal_if(options.instrument.mutPrefix.empty(),
+                 "VTI flow needs a MUT prefix (iterated module)");
+        vti_opts.iteratedModules = {options.instrument.mutPrefix};
+        vti_opts.overprovision = options.overprovision;
+        platform->_vti = std::make_unique<toolchain::Vti>(
+            options.spec, vti_opts);
+        platform->_result =
+            platform->_vti->compileInitial(platform->_meta.design);
+    } else {
+        platform->_vendor = std::make_unique<toolchain::VendorTool>(
+            options.spec);
+        platform->_result =
+            platform->_vendor->compile(platform->_meta.design);
+    }
+
+    platform->_device =
+        std::make_unique<fpga::Device>(options.spec);
+    platform->_host =
+        std::make_unique<jtag::JtagHost>(*platform->_device);
+    platform->loadAndAttach();
+
+    platform->_debugger = std::make_unique<Debugger>(
+        *platform->_device, *platform->_host,
+        platform->_meta.design, platform->_result.netlist,
+        platform->_result.placement, platform->_meta);
+    return platform;
+}
+
+void
+Platform::loadAndAttach()
+{
+    _device->attach(_result.netlist, _result.placement);
+    _host->send(_result.bitstream);
+    panic_if(!_device->running(),
+             "device did not start after configuration");
+    _device->bindClockGate(_meta.gatedClock, "zoomie/clk_en");
+}
+
+const toolchain::CompileResult &
+Platform::applyEdit(const rtl::Design &edited_design)
+{
+    _meta = instrument(edited_design, _options.instrument);
+    if (_vti) {
+        _result = _vti->compileIncremental(
+            _meta.design, _options.instrument.mutPrefix);
+        // The partial bitstream alone reconfigures the edited
+        // region on real hardware; the model reloads the full
+        // image so the executable netlist matches the edit.
+        _result.bitstream = toolchain::fullBitstream(
+            _options.spec, _result.netlist, _result.placement);
+        _result.bitstreamIsPartial = false;
+    } else {
+        toolchain::CompileResult prev = std::move(_result);
+        _result = _vendor->compileIncremental(_meta.design, prev);
+    }
+    loadAndAttach();
+    _debugger = std::make_unique<Debugger>(
+        *_device, *_host, _meta.design, _result.netlist,
+        _result.placement, _meta);
+    return _result;
+}
+
+} // namespace zoomie::core

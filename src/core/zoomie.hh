@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The Zoomie platform facade: instruments a user design with the
+ * Debug Controller, compiles it (vendor-monolithic or VTI flow),
+ * loads the bitstream onto the device model over JTAG, binds the
+ * clock gate, and hands out a Debugger. This is the public
+ * entry point examples and case studies use.
+ */
+
+#ifndef ZOOMIE_CORE_ZOOMIE_HH
+#define ZOOMIE_CORE_ZOOMIE_HH
+
+#include <memory>
+
+#include "core/debugger.hh"
+#include "core/instrument.hh"
+#include "fpga/device.hh"
+#include "jtag/jtag.hh"
+#include "toolchain/flows.hh"
+
+namespace zoomie::core {
+
+/** Platform construction options. */
+struct PlatformOptions
+{
+    InstrumentOptions instrument;
+    fpga::DeviceSpec spec = fpga::makeTestDevice();
+
+    /**
+     * Compile with the VTI flow (the MUT becomes an iterated
+     * partition) instead of the monolithic vendor flow.
+     */
+    bool useVti = false;
+    double overprovision = 0.30;
+};
+
+/** Owns the full bring-up: instrumented design to live debugger. */
+class Platform
+{
+  public:
+    /** Instrument, compile, configure and start @p user_design. */
+    static std::unique_ptr<Platform> create(
+        const rtl::Design &user_design, PlatformOptions options);
+
+    Debugger &debugger() { return *_debugger; }
+    fpga::Device &device() { return *_device; }
+    jtag::JtagHost &jtag() { return *_host; }
+    const InstrumentResult &instrumented() const { return _meta; }
+    const toolchain::CompileResult &compileResult() const
+    {
+        return _result;
+    }
+
+    /** Advance the external (free-running) clock @p n cycles. */
+    void run(uint64_t n) { _device->runGlobal(n); }
+
+    /** Drive / observe top-level design IO. */
+    void poke(const std::string &port, uint64_t value)
+    {
+        _device->pokeInput(port, value);
+    }
+    uint64_t peek(const std::string &port)
+    {
+        return _device->peekOutput(port);
+    }
+
+    /** MUT cycles executed (the gated domain's count). */
+    uint64_t mutCycles() const
+    {
+        return _device->cycles(_meta.gatedClock);
+    }
+
+    /**
+     * Apply an RTL edit confined to the MUT: re-instruments,
+     * recompiles incrementally through VTI (when enabled; otherwise
+     * the vendor incremental flow), reloads the device and rebinds
+     * the debugger.
+     *
+     * @return the compile result (with modeled times) of the edit
+     */
+    const toolchain::CompileResult &applyEdit(
+        const rtl::Design &edited_design);
+
+  private:
+    Platform() = default;
+    void loadAndAttach();
+
+    PlatformOptions _options;
+    InstrumentResult _meta;
+    toolchain::CompileResult _result;
+    std::unique_ptr<toolchain::Vti> _vti;
+    std::unique_ptr<toolchain::VendorTool> _vendor;
+    std::unique_ptr<fpga::Device> _device;
+    std::unique_ptr<jtag::JtagHost> _host;
+    std::unique_ptr<Debugger> _debugger;
+};
+
+} // namespace zoomie::core
+
+#endif // ZOOMIE_CORE_ZOOMIE_HH

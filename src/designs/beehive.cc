@@ -1,0 +1,145 @@
+#include "beehive.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace zoomie::designs {
+
+using rtl::Builder;
+using rtl::Value;
+
+rtl::Design
+buildBeehive(const BeehiveConfig &config)
+{
+    panic_if(popCount(config.queueDepth) != 1,
+             "queue depth must be a power of two");
+    Builder b("beehive");
+
+    Value rx_valid = b.input("rx_valid", 1);
+    Value rx_data = b.input("rx_data", 32);
+    Value tx_ready = b.input("tx_ready", 1);
+
+    // ---- drop queue (MAC side, runs at line rate: never
+    // back-pressures the PHY; drops frames when full; stays
+    // OUTSIDE the pausable stack, §6.2) ---------------------------
+    b.pushScope("mac");
+    b.pushScope("rxq");
+    const unsigned ptr_bits = bitsToAddress(config.queueDepth) + 1;
+    auto wr = b.reg("wr", ptr_bits, 0);
+    auto rd = b.reg("rd", ptr_bits, 0);
+    auto dropped = b.reg("dropped", 16, 0);
+    auto fifo = b.mem("fifo", 32, config.queueDepth,
+                      rtl::MemStyle::Distributed);
+
+    Value level = b.sub(wr.q, rd.q);
+    Value fifo_full = b.eqLit(level, config.queueDepth);
+    Value fifo_empty = b.eqLit(level, 0);
+
+    Value enq = b.land(rx_valid, b.lnot(fifo_full));
+    Value drop = b.land(rx_valid, fifo_full);
+    b.memWrite(fifo, b.slice(wr.q, 0, ptr_bits - 1), rx_data, enq);
+    b.connect(wr, b.mux(enq, b.addLit(wr.q, 1), wr.q));
+    b.connect(dropped, b.mux(drop, b.addLit(dropped.q, 1),
+                             dropped.q));
+
+    Value q_valid = b.lnot(fifo_empty);
+    Value q_data = b.memReadAsync(fifo,
+                                  b.slice(rd.q, 0, ptr_bits - 1));
+    b.popScope();  // rxq
+    b.popScope();  // mac
+
+    b.pushScope("stack");
+
+    // ---- parse stage --------------------------------------------
+    b.pushScope("parse");
+    auto hdr = b.reg("hdr", 32, 0);
+    auto hdr_vld = b.reg("hdr_vld", 1, 0);
+    Value parse_ready = b.lnot(hdr_vld.q);
+    // Consume from the queue.
+    Value q_fire = b.land(q_valid, parse_ready);
+    b.declareIface("from_rxq", rtl::IfaceDir::In, q_valid,
+                   parse_ready, {q_data});
+    b.popScope();
+
+    b.popScope();  // stack
+    b.pushScope("mac");
+    b.pushScope("rxq");
+    b.connect(rd, b.mux(q_fire, b.addLit(rd.q, 1), rd.q));
+    b.popScope();
+    b.popScope();
+    b.pushScope("stack");
+
+    b.pushScope("parse");
+    Value dst = b.slice(hdr.q, 24, 8);
+    b.nameNet("dst", dst);
+    b.popScope();
+
+    // ---- route stage ----------------------------------------------
+    b.pushScope("route");
+    auto port_r = b.reg("port_r", 4, 0);
+    auto route_vld = b.reg("route_vld", 1, 0);
+    auto payload_r = b.reg("payload_r", 32, 0);
+    auto err = b.reg("err", 1, 0);
+    Value route_ready = b.lnot(route_vld.q);
+    Value parse_fire = b.land(hdr_vld.q, route_ready);
+
+    // Static routing table in distributed RAM.
+    std::vector<uint64_t> table;
+    for (uint32_t i = 0; i < 16; ++i)
+        table.push_back((i * 5 + 3) & 0xF);
+    auto rtab = b.mem("table", 4, 16, rtl::MemStyle::Distributed,
+                      std::move(table));
+    Value port = b.memReadAsync(rtab, b.slice(hdr.q, 24, 4));
+    Value malformed = b.eqLit(dst, config.poisonDst);
+    b.nameNet("malformed", malformed);
+
+    b.connect(port_r, b.mux(parse_fire, port, port_r.q));
+    b.connect(payload_r, b.mux(parse_fire, hdr.q, payload_r.q));
+    b.connect(err, b.lor(err.q, b.land(parse_fire, malformed)));
+    b.popScope();
+
+    b.pushScope("parse");
+    b.connect(hdr, b.mux(q_fire, q_data, hdr.q));
+    b.connect(hdr_vld, b.mux(q_fire, b.lit(1, 1),
+                             b.mux(parse_fire, b.lit(0, 1),
+                                   hdr_vld.q)));
+    b.declareIface("to_route", rtl::IfaceDir::Out, hdr_vld.q,
+                   route_ready, {hdr.q});
+    b.popScope();
+
+    // ---- tx stage ----------------------------------------------------
+    b.pushScope("tx");
+    auto out_r = b.reg("out_r", 32, 0);
+    auto out_vld = b.reg("out_vld", 1, 0);
+    auto delivered = b.reg("delivered", 16, 0);
+    Value tx_ready_int = b.lnot(out_vld.q);
+    Value route_fire = b.land(route_vld.q, tx_ready_int);
+    Value tx_fire = b.land(out_vld.q, tx_ready);
+    b.connect(out_r, b.mux(route_fire,
+                           b.concat(b.zext(port_r.q, 8),
+                                    b.slice(payload_r.q, 0, 24)),
+                           out_r.q));
+    b.connect(out_vld, b.mux(route_fire, b.lit(1, 1),
+                             b.mux(tx_fire, b.lit(0, 1),
+                                   out_vld.q)));
+    b.connect(delivered, b.mux(tx_fire, b.addLit(delivered.q, 1),
+                               delivered.q));
+    b.popScope();
+
+    b.pushScope("route");
+    b.connect(route_vld, b.mux(parse_fire, b.lit(1, 1),
+                               b.mux(route_fire, b.lit(0, 1),
+                                     route_vld.q)));
+    b.popScope();
+
+    b.popScope();  // stack
+
+    b.output("tx_valid", out_vld.q);
+    b.output("tx_data", out_r.q);
+    b.output("rx_dropped", dropped.q);
+    b.output("route_err", err.q);
+    b.output("delivered", delivered.q);
+    return b.finish();
+}
+
+} // namespace zoomie::designs

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * BeehiveLite (§5.7): a compact model of a hardware network stack —
+ * a MAC-side frame drop queue followed by parse, route and transmit
+ * stages connected by decoupled interfaces. Packets are single
+ * words: {dst[7:0], payload[24:0] implicit in the low bits}. The
+ * drop queue discards whole frames when the stack back-pressures
+ * (necessary for correctness regardless of Zoomie, §6.2); all
+ * stages behind the queue are fully pausable.
+ *
+ * Scopes: mac/rxq (line rate, outside the pausable region),
+ * stack/parse, stack/route, stack/tx. Interfaces declared between
+ * the stages so Zoomie interposes pause buffers on the stack
+ * boundary.
+ */
+
+#ifndef ZOOMIE_DESIGNS_BEEHIVE_HH
+#define ZOOMIE_DESIGNS_BEEHIVE_HH
+
+#include <cstdint>
+
+#include "rtl/builder.hh"
+
+namespace zoomie::designs {
+
+struct BeehiveConfig
+{
+    uint32_t queueDepth = 4;   ///< drop-queue entries (power of two)
+    /** dst value considered malformed (routing error). */
+    uint32_t poisonDst = 0xFF;
+};
+
+/**
+ * Inputs: "rx_valid", "rx_data" (32), "tx_ready".
+ * Outputs: "tx_valid", "tx_data" (32), "rx_dropped" (16-bit drop
+ * counter), "route_err" (sticky malformed-packet flag),
+ * "delivered" (16-bit count).
+ *
+ * Debug-relevant registers: mac/rxq/{rd,wr,dropped},
+ * stack/parse/hdr, stack/route/{err,port_r}, stack/tx/out_r.
+ */
+rtl::Design buildBeehive(const BeehiveConfig &config);
+
+} // namespace zoomie::designs
+
+#endif // ZOOMIE_DESIGNS_BEEHIVE_HH

@@ -1,0 +1,145 @@
+#include "cohort.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::designs {
+
+using rtl::Builder;
+using rtl::Value;
+
+rtl::Design
+buildCohortAccel(const CohortConfig &config)
+{
+    panic_if(config.elements == 0 || config.elements > 255,
+             "bad job size");
+    Builder b("cohort");
+    b.pushScope("accel");
+
+    // ---- MMU / TLB ------------------------------------------------
+    // One translation pipeline shared by two requester channels:
+    // ch0 = datapath loads, ch1 = writeback stores. Requests are
+    // declared below; the MMU is built first with placeholder
+    // request wires resolved through registers to avoid
+    // combinational cycles between units.
+    b.pushScope("mmu");
+    auto tlb_sel_r = b.reg("tlb_sel_r", 1, 0);
+    b.connect(tlb_sel_r, b.lnot(tlb_sel_r.q));
+
+    auto busy = b.reg("busy", 1, 0);
+    auto req_id_r = b.reg("req_id_r", 1, 0);
+    auto addr_r = b.reg("addr_r", 8, 0);
+    auto lat = b.reg("lat", 2, 0);
+
+    // Backing memory ("system bus always responds", §5.5 step 4).
+    std::vector<uint64_t> init;
+    for (uint32_t i = 0; i < 256; ++i)
+        init.push_back(i + 1);
+    auto dram = b.mem("tlb_backing", 32, 256,
+                      rtl::MemStyle::Block, std::move(init));
+    Value resp_data = b.memReadSync(dram, addr_r.q);
+
+    Value resp_valid = b.land(busy.q, b.eqLit(lat.q, 1));
+    b.popScope();  // mmu (reopened below to finish hookup)
+
+    // ---- LSU wait stations -----------------------------------------
+    b.pushScope("lsu");
+    auto waiting0 = b.reg("waiting0", 1, 0);
+    auto waiting1 = b.reg("waiting1", 1, 0);
+
+    // The paper's bug: the ack omits the requester-id check.
+    Value ack0_buggy = b.land(resp_valid, b.eqLit(tlb_sel_r.q, 0));
+    Value ack1_buggy = b.land(resp_valid, b.eqLit(tlb_sel_r.q, 1));
+    Value ack0_fixed = b.land(resp_valid, b.eqLit(req_id_r.q, 0));
+    Value ack1_fixed = b.land(resp_valid, b.eqLit(req_id_r.q, 1));
+    Value ack0 = config.fixTlbBug ? ack0_fixed : ack0_buggy;
+    Value ack1 = config.fixTlbBug ? ack1_fixed : ack1_buggy;
+    b.nameNet("ack0", ack0);
+    b.nameNet("ack1", ack1);
+    b.popScope();  // lsu
+
+    // ---- datapath -----------------------------------------------------
+    b.pushScope("datapath");
+    auto idx = b.reg("idx", 8, 0);
+    auto sum = b.reg("sum", 32, 0);
+    auto count = b.reg("count", 8, 0);
+    auto wb_pending = b.reg("wb_pending", 1, 0);
+
+    Value done = b.eqLit(count.q, config.elements);
+
+    // Issue a load when idle; a writeback every fourth element.
+    Value want_load = b.land(b.lnot(done),
+                             b.land(b.lnot(waiting0.q),
+                                    b.lnot(wb_pending.q)));
+    Value want_store = b.land(wb_pending.q, b.lnot(waiting1.q));
+
+    // Data delivery: ch0's data arrives with its ack.
+    Value got_elem = b.land(waiting0.q, ack0);
+    b.connect(sum, b.mux(got_elem, b.add(sum.q, resp_data), sum.q));
+    b.connect(count, b.mux(got_elem, b.addLit(count.q, 1),
+                           count.q));
+    // Every 4th delivered element queues a writeback.
+    Value queue_wb = b.land(got_elem,
+                            b.eqLit(b.slice(count.q, 0, 2), 3));
+    b.connect(wb_pending,
+              b.mux(queue_wb, b.lit(1, 1),
+                    b.mux(b.land(waiting1.q, ack1), b.lit(0, 1),
+                          wb_pending.q)));
+    b.popScope();  // datapath
+
+    // ---- finish LSU hookup ---------------------------------------------
+    b.pushScope("lsu");
+    // A channel becomes waiting when the MMU accepts its request.
+    Value mmu_free = b.lnot(busy.q);
+    Value grant0 = b.land(mmu_free,
+                          b.land(want_load,
+                                 b.eqLit(tlb_sel_r.q, 0)));
+    Value grant1 = b.land(mmu_free,
+                          b.land(want_store,
+                                 b.land(b.eqLit(tlb_sel_r.q, 1),
+                                        b.lnot(grant0))));
+    b.connect(waiting0,
+              b.mux(grant0, b.lit(1, 1),
+                    b.mux(ack0, b.lit(0, 1), waiting0.q)));
+    b.connect(waiting1,
+              b.mux(grant1, b.lit(1, 1),
+                    b.mux(ack1, b.lit(0, 1), waiting1.q)));
+    b.popScope();  // lsu
+
+    // idx advances when the load is actually granted.
+    b.pushScope("datapath");
+    b.connect(idx, b.mux(grant0, b.addLit(idx.q, 1), idx.q));
+    b.popScope();
+
+    // ---- finish MMU hookup ------------------------------------------------
+    b.pushScope("mmu");
+    Value accept = b.lor(grant0, grant1);
+    b.connect(busy, b.mux(accept, b.lit(1, 1),
+                          b.mux(resp_valid, b.lit(0, 1), busy.q)));
+    b.connect(req_id_r, b.mux(accept,
+                              b.mux(grant1, b.lit(1, 1),
+                                    b.lit(0, 1)),
+                              req_id_r.q));
+    b.connect(addr_r, b.mux(accept, idx.q, addr_r.q));
+    // Variable translation latency (2 or 3 cycles) so ack parity
+    // drifts — some elements complete before the bug bites.
+    Value start_lat = b.mux(b.bit(idx.q, 2), b.lit(3, 2),
+                            b.lit(2, 2));
+    b.connect(lat, b.mux(accept, start_lat,
+                         b.mux(b.land(busy.q,
+                                      b.ne(lat.q, b.lit(0, 2))),
+                               b.sub(lat.q, b.lit(1, 2)), lat.q)));
+    b.popScope();  // mmu
+
+    // Result interface (decoupled, for pause buffers).
+    Value out_ready = b.input("result_ready", 1);
+    b.declareIface("result", rtl::IfaceDir::Out, done, out_ready,
+                   {sum.q});
+    b.popScope();  // accel
+
+    b.output("sum", sum.q);
+    b.output("count", b.zext(count.q, 8));
+    b.output("done", done);
+    return b.finish();
+}
+
+} // namespace zoomie::designs

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A Cohort-style accelerator (§2.2, §5.5): a datapath that streams
+ * elements from memory through a load-store unit and an MMU/TLB,
+ * accumulating a result, with a writeback channel storing partial
+ * sums. The MMU contains the paper's seeded bug — the TLB ack is
+ * raised from the round-robin selector alone, missing the requester
+ * id check (`ack = tlb_sel_r == i` instead of
+ * `ack = tlb_sel_r == i && id == i`) — so for certain interleavings
+ * an ack is routed to the wrong channel, the real requester waits
+ * forever, and the accelerator returns only part of the result
+ * before hanging.
+ *
+ * Scopes: accel/datapath, accel/lsu, accel/mmu. Decoupled result
+ * interface declared on accel/ for pause-buffer insertion.
+ */
+
+#ifndef ZOOMIE_DESIGNS_COHORT_HH
+#define ZOOMIE_DESIGNS_COHORT_HH
+
+#include <cstdint>
+
+#include "rtl/builder.hh"
+
+namespace zoomie::designs {
+
+struct CohortConfig
+{
+    uint32_t elements = 24;  ///< job size
+    bool fixTlbBug = false;  ///< apply the one-line fix
+};
+
+/**
+ * Outputs: "sum" (32-bit result), "count" (elements processed),
+ * "done" (1 when the job completed).
+ *
+ * Debug-relevant registers: accel/lsu/waiting0, accel/lsu/waiting1,
+ * accel/mmu/busy, accel/mmu/req_id_r, accel/mmu/tlb_sel_r,
+ * accel/datapath/idx, accel/datapath/sum.
+ */
+rtl::Design buildCohortAccel(const CohortConfig &config);
+
+} // namespace zoomie::designs
+
+#endif // ZOOMIE_DESIGNS_COHORT_HH

@@ -1,0 +1,293 @@
+#include "serv_soc.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::designs {
+
+using rtl::Builder;
+using rtl::Value;
+
+ServSocConfig
+corescore5400()
+{
+    ServSocConfig config;
+    config.cores = 5400;
+    config.coresPerCluster = 8;
+    config.clusterBrams = 3;
+    config.l2Brams = 95;
+    return config;
+}
+
+namespace {
+
+/** 32-bit shift register with parallel feedback mux (the SERV
+ *  idiom: every architectural register is a serial shifter). */
+rtl::RegHandle
+serialReg(Builder &b, const std::string &name, Value shift_en,
+          Value serial_in, uint64_t init)
+{
+    auto r = b.reg(name, 32, init);
+    Value shifted = b.concat(serial_in, b.slice(r.q, 1, 31));
+    b.connect(r, b.mux(shift_en, shifted, r.q));
+    return r;
+}
+
+} // namespace
+
+ServLitePorts
+buildServLite(Builder &b, Value mem_rdata, Value mem_grant,
+              Value result_ready, uint32_t seed, int debug_variant)
+{
+    // Micro-FSM: 0 fetch, 1 decode, 2 execute (32 serial steps),
+    // 3 writeback, 4 emit result.
+    auto state = b.reg("state", 3, 0);
+    auto cnt = b.reg("cnt", 5, 0);
+    auto rf_wen_r = b.reg("rf_wen", 1, 0);
+
+    Value in_fetch = b.eqLit(state.q, 0);
+    Value in_decode = b.eqLit(state.q, 1);
+    Value in_exec = b.eqLit(state.q, 2);
+    Value in_wb = b.eqLit(state.q, 3);
+    Value in_emit = b.eqLit(state.q, 4);
+
+    // Serial datapath registers.
+    Value exec_shift = in_exec;
+    auto acc_bit = b.reg("carry", 1, 0);
+
+    auto pc = serialReg(b, "pc", in_wb, b.lit(0, 1), 0x100 + seed);
+    // Instruction register: loaded serially from scratchpad data.
+    auto ir = serialReg(b, "ir", in_fetch, b.bit(mem_rdata, 0),
+                        seed * 7);
+
+    // Serialized register file: 64 x 10 distributed RAM (two
+    // architectural registers per row in SERV's packed layout).
+    auto rf = b.mem("rf", 10, 64, rtl::MemStyle::Distributed);
+    Value rf_addr = b.concat(b.bit(ir.q, 2), cnt.q);
+    Value rf_rdata = b.memReadAsync(rf, rf_addr);
+
+    // Operand shifters fed from the register file.
+    auto rs1 = serialReg(b, "rs1", exec_shift, b.bit(rf_rdata, 0),
+                         seed);
+    auto rs2 = serialReg(b, "rs2", exec_shift, b.bit(rf_rdata, 1),
+                         ~uint64_t(seed));
+
+    // 1-bit ALU slice: serial add with carry, plus xor/and paths
+    // selected by the "opcode" (ir bits).
+    Value a = b.bit(rs1.q, 0);
+    Value c2 = b.bit(rs2.q, 0);
+    Value carry = acc_bit.q;
+    Value sum = b.bxor(b.bxor(a, c2), carry);
+    Value carry_next = b.lor(b.land(a, c2),
+                             b.land(carry, b.bxor(a, c2)));
+    Value op_xor = b.bxor(a, c2);
+    Value op_and = b.land(a, c2);
+    Value alu_bit = b.mux(b.bit(ir.q, 0), sum,
+                          b.mux(b.bit(ir.q, 1), op_xor, op_and));
+    b.connect(acc_bit, b.mux(in_exec, carry_next, b.lit(0, 1)));
+
+    // Accumulator shifts with a clock enable (cheaper than the
+    // feedback mux used by the operand shifters).
+    auto acc = b.reg("acc", 32, 0x5EED ^ seed);
+    b.connect(acc, b.concat(alu_bit, b.slice(acc.q, 1, 31)));
+    b.enable(acc, exec_shift);
+
+    // Address-mix network (PC-relative scratchpad hashing).
+    Value mix = b.add(b.slice(acc.q, 0, 14), b.slice(rs1.q, 0, 14));
+
+    // Writeback into the register file, serially.
+    b.memWrite(rf, rf_addr,
+               b.concat(b.slice(acc.q, 0, 5), b.slice(pc.q, 0, 5)),
+               b.land(in_wb, rf_wen_r.q));
+    b.connect(rf_wen_r, b.mux(in_decode, b.bit(ir.q, 5),
+                              rf_wen_r.q));
+
+    // Control: counter wraps through the serial phases.
+    Value cnt_done = b.eqLit(cnt.q, 31);
+    b.connect(cnt, b.mux(b.lor(in_exec, in_fetch),
+                         b.addLit(cnt.q, 1), b.lit(0, 5)));
+
+    // Performance counter and a serial timestamp chain (SERV's CSR
+    // block keeps similar state).
+    auto mcycle = b.reg("mcycle", 12, 0);
+    b.connect(mcycle, b.addLit(mcycle.q, 1));
+    auto tstamp = b.reg("tstamp", 20, 0xBEEF);
+    b.connect(tstamp, b.concat(b.bxor(b.bit(acc.q, 0), carry),
+                               b.slice(tstamp.q, 1, 19)));
+
+    // Result stream: a decoupled interface (pause-buffer target).
+    auto out_val = b.reg("out_val", 32, 0);
+    auto out_vld = b.reg("out_vld", 1, 0);
+    Value fire = b.land(out_vld.q, result_ready);
+    b.connect(out_val, acc.q);
+    b.enable(out_val, in_wb);
+    b.connect(out_vld, b.mux(in_emit, b.lit(1, 1),
+                             b.mux(fire, b.lit(0, 1), out_vld.q)));
+    b.declareIface("result", rtl::IfaceDir::Out, out_vld.q,
+                   result_ready, {out_val.q});
+
+    // Next-state logic.
+    Value next_state =
+        b.mux(in_fetch, b.mux(b.land(mem_grant, cnt_done),
+                              b.lit(1, 3), b.lit(0, 3)),
+        b.mux(in_decode, b.lit(2, 3),
+        b.mux(in_exec, b.mux(cnt_done, b.lit(3, 3), b.lit(2, 3)),
+        b.mux(in_wb, b.lit(4, 3),
+              b.mux(fire, b.lit(0, 3), b.lit(4, 3))))));
+    b.connect(state, next_state);
+
+    // Debug edits (Figure 7): expose one internal signal through a
+    // probe register. Each variant is a different "minor change".
+    if (debug_variant > 0) {
+        auto probe = b.reg("dbg_probe", 32, 0);
+        Value src = acc.q;
+        switch (debug_variant) {
+          case 1: src = rs1.q; break;
+          case 2: src = rs2.q; break;
+          case 3: src = pc.q; break;
+          case 4: src = ir.q; break;
+          default:
+            src = b.bxor(acc.q, ir.q);
+            break;
+        }
+        b.connect(probe, src);
+        b.enable(probe, in_exec);
+        b.nameNet("dbg_probe_q", probe.q);
+    }
+
+    ServLitePorts ports;
+    ports.memReq = in_fetch;
+    ports.memAddr = b.bxor(b.slice(pc.q, 2, 10),
+                           b.slice(mix, 0, 10));
+    ports.resultValid = out_vld.q;
+    ports.result = out_val.q;
+    return ports;
+}
+
+rtl::Design
+buildServSoc(const ServSocConfig &config)
+{
+    panic_if(config.cores == 0, "SoC needs at least one core");
+    Builder b("serv_soc_" + std::to_string(config.cores));
+
+    const uint32_t clusters =
+        (config.cores + config.coresPerCluster - 1) /
+        config.coresPerCluster;
+
+    Value checksum_in = b.lit(0, 32);
+    Value beat_in = b.lit(0, 1);
+    uint32_t core_index = 0;
+
+    // Ring NoC register between clusters (ungated, top level).
+    Value ring = b.lit(0, 32);
+
+    for (uint32_t cl = 0; cl < clusters; ++cl) {
+        const bool in_dut = cl < config.dutSpread;
+        if (in_dut)
+            b.pushScope("dut" + std::to_string(cl));
+        b.pushScope("cluster" + std::to_string(cl));
+        uint32_t cores_here =
+            std::min(config.coresPerCluster,
+                     config.cores - core_index);
+
+        // Cluster scratchpad: clusterBrams independent 1Kx36 BRAMs
+        // (one BRAM36 each), addressed by the granted core.
+        b.pushScope("mem");
+        std::vector<Value> bank_data;
+        auto bank_sel = b.reg("bank_sel", 10, cl & 0x3ff);
+        b.connect(bank_sel, b.addLit(bank_sel.q, 1));
+        // Registered bank address, driven by the arbiter below
+        // (declared first so the banks can consume it).
+        auto bank_addr = b.reg("bank_addr", 10, 0);
+        for (uint32_t bk = 0; bk < config.clusterBrams; ++bk) {
+            auto bank = b.mem("bank" + std::to_string(bk), 36, 1024,
+                              rtl::MemStyle::Block);
+            Value rd = b.memReadSync(bank, bank_addr.q);
+            bank_data.push_back(rd);
+            // Light write traffic keeps the banks alive.
+            b.memWrite(bank, bank_addr.q,
+                       b.zext(b.slice(bank_sel.q, 0, 10), 36),
+                       b.eqLit(b.slice(bank_sel.q, 0, 2), bk & 3));
+        }
+        Value mem_word = bank_data[0];
+        for (size_t i = 1; i < bank_data.size(); ++i)
+            mem_word = b.bxor(mem_word, bank_data[i]);
+        b.popScope();  // mem
+
+        // Round-robin grant across the cluster's cores.
+        auto grant_ctr = b.reg("grant", 3, 0);
+        b.connect(grant_ctr, b.addLit(grant_ctr.q, 1));
+
+        Value cluster_sum = b.lit(0, 32);
+        Value addr_mix = b.lit(0, 8);
+        Value req_any = b.lit(0, 1);
+        for (uint32_t k = 0; k < cores_here; ++k) {
+            b.pushScope("core" + std::to_string(k));
+            Value grant = b.eqLit(grant_ctr.q, k & 7);
+            Value ready = b.lit(1, 1);
+            ServLitePorts core = buildServLite(
+                b, b.slice(mem_word, 0, 32), grant, ready,
+                core_index * 2654435761u,
+                core_index == config.debugCore
+                    ? config.debugVariant : 0);
+            b.popScope();
+            cluster_sum = b.bxor(cluster_sum, core.result);
+            // Granted core's scratchpad address reaches the banks.
+            Value gated = b.mux(b.land(grant, core.memReq),
+                                b.slice(core.memAddr, 0, 8),
+                                b.lit(0, 8));
+            addr_mix = b.bxor(addr_mix, gated);
+            req_any = b.lor(req_any, core.memReq);
+            ++core_index;
+        }
+        // The arbiter output registers into the banks' address.
+        b.pushScope("mem");
+        b.connect(bank_addr,
+                  b.bxor(b.zext(addr_mix, 10),
+                         b.mux(req_any, bank_sel.q,
+                               b.bnot(bank_sel.q))));
+        b.popScope();
+
+        // Cluster output joins the ring through a register stage.
+        b.popScope();  // cluster
+        if (in_dut)
+            b.popScope();  // dut wrapper
+        b.pushScope("noc");
+        ring = b.pipe("hop" + std::to_string(cl),
+                      b.bxor(ring, cluster_sum));
+        b.popScope();
+    }
+
+    checksum_in = ring;
+    beat_in = b.redXor(ring);
+
+    // Shared L2: one wide, deep BRAM array.
+    if (config.l2Brams > 0) {
+        b.pushScope("l2");
+        auto addr = b.reg("addr", 16, 0);
+        b.connect(addr, b.addLit(addr.q, 1));
+        // depth chosen so the minimal BRAM36 tiling is exactly
+        // l2Brams blocks of 512x72.
+        auto l2 = b.mem("array", 64, config.l2Brams * 512,
+                        rtl::MemStyle::Block);
+        Value rd = b.memReadSync(l2, b.zext(addr.q, 16));
+        b.memWrite(l2, b.zext(addr.q, 16),
+                   b.bxor(rd, b.zext(checksum_in, 64)),
+                   b.eqLit(b.slice(addr.q, 0, 4), 0));
+        b.popScope();
+    }
+
+    b.output("checksum", checksum_in);
+    b.output("beat", beat_in);
+    return b.finish();
+}
+
+std::string
+servCoreScope(const ServSocConfig &config, uint32_t index)
+{
+    uint32_t cl = index / config.coresPerCluster;
+    uint32_t k = index % config.coresPerCluster;
+    return "cluster" + std::to_string(cl) + "/core" +
+           std::to_string(k) + "/";
+}
+
+} // namespace zoomie::designs

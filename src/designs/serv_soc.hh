@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A CoreScore-style manycore SoC built from SERV-inspired bit-serial
+ * cores (§5.2's evaluation workload). Each core is a small serial
+ * datapath: 32-bit architectural registers implemented as shift
+ * registers, a 1-bit ALU slice, a serialized register file in
+ * distributed LUTRAM, and a 5-stage micro-FSM. Cores are grouped
+ * into clusters sharing BRAM scratchpads through a round-robin
+ * arbiter; clusters hang off a registered ring NoC; a BRAM-heavy
+ * shared L2 rounds out the memory system.
+ *
+ * The SoC is used two ways:
+ *  - full size (5400 cores) for the Table 2 / Figure 7 / Table 3
+ *    compile-time and readback experiments (synthesis + placement
+ *    only);
+ *  - small configurations (a few cores) executed on the fabric
+ *    model for debugging case studies and tests.
+ */
+
+#ifndef ZOOMIE_DESIGNS_SERV_SOC_HH
+#define ZOOMIE_DESIGNS_SERV_SOC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "rtl/builder.hh"
+
+namespace zoomie::designs {
+
+/** SoC configuration. */
+struct ServSocConfig
+{
+    uint32_t cores = 8;
+    uint32_t coresPerCluster = 8;
+    /** BRAM36 blocks per cluster scratchpad. */
+    uint32_t clusterBrams = 3;
+    /** BRAM36 blocks in the shared L2 (0 disables it). */
+    uint32_t l2Brams = 95;
+
+    /**
+     * Debug-edit state (the Figure 7 experiment): variant > 0 adds
+     * a probe register capturing a different internal signal of
+     * core `debugCore` — the "minor changes to expose signals for
+     * debugging" the paper recompiles for.
+     */
+    int debugVariant = 0;
+    uint32_t debugCore = 0;
+
+    /**
+     * Wrap the first N clusters in scopes "dut0/", "dut1/", ... so
+     * a module under test can be floorplanned across SLRs (the
+     * Table 3 multi-SLR readback setup; the common prefix "dut"
+     * then selects all of them).
+     */
+    uint32_t dutSpread = 0;
+};
+
+/** The paper's 5400-core configuration. */
+ServSocConfig corescore5400();
+
+/**
+ * Emit one ServLite core into the current scope. The core exposes a
+ * decoupled result stream (declared, so Zoomie can interpose pause
+ * buffers) and a scratchpad request port wired by the cluster.
+ *
+ * @param mem_rdata  serial scratchpad read data presented to the core
+ * @param mem_grant  scratchpad arbiter grant
+ * @param result_ready downstream ready for the core's result stream
+ * @param seed       per-core constant diversifying the datapath
+ */
+struct ServLitePorts
+{
+    rtl::Value memReq;      ///< scratchpad request
+    rtl::Value memAddr;     ///< scratchpad address (10 bits)
+    rtl::Value resultValid;
+    rtl::Value result;      ///< 32-bit result stream payload
+};
+
+ServLitePorts buildServLite(rtl::Builder &b, rtl::Value mem_rdata,
+                            rtl::Value mem_grant,
+                            rtl::Value result_ready, uint32_t seed,
+                            int debug_variant = 0);
+
+/**
+ * Build the full SoC. Scopes: "cluster<i>/core<j>/" per core,
+ * "cluster<i>/mem/" per scratchpad, "noc/", "l2/".
+ *
+ * Outputs: "checksum" (32-bit rolling xor of all result streams)
+ * and "beat" (1-bit activity heartbeat).
+ */
+rtl::Design buildServSoc(const ServSocConfig &config);
+
+/** Scope prefix of core @p index (its tile, the usual MUT). */
+std::string servCoreScope(const ServSocConfig &config, uint32_t index);
+
+} // namespace zoomie::designs
+
+#endif // ZOOMIE_DESIGNS_SERV_SOC_HH

@@ -1,0 +1,273 @@
+#include "tinyrv.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::designs {
+
+using rtl::Builder;
+using rtl::Value;
+
+rtl::Design
+buildTinyRv(const std::vector<uint32_t> &program)
+{
+    panic_if(program.size() > kTinyRvMemWords,
+             "program exceeds memory");
+    Builder b("tinyrv");
+    b.pushScope("cpu");
+
+    // Micro states.
+    constexpr uint64_t kFetch = 0, kDecode = 1, kExec = 2,
+                       kMem = 3, kWb = 4;
+
+    auto state = b.reg("state", 3, kFetch);
+    auto pc = b.reg("pc", 32, 0);
+    auto ir = b.reg("ir", 32, 0x13 /* nop */);
+    auto mie = b.reg("mstatus_mie", 1, 1);
+    auto mpie = b.reg("mstatus_mpie", 1, 1);
+    auto mtvec = b.reg("mtvec", 32, 0x80);
+    auto mepc = b.reg("mepc", 32, 0);
+    auto mcause = b.reg("mcause", 32, 0);
+
+    Value in_fetch = b.eqLit(state.q, kFetch);
+    Value in_decode = b.eqLit(state.q, kDecode);
+    Value in_exec = b.eqLit(state.q, kExec);
+    Value in_mem = b.eqLit(state.q, kMem);
+    Value in_wb = b.eqLit(state.q, kWb);
+
+    // Unified memory (BRAM, sync read).
+    std::vector<uint64_t> image(program.begin(), program.end());
+    auto mem = b.mem("mem", 32, kTinyRvMemWords,
+                     rtl::MemStyle::Block, std::move(image));
+
+    // Register file (LUTRAM, two async read ports).
+    auto rf = b.mem("rf", 32, 32, rtl::MemStyle::Distributed);
+
+    // ---- decode fields ------------------------------------------
+    Value opc = b.slice(ir.q, 0, 7);
+    Value rd = b.slice(ir.q, 7, 5);
+    Value f3 = b.slice(ir.q, 12, 3);
+    Value rs1 = b.slice(ir.q, 15, 5);
+    Value rs2 = b.slice(ir.q, 20, 5);
+    Value f7 = b.slice(ir.q, 25, 7);
+    Value csr_addr = b.slice(ir.q, 20, 12);
+
+    Value a = b.memReadAsync(rf, rs1);
+    Value bb = b.memReadAsync(rf, rs2);
+
+    // Immediates.
+    Value sign = b.bit(ir.q, 31);
+    Value sext20 = b.mux(sign, b.lit(0xFFFFF, 20), b.lit(0, 20));
+    Value imm_i = b.concat(sext20, b.slice(ir.q, 20, 12));
+    Value imm_u = b.concat(b.slice(ir.q, 12, 20), b.lit(0, 12));
+    Value imm_s = b.concat(sext20,
+                           b.concat(b.slice(ir.q, 25, 7),
+                                    b.slice(ir.q, 7, 5)));
+    // B-type: imm[12|10:5|4:1|11] << 1
+    Value imm_b = b.concat(
+        b.mux(sign, b.lit(0xFFFFF, 20), b.lit(0, 20)),
+        b.concat(b.bit(ir.q, 7),
+                 b.concat(b.slice(ir.q, 25, 6),
+                          b.concat(b.slice(ir.q, 8, 4),
+                                   b.lit(0, 1)))));
+    // J-type: imm[20|10:1|11|19:12] << 1
+    Value imm_j = b.concat(
+        b.mux(sign, b.lit(0xFFF, 12), b.lit(0, 12)),
+        b.concat(b.slice(ir.q, 12, 8),
+                 b.concat(b.bit(ir.q, 20),
+                          b.concat(b.slice(ir.q, 21, 10),
+                                   b.lit(0, 1)))));
+
+    auto is = [&](uint64_t code) { return b.eqLit(opc, code); };
+    Value is_lui = is(0x37), is_auipc = is(0x17), is_jal = is(0x6F),
+          is_jalr = is(0x67), is_branch = is(0x63), is_load = is(0x03),
+          is_store = is(0x23), is_opimm = is(0x13), is_op = is(0x33),
+          is_system = is(0x73);
+
+    Value known = is_lui;
+    for (Value v : {is_auipc, is_jal, is_jalr, is_branch, is_load,
+                    is_store, is_opimm, is_op, is_system})
+        known = b.lor(known, v);
+
+    // ---- ALU -------------------------------------------------------
+    Value op_b = b.mux(is_op, bb, imm_i);
+    Value addv = b.add(a, op_b);
+    Value subv = b.sub(a, bb);
+    Value xorv = b.bxor(a, op_b);
+    Value orv = b.bor(a, op_b);
+    Value andv = b.band(a, op_b);
+    Value sll = b.shl(a, b.zext(b.slice(op_b, 0, 5), 32));
+    Value srl = b.shr(a, b.zext(b.slice(op_b, 0, 5), 32));
+    Value flip = b.lit(0x80000000u, 32);
+    Value slt_s = b.zext(b.ult(b.bxor(a, flip), b.bxor(op_b, flip)),
+                         32);
+    Value slt_u = b.zext(b.ult(a, op_b), 32);
+
+    Value use_sub = b.land(is_op, b.eqLit(b.bit(f7, 5), 1));
+    Value alu =
+        b.mux(b.eqLit(f3, 0), b.mux(use_sub, subv, addv),
+        b.mux(b.eqLit(f3, 1), sll,
+        b.mux(b.eqLit(f3, 2), slt_s,
+        b.mux(b.eqLit(f3, 3), slt_u,
+        b.mux(b.eqLit(f3, 4), xorv,
+        b.mux(b.eqLit(f3, 5), srl,
+        b.mux(b.eqLit(f3, 6), orv, andv)))))));
+
+    // ---- branches ---------------------------------------------------
+    Value eqv = b.eq(a, bb);
+    Value lt_s = b.ult(b.bxor(a, flip), b.bxor(bb, flip));
+    Value lt_u = b.ult(a, bb);
+    Value take =
+        b.mux(b.eqLit(f3, 0), eqv,
+        b.mux(b.eqLit(f3, 1), b.lnot(eqv),
+        b.mux(b.eqLit(f3, 4), lt_s,
+        b.mux(b.eqLit(f3, 5), b.lnot(lt_s),
+        b.mux(b.eqLit(f3, 6), lt_u, b.lnot(lt_u))))));
+
+    Value pc_plus4 = b.addLit(pc.q, 4);
+    Value branch_target = b.mux(take, b.add(pc.q, imm_b), pc_plus4);
+
+    // ---- CSRs --------------------------------------------------------
+    // mstatus layout: bit 3 = MIE, bit 7 = MPIE.
+    Value mstatus = b.bor(
+        b.shl(b.zext(mie.q, 32), b.lit(3, 32)),
+        b.shl(b.zext(mpie.q, 32), b.lit(7, 32)));
+    Value is_mstatus = b.eqLit(csr_addr, rv::kCsrMstatus);
+    Value is_mtvec = b.eqLit(csr_addr, rv::kCsrMtvec);
+    Value is_mepc = b.eqLit(csr_addr, rv::kCsrMepc);
+    Value is_mcause = b.eqLit(csr_addr, rv::kCsrMcause);
+    Value csr_rdata =
+        b.mux(is_mstatus, mstatus,
+        b.mux(is_mtvec, mtvec.q,
+        b.mux(is_mepc, mepc.q,
+              b.mux(is_mcause, mcause.q, b.lit(0, 32)))));
+
+    Value is_csrrw = b.land(is_system, b.eqLit(f3, 1));
+    Value is_csrrs = b.land(is_system, b.eqLit(f3, 2));
+    Value is_csr = b.lor(is_csrrw, is_csrrs);
+    Value csr_wdata = b.mux(is_csrrw, a, b.bor(csr_rdata, a));
+
+    Value is_ecall = b.land(is_system,
+                            b.land(b.eqLit(f3, 0),
+                                   b.eqLit(csr_addr, 0)));
+    Value is_mret = b.land(is_system,
+                           b.land(b.eqLit(f3, 0),
+                                  b.eqLit(csr_addr, 0x302)));
+
+    // ---- exceptions ----------------------------------------------------
+    Value fetch_fault = b.lor(
+        b.ne(b.slice(pc.q, 0, 2), b.lit(0, 2)),
+        b.ule(b.lit(kTinyRvMemWords * 4, 32), pc.q));
+    Value exc_fetch = b.land(in_fetch, fetch_fault);
+    Value illegal = b.land(in_exec,
+                           b.lor(b.lnot(known),
+                                 b.land(is_system,
+                                        b.lnot(b.lor(is_csr,
+                                               b.lor(is_ecall,
+                                                     is_mret))))));
+    Value exc_ecall = b.land(in_exec, is_ecall);
+    Value exc_taken = b.lor(exc_fetch, b.lor(illegal, exc_ecall));
+    Value cause =
+        b.mux(exc_fetch,
+              b.lit(uint32_t(TrapCause::InstrAccessFault), 32),
+        b.mux(illegal, b.lit(uint32_t(TrapCause::IllegalInstr), 32),
+              b.lit(uint32_t(TrapCause::EnvCall), 32)));
+    b.nameNet("exc_taken", exc_taken);
+    b.nameNet("is_ecall_w", is_ecall);
+
+    // ---- memory interface ----------------------------------------------
+    Value load_addr = addv;  // rs1 + imm_i
+    Value store_addr = b.add(a, imm_s);
+    Value mem_addr =
+        b.mux(in_fetch, b.slice(pc.q, 2, 12),
+              b.mux(is_store, b.slice(store_addr, 2, 12),
+                    b.slice(load_addr, 2, 12)));
+    Value mem_rdata = b.memReadSync(mem, mem_addr);
+    b.memWrite(mem, mem_addr, bb,
+               b.land(in_mem, is_store));
+
+    // ---- register file write -------------------------------------------
+    Value wb_alu = b.land(in_exec,
+                          b.lor(is_opimm,
+                          b.lor(is_op,
+                          b.lor(is_lui,
+                          b.lor(is_auipc,
+                          b.lor(is_jal,
+                          b.lor(is_jalr, is_csr)))))));
+    Value rd_data =
+        b.mux(is_lui, imm_u,
+        b.mux(is_auipc, b.add(pc.q, imm_u),
+        b.mux(b.lor(is_jal, is_jalr), pc_plus4,
+              b.mux(is_csr, csr_rdata, alu))));
+    Value wb_load = b.land(in_wb, is_load);
+    Value rf_wdata = b.mux(wb_load, mem_rdata, rd_data);
+    Value rf_wen = b.land(b.lor(b.land(wb_alu, b.lnot(exc_taken)),
+                                wb_load),
+                          b.ne(rd, b.lit(0, 5)));
+    b.memWrite(rf, rd, rf_wdata, rf_wen);
+
+    // ---- next pc ---------------------------------------------------------
+    Value next_pc_exec =
+        b.mux(is_jal, b.add(pc.q, imm_j),
+        b.mux(is_jalr,
+              b.band(addv, b.lit(0xFFFFFFFEu, 32)),
+        b.mux(is_branch, branch_target,
+              b.mux(is_mret, mepc.q, pc_plus4))));
+
+    // ---- state transitions -------------------------------------------
+    Value after_exec =
+        b.mux(is_load, b.lit(kMem, 3),
+              b.mux(is_store, b.lit(kMem, 3), b.lit(kFetch, 3)));
+    Value next_state =
+        b.mux(exc_taken, b.lit(kFetch, 3),
+        b.mux(in_fetch, b.lit(kDecode, 3),
+        b.mux(in_decode, b.lit(kExec, 3),
+        b.mux(in_exec, after_exec,
+        b.mux(in_mem, b.mux(is_load, b.lit(kWb, 3), b.lit(kFetch, 3)),
+              b.lit(kFetch, 3))))));
+    b.connect(state, next_state);
+
+    // IR latches in decode.
+    b.connect(ir, b.mux(in_decode, mem_rdata, ir.q));
+
+    // PC update: on exception -> mtvec; in EXEC -> computed.
+    Value pc_next =
+        b.mux(exc_taken, mtvec.q,
+              b.mux(b.land(in_exec, b.lnot(exc_taken)),
+                    next_pc_exec, pc.q));
+    b.connect(pc, pc_next);
+
+    // CSR state updates.
+    Value csr_we = b.land(b.land(in_exec, is_csr),
+                          b.lnot(exc_taken));
+    b.connect(mie,
+              b.mux(exc_taken, b.lit(0, 1),
+              b.mux(b.land(in_exec, is_mret), mpie.q,
+                    b.mux(b.land(csr_we, is_mstatus),
+                          b.bit(csr_wdata, 3), mie.q))));
+    b.connect(mpie,
+              b.mux(exc_taken, mie.q,
+              b.mux(b.land(in_exec, is_mret), b.lit(1, 1),
+                    b.mux(b.land(csr_we, is_mstatus),
+                          b.bit(csr_wdata, 7), mpie.q))));
+    b.connect(mtvec, b.mux(b.land(csr_we, is_mtvec), csr_wdata,
+                           mtvec.q));
+    b.connect(mepc,
+              b.mux(exc_taken, pc.q,
+                    b.mux(b.land(csr_we, is_mepc), csr_wdata,
+                          mepc.q)));
+    b.connect(mcause,
+              b.mux(exc_taken, cause,
+                    b.mux(b.land(csr_we, is_mcause), csr_wdata,
+                          mcause.q)));
+
+    Value retired = b.land(in_exec, b.lnot(exc_taken));
+    b.nameNet("retired", retired);
+
+    b.popScope();
+    b.output("pc", pc.q);
+    b.output("retired", retired);
+    b.output("trap", exc_taken);
+    return b.finish();
+}
+
+} // namespace zoomie::designs

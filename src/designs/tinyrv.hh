@@ -1,0 +1,147 @@
+/**
+ * @file
+ * TinyRV: an executing multicycle RV32I-subset CPU with machine-mode
+ * CSRs and precise nested exceptions — the stand-in for the
+ * Ariane/CVA6 core in case study 2 (§5.6) and the host of the
+ * Figure 8 assertions. Five-state micro-architecture
+ * (FETCH/DECODE/EXEC/MEM/WB), a unified BRAM memory, and a LUTRAM
+ * register file.
+ *
+ * Supported: LUI AUIPC JAL JALR branches LW SW OP-IMM OP
+ * CSRRW/CSRRS (mstatus/mtvec/mepc/mcause) ECALL MRET. Exceptions:
+ * instruction access fault (misaligned or out-of-range fetch),
+ * illegal instruction, environment call. A misconfigured mtvec
+ * therefore produces the paper's infinite nested-exception loop.
+ */
+
+#ifndef ZOOMIE_DESIGNS_TINYRV_HH
+#define ZOOMIE_DESIGNS_TINYRV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/builder.hh"
+
+namespace zoomie::designs {
+
+/** Memory size in words (code must fetch below this * 4). */
+constexpr uint32_t kTinyRvMemWords = 4096;
+
+/** Exception causes (mcause values). */
+enum class TrapCause : uint32_t {
+    InstrAccessFault = 1,
+    IllegalInstr = 2,
+    EnvCall = 11,
+};
+
+/**
+ * Build the CPU under scope "cpu/" with its memory preloaded from
+ * @p program (word 0 = address 0; the CPU resets to pc 0).
+ *
+ * Debug-relevant state: cpu/pc, cpu/state, cpu/ir, cpu/mstatus_mie,
+ * cpu/mstatus_mpie, cpu/mcause, cpu/mepc, cpu/mtvec, cpu/mem (the
+ * unified memory), cpu/rf (register file). Named nets:
+ * cpu/exc_taken, cpu/retired.
+ *
+ * Outputs: "pc", "retired" (instruction-retired pulse), "trap"
+ * (exception-taken pulse).
+ */
+rtl::Design buildTinyRv(const std::vector<uint32_t> &program);
+
+// ---- tiny assembler ---------------------------------------------------
+
+namespace rv {
+
+constexpr uint32_t
+rtype(uint32_t f7, uint32_t rs2, uint32_t rs1, uint32_t f3,
+      uint32_t rd, uint32_t opc)
+{
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+           (rd << 7) | opc;
+}
+
+constexpr uint32_t
+itype(int32_t imm, uint32_t rs1, uint32_t f3, uint32_t rd,
+      uint32_t opc)
+{
+    return (uint32_t(imm & 0xfff) << 20) | (rs1 << 15) |
+           (f3 << 12) | (rd << 7) | opc;
+}
+
+constexpr uint32_t addi(uint32_t rd, uint32_t rs1, int32_t imm)
+{ return itype(imm, rs1, 0, rd, 0x13); }
+constexpr uint32_t andi(uint32_t rd, uint32_t rs1, int32_t imm)
+{ return itype(imm, rs1, 7, rd, 0x13); }
+constexpr uint32_t xori(uint32_t rd, uint32_t rs1, int32_t imm)
+{ return itype(imm, rs1, 4, rd, 0x13); }
+constexpr uint32_t slli(uint32_t rd, uint32_t rs1, uint32_t sh)
+{ return itype(int32_t(sh), rs1, 1, rd, 0x13); }
+
+constexpr uint32_t add(uint32_t rd, uint32_t rs1, uint32_t rs2)
+{ return rtype(0, rs2, rs1, 0, rd, 0x33); }
+constexpr uint32_t sub(uint32_t rd, uint32_t rs1, uint32_t rs2)
+{ return rtype(0x20, rs2, rs1, 0, rd, 0x33); }
+constexpr uint32_t xor_(uint32_t rd, uint32_t rs1, uint32_t rs2)
+{ return rtype(0, rs2, rs1, 4, rd, 0x33); }
+constexpr uint32_t slt(uint32_t rd, uint32_t rs1, uint32_t rs2)
+{ return rtype(0, rs2, rs1, 2, rd, 0x33); }
+
+constexpr uint32_t lui(uint32_t rd, uint32_t imm20)
+{ return (imm20 << 12) | (rd << 7) | 0x37; }
+
+constexpr uint32_t lw(uint32_t rd, uint32_t rs1, int32_t imm)
+{ return itype(imm, rs1, 2, rd, 0x03); }
+
+constexpr uint32_t
+sw(uint32_t rs2, uint32_t rs1, int32_t imm)
+{
+    uint32_t u = uint32_t(imm & 0xfff);
+    return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (2u << 12) |
+           ((u & 0x1f) << 7) | 0x23;
+}
+
+constexpr uint32_t
+branch(uint32_t f3, uint32_t rs1, uint32_t rs2, int32_t offset)
+{
+    uint32_t u = uint32_t(offset);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+           (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+           (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | 0x63;
+}
+constexpr uint32_t beq(uint32_t a, uint32_t c, int32_t off)
+{ return branch(0, a, c, off); }
+constexpr uint32_t bne(uint32_t a, uint32_t c, int32_t off)
+{ return branch(1, a, c, off); }
+constexpr uint32_t blt(uint32_t a, uint32_t c, int32_t off)
+{ return branch(4, a, c, off); }
+
+constexpr uint32_t
+jal(uint32_t rd, int32_t offset)
+{
+    uint32_t u = uint32_t(offset);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+           (rd << 7) | 0x6F;
+}
+
+constexpr uint32_t jalr(uint32_t rd, uint32_t rs1, int32_t imm)
+{ return itype(imm, rs1, 0, rd, 0x67); }
+
+constexpr uint32_t kCsrMstatus = 0x300;
+constexpr uint32_t kCsrMtvec = 0x305;
+constexpr uint32_t kCsrMepc = 0x341;
+constexpr uint32_t kCsrMcause = 0x342;
+
+constexpr uint32_t csrrw(uint32_t rd, uint32_t csr, uint32_t rs1)
+{ return itype(int32_t(csr), rs1, 1, rd, 0x73); }
+constexpr uint32_t csrrs(uint32_t rd, uint32_t csr, uint32_t rs1)
+{ return itype(int32_t(csr), rs1, 2, rd, 0x73); }
+
+constexpr uint32_t ecall() { return 0x73; }
+constexpr uint32_t mret() { return 0x30200073; }
+
+} // namespace rv
+
+} // namespace zoomie::designs
+
+#endif // ZOOMIE_DESIGNS_TINYRV_HH

@@ -1,0 +1,192 @@
+#include "config_ctrl.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::fpga {
+
+using bitstream::Command;
+using bitstream::ConfigReg;
+using bitstream::PacketHeader;
+using bitstream::PacketOp;
+
+ConfigController::Event
+ConfigController::processWord(uint32_t word)
+{
+    if (!_synced) {
+        if (word == bitstream::kSyncWord)
+            _synced = true;
+        // Dummy padding and any pre-sync noise is ignored.
+        return Event::None;
+    }
+
+    if (_consumingWrite) {
+        if (_writeReg == ConfigReg::FDRI) {
+            commitFrameWord(word);
+        } else {
+            writeRegister(_writeReg, word);
+        }
+        if (--_writeRemaining == 0)
+            _consumingWrite = false;
+        return _writeReg == ConfigReg::CMD &&
+               static_cast<Command>(word) == Command::Desync
+            ? Event::Desync : Event::None;
+    }
+
+    if (word == bitstream::kDummyWord || word == bitstream::kSyncWord)
+        return Event::None;
+
+    PacketHeader header = bitstream::decodeHeader(word);
+    if (header.type == PacketHeader::Type::Invalid) {
+        warn("slr ", _slr, ": ignoring malformed config word");
+        return Event::None;
+    }
+
+    if (header.type == PacketHeader::Type::Type2) {
+        // Burst continues the previously addressed register.
+        if (header.op == PacketOp::Write && header.wordCount > 0) {
+            _consumingWrite = true;
+            _writeRemaining = header.wordCount;
+        } else if (header.op == PacketOp::Read) {
+            _readPending = header.wordCount;
+            _readWordIndex = 0;
+        }
+        return Event::None;
+    }
+
+    // Type 1.
+    if (header.op == PacketOp::Write) {
+        if (header.reg == ConfigReg::BOUT && header.wordCount == 0) {
+            // The undocumented ring switch: an *empty* BOUT write.
+            return Event::BoutPulse;
+        }
+        _writeReg = header.reg;
+        if (header.reg == ConfigReg::FDRI)
+            _frameWordIndex = 0;
+        if (header.wordCount == 0)
+            return Event::None;  // type-2 burst will follow
+        _consumingWrite = true;
+        _writeRemaining = header.wordCount;
+    } else if (header.op == PacketOp::Read) {
+        if (header.reg == ConfigReg::FDRO) {
+            _readPending = header.wordCount;
+            _readWordIndex = 0;
+        }
+        _writeReg = header.reg;
+    } else {
+        _writeReg = header.reg;  // NOP with address: remember reg
+    }
+    return Event::None;
+}
+
+void
+ConfigController::writeRegister(ConfigReg reg, uint32_t value)
+{
+    switch (reg) {
+      case ConfigReg::FAR:
+        _far = value;
+        _frameWordIndex = 0;
+        break;
+      case ConfigReg::CMD:
+        _cmd = value;
+        runCommand(static_cast<Command>(value));
+        break;
+      case ConfigReg::IDCODE:
+        // Only the primary SLR verifies the device id; secondary
+        // SLR id values have no effect (§4.3, §4.5).
+        if (_slr == _spec.primarySlr && value != _spec.idcode(_slr)) {
+            _idcodeError = true;
+            warn("slr ", _slr, ": IDCODE mismatch, config locked");
+        }
+        break;
+      case ConfigReg::MASK:
+        _maskActive = value != 0;
+        if (!_maskActive)
+            _regionValid = false;
+        break;
+      case ConfigReg::CRC:
+      case ConfigReg::CTL0:
+      case ConfigReg::STAT:
+      case ConfigReg::BOUT:
+        break;  // modeled as no-ops
+      default:
+        break;
+    }
+}
+
+void
+ConfigController::runCommand(Command cmd)
+{
+    const bool masked = _maskActive && _regionValid;
+    const uint32_t lo = masked ? _regionLo : 0;
+    const uint32_t hi = masked ? _regionHi : _mem.numFrames() - 1;
+    switch (cmd) {
+      case Command::Start:
+        _sink.onStart(_slr, masked, lo, hi);
+        break;
+      case Command::GCapture:
+        _sink.onCapture(_slr, masked, lo, hi);
+        break;
+      case Command::GRestore:
+        _sink.onRestore(_slr, masked, lo, hi);
+        break;
+      case Command::Desync:
+        _synced = false;
+        _consumingWrite = false;
+        _readPending = 0;
+        break;
+      case Command::Null:
+      case Command::WCFG:
+      case Command::RCFG:
+      case Command::RCRC:
+        break;
+      default:
+        break;
+    }
+}
+
+void
+ConfigController::commitFrameWord(uint32_t value)
+{
+    if (_idcodeError)
+        return;  // configuration locked after IDCODE mismatch
+    if (_far >= _mem.numFrames()) {
+        warn("slr ", _slr, ": FDRI write past end of config space");
+        return;
+    }
+    _mem.setWord(_far, _frameWordIndex, value);
+    if (_maskActive) {
+        if (!_regionValid) {
+            _regionLo = _regionHi = _far;
+            _regionValid = true;
+        } else {
+            _regionLo = std::min(_regionLo, _far);
+            _regionHi = std::max(_regionHi, _far);
+        }
+    }
+    if (++_frameWordIndex == kFrameWords) {
+        _frameWordIndex = 0;
+        ++_far;
+        _sink.onFramesWritten(_slr);
+    }
+}
+
+uint32_t
+ConfigController::readWord()
+{
+    panic_if(_readPending == 0, "readWord with no pending read");
+    --_readPending;
+    if (static_cast<Command>(_cmd) != Command::RCFG) {
+        // Readback without RCFG returns garbage, as on hardware.
+        return 0xDEADBEEFu;
+    }
+    if (_far >= _mem.numFrames())
+        return 0xDEADBEEFu;
+    uint32_t value = _mem.word(_far, _readWordIndex);
+    if (++_readWordIndex == kFrameWords) {
+        _readWordIndex = 0;
+        ++_far;
+    }
+    return value;
+}
+
+} // namespace zoomie::fpga

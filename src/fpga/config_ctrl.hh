@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The per-SLR configuration microcontroller (µc). Interprets the
+ * bitstream word stream: SYNC detection, packet parsing, register
+ * writes, frame data (FDRI/FDRO), and configuration commands. The
+ * undocumented BOUT register and DESYNC are surfaced as events so
+ * the device-level ring router can redirect the stream (§4.4).
+ */
+
+#ifndef ZOOMIE_FPGA_CONFIG_CTRL_HH
+#define ZOOMIE_FPGA_CONFIG_CTRL_HH
+
+#include <cstdint>
+
+#include "bitstream/packets.hh"
+#include "fpga/config_mem.hh"
+#include "fpga/device_spec.hh"
+
+namespace zoomie::fpga {
+
+/** Actions a µc asks its device to perform. */
+class ConfigSink
+{
+  public:
+    virtual ~ConfigSink() = default;
+
+    /** CMD=START: pulse GSR (mask-restricted) and start clocks. */
+    virtual void onStart(uint32_t slr, bool masked, uint32_t frame_lo,
+                         uint32_t frame_hi) = 0;
+
+    /** CMD=GCAPTURE: copy live state into config memory. */
+    virtual void onCapture(uint32_t slr, bool masked,
+                           uint32_t frame_lo, uint32_t frame_hi) = 0;
+
+    /** CMD=GRESTORE: load live state from config memory. */
+    virtual void onRestore(uint32_t slr, bool masked,
+                           uint32_t frame_lo, uint32_t frame_hi) = 0;
+
+    /** Config frames changed (LUT functions may differ now). */
+    virtual void onFramesWritten(uint32_t slr) = 0;
+};
+
+/** One SLR's configuration controller. */
+class ConfigController
+{
+  public:
+    /** Routing-relevant events produced while parsing. */
+    enum class Event { None, BoutPulse, Desync };
+
+    ConfigController(const DeviceSpec &spec, uint32_t slr,
+                     ConfigMem &mem, ConfigSink &sink)
+        : _spec(spec), _slr(slr), _mem(mem), _sink(sink) {}
+
+    /** Feed one word of the configuration stream. */
+    Event processWord(uint32_t word);
+
+    /** Words remaining in the pending FDRO read burst. */
+    uint32_t readPending() const { return _readPending; }
+
+    /** Stream the next readback word (requires pending read). */
+    uint32_t readWord();
+
+    /** True once SYNC has been seen (and no DESYNC since). */
+    bool synced() const { return _synced; }
+
+    /** True if an IDCODE check failed (primary SLR only). */
+    bool idcodeError() const { return _idcodeError; }
+
+    /** Current frame address register. */
+    uint32_t far() const { return _far; }
+
+    /** Mask register (GSR restriction) state — the §4.7 quirk. */
+    bool maskActive() const { return _maskActive; }
+
+  private:
+    void writeRegister(bitstream::ConfigReg reg, uint32_t value);
+    void runCommand(bitstream::Command cmd);
+    void commitFrameWord(uint32_t value);
+
+    const DeviceSpec &_spec;
+    uint32_t _slr;
+    ConfigMem &_mem;
+    ConfigSink &_sink;
+
+    bool _synced = false;
+    bool _idcodeError = false;
+
+    // Packet parsing state.
+    bool _consumingWrite = false;
+    bool _boutPending = false;
+    bitstream::ConfigReg _writeReg = bitstream::ConfigReg::CRC;
+    uint32_t _writeRemaining = 0;
+
+    // Registers.
+    uint32_t _far = 0;
+    uint32_t _frameWordIndex = 0;
+    uint32_t _cmd = 0;
+    uint32_t _readPending = 0;
+    uint32_t _readWordIndex = 0;
+
+    // GSR mask (dynamic-region restriction).
+    bool _maskActive = false;
+    bool _regionValid = false;
+    uint32_t _regionLo = 0;
+    uint32_t _regionHi = 0;
+};
+
+} // namespace zoomie::fpga
+
+#endif // ZOOMIE_FPGA_CONFIG_CTRL_HH

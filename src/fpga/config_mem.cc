@@ -1,0 +1,69 @@
+#include "config_mem.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::fpga {
+
+uint32_t
+ConfigMem::word(uint32_t frame, uint32_t index) const
+{
+    panic_if(frame >= _numFrames || index >= kFrameWords,
+             "config word address out of range");
+    return _words[uint64_t(frame) * kFrameWords + index];
+}
+
+void
+ConfigMem::setWord(uint32_t frame, uint32_t index, uint32_t value)
+{
+    panic_if(frame >= _numFrames || index >= kFrameWords,
+             "config word address out of range");
+    _words[uint64_t(frame) * kFrameWords + index] = value;
+}
+
+bool
+ConfigMem::bit(const BitLoc &loc) const
+{
+    uint32_t w = word(loc.frame, loc.bit / 32);
+    return (w >> (loc.bit % 32)) & 1u;
+}
+
+void
+ConfigMem::setBit(const BitLoc &loc, bool value)
+{
+    uint32_t index = loc.bit / 32;
+    uint32_t w = word(loc.frame, index);
+    uint32_t mask = 1u << (loc.bit % 32);
+    setWord(loc.frame, index, value ? (w | mask) : (w & ~mask));
+}
+
+uint64_t
+ConfigMem::bits64(const BitLoc &loc, unsigned count) const
+{
+    panic_if(count > 64, "bits64 count too large");
+    uint64_t value = 0;
+    BitLoc cur = loc;
+    for (unsigned i = 0; i < count; ++i) {
+        value |= uint64_t(bit(cur)) << i;
+        if (++cur.bit == kFrameBits) {
+            cur.bit = 0;
+            ++cur.frame;
+        }
+    }
+    return value;
+}
+
+void
+ConfigMem::setBits64(const BitLoc &loc, unsigned count, uint64_t value)
+{
+    panic_if(count > 64, "bits64 count too large");
+    BitLoc cur = loc;
+    for (unsigned i = 0; i < count; ++i) {
+        setBit(cur, (value >> i) & 1);
+        if (++cur.bit == kFrameBits) {
+            cur.bit = 0;
+            ++cur.frame;
+        }
+    }
+}
+
+} // namespace zoomie::fpga

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-SLR configuration memory: a linear array of frames. Holds LUT
+ * truth tables, FF init/capture bits and RAM contents. Written by
+ * the configuration microcontroller (WCFG), read back via FDRO, and
+ * consulted by the fabric executor for LUT functions.
+ */
+
+#ifndef ZOOMIE_FPGA_CONFIG_MEM_HH
+#define ZOOMIE_FPGA_CONFIG_MEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device_spec.hh"
+
+namespace zoomie::fpga {
+
+/** Frame-addressed configuration memory for one SLR. */
+class ConfigMem
+{
+  public:
+    explicit ConfigMem(uint32_t num_frames)
+        : _words(uint64_t(num_frames) * kFrameWords, 0),
+          _numFrames(num_frames) {}
+
+    uint32_t numFrames() const { return _numFrames; }
+
+    /** Read word @p index of frame @p frame. */
+    uint32_t word(uint32_t frame, uint32_t index) const;
+
+    /** Write word @p index of frame @p frame. */
+    void setWord(uint32_t frame, uint32_t index, uint32_t value);
+
+    /** Read a single configuration bit. */
+    bool bit(const BitLoc &loc) const;
+
+    /** Write a single configuration bit. */
+    void setBit(const BitLoc &loc, bool value);
+
+    /** Read up to 64 consecutive bits starting at @p loc. */
+    uint64_t bits64(const BitLoc &loc, unsigned count) const;
+
+    /** Write up to 64 consecutive bits starting at @p loc. */
+    void setBits64(const BitLoc &loc, unsigned count, uint64_t value);
+
+  private:
+    std::vector<uint32_t> _words;
+    uint32_t _numFrames;
+};
+
+} // namespace zoomie::fpga
+
+#endif // ZOOMIE_FPGA_CONFIG_MEM_HH

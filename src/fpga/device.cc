@@ -1,0 +1,456 @@
+#include "device.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "synth/netlistsim.hh"
+
+namespace zoomie::fpga {
+
+using synth::CellKind;
+using synth::MCell;
+using synth::SigId;
+
+Device::Device(DeviceSpec spec) : _spec(std::move(spec))
+{
+    for (uint32_t slr = 0; slr < _spec.numSlrs; ++slr) {
+        _mems.push_back(
+            std::make_unique<ConfigMem>(_spec.framesPerSlr()));
+        _ctrls.push_back(std::make_unique<ConfigController>(
+            _spec, slr, *_mems.back(), *this));
+    }
+}
+
+uint32_t
+Device::selectedSlr() const
+{
+    return (_spec.primarySlr + _hop) % _spec.numSlrs;
+}
+
+Device::StreamWatcher::Action
+Device::StreamWatcher::feed(uint32_t word)
+{
+    using bitstream::ConfigReg;
+    using bitstream::PacketHeader;
+    using bitstream::PacketOp;
+
+    if (!synced) {
+        if (word == bitstream::kSyncWord)
+            synced = true;
+        return Action::None;
+    }
+    if (consuming) {
+        Action action = Action::None;
+        if (reg == ConfigReg::CMD &&
+            static_cast<bitstream::Command>(word) ==
+                bitstream::Command::Desync) {
+            action = Action::Desync;
+            synced = false;
+        }
+        if (--remaining == 0)
+            consuming = false;
+        return action;
+    }
+    if (word == bitstream::kDummyWord || word == bitstream::kSyncWord)
+        return Action::None;
+
+    PacketHeader header = bitstream::decodeHeader(word);
+    if (header.type == PacketHeader::Type::Invalid)
+        return Action::None;
+    if (header.type == PacketHeader::Type::Type1) {
+        if (header.op == PacketOp::Write &&
+            header.reg == ConfigReg::BOUT && header.wordCount == 0) {
+            return Action::Bout;
+        }
+        if (header.op == PacketOp::Write && header.wordCount > 0) {
+            consuming = true;
+            remaining = header.wordCount;
+            reg = header.reg;
+        } else {
+            reg = header.reg;
+        }
+    } else if (header.op == PacketOp::Write && header.wordCount > 0) {
+        consuming = true;
+        remaining = header.wordCount;
+        // reg stays from the preceding type-1 packet
+    }
+    return Action::None;
+}
+
+void
+Device::deliverWord(uint32_t word)
+{
+    StreamWatcher::Action action = _watcher.feed(word);
+    if (action == StreamWatcher::Action::Bout) {
+        // Consumed by the switch fabric; never reaches a µc.
+        _hop = (_hop + 1) % _spec.numSlrs;
+        return;
+    }
+    _ctrls[selectedSlr()]->processWord(word);
+    if (action == StreamWatcher::Action::Desync)
+        _hop = 0;
+}
+
+uint32_t
+Device::readPending() const
+{
+    return _ctrls[selectedSlr()]->readPending();
+}
+
+uint32_t
+Device::fetchReadWord()
+{
+    return _ctrls[selectedSlr()]->readWord();
+}
+
+void
+Device::attach(const synth::MappedNetlist &netlist,
+               const Placement &placement)
+{
+    panic_if(!netlist.boundaryInNets.empty(),
+             "cannot attach an unlinked partition netlist");
+    panic_if(placement.cellSite.size() != netlist.cells.size(),
+             "placement does not cover the netlist");
+    _net = &netlist;
+    _place = &placement;
+    _order = synth::combEvalOrder(netlist);
+    _truth.assign(netlist.cells.size(), 0);
+    _value.assign(netlist.cells.size(), 0);
+    _state.assign(netlist.cells.size(), 0);
+    _ram.resize(netlist.rams.size());
+    for (size_t r = 0; r < netlist.rams.size(); ++r)
+        _ram[r].assign(netlist.rams[r].depth, 0);
+    _gateSig.assign(netlist.numClocks, synth::kNoSig);
+    _divider.assign(netlist.numClocks, 1);
+    _cycles.assign(netlist.numClocks, 0);
+    _globalCycles = 0;
+    _running = false;
+    _dirty = true;
+    _truthDirty = true;
+}
+
+void
+Device::bindClockGate(uint8_t domain, const std::string &output_name)
+{
+    panic_if(!_net, "no design attached");
+    panic_if(domain >= _gateSig.size(), "bad clock domain");
+    for (const auto &out : _net->outputs) {
+        if (out.name == output_name) {
+            panic_if(out.bits.size() != 1,
+                     "clock gate enable must be 1 bit");
+            _gateSig[domain] = out.bits[0];
+            return;
+        }
+    }
+    panic("unknown output '", output_name, "' for clock gate");
+}
+
+void
+Device::setClockDivider(uint8_t domain, uint32_t divider)
+{
+    panic_if(!_net, "no design attached");
+    panic_if(domain >= _divider.size(), "bad clock domain");
+    panic_if(divider == 0, "divider must be nonzero");
+    _divider[domain] = divider;
+}
+
+void
+Device::pokeInput(const std::string &port, uint64_t value)
+{
+    panic_if(!_net, "no design attached");
+    for (const auto &in : _net->inputs) {
+        if (in.name != port)
+            continue;
+        for (size_t bit = 0; bit < in.bits.size(); ++bit)
+            _value[in.bits[bit]] = getBit(value, bit);
+        _dirty = true;
+        return;
+    }
+    panic("unknown input port '", port, "'");
+}
+
+uint64_t
+Device::peekOutput(const std::string &port)
+{
+    panic_if(!_net, "no design attached");
+    evaluate();
+    for (const auto &out : _net->outputs) {
+        if (out.name != port)
+            continue;
+        uint64_t value = 0;
+        for (size_t bit = 0; bit < out.bits.size(); ++bit)
+            value |= uint64_t(_value[out.bits[bit]]) << bit;
+        return value;
+    }
+    panic("unknown output port '", port, "'");
+}
+
+bool
+Device::sigValue(synth::SigId id)
+{
+    evaluate();
+    return _value[id];
+}
+
+uint64_t
+Device::ramLive(uint32_t ram, uint32_t addr) const
+{
+    panic_if(ram >= _ram.size(), "ram index out of range");
+    return _ram[ram][addr];
+}
+
+void
+Device::refreshTruthCache()
+{
+    if (!_truthDirty)
+        return;
+    for (SigId id = 0; id < _net->cells.size(); ++id) {
+        const MCell &cell = _net->cells[id];
+        if (cell.kind != CellKind::Lut)
+            continue;
+        const Site &site = _place->cellSite[id];
+        BitLoc base = _spec.lutBit(site, 0);
+        _truth[id] = _mems[site.slr]->bits64(base, kLutBits);
+    }
+    _truthDirty = false;
+}
+
+void
+Device::evaluate()
+{
+    if (!_dirty)
+        return;
+    refreshTruthCache();
+    for (SigId id : _order) {
+        const MCell &cell = _net->cells[id];
+        switch (cell.kind) {
+          case CellKind::Const0:
+            _value[id] = 0;
+            break;
+          case CellKind::Const1:
+            _value[id] = 1;
+            break;
+          case CellKind::Input:
+            break;
+          case CellKind::FF:
+            _value[id] = _state[id];
+            break;
+          case CellKind::Lut: {
+            unsigned index = 0;
+            for (unsigned i = 0; i < cell.nIn; ++i)
+                index |= unsigned(_value[cell.in[i]]) << i;
+            _value[id] = (_truth[id] >> index) & 1ULL;
+            break;
+          }
+          case CellKind::RamOut: {
+            const synth::MRam &ram = _net->rams[cell.src];
+            const auto &port = ram.readPorts[cell.srcBit >> 8];
+            if (port.sync) {
+                _value[id] = _state[id];
+            } else {
+                uint64_t addr = 0;
+                for (size_t bit = 0; bit < port.addr.size(); ++bit)
+                    addr |= uint64_t(_value[port.addr[bit]]) << bit;
+                addr %= ram.depth;
+                _value[id] = getBit(_ram[cell.src][addr],
+                                    cell.srcBit & 0xff);
+            }
+            break;
+          }
+          case CellKind::PartIn:
+            panic("unresolved PartIn on fabric");
+        }
+    }
+    _dirty = false;
+}
+
+void
+Device::stepGlobal()
+{
+    if (!_net || !_running)
+        return;
+    evaluate();
+
+    std::vector<bool> enabled(_gateSig.size(), true);
+    for (size_t d = 0; d < _gateSig.size(); ++d) {
+        if (_gateSig[d] != synth::kNoSig)
+            enabled[d] = _value[_gateSig[d]];
+        if (_globalCycles % _divider[d] != 0)
+            enabled[d] = false;
+    }
+
+    // Phase 1: compute next state from pre-edge values.
+    std::vector<std::pair<SigId, uint8_t>> ff_next;
+    for (SigId id = 0; id < _net->cells.size(); ++id) {
+        const MCell &cell = _net->cells[id];
+        if (cell.kind != CellKind::FF || !enabled[cell.clock])
+            continue;
+        if (cell.in[1] != synth::kNoSig && !_value[cell.in[1]])
+            continue;
+        uint8_t next =
+            (cell.in[2] != synth::kNoSig && _value[cell.in[2]])
+                ? cell.rstVal : _value[cell.in[0]];
+        ff_next.emplace_back(id, next);
+    }
+
+    std::vector<std::pair<SigId, uint8_t>> latch_next;
+    struct RamWrite { uint32_t ram; uint64_t addr; uint64_t data; };
+    std::vector<RamWrite> writes;
+    for (uint32_t r = 0; r < _net->rams.size(); ++r) {
+        const synth::MRam &ram = _net->rams[r];
+        for (const auto &port : ram.readPorts) {
+            if (!port.sync || !enabled[port.clock])
+                continue;
+            uint64_t addr = 0;
+            for (size_t bit = 0; bit < port.addr.size(); ++bit)
+                addr |= uint64_t(_value[port.addr[bit]]) << bit;
+            addr %= ram.depth;
+            uint64_t word = _ram[r][addr];
+            for (SigId out : port.data) {
+                latch_next.emplace_back(
+                    out,
+                    getBit(word, _net->cells[out].srcBit & 0xff));
+            }
+        }
+        for (const auto &port : ram.writePorts) {
+            if (!enabled[port.clock] || !_value[port.en])
+                continue;
+            uint64_t addr = 0;
+            for (size_t bit = 0; bit < port.addr.size(); ++bit)
+                addr |= uint64_t(_value[port.addr[bit]]) << bit;
+            addr %= ram.depth;
+            uint64_t data = 0;
+            for (size_t bit = 0; bit < port.data.size(); ++bit)
+                data |= uint64_t(_value[port.data[bit]]) << bit;
+            writes.push_back({r, addr, data});
+        }
+    }
+
+    // Phase 2: commit.
+    for (auto [id, v] : ff_next)
+        _state[id] = v;
+    for (auto [id, v] : latch_next)
+        _state[id] = v;
+    for (const auto &w : writes)
+        _ram[w.ram][w.addr] = w.data;
+    for (size_t d = 0; d < enabled.size(); ++d)
+        _cycles[d] += enabled[d];
+    ++_globalCycles;
+    _dirty = true;
+}
+
+bool
+Device::frameInRange(const BitLoc &loc, uint32_t slr, bool masked,
+                     uint32_t lo, uint32_t hi) const
+{
+    if (loc.slr != slr)
+        return false;
+    if (!masked)
+        return true;
+    return loc.frame >= lo && loc.frame <= hi;
+}
+
+bool
+Device::ramTouchesSlr(uint32_t ram, uint32_t slr) const
+{
+    for (const Site &site : _place->ramSite[ram].sites) {
+        if (site.slr == slr)
+            return true;
+    }
+    return false;
+}
+
+BitLoc
+Device::ramBitLoc(uint32_t ram, uint32_t word, uint32_t bit) const
+{
+    return fpga::ramBitLoc(_spec, _net->rams[ram],
+                           _place->ramSite[ram], word, bit);
+}
+
+void
+Device::onStart(uint32_t slr, bool masked, uint32_t frame_lo,
+                uint32_t frame_hi)
+{
+    if (!_net)
+        return;
+    onRestore(slr, masked, frame_lo, frame_hi);
+    _running = true;
+}
+
+void
+Device::onCapture(uint32_t slr, bool masked, uint32_t frame_lo,
+                  uint32_t frame_hi)
+{
+    if (!_net)
+        return;
+    for (SigId id = 0; id < _net->cells.size(); ++id) {
+        const MCell &cell = _net->cells[id];
+        if (cell.kind != CellKind::FF)
+            continue;
+        BitLoc loc = _spec.ffBit(_place->cellSite[id]);
+        if (!frameInRange(loc, slr, masked, frame_lo, frame_hi))
+            continue;
+        _mems[slr]->setBit(loc, _state[id]);
+    }
+    for (uint32_t r = 0; r < _net->rams.size(); ++r) {
+        const synth::MRam &ram = _net->rams[r];
+        if (!ramTouchesSlr(r, slr))
+            continue;
+        for (uint32_t w = 0; w < ram.depth; ++w) {
+            for (uint32_t bit = 0; bit < ram.width; ++bit) {
+                BitLoc loc = ramBitLoc(r, w, bit);
+                if (!frameInRange(loc, slr, masked, frame_lo,
+                                  frame_hi))
+                    continue;
+                _mems[slr]->setBit(loc, getBit(_ram[r][w], bit));
+            }
+        }
+    }
+    // LUTRAM capture rewrites SLICEM truth bits.
+    _truthDirty = true;
+}
+
+void
+Device::onRestore(uint32_t slr, bool masked, uint32_t frame_lo,
+                  uint32_t frame_hi)
+{
+    if (!_net)
+        return;
+    for (SigId id = 0; id < _net->cells.size(); ++id) {
+        const MCell &cell = _net->cells[id];
+        if (cell.kind != CellKind::FF)
+            continue;
+        BitLoc loc = _spec.ffBit(_place->cellSite[id]);
+        if (!frameInRange(loc, slr, masked, frame_lo, frame_hi))
+            continue;
+        _state[id] = _mems[slr]->bit(loc);
+    }
+    for (uint32_t r = 0; r < _net->rams.size(); ++r) {
+        const synth::MRam &ram = _net->rams[r];
+        if (!ramTouchesSlr(r, slr))
+            continue;
+        for (uint32_t w = 0; w < ram.depth; ++w) {
+            uint64_t word = _ram[r][w];
+            bool touched = false;
+            for (uint32_t bit = 0; bit < ram.width; ++bit) {
+                BitLoc loc = ramBitLoc(r, w, bit);
+                if (!frameInRange(loc, slr, masked, frame_lo,
+                                  frame_hi))
+                    continue;
+                word = setBit(word, bit, _mems[slr]->bit(loc));
+                touched = true;
+            }
+            if (touched)
+                _ram[r][w] = word;
+        }
+    }
+    _dirty = true;
+}
+
+void
+Device::onFramesWritten(uint32_t)
+{
+    _truthDirty = true;
+    _dirty = true;
+}
+
+} // namespace zoomie::fpga

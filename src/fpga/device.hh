@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The multi-SLR FPGA device model. Combines per-SLR configuration
+ * memories and microcontrollers with a fabric executor that runs the
+ * configured design: LUT functions are decoded from configuration
+ * frames (so partial reconfiguration genuinely changes behaviour),
+ * FF state is captured to / restored from frames (GCAPTURE /
+ * GRESTORE), and clock domains can be gated by design-driven
+ * BUFGCE-style enables — the mechanism Zoomie's debug controller
+ * uses to pause the module under test.
+ *
+ * The configuration port implements the SLR ring (§4.4-4.6): words
+ * enter at the primary SLR; each empty BOUT write routes subsequent
+ * words one hop further down the ring; DESYNC returns routing to
+ * the primary.
+ */
+
+#ifndef ZOOMIE_FPGA_DEVICE_HH
+#define ZOOMIE_FPGA_DEVICE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpga/config_ctrl.hh"
+#include "fpga/config_mem.hh"
+#include "fpga/device_spec.hh"
+#include "fpga/placement.hh"
+#include "synth/netlist.hh"
+
+namespace zoomie::fpga {
+
+/** The device: configuration plane plus fabric execution. */
+class Device : public ConfigSink
+{
+  public:
+    explicit Device(DeviceSpec spec);
+
+    const DeviceSpec &spec() const { return _spec; }
+
+    // ---- configuration port (JTAG side) --------------------------
+    /** Deliver one word of a configuration stream. */
+    void deliverWord(uint32_t word);
+
+    /** Words available in the selected SLR's readback stream. */
+    uint32_t readPending() const;
+
+    /** Fetch the next readback word from the selected SLR. */
+    uint32_t fetchReadWord();
+
+    /** Ring hop currently selected (0 = primary). */
+    uint32_t currentHop() const { return _hop; }
+
+    /** SLR currently addressed by the stream. */
+    uint32_t selectedSlr() const;
+
+    /** Direct config memory access (tests and fast paths). */
+    ConfigMem &slrMem(uint32_t slr) { return *_mems[slr]; }
+    const ConfigMem &slrMem(uint32_t slr) const { return *_mems[slr]; }
+
+    ConfigController &controller(uint32_t slr) { return *_ctrls[slr]; }
+
+    // ---- design attachment ---------------------------------------
+    /**
+     * Attach the placed netlist (the "wiring" metadata that on real
+     * hardware lives in routing frames). Both must outlive the
+     * device. Resets execution state; the design starts running
+     * only after a START command arrives through the config port.
+     */
+    void attach(const synth::MappedNetlist &netlist,
+                const Placement &placement);
+
+    bool attached() const { return _net != nullptr; }
+
+    /** True once START has been processed. */
+    bool running() const { return _running; }
+
+    // ---- fabric execution ----------------------------------------
+    /**
+     * Advance one external clock cycle: every clock domain whose
+     * gate enable is high takes one edge.
+     */
+    void stepGlobal();
+
+    /** Advance @p n external clock cycles. */
+    void runGlobal(uint64_t n) { for (uint64_t i = 0; i < n; ++i) stepGlobal(); }
+
+    /**
+     * Bind clock domain @p domain's BUFGCE enable to design output
+     * @p output_name (1-bit). Domains default to always-enabled.
+     */
+    void bindClockGate(uint8_t domain, const std::string &output_name);
+
+    /**
+     * Run clock domain @p domain at 1/@p divider of the external
+     * clock (phase-aligned integer ratios — the §6.1 condition
+     * under which precise multi-domain stepping is possible). The
+     * divider composes with a bound clock gate.
+     */
+    void setClockDivider(uint8_t domain, uint32_t divider);
+
+    /** Drive a top-level input port. */
+    void pokeInput(const std::string &port, uint64_t value);
+
+    /** Observe a top-level output port. */
+    uint64_t peekOutput(const std::string &port);
+
+    /** Current value of an arbitrary signal (testing/probing). */
+    bool sigValue(synth::SigId id);
+
+    /** Live FF state (bypassing capture; tests only). */
+    bool ffLive(synth::SigId cell) const { return _state[cell]; }
+
+    /** Live RAM word (tests only). */
+    uint64_t ramLive(uint32_t ram, uint32_t addr) const;
+
+    /** Cycles taken per clock domain. */
+    uint64_t cycles(uint8_t domain) const { return _cycles[domain]; }
+
+    // ---- ConfigSink ----------------------------------------------
+    void onStart(uint32_t slr, bool masked, uint32_t frame_lo,
+                 uint32_t frame_hi) override;
+    void onCapture(uint32_t slr, bool masked, uint32_t frame_lo,
+                   uint32_t frame_hi) override;
+    void onRestore(uint32_t slr, bool masked, uint32_t frame_lo,
+                   uint32_t frame_hi) override;
+    void onFramesWritten(uint32_t slr) override;
+
+  private:
+    void evaluate();
+    void refreshTruthCache();
+    bool frameInRange(const BitLoc &loc, uint32_t slr, bool masked,
+                      uint32_t lo, uint32_t hi) const;
+    BitLoc ramBitLoc(uint32_t ram, uint32_t word, uint32_t bit) const;
+    bool ramTouchesSlr(uint32_t ram, uint32_t slr) const;
+
+    /**
+     * The chiplet switch fabric's view of the stream: parses just
+     * enough packet structure to recognize empty BOUT writes (ring
+     * hop) and DESYNC (return to primary). Mirrors §4.4: the switch
+     * consumes BOUT writes; everything else flows to the selected
+     * SLR's microcontroller.
+     */
+    struct StreamWatcher
+    {
+        enum class Action { None, Bout, Desync };
+        Action feed(uint32_t word);
+
+        bool synced = false;
+        bool consuming = false;
+        uint32_t remaining = 0;
+        bitstream::ConfigReg reg = bitstream::ConfigReg::CRC;
+    };
+
+    DeviceSpec _spec;
+    std::vector<std::unique_ptr<ConfigMem>> _mems;
+    std::vector<std::unique_ptr<ConfigController>> _ctrls;
+    StreamWatcher _watcher;
+    uint32_t _hop = 0;
+
+    // Fabric execution state.
+    const synth::MappedNetlist *_net = nullptr;
+    const Placement *_place = nullptr;
+    std::vector<synth::SigId> _order;
+    std::vector<uint64_t> _truth;       ///< decoded LUT functions
+    std::vector<uint8_t> _value;
+    std::vector<uint8_t> _state;
+    std::vector<std::vector<uint64_t>> _ram;
+    std::vector<synth::SigId> _gateSig; ///< per clock domain enable
+    std::vector<uint32_t> _divider;     ///< per clock domain ratio
+    std::vector<uint64_t> _cycles;
+    uint64_t _globalCycles = 0;
+    bool _running = false;
+    bool _dirty = true;
+    bool _truthDirty = true;
+};
+
+} // namespace zoomie::fpga
+
+#endif // ZOOMIE_FPGA_DEVICE_HH

@@ -1,0 +1,104 @@
+#include "device_spec.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::fpga {
+
+std::vector<uint32_t>
+DeviceSpec::ringOrder() const
+{
+    std::vector<uint32_t> order;
+    for (uint32_t h = 0; h < numSlrs; ++h)
+        order.push_back((primarySlr + h) % numSlrs);
+    return order;
+}
+
+BitLoc
+DeviceSpec::lutBit(const Site &site, uint32_t bit) const
+{
+    panic_if(site.col >= clbCols || site.row >= clbRows ||
+             site.slot >= kLutsPerClb || bit >= kLutBits,
+             "lutBit out of range");
+    uint64_t offset = uint64_t(site.row) * clbTileBits() +
+                      site.slot * kLutBits + bit;
+    BitLoc loc;
+    loc.slr = site.slr;
+    loc.frame = clbColFrameBase(site.col) +
+                static_cast<uint32_t>(offset / kFrameBits);
+    loc.bit = static_cast<uint32_t>(offset % kFrameBits);
+    return loc;
+}
+
+BitLoc
+DeviceSpec::ffBit(const Site &site) const
+{
+    panic_if(site.col >= clbCols || site.row >= clbRows ||
+             site.slot >= kFfsPerClb, "ffBit out of range");
+    uint64_t offset = uint64_t(site.row) * clbTileBits() +
+                      kLutsPerClb * kLutBits + site.slot;
+    BitLoc loc;
+    loc.slr = site.slr;
+    loc.frame = clbColFrameBase(site.col) +
+                static_cast<uint32_t>(offset / kFrameBits);
+    loc.bit = static_cast<uint32_t>(offset % kFrameBits);
+    return loc;
+}
+
+BitLoc
+DeviceSpec::bramBit(uint32_t slr, uint32_t col, uint32_t row,
+                    uint32_t bit) const
+{
+    panic_if(col >= bramCols || row >= bramRows || bit >= kBramBits,
+             "bramBit out of range");
+    uint64_t offset = uint64_t(row) * kBramBits + bit;
+    BitLoc loc;
+    loc.slr = slr;
+    loc.frame = bramColFrameBase(col) +
+                static_cast<uint32_t>(offset / kFrameBits);
+    loc.bit = static_cast<uint32_t>(offset % kFrameBits);
+    return loc;
+}
+
+DeviceSpec
+makeU200()
+{
+    DeviceSpec spec;
+    spec.name = "xcu200-sim";
+    spec.numSlrs = 3;
+    spec.primarySlr = 1;
+    spec.clbCols = 165;
+    spec.clbRows = 300;
+    spec.bramCols = 12;
+    spec.bramRows = 60;
+    return spec;
+}
+
+DeviceSpec
+makeU250()
+{
+    DeviceSpec spec;
+    spec.name = "xcu250-sim";
+    spec.numSlrs = 4;
+    spec.primarySlr = 1;
+    spec.clbCols = 165;
+    spec.clbRows = 300;
+    spec.bramCols = 12;
+    spec.bramRows = 60;
+    return spec;
+}
+
+DeviceSpec
+makeTestDevice()
+{
+    DeviceSpec spec;
+    spec.name = "test-sim";
+    spec.numSlrs = 2;
+    spec.primarySlr = 0;
+    spec.clbCols = 8;
+    spec.clbRows = 16;
+    spec.bramCols = 2;
+    spec.bramRows = 4;
+    return spec;
+}
+
+} // namespace zoomie::fpga

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Geometry and configuration-space model of a Xilinx-style
+ * multi-SLR (chiplet) FPGA. Each SLR is a complete FPGA die (§4.4:
+ * "each SLR is just a complete FPGA on a chiplet"): a grid of CLB
+ * tiles (8 LUTs + 16 FFs each, alternating SLICEL/SLICEM columns)
+ * plus BRAM columns, with its own configuration microcontroller.
+ *
+ * Configuration space: per SLR, a linear array of frames of
+ * kFrameWords 32-bit words. CLB columns own a contiguous frame
+ * range holding LUT truth tables (64 bits per LUT, doubling as
+ * LUTRAM contents) and one init/capture bit per FF. BRAM columns
+ * own frames holding block-RAM contents.
+ */
+
+#ifndef ZOOMIE_FPGA_DEVICE_SPEC_HH
+#define ZOOMIE_FPGA_DEVICE_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zoomie::fpga {
+
+/** Words per configuration frame (mirrors UltraScale+). */
+constexpr uint32_t kFrameWords = 93;
+constexpr uint32_t kFrameBits = kFrameWords * 32;
+
+/** LUTs / FFs per CLB tile. */
+constexpr uint32_t kLutsPerClb = 8;
+constexpr uint32_t kFfsPerClb = 16;
+constexpr uint32_t kLutBits = 64;
+
+/** Bits of one BRAM36 block. */
+constexpr uint32_t kBramBits = 36 * 1024;
+
+/** A bit position in configuration space. */
+struct BitLoc
+{
+    uint32_t slr = 0;
+    uint32_t frame = 0;  ///< linear frame index within the SLR
+    uint32_t bit = 0;    ///< bit offset within the frame
+};
+
+/** Physical placement site of a cell. */
+struct Site
+{
+    uint32_t slr = 0;
+    uint32_t col = 0;
+    uint32_t row = 0;
+    uint32_t slot = 0;   ///< LUT/FF index within the tile
+};
+
+/** Device geometry. All SLRs are identical. */
+struct DeviceSpec
+{
+    std::string name;
+    uint32_t numSlrs = 3;
+    uint32_t primarySlr = 1;      ///< the SLR that commands the ring
+    uint32_t clbCols = 165;       ///< CLB columns per SLR
+    uint32_t clbRows = 300;       ///< CLB rows per SLR
+    uint32_t bramCols = 12;       ///< BRAM columns per SLR
+    uint32_t bramRows = 60;       ///< BRAM36 sites per column
+    uint32_t idcodeBase = 0x14B31093;  ///< per-SLR IDCODE base
+
+    /**
+     * JTAG timing model: TCK frequency and per-word/per-frame
+     * protocol overhead cycles (calibrated so a naive full-device
+     * scan costs tens of seconds, as observed on real hardware).
+     */
+    double jtagHz = 33.0e6;
+    uint32_t jtagWordOverheadCycles = 200;
+    uint32_t jtagFrameOverheadCycles = 40000;
+    uint32_t jtagHopOverheadCycles = 6;  ///< extra per word per ring hop
+
+    // ---- derived geometry ---------------------------------------
+    /** True if CLB column @p col is SLICEM (LUTRAM-capable). */
+    bool isSlicemCol(uint32_t col) const { return (col & 1) == 1; }
+
+    /** Bits of config space one CLB tile occupies. */
+    static constexpr uint32_t clbTileBits()
+    {
+        return kLutsPerClb * kLutBits + kFfsPerClb;
+    }
+
+    /** Frames one CLB column occupies. */
+    uint32_t framesPerClbCol() const
+    {
+        return (clbRows * clbTileBits() + kFrameBits - 1) / kFrameBits;
+    }
+
+    /** Frames one BRAM column occupies. */
+    uint32_t framesPerBramCol() const
+    {
+        return (bramRows * kBramBits + kFrameBits - 1) / kFrameBits;
+    }
+
+    /** First frame of CLB column @p col. */
+    uint32_t clbColFrameBase(uint32_t col) const
+    {
+        return col * framesPerClbCol();
+    }
+
+    /** First frame of BRAM column @p col. */
+    uint32_t bramColFrameBase(uint32_t col) const
+    {
+        return clbCols * framesPerClbCol() + col * framesPerBramCol();
+    }
+
+    /** Total frames per SLR. */
+    uint32_t framesPerSlr() const
+    {
+        return clbCols * framesPerClbCol() +
+               bramCols * framesPerBramCol();
+    }
+
+    /** Totals across the device. */
+    uint64_t totalLuts() const
+    {
+        return uint64_t(numSlrs) * clbCols * clbRows * kLutsPerClb;
+    }
+    uint64_t totalFfs() const
+    {
+        return uint64_t(numSlrs) * clbCols * clbRows * kFfsPerClb;
+    }
+    uint64_t totalBrams() const
+    {
+        return uint64_t(numSlrs) * bramCols * bramRows;
+    }
+    /** LUTs eligible for LUTRAM use (SLICEM columns). */
+    uint64_t totalLutramLuts() const
+    {
+        uint64_t mcols = 0;
+        for (uint32_t c = 0; c < clbCols; ++c)
+            mcols += isSlicemCol(c);
+        return uint64_t(numSlrs) * mcols * clbRows * kLutsPerClb;
+    }
+
+    /** IDCODE of one SLR. */
+    uint32_t idcode(uint32_t slr) const { return idcodeBase + slr; }
+
+    /**
+     * Ring order of SLRs as seen from the primary: hop 0 is the
+     * primary itself, hop h the h-th SLR downstream (§4.4-4.5).
+     */
+    std::vector<uint32_t> ringOrder() const;
+
+    // ---- bit locations ------------------------------------------
+    /** Config-space location of LUT truth bit @p bit of a site. */
+    BitLoc lutBit(const Site &site, uint32_t bit) const;
+
+    /** Config-space location of a FF's init/capture bit. */
+    BitLoc ffBit(const Site &site) const;
+
+    /** Config-space location of BRAM content bit. */
+    BitLoc bramBit(uint32_t slr, uint32_t col, uint32_t row,
+                   uint32_t bit) const;
+};
+
+/** Alveo U200-like device: 3 SLRs, primary in the middle. */
+DeviceSpec makeU200();
+
+/** Alveo U250-like device: 4 SLRs. */
+DeviceSpec makeU250();
+
+/** Small device for tests (2 SLRs, tiny grid). */
+DeviceSpec makeTestDevice();
+
+} // namespace zoomie::fpga
+
+#endif // ZOOMIE_FPGA_DEVICE_SPEC_HH

@@ -1,0 +1,27 @@
+#include "placement.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::fpga {
+
+BitLoc
+ramBitLoc(const DeviceSpec &spec, const synth::MRam &ram,
+          const RamPlacement &rp, uint32_t word, uint32_t bit)
+{
+    panic_if(word >= ram.depth || bit >= ram.width,
+             "ram content bit out of range");
+    if (rp.isBram) {
+        uint64_t linear = uint64_t(word) * ram.width + bit;
+        const Site &site = rp.sites[linear / kBramBits];
+        return spec.bramBit(site.slr, site.col, site.row,
+                            static_cast<uint32_t>(linear % kBramBits));
+    }
+    // LUTRAM: one 64x1 LUT per (bit, depth-chunk); replica 0 is the
+    // authoritative copy.
+    const uint32_t chunks = (ram.depth + 63) / 64;
+    const uint32_t cell_index = bit * chunks + word / 64;
+    const Site &site = rp.sites[cell_index];
+    return spec.lutBit(site, word % 64);
+}
+
+} // namespace zoomie::fpga

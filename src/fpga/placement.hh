@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Physical placement of a mapped netlist onto a device: one site per
+ * LUT/FF cell, BRAM or SLICEM sites per RAM block, and the floorplan
+ * regions (per VTI partition / module scope) that Zoomie's SLR-aware
+ * readback uses to restrict frame scans (§4.7).
+ */
+
+#ifndef ZOOMIE_FPGA_PLACEMENT_HH
+#define ZOOMIE_FPGA_PLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device_spec.hh"
+#include "synth/netlist.hh"
+
+namespace zoomie::fpga {
+
+/** Rectangular floorplan region on one SLR. */
+struct Region
+{
+    std::string scopePrefix;  ///< design scope this region hosts
+    uint32_t slr = 0;
+    uint32_t colLo = 0, colHi = 0;  ///< inclusive CLB column range
+    uint32_t rowLo = 0, rowHi = 0;  ///< inclusive CLB row range
+
+    /** Frame range covered by the region's CLB columns. */
+    void frameRange(const DeviceSpec &spec, uint32_t &lo,
+                    uint32_t &hi) const
+    {
+        lo = spec.clbColFrameBase(colLo);
+        hi = spec.clbColFrameBase(colHi) + spec.framesPerClbCol() - 1;
+    }
+};
+
+/** Placement of one RAM block. */
+struct RamPlacement
+{
+    bool isBram = true;
+    /**
+     * BRAM: one site per BRAM36 (col/row in BRAM grid).
+     * LUTRAM: one CLB site+slot per 64x1 LUT cell.
+     */
+    std::vector<Site> sites;
+};
+
+/** Complete placement result. */
+struct Placement
+{
+    /** Site per netlist cell (valid for Lut and FF cells). */
+    std::vector<Site> cellSite;
+
+    /** Placement per netlist RAM. */
+    std::vector<RamPlacement> ramSite;
+
+    /** Floorplan regions (module/partition granularity). */
+    std::vector<Region> regions;
+
+    /** Total half-perimeter wirelength (placement quality metric). */
+    uint64_t hpwl = 0;
+
+    /** Region hosting scope @p prefix, or nullptr. */
+    const Region *findRegion(const std::string &prefix) const
+    {
+        for (const auto &region : regions) {
+            if (region.scopePrefix == prefix)
+                return &region;
+        }
+        return nullptr;
+    }
+};
+
+/**
+ * Configuration-space location of one content bit of a placed RAM:
+ * BRAMs map into BRAM content frames; LUTRAMs map into the LUT
+ * truth bits of their SLICEM sites (which is why readback capture
+ * can recover LUTRAM contents).
+ *
+ * @param word RAM word index, @param bit bit within the word.
+ */
+BitLoc ramBitLoc(const DeviceSpec &spec, const synth::MRam &ram,
+                 const RamPlacement &rp, uint32_t word, uint32_t bit);
+
+} // namespace zoomie::fpga
+
+#endif // ZOOMIE_FPGA_PLACEMENT_HH

@@ -1,0 +1,58 @@
+#include "jtag.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::jtag {
+
+void
+JtagHost::chargeWord()
+{
+    const fpga::DeviceSpec &spec = _device.spec();
+    _cycles += 32 + spec.jtagWordOverheadCycles +
+               uint64_t(_device.currentHop()) *
+                   spec.jtagHopOverheadCycles;
+    if (++_payloadWords % fpga::kFrameWords == 0)
+        _cycles += spec.jtagFrameOverheadCycles;
+}
+
+void
+JtagHost::send(const std::vector<uint32_t> &words)
+{
+    for (uint32_t word : words) {
+        chargeWord();
+        _device.deliverWord(word);
+        ++_wordsSent;
+    }
+}
+
+std::vector<uint32_t>
+JtagHost::read(uint32_t count)
+{
+    std::vector<uint32_t> out;
+    out.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        panic_if(_device.readPending() == 0,
+                 "JTAG read with no pending readback data");
+        chargeWord();
+        out.push_back(_device.fetchReadWord());
+        ++_wordsRead;
+    }
+    return out;
+}
+
+double
+JtagHost::elapsedSeconds() const
+{
+    return double(_cycles) / _device.spec().jtagHz;
+}
+
+void
+JtagHost::resetTimer()
+{
+    _cycles = 0;
+    _wordsSent = 0;
+    _wordsRead = 0;
+    _payloadWords = 0;
+}
+
+} // namespace zoomie::jtag

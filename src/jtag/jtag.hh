@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Host-side JTAG port. Shifts 32-bit words into the device's
+ * configuration plane and pulls readback words out, while keeping a
+ * transfer-timing model: every word costs TCK cycles (shift +
+ * protocol overhead), reaching SLRs deeper in the chiplet ring adds
+ * per-hop latency, and every frame adds fixed command overhead.
+ * Table 3's readback seconds are computed from these counters.
+ */
+
+#ifndef ZOOMIE_JTAG_JTAG_HH
+#define ZOOMIE_JTAG_JTAG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.hh"
+
+namespace zoomie::jtag {
+
+/** JTAG host port bound to one device. */
+class JtagHost
+{
+  public:
+    explicit JtagHost(fpga::Device &device) : _device(device) {}
+
+    /** Shift a word stream into the device. */
+    void send(const std::vector<uint32_t> &words);
+
+    /** Pull @p count readback words from the device. */
+    std::vector<uint32_t> read(uint32_t count);
+
+    /** Modeled wall-clock seconds spent on the wire so far. */
+    double elapsedSeconds() const;
+
+    /** Reset the timing counters (start of a measurement). */
+    void resetTimer();
+
+    uint64_t wordsSent() const { return _wordsSent; }
+    uint64_t wordsRead() const { return _wordsRead; }
+
+    fpga::Device &device() { return _device; }
+
+  private:
+    void chargeWord();
+
+    fpga::Device &_device;
+    uint64_t _cycles = 0;
+    uint64_t _wordsSent = 0;
+    uint64_t _wordsRead = 0;
+    uint64_t _payloadWords = 0;  ///< for per-frame overhead
+};
+
+} // namespace zoomie::jtag
+
+#endif // ZOOMIE_JTAG_JTAG_HH

@@ -1,0 +1,543 @@
+#include "builder.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace zoomie::rtl {
+
+Builder::Builder(std::string design_name)
+{
+    _design.name = std::move(design_name);
+    _design.clocks.push_back("clk");
+    _scopeIds[""] = 0;
+}
+
+Builder::Builder(const Design &base)
+{
+    _design = base;
+    _scopeIds.clear();
+    for (uint32_t s = 0; s < _design.scopeNames.size(); ++s)
+        _scopeIds[_design.scopeNames[s]] = s;
+    _scopeId = 0;
+    _regConnected.assign(_design.regs.size(), true);
+}
+
+Value
+Builder::handleFor(NetId net) const
+{
+    panic_if(net == kNoNet || net >= _design.nodes.size(),
+             "handleFor: bad net");
+    return Value{net, _design.nodes[net].width};
+}
+
+uint32_t
+Builder::reclockScope(const std::string &scope_prefix, uint8_t clock)
+{
+    panic_if(clock >= _design.clocks.size(), "bad clock");
+    uint32_t count = 0;
+    for (uint32_t r = 0; r < _design.regs.size(); ++r) {
+        if (_design.scopeUnder(_design.regScope[r], scope_prefix)) {
+            _design.regs[r].clock = clock;
+            ++count;
+        }
+    }
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        if (!_design.scopeUnder(_design.memScope[m], scope_prefix))
+            continue;
+        for (auto &port : _design.mems[m].readPorts) {
+            if (port.sync)
+                port.clock = clock;
+        }
+        for (auto &port : _design.mems[m].writePorts)
+            port.clock = clock;
+        ++count;
+    }
+    return count;
+}
+
+uint32_t
+Builder::rewireConsumers(
+    NetId old_net, NetId new_net,
+    const std::function<bool(const std::string &scope)> &filter)
+{
+    panic_if(_design.nodes[old_net].width !=
+             _design.nodes[new_net].width,
+             "rewireConsumers width mismatch");
+    uint32_t count = 0;
+    auto scopeOk = [&](uint32_t scope_id) {
+        return filter(_design.scopeNames[scope_id]);
+    };
+    auto patch = [&](NetId &slot, uint32_t scope_id) {
+        if (slot == old_net && scopeOk(scope_id)) {
+            slot = new_net;
+            ++count;
+        }
+    };
+    for (NetId id = 0; id < _design.nodes.size(); ++id) {
+        if (id == new_net)
+            continue;
+        Node &node = _design.nodes[id];
+        const unsigned arity = opArity(node.op);
+        if (arity >= 1)
+            patch(node.a, _design.nodeScope[id]);
+        if (arity >= 2)
+            patch(node.b, _design.nodeScope[id]);
+        if (arity >= 3)
+            patch(node.c, _design.nodeScope[id]);
+    }
+    for (uint32_t r = 0; r < _design.regs.size(); ++r) {
+        Reg &reg = _design.regs[r];
+        patch(reg.d, _design.regScope[r]);
+        if (reg.en != kNoNet)
+            patch(reg.en, _design.regScope[r]);
+        if (reg.rst != kNoNet)
+            patch(reg.rst, _design.regScope[r]);
+    }
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        Mem &mem = _design.mems[m];
+        for (auto &port : mem.readPorts)
+            patch(port.addr, _design.memScope[m]);
+        for (auto &port : mem.writePorts) {
+            patch(port.addr, _design.memScope[m]);
+            patch(port.data, _design.memScope[m]);
+            patch(port.en, _design.memScope[m]);
+        }
+    }
+    for (auto &out : _design.outputs) {
+        if (out.net == old_net && filter("")) {
+            out.net = new_net;
+            ++count;
+        }
+    }
+    return count;
+}
+
+uint32_t
+Builder::currentScopeId()
+{
+    return _scopeId;
+}
+
+Design
+Builder::finish()
+{
+    panic_if(_finished, "Builder::finish called twice");
+    for (size_t i = 0; i < _design.regs.size(); ++i) {
+        panic_if(!_regConnected[i], "register '", _design.regs[i].name,
+                 "' never connected");
+    }
+    _finished = true;
+    _design.validate();
+    return std::move(_design);
+}
+
+void
+Builder::pushScope(const std::string &scope)
+{
+    _scopes.push_back(scope);
+    const std::string prefix = scopePrefix();
+    auto [it, inserted] = _scopeIds.try_emplace(
+        prefix, static_cast<uint32_t>(_design.scopeNames.size()));
+    if (inserted)
+        _design.scopeNames.push_back(prefix);
+    _scopeId = it->second;
+}
+
+void
+Builder::popScope()
+{
+    panic_if(_scopes.empty(), "popScope on empty scope stack");
+    _scopes.pop_back();
+    _scopeId = _scopeIds.at(scopePrefix());
+}
+
+std::string
+Builder::scopePrefix() const
+{
+    std::string prefix;
+    for (const auto &scope : _scopes) {
+        prefix += scope;
+        prefix += '/';
+    }
+    return prefix;
+}
+
+std::string
+Builder::scoped(const std::string &local_name) const
+{
+    return scopePrefix() + local_name;
+}
+
+uint8_t
+Builder::addClock(const std::string &clock_name)
+{
+    panic_if(_design.clocks.size() >= 255, "too many clocks");
+    _design.clocks.push_back(clock_name);
+    return static_cast<uint8_t>(_design.clocks.size() - 1);
+}
+
+Value
+Builder::makeNode(Op op, unsigned width, NetId a, NetId b, NetId c,
+                  uint64_t imm)
+{
+    panic_if(width == 0 || width > 64, "bad width ", width, " for ",
+             opName(op));
+    Node node;
+    node.op = op;
+    node.width = static_cast<uint8_t>(width);
+    node.a = a;
+    node.b = b;
+    node.c = c;
+    node.imm = imm;
+    _design.nodes.push_back(node);
+    _design.nodeScope.push_back(_scopeId);
+    return Value{static_cast<NetId>(_design.nodes.size() - 1), width};
+}
+
+void
+Builder::checkSameWidth(Value a, Value b, const char *what) const
+{
+    panic_if(!a.valid() || !b.valid(), what, ": invalid operand");
+    panic_if(a.width != b.width, what, ": width mismatch ", a.width,
+             " vs ", b.width);
+}
+
+Value
+Builder::input(const std::string &port_name, unsigned width)
+{
+    Value v = makeNode(Op::Input, width);
+    _design.inputs.push_back({scoped(port_name), v.id,
+                              static_cast<uint8_t>(width)});
+    return v;
+}
+
+void
+Builder::output(const std::string &port_name, Value value)
+{
+    panic_if(!value.valid(), "output '", port_name, "' undriven");
+    _design.outputs.push_back({scoped(port_name), value.id});
+}
+
+void
+Builder::nameNet(const std::string &net_name, Value value)
+{
+    _design.netNames[scoped(net_name)] = value.id;
+}
+
+RegHandle
+Builder::reg(const std::string &reg_name, unsigned width,
+             uint64_t init_val, uint8_t clock)
+{
+    Value q = makeNode(Op::RegQ, width);
+    Reg r;
+    r.name = scoped(reg_name);
+    r.q = q.id;
+    r.width = static_cast<uint8_t>(width);
+    r.initVal = truncToWidth(init_val, width);
+    r.clock = clock;
+    _design.regs.push_back(r);
+    _design.regScope.push_back(_scopeId);
+    _regConnected.push_back(false);
+    return RegHandle{q, static_cast<uint32_t>(_design.regs.size() - 1)};
+}
+
+void
+Builder::connect(RegHandle reg_handle, Value d)
+{
+    Reg &r = _design.regs.at(reg_handle.index);
+    panic_if(_regConnected[reg_handle.index],
+             "register '", r.name, "' connected twice");
+    panic_if(d.width != r.width, "register '", r.name,
+             "' d width mismatch");
+    r.d = d.id;
+    _regConnected[reg_handle.index] = true;
+}
+
+void
+Builder::enable(RegHandle reg_handle, Value en)
+{
+    panic_if(en.width != 1, "enable must be 1 bit");
+    _design.regs.at(reg_handle.index).en = en.id;
+}
+
+void
+Builder::resetTo(RegHandle reg_handle, Value rst, uint64_t rst_val)
+{
+    panic_if(rst.width != 1, "reset must be 1 bit");
+    Reg &r = _design.regs.at(reg_handle.index);
+    r.rst = rst.id;
+    r.rstVal = truncToWidth(rst_val, r.width);
+}
+
+Value
+Builder::pipe(const std::string &reg_name, Value d, uint64_t init_val,
+              uint8_t clock)
+{
+    RegHandle handle = reg(reg_name, d.width, init_val, clock);
+    connect(handle, d);
+    return handle.q;
+}
+
+MemHandle
+Builder::mem(const std::string &mem_name, unsigned width, uint32_t depth,
+             MemStyle style, std::vector<uint64_t> init)
+{
+    panic_if(width == 0 || width > 64, "bad memory width");
+    panic_if(depth == 0, "bad memory depth");
+    Mem m;
+    m.name = scoped(mem_name);
+    m.width = static_cast<uint8_t>(width);
+    m.depth = depth;
+    m.style = style;
+    m.init = std::move(init);
+    panic_if(!m.init.empty() && m.init.size() > depth,
+             "memory init larger than depth");
+    _design.mems.push_back(std::move(m));
+    _design.memScope.push_back(_scopeId);
+    return MemHandle{static_cast<uint32_t>(_design.mems.size() - 1)};
+}
+
+Value
+Builder::memReadSync(MemHandle handle, Value addr, uint8_t clock)
+{
+    Mem &m = _design.mems.at(handle.index);
+    Value data = makeNode(Op::MemRdSync, m.width, addr.id, kNoNet,
+                          kNoNet, handle.index);
+    MemReadPort port;
+    port.addr = addr.id;
+    port.data = data.id;
+    port.sync = true;
+    port.clock = clock;
+    m.readPorts.push_back(port);
+    return data;
+}
+
+Value
+Builder::memReadAsync(MemHandle handle, Value addr)
+{
+    Mem &m = _design.mems.at(handle.index);
+    Value data = makeNode(Op::MemRdAsync, m.width, addr.id, kNoNet,
+                          kNoNet, handle.index);
+    MemReadPort port;
+    port.addr = addr.id;
+    port.data = data.id;
+    port.sync = false;
+    m.readPorts.push_back(port);
+    return data;
+}
+
+void
+Builder::memWrite(MemHandle handle, Value addr, Value data, Value en,
+                  uint8_t clock)
+{
+    Mem &m = _design.mems.at(handle.index);
+    panic_if(data.width != m.width, "memory '", m.name,
+             "' write width mismatch");
+    panic_if(en.width != 1, "memory write enable must be 1 bit");
+    MemWritePort port;
+    port.addr = addr.id;
+    port.data = data.id;
+    port.en = en.id;
+    port.clock = clock;
+    m.writePorts.push_back(port);
+}
+
+Value
+Builder::lit(uint64_t value, unsigned width)
+{
+    return makeNode(Op::Const, width, kNoNet, kNoNet, kNoNet,
+                    truncToWidth(value, width));
+}
+
+Value
+Builder::band(Value a, Value b)
+{
+    checkSameWidth(a, b, "and");
+    return makeNode(Op::And, a.width, a.id, b.id);
+}
+
+Value
+Builder::bor(Value a, Value b)
+{
+    checkSameWidth(a, b, "or");
+    return makeNode(Op::Or, a.width, a.id, b.id);
+}
+
+Value
+Builder::bxor(Value a, Value b)
+{
+    checkSameWidth(a, b, "xor");
+    return makeNode(Op::Xor, a.width, a.id, b.id);
+}
+
+Value
+Builder::bnot(Value a)
+{
+    return makeNode(Op::Not, a.width, a.id);
+}
+
+Value
+Builder::add(Value a, Value b)
+{
+    checkSameWidth(a, b, "add");
+    return makeNode(Op::Add, a.width, a.id, b.id);
+}
+
+Value
+Builder::sub(Value a, Value b)
+{
+    checkSameWidth(a, b, "sub");
+    return makeNode(Op::Sub, a.width, a.id, b.id);
+}
+
+Value
+Builder::mul(Value a, Value b)
+{
+    checkSameWidth(a, b, "mul");
+    return makeNode(Op::Mul, a.width, a.id, b.id);
+}
+
+Value
+Builder::eq(Value a, Value b)
+{
+    checkSameWidth(a, b, "eq");
+    return makeNode(Op::Eq, 1, a.id, b.id);
+}
+
+Value
+Builder::ne(Value a, Value b)
+{
+    checkSameWidth(a, b, "ne");
+    return makeNode(Op::Ne, 1, a.id, b.id);
+}
+
+Value
+Builder::ult(Value a, Value b)
+{
+    checkSameWidth(a, b, "ult");
+    return makeNode(Op::Ult, 1, a.id, b.id);
+}
+
+Value
+Builder::ule(Value a, Value b)
+{
+    checkSameWidth(a, b, "ule");
+    return makeNode(Op::Ule, 1, a.id, b.id);
+}
+
+Value
+Builder::shl(Value a, Value amount)
+{
+    return makeNode(Op::Shl, a.width, a.id, amount.id);
+}
+
+Value
+Builder::shr(Value a, Value amount)
+{
+    return makeNode(Op::Shr, a.width, a.id, amount.id);
+}
+
+Value
+Builder::mux(Value sel, Value then_v, Value else_v)
+{
+    panic_if(sel.width != 1, "mux select must be 1 bit");
+    checkSameWidth(then_v, else_v, "mux");
+    return makeNode(Op::Mux, then_v.width, sel.id, then_v.id,
+                    else_v.id);
+}
+
+Value
+Builder::concat(Value hi, Value lo)
+{
+    panic_if(hi.width + lo.width > 64, "concat exceeds 64 bits");
+    return makeNode(Op::Concat, hi.width + lo.width, hi.id, lo.id);
+}
+
+Value
+Builder::slice(Value a, unsigned lo, unsigned len)
+{
+    panic_if(lo + len > a.width, "slice out of range");
+    return makeNode(Op::Slice, len, a.id, kNoNet, kNoNet, lo);
+}
+
+Value
+Builder::zext(Value a, unsigned width)
+{
+    panic_if(width < a.width, "zext narrows");
+    if (width == a.width)
+        return a;
+    return makeNode(Op::Zext, width, a.id);
+}
+
+Value
+Builder::redAnd(Value a)
+{
+    return makeNode(Op::RedAnd, 1, a.id);
+}
+
+Value
+Builder::redOr(Value a)
+{
+    return makeNode(Op::RedOr, 1, a.id);
+}
+
+Value
+Builder::redXor(Value a)
+{
+    return makeNode(Op::RedXor, 1, a.id);
+}
+
+Value
+Builder::eqLit(Value a, uint64_t value)
+{
+    return eq(a, lit(value, a.width));
+}
+
+Value
+Builder::addLit(Value a, uint64_t value)
+{
+    return add(a, lit(value, a.width));
+}
+
+Value
+Builder::land(Value a, Value b)
+{
+    panic_if(a.width != 1 || b.width != 1, "land operands not 1 bit");
+    return band(a, b);
+}
+
+Value
+Builder::lor(Value a, Value b)
+{
+    panic_if(a.width != 1 || b.width != 1, "lor operands not 1 bit");
+    return bor(a, b);
+}
+
+Value
+Builder::lnot(Value a)
+{
+    panic_if(a.width != 1, "lnot operand not 1 bit");
+    return bnot(a);
+}
+
+void
+Builder::declareIface(const std::string &iface_name, IfaceDir dir,
+                      Value valid, Value ready,
+                      std::initializer_list<Value> payload,
+                      bool irrevocable)
+{
+    panic_if(valid.width != 1 || ready.width != 1,
+             "iface handshake signals must be 1 bit");
+    DecoupledIface iface;
+    iface.name = scoped(iface_name);
+    iface.scope = scopePrefix();
+    iface.dir = dir;
+    iface.valid = valid.id;
+    iface.ready = ready.id;
+    iface.irrevocable = irrevocable;
+    for (Value v : payload)
+        iface.payload.push_back(v.id);
+    _design.ifaces.push_back(std::move(iface));
+}
+
+} // namespace zoomie::rtl

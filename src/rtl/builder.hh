@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Ergonomic construction API for rtl::Design. A Builder hands out
+ * Value handles (net id + width) and manages hierarchical scopes so
+ * generator functions compose like module instantiations.
+ */
+
+#ifndef ZOOMIE_RTL_BUILDER_HH
+#define ZOOMIE_RTL_BUILDER_HH
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hh"
+
+namespace zoomie::rtl {
+
+class Builder;
+
+/** A typed handle to a net while building. */
+struct Value
+{
+    NetId id = kNoNet;
+    unsigned width = 0;
+
+    bool valid() const { return id != kNoNet; }
+};
+
+/** Handle to a register whose input is connected later. */
+struct RegHandle
+{
+    Value q;
+    uint32_t index = 0;  ///< index into Design::regs
+};
+
+/** Handle to a declared memory. */
+struct MemHandle
+{
+    uint32_t index = 0;
+};
+
+/**
+ * Builds a Design. All operator helpers insert one node and return
+ * its Value. Widths are checked eagerly so design bugs surface at
+ * construction time, not in simulation.
+ */
+class Builder
+{
+  public:
+    explicit Builder(std::string design_name);
+
+    /**
+     * Adopt an existing design and continue building on top of it —
+     * the basis of instrumentation passes (Zoomie's debug-controller
+     * insertion). Existing registers are treated as connected.
+     */
+    explicit Builder(const Design &base);
+
+    /** Value handle for an existing net of an adopted design. */
+    Value handleFor(NetId net) const;
+
+    /**
+     * Move every register and memory port under @p scope_prefix to
+     * clock domain @p clock (Zoomie's gated-clock rewiring).
+     *
+     * @return number of state elements re-clocked
+     */
+    uint32_t reclockScope(const std::string &scope_prefix,
+                          uint8_t clock);
+
+    /**
+     * Replace references to @p old_net with @p new_net in every
+     * consumer whose scope @p filter accepts (nodes, register
+     * inputs, memory ports and outputs). Used to interpose pause
+     * buffers on declared interfaces.
+     *
+     * @return number of operand slots rewired
+     */
+    uint32_t rewireConsumers(
+        NetId old_net, NetId new_net,
+        const std::function<bool(const std::string &scope)> &filter);
+
+    /** Finish construction: validates and returns the design. */
+    Design finish();
+
+    /** Access the design under construction (read-only). */
+    const Design &peek() const { return _design; }
+
+    // ---- scopes ------------------------------------------------
+    /** Enter a hierarchical scope; names gain "scope/" prefixes. */
+    void pushScope(const std::string &scope);
+    void popScope();
+    /** Current full prefix (empty or ending in '/'). */
+    std::string scopePrefix() const;
+
+    // ---- clocks, ports, names ----------------------------------
+    /** Declare a clock domain; index 0 is created by default. */
+    uint8_t addClock(const std::string &clock_name);
+
+    Value input(const std::string &port_name, unsigned width);
+    void output(const std::string &port_name, Value value);
+
+    /** Attach a debug name to a net (scoped). */
+    void nameNet(const std::string &net_name, Value value);
+
+    // ---- state -------------------------------------------------
+    /**
+     * Declare a register. Connect its input later via connect().
+     *
+     * @param reg_name scoped name
+     * @param width    1..64 bits
+     * @param init_val power-on value (configuration init)
+     */
+    RegHandle reg(const std::string &reg_name, unsigned width,
+                  uint64_t init_val = 0, uint8_t clock = 0);
+
+    /** Connect the data input (required exactly once). */
+    void connect(RegHandle reg_handle, Value d);
+    /** Optional clock enable. */
+    void enable(RegHandle reg_handle, Value en);
+    /** Optional synchronous reset. */
+    void resetTo(RegHandle reg_handle, Value rst, uint64_t rst_val);
+
+    /** Convenience: registered value next cycle (d -> q). */
+    Value pipe(const std::string &reg_name, Value d,
+               uint64_t init_val = 0, uint8_t clock = 0);
+
+    MemHandle mem(const std::string &mem_name, unsigned width,
+                  uint32_t depth, MemStyle style = MemStyle::Auto,
+                  std::vector<uint64_t> init = {});
+    Value memReadSync(MemHandle handle, Value addr, uint8_t clock = 0);
+    Value memReadAsync(MemHandle handle, Value addr);
+    void memWrite(MemHandle handle, Value addr, Value data, Value en,
+                  uint8_t clock = 0);
+
+    // ---- combinational ops ---------------------------------------
+    Value lit(uint64_t value, unsigned width);
+    Value band(Value a, Value b);
+    Value bor(Value a, Value b);
+    Value bxor(Value a, Value b);
+    Value bnot(Value a);
+    Value add(Value a, Value b);
+    Value sub(Value a, Value b);
+    Value mul(Value a, Value b);
+    Value eq(Value a, Value b);
+    Value ne(Value a, Value b);
+    Value ult(Value a, Value b);
+    Value ule(Value a, Value b);
+    Value shl(Value a, Value amount);
+    Value shr(Value a, Value amount);
+    Value mux(Value sel, Value then_v, Value else_v);
+    Value concat(Value hi, Value lo);
+    Value slice(Value a, unsigned lo, unsigned len);
+    Value bit(Value a, unsigned index) { return slice(a, index, 1); }
+    Value zext(Value a, unsigned width);
+    Value redAnd(Value a);
+    Value redOr(Value a);
+    Value redXor(Value a);
+
+    /** eq against a literal of matching width. */
+    Value eqLit(Value a, uint64_t value);
+    /** a incremented by a literal. */
+    Value addLit(Value a, uint64_t value);
+    /** Logical and/or/not on 1-bit values (aliases with checks). */
+    Value land(Value a, Value b);
+    Value lor(Value a, Value b);
+    Value lnot(Value a);
+
+    // ---- interfaces ----------------------------------------------
+    /**
+     * Declare a decoupled interface on the current scope so Zoomie's
+     * instrumentation can interpose a pause buffer on it.
+     */
+    void declareIface(const std::string &iface_name, IfaceDir dir,
+                      Value valid, Value ready,
+                      std::initializer_list<Value> payload,
+                      bool irrevocable = false);
+
+  private:
+    Value makeNode(Op op, unsigned width, NetId a = kNoNet,
+                   NetId b = kNoNet, NetId c = kNoNet,
+                   uint64_t imm = 0);
+    void checkSameWidth(Value a, Value b, const char *what) const;
+    std::string scoped(const std::string &local_name) const;
+
+    uint32_t currentScopeId();
+
+    Design _design;
+    std::vector<std::string> _scopes;
+    std::vector<bool> _regConnected;
+    std::unordered_map<std::string, uint32_t> _scopeIds;
+    uint32_t _scopeId = 0;
+    bool _finished = false;
+};
+
+} // namespace zoomie::rtl
+
+#endif // ZOOMIE_RTL_BUILDER_HH

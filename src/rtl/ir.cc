@@ -1,0 +1,246 @@
+#include "ir.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace zoomie::rtl {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Input: return "input";
+      case Op::RegQ: return "regq";
+      case Op::MemRdSync: return "mem_rd_sync";
+      case Op::MemRdAsync: return "mem_rd_async";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Not: return "not";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Eq: return "eq";
+      case Op::Ne: return "ne";
+      case Op::Ult: return "ult";
+      case Op::Ule: return "ule";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::Mux: return "mux";
+      case Op::Concat: return "concat";
+      case Op::Slice: return "slice";
+      case Op::Zext: return "zext";
+      case Op::RedAnd: return "red_and";
+      case Op::RedOr: return "red_or";
+      case Op::RedXor: return "red_xor";
+    }
+    return "?";
+}
+
+unsigned
+opArity(Op op)
+{
+    switch (op) {
+      case Op::Const:
+      case Op::Input:
+      case Op::RegQ:
+        return 0;
+      case Op::MemRdSync:
+      case Op::MemRdAsync:
+      case Op::Not:
+      case Op::Slice:
+      case Op::Zext:
+      case Op::RedAnd:
+      case Op::RedOr:
+      case Op::RedXor:
+        return 1;
+      case Op::Mux:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+bool
+Design::scopeUnder(uint32_t scope_id, const std::string &prefix) const
+{
+    panic_if(scope_id >= scopeNames.size(), "bad scope id");
+    if (prefix.empty())
+        return true;
+    const std::string &name = scopeNames[scope_id];
+    return name.size() >= prefix.size() &&
+           name.compare(0, prefix.size(), prefix) == 0;
+}
+
+uint64_t
+Design::stateBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &reg : regs)
+        bits += reg.width;
+    return bits;
+}
+
+uint64_t
+Design::memoryBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &mem : mems)
+        bits += uint64_t(mem.depth) * mem.width;
+    return bits;
+}
+
+int
+Design::findReg(const std::string &reg_name) const
+{
+    for (size_t i = 0; i < regs.size(); ++i) {
+        if (regs[i].name == reg_name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+NetId
+Design::findNet(const std::string &net_name) const
+{
+    auto it = netNames.find(net_name);
+    return it == netNames.end() ? kNoNet : it->second;
+}
+
+std::vector<NetId>
+Design::topoOrder() const
+{
+    // Combinational dependencies only: RegQ and MemRdSync outputs
+    // are sources (their inputs are sampled at clock edges), while
+    // MemRdAsync depends combinationally on its address.
+    const size_t n = nodes.size();
+    std::vector<uint32_t> pending(n, 0);
+    std::vector<std::vector<NetId>> fanout(n);
+
+    auto addEdge = [&](NetId from, NetId to) {
+        fanout[from].push_back(to);
+        ++pending[to];
+    };
+
+    for (NetId id = 0; id < n; ++id) {
+        const Node &node = nodes[id];
+        if (node.op == Op::RegQ || node.op == Op::MemRdSync)
+            continue;
+        const unsigned arity = opArity(node.op);
+        if (arity >= 1 && node.a != kNoNet)
+            addEdge(node.a, id);
+        if (arity >= 2 && node.b != kNoNet)
+            addEdge(node.b, id);
+        if (arity >= 3 && node.c != kNoNet)
+            addEdge(node.c, id);
+    }
+
+    std::vector<NetId> order;
+    order.reserve(n);
+    for (NetId id = 0; id < n; ++id) {
+        if (pending[id] == 0)
+            order.push_back(id);
+    }
+    for (size_t head = 0; head < order.size(); ++head) {
+        for (NetId succ : fanout[order[head]]) {
+            if (--pending[succ] == 0)
+                order.push_back(succ);
+        }
+    }
+    panic_if(order.size() != n,
+             "combinational cycle in design '", name, "': ",
+             n - order.size(), " nodes unreachable");
+    return order;
+}
+
+void
+Design::validate() const
+{
+    const size_t n = nodes.size();
+    auto checkNet = [&](NetId net, const char *what) {
+        panic_if(net == kNoNet || net >= n, "dangling ", what,
+                 " in design '", name, "'");
+    };
+
+    for (NetId id = 0; id < n; ++id) {
+        const Node &node = nodes[id];
+        panic_if(node.width == 0 || node.width > 64,
+                 "node ", id, " has bad width");
+        const unsigned arity = opArity(node.op);
+        if (arity >= 1)
+            checkNet(node.a, "operand a");
+        if (arity >= 2)
+            checkNet(node.b, "operand b");
+        if (arity >= 3)
+            checkNet(node.c, "operand c");
+        switch (node.op) {
+          case Op::Mux:
+            panic_if(nodes[node.a].width != 1, "mux select not 1 bit");
+            panic_if(nodes[node.b].width != node.width ||
+                     nodes[node.c].width != node.width,
+                     "mux arm width mismatch at node ", id);
+            break;
+          case Op::Concat:
+            panic_if(nodes[node.a].width + nodes[node.b].width !=
+                     node.width, "concat width mismatch at node ", id);
+            break;
+          case Op::Slice:
+            panic_if(node.imm + node.width > nodes[node.a].width,
+                     "slice out of range at node ", id);
+            break;
+          case Op::Zext:
+            panic_if(nodes[node.a].width > node.width,
+                     "zext narrows at node ", id);
+            break;
+          case Op::Eq:
+          case Op::Ne:
+          case Op::Ult:
+          case Op::Ule:
+          case Op::RedAnd:
+          case Op::RedOr:
+          case Op::RedXor:
+            panic_if(node.width != 1, "comparison width not 1");
+            break;
+          default:
+            break;
+        }
+    }
+
+    for (const Reg &reg : regs) {
+        checkNet(reg.q, "reg q");
+        checkNet(reg.d, "reg d");
+        panic_if(nodes[reg.q].op != Op::RegQ, "reg q is not a RegQ");
+        panic_if(nodes[reg.d].width != reg.width,
+                 "reg '", reg.name, "' d width mismatch");
+        if (reg.en != kNoNet)
+            checkNet(reg.en, "reg en");
+        if (reg.rst != kNoNet)
+            checkNet(reg.rst, "reg rst");
+        panic_if(reg.clock >= clocks.size(),
+                 "reg '", reg.name, "' references missing clock");
+    }
+
+    for (const Mem &mem : mems) {
+        panic_if(mem.depth == 0, "memory '", mem.name, "' empty");
+        for (const auto &rp : mem.readPorts) {
+            checkNet(rp.addr, "mem read addr");
+            checkNet(rp.data, "mem read data");
+        }
+        for (const auto &wp : mem.writePorts) {
+            checkNet(wp.addr, "mem write addr");
+            checkNet(wp.data, "mem write data");
+            checkNet(wp.en, "mem write en");
+        }
+    }
+
+    for (const auto &out : outputs)
+        checkNet(out.net, "output");
+
+    // Ensures combinational acyclicity.
+    topoOrder();
+}
+
+} // namespace zoomie::rtl

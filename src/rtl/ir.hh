@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Word-level hardware IR. A Design is a flat netlist of combinational
+ * nodes, registers and memories with hierarchical (slash-separated)
+ * names. Designs are constructed through rtl::Builder, simulated by
+ * sim::Simulator and lowered to LUT/FF netlists by synth::TechMapper.
+ *
+ * Hierarchy is carried by name prefixes rather than module instances:
+ * generator functions push scopes ("tile3/core") while building. This
+ * matches how the rest of the system consumes structure — Zoomie's
+ * VTI partitions and the module-under-test are sets of name prefixes,
+ * exactly like the paper's designer-provided module lists (§3.5).
+ */
+
+#ifndef ZOOMIE_RTL_IR_HH
+#define ZOOMIE_RTL_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace zoomie::rtl {
+
+/** Index of a net; each combinational node produces exactly one net. */
+using NetId = uint32_t;
+constexpr NetId kNoNet = static_cast<NetId>(-1);
+
+/** Combinational and source operations. */
+enum class Op : uint8_t {
+    Const,    ///< imm = value
+    Input,    ///< top-level input port
+    RegQ,     ///< output of a register (state source)
+    MemRdSync,///< synchronous (BRAM-style) read-port data output
+    MemRdAsync,///< asynchronous (LUTRAM-style) read-port data output
+    And, Or, Xor, Not,
+    Add, Sub, Mul,
+    Eq, Ne, Ult, Ule,
+    Shl, Shr,  ///< logical shifts by dynamic amount (operand b)
+    Mux,       ///< a ? b : c (a is 1 bit)
+    Concat,    ///< {a, b}: a becomes the high bits
+    Slice,     ///< a[imm + width - 1 : imm]
+    Zext,      ///< zero-extend a to width
+    RedAnd, RedOr, RedXor, ///< 1-bit reductions of a
+};
+
+/** One IR node; its output net id equals its index in Design::nodes. */
+struct Node
+{
+    Op op = Op::Const;
+    uint8_t width = 1;          ///< output width, 1..64
+    NetId a = kNoNet;           ///< first operand
+    NetId b = kNoNet;           ///< second operand
+    NetId c = kNoNet;           ///< third operand (Mux else-value)
+    uint64_t imm = 0;           ///< Const value / Slice low bit /
+                                ///< MemRd* port handle
+};
+
+/** A register; q refers to a RegQ node created up front. */
+struct Reg
+{
+    std::string name;           ///< hierarchical name
+    NetId q = kNoNet;           ///< output (RegQ node id)
+    NetId d = kNoNet;           ///< next-value input
+    NetId en = kNoNet;          ///< optional clock enable (1 bit)
+    NetId rst = kNoNet;         ///< optional synchronous reset (1 bit)
+    uint64_t rstVal = 0;        ///< value loaded while rst is high
+    uint64_t initVal = 0;       ///< power-on (configuration) value
+    uint8_t width = 1;
+    uint8_t clock = 0;          ///< clock domain index
+};
+
+/** Memory read port. */
+struct MemReadPort
+{
+    NetId addr = kNoNet;
+    NetId data = kNoNet;        ///< MemRdSync/MemRdAsync node id
+    bool sync = true;           ///< true: BRAM-style 1-cycle latency
+    uint8_t clock = 0;
+};
+
+/** Memory write port (always synchronous). */
+struct MemWritePort
+{
+    NetId addr = kNoNet;
+    NetId data = kNoNet;
+    NetId en = kNoNet;
+    uint8_t clock = 0;
+};
+
+/** Memory storage style, steering BRAM vs. LUTRAM inference. */
+enum class MemStyle : uint8_t { Auto, Distributed, Block };
+
+/** A memory; depth entries of width bits each. */
+struct Mem
+{
+    std::string name;
+    uint32_t depth = 0;
+    uint8_t width = 1;
+    MemStyle style = MemStyle::Auto;
+    std::vector<MemReadPort> readPorts;
+    std::vector<MemWritePort> writePorts;
+    std::vector<uint64_t> init;  ///< optional initial contents
+};
+
+/** Direction of a decoupled interface relative to the named scope. */
+enum class IfaceDir : uint8_t { In, Out };
+
+/**
+ * A declared latency-insensitive (valid/ready) interface. Zoomie's
+ * instrumentation pass interposes pause buffers on these when the
+ * enclosing scope is selected as the module under test (§3.1).
+ */
+struct DecoupledIface
+{
+    std::string name;            ///< hierarchical name
+    std::string scope;           ///< owning scope prefix
+    IfaceDir dir = IfaceDir::In; ///< In: scope is the responder
+    NetId valid = kNoNet;
+    NetId ready = kNoNet;
+    std::vector<NetId> payload;
+    bool irrevocable = false;    ///< valid must hold until ready
+};
+
+/** Named top-level output. */
+struct OutputPort
+{
+    std::string name;
+    NetId net = kNoNet;
+};
+
+/** Named top-level input (refers to an Input node). */
+struct InputPort
+{
+    std::string name;
+    NetId net = kNoNet;
+    uint8_t width = 1;
+};
+
+/**
+ * A complete flat design. Populated via Builder; treat as read-only
+ * afterwards (the toolchain and simulator never mutate it).
+ */
+struct Design
+{
+    std::string name;
+    std::vector<Node> nodes;
+    std::vector<Reg> regs;
+    std::vector<Mem> mems;
+
+    /**
+     * Scope bookkeeping: every node/reg/mem records the hierarchical
+     * scope it was created in. Scope 0 is the top level. VTI
+     * partitions and the module-under-test are expressed as scope
+     * prefixes over these names.
+     */
+    std::vector<std::string> scopeNames{""};
+    std::vector<uint32_t> nodeScope;
+    std::vector<uint32_t> regScope;
+    std::vector<uint32_t> memScope;
+
+    /** True if scope @p scope_id falls under prefix (e.g. "tile0/"). */
+    bool scopeUnder(uint32_t scope_id, const std::string &prefix) const;
+    std::vector<InputPort> inputs;
+    std::vector<OutputPort> outputs;
+    std::vector<std::string> clocks;
+    std::vector<DecoupledIface> ifaces;
+
+    /** Optional net names for debugging / breakpoint targets. */
+    std::unordered_map<std::string, NetId> netNames;
+
+    /** Width of a net. */
+    unsigned widthOf(NetId net) const { return nodes[net].width; }
+
+    /** Total state bits (registers only). */
+    uint64_t stateBits() const;
+
+    /** Total memory bits. */
+    uint64_t memoryBits() const;
+
+    /** Find a register index by exact name; -1 if absent. */
+    int findReg(const std::string &name) const;
+
+    /** Find a net id by name; kNoNet if absent. */
+    NetId findNet(const std::string &name) const;
+
+    /**
+     * Validate structural invariants (operand ranges, widths,
+     * acyclic combinational logic) and compute a topological order
+     * of the combinational nodes.
+     *
+     * @return evaluation order over node ids (state sources first).
+     */
+    std::vector<NetId> topoOrder() const;
+
+    /** Check invariants; panics with a description on violation. */
+    void validate() const;
+};
+
+/** Human-readable op name (for dumps and error messages). */
+const char *opName(Op op);
+
+/** Number of net operands an op consumes (0..3). */
+unsigned opArity(Op op);
+
+} // namespace zoomie::rtl
+
+#endif // ZOOMIE_RTL_IR_HH

@@ -1,0 +1,293 @@
+#include "simulator.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace zoomie::sim {
+
+using rtl::Op;
+
+Simulator::Simulator(const rtl::Design &design)
+    : _design(design),
+      _order(design.topoOrder()),
+      _values(design.nodes.size(), 0),
+      _regState(design.regs.size(), 0),
+      _cycles(design.clocks.size(), 0)
+{
+    for (uint32_t i = 0; i < _design.inputs.size(); ++i)
+        _inputIndex[_design.inputs[i].name] = i;
+
+    _memState.resize(_design.mems.size());
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        const rtl::Mem &mem = _design.mems[m];
+        _memState[m].assign(mem.depth, 0);
+        for (uint32_t p = 0; p < mem.readPorts.size(); ++p) {
+            if (mem.readPorts[p].sync)
+                _syncPorts.push_back({m, p});
+        }
+    }
+    _syncReadLatch.assign(_syncPorts.size(), 0);
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    for (uint32_t i = 0; i < _design.regs.size(); ++i)
+        _regState[i] = _design.regs[i].initVal;
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        const rtl::Mem &mem = _design.mems[m];
+        for (uint32_t a = 0; a < mem.depth; ++a) {
+            _memState[m][a] =
+                a < mem.init.size()
+                    ? truncToWidth(mem.init[a], mem.width) : 0;
+        }
+    }
+    for (auto &latch : _syncReadLatch)
+        latch = 0;
+    markDirty();
+}
+
+void
+Simulator::poke(const std::string &port, uint64_t value)
+{
+    auto it = _inputIndex.find(port);
+    panic_if(it == _inputIndex.end(), "unknown input port '", port,
+             "' in design '", _design.name, "'");
+    const rtl::InputPort &in = _design.inputs[it->second];
+    _values[in.net] = truncToWidth(value, in.width);
+    markDirty();
+}
+
+void
+Simulator::evaluate()
+{
+    if (!_dirty)
+        return;
+
+    // State sources first: registers and latched sync reads.
+    for (uint32_t i = 0; i < _design.regs.size(); ++i)
+        _values[_design.regs[i].q] = _regState[i];
+    for (size_t i = 0; i < _syncPorts.size(); ++i) {
+        const auto &ref = _syncPorts[i];
+        _values[_design.mems[ref.mem].readPorts[ref.port].data] =
+            _syncReadLatch[i];
+    }
+
+    for (rtl::NetId id : _order) {
+        const rtl::Node &node = _design.nodes[id];
+        const uint64_t mask = maskForWidth(node.width);
+        uint64_t va = node.a != rtl::kNoNet ? _values[node.a] : 0;
+        uint64_t vb = node.b != rtl::kNoNet ? _values[node.b] : 0;
+        uint64_t vc = node.c != rtl::kNoNet ? _values[node.c] : 0;
+        uint64_t out;
+        switch (node.op) {
+          case Op::Const:
+            out = node.imm;
+            break;
+          case Op::Input:
+          case Op::RegQ:
+          case Op::MemRdSync:
+            continue;  // already seeded
+          case Op::MemRdAsync: {
+            const auto &mem = _design.mems[node.imm];
+            uint64_t addr = va % mem.depth;
+            out = _memState[node.imm][addr];
+            break;
+          }
+          case Op::And: out = va & vb; break;
+          case Op::Or: out = va | vb; break;
+          case Op::Xor: out = va ^ vb; break;
+          case Op::Not: out = ~va; break;
+          case Op::Add: out = va + vb; break;
+          case Op::Sub: out = va - vb; break;
+          case Op::Mul: out = va * vb; break;
+          case Op::Eq: out = va == vb; break;
+          case Op::Ne: out = va != vb; break;
+          case Op::Ult: out = va < vb; break;
+          case Op::Ule: out = va <= vb; break;
+          case Op::Shl:
+            out = vb >= node.width ? 0 : va << vb;
+            break;
+          case Op::Shr:
+            out = vb >= node.width ? 0 : va >> vb;
+            break;
+          case Op::Mux: out = va ? vb : vc; break;
+          case Op::Concat:
+            out = (va << _design.nodes[node.b].width) | vb;
+            break;
+          case Op::Slice:
+            out = va >> node.imm;
+            break;
+          case Op::Zext: out = va; break;
+          case Op::RedAnd:
+            out = va == maskForWidth(_design.nodes[node.a].width);
+            break;
+          case Op::RedOr: out = va != 0; break;
+          case Op::RedXor: out = popCount(va) & 1; break;
+          default:
+            panic("unhandled op ", opName(node.op));
+        }
+        _values[id] = out & mask;
+    }
+    _dirty = false;
+}
+
+uint64_t
+Simulator::net(rtl::NetId id)
+{
+    evaluate();
+    return _values[id];
+}
+
+uint64_t
+Simulator::netByName(const std::string &name)
+{
+    rtl::NetId id = _design.findNet(name);
+    panic_if(id == rtl::kNoNet, "unknown net '", name, "'");
+    return net(id);
+}
+
+uint64_t
+Simulator::peek(const std::string &port)
+{
+    for (const auto &out : _design.outputs) {
+        if (out.name == port)
+            return net(out.net);
+    }
+    panic("unknown output port '", port, "'");
+}
+
+void
+Simulator::step(uint8_t clock)
+{
+    evaluate();
+
+    // Phase 1: compute next state from pre-edge values.
+    std::vector<std::pair<uint32_t, uint64_t>> reg_next;
+    reg_next.reserve(_design.regs.size());
+    for (uint32_t i = 0; i < _design.regs.size(); ++i) {
+        const rtl::Reg &reg = _design.regs[i];
+        if (reg.clock != clock)
+            continue;
+        if (reg.en != rtl::kNoNet && !_values[reg.en])
+            continue;
+        uint64_t next =
+            (reg.rst != rtl::kNoNet && _values[reg.rst])
+                ? reg.rstVal
+                : _values[reg.d];
+        reg_next.emplace_back(i, truncToWidth(next, reg.width));
+    }
+
+    std::vector<std::pair<size_t, uint64_t>> latch_next;
+    for (size_t i = 0; i < _syncPorts.size(); ++i) {
+        const auto &ref = _syncPorts[i];
+        const rtl::Mem &mem = _design.mems[ref.mem];
+        const rtl::MemReadPort &port = mem.readPorts[ref.port];
+        if (port.clock != clock)
+            continue;
+        uint64_t addr = _values[port.addr] % mem.depth;
+        latch_next.emplace_back(i, _memState[ref.mem][addr]);
+    }
+
+    struct MemWrite { uint32_t mem; uint64_t addr; uint64_t data; };
+    std::vector<MemWrite> writes;
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        const rtl::Mem &mem = _design.mems[m];
+        for (const auto &wp : mem.writePorts) {
+            if (wp.clock != clock || !_values[wp.en])
+                continue;
+            writes.push_back({m, _values[wp.addr] % mem.depth,
+                              truncToWidth(_values[wp.data],
+                                           mem.width)});
+        }
+    }
+
+    // Phase 2: commit simultaneously.
+    for (const auto &[idx, val] : reg_next)
+        _regState[idx] = val;
+    for (const auto &[idx, val] : latch_next)
+        _syncReadLatch[idx] = val;
+    for (const auto &w : writes)
+        _memState[w.mem][w.addr] = w.data;
+
+    ++_cycles[clock];
+    markDirty();
+}
+
+void
+Simulator::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        step(0);
+}
+
+uint64_t
+Simulator::regValue(uint32_t index)
+{
+    panic_if(index >= _regState.size(), "register index out of range");
+    return _regState[index];
+}
+
+uint64_t
+Simulator::regByName(const std::string &name)
+{
+    int idx = _design.findReg(name);
+    panic_if(idx < 0, "unknown register '", name, "'");
+    return _regState[idx];
+}
+
+void
+Simulator::forceReg(uint32_t index, uint64_t value)
+{
+    panic_if(index >= _regState.size(), "register index out of range");
+    _regState[index] =
+        truncToWidth(value, _design.regs[index].width);
+    markDirty();
+}
+
+void
+Simulator::forceRegByName(const std::string &name, uint64_t value)
+{
+    int idx = _design.findReg(name);
+    panic_if(idx < 0, "unknown register '", name, "'");
+    forceReg(static_cast<uint32_t>(idx), value);
+}
+
+uint64_t
+Simulator::memWord(uint32_t mem_index, uint32_t addr) const
+{
+    panic_if(mem_index >= _memState.size(), "memory index out of range");
+    panic_if(addr >= _memState[mem_index].size(),
+             "memory address out of range");
+    return _memState[mem_index][addr];
+}
+
+void
+Simulator::forceMemWord(uint32_t mem_index, uint32_t addr,
+                        uint64_t value)
+{
+    panic_if(mem_index >= _memState.size(), "memory index out of range");
+    panic_if(addr >= _memState[mem_index].size(),
+             "memory address out of range");
+    _memState[mem_index][addr] =
+        truncToWidth(value, _design.mems[mem_index].width);
+    markDirty();
+}
+
+std::vector<uint64_t>
+Simulator::snapshotRegs()
+{
+    return _regState;
+}
+
+void
+Simulator::restoreRegs(const std::vector<uint64_t> &image)
+{
+    panic_if(image.size() != _regState.size(),
+             "snapshot size mismatch");
+    _regState = image;
+    markDirty();
+}
+
+} // namespace zoomie::sim

@@ -1,0 +1,69 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace zoomie::sim {
+
+void
+Trace::addSignal(const std::string &name,
+                 std::function<uint64_t()> probe)
+{
+    panic_if(!_samples.empty() && length() != 0,
+             "cannot add signals after sampling started");
+    _names.push_back(name);
+    _probes.push_back(std::move(probe));
+    _samples.emplace_back();
+}
+
+void
+Trace::sample()
+{
+    for (size_t i = 0; i < _probes.size(); ++i)
+        _samples[i].push_back(_probes[i]());
+}
+
+uint64_t
+Trace::at(size_t index, size_t cycle) const
+{
+    panic_if(index >= _samples.size(), "bad trace signal index");
+    panic_if(cycle >= _samples[index].size(), "bad trace cycle");
+    return _samples[index][cycle];
+}
+
+void
+Trace::print(std::ostream &os) const
+{
+    size_t name_width = 0;
+    for (const auto &name : _names)
+        name_width = std::max(name_width, name.size());
+
+    for (size_t i = 0; i < _samples.size(); ++i) {
+        const auto &row = _samples[i];
+        bool is_bit = true;
+        for (uint64_t v : row) {
+            if (v > 1) {
+                is_bit = false;
+                break;
+            }
+        }
+        os << _names[i]
+           << std::string(name_width - _names[i].size() + 2, ' ');
+        if (is_bit) {
+            for (uint64_t v : row)
+                os << (v ? "###" : "___");
+        } else {
+            for (uint64_t v : row) {
+                char buf[16];
+                std::snprintf(buf, sizeof(buf), "%2llx|",
+                              static_cast<unsigned long long>(v));
+                os << buf;
+            }
+        }
+        os << "\n";
+    }
+}
+
+} // namespace zoomie::sim

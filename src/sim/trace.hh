@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal waveform recorder: samples named signals each cycle and can
+ * render an ASCII timing diagram (used by the Figure 3 bench to show
+ * the handshake-violation waveform).
+ */
+
+#ifndef ZOOMIE_SIM_TRACE_HH
+#define ZOOMIE_SIM_TRACE_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace zoomie::sim {
+
+/** Records per-cycle samples of a fixed set of signals. */
+class Trace
+{
+  public:
+    /** Add a signal before sampling starts. */
+    void addSignal(const std::string &name,
+                   std::function<uint64_t()> probe);
+
+    /** Take one sample of every signal. */
+    void sample();
+
+    /** Number of samples taken. */
+    size_t length() const { return _samples.empty()
+        ? 0 : _samples.front().size(); }
+
+    /** Value of signal @p index at @p cycle. */
+    uint64_t at(size_t index, size_t cycle) const;
+
+    /** Signal names, in addSignal order. */
+    const std::vector<std::string> &names() const { return _names; }
+
+    /** Number of signals. */
+    size_t signalCount() const { return _names.size(); }
+
+    /**
+     * Render single-bit signals as waveforms (___/▔▔▔ style using
+     * '_' and '#') and wide signals as per-cycle hex values.
+     */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _names;
+    std::vector<std::function<uint64_t()>> _probes;
+    std::vector<std::vector<uint64_t>> _samples;
+};
+
+} // namespace zoomie::sim
+
+#endif // ZOOMIE_SIM_TRACE_HH

@@ -1,0 +1,83 @@
+#include "vcd.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace zoomie::sim {
+
+namespace {
+
+/** VCD identifier codes: printable ASCII starting at '!'. */
+std::string
+idCode(size_t index)
+{
+    std::string code;
+    do {
+        code.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index > 0);
+    return code;
+}
+
+std::string
+binary(uint64_t value, unsigned width)
+{
+    std::string out(width, '0');
+    for (unsigned bit = 0; bit < width; ++bit) {
+        if ((value >> bit) & 1)
+            out[width - 1 - bit] = '1';
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeVcd(const Trace &trace, std::ostream &os,
+         const std::string &timescale)
+{
+    const size_t num_signals = trace.signalCount();
+    const size_t cycles = trace.length();
+
+    // Infer widths from the widest observed value.
+    std::vector<unsigned> width(num_signals, 1);
+    for (size_t s = 0; s < num_signals; ++s) {
+        uint64_t max_value = 0;
+        for (size_t t = 0; t < cycles; ++t)
+            max_value = std::max(max_value, trace.at(s, t));
+        while (width[s] < 64 && (max_value >> width[s]))
+            ++width[s];
+    }
+
+    os << "$date zoomie $end\n";
+    os << "$version zoomie trace export $end\n";
+    os << "$timescale " << timescale << " $end\n";
+    os << "$scope module trace $end\n";
+    for (size_t s = 0; s < num_signals; ++s) {
+        // Slashes are scope separators in design names; VCD wants
+        // flat identifiers here, so flatten them.
+        std::string name = trace.names()[s];
+        std::replace(name.begin(), name.end(), '/', '.');
+        os << "$var wire " << width[s] << ' ' << idCode(s) << ' '
+           << name << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    for (size_t t = 0; t < cycles; ++t) {
+        os << '#' << t << '\n';
+        for (size_t s = 0; s < num_signals; ++s) {
+            uint64_t value = trace.at(s, t);
+            bool changed = t == 0 || trace.at(s, t - 1) != value;
+            if (!changed)
+                continue;
+            if (width[s] == 1) {
+                os << (value ? '1' : '0') << idCode(s) << '\n';
+            } else {
+                os << 'b' << binary(value, width[s]) << ' '
+                   << idCode(s) << '\n';
+            }
+        }
+    }
+}
+
+} // namespace zoomie::sim

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * VCD (Value Change Dump) export for captured traces, so Zoomie
+ * debugging sessions and snapshot replays can be inspected in any
+ * standard waveform viewer (GTKWave etc.) — part of giving FPGA
+ * debugging the software tooling ecosystem the paper argues for.
+ */
+
+#ifndef ZOOMIE_SIM_VCD_HH
+#define ZOOMIE_SIM_VCD_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace zoomie::sim {
+
+/**
+ * Write a captured trace as a VCD document.
+ *
+ * Signal widths are inferred from the widest sample observed.
+ * Hierarchical signal names (slash-separated) become VCD scopes.
+ *
+ * @param trace     sampled signals
+ * @param os        output stream
+ * @param timescale e.g. "1ns"
+ */
+void writeVcd(const Trace &trace, std::ostream &os,
+              const std::string &timescale = "1ns");
+
+} // namespace zoomie::sim
+
+#endif // ZOOMIE_SIM_VCD_HH

@@ -1,0 +1,83 @@
+#include "ast.hh"
+
+#include <sstream>
+
+namespace zoomie::sva {
+
+namespace {
+
+const char *
+kindTag(Expr::Kind kind)
+{
+    switch (kind) {
+      case Expr::Kind::Signal: return "sig";
+      case Expr::Kind::Const: return "c";
+      case Expr::Kind::Index: return "idx";
+      case Expr::Kind::Not: return "not";
+      case Expr::Kind::And: return "and";
+      case Expr::Kind::Or: return "or";
+      case Expr::Kind::Xor: return "xor";
+      case Expr::Kind::Eq: return "eq";
+      case Expr::Kind::Ne: return "ne";
+      case Expr::Kind::Lt: return "lt";
+      case Expr::Kind::Le: return "le";
+      case Expr::Kind::Gt: return "gt";
+      case Expr::Kind::Ge: return "ge";
+      case Expr::Kind::Past: return "past";
+      case Expr::Kind::IsUnknown: return "isunk";
+      case Expr::Kind::Rose: return "rose";
+      case Expr::Kind::Fell: return "fell";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Expr::key() const
+{
+    std::ostringstream os;
+    os << kindTag(kind) << '(' << signal << ',' << value;
+    for (const Expr &arg : args)
+        os << ',' << arg.key();
+    os << ')';
+    return os.str();
+}
+
+bool
+Expr::containsIsUnknown() const
+{
+    if (kind == Kind::IsUnknown)
+        return true;
+    for (const Expr &arg : args) {
+        if (arg.containsIsUnknown())
+            return true;
+    }
+    return false;
+}
+
+void
+Expr::collectSignals(std::vector<std::string> &out) const
+{
+    if (kind == Kind::Signal)
+        out.push_back(signal);
+    for (const Expr &arg : args)
+        arg.collectSignals(out);
+}
+
+std::unique_ptr<Seq>
+Seq::clone() const
+{
+    auto out = std::make_unique<Seq>();
+    out->kind = kind;
+    out->expr = expr;
+    out->lo = lo;
+    out->hi = hi;
+    if (a)
+        out->a = a->clone();
+    if (b)
+        out->b = b->clone();
+    return out;
+}
+
+} // namespace zoomie::sva

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * AST for the SystemVerilog Assertion subset Zoomie synthesizes
+ * (Table 4): immediate asserts, single-clock concurrent properties
+ * with `disable iff`, implication (|-> and |=>), fixed delays ##N,
+ * finite delay ranges ##[m:n], finite consecutive repetition [*m:n],
+ * finite sequence `and`/`or`, and the $past system function.
+ * $isunknown parses but is rejected at synthesis (four-state only);
+ * local variables, asynchronous resets and first_match are rejected
+ * at parse time.
+ */
+
+#ifndef ZOOMIE_SVA_AST_HH
+#define ZOOMIE_SVA_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace zoomie::sva {
+
+/** Boolean/bit-vector expression over design signals. */
+struct Expr
+{
+    enum class Kind {
+        Signal,     ///< named design signal
+        Const,      ///< numeric literal
+        Index,      ///< a[bit]
+        Not,        ///< !a or ~a (context collapses them)
+        And, Or, Xor,
+        Eq, Ne, Lt, Le, Gt, Ge,
+        Past,       ///< $past(a, n)
+        IsUnknown,  ///< $isunknown(a) — unsynthesizable
+        Rose,       ///< $rose(a)
+        Fell,       ///< $fell(a)
+    };
+
+    Kind kind = Kind::Const;
+    std::string signal;
+    uint64_t value = 0;       ///< Const value / Index bit / Past depth
+    std::vector<Expr> args;
+
+    /** Canonical serialization for structural dedup. */
+    std::string key() const;
+
+    /** True if the tree contains $isunknown. */
+    bool containsIsUnknown() const;
+
+    /** Collect referenced signal names. */
+    void collectSignals(std::vector<std::string> &out) const;
+};
+
+/** Sequence node. */
+struct Seq
+{
+    enum class Kind {
+        Atom,    ///< boolean expression, consumes one cycle
+        Delay,   ///< a ##[lo:hi] b
+        Or,      ///< a or b
+        And,     ///< a and b (both match; ends at the later end)
+        Repeat,  ///< a [*lo:hi] (consecutive)
+    };
+
+    Kind kind = Kind::Atom;
+    Expr expr;                   ///< Atom payload
+    std::unique_ptr<Seq> a, b;
+    uint32_t lo = 1, hi = 1;     ///< Delay / Repeat bounds
+
+    /** Deep copy. */
+    std::unique_ptr<Seq> clone() const;
+};
+
+/** A parsed assertion. */
+struct Property
+{
+    std::string name;
+    bool immediate = false;
+    Expr immediateExpr;          ///< for immediate asserts
+
+    std::string clock;           ///< posedge clock signal name
+    bool hasDisable = false;
+    Expr disable;
+
+    std::unique_ptr<Seq> antecedent;  ///< null => always-true
+    bool overlapped = true;           ///< |-> vs |=>
+    std::unique_ptr<Seq> consequent;
+};
+
+} // namespace zoomie::sva
+
+#endif // ZOOMIE_SVA_AST_HH

@@ -1,0 +1,393 @@
+#include "automaton.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace zoomie::sva {
+
+int
+AtomTable::intern(const Expr &expr)
+{
+    std::string key = expr.key();
+    auto it = _byKey.find(key);
+    if (it != _byKey.end())
+        return it->second;
+    int index = static_cast<int>(_atoms.size());
+    _atoms.push_back(expr);
+    _byKey[key] = index;
+    return index;
+}
+
+int
+AtomTable::internTrue()
+{
+    Expr truth;
+    truth.kind = Expr::Kind::Const;
+    truth.value = 1;
+    return intern(truth);
+}
+
+int
+AtomTable::internAnd(int a, int b)
+{
+    if (a == b)
+        return a;
+    // Canonical argument order keeps (a&&b) and (b&&a) identical.
+    const Expr &ea = _atoms[std::min(a, b)];
+    const Expr &eb = _atoms[std::max(a, b)];
+    Expr conj;
+    conj.kind = Expr::Kind::And;
+    conj.args.push_back(ea);
+    conj.args.push_back(eb);
+    return intern(conj);
+}
+
+namespace {
+
+/** NFA builder with error propagation. */
+class NfaBuilder
+{
+  public:
+    NfaBuilder(AtomTable &atoms, uint32_t max_states)
+        : _atoms(atoms), _max(max_states) {}
+
+    NfaResult run(const Seq &seq)
+    {
+        NfaResult result;
+        Nfa nfa;
+        if (!build(seq, nfa)) {
+            result.error = _error.empty()
+                ? "sequence too complex" : _error;
+            return result;
+        }
+        result.ok = true;
+        result.nfa = std::move(nfa);
+        return result;
+    }
+
+  private:
+    bool fail(const std::string &reason)
+    {
+        if (_error.empty())
+            _error = reason;
+        return false;
+    }
+
+    uint32_t newState(Nfa &nfa)
+    {
+        nfa.out.emplace_back();
+        nfa.accept.push_back(false);
+        return static_cast<uint32_t>(nfa.out.size() - 1);
+    }
+
+    bool checkSize(const Nfa &nfa)
+    {
+        if (nfa.size() > _max)
+            return fail("sequence too complex (state bound)");
+        return true;
+    }
+
+    /** Append `src` into `dst`, returning the state offset. */
+    uint32_t merge(Nfa &dst, const Nfa &src)
+    {
+        uint32_t offset = static_cast<uint32_t>(dst.size());
+        for (size_t s = 0; s < src.size(); ++s) {
+            dst.out.emplace_back();
+            for (const Nfa::Edge &edge : src.out[s])
+                dst.out.back().push_back({edge.to + offset,
+                                          edge.atom});
+            dst.accept.push_back(src.accept[s]);
+        }
+        return offset;
+    }
+
+    /**
+     * Concatenate: from every accept of `nfa`, after a delay of
+     * [lo,hi] cycles, continue as `tail`. Accepts of `nfa` are
+     * cleared; `tail`'s accepts (offset) become the new accepts.
+     */
+    bool concatenate(Nfa &nfa, const Nfa &tail, uint32_t lo,
+                     uint32_t hi)
+    {
+        uint32_t offset = merge(nfa, tail);
+        std::vector<uint32_t> ends;
+        for (uint32_t s = 0; s < offset; ++s) {
+            if (nfa.accept[s]) {
+                ends.push_back(s);
+                nfa.accept[s] = false;
+            }
+        }
+        const auto &tail_start_edges = tail.out[tail.start];
+        int true_atom = _atoms.internTrue();
+        for (uint32_t end : ends) {
+            // Delay d consumes d-1 idle cycles, then the tail's
+            // first atom fires (##1 = immediately next cycle).
+            uint32_t from = end;
+            for (uint32_t d = 1; d <= hi; ++d) {
+                if (d >= lo) {
+                    for (const Nfa::Edge &edge : tail_start_edges) {
+                        nfa.out[from].push_back(
+                            {edge.to + offset, edge.atom});
+                    }
+                }
+                if (d < hi) {
+                    uint32_t chain = newState(nfa);
+                    nfa.out[from].push_back({chain, true_atom});
+                    from = chain;
+                }
+            }
+        }
+        return checkSize(nfa);
+    }
+
+    bool build(const Seq &seq, Nfa &nfa)
+    {
+        switch (seq.kind) {
+          case Seq::Kind::Atom: {
+            nfa = Nfa{};
+            uint32_t s0 = newState(nfa);
+            uint32_t s1 = newState(nfa);
+            nfa.start = s0;
+            nfa.out[s0].push_back({s1, _atoms.intern(seq.expr)});
+            nfa.accept[s1] = true;
+            return true;
+          }
+          case Seq::Kind::Delay: {
+            if (!build(*seq.a, nfa))
+                return false;
+            Nfa tail;
+            if (!build(*seq.b, tail))
+                return false;
+            return concatenate(nfa, tail, seq.lo, seq.hi);
+          }
+          case Seq::Kind::Or: {
+            Nfa left, right;
+            if (!build(*seq.a, left) || !build(*seq.b, right))
+                return false;
+            nfa = Nfa{};
+            uint32_t s0 = newState(nfa);
+            nfa.start = s0;
+            uint32_t off_l = merge(nfa, left);
+            uint32_t off_r = merge(nfa, right);
+            for (const Nfa::Edge &edge : left.out[left.start])
+                nfa.out[s0].push_back({edge.to + off_l, edge.atom});
+            for (const Nfa::Edge &edge : right.out[right.start])
+                nfa.out[s0].push_back({edge.to + off_r, edge.atom});
+            return checkSize(nfa);
+          }
+          case Seq::Kind::Repeat: {
+            Nfa base;
+            if (!build(*seq.a, base))
+                return false;
+            // a[*lo:hi] = a ##1 a ... with accepts at lengths
+            // lo..hi.
+            nfa = base;
+            std::vector<std::vector<bool>> accepts_at;
+            for (uint32_t rep = 2; rep <= seq.hi; ++rep) {
+                // Save which states accept at the previous depth,
+                // clear them if below lo.
+                Nfa copy = base;
+                std::vector<uint32_t> ends;
+                for (uint32_t s = 0; s < nfa.size(); ++s) {
+                    if (nfa.accept[s])
+                        ends.push_back(s);
+                }
+                uint32_t offset = merge(nfa, copy);
+                for (uint32_t end : ends) {
+                    for (const Nfa::Edge &edge :
+                         copy.out[copy.start]) {
+                        nfa.out[end].push_back(
+                            {edge.to + offset, edge.atom});
+                    }
+                    // Intermediate end below lo is not a match.
+                    if (rep - 1 < seq.lo)
+                        nfa.accept[end] = false;
+                }
+                if (!checkSize(nfa))
+                    return false;
+            }
+            (void)accepts_at;
+            return true;
+          }
+          case Seq::Kind::And: {
+            Nfa left, right;
+            if (!build(*seq.a, left) || !build(*seq.b, right))
+                return false;
+            return product(left, right, nfa);
+          }
+        }
+        return fail("unknown sequence node");
+    }
+
+    /**
+     * `and` product: both sequences must match; the match ends at
+     * the later endpoint. State space: (i, j) where either side may
+     * be Done (already matched). Accept state = (Done, Done).
+     */
+    bool product(const Nfa &a, const Nfa &b, Nfa &nfa)
+    {
+        constexpr int kDone = -1;
+        nfa = Nfa{};
+        std::map<std::pair<int, int>, uint32_t> ids;
+        std::vector<std::pair<int, int>> work;
+
+        auto stateOf = [&](int i, int j) {
+            auto key = std::make_pair(i, j);
+            auto it = ids.find(key);
+            if (it != ids.end())
+                return it->second;
+            uint32_t s = newState(nfa);
+            ids[key] = s;
+            nfa.accept[s] = i == kDone && j == kDone;
+            work.push_back(key);
+            return s;
+        };
+
+        int true_atom = _atoms.internTrue();
+        nfa.start = stateOf(static_cast<int>(a.start),
+                            static_cast<int>(b.start));
+
+        while (!work.empty()) {
+            auto [i, j] = work.back();
+            work.pop_back();
+            uint32_t from = ids[{i, j}];
+            if (i == kDone && j == kDone)
+                continue;
+            if (nfa.size() > _max)
+                return fail("'and' product too complex");
+
+            // Successor candidates per side: (state, atom) pairs,
+            // where entering an accept state may also mean Done.
+            struct Cand { int to; int atom; };
+            auto succs = [&](const Nfa &side, int s,
+                             std::vector<Cand> &out_c) {
+                out_c.clear();
+                if (s == kDone) {
+                    out_c.push_back({kDone, true_atom});
+                    return;
+                }
+                for (const Nfa::Edge &edge : side.out[s]) {
+                    out_c.push_back({static_cast<int>(edge.to),
+                                     edge.atom});
+                    if (side.accept[edge.to])
+                        out_c.push_back({kDone, edge.atom});
+                }
+            };
+            std::vector<Cand> ca, cb;
+            succs(a, i, ca);
+            succs(b, j, cb);
+            for (const Cand &x : ca) {
+                for (const Cand &y : cb) {
+                    int atom = _atoms.internAnd(x.atom, y.atom);
+                    uint32_t to = stateOf(x.to, y.to);
+                    nfa.out[from].push_back({to, atom});
+                }
+            }
+        }
+        return checkSize(nfa);
+    }
+
+    AtomTable &_atoms;
+    uint32_t _max;
+    std::string _error;
+};
+
+} // namespace
+
+NfaResult
+buildNfa(const Seq &seq, AtomTable &atoms, uint32_t max_states)
+{
+    NfaBuilder builder(atoms, max_states);
+    return builder.run(seq);
+}
+
+DfaResult
+buildDfa(const Nfa &nfa, uint32_t max_states, uint32_t max_relevant)
+{
+    DfaResult result;
+    Dfa &dfa = result.dfa;
+
+    std::map<std::set<uint32_t>, int> ids;
+    std::vector<std::set<uint32_t>> subsets;
+    std::vector<int> work;
+
+    auto stateOf = [&](const std::set<uint32_t> &subset) {
+        auto it = ids.find(subset);
+        if (it != ids.end())
+            return it->second;
+        int id = static_cast<int>(subsets.size());
+        ids[subset] = id;
+        subsets.push_back(subset);
+        dfa.states.emplace_back();
+        work.push_back(id);
+        return id;
+    };
+
+    stateOf({nfa.start});
+
+    while (!work.empty()) {
+        int id = work.back();
+        work.pop_back();
+        if (dfa.states.size() > max_states) {
+            result.error = "assertion too complex to determinize";
+            return result;
+        }
+        const std::set<uint32_t> subset = subsets[id];
+
+        // Relevant atoms of this subset.
+        std::set<int> relevant_set;
+        for (uint32_t s : subset) {
+            for (const Nfa::Edge &edge : nfa.out[s])
+                relevant_set.insert(edge.atom);
+        }
+        std::vector<int> relevant(relevant_set.begin(),
+                                  relevant_set.end());
+        if (relevant.size() > max_relevant) {
+            result.error = "too many distinct conditions in one "
+                           "assertion state";
+            return result;
+        }
+
+        dfa.states[id].relevant = relevant;
+        const uint32_t num_vals = 1u << relevant.size();
+        dfa.states[id].action.resize(num_vals);
+
+        auto atomPos = [&](int atom) {
+            for (size_t k = 0; k < relevant.size(); ++k) {
+                if (relevant[k] == atom)
+                    return k;
+            }
+            panic("atom not relevant");
+        };
+
+        for (uint32_t v = 0; v < num_vals; ++v) {
+            std::set<uint32_t> next;
+            bool success = false;
+            for (uint32_t s : subset) {
+                for (const Nfa::Edge &edge : nfa.out[s]) {
+                    if (!((v >> atomPos(edge.atom)) & 1))
+                        continue;
+                    if (nfa.accept[edge.to])
+                        success = true;
+                    else
+                        next.insert(edge.to);
+                }
+            }
+            int action;
+            if (success)
+                action = Dfa::kSuccess;
+            else if (next.empty())
+                action = Dfa::kFail;
+            else
+                action = stateOf(next);  // may grow dfa.states
+            dfa.states[id].action[v] = action;
+        }
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace zoomie::sva

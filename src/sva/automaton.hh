@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Sequence automata for assertion synthesis. Sequences compile to
+ * NFAs whose edges are labelled with *atoms* (boolean expressions
+ * interned in an AtomTable; one edge fires when its atom evaluates
+ * true that cycle). Antecedents run as nondeterministic token-
+ * passing monitors (every match must spawn a consequent attempt);
+ * consequents are determinized so an attempt's failure — the token
+ * set dying without acceptance — is detectable in hardware. This is
+ * the classic LTL/SVA-to-FSM construction (§7.5) specialized to the
+ * finite Table 4 subset.
+ */
+
+#ifndef ZOOMIE_SVA_AUTOMATON_HH
+#define ZOOMIE_SVA_AUTOMATON_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sva/ast.hh"
+
+namespace zoomie::sva {
+
+/** Interned boolean expressions used as edge labels. */
+class AtomTable
+{
+  public:
+    /** Intern an expression; returns its atom index. */
+    int intern(const Expr &expr);
+
+    /** Intern the conjunction of two atoms. */
+    int internAnd(int a, int b);
+
+    /** Constant-true atom. */
+    int internTrue();
+
+    const std::vector<Expr> &atoms() const { return _atoms; }
+    size_t size() const { return _atoms.size(); }
+
+  private:
+    std::vector<Expr> _atoms;
+    std::unordered_map<std::string, int> _byKey;
+};
+
+/** Nondeterministic sequence automaton. */
+struct Nfa
+{
+    struct Edge
+    {
+        uint32_t to = 0;
+        int atom = -1;   ///< index into AtomTable
+    };
+
+    uint32_t start = 0;
+    std::vector<std::vector<Edge>> out;
+    std::vector<bool> accept;
+
+    size_t size() const { return out.size(); }
+};
+
+/** Build result (sequence complexity is bounded). */
+struct NfaResult
+{
+    bool ok = false;
+    Nfa nfa;
+    std::string error;
+};
+
+/**
+ * Compile a sequence to an NFA.
+ *
+ * @param max_states complexity bound (product constructions for
+ *        `and` can blow up; exceeding the bound is reported as an
+ *        unsupported-assertion error)
+ */
+NfaResult buildNfa(const Seq &seq, AtomTable &atoms,
+                   uint32_t max_states = 512);
+
+/** Deterministic fail-detecting automaton for consequents. */
+struct Dfa
+{
+    /** Per-valuation action codes. */
+    static constexpr int kFail = -2;
+    static constexpr int kSuccess = -1;
+
+    struct State
+    {
+        std::vector<int> relevant;  ///< atom indices observed here
+        /** action[v] for valuation v over `relevant` (LSB =
+         *  relevant[0]): kFail, kSuccess, or a target state. */
+        std::vector<int> action;
+    };
+
+    std::vector<State> states;  ///< state 0 = start
+};
+
+/** Determinization result. */
+struct DfaResult
+{
+    bool ok = false;
+    Dfa dfa;
+    std::string error;
+};
+
+/**
+ * Subset-construct the fail-detecting DFA of an NFA.
+ *
+ * @param max_relevant per-state bound on distinct atoms (circuit
+ *        size is exponential in this; realistic assertions use <=4)
+ */
+DfaResult buildDfa(const Nfa &nfa, uint32_t max_states = 256,
+                   uint32_t max_relevant = 8);
+
+} // namespace zoomie::sva
+
+#endif // ZOOMIE_SVA_AUTOMATON_HH

@@ -1,0 +1,363 @@
+#include "compiler.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "synth/techmap.hh"
+
+namespace zoomie::sva {
+
+using rtl::Builder;
+using rtl::Value;
+
+CompileOutcome
+compileProperty(Property &&property)
+{
+    CompileOutcome outcome;
+    CompiledProperty &prop = outcome.prop;
+    prop.ast = std::move(property);
+
+    auto reject = [&](const std::string &reason) {
+        outcome.error = reason;
+    };
+
+    if (prop.ast.immediate) {
+        if (prop.ast.immediateExpr.containsIsUnknown()) {
+            reject("$isunknown checks for X values, which "
+                   "only exist in four-state simulation");
+            return outcome;
+        }
+        outcome.ok = true;
+        return outcome;
+    }
+
+    if (prop.ast.hasDisable &&
+        prop.ast.disable.containsIsUnknown()) {
+        reject("$isunknown in disable condition");
+        return outcome;
+    }
+
+    if (prop.ast.antecedent) {
+        NfaResult ant = buildNfa(*prop.ast.antecedent, prop.atoms);
+        if (!ant.ok) {
+            reject(ant.error);
+            return outcome;
+        }
+        prop.antecedent = std::move(ant.nfa);
+        prop.hasAntecedent = true;
+    }
+    panic_if(!prop.ast.consequent, "property without consequent");
+    NfaResult con = buildNfa(*prop.ast.consequent, prop.atoms);
+    if (!con.ok) {
+        reject(con.error);
+        return outcome;
+    }
+    DfaResult dfa = buildDfa(con.nfa);
+    if (!dfa.ok) {
+        reject(dfa.error);
+        return outcome;
+    }
+    prop.consequent = std::move(dfa.dfa);
+
+    for (const Expr &atom : prop.atoms.atoms()) {
+        if (atom.containsIsUnknown()) {
+            reject("$isunknown checks for X values, which "
+                   "only exist in four-state simulation");
+            return outcome;
+        }
+    }
+    outcome.ok = true;
+    return outcome;
+}
+
+CompileOutcome
+compileAssertion(const std::string &text)
+{
+    ParseResult parsed = parseAssertion(text);
+    if (!parsed.ok) {
+        CompileOutcome outcome;
+        outcome.error = parsed.error;
+        return outcome;
+    }
+    return compileProperty(std::move(parsed.property));
+}
+
+namespace {
+
+/** Circuit-side expression evaluation with $past sharing. */
+class ExprBuilder
+{
+  public:
+    ExprBuilder(Builder &builder, const SignalResolver &resolver,
+                uint8_t clock, MonitorStats &stats)
+        : _b(builder), _resolver(resolver), _clock(clock),
+          _stats(stats) {}
+
+    /** Evaluate to a 1-bit truth value. */
+    Value truth(const Expr &expr)
+    {
+        Value v = eval(expr);
+        return v.width == 1 ? v : _b.redOr(v);
+    }
+
+    Value eval(const Expr &expr)
+    {
+        switch (expr.kind) {
+          case Expr::Kind::Signal:
+            return _resolver(expr.signal);
+          case Expr::Kind::Const: {
+            unsigned width = 1;
+            while (width < 64 && (expr.value >> width))
+                ++width;
+            return _b.lit(expr.value, width);
+          }
+          case Expr::Kind::Index: {
+            Value base = eval(expr.args[0]);
+            panic_if(expr.value >= base.width,
+                     "bit index out of range in assertion");
+            return _b.bit(base, static_cast<unsigned>(expr.value));
+          }
+          case Expr::Kind::Not:
+            return _b.lnot(truth(expr.args[0]));
+          case Expr::Kind::And:
+            return _b.land(truth(expr.args[0]), truth(expr.args[1]));
+          case Expr::Kind::Or:
+            return _b.lor(truth(expr.args[0]), truth(expr.args[1]));
+          case Expr::Kind::Xor:
+            return _b.bxor(truth(expr.args[0]),
+                           truth(expr.args[1]));
+          case Expr::Kind::Eq:
+          case Expr::Kind::Ne:
+          case Expr::Kind::Lt:
+          case Expr::Kind::Le:
+          case Expr::Kind::Gt:
+          case Expr::Kind::Ge: {
+            Value a = eval(expr.args[0]);
+            Value c = eval(expr.args[1]);
+            unsigned width = std::max(a.width, c.width);
+            a = _b.zext(a, width);
+            c = _b.zext(c, width);
+            switch (expr.kind) {
+              case Expr::Kind::Eq: return _b.eq(a, c);
+              case Expr::Kind::Ne: return _b.ne(a, c);
+              case Expr::Kind::Lt: return _b.ult(a, c);
+              case Expr::Kind::Le: return _b.ule(a, c);
+              case Expr::Kind::Gt: return _b.ult(c, a);
+              default: return _b.ule(c, a);
+            }
+          }
+          case Expr::Kind::Past:
+            return past(expr.args[0],
+                        static_cast<unsigned>(expr.value));
+          case Expr::Kind::Rose: {
+            Value now = truth(expr.args[0]);
+            Value prev = pastOf(now, 1, expr.args[0].key() + "#t");
+            return _b.land(now, _b.lnot(prev));
+          }
+          case Expr::Kind::Fell: {
+            Value now = truth(expr.args[0]);
+            Value prev = pastOf(now, 1, expr.args[0].key() + "#t");
+            return _b.land(_b.lnot(now), prev);
+          }
+          case Expr::Kind::IsUnknown:
+            panic("$isunknown reached circuit generation");
+        }
+        panic("unhandled assertion expression");
+    }
+
+  private:
+    Value past(const Expr &arg, unsigned depth)
+    {
+        Value now = eval(arg);
+        return pastOf(now, depth, arg.key());
+    }
+
+    /** Shared shift-register chain keyed by expression. */
+    Value pastOf(Value now, unsigned depth, const std::string &key)
+    {
+        Value cur = now;
+        for (unsigned d = 1; d <= depth; ++d) {
+            std::string reg_key = key + "#" + std::to_string(d);
+            auto it = _pastRegs.find(reg_key);
+            if (it != _pastRegs.end()) {
+                cur = it->second;
+                continue;
+            }
+            Value q = _b.pipe("past_" +
+                                  std::to_string(_pastRegs.size()),
+                              cur, 0, _clock);
+            ++_stats.pastRegs;
+            _pastRegs[reg_key] = q;
+            cur = q;
+        }
+        return cur;
+    }
+
+    Builder &_b;
+    const SignalResolver &_resolver;
+    uint8_t _clock;
+    MonitorStats &_stats;
+    std::map<std::string, Value> _pastRegs;
+};
+
+} // namespace
+
+Value
+buildMonitor(Builder &builder, const CompiledProperty &prop,
+             const SignalResolver &resolver, uint8_t clock,
+             MonitorStats *stats_out)
+{
+    MonitorStats stats;
+    ExprBuilder exprs(builder, resolver, clock, stats);
+
+    if (prop.ast.immediate) {
+        Value fail = builder.lnot(
+            exprs.truth(prop.ast.immediateExpr));
+        if (stats_out)
+            *stats_out = stats;
+        return fail;
+    }
+
+    // Atom values for this cycle.
+    std::vector<Value> atom(prop.atoms.size());
+    for (size_t i = 0; i < prop.atoms.size(); ++i)
+        atom[i] = exprs.truth(prop.atoms.atoms()[i]);
+    stats.atoms = static_cast<uint32_t>(prop.atoms.size());
+
+    Value zero = builder.lit(0, 1);
+    Value one = builder.lit(1, 1);
+    Value dis = prop.ast.hasDisable ? exprs.truth(prop.ast.disable)
+                                    : zero;
+
+    auto guard = [&](Value next) {
+        // disable iff clears all monitor state.
+        return prop.ast.hasDisable
+            ? builder.mux(dis, zero, next) : next;
+    };
+
+    // ---- antecedent: nondeterministic token passing -------------
+    Value matchA = one;
+    if (prop.hasAntecedent) {
+        const Nfa &nfa = prop.antecedent;
+        std::vector<rtl::RegHandle> tok(nfa.size());
+        std::vector<Value> tok_val(nfa.size());
+        for (uint32_t s = 0; s < nfa.size(); ++s) {
+            if (s == nfa.start) {
+                tok_val[s] = one;  // a new attempt every cycle
+                continue;
+            }
+            tok[s] = builder.reg(
+                "ant_tok" + std::to_string(s), 1, 0, clock);
+            tok_val[s] = tok[s].q;
+            ++stats.antecedentStates;
+        }
+        std::vector<Value> next(nfa.size(), zero);
+        Value match = zero;
+        for (uint32_t s = 0; s < nfa.size(); ++s) {
+            for (const Nfa::Edge &edge : nfa.out[s]) {
+                Value fire = builder.land(tok_val[s],
+                                          atom[edge.atom]);
+                if (nfa.accept[edge.to])
+                    match = builder.lor(match, fire);
+                if (edge.to != nfa.start)
+                    next[edge.to] = builder.lor(next[edge.to], fire);
+            }
+        }
+        for (uint32_t s = 0; s < nfa.size(); ++s) {
+            if (s == nfa.start)
+                continue;
+            builder.connect(tok[s], guard(next[s]));
+        }
+        matchA = match;
+    }
+
+    // ---- spawn: overlapped |-> starts the consequent this cycle;
+    // |=> delays it by one.
+    Value spawn = matchA;
+    if (!prop.ast.overlapped) {
+        spawn = builder.pipe("spawn_dly", guard(matchA), 0, clock);
+    }
+
+    // ---- consequent: determinized attempt tracking ---------------
+    const Dfa &dfa = prop.consequent;
+    std::vector<rtl::RegHandle> act(dfa.states.size());
+    std::vector<Value> effective(dfa.states.size());
+    for (size_t d = 0; d < dfa.states.size(); ++d) {
+        act[d] = builder.reg("con_act" + std::to_string(d), 1, 0,
+                             clock);
+        effective[d] = act[d].q;
+        ++stats.consequentStates;
+    }
+    effective[0] = builder.lor(effective[0], spawn);
+
+    std::vector<Value> next(dfa.states.size(), zero);
+    Value fail = zero;
+    for (size_t d = 0; d < dfa.states.size(); ++d) {
+        const Dfa::State &state = dfa.states[d];
+        const size_t k = state.relevant.size();
+        for (uint32_t v = 0; v < (1u << k); ++v) {
+            int action = state.action[v];
+            if (action == Dfa::kSuccess)
+                continue;
+            // Minterm condition over the relevant atoms.
+            Value cond = effective[d];
+            for (size_t j = 0; j < k; ++j) {
+                Value bit = atom[state.relevant[j]];
+                if (!((v >> j) & 1))
+                    bit = builder.lnot(bit);
+                cond = builder.land(cond, bit);
+            }
+            if (action == Dfa::kFail)
+                fail = builder.lor(fail, cond);
+            else
+                next[action] = builder.lor(next[action], cond);
+        }
+    }
+    for (size_t d = 0; d < dfa.states.size(); ++d)
+        builder.connect(act[d], guard(next[d]));
+
+    if (prop.ast.hasDisable)
+        fail = builder.land(fail, builder.lnot(dis));
+
+    if (stats_out)
+        *stats_out = stats;
+    return fail;
+}
+
+AssertionArea
+measureAssertionArea(
+    const std::string &text,
+    const std::unordered_map<std::string, unsigned> &widths)
+{
+    AssertionArea area;
+    CompileOutcome outcome = compileAssertion(text);
+    if (!outcome.ok) {
+        area.error = outcome.error;
+        return area;
+    }
+
+    Builder builder("sva_monitor");
+    std::map<std::string, Value> ports;
+    SignalResolver resolver = [&](const std::string &name) {
+        auto it = ports.find(name);
+        if (it != ports.end())
+            return it->second;
+        auto wit = widths.find(name);
+        unsigned width = wit == widths.end() ? 1 : wit->second;
+        Value v = builder.input(name, width);
+        ports[name] = v;
+        return v;
+    };
+    Value fail = buildMonitor(builder, outcome.prop, resolver);
+    builder.output("fail", fail);
+    rtl::Design design = builder.finish();
+
+    synth::MappedNetlist net = synth::techMap(design);
+    synth::ResourceCount totals = net.totals();
+    area.synthesizable = true;
+    area.luts = static_cast<uint32_t>(totals.luts);
+    area.ffs = static_cast<uint32_t>(totals.ffs);
+    return area;
+}
+
+} // namespace zoomie::sva

@@ -1,0 +1,176 @@
+#include "eval.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::sva {
+
+void
+PropertyEvaluator::reset()
+{
+    _antTokens.clear();
+    _active.clear();
+    _spawnPending = false;
+    _history.clear();
+    _failCount = 0;
+}
+
+uint64_t
+PropertyEvaluator::history(const std::string &key, uint64_t now,
+                           unsigned depth)
+{
+    if (_staged)
+        (*_staged)[key] = now;
+    const auto &dq = _history[key];
+    if (depth == 0)
+        return now;
+    return depth <= dq.size() ? dq[depth - 1] : 0;
+}
+
+bool
+PropertyEvaluator::truth(const Expr &expr, const SignalReader &read)
+{
+    return eval(expr, read) != 0;
+}
+
+uint64_t
+PropertyEvaluator::eval(const Expr &expr, const SignalReader &read)
+{
+    switch (expr.kind) {
+      case Expr::Kind::Signal:
+        return read(expr.signal);
+      case Expr::Kind::Const:
+        return expr.value;
+      case Expr::Kind::Index:
+        return (eval(expr.args[0], read) >> expr.value) & 1;
+      case Expr::Kind::Not:
+        return !truth(expr.args[0], read);
+      case Expr::Kind::And:
+        return truth(expr.args[0], read) &&
+               truth(expr.args[1], read);
+      case Expr::Kind::Or:
+        return truth(expr.args[0], read) ||
+               truth(expr.args[1], read);
+      case Expr::Kind::Xor:
+        return uint64_t(truth(expr.args[0], read)) ^
+               uint64_t(truth(expr.args[1], read));
+      case Expr::Kind::Eq:
+        return eval(expr.args[0], read) == eval(expr.args[1], read);
+      case Expr::Kind::Ne:
+        return eval(expr.args[0], read) != eval(expr.args[1], read);
+      case Expr::Kind::Lt:
+        return eval(expr.args[0], read) < eval(expr.args[1], read);
+      case Expr::Kind::Le:
+        return eval(expr.args[0], read) <= eval(expr.args[1], read);
+      case Expr::Kind::Gt:
+        return eval(expr.args[0], read) > eval(expr.args[1], read);
+      case Expr::Kind::Ge:
+        return eval(expr.args[0], read) >= eval(expr.args[1], read);
+      case Expr::Kind::Past: {
+        uint64_t now = eval(expr.args[0], read);
+        return history(expr.args[0].key(), now,
+                       static_cast<unsigned>(expr.value));
+      }
+      case Expr::Kind::Rose: {
+        uint64_t now = truth(expr.args[0], read);
+        uint64_t prev = history(expr.args[0].key() + "#t", now, 1);
+        return now && !prev;
+      }
+      case Expr::Kind::Fell: {
+        uint64_t now = truth(expr.args[0], read);
+        uint64_t prev = history(expr.args[0].key() + "#t", now, 1);
+        return !now && prev;
+      }
+      case Expr::Kind::IsUnknown:
+        panic("$isunknown reached the evaluator");
+    }
+    panic("unhandled expression in evaluator");
+}
+
+bool
+PropertyEvaluator::step(const SignalReader &read)
+{
+    std::map<std::string, uint64_t> staged;
+    _staged = &staged;
+
+    bool fail = false;
+    if (_prop.ast.immediate) {
+        fail = !truth(_prop.ast.immediateExpr, read);
+    } else {
+        // Atom values.
+        std::vector<bool> atom(_prop.atoms.size());
+        for (size_t i = 0; i < _prop.atoms.size(); ++i)
+            atom[i] = truth(_prop.atoms.atoms()[i], read);
+        bool dis = _prop.ast.hasDisable &&
+                   truth(_prop.ast.disable, read);
+
+        // Antecedent token passing (virtual token at start).
+        bool matchA = true;
+        std::set<uint32_t> next_tokens;
+        if (_prop.hasAntecedent) {
+            const Nfa &nfa = _prop.antecedent;
+            matchA = false;
+            auto tokened = [&](uint32_t s) {
+                return s == nfa.start || _antTokens.count(s) > 0;
+            };
+            for (uint32_t s = 0; s < nfa.size(); ++s) {
+                if (!tokened(s))
+                    continue;
+                for (const Nfa::Edge &edge : nfa.out[s]) {
+                    if (!atom[edge.atom])
+                        continue;
+                    if (nfa.accept[edge.to])
+                        matchA = true;
+                    if (edge.to != nfa.start)
+                        next_tokens.insert(edge.to);
+                }
+            }
+        }
+
+        bool spawn = _prop.ast.overlapped ? matchA : _spawnPending;
+        bool spawn_pending_next = matchA;
+
+        std::set<int> effective = _active;
+        if (spawn)
+            effective.insert(0);
+
+        std::set<int> next_active;
+        for (int d : effective) {
+            const Dfa::State &state = _prop.consequent.states[d];
+            uint32_t v = 0;
+            for (size_t j = 0; j < state.relevant.size(); ++j) {
+                if (atom[state.relevant[j]])
+                    v |= 1u << j;
+            }
+            int action = state.action[v];
+            if (action == Dfa::kFail)
+                fail = true;
+            else if (action != Dfa::kSuccess)
+                next_active.insert(action);
+        }
+
+        if (dis) {
+            fail = false;
+            next_tokens.clear();
+            next_active.clear();
+            spawn_pending_next = false;
+        }
+        _antTokens = std::move(next_tokens);
+        _active = std::move(next_active);
+        _spawnPending = spawn_pending_next;
+    }
+
+    // Commit history samples.
+    for (const auto &[key, value] : staged)
+        _history[key].push_front(value);
+    for (auto &[key, dq] : _history) {
+        if (dq.size() > 80)
+            dq.pop_back();
+    }
+    _staged = nullptr;
+
+    if (fail)
+        ++_failCount;
+    return fail;
+}
+
+} // namespace zoomie::sva

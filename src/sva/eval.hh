@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Software reference evaluator for compiled properties. Executes
+ * the same automata the hardware monitor implements, over a signal
+ * trace supplied cycle by cycle — used to differentially test the
+ * Assertion Synthesis compiler and by Zoomie's host software to
+ * re-check violations on extracted snapshots.
+ */
+
+#ifndef ZOOMIE_SVA_EVAL_HH
+#define ZOOMIE_SVA_EVAL_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "sva/compiler.hh"
+
+namespace zoomie::sva {
+
+/** Reads the current value of a named signal. */
+using SignalReader = std::function<uint64_t(const std::string &)>;
+
+/** Stepwise evaluator for one compiled property. */
+class PropertyEvaluator
+{
+  public:
+    explicit PropertyEvaluator(const CompiledProperty &prop)
+        : _prop(prop)
+    {
+        reset();
+    }
+
+    /** Clear all attempt state and history. */
+    void reset();
+
+    /**
+     * Evaluate one clock cycle.
+     *
+     * @param read signal accessor for this cycle
+     * @return true if the property FAILS in this cycle
+     */
+    bool step(const SignalReader &read);
+
+    /** Failures seen since reset. */
+    uint64_t failCount() const { return _failCount; }
+
+  private:
+    bool truth(const Expr &expr, const SignalReader &read);
+    uint64_t eval(const Expr &expr, const SignalReader &read);
+    uint64_t history(const std::string &key, uint64_t now,
+                     unsigned depth);
+
+    const CompiledProperty &_prop;
+    std::set<uint32_t> _antTokens;       ///< NFA states w/ tokens
+    std::set<int> _active;               ///< DFA attempt states
+    bool _spawnPending = false;          ///< |=> delayed spawn
+    std::map<std::string, std::deque<uint64_t>> _history;
+    std::map<std::string, uint64_t> *_staged = nullptr;
+    uint64_t _failCount = 0;
+};
+
+} // namespace zoomie::sva
+
+#endif // ZOOMIE_SVA_EVAL_HH

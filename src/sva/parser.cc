@@ -1,0 +1,727 @@
+#include "parser.hh"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace zoomie::sva {
+
+namespace {
+
+enum class Tok {
+    End, Ident, Number, SysFunc,
+    LParen, RParen, LBrack, RBrack, LBrackStar, LBrackEq, LBrackArrow,
+    Colon, Semi, Comma, At, Star, Dollar, Assign,
+    DelayDelay,           // ##
+    ImplOverlap,          // |->
+    ImplNonOverlap,       // |=>
+    EqEq, NotEq, Lt, Le, Gt, Ge,
+    AndAnd, OrOr, Amp, Pipe, Caret, Bang, Tilde,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    uint64_t value = 0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text) : _text(text) {}
+
+    bool ok() const { return _error.empty(); }
+    const std::string &error() const { return _error; }
+
+    std::vector<Token> run()
+    {
+        std::vector<Token> tokens;
+        while (true) {
+            Token token = next();
+            tokens.push_back(token);
+            if (token.kind == Tok::End || !_error.empty())
+                break;
+        }
+        return tokens;
+    }
+
+  private:
+    char peek(size_t ahead = 0) const
+    {
+        return _pos + ahead < _text.size() ? _text[_pos + ahead] : 0;
+    }
+
+    Token next()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+        if (_pos >= _text.size())
+            return {Tok::End, "", 0};
+
+        char c = peek();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return ident();
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'')
+            return number();
+        if (c == '$') {
+            ++_pos;
+            Token t = ident();
+            t.kind = Tok::SysFunc;
+            return t;
+        }
+
+        auto two = [&](char a, char b) {
+            return peek() == a && peek(1) == b;
+        };
+        if (two('#', '#')) { _pos += 2; return {Tok::DelayDelay, "##", 0}; }
+        if (peek() == '|' && peek(1) == '-' && peek(2) == '>') {
+            _pos += 3;
+            return {Tok::ImplOverlap, "|->", 0};
+        }
+        if (peek() == '|' && peek(1) == '=' && peek(2) == '>') {
+            _pos += 3;
+            return {Tok::ImplNonOverlap, "|=>", 0};
+        }
+        if (two('[', '*')) { _pos += 2; return {Tok::LBrackStar, "[*", 0}; }
+        if (two('[', '=')) { _pos += 2; return {Tok::LBrackEq, "[=", 0}; }
+        if (peek() == '[' && peek(1) == '-' && peek(2) == '>') {
+            _pos += 3;
+            return {Tok::LBrackArrow, "[->", 0};
+        }
+        if (two('=', '=')) { _pos += 2; return {Tok::EqEq, "==", 0}; }
+        if (two('!', '=')) { _pos += 2; return {Tok::NotEq, "!=", 0}; }
+        if (two('<', '=')) { _pos += 2; return {Tok::Le, "<=", 0}; }
+        if (two('>', '=')) { _pos += 2; return {Tok::Ge, ">=", 0}; }
+        if (two('&', '&')) { _pos += 2; return {Tok::AndAnd, "&&", 0}; }
+        if (two('|', '|')) { _pos += 2; return {Tok::OrOr, "||", 0}; }
+
+        ++_pos;
+        switch (c) {
+          case '(': return {Tok::LParen, "(", 0};
+          case ')': return {Tok::RParen, ")", 0};
+          case '[': return {Tok::LBrack, "[", 0};
+          case ']': return {Tok::RBrack, "]", 0};
+          case ':': return {Tok::Colon, ":", 0};
+          case ';': return {Tok::Semi, ";", 0};
+          case ',': return {Tok::Comma, ",", 0};
+          case '@': return {Tok::At, "@", 0};
+          case '*': return {Tok::Star, "*", 0};
+          case '$': return {Tok::Dollar, "$", 0};
+          case '<': return {Tok::Lt, "<", 0};
+          case '>': return {Tok::Gt, ">", 0};
+          case '&': return {Tok::Amp, "&", 0};
+          case '|': return {Tok::Pipe, "|", 0};
+          case '^': return {Tok::Caret, "^", 0};
+          case '!': return {Tok::Bang, "!", 0};
+          case '~': return {Tok::Tilde, "~", 0};
+          case '=': return {Tok::Assign, "=", 0};
+          default:
+            _error = std::string("unexpected character '") + c + "'";
+            return {Tok::End, "", 0};
+        }
+    }
+
+    Token ident()
+    {
+        size_t start = _pos;
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.' || c == '/')
+                ++_pos;
+            else
+                break;
+        }
+        return {Tok::Ident, _text.substr(start, _pos - start), 0};
+    }
+
+    Token number()
+    {
+        // decimal, 0x hex, or SystemVerilog sized literals
+        // (8'hFF, 'b101, 4'd9).
+        uint64_t value = 0;
+        if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            _pos += 2;
+            while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+                value = value * 16 +
+                        (std::isdigit(
+                             static_cast<unsigned char>(peek()))
+                             ? peek() - '0'
+                             : (std::tolower(peek()) - 'a') + 10);
+                ++_pos;
+            }
+            return {Tok::Number, "", value};
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            value = value * 10 + (peek() - '0');
+            ++_pos;
+        }
+        if (peek() == '\'') {
+            ++_pos;
+            char base = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(peek())));
+            ++_pos;
+            uint64_t radix = base == 'h' ? 16 : base == 'b' ? 2
+                : base == 'o' ? 8 : 10;
+            value = 0;
+            while (std::isxdigit(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                if (peek() == '_') {
+                    ++_pos;
+                    continue;
+                }
+                uint64_t digit =
+                    std::isdigit(static_cast<unsigned char>(peek()))
+                        ? uint64_t(peek() - '0')
+                        : uint64_t(std::tolower(peek()) - 'a') + 10;
+                if (digit >= radix)
+                    break;
+                value = value * radix + digit;
+                ++_pos;
+            }
+        }
+        return {Tok::Number, "", value};
+    }
+
+    const std::string &_text;
+    size_t _pos = 0;
+    std::string _error;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : _tokens(std::move(tokens)) {}
+
+    ParseResult run()
+    {
+        ParseResult result;
+        Property &prop = result.property;
+
+        // Optional label.
+        if (at(Tok::Ident) && cur().text != "assert") {
+            prop.name = cur().text;
+            ++_pos;
+            if (!eat(Tok::Colon))
+                return fail("expected ':' after assertion label");
+        }
+        if (!atKeyword("assert"))
+            return fail("expected 'assert'");
+        ++_pos;
+
+        if (atKeyword("property")) {
+            ++_pos;
+            if (!eat(Tok::LParen))
+                return fail("expected '(' after 'assert property'");
+            if (!parseProperty(prop))
+                return fail(_error);
+            if (!eat(Tok::RParen))
+                return fail("expected ')' closing the property");
+        } else {
+            // Immediate assertion.
+            if (!eat(Tok::LParen))
+                return fail("expected '('");
+            prop.immediate = true;
+            if (!parseExpr(prop.immediateExpr))
+                return fail(_error);
+            if (!eat(Tok::RParen))
+                return fail("expected ')'");
+        }
+        eat(Tok::Semi);
+        if (!at(Tok::End))
+            return fail("trailing input after assertion");
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    const Token &cur() const { return _tokens[_pos]; }
+    bool at(Tok kind) const { return cur().kind == kind; }
+    bool atKeyword(const char *kw) const
+    {
+        return at(Tok::Ident) && cur().text == kw;
+    }
+    bool eat(Tok kind)
+    {
+        if (!at(kind))
+            return false;
+        ++_pos;
+        return true;
+    }
+    ParseResult fail(const std::string &reason)
+    {
+        return ParseResult::failure(reason.empty()
+                                        ? "parse error" : reason);
+    }
+    bool error(const std::string &reason)
+    {
+        if (_error.empty())
+            _error = reason;
+        return false;
+    }
+
+    bool parseProperty(Property &prop)
+    {
+        // Clocking.
+        if (eat(Tok::At)) {
+            if (!eat(Tok::LParen))
+                return error("expected '(' after '@'");
+            if (atKeyword("negedge"))
+                return error("negedge clocking unsupported");
+            if (!atKeyword("posedge"))
+                return error("expected 'posedge'");
+            ++_pos;
+            if (!at(Tok::Ident))
+                return error("expected clock signal name");
+            prop.clock = cur().text;
+            ++_pos;
+            if (!eat(Tok::RParen))
+                return error("expected ')' after clocking");
+        }
+        // Disable.
+        if (atKeyword("disable")) {
+            ++_pos;
+            if (!atKeyword("iff"))
+                return error("expected 'iff' after 'disable'");
+            ++_pos;
+            if (!eat(Tok::LParen))
+                return error("expected '(' after 'disable iff'");
+            if (!parseExpr(prop.disable))
+                return false;
+            if (!eat(Tok::RParen))
+                return error("expected ')' after disable condition");
+            prop.hasDisable = true;
+        }
+        if (at(Tok::At))
+            return error("multiple clocking events unsupported");
+
+        auto lhs = parseSeq();
+        if (!lhs)
+            return false;
+        if (at(Tok::ImplOverlap) || at(Tok::ImplNonOverlap)) {
+            prop.overlapped = at(Tok::ImplOverlap);
+            ++_pos;
+            prop.antecedent = std::move(lhs);
+            prop.consequent = parseSeq();
+            if (!prop.consequent)
+                return false;
+        } else {
+            prop.consequent = std::move(lhs);
+        }
+        return true;
+    }
+
+    // seq := seq_and ('or' seq_and)*
+    std::unique_ptr<Seq> parseSeq()
+    {
+        auto lhs = parseSeqAnd();
+        if (!lhs)
+            return nullptr;
+        while (atKeyword("or")) {
+            ++_pos;
+            auto rhs = parseSeqAnd();
+            if (!rhs)
+                return nullptr;
+            auto node = std::make_unique<Seq>();
+            node->kind = Seq::Kind::Or;
+            node->a = std::move(lhs);
+            node->b = std::move(rhs);
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<Seq> parseSeqAnd()
+    {
+        auto lhs = parseSeqCat();
+        if (!lhs)
+            return nullptr;
+        while (atKeyword("and")) {
+            ++_pos;
+            auto rhs = parseSeqCat();
+            if (!rhs)
+                return nullptr;
+            auto node = std::make_unique<Seq>();
+            node->kind = Seq::Kind::And;
+            node->a = std::move(lhs);
+            node->b = std::move(rhs);
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    /** Parse ## delay; returns false on error. */
+    bool parseDelay(uint32_t &lo, uint32_t &hi)
+    {
+        if (at(Tok::Number)) {
+            lo = hi = static_cast<uint32_t>(cur().value);
+            ++_pos;
+        } else if (eat(Tok::LBrack)) {
+            if (!at(Tok::Number))
+                return error("expected delay lower bound");
+            lo = static_cast<uint32_t>(cur().value);
+            ++_pos;
+            if (!eat(Tok::Colon))
+                return error("expected ':' in delay range");
+            if (at(Tok::Dollar) ||
+                (at(Tok::SysFunc) && cur().text.empty()))
+                return error("unbounded delay ranges unsupported "
+                             "(finite ranges only)");
+            if (!at(Tok::Number))
+                return error("expected delay upper bound");
+            hi = static_cast<uint32_t>(cur().value);
+            ++_pos;
+            if (!eat(Tok::RBrack))
+                return error("expected ']' after delay range");
+        } else {
+            return error("expected delay after '##'");
+        }
+        if (lo == 0)
+            return error("##0 fusion unsupported");
+        if (hi < lo)
+            return error("empty delay range");
+        if (hi > 64)
+            return error("delay range too large (max 64)");
+        return true;
+    }
+
+    // seq_cat := [##d rep] rep (##d rep)*
+    std::unique_ptr<Seq> parseSeqCat()
+    {
+        std::unique_ptr<Seq> lhs;
+        if (eat(Tok::DelayDelay)) {
+            // Leading delay, e.g. "|-> ##1 ack": prepend `true`.
+            uint32_t lo, hi;
+            if (!parseDelay(lo, hi))
+                return nullptr;
+            auto truth = std::make_unique<Seq>();
+            truth->kind = Seq::Kind::Atom;
+            truth->expr.kind = Expr::Kind::Const;
+            truth->expr.value = 1;
+            auto rhs = parseSeqRep();
+            if (!rhs)
+                return nullptr;
+            auto node = std::make_unique<Seq>();
+            node->kind = Seq::Kind::Delay;
+            node->a = std::move(truth);
+            node->b = std::move(rhs);
+            node->lo = lo;
+            node->hi = hi;
+            lhs = std::move(node);
+        } else {
+            lhs = parseSeqRep();
+            if (!lhs)
+                return nullptr;
+        }
+        while (at(Tok::DelayDelay)) {
+            ++_pos;
+            uint32_t lo, hi;
+            if (!parseDelay(lo, hi))
+                return nullptr;
+            auto rhs = parseSeqRep();
+            if (!rhs)
+                return nullptr;
+            auto node = std::make_unique<Seq>();
+            node->kind = Seq::Kind::Delay;
+            node->a = std::move(lhs);
+            node->b = std::move(rhs);
+            node->lo = lo;
+            node->hi = hi;
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<Seq> parseSeqRep()
+    {
+        auto base = parseSeqPrim();
+        if (!base)
+            return nullptr;
+        if (at(Tok::LBrackEq) || at(Tok::LBrackArrow)) {
+            error("only consecutive repetition is supported");
+            return nullptr;
+        }
+        if (eat(Tok::LBrackStar)) {
+            if (!at(Tok::Number)) {
+                error("unbounded repetition unsupported "
+                      "(finite bounds only)");
+                return nullptr;
+            }
+            uint32_t lo = static_cast<uint32_t>(cur().value);
+            uint32_t hi = lo;
+            ++_pos;
+            if (eat(Tok::Colon)) {
+                if (!at(Tok::Number)) {
+                    error("unbounded repetition unsupported "
+                          "(finite bounds only)");
+                    return nullptr;
+                }
+                hi = static_cast<uint32_t>(cur().value);
+                ++_pos;
+            }
+            if (!eat(Tok::RBrack)) {
+                error("expected ']' after repetition");
+                return nullptr;
+            }
+            if (lo == 0) {
+                error("zero-repetition [*0...] unsupported");
+                return nullptr;
+            }
+            if (hi < lo || hi > 32) {
+                error("bad repetition bounds (max 32)");
+                return nullptr;
+            }
+            auto node = std::make_unique<Seq>();
+            node->kind = Seq::Kind::Repeat;
+            node->a = std::move(base);
+            node->lo = lo;
+            node->hi = hi;
+            return node;
+        }
+        return base;
+    }
+
+    std::unique_ptr<Seq> parseSeqPrim()
+    {
+        if (atKeyword("first_match")) {
+            error("first_match unsupported");
+            return nullptr;
+        }
+        if (at(Tok::LParen)) {
+            // Could be a parenthesized sequence or expression; a
+            // sequence subsumes the expression case. A local
+            // variable assignment inside is detected up front for
+            // a precise diagnostic.
+            size_t save = _pos;
+            int depth = 0;
+            for (size_t i = _pos; i < _tokens.size(); ++i) {
+                if (_tokens[i].kind == Tok::LParen)
+                    ++depth;
+                else if (_tokens[i].kind == Tok::RParen &&
+                         --depth == 0)
+                    break;
+                if (_tokens[i].kind == Tok::Assign && depth >= 1) {
+                    error("local variables unsupported");
+                    return nullptr;
+                }
+            }
+            ++_pos;
+            auto seq = parseSeq();
+            if (seq && eat(Tok::RParen)) {
+                // Local-variable assignment? (unsupported); the
+                // grammar would have failed already, so just check
+                // for ", name =" style leftovers — handled below.
+                return seq;
+            }
+            _pos = save;
+            _error.clear();
+        }
+        // Bare boolean expression atom.
+        auto node = std::make_unique<Seq>();
+        node->kind = Seq::Kind::Atom;
+        if (!parseExpr(node->expr))
+            return nullptr;
+        if (at(Tok::Assign)) {
+            error("local variables unsupported");
+            return nullptr;
+        }
+        return node;
+    }
+
+    // ---- expressions ---------------------------------------------
+    bool parseExpr(Expr &out) { return parseOr(out); }
+
+    bool parseOr(Expr &out)
+    {
+        if (!parseAnd(out))
+            return false;
+        while (at(Tok::OrOr) || at(Tok::Pipe)) {
+            ++_pos;
+            Expr rhs;
+            if (!parseAnd(rhs))
+                return false;
+            Expr lhs = std::move(out);
+            out = Expr{};
+            out.kind = Expr::Kind::Or;
+            out.args.push_back(std::move(lhs));
+            out.args.push_back(std::move(rhs));
+        }
+        return true;
+    }
+
+    bool parseAnd(Expr &out)
+    {
+        if (!parseXor(out))
+            return false;
+        while (at(Tok::AndAnd) || at(Tok::Amp)) {
+            ++_pos;
+            Expr rhs;
+            if (!parseXor(rhs))
+                return false;
+            Expr lhs = std::move(out);
+            out = Expr{};
+            out.kind = Expr::Kind::And;
+            out.args.push_back(std::move(lhs));
+            out.args.push_back(std::move(rhs));
+        }
+        return true;
+    }
+
+    bool parseXor(Expr &out)
+    {
+        if (!parseCmp(out))
+            return false;
+        while (at(Tok::Caret)) {
+            ++_pos;
+            Expr rhs;
+            if (!parseCmp(rhs))
+                return false;
+            Expr lhs = std::move(out);
+            out = Expr{};
+            out.kind = Expr::Kind::Xor;
+            out.args.push_back(std::move(lhs));
+            out.args.push_back(std::move(rhs));
+        }
+        return true;
+    }
+
+    bool parseCmp(Expr &out)
+    {
+        if (!parseUnary(out))
+            return false;
+        Expr::Kind kind;
+        if (at(Tok::EqEq))
+            kind = Expr::Kind::Eq;
+        else if (at(Tok::NotEq))
+            kind = Expr::Kind::Ne;
+        else if (at(Tok::Lt))
+            kind = Expr::Kind::Lt;
+        else if (at(Tok::Le))
+            kind = Expr::Kind::Le;
+        else if (at(Tok::Gt))
+            kind = Expr::Kind::Gt;
+        else if (at(Tok::Ge))
+            kind = Expr::Kind::Ge;
+        else
+            return true;
+        ++_pos;
+        Expr rhs;
+        if (!parseUnary(rhs))
+            return false;
+        Expr lhs = std::move(out);
+        out = Expr{};
+        out.kind = kind;
+        out.args.push_back(std::move(lhs));
+        out.args.push_back(std::move(rhs));
+        return true;
+    }
+
+    bool parseUnary(Expr &out)
+    {
+        if (at(Tok::Bang) || at(Tok::Tilde)) {
+            ++_pos;
+            Expr inner;
+            if (!parseUnary(inner))
+                return false;
+            out = Expr{};
+            out.kind = Expr::Kind::Not;
+            out.args.push_back(std::move(inner));
+            return true;
+        }
+        return parsePrimary(out);
+    }
+
+    bool parsePrimary(Expr &out)
+    {
+        if (eat(Tok::LParen)) {
+            if (!parseExpr(out))
+                return false;
+            if (!eat(Tok::RParen))
+                return error("expected ')'");
+            return true;
+        }
+        if (at(Tok::Number)) {
+            out = Expr{};
+            out.kind = Expr::Kind::Const;
+            out.value = cur().value;
+            ++_pos;
+            return true;
+        }
+        if (at(Tok::SysFunc)) {
+            std::string fn = cur().text;
+            ++_pos;
+            if (!eat(Tok::LParen))
+                return error("expected '(' after $" + fn);
+            Expr arg;
+            if (!parseExpr(arg))
+                return false;
+            out = Expr{};
+            if (fn == "past") {
+                out.kind = Expr::Kind::Past;
+                out.value = 1;
+                if (eat(Tok::Comma)) {
+                    if (!at(Tok::Number))
+                        return error("expected $past depth");
+                    out.value = cur().value;
+                    ++_pos;
+                    if (out.value == 0 || out.value > 64)
+                        return error("bad $past depth");
+                }
+            } else if (fn == "isunknown") {
+                out.kind = Expr::Kind::IsUnknown;
+            } else if (fn == "rose") {
+                out.kind = Expr::Kind::Rose;
+            } else if (fn == "fell") {
+                out.kind = Expr::Kind::Fell;
+            } else {
+                return error("unsupported system function $" + fn);
+            }
+            out.args.push_back(std::move(arg));
+            if (!eat(Tok::RParen))
+                return error("expected ')' after $" + fn);
+            return true;
+        }
+        if (at(Tok::Ident)) {
+            out = Expr{};
+            out.kind = Expr::Kind::Signal;
+            out.signal = cur().text;
+            ++_pos;
+            if (eat(Tok::LBrack)) {
+                if (!at(Tok::Number))
+                    return error("expected bit index");
+                Expr index;
+                index.kind = Expr::Kind::Index;
+                index.value = cur().value;
+                ++_pos;
+                if (!eat(Tok::RBrack))
+                    return error("expected ']' after bit index");
+                index.args.push_back(std::move(out));
+                out = std::move(index);
+            }
+            return true;
+        }
+        return error("expected expression");
+    }
+
+    std::vector<Token> _tokens;
+    size_t _pos = 0;
+    std::string _error;
+};
+
+} // namespace
+
+ParseResult
+parseAssertion(const std::string &text)
+{
+    Lexer lexer(text);
+    auto tokens = lexer.run();
+    if (!lexer.ok())
+        return ParseResult::failure(lexer.error());
+    Parser parser(std::move(tokens));
+    return parser.run();
+}
+
+} // namespace zoomie::sva

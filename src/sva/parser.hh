@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Recursive-descent parser for the SVA subset. Unsupported
+ * constructs (local variables, first_match, asynchronous resets,
+ * unbounded repetition, ##0 fusion, multiple clocks) are rejected
+ * with a descriptive reason — this is what the Table 4 support
+ * matrix bench queries.
+ */
+
+#ifndef ZOOMIE_SVA_PARSER_HH
+#define ZOOMIE_SVA_PARSER_HH
+
+#include <string>
+
+#include "sva/ast.hh"
+
+namespace zoomie::sva {
+
+/** Parse outcome. */
+struct ParseResult
+{
+    bool ok = false;
+    Property property;
+    std::string error;   ///< reason when !ok
+
+    static ParseResult failure(std::string reason)
+    {
+        ParseResult result;
+        result.error = std::move(reason);
+        return result;
+    }
+};
+
+/**
+ * Parse one assertion, e.g.
+ *
+ *   ack_valid: assert property (@(posedge clk)
+ *       disable iff (!resetn) valid |-> ##1 ack);
+ *
+ * or an immediate assertion:  assert (a == b);
+ */
+ParseResult parseAssertion(const std::string &text);
+
+} // namespace zoomie::sva
+
+#endif // ZOOMIE_SVA_PARSER_HH

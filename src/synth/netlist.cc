@@ -1,0 +1,146 @@
+#include "netlist.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace zoomie::synth {
+
+ResourceCount &
+ResourceCount::operator+=(const ResourceCount &other)
+{
+    luts += other.luts;
+    lutramLuts += other.lutramLuts;
+    ffs += other.ffs;
+    brams += other.brams;
+    return *this;
+}
+
+ResourceCount
+ResourceCount::overProvisioned(double c) const
+{
+    auto scale = [c](uint64_t v) {
+        return static_cast<uint64_t>(std::ceil(v * (1.0 + c)));
+    };
+    return {scale(luts), scale(lutramLuts), scale(ffs), scale(brams)};
+}
+
+ResourceCount
+MappedNetlist::totals() const
+{
+    return totalsUnder("");
+}
+
+bool
+MappedNetlist::cellUnder(const MCell &cell,
+                         const std::string &prefix) const
+{
+    if (prefix.empty())
+        return true;
+    const std::string &scope = scopeNames[cell.scope];
+    return scope.size() >= prefix.size() &&
+           scope.compare(0, prefix.size(), prefix) == 0;
+}
+
+ResourceCount
+MappedNetlist::totalsUnder(const std::string &prefix) const
+{
+    ResourceCount count;
+    for (const MCell &cell : cells) {
+        if (!cellUnder(cell, prefix))
+            continue;
+        if (cell.kind == CellKind::Lut)
+            ++count.luts;
+        else if (cell.kind == CellKind::FF)
+            ++count.ffs;
+    }
+    for (const MRam &ram : rams) {
+        const std::string &scope = scopeNames[ram.scope];
+        bool under = prefix.empty() ||
+            (scope.size() >= prefix.size() &&
+             scope.compare(0, prefix.size(), prefix) == 0);
+        if (!under)
+            continue;
+        if (ram.style == RamStyle::Lutram)
+            count.lutramLuts += ram.physCells;
+        else
+            count.brams += ram.physCells;
+    }
+    return count;
+}
+
+uint32_t
+MappedNetlist::logicLevels() const
+{
+    // Levels over combinational cells: LUTs and async RamOut bits.
+    // Sources (FF, Input, PartIn, consts, sync RamOut) are level 0.
+    std::vector<uint32_t> level(cells.size(), 0);
+    // Build async RamOut -> address sig dependencies.
+    std::vector<std::vector<SigId>> ram_deps(cells.size());
+    for (const MRam &ram : rams) {
+        for (const auto &port : ram.readPorts) {
+            if (port.sync)
+                continue;
+            for (SigId out : port.data)
+                ram_deps[out] = port.addr;
+        }
+    }
+
+    // Cells may reference producers with larger ids; iterate to a
+    // fixed point in dependency order using a simple worklist over a
+    // topological order computed by DFS.
+    std::vector<uint8_t> state(cells.size(), 0);
+    std::vector<SigId> order;
+    order.reserve(cells.size());
+    std::vector<SigId> stack;
+    auto combInputs = [&](SigId id, std::vector<SigId> &out) {
+        const MCell &cell = cells[id];
+        out.clear();
+        if (cell.kind == CellKind::Lut) {
+            for (unsigned i = 0; i < cell.nIn; ++i)
+                out.push_back(cell.in[i]);
+        } else if (cell.kind == CellKind::RamOut &&
+                   !ram_deps[id].empty()) {
+            out = ram_deps[id];
+        }
+    };
+    std::vector<SigId> tmp;
+    for (SigId root = 0; root < cells.size(); ++root) {
+        if (state[root])
+            continue;
+        stack.push_back(root);
+        while (!stack.empty()) {
+            SigId id = stack.back();
+            if (state[id] == 0) {
+                state[id] = 1;
+                combInputs(id, tmp);
+                for (SigId dep : tmp) {
+                    if (!state[dep])
+                        stack.push_back(dep);
+                }
+            } else {
+                stack.pop_back();
+                if (state[id] == 1) {
+                    state[id] = 2;
+                    order.push_back(id);
+                }
+            }
+        }
+    }
+
+    uint32_t max_level = 0;
+    for (SigId id : order) {
+        combInputs(id, tmp);
+        uint32_t lvl = 0;
+        for (SigId dep : tmp)
+            lvl = std::max(lvl, level[dep]);
+        if (cells[id].kind == CellKind::Lut)
+            lvl += 1;
+        level[id] = lvl;
+        max_level = std::max(max_level, lvl);
+    }
+    return max_level;
+}
+
+} // namespace zoomie::synth

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The mapped (post-synthesis) netlist: 6-LUTs, flip-flops and RAM
+ * blocks with full provenance back to the RTL design. This is what
+ * the place-and-route stages consume, what the FPGA fabric executes
+ * after configuration, and what the logic-location metadata (used by
+ * Zoomie's readback name matching, §3.2) is generated from.
+ */
+
+#ifndef ZOOMIE_SYNTH_NETLIST_HH
+#define ZOOMIE_SYNTH_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hh"
+
+namespace zoomie::synth {
+
+/** Signal id: index of the producing cell in MappedNetlist::cells. */
+using SigId = uint32_t;
+constexpr SigId kNoSig = static_cast<SigId>(-1);
+
+/** Kinds of mapped cells. */
+enum class CellKind : uint8_t {
+    Const0,   ///< constant zero
+    Const1,   ///< constant one
+    Input,    ///< one bit of a top-level input port
+    Lut,      ///< k-input LUT, k <= 6
+    FF,       ///< flip-flop (one bit of an RTL register)
+    RamOut,   ///< one data bit of a RAM read port
+    PartIn,   ///< partition pseudo-input (anchor point at a VTI
+              ///< partition boundary); resolved during linking
+};
+
+/**
+ * One mapped cell. The output signal's id is the cell's index.
+ * Field use by kind:
+ *  - Input:  src = input port index, srcBit = bit within the port
+ *  - Lut:    nIn, in[0..nIn-1], truth (over in[0] = LSB of index)
+ *  - FF:     in[0] = d, in[1] = en (opt), in[2] = rst (opt);
+ *            init/rstVal flags; src = RTL reg index, srcBit = bit
+ *  - RamOut: src = ram index, srcBit = (port << 8) | bit
+ */
+struct MCell
+{
+    CellKind kind = CellKind::Lut;
+    uint8_t nIn = 0;
+    uint8_t clock = 0;
+    bool init = false;
+    bool rstVal = false;
+    SigId in[6] = {kNoSig, kNoSig, kNoSig, kNoSig, kNoSig, kNoSig};
+    uint64_t truth = 0;
+    uint32_t src = 0;
+    uint32_t srcBit = 0;
+    uint32_t scope = 0;   ///< rtl::Design scope id (for partitioning)
+};
+
+/** Physical RAM style chosen during inference. */
+enum class RamStyle : uint8_t { Lutram, Bram };
+
+/** A mapped memory block with bit-blasted port connections. */
+struct MRam
+{
+    RamStyle style = RamStyle::Bram;
+    uint32_t srcMem = 0;         ///< RTL memory index
+    uint32_t depth = 0;
+    uint8_t width = 0;
+    uint32_t scope = 0;
+    uint32_t physCells = 0;      ///< LUTRAM-LUT count or BRAM36 count
+
+    struct ReadPort
+    {
+        std::vector<SigId> addr;
+        std::vector<SigId> data;  ///< RamOut cell ids
+        bool sync = true;
+        uint8_t clock = 0;
+    };
+    struct WritePort
+    {
+        std::vector<SigId> addr;
+        std::vector<SigId> data;
+        SigId en = kNoSig;
+        uint8_t clock = 0;
+    };
+    std::vector<ReadPort> readPorts;
+    std::vector<WritePort> writePorts;
+    std::vector<uint64_t> init;  ///< initial contents (word-aligned)
+};
+
+/** Resource totals of a netlist or a netlist slice. */
+struct ResourceCount
+{
+    uint64_t luts = 0;       ///< logic LUTs
+    uint64_t lutramLuts = 0; ///< SLICEM LUTs used as distributed RAM
+    uint64_t ffs = 0;
+    uint64_t brams = 0;      ///< BRAM36 blocks
+
+    ResourceCount &operator+=(const ResourceCount &other);
+    /** Scale every resource by (1 + c) — VTI over-provisioning. */
+    ResourceCount overProvisioned(double c) const;
+};
+
+/**
+ * Complete mapped netlist (or one VTI partition of one). Evaluation
+ * order is not guaranteed by construction; consumers compute a
+ * topological order over combinational cells (LUTs and asynchronous
+ * RamOut bits).
+ */
+struct MappedNetlist
+{
+    std::string name;
+    std::vector<MCell> cells;
+    std::vector<MRam> rams;
+
+    /** Per top-level output: name and its bit signals (LSB first). */
+    struct Output { std::string name; std::vector<SigId> bits; };
+    std::vector<Output> outputs;
+
+    /** Per top-level input port: the Input cell ids (LSB first). */
+    struct Input { std::string name; std::vector<SigId> bits; };
+    std::vector<Input> inputs;
+
+    /** Scope name table copied from the source design. */
+    std::vector<std::string> scopeNames;
+
+    /**
+     * Partition boundary bookkeeping (empty for monolithic maps).
+     * Boundary lists are sorted by the RTL net id observed at map
+     * time; monotone id shifts from edits in *other* partitions
+     * preserve this order, which is what the VTI linker relies on
+     * to bind cached partitions against a re-mapped one.
+     */
+    std::vector<uint32_t> boundaryInNets;
+    std::vector<std::vector<SigId>> boundaryInCells; ///< PartIn ids
+    std::vector<uint32_t> boundaryOutNets;
+    std::vector<std::vector<SigId>> boundaryOutSigs;
+
+    /** Number of clock domains (copied from the source design). */
+    uint32_t numClocks = 1;
+
+    /** Resource totals for the whole netlist. */
+    ResourceCount totals() const;
+
+    /** Resource totals restricted to scopes under @p prefix. */
+    ResourceCount totalsUnder(const std::string &prefix) const;
+
+    /** True if the cell's scope name starts with @p prefix. */
+    bool cellUnder(const MCell &cell, const std::string &prefix) const;
+
+    /** Longest combinational LUT path (logic levels). */
+    uint32_t logicLevels() const;
+};
+
+} // namespace zoomie::synth
+
+#endif // ZOOMIE_SYNTH_NETLIST_HH

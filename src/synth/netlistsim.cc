@@ -1,0 +1,256 @@
+#include "netlistsim.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace zoomie::synth {
+
+std::vector<SigId>
+combEvalOrder(const MappedNetlist &netlist)
+{
+    const size_t n = netlist.cells.size();
+    // Async RamOut cells depend on their port's address signals.
+    std::vector<const std::vector<SigId> *> ram_addr(n, nullptr);
+    for (const MRam &ram : netlist.rams) {
+        for (const auto &port : ram.readPorts) {
+            if (port.sync)
+                continue;
+            for (SigId out : port.data)
+                ram_addr[out] = &port.addr;
+        }
+    }
+
+    std::vector<uint8_t> state(n, 0);
+    std::vector<SigId> order;
+    order.reserve(n);
+    std::vector<SigId> stack;
+    for (SigId root = 0; root < n; ++root) {
+        if (state[root])
+            continue;
+        stack.push_back(root);
+        while (!stack.empty()) {
+            SigId id = stack.back();
+            if (state[id] == 0) {
+                state[id] = 1;
+                const MCell &cell = netlist.cells[id];
+                if (cell.kind == CellKind::Lut) {
+                    for (unsigned i = 0; i < cell.nIn; ++i) {
+                        if (!state[cell.in[i]])
+                            stack.push_back(cell.in[i]);
+                    }
+                } else if (cell.kind == CellKind::RamOut &&
+                           ram_addr[id]) {
+                    for (SigId dep : *ram_addr[id]) {
+                        if (!state[dep])
+                            stack.push_back(dep);
+                    }
+                }
+            } else {
+                stack.pop_back();
+                if (state[id] == 1) {
+                    state[id] = 2;
+                    order.push_back(id);
+                }
+            }
+        }
+    }
+    return order;
+}
+
+NetlistSim::NetlistSim(const MappedNetlist &netlist)
+    : _net(netlist),
+      _order(combEvalOrder(netlist)),
+      _value(netlist.cells.size(), 0),
+      _state(netlist.cells.size(), 0)
+{
+    panic_if(!netlist.boundaryInNets.empty(),
+             "NetlistSim cannot run an unlinked partition netlist");
+    _ram.resize(_net.rams.size());
+    for (size_t r = 0; r < _net.rams.size(); ++r)
+        _ram[r].assign(_net.rams[r].depth, 0);
+    reset();
+}
+
+void
+NetlistSim::reset()
+{
+    for (SigId id = 0; id < _net.cells.size(); ++id) {
+        const MCell &cell = _net.cells[id];
+        if (cell.kind == CellKind::FF)
+            _state[id] = cell.init;
+        else if (cell.kind == CellKind::RamOut)
+            _state[id] = 0;
+    }
+    for (size_t r = 0; r < _net.rams.size(); ++r) {
+        const MRam &ram = _net.rams[r];
+        for (uint32_t a = 0; a < ram.depth; ++a) {
+            _ram[r][a] = a < ram.init.size()
+                ? truncToWidth(ram.init[a], ram.width) : 0;
+        }
+    }
+    _dirty = true;
+}
+
+void
+NetlistSim::poke(const std::string &port, uint64_t value)
+{
+    for (const auto &in : _net.inputs) {
+        if (in.name != port)
+            continue;
+        for (size_t bit = 0; bit < in.bits.size(); ++bit)
+            _value[in.bits[bit]] = getBit(value, bit);
+        _dirty = true;
+        return;
+    }
+    panic("unknown input port '", port, "'");
+}
+
+uint64_t
+NetlistSim::peek(const std::string &port)
+{
+    evaluate();
+    for (const auto &out : _net.outputs) {
+        if (out.name != port)
+            continue;
+        uint64_t value = 0;
+        for (size_t bit = 0; bit < out.bits.size(); ++bit)
+            value |= uint64_t(_value[out.bits[bit]]) << bit;
+        return value;
+    }
+    panic("unknown output port '", port, "'");
+}
+
+bool
+NetlistSim::sig(SigId id)
+{
+    evaluate();
+    return _value[id];
+}
+
+void
+NetlistSim::forceFF(SigId cell, bool value)
+{
+    panic_if(_net.cells[cell].kind != CellKind::FF,
+             "forceFF target is not a flip-flop");
+    _state[cell] = value;
+    _dirty = true;
+}
+
+uint64_t
+NetlistSim::ramWord(uint32_t ram, uint32_t addr) const
+{
+    panic_if(ram >= _ram.size(), "ram index out of range");
+    panic_if(addr >= _ram[ram].size(), "ram address out of range");
+    return _ram[ram][addr];
+}
+
+void
+NetlistSim::evaluate()
+{
+    if (!_dirty)
+        return;
+    for (SigId id : _order) {
+        const MCell &cell = _net.cells[id];
+        switch (cell.kind) {
+          case CellKind::Const0:
+            _value[id] = 0;
+            break;
+          case CellKind::Const1:
+            _value[id] = 1;
+            break;
+          case CellKind::Input:
+            break;  // driven by poke
+          case CellKind::FF:
+            _value[id] = _state[id];
+            break;
+          case CellKind::Lut: {
+            unsigned index = 0;
+            for (unsigned i = 0; i < cell.nIn; ++i)
+                index |= unsigned(_value[cell.in[i]]) << i;
+            _value[id] = (cell.truth >> index) & 1ULL;
+            break;
+          }
+          case CellKind::RamOut: {
+            const MRam &ram = _net.rams[cell.src];
+            const auto &port = ram.readPorts[cell.srcBit >> 8];
+            if (port.sync) {
+                _value[id] = _state[id];
+            } else {
+                uint64_t addr = 0;
+                for (size_t bit = 0; bit < port.addr.size(); ++bit)
+                    addr |= uint64_t(_value[port.addr[bit]]) << bit;
+                addr %= ram.depth;
+                _value[id] = getBit(_ram[cell.src][addr],
+                                    cell.srcBit & 0xff);
+            }
+            break;
+          }
+          case CellKind::PartIn:
+            panic("unresolved PartIn during execution");
+        }
+    }
+    _dirty = false;
+}
+
+void
+NetlistSim::step(uint8_t clock)
+{
+    evaluate();
+
+    // Phase 1: next values from pre-edge signals.
+    std::vector<std::pair<SigId, uint8_t>> ff_next;
+    for (SigId id = 0; id < _net.cells.size(); ++id) {
+        const MCell &cell = _net.cells[id];
+        if (cell.kind != CellKind::FF || cell.clock != clock)
+            continue;
+        if (cell.in[1] != kNoSig && !_value[cell.in[1]])
+            continue;  // clock enable low
+        uint8_t next = (cell.in[2] != kNoSig && _value[cell.in[2]])
+            ? cell.rstVal
+            : _value[cell.in[0]];
+        ff_next.emplace_back(id, next);
+    }
+
+    std::vector<std::pair<SigId, uint8_t>> latch_next;
+    struct RamWrite { uint32_t ram; uint64_t addr; uint64_t data; };
+    std::vector<RamWrite> writes;
+    for (uint32_t r = 0; r < _net.rams.size(); ++r) {
+        const MRam &ram = _net.rams[r];
+        for (const auto &port : ram.readPorts) {
+            if (!port.sync || port.clock != clock)
+                continue;
+            uint64_t addr = 0;
+            for (size_t bit = 0; bit < port.addr.size(); ++bit)
+                addr |= uint64_t(_value[port.addr[bit]]) << bit;
+            addr %= ram.depth;
+            uint64_t word = _ram[r][addr];
+            for (SigId out : port.data) {
+                latch_next.emplace_back(
+                    out, getBit(word, _net.cells[out].srcBit & 0xff));
+            }
+        }
+        for (const auto &port : ram.writePorts) {
+            if (port.clock != clock || !_value[port.en])
+                continue;
+            uint64_t addr = 0;
+            for (size_t bit = 0; bit < port.addr.size(); ++bit)
+                addr |= uint64_t(_value[port.addr[bit]]) << bit;
+            addr %= ram.depth;
+            uint64_t data = 0;
+            for (size_t bit = 0; bit < port.data.size(); ++bit)
+                data |= uint64_t(_value[port.data[bit]]) << bit;
+            writes.push_back({r, addr, data});
+        }
+    }
+
+    // Phase 2: commit.
+    for (auto [id, v] : ff_next)
+        _state[id] = v;
+    for (auto [id, v] : latch_next)
+        _state[id] = v;
+    for (const auto &w : writes)
+        _ram[w.ram][w.addr] = w.data;
+    _dirty = true;
+}
+
+} // namespace zoomie::synth

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reference interpreter for a MappedNetlist. Used to differentially
+ * verify technology mapping against the RTL simulator, and by the
+ * VTI linker's equivalence self-checks. The FPGA fabric model has
+ * its own executor that reads LUT truth tables out of configuration
+ * frames; this one reads them straight from the netlist.
+ */
+
+#ifndef ZOOMIE_SYNTH_NETLISTSIM_HH
+#define ZOOMIE_SYNTH_NETLISTSIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/netlist.hh"
+
+namespace zoomie::synth {
+
+/**
+ * Computes a topological evaluation order over the combinational
+ * cells of a netlist (LUTs and async RAM read data bits). Shared by
+ * this interpreter and the fabric model.
+ *
+ * @param netlist the netlist to order
+ * @return cell ids in a valid evaluation order
+ */
+std::vector<SigId> combEvalOrder(const MappedNetlist &netlist);
+
+/** Interpreter state for one MappedNetlist. */
+class NetlistSim
+{
+  public:
+    explicit NetlistSim(const MappedNetlist &netlist);
+
+    /** Reload FF init values and RAM init images. */
+    void reset();
+
+    /** Drive an input port by name. */
+    void poke(const std::string &port, uint64_t value);
+
+    /** Read an output port by name. */
+    uint64_t peek(const std::string &port);
+
+    /** Advance one edge of the given clock domain. */
+    void step(uint8_t clock = 0);
+
+    /** Current value of one signal. */
+    bool sig(SigId id);
+
+    /** Current FF state bit by cell id. */
+    bool ffState(SigId cell) const { return _state[cell]; }
+
+    /** Force an FF state bit (state injection). */
+    void forceFF(SigId cell, bool value);
+
+    /** Read a RAM word. */
+    uint64_t ramWord(uint32_t ram, uint32_t addr) const;
+
+  private:
+    void evaluate();
+
+    const MappedNetlist &_net;
+    std::vector<SigId> _order;
+    std::vector<uint8_t> _value;   ///< per-cell current output
+    std::vector<uint8_t> _state;   ///< FF / sync-RamOut latched state
+    std::vector<std::vector<uint64_t>> _ram;
+    bool _dirty = true;
+};
+
+} // namespace zoomie::synth
+
+#endif // ZOOMIE_SYNTH_NETLISTSIM_HH

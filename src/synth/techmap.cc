@@ -1,0 +1,1245 @@
+#include "techmap.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace zoomie::synth {
+
+namespace {
+
+/** Truth-table input patterns for up to 6 variables (64 minterms). */
+constexpr uint64_t kVarMask[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL,
+    0xF0F0F0F0F0F0F0F0ULL, 0xFF00FF00FF00FF00ULL,
+    0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+/** Bit-level gate kinds used between lowering and covering. */
+enum class GK : uint8_t { C0, C1, Leaf, And, Or, Xor, Not, Mux };
+
+struct Gate
+{
+    GK k = GK::C0;
+    SigId leaf = kNoSig;  ///< bound cell for GK::Leaf
+    uint32_t a = 0, b = 0, c = 0;
+    uint32_t scope = 0;
+};
+
+/** A cut: up to 6 leaf gates plus the function over them. */
+struct Cut
+{
+    uint8_t n = 0;
+    uint32_t leaf[6] = {};
+    uint64_t truth = 0;
+};
+
+class Mapper
+{
+  public:
+    Mapper(const rtl::Design &design, const MapOptions &options)
+        : _design(design), _opts(options) {}
+
+    MappedNetlist run(MapWork *work_out);
+
+  private:
+    // ---- inclusion --------------------------------------------
+    bool scopeIncluded(uint32_t scope_id) const;
+    bool nodeIncluded(rtl::NetId id) const
+    {
+        return _included[_design.nodeScope[id]];
+    }
+
+    // ---- gate construction -------------------------------------
+    uint32_t newGate(GK k, uint32_t a = 0, uint32_t b = 0,
+                     uint32_t c = 0);
+    uint32_t leafGate(SigId sig);
+    uint32_t gNot(uint32_t a);
+    uint32_t gAnd(uint32_t a, uint32_t b);
+    uint32_t gOr(uint32_t a, uint32_t b);
+    uint32_t gXor(uint32_t a, uint32_t b);
+    uint32_t gMux(uint32_t sel, uint32_t t, uint32_t e);
+    uint32_t reduceTree(const std::vector<uint32_t> &bits, GK op);
+
+    bool isC0(uint32_t g) const { return _gates[g].k == GK::C0; }
+    bool isC1(uint32_t g) const { return _gates[g].k == GK::C1; }
+
+    // ---- lowering ----------------------------------------------
+    void lowerNodes();
+    void lowerNode(rtl::NetId id);
+    std::vector<uint32_t> operandBits(rtl::NetId net);
+    std::vector<uint32_t> boundaryBits(rtl::NetId net);
+    const uint32_t *ownBits(rtl::NetId net) const;
+    void setBits(rtl::NetId net, const std::vector<uint32_t> &bits);
+    std::vector<uint32_t> adderBits(const std::vector<uint32_t> &a,
+                                    const std::vector<uint32_t> &b,
+                                    uint32_t carry_in);
+
+    // ---- state elements ----------------------------------------
+    void createStateSources();
+    void connectStateInputs();
+
+    // ---- covering ----------------------------------------------
+    void countRootFanout();
+    void computeCuts();
+    uint64_t expandTruth(const Cut &cut,
+                         const std::vector<uint32_t> &leaves) const;
+    SigId realize(uint32_t gate);
+
+    // ---- boundary ----------------------------------------------
+    void scanBoundaryOuts();
+    void finishBoundaries();
+
+    const rtl::Design &_design;
+    MapOptions _opts;
+    MapWork _work;
+    MappedNetlist _out;
+
+    std::vector<bool> _included;          ///< per scope id
+    std::vector<Gate> _gates;
+    std::vector<Cut> _cuts;
+    std::vector<uint32_t> _fanout;
+    std::vector<SigId> _gateSig;
+
+    /** Flat per-net bit storage. */
+    std::vector<uint64_t> _bitsBase;      ///< offset+1 per net, 0=unset
+    std::vector<uint32_t> _bitsFlat;
+
+    uint32_t _scopeNow = 0;               ///< scope of node being lowered
+    SigId _sig0 = kNoSig, _sig1 = kNoSig;
+
+    /** Pending FF input hookup: (cell, d gate, en gate, rst gate). */
+    struct PendingFF { SigId cell; uint32_t d, en, rst; bool hasEn, hasRst; };
+    std::vector<PendingFF> _pendingFFs;
+
+    /** Pending RAM port hookups (gate ids to realize later). */
+    struct PendingRam
+    {
+        uint32_t ram;
+        std::vector<std::vector<uint32_t>> readAddr;
+        std::vector<std::vector<uint32_t>> writeAddr;
+        std::vector<std::vector<uint32_t>> writeData;
+        std::vector<uint32_t> writeEn;
+    };
+    std::vector<PendingRam> _pendingRams;
+
+    struct PendingOutput { uint32_t index; std::vector<uint32_t> bits; };
+    std::vector<PendingOutput> _pendingOutputs;
+
+    std::vector<SigId> _regFFBase;  ///< per reg: first FF cell id
+    std::map<uint32_t, std::vector<SigId>> _boundaryIn;
+    std::map<uint32_t, std::vector<uint32_t>> _boundaryOutGates;
+    std::unordered_map<uint32_t, uint32_t> _memRamIndex;
+};
+
+bool
+Mapper::scopeIncluded(uint32_t scope_id) const
+{
+    const std::string &name = _design.scopeNames[scope_id];
+    auto under = [&](const std::string &prefix) {
+        return name.size() >= prefix.size() &&
+               name.compare(0, prefix.size(), prefix) == 0;
+    };
+    bool in = _opts.includePrefixes.empty();
+    for (const auto &prefix : _opts.includePrefixes)
+        in = in || under(prefix);
+    for (const auto &prefix : _opts.excludePrefixes)
+        in = in && !under(prefix);
+    return in;
+}
+
+uint32_t
+Mapper::newGate(GK k, uint32_t a, uint32_t b, uint32_t c)
+{
+    Gate gate;
+    gate.k = k;
+    gate.a = a;
+    gate.b = b;
+    gate.c = c;
+    gate.scope = _scopeNow;
+    _gates.push_back(gate);
+    ++_work.gatesLowered;
+    unsigned arity = (k == GK::Mux) ? 3
+        : (k == GK::Not) ? 1
+        : (k == GK::And || k == GK::Or || k == GK::Xor) ? 2 : 0;
+    if (arity >= 1)
+        ++_fanout[a];
+    if (arity >= 2)
+        ++_fanout[b];
+    if (arity >= 3)
+        ++_fanout[c];
+    _fanout.push_back(0);
+    return static_cast<uint32_t>(_gates.size() - 1);
+}
+
+uint32_t
+Mapper::leafGate(SigId sig)
+{
+    uint32_t g = newGate(GK::Leaf);
+    _gates[g].leaf = sig;
+    return g;
+}
+
+uint32_t
+Mapper::gNot(uint32_t a)
+{
+    if (isC0(a))
+        return 1;  // gate 1 == C1
+    if (isC1(a))
+        return 0;  // gate 0 == C0
+    if (_gates[a].k == GK::Not)
+        return _gates[a].a;
+    return newGate(GK::Not, a);
+}
+
+uint32_t
+Mapper::gAnd(uint32_t a, uint32_t b)
+{
+    if (isC0(a) || isC0(b))
+        return 0;
+    if (isC1(a))
+        return b;
+    if (isC1(b))
+        return a;
+    if (a == b)
+        return a;
+    return newGate(GK::And, a, b);
+}
+
+uint32_t
+Mapper::gOr(uint32_t a, uint32_t b)
+{
+    if (isC1(a) || isC1(b))
+        return 1;
+    if (isC0(a))
+        return b;
+    if (isC0(b))
+        return a;
+    if (a == b)
+        return a;
+    return newGate(GK::Or, a, b);
+}
+
+uint32_t
+Mapper::gXor(uint32_t a, uint32_t b)
+{
+    if (isC0(a))
+        return b;
+    if (isC0(b))
+        return a;
+    if (isC1(a))
+        return gNot(b);
+    if (isC1(b))
+        return gNot(a);
+    if (a == b)
+        return 0;
+    return newGate(GK::Xor, a, b);
+}
+
+uint32_t
+Mapper::gMux(uint32_t sel, uint32_t t, uint32_t e)
+{
+    if (isC1(sel))
+        return t;
+    if (isC0(sel))
+        return e;
+    if (t == e)
+        return t;
+    if (isC1(t) && isC0(e))
+        return sel;
+    if (isC0(t) && isC1(e))
+        return gNot(sel);
+    return newGate(GK::Mux, sel, t, e);
+}
+
+uint32_t
+Mapper::reduceTree(const std::vector<uint32_t> &bits, GK op)
+{
+    panic_if(bits.empty(), "empty reduction");
+    std::vector<uint32_t> level = bits;
+    while (level.size() > 1) {
+        std::vector<uint32_t> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2) {
+            switch (op) {
+              case GK::And:
+                next.push_back(gAnd(level[i], level[i + 1]));
+                break;
+              case GK::Or:
+                next.push_back(gOr(level[i], level[i + 1]));
+                break;
+              case GK::Xor:
+                next.push_back(gXor(level[i], level[i + 1]));
+                break;
+              default:
+                panic("bad reduction op");
+            }
+        }
+        if (level.size() & 1)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+const uint32_t *
+Mapper::ownBits(rtl::NetId net) const
+{
+    if (_bitsBase[net] == 0)
+        return nullptr;
+    return &_bitsFlat[_bitsBase[net] - 1];
+}
+
+void
+Mapper::setBits(rtl::NetId net, const std::vector<uint32_t> &bits)
+{
+    panic_if(bits.size() != _design.nodes[net].width,
+             "lowering width mismatch");
+    _bitsBase[net] = _bitsFlat.size() + 1;
+    _bitsFlat.insert(_bitsFlat.end(), bits.begin(), bits.end());
+}
+
+std::vector<uint32_t>
+Mapper::boundaryBits(rtl::NetId net)
+{
+    // A net produced outside the partition: materialize PartIn
+    // anchor cells (once) and hand out leaf gates bound to them.
+    const unsigned width = _design.nodes[net].width;
+    auto it = _boundaryIn.find(net);
+    if (it == _boundaryIn.end()) {
+        std::vector<SigId> cells;
+        for (unsigned bit = 0; bit < width; ++bit) {
+            MCell cell;
+            cell.kind = CellKind::PartIn;
+            cell.src = net;
+            cell.srcBit = bit;
+            cell.scope = _design.nodeScope[net];
+            _out.cells.push_back(cell);
+            cells.push_back(
+                static_cast<SigId>(_out.cells.size() - 1));
+        }
+        it = _boundaryIn.emplace(net, std::move(cells)).first;
+    }
+    std::vector<uint32_t> bits;
+    for (SigId cell : it->second)
+        bits.push_back(leafGate(cell));
+    return bits;
+}
+
+std::vector<uint32_t>
+Mapper::operandBits(rtl::NetId net)
+{
+    const rtl::Node &node = _design.nodes[net];
+    if (const uint32_t *own = ownBits(net))
+        return {own, own + node.width};
+    // Constants are free regardless of partition.
+    if (node.op == rtl::Op::Const) {
+        std::vector<uint32_t> bits(node.width);
+        for (unsigned i = 0; i < node.width; ++i)
+            bits[i] = getBit(node.imm, i) ? 1 : 0;
+        return bits;
+    }
+    panic_if(nodeIncluded(net),
+             "included net ", net, " not lowered yet");
+    return boundaryBits(net);
+}
+
+std::vector<uint32_t>
+Mapper::adderBits(const std::vector<uint32_t> &a,
+                  const std::vector<uint32_t> &b, uint32_t carry_in)
+{
+    std::vector<uint32_t> sum(a.size());
+    uint32_t carry = carry_in;
+    for (size_t i = 0; i < a.size(); ++i) {
+        uint32_t t = gXor(a[i], b[i]);
+        sum[i] = gXor(t, carry);
+        if (i + 1 < a.size())
+            carry = gOr(gAnd(a[i], b[i]), gAnd(t, carry));
+    }
+    return sum;
+}
+
+void
+Mapper::createStateSources()
+{
+    // Constants first so gate ids 0/1 can assume sigs 0/1.
+    MCell c0;
+    c0.kind = CellKind::Const0;
+    _out.cells.push_back(c0);
+    _sig0 = 0;
+    MCell c1;
+    c1.kind = CellKind::Const1;
+    _out.cells.push_back(c1);
+    _sig1 = 1;
+
+    // Gate 0 = constant 0, gate 1 = constant 1 (lowering relies on
+    // these fixed ids for folding).
+    newGate(GK::C0);
+    newGate(GK::C1);
+
+    // Flip-flops for every included register bit.
+    _regFFBase.assign(_design.regs.size(), kNoSig);
+    for (uint32_t r = 0; r < _design.regs.size(); ++r) {
+        const rtl::Reg &reg = _design.regs[r];
+        if (!_included[_design.regScope[r]])
+            continue;
+        _regFFBase[r] = static_cast<SigId>(_out.cells.size());
+        std::vector<uint32_t> qbits(reg.width);
+        for (unsigned bit = 0; bit < reg.width; ++bit) {
+            MCell cell;
+            cell.kind = CellKind::FF;
+            cell.clock = reg.clock;
+            cell.init = getBit(reg.initVal, bit);
+            cell.rstVal = getBit(reg.rstVal, bit);
+            cell.src = r;
+            cell.srcBit = bit;
+            cell.scope = _design.regScope[r];
+            _out.cells.push_back(cell);
+            SigId sig = static_cast<SigId>(_out.cells.size() - 1);
+            _scopeNow = _design.regScope[r];
+            qbits[bit] = leafGate(sig);
+        }
+        setBits(reg.q, qbits);
+    }
+
+    // RAM blocks and their read-data bits for included memories.
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        const rtl::Mem &mem = _design.mems[m];
+        if (!_included[_design.memScope[m]])
+            continue;
+        MRam ram;
+        ram.srcMem = m;
+        ram.depth = mem.depth;
+        ram.width = mem.width;
+        ram.scope = _design.memScope[m];
+        ram.init = mem.init;
+
+        const uint64_t total_bits = uint64_t(mem.depth) * mem.width;
+        bool lutram = mem.style == rtl::MemStyle::Distributed ||
+            (mem.style == rtl::MemStyle::Auto &&
+             total_bits <= _opts.lutramMaxBits &&
+             mem.depth <= _opts.lutramMaxDepth);
+        // LUTRAM requires all reads async or shallow; BRAM requires
+        // sync reads. Respect explicit style, patching legality.
+        for (const auto &rp : mem.readPorts) {
+            if (!rp.sync) {
+                // Async read only possible in distributed RAM.
+                lutram = true;
+            }
+        }
+        ram.style = lutram ? RamStyle::Lutram : RamStyle::Bram;
+        if (ram.style == RamStyle::Lutram) {
+            uint32_t per_port =
+                ((mem.depth + 63) / 64) * mem.width;
+            uint32_t rports =
+                std::max<size_t>(1, mem.readPorts.size());
+            ram.physCells = per_port * rports;
+        } else {
+            // Choose the BRAM36 aspect ratio minimizing block count.
+            static const std::pair<uint32_t, uint32_t> kCfg[] = {
+                {512, 72}, {1024, 36}, {2048, 18}, {4096, 9},
+                {8192, 4}, {16384, 2}, {32768, 1},
+            };
+            uint32_t best = ~0u;
+            for (auto [d, w] : kCfg) {
+                uint64_t count =
+                    uint64_t((mem.depth + d - 1) / d) *
+                    ((mem.width + w - 1) / w);
+                best = std::min<uint64_t>(best, count);
+            }
+            ram.physCells = best;
+        }
+
+        uint32_t ram_index = static_cast<uint32_t>(_out.rams.size());
+        _memRamIndex[m] = ram_index;
+        _scopeNow = ram.scope;
+
+        for (uint32_t p = 0; p < mem.readPorts.size(); ++p) {
+            const rtl::MemReadPort &rp = mem.readPorts[p];
+            MRam::ReadPort port;
+            port.sync = rp.sync;
+            port.clock = rp.clock;
+            std::vector<uint32_t> dbits(mem.width);
+            for (unsigned bit = 0; bit < mem.width; ++bit) {
+                MCell cell;
+                cell.kind = CellKind::RamOut;
+                cell.clock = rp.clock;
+                cell.src = ram_index;
+                cell.srcBit = (p << 8) | bit;
+                cell.scope = ram.scope;
+                _out.cells.push_back(cell);
+                SigId sig =
+                    static_cast<SigId>(_out.cells.size() - 1);
+                port.data.push_back(sig);
+                dbits[bit] = leafGate(sig);
+            }
+            ram.readPorts.push_back(std::move(port));
+            setBits(rp.data, dbits);
+        }
+        for (const rtl::MemWritePort &wp : mem.writePorts) {
+            MRam::WritePort port;
+            port.clock = wp.clock;
+            ram.writePorts.push_back(std::move(port));
+        }
+        _out.rams.push_back(std::move(ram));
+    }
+}
+
+void
+Mapper::lowerNodes()
+{
+    // Instrumentation passes rewire operands, so node indices are
+    // not necessarily topologically ordered — lower in topo order.
+    for (rtl::NetId id : _design.topoOrder()) {
+        if (!nodeIncluded(id))
+            continue;
+        const rtl::Node &node = _design.nodes[id];
+        if (node.op == rtl::Op::RegQ || node.op == rtl::Op::MemRdSync ||
+            node.op == rtl::Op::MemRdAsync) {
+            continue;  // already seeded by createStateSources
+        }
+        _scopeNow = _design.nodeScope[id];
+        lowerNode(id);
+    }
+}
+
+void
+Mapper::lowerNode(rtl::NetId id)
+{
+    using rtl::Op;
+    const rtl::Node &node = _design.nodes[id];
+    const unsigned w = node.width;
+    std::vector<uint32_t> bits(w);
+
+    switch (node.op) {
+      case Op::Const:
+        for (unsigned i = 0; i < w; ++i)
+            bits[i] = getBit(node.imm, i) ? 1 : 0;
+        break;
+      case Op::Input: {
+        // Find the owning input port for naming.
+        uint32_t port = 0;
+        for (uint32_t p = 0; p < _design.inputs.size(); ++p) {
+            if (_design.inputs[p].net == id)
+                port = p;
+        }
+        MappedNetlist::Input in;
+        in.name = _design.inputs[port].name;
+        for (unsigned i = 0; i < w; ++i) {
+            MCell cell;
+            cell.kind = CellKind::Input;
+            cell.src = port;
+            cell.srcBit = i;
+            cell.scope = _design.nodeScope[id];
+            _out.cells.push_back(cell);
+            SigId sig = static_cast<SigId>(_out.cells.size() - 1);
+            in.bits.push_back(sig);
+            bits[i] = leafGate(sig);
+        }
+        _out.inputs.push_back(std::move(in));
+        break;
+      }
+      case Op::And: case Op::Or: case Op::Xor: {
+        auto a = operandBits(node.a);
+        auto b = operandBits(node.b);
+        for (unsigned i = 0; i < w; ++i) {
+            bits[i] = node.op == Op::And ? gAnd(a[i], b[i])
+                : node.op == Op::Or ? gOr(a[i], b[i])
+                : gXor(a[i], b[i]);
+        }
+        break;
+      }
+      case Op::Not: {
+        auto a = operandBits(node.a);
+        for (unsigned i = 0; i < w; ++i)
+            bits[i] = gNot(a[i]);
+        break;
+      }
+      case Op::Add: {
+        bits = adderBits(operandBits(node.a), operandBits(node.b), 0);
+        break;
+      }
+      case Op::Sub: {
+        auto a = operandBits(node.a);
+        auto b = operandBits(node.b);
+        for (auto &bit : b)
+            bit = gNot(bit);
+        bits = adderBits(a, b, 1);
+        break;
+      }
+      case Op::Mul: {
+        auto a = operandBits(node.a);
+        auto b = operandBits(node.b);
+        std::vector<uint32_t> acc(w, 0u);
+        for (unsigned i = 0; i < w; ++i) {
+            // acc += (a & b[i]) << i
+            std::vector<uint32_t> pp(w, 0u);
+            for (unsigned j = 0; i + j < w; ++j)
+                pp[i + j] = gAnd(a[j], b[i]);
+            acc = adderBits(acc, pp, 0);
+        }
+        bits = acc;
+        break;
+      }
+      case Op::Eq: case Op::Ne: {
+        auto a = operandBits(node.a);
+        auto b = operandBits(node.b);
+        std::vector<uint32_t> same(a.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            same[i] = gNot(gXor(a[i], b[i]));
+        uint32_t eq = reduceTree(same, GK::And);
+        bits[0] = node.op == Op::Eq ? eq : gNot(eq);
+        break;
+      }
+      case Op::Ult: case Op::Ule: {
+        auto a = operandBits(node.a);
+        auto b = operandBits(node.b);
+        if (node.op == Op::Ule)
+            std::swap(a, b);  // a <= b  ==  !(b < a)
+        uint32_t lt = 0;  // C0
+        for (size_t i = 0; i < a.size(); ++i) {
+            uint32_t gt_bit = gAnd(gNot(a[i]), b[i]);
+            uint32_t eq_bit = gNot(gXor(a[i], b[i]));
+            lt = gOr(gt_bit, gAnd(eq_bit, lt));
+        }
+        bits[0] = node.op == Op::Ult ? lt : gNot(lt);
+        break;
+      }
+      case Op::Shl: case Op::Shr: {
+        auto a = operandBits(node.a);
+        auto amt = operandBits(node.b);
+        unsigned stages = 0;
+        while ((1u << stages) < w)
+            ++stages;
+        std::vector<uint32_t> cur = a;
+        for (unsigned s = 0; s < stages && s < amt.size(); ++s) {
+            unsigned shift = 1u << s;
+            std::vector<uint32_t> next(w);
+            for (unsigned i = 0; i < w; ++i) {
+                uint32_t shifted;
+                if (node.op == Op::Shl)
+                    shifted = i >= shift ? cur[i - shift] : 0u;
+                else
+                    shifted = i + shift < w ? cur[i + shift] : 0u;
+                next[i] = gMux(amt[s], shifted, cur[i]);
+            }
+            cur = std::move(next);
+        }
+        // Amount bits beyond the stage count force a zero result.
+        std::vector<uint32_t> high;
+        for (size_t s = stages; s < amt.size(); ++s)
+            high.push_back(amt[s]);
+        if (!high.empty()) {
+            uint32_t any = reduceTree(high, GK::Or);
+            for (unsigned i = 0; i < w; ++i)
+                cur[i] = gMux(any, 0u, cur[i]);
+        }
+        bits = cur;
+        break;
+      }
+      case Op::Mux: {
+        auto sel = operandBits(node.a);
+        auto t = operandBits(node.b);
+        auto e = operandBits(node.c);
+        for (unsigned i = 0; i < w; ++i)
+            bits[i] = gMux(sel[0], t[i], e[i]);
+        break;
+      }
+      case Op::Concat: {
+        auto hi = operandBits(node.a);
+        auto lo = operandBits(node.b);
+        for (size_t i = 0; i < lo.size(); ++i)
+            bits[i] = lo[i];
+        for (size_t i = 0; i < hi.size(); ++i)
+            bits[lo.size() + i] = hi[i];
+        break;
+      }
+      case Op::Slice: {
+        auto a = operandBits(node.a);
+        for (unsigned i = 0; i < w; ++i)
+            bits[i] = a[node.imm + i];
+        break;
+      }
+      case Op::Zext: {
+        auto a = operandBits(node.a);
+        for (unsigned i = 0; i < w; ++i)
+            bits[i] = i < a.size() ? a[i] : 0u;
+        break;
+      }
+      case Op::RedAnd:
+        bits[0] = reduceTree(operandBits(node.a), GK::And);
+        break;
+      case Op::RedOr:
+        bits[0] = reduceTree(operandBits(node.a), GK::Or);
+        break;
+      case Op::RedXor:
+        bits[0] = reduceTree(operandBits(node.a), GK::Xor);
+        break;
+      default:
+        panic("unhandled op in lowering: ", rtl::opName(node.op));
+    }
+    setBits(id, bits);
+}
+
+void
+Mapper::connectStateInputs()
+{
+    for (uint32_t r = 0; r < _design.regs.size(); ++r) {
+        const rtl::Reg &reg = _design.regs[r];
+        if (!_included[_design.regScope[r]])
+            continue;
+        _scopeNow = _design.regScope[r];
+        auto dbits = operandBits(reg.d);
+        std::vector<uint32_t> en, rst;
+        if (reg.en != rtl::kNoNet)
+            en = operandBits(reg.en);
+        if (reg.rst != rtl::kNoNet)
+            rst = operandBits(reg.rst);
+        // FF cells for this register are contiguous from the base.
+        for (unsigned bit = 0; bit < reg.width; ++bit) {
+            PendingFF pending;
+            pending.cell = _regFFBase[r] + bit;
+            pending.d = dbits[bit];
+            pending.hasEn = !en.empty();
+            pending.en = en.empty() ? 0 : en[0];
+            pending.hasRst = !rst.empty();
+            pending.rst = rst.empty() ? 0 : rst[0];
+            _pendingFFs.push_back(pending);
+        }
+    }
+
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        const rtl::Mem &mem = _design.mems[m];
+        if (!_included[_design.memScope[m]])
+            continue;
+        _scopeNow = _design.memScope[m];
+        PendingRam pending;
+        pending.ram = _memRamIndex.at(m);
+        const unsigned abits = bitsToAddress(mem.depth);
+        auto addrSlice = [&](rtl::NetId net) {
+            auto all = operandBits(net);
+            if (all.size() > abits)
+                all.resize(abits);
+            return all;
+        };
+        for (const auto &rp : mem.readPorts)
+            pending.readAddr.push_back(addrSlice(rp.addr));
+        for (const auto &wp : mem.writePorts) {
+            pending.writeAddr.push_back(addrSlice(wp.addr));
+            pending.writeData.push_back(operandBits(wp.data));
+            pending.writeEn.push_back(operandBits(wp.en)[0]);
+        }
+        _pendingRams.push_back(std::move(pending));
+    }
+
+    for (uint32_t o = 0; o < _design.outputs.size(); ++o) {
+        const rtl::OutputPort &out = _design.outputs[o];
+        // An output belongs to the partition that produces its net.
+        if (!nodeIncluded(out.net) &&
+            _design.nodes[out.net].op != rtl::Op::Const) {
+            continue;
+        }
+        PendingOutput pending;
+        pending.index = o;
+        pending.bits = operandBits(out.net);
+        _pendingOutputs.push_back(std::move(pending));
+    }
+}
+
+void
+Mapper::scanBoundaryOuts()
+{
+    if (!_opts.isPartition())
+        return;
+    auto mark = [&](rtl::NetId net) {
+        if (net == rtl::kNoNet)
+            return;
+        if (_bitsBase[net] == 0)
+            return;  // not produced by this partition
+        if (_design.nodes[net].op == rtl::Op::Const)
+            return;
+        _boundaryOutGates.try_emplace(net);
+    };
+    for (rtl::NetId id = 0; id < _design.nodes.size(); ++id) {
+        if (nodeIncluded(id))
+            continue;
+        const rtl::Node &node = _design.nodes[id];
+        const unsigned arity = rtl::opArity(node.op);
+        if (arity >= 1)
+            mark(node.a);
+        if (arity >= 2)
+            mark(node.b);
+        if (arity >= 3)
+            mark(node.c);
+    }
+    for (uint32_t r = 0; r < _design.regs.size(); ++r) {
+        if (_included[_design.regScope[r]])
+            continue;
+        const rtl::Reg &reg = _design.regs[r];
+        mark(reg.d);
+        mark(reg.en);
+        mark(reg.rst);
+    }
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        if (_included[_design.memScope[m]])
+            continue;
+        const rtl::Mem &mem = _design.mems[m];
+        for (const auto &rp : mem.readPorts)
+            mark(rp.addr);
+        for (const auto &wp : mem.writePorts) {
+            mark(wp.addr);
+            mark(wp.data);
+            mark(wp.en);
+        }
+    }
+    for (auto &[net, gates] : _boundaryOutGates) {
+        const uint32_t *bits = ownBits(net);
+        gates.assign(bits, bits + _design.nodes[net].width);
+    }
+}
+
+void
+Mapper::countRootFanout()
+{
+    auto bump = [&](uint32_t gate) { ++_fanout[gate]; };
+    for (const auto &ff : _pendingFFs) {
+        bump(ff.d);
+        if (ff.hasEn)
+            bump(ff.en);
+        if (ff.hasRst)
+            bump(ff.rst);
+    }
+    for (const auto &ram : _pendingRams) {
+        for (const auto &addr : ram.readAddr)
+            for (uint32_t g : addr)
+                bump(g);
+        for (const auto &addr : ram.writeAddr)
+            for (uint32_t g : addr)
+                bump(g);
+        for (const auto &data : ram.writeData)
+            for (uint32_t g : data)
+                bump(g);
+        for (uint32_t g : ram.writeEn)
+            bump(g);
+    }
+    for (const auto &out : _pendingOutputs)
+        for (uint32_t g : out.bits)
+            bump(g);
+    for (const auto &[net, gates] : _boundaryOutGates)
+        for (uint32_t g : gates)
+            bump(g);
+}
+
+uint64_t
+Mapper::expandTruth(const Cut &cut,
+                    const std::vector<uint32_t> &leaves) const
+{
+    // Map the cut's truth (over cut.n vars) onto the minterm space
+    // of `leaves` (K vars).
+    const unsigned K = static_cast<unsigned>(leaves.size());
+    unsigned pos[6];
+    for (unsigned j = 0; j < cut.n; ++j) {
+        unsigned p = 0;
+        while (leaves[p] != cut.leaf[j])
+            ++p;
+        pos[j] = p;
+    }
+    uint64_t word = 0;
+    const unsigned minterms = 1u << K;
+    for (unsigned m = 0; m < minterms; ++m) {
+        unsigned idx = 0;
+        for (unsigned j = 0; j < cut.n; ++j)
+            idx |= ((m >> pos[j]) & 1u) << j;
+        if ((cut.truth >> idx) & 1ULL)
+            word |= 1ULL << m;
+    }
+    return word;
+}
+
+void
+Mapper::computeCuts()
+{
+    _cuts.resize(_gates.size());
+    std::vector<uint32_t> children;
+    std::vector<uint32_t> leaves;
+
+    for (uint32_t g = 0; g < _gates.size(); ++g) {
+        const Gate &gate = _gates[g];
+        Cut &cut = _cuts[g];
+        switch (gate.k) {
+          case GK::C0:
+            cut.n = 0;
+            cut.truth = 0;
+            continue;
+          case GK::C1:
+            cut.n = 0;
+            cut.truth = 1;
+            continue;
+          case GK::Leaf:
+            cut.n = 1;
+            cut.leaf[0] = g;
+            cut.truth = 0b10;
+            continue;
+          default:
+            break;
+        }
+
+        children.clear();
+        children.push_back(gate.a);
+        if (gate.k != GK::Not) {
+            children.push_back(gate.b);
+            if (gate.k == GK::Mux)
+                children.push_back(gate.c);
+        }
+
+        // Decide which children to merge: single-fanout logic is
+        // absorbed; everything else becomes a leaf.
+        auto mergeable = [&](uint32_t child) {
+            const GK k = _gates[child].k;
+            if (k == GK::C0 || k == GK::C1)
+                return true;  // constants never add leaves
+            if (k == GK::Leaf)
+                return true;  // adds exactly itself
+            return _fanout[child] == 1;
+        };
+
+        leaves.clear();
+        bool merged[3] = {false, false, false};
+        bool overflow = false;
+        for (size_t ci = 0; ci < children.size(); ++ci) {
+            uint32_t child = children[ci];
+            ++_work.cutsEvaluated;
+            if (mergeable(child)) {
+                size_t before = leaves.size();
+                const Cut &ccut = _cuts[child];
+                for (unsigned j = 0; j < ccut.n; ++j) {
+                    if (std::find(leaves.begin(), leaves.end(),
+                                  ccut.leaf[j]) == leaves.end())
+                        leaves.push_back(ccut.leaf[j]);
+                }
+                if (leaves.size() > 6) {
+                    leaves.resize(before);
+                    if (std::find(leaves.begin(), leaves.end(),
+                                  child) == leaves.end())
+                        leaves.push_back(child);
+                } else {
+                    merged[ci] = true;
+                }
+            } else {
+                if (std::find(leaves.begin(), leaves.end(), child) ==
+                    leaves.end())
+                    leaves.push_back(child);
+            }
+            if (leaves.size() > 6)
+                overflow = true;
+        }
+        if (overflow) {
+            // Fall back to the children themselves as leaves.
+            leaves.clear();
+            for (size_t ci = 0; ci < children.size(); ++ci) {
+                merged[ci] = false;
+                uint32_t child = children[ci];
+                const GK k = _gates[child].k;
+                if (k == GK::C0 || k == GK::C1) {
+                    merged[ci] = true;  // still free to merge
+                    continue;
+                }
+                if (std::find(leaves.begin(), leaves.end(), child) ==
+                    leaves.end())
+                    leaves.push_back(child);
+            }
+        }
+
+        // Compose the truth table bit-parallel over the leaf space.
+        uint64_t words[3];
+        for (size_t ci = 0; ci < children.size(); ++ci) {
+            uint32_t child = children[ci];
+            const GK k = _gates[child].k;
+            if (k == GK::C0) {
+                words[ci] = 0;
+            } else if (k == GK::C1) {
+                words[ci] = ~0ULL;
+            } else if (merged[ci]) {
+                words[ci] = expandTruth(_cuts[child], leaves);
+            } else {
+                unsigned p = 0;
+                while (leaves[p] != child)
+                    ++p;
+                words[ci] = kVarMask[p];
+            }
+        }
+
+        uint64_t result = 0;
+        switch (gate.k) {
+          case GK::And: result = words[0] & words[1]; break;
+          case GK::Or: result = words[0] | words[1]; break;
+          case GK::Xor: result = words[0] ^ words[1]; break;
+          case GK::Not: result = ~words[0]; break;
+          case GK::Mux:
+            result = (words[0] & words[1]) | (~words[0] & words[2]);
+            break;
+          default:
+            panic("bad gate kind in cut pass");
+        }
+
+        cut.n = static_cast<uint8_t>(leaves.size());
+        for (size_t i = 0; i < leaves.size(); ++i)
+            cut.leaf[i] = leaves[i];
+        const unsigned minterms =
+            cut.n >= 6 ? 64 : (1u << (1u << cut.n));
+        (void)minterms;
+        const uint64_t mask =
+            cut.n == 6 ? ~0ULL : ((1ULL << (1u << cut.n)) - 1);
+        cut.truth = result & mask;
+    }
+}
+
+SigId
+Mapper::realize(uint32_t root)
+{
+    if (_gateSig[root] != kNoSig)
+        return _gateSig[root];
+
+    std::vector<uint32_t> stack{root};
+    while (!stack.empty()) {
+        uint32_t g = stack.back();
+        if (_gateSig[g] != kNoSig) {
+            stack.pop_back();
+            continue;
+        }
+        const Gate &gate = _gates[g];
+        if (gate.k == GK::C0) {
+            _gateSig[g] = _sig0;
+            stack.pop_back();
+            continue;
+        }
+        if (gate.k == GK::C1) {
+            _gateSig[g] = _sig1;
+            stack.pop_back();
+            continue;
+        }
+        if (gate.k == GK::Leaf) {
+            _gateSig[g] = gate.leaf;
+            stack.pop_back();
+            continue;
+        }
+
+        const Cut &cut = _cuts[g];
+        // Constant-valued cuts collapse to const cells.
+        const uint64_t full_mask =
+            cut.n == 0 ? 1
+            : cut.n == 6 ? ~0ULL
+            : ((1ULL << (1u << cut.n)) - 1);
+        if (cut.truth == 0) {
+            _gateSig[g] = _sig0;
+            stack.pop_back();
+            continue;
+        }
+        if (cut.truth == full_mask) {
+            _gateSig[g] = _sig1;
+            stack.pop_back();
+            continue;
+        }
+        // Identity of a single leaf needs no LUT.
+        if (cut.n == 1 && cut.truth == 0b10 && cut.leaf[0] != g) {
+            if (_gateSig[cut.leaf[0]] == kNoSig) {
+                stack.push_back(cut.leaf[0]);
+                continue;
+            }
+            _gateSig[g] = _gateSig[cut.leaf[0]];
+            stack.pop_back();
+            continue;
+        }
+
+        bool ready = true;
+        for (unsigned j = 0; j < cut.n; ++j) {
+            if (_gateSig[cut.leaf[j]] == kNoSig) {
+                stack.push_back(cut.leaf[j]);
+                ready = false;
+            }
+        }
+        if (!ready)
+            continue;
+
+        MCell cell;
+        cell.kind = CellKind::Lut;
+        cell.nIn = cut.n;
+        cell.truth = cut.truth;
+        cell.scope = gate.scope;
+        for (unsigned j = 0; j < cut.n; ++j)
+            cell.in[j] = _gateSig[cut.leaf[j]];
+        _out.cells.push_back(cell);
+        ++_work.lutsEmitted;
+        _gateSig[g] = static_cast<SigId>(_out.cells.size() - 1);
+        stack.pop_back();
+    }
+    return _gateSig[root];
+}
+
+void
+Mapper::finishBoundaries()
+{
+    for (auto &[net, cells] : _boundaryIn) {
+        _out.boundaryInNets.push_back(net);
+        _out.boundaryInCells.push_back(cells);
+    }
+    for (auto &[net, gates] : _boundaryOutGates) {
+        std::vector<SigId> sigs;
+        for (uint32_t g : gates)
+            sigs.push_back(realize(g));
+        _out.boundaryOutNets.push_back(net);
+        _out.boundaryOutSigs.push_back(std::move(sigs));
+    }
+}
+
+MappedNetlist
+Mapper::run(MapWork *work_out)
+{
+    _included.resize(_design.scopeNames.size());
+    for (uint32_t s = 0; s < _design.scopeNames.size(); ++s)
+        _included[s] = scopeIncluded(s);
+
+    _out.name = _design.name;
+    _out.scopeNames = _design.scopeNames;
+    _out.numClocks = static_cast<uint32_t>(_design.clocks.size());
+    _bitsBase.assign(_design.nodes.size(), 0);
+
+    createStateSources();
+    lowerNodes();
+    connectStateInputs();
+    scanBoundaryOuts();
+    countRootFanout();
+    computeCuts();
+
+    _gateSig.assign(_gates.size(), kNoSig);
+
+    // Realize all demanded logic.
+    for (const auto &ff : _pendingFFs) {
+        // realize() may reallocate _out.cells; resolve sigs first.
+        SigId d = realize(ff.d);
+        SigId en = ff.hasEn ? realize(ff.en) : kNoSig;
+        SigId rst = ff.hasRst ? realize(ff.rst) : kNoSig;
+        MCell &cell = _out.cells[ff.cell];
+        cell.in[0] = d;
+        if (ff.hasEn)
+            cell.in[1] = en;
+        if (ff.hasRst)
+            cell.in[2] = rst;
+    }
+    for (const auto &pending : _pendingRams) {
+        MRam &ram = _out.rams[pending.ram];
+        for (size_t p = 0; p < pending.readAddr.size(); ++p)
+            for (uint32_t g : pending.readAddr[p])
+                ram.readPorts[p].addr.push_back(realize(g));
+        for (size_t p = 0; p < pending.writeAddr.size(); ++p) {
+            for (uint32_t g : pending.writeAddr[p])
+                ram.writePorts[p].addr.push_back(realize(g));
+            for (uint32_t g : pending.writeData[p])
+                ram.writePorts[p].data.push_back(realize(g));
+            ram.writePorts[p].en = realize(pending.writeEn[p]);
+        }
+    }
+    for (const auto &pending : _pendingOutputs) {
+        MappedNetlist::Output out;
+        out.name = _design.outputs[pending.index].name;
+        for (uint32_t g : pending.bits)
+            out.bits.push_back(realize(g));
+        _out.outputs.push_back(std::move(out));
+    }
+    finishBoundaries();
+
+    if (work_out)
+        *work_out = _work;
+    return std::move(_out);
+}
+
+} // namespace
+
+MappedNetlist
+techMap(const rtl::Design &design, const MapOptions &options,
+        MapWork *work)
+{
+    Mapper mapper(design, options);
+    return mapper.run(work);
+}
+
+PartitionBoundary
+computeBoundary(const rtl::Design &design, const MapOptions &options)
+{
+    std::vector<bool> included(design.scopeNames.size());
+    for (uint32_t s = 0; s < design.scopeNames.size(); ++s) {
+        const std::string &name = design.scopeNames[s];
+        auto under = [&](const std::string &prefix) {
+            return name.size() >= prefix.size() &&
+                   name.compare(0, prefix.size(), prefix) == 0;
+        };
+        bool in = options.includePrefixes.empty();
+        for (const auto &prefix : options.includePrefixes)
+            in = in || under(prefix);
+        for (const auto &prefix : options.excludePrefixes)
+            in = in && !under(prefix);
+        included[s] = in;
+    }
+
+    auto nodeIn = [&](rtl::NetId id) {
+        return included[design.nodeScope[id]];
+    };
+    auto isConst = [&](rtl::NetId id) {
+        return design.nodes[id].op == rtl::Op::Const;
+    };
+
+    std::vector<uint8_t> in_set(design.nodes.size(), 0);
+    std::vector<uint8_t> out_set(design.nodes.size(), 0);
+    // consumerIncluded: mark boundary-ins; consumerExcluded: outs.
+    auto consume = [&](rtl::NetId net, bool consumer_included) {
+        if (net == rtl::kNoNet || isConst(net))
+            return;
+        if (consumer_included && !nodeIn(net))
+            in_set[net] = 1;
+        else if (!consumer_included && nodeIn(net))
+            out_set[net] = 1;
+    };
+
+    for (rtl::NetId id = 0; id < design.nodes.size(); ++id) {
+        const rtl::Node &node = design.nodes[id];
+        const unsigned arity = rtl::opArity(node.op);
+        const bool inc = nodeIn(id);
+        if (arity >= 1)
+            consume(node.a, inc);
+        if (arity >= 2)
+            consume(node.b, inc);
+        if (arity >= 3)
+            consume(node.c, inc);
+    }
+    for (uint32_t r = 0; r < design.regs.size(); ++r) {
+        const bool inc = included[design.regScope[r]];
+        const rtl::Reg &reg = design.regs[r];
+        consume(reg.d, inc);
+        consume(reg.en, inc);
+        consume(reg.rst, inc);
+    }
+    for (uint32_t m = 0; m < design.mems.size(); ++m) {
+        const bool inc = included[design.memScope[m]];
+        const rtl::Mem &mem = design.mems[m];
+        for (const auto &rp : mem.readPorts)
+            consume(rp.addr, inc);
+        for (const auto &wp : mem.writePorts) {
+            consume(wp.addr, inc);
+            consume(wp.data, inc);
+            consume(wp.en, inc);
+        }
+    }
+
+    PartitionBoundary boundary;
+    for (rtl::NetId id = 0; id < design.nodes.size(); ++id) {
+        if (in_set[id])
+            boundary.ins.push_back(id);
+        if (out_set[id])
+            boundary.outs.push_back(id);
+    }
+    return boundary;
+}
+
+} // namespace zoomie::synth

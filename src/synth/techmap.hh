@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Technology mapping: lowers the word-level RTL IR to a bit-level
+ * gate network, infers RAM styles (LUTRAM vs. BRAM), then covers the
+ * gate network with 6-input LUTs using greedy cut enlargement with
+ * bit-parallel truth-table composition. The output is a
+ * synth::MappedNetlist ready for placement.
+ *
+ * This plays the role of the vendor synthesis engine in the paper's
+ * flow (Table 1): when invoked on the whole design it performs the
+ * "global" monolithic synthesis; VTI invokes it per partition.
+ */
+
+#ifndef ZOOMIE_SYNTH_TECHMAP_HH
+#define ZOOMIE_SYNTH_TECHMAP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "rtl/ir.hh"
+#include "synth/netlist.hh"
+
+namespace zoomie::synth {
+
+/** Options controlling mapping. */
+struct MapOptions
+{
+    /**
+     * Memories at or below this total bit count (and at or below 64
+     * entries deep) are mapped to distributed LUTRAM when style is
+     * Auto; larger ones become BRAM36 blocks.
+     */
+    uint32_t lutramMaxBits = 1024;
+    uint32_t lutramMaxDepth = 64;
+
+    /**
+     * Partition selection. A node/reg/mem is mapped iff its scope is
+     * under one of includePrefixes (all scopes when empty) and under
+     * none of excludePrefixes. Cross-boundary nets become PartIn
+     * pseudo-inputs / boundary outputs recorded on the result.
+     */
+    std::vector<std::string> includePrefixes;
+    std::vector<std::string> excludePrefixes;
+
+    bool isPartition() const
+    {
+        return !includePrefixes.empty() || !excludePrefixes.empty();
+    }
+};
+
+/** Counters describing how much work synthesis performed. */
+struct MapWork
+{
+    uint64_t gatesLowered = 0;   ///< bit-level gates created
+    uint64_t cutsEvaluated = 0;  ///< cut merge attempts
+    uint64_t lutsEmitted = 0;
+};
+
+/**
+ * Map @p design to LUTs/FFs/RAMs.
+ *
+ * @param design   validated RTL design
+ * @param options  mapping options
+ * @param work     optional out-param receiving work counters (used
+ *                 by the toolchain's compile-time model)
+ */
+MappedNetlist techMap(const rtl::Design &design,
+                      const MapOptions &options = {},
+                      MapWork *work = nullptr);
+
+/**
+ * The word-level nets crossing a partition boundary, sorted by net
+ * id. Matches exactly the boundaryIn/OutNets a techMap() call with
+ * the same options would record — but computed with a cheap linear
+ * scan, so the VTI linker can re-derive fresh boundary orderings
+ * for *unchanged* (cached) partitions after a design edit.
+ */
+struct PartitionBoundary
+{
+    std::vector<uint32_t> ins;   ///< consumed from other partitions
+    std::vector<uint32_t> outs;  ///< produced for other partitions
+};
+
+PartitionBoundary computeBoundary(const rtl::Design &design,
+                                  const MapOptions &options);
+
+} // namespace zoomie::synth
+
+#endif // ZOOMIE_SYNTH_TECHMAP_HH

@@ -1,0 +1,170 @@
+#include "bitgen.hh"
+
+#include "bitstream/builder.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace zoomie::toolchain {
+
+using bitstream::CommandBuilder;
+using fpga::BitLoc;
+using fpga::DeviceSpec;
+using fpga::Placement;
+using synth::CellKind;
+using synth::MappedNetlist;
+using synth::SigId;
+
+namespace {
+
+/** Set one bit inside a per-SLR image. */
+void
+setImageBit(std::vector<uint32_t> &image, const BitLoc &loc, bool on)
+{
+    uint64_t word = uint64_t(loc.frame) * fpga::kFrameWords +
+                    loc.bit / 32;
+    uint32_t mask = 1u << (loc.bit % 32);
+    if (on)
+        image[word] |= mask;
+    else
+        image[word] &= ~mask;
+}
+
+uint32_t
+hopOfSlr(const DeviceSpec &spec, uint32_t slr)
+{
+    auto ring = spec.ringOrder();
+    for (uint32_t h = 0; h < ring.size(); ++h) {
+        if (ring[h] == slr)
+            return h;
+    }
+    panic("slr not in ring");
+}
+
+} // namespace
+
+std::vector<std::vector<uint32_t>>
+buildConfigImages(const DeviceSpec &spec, const MappedNetlist &netlist,
+                  const Placement &placement)
+{
+    std::vector<std::vector<uint32_t>> images(
+        spec.numSlrs,
+        std::vector<uint32_t>(uint64_t(spec.framesPerSlr()) *
+                              fpga::kFrameWords, 0));
+
+    for (SigId id = 0; id < netlist.cells.size(); ++id) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind == CellKind::Lut) {
+            const fpga::Site &site = placement.cellSite[id];
+            for (uint32_t bit = 0; bit < fpga::kLutBits; ++bit) {
+                setImageBit(images[site.slr],
+                            spec.lutBit(site, bit),
+                            (cell.truth >> bit) & 1);
+            }
+        } else if (cell.kind == CellKind::FF) {
+            const fpga::Site &site = placement.cellSite[id];
+            setImageBit(images[site.slr], spec.ffBit(site),
+                        cell.init);
+        }
+    }
+
+    for (uint32_t r = 0; r < netlist.rams.size(); ++r) {
+        const synth::MRam &ram = netlist.rams[r];
+        for (uint32_t w = 0; w < ram.depth; ++w) {
+            uint64_t word =
+                w < ram.init.size()
+                    ? truncToWidth(ram.init[w], ram.width) : 0;
+            if (word == 0)
+                continue;
+            for (uint32_t bit = 0; bit < ram.width; ++bit) {
+                if (!getBit(word, bit))
+                    continue;
+                BitLoc loc = fpga::ramBitLoc(
+                    spec, ram, placement.ramSite[r], w, bit);
+                setImageBit(images[loc.slr], loc, true);
+            }
+        }
+    }
+    return images;
+}
+
+std::vector<uint32_t>
+fullBitstream(const DeviceSpec &spec, const MappedNetlist &netlist,
+              const Placement &placement, BitgenWork *work)
+{
+    auto images = buildConfigImages(spec, netlist, placement);
+    CommandBuilder builder;
+    auto ring = spec.ringOrder();
+    for (uint32_t hop = 0; hop < ring.size(); ++hop) {
+        uint32_t slr = ring[hop];
+        builder.sync();
+        builder.selectHop(hop);
+        builder.writeReg(bitstream::ConfigReg::IDCODE,
+                         spec.idcode(slr));
+        builder.writeReg(bitstream::ConfigReg::MASK, 0);
+        builder.writeFrames(0, images[slr]);
+        builder.command(bitstream::Command::Start);
+        builder.desync();
+    }
+    if (work) {
+        work->framesWritten =
+            uint64_t(spec.framesPerSlr()) * spec.numSlrs;
+    }
+    return builder.take();
+}
+
+std::vector<uint32_t>
+partialBitstream(const DeviceSpec &spec,
+                 const std::vector<FrameSpan> &spans, BitgenWork *work)
+{
+    CommandBuilder builder;
+    uint64_t frames = 0;
+    // Group spans by SLR, one section per SLR.
+    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
+        bool any = false;
+        for (const FrameSpan &span : spans)
+            any |= span.slr == slr;
+        if (!any)
+            continue;
+        builder.sync();
+        builder.selectHop(hopOfSlr(spec, slr));
+        // Partial reconfiguration restricts GSR to the dynamic
+        // region via MASK — and (vendor quirk) never clears it.
+        builder.writeReg(bitstream::ConfigReg::MASK, 1);
+        for (const FrameSpan &span : spans) {
+            if (span.slr != slr)
+                continue;
+            panic_if(span.words.size() % fpga::kFrameWords != 0,
+                     "partial span not frame-aligned");
+            builder.writeFrames(span.farStart, span.words);
+            frames += span.words.size() / fpga::kFrameWords;
+        }
+        builder.command(bitstream::Command::GRestore);
+        builder.desync();
+    }
+    if (work)
+        work->framesWritten = frames;
+    return builder.take();
+}
+
+std::vector<FrameSpan>
+spansForRegions(const DeviceSpec &spec,
+                const std::vector<std::vector<uint32_t>> &images,
+                const std::vector<fpga::Region> &regions)
+{
+    std::vector<FrameSpan> spans;
+    for (const fpga::Region &region : regions) {
+        uint32_t lo, hi;
+        region.frameRange(spec, lo, hi);
+        FrameSpan span;
+        span.slr = region.slr;
+        span.farStart = lo;
+        const auto &image = images[region.slr];
+        span.words.assign(
+            image.begin() + uint64_t(lo) * fpga::kFrameWords,
+            image.begin() + uint64_t(hi + 1) * fpga::kFrameWords);
+        spans.push_back(std::move(span));
+    }
+    return spans;
+}
+
+} // namespace zoomie::toolchain

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bitstream generation: renders a placed design into per-SLR
+ * configuration frame images (LUT truth tables, FF init bits, RAM
+ * contents) and packs them into configuration word streams — the
+ * full multi-SLR bitstream for initial configuration, and partial
+ * bitstreams restricted to frame spans for VTI's incremental loads
+ * and Zoomie's state-injection writes.
+ */
+
+#ifndef ZOOMIE_TOOLCHAIN_BITGEN_HH
+#define ZOOMIE_TOOLCHAIN_BITGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device_spec.hh"
+#include "fpga/placement.hh"
+#include "synth/netlist.hh"
+
+namespace zoomie::toolchain {
+
+/** Work counters from bitstream generation. */
+struct BitgenWork
+{
+    uint64_t framesWritten = 0;
+};
+
+/**
+ * Render per-SLR frame images (framesPerSlr * kFrameWords words per
+ * SLR) from a placed netlist.
+ */
+std::vector<std::vector<uint32_t>> buildConfigImages(
+    const fpga::DeviceSpec &spec, const synth::MappedNetlist &netlist,
+    const fpga::Placement &placement);
+
+/**
+ * Full configuration bitstream: one section per SLR in ring order
+ * (with the BOUT-pulse selection idiom), IDCODE checks, full frame
+ * data, and START commands.
+ */
+std::vector<uint32_t> fullBitstream(
+    const fpga::DeviceSpec &spec, const synth::MappedNetlist &netlist,
+    const fpga::Placement &placement, BitgenWork *work = nullptr);
+
+/** A contiguous span of frames on one SLR. */
+struct FrameSpan
+{
+    uint32_t slr = 0;
+    uint32_t farStart = 0;
+    std::vector<uint32_t> words;  ///< multiple of kFrameWords
+};
+
+/**
+ * Partial-reconfiguration bitstream: writes only the given spans,
+ * with the MASK register set so GSR-family commands are restricted
+ * to the touched region, ending in GRESTORE. Deliberately does NOT
+ * clear MASK afterwards — reproducing the vendor quirk Zoomie must
+ * work around before readback (§4.7).
+ */
+std::vector<uint32_t> partialBitstream(
+    const fpga::DeviceSpec &spec, const std::vector<FrameSpan> &spans,
+    BitgenWork *work = nullptr);
+
+/**
+ * Extract the frame spans covering @p regions (CLB columns only)
+ * from rendered images — the pieces VTI reloads after recompiling a
+ * partition.
+ */
+std::vector<FrameSpan> spansForRegions(
+    const fpga::DeviceSpec &spec,
+    const std::vector<std::vector<uint32_t>> &images,
+    const std::vector<fpga::Region> &regions);
+
+} // namespace zoomie::toolchain
+
+#endif // ZOOMIE_TOOLCHAIN_BITGEN_HH

@@ -1,0 +1,81 @@
+#include "costmodel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zoomie::toolchain {
+
+CompileTime &
+CompileTime::operator+=(const CompileTime &other)
+{
+    synth += other.synth;
+    place += other.place;
+    route += other.route;
+    bitgen += other.bitgen;
+    link += other.link;
+    overhead += other.overhead;
+    return *this;
+}
+
+CompileTime
+CompileTime::parallelMax(const CompileTime &a, const CompileTime &b)
+{
+    CompileTime out;
+    out.synth = std::max(a.synth, b.synth);
+    out.place = std::max(a.place, b.place);
+    out.route = std::max(a.route, b.route);
+    out.bitgen = std::max(a.bitgen, b.bitgen);
+    out.link = std::max(a.link, b.link);
+    out.overhead = std::max(a.overhead, b.overhead);
+    return out;
+}
+
+double
+CostModel::congestion(double utilization)
+{
+    double u = std::clamp(utilization, 0.0, 1.1);
+    return 1.0 / std::max(0.08, 1.0 - 0.8 * u);
+}
+
+double
+CostModel::synthSeconds(const synth::MapWork &work,
+                        bool global_opt) const
+{
+    double g = static_cast<double>(work.gatesLowered);
+    double t = g * synthPerGate;
+    if (global_opt && g > 1)
+        t += g * std::log2(g) * synthGlobalPerGateLog;
+    return t;
+}
+
+double
+CostModel::placeSeconds(uint64_t cells, double utilization) const
+{
+    if (cells == 0)
+        return 0;
+    double n = static_cast<double>(cells);
+    return n * std::log2(n + 2) * placePerCellLog *
+           congestion(utilization);
+}
+
+double
+CostModel::routeSeconds(uint64_t hpwl, double utilization) const
+{
+    return static_cast<double>(hpwl) * routePerWirelength *
+           congestion(utilization);
+}
+
+double
+CostModel::bitgenSeconds(uint64_t frames) const
+{
+    return static_cast<double>(frames) * bitgenPerFrame;
+}
+
+double
+CostModel::linkSeconds(uint64_t boundary_bits) const
+{
+    return linkFixed +
+           static_cast<double>(boundary_bits) * linkPerBoundaryBit;
+}
+
+} // namespace zoomie::toolchain

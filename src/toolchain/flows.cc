@@ -1,0 +1,298 @@
+#include "flows.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/placer.hh"
+
+namespace zoomie::toolchain {
+
+using synth::MapOptions;
+using synth::MappedNetlist;
+using synth::MapWork;
+
+CompileResult
+VendorTool::compile(const rtl::Design &design) const
+{
+    CompileResult result;
+    MapWork map_work;
+    result.netlist = synth::techMap(design, {}, &map_work);
+
+    PlaceWork place_work;
+    result.placement = place(_spec, result.netlist, nullptr,
+                             &place_work);
+
+    BitgenWork bitgen_work;
+    result.bitstream = fullBitstream(_spec, result.netlist,
+                                     result.placement, &bitgen_work);
+
+    result.utilization = result.netlist.totals();
+    result.peakUtilization = place_work.peakUtilization;
+    result.timing = analyzeTiming(_spec, result.netlist,
+                                  result.placement,
+                                  place_work.peakUtilization,
+                                  _timing);
+
+    result.time.synth = _cost.synthSeconds(map_work, true);
+    result.time.place = _cost.placeSeconds(
+        place_work.cellsPlaced, place_work.peakUtilization);
+    result.time.route = _cost.routeSeconds(
+        place_work.hpwl, place_work.peakUtilization);
+    result.time.bitgen = _cost.bitgenSeconds(bitgen_work.framesWritten);
+    result.time.overhead = _cost.toolStartup;
+    return result;
+}
+
+CompileResult
+VendorTool::compileIncremental(const rtl::Design &design,
+                               const CompileResult &prev) const
+{
+    (void)prev;
+    // The vendor tool re-runs synthesis in full (the netlist guides
+    // re-placement but still has to be produced and matched), then
+    // re-places/re-routes most of the device: it has no declaration
+    // of *what* will change, so it conservatively expands the
+    // touched region (the paper's ~10% savings hypothesis, backed
+    // by the SMatch observation that only single-tile changes are
+    // cheap).
+    CompileResult result = compile(design);
+    result.time.place *= replaceFraction;
+    result.time.route *= replaceFraction;
+    return result;
+}
+
+MapOptions
+Vti::partOptions(size_t part_index) const
+{
+    MapOptions opts;
+    if (part_index == 0) {
+        opts.excludePrefixes = _opts.iteratedModules;
+    } else {
+        opts.includePrefixes = {_opts.iteratedModules[part_index - 1]};
+    }
+    return opts;
+}
+
+void
+Vti::snapshotNames(size_t part_index, const rtl::Design &design)
+{
+    if (_partRegNames.size() < _parts.size()) {
+        _partRegNames.resize(_parts.size());
+        _partMemNames.resize(_parts.size());
+    }
+    std::vector<std::string> regs, mems;
+    regs.reserve(design.regs.size());
+    for (const rtl::Reg &reg : design.regs)
+        regs.push_back(reg.name);
+    for (const rtl::Mem &mem : design.mems)
+        mems.push_back(mem.name);
+    _partRegNames[part_index] = std::move(regs);
+    _partMemNames[part_index] = std::move(mems);
+}
+
+bool
+Vti::rebaseProvenance(size_t part_index, const rtl::Design &design)
+{
+    // Translate this cached partition's design indices (captured at
+    // its last synthesis) into the current design's indices, by
+    // name. Returns false if a name disappeared (the edit touched
+    // another partition — full recompile required).
+    std::unordered_map<std::string, uint32_t> reg_index, mem_index;
+    for (uint32_t r = 0; r < design.regs.size(); ++r)
+        reg_index[design.regs[r].name] = r;
+    for (uint32_t m = 0; m < design.mems.size(); ++m)
+        mem_index[design.mems[m].name] = m;
+
+    MappedNetlist &net = *_parts[part_index];
+    const auto &reg_names = _partRegNames[part_index];
+    const auto &mem_names = _partMemNames[part_index];
+    for (synth::MCell &cell : net.cells) {
+        if (cell.kind != synth::CellKind::FF)
+            continue;
+        auto it = reg_index.find(reg_names[cell.src]);
+        if (it == reg_index.end())
+            return false;
+        cell.src = it->second;
+    }
+    for (synth::MRam &ram : net.rams) {
+        auto it = mem_index.find(mem_names[ram.srcMem]);
+        if (it == mem_index.end())
+            return false;
+        ram.srcMem = it->second;
+    }
+    snapshotNames(part_index, design);
+    return true;
+}
+
+CompileResult
+Vti::compileInitial(const rtl::Design &design)
+{
+    const size_t num_parts = _opts.iteratedModules.size() + 1;
+    _parts.clear();
+    _parts.resize(num_parts);
+    _partWork.assign(num_parts, {});
+
+    // Per-partition synthesis. Wall-clock: partitions compile in
+    // parallel, so the modeled synth time is the slowest partition.
+    for (size_t p = 0; p < num_parts; ++p) {
+        _parts[p] = std::make_unique<MappedNetlist>(
+            synth::techMap(design, partOptions(p), &_partWork[p]));
+        snapshotNames(p, design);
+    }
+    _hasState = true;
+    return assemble(design, false, "");
+}
+
+CompileResult
+Vti::compileIncremental(const rtl::Design &design,
+                        const std::string &changed_module)
+{
+    panic_if(!_hasState, "compileIncremental before compileInitial");
+    size_t part_index = 0;
+    for (size_t i = 0; i < _opts.iteratedModules.size(); ++i) {
+        if (_opts.iteratedModules[i] == changed_module)
+            part_index = i + 1;
+    }
+    fatal_if(part_index == 0, "module '", changed_module,
+             "' was not declared iterated");
+
+    _partWork.assign(_parts.size(), {});
+    *_parts[part_index] = synth::techMap(
+        design, partOptions(part_index), &_partWork[part_index]);
+    snapshotNames(part_index, design);
+    for (size_t p = 0; p < _parts.size(); ++p) {
+        if (p == part_index)
+            continue;
+        if (!rebaseProvenance(p, design)) {
+            warn("VTI: edit removed state outside '", changed_module,
+                 "'; falling back to full recompile");
+            return compileInitial(design);
+        }
+    }
+    return assemble(design, true, changed_module);
+}
+
+CompileResult
+Vti::assemble(const rtl::Design &design, bool incremental,
+              const std::string &changed_module)
+{
+    const CostModel &cost = _opts.cost;
+    CompileResult result;
+
+    // Fresh boundaries for every partition, then link.
+    std::vector<LinkInput> inputs(_parts.size());
+    for (size_t p = 0; p < _parts.size(); ++p) {
+        inputs[p].netlist = _parts[p].get();
+        inputs[p].boundary = synth::computeBoundary(design,
+                                                    partOptions(p));
+        inputs[p].name = p == 0 ? "<static>"
+                                : _opts.iteratedModules[p - 1];
+    }
+    LinkResult linked = link(inputs);
+    if (!linked.ok) {
+        warn("VTI link failed (", linked.error,
+             "); falling back to full recompile");
+        return compileInitial(design);
+    }
+    result.netlist = std::move(linked.netlist);
+
+    // Floorplan: iterated modules get pinned, over-provisioned
+    // regions; the static partition takes the rest.
+    Floorplan floorplan;
+    for (const std::string &prefix : _opts.iteratedModules) {
+        FloorplanPart part;
+        part.scopePrefix = prefix;
+        part.demand = result.netlist.totalsUnder(prefix)
+                          .overProvisioned(_opts.overprovision);
+        part.pinToSingleSlr = true;
+        floorplan.parts.push_back(std::move(part));
+    }
+
+    PlaceWork place_work;
+    result.placement = place(_spec, result.netlist, &floorplan,
+                             &place_work);
+    _placement = result.placement;
+
+    result.utilization = result.netlist.totals();
+    result.peakUtilization = place_work.peakUtilization;
+    result.timing = analyzeTiming(_spec, result.netlist,
+                                  result.placement,
+                                  place_work.peakUtilization,
+                                  _opts.timing);
+
+    BitgenWork bitgen_work;
+    if (incremental) {
+        // Partial bitstream: only the changed partition's frames.
+        auto images = buildConfigImages(_spec, result.netlist,
+                                        result.placement);
+        std::vector<fpga::Region> regions;
+        for (const auto &region : result.placement.regions) {
+            if (region.scopePrefix == changed_module)
+                regions.push_back(region);
+        }
+        auto spans = spansForRegions(_spec, images, regions);
+        result.bitstream = partialBitstream(_spec, spans,
+                                            &bitgen_work);
+        result.bitstreamIsPartial = true;
+    } else {
+        result.bitstream = fullBitstream(_spec, result.netlist,
+                                         result.placement,
+                                         &bitgen_work);
+    }
+
+    // ---- modeled time ------------------------------------------
+    CompileTime time;
+    if (incremental) {
+        // Only the changed partition was synthesized; every other
+        // partition's mapping and placement is reused from cache
+        // (the placer is deterministic per partition — verified in
+        // tests — so the reuse is genuine).
+        size_t changed_index = 0;
+        for (size_t i = 0; i < _opts.iteratedModules.size(); ++i) {
+            if (_opts.iteratedModules[i] == changed_module)
+                changed_index = i + 1;
+        }
+        time.synth = cost.synthSeconds(_partWork[changed_index],
+                                       false);
+        RegionWork rw = regionWork(_spec, result.netlist,
+                                   result.placement, changed_module);
+        time.place = cost.placeSeconds(rw.cells, rw.utilization);
+        time.route = cost.routeSeconds(rw.hpwl, rw.utilization);
+        time.bitgen = cost.bitgenSeconds(bitgen_work.framesWritten);
+        time.link = cost.linkSeconds(linked.boundaryBits);
+        time.overhead = cost.toolStartup + cost.dfxFixed;
+    } else {
+        // Partitions synthesize and place in parallel: the modeled
+        // wall-clock is the slowest partition per phase, plus
+        // linking and full bitgen.
+        for (size_t p = 0; p < _parts.size(); ++p) {
+            CompileTime part_time;
+            part_time.synth = cost.synthSeconds(_partWork[p], false);
+            std::string prefix =
+                p == 0 ? "" : _opts.iteratedModules[p - 1];
+            RegionWork rw = regionWork(_spec, result.netlist,
+                                       result.placement, prefix);
+            if (p == 0) {
+                // regionWork("") would count everything; bill the
+                // static partition with whole-device numbers.
+                rw.cells = place_work.cellsPlaced;
+                rw.hpwl = place_work.hpwl;
+                rw.utilization = place_work.peakUtilization;
+            }
+            part_time.place = cost.placeSeconds(rw.cells,
+                                                rw.utilization);
+            part_time.route = cost.routeSeconds(rw.hpwl,
+                                                rw.utilization);
+            time = CompileTime::parallelMax(time, part_time);
+        }
+        time.bitgen = cost.bitgenSeconds(bitgen_work.framesWritten);
+        time.link = cost.linkSeconds(linked.boundaryBits);
+        time.overhead = cost.toolStartup + cost.floorplanFixed;
+    }
+    result.time = time;
+    return result;
+}
+
+} // namespace zoomie::toolchain

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The two compilation flows compared in the paper (Table 1, §3.5,
+ * Figure 7):
+ *
+ *  - VendorTool: the Vivado-like monolithic flow. Synthesis treats
+ *    the design as one unit with global optimization; placement and
+ *    routing are whole-device. Its "incremental" mode models the
+ *    vendor behaviour the paper measures: synthesis re-runs, and
+ *    because the tool cannot restrict changes to a small area, most
+ *    of the device is re-placed/re-routed (~10% savings).
+ *
+ *  - Vti (Vendor Tool Incrementalizer): designer-declared iterated
+ *    modules become partitions; each partition is synthesized
+ *    independently (in parallel), placed in a reserved over-
+ *    provisioned region (ER = resource * (1 + c)), and linked.
+ *    Incremental compiles re-synthesize only the changed partition,
+ *    re-place only its region, and emit a partial bitstream for
+ *    just its frames.
+ */
+
+#ifndef ZOOMIE_TOOLCHAIN_FLOWS_HH
+#define ZOOMIE_TOOLCHAIN_FLOWS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpga/device_spec.hh"
+#include "fpga/placement.hh"
+#include "rtl/ir.hh"
+#include "synth/netlist.hh"
+#include "synth/techmap.hh"
+#include "toolchain/bitgen.hh"
+#include "toolchain/costmodel.hh"
+#include "toolchain/timing.hh"
+
+namespace zoomie::toolchain {
+
+/** Everything a compile run produces. */
+struct CompileResult
+{
+    synth::MappedNetlist netlist;    ///< runnable (linked) netlist
+    fpga::Placement placement;
+    std::vector<uint32_t> bitstream; ///< full or partial word stream
+    bool bitstreamIsPartial = false;
+    CompileTime time;                ///< modeled wall-clock
+    TimingReport timing;
+    synth::ResourceCount utilization;
+    double peakUtilization = 0.0;
+};
+
+/** Monolithic vendor flow. */
+class VendorTool
+{
+  public:
+    explicit VendorTool(fpga::DeviceSpec spec, CostModel cost = {},
+                        TimingParams timing = {})
+        : _spec(std::move(spec)), _cost(cost), _timing(timing) {}
+
+    /** Full compile from scratch. */
+    CompileResult compile(const rtl::Design &design) const;
+
+    /**
+     * Vendor incremental mode: a prior result guides the tool, but
+     * synthesis re-runs and a large fraction of the device is
+     * re-placed/re-routed (modelled by replaceFraction).
+     */
+    CompileResult compileIncremental(const rtl::Design &design,
+                                     const CompileResult &prev) const;
+
+    /** Fraction of place/route work the vendor incremental mode
+     *  still performs (the paper's ~10% savings hypothesis). */
+    double replaceFraction = 0.85;
+
+  private:
+    fpga::DeviceSpec _spec;
+    CostModel _cost;
+    TimingParams _timing;
+};
+
+/** The VTI partition-based flow. */
+class Vti
+{
+  public:
+    struct Options
+    {
+        /** Scope prefixes of iterated (debugged) modules. */
+        std::vector<std::string> iteratedModules;
+        /** Over-provision coefficient c (default 30%, §5.2). */
+        double overprovision = 0.30;
+        CostModel cost;
+        TimingParams timing;
+    };
+
+    Vti(fpga::DeviceSpec spec, Options options)
+        : _spec(std::move(spec)), _opts(std::move(options)) {}
+
+    /** Initial compile: all partitions synthesized and linked. */
+    CompileResult compileInitial(const rtl::Design &design);
+
+    /**
+     * Incremental compile after an edit confined to one iterated
+     * module. Only that partition is re-synthesized and re-placed;
+     * the result carries a *partial* bitstream covering its region.
+     * Falls back to compileInitial (with a warning) if the edit
+     * changed the partition boundary.
+     */
+    CompileResult compileIncremental(const rtl::Design &design,
+                                     const std::string &changed_module);
+
+    /** Region reserved for a module (after a compile). */
+    const fpga::Region *moduleRegion(const std::string &prefix) const
+    {
+        return _placement.findRegion(prefix);
+    }
+
+    const Options &options() const { return _opts; }
+
+  private:
+    synth::MapOptions partOptions(size_t part_index) const;
+    void snapshotNames(size_t part_index, const rtl::Design &design);
+    bool rebaseProvenance(size_t part_index,
+                          const rtl::Design &design);
+    CompileResult assemble(const rtl::Design &design,
+                           bool incremental,
+                           const std::string &changed_module);
+
+    fpga::DeviceSpec _spec;
+    Options _opts;
+
+    /** Cached per-partition netlists; [0] is the static partition. */
+    std::vector<std::unique_ptr<synth::MappedNetlist>> _parts;
+    std::vector<synth::MapWork> _partWork;
+
+    /**
+     * Register/memory name tables captured when each partition was
+     * last synthesized. Cell provenance stores *indices* into the
+     * design, and an edit that adds or removes registers shifts
+     * them — so cached partitions are re-based by name against the
+     * current design on every assemble.
+     */
+    std::vector<std::vector<std::string>> _partRegNames;
+    std::vector<std::vector<std::string>> _partMemNames;
+    fpga::Placement _placement;
+    bool _hasState = false;
+};
+
+} // namespace zoomie::toolchain
+
+#endif // ZOOMIE_TOOLCHAIN_FLOWS_HH

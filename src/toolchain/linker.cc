@@ -1,0 +1,151 @@
+#include "linker.hh"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace zoomie::toolchain {
+
+using synth::CellKind;
+using synth::kNoSig;
+using synth::MappedNetlist;
+using synth::MCell;
+using synth::SigId;
+
+LinkResult
+link(const std::vector<LinkInput> &parts)
+{
+    LinkResult result;
+    MappedNetlist &out = result.netlist;
+
+    // Validate boundary alignment and compute cell offsets.
+    std::vector<SigId> offset(parts.size(), 0);
+    SigId next = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+        const MappedNetlist &part = *parts[p].netlist;
+        if (part.boundaryInNets.size() != parts[p].boundary.ins.size()
+            || part.boundaryOutNets.size() !=
+                   parts[p].boundary.outs.size()) {
+            std::ostringstream os;
+            os << "partition '" << parts[p].name
+               << "' boundary drifted (cached "
+               << part.boundaryInNets.size() << " ins / "
+               << part.boundaryOutNets.size() << " outs, design now "
+               << parts[p].boundary.ins.size() << " / "
+               << parts[p].boundary.outs.size()
+               << "); full recompile required";
+            result.error = os.str();
+            return result;
+        }
+        offset[p] = next;
+        next += static_cast<SigId>(part.cells.size());
+        if (out.scopeNames.size() < part.scopeNames.size())
+            out.scopeNames = part.scopeNames;
+        out.numClocks = std::max(out.numClocks, part.numClocks);
+    }
+
+    // Export map: fresh boundary net id -> global sigs.
+    std::map<uint32_t, std::vector<SigId>> exports;
+    for (size_t p = 0; p < parts.size(); ++p) {
+        const MappedNetlist &part = *parts[p].netlist;
+        for (size_t j = 0; j < part.boundaryOutNets.size(); ++j) {
+            uint32_t fresh = parts[p].boundary.outs[j];
+            std::vector<SigId> sigs = part.boundaryOutSigs[j];
+            for (SigId &sig : sigs)
+                sig += offset[p];
+            exports[fresh] = std::move(sigs);
+        }
+    }
+
+    // Copy cells with rebased references.
+    std::vector<uint32_t> ram_offset(parts.size(), 0);
+    uint32_t ram_next = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+        ram_offset[p] = ram_next;
+        ram_next += static_cast<uint32_t>(parts[p].netlist->rams.size());
+    }
+
+    for (size_t p = 0; p < parts.size(); ++p) {
+        const MappedNetlist &part = *parts[p].netlist;
+        for (SigId id = 0; id < part.cells.size(); ++id) {
+            MCell cell = part.cells[id];
+            for (unsigned i = 0; i < 6; ++i) {
+                if (cell.in[i] != kNoSig)
+                    cell.in[i] += offset[p];
+            }
+            if (cell.kind == CellKind::RamOut)
+                cell.src += ram_offset[p];
+            out.cells.push_back(cell);
+        }
+        for (const synth::MRam &src_ram : part.rams) {
+            synth::MRam ram = src_ram;
+            for (auto &port : ram.readPorts) {
+                for (SigId &sig : port.addr)
+                    sig += offset[p];
+                for (SigId &sig : port.data)
+                    sig += offset[p];
+            }
+            for (auto &port : ram.writePorts) {
+                for (SigId &sig : port.addr)
+                    sig += offset[p];
+                for (SigId &sig : port.data)
+                    sig += offset[p];
+                if (port.en != kNoSig)
+                    port.en += offset[p];
+            }
+            out.rams.push_back(std::move(ram));
+        }
+        for (const auto &in : part.inputs) {
+            MappedNetlist::Input input = in;
+            for (SigId &sig : input.bits)
+                sig += offset[p];
+            out.inputs.push_back(std::move(input));
+        }
+        for (const auto &o : part.outputs) {
+            MappedNetlist::Output output = o;
+            for (SigId &sig : output.bits)
+                sig += offset[p];
+            out.outputs.push_back(std::move(output));
+        }
+    }
+
+    // Resolve anchors: each PartIn becomes a route-thru LUT.
+    for (size_t p = 0; p < parts.size(); ++p) {
+        const MappedNetlist &part = *parts[p].netlist;
+        for (size_t j = 0; j < part.boundaryInNets.size(); ++j) {
+            uint32_t fresh = parts[p].boundary.ins[j];
+            auto it = exports.find(fresh);
+            if (it == exports.end()) {
+                std::ostringstream os;
+                os << "partition '" << parts[p].name
+                   << "' imports a net no partition exports";
+                result.error = os.str();
+                return result;
+            }
+            const std::vector<SigId> &cells = part.boundaryInCells[j];
+            if (it->second.size() != cells.size()) {
+                result.error = "boundary width mismatch during link";
+                return result;
+            }
+            for (size_t bit = 0; bit < cells.size(); ++bit) {
+                MCell &anchor = out.cells[offset[p] + cells[bit]];
+                panic_if(anchor.kind != CellKind::PartIn,
+                         "anchor is not a PartIn");
+                anchor.kind = CellKind::Lut;
+                anchor.nIn = 1;
+                anchor.truth = 0b10;
+                anchor.in[0] = it->second[bit];
+                anchor.src = 0;
+                anchor.srcBit = 0;
+                ++result.boundaryBits;
+            }
+        }
+    }
+
+    out.name = parts.empty() ? "linked" : parts[0].netlist->name;
+    result.ok = true;
+    return result;
+}
+
+} // namespace zoomie::toolchain

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * VTI partition linker: combines independently synthesized
+ * partition netlists into one runnable netlist ("linking happens in
+ * the end for all partitions together", Table 1). Partition
+ * boundary anchors (PartIn cells) are resolved against the nets
+ * other partitions export; each anchor becomes a 1-input route-thru
+ * LUT, mirroring the partition-pin anchor points of real DFX flows
+ * (this is part of VTI's modest area overhead).
+ *
+ * Binding across compiles: the fresh PartitionBoundary lists are
+ * recomputed from the *current* design; a cached partition's stale
+ * boundary lists align with them by order (net-id order is
+ * preserved under the monotone id shifts an edit in another
+ * partition causes). A size mismatch means the boundary itself
+ * changed — the linker reports it so VTI can fall back to a full
+ * recompile.
+ */
+
+#ifndef ZOOMIE_TOOLCHAIN_LINKER_HH
+#define ZOOMIE_TOOLCHAIN_LINKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/netlist.hh"
+#include "synth/techmap.hh"
+
+namespace zoomie::toolchain {
+
+/** One partition to link. */
+struct LinkInput
+{
+    const synth::MappedNetlist *netlist = nullptr;
+    /** Boundary recomputed from the current design. */
+    synth::PartitionBoundary boundary;
+    std::string name;
+};
+
+/** Result of linking. */
+struct LinkResult
+{
+    synth::MappedNetlist netlist;
+    uint64_t boundaryBits = 0;   ///< anchors resolved (cost model)
+    bool ok = false;
+    std::string error;           ///< set when !ok (boundary drift)
+};
+
+/** Link partitions into one netlist. */
+LinkResult link(const std::vector<LinkInput> &parts);
+
+} // namespace zoomie::toolchain
+
+#endif // ZOOMIE_TOOLCHAIN_LINKER_HH

@@ -1,0 +1,71 @@
+#include "logicloc.hh"
+
+#include "common/logging.hh"
+
+namespace zoomie::toolchain {
+
+using synth::CellKind;
+using synth::SigId;
+
+std::vector<const RegLocation *>
+LogicLocations::regsUnder(const std::string &prefix) const
+{
+    std::vector<const RegLocation *> out;
+    for (const RegLocation &reg : regs) {
+        if (reg.name.size() >= prefix.size() &&
+            reg.name.compare(0, prefix.size(), prefix) == 0)
+            out.push_back(&reg);
+    }
+    return out;
+}
+
+LogicLocations
+buildLogicLocations(const fpga::DeviceSpec &spec,
+                    const rtl::Design &design,
+                    const synth::MappedNetlist &netlist,
+                    const fpga::Placement &placement)
+{
+    LogicLocations locs;
+    std::unordered_map<uint32_t, size_t> reg_slot;
+
+    for (SigId id = 0; id < netlist.cells.size(); ++id) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind != CellKind::FF)
+            continue;
+        auto [it, inserted] =
+            reg_slot.try_emplace(cell.src, locs.regs.size());
+        if (inserted) {
+            const rtl::Reg &reg = design.regs[cell.src];
+            RegLocation loc;
+            loc.name = reg.name;
+            loc.regIndex = cell.src;
+            loc.width = reg.width;
+            loc.bits.assign(reg.width, {});
+            locs.regs.push_back(std::move(loc));
+        }
+        RegLocation &loc = locs.regs[it->second];
+        panic_if(cell.srcBit >= loc.width, "FF srcBit out of range");
+        loc.bits[cell.srcBit] =
+            spec.ffBit(placement.cellSite[id]);
+    }
+
+    for (uint32_t r = 0; r < netlist.rams.size(); ++r) {
+        const synth::MRam &ram = netlist.rams[r];
+        const rtl::Mem &mem = design.mems[ram.srcMem];
+        MemLocation loc;
+        loc.name = mem.name;
+        loc.memIndex = ram.srcMem;
+        loc.ramIndex = r;
+        loc.depth = ram.depth;
+        loc.width = ram.width;
+        locs.mems.push_back(std::move(loc));
+    }
+
+    for (size_t i = 0; i < locs.regs.size(); ++i)
+        locs.regByName[locs.regs[i].name] = i;
+    for (size_t i = 0; i < locs.mems.size(); ++i)
+        locs.memByName[locs.mems[i].name] = i;
+    return locs;
+}
+
+} // namespace zoomie::toolchain

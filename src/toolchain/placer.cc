@@ -1,0 +1,533 @@
+#include "placer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace zoomie::toolchain {
+
+using fpga::DeviceSpec;
+using fpga::Placement;
+using fpga::RamPlacement;
+using fpga::Region;
+using fpga::Site;
+using synth::CellKind;
+using synth::MappedNetlist;
+using synth::SigId;
+
+namespace {
+
+/** Occupancy tracking for one device. */
+struct Occupancy
+{
+    const DeviceSpec &spec;
+    // Per SLR, per tile (col * rows + row): used LUT / FF slots.
+    std::vector<std::vector<uint8_t>> lutUsed;
+    std::vector<std::vector<uint8_t>> ffUsed;
+    // Per SLR: next free BRAM site (linear col * bramRows + row).
+    std::vector<uint32_t> bramNext;
+
+    explicit Occupancy(const DeviceSpec &s) : spec(s)
+    {
+        const size_t tiles = size_t(s.clbCols) * s.clbRows;
+        lutUsed.assign(s.numSlrs, std::vector<uint8_t>(tiles, 0));
+        ffUsed.assign(s.numSlrs, std::vector<uint8_t>(tiles, 0));
+        bramNext.assign(s.numSlrs, 0);
+    }
+
+    size_t tileIndex(uint32_t col, uint32_t row) const
+    {
+        return size_t(col) * spec.clbRows + row;
+    }
+};
+
+/** Walks the tiles of a region list, finding free slots. */
+struct Cursor
+{
+    const std::vector<Region> *regions = nullptr;
+    size_t regionIdx = 0;
+    uint32_t col = 0, row = 0;
+    bool started = false;
+
+    /** Move to the first/next tile. @return false when exhausted. */
+    bool advance()
+    {
+        if (!started) {
+            if (regions->empty())
+                return false;
+            col = (*regions)[0].colLo;
+            row = (*regions)[0].rowLo;
+            started = true;
+            return true;
+        }
+        const Region &region = (*regions)[regionIdx];
+        if (++row > region.rowHi) {
+            row = region.rowLo;
+            if (++col > region.colHi) {
+                if (++regionIdx >= regions->size())
+                    return false;
+                col = (*regions)[regionIdx].colLo;
+                row = (*regions)[regionIdx].rowLo;
+            }
+        }
+        return true;
+    }
+
+    uint32_t slr() const { return (*regions)[regionIdx].slr; }
+};
+
+/** Allocate one LUT slot (optionally SLICEM-only). */
+bool
+takeLutSlot(Occupancy &occ, Cursor &cursor, bool slicem_only,
+            Site &site)
+{
+    if (!cursor.started && !cursor.advance())
+        return false;
+    while (true) {
+        uint32_t slr = cursor.slr();
+        if ((!slicem_only || occ.spec.isSlicemCol(cursor.col))) {
+            uint8_t &used =
+                occ.lutUsed[slr][occ.tileIndex(cursor.col,
+                                               cursor.row)];
+            if (used < fpga::kLutsPerClb) {
+                site = {slr, cursor.col, cursor.row, used};
+                ++used;
+                return true;
+            }
+        }
+        if (!cursor.advance())
+            return false;
+    }
+}
+
+/** Allocate one FF slot. */
+bool
+takeFfSlot(Occupancy &occ, Cursor &cursor, Site &site)
+{
+    if (!cursor.started && !cursor.advance())
+        return false;
+    while (true) {
+        uint32_t slr = cursor.slr();
+        uint8_t &used =
+            occ.ffUsed[slr][occ.tileIndex(cursor.col, cursor.row)];
+        if (used < fpga::kFfsPerClb) {
+            site = {slr, cursor.col, cursor.row, used};
+            ++used;
+            return true;
+        }
+        if (!cursor.advance())
+            return false;
+    }
+}
+
+/** Resolve which part a scope name belongs to (longest prefix). */
+int
+partOfScope(const std::string &scope,
+            const std::vector<FloorplanPart> &parts)
+{
+    int best = -1;
+    size_t best_len = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+        const std::string &prefix = parts[p].scopePrefix;
+        if (prefix.empty()) {
+            if (best < 0)
+                best = static_cast<int>(p);
+            continue;
+        }
+        if (scope.size() >= prefix.size() &&
+            scope.compare(0, prefix.size(), prefix) == 0 &&
+            prefix.size() >= best_len) {
+            best = static_cast<int>(p);
+            best_len = prefix.size();
+        }
+    }
+    return best;
+}
+
+/** Columns needed by a demand within contiguous CLB columns. */
+uint32_t
+columnsNeeded(const DeviceSpec &spec, const synth::ResourceCount &d)
+{
+    const uint64_t luts_per_col =
+        uint64_t(spec.clbRows) * fpga::kLutsPerClb;
+    const uint64_t ffs_per_col =
+        uint64_t(spec.clbRows) * fpga::kFfsPerClb;
+    uint64_t lut_slots = d.luts + d.lutramLuts;
+    uint32_t cols = static_cast<uint32_t>(
+        (lut_slots + luts_per_col - 1) / luts_per_col);
+    cols = std::max<uint32_t>(cols, static_cast<uint32_t>(
+        (d.ffs + ffs_per_col - 1) / ffs_per_col));
+    // Only every other column is SLICEM.
+    cols = std::max<uint32_t>(cols, 2 * static_cast<uint32_t>(
+        (d.lutramLuts + luts_per_col - 1) / luts_per_col));
+    return std::max<uint32_t>(cols, 1);
+}
+
+} // namespace
+
+fpga::Placement
+place(const DeviceSpec &spec, const MappedNetlist &netlist,
+      const Floorplan *floorplan, PlaceWork *work)
+{
+    // Normalize to a part list: monolithic mode = one static part.
+    std::vector<FloorplanPart> parts;
+    if (floorplan)
+        parts = floorplan->parts;
+    bool has_static = false;
+    for (const auto &part : parts)
+        has_static |= part.scopePrefix.empty();
+    if (!has_static) {
+        FloorplanPart static_part;
+        static_part.scopePrefix = "";
+        parts.push_back(static_part);
+    }
+
+    // Partition cells and rams.
+    std::vector<std::vector<SigId>> part_cells(parts.size());
+    std::vector<std::vector<uint32_t>> part_rams(parts.size());
+    for (SigId id = 0; id < netlist.cells.size(); ++id) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind != CellKind::Lut && cell.kind != CellKind::FF)
+            continue;
+        int p = partOfScope(netlist.scopeNames[cell.scope], parts);
+        panic_if(p < 0, "cell without a part");
+        part_cells[p].push_back(id);
+    }
+    for (uint32_t r = 0; r < netlist.rams.size(); ++r) {
+        int p = partOfScope(netlist.scopeNames[netlist.rams[r].scope],
+                            parts);
+        panic_if(p < 0, "ram without a part");
+        part_rams[p].push_back(r);
+    }
+
+    // Region allocation. Explicit parts get reserved column ranges
+    // sized by their (over-provisioned) demand; the static part
+    // takes everything left.
+    Placement out;
+    out.cellSite.resize(netlist.cells.size());
+    out.ramSite.resize(netlist.rams.size());
+
+    std::vector<std::vector<Region>> part_regions(parts.size());
+    std::vector<uint32_t> col_cursor(spec.numSlrs, 0);
+    uint32_t default_slr = 0;
+    int static_index = -1;
+    for (size_t p = 0; p < parts.size(); ++p) {
+        if (parts[p].scopePrefix.empty()) {
+            static_index = static_cast<int>(p);
+            continue;
+        }
+        synth::ResourceCount demand = parts[p].demand;
+        if (demand.luts == 0 && demand.ffs == 0 &&
+            demand.lutramLuts == 0) {
+            // Derive demand from the netlist if not provided.
+            demand = netlist.totalsUnder(parts[p].scopePrefix);
+        }
+        uint32_t cols = columnsNeeded(spec, demand);
+        panic_if(cols > spec.clbCols, "partition '",
+                 parts[p].scopePrefix, "' exceeds one SLR");
+        uint32_t slr;
+        if (parts[p].forcedSlr >= 0) {
+            slr = static_cast<uint32_t>(parts[p].forcedSlr);
+            panic_if(slr >= spec.numSlrs, "forcedSlr out of range");
+            panic_if(col_cursor[slr] + cols > spec.clbCols,
+                     "forced SLR out of columns for '",
+                     parts[p].scopePrefix, "'");
+        } else {
+            while (default_slr < spec.numSlrs &&
+                   col_cursor[default_slr] + cols > spec.clbCols)
+                ++default_slr;
+            panic_if(default_slr >= spec.numSlrs,
+                     "floorplan exceeds device");
+            slr = default_slr;
+        }
+        Region region;
+        region.scopePrefix = parts[p].scopePrefix;
+        region.slr = slr;
+        region.colLo = col_cursor[slr];
+        region.colHi = col_cursor[slr] + cols - 1;
+        region.rowLo = 0;
+        region.rowHi = spec.clbRows - 1;
+        part_regions[p].push_back(region);
+        out.regions.push_back(region);
+        col_cursor[slr] += cols;
+    }
+    if (static_index >= 0) {
+        // Static part: every remaining column range on every SLR.
+        for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
+            if (col_cursor[slr] >= spec.clbCols)
+                continue;
+            Region region;
+            region.scopePrefix = "";
+            region.slr = slr;
+            region.colLo = col_cursor[slr];
+            region.colHi = spec.clbCols - 1;
+            region.rowLo = 0;
+            region.rowHi = spec.clbRows - 1;
+            part_regions[static_index].push_back(region);
+            out.regions.push_back(region);
+        }
+    }
+
+    Occupancy occ(spec);
+    double peak_util = 0.0;
+    uint64_t cells_placed = 0;
+
+    for (size_t p = 0; p < parts.size(); ++p) {
+        // Stable scope-major order gives hierarchical locality and,
+        // crucially, determinism: an unchanged partition re-places
+        // to identical sites (VTI relies on this).
+        std::vector<SigId> &cells = part_cells[p];
+        std::stable_sort(cells.begin(), cells.end(),
+            [&](SigId a, SigId b) {
+                return netlist.cells[a].scope < netlist.cells[b].scope;
+            });
+
+        Cursor lut_cursor, ff_cursor, lutram_cursor;
+        lut_cursor.regions = &part_regions[p];
+        ff_cursor.regions = &part_regions[p];
+        lutram_cursor.regions = &part_regions[p];
+
+        // RAMs first: LUTRAM needs SLICEM slots that dense logic
+        // packing would otherwise consume.
+        for (uint32_t r : part_rams[p]) {
+            const synth::MRam &ram = netlist.rams[r];
+            RamPlacement rp;
+            rp.isBram = ram.style == synth::RamStyle::Bram;
+            if (rp.isBram) {
+                uint32_t want_slr = part_regions[p].empty()
+                    ? 0 : part_regions[p][0].slr;
+                for (uint32_t i = 0; i < ram.physCells; ++i) {
+                    uint32_t slr = want_slr;
+                    const uint32_t cap = spec.bramCols * spec.bramRows;
+                    while (slr < spec.numSlrs &&
+                           occ.bramNext[slr] >= cap)
+                        ++slr;
+                    panic_if(slr >= spec.numSlrs,
+                             "device out of BRAM capacity");
+                    uint32_t linear = occ.bramNext[slr]++;
+                    rp.sites.push_back({slr,
+                                        linear / spec.bramRows,
+                                        linear % spec.bramRows, 0});
+                }
+            } else {
+                for (uint32_t i = 0; i < ram.physCells; ++i) {
+                    Site site;
+                    bool ok = takeLutSlot(occ, lutram_cursor, true,
+                                          site);
+                    panic_if(!ok, "partition '",
+                             parts[p].scopePrefix,
+                             "' out of SLICEM capacity");
+                    rp.sites.push_back(site);
+                }
+            }
+            out.ramSite[r] = std::move(rp);
+        }
+
+        for (SigId id : cells) {
+            const auto &cell = netlist.cells[id];
+            Site site;
+            bool ok = cell.kind == CellKind::Lut
+                ? takeLutSlot(occ, lut_cursor, false, site)
+                : takeFfSlot(occ, ff_cursor, site);
+            panic_if(!ok, "partition '", parts[p].scopePrefix,
+                     "' out of ", cell.kind == CellKind::Lut
+                         ? "LUT" : "FF", " capacity");
+            out.cellSite[id] = site;
+            ++cells_placed;
+        }
+
+        // Region utilization (tightest resource).
+        synth::ResourceCount used;
+        for (SigId id : cells) {
+            if (netlist.cells[id].kind == CellKind::Lut)
+                ++used.luts;
+            else
+                ++used.ffs;
+        }
+        for (uint32_t r : part_rams[p]) {
+            if (netlist.rams[r].style == synth::RamStyle::Lutram)
+                used.lutramLuts += netlist.rams[r].physCells;
+        }
+        uint64_t cols = 0;
+        for (const Region &region : part_regions[p])
+            cols += region.colHi - region.colLo + 1;
+        if (cols > 0) {
+            double lut_cap =
+                double(cols) * spec.clbRows * fpga::kLutsPerClb;
+            double ff_cap =
+                double(cols) * spec.clbRows * fpga::kFfsPerClb;
+            double util = std::max(
+                double(used.luts + used.lutramLuts) / lut_cap,
+                double(used.ffs) / ff_cap);
+            peak_util = std::max(peak_util, util);
+        }
+    }
+
+    // Half-perimeter wirelength over LUT/FF input edges.
+    uint64_t hpwl = 0;
+    auto posOf = [&](SigId id, Site &site) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind == CellKind::Lut || cell.kind == CellKind::FF) {
+            site = out.cellSite[id];
+            return true;
+        }
+        if (cell.kind == CellKind::RamOut) {
+            const RamPlacement &rp = out.ramSite[cell.src];
+            if (!rp.sites.empty()) {
+                site = rp.sites[0];
+                return true;
+            }
+        }
+        return false;
+    };
+    for (SigId id = 0; id < netlist.cells.size(); ++id) {
+        const auto &cell = netlist.cells[id];
+        unsigned fanin = 0;
+        if (cell.kind == CellKind::Lut)
+            fanin = cell.nIn;
+        else if (cell.kind == CellKind::FF)
+            fanin = 3;
+        else
+            continue;
+        Site here = out.cellSite[id];
+        for (unsigned i = 0; i < fanin; ++i) {
+            SigId src = cell.in[i];
+            if (src == synth::kNoSig)
+                continue;
+            Site there;
+            if (!posOf(src, there))
+                continue;
+            uint64_t d =
+                std::abs(int64_t(here.col) - int64_t(there.col)) +
+                std::abs(int64_t(here.row) - int64_t(there.row));
+            if (here.slr != there.slr)
+                d += 2ull * spec.clbRows;  // SLL crossing penalty
+            hpwl += d;
+        }
+    }
+    out.hpwl = hpwl;
+
+    if (work) {
+        work->cellsPlaced = cells_placed;
+        work->hpwl = hpwl;
+        work->peakUtilization = peak_util;
+    }
+    return out;
+}
+
+RegionWork
+regionWork(const DeviceSpec &spec, const MappedNetlist &netlist,
+           const Placement &placement,
+           const std::string &scope_prefix)
+{
+    RegionWork rw;
+    std::vector<uint8_t> under(netlist.cells.size(), 0);
+    for (SigId id = 0; id < netlist.cells.size(); ++id) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind != CellKind::Lut && cell.kind != CellKind::FF)
+            continue;
+        if (!netlist.cellUnder(cell, scope_prefix))
+            continue;
+        under[id] = 1;
+        ++rw.cells;
+    }
+
+    for (SigId id = 0; id < netlist.cells.size(); ++id) {
+        const auto &cell = netlist.cells[id];
+        unsigned fanin = cell.kind == CellKind::Lut ? cell.nIn
+            : cell.kind == CellKind::FF ? 3 : 0;
+        if (fanin == 0)
+            continue;
+        for (unsigned i = 0; i < fanin; ++i) {
+            SigId src = cell.in[i];
+            if (src == synth::kNoSig || src >= netlist.cells.size())
+                continue;
+            if (!under[id] && !under[src])
+                continue;
+            const auto &scell = netlist.cells[src];
+            if (scell.kind != CellKind::Lut &&
+                scell.kind != CellKind::FF)
+                continue;
+            const Site &a = placement.cellSite[id];
+            const Site &b = placement.cellSite[src];
+            uint64_t d =
+                std::abs(int64_t(a.col) - int64_t(b.col)) +
+                std::abs(int64_t(a.row) - int64_t(b.row));
+            if (a.slr != b.slr)
+                d += 2ull * spec.clbRows;
+            rw.hpwl += d;
+        }
+    }
+
+    const Region *region = placement.findRegion(scope_prefix);
+    if (region) {
+        uint64_t cols = region->colHi - region->colLo + 1;
+        double cap = double(cols) * spec.clbRows * fpga::kLutsPerClb;
+        synth::ResourceCount used = netlist.totalsUnder(scope_prefix);
+        rw.utilization =
+            double(used.luts + used.lutramLuts) / std::max(1.0, cap);
+    } else {
+        rw.utilization = 0.5;
+    }
+    return rw;
+}
+
+std::vector<Region>
+scopeBoundingBoxes(const MappedNetlist &netlist,
+                   const Placement &placement,
+                   const std::string &prefix)
+{
+    struct Box { uint32_t clo, chi, rlo, rhi; bool valid = false; };
+    std::vector<Box> boxes;
+    auto grow = [&](const Site &site) {
+        if (site.slr >= boxes.size())
+            boxes.resize(site.slr + 1);
+        Box &box = boxes[site.slr];
+        if (!box.valid) {
+            box = {site.col, site.col, site.row, site.row, true};
+        } else {
+            box.clo = std::min(box.clo, site.col);
+            box.chi = std::max(box.chi, site.col);
+            box.rlo = std::min(box.rlo, site.row);
+            box.rhi = std::max(box.rhi, site.row);
+        }
+    };
+    for (SigId id = 0; id < netlist.cells.size(); ++id) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind != CellKind::Lut && cell.kind != CellKind::FF)
+            continue;
+        if (!netlist.cellUnder(cell, prefix))
+            continue;
+        grow(placement.cellSite[id]);
+    }
+    for (uint32_t r = 0; r < netlist.rams.size(); ++r) {
+        const synth::MRam &ram = netlist.rams[r];
+        const std::string &scope = netlist.scopeNames[ram.scope];
+        if (!prefix.empty() &&
+            (scope.size() < prefix.size() ||
+             scope.compare(0, prefix.size(), prefix) != 0))
+            continue;
+        if (!placement.ramSite[r].isBram) {
+            for (const Site &site : placement.ramSite[r].sites)
+                grow(site);
+        }
+    }
+
+    std::vector<Region> regions;
+    for (uint32_t slr = 0; slr < boxes.size(); ++slr) {
+        if (!boxes[slr].valid)
+            continue;
+        Region region;
+        region.scopePrefix = prefix;
+        region.slr = slr;
+        region.colLo = boxes[slr].clo;
+        region.colHi = boxes[slr].chi;
+        region.rowLo = boxes[slr].rlo;
+        region.rowHi = boxes[slr].rhi;
+        regions.push_back(region);
+    }
+    return regions;
+}
+
+} // namespace zoomie::toolchain

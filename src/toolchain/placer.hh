@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Placement: assigns every mapped cell a physical site on the
+ * device. Two modes mirror the paper's two flows:
+ *
+ *  - Monolithic (Vivado-like): the whole netlist is packed across
+ *    the device in scope order; per-scope bounding-box regions are
+ *    recorded afterwards (these are what Vivado's metadata exposes
+ *    and what Zoomie's SLR-aware readback consults).
+ *
+ *  - Floorplanned (VTI): each partition receives a reserved,
+ *    over-provisioned column range (ER = resource * (1 + c), §3.5);
+ *    iterated partitions are pinned to a single SLR so the module
+ *    under debug stays within one chiplet.
+ */
+
+#ifndef ZOOMIE_TOOLCHAIN_PLACER_HH
+#define ZOOMIE_TOOLCHAIN_PLACER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device_spec.hh"
+#include "fpga/placement.hh"
+#include "synth/netlist.hh"
+
+namespace zoomie::toolchain {
+
+/** One partition's floorplan request. */
+struct FloorplanPart
+{
+    std::string scopePrefix;       ///< "" = static (catch-all)
+    synth::ResourceCount demand;   ///< already over-provisioned
+    bool pinToSingleSlr = false;   ///< iterated (debugged) modules
+    int forcedSlr = -1;            ///< pin to a specific SLR (Tcl
+                                   ///< LOC-constraint analog), or -1
+};
+
+/** Floorplan request for VTI mode. */
+struct Floorplan
+{
+    std::vector<FloorplanPart> parts;
+};
+
+/** Work counters from placement (feed the cost model). */
+struct PlaceWork
+{
+    uint64_t cellsPlaced = 0;
+    uint64_t hpwl = 0;
+    double peakUtilization = 0.0;  ///< of the tightest region
+};
+
+/**
+ * Place a netlist. With a floorplan, cells are constrained to their
+ * partition's region; without one, the device is filled in scope
+ * order. Panics if the netlist cannot fit.
+ */
+fpga::Placement place(const fpga::DeviceSpec &spec,
+                      const synth::MappedNetlist &netlist,
+                      const Floorplan *floorplan = nullptr,
+                      PlaceWork *work = nullptr);
+
+/**
+ * Work attributable to one scope prefix within an existing
+ * placement: its cell count, the wirelength of edges incident to
+ * its cells, and the utilization of its floorplan region. VTI's
+ * incremental flow bills placement/routing work from this — the
+ * placer is deterministic per partition, so unchanged partitions
+ * re-place to byte-identical sites and their work is genuinely
+ * reusable (verified by tests).
+ */
+struct RegionWork
+{
+    uint64_t cells = 0;
+    uint64_t hpwl = 0;
+    double utilization = 0.0;
+};
+
+RegionWork regionWork(const fpga::DeviceSpec &spec,
+                      const synth::MappedNetlist &netlist,
+                      const fpga::Placement &placement,
+                      const std::string &scope_prefix);
+
+/**
+ * Bounding boxes (one per SLR) of all cells whose scope falls under
+ * @p prefix. This is the metadata Zoomie's SLR-aware readback uses
+ * to decide which frames of which SLRs to scan (§4.7).
+ */
+std::vector<fpga::Region> scopeBoundingBoxes(
+    const synth::MappedNetlist &netlist,
+    const fpga::Placement &placement, const std::string &prefix);
+
+} // namespace zoomie::toolchain
+
+#endif // ZOOMIE_TOOLCHAIN_PLACER_HH

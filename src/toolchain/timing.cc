@@ -1,0 +1,107 @@
+#include "timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/netlistsim.hh"
+
+namespace zoomie::toolchain {
+
+using fpga::Site;
+using synth::CellKind;
+using synth::MappedNetlist;
+using synth::SigId;
+
+TimingReport
+analyzeTiming(const fpga::DeviceSpec &spec,
+              const MappedNetlist &netlist,
+              const fpga::Placement &placement, double utilization,
+              const TimingParams &params, unsigned top_n)
+{
+    (void)spec;
+    const double congestion =
+        1.0 + params.congestionWeight *
+                  (utilization / std::max(0.05, 1.0 - utilization));
+
+    auto siteOf = [&](SigId id, Site &site) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind == CellKind::Lut || cell.kind == CellKind::FF) {
+            site = placement.cellSite[id];
+            return true;
+        }
+        if (cell.kind == CellKind::RamOut &&
+            !placement.ramSite[cell.src].sites.empty()) {
+            site = placement.ramSite[cell.src].sites[0];
+            return true;
+        }
+        return false;
+    };
+
+    auto wireDelay = [&](SigId from, SigId to) {
+        Site a, b;
+        if (!siteOf(from, a) || !siteOf(to, b))
+            return 0.0;
+        double dist =
+            std::abs(double(a.col) - double(b.col)) +
+            std::abs(double(a.row) - double(b.row));
+        double delay = dist * params.wirePerTile * congestion;
+        if (a.slr != b.slr)
+            delay += params.slrCrossing;
+        return delay;
+    };
+
+    // Arrival times in evaluation order; sources launch at clk-to-q.
+    std::vector<SigId> order = synth::combEvalOrder(netlist);
+    std::vector<float> arrival(netlist.cells.size(), 0.0f);
+    std::vector<uint32_t> levels(netlist.cells.size(), 0);
+
+    for (SigId id : order) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind == CellKind::FF ||
+            cell.kind == CellKind::RamOut) {
+            arrival[id] = static_cast<float>(params.clkToQ);
+            continue;
+        }
+        if (cell.kind != CellKind::Lut)
+            continue;
+        double worst = 0;
+        uint32_t level = 0;
+        for (unsigned i = 0; i < cell.nIn; ++i) {
+            SigId src = cell.in[i];
+            double t = arrival[src] + wireDelay(src, id);
+            worst = std::max(worst, t);
+            level = std::max(level, levels[src]);
+        }
+        arrival[id] = static_cast<float>(worst + params.lutDelay);
+        levels[id] = level + 1;
+    }
+
+    // Endpoints: FF data inputs (plus setup).
+    TimingReport report;
+    std::vector<TimingPath> paths;
+    for (SigId id = 0; id < netlist.cells.size(); ++id) {
+        const auto &cell = netlist.cells[id];
+        if (cell.kind != CellKind::FF || cell.in[0] == synth::kNoSig)
+            continue;
+        SigId src = cell.in[0];
+        double t = arrival[src] + wireDelay(src, id) + params.setup;
+        report.criticalNs = std::max(report.criticalNs, t);
+        report.logicLevels = std::max(report.logicLevels, levels[src]);
+        if (paths.size() < 4096 || t > paths.front().delayNs) {
+            TimingPath path;
+            path.delayNs = t;
+            path.endpointScope = netlist.scopeNames[cell.scope];
+            paths.push_back(path);
+        }
+    }
+    std::sort(paths.begin(), paths.end(),
+              [](const TimingPath &a, const TimingPath &b) {
+                  return a.delayNs > b.delayNs;
+              });
+    if (paths.size() > top_n)
+        paths.resize(top_n);
+    report.topPaths = std::move(paths);
+    return report;
+}
+
+} // namespace zoomie::toolchain

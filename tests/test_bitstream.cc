@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the configuration packet format, the command builder
+ * and the disassembler (the §4.4 analysis tooling).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bitstream/builder.hh"
+#include "bitstream/disassembler.hh"
+#include "bitstream/packets.hh"
+
+using namespace zoomie::bitstream;
+
+TEST(Packets, Type1RoundTrip)
+{
+    uint32_t word = type1(PacketOp::Write, ConfigReg::FAR, 1);
+    PacketHeader header = decodeHeader(word);
+    EXPECT_EQ(header.type, PacketHeader::Type::Type1);
+    EXPECT_EQ(header.op, PacketOp::Write);
+    EXPECT_EQ(header.reg, ConfigReg::FAR);
+    EXPECT_EQ(header.wordCount, 1u);
+}
+
+TEST(Packets, Type2RoundTrip)
+{
+    uint32_t word = type2(PacketOp::Read, 123456);
+    PacketHeader header = decodeHeader(word);
+    EXPECT_EQ(header.type, PacketHeader::Type::Type2);
+    EXPECT_EQ(header.op, PacketOp::Read);
+    EXPECT_EQ(header.wordCount, 123456u);
+}
+
+TEST(Packets, GarbageDecodesInvalid)
+{
+    EXPECT_EQ(decodeHeader(0x00000001).type,
+              PacketHeader::Type::Invalid);
+    EXPECT_EQ(decodeHeader(0xE0000000).type,
+              PacketHeader::Type::Invalid);
+}
+
+TEST(Packets, SpecialWordsAreNotValidHeaders)
+{
+    // 0xAA995566 has type bits 101 -> invalid as a packet header,
+    // which is why it is safe as a sync marker.
+    EXPECT_EQ(decodeHeader(kSyncWord).type,
+              PacketHeader::Type::Invalid);
+}
+
+TEST(CommandBuilder, SectionStructure)
+{
+    CommandBuilder builder;
+    builder.sync(4)
+        .selectHop(2)
+        .writeReg(ConfigReg::IDCODE, 0x12345678)
+        .writeFrames(7, std::vector<uint32_t>(93, 0xCAFE))
+        .command(Command::Start)
+        .desync();
+    auto words = builder.words();
+
+    DisasmStats stats = analyze(words);
+    EXPECT_EQ(stats.boutPulses, 2u);
+    EXPECT_EQ(stats.frameDataWords, 93u);
+    ASSERT_EQ(stats.idcodes.size(), 1u);
+    EXPECT_EQ(stats.idcodes[0], 0x12345678u);
+    // Two BOUT pulses before the single FDRI section.
+    ASSERT_EQ(stats.boutBeforeSection.size(), 1u);
+    EXPECT_EQ(stats.boutBeforeSection[0], 2u);
+}
+
+TEST(Disassembler, BoutRepetitionPatternAcrossSections)
+{
+    // Emulate a 3-SLR full bitstream: sections with 0, 1, 2 pulses,
+    // the pattern §4.4 observed on a U200.
+    CommandBuilder builder;
+    for (uint32_t hop = 0; hop < 3; ++hop) {
+        builder.sync().selectHop(hop);
+        builder.writeFrames(0, std::vector<uint32_t>(93, 0));
+        builder.desync();
+    }
+    DisasmStats stats = analyze(builder.words());
+    ASSERT_EQ(stats.boutBeforeSection.size(), 3u);
+    EXPECT_EQ(stats.boutBeforeSection[0], 0u);
+    EXPECT_EQ(stats.boutBeforeSection[1], 1u);
+    EXPECT_EQ(stats.boutBeforeSection[2], 2u);
+}
+
+TEST(Disassembler, EmptyBoutWritesCarryNoData)
+{
+    CommandBuilder builder;
+    builder.sync().selectHop(1);
+    auto events = disassemble(builder.words());
+    bool saw_bout = false;
+    for (const auto &ev : events) {
+        if (ev.kind == DisasmEvent::Kind::BoutPulse) {
+            saw_bout = true;
+            EXPECT_TRUE(ev.data.empty());
+        }
+    }
+    EXPECT_TRUE(saw_bout);
+}
+
+TEST(Disassembler, PrintsReadableText)
+{
+    CommandBuilder builder;
+    builder.sync(2).command(Command::GCapture).desync();
+    std::ostringstream os;
+    printDisassembly(disassemble(builder.words()), os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("SYNC"), std::string::npos);
+    EXPECT_NE(text.find("GCAPTURE"), std::string::npos);
+    EXPECT_NE(text.find("DESYNC"), std::string::npos);
+}
+
+TEST(Disassembler, DummyRunsCoalesce)
+{
+    std::vector<uint32_t> words(5, kDummyWord);
+    auto events = disassemble(words);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, DisasmEvent::Kind::Dummy);
+    EXPECT_EQ(events[0].count, 5u);
+}

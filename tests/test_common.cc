@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, the
+ * deterministic PRNG, table/number formatting and the logging
+ * macros' failure behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+using namespace zoomie;
+
+TEST(Bits, MaskForWidthCoversFullRange)
+{
+    EXPECT_EQ(maskForWidth(1), 1u);
+    EXPECT_EQ(maskForWidth(8), 0xFFu);
+    EXPECT_EQ(maskForWidth(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(maskForWidth(64), ~0ull);
+}
+
+TEST(Bits, TruncAndExtract)
+{
+    EXPECT_EQ(truncToWidth(0x1234, 8), 0x34u);
+    EXPECT_EQ(extractBits(0xABCD, 4, 8), 0xBCu);
+    EXPECT_EQ(getBit(0b1010, 1), 1u);
+    EXPECT_EQ(getBit(0b1010, 2), 0u);
+    EXPECT_EQ(setBit(0, 5, true), 32u);
+    EXPECT_EQ(setBit(0xFF, 0, false), 0xFEu);
+}
+
+TEST(Bits, BitsToAddress)
+{
+    EXPECT_EQ(bitsToAddress(2), 1u);
+    EXPECT_EQ(bitsToAddress(64), 6u);
+    EXPECT_EQ(bitsToAddress(65), 7u);
+    EXPECT_EQ(bitsToAddress(1024), 10u);
+}
+
+TEST(BitsDeath, ZeroWidthPanics)
+{
+    EXPECT_DEATH(maskForWidth(0), "bad signal width");
+    EXPECT_DEATH(maskForWidth(65), "bad signal width");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        EXPECT_LE(rng.nextBits(5), 31u);
+    }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng rng(99);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(1, 4);
+    EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table("t");
+    table.setHeader({"a", "bbbb"});
+    table.addRow({"xxxxx", "y"});
+    std::ostringstream os;
+    table.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("== t =="), std::string::npos);
+    EXPECT_NE(text.find("xxxxx"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+    EXPECT_EQ(formatCount(7), "7");
+    EXPECT_EQ(formatRatio(18.07), "18.1x");
+    EXPECT_EQ(formatPercent(0.9532), "95.32");
+    EXPECT_EQ(formatSeconds(0.25), "0.250 s");
+    EXPECT_EQ(formatSeconds(90), "1.5 min");
+    EXPECT_EQ(formatSeconds(7200), "2.00 h");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT({ fatal("user error"); },
+                ::testing::ExitedWithCode(1), "fatal: user error");
+}
+
+TEST(LoggingDeath, PanicIfConditionArms)
+{
+    int x = 3;
+    EXPECT_DEATH(panic_if(x == 3, "x was ", x), "x was 3");
+}

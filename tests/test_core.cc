@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Zoomie core tests: pause-buffer bounded model checking and
+ * RTL-vs-model differential, the instrumentation pass, and the full
+ * platform end-to-end — pause/resume/step precision, runtime
+ * trigger reconfiguration, state inspection and forcing through the
+ * configuration plane, snapshot/replay, and assertion breakpoints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/instrument.hh"
+#include "core/pause_buffer.hh"
+#include "core/zoomie.hh"
+#include "rtl/builder.hh"
+#include "sim/simulator.hh"
+
+using namespace zoomie;
+using core::PauseBufferModel;
+using rtl::Builder;
+using rtl::Value;
+
+// ---- pause buffer: bounded exhaustive model check ---------------------
+
+namespace {
+
+/**
+ * Golden transaction semantics: run the model against a producer
+ * that emits 1,2,3,... (advancing only on its observed handshake)
+ * and a consumer that records accepted payloads (only on cycles it
+ * executes). Checks the three §3.1 properties on every bounded
+ * input pattern.
+ */
+void
+checkSequence(bool producer_paused, uint32_t pattern, unsigned depth)
+{
+    PauseBufferModel model(producer_paused);
+    uint64_t produce_next = 1;
+    std::vector<uint64_t> delivered;
+    bool pending_valid = true;  // producer always has data
+
+    for (unsigned t = 0; t < depth; ++t) {
+        bool pause = (pattern >> (2 * t)) & 1;
+        bool consumer_ready_raw = (pattern >> (2 * t + 1)) & 1;
+
+        // The paused side's signals freeze: model that by gating
+        // what each side *does*, as the clock gate would.
+        bool in_valid = pending_valid;
+        uint64_t in_data = produce_next;
+        bool consumer_ready = consumer_ready_raw;
+
+        auto out = model.outputs(in_valid, in_data, consumer_ready,
+                                 pause);
+
+        // Consumer side accepts when its handshake completes on a
+        // cycle it executes.
+        bool consumer_runs = producer_paused ? true : !pause;
+        if (consumer_runs && out.consumerValid && consumer_ready) {
+            delivered.push_back(out.consumerData);
+        }
+
+        // Producer advances when its handshake completes on a cycle
+        // it executes.
+        bool producer_runs = producer_paused ? !pause : true;
+        if (producer_runs && in_valid && out.producerReady)
+            ++produce_next;
+
+        model.step(in_valid, in_data, consumer_ready, pause);
+    }
+    // Drain with no pauses: everything accepted must come out.
+    for (unsigned t = 0; t < 4; ++t) {
+        auto out = model.outputs(true, produce_next, true, false);
+        if (out.consumerValid)
+            delivered.push_back(out.consumerData);
+        if (out.producerReady)
+            ++produce_next;
+        model.step(true, out.producerReady ? produce_next - 1
+                                           : produce_next,
+                   true, false);
+    }
+
+    // Property: delivered payloads are exactly 1, 2, 3, ... — no
+    // loss, duplication or reordering across pauses.
+    for (size_t i = 0; i < delivered.size(); ++i) {
+        ASSERT_EQ(delivered[i], i + 1)
+            << "pattern 0x" << std::hex << pattern
+            << (producer_paused ? " (producer paused)"
+                                : " (consumer paused)");
+    }
+    // Everything produced was eventually delivered (minus at most
+    // the one in-flight buffered entry).
+    ASSERT_GE(delivered.size() + 2, produce_next - 1);
+}
+
+} // namespace
+
+TEST(PauseBufferModel, ExhaustiveBoundedCheckConsumerPaused)
+{
+    const unsigned depth = 9;
+    for (uint32_t pattern = 0; pattern < (1u << (2 * depth));
+         ++pattern)
+        checkSequence(false, pattern, depth);
+}
+
+TEST(PauseBufferModel, ExhaustiveBoundedCheckProducerPaused)
+{
+    const unsigned depth = 9;
+    for (uint32_t pattern = 0; pattern < (1u << (2 * depth));
+         ++pattern)
+        checkSequence(true, pattern, depth);
+}
+
+TEST(PauseBufferRtl, MatchesGoldenModel)
+{
+    for (bool producer_paused : {false, true}) {
+        Builder b("pbuf");
+        Value in_valid = b.input("in_valid", 1);
+        Value in_data = b.input("in_data", 8);
+        Value ready = b.input("ready", 1);
+        Value pause = b.input("pause", 1);
+        auto ports = core::buildPauseBuffer(
+            b, in_valid, in_data, ready, pause, producer_paused);
+        b.output("p_ready", ports.producerReady);
+        b.output("c_valid", ports.consumerValid);
+        b.output("c_data", ports.consumerData);
+        rtl::Design d = b.finish();
+
+        sim::Simulator sim(d);
+        PauseBufferModel model(producer_paused);
+        Rng rng(producer_paused ? 7 : 13);
+        for (unsigned t = 0; t < 2000; ++t) {
+            bool iv = rng.chance(2, 3);
+            uint64_t data = rng.nextBits(8);
+            bool rdy = rng.chance(1, 2);
+            bool pse = rng.chance(1, 3);
+            sim.poke("in_valid", iv);
+            sim.poke("in_data", data);
+            sim.poke("ready", rdy);
+            sim.poke("pause", pse);
+            auto out = model.outputs(iv, data, rdy, pse);
+            ASSERT_EQ(sim.peek("p_ready") != 0, out.producerReady);
+            ASSERT_EQ(sim.peek("c_valid") != 0, out.consumerValid);
+            if (out.consumerValid) {
+                ASSERT_EQ(sim.peek("c_data"), out.consumerData);
+            }
+            sim.step();
+            model.step(iv, data, rdy, pse);
+        }
+    }
+}
+
+// ---- instrumentation ---------------------------------------------------
+
+namespace {
+
+/** Counter design with the counter inside scope "mut/". */
+rtl::Design
+mutCounter()
+{
+    Builder b("app");
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Instrument, AddsControllerAndReclocksMut)
+{
+    core::InstrumentOptions opts;
+    opts.mutPrefix = "mut/";
+    opts.watchSignals = {"mut/count"};
+    auto result = core::instrument(mutCounter(), opts);
+
+    EXPECT_EQ(result.reclockedState, 1u);
+    EXPECT_EQ(result.gatedClock, 1u);
+    // The counter now lives on the gated clock.
+    int idx = result.design.findReg("mut/count");
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(result.design.regs[idx].clock, result.gatedClock);
+    // Controller state exists.
+    EXPECT_GE(result.design.findReg(core::ControlRegs::pauseState),
+              0);
+    EXPECT_GE(result.design.findReg(core::ControlRegs::stepCount), 0);
+    EXPECT_NE(result.design.findNet("zoomie/clk_en"), rtl::kNoNet);
+}
+
+TEST(Instrument, ReportsUnsynthesizableAssertions)
+{
+    core::InstrumentOptions opts;
+    opts.mutPrefix = "mut/";
+    opts.assertions = {
+        "assert property (mut/count != 9999);",
+        "assert property (v |-> !$isunknown(mut/count));",
+    };
+    auto result = core::instrument(mutCounter(), opts);
+    ASSERT_EQ(result.assertions.size(), 2u);
+    EXPECT_TRUE(result.assertions[0].synthesizable);
+    EXPECT_FALSE(result.assertions[1].synthesizable);
+    EXPECT_FALSE(result.assertions[1].error.empty());
+}
+
+// ---- platform end-to-end -----------------------------------------------
+
+namespace {
+
+std::unique_ptr<core::Platform>
+counterPlatform(std::vector<std::string> watch = {"mut/count"},
+                std::vector<std::string> assertions = {})
+{
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    opts.instrument.watchSignals = std::move(watch);
+    opts.instrument.assertions = std::move(assertions);
+    return core::Platform::create(mutCounter(), opts);
+}
+
+} // namespace
+
+TEST(Platform, PauseFreezesMutWhileWorldRuns)
+{
+    auto p = counterPlatform();
+    p->run(10);
+    EXPECT_EQ(p->peek("value"), 10u);
+    p->debugger().pause();
+    p->run(1);  // pause takes effect
+    uint64_t frozen = p->peek("value");
+    p->run(25);
+    EXPECT_EQ(p->peek("value"), frozen);
+    EXPECT_TRUE(p->debugger().isPaused());
+    p->debugger().resume();
+    p->run(5);
+    EXPECT_EQ(p->peek("value"), frozen + 5);
+}
+
+TEST(Platform, StepExecutesExactCycleCount)
+{
+    auto p = counterPlatform();
+    p->debugger().pause();
+    p->run(2);
+    uint64_t start = p->peek("value");
+    p->debugger().stepCycles(7);
+    p->run(50);  // plenty of wall clock; MUT must stop at +7
+    EXPECT_EQ(p->peek("value"), start + 7);
+    EXPECT_TRUE(p->debugger().isPaused());
+    p->debugger().stepCycles(1);
+    p->run(50);
+    EXPECT_EQ(p->peek("value"), start + 8);
+}
+
+TEST(Platform, ValueBreakpointPausesAtExactValue)
+{
+    auto p = counterPlatform();
+    p->debugger().setValueBreakpoint(0, 123, true, false);
+    p->debugger().armTriggers(true, false);
+    p->run(500);
+    // Timing-precise: the design froze in the exact cycle count
+    // reached 123 (§3.1).
+    EXPECT_EQ(p->peek("value"), 123u);
+    EXPECT_TRUE(p->debugger().isPaused());
+
+    // Reconfigure on the fly and continue to a new breakpoint.
+    p->debugger().setValueBreakpoint(0, 200, true, false);
+    p->debugger().resume();
+    p->run(500);
+    EXPECT_EQ(p->peek("value"), 200u);
+}
+
+TEST(Platform, ReadAndForceRegistersThroughConfigPlane)
+{
+    auto p = counterPlatform();
+    p->run(42);
+    EXPECT_EQ(p->debugger().readRegister("mut/count"), 42u);
+
+    p->debugger().pause();
+    p->run(1);
+    p->debugger().forceRegister("mut/count", 1000);
+    EXPECT_EQ(p->debugger().readRegister("mut/count"), 1000u);
+    p->debugger().resume();
+    p->run(5);
+    EXPECT_EQ(p->peek("value"), 1005u);
+}
+
+TEST(Platform, ReadAllRegistersGivesFullVisibility)
+{
+    auto p = counterPlatform();
+    p->run(17);
+    auto regs = p->debugger().readAllRegisters("mut/");
+    ASSERT_EQ(regs.count("mut/count"), 1u);
+    EXPECT_EQ(regs["mut/count"], 17u);
+}
+
+TEST(Platform, SnapshotAndReplayReproducesExecution)
+{
+    auto p = counterPlatform();
+    p->run(30);
+    p->debugger().pause();
+    p->run(1);
+    core::Snapshot snap = p->debugger().snapshot();
+
+    p->debugger().resume();
+    p->run(100);
+    uint64_t later = p->peek("value");
+
+    // Replay: restore and rerun the same 100 cycles.
+    p->debugger().pause();
+    p->run(1);
+    p->debugger().restore(snap);
+    EXPECT_EQ(p->debugger().readRegister("mut/count"), 30u);
+    p->debugger().resume();
+    p->run(100);
+    EXPECT_EQ(p->peek("value"), later);
+}
+
+TEST(Platform, AssertionBreakpointPausesOnViolation)
+{
+    // count != 50 fails exactly when count reaches 50.
+    auto p = counterPlatform({"mut/count"},
+                             {"assert property (mut/count != 50);"});
+    ASSERT_TRUE(p->instrumented().assertions[0].synthesizable)
+        << p->instrumented().assertions[0].error;
+    p->run(400);
+    EXPECT_TRUE(p->debugger().isPaused());
+    EXPECT_EQ(p->peek("value"), 50u);
+    EXPECT_EQ(p->debugger().assertionsFired(), 1u);
+
+    // Disable the assertion and resume past the value.
+    p->debugger().enableAssertion(0, false);
+    p->debugger().resume();
+    p->run(30);
+    EXPECT_EQ(p->peek("value"), 80u);
+}
+
+// ---- pause buffers end-to-end ------------------------------------------
+
+namespace {
+
+/**
+ * Producer (free-running) streams 1,2,3,... into a consumer inside
+ * the MUT through a declared decoupled interface. The consumer
+ * accumulates; sum and count let us detect any lost or duplicated
+ * transaction caused by pausing.
+ */
+rtl::Design
+streamDesign()
+{
+    Builder b("stream");
+    // Producer (top scope).
+    auto next_val = b.reg("next_val", 16, 1);
+    Value valid = b.lit(1, 1);
+
+    b.pushScope("mut");
+    auto phase = b.reg("phase", 2, 0);
+    b.connect(phase, b.addLit(phase.q, 1));
+    Value ready = b.eqLit(phase.q, 0);  // ready every 4th cycle
+    auto sum = b.reg("sum", 32, 0);
+    auto cnt = b.reg("cnt", 16, 0);
+    Value fire = b.land(valid, ready);
+    b.connect(sum, b.mux(fire,
+                         b.add(sum.q, b.zext(b.handleFor(
+                             next_val.q.id), 32)),
+                         sum.q));
+    b.connect(cnt, b.mux(fire, b.addLit(cnt.q, 1), cnt.q));
+    b.declareIface("in", rtl::IfaceDir::In, valid, ready,
+                   {next_val.q});
+    b.popScope();
+
+    // Producer advances on its observed handshake.
+    Value p_fire = b.land(valid, ready);
+    b.connect(next_val, b.mux(p_fire, b.addLit(next_val.q, 1),
+                              next_val.q));
+
+    b.output("sum", b.handleFor(sum.q.id));
+    b.output("cnt", b.handleFor(cnt.q.id));
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Platform, PauseBuffersPreserveStreamAcrossPauses)
+{
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    opts.instrument.watchSignals = {"mut/cnt"};
+    auto p = core::Platform::create(streamDesign(), opts);
+    EXPECT_EQ(p->instrumented().pauseBuffersInserted, 1u);
+
+    Rng rng(2026);
+    for (int round = 0; round < 12; ++round) {
+        p->run(1 + rng.nextBelow(9));
+        p->debugger().pause();
+        p->run(1 + rng.nextBelow(5));  // world keeps running
+        p->debugger().resume();
+    }
+    p->run(40);
+
+    uint64_t cnt = p->debugger().readRegister("mut/cnt");
+    uint64_t sum = p->debugger().readRegister("mut/sum");
+    ASSERT_GT(cnt, 4u);
+    // Transactions arrived exactly once, in order: 1 + 2 + ... + cnt.
+    EXPECT_EQ(sum, cnt * (cnt + 1) / 2)
+        << "pause corrupted the stream";
+}
+
+TEST(Platform, WithoutPauseBuffersPausingCorruptsTheStream)
+{
+    // The Figure 3 failure mode: the producer sees a frozen ready
+    // and loses transactions across pauses.
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    opts.instrument.watchSignals = {"mut/cnt"};
+    opts.instrument.insertPauseBuffers = false;
+    auto p = core::Platform::create(streamDesign(), opts);
+
+    for (int round = 0; round < 10; ++round) {
+        p->run(7);
+        p->debugger().pause();
+        p->run(3);
+        p->debugger().resume();
+    }
+    p->run(40);
+    uint64_t cnt = p->debugger().readRegister("mut/cnt");
+    uint64_t sum = p->debugger().readRegister("mut/sum");
+    EXPECT_NE(sum, cnt * (cnt + 1) / 2)
+        << "expected the unprotected interface to corrupt";
+}

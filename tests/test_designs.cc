@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Behavioural tests for the evaluation designs: TinyRV executes
+ * programs (arithmetic, branches, memory, CSRs, nested exceptions),
+ * the Cohort accelerator completes when fixed and hangs with the
+ * paper's TLB bug, BeehiveLite routes and drops packets, and the
+ * ServLite core / SoC have the expected synthesized shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "designs/beehive.hh"
+#include "designs/cohort.hh"
+#include "designs/serv_soc.hh"
+#include "designs/tinyrv.hh"
+#include "rtl/builder.hh"
+#include "sim/simulator.hh"
+#include "synth/techmap.hh"
+
+using namespace zoomie;
+using namespace zoomie::designs;
+
+// ---- TinyRV ------------------------------------------------------------
+
+namespace {
+
+/** Run until `retired` has pulsed @p n times (with a cycle cap). */
+void
+runInstructions(sim::Simulator &sim, unsigned n,
+                unsigned max_cycles = 20000)
+{
+    unsigned retired = 0;
+    for (unsigned c = 0; c < max_cycles && retired < n; ++c) {
+        retired += sim.peek("retired");
+        sim.step();
+    }
+    ASSERT_GE(retired, n) << "program did not retire " << n
+                          << " instructions";
+}
+
+} // namespace
+
+TEST(TinyRv, ArithmeticAndRegisterFile)
+{
+    using namespace rv;
+    std::vector<uint32_t> prog = {
+        addi(1, 0, 5),      // x1 = 5
+        addi(2, 0, 7),      // x2 = 7
+        add(3, 1, 2),       // x3 = 12
+        sub(4, 2, 1),       // x4 = 2
+        xor_(5, 1, 2),      // x5 = 2
+        slli(6, 1, 3),      // x6 = 40
+        sw(3, 0, 0x100),    // mem[0x40] = 12
+        jal(0, 0),          // spin
+    };
+    rtl::Design d = buildTinyRv(prog);
+    sim::Simulator sim(d);
+    runInstructions(sim, 8);
+    EXPECT_EQ(sim.memWord(0, 0x40), 12u);
+}
+
+TEST(TinyRv, BranchLoopComputesSum)
+{
+    using namespace rv;
+    // sum = 1 + 2 + ... + 10, stored at word 0x80.
+    std::vector<uint32_t> prog = {
+        addi(1, 0, 0),        // x1 = sum
+        addi(2, 0, 1),        // x2 = i
+        addi(3, 0, 11),       // x3 = bound
+        // loop:
+        add(1, 1, 2),         // sum += i
+        addi(2, 2, 1),        // i++
+        bne(2, 3, -8),        // while i != 11
+        sw(1, 0, 0x200),      // mem[0x80] = 55
+        jal(0, 0),
+    };
+    rtl::Design d = buildTinyRv(prog);
+    sim::Simulator sim(d);
+    runInstructions(sim, 3 + 3 * 10 + 2);
+    EXPECT_EQ(sim.memWord(0, 0x80), 55u);
+}
+
+TEST(TinyRv, LoadAfterStore)
+{
+    using namespace rv;
+    std::vector<uint32_t> prog = {
+        addi(1, 0, 99),
+        sw(1, 0, 0x100),
+        lw(2, 0, 0x100),
+        add(3, 2, 2),        // x3 = 198
+        sw(3, 0, 0x104),
+        jal(0, 0),
+    };
+    rtl::Design d = buildTinyRv(prog);
+    sim::Simulator sim(d);
+    runInstructions(sim, 6);
+    EXPECT_EQ(sim.memWord(0, 0x41), 198u);
+}
+
+TEST(TinyRv, EcallTrapsAndMretReturns)
+{
+    using namespace rv;
+    // Handler at 0x80 (default mtvec): mark and mret.
+    std::vector<uint32_t> prog(64, rv::addi(0, 0, 0));
+    prog[0] = addi(1, 0, 1);
+    prog[1] = ecall();
+    prog[2] = addi(2, 0, 2);      // after return
+    prog[3] = sw(2, 0, 0x100);
+    prog[4] = jal(0, 0);
+    // handler at word 0x80/4 = 32:
+    prog[32] = addi(3, 0, 77);
+    prog[33] = csrrs(4, kCsrMepc, 0);   // x4 = mepc
+    prog[34] = addi(4, 4, 4);           // skip the ecall
+    prog[35] = csrrw(0, kCsrMepc, 4);
+    prog[36] = mret();
+
+    rtl::Design d = buildTinyRv(prog);
+    sim::Simulator sim(d);
+    runInstructions(sim, 10);
+    EXPECT_EQ(sim.regByName("cpu/mcause"),
+              uint32_t(TrapCause::EnvCall));
+    EXPECT_EQ(sim.memWord(0, 0x40), 2u);
+    // After mret, MIE is restored.
+    EXPECT_EQ(sim.regByName("cpu/mstatus_mie"), 1u);
+}
+
+TEST(TinyRv, BadMtvecCausesNestedExceptionLoop)
+{
+    using namespace rv;
+    // §5.6: point mtvec at an invalid address and trap.
+    std::vector<uint32_t> prog = {
+        lui(2, 0x5),                 // x2 = 0x5000 (out of range)
+        csrrw(0, kCsrMtvec, 2),
+        ecall(),
+    };
+    rtl::Design d = buildTinyRv(prog);
+    sim::Simulator sim(d);
+    sim.run(200);
+    // The CPU is in the double-trap state: executing at mtvec with
+    // exceptions on the exception path.
+    EXPECT_EQ(sim.regByName("cpu/pc"), 0x5000u);
+    EXPECT_EQ(sim.regByName("cpu/mepc"), 0x5000u);
+    EXPECT_EQ(sim.regByName("cpu/mcause"),
+              uint32_t(TrapCause::InstrAccessFault));
+    EXPECT_EQ(sim.regByName("cpu/mstatus_mie"), 0u);
+    EXPECT_EQ(sim.regByName("cpu/mstatus_mpie"), 0u);
+}
+
+TEST(TinyRv, IllegalInstructionTraps)
+{
+    std::vector<uint32_t> prog = {0xFFFFFFFFu};
+    rtl::Design d = buildTinyRv(prog);
+    sim::Simulator sim(d);
+    sim.run(10);
+    EXPECT_EQ(sim.regByName("cpu/mcause"),
+              uint32_t(TrapCause::IllegalInstr));
+}
+
+// ---- Cohort -------------------------------------------------------------
+
+TEST(Cohort, FixedAcceleratorCompletesWithCorrectSum)
+{
+    CohortConfig config;
+    config.elements = 24;
+    config.fixTlbBug = true;
+    rtl::Design d = buildCohortAccel(config);
+    sim::Simulator sim(d);
+    sim.poke("accel/result_ready", 1);
+    unsigned cycles = 0;
+    while (sim.peek("done") == 0 && cycles < 5000) {
+        sim.step();
+        ++cycles;
+    }
+    ASSERT_EQ(sim.peek("done"), 1u) << "fixed accelerator hung";
+    // sum of dram[0..23] = 1+2+...+24.
+    EXPECT_EQ(sim.peek("sum"), 24u * 25u / 2u);
+}
+
+TEST(Cohort, BuggyAcceleratorHangsPartWay)
+{
+    CohortConfig config;
+    config.elements = 24;
+    config.fixTlbBug = false;
+    rtl::Design d = buildCohortAccel(config);
+    sim::Simulator sim(d);
+    sim.poke("accel/result_ready", 1);
+    sim.run(20000);
+    EXPECT_EQ(sim.peek("done"), 0u)
+        << "expected the seeded TLB bug to hang the accelerator";
+    // Partial progress before the hang (§5.5: "return part of the
+    // result before hanging").
+    EXPECT_GT(sim.peek("count"), 0u);
+    EXPECT_LT(sim.peek("count"), 24u);
+}
+
+// ---- Beehive --------------------------------------------------------------
+
+TEST(Beehive, RoutesPacketsEndToEnd)
+{
+    rtl::Design d = buildBeehive({});
+    sim::Simulator sim(d);
+    sim.poke("tx_ready", 1);
+    sim.poke("rx_valid", 0);
+
+    auto sendPacket = [&](uint32_t dst, uint32_t payload) {
+        sim.poke("rx_data", (dst << 24) | (payload & 0xFFFFFF));
+        sim.poke("rx_valid", 1);
+        sim.step();
+        sim.poke("rx_valid", 0);
+        for (int i = 0; i < 6; ++i)
+            sim.step();
+    };
+
+    sendPacket(2, 0xABC);
+    sendPacket(5, 0xDEF);
+    EXPECT_EQ(sim.peek("delivered"), 2u);
+    EXPECT_EQ(sim.peek("rx_dropped"), 0u);
+    EXPECT_EQ(sim.peek("route_err"), 0u);
+    // Routing table: port = (dst * 5 + 3) & 0xF.
+    uint32_t out = static_cast<uint32_t>(sim.peek("tx_data"));
+    EXPECT_EQ(out >> 24, (5u * 5 + 3) & 0xFu);
+    EXPECT_EQ(out & 0xFFFFFF, 0xDEFu);
+}
+
+TEST(Beehive, PoisonPacketSetsRouteError)
+{
+    rtl::Design d = buildBeehive({});
+    sim::Simulator sim(d);
+    sim.poke("tx_ready", 1);
+    sim.poke("rx_data", 0xFF000123u);
+    sim.poke("rx_valid", 1);
+    sim.step();
+    sim.poke("rx_valid", 0);
+    sim.run(8);
+    EXPECT_EQ(sim.peek("route_err"), 1u);
+}
+
+TEST(Beehive, QueueDropsWhenBackpressured)
+{
+    rtl::Design d = buildBeehive({});
+    sim::Simulator sim(d);
+    sim.poke("tx_ready", 0);  // stall the stack
+    sim.poke("rx_valid", 1);
+    for (uint32_t i = 0; i < 20; ++i) {
+        sim.poke("rx_data", i);
+        sim.step();
+    }
+    EXPECT_GT(sim.peek("rx_dropped"), 0u);
+    sim.poke("rx_valid", 0);
+    sim.poke("tx_ready", 1);
+    sim.run(60);
+    // The frames that were queued still flow out.
+    EXPECT_GT(sim.peek("delivered"), 0u);
+}
+
+// ---- ServLite / SoC ---------------------------------------------------------
+
+TEST(ServSoc, CoreHasServLikeFootprint)
+{
+    rtl::Builder b("one_core");
+    rtl::Value rdata = b.input("rdata", 32);
+    rtl::Value grant = b.input("grant", 1);
+    rtl::Value ready = b.input("ready", 1);
+    b.pushScope("core0");
+    auto ports = buildServLite(b, rdata, grant, ready, 42);
+    b.popScope();
+    b.output("res", ports.result);
+    b.output("req", ports.memReq);
+    rtl::Design d = b.finish();
+
+    auto net = synth::techMap(d);
+    auto totals = net.totals();
+    // SERV-like: a few hundred LUTs/FFs and a 10-LUT register file.
+    EXPECT_GT(totals.luts, 50u);
+    EXPECT_LT(totals.luts, 400u);
+    EXPECT_GT(totals.ffs, 150u);
+    EXPECT_LT(totals.ffs, 300u);
+    EXPECT_EQ(totals.lutramLuts, 10u);
+}
+
+TEST(ServSoc, SmallSocElaboratesAndRuns)
+{
+    ServSocConfig config;
+    config.cores = 4;
+    config.coresPerCluster = 2;
+    config.clusterBrams = 1;
+    config.l2Brams = 2;
+    rtl::Design d = buildServSoc(config);
+    sim::Simulator sim(d);
+    sim.run(300);
+    // The SoC is alive: the checksum ring has mixed in core output.
+    EXPECT_EQ(d.findReg("cluster0/core0/pc") >= 0, true);
+    EXPECT_EQ(servCoreScope(config, 3), "cluster1/core1/");
+}
+
+TEST(ServSoc, ResourceCountsScaleWithCores)
+{
+    ServSocConfig small;
+    small.cores = 2;
+    small.coresPerCluster = 2;
+    small.clusterBrams = 1;
+    small.l2Brams = 0;
+    ServSocConfig big = small;
+    big.cores = 6;
+    big.coresPerCluster = 2;
+
+    auto net_s = synth::techMap(buildServSoc(small));
+    auto net_b = synth::techMap(buildServSoc(big));
+    EXPECT_GT(net_b.totals().luts, 2 * net_s.totals().luts);
+    EXPECT_GT(net_b.totals().ffs, 2 * net_s.totals().ffs);
+    EXPECT_EQ(net_b.totals().lutramLuts, 60u);  // 10 per core
+}

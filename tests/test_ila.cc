@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the baseline ILA (the traditional instrument Zoomie
+ * replaces) and for Zoomie watchpoints. The ILA tests double as a
+ * demonstration of the §2 criticisms: fixed probe lists, bounded
+ * capture windows, observation-only debugging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ila.hh"
+#include "core/zoomie.hh"
+#include "rtl/builder.hh"
+
+using namespace zoomie;
+using rtl::Builder;
+using rtl::Value;
+
+namespace {
+
+/** Counter + a derived wave, both probeable. */
+rtl::Design
+waveDesign()
+{
+    Builder b("wave");
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    auto wave = b.reg("wave", 8, 0);
+    b.connect(wave, b.bxor(wave.q, b.slice(count.q, 0, 8)));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Ila, CapturesWindowAroundTrigger)
+{
+    core::IlaOptions ila_opts;
+    ila_opts.probes = {"mut/count", "mut/wave"};
+    ila_opts.depth = 32;
+    ila_opts.postTrigger = 8;
+    core::IlaResult ila = core::attachIla(waveDesign(), ila_opts);
+    EXPECT_EQ(ila.sampleWidth, 24u);
+
+    // Bring it up through the standard platform (no MUT prefix:
+    // the ILA flow has no pause capability — observation only).
+    core::PlatformOptions popts;
+    popts.instrument.mutPrefix = "";
+    popts.instrument.insertPauseBuffers = false;
+    auto platform = core::Platform::create(ila.design, popts);
+    core::Debugger &dbg = platform->debugger();
+
+    core::ilaArm(dbg, 100);  // trigger when count == 100
+    platform->run(200);
+
+    core::IlaCapture capture = core::ilaReadCapture(dbg, ila);
+    ASSERT_TRUE(capture.triggered);
+    ASSERT_EQ(capture.samples.size(), 32u);
+
+    // The window must contain the trigger value and consecutive
+    // counter samples around it.
+    bool saw_trigger = false;
+    for (size_t i = 0; i + 1 < capture.samples.size(); ++i) {
+        if (capture.samples[i][0] == 100)
+            saw_trigger = true;
+        EXPECT_EQ(capture.samples[i + 1][0],
+                  capture.samples[i][0] + 1)
+            << "samples not consecutive at " << i;
+    }
+    EXPECT_TRUE(saw_trigger);
+    // Bounded window: roughly postTrigger samples after the hit.
+    EXPECT_NEAR(double(capture.samples.back()[0]), 100.0 + 8, 2.0);
+}
+
+TEST(Ila, ObservingDifferentSignalsRequiresReinstrumenting)
+{
+    // The §2.1 pain point, mechanically: a new probe list is a new
+    // design (new netlist, new compile) — unlike Zoomie, where any
+    // register is readable after the fact.
+    core::IlaOptions first;
+    first.probes = {"mut/count"};
+    core::IlaResult a = core::attachIla(waveDesign(), first);
+
+    core::IlaOptions second;
+    second.probes = {"mut/wave"};
+    core::IlaResult b = core::attachIla(waveDesign(), second);
+
+    // Different probe sets produce structurally different designs
+    // (different sample widths and capture-buffer geometry), so a
+    // full recompile is unavoidable.
+    EXPECT_NE(a.sampleWidth, b.sampleWidth);
+    int buf_a = -1, buf_b = -1;
+    for (size_t m = 0; m < a.design.mems.size(); ++m) {
+        if (a.design.mems[m].name == "ila/buf")
+            buf_a = a.design.mems[m].width;
+    }
+    for (size_t m = 0; m < b.design.mems.size(); ++m) {
+        if (b.design.mems[m].name == "ila/buf")
+            buf_b = b.design.mems[m].width;
+    }
+    EXPECT_NE(buf_a, buf_b);
+}
+
+TEST(Watchpoint, PausesOnFirstChange)
+{
+    // A register that changes rarely: bit 7 of the counter.
+    Builder b("wp");
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    auto rare = b.reg("rare", 1, 0);
+    b.connect(rare, b.bit(count.q, 7));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    rtl::Design design = b.finish();
+
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    opts.instrument.watchSignals = {"mut/rare"};
+    auto platform = core::Platform::create(design, opts);
+    core::Debugger &dbg = platform->debugger();
+
+    platform->run(5);
+    dbg.setWatchpoint(0, true);
+    platform->run(400);
+    EXPECT_TRUE(dbg.isPaused());
+    // rare flips when count crosses 128 (one cycle later through
+    // the register).
+    uint64_t count_at_pause = dbg.readRegister("mut/count");
+    EXPECT_NEAR(double(count_at_pause), 129.0, 1.0);
+
+    // Disable and resume: no further pauses.
+    dbg.setWatchpoint(0, false);
+    dbg.resume();
+    platform->run(300);
+    EXPECT_FALSE(dbg.isPaused());
+}
+
+TEST(Watchpoint, ClearValueBreakpointsAlsoClearsWatchpoints)
+{
+    Builder b("wp2");
+    b.pushScope("mut");
+    auto count = b.reg("count", 8, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    rtl::Design design = b.finish();
+
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    opts.instrument.watchSignals = {"mut/count"};
+    auto platform = core::Platform::create(design, opts);
+    core::Debugger &dbg = platform->debugger();
+
+    dbg.setWatchpoint(0, true);
+    dbg.clearValueBreakpoints();
+    platform->run(50);
+    EXPECT_FALSE(dbg.isPaused());
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the RTL IR and Builder: structural invariants,
+ * scope bookkeeping, width checks, and topological ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.hh"
+#include "rtl/ir.hh"
+
+using namespace zoomie;
+using rtl::Builder;
+using rtl::Op;
+using rtl::Value;
+
+TEST(RtlBuilder, CounterHasExpectedShape)
+{
+    Builder b("counter");
+    auto count = b.reg("count", 8, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.output("value", count.q);
+    rtl::Design d = b.finish();
+
+    EXPECT_EQ(d.regs.size(), 1u);
+    EXPECT_EQ(d.regs[0].name, "count");
+    EXPECT_EQ(d.regs[0].width, 8u);
+    EXPECT_EQ(d.outputs.size(), 1u);
+    EXPECT_EQ(d.stateBits(), 8u);
+}
+
+TEST(RtlBuilder, ScopesPrefixNames)
+{
+    Builder b("scoped");
+    b.pushScope("tile0");
+    b.pushScope("core");
+    auto r = b.reg("pc", 32, 0x80000000u);
+    b.connect(r, r.q);
+    EXPECT_EQ(b.scopePrefix(), "tile0/core/");
+    b.popScope();
+    b.popScope();
+    b.output("pc", r.q);
+    rtl::Design d = b.finish();
+
+    EXPECT_EQ(d.regs[0].name, "tile0/core/pc");
+    EXPECT_EQ(d.findReg("tile0/core/pc"), 0);
+    // Scope table has "", "tile0/", "tile0/core/".
+    ASSERT_EQ(d.scopeNames.size(), 3u);
+    EXPECT_TRUE(d.scopeUnder(d.regScope[0], "tile0/"));
+    EXPECT_TRUE(d.scopeUnder(d.regScope[0], "tile0/core/"));
+    EXPECT_FALSE(d.scopeUnder(d.regScope[0], "tile1/"));
+}
+
+TEST(RtlBuilder, ReusedScopeGetsSameId)
+{
+    Builder b("reuse");
+    b.pushScope("a");
+    Value x = b.lit(1, 1);
+    b.popScope();
+    b.pushScope("a");
+    Value y = b.lit(0, 1);
+    b.popScope();
+    b.output("x", x);
+    b.output("y", y);
+    rtl::Design d = b.finish();
+    EXPECT_EQ(d.nodeScope[x.id], d.nodeScope[y.id]);
+}
+
+TEST(RtlBuilder, TopoOrderRespectsDependencies)
+{
+    Builder b("topo");
+    Value in = b.input("in", 4);
+    Value x = b.addLit(in, 3);
+    Value y = b.bxor(x, in);
+    b.output("out", y);
+    rtl::Design d = b.finish();
+
+    auto order = d.topoOrder();
+    std::vector<size_t> pos(d.nodes.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    EXPECT_LT(pos[in.id], pos[x.id]);
+    EXPECT_LT(pos[x.id], pos[y.id]);
+}
+
+TEST(RtlBuilder, RegisterFeedbackIsNotACycle)
+{
+    Builder b("feedback");
+    auto r = b.reg("r", 1, 0);
+    b.connect(r, b.bnot(r.q));
+    b.output("out", r.q);
+    EXPECT_NO_FATAL_FAILURE(b.finish());
+}
+
+TEST(RtlBuilderDeath, WidthMismatchPanics)
+{
+    Builder b("bad");
+    Value a = b.input("a", 4);
+    Value c = b.input("c", 5);
+    EXPECT_DEATH(b.band(a, c), "width mismatch");
+}
+
+TEST(RtlBuilderDeath, UnconnectedRegisterPanics)
+{
+    Builder b("bad2");
+    auto r = b.reg("r", 4, 0);
+    b.output("out", r.q);
+    EXPECT_DEATH(b.finish(), "never connected");
+}
+
+TEST(RtlBuilderDeath, SliceOutOfRangePanics)
+{
+    Builder b("bad3");
+    Value a = b.input("a", 4);
+    EXPECT_DEATH(b.slice(a, 3, 2), "slice out of range");
+}
+
+TEST(RtlBuilderDeath, MuxSelectWidthPanics)
+{
+    Builder b("bad4");
+    Value a = b.input("a", 2);
+    Value t = b.input("t", 4);
+    Value e = b.input("e", 4);
+    EXPECT_DEATH(b.mux(a, t, e), "mux select");
+}
+
+TEST(RtlIr, OpArityMatchesSemantics)
+{
+    EXPECT_EQ(rtl::opArity(Op::Const), 0u);
+    EXPECT_EQ(rtl::opArity(Op::Not), 1u);
+    EXPECT_EQ(rtl::opArity(Op::Add), 2u);
+    EXPECT_EQ(rtl::opArity(Op::Mux), 3u);
+    EXPECT_EQ(rtl::opArity(Op::RegQ), 0u);
+}
+
+TEST(RtlIr, MemoryBitsAccounting)
+{
+    Builder b("mem");
+    auto handle = b.mem("scratch", 32, 64);
+    Value addr = b.input("addr", 6);
+    Value data = b.memReadSync(handle, addr);
+    b.output("data", data);
+    rtl::Design d = b.finish();
+    EXPECT_EQ(d.memoryBits(), 64u * 32u);
+}
+
+TEST(RtlIr, DecoupledIfaceRecorded)
+{
+    Builder b("iface");
+    b.pushScope("mut");
+    Value v = b.input("v", 1);
+    Value r = b.input("r", 1);
+    Value p = b.input("p", 8);
+    b.declareIface("req", rtl::IfaceDir::In, v, r, {p}, true);
+    b.popScope();
+    b.output("sink", b.band(v, r));
+    rtl::Design d = b.finish();
+
+    ASSERT_EQ(d.ifaces.size(), 1u);
+    EXPECT_EQ(d.ifaces[0].name, "mut/req");
+    EXPECT_EQ(d.ifaces[0].scope, "mut/");
+    EXPECT_TRUE(d.ifaces[0].irrevocable);
+    EXPECT_EQ(d.ifaces[0].payload.size(), 1u);
+}

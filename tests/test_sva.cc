@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Assertion Synthesis tests: parser acceptance/rejection per the
+ * Table 4 support matrix, property semantics via the reference
+ * evaluator on hand-written traces, and differential equivalence of
+ * the synthesized monitor circuit against the reference evaluator
+ * on randomized traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "rtl/builder.hh"
+#include "sim/simulator.hh"
+#include "sva/compiler.hh"
+#include "sva/eval.hh"
+#include "sva/parser.hh"
+
+using namespace zoomie;
+using sva::compileAssertion;
+using sva::parseAssertion;
+
+// ---- parser ---------------------------------------------------------
+
+TEST(SvaParser, ImmediateAssertion)
+{
+    auto r = parseAssertion("assert (a == b);");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.property.immediate);
+}
+
+TEST(SvaParser, PaperExampleParses)
+{
+    auto r = parseAssertion(
+        "ack_valid: assert property (@(posedge clk) "
+        "disable iff (!resetn) valid |-> ##1 ack);");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.property.name, "ack_valid");
+    EXPECT_EQ(r.property.clock, "clk");
+    EXPECT_TRUE(r.property.hasDisable);
+    ASSERT_NE(r.property.antecedent, nullptr);
+    ASSERT_NE(r.property.consequent, nullptr);
+    EXPECT_TRUE(r.property.overlapped);
+}
+
+TEST(SvaParser, DelayRangeAndRepetition)
+{
+    auto r = parseAssertion(
+        "assert property (req |-> ##[1:3] (gnt)[*2]);");
+    ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(SvaParser, SequenceAndOr)
+{
+    auto r = parseAssertion(
+        "assert property (start |=> (a ##1 b) or (c and d));");
+    ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(SvaParser, RejectsFirstMatch)
+{
+    auto r = parseAssertion(
+        "assert property (a |-> first_match(b ##1 c));");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("first_match"), std::string::npos);
+}
+
+TEST(SvaParser, RejectsLocalVariables)
+{
+    auto r = parseAssertion(
+        "assert property (a |-> (x = b) ##1 c);");
+    ASSERT_FALSE(r.ok);
+}
+
+TEST(SvaParser, RejectsUnboundedRepetition)
+{
+    auto r = parseAssertion("assert property (a |-> b[*]);");
+    ASSERT_FALSE(r.ok);
+}
+
+TEST(SvaParser, RejectsZeroDelayFusion)
+{
+    auto r = parseAssertion("assert property (a |-> a ##0 b);");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("##0"), std::string::npos);
+}
+
+TEST(SvaParser, RejectsNegedgeClock)
+{
+    auto r = parseAssertion(
+        "assert property (@(negedge clk) a |-> b);");
+    ASSERT_FALSE(r.ok);
+}
+
+TEST(SvaParser, ParsesPastAndSizedLiterals)
+{
+    auto r = parseAssertion(
+        "assert property (state == 3'b101 |-> $past(count, 2) < 8'hF0);");
+    ASSERT_TRUE(r.ok) << r.error;
+}
+
+// ---- compilation / support matrix ------------------------------------
+
+TEST(SvaCompile, IsUnknownRejectedAtSynthesis)
+{
+    auto outcome = compileAssertion(
+        "assert property (valid |-> !$isunknown(data));");
+    ASSERT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.error.find("four-state"), std::string::npos);
+}
+
+TEST(SvaCompile, SimplePropertyCompiles)
+{
+    auto outcome = compileAssertion(
+        "assert property (@(posedge clk) valid |-> ##1 ack);");
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_TRUE(outcome.prop.hasAntecedent);
+    EXPECT_GE(outcome.prop.consequent.states.size(), 1u);
+}
+
+// ---- semantics via the reference evaluator ----------------------------
+
+namespace {
+
+/** Run the evaluator over per-cycle {signal: value} maps. */
+uint64_t
+failuresOn(const std::string &text,
+           const std::vector<std::map<std::string, uint64_t>> &trace)
+{
+    auto outcome = compileAssertion(text);
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+    sva::PropertyEvaluator eval(outcome.prop);
+    uint64_t fails = 0;
+    for (const auto &cycle : trace) {
+        fails += eval.step([&](const std::string &name) {
+            auto it = cycle.find(name);
+            return it == cycle.end() ? 0ull : it->second;
+        });
+    }
+    return fails;
+}
+
+} // namespace
+
+TEST(SvaSemantics, AckOneCycleLater)
+{
+    const std::string prop =
+        "assert property (valid |-> ##1 ack);";
+    // valid at t0, ack at t1: pass.
+    EXPECT_EQ(failuresOn(prop, {{{"valid", 1}},
+                                {{"ack", 1}},
+                                {}}), 0u);
+    // valid at t0, no ack at t1: one failure at t1.
+    EXPECT_EQ(failuresOn(prop, {{{"valid", 1}},
+                                {{"ack", 0}},
+                                {}}), 1u);
+    // no valid: vacuous pass.
+    EXPECT_EQ(failuresOn(prop, {{}, {}, {}}), 0u);
+}
+
+TEST(SvaSemantics, OverlappedVsNonOverlapped)
+{
+    // |-> checks ack in the same cycle; |=> one later.
+    EXPECT_EQ(failuresOn("assert property (v |-> a);",
+                         {{{"v", 1}, {"a", 1}}}), 0u);
+    EXPECT_EQ(failuresOn("assert property (v |-> a);",
+                         {{{"v", 1}, {"a", 0}}}), 1u);
+    EXPECT_EQ(failuresOn("assert property (v |=> a);",
+                         {{{"v", 1}, {"a", 0}}, {{"a", 1}}}), 0u);
+    EXPECT_EQ(failuresOn("assert property (v |=> a);",
+                         {{{"v", 1}, {"a", 1}}, {{"a", 0}}}), 1u);
+}
+
+TEST(SvaSemantics, DelayRangeAnyHitPasses)
+{
+    const std::string prop =
+        "assert property (req |-> ##[1:3] gnt);";
+    // gnt two cycles later: within the window.
+    EXPECT_EQ(failuresOn(prop, {{{"req", 1}}, {}, {{"gnt", 1}}, {}}),
+              0u);
+    // no gnt within three cycles: fail once the window closes.
+    EXPECT_EQ(failuresOn(prop, {{{"req", 1}}, {}, {}, {}, {}}), 1u);
+}
+
+TEST(SvaSemantics, ConsecutiveRepetition)
+{
+    const std::string prop =
+        "assert property (go |=> busy[*3]);";
+    EXPECT_EQ(failuresOn(prop,
+        {{{"go", 1}}, {{"busy", 1}}, {{"busy", 1}}, {{"busy", 1}},
+         {}}), 0u);
+    EXPECT_EQ(failuresOn(prop,
+        {{{"go", 1}}, {{"busy", 1}}, {{"busy", 0}}, {{"busy", 1}},
+         {}}), 1u);
+}
+
+TEST(SvaSemantics, DisableIffSuppressesDuringReset)
+{
+    const std::string prop =
+        "assert property (disable iff (!resetn) v |-> ##1 a);";
+    // Violation happens while resetn is low: suppressed.
+    EXPECT_EQ(failuresOn(prop,
+        {{{"v", 1}, {"resetn", 0}}, {{"a", 0}, {"resetn", 0}}}), 0u);
+    // Same after reset deasserts: reported.
+    EXPECT_EQ(failuresOn(prop,
+        {{{"v", 1}, {"resetn", 1}}, {{"a", 0}, {"resetn", 1}}}), 1u);
+}
+
+TEST(SvaSemantics, PastComparesHistoricValue)
+{
+    const std::string prop =
+        "assert property (tick |-> $past(cnt, 2) == 5);";
+    EXPECT_EQ(failuresOn(prop,
+        {{{"cnt", 5}}, {{"cnt", 6}}, {{"cnt", 7}, {"tick", 1}}}),
+        0u);
+    EXPECT_EQ(failuresOn(prop,
+        {{{"cnt", 4}}, {{"cnt", 6}}, {{"cnt", 7}, {"tick", 1}}}),
+        1u);
+}
+
+TEST(SvaSemantics, SequenceOrEitherBranchMatches)
+{
+    const std::string prop =
+        "assert property (s |=> (a ##1 b) or c);";
+    EXPECT_EQ(failuresOn(prop,
+        {{{"s", 1}}, {{"c", 1}}, {}}), 0u);
+    EXPECT_EQ(failuresOn(prop,
+        {{{"s", 1}}, {{"a", 1}}, {{"b", 1}}}), 0u);
+    EXPECT_EQ(failuresOn(prop,
+        {{{"s", 1}}, {{"a", 1}}, {{"b", 0}}}), 1u);
+}
+
+TEST(SvaSemantics, SequenceAndRequiresBoth)
+{
+    const std::string prop =
+        "assert property (s |=> (a ##1 a) and (b ##1 b));";
+    EXPECT_EQ(failuresOn(prop,
+        {{{"s", 1}}, {{"a", 1}, {"b", 1}}, {{"a", 1}, {"b", 1}}}),
+        0u);
+    EXPECT_EQ(failuresOn(prop,
+        {{{"s", 1}}, {{"a", 1}, {"b", 1}}, {{"a", 1}, {"b", 0}}}),
+        1u);
+}
+
+TEST(SvaSemantics, ImmediateAssertFiresEveryViolatingCycle)
+{
+    EXPECT_EQ(failuresOn("assert (x < 4);",
+        {{{"x", 1}}, {{"x", 5}}, {{"x", 9}}, {{"x", 2}}}), 2u);
+}
+
+// ---- circuit vs. evaluator differential -------------------------------
+
+namespace {
+
+/** Build a standalone monitor design and compare it against the
+ *  reference evaluator on random 1-bit signal traces. */
+void
+differentialCheck(const std::string &text, uint64_t seed,
+                  unsigned cycles,
+                  const std::vector<std::string> &signals,
+                  unsigned width = 1)
+{
+    auto outcome = compileAssertion(text);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    rtl::Builder builder("monitor");
+    std::map<std::string, rtl::Value> ports;
+    for (const std::string &signal : signals)
+        ports[signal] = builder.input(signal, width);
+    rtl::Value fail = buildMonitor(
+        builder, outcome.prop,
+        [&](const std::string &name) { return ports.at(name); });
+    builder.output("fail", fail);
+    rtl::Design design = builder.finish();
+
+    sim::Simulator sim(design);
+    sva::PropertyEvaluator eval(outcome.prop);
+
+    Rng rng(seed);
+    std::map<std::string, uint64_t> now;
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        for (const std::string &signal : signals) {
+            now[signal] = rng.nextBits(width);
+            sim.poke(signal, now[signal]);
+        }
+        bool hw_fail = sim.peek("fail") != 0;
+        bool sw_fail = eval.step(
+            [&](const std::string &name) { return now[name]; });
+        ASSERT_EQ(hw_fail, sw_fail)
+            << text << " diverged at cycle " << cycle;
+        sim.step();
+    }
+}
+
+} // namespace
+
+struct SvaDiffCase
+{
+    const char *text;
+    std::vector<std::string> signals;
+    unsigned width;
+};
+
+class SvaDifferential
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+static const SvaDiffCase kDiffCases[] = {
+    {"assert property (v |-> ##1 a);", {"v", "a"}, 1},
+    {"assert property (v |=> a);", {"v", "a"}, 1},
+    {"assert property (req |-> ##[1:3] gnt);", {"req", "gnt"}, 1},
+    {"assert property (go |=> busy[*2:3]);", {"go", "busy"}, 1},
+    {"assert property (s |=> (a ##1 b) or c);", {"s", "a", "b", "c"},
+     1},
+    {"assert property (s |=> (a ##1 a) and (b ##2 b));",
+     {"s", "a", "b"}, 1},
+    {"assert property (disable iff (rst) v |-> ##2 a);",
+     {"rst", "v", "a"}, 1},
+    {"assert property (a ##1 b |-> ##1 c);", {"a", "b", "c"}, 1},
+    {"assert property (x == 3 |-> ##1 y != 0);", {"x", "y"}, 2},
+    {"assert property (v |-> $past(v, 1) || a);", {"v", "a"}, 1},
+    {"assert (p || !q);", {"p", "q"}, 1},
+    {"assert property ($rose(v) |-> ##1 a);", {"v", "a"}, 1},
+};
+
+TEST_P(SvaDifferential, CircuitMatchesReference)
+{
+    auto [index, seed] = GetParam();
+    const SvaDiffCase &test_case = kDiffCases[index];
+    differentialCheck(test_case.text, seed, 300, test_case.signals,
+                      test_case.width);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SvaDifferential,
+    ::testing::Combine(
+        ::testing::Range(0, int(std::size(kDiffCases))),
+        ::testing::Values(1ull, 99ull)));
+
+// ---- area measurement --------------------------------------------------
+
+TEST(SvaArea, SimpleMonitorIsSmall)
+{
+    auto area = sva::measureAssertionArea(
+        "assert property (@(posedge clk) valid |-> ##1 ack);");
+    ASSERT_TRUE(area.synthesizable) << area.error;
+    EXPECT_GT(area.ffs, 0u);
+    EXPECT_LT(area.ffs, 16u);
+    EXPECT_LT(area.luts, 32u);
+}
+
+TEST(SvaArea, UnsynthesizableReported)
+{
+    auto area = sva::measureAssertionArea(
+        "assert property (v |-> !$isunknown(d));");
+    EXPECT_FALSE(area.synthesizable);
+    EXPECT_FALSE(area.error.empty());
+}
+
+TEST(SvaArea, PastDepthAddsFlipFlops)
+{
+    auto a1 = sva::measureAssertionArea(
+        "assert property (t |-> $past(x, 1) == 1);");
+    auto a4 = sva::measureAssertionArea(
+        "assert property (t |-> $past(x, 4) == 1);");
+    ASSERT_TRUE(a1.synthesizable);
+    ASSERT_TRUE(a4.synthesizable);
+    EXPECT_GT(a4.ffs, a1.ffs);
+}

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Tests for technology mapping: structural properties (LUT arity,
+ * provenance, RAM inference) and differential equivalence between
+ * the RTL simulator and the mapped-netlist interpreter on both
+ * hand-written and randomly generated designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rtl/builder.hh"
+#include "sim/simulator.hh"
+#include "synth/netlistsim.hh"
+#include "synth/techmap.hh"
+#include "util/random_design.hh"
+
+using namespace zoomie;
+using rtl::Builder;
+using rtl::Value;
+using synth::CellKind;
+using synth::MappedNetlist;
+
+namespace {
+
+/** Drive both simulators with the same random stimulus and compare
+ *  every output for @p cycles cycles. */
+void
+expectEquivalent(const rtl::Design &design, uint64_t seed,
+                 unsigned cycles)
+{
+    MappedNetlist net = synth::techMap(design);
+    sim::Simulator gold(design);
+    synth::NetlistSim mapped(net);
+
+    Rng rng(seed);
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        for (const auto &in : design.inputs) {
+            uint64_t v = rng.nextBits(in.width);
+            gold.poke(in.name, v);
+            mapped.poke(in.name, v);
+        }
+        for (const auto &out : design.outputs) {
+            ASSERT_EQ(gold.peek(out.name), mapped.peek(out.name))
+                << "output '" << out.name << "' diverged at cycle "
+                << cycle << " (design " << design.name << ")";
+        }
+        gold.step();
+        mapped.step();
+    }
+}
+
+} // namespace
+
+TEST(TechMap, LutArityNeverExceedsSix)
+{
+    testutil::RandomDesignSpec spec;
+    spec.seed = 7;
+    spec.numOps = 120;
+    rtl::Design d = testutil::makeRandomDesign(spec);
+    MappedNetlist net = synth::techMap(d);
+    for (const auto &cell : net.cells) {
+        if (cell.kind == CellKind::Lut) {
+            EXPECT_GE(cell.nIn, 1u);
+            EXPECT_LE(cell.nIn, 6u);
+            for (unsigned i = 0; i < cell.nIn; ++i)
+                EXPECT_LT(cell.in[i], net.cells.size());
+        }
+    }
+}
+
+TEST(TechMap, FFProvenanceCoversEveryRegisterBit)
+{
+    Builder b("prov");
+    b.pushScope("core");
+    auto r = b.reg("pc", 12, 0x123);
+    b.connect(r, b.addLit(r.q, 4));
+    b.popScope();
+    b.output("pc", r.q);
+    rtl::Design d = b.finish();
+
+    MappedNetlist net = synth::techMap(d);
+    unsigned ff_bits = 0;
+    for (const auto &cell : net.cells) {
+        if (cell.kind != CellKind::FF)
+            continue;
+        EXPECT_EQ(cell.src, 0u);
+        EXPECT_LT(cell.srcBit, 12u);
+        EXPECT_EQ(net.scopeNames[cell.scope], "core/");
+        // init bits must reproduce the power-on value
+        EXPECT_EQ(cell.init, ((0x123u >> cell.srcBit) & 1) != 0);
+        ++ff_bits;
+    }
+    EXPECT_EQ(ff_bits, 12u);
+}
+
+TEST(TechMap, SmallMemoryBecomesLutram)
+{
+    Builder b("lr");
+    Value addr = b.input("addr", 5);
+    auto m = b.mem("rf", 32, 32);  // 1024 bits, depth 32 -> LUTRAM
+    b.output("q", b.memReadAsync(m, addr));
+    rtl::Design d = b.finish();
+
+    MappedNetlist net = synth::techMap(d);
+    ASSERT_EQ(net.rams.size(), 1u);
+    EXPECT_EQ(net.rams[0].style, synth::RamStyle::Lutram);
+    EXPECT_EQ(net.rams[0].physCells, 32u);  // ceil(32/64)*32*1 port
+    EXPECT_EQ(net.totals().lutramLuts, 32u);
+}
+
+TEST(TechMap, LargeMemoryBecomesBram)
+{
+    Builder b("br");
+    Value addr = b.input("addr", 12);
+    auto m = b.mem("buf", 32, 4096);
+    b.output("q", b.memReadSync(m, addr));
+    rtl::Design d = b.finish();
+
+    MappedNetlist net = synth::techMap(d);
+    ASSERT_EQ(net.rams.size(), 1u);
+    EXPECT_EQ(net.rams[0].style, synth::RamStyle::Bram);
+    // 4096 x 32b = 128Kb needs 4 BRAM36 (1Kx36 config, 4 deep).
+    EXPECT_EQ(net.rams[0].physCells, 4u);
+}
+
+TEST(TechMap, BramAspectRatioPicksMinimalCount)
+{
+    // 512 x 64 fits one 512x72 BRAM36.
+    Builder b("ar");
+    Value addr = b.input("addr", 9);
+    auto m = b.mem("wide", 64, 512);
+    b.output("q", b.memReadSync(m, addr));
+    rtl::Design d = b.finish();
+    MappedNetlist net = synth::techMap(d);
+    EXPECT_EQ(net.rams[0].physCells, 1u);
+}
+
+TEST(TechMap, ConstantsFoldAway)
+{
+    Builder b("fold");
+    Value a = b.input("a", 8);
+    Value zero = b.lit(0, 8);
+    b.output("o1", b.band(a, zero));       // == 0
+    b.output("o2", b.bor(a, b.lit(0xFF, 8)));  // == 0xFF
+    rtl::Design d = b.finish();
+
+    MappedNetlist net = synth::techMap(d);
+    EXPECT_EQ(net.totals().luts, 0u);
+}
+
+TEST(TechMap, CounterEquivalence)
+{
+    Builder b("counter");
+    auto count = b.reg("count", 8, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.output("value", count.q);
+    expectEquivalent(b.finish(), 99, 300);
+}
+
+TEST(TechMap, AluEquivalence)
+{
+    Builder b("alu");
+    Value a = b.input("a", 16);
+    Value c = b.input("c", 16);
+    Value op = b.input("op", 2);
+    Value add = b.add(a, c);
+    Value sub = b.sub(a, c);
+    Value andv = b.band(a, c);
+    Value orv = b.bor(a, c);
+    Value lo = b.mux(b.bit(op, 0), sub, add);
+    Value hi = b.mux(b.bit(op, 0), orv, andv);
+    b.output("y", b.mux(b.bit(op, 1), hi, lo));
+    b.output("eq", b.eq(a, c));
+    b.output("lt", b.ult(a, c));
+    b.output("mul", b.mul(b.slice(a, 0, 8), b.slice(c, 0, 8)));
+    expectEquivalent(b.finish(), 123, 200);
+}
+
+TEST(TechMap, ShifterEquivalence)
+{
+    Builder b("shift");
+    Value a = b.input("a", 32);
+    Value amt = b.input("amt", 6);
+    b.output("l", b.shl(a, amt));
+    b.output("r", b.shr(a, amt));
+    expectEquivalent(b.finish(), 5, 200);
+}
+
+TEST(TechMap, MemoryEquivalence)
+{
+    Builder b("memdiff");
+    Value addr = b.input("addr", 6);
+    Value waddr = b.input("waddr", 6);
+    Value data = b.input("data", 16);
+    Value we = b.input("we", 1);
+    auto m = b.mem("m", 16, 64, rtl::MemStyle::Block);
+    b.output("q", b.memReadSync(m, addr));
+    b.memWrite(m, waddr, data, we);
+    auto m2 = b.mem("m2", 8, 32, rtl::MemStyle::Distributed);
+    b.output("q2", b.memReadAsync(m2, b.slice(addr, 0, 5)));
+    b.memWrite(m2, b.slice(waddr, 0, 5), b.slice(data, 0, 8), we);
+    expectEquivalent(b.finish(), 321, 300);
+}
+
+/** Property sweep: random designs stay equivalent after mapping. */
+class TechMapRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TechMapRandom, RandomDesignEquivalence)
+{
+    testutil::RandomDesignSpec spec;
+    spec.seed = GetParam();
+    spec.numOps = 80;
+    spec.numRegs = 10;
+    spec.numMems = 2;
+    rtl::Design d = testutil::makeRandomDesign(spec);
+    expectEquivalent(d, spec.seed * 31 + 7, 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TechMapRandom,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(TechMap, WorkCountersPopulated)
+{
+    testutil::RandomDesignSpec spec;
+    spec.seed = 3;
+    rtl::Design d = testutil::makeRandomDesign(spec);
+    synth::MapWork work;
+    MappedNetlist net = synth::techMap(d, {}, &work);
+    EXPECT_GT(work.gatesLowered, 0u);
+    EXPECT_GT(work.cutsEvaluated, 0u);
+    EXPECT_EQ(work.lutsEmitted, net.totals().luts);
+}
+
+TEST(TechMap, LogicLevelsPositiveForCombPath)
+{
+    Builder b("lvl");
+    Value a = b.input("a", 32);
+    Value c = b.input("c", 32);
+    b.output("y", b.add(b.add(a, c), b.add(a, c)));
+    rtl::Design d = b.finish();
+    MappedNetlist net = synth::techMap(d);
+    EXPECT_GE(net.logicLevels(), 2u);
+}
+
+TEST(TechMap, ComputeBoundaryMatchesMapperBookkeeping)
+{
+    // The VTI linker trusts computeBoundary() to reproduce exactly
+    // the boundary lists a techMap() call records — check the
+    // invariant on random partitioned designs.
+    for (uint64_t seed : {4ull, 13ull, 27ull, 55ull, 81ull}) {
+        testutil::RandomDesignSpec spec;
+        spec.seed = seed;
+        spec.numOps = 90;
+        spec.numRegs = 10;
+        spec.numScopes = 3;
+        rtl::Design d = testutil::makeRandomDesign(spec);
+
+        for (const char *prefix : {"sub0/", "sub1/", "sub2/"}) {
+            synth::MapOptions inc, exc;
+            inc.includePrefixes = {prefix};
+            exc.excludePrefixes = {prefix};
+            for (const synth::MapOptions &opts : {inc, exc}) {
+                MappedNetlist net = synth::techMap(d, opts);
+                synth::PartitionBoundary boundary =
+                    synth::computeBoundary(d, opts);
+                EXPECT_EQ(net.boundaryInNets,
+                          std::vector<uint32_t>(boundary.ins.begin(),
+                                                boundary.ins.end()))
+                    << "ins mismatch seed " << seed << " prefix "
+                    << prefix;
+                EXPECT_EQ(net.boundaryOutNets,
+                          std::vector<uint32_t>(
+                              boundary.outs.begin(),
+                              boundary.outs.end()))
+                    << "outs mismatch seed " << seed << " prefix "
+                    << prefix;
+            }
+        }
+    }
+}
+
+TEST(TechMap, PartitionNetlistRefusesDirectExecution)
+{
+    rtl::Builder b("p");
+    b.pushScope("sub");
+    auto r = b.reg("r", 4, 0);
+    b.popScope();
+    rtl::Value in = b.input("in", 4);
+    b.pushScope("sub");
+    b.connect(r, b.add(r.q, in));
+    b.popScope();
+    b.output("out", r.q);
+    rtl::Design d = b.finish();
+
+    synth::MapOptions opts;
+    opts.includePrefixes = {"sub/"};
+    MappedNetlist part = synth::techMap(d, opts);
+    ASSERT_FALSE(part.boundaryInNets.empty());
+    EXPECT_DEATH(synth::NetlistSim sim(part), "unlinked partition");
+}

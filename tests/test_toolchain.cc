@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Toolchain tests: placer invariants, partition linking
+ * equivalence, the VTI incremental flow (correctness of the linked
+ * result, placement stability of unchanged partitions, and the
+ * work/time asymmetry that produces Figure 7), and the cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "rtl/builder.hh"
+#include "sim/simulator.hh"
+#include "synth/netlistsim.hh"
+#include "synth/techmap.hh"
+#include "toolchain/costmodel.hh"
+#include "toolchain/flows.hh"
+#include "toolchain/linker.hh"
+#include "toolchain/logicloc.hh"
+#include "toolchain/placer.hh"
+#include "toolchain/timing.hh"
+#include "util/random_design.hh"
+
+using namespace zoomie;
+using rtl::Builder;
+using rtl::Value;
+using synth::MappedNetlist;
+
+namespace {
+
+/**
+ * A two-tile mini SoC. Each tile accumulates a function of the
+ * shared input; the top adds both accumulators. @p variant changes
+ * tile1's internals only (the "edit" for incremental compiles).
+ */
+rtl::Design
+twoTileSoc(int variant)
+{
+    Builder b("mini_soc");
+    Value in = b.input("in", 8);
+
+    b.pushScope("tile0");
+    auto acc0 = b.reg("acc", 8, 0);
+    b.connect(acc0, b.add(acc0.q, in));
+    b.popScope();
+
+    b.pushScope("tile1");
+    auto acc1 = b.reg("acc", 8, 0);
+    Value next;
+    switch (variant) {
+      case 0:
+        next = b.bxor(acc1.q, in);
+        break;
+      case 1:
+        next = b.add(acc1.q, b.bnot(in));
+        break;
+      default:
+        next = b.sub(acc1.q, in);
+        break;
+    }
+    b.connect(acc1, next);
+    // An extra register in later variants changes resource usage.
+    if (variant >= 1) {
+        auto extra = b.reg("extra", 8, 7);
+        b.connect(extra, b.bxor(extra.q, acc1.q));
+        b.nameNet("extra_q", extra.q);
+    }
+    b.popScope();
+
+    b.output("sum", b.add(acc0.q, acc1.q));
+    return b.finish();
+}
+
+/** Equivalence of two runnable netlists on random stimulus. */
+void
+expectNetlistsEquivalent(const MappedNetlist &a, const MappedNetlist &b,
+                         uint64_t seed, unsigned cycles)
+{
+    synth::NetlistSim sa(a);
+    synth::NetlistSim sb(b);
+    Rng rng(seed);
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        for (const auto &in : a.inputs) {
+            uint64_t v = rng.nextBits(
+                static_cast<unsigned>(in.bits.size()));
+            sa.poke(in.name, v);
+            sb.poke(in.name, v);
+        }
+        for (const auto &out : a.outputs) {
+            ASSERT_EQ(sa.peek(out.name), sb.peek(out.name))
+                << out.name << " diverged at cycle " << cycle;
+        }
+        for (uint32_t c = 0; c < a.numClocks; ++c) {
+            sa.step(static_cast<uint8_t>(c));
+            sb.step(static_cast<uint8_t>(c));
+        }
+    }
+}
+
+} // namespace
+
+TEST(Placer, SitesAreUniquePerResource)
+{
+    testutil::RandomDesignSpec spec;
+    spec.seed = 5;
+    spec.numOps = 100;
+    spec.numRegs = 20;
+    rtl::Design design = testutil::makeRandomDesign(spec);
+    MappedNetlist net = synth::techMap(design);
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    fpga::Placement placement = toolchain::place(dev, net);
+
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>> luts;
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>> ffs;
+    for (synth::SigId id = 0; id < net.cells.size(); ++id) {
+        const auto &cell = net.cells[id];
+        const fpga::Site &s = placement.cellSite[id];
+        if (cell.kind == synth::CellKind::Lut) {
+            EXPECT_TRUE(luts.insert({s.slr, s.col, s.row, s.slot})
+                            .second) << "LUT site reused";
+            EXPECT_LT(s.slot, fpga::kLutsPerClb);
+        } else if (cell.kind == synth::CellKind::FF) {
+            EXPECT_TRUE(ffs.insert({s.slr, s.col, s.row, s.slot})
+                            .second) << "FF site reused";
+            EXPECT_LT(s.slot, fpga::kFfsPerClb);
+        }
+    }
+    // LUTRAM sites must be SLICEM and not collide with logic LUTs.
+    for (uint32_t r = 0; r < net.rams.size(); ++r) {
+        if (placement.ramSite[r].isBram)
+            continue;
+        for (const fpga::Site &s : placement.ramSite[r].sites) {
+            EXPECT_TRUE(dev.isSlicemCol(s.col));
+            EXPECT_TRUE(luts.insert({s.slr, s.col, s.row, s.slot})
+                            .second) << "LUTRAM site collides";
+        }
+    }
+}
+
+TEST(Placer, FloorplanConfinesPartitionCells)
+{
+    rtl::Design design = twoTileSoc(0);
+    MappedNetlist net = synth::techMap(design);
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    toolchain::Floorplan floorplan;
+    toolchain::FloorplanPart part;
+    part.scopePrefix = "tile1/";
+    floorplan.parts.push_back(part);
+    fpga::Placement placement =
+        toolchain::place(dev, net, &floorplan);
+
+    const fpga::Region *region = placement.findRegion("tile1/");
+    ASSERT_NE(region, nullptr);
+    for (synth::SigId id = 0; id < net.cells.size(); ++id) {
+        const auto &cell = net.cells[id];
+        if (cell.kind != synth::CellKind::Lut &&
+            cell.kind != synth::CellKind::FF)
+            continue;
+        const fpga::Site &s = placement.cellSite[id];
+        if (net.cellUnder(cell, "tile1/")) {
+            EXPECT_EQ(s.slr, region->slr);
+            EXPECT_GE(s.col, region->colLo);
+            EXPECT_LE(s.col, region->colHi);
+        } else {
+            EXPECT_FALSE(s.slr == region->slr &&
+                         s.col >= region->colLo &&
+                         s.col <= region->colHi)
+                << "static cell inside reserved region";
+        }
+    }
+}
+
+TEST(Placer, DeterministicAcrossRuns)
+{
+    rtl::Design design = twoTileSoc(1);
+    MappedNetlist net = synth::techMap(design);
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    fpga::Placement p1 = toolchain::place(dev, net);
+    fpga::Placement p2 = toolchain::place(dev, net);
+    ASSERT_EQ(p1.cellSite.size(), p2.cellSite.size());
+    for (size_t i = 0; i < p1.cellSite.size(); ++i) {
+        EXPECT_EQ(p1.cellSite[i].col, p2.cellSite[i].col);
+        EXPECT_EQ(p1.cellSite[i].row, p2.cellSite[i].row);
+        EXPECT_EQ(p1.cellSite[i].slot, p2.cellSite[i].slot);
+    }
+    EXPECT_EQ(p1.hpwl, p2.hpwl);
+}
+
+TEST(Placer, ScopeBoundingBoxesCoverCells)
+{
+    rtl::Design design = twoTileSoc(0);
+    MappedNetlist net = synth::techMap(design);
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    fpga::Placement placement = toolchain::place(dev, net);
+    auto regions = toolchain::scopeBoundingBoxes(net, placement,
+                                                 "tile0/");
+    ASSERT_FALSE(regions.empty());
+    for (synth::SigId id = 0; id < net.cells.size(); ++id) {
+        const auto &cell = net.cells[id];
+        if (!net.cellUnder(cell, "tile0/"))
+            continue;
+        if (cell.kind != synth::CellKind::Lut &&
+            cell.kind != synth::CellKind::FF)
+            continue;
+        const fpga::Site &s = placement.cellSite[id];
+        bool covered = false;
+        for (const auto &region : regions) {
+            covered |= region.slr == s.slr &&
+                       s.col >= region.colLo && s.col <= region.colHi &&
+                       s.row >= region.rowLo && s.row <= region.rowHi;
+        }
+        EXPECT_TRUE(covered);
+    }
+}
+
+TEST(Linker, PartitionedMapMatchesMonolithic)
+{
+    for (int variant = 0; variant < 3; ++variant) {
+        rtl::Design design = twoTileSoc(variant);
+        MappedNetlist mono = synth::techMap(design);
+
+        synth::MapOptions static_opts;
+        static_opts.excludePrefixes = {"tile0/", "tile1/"};
+        synth::MapOptions t0_opts, t1_opts;
+        t0_opts.includePrefixes = {"tile0/"};
+        t1_opts.includePrefixes = {"tile1/"};
+
+        MappedNetlist part_static = synth::techMap(design,
+                                                   static_opts);
+        MappedNetlist part0 = synth::techMap(design, t0_opts);
+        MappedNetlist part1 = synth::techMap(design, t1_opts);
+
+        std::vector<toolchain::LinkInput> inputs(3);
+        inputs[0].netlist = &part_static;
+        inputs[0].boundary = synth::computeBoundary(design,
+                                                    static_opts);
+        inputs[1].netlist = &part0;
+        inputs[1].boundary = synth::computeBoundary(design, t0_opts);
+        inputs[2].netlist = &part1;
+        inputs[2].boundary = synth::computeBoundary(design, t1_opts);
+
+        toolchain::LinkResult linked = toolchain::link(inputs);
+        ASSERT_TRUE(linked.ok) << linked.error;
+        EXPECT_GT(linked.boundaryBits, 0u);
+        expectNetlistsEquivalent(mono, linked.netlist,
+                                 variant * 17 + 3, 200);
+    }
+}
+
+TEST(Linker, RandomDesignPartitionEquivalence)
+{
+    for (uint64_t seed : {2ull, 9ull, 23ull, 31ull}) {
+        testutil::RandomDesignSpec spec;
+        spec.seed = seed;
+        spec.numOps = 70;
+        spec.numRegs = 8;
+        spec.numMems = 1;
+        spec.numScopes = 2;
+        rtl::Design design = testutil::makeRandomDesign(spec);
+        MappedNetlist mono = synth::techMap(design);
+
+        synth::MapOptions s_opts, p_opts;
+        s_opts.excludePrefixes = {"sub0/"};
+        p_opts.includePrefixes = {"sub0/"};
+        MappedNetlist part_s = synth::techMap(design, s_opts);
+        MappedNetlist part_p = synth::techMap(design, p_opts);
+
+        std::vector<toolchain::LinkInput> inputs(2);
+        inputs[0].netlist = &part_s;
+        inputs[0].boundary = synth::computeBoundary(design, s_opts);
+        inputs[1].netlist = &part_p;
+        inputs[1].boundary = synth::computeBoundary(design, p_opts);
+        toolchain::LinkResult linked = toolchain::link(inputs);
+        ASSERT_TRUE(linked.ok) << linked.error;
+        expectNetlistsEquivalent(mono, linked.netlist, seed, 100);
+    }
+}
+
+TEST(Vti, InitialCompileMatchesVendorBehaviour)
+{
+    rtl::Design design = twoTileSoc(0);
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    toolchain::VendorTool vendor(dev);
+    toolchain::CompileResult mono = vendor.compile(design);
+
+    toolchain::Vti::Options opts;
+    opts.iteratedModules = {"tile1/"};
+    toolchain::Vti vti(dev, opts);
+    toolchain::CompileResult vres = vti.compileInitial(design);
+
+    expectNetlistsEquivalent(mono.netlist, vres.netlist, 77, 200);
+    EXPECT_FALSE(vres.bitstreamIsPartial);
+    // VTI reserves area: its region exists and is on one SLR.
+    EXPECT_NE(vres.placement.findRegion("tile1/"), nullptr);
+}
+
+TEST(Vti, IncrementalCompileIsCorrectAndCheaper)
+{
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    toolchain::Vti::Options opts;
+    opts.iteratedModules = {"tile1/"};
+    toolchain::Vti vti(dev, opts);
+
+    rtl::Design v0 = twoTileSoc(0);
+    toolchain::CompileResult initial = vti.compileInitial(v0);
+
+    rtl::Design v1 = twoTileSoc(1);
+    toolchain::CompileResult incr =
+        vti.compileIncremental(v1, "tile1/");
+
+    // Correctness: the incrementally linked netlist behaves like a
+    // from-scratch compile of the edited design.
+    toolchain::VendorTool vendor(dev);
+    toolchain::CompileResult fresh = vendor.compile(v1);
+    expectNetlistsEquivalent(fresh.netlist, incr.netlist, 4, 200);
+
+    // The bitstream is partial and the modeled time is lower.
+    EXPECT_TRUE(incr.bitstreamIsPartial);
+    EXPECT_LT(incr.time.synth, initial.time.synth);
+    EXPECT_LT(incr.time.bitgen, initial.time.bitgen);
+
+    // Placement stability: the unchanged tile0 register sits at the
+    // same location in both compiles (this is what makes billing
+    // only the changed region honest).
+    auto locs_a = toolchain::buildLogicLocations(
+        dev, v0, initial.netlist, initial.placement);
+    auto locs_b = toolchain::buildLogicLocations(
+        dev, v1, incr.netlist, incr.placement);
+    const auto *ra = locs_a.findReg("tile0/acc");
+    const auto *rb = locs_b.findReg("tile0/acc");
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        EXPECT_EQ(ra->bits[bit].slr, rb->bits[bit].slr);
+        EXPECT_EQ(ra->bits[bit].frame, rb->bits[bit].frame);
+        EXPECT_EQ(ra->bits[bit].bit, rb->bits[bit].bit);
+    }
+}
+
+TEST(Vti, RepeatedIncrementalEditsStayCorrect)
+{
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    toolchain::Vti::Options opts;
+    opts.iteratedModules = {"tile1/"};
+    toolchain::Vti vti(dev, opts);
+    vti.compileInitial(twoTileSoc(1));
+
+    for (int variant : {2, 0, 1, 2}) {
+        rtl::Design edited = twoTileSoc(variant);
+        toolchain::CompileResult incr =
+            vti.compileIncremental(edited, "tile1/");
+        toolchain::VendorTool vendor(dev);
+        toolchain::CompileResult fresh = vendor.compile(edited);
+        expectNetlistsEquivalent(fresh.netlist, incr.netlist,
+                                 variant + 100, 120);
+    }
+}
+
+namespace {
+
+/** First-scope partition whose edit ADDS a register (shifting every
+ *  later register index — the provenance-staleness regression). */
+rtl::Design
+firstPartSoc(bool extra_reg)
+{
+    Builder b("first_part");
+    b.pushScope("partA");
+    auto a = b.reg("acc", 8, 0);
+    Value in = b.input("in", 8);
+    b.connect(a, b.add(a.q, in));
+    if (extra_reg) {
+        auto probe = b.reg("probe", 8, 0);
+        b.connect(probe, a.q);
+    }
+    b.popScope();
+    b.pushScope("partB");
+    auto c = b.reg("acc", 8, 1);
+    b.connect(c, b.bxor(c.q, a.q));
+    b.popScope();
+    b.output("out", b.add(a.q, c.q));
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Vti, EditAddingRegistersKeepsProvenanceCorrect)
+{
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    toolchain::Vti::Options opts;
+    opts.iteratedModules = {"partA/"};
+    toolchain::Vti vti(dev, opts);
+    vti.compileInitial(firstPartSoc(false));
+
+    rtl::Design edited = firstPartSoc(true);
+    toolchain::CompileResult incr =
+        vti.compileIncremental(edited, "partA/");
+
+    // partB's register index shifted in the edited design; the
+    // cached partition must still map its FF cells to the right
+    // name and location.
+    auto locs = toolchain::buildLogicLocations(
+        dev, edited, incr.netlist, incr.placement);
+    const auto *rb = locs.findReg("partB/acc");
+    ASSERT_NE(rb, nullptr);
+    EXPECT_EQ(rb->width, 8);
+
+    toolchain::VendorTool vendor(dev);
+    toolchain::CompileResult fresh = vendor.compile(edited);
+    expectNetlistsEquivalent(fresh.netlist, incr.netlist, 42, 200);
+}
+
+TEST(CostModel, CongestionDivergesNearFull)
+{
+    using toolchain::CostModel;
+    EXPECT_LT(CostModel::congestion(0.2), CostModel::congestion(0.8));
+    EXPECT_LT(CostModel::congestion(0.8), CostModel::congestion(0.97));
+}
+
+TEST(CostModel, ParallelMaxIsPerPhase)
+{
+    toolchain::CompileTime a, b;
+    a.synth = 10;
+    a.place = 1;
+    b.synth = 2;
+    b.place = 5;
+    auto m = toolchain::CompileTime::parallelMax(a, b);
+    EXPECT_DOUBLE_EQ(m.synth, 10);
+    EXPECT_DOUBLE_EQ(m.place, 5);
+}
+
+TEST(Timing, ReportsPathsAndScopes)
+{
+    rtl::Design design = twoTileSoc(0);
+    MappedNetlist net = synth::techMap(design);
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    fpga::Placement placement = toolchain::place(dev, net);
+    auto report = toolchain::analyzeTiming(dev, net, placement, 0.5);
+    EXPECT_GT(report.criticalNs, 0.0);
+    EXPECT_GT(report.fmaxMhz(), 0.0);
+    ASSERT_FALSE(report.topPaths.empty());
+    EXPECT_GE(report.topPaths.front().delayNs,
+              report.topPaths.back().delayNs);
+}
+
+TEST(Timing, CongestionSlowsTheDesign)
+{
+    rtl::Design design = twoTileSoc(0);
+    MappedNetlist net = synth::techMap(design);
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    fpga::Placement placement = toolchain::place(dev, net);
+    auto relaxed = toolchain::analyzeTiming(dev, net, placement, 0.2);
+    auto congested = toolchain::analyzeTiming(dev, net, placement,
+                                              0.95);
+    EXPECT_GT(congested.criticalNs, relaxed.criticalNs);
+}
+
+TEST(Vti, BoundaryDriftFallsBackToFullRecompile)
+{
+    // An edit that changes the partition's *interface* (a new
+    // cross-boundary consumer) invalidates cached partitions; VTI
+    // must detect the drift and fall back to a full recompile while
+    // staying correct.
+    auto makeDesign = [](bool extra_input) {
+        Builder b("drift");
+        Value in = b.input("in", 8);
+        Value in2 = b.input("in2", 8);
+        b.pushScope("tileA");
+        auto acc = b.reg("acc", 8, 0);
+        Value next = b.add(acc.q, in);
+        if (extra_input)
+            next = b.bxor(next, in2);  // new boundary crossing
+        b.connect(acc, next);
+        b.popScope();
+        b.output("out", b.bxor(acc.q, in2));
+        return b.finish();
+    };
+
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+    toolchain::Vti::Options opts;
+    opts.iteratedModules = {"tileA/"};
+    toolchain::Vti vti(dev, opts);
+    vti.compileInitial(makeDesign(false));
+
+    rtl::Design edited = makeDesign(true);
+    toolchain::CompileResult incr =
+        vti.compileIncremental(edited, "tileA/");
+
+    toolchain::VendorTool vendor(dev);
+    toolchain::CompileResult fresh = vendor.compile(edited);
+    expectNetlistsEquivalent(fresh.netlist, incr.netlist, 909, 150);
+}

@@ -1,0 +1,151 @@
+#include "random_design.hh"
+
+#include "common/rng.hh"
+#include "rtl/builder.hh"
+
+namespace zoomie::testutil {
+
+using rtl::Builder;
+using rtl::Value;
+
+rtl::Design
+makeRandomDesign(const RandomDesignSpec &spec)
+{
+    Rng rng(spec.seed);
+    Builder b("random_" + std::to_string(spec.seed));
+
+    std::vector<Value> pool;
+    for (unsigned i = 0; i < spec.numInputs; ++i) {
+        unsigned width = 1 + rng.nextBelow(spec.maxWidth);
+        pool.push_back(b.input("in" + std::to_string(i), width));
+    }
+    pool.push_back(b.lit(rng.next(), 1 + rng.nextBelow(spec.maxWidth)));
+    pool.push_back(b.lit(0, 1));
+    pool.push_back(b.lit(1, 1));
+
+    // Declare registers up front so feedback paths are possible.
+    std::vector<rtl::RegHandle> regs;
+    for (unsigned i = 0; i < spec.numRegs; ++i) {
+        unsigned width = 1 + rng.nextBelow(spec.maxWidth);
+        if (rng.chance(1, 4) && spec.numScopes > 0)
+            b.pushScope("sub" + std::to_string(
+                rng.nextBelow(spec.numScopes)));
+        regs.push_back(b.reg("r" + std::to_string(i), width,
+                             rng.next()));
+        if (b.scopePrefix() != "")
+            b.popScope();
+        pool.push_back(regs.back().q);
+    }
+
+    auto pick = [&]() { return pool[rng.nextBelow(pool.size())]; };
+    auto pickW = [&](unsigned width) {
+        // Adapt a random pool value to the requested width.
+        Value v = pick();
+        if (v.width == width)
+            return v;
+        if (v.width > width) {
+            // Can't call builder here; handled by caller via slice.
+            return v;
+        }
+        return v;
+    };
+    (void)pickW;
+
+    auto adapt = [&](Value v, unsigned width) -> Value {
+        if (v.width == width)
+            return v;
+        if (v.width > width)
+            return b.slice(v, 0, width);
+        return b.zext(v, width);
+    };
+
+    for (unsigned i = 0; i < spec.numOps; ++i) {
+        bool scoped = rng.chance(1, 3) && spec.numScopes > 0;
+        if (scoped)
+            b.pushScope("sub" + std::to_string(
+                rng.nextBelow(spec.numScopes)));
+        Value a = pick();
+        Value bb = pick();
+        Value out;
+        switch (rng.nextBelow(16)) {
+          case 0: out = b.band(a, adapt(bb, a.width)); break;
+          case 1: out = b.bor(a, adapt(bb, a.width)); break;
+          case 2: out = b.bxor(a, adapt(bb, a.width)); break;
+          case 3: out = b.bnot(a); break;
+          case 4: out = b.add(a, adapt(bb, a.width)); break;
+          case 5: out = b.sub(a, adapt(bb, a.width)); break;
+          case 6: out = b.eq(a, adapt(bb, a.width)); break;
+          case 7: out = b.ult(a, adapt(bb, a.width)); break;
+          case 8: out = b.shl(a, adapt(bb, a.width)); break;
+          case 9: out = b.shr(a, adapt(bb, a.width)); break;
+          case 10: {
+            Value sel = adapt(pick(), 1);
+            out = b.mux(sel, a, adapt(bb, a.width));
+            break;
+          }
+          case 11:
+            if (a.width + bb.width <= 64) {
+                out = b.concat(a, bb);
+            } else {
+                out = b.bnot(a);
+            }
+            break;
+          case 12: {
+            unsigned lo = rng.nextBelow(a.width);
+            unsigned len = 1 + rng.nextBelow(a.width - lo);
+            out = b.slice(a, lo, len);
+            break;
+          }
+          case 13: out = b.redOr(a); break;
+          case 14: out = b.redXor(a); break;
+          default:
+            if (a.width <= 8) {
+                out = b.mul(a, adapt(bb, a.width));
+            } else {
+                out = b.ule(a, adapt(bb, a.width));
+            }
+            break;
+        }
+        pool.push_back(out);
+        if (scoped)
+            b.popScope();
+    }
+
+    // Connect registers with random data / enables / resets.
+    for (unsigned i = 0; i < spec.numRegs; ++i) {
+        unsigned width = regs[i].q.width;
+        b.connect(regs[i], adapt(pick(), width));
+        if (rng.chance(1, 3))
+            b.enable(regs[i], adapt(pick(), 1));
+        if (rng.chance(1, 3))
+            b.resetTo(regs[i], adapt(pick(), 1), rng.next());
+    }
+
+    // Memories exercised through both port styles.
+    for (unsigned i = 0; i < spec.numMems; ++i) {
+        unsigned width = 1 + rng.nextBelow(16);
+        uint32_t depth = 8u << rng.nextBelow(4);
+        std::vector<uint64_t> init(depth);
+        for (auto &word : init)
+            word = rng.next();
+        auto handle = b.mem("m" + std::to_string(i), width, depth,
+                            rng.chance(1, 2)
+                                ? rtl::MemStyle::Distributed
+                                : rtl::MemStyle::Block,
+                            std::move(init));
+        Value raddr = adapt(pick(), 8);
+        Value data = rng.chance(1, 2) && i % 2 == 0
+            ? b.memReadAsync(handle, raddr)
+            : b.memReadSync(handle, raddr);
+        pool.push_back(data);
+        b.memWrite(handle, adapt(pick(), 8), adapt(pick(), width),
+                   adapt(pick(), 1));
+    }
+
+    for (unsigned i = 0; i < spec.numOutputs; ++i)
+        b.output("out" + std::to_string(i), pick());
+
+    return b.finish();
+}
+
+} // namespace zoomie::testutil
