@@ -5,80 +5,35 @@
  * as a tool. Drives the TinyRV CPU by default. Reads commands from
  * stdin (or from the command line after "--", for scripted runs).
  *
- * Commands:
- *   run N            advance the external clock N cycles
- *   pause | resume   control the MUT clock gate
- *   step N           execute exactly N MUT cycles, then pause
- *   break SLOT VAL   value breakpoint (AND group) on a watch slot
- *   watch SLOT       watchpoint: pause when the slot's signal changes
- *   clear            clear all triggers
- *   print NAME       read a register through the config plane
- *   x NAME ADDR      read a memory word
- *   force NAME VAL   inject a register value
- *   regs PREFIX      dump every register under a scope prefix
- *   snap | restore   snapshot / restore the whole design state
- *   trace N FILE     sample watch signals for N cycles, write VCD
- *   info             platform status
- *   quit
+ * The shell is a thin front end over rdp::Dispatcher — the same
+ * command table the wire protocol (`zoomie_server`) serves, so
+ * every command here exists on the wire with identical semantics
+ * and argument validation. Type `help` for the command list.
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/zoomie.hh"
-#include "designs/tinyrv.hh"
-#include "sim/trace.hh"
-#include "sim/vcd.hh"
+#include "rdp/dispatcher.hh"
+#include "rdp/session.hh"
 
 using namespace zoomie;
-
-namespace {
-
-std::vector<std::string>
-tokenize(const std::string &line)
-{
-    std::istringstream is(line);
-    std::vector<std::string> tokens;
-    std::string token;
-    while (is >> token)
-        tokens.push_back(token);
-    return tokens;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    using namespace designs::rv;
-    // Default workload: sum loop with a store per iteration.
-    std::vector<uint32_t> program = {
-        addi(1, 0, 0), addi(2, 0, 1),
-        add(1, 1, 2), addi(2, 2, 1),
-        sw(1, 0, 0x200), jal(0, -12),
-    };
-
-    core::PlatformOptions opts;
-    opts.instrument.mutPrefix = "cpu/";
-    opts.instrument.watchSignals = {"cpu/pc", "cpu/mcause",
-                                    "cpu/state"};
-    fpga::DeviceSpec spec = fpga::makeTestDevice();
-    spec.clbCols = 32;
-    spec.clbRows = 64;
-    spec.bramCols = 4;
-    opts.spec = spec;
-
-    std::printf("zoomie-dbg: bringing up TinyRV on %s...\n",
-                spec.name.c_str());
-    auto platform = core::Platform::create(
-        designs::buildTinyRv(program), opts);
-    core::Debugger &dbg = platform->debugger();
-    std::printf("watch slots: 0=cpu/pc 1=cpu/mcause 2=cpu/state\n");
+    rdp::SessionConfig config;  // tinyrv + demo sum loop
+    std::printf("zoomie-dbg: bringing up TinyRV...\n");
+    rdp::Session session(0, config);
+    rdp::Dispatcher dispatcher(session);
+    const auto &watch =
+        session.platform().instrumented().watchSignals;
+    for (size_t slot = 0; slot < watch.size(); ++slot)
+        std::printf("watch slot %zu: %s\n", slot,
+                    watch[slot].c_str());
 
     // Scripted mode: everything after "--" is a ';'-separated
     // command list.
@@ -97,7 +52,6 @@ main(int argc, char **argv)
         }
     }
     size_t script_pos = 0;
-    std::unique_ptr<core::Snapshot> snapshot;
 
     while (true) {
         std::string line;
@@ -112,110 +66,27 @@ main(int argc, char **argv)
             if (!std::getline(std::cin, line))
                 break;
         }
-        auto tokens = tokenize(line);
-        if (tokens.empty())
+        std::istringstream is(line);
+        std::string first;
+        if (!(is >> first))
             continue;
-        const std::string &cmd = tokens[0];
-        try {
-            if (cmd == "quit" || cmd == "q") {
-                break;
-            } else if (cmd == "run" && tokens.size() >= 2) {
-                platform->run(std::stoull(tokens[1]));
-                std::printf("mut cycles: %llu%s\n",
-                            (unsigned long long)platform->mutCycles(),
-                            dbg.isPaused() ? "  [paused]" : "");
-            } else if (cmd == "pause") {
-                dbg.pause();
-                platform->run(1);
-                std::printf("paused at mut cycle %llu\n",
-                            (unsigned long long)platform->mutCycles());
-            } else if (cmd == "resume" || cmd == "c") {
-                dbg.resume();
-                std::printf("running\n");
-            } else if (cmd == "step" && tokens.size() >= 2) {
-                uint64_t n = std::stoull(tokens[1]);
-                dbg.stepCycles(n);
-                platform->run(n + 4);
-                std::printf("stepped %llu; pc = 0x%llx\n",
-                            (unsigned long long)n,
-                            (unsigned long long)dbg.readRegister(
-                                "cpu/pc"));
-            } else if (cmd == "break" && tokens.size() >= 3) {
-                unsigned slot = std::stoul(tokens[1]);
-                dbg.setValueBreakpoint(
-                    slot, std::stoull(tokens[2], nullptr, 0), true,
-                    false);
-                dbg.armTriggers(true, false);
-                std::printf("breakpoint armed on slot %u\n", slot);
-            } else if (cmd == "watch" && tokens.size() >= 2) {
-                dbg.setWatchpoint(std::stoul(tokens[1]), true);
-                std::printf("watchpoint armed\n");
-            } else if (cmd == "clear") {
-                dbg.clearValueBreakpoints();
-                std::printf("triggers cleared\n");
-            } else if (cmd == "print" && tokens.size() >= 2) {
-                std::printf("%s = 0x%llx\n", tokens[1].c_str(),
-                            (unsigned long long)dbg.readRegister(
-                                tokens[1]));
-            } else if (cmd == "x" && tokens.size() >= 3) {
-                uint32_t addr = std::stoul(tokens[2], nullptr, 0);
-                std::printf("%s[0x%x] = 0x%llx\n", tokens[1].c_str(),
-                            addr,
-                            (unsigned long long)dbg.readMemWord(
-                                tokens[1], addr));
-            } else if (cmd == "force" && tokens.size() >= 3) {
-                dbg.forceRegister(tokens[1],
-                                  std::stoull(tokens[2], nullptr, 0));
-                std::printf("forced\n");
-            } else if (cmd == "regs" && tokens.size() >= 2) {
-                for (const auto &[name, value] :
-                     dbg.readAllRegisters(tokens[1])) {
-                    std::printf("  %-24s = 0x%llx\n", name.c_str(),
-                                (unsigned long long)value);
-                }
-            } else if (cmd == "snap") {
-                snapshot = std::make_unique<core::Snapshot>(
-                    dbg.snapshot());
-                std::printf("snapshot taken at mut cycle %llu\n",
-                            (unsigned long long)snapshot->mutCycles);
-            } else if (cmd == "restore") {
-                if (!snapshot) {
-                    std::printf("no snapshot\n");
-                    continue;
-                }
-                dbg.restore(*snapshot);
-                std::printf("restored\n");
-            } else if (cmd == "trace" && tokens.size() >= 3) {
-                uint64_t n = std::stoull(tokens[1]);
-                sim::Trace trace;
-                for (const std::string &signal :
-                     platform->instrumented().watchSignals) {
-                    trace.addSignal(signal, [&platform, &dbg,
-                                             signal]() {
-                        return dbg.readRegister(signal);
-                    });
-                }
-                for (uint64_t i = 0; i < n; ++i) {
-                    trace.sample();
-                    platform->run(1);
-                }
-                std::ofstream out(tokens[2]);
-                sim::writeVcd(trace, out);
-                std::printf("wrote %llu samples to %s\n",
-                            (unsigned long long)n,
-                            tokens[2].c_str());
-            } else if (cmd == "info") {
-                std::printf("mut cycles: %llu  paused: %s  "
-                            "assertions fired: 0x%llx\n",
-                            (unsigned long long)platform->mutCycles(),
-                            dbg.isPaused() ? "yes" : "no",
-                            (unsigned long long)0);
-            } else {
-                std::printf("unknown command: %s\n", cmd.c_str());
-            }
-        } catch (const std::exception &e) {
-            std::printf("error: %s\n", e.what());
+        if (first == "quit" || first == "q")
+            break;
+        if (first == "help" || first == "?") {
+            for (const std::string &entry :
+                 rdp::Dispatcher::helpLines())
+                std::printf("%s\n", entry.c_str());
+            continue;
         }
+        std::string error;
+        auto request = rdp::Dispatcher::parseLine(line, &error);
+        if (!request) {
+            std::printf("error: %s\n", error.c_str());
+            continue;
+        }
+        auto result = dispatcher.execute(*request);
+        std::fputs(rdp::Dispatcher::renderText(result).c_str(),
+                   stdout);
     }
     return 0;
 }

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * zoomie-server: the Zoomie debug server over stdin/stdout. Speaks
+ * line-framed JSON (JSONL): one request object per input line, one
+ * reply object per request on stdout, preceded by any events
+ * (`dbg_stop`, `assertion_fired`, `watch_hit`) the command
+ * provoked. Diagnostics go to stderr so stdout stays clean JSONL
+ * for pipelines (zem-style); `--events-only` silences the banner
+ * entirely.
+ *
+ * Usage:
+ *   zoomie_server                 serve requests from stdin
+ *   zoomie_server --script FILE   serve requests from FILE, then exit
+ *   zoomie_server --events-only   no stderr banner; stdout is
+ *                                 machine-readable JSONL only
+ *
+ * A minimal session:
+ *   {"cmd":"hello","version":1}
+ *   {"cmd":"open","design":"tinyrv"}
+ *   {"cmd":"break","slot":0,"value":12,"id":1}
+ *   {"cmd":"run","n":200,"id":2}
+ *   {"cmd":"print","name":"cpu/pc","id":3}
+ *   {"cmd":"quit"}
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "rdp/server.hh"
+
+int
+main(int argc, char **argv)
+{
+    bool events_only = false;
+    std::string script;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--events-only") == 0) {
+            events_only = true;
+        } else if (std::strcmp(argv[i], "--script") == 0 &&
+                   i + 1 < argc) {
+            script = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--script FILE] "
+                         "[--events-only]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    if (!events_only) {
+        std::fprintf(stderr,
+                     "zoomie-server: protocol v%llu, JSONL on "
+                     "stdin/stdout (send "
+                     "{\"cmd\":\"hello\"} to begin)\n",
+                     (unsigned long long)
+                         zoomie::rdp::kProtocolVersion);
+    }
+
+    zoomie::rdp::Server server;
+    if (!script.empty()) {
+        std::ifstream in(script);
+        if (!in) {
+            std::fprintf(stderr,
+                         "zoomie-server: cannot open script "
+                         "'%s'\n",
+                         script.c_str());
+            return 1;
+        }
+        zoomie::rdp::StreamTransport transport(in, std::cout);
+        server.serve(transport);
+    } else {
+        zoomie::rdp::StreamTransport transport(std::cin,
+                                               std::cout);
+        server.serve(transport);
+    }
+    return 0;
+}

@@ -282,6 +282,31 @@ Debugger::isPaused()
     return readRegister(ControlRegs::pauseState) != 0;
 }
 
+StopInfo
+Debugger::stopInfo()
+{
+    StopInfo info;
+    info.paused = isPaused();
+    info.hostPauseRequested =
+        readRegister(ControlRegs::hostPause) != 0;
+    if (readRegister(ControlRegs::stepArmed) != 0)
+        info.stepDone = readRegister(ControlRegs::stepCount) <= 1;
+    info.assertionsFired = assertionsFired();
+    for (unsigned slot = 0; slot < _meta.watchSignals.size();
+         ++slot) {
+        if (readRegister(ControlRegs::bpChg(slot)) == 0)
+            continue;
+        const std::string &watched = _meta.watchSignals[slot];
+        if (!_locs.findReg(watched))
+            continue;  // watched wire: live value not readable
+        uint64_t prev = readRegister(ControlRegs::bpPrev(slot));
+        uint64_t cur = readRegister(watched);
+        if (cur != prev)
+            info.watchHits.push_back({slot, watched, prev, cur});
+    }
+    return info;
+}
+
 void
 Debugger::setValueBreakpoint(unsigned slot, uint64_t ref_val,
                              bool in_and_group, bool in_or_group)
@@ -347,6 +372,10 @@ Debugger::enableAssertion(unsigned index, bool enabled)
 uint64_t
 Debugger::assertionsFired()
 {
+    // The fired register only exists when assertions were
+    // instrumented; without any, nothing can ever have fired.
+    if (!_locs.findReg(ControlRegs::assertFired))
+        return 0;
     return readRegister(ControlRegs::assertFired);
 }
 

@@ -31,6 +31,29 @@ struct Snapshot
     uint64_t mutCycles = 0;
 };
 
+/**
+ * Why the MUT clock is (or is not) stopped, read back from the
+ * debug controller's own registers — the host learns the stop
+ * cause the same way it learns everything else: capture + readback.
+ */
+struct StopInfo
+{
+    /** One observed watchpoint hit: the change detector's view. */
+    struct WatchHit
+    {
+        unsigned slot;
+        std::string signal;
+        uint64_t oldValue;
+        uint64_t newValue;
+    };
+
+    bool paused = false;
+    bool hostPauseRequested = false;   ///< host_pause is set
+    bool stepDone = false;             ///< step counter expired
+    uint64_t assertionsFired = 0;      ///< sticky fired mask
+    std::vector<WatchHit> watchHits;   ///< armed detectors that hit
+};
+
 /** Host-side debugger bound to a configured device. */
 class Debugger
 {
@@ -56,6 +79,33 @@ class Debugger
 
     /** Is the MUT currently paused? */
     bool isPaused();
+
+    /**
+     * Classify the current stop by reading the controller's trigger
+     * registers (pause state, host request, step counter, sticky
+     * assertion mask, and each armed change detector). Watch hits
+     * are only reported for watched signals that are themselves
+     * readable registers; a gated clock keeps the shadow register
+     * one value behind, so detector-vs-live comparison identifies
+     * the slot that fired.
+     */
+    StopInfo stopInfo();
+
+    /** Number of instrumented watch/breakpoint slots. */
+    size_t watchSlotCount() const { return _meta.watchSignals.size(); }
+
+    /** Does @p name resolve to a placed register? (readRegister on
+     *  an unknown name is fatal; front ends validate first.) */
+    bool hasRegister(const std::string &name) const
+    {
+        return _locs.findReg(name) != nullptr;
+    }
+
+    /** Does @p name resolve to a placed memory? */
+    bool hasMemory(const std::string &name) const
+    {
+        return _locs.findMem(name) != nullptr;
+    }
 
     // ---- triggers -------------------------------------------------
     /**

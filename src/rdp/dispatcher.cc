@@ -1,0 +1,834 @@
+#include "dispatcher.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/instrument.hh"
+#include "sim/trace.hh"
+#include "sim/vcd.hh"
+
+namespace zoomie::rdp {
+
+namespace {
+
+/** User-level command failure: becomes an `ok:false` reply. */
+struct CommandError
+{
+    std::string code;
+    std::string detail;
+};
+
+/** Cap on cycles a single command may advance, so a typo'd count
+ *  cannot wedge the server for hours. */
+constexpr uint64_t kMaxCyclesPerCommand = 100'000'000;
+
+uint64_t
+checkedCycles(uint64_t n)
+{
+    if (n > kMaxCyclesPerCommand) {
+        throw CommandError{errc::kBadArgs,
+                           "cycle count " + std::to_string(n) +
+                               " exceeds the per-command limit"};
+    }
+    return n;
+}
+
+unsigned
+checkedSlot(Session &session, uint64_t slot)
+{
+    size_t slots = session.debugger().watchSlotCount();
+    if (slot >= slots) {
+        throw CommandError{
+            errc::kBadArgs,
+            "slot " + std::to_string(slot) + " out of range (" +
+                std::to_string(slots) + " watch slots)"};
+    }
+    return unsigned(slot);
+}
+
+std::string
+hex(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  (unsigned long long)v);
+    return buf;
+}
+
+} // namespace
+
+// ---- argument plumbing ------------------------------------------------
+
+struct Dispatcher::Args
+{
+    std::map<std::string, uint64_t> nums;
+    std::map<std::string, std::string> strs;
+
+    bool has(const std::string &key) const
+    {
+        return nums.count(key) || strs.count(key);
+    }
+    uint64_t num(const std::string &key) const
+    {
+        return nums.at(key);
+    }
+    uint64_t numOr(const std::string &key, uint64_t fallback) const
+    {
+        auto it = nums.find(key);
+        return it == nums.end() ? fallback : it->second;
+    }
+    const std::string &str(const std::string &key) const
+    {
+        return strs.at(key);
+    }
+    std::string strOr(const std::string &key,
+                      std::string fallback) const
+    {
+        auto it = strs.find(key);
+        return it == strs.end() ? fallback : it->second;
+    }
+};
+
+namespace {
+enum class ArgKind { Num, Str };
+} // namespace
+
+struct Dispatcher::CommandSpec
+{
+    const char *name;
+    const char *alias;  ///< nullptr when none
+    struct ArgSpec
+    {
+        const char *name;
+        ArgKind kind;
+        bool required;
+    };
+    std::vector<ArgSpec> args;
+    const char *help;
+    Json (*handler)(Session &, const Dispatcher::Args &);
+    bool pollsEvents;  ///< command can advance/stop the MUT clock
+};
+
+// ---- command handlers -------------------------------------------------
+
+namespace {
+
+using Args = Dispatcher::Args;
+
+Json
+cmdRun(Session &s, const Args &a)
+{
+    s.platform().run(checkedCycles(a.num("n")));
+    Json out = Json::object();
+    out.set("cycle", s.platform().mutCycles());
+    out.set("paused", s.debugger().isPaused());
+    return out;
+}
+
+Json
+cmdPause(Session &s, const Args &)
+{
+    s.debugger().pause();
+    // The request takes effect at the next MUT cycle; tick the
+    // external clock so the latch engages before we report.
+    s.platform().run(1);
+    Json out = Json::object();
+    out.set("cycle", s.platform().mutCycles());
+    return out;
+}
+
+Json
+cmdResume(Session &s, const Args &)
+{
+    s.debugger().resume();
+    s.stopReported = false;
+    s.stepPending = false;
+    Json out = Json::object();
+    out.set("cycle", s.platform().mutCycles());
+    return out;
+}
+
+Json
+cmdStep(Session &s, const Args &a)
+{
+    uint64_t n = checkedCycles(a.num("n"));
+    s.debugger().stepCycles(n);
+    s.stepPending = true;
+    s.stopReported = false;
+    // A few extra external ticks let the pause latch settle.
+    s.platform().run(n + 4);
+    Json out = Json::object();
+    out.set("cycle", s.platform().mutCycles());
+    out.set("paused", s.debugger().isPaused());
+    return out;
+}
+
+Json
+cmdBreak(Session &s, const Args &a)
+{
+    unsigned slot = checkedSlot(s, a.num("slot"));
+    std::string group = a.strOr("group", "and");
+    if (group != "and" && group != "or") {
+        throw CommandError{errc::kBadArgs,
+                           "group must be \"and\" or \"or\", got \"" +
+                               group + "\""};
+    }
+    bool in_and = group == "and";
+    s.debugger().setValueBreakpoint(slot, a.num("value"), in_and,
+                                    !in_and);
+    s.andArmed = s.andArmed || in_and;
+    s.orArmed = s.orArmed || !in_and;
+    s.debugger().armTriggers(s.andArmed, s.orArmed);
+    Json out = Json::object();
+    out.set("slot", slot);
+    out.set("value", a.num("value"));
+    out.set("group", group);
+    out.set("signal",
+            s.platform().instrumented().watchSignals[slot]);
+    return out;
+}
+
+Json
+cmdWatch(Session &s, const Args &a)
+{
+    unsigned slot = checkedSlot(s, a.num("slot"));
+    bool on = a.numOr("on", 1) != 0;
+    s.debugger().setWatchpoint(slot, on);
+    Json out = Json::object();
+    out.set("slot", slot);
+    out.set("on", on);
+    out.set("signal",
+            s.platform().instrumented().watchSignals[slot]);
+    return out;
+}
+
+Json
+cmdClear(Session &s, const Args &)
+{
+    s.debugger().clearValueBreakpoints();
+    s.andArmed = false;
+    s.orArmed = false;
+    return Json::object();
+}
+
+Json
+cmdPrint(Session &s, const Args &a)
+{
+    const std::string &name = a.str("name");
+    if (!s.debugger().hasRegister(name)) {
+        throw CommandError{errc::kUnknownName,
+                           "unknown register '" + name + "'"};
+    }
+    Json out = Json::object();
+    out.set("name", name);
+    out.set("value", s.debugger().readRegister(name));
+    return out;
+}
+
+Json
+cmdReadMem(Session &s, const Args &a)
+{
+    const std::string &name = a.str("name");
+    if (!s.debugger().hasMemory(name)) {
+        throw CommandError{errc::kUnknownName,
+                           "unknown memory '" + name + "'"};
+    }
+    uint64_t addr = a.num("addr");
+    if (addr > UINT32_MAX) {
+        throw CommandError{errc::kBadArgs,
+                           "address out of range"};
+    }
+    Json out = Json::object();
+    out.set("name", name);
+    out.set("addr", addr);
+    out.set("value",
+            s.debugger().readMemWord(name, uint32_t(addr)));
+    return out;
+}
+
+Json
+cmdForce(Session &s, const Args &a)
+{
+    const std::string &name = a.str("name");
+    if (!s.debugger().hasRegister(name)) {
+        throw CommandError{errc::kUnknownName,
+                           "unknown register '" + name + "'"};
+    }
+    s.debugger().forceRegister(name, a.num("value"));
+    Json out = Json::object();
+    out.set("name", name);
+    out.set("value", a.num("value"));
+    return out;
+}
+
+Json
+cmdForceMem(Session &s, const Args &a)
+{
+    const std::string &name = a.str("name");
+    if (!s.debugger().hasMemory(name)) {
+        throw CommandError{errc::kUnknownName,
+                           "unknown memory '" + name + "'"};
+    }
+    uint64_t addr = a.num("addr");
+    if (addr > UINT32_MAX) {
+        throw CommandError{errc::kBadArgs,
+                           "address out of range"};
+    }
+    s.debugger().forceMemWord(name, uint32_t(addr),
+                              a.num("value"));
+    Json out = Json::object();
+    out.set("name", name);
+    out.set("addr", addr);
+    out.set("value", a.num("value"));
+    return out;
+}
+
+Json
+cmdRegs(Session &s, const Args &a)
+{
+    Json regs = Json::object();
+    for (const auto &[name, value] :
+         s.debugger().readAllRegisters(a.str("prefix"))) {
+        regs.set(name, value);
+    }
+    Json out = Json::object();
+    out.set("regs", std::move(regs));
+    return out;
+}
+
+Json
+cmdSnapshot(Session &s, const Args &)
+{
+    s.snapshot = s.debugger().snapshot();
+    Json out = Json::object();
+    out.set("cycle", s.snapshot->mutCycles);
+    return out;
+}
+
+Json
+cmdRestore(Session &s, const Args &)
+{
+    if (!s.snapshot) {
+        throw CommandError{errc::kBadArgs,
+                           "no snapshot has been taken"};
+    }
+    s.debugger().restore(*s.snapshot);
+    s.stopReported = false;
+    Json out = Json::object();
+    out.set("cycle", s.snapshot->mutCycles);
+    return out;
+}
+
+Json
+cmdTrace(Session &s, const Args &a)
+{
+    uint64_t n = checkedCycles(a.num("n"));
+    core::Debugger &dbg = s.debugger();
+    sim::Trace trace;
+    for (const std::string &signal :
+         s.platform().instrumented().watchSignals) {
+        if (!dbg.hasRegister(signal))
+            continue;  // watched wire: not readable by name
+        trace.addSignal(signal, [&dbg, signal]() {
+            return dbg.readRegister(signal);
+        });
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+        trace.sample();
+        s.platform().run(1);
+    }
+    const std::string &file = a.str("file");
+    std::ofstream out_file(file);
+    if (!out_file) {
+        throw CommandError{errc::kBadArgs,
+                           "cannot open '" + file + "' for writing"};
+    }
+    sim::writeVcd(trace, out_file);
+    Json out = Json::object();
+    out.set("samples", n);
+    out.set("file", file);
+    return out;
+}
+
+Json
+cmdInfo(Session &s, const Args &)
+{
+    Json watch = Json::array();
+    for (const std::string &signal :
+         s.platform().instrumented().watchSignals)
+        watch.push(signal);
+    Json asserts = Json::array();
+    uint64_t fired = s.debugger().assertionsFired();
+    unsigned index = 0;
+    for (const core::AssertionInfo &info :
+         s.platform().instrumented().assertions) {
+        Json entry = Json::object();
+        entry.set("index", index);
+        entry.set("name", info.name);
+        entry.set("synthesizable", info.synthesizable);
+        entry.set("fired", (fired >> index & 1) != 0);
+        asserts.push(std::move(entry));
+        ++index;
+    }
+    Json out = Json::object();
+    out.set("design", s.config().design);
+    out.set("cycle", s.platform().mutCycles());
+    out.set("paused", s.debugger().isPaused());
+    out.set("watch", std::move(watch));
+    out.set("assertions", std::move(asserts));
+    return out;
+}
+
+Json
+cmdAssert(Session &s, const Args &a)
+{
+    uint64_t index = a.num("index");
+    size_t total = s.platform().instrumented().assertions.size();
+    if (index >= total) {
+        throw CommandError{
+            errc::kBadArgs,
+            "assertion " + std::to_string(index) +
+                " out of range (" + std::to_string(total) +
+                " assertions)"};
+    }
+    bool on = a.numOr("on", 1) != 0;
+    s.debugger().enableAssertion(unsigned(index), on);
+    Json out = Json::object();
+    out.set("index", index);
+    out.set("on", on);
+    return out;
+}
+
+} // namespace
+
+// ---- the command table ------------------------------------------------
+
+const std::vector<Dispatcher::CommandSpec> &
+Dispatcher::table()
+{
+    static const std::vector<CommandSpec> specs = {
+        {"run", nullptr,
+         {{"n", ArgKind::Num, true}},
+         "advance the external clock N cycles",
+         cmdRun, true},
+        {"pause", nullptr, {},
+         "pause the MUT clock",
+         cmdPause, true},
+        {"resume", "c", {},
+         "resume execution",
+         cmdResume, false},
+        {"step", nullptr,
+         {{"n", ArgKind::Num, true}},
+         "execute exactly N MUT cycles, then pause",
+         cmdStep, true},
+        {"break", nullptr,
+         {{"slot", ArgKind::Num, true},
+          {"value", ArgKind::Num, true},
+          {"group", ArgKind::Str, false}},
+         "value breakpoint on a watch slot (group: and|or)",
+         cmdBreak, false},
+        {"watch", nullptr,
+         {{"slot", ArgKind::Num, true},
+          {"on", ArgKind::Num, false}},
+         "watchpoint: pause when the slot's signal changes",
+         cmdWatch, false},
+        {"clear", nullptr, {},
+         "clear all triggers",
+         cmdClear, false},
+        {"print", "p",
+         {{"name", ArgKind::Str, true}},
+         "read a register through the config plane",
+         cmdPrint, false},
+        {"x", nullptr,
+         {{"name", ArgKind::Str, true},
+          {"addr", ArgKind::Num, true}},
+         "read a memory word",
+         cmdReadMem, false},
+        {"force", nullptr,
+         {{"name", ArgKind::Str, true},
+          {"value", ArgKind::Num, true}},
+         "inject a register value",
+         cmdForce, false},
+        {"forcemem", nullptr,
+         {{"name", ArgKind::Str, true},
+          {"addr", ArgKind::Num, true},
+          {"value", ArgKind::Num, true}},
+         "inject a memory word",
+         cmdForceMem, false},
+        {"regs", nullptr,
+         {{"prefix", ArgKind::Str, true}},
+         "dump every register under a scope prefix",
+         cmdRegs, false},
+        {"snapshot", "snap", {},
+         "capture the whole design state",
+         cmdSnapshot, false},
+        {"restore", nullptr, {},
+         "restore the last snapshot",
+         cmdRestore, false},
+        {"trace", nullptr,
+         {{"n", ArgKind::Num, true},
+          {"file", ArgKind::Str, true}},
+         "sample watch signals for N cycles, write VCD",
+         cmdTrace, true},
+        {"info", nullptr, {},
+         "session status",
+         cmdInfo, false},
+        {"assert", nullptr,
+         {{"index", ArgKind::Num, true},
+          {"on", ArgKind::Num, false}},
+         "enable/disable an assertion breakpoint",
+         cmdAssert, false},
+    };
+    return specs;
+}
+
+namespace {
+
+const Dispatcher::CommandSpec *
+findSpec(const std::string &cmd)
+{
+    for (const auto &spec : Dispatcher::table())
+        if (cmd == spec.name || (spec.alias && cmd == spec.alias))
+            return &spec;
+    return nullptr;
+}
+
+} // namespace
+
+// ---- execution --------------------------------------------------------
+
+std::vector<Json>
+Dispatcher::pollStopEvents()
+{
+    std::vector<Json> events;
+    core::StopInfo info = _session.debugger().stopInfo();
+    uint64_t cycle = _session.platform().mutCycles();
+
+    uint64_t fresh =
+        info.assertionsFired & ~_session.reportedAssertions;
+    if (fresh) {
+        const auto &asserts =
+            _session.platform().instrumented().assertions;
+        for (unsigned i = 0; i < 64; ++i) {
+            if (!(fresh >> i & 1))
+                continue;
+            std::string name =
+                i < asserts.size() ? asserts[i].name
+                                   : "assert" + std::to_string(i);
+            events.push_back(assertionFiredEvent(
+                _session.id(), i, name, cycle));
+        }
+        _session.reportedAssertions |= fresh;
+    }
+
+    if (info.paused && !_session.stopReported) {
+        for (const core::StopInfo::WatchHit &hit : info.watchHits) {
+            events.push_back(watchHitEvent(
+                _session.id(), hit.slot, hit.signal, hit.oldValue,
+                hit.newValue, cycle));
+        }
+        std::string reason;
+        if (fresh)
+            reason = "assertion";
+        else if (!info.watchHits.empty())
+            reason = "watchpoint";
+        else if (_session.stepPending && info.stepDone)
+            reason = "step";
+        else if (info.hostPauseRequested)
+            reason = "pause";
+        else
+            reason = "breakpoint";
+        events.push_back(
+            dbgStopEvent(_session.id(), reason, cycle));
+        _session.stopReported = true;
+        _session.stepPending = false;
+    }
+    if (!info.paused)
+        _session.stopReported = false;
+    return events;
+}
+
+Dispatcher::Result
+Dispatcher::execute(const Request &req)
+{
+    Result result;
+    const CommandSpec *spec = findSpec(req.cmd);
+    if (!spec) {
+        result.reply = errorReply(req, errc::kUnknownCommand,
+                                  "unknown command '" + req.cmd +
+                                      "'");
+        return result;
+    }
+
+    Args args;
+    for (const auto &arg : spec->args) {
+        const Json *value = req.args.find(arg.name);
+        if (!value || value->isNull()) {
+            if (arg.required) {
+                result.reply = errorReply(
+                    req, errc::kBadArgs,
+                    std::string(spec->name) +
+                        ": missing argument '" + arg.name + "'");
+                return result;
+            }
+            continue;
+        }
+        if (arg.kind == ArgKind::Num) {
+            uint64_t parsed;
+            if (value->isInt() && !value->isNegative()) {
+                parsed = value->asU64();
+            } else if (value->isString() &&
+                       parseU64(value->asString(), parsed)) {
+                // numeric string accepted for CLI convenience
+            } else {
+                result.reply = errorReply(
+                    req, errc::kBadArgs,
+                    std::string(spec->name) + ": argument '" +
+                        arg.name +
+                        "' must be an unsigned integer");
+                return result;
+            }
+            args.nums[arg.name] = parsed;
+        } else {
+            if (!value->isString() || value->asString().empty()) {
+                result.reply = errorReply(
+                    req, errc::kBadArgs,
+                    std::string(spec->name) + ": argument '" +
+                        arg.name + "' must be a non-empty string");
+                return result;
+            }
+            args.strs[arg.name] = value->asString();
+        }
+    }
+
+    try {
+        Json fields = spec->handler(_session, args);
+        result.reply = okReply(req);
+        for (const auto &[key, value] : fields.members())
+            result.reply.set(key, value);
+    } catch (const CommandError &e) {
+        result.reply = errorReply(req, e.code, e.detail);
+        return result;
+    } catch (const std::exception &e) {
+        result.reply = errorReply(req, errc::kInternal, e.what());
+        return result;
+    }
+
+    if (spec->pollsEvents)
+        result.events = pollStopEvents();
+    return result;
+}
+
+// ---- REPL front end ---------------------------------------------------
+
+namespace {
+
+std::string
+usageString(const Dispatcher::CommandSpec &spec)
+{
+    std::string usage = spec.name;
+    for (const auto &arg : spec.args) {
+        std::string upper;
+        for (char c : std::string(arg.name))
+            upper += char(std::toupper(uint8_t(c)));
+        usage += arg.required ? " " + upper : " [" + upper + "]";
+    }
+    return usage;
+}
+
+} // namespace
+
+std::optional<Request>
+Dispatcher::parseLine(const std::string &line, std::string *error)
+{
+    std::istringstream is(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (is >> token)
+        tokens.push_back(token);
+    if (tokens.empty()) {
+        if (error)
+            *error = "empty command";
+        return std::nullopt;
+    }
+    const CommandSpec *spec = findSpec(tokens[0]);
+    if (!spec) {
+        if (error)
+            *error = "unknown command '" + tokens[0] + "'";
+        return std::nullopt;
+    }
+    Json args = Json::object();
+    args.set("cmd", spec->name);
+    size_t pos = 1;
+    for (const auto &arg : spec->args) {
+        if (pos >= tokens.size()) {
+            if (arg.required) {
+                if (error)
+                    *error = "usage: " + usageString(*spec);
+                return std::nullopt;
+            }
+            break;
+        }
+        const std::string &tok = tokens[pos++];
+        if (arg.kind == ArgKind::Num) {
+            uint64_t value;
+            if (!parseU64(tok, value)) {
+                if (error)
+                    *error = std::string(spec->name) + ": '" + tok +
+                             "' is not a valid unsigned integer";
+                return std::nullopt;
+            }
+            args.set(arg.name, value);
+        } else {
+            args.set(arg.name, tok);
+        }
+    }
+    if (pos < tokens.size()) {
+        if (error)
+            *error = "too many arguments; usage: " +
+                     usageString(*spec);
+        return std::nullopt;
+    }
+    Request req;
+    req.cmd = spec->name;
+    req.args = std::move(args);
+    return req;
+}
+
+std::string
+Dispatcher::renderText(const Result &result)
+{
+    std::string out;
+    for (const Json &event : result.events) {
+        const Json *type = event.find("type");
+        const std::string &kind = type->asString();
+        if (kind == "dbg_stop") {
+            out += "stopped: " +
+                   event.find("reason")->asString() +
+                   " at mut cycle " +
+                   std::to_string(event.find("cycle")->asU64()) +
+                   "\n";
+        } else if (kind == "watch_hit") {
+            out += "watch hit: slot " +
+                   std::to_string(event.find("slot")->asU64()) +
+                   " " + event.find("signal")->asString() + " " +
+                   hex(event.find("old")->asU64()) + " -> " +
+                   hex(event.find("new")->asU64()) + "\n";
+        } else if (kind == "assertion_fired") {
+            out += "assertion fired: " +
+                   event.find("name")->asString() + " (#" +
+                   std::to_string(event.find("index")->asU64()) +
+                   ")\n";
+        } else {
+            out += event.encode() + "\n";
+        }
+    }
+
+    const Json &reply = result.reply;
+    if (!reply.find("ok")->asBool()) {
+        out += "error: " + reply.find("error")->asString() + ": " +
+               reply.find("detail")->asString() + "\n";
+        return out;
+    }
+    const std::string &cmd = reply.find("cmd")->asString();
+    auto u64 = [&reply](const char *key) {
+        return reply.find(key)->asU64();
+    };
+    if (cmd == "run") {
+        out += "mut cycles: " + std::to_string(u64("cycle")) +
+               (reply.find("paused")->asBool() ? "  [paused]\n"
+                                               : "\n");
+    } else if (cmd == "pause") {
+        out += "paused at mut cycle " +
+               std::to_string(u64("cycle")) + "\n";
+    } else if (cmd == "resume") {
+        out += "running\n";
+    } else if (cmd == "step") {
+        out += "stepped to mut cycle " +
+               std::to_string(u64("cycle")) + "\n";
+    } else if (cmd == "break") {
+        out += "breakpoint armed on slot " +
+               std::to_string(u64("slot")) + " (" +
+               reply.find("signal")->asString() + " == " +
+               hex(u64("value")) + ")\n";
+    } else if (cmd == "watch") {
+        out += std::string("watchpoint ") +
+               (reply.find("on")->asBool() ? "armed" : "disarmed") +
+               " on slot " + std::to_string(u64("slot")) + " (" +
+               reply.find("signal")->asString() + ")\n";
+    } else if (cmd == "clear") {
+        out += "triggers cleared\n";
+    } else if (cmd == "print") {
+        out += reply.find("name")->asString() + " = " +
+               hex(u64("value")) + "\n";
+    } else if (cmd == "x") {
+        out += reply.find("name")->asString() + "[" +
+               hex(u64("addr")) + "] = " + hex(u64("value")) + "\n";
+    } else if (cmd == "force" || cmd == "forcemem") {
+        out += "forced\n";
+    } else if (cmd == "regs") {
+        for (const auto &[name, value] :
+             reply.find("regs")->members()) {
+            char line[80];
+            std::snprintf(line, sizeof(line), "  %-24s = %s\n",
+                          name.c_str(),
+                          hex(value.asU64()).c_str());
+            out += line;
+        }
+    } else if (cmd == "snapshot") {
+        out += "snapshot taken at mut cycle " +
+               std::to_string(u64("cycle")) + "\n";
+    } else if (cmd == "restore") {
+        out += "restored to mut cycle " +
+               std::to_string(u64("cycle")) + "\n";
+    } else if (cmd == "trace") {
+        out += "wrote " + std::to_string(u64("samples")) +
+               " samples to " + reply.find("file")->asString() +
+               "\n";
+    } else if (cmd == "info") {
+        out += "design: " + reply.find("design")->asString() +
+               "  mut cycles: " + std::to_string(u64("cycle")) +
+               "  paused: " +
+               (reply.find("paused")->asBool() ? "yes" : "no") +
+               "\n";
+        unsigned slot = 0;
+        for (const Json &signal :
+             reply.find("watch")->items()) {
+            out += "  slot " + std::to_string(slot++) + ": " +
+                   signal.asString() + "\n";
+        }
+    } else {
+        out += "ok\n";
+    }
+    return out;
+}
+
+std::vector<std::string>
+Dispatcher::helpLines()
+{
+    std::vector<std::string> lines;
+    for (const auto &spec : table()) {
+        char line[120];
+        std::string usage = usageString(spec);
+        if (spec.alias)
+            usage += " | " + std::string(spec.alias);
+        std::snprintf(line, sizeof(line), "  %-28s %s",
+                      usage.c_str(), spec.help);
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+std::vector<std::string>
+Dispatcher::commandNames()
+{
+    std::vector<std::string> names;
+    for (const auto &spec : table())
+        names.push_back(spec.name);
+    return names;
+}
+
+} // namespace zoomie::rdp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The one command table behind both Zoomie front ends. Every debug
+ * command (run/pause/step/break/watch/print/force/regs/snapshot/
+ * restore/trace/...) is described once — name, alias, typed
+ * argument list, help — and mapped onto Debugger/Platform
+ * operations with per-command argument validation. The wire server
+ * feeds it decoded JSON requests; the REPL feeds it tokenized lines
+ * through parseLine() and renders replies with renderText(). Bad
+ * arguments become structured error replies, never crashes.
+ */
+
+#ifndef ZOOMIE_RDP_DISPATCHER_HH
+#define ZOOMIE_RDP_DISPATCHER_HH
+
+#include <string>
+#include <vector>
+
+#include "rdp/protocol.hh"
+#include "rdp/session.hh"
+
+namespace zoomie::rdp {
+
+/** Executes protocol requests against one session. */
+class Dispatcher
+{
+  public:
+    explicit Dispatcher(Session &session) : _session(session) {}
+
+    /** Reply plus any events the command provoked, in emit order. */
+    struct Result
+    {
+        Json reply;
+        std::vector<Json> events;
+    };
+
+    /**
+     * Validate arguments and run @p req against the session. Never
+     * throws: command failures come back as `ok:false` replies.
+     * The caller must hold the session's mutex when sharing the
+     * session across threads.
+     */
+    Result execute(const Request &req);
+
+    /**
+     * Parse a REPL line ("break 0 0x1") into a protocol request by
+     * matching positional tokens against the command's argument
+     * specs — the REPL and the wire share one grammar. Returns
+     * nullopt with @p error set on an unknown command, a malformed
+     * number, or missing/excess arguments.
+     */
+    static std::optional<Request> parseLine(const std::string &line,
+                                            std::string *error);
+
+    /** Render a reply and its events as gdb-style console text. */
+    static std::string renderText(const Result &result);
+
+    /** One usage line per command, for the REPL's `help`. */
+    static std::vector<std::string> helpLines();
+
+    /** Canonical command names (the wire command set). */
+    static std::vector<std::string> commandNames();
+
+    // Exposed for the table definition in dispatcher.cc.
+    struct Args;
+    struct CommandSpec;
+    static const std::vector<CommandSpec> &table();
+
+  private:
+    std::vector<Json> pollStopEvents();
+
+    Session &_session;
+};
+
+} // namespace zoomie::rdp
+
+#endif // ZOOMIE_RDP_DISPATCHER_HH

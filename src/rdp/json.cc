@@ -1,0 +1,449 @@
+#include "json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace zoomie::rdp {
+
+// ---- encoding ---------------------------------------------------------
+
+namespace {
+
+void
+encodeString(const std::string &s, std::string &out)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+encodeValue(const Json &v, std::string &out)
+{
+    switch (v.type()) {
+      case Json::Type::Null:
+        out += "null";
+        break;
+      case Json::Type::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Json::Type::Int:
+        if (v.isNegative()) {
+            out += std::to_string(v.asI64());
+        } else {
+            out += std::to_string(v.asU64());
+        }
+        break;
+      case Json::Type::Double: {
+        double d = v.asDouble();
+        if (!std::isfinite(d)) {
+            out += "null";  // JSON has no inf/nan
+            break;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+        break;
+      }
+      case Json::Type::String:
+        encodeString(v.asString(), out);
+        break;
+      case Json::Type::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json &item : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            encodeValue(item, out);
+        }
+        out += ']';
+        break;
+      }
+      case Json::Type::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, value] : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            encodeString(key, out);
+            out += ':';
+            encodeValue(value, out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+Json::encode() const
+{
+    std::string out;
+    encodeValue(*this, out);
+    return out;
+}
+
+// ---- parsing ----------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent parser over a string_view with a depth cap. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : _text(text) {}
+
+    bool parse(Json &out, std::string &err)
+    {
+        _err.clear();
+        skipWs();
+        if (!value(out, 0)) {
+            err = _err + " at offset " + std::to_string(_pos);
+            return false;
+        }
+        skipWs();
+        if (_pos != _text.size()) {
+            err = "trailing characters at offset " +
+                  std::to_string(_pos);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const std::string &what)
+    {
+        if (_err.empty())
+            _err = what;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    bool eof() const { return _pos >= _text.size(); }
+    char peek() const { return _text[_pos]; }
+
+    bool literal(std::string_view word)
+    {
+        if (_text.substr(_pos, word.size()) != word)
+            return fail("invalid literal");
+        _pos += word.size();
+        return true;
+    }
+
+    bool value(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (eof())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = Json();
+            return true;
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = Json(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = Json(false);
+            return true;
+          case '"':
+            return string(out);
+          case '[':
+            return array(out, depth);
+          case '{':
+            return object(out, depth);
+          default:
+            return number(out);
+        }
+    }
+
+    bool hex4(uint32_t &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (eof())
+                return fail("truncated \\u escape");
+            char c = _text[_pos++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= uint32_t(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= uint32_t(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= uint32_t(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    static void appendUtf8(uint32_t cp, std::string &s)
+    {
+        if (cp < 0x80) {
+            s += char(cp);
+        } else if (cp < 0x800) {
+            s += char(0xC0 | (cp >> 6));
+            s += char(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += char(0xE0 | (cp >> 12));
+            s += char(0x80 | ((cp >> 6) & 0x3F));
+            s += char(0x80 | (cp & 0x3F));
+        } else {
+            s += char(0xF0 | (cp >> 18));
+            s += char(0x80 | ((cp >> 12) & 0x3F));
+            s += char(0x80 | ((cp >> 6) & 0x3F));
+            s += char(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool string(Json &out)
+    {
+        std::string s;
+        if (!stringRaw(s))
+            return false;
+        out = Json(std::move(s));
+        return true;
+    }
+
+    bool stringRaw(std::string &s)
+    {
+        ++_pos; // opening quote
+        while (true) {
+            if (eof())
+                return fail("unterminated string");
+            unsigned char c = _text[_pos];
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                s += char(c);
+                ++_pos;
+                continue;
+            }
+            ++_pos;
+            if (eof())
+                return fail("truncated escape");
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                uint32_t cp;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a low surrogate must follow.
+                    if (_text.substr(_pos, 2) != "\\u")
+                        return fail("lone high surrogate");
+                    _pos += 2;
+                    uint32_t lo;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return fail("lone low surrogate");
+                }
+                appendUtf8(cp, s);
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+    }
+
+    bool number(Json &out)
+    {
+        size_t start = _pos;
+        bool neg = false;
+        if (!eof() && peek() == '-') {
+            neg = true;
+            ++_pos;
+        }
+        if (eof() || !std::isdigit(uint8_t(peek())))
+            return fail("invalid number");
+        // Leading zeros are not allowed ("01").
+        if (peek() == '0' && _pos + 1 < _text.size() &&
+            std::isdigit(uint8_t(_text[_pos + 1])))
+            return fail("leading zero in number");
+        while (!eof() && std::isdigit(uint8_t(peek())))
+            ++_pos;
+        bool is_int = true;
+        if (!eof() && peek() == '.') {
+            is_int = false;
+            ++_pos;
+            if (eof() || !std::isdigit(uint8_t(peek())))
+                return fail("missing digits after decimal point");
+            while (!eof() && std::isdigit(uint8_t(peek())))
+                ++_pos;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            is_int = false;
+            ++_pos;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++_pos;
+            if (eof() || !std::isdigit(uint8_t(peek())))
+                return fail("missing exponent digits");
+            while (!eof() && std::isdigit(uint8_t(peek())))
+                ++_pos;
+        }
+        std::string_view tok = _text.substr(start, _pos - start);
+        if (is_int) {
+            uint64_t mag = 0;
+            auto [ptr, ec] = std::from_chars(
+                tok.data() + (neg ? 1 : 0), tok.data() + tok.size(),
+                mag);
+            if (ec != std::errc() || ptr != tok.data() + tok.size())
+                return fail("integer out of range");
+            if (neg) {
+                if (mag > uint64_t(INT64_MAX) + 1)
+                    return fail("integer out of range");
+                out = Json(int64_t(-int64_t(mag - 1) - 1));
+            } else {
+                out = Json(mag);
+            }
+        } else {
+            double d = 0.0;
+            auto [ptr, ec] = std::from_chars(
+                tok.data(), tok.data() + tok.size(), d);
+            if (ec != std::errc() || ptr != tok.data() + tok.size())
+                return fail("bad floating-point number");
+            out = Json(d);
+        }
+        return true;
+    }
+
+    bool array(Json &out, int depth)
+    {
+        ++_pos; // '['
+        out = Json::array();
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            Json item;
+            skipWs();
+            if (!value(item, depth + 1))
+                return false;
+            out.push(std::move(item));
+            skipWs();
+            if (eof())
+                return fail("unterminated array");
+            char c = _text[_pos++];
+            if (c == ']')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool object(Json &out, int depth)
+    {
+        ++_pos; // '{'
+        out = Json::object();
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (eof() || peek() != '"')
+                return fail("expected string key in object");
+            std::string key;
+            if (!stringRaw(key))
+                return false;
+            skipWs();
+            if (eof() || _text[_pos++] != ':')
+                return fail("expected ':' after object key");
+            Json val;
+            skipWs();
+            if (!value(val, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(val));
+            skipWs();
+            if (eof())
+                return fail("unterminated object");
+            char c = _text[_pos++];
+            if (c == '}')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view _text;
+    size_t _pos = 0;
+    std::string _err;
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(std::string_view text, std::string *error)
+{
+    Parser parser(text);
+    Json out;
+    std::string err;
+    if (!parser.parse(out, err)) {
+        if (error)
+            *error = err;
+        return std::nullopt;
+    }
+    return out;
+}
+
+} // namespace zoomie::rdp

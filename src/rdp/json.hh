@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A small, dependency-free JSON value type for the remote debug
+ * protocol: encode to a compact single-line string (JSONL framing)
+ * and parse with strict validation. Integers are kept exact up to
+ * the full uint64 range (register values do not fit in a double),
+ * so numbers carry an integer/double distinction.
+ */
+
+#ifndef ZOOMIE_RDP_JSON_HH
+#define ZOOMIE_RDP_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace zoomie::rdp {
+
+/** A parsed or constructed JSON value. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    Json() : _type(Type::Null) {}
+    Json(bool b) : _type(Type::Bool), _u(b ? 1 : 0) {}
+    Json(uint64_t v) : _type(Type::Int), _u(v) {}
+    Json(int64_t v)
+        : _type(Type::Int), _u(v < 0 ? uint64_t(-(v + 1)) + 1 : uint64_t(v)),
+          _neg(v < 0)
+    {
+    }
+    Json(int v) : Json(int64_t(v)) {}
+    Json(unsigned v) : Json(uint64_t(v)) {}
+    Json(double v) : _type(Type::Double), _dbl(v) {}
+    Json(std::string s) : _type(Type::String), _str(std::move(s)) {}
+    Json(const char *s) : _type(Type::String), _str(s) {}
+
+    static Json array() { Json j; j._type = Type::Array; return j; }
+    static Json object() { Json j; j._type = Type::Object; return j; }
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isBool() const { return _type == Type::Bool; }
+    bool isInt() const { return _type == Type::Int; }
+    bool isNumber() const
+    {
+        return _type == Type::Int || _type == Type::Double;
+    }
+    bool isString() const { return _type == Type::String; }
+    bool isArray() const { return _type == Type::Array; }
+    bool isObject() const { return _type == Type::Object; }
+
+    bool asBool() const { return _u != 0; }
+
+    /** Integer value; negative integers are not representable. */
+    uint64_t asU64() const { return _neg ? 0 : _u; }
+    int64_t asI64() const
+    {
+        return _neg ? -int64_t(_u - 1) - 1 : int64_t(_u);
+    }
+    bool isNegative() const { return _neg; }
+    double asDouble() const
+    {
+        if (_type == Type::Int)
+            return _neg ? -double(_u) : double(_u);
+        return _dbl;
+    }
+    const std::string &asString() const { return _str; }
+
+    // ---- array ----------------------------------------------------
+    void push(Json v) { _items.push_back(std::move(v)); }
+    size_t size() const
+    {
+        return isObject() ? _members.size() : _items.size();
+    }
+    const Json &at(size_t i) const { return _items[i]; }
+    const std::vector<Json> &items() const { return _items; }
+
+    // ---- object (insertion order preserved) ------------------------
+    void set(std::string key, Json v)
+    {
+        for (auto &[k, old] : _members) {
+            if (k == key) {
+                old = std::move(v);
+                return;
+            }
+        }
+        _members.emplace_back(std::move(key), std::move(v));
+    }
+    const Json *find(const std::string &key) const
+    {
+        for (const auto &[k, v] : _members) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+    bool has(const std::string &key) const { return find(key); }
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return _members;
+    }
+
+    /** Encode as a compact one-line JSON string. */
+    std::string encode() const;
+
+    /**
+     * Parse one JSON document. The whole input must be consumed
+     * (trailing garbage is an error). On failure returns nullopt
+     * and, when @p error is non-null, stores a position-tagged
+     * description of what went wrong.
+     */
+    static std::optional<Json> parse(std::string_view text,
+                                     std::string *error = nullptr);
+
+  private:
+    Type _type;
+    uint64_t _u = 0;
+    bool _neg = false;
+    double _dbl = 0.0;
+    std::string _str;
+    std::vector<Json> _items;
+    std::vector<std::pair<std::string, Json>> _members;
+};
+
+} // namespace zoomie::rdp
+
+#endif // ZOOMIE_RDP_JSON_HH

@@ -1,0 +1,152 @@
+#include "protocol.hh"
+
+#include <charconv>
+
+namespace zoomie::rdp {
+
+std::optional<Request>
+parseRequest(const Json &msg, std::string *error)
+{
+    if (!msg.isObject()) {
+        if (error)
+            *error = "request must be a JSON object";
+        return std::nullopt;
+    }
+    const Json *cmd = msg.find("cmd");
+    if (!cmd || !cmd->isString() || cmd->asString().empty()) {
+        if (error)
+            *error = "request is missing a string \"cmd\" field";
+        return std::nullopt;
+    }
+    Request req;
+    req.cmd = cmd->asString();
+    req.args = msg;
+    if (const Json *id = msg.find("id")) {
+        if (!id->isInt() || id->isNegative()) {
+            if (error)
+                *error = "\"id\" must be a non-negative integer";
+            return std::nullopt;
+        }
+        req.id = id->asU64();
+    }
+    if (const Json *session = msg.find("session")) {
+        if (!session->isInt() || session->isNegative()) {
+            if (error)
+                *error = "\"session\" must be a non-negative integer";
+            return std::nullopt;
+        }
+        req.session = session->asU64();
+    }
+    return req;
+}
+
+Json
+okReply(const Request &req)
+{
+    Json reply = Json::object();
+    reply.set("type", "reply");
+    if (req.id)
+        reply.set("id", *req.id);
+    reply.set("cmd", req.cmd);
+    reply.set("ok", true);
+    return reply;
+}
+
+Json
+errorReply(const Request &req, const std::string &code,
+           const std::string &detail)
+{
+    Json reply = Json::object();
+    reply.set("type", "reply");
+    if (req.id)
+        reply.set("id", *req.id);
+    reply.set("cmd", req.cmd);
+    reply.set("ok", false);
+    reply.set("error", code);
+    reply.set("detail", detail);
+    return reply;
+}
+
+Json
+errorEvent(const std::string &code, const std::string &detail)
+{
+    Json event = Json::object();
+    event.set("type", "error");
+    event.set("error", code);
+    event.set("detail", detail);
+    return event;
+}
+
+Json
+dbgStopEvent(uint64_t session, const std::string &reason,
+             uint64_t cycle)
+{
+    Json event = Json::object();
+    event.set("type", "dbg_stop");
+    event.set("session", session);
+    event.set("reason", reason);
+    event.set("cycle", cycle);
+    return event;
+}
+
+Json
+assertionFiredEvent(uint64_t session, unsigned index,
+                    const std::string &name, uint64_t cycle)
+{
+    Json event = Json::object();
+    event.set("type", "assertion_fired");
+    event.set("session", session);
+    event.set("index", index);
+    event.set("name", name);
+    event.set("cycle", cycle);
+    return event;
+}
+
+Json
+watchHitEvent(uint64_t session, unsigned slot,
+              const std::string &signal, uint64_t old_value,
+              uint64_t new_value, uint64_t cycle)
+{
+    Json event = Json::object();
+    event.set("type", "watch_hit");
+    event.set("session", session);
+    event.set("slot", slot);
+    event.set("signal", signal);
+    event.set("old", old_value);
+    event.set("new", new_value);
+    event.set("cycle", cycle);
+    return event;
+}
+
+bool
+parseU64(const std::string &text, uint64_t &out)
+{
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    int base = 10;
+    if (text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X')) {
+        first += 2;
+        base = 16;
+    }
+    if (first == last)
+        return false;
+    uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(first, last, value, base);
+    if (ec != std::errc() || ptr != last)
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseU32(const std::string &text, uint32_t &out)
+{
+    uint64_t wide;
+    if (!parseU64(text, wide) || wide > UINT32_MAX)
+        return false;
+    out = uint32_t(wide);
+    return true;
+}
+
+} // namespace zoomie::rdp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The Zoomie remote debug protocol (RDP): line-framed JSON (JSONL).
+ * Each request is one JSON object per line; the server answers with
+ * zero or more *event* lines (`dbg_stop`, `assertion_fired`,
+ * `watch_hit`, `error`) followed by exactly one *reply* line that
+ * echoes the request id. The schema follows the zem-style stop
+ * events so external tooling (e.g. a DAP adapter) can consume the
+ * stream directly.
+ *
+ * Requests:   {"cmd":"step","id":7,"session":1,"n":3}
+ * Replies:    {"type":"reply","id":7,"cmd":"step","ok":true,...}
+ *             {"type":"reply","id":7,"cmd":"step","ok":false,
+ *              "error":"bad-args","detail":"..."}
+ * Events:     {"type":"dbg_stop","session":1,"reason":"breakpoint",
+ *              "cycle":123}
+ *
+ * Version negotiation: the client should open with
+ * {"cmd":"hello","version":1}; the server replies with a "welcome"
+ * carrying the highest mutually supported version, or an error if
+ * the client's minimum is newer than what the server speaks.
+ */
+
+#ifndef ZOOMIE_RDP_PROTOCOL_HH
+#define ZOOMIE_RDP_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rdp/json.hh"
+
+namespace zoomie::rdp {
+
+/** Highest protocol version this implementation speaks. */
+inline constexpr uint64_t kProtocolVersion = 1;
+
+/** Machine-readable error codes used in replies and error events. */
+namespace errc {
+inline constexpr const char *kParse = "parse-error";
+inline constexpr const char *kBadArgs = "bad-args";
+inline constexpr const char *kUnknownCommand = "unknown-command";
+inline constexpr const char *kUnknownSession = "unknown-session";
+inline constexpr const char *kUnknownName = "unknown-name";
+inline constexpr const char *kUnsupportedVersion =
+    "unsupported-version";
+inline constexpr const char *kInternal = "internal-error";
+} // namespace errc
+
+/** A decoded protocol request. */
+struct Request
+{
+    std::string cmd;
+    Json args;                ///< the full request object
+    std::optional<uint64_t> id;
+    std::optional<uint64_t> session;
+};
+
+/**
+ * Decode a request object. Returns nullopt (with @p error set to a
+ * detail string) when the object is not a well-formed request.
+ */
+std::optional<Request> parseRequest(const Json &msg,
+                                    std::string *error);
+
+// ---- reply / event builders ------------------------------------------
+
+/** Successful reply skeleton; add result fields onto it. */
+Json okReply(const Request &req);
+
+/** Failed reply with a machine code and a human detail string. */
+Json errorReply(const Request &req, const std::string &code,
+                const std::string &detail);
+
+/** Stand-alone error event (e.g. for unparseable input lines). */
+Json errorEvent(const std::string &code, const std::string &detail);
+
+/** zem-style stop event: why and when the MUT clock stopped. */
+Json dbgStopEvent(uint64_t session, const std::string &reason,
+                  uint64_t cycle);
+
+/** Sticky assertion breakpoint @p index fired. */
+Json assertionFiredEvent(uint64_t session, unsigned index,
+                         const std::string &name, uint64_t cycle);
+
+/** Watchpoint on @p slot observed a change of @p signal. */
+Json watchHitEvent(uint64_t session, unsigned slot,
+                   const std::string &signal, uint64_t old_value,
+                   uint64_t new_value, uint64_t cycle);
+
+// ---- hardened numeric parsing ----------------------------------------
+//
+// Shared by the REPL tokenizer and the dispatcher's argument
+// validation: malformed numbers must produce an error message,
+// never an uncaught exception or abort. Accepts decimal and
+// 0x-prefixed hex; rejects empty strings, signs, trailing junk and
+// out-of-range values.
+
+bool parseU64(const std::string &text, uint64_t &out);
+bool parseU32(const std::string &text, uint32_t &out);
+
+} // namespace zoomie::rdp
+
+#endif // ZOOMIE_RDP_PROTOCOL_HH

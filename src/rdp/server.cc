@@ -1,0 +1,315 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace zoomie::rdp {
+
+// ---- transports -------------------------------------------------------
+
+bool
+StreamTransport::readLine(std::string &line)
+{
+    return bool(std::getline(_in, line));
+}
+
+void
+StreamTransport::writeLine(const std::string &line)
+{
+    _out << line << '\n';
+    _out.flush();
+}
+
+void
+LineQueue::push(std::string line)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_closed)
+            return;
+        _lines.push_back(std::move(line));
+    }
+    _ready.notify_one();
+}
+
+bool
+LineQueue::pop(std::string &line)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _ready.wait(lock,
+                [this] { return _closed || !_lines.empty(); });
+    if (_lines.empty())
+        return false;
+    line = std::move(_lines.front());
+    _lines.pop_front();
+    return true;
+}
+
+void
+LineQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _closed = true;
+    }
+    _ready.notify_all();
+}
+
+// ---- server-level commands --------------------------------------------
+
+Json
+Server::handleHello(const Request &req)
+{
+    uint64_t requested = kProtocolVersion;
+    if (const Json *version = req.args.find("version")) {
+        if (!version->isInt() || version->isNegative() ||
+            version->asU64() == 0) {
+            return errorReply(req, errc::kBadArgs,
+                              "\"version\" must be a positive "
+                              "integer");
+        }
+        requested = version->asU64();
+    }
+    // The client may ask for a version floor we do not reach.
+    if (const Json *min = req.args.find("min")) {
+        if (min->isInt() && min->asU64() > kProtocolVersion) {
+            return errorReply(
+                req, errc::kUnsupportedVersion,
+                "client requires protocol >= " +
+                    std::to_string(min->asU64()) +
+                    ", server speaks " +
+                    std::to_string(kProtocolVersion));
+        }
+    }
+    uint64_t negotiated = std::min(requested, kProtocolVersion);
+    Json reply = okReply(req);
+    reply.set("server", _options.name);
+    reply.set("protocol", "zoomie-rdp");
+    reply.set("version", negotiated);
+    Json commands = Json::array();
+    for (const std::string &name : Dispatcher::commandNames())
+        commands.push(name);
+    commands.push("hello");
+    commands.push("open");
+    commands.push("close");
+    commands.push("sessions");
+    commands.push("quit");
+    reply.set("commands", std::move(commands));
+    return reply;
+}
+
+Json
+Server::handleOpen(const Request &req)
+{
+    SessionConfig config;
+    if (const Json *design = req.args.find("design")) {
+        if (!design->isString()) {
+            return errorReply(req, errc::kBadArgs,
+                              "\"design\" must be a string");
+        }
+        config.design = design->asString();
+    }
+    if (const Json *program = req.args.find("program")) {
+        if (!program->isArray()) {
+            return errorReply(
+                req, errc::kBadArgs,
+                "\"program\" must be an array of words");
+        }
+        for (const Json &word : program->items()) {
+            if (!word.isInt() || word.isNegative() ||
+                word.asU64() > UINT32_MAX) {
+                return errorReply(
+                    req, errc::kBadArgs,
+                    "\"program\" entries must be 32-bit words");
+            }
+            config.program.push_back(uint32_t(word.asU64()));
+        }
+    }
+    if (const Json *watch = req.args.find("watch")) {
+        if (!watch->isArray()) {
+            return errorReply(
+                req, errc::kBadArgs,
+                "\"watch\" must be an array of signal names");
+        }
+        for (const Json &signal : watch->items()) {
+            if (!signal.isString()) {
+                return errorReply(
+                    req, errc::kBadArgs,
+                    "\"watch\" entries must be strings");
+            }
+            config.watchSignals.push_back(signal.asString());
+        }
+    }
+    if (const Json *asserts = req.args.find("assertions")) {
+        if (!asserts->isArray()) {
+            return errorReply(
+                req, errc::kBadArgs,
+                "\"assertions\" must be an array of SVA strings");
+        }
+        for (const Json &text : asserts->items()) {
+            if (!text.isString()) {
+                return errorReply(
+                    req, errc::kBadArgs,
+                    "\"assertions\" entries must be strings");
+            }
+            config.assertions.push_back(text.asString());
+        }
+    }
+
+    std::shared_ptr<Session> session;
+    try {
+        session = _registry.create(std::move(config));
+    } catch (const std::exception &e) {
+        return errorReply(req, errc::kBadArgs, e.what());
+    }
+    Json reply = okReply(req);
+    reply.set("session", session->id());
+    reply.set("design", session->config().design);
+    Json watch = Json::array();
+    for (const std::string &signal :
+         session->platform().instrumented().watchSignals)
+        watch.push(signal);
+    reply.set("watch", std::move(watch));
+    return reply;
+}
+
+Json
+Server::handleClose(const Request &req)
+{
+    uint64_t id;
+    if (req.session) {
+        id = *req.session;
+    } else if (auto session = _registry.single()) {
+        id = session->id();
+    } else {
+        return errorReply(req, errc::kUnknownSession,
+                          "no session named and none is "
+                          "unambiguous");
+    }
+    if (!_registry.close(id)) {
+        return errorReply(req, errc::kUnknownSession,
+                          "unknown session " + std::to_string(id));
+    }
+    Json reply = okReply(req);
+    reply.set("session", id);
+    return reply;
+}
+
+Json
+Server::handleSessions(const Request &req)
+{
+    Json list = Json::array();
+    for (uint64_t id : _registry.ids()) {
+        auto session = _registry.find(id);
+        if (!session)
+            continue;
+        Json entry = Json::object();
+        entry.set("session", id);
+        entry.set("design", session->config().design);
+        list.push(std::move(entry));
+    }
+    Json reply = okReply(req);
+    reply.set("sessions", std::move(list));
+    return reply;
+}
+
+// ---- the serve loop ---------------------------------------------------
+
+std::vector<std::string>
+Server::handleLine(const std::string &line, bool &quit)
+{
+    quit = false;
+    std::vector<std::string> out;
+
+    // Blank lines are ignored so hand-typed sessions stay pleasant.
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+        return out;
+
+    std::string err;
+    std::optional<Json> msg = Json::parse(line, &err);
+    if (!msg) {
+        out.push_back(errorEvent(errc::kParse, err).encode());
+        return out;
+    }
+    std::optional<Request> req = parseRequest(*msg, &err);
+    if (!req) {
+        out.push_back(errorEvent(errc::kBadArgs, err).encode());
+        return out;
+    }
+
+    if (req->cmd == "quit" || req->cmd == "shutdown") {
+        quit = true;
+        out.push_back(okReply(*req).encode());
+        return out;
+    }
+    if (req->cmd == "hello") {
+        out.push_back(handleHello(*req).encode());
+        return out;
+    }
+    if (req->cmd == "open") {
+        out.push_back(handleOpen(*req).encode());
+        return out;
+    }
+    if (req->cmd == "close") {
+        out.push_back(handleClose(*req).encode());
+        return out;
+    }
+    if (req->cmd == "sessions") {
+        out.push_back(handleSessions(*req).encode());
+        return out;
+    }
+
+    // Session-scoped command: route to the named session, or to
+    // the sole open one.
+    std::shared_ptr<Session> session;
+    if (req->session) {
+        session = _registry.find(*req->session);
+        if (!session) {
+            out.push_back(
+                errorReply(*req, errc::kUnknownSession,
+                           "unknown session " +
+                               std::to_string(*req->session))
+                    .encode());
+            return out;
+        }
+    } else {
+        session = _registry.single();
+        if (!session) {
+            out.push_back(
+                errorReply(*req, errc::kUnknownSession,
+                           _registry.count() == 0
+                               ? "no open session (use \"open\")"
+                               : "several sessions are open; "
+                                 "name one with \"session\"")
+                    .encode());
+            return out;
+        }
+    }
+
+    Dispatcher::Result result;
+    {
+        std::lock_guard<std::mutex> lock(session->mutex());
+        result = Dispatcher(*session).execute(*req);
+    }
+    for (const Json &event : result.events)
+        out.push_back(event.encode());
+    out.push_back(result.reply.encode());
+    return out;
+}
+
+void
+Server::serve(Transport &transport)
+{
+    std::string line;
+    while (transport.readLine(line)) {
+        bool quit = false;
+        for (const std::string &reply : handleLine(line, quit))
+            transport.writeLine(reply);
+        if (quit)
+            break;
+    }
+}
+
+} // namespace zoomie::rdp

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Line-framed transports and the Zoomie debug server. A Transport
+ * moves whole JSONL lines; StreamTransport wraps stdin/stdout for
+ * the `zoomie-server` tool and DuplexPipe provides an in-memory,
+ * deterministic transport for tests. The Server owns a thread-safe
+ * SessionRegistry and speaks the protocol of rdp/protocol.hh:
+ * server-level commands (hello/open/close/sessions/quit) are
+ * handled here, everything else routes through the shared
+ * Dispatcher of the session named by the request (or the sole open
+ * session). serve() may run on several threads at once, one per
+ * transport, against the same registry.
+ */
+
+#ifndef ZOOMIE_RDP_SERVER_HH
+#define ZOOMIE_RDP_SERVER_HH
+
+#include <condition_variable>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rdp/dispatcher.hh"
+#include "rdp/session.hh"
+
+namespace zoomie::rdp {
+
+/** Moves whole lines between a client and the server. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Blocking read of one line. @return false on end-of-stream. */
+    virtual bool readLine(std::string &line) = 0;
+
+    /** Write one line (framing added by the transport). */
+    virtual void writeLine(const std::string &line) = 0;
+};
+
+/** Transport over an istream/ostream pair (stdin/stdout). */
+class StreamTransport : public Transport
+{
+  public:
+    StreamTransport(std::istream &in, std::ostream &out)
+        : _in(in), _out(out)
+    {
+    }
+    bool readLine(std::string &line) override;
+    void writeLine(const std::string &line) override;
+
+  private:
+    std::istream &_in;
+    std::ostream &_out;
+};
+
+/** Thread-safe blocking queue of lines (one pipe direction). */
+class LineQueue
+{
+  public:
+    void push(std::string line);
+    /** Blocks until a line or close. @return false when drained. */
+    bool pop(std::string &line);
+    void close();
+
+  private:
+    std::mutex _mutex;
+    std::condition_variable _ready;
+    std::deque<std::string> _lines;
+    bool _closed = false;
+};
+
+/**
+ * In-memory duplex pipe: a deterministic stand-in for a socket.
+ * Tests hold the client end on one thread while the server's
+ * serve() loop blocks on the server end on another.
+ */
+class DuplexPipe
+{
+  public:
+    DuplexPipe()
+        : _serverEnd(_toServer, _toClient),
+          _clientEnd(_toClient, _toServer)
+    {
+    }
+
+    Transport &serverEnd() { return _serverEnd; }
+    Transport &clientEnd() { return _clientEnd; }
+
+    /** Client hangs up: the server's readLine drains then ends. */
+    void closeFromClient() { _toServer.close(); }
+
+  private:
+    class End : public Transport
+    {
+      public:
+        End(LineQueue &rx, LineQueue &tx) : _rx(rx), _tx(tx) {}
+        bool readLine(std::string &line) override
+        {
+            return _rx.pop(line);
+        }
+        void writeLine(const std::string &line) override
+        {
+            _tx.push(line);
+        }
+
+      private:
+        LineQueue &_rx;
+        LineQueue &_tx;
+    };
+
+    LineQueue _toServer;
+    LineQueue _toClient;
+    End _serverEnd;
+    End _clientEnd;
+};
+
+/** Server configuration. */
+struct ServerOptions
+{
+    std::string name = "zoomie-server";
+};
+
+/** The multi-session Zoomie debug server. */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {})
+        : _options(std::move(options))
+    {
+    }
+
+    SessionRegistry &sessions() { return _registry; }
+
+    /**
+     * Serve one transport until end-of-stream or a quit request.
+     * Safe to call concurrently from several threads, each with its
+     * own transport; sessions are shared through the registry.
+     */
+    void serve(Transport &transport);
+
+    /**
+     * Process one raw input line; returns the output lines (events
+     * first, then exactly one reply for well-formed requests) and
+     * sets @p quit when the line asked the server to stop.
+     */
+    std::vector<std::string> handleLine(const std::string &line,
+                                        bool &quit);
+
+  private:
+    Json handleHello(const Request &req);
+    Json handleOpen(const Request &req);
+    Json handleClose(const Request &req);
+    Json handleSessions(const Request &req);
+
+    ServerOptions _options;
+    SessionRegistry _registry;
+};
+
+} // namespace zoomie::rdp
+
+#endif // ZOOMIE_RDP_SERVER_HH

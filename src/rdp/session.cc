@@ -1,0 +1,146 @@
+#include "session.hh"
+
+#include <stdexcept>
+
+#include "designs/tinyrv.hh"
+#include "rtl/builder.hh"
+
+namespace zoomie::rdp {
+
+namespace {
+
+/** The REPL's historical demo workload: a sum loop with stores. */
+std::vector<uint32_t>
+defaultTinyRvProgram()
+{
+    using namespace designs::rv;
+    return {
+        addi(1, 0, 0), addi(2, 0, 1),
+        add(1, 1, 2), addi(2, 2, 1),
+        sw(1, 0, 0x200), jal(0, -12),
+    };
+}
+
+/** Free-running 16-bit counter inside scope "mut/". */
+rtl::Design
+buildCounter()
+{
+    rtl::Builder b("app");
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+/** Resolve a config to a design + platform options, or throw. */
+rtl::Design
+makeDesign(SessionConfig &config, core::PlatformOptions &opts)
+{
+    if (config.design == "tinyrv") {
+        if (config.program.empty())
+            config.program = defaultTinyRvProgram();
+        if (config.watchSignals.empty())
+            config.watchSignals = {"cpu/pc", "cpu/mcause",
+                                   "cpu/state"};
+        opts.instrument.mutPrefix = "cpu/";
+        fpga::DeviceSpec spec = fpga::makeTestDevice();
+        spec.clbCols = 32;
+        spec.clbRows = 64;  // TinyRV needs ~4k LUTs
+        spec.bramCols = 4;
+        opts.spec = spec;
+        return designs::buildTinyRv(config.program);
+    }
+    if (config.design == "counter") {
+        if (!config.program.empty())
+            throw std::runtime_error(
+                "design 'counter' takes no program");
+        if (config.watchSignals.empty())
+            config.watchSignals = {"mut/count"};
+        opts.instrument.mutPrefix = "mut/";
+        return buildCounter();
+    }
+    throw std::runtime_error("unknown design '" + config.design +
+                             "' (supported: tinyrv, counter)");
+}
+
+} // namespace
+
+Session::Session(uint64_t id, SessionConfig config)
+    : _id(id), _config(std::move(config))
+{
+    core::PlatformOptions opts;
+    rtl::Design design = makeDesign(_config, opts);
+    // Pre-validate watch signals so a typo becomes a structured
+    // error reply rather than instrument()'s fatal exit.
+    for (const std::string &signal : _config.watchSignals) {
+        if (design.findNet(signal) == rtl::kNoNet &&
+            design.findReg(signal) < 0) {
+            throw std::runtime_error("unknown watch signal '" +
+                                     signal + "'");
+        }
+    }
+    opts.instrument.watchSignals = _config.watchSignals;
+    opts.instrument.assertions = _config.assertions;
+    _platform = core::Platform::create(design, opts);
+}
+
+std::shared_ptr<Session>
+SessionRegistry::create(SessionConfig config)
+{
+    // Bring-up happens outside the lock: compiling a design is slow
+    // and must not block commands against live sessions.
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        id = _next++;
+    }
+    auto session = std::make_shared<Session>(id, std::move(config));
+    std::lock_guard<std::mutex> lock(_mutex);
+    _sessions[id] = session;
+    return session;
+}
+
+std::shared_ptr<Session>
+SessionRegistry::find(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _sessions.find(id);
+    return it == _sessions.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Session>
+SessionRegistry::single() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_sessions.size() != 1)
+        return nullptr;
+    return _sessions.begin()->second;
+}
+
+bool
+SessionRegistry::close(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _sessions.erase(id) != 0;
+}
+
+std::vector<uint64_t>
+SessionRegistry::ids() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<uint64_t> out;
+    for (const auto &[id, session] : _sessions)
+        out.push_back(id);
+    return out;
+}
+
+size_t
+SessionRegistry::count() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _sessions.size();
+}
+
+} // namespace zoomie::rdp

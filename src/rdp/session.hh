@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Debug-session lifecycle for the remote debug protocol. A Session
+ * owns one live Platform (instrumented design, configured device,
+ * debugger) plus the per-session front-end state the dispatcher
+ * tracks between commands (snapshot, armed trigger groups, which
+ * stop has already been reported). A SessionRegistry owns many
+ * concurrent sessions — independent devices — behind a mutex so
+ * several transports can serve clients at once.
+ */
+
+#ifndef ZOOMIE_RDP_SESSION_HH
+#define ZOOMIE_RDP_SESSION_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/zoomie.hh"
+
+namespace zoomie::rdp {
+
+/** What to bring up when a session opens. */
+struct SessionConfig
+{
+    /** Design to instantiate: "tinyrv" (default) or "counter". */
+    std::string design = "tinyrv";
+
+    /** TinyRV program words; empty selects a built-in demo loop. */
+    std::vector<uint32_t> program;
+
+    /** Watch signals; empty selects the design's defaults. */
+    std::vector<std::string> watchSignals;
+
+    /** SVA assertion texts to synthesize into breakpoints. */
+    std::vector<std::string> assertions;
+};
+
+/**
+ * One live debug session. Construction performs the full bring-up
+ * (instrument, compile, configure) and throws std::runtime_error on
+ * an unknown design or unresolvable watch signal, so callers can
+ * turn failures into structured error replies.
+ */
+class Session
+{
+  public:
+    Session(uint64_t id, SessionConfig config);
+
+    uint64_t id() const { return _id; }
+    const SessionConfig &config() const { return _config; }
+    core::Platform &platform() { return *_platform; }
+    core::Debugger &debugger() { return _platform->debugger(); }
+
+    /** Serializes commands against this session's device. */
+    std::mutex &mutex() { return _mutex; }
+
+    // ---- dispatcher-tracked state --------------------------------
+    std::optional<core::Snapshot> snapshot;
+    uint64_t reportedAssertions = 0; ///< already emitted as events
+    bool stopReported = false;       ///< dbg_stop emitted for this pause
+    bool stepPending = false;        ///< a step command armed the counter
+    bool andArmed = false;           ///< AND trigger group in use
+    bool orArmed = false;            ///< OR trigger group in use
+
+  private:
+    uint64_t _id;
+    SessionConfig _config;
+    std::unique_ptr<core::Platform> _platform;
+    std::mutex _mutex;
+};
+
+/** Thread-safe registry of concurrent sessions. */
+class SessionRegistry
+{
+  public:
+    /** Bring up a new session; throws std::runtime_error on bad config. */
+    std::shared_ptr<Session> create(SessionConfig config);
+
+    /** Look up a session by id (null when unknown/closed). */
+    std::shared_ptr<Session> find(uint64_t id) const;
+
+    /** The sole open session, or null if zero or several are open. */
+    std::shared_ptr<Session> single() const;
+
+    /** Close (tear down) a session. @return false when unknown. */
+    bool close(uint64_t id);
+
+    std::vector<uint64_t> ids() const;
+    size_t count() const;
+
+  private:
+    mutable std::mutex _mutex;
+    uint64_t _next = 1;
+    std::map<uint64_t, std::shared_ptr<Session>> _sessions;
+};
+
+} // namespace zoomie::rdp
+
+#endif // ZOOMIE_RDP_SESSION_HH

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * rdp/protocol tests: JSON encode/parse round-trips (escaping,
+ * unicode, nesting, 64-bit integers), a fuzz-ish table of malformed
+ * inputs that must be rejected with an error (never a crash),
+ * hardened numeric argument parsing, and the request/reply/event
+ * schemas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rdp/json.hh"
+#include "rdp/protocol.hh"
+
+using namespace zoomie;
+using rdp::Json;
+
+// ---- encoding ---------------------------------------------------------
+
+TEST(Json, EncodesScalars)
+{
+    EXPECT_EQ(Json().encode(), "null");
+    EXPECT_EQ(Json(true).encode(), "true");
+    EXPECT_EQ(Json(false).encode(), "false");
+    EXPECT_EQ(Json(uint64_t(0)).encode(), "0");
+    EXPECT_EQ(Json(uint64_t(18446744073709551615ull)).encode(),
+              "18446744073709551615");
+    EXPECT_EQ(Json(int64_t(-42)).encode(), "-42");
+    EXPECT_EQ(Json("hi").encode(), "\"hi\"");
+}
+
+TEST(Json, EscapesStrings)
+{
+    EXPECT_EQ(Json("a\"b").encode(), "\"a\\\"b\"");
+    EXPECT_EQ(Json("a\\b").encode(), "\"a\\\\b\"");
+    EXPECT_EQ(Json("a\nb\tc\rd").encode(), "\"a\\nb\\tc\\rd\"");
+    EXPECT_EQ(Json(std::string("a\x01z")).encode(),
+              "\"a\\u0001z\"");
+}
+
+TEST(Json, EncodesContainers)
+{
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push("two");
+    arr.push(Json());
+    EXPECT_EQ(arr.encode(), "[1,\"two\",null]");
+
+    Json obj = Json::object();
+    obj.set("a", 1);
+    obj.set("b", Json::array());
+    EXPECT_EQ(obj.encode(), "{\"a\":1,\"b\":[]}");
+    // Insertion order is preserved; re-setting replaces in place.
+    obj.set("a", 7);
+    EXPECT_EQ(obj.encode(), "{\"a\":7,\"b\":[]}");
+}
+
+// ---- round trips ------------------------------------------------------
+
+namespace {
+
+std::string
+roundTrip(const std::string &text)
+{
+    std::string err;
+    auto parsed = Json::parse(text, &err);
+    EXPECT_TRUE(parsed) << text << ": " << err;
+    return parsed ? parsed->encode() : "<parse failed>";
+}
+
+} // namespace
+
+TEST(Json, RoundTripsValues)
+{
+    for (const char *text : {
+             "null",
+             "true",
+             "false",
+             "0",
+             "-1",
+             "18446744073709551615",
+             "-9223372036854775808",
+             "\"\"",
+             "\"plain\"",
+             "\"tab\\tnewline\\nquote\\\"\"",
+             "[]",
+             "{}",
+             "[1,2,3]",
+             "{\"k\":\"v\"}",
+             "{\"nested\":{\"deep\":[{\"er\":[null,false]}]}}",
+         }) {
+        EXPECT_EQ(roundTrip(text), text);
+    }
+}
+
+TEST(Json, RoundTripsFullUint64)
+{
+    // Register values need all 64 bits — doubles would lose the
+    // bottom bits of e.g. 2^64-1.
+    Json obj = Json::object();
+    obj.set("value", uint64_t(0xFFFFFFFFFFFFFFFEull));
+    auto parsed = Json::parse(obj.encode());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->find("value")->asU64(),
+              0xFFFFFFFFFFFFFFFEull);
+}
+
+TEST(Json, ParsesWhitespaceAndDoubles)
+{
+    auto parsed =
+        Json::parse("  { \"a\" : [ 1 , 2.5 ,\t-3e2 ] }  ");
+    ASSERT_TRUE(parsed);
+    const Json *a = parsed->find("a");
+    ASSERT_TRUE(a && a->isArray());
+    EXPECT_TRUE(a->at(0).isInt());
+    EXPECT_DOUBLE_EQ(a->at(1).asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(a->at(2).asDouble(), -300.0);
+}
+
+TEST(Json, DecodesUnicodeEscapes)
+{
+    auto parsed = Json::parse("\"\\u0041\\u00e9\\u20ac\"");
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->asString(), "A\xC3\xA9\xE2\x82\xAC");
+    // Surrogate pair: U+1F600.
+    auto emoji = Json::parse("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(emoji);
+    EXPECT_EQ(emoji->asString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, SurvivesDeepNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 60; ++i)
+        deep += '[';
+    deep += "1";
+    for (int i = 0; i < 60; ++i)
+        deep += ']';
+    EXPECT_TRUE(Json::parse(deep));
+}
+
+// ---- malformed input rejection ----------------------------------------
+
+TEST(Json, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",
+        "   ",
+        "nul",
+        "truth",
+        "falsey",
+        "{",
+        "}",
+        "[",
+        "]",
+        "[1,",
+        "[1 2]",
+        "{\"a\"}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{a:1}",
+        "{1:2}",
+        "{\"a\":1 \"b\":2}",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"truncated \\u00\"",
+        "\"lone surrogate \\ud800\"",
+        "\"control \x01 char\"",
+        "01",
+        "1.",
+        ".5",
+        "+1",
+        "- 1",
+        "1e",
+        "1e+",
+        "0x10",
+        "99999999999999999999999999",
+        "nan",
+        "Infinity",
+        "[1] trailing",
+        "{} {}",
+        "'single'",
+    };
+    for (const char *text : bad) {
+        std::string err;
+        EXPECT_FALSE(Json::parse(text, &err))
+            << "accepted malformed input: " << text;
+        EXPECT_FALSE(err.empty()) << text;
+    }
+    // Nesting beyond the depth cap is rejected, not a stack fault.
+    std::string too_deep(100, '[');
+    EXPECT_FALSE(Json::parse(too_deep + "1" +
+                             std::string(100, ']')));
+}
+
+// ---- hardened numeric parsing -----------------------------------------
+
+TEST(Protocol, ParseU64AcceptsDecimalAndHex)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(rdp::parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(rdp::parseU64("1234", v));
+    EXPECT_EQ(v, 1234u);
+    EXPECT_TRUE(rdp::parseU64("0x1f", v));
+    EXPECT_EQ(v, 0x1fu);
+    EXPECT_TRUE(rdp::parseU64("0XFF", v));
+    EXPECT_EQ(v, 0xffu);
+    EXPECT_TRUE(rdp::parseU64("18446744073709551615", v));
+    EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(Protocol, ParseU64RejectsMalformedNumbers)
+{
+    uint64_t v = 0;
+    for (const char *text :
+         {"", " ", "xyz", "12a", "a12", "-1", "+1", "1.5", "0x",
+          "0xzz", " 12", "12 ", "18446744073709551616",
+          "0x10000000000000000", "१२"}) {
+        EXPECT_FALSE(rdp::parseU64(text, v))
+            << "accepted malformed number: '" << text << "'";
+    }
+    uint32_t narrow = 0;
+    EXPECT_TRUE(rdp::parseU32("4294967295", narrow));
+    EXPECT_FALSE(rdp::parseU32("4294967296", narrow));
+}
+
+// ---- request / reply / event schemas ----------------------------------
+
+TEST(Protocol, ParsesRequests)
+{
+    auto msg = Json::parse(
+        "{\"cmd\":\"step\",\"id\":7,\"session\":2,\"n\":3}");
+    ASSERT_TRUE(msg);
+    std::string err;
+    auto req = rdp::parseRequest(*msg, &err);
+    ASSERT_TRUE(req) << err;
+    EXPECT_EQ(req->cmd, "step");
+    ASSERT_TRUE(req->id);
+    EXPECT_EQ(*req->id, 7u);
+    ASSERT_TRUE(req->session);
+    EXPECT_EQ(*req->session, 2u);
+    EXPECT_EQ(req->args.find("n")->asU64(), 3u);
+}
+
+TEST(Protocol, RejectsMalformedRequests)
+{
+    std::string err;
+    for (const char *text :
+         {"[]", "42", "{\"id\":1}", "{\"cmd\":3}",
+          "{\"cmd\":\"\"}", "{\"cmd\":\"run\",\"id\":-1}",
+          "{\"cmd\":\"run\",\"session\":\"one\"}"}) {
+        auto msg = Json::parse(text);
+        ASSERT_TRUE(msg) << text;
+        EXPECT_FALSE(rdp::parseRequest(*msg, &err)) << text;
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+TEST(Protocol, BuildsReplyAndEventSchemas)
+{
+    rdp::Request req;
+    req.cmd = "run";
+    req.id = 9;
+    Json ok = rdp::okReply(req);
+    EXPECT_EQ(ok.find("type")->asString(), "reply");
+    EXPECT_EQ(ok.find("id")->asU64(), 9u);
+    EXPECT_TRUE(ok.find("ok")->asBool());
+
+    Json fail = rdp::errorReply(req, rdp::errc::kBadArgs, "nope");
+    EXPECT_FALSE(fail.find("ok")->asBool());
+    EXPECT_EQ(fail.find("error")->asString(), "bad-args");
+
+    Json stop = rdp::dbgStopEvent(3, "watchpoint", 17);
+    EXPECT_EQ(stop.find("type")->asString(), "dbg_stop");
+    EXPECT_EQ(stop.find("session")->asU64(), 3u);
+    EXPECT_EQ(stop.find("reason")->asString(), "watchpoint");
+    EXPECT_EQ(stop.find("cycle")->asU64(), 17u);
+
+    Json hit = rdp::watchHitEvent(3, 1, "cpu/pc", 4, 8, 17);
+    EXPECT_EQ(hit.find("type")->asString(), "watch_hit");
+    EXPECT_EQ(hit.find("old")->asU64(), 4u);
+    EXPECT_EQ(hit.find("new")->asU64(), 8u);
+
+    Json fired = rdp::assertionFiredEvent(3, 0, "a0", 17);
+    EXPECT_EQ(fired.find("type")->asString(), "assertion_fired");
+    EXPECT_EQ(fired.find("name")->asString(), "a0");
+
+    // Every event encodes to one line (JSONL framing).
+    EXPECT_EQ(stop.encode().find('\n'), std::string::npos);
+}

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * End-to-end tests of the Zoomie debug server: scripted sessions
+ * through rdp::Server over the in-memory duplex pipe. Reproduces
+ * case study 2 (§5.6, the TinyRV nested-exception breakpoint
+ * `mcause[31]==0 && !MIE && !MPIE`) entirely over the wire
+ * protocol, asserting on the emitted `dbg_stop` events; runs two
+ * concurrent sessions on independent devices; and checks the
+ * structured error replies and the REPL/wire command-table parity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "designs/tinyrv.hh"
+#include "rdp/server.hh"
+
+using namespace zoomie;
+using rdp::Json;
+
+namespace {
+
+/**
+ * A JSONL client on the pipe's client end: sends one request,
+ * collects event lines until the matching reply arrives.
+ */
+class Client
+{
+  public:
+    explicit Client(rdp::Transport &transport)
+        : _transport(transport)
+    {
+    }
+
+    /** Send @p req (id auto-assigned) and wait for its reply. */
+    Json request(Json req)
+    {
+        uint64_t id = _next++;
+        req.set("id", id);
+        _transport.writeLine(req.encode());
+        std::string line;
+        while (_transport.readLine(line)) {
+            auto msg = Json::parse(line);
+            if (!msg) {
+                ADD_FAILURE() << "unparseable line: " << line;
+                return Json();
+            }
+            const Json *type = msg->find("type");
+            if (type && type->asString() == "reply" &&
+                msg->find("id") &&
+                msg->find("id")->asU64() == id) {
+                return *msg;
+            }
+            events.push_back(*msg);
+        }
+        ADD_FAILURE() << "transport closed awaiting reply " << id;
+        return Json();
+    }
+
+    /** Build-and-send convenience for flat argument lists. */
+    Json cmd(const std::string &name,
+             std::vector<std::pair<std::string, Json>> args = {})
+    {
+        Json req = Json::object();
+        req.set("cmd", name);
+        for (auto &[key, value] : args)
+            req.set(key, std::move(value));
+        return request(std::move(req));
+    }
+
+    /** Events of one type seen so far, in arrival order. */
+    std::vector<Json> eventsOfType(const std::string &type) const
+    {
+        std::vector<Json> out;
+        for (const Json &event : events) {
+            const Json *t = event.find("type");
+            if (t && t->asString() == type)
+                out.push_back(event);
+        }
+        return out;
+    }
+
+    std::vector<Json> events;
+
+  private:
+    rdp::Transport &_transport;
+    uint64_t _next = 1;
+};
+
+/** A server thread bound to one pipe for the test's lifetime. */
+class ServedPipe
+{
+  public:
+    explicit ServedPipe(rdp::Server &server)
+        : _thread([this, &server] {
+              server.serve(_pipe.serverEnd());
+          })
+    {
+    }
+    ~ServedPipe()
+    {
+        _pipe.closeFromClient();
+        _thread.join();
+    }
+    rdp::Transport &clientEnd() { return _pipe.clientEnd(); }
+
+  private:
+    rdp::DuplexPipe _pipe;
+    std::thread _thread;
+};
+
+uint64_t
+u64Field(const Json &msg, const char *key)
+{
+    const Json *field = msg.find(key);
+    EXPECT_TRUE(field) << "missing field " << key << " in "
+                       << msg.encode();
+    return field ? field->asU64() : 0;
+}
+
+bool
+okField(const Json &msg)
+{
+    const Json *ok = msg.find("ok");
+    return ok && ok->asBool();
+}
+
+} // namespace
+
+TEST(RdpServer, HelloNegotiatesProtocolVersion)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    Json welcome =
+        client.cmd("hello", {{"version", Json(uint64_t(1))}});
+    ASSERT_TRUE(okField(welcome));
+    EXPECT_EQ(u64Field(welcome, "version"), rdp::kProtocolVersion);
+    EXPECT_EQ(welcome.find("protocol")->asString(), "zoomie-rdp");
+
+    // A newer client degrades to our version...
+    Json newer =
+        client.cmd("hello", {{"version", Json(uint64_t(99))}});
+    ASSERT_TRUE(okField(newer));
+    EXPECT_EQ(u64Field(newer, "version"), rdp::kProtocolVersion);
+
+    // ...but a client *requiring* a newer protocol gets an error.
+    Json refused = client.cmd("hello",
+                              {{"version", Json(uint64_t(99))},
+                               {"min", Json(uint64_t(99))}});
+    EXPECT_FALSE(okField(refused));
+    EXPECT_EQ(refused.find("error")->asString(),
+              "unsupported-version");
+}
+
+TEST(RdpServer, StructuredErrorsNeverCrash)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    // Session-scoped command with no session open.
+    Json nosession = client.cmd("run", {{"n", Json(uint64_t(5))}});
+    EXPECT_FALSE(okField(nosession));
+    EXPECT_EQ(nosession.find("error")->asString(),
+              "unknown-session");
+
+    // Unknown design.
+    Json baddesign = client.cmd("open", {{"design", Json("vax")}});
+    EXPECT_FALSE(okField(baddesign));
+    EXPECT_EQ(baddesign.find("error")->asString(), "bad-args");
+
+    // Unknown watch signal is a reply, not instrument()'s fatal.
+    Json watch = Json::array();
+    watch.push("mut/no_such_signal");
+    Json badwatch = client.cmd("open",
+                               {{"design", Json("counter")},
+                                {"watch", std::move(watch)}});
+    EXPECT_FALSE(okField(badwatch));
+
+    Json opened = client.cmd("open", {{"design", Json("counter")}});
+    ASSERT_TRUE(okField(opened));
+
+    // Malformed / out-of-range arguments per command.
+    Json badnum = client.cmd("step", {{"n", Json("xyz")}});
+    EXPECT_FALSE(okField(badnum));
+    EXPECT_EQ(badnum.find("error")->asString(), "bad-args");
+
+    Json badslot = client.cmd("break",
+                              {{"slot", Json(uint64_t(99))},
+                               {"value", Json(uint64_t(0))}});
+    EXPECT_FALSE(okField(badslot));
+    EXPECT_EQ(badslot.find("error")->asString(), "bad-args");
+
+    Json badreg =
+        client.cmd("print", {{"name", Json("zz/top")}});
+    EXPECT_FALSE(okField(badreg));
+    EXPECT_EQ(badreg.find("error")->asString(), "unknown-name");
+
+    Json badcmd = client.cmd("frobnicate");
+    EXPECT_FALSE(okField(badcmd));
+    EXPECT_EQ(badcmd.find("error")->asString(), "unknown-command");
+
+    Json toolong =
+        client.cmd("run", {{"n", Json(uint64_t(1) << 62)}});
+    EXPECT_FALSE(okField(toolong));
+
+    // The session survived all of it.
+    Json run = client.cmd("run", {{"n", Json(uint64_t(10))}});
+    EXPECT_TRUE(okField(run));
+    EXPECT_EQ(u64Field(run, "cycle"), 10u);
+}
+
+TEST(RdpServer, WatchpointEmitsWatchHitAndDbgStop)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")}})));
+    ASSERT_TRUE(okField(client.cmd("run", {{"n", Json(5)}})));
+    ASSERT_TRUE(
+        okField(client.cmd("watch", {{"slot", Json(0)}})));
+    Json run = client.cmd("run", {{"n", Json(50)}});
+    ASSERT_TRUE(okField(run));
+    EXPECT_TRUE(run.find("paused")->asBool());
+
+    auto hits = client.eventsOfType("watch_hit");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].find("signal")->asString(), "mut/count");
+    EXPECT_EQ(u64Field(hits[0], "new"),
+              u64Field(hits[0], "old") + 1);
+
+    auto stops = client.eventsOfType("dbg_stop");
+    ASSERT_EQ(stops.size(), 1u);
+    EXPECT_EQ(stops[0].find("reason")->asString(), "watchpoint");
+
+    // Running further while paused must not duplicate the stop.
+    ASSERT_TRUE(okField(client.cmd("run", {{"n", Json(20)}})));
+    EXPECT_EQ(client.eventsOfType("dbg_stop").size(), 1u);
+}
+
+TEST(RdpServer, AssertionEmitsAssertionFiredEvent)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    Json asserts = Json::array();
+    asserts.push("assert property (mut/count != 50);");
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")},
+                            {"assertions", std::move(asserts)}})));
+    Json run = client.cmd("run", {{"n", Json(400)}});
+    ASSERT_TRUE(okField(run));
+    EXPECT_TRUE(run.find("paused")->asBool());
+
+    auto fired = client.eventsOfType("assertion_fired");
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(u64Field(fired[0], "index"), 0u);
+    auto stops = client.eventsOfType("dbg_stop");
+    ASSERT_EQ(stops.size(), 1u);
+    EXPECT_EQ(stops[0].find("reason")->asString(), "assertion");
+}
+
+TEST(RdpServer, CaseStudy2NestedExceptionOverTheWire)
+{
+    // §5.6: mtvec is misconfigured to an unmapped address; an ecall
+    // traps, the CPU re-faults on its own vector forever. The
+    // paper's breakpoint — mcause == instr-access-fault && MIE == 0
+    // && MPIE == 0 (a double-nested exception) — catches it in the
+    // act. Everything below goes through the wire protocol.
+    using namespace designs::rv;
+    std::vector<uint32_t> program = {
+        addi(1, 0, 1),
+        lui(2, 0x5),                  // x2 = 0x5000: invalid
+        csrrw(0, designs::rv::kCsrMtvec, 2),  // the bug
+        addi(1, 1, 41),               // x1 = 42
+        ecall(),                      // -> trap -> invalid vector
+        sw(1, 0, 0x100),              // (reached after the repair)
+        jal(0, 0),
+    };
+
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    Json words = Json::array();
+    for (uint32_t word : program)
+        words.push(uint64_t(word));
+    Json watch = Json::array();
+    watch.push("cpu/mcause");
+    watch.push("cpu/mstatus_mie");
+    watch.push("cpu/mstatus_mpie");
+    Json opened = client.cmd("open",
+                             {{"design", Json("tinyrv")},
+                              {"program", std::move(words)},
+                              {"watch", std::move(watch)}});
+    ASSERT_TRUE(okField(opened)) << opened.encode();
+
+    // The paper's AND-group breakpoint, one slot per conjunct.
+    uint64_t fault =
+        uint64_t(designs::TrapCause::InstrAccessFault);
+    ASSERT_TRUE(okField(client.cmd(
+        "break", {{"slot", Json(0)}, {"value", Json(fault)}})));
+    ASSERT_TRUE(okField(client.cmd(
+        "break", {{"slot", Json(1)}, {"value", Json(0)}})));
+    ASSERT_TRUE(okField(client.cmd(
+        "break", {{"slot", Json(2)}, {"value", Json(0)}})));
+
+    Json run = client.cmd("run", {{"n", Json(4000)}});
+    ASSERT_TRUE(okField(run));
+    ASSERT_TRUE(run.find("paused")->asBool())
+        << "breakpoint never hit";
+
+    // The machine-readable stop event external tooling consumes.
+    auto stops = client.eventsOfType("dbg_stop");
+    ASSERT_EQ(stops.size(), 1u);
+    EXPECT_EQ(stops[0].find("reason")->asString(), "breakpoint");
+    EXPECT_EQ(u64Field(stops[0], "cycle"), u64Field(run, "cycle"));
+    EXPECT_GT(u64Field(stops[0], "cycle"), 0u);
+
+    // Readback over the wire: pc == mepc == mtvec proves legal
+    // hardware re-trapping on a software misconfiguration.
+    auto read = [&](const char *name) {
+        Json reply = client.cmd("print", {{"name", Json(name)}});
+        EXPECT_TRUE(okField(reply)) << name;
+        return u64Field(reply, "value");
+    };
+    uint64_t pc = read("cpu/pc");
+    uint64_t mepc = read("cpu/mepc");
+    uint64_t mtvec = read("cpu/mtvec");
+    uint64_t mcause = read("cpu/mcause");
+    EXPECT_EQ(pc, 0x5000u);
+    EXPECT_EQ(pc, mepc);
+    EXPECT_EQ(pc, mtvec);
+    EXPECT_EQ(mcause, fault);
+
+    // Software repair by state injection, then resume past the bad
+    // ecall — still all over the wire.
+    ASSERT_TRUE(okField(client.cmd("clear")));
+    auto force = [&](const char *name, uint64_t value) {
+        EXPECT_TRUE(okField(client.cmd(
+            "force",
+            {{"name", Json(name)}, {"value", Json(value)}})))
+            << name;
+    };
+    force("cpu/mtvec", 0x80);
+    force("cpu/mepc", 5 * 4);
+    force("cpu/mstatus_mie", 1);
+    force("cpu/pc", 5 * 4);
+    force("cpu/state", 0);
+    ASSERT_TRUE(okField(client.cmd("resume")));
+    ASSERT_TRUE(okField(client.cmd("run", {{"n", Json(200)}})));
+
+    Json word = client.cmd(
+        "x", {{"name", Json("cpu/mem")}, {"addr", Json(0x40)}});
+    ASSERT_TRUE(okField(word));
+    EXPECT_EQ(u64Field(word, "value"), 42u)
+        << "post-repair store did not land";
+    // No further stop events: the repaired core runs free.
+    EXPECT_EQ(client.eventsOfType("dbg_stop").size(), 1u);
+}
+
+TEST(RdpServer, TwoConcurrentSessionsStayIsolated)
+{
+    rdp::Server server;
+
+    // Two transports served on two threads against one registry;
+    // each client brings up its own device and debugs it while the
+    // other is mid-flight.
+    ServedPipe pipe_a(server);
+    ServedPipe pipe_b(server);
+
+    auto drive = [&server](rdp::Transport &end, uint64_t bp,
+                           uint64_t run_for, uint64_t &out_session,
+                           uint64_t &out_count) {
+        Client client(end);
+        Json opened =
+            client.cmd("open", {{"design", Json("counter")}});
+        ASSERT_TRUE(okField(opened));
+        uint64_t session = u64Field(opened, "session");
+        out_session = session;
+        // With two sessions open, every command names its session.
+        ASSERT_TRUE(okField(client.cmd(
+            "break", {{"session", Json(session)},
+                      {"slot", Json(0)}, {"value", Json(bp)}})));
+        Json run = client.cmd("run", {{"session", Json(session)},
+                                      {"n", Json(run_for)}});
+        ASSERT_TRUE(okField(run));
+        ASSERT_TRUE(run.find("paused")->asBool());
+        auto stops = client.eventsOfType("dbg_stop");
+        ASSERT_EQ(stops.size(), 1u);
+        EXPECT_EQ(u64Field(stops[0], "session"), session);
+        Json count =
+            client.cmd("print", {{"session", Json(session)},
+                                 {"name", Json("mut/count")}});
+        ASSERT_TRUE(okField(count));
+        out_count = u64Field(count, "value");
+        (void)server;
+    };
+
+    uint64_t session_a = 0, session_b = 0;
+    uint64_t count_a = 0, count_b = 0;
+    std::thread thread_a([&] {
+        drive(pipe_a.clientEnd(), 57, 400, session_a, count_a);
+    });
+    std::thread thread_b([&] {
+        drive(pipe_b.clientEnd(), 123, 700, session_b, count_b);
+    });
+    thread_a.join();
+    thread_b.join();
+
+    // Independent devices: each stopped at its own breakpoint.
+    EXPECT_NE(session_a, session_b);
+    EXPECT_EQ(count_a, 57u);
+    EXPECT_EQ(count_b, 123u);
+    EXPECT_EQ(server.sessions().count(), 2u);
+
+    // Closing one session leaves the other addressable.
+    Client closer(pipe_a.clientEnd());
+    ASSERT_TRUE(okField(closer.cmd(
+        "close", {{"session", Json(session_a)}})));
+    EXPECT_EQ(server.sessions().count(), 1u);
+    Json gone = closer.cmd("run", {{"session", Json(session_a)},
+                                   {"n", Json(1)}});
+    EXPECT_FALSE(okField(gone));
+    EXPECT_EQ(gone.find("error")->asString(), "unknown-session");
+    Json alive = closer.cmd("run", {{"session", Json(session_b)},
+                                    {"n", Json(1)}});
+    EXPECT_TRUE(okField(alive));
+}
+
+TEST(RdpServer, ReplAndWireShareTheCommandTable)
+{
+    // The REPL's positional grammar must resolve to the same
+    // canonical requests the wire accepts — one command table, two
+    // front ends (the acceptance criterion of the subsystem).
+    std::string err;
+    auto parsed =
+        rdp::Dispatcher::parseLine("break 0 0x14 or", &err);
+    ASSERT_TRUE(parsed) << err;
+    EXPECT_EQ(parsed->cmd, "break");
+    EXPECT_EQ(parsed->args.find("slot")->asU64(), 0u);
+    EXPECT_EQ(parsed->args.find("value")->asU64(), 0x14u);
+    EXPECT_EQ(parsed->args.find("group")->asString(), "or");
+
+    // Aliases resolve to canonical wire commands.
+    auto aliased = rdp::Dispatcher::parseLine("c", &err);
+    ASSERT_TRUE(aliased);
+    EXPECT_EQ(aliased->cmd, "resume");
+    auto snap = rdp::Dispatcher::parseLine("snap", &err);
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(snap->cmd, "snapshot");
+
+    // Malformed numbers are rejected at parse time, with usage.
+    EXPECT_FALSE(rdp::Dispatcher::parseLine("step xyz", &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(rdp::Dispatcher::parseLine("run", &err));
+    EXPECT_FALSE(
+        rdp::Dispatcher::parseLine("print a b c", &err));
+    EXPECT_FALSE(rdp::Dispatcher::parseLine("bogus 1", &err));
+
+    // Every REPL-parseable command is a wire command.
+    auto names = rdp::Dispatcher::commandNames();
+    for (const char *cmd :
+         {"run", "pause", "resume", "step", "break", "watch",
+          "clear", "print", "x", "force", "regs", "snapshot",
+          "restore", "trace", "info"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), cmd),
+                  names.end())
+            << cmd;
+    }
+}
