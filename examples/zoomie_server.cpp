@@ -1,54 +1,159 @@
 /**
  * @file
- * zoomie-server: the Zoomie debug server over stdin/stdout. Speaks
- * line-framed JSON (JSONL): one request object per input line, one
- * reply object per request on stdout, preceded by any events
- * (`dbg_stop`, `assertion_fired`, `watch_hit`) the command
- * provoked. Diagnostics go to stderr so stdout stays clean JSONL
+ * zoomie-server: the Zoomie debug server. Speaks line-framed JSON
+ * (JSONL): one request object per input line, one reply object per
+ * request, preceded by any events (`dbg_stop`, `assertion_fired`,
+ * `watch_hit`) the command provoked. Serves either stdin/stdout
+ * (the default) or a TCP port (`--listen`), where every accepted
+ * connection gets its own serve thread against the shared session
+ * registry and the scheduler time-slices device cycles across
+ * sessions. Diagnostics go to stderr so stdout stays clean JSONL
  * for pipelines (zem-style); `--events-only` silences the banner
  * entirely.
  *
  * Usage:
- *   zoomie_server                 serve requests from stdin
- *   zoomie_server --script FILE   serve requests from FILE, then exit
- *   zoomie_server --events-only   no stderr banner; stdout is
- *                                 machine-readable JSONL only
+ *   zoomie_server                     serve requests from stdin
+ *   zoomie_server --script FILE       serve requests from FILE
+ *   zoomie_server --events-only       no stderr banner
+ *   zoomie_server --listen PORT       serve TCP on 127.0.0.1:PORT
+ *     [--bind ADDR]                   listen address
+ *     [--workers N]                   scheduler worker threads
+ *     [--max-sessions N]              admission cap (busy beyond)
+ *     [--quantum N]                   cycles per scheduler slice
+ *     [--idle-timeout-ms N]           reap sessions idle > N ms
+ *     [--read-timeout-ms N]           per-connection read deadline
  *
- * A minimal session:
- *   {"cmd":"hello","version":1}
+ * A minimal session (pipe or `nc 127.0.0.1 PORT`):
+ *   {"cmd":"hello","version":2}
  *   {"cmd":"open","design":"tinyrv"}
- *   {"cmd":"break","slot":0,"value":12,"id":1}
- *   {"cmd":"run","n":200,"id":2}
- *   {"cmd":"print","name":"cpu/pc","id":3}
+ *   {"cmd":"batch","id":1,"requests":[{"cmd":"snapshot"},
+ *     {"cmd":"break","slot":0,"value":12},{"cmd":"run","n":200}]}
+ *   {"cmd":"print","name":"cpu/pc","id":2}
  *   {"cmd":"quit"}
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "rdp/net.hh"
 #include "rdp/server.hh"
+
+namespace {
+
+bool
+parseArgNum(const char *flag, const char *text, uint64_t &out)
+{
+    if (!zoomie::rdp::parseU64(text, out)) {
+        std::fprintf(stderr,
+                     "zoomie-server: %s wants an unsigned "
+                     "integer, got '%s'\n",
+                     flag, text);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     bool events_only = false;
+    bool listen = false;
     std::string script;
+    zoomie::rdp::ServerOptions server_options;
+    zoomie::rdp::NetOptions net_options;
+    net_options.readTimeoutMs = 60'000;
+
     for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "zoomie-server: %s wants a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        uint64_t num = 0;
         if (std::strcmp(argv[i], "--events-only") == 0) {
             events_only = true;
-        } else if (std::strcmp(argv[i], "--script") == 0 &&
-                   i + 1 < argc) {
-            script = argv[++i];
+        } else if (std::strcmp(argv[i], "--script") == 0) {
+            script = value("--script");
+        } else if (std::strcmp(argv[i], "--listen") == 0) {
+            if (!parseArgNum("--listen", value("--listen"), num) ||
+                num > 65535)
+                return 2;
+            net_options.port = uint16_t(num);
+            listen = true;
+        } else if (std::strcmp(argv[i], "--bind") == 0) {
+            net_options.bindAddress = value("--bind");
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            if (!parseArgNum("--workers", value("--workers"), num))
+                return 2;
+            server_options.scheduler.workers = unsigned(num);
+        } else if (std::strcmp(argv[i], "--max-sessions") == 0) {
+            if (!parseArgNum("--max-sessions",
+                             value("--max-sessions"), num))
+                return 2;
+            server_options.scheduler.maxSessions = size_t(num);
+        } else if (std::strcmp(argv[i], "--quantum") == 0) {
+            if (!parseArgNum("--quantum", value("--quantum"), num))
+                return 2;
+            server_options.scheduler.quantum = num;
+        } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+            if (!parseArgNum("--idle-timeout-ms",
+                             value("--idle-timeout-ms"), num))
+                return 2;
+            server_options.scheduler.idleTimeoutMs = num;
+            server_options.scheduler.reapIntervalMs =
+                std::max<uint64_t>(1, num / 4);
+        } else if (std::strcmp(argv[i], "--read-timeout-ms") == 0) {
+            if (!parseArgNum("--read-timeout-ms",
+                             value("--read-timeout-ms"), num))
+                return 2;
+            net_options.readTimeoutMs = int(num);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--script FILE] "
-                         "[--events-only]\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--script FILE] [--events-only]\n"
+                "       %s --listen PORT [--bind ADDR] "
+                "[--workers N] [--max-sessions N] [--quantum N] "
+                "[--idle-timeout-ms N] [--read-timeout-ms N]\n",
+                argv[0], argv[0]);
             return 2;
         }
+    }
+
+    zoomie::rdp::Server server(server_options);
+
+    if (listen) {
+        zoomie::rdp::TcpServer tcp(server, net_options);
+        server.setShutdownHook([&tcp] { tcp.requestStop(); });
+        std::string error;
+        if (!tcp.start(&error)) {
+            std::fprintf(stderr, "zoomie-server: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        if (!events_only) {
+            std::fprintf(
+                stderr,
+                "zoomie-server: protocol v%llu, listening on "
+                "%s:%u (%u workers, %zu session slots; send "
+                "{\"cmd\":\"shutdown\"} to stop)\n",
+                (unsigned long long)zoomie::rdp::kProtocolVersion,
+                net_options.bindAddress.c_str(),
+                unsigned(tcp.port()),
+                server.options().scheduler.workers,
+                server.options().scheduler.maxSessions);
+        }
+        tcp.wait();
+        return 0;
     }
 
     if (!events_only) {
@@ -60,7 +165,6 @@ main(int argc, char **argv)
                          zoomie::rdp::kProtocolVersion);
     }
 
-    zoomie::rdp::Server server;
     if (!script.empty()) {
         std::ifstream in(script);
         if (!in) {

@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "core/instrument.hh"
+#include "rdp/scheduler.hh"
 #include "sim/trace.hh"
 #include "sim/vcd.hh"
 
@@ -17,7 +19,7 @@ namespace {
 /** User-level command failure: becomes an `ok:false` reply. */
 struct CommandError
 {
-    std::string code;
+    Errc code;
     std::string detail;
 };
 
@@ -29,7 +31,7 @@ uint64_t
 checkedCycles(uint64_t n)
 {
     if (n > kMaxCyclesPerCommand) {
-        throw CommandError{errc::kBadArgs,
+        throw CommandError{Errc::BadArgs,
                            "cycle count " + std::to_string(n) +
                                " exceeds the per-command limit"};
     }
@@ -42,7 +44,7 @@ checkedSlot(Session &session, uint64_t slot)
     size_t slots = session.debugger().watchSlotCount();
     if (slot >= slots) {
         throw CommandError{
-            errc::kBadArgs,
+            Errc::BadArgs,
             "slot " + std::to_string(slot) + " out of range (" +
                 std::to_string(slots) + " watch slots)"};
     }
@@ -96,6 +98,14 @@ namespace {
 enum class ArgKind { Num, Str };
 } // namespace
 
+/** Execution context handed to every command handler. */
+struct Dispatcher::Ctx
+{
+    Session &session;
+    std::shared_ptr<Session> ref; ///< null for direct execution
+    Scheduler *scheduler;         ///< null for direct execution
+};
+
 struct Dispatcher::CommandSpec
 {
     const char *name;
@@ -108,29 +118,60 @@ struct Dispatcher::CommandSpec
     };
     std::vector<ArgSpec> args;
     const char *help;
-    Json (*handler)(Session &, const Dispatcher::Args &);
+    Json (*handler)(Dispatcher::Ctx &, const Dispatcher::Args &);
     bool pollsEvents;  ///< command can advance/stop the MUT clock
+    bool yields = false; ///< cycles go through the scheduler
 };
 
 // ---- command handlers -------------------------------------------------
+//
+// Handlers for non-yielding commands run with the session's device
+// mutex held by execute(). Yielding handlers (`run`) manage the
+// lock themselves so the scheduler can interleave quanta.
 
 namespace {
 
 using Args = Dispatcher::Args;
+using Ctx = Dispatcher::Ctx;
 
 Json
-cmdRun(Session &s, const Args &a)
+cmdRun(Ctx &c, const Args &a)
 {
-    s.platform().run(checkedCycles(a.num("n")));
+    uint64_t n = checkedCycles(a.num("n"));
     Json out = Json::object();
-    out.set("cycle", s.platform().mutCycles());
-    out.set("paused", s.debugger().isPaused());
+    if (c.scheduler && c.ref) {
+        Scheduler::RunOutcome res = c.scheduler->run(c.ref, n);
+        if (res.cancelled) {
+            throw CommandError{Errc::Busy,
+                               "server is shutting down"};
+        }
+        if (res.budgetExhausted && res.cyclesRun == 0) {
+            throw CommandError{
+                Errc::Busy,
+                "session cycle budget exhausted (" +
+                    std::to_string(
+                        c.scheduler->options().cycleBudget) +
+                    " cycles)"};
+        }
+        out.set("cycles_run", res.cyclesRun);
+        out.set("queue_wait_us", res.queueWaitMicros);
+        if (res.budgetExhausted)
+            out.set("budget_exhausted", true);
+    } else {
+        std::lock_guard<std::mutex> lock(c.session.mutex());
+        c.session.platform().run(n);
+        out.set("cycles_run", n);
+    }
+    std::lock_guard<std::mutex> lock(c.session.mutex());
+    out.set("cycle", c.session.platform().mutCycles());
+    out.set("paused", c.session.debugger().isPaused());
     return out;
 }
 
 Json
-cmdPause(Session &s, const Args &)
+cmdPause(Ctx &c, const Args &)
 {
+    Session &s = c.session;
     s.debugger().pause();
     // The request takes effect at the next MUT cycle; tick the
     // external clock so the latch engages before we report.
@@ -141,8 +182,9 @@ cmdPause(Session &s, const Args &)
 }
 
 Json
-cmdResume(Session &s, const Args &)
+cmdResume(Ctx &c, const Args &)
 {
+    Session &s = c.session;
     s.debugger().resume();
     s.stopReported = false;
     s.stepPending = false;
@@ -152,8 +194,9 @@ cmdResume(Session &s, const Args &)
 }
 
 Json
-cmdStep(Session &s, const Args &a)
+cmdStep(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     uint64_t n = checkedCycles(a.num("n"));
     s.debugger().stepCycles(n);
     s.stepPending = true;
@@ -167,12 +210,13 @@ cmdStep(Session &s, const Args &a)
 }
 
 Json
-cmdBreak(Session &s, const Args &a)
+cmdBreak(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     unsigned slot = checkedSlot(s, a.num("slot"));
     std::string group = a.strOr("group", "and");
     if (group != "and" && group != "or") {
-        throw CommandError{errc::kBadArgs,
+        throw CommandError{Errc::BadArgs,
                            "group must be \"and\" or \"or\", got \"" +
                                group + "\""};
     }
@@ -192,8 +236,9 @@ cmdBreak(Session &s, const Args &a)
 }
 
 Json
-cmdWatch(Session &s, const Args &a)
+cmdWatch(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     unsigned slot = checkedSlot(s, a.num("slot"));
     bool on = a.numOr("on", 1) != 0;
     s.debugger().setWatchpoint(slot, on);
@@ -206,8 +251,9 @@ cmdWatch(Session &s, const Args &a)
 }
 
 Json
-cmdClear(Session &s, const Args &)
+cmdClear(Ctx &c, const Args &)
 {
+    Session &s = c.session;
     s.debugger().clearValueBreakpoints();
     s.andArmed = false;
     s.orArmed = false;
@@ -215,11 +261,12 @@ cmdClear(Session &s, const Args &)
 }
 
 Json
-cmdPrint(Session &s, const Args &a)
+cmdPrint(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     const std::string &name = a.str("name");
     if (!s.debugger().hasRegister(name)) {
-        throw CommandError{errc::kUnknownName,
+        throw CommandError{Errc::UnknownName,
                            "unknown register '" + name + "'"};
     }
     Json out = Json::object();
@@ -229,16 +276,17 @@ cmdPrint(Session &s, const Args &a)
 }
 
 Json
-cmdReadMem(Session &s, const Args &a)
+cmdReadMem(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     const std::string &name = a.str("name");
     if (!s.debugger().hasMemory(name)) {
-        throw CommandError{errc::kUnknownName,
+        throw CommandError{Errc::UnknownName,
                            "unknown memory '" + name + "'"};
     }
     uint64_t addr = a.num("addr");
     if (addr > UINT32_MAX) {
-        throw CommandError{errc::kBadArgs,
+        throw CommandError{Errc::BadArgs,
                            "address out of range"};
     }
     Json out = Json::object();
@@ -250,11 +298,12 @@ cmdReadMem(Session &s, const Args &a)
 }
 
 Json
-cmdForce(Session &s, const Args &a)
+cmdForce(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     const std::string &name = a.str("name");
     if (!s.debugger().hasRegister(name)) {
-        throw CommandError{errc::kUnknownName,
+        throw CommandError{Errc::UnknownName,
                            "unknown register '" + name + "'"};
     }
     s.debugger().forceRegister(name, a.num("value"));
@@ -265,16 +314,17 @@ cmdForce(Session &s, const Args &a)
 }
 
 Json
-cmdForceMem(Session &s, const Args &a)
+cmdForceMem(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     const std::string &name = a.str("name");
     if (!s.debugger().hasMemory(name)) {
-        throw CommandError{errc::kUnknownName,
+        throw CommandError{Errc::UnknownName,
                            "unknown memory '" + name + "'"};
     }
     uint64_t addr = a.num("addr");
     if (addr > UINT32_MAX) {
-        throw CommandError{errc::kBadArgs,
+        throw CommandError{Errc::BadArgs,
                            "address out of range"};
     }
     s.debugger().forceMemWord(name, uint32_t(addr),
@@ -287,8 +337,9 @@ cmdForceMem(Session &s, const Args &a)
 }
 
 Json
-cmdRegs(Session &s, const Args &a)
+cmdRegs(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     Json regs = Json::object();
     for (const auto &[name, value] :
          s.debugger().readAllRegisters(a.str("prefix"))) {
@@ -300,8 +351,9 @@ cmdRegs(Session &s, const Args &a)
 }
 
 Json
-cmdSnapshot(Session &s, const Args &)
+cmdSnapshot(Ctx &c, const Args &)
 {
+    Session &s = c.session;
     s.snapshot = s.debugger().snapshot();
     Json out = Json::object();
     out.set("cycle", s.snapshot->mutCycles);
@@ -309,10 +361,11 @@ cmdSnapshot(Session &s, const Args &)
 }
 
 Json
-cmdRestore(Session &s, const Args &)
+cmdRestore(Ctx &c, const Args &)
 {
+    Session &s = c.session;
     if (!s.snapshot) {
-        throw CommandError{errc::kBadArgs,
+        throw CommandError{Errc::BadArgs,
                            "no snapshot has been taken"};
     }
     s.debugger().restore(*s.snapshot);
@@ -323,8 +376,9 @@ cmdRestore(Session &s, const Args &)
 }
 
 Json
-cmdTrace(Session &s, const Args &a)
+cmdTrace(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     uint64_t n = checkedCycles(a.num("n"));
     core::Debugger &dbg = s.debugger();
     sim::Trace trace;
@@ -343,7 +397,7 @@ cmdTrace(Session &s, const Args &a)
     const std::string &file = a.str("file");
     std::ofstream out_file(file);
     if (!out_file) {
-        throw CommandError{errc::kBadArgs,
+        throw CommandError{Errc::BadArgs,
                            "cannot open '" + file + "' for writing"};
     }
     sim::writeVcd(trace, out_file);
@@ -354,8 +408,9 @@ cmdTrace(Session &s, const Args &a)
 }
 
 Json
-cmdInfo(Session &s, const Args &)
+cmdInfo(Ctx &c, const Args &)
 {
+    Session &s = c.session;
     Json watch = Json::array();
     for (const std::string &signal :
          s.platform().instrumented().watchSignals)
@@ -383,13 +438,14 @@ cmdInfo(Session &s, const Args &)
 }
 
 Json
-cmdAssert(Session &s, const Args &a)
+cmdAssert(Ctx &c, const Args &a)
 {
+    Session &s = c.session;
     uint64_t index = a.num("index");
     size_t total = s.platform().instrumented().assertions.size();
     if (index >= total) {
         throw CommandError{
-            errc::kBadArgs,
+            Errc::BadArgs,
             "assertion " + std::to_string(index) +
                 " out of range (" + std::to_string(total) +
                 " assertions)"};
@@ -413,7 +469,7 @@ Dispatcher::table()
         {"run", nullptr,
          {{"n", ArgKind::Num, true}},
          "advance the external clock N cycles",
-         cmdRun, true},
+         cmdRun, true, /*yields=*/true},
         {"pause", nullptr, {},
          "pause the MUT clock",
          cmdPause, true},
@@ -557,7 +613,7 @@ Dispatcher::execute(const Request &req)
     Result result;
     const CommandSpec *spec = findSpec(req.cmd);
     if (!spec) {
-        result.reply = errorReply(req, errc::kUnknownCommand,
+        result.reply = errorReply(req, Errc::UnknownCommand,
                                   "unknown command '" + req.cmd +
                                       "'");
         return result;
@@ -569,7 +625,7 @@ Dispatcher::execute(const Request &req)
         if (!value || value->isNull()) {
             if (arg.required) {
                 result.reply = errorReply(
-                    req, errc::kBadArgs,
+                    req, Errc::BadArgs,
                     std::string(spec->name) +
                         ": missing argument '" + arg.name + "'");
                 return result;
@@ -585,7 +641,7 @@ Dispatcher::execute(const Request &req)
                 // numeric string accepted for CLI convenience
             } else {
                 result.reply = errorReply(
-                    req, errc::kBadArgs,
+                    req, Errc::BadArgs,
                     std::string(spec->name) + ": argument '" +
                         arg.name +
                         "' must be an unsigned integer");
@@ -595,7 +651,7 @@ Dispatcher::execute(const Request &req)
         } else {
             if (!value->isString() || value->asString().empty()) {
                 result.reply = errorReply(
-                    req, errc::kBadArgs,
+                    req, Errc::BadArgs,
                     std::string(spec->name) + ": argument '" +
                         arg.name + "' must be a non-empty string");
                 return result;
@@ -604,21 +660,34 @@ Dispatcher::execute(const Request &req)
         }
     }
 
+    Ctx ctx{_session, _ref, _scheduler};
     try {
-        Json fields = spec->handler(_session, args);
+        Json fields;
+        if (spec->yields) {
+            // The handler interleaves locking with the scheduler.
+            fields = spec->handler(ctx, args);
+        } else {
+            std::lock_guard<std::mutex> lock(_session.mutex());
+            fields = spec->handler(ctx, args);
+        }
         result.reply = okReply(req);
         for (const auto &[key, value] : fields.members())
             result.reply.set(key, value);
     } catch (const CommandError &e) {
+        _session.touch();
         result.reply = errorReply(req, e.code, e.detail);
         return result;
     } catch (const std::exception &e) {
-        result.reply = errorReply(req, errc::kInternal, e.what());
+        _session.touch();
+        result.reply = errorReply(req, Errc::Internal, e.what());
         return result;
     }
 
-    if (spec->pollsEvents)
+    if (spec->pollsEvents) {
+        std::lock_guard<std::mutex> lock(_session.mutex());
         result.events = pollStopEvents();
+    }
+    _session.touch();
     return result;
 }
 
@@ -829,6 +898,33 @@ Dispatcher::commandNames()
     for (const auto &spec : table())
         names.push_back(spec.name);
     return names;
+}
+
+Json
+Dispatcher::commandsJson()
+{
+    Json commands = Json::array();
+    for (const auto &spec : table()) {
+        Json entry = Json::object();
+        entry.set("name", spec.name);
+        if (spec.alias)
+            entry.set("alias", spec.alias);
+        entry.set("scope", "session");
+        entry.set("help", spec.help);
+        Json args = Json::array();
+        for (const auto &arg : spec.args) {
+            Json doc = Json::object();
+            doc.set("name", arg.name);
+            doc.set("type",
+                    arg.kind == ArgKind::Num ? "u64" : "string");
+            doc.set("required", arg.required);
+            args.push(std::move(doc));
+        }
+        entry.set("args", std::move(args));
+        entry.set("events", spec.pollsEvents);
+        commands.push(std::move(entry));
+    }
+    return commands;
 }
 
 } // namespace zoomie::rdp

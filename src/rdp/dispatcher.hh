@@ -1,18 +1,29 @@
 /**
  * @file
- * The one command table behind both Zoomie front ends. Every debug
- * command (run/pause/step/break/watch/print/force/regs/snapshot/
- * restore/trace/...) is described once — name, alias, typed
- * argument list, help — and mapped onto Debugger/Platform
- * operations with per-command argument validation. The wire server
- * feeds it decoded JSON requests; the REPL feeds it tokenized lines
- * through parseLine() and renders replies with renderText(). Bad
- * arguments become structured error replies, never crashes.
+ * The one declarative command table behind both Zoomie front ends.
+ * Every debug command (run/pause/step/break/watch/print/force/regs/
+ * snapshot/restore/trace/...) is described once — name, alias,
+ * typed argument schema, help, handler, scheduling class — and
+ * mapped onto Debugger/Platform operations with per-command
+ * argument validation. The wire server feeds it decoded JSON
+ * requests; the REPL feeds it tokenized lines through parseLine()
+ * and renders replies with renderText(); the `commands`
+ * introspection request serves the same table as machine-readable
+ * JSON (commandsJson()) for external tooling such as a DAP
+ * adapter. Bad arguments become structured error replies, never
+ * crashes.
+ *
+ * Locking: execute() acquires the session's device mutex itself.
+ * Commands marked `yields` (today: `run`) are executed through the
+ * Scheduler when one is attached, which time-slices the cycles
+ * into quanta with per-quantum locking so other clients of the
+ * same registry stay responsive.
  */
 
 #ifndef ZOOMIE_RDP_DISPATCHER_HH
 #define ZOOMIE_RDP_DISPATCHER_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,11 +32,27 @@
 
 namespace zoomie::rdp {
 
+class Scheduler;
+
 /** Executes protocol requests against one session. */
 class Dispatcher
 {
   public:
-    explicit Dispatcher(Session &session) : _session(session) {}
+    /** Direct execution (REPL): cycles run on the calling thread. */
+    explicit Dispatcher(Session &session)
+        : _session(session)
+    {
+    }
+
+    /**
+     * Server execution: `run` cycles go through @p scheduler (when
+     * non-null), sliced fairly against every other session.
+     */
+    Dispatcher(const std::shared_ptr<Session> &session,
+               Scheduler *scheduler)
+        : _session(*session), _ref(session), _scheduler(scheduler)
+    {
+    }
 
     /** Reply plus any events the command provoked, in emit order. */
     struct Result
@@ -37,8 +64,8 @@ class Dispatcher
     /**
      * Validate arguments and run @p req against the session. Never
      * throws: command failures come back as `ok:false` replies.
-     * The caller must hold the session's mutex when sharing the
-     * session across threads.
+     * Takes the session's device mutex internally; safe to call
+     * from several serve threads at once.
      */
     Result execute(const Request &req);
 
@@ -61,15 +88,26 @@ class Dispatcher
     /** Canonical command names (the wire command set). */
     static std::vector<std::string> commandNames();
 
+    /**
+     * The machine-readable command schema served by the
+     * `commands` introspection request: an array of
+     * {name, alias?, scope:"session", help, args:[{name, type,
+     * required}], events:bool} objects.
+     */
+    static Json commandsJson();
+
     // Exposed for the table definition in dispatcher.cc.
     struct Args;
     struct CommandSpec;
+    struct Ctx;
     static const std::vector<CommandSpec> &table();
 
   private:
     std::vector<Json> pollStopEvents();
 
     Session &_session;
+    std::shared_ptr<Session> _ref; ///< null for direct execution
+    Scheduler *_scheduler = nullptr;
 };
 
 } // namespace zoomie::rdp

@@ -1,0 +1,330 @@
+#include "net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace zoomie::rdp {
+
+// ---- SocketTransport --------------------------------------------------
+
+SocketTransport::SocketTransport(int fd, int readTimeoutMs,
+                                 size_t maxLineBytes)
+    : _fd(fd), _timeoutMs(readTimeoutMs), _maxLine(maxLineBytes)
+{
+}
+
+SocketTransport::~SocketTransport()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+SocketTransport::kick()
+{
+    ::shutdown(_fd, SHUT_RD);
+}
+
+bool
+SocketTransport::readLine(std::string &line)
+{
+    auto takeLine = [this, &line](size_t end) {
+        line.assign(_buffer, 0, end);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        _buffer.erase(0, end + 1);
+    };
+
+    for (;;) {
+        size_t pos = _buffer.find('\n');
+        if (pos != std::string::npos && pos <= _maxLine) {
+            takeLine(pos);
+            return true;
+        }
+        // No newline yet, or the line up to it is already too
+        // long: either way more than _maxLine buffered bytes
+        // without a line break is an overflow.
+        if (pos != std::string::npos || _buffer.size() > _maxLine) {
+            _overflowed = true;
+            return false;
+        }
+
+        if (_timeoutMs > 0) {
+            struct pollfd pfd = {};
+            pfd.fd = _fd;
+            pfd.events = POLLIN;
+            int rc = ::poll(&pfd, 1, _timeoutMs);
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (rc == 0) {
+                _timedOut = true;
+                return false;
+            }
+        }
+
+        char chunk[4096];
+        ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        if (n == 0) {
+            // EOF: hand back a final unterminated line, if any.
+            if (_buffer.empty())
+                return false;
+            size_t rest = _buffer.size();
+            _buffer.push_back('\n');
+            takeLine(rest);
+            return true;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        _buffer.append(chunk, size_t(n));
+    }
+}
+
+void
+SocketTransport::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(_writeMutex);
+    std::string framed = line;
+    framed.push_back('\n');
+    const char *data = framed.data();
+    size_t left = framed.size();
+    while (left > 0) {
+        ssize_t n = ::send(_fd, data, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // peer is gone; the read side will notice
+        }
+        data += n;
+        left -= size_t(n);
+    }
+}
+
+// ---- TcpServer --------------------------------------------------------
+
+TcpServer::TcpServer(Server &server, NetOptions options)
+    : _server(server), _options(std::move(options))
+{
+}
+
+TcpServer::~TcpServer()
+{
+    stop();
+}
+
+bool
+TcpServer::start(std::string *error)
+{
+    auto fail = [this, error](const std::string &what) {
+        if (error)
+            *error = what + ": " + std::strerror(errno);
+        if (_listenFd >= 0) {
+            ::close(_listenFd);
+            _listenFd = -1;
+        }
+        return false;
+    };
+
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(_options.port);
+    if (::inet_pton(AF_INET, _options.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        errno = EINVAL;
+        return fail("bad bind address '" + _options.bindAddress +
+                    "'");
+    }
+    if (::bind(_listenFd, (struct sockaddr *)&addr,
+               sizeof(addr)) < 0)
+        return fail("bind");
+    if (::listen(_listenFd, _options.backlog) < 0)
+        return fail("listen");
+
+    struct sockaddr_in bound = {};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(_listenFd, (struct sockaddr *)&bound,
+                      &len) == 0)
+        _port = ntohs(bound.sin_port);
+
+    if (::pipe(_wakePipe) < 0)
+        return fail("pipe");
+
+    _acceptThread = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+size_t
+TcpServer::connectionCount() const
+{
+    std::lock_guard<std::mutex> lock(_connMutex);
+    return _connections.size() - _finished.size();
+}
+
+void
+TcpServer::requestStop()
+{
+    if (_stopping.exchange(true))
+        return;
+    if (_wakePipe[1] >= 0) {
+        char byte = 'q';
+        [[maybe_unused]] ssize_t n =
+            ::write(_wakePipe[1], &byte, 1);
+    }
+}
+
+void
+TcpServer::wait()
+{
+    std::lock_guard<std::mutex> lock(_stopMutex);
+    if (_stopped)
+        return;
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+    for (int &fd : _wakePipe) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    _stopped = true;
+}
+
+void
+TcpServer::stop()
+{
+    requestStop();
+    wait();
+}
+
+void
+TcpServer::serveConnection(
+    uint64_t id, std::shared_ptr<SocketTransport> transport)
+{
+    _server.serve(*transport);
+    // serve() returned because readLine failed; tell the client
+    // why before hanging up, with the typed transport error codes.
+    if (transport->timedOut()) {
+        transport->writeLine(
+            errorEvent(Errc::Timeout,
+                       "read timeout after " +
+                           std::to_string(_options.readTimeoutMs) +
+                           " ms; closing connection")
+                .encode());
+    } else if (transport->overflowed()) {
+        transport->writeLine(
+            errorEvent(Errc::BadRequest,
+                       "request line exceeds " +
+                           std::to_string(_options.maxLineBytes) +
+                           " bytes; closing connection")
+                .encode());
+    }
+    std::lock_guard<std::mutex> lock(_connMutex);
+    // During teardown the accept loop has already swapped the
+    // connection table out and will join us directly; recording a
+    // finished id nobody will reap would skew connectionCount().
+    if (_connections.count(id))
+        _finished.push_back(id);
+}
+
+void
+TcpServer::acceptLoop()
+{
+    auto reapFinished = [this] {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        for (uint64_t id : _finished) {
+            auto it = _connections.find(id);
+            if (it == _connections.end())
+                continue;
+            it->second.thread.join();
+            _connections.erase(it);
+        }
+        _finished.clear();
+    };
+
+    while (!_stopping.load()) {
+        struct pollfd fds[2] = {};
+        fds[0].fd = _listenFd;
+        fds[0].events = POLLIN;
+        fds[1].fd = _wakePipe[0];
+        fds[1].events = POLLIN;
+        int rc = ::poll(fds, 2, 500);
+        reapFinished();
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents != 0)
+            break; // woken by requestStop()
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+
+        if (_options.maxConnections > 0 &&
+            connectionCount() >= _options.maxConnections) {
+            SocketTransport refused(fd);
+            refused.writeLine(
+                errorEvent(Errc::Busy,
+                           "connection limit reached (" +
+                               std::to_string(
+                                   _options.maxConnections) +
+                               ")")
+                    .encode());
+            continue; // destructor closes the socket
+        }
+
+        auto transport = std::make_shared<SocketTransport>(
+            fd, _options.readTimeoutMs, _options.maxLineBytes);
+        std::lock_guard<std::mutex> lock(_connMutex);
+        uint64_t id = _nextConnId++;
+        Connection &conn = _connections[id];
+        conn.transport = transport;
+        conn.thread = std::thread([this, id, transport] {
+            serveConnection(id, transport);
+        });
+    }
+
+    // Teardown: kick every live connection out of readLine, then
+    // join all serve threads so stop() returns with no stragglers.
+    std::map<uint64_t, Connection> remaining;
+    {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        for (auto &[id, conn] : _connections)
+            conn.transport->kick();
+        remaining.swap(_connections);
+        _finished.clear();
+    }
+    for (auto &[id, conn] : remaining)
+        conn.thread.join();
+}
+
+} // namespace zoomie::rdp

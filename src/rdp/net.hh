@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The socket transport for the Zoomie debug server: a POSIX TCP
+ * listener that serves each accepted connection on its own thread
+ * against one shared Server (and therefore one shared session
+ * registry and scheduler). Hardened for service duty: per-
+ * connection read timeouts and a max-line limit mean a stuck or
+ * hostile client cannot wedge a worker, a connection cap bounds the
+ * thread count, and shutdown is clean — a self-pipe wakes the
+ * accept loop, live connections are kicked with shutdown(2), and
+ * every thread is joined before stop() returns.
+ */
+
+#ifndef ZOOMIE_RDP_NET_HH
+#define ZOOMIE_RDP_NET_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "rdp/server.hh"
+
+namespace zoomie::rdp {
+
+/** TCP listener configuration. */
+struct NetOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    uint16_t port = 0; ///< 0 = ephemeral; read back via port()
+    int backlog = 16;
+
+    /** Idle read deadline per connection (0 = no timeout). */
+    int readTimeoutMs = 0;
+
+    /** Longest accepted request line, in bytes. */
+    size_t maxLineBytes = 1 << 20;
+
+    /** Concurrent connection cap (0 = unlimited). */
+    size_t maxConnections = 64;
+};
+
+/**
+ * Line-framed Transport over a connected socket. readLine() blocks
+ * up to the read timeout; on timeout or an oversized line it
+ * returns false and records why, so the connection loop can emit a
+ * typed error event before hanging up.
+ */
+class SocketTransport : public Transport
+{
+  public:
+    explicit SocketTransport(int fd, int readTimeoutMs = 0,
+                             size_t maxLineBytes = 1 << 20);
+    ~SocketTransport() override;
+
+    SocketTransport(const SocketTransport &) = delete;
+    SocketTransport &operator=(const SocketTransport &) = delete;
+
+    bool readLine(std::string &line) override;
+    void writeLine(const std::string &line) override;
+
+    /**
+     * Unblock a reader from another thread (shutdown(2) on the
+     * read side); pending writes still flush.
+     */
+    void kick();
+
+    bool timedOut() const { return _timedOut; }
+    bool overflowed() const { return _overflowed; }
+
+  private:
+    int _fd;
+    int _timeoutMs;
+    size_t _maxLine;
+    std::string _buffer;
+    std::atomic<bool> _timedOut{false};
+    std::atomic<bool> _overflowed{false};
+    std::mutex _writeMutex;
+};
+
+/**
+ * The TCP front end: accept loop plus one serve() thread per
+ * connection. start() binds and spawns the accept thread;
+ * requestStop() (safe from any thread, including a serve thread
+ * handling a `shutdown` request) initiates teardown; wait() blocks
+ * until the server has fully stopped.
+ */
+class TcpServer
+{
+  public:
+    TcpServer(Server &server, NetOptions options = {});
+    ~TcpServer();
+
+    TcpServer(const TcpServer &) = delete;
+    TcpServer &operator=(const TcpServer &) = delete;
+
+    /** Bind, listen, spawn the accept thread. */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (after start(); resolves port 0). */
+    uint16_t port() const { return _port; }
+
+    /** Begin teardown without blocking. */
+    void requestStop();
+
+    /** Block until the accept loop and every connection exit. */
+    void wait();
+
+    /** requestStop() + wait(). Idempotent. */
+    void stop();
+
+    size_t connectionCount() const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(uint64_t id,
+                         std::shared_ptr<SocketTransport> transport);
+
+    Server &_server;
+    NetOptions _options;
+
+    int _listenFd = -1;
+    int _wakePipe[2] = {-1, -1};
+    uint16_t _port = 0;
+    std::atomic<bool> _stopping{false};
+    std::thread _acceptThread;
+
+    struct Connection
+    {
+        std::thread thread;
+        std::shared_ptr<SocketTransport> transport;
+    };
+    mutable std::mutex _connMutex;
+    std::map<uint64_t, Connection> _connections;
+    std::vector<uint64_t> _finished; ///< ids awaiting join
+    uint64_t _nextConnId = 1;
+    std::mutex _stopMutex;
+    bool _stopped = false;
+};
+
+} // namespace zoomie::rdp
+
+#endif // ZOOMIE_RDP_NET_HH

@@ -4,6 +4,23 @@
 
 namespace zoomie::rdp {
 
+const char *
+errcName(Errc code)
+{
+    switch (code) {
+    case Errc::BadRequest: return "bad-request";
+    case Errc::BadArgs: return "bad-args";
+    case Errc::UnknownCommand: return "unknown-command";
+    case Errc::NoSession: return "no-session";
+    case Errc::UnknownName: return "unknown-name";
+    case Errc::UnsupportedVersion: return "unsupported-version";
+    case Errc::Busy: return "busy";
+    case Errc::Timeout: return "timeout";
+    case Errc::Internal: return "internal";
+    }
+    return "internal";
+}
+
 std::optional<Request>
 parseRequest(const Json &msg, std::string *error)
 {
@@ -53,7 +70,7 @@ okReply(const Request &req)
 }
 
 Json
-errorReply(const Request &req, const std::string &code,
+errorReply(const Request &req, Errc code,
            const std::string &detail)
 {
     Json reply = Json::object();
@@ -62,17 +79,17 @@ errorReply(const Request &req, const std::string &code,
         reply.set("id", *req.id);
     reply.set("cmd", req.cmd);
     reply.set("ok", false);
-    reply.set("error", code);
+    reply.set("error", errcName(code));
     reply.set("detail", detail);
     return reply;
 }
 
 Json
-errorEvent(const std::string &code, const std::string &detail)
+errorEvent(Errc code, const std::string &detail)
 {
     Json event = Json::object();
     event.set("type", "error");
-    event.set("error", code);
+    event.set("error", errcName(code));
     event.set("detail", detail);
     return event;
 }

@@ -16,9 +16,12 @@
  *              "cycle":123}
  *
  * Version negotiation: the client should open with
- * {"cmd":"hello","version":1}; the server replies with a "welcome"
+ * {"cmd":"hello","version":2}; the server replies with a "welcome"
  * carrying the highest mutually supported version, or an error if
  * the client's minimum is newer than what the server speaks.
+ * Protocol v2 adds the `batch` request (an ordered array of
+ * sub-requests executed in one round-trip) and the `commands`
+ * introspection request; v1 single-request clients keep working.
  */
 
 #ifndef ZOOMIE_RDP_PROTOCOL_HH
@@ -33,19 +36,29 @@
 namespace zoomie::rdp {
 
 /** Highest protocol version this implementation speaks. */
-inline constexpr uint64_t kProtocolVersion = 1;
+inline constexpr uint64_t kProtocolVersion = 2;
 
-/** Machine-readable error codes used in replies and error events. */
-namespace errc {
-inline constexpr const char *kParse = "parse-error";
-inline constexpr const char *kBadArgs = "bad-args";
-inline constexpr const char *kUnknownCommand = "unknown-command";
-inline constexpr const char *kUnknownSession = "unknown-session";
-inline constexpr const char *kUnknownName = "unknown-name";
-inline constexpr const char *kUnsupportedVersion =
-    "unsupported-version";
-inline constexpr const char *kInternal = "internal-error";
-} // namespace errc
+/**
+ * The error taxonomy: every `ok:false` reply and every error event
+ * carries exactly one of these codes, used uniformly by the
+ * dispatcher (argument validation), the scheduler (admission and
+ * cycle budgets), and the transports (read timeouts, oversized
+ * lines). The wire form is the kebab-case name from errcName().
+ */
+enum class Errc {
+    BadRequest,         ///< malformed JSON or not a request object
+    BadArgs,            ///< arguments fail the command's schema
+    UnknownCommand,     ///< no such command (or gated by version)
+    NoSession,          ///< no/unknown/ambiguous session routing
+    UnknownName,        ///< no such register/memory/signal
+    UnsupportedVersion, ///< client requires a newer protocol
+    Busy,               ///< admission refused / budget exhausted
+    Timeout,            ///< transport read deadline expired
+    Internal,           ///< unexpected server-side failure
+};
+
+/** Wire name of an error code ("bad-args", "busy", ...). */
+const char *errcName(Errc code);
 
 /** A decoded protocol request. */
 struct Request
@@ -69,11 +82,11 @@ std::optional<Request> parseRequest(const Json &msg,
 Json okReply(const Request &req);
 
 /** Failed reply with a machine code and a human detail string. */
-Json errorReply(const Request &req, const std::string &code,
+Json errorReply(const Request &req, Errc code,
                 const std::string &detail);
 
 /** Stand-alone error event (e.g. for unparseable input lines). */
-Json errorEvent(const std::string &code, const std::string &detail);
+Json errorEvent(Errc code, const std::string &detail);
 
 /** zem-style stop event: why and when the MUT clock stopped. */
 Json dbgStopEvent(uint64_t session, const std::string &reason,

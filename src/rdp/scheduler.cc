@@ -1,0 +1,202 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+
+namespace zoomie::rdp {
+
+Scheduler::Scheduler(SessionRegistry &registry,
+                     SchedulerOptions options)
+    : _registry(registry), _options(options)
+{
+    if (_options.workers == 0)
+        _options.workers = 1;
+    if (_options.quantum == 0)
+        _options.quantum = 1;
+    unsigned workers = _options.workers;
+    _workers.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+    if (_options.idleTimeoutMs > 0 && _options.reapIntervalMs > 0)
+        _reaper = std::thread([this] { reaperLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    stop();
+}
+
+void
+Scheduler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_stopping)
+            return;
+        _stopping = true;
+        // Queued tasks never get their cycles: mark them done so
+        // the serve threads blocked in run() wake with `cancelled`.
+        for (Task *task : _ready) {
+            task->cancelled = true;
+            task->done = true;
+        }
+        _ready.clear();
+    }
+    _work.notify_all();
+    _done.notify_all();
+    _reaperWake.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+    _workers.clear();
+    if (_reaper.joinable())
+        _reaper.join();
+}
+
+bool
+Scheduler::canAdmit() const
+{
+    return _options.maxSessions == 0 ||
+           _registry.count() < _options.maxSessions;
+}
+
+Scheduler::RunOutcome
+Scheduler::run(const std::shared_ptr<Session> &session,
+               uint64_t cycles)
+{
+    RunOutcome outcome;
+    if (!session)
+        return outcome;
+
+    if (_options.cycleBudget > 0) {
+        uint64_t used = session->stats().cyclesRun.load();
+        uint64_t left = used >= _options.cycleBudget
+                            ? 0
+                            : _options.cycleBudget - used;
+        if (cycles > left) {
+            outcome.budgetExhausted = true;
+            cycles = left;
+        }
+    }
+    if (cycles == 0) {
+        session->touch();
+        return outcome;
+    }
+
+    Task task;
+    task.session = session;
+    task.remaining = cycles;
+    session->stats().pendingRuns.fetch_add(1);
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        if (_stopping) {
+            session->stats().pendingRuns.fetch_sub(1);
+            outcome.cancelled = true;
+            return outcome;
+        }
+        task.enqueuedAtMicros = steadyNowMicros();
+        _ready.push_back(&task);
+        _work.notify_one();
+        _done.wait(lock, [&task] { return task.done; });
+    }
+    session->stats().pendingRuns.fetch_sub(1);
+    session->stats().runRequests.fetch_add(1);
+    session->stats().execMicros.fetch_add(task.execMicros);
+    session->stats().queueWaitMicros.fetch_add(
+        task.queueWaitMicros);
+    session->touch();
+
+    outcome.cyclesRun = task.cyclesRun;
+    outcome.cancelled = task.cancelled;
+    outcome.queueWaitMicros = task.queueWaitMicros;
+    outcome.execMicros = task.execMicros;
+    return outcome;
+}
+
+void
+Scheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _work.wait(lock, [this] {
+            return _stopping || !_ready.empty();
+        });
+        if (_stopping)
+            return;
+
+        Task *task = _ready.front();
+        _ready.pop_front();
+        task->queueWaitMicros += uint64_t(std::max<int64_t>(
+            0, steadyNowMicros() - task->enqueuedAtMicros));
+        uint64_t slice =
+            std::min(_options.quantum, task->remaining);
+        lock.unlock();
+
+        int64_t t0 = steadyNowMicros();
+        {
+            std::lock_guard<std::mutex> device(
+                task->session->mutex());
+            task->session->platform().run(slice);
+        }
+        int64_t t1 = steadyNowMicros();
+
+        // Progress is published per quantum (not per task) so the
+        // metrics and fairness tests can observe runs in flight.
+        task->session->stats().cyclesRun.fetch_add(slice);
+
+        lock.lock();
+        task->remaining -= slice;
+        task->cyclesRun += slice;
+        task->execMicros += uint64_t(std::max<int64_t>(0, t1 - t0));
+        if (task->remaining == 0 || _stopping) {
+            task->cancelled = _stopping && task->remaining != 0;
+            task->done = true;
+            _done.notify_all();
+        } else {
+            // Round-robin: back of the queue, so every other
+            // queued task gets a quantum before this one again.
+            task->enqueuedAtMicros = steadyNowMicros();
+            _ready.push_back(task);
+            _work.notify_one();
+        }
+    }
+}
+
+size_t
+Scheduler::reapIdle()
+{
+    if (_options.idleTimeoutMs == 0)
+        return 0;
+    int64_t now = steadyNowMicros();
+    int64_t horizon = int64_t(_options.idleTimeoutMs) * 1000;
+    size_t reaped = 0;
+    for (uint64_t id : _registry.ids()) {
+        std::shared_ptr<Session> session = _registry.find(id);
+        if (!session)
+            continue;
+        if (session->stats().pendingRuns.load() > 0)
+            continue; // a run is queued or executing: not idle
+        if (now - session->stats().lastActiveMicros.load() <
+            horizon)
+            continue;
+        if (_registry.close(id))
+            ++reaped;
+    }
+    return reaped;
+}
+
+void
+Scheduler::reaperLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (!_stopping) {
+        _reaperWake.wait_for(
+            lock,
+            std::chrono::milliseconds(_options.reapIntervalMs));
+        if (_stopping)
+            return;
+        lock.unlock();
+        reapIdle();
+        lock.lock();
+    }
+}
+
+} // namespace zoomie::rdp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The session scheduler: owns device-cycle execution for the debug
+ * server. `run` requests are not executed on the serving thread;
+ * they are queued as tasks and time-sliced into fixed cycle quanta
+ * by a bounded worker pool, so N sessions share K workers fairly
+ * (round-robin: a task that still has cycles left goes to the back
+ * of the ready queue after each quantum). The calling serve thread
+ * blocks until its task completes, which preserves the wire
+ * protocol's request/reply semantics while a 100M-cycle run from
+ * one client can no longer starve every other session.
+ *
+ * The scheduler also enforces the service envelope: admission
+ * control for `open` (a configurable session cap, surfaced as the
+ * typed `busy` error), optional per-session cycle budgets, and an
+ * idle-session reaper that closes sessions nobody has touched for
+ * a configurable period.
+ */
+
+#ifndef ZOOMIE_RDP_SCHEDULER_HH
+#define ZOOMIE_RDP_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rdp/session.hh"
+
+namespace zoomie::rdp {
+
+/** Scheduler configuration. */
+struct SchedulerOptions
+{
+    /** Worker threads executing device cycles. */
+    unsigned workers = 2;
+
+    /** Cycles one task may run before yielding the worker. */
+    uint64_t quantum = 2048;
+
+    /** Admission cap on concurrent sessions (0 = unlimited). */
+    size_t maxSessions = 64;
+
+    /** Total cycles one session may execute (0 = unlimited). */
+    uint64_t cycleBudget = 0;
+
+    /** Close sessions idle longer than this (0 = never reap). */
+    uint64_t idleTimeoutMs = 0;
+
+    /** Background reaper period (0 = only manual reapIdle()). */
+    uint64_t reapIntervalMs = 0;
+};
+
+/** Time-slicing worker pool over a shared session registry. */
+class Scheduler
+{
+  public:
+    Scheduler(SessionRegistry &registry,
+              SchedulerOptions options = {});
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    const SchedulerOptions &options() const { return _options; }
+
+    /** What happened to one scheduled run. */
+    struct RunOutcome
+    {
+        uint64_t cyclesRun = 0;
+        bool cancelled = false;       ///< scheduler stopped mid-run
+        bool budgetExhausted = false; ///< clamped by the cycle budget
+        uint64_t queueWaitMicros = 0;
+        uint64_t execMicros = 0;
+    };
+
+    /**
+     * Execute @p cycles device cycles for @p session, time-sliced
+     * against every other queued run. Blocks the calling thread
+     * until the task completes (or the scheduler stops). Updates
+     * the session's SessionStats. Safe to call from many threads.
+     */
+    RunOutcome run(const std::shared_ptr<Session> &session,
+                   uint64_t cycles);
+
+    /** Admission check for `open` against maxSessions. */
+    bool canAdmit() const;
+
+    /**
+     * Close sessions idle beyond idleTimeoutMs with no queued or
+     * executing run. @return the number of sessions reaped.
+     */
+    size_t reapIdle();
+
+    /**
+     * Stop the pool: cancel queued tasks, wake blocked callers,
+     * join workers and the reaper. Idempotent; the destructor
+     * calls it.
+     */
+    void stop();
+
+  private:
+    struct Task
+    {
+        std::shared_ptr<Session> session;
+        uint64_t remaining = 0;
+        uint64_t cyclesRun = 0;
+        uint64_t queueWaitMicros = 0;
+        uint64_t execMicros = 0;
+        int64_t enqueuedAtMicros = 0;
+        bool done = false;
+        bool cancelled = false;
+    };
+
+    void workerLoop();
+    void reaperLoop();
+
+    SessionRegistry &_registry;
+    SchedulerOptions _options;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _work;  ///< ready queue non-empty
+    std::condition_variable _done;  ///< some task completed
+    std::deque<Task *> _ready;
+    bool _stopping = false;
+
+    std::vector<std::thread> _workers;
+    std::thread _reaper;
+    std::condition_variable _reaperWake;
+};
+
+} // namespace zoomie::rdp
+
+#endif // ZOOMIE_RDP_SCHEDULER_HH

@@ -7,6 +7,13 @@
 
 namespace zoomie::rdp {
 
+namespace {
+
+/** Sub-requests one `batch` may carry. */
+constexpr size_t kMaxBatchRequests = 64;
+
+} // namespace
+
 // ---- transports -------------------------------------------------------
 
 bool
@@ -57,16 +64,71 @@ LineQueue::close()
     _ready.notify_all();
 }
 
+// ---- the server-level command table -----------------------------------
+
+const std::vector<Server::ServerCommandSpec> &
+Server::serverTable()
+{
+    static const std::vector<ServerCommandSpec> specs = {
+        {"hello",
+         "negotiate the protocol version",
+         1, false,
+         {{"version", "u64", false}, {"min", "u64", false}},
+         &Server::handleHello},
+        {"open",
+         "bring up a new debug session",
+         1, false,
+         {{"design", "string", false},
+          {"program", "array", false},
+          {"watch", "array", false},
+          {"assertions", "array", false}},
+         &Server::handleOpen},
+        {"close",
+         "tear down a session",
+         1, false,
+         {{"session", "u64", false}},
+         &Server::handleClose},
+        {"sessions",
+         "list open sessions with scheduling metrics",
+         1, false,
+         {},
+         &Server::handleSessions},
+        {"commands",
+         "machine-readable command schema",
+         1, false,
+         {},
+         &Server::handleCommands},
+        {"batch",
+         "execute an ordered array of sub-requests",
+         2, false,
+         {{"requests", "array", true},
+          {"abort_on_error", "bool", false}},
+         &Server::handleBatch},
+        {"quit",
+         "end this connection",
+         1, true,
+         {},
+         &Server::handleQuit},
+        {"shutdown",
+         "stop the whole server",
+         1, true,
+         {},
+         &Server::handleQuit},
+    };
+    return specs;
+}
+
 // ---- server-level commands --------------------------------------------
 
 Json
-Server::handleHello(const Request &req)
+Server::handleHello(const Request &req, ConnState &conn,
+                    std::vector<std::string> &)
 {
     uint64_t requested = kProtocolVersion;
     if (const Json *version = req.args.find("version")) {
         if (!version->isInt() || version->isNegative() ||
             version->asU64() == 0) {
-            return errorReply(req, errc::kBadArgs,
+            return errorReply(req, Errc::BadArgs,
                               "\"version\" must be a positive "
                               "integer");
         }
@@ -76,37 +138,47 @@ Server::handleHello(const Request &req)
     if (const Json *min = req.args.find("min")) {
         if (min->isInt() && min->asU64() > kProtocolVersion) {
             return errorReply(
-                req, errc::kUnsupportedVersion,
+                req, Errc::UnsupportedVersion,
                 "client requires protocol >= " +
                     std::to_string(min->asU64()) +
                     ", server speaks " +
                     std::to_string(kProtocolVersion));
         }
     }
-    uint64_t negotiated = std::min(requested, kProtocolVersion);
+    conn.version = std::min(requested, kProtocolVersion);
     Json reply = okReply(req);
     reply.set("server", _options.name);
     reply.set("protocol", "zoomie-rdp");
-    reply.set("version", negotiated);
+    reply.set("version", conn.version);
+    reply.set("max_sessions", _options.scheduler.maxSessions);
+    reply.set("workers", _options.scheduler.workers);
     Json commands = Json::array();
     for (const std::string &name : Dispatcher::commandNames())
         commands.push(name);
-    commands.push("hello");
-    commands.push("open");
-    commands.push("close");
-    commands.push("sessions");
-    commands.push("quit");
+    for (const ServerCommandSpec &spec : serverTable()) {
+        if (conn.version >= spec.minVersion)
+            commands.push(spec.name);
+    }
     reply.set("commands", std::move(commands));
     return reply;
 }
 
 Json
-Server::handleOpen(const Request &req)
+Server::handleOpen(const Request &req, ConnState &,
+                   std::vector<std::string> &)
 {
+    if (!_scheduler.canAdmit()) {
+        return errorReply(
+            req, Errc::Busy,
+            "session limit reached (" +
+                std::to_string(_options.scheduler.maxSessions) +
+                " open); close one or retry later");
+    }
+
     SessionConfig config;
     if (const Json *design = req.args.find("design")) {
         if (!design->isString()) {
-            return errorReply(req, errc::kBadArgs,
+            return errorReply(req, Errc::BadArgs,
                               "\"design\" must be a string");
         }
         config.design = design->asString();
@@ -114,14 +186,14 @@ Server::handleOpen(const Request &req)
     if (const Json *program = req.args.find("program")) {
         if (!program->isArray()) {
             return errorReply(
-                req, errc::kBadArgs,
+                req, Errc::BadArgs,
                 "\"program\" must be an array of words");
         }
         for (const Json &word : program->items()) {
             if (!word.isInt() || word.isNegative() ||
                 word.asU64() > UINT32_MAX) {
                 return errorReply(
-                    req, errc::kBadArgs,
+                    req, Errc::BadArgs,
                     "\"program\" entries must be 32-bit words");
             }
             config.program.push_back(uint32_t(word.asU64()));
@@ -130,13 +202,13 @@ Server::handleOpen(const Request &req)
     if (const Json *watch = req.args.find("watch")) {
         if (!watch->isArray()) {
             return errorReply(
-                req, errc::kBadArgs,
+                req, Errc::BadArgs,
                 "\"watch\" must be an array of signal names");
         }
         for (const Json &signal : watch->items()) {
             if (!signal.isString()) {
                 return errorReply(
-                    req, errc::kBadArgs,
+                    req, Errc::BadArgs,
                     "\"watch\" entries must be strings");
             }
             config.watchSignals.push_back(signal.asString());
@@ -145,13 +217,13 @@ Server::handleOpen(const Request &req)
     if (const Json *asserts = req.args.find("assertions")) {
         if (!asserts->isArray()) {
             return errorReply(
-                req, errc::kBadArgs,
+                req, Errc::BadArgs,
                 "\"assertions\" must be an array of SVA strings");
         }
         for (const Json &text : asserts->items()) {
             if (!text.isString()) {
                 return errorReply(
-                    req, errc::kBadArgs,
+                    req, Errc::BadArgs,
                     "\"assertions\" entries must be strings");
             }
             config.assertions.push_back(text.asString());
@@ -162,7 +234,7 @@ Server::handleOpen(const Request &req)
     try {
         session = _registry.create(std::move(config));
     } catch (const std::exception &e) {
-        return errorReply(req, errc::kBadArgs, e.what());
+        return errorReply(req, Errc::BadArgs, e.what());
     }
     Json reply = okReply(req);
     reply.set("session", session->id());
@@ -176,7 +248,8 @@ Server::handleOpen(const Request &req)
 }
 
 Json
-Server::handleClose(const Request &req)
+Server::handleClose(const Request &req, ConnState &,
+                    std::vector<std::string> &)
 {
     uint64_t id;
     if (req.session) {
@@ -184,12 +257,12 @@ Server::handleClose(const Request &req)
     } else if (auto session = _registry.single()) {
         id = session->id();
     } else {
-        return errorReply(req, errc::kUnknownSession,
+        return errorReply(req, Errc::NoSession,
                           "no session named and none is "
                           "unambiguous");
     }
     if (!_registry.close(id)) {
-        return errorReply(req, errc::kUnknownSession,
+        return errorReply(req, Errc::NoSession,
                           "unknown session " + std::to_string(id));
     }
     Json reply = okReply(req);
@@ -198,16 +271,27 @@ Server::handleClose(const Request &req)
 }
 
 Json
-Server::handleSessions(const Request &req)
+Server::handleSessions(const Request &req, ConnState &,
+                       std::vector<std::string> &)
 {
+    int64_t now = steadyNowMicros();
     Json list = Json::array();
     for (uint64_t id : _registry.ids()) {
         auto session = _registry.find(id);
         if (!session)
             continue;
+        SessionStats &stats = session->stats();
         Json entry = Json::object();
         entry.set("session", id);
         entry.set("design", session->config().design);
+        entry.set("cycles", stats.cyclesRun.load());
+        entry.set("run_requests", stats.runRequests.load());
+        entry.set("exec_us", stats.execMicros.load());
+        entry.set("queue_wait_us", stats.queueWaitMicros.load());
+        entry.set("pending_runs", stats.pendingRuns.load());
+        entry.set("idle_us",
+                  uint64_t(std::max<int64_t>(
+                      0, now - stats.lastActiveMicros.load())));
         list.push(std::move(entry));
     }
     Json reply = okReply(req);
@@ -215,10 +299,191 @@ Server::handleSessions(const Request &req)
     return reply;
 }
 
+Json
+Server::handleCommands(const Request &req, ConnState &conn,
+                       std::vector<std::string> &)
+{
+    Json commands = Dispatcher::commandsJson();
+    for (const ServerCommandSpec &spec : serverTable()) {
+        Json entry = Json::object();
+        entry.set("name", spec.name);
+        entry.set("scope", "server");
+        entry.set("help", spec.help);
+        Json args = Json::array();
+        for (const ArgDoc &arg : spec.args) {
+            Json doc = Json::object();
+            doc.set("name", arg.name);
+            doc.set("type", arg.type);
+            doc.set("required", arg.required);
+            args.push(std::move(doc));
+        }
+        entry.set("args", std::move(args));
+        entry.set("min_version", spec.minVersion);
+        commands.push(std::move(entry));
+    }
+    Json reply = okReply(req);
+    reply.set("version", conn.version);
+    reply.set("commands", std::move(commands));
+    return reply;
+}
+
+Json
+Server::handleBatch(const Request &req, ConnState &conn,
+                    std::vector<std::string> &out)
+{
+    const Json *requests = req.args.find("requests");
+    if (!requests || !requests->isArray()) {
+        return errorReply(
+            req, Errc::BadArgs,
+            "\"requests\" must be an array of request objects");
+    }
+    if (requests->size() > kMaxBatchRequests) {
+        return errorReply(
+            req, Errc::BadArgs,
+            "batch carries " + std::to_string(requests->size()) +
+                " sub-requests; the limit is " +
+                std::to_string(kMaxBatchRequests));
+    }
+    bool abort_on_error = false;
+    if (const Json *flag = req.args.find("abort_on_error")) {
+        if (!flag->isBool()) {
+            return errorReply(
+                req, Errc::BadArgs,
+                "\"abort_on_error\" must be a boolean");
+        }
+        abort_on_error = flag->asBool();
+    }
+
+    Json results = Json::array();
+    uint64_t failed = 0;
+    bool aborted = false;
+    std::string first_error;
+    std::string first_detail;
+
+    for (size_t index = 0; index < requests->size(); ++index) {
+        const Json &item = requests->at(index);
+        std::string err;
+        std::optional<Request> sub = parseRequest(item, &err);
+        Json sub_reply;
+        if (!sub) {
+            sub_reply = Json::object();
+            sub_reply.set("ok", false);
+            sub_reply.set("error", errcName(Errc::BadRequest));
+            sub_reply.set("detail", err);
+        } else if (sub->cmd == "batch" || sub->cmd == "quit" ||
+                   sub->cmd == "shutdown" || sub->cmd == "hello") {
+            sub_reply = errorReply(
+                *sub, Errc::BadArgs,
+                "\"" + sub->cmd +
+                    "\" is not allowed inside a batch");
+        } else {
+            // Sub-requests inherit the batch's session routing
+            // unless they name their own.
+            if (!sub->session && req.session)
+                sub->session = req.session;
+            bool sub_quit = false;
+            sub_reply =
+                dispatchRequest(*sub, conn, out, sub_quit);
+        }
+        sub_reply.set("index", uint64_t(index));
+        const Json *ok = sub_reply.find("ok");
+        bool sub_ok = ok && ok->asBool();
+        if (!sub_ok) {
+            ++failed;
+            if (first_error.empty()) {
+                const Json *code = sub_reply.find("error");
+                first_error = code ? code->asString()
+                                   : errcName(Errc::Internal);
+                first_detail = "sub-request " +
+                               std::to_string(index) + " failed";
+            }
+        }
+        results.push(std::move(sub_reply));
+        if (!sub_ok && abort_on_error) {
+            aborted = true;
+            break;
+        }
+    }
+
+    Json reply = okReply(req);
+    if (failed > 0) {
+        reply.set("ok", false);
+        reply.set("error", first_error);
+        reply.set("detail", first_detail);
+    }
+    reply.set("executed", results.size());
+    reply.set("failed", failed);
+    if (aborted)
+        reply.set("aborted", true);
+    reply.set("results", std::move(results));
+    return reply;
+}
+
+Json
+Server::handleQuit(const Request &req, ConnState &,
+                   std::vector<std::string> &)
+{
+    if (req.cmd == "shutdown" && _shutdownHook)
+        _shutdownHook();
+    return okReply(req);
+}
+
+// ---- dispatch ---------------------------------------------------------
+
+Json
+Server::dispatchRequest(const Request &req, ConnState &conn,
+                        std::vector<std::string> &out, bool &quit)
+{
+    for (const ServerCommandSpec &spec : serverTable()) {
+        if (req.cmd != spec.name)
+            continue;
+        if (conn.version < spec.minVersion) {
+            return errorReply(
+                req, Errc::UnknownCommand,
+                "\"" + req.cmd + "\" requires protocol >= " +
+                    std::to_string(spec.minVersion) +
+                    " (negotiated " +
+                    std::to_string(conn.version) + ")");
+        }
+        if (spec.quits)
+            quit = true;
+        return (this->*spec.handler)(req, conn, out);
+    }
+
+    // Session-scoped command: route to the named session, or to
+    // the sole open one.
+    std::shared_ptr<Session> session;
+    if (req.session) {
+        session = _registry.find(*req.session);
+        if (!session) {
+            return errorReply(req, Errc::NoSession,
+                              "unknown session " +
+                                  std::to_string(*req.session));
+        }
+    } else {
+        session = _registry.single();
+        if (!session) {
+            return errorReply(
+                req, Errc::NoSession,
+                _registry.count() == 0
+                    ? "no open session (use \"open\")"
+                    : "several sessions are open; "
+                      "name one with \"session\"");
+        }
+    }
+
+    Dispatcher::Result result =
+        Dispatcher(session, &_scheduler).execute(req);
+    for (const Json &event : result.events)
+        out.push_back(event.encode());
+    return result.reply;
+}
+
 // ---- the serve loop ---------------------------------------------------
 
 std::vector<std::string>
-Server::handleLine(const std::string &line, bool &quit)
+Server::handleLine(const std::string &line, ConnState &conn,
+                   bool &quit)
 {
     quit = false;
     std::vector<std::string> out;
@@ -230,82 +495,36 @@ Server::handleLine(const std::string &line, bool &quit)
     std::string err;
     std::optional<Json> msg = Json::parse(line, &err);
     if (!msg) {
-        out.push_back(errorEvent(errc::kParse, err).encode());
+        out.push_back(errorEvent(Errc::BadRequest, err).encode());
         return out;
     }
     std::optional<Request> req = parseRequest(*msg, &err);
     if (!req) {
-        out.push_back(errorEvent(errc::kBadArgs, err).encode());
+        out.push_back(errorEvent(Errc::BadRequest, err).encode());
         return out;
     }
 
-    if (req->cmd == "quit" || req->cmd == "shutdown") {
-        quit = true;
-        out.push_back(okReply(*req).encode());
-        return out;
-    }
-    if (req->cmd == "hello") {
-        out.push_back(handleHello(*req).encode());
-        return out;
-    }
-    if (req->cmd == "open") {
-        out.push_back(handleOpen(*req).encode());
-        return out;
-    }
-    if (req->cmd == "close") {
-        out.push_back(handleClose(*req).encode());
-        return out;
-    }
-    if (req->cmd == "sessions") {
-        out.push_back(handleSessions(*req).encode());
-        return out;
-    }
-
-    // Session-scoped command: route to the named session, or to
-    // the sole open one.
-    std::shared_ptr<Session> session;
-    if (req->session) {
-        session = _registry.find(*req->session);
-        if (!session) {
-            out.push_back(
-                errorReply(*req, errc::kUnknownSession,
-                           "unknown session " +
-                               std::to_string(*req->session))
-                    .encode());
-            return out;
-        }
-    } else {
-        session = _registry.single();
-        if (!session) {
-            out.push_back(
-                errorReply(*req, errc::kUnknownSession,
-                           _registry.count() == 0
-                               ? "no open session (use \"open\")"
-                               : "several sessions are open; "
-                                 "name one with \"session\"")
-                    .encode());
-            return out;
-        }
-    }
-
-    Dispatcher::Result result;
-    {
-        std::lock_guard<std::mutex> lock(session->mutex());
-        result = Dispatcher(*session).execute(*req);
-    }
-    for (const Json &event : result.events)
-        out.push_back(event.encode());
-    out.push_back(result.reply.encode());
+    Json reply = dispatchRequest(*req, conn, out, quit);
+    out.push_back(reply.encode());
     return out;
+}
+
+std::vector<std::string>
+Server::handleLine(const std::string &line, bool &quit)
+{
+    ConnState conn;
+    return handleLine(line, conn, quit);
 }
 
 void
 Server::serve(Transport &transport)
 {
+    ConnState conn;
     std::string line;
     while (transport.readLine(line)) {
         bool quit = false;
-        for (const std::string &reply : handleLine(line, quit))
+        for (const std::string &reply :
+             handleLine(line, conn, quit))
             transport.writeLine(reply);
         if (quit)
             break;

@@ -2,14 +2,18 @@
  * @file
  * Line-framed transports and the Zoomie debug server. A Transport
  * moves whole JSONL lines; StreamTransport wraps stdin/stdout for
- * the `zoomie-server` tool and DuplexPipe provides an in-memory,
- * deterministic transport for tests. The Server owns a thread-safe
- * SessionRegistry and speaks the protocol of rdp/protocol.hh:
- * server-level commands (hello/open/close/sessions/quit) are
- * handled here, everything else routes through the shared
- * Dispatcher of the session named by the request (or the sole open
- * session). serve() may run on several threads at once, one per
- * transport, against the same registry.
+ * the `zoomie-server` tool, DuplexPipe provides an in-memory,
+ * deterministic transport for tests, and rdp/net.hh adds the TCP
+ * socket transport. The Server owns a thread-safe SessionRegistry
+ * plus the Scheduler that time-slices device cycles across
+ * sessions, and speaks the protocol of rdp/protocol.hh:
+ * server-level commands (hello/open/close/sessions/commands/batch/
+ * quit/shutdown) are described by a declarative table here,
+ * everything else routes through the shared Dispatcher of the
+ * session named by the request (or the sole open session). serve()
+ * may run on many threads at once, one per transport, against the
+ * same registry; each transport carries its own negotiated
+ * protocol version (ConnState).
  */
 
 #ifndef ZOOMIE_RDP_SERVER_HH
@@ -17,12 +21,14 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "rdp/dispatcher.hh"
+#include "rdp/scheduler.hh"
 #include "rdp/session.hh"
 
 namespace zoomie::rdp {
@@ -121,6 +127,19 @@ class DuplexPipe
 struct ServerOptions
 {
     std::string name = "zoomie-server";
+
+    /** Worker pool / admission / reaper configuration. */
+    SchedulerOptions scheduler;
+};
+
+/**
+ * Per-connection protocol state. Connections that skip `hello`
+ * speak the newest protocol; `hello` pins the negotiated version,
+ * which gates v2-only commands (`batch`) on that connection.
+ */
+struct ConnState
+{
+    uint64_t version = kProtocolVersion;
 };
 
 /** The multi-session Zoomie debug server. */
@@ -128,11 +147,14 @@ class Server
 {
   public:
     explicit Server(ServerOptions options = {})
-        : _options(std::move(options))
+        : _options(std::move(options)),
+          _scheduler(_registry, _options.scheduler)
     {
     }
 
     SessionRegistry &sessions() { return _registry; }
+    Scheduler &scheduler() { return _scheduler; }
+    const ServerOptions &options() const { return _options; }
 
     /**
      * Serve one transport until end-of-stream or a quit request.
@@ -144,19 +166,73 @@ class Server
     /**
      * Process one raw input line; returns the output lines (events
      * first, then exactly one reply for well-formed requests) and
-     * sets @p quit when the line asked the server to stop.
+     * sets @p quit when the line asked the server to stop. @p conn
+     * carries the connection's negotiated protocol version.
      */
+    std::vector<std::string> handleLine(const std::string &line,
+                                        ConnState &conn,
+                                        bool &quit);
+
+    /** Single-shot convenience: a fresh ConnState per call. */
     std::vector<std::string> handleLine(const std::string &line,
                                         bool &quit);
 
+    /**
+     * Invoked when a client issues `shutdown` (not plain `quit`,
+     * which only ends that client's connection). The TCP front end
+     * hooks this to stop the whole listener. Must not block.
+     */
+    void setShutdownHook(std::function<void()> hook)
+    {
+        _shutdownHook = std::move(hook);
+    }
+
   private:
-    Json handleHello(const Request &req);
-    Json handleOpen(const Request &req);
-    Json handleClose(const Request &req);
-    Json handleSessions(const Request &req);
+    struct ArgDoc
+    {
+        const char *name;
+        const char *type; ///< "u64" | "string" | "array" | "bool"
+        bool required;
+    };
+    struct ServerCommandSpec
+    {
+        const char *name;
+        const char *help;
+        uint64_t minVersion;
+        bool quits;
+        std::vector<ArgDoc> args;
+        Json (Server::*handler)(const Request &, ConnState &,
+                                std::vector<std::string> &);
+    };
+    static const std::vector<ServerCommandSpec> &serverTable();
+
+    /**
+     * Execute one decoded request (server-level or session-routed),
+     * appending any event lines to @p out; returns the reply.
+     */
+    Json dispatchRequest(const Request &req, ConnState &conn,
+                         std::vector<std::string> &out,
+                         bool &quit);
+
+    Json handleHello(const Request &req, ConnState &conn,
+                     std::vector<std::string> &out);
+    Json handleOpen(const Request &req, ConnState &conn,
+                    std::vector<std::string> &out);
+    Json handleClose(const Request &req, ConnState &conn,
+                     std::vector<std::string> &out);
+    Json handleSessions(const Request &req, ConnState &conn,
+                        std::vector<std::string> &out);
+    Json handleCommands(const Request &req, ConnState &conn,
+                        std::vector<std::string> &out);
+    Json handleBatch(const Request &req, ConnState &conn,
+                     std::vector<std::string> &out);
+    Json handleQuit(const Request &req, ConnState &conn,
+                    std::vector<std::string> &out);
 
     ServerOptions _options;
     SessionRegistry _registry;
+    Scheduler _scheduler;
+    std::function<void()> _shutdownHook;
 };
 
 } // namespace zoomie::rdp

@@ -84,6 +84,7 @@ Session::Session(uint64_t id, SessionConfig config)
     opts.instrument.watchSignals = _config.watchSignals;
     opts.instrument.assertions = _config.assertions;
     _platform = core::Platform::create(design, opts);
+    touch();
 }
 
 std::shared_ptr<Session>

@@ -12,6 +12,8 @@
 #ifndef ZOOMIE_RDP_SESSION_HH
 #define ZOOMIE_RDP_SESSION_HH
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -23,6 +25,31 @@
 #include "core/zoomie.hh"
 
 namespace zoomie::rdp {
+
+/** Monotonic microsecond stamp for idle tracking and metrics. */
+inline int64_t
+steadyNowMicros()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/**
+ * Per-session scheduling metrics. All counters are atomics so the
+ * scheduler's workers, the serve threads, and the idle reaper can
+ * read and update them without taking the session's device mutex.
+ */
+struct SessionStats
+{
+    std::atomic<uint64_t> cyclesRun{0};   ///< cycles the scheduler executed
+    std::atomic<uint64_t> runRequests{0}; ///< completed `run` commands
+    std::atomic<uint64_t> execMicros{0};  ///< wall time inside run quanta
+    std::atomic<uint64_t> queueWaitMicros{0}; ///< time spent queued
+    std::atomic<uint64_t> pendingRuns{0}; ///< runs queued or executing
+    std::atomic<int64_t> lastActiveMicros{0}; ///< steadyNowMicros() stamp
+};
 
 /** What to bring up when a session opens. */
 struct SessionConfig
@@ -59,6 +86,12 @@ class Session
     /** Serializes commands against this session's device. */
     std::mutex &mutex() { return _mutex; }
 
+    /** Scheduling metrics; safe to read from any thread. */
+    SessionStats &stats() { return _stats; }
+
+    /** Stamp the session as recently used (defers the reaper). */
+    void touch() { _stats.lastActiveMicros = steadyNowMicros(); }
+
     // ---- dispatcher-tracked state --------------------------------
     std::optional<core::Snapshot> snapshot;
     uint64_t reportedAssertions = 0; ///< already emitted as events
@@ -72,6 +105,7 @@ class Session
     SessionConfig _config;
     std::unique_ptr<core::Platform> _platform;
     std::mutex _mutex;
+    SessionStats _stats;
 };
 
 /** Thread-safe registry of concurrent sessions. */

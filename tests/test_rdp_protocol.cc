@@ -267,9 +267,18 @@ TEST(Protocol, BuildsReplyAndEventSchemas)
     EXPECT_EQ(ok.find("id")->asU64(), 9u);
     EXPECT_TRUE(ok.find("ok")->asBool());
 
-    Json fail = rdp::errorReply(req, rdp::errc::kBadArgs, "nope");
+    Json fail = rdp::errorReply(req, rdp::Errc::BadArgs, "nope");
     EXPECT_FALSE(fail.find("ok")->asBool());
     EXPECT_EQ(fail.find("error")->asString(), "bad-args");
+
+    // The typed taxonomy maps one wire name per code.
+    EXPECT_STREQ(rdp::errcName(rdp::Errc::Busy), "busy");
+    EXPECT_STREQ(rdp::errcName(rdp::Errc::Timeout), "timeout");
+    EXPECT_STREQ(rdp::errcName(rdp::Errc::NoSession),
+                 "no-session");
+    EXPECT_STREQ(rdp::errcName(rdp::Errc::BadRequest),
+                 "bad-request");
+    EXPECT_STREQ(rdp::errcName(rdp::Errc::Internal), "internal");
 
     Json stop = rdp::dbgStopEvent(3, "watchpoint", 17);
     EXPECT_EQ(stop.find("type")->asString(), "dbg_stop");

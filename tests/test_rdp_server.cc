@@ -135,13 +135,20 @@ TEST(RdpServer, HelloNegotiatesProtocolVersion)
     ServedPipe pipe(server);
     Client client(pipe.clientEnd());
 
+    // A v1 client keeps v1 semantics on its connection...
     Json welcome =
         client.cmd("hello", {{"version", Json(uint64_t(1))}});
     ASSERT_TRUE(okField(welcome));
-    EXPECT_EQ(u64Field(welcome, "version"), rdp::kProtocolVersion);
+    EXPECT_EQ(u64Field(welcome, "version"), 1u);
     EXPECT_EQ(welcome.find("protocol")->asString(), "zoomie-rdp");
 
-    // A newer client degrades to our version...
+    // ...a current client gets the full protocol...
+    Json current = client.cmd(
+        "hello", {{"version", Json(rdp::kProtocolVersion)}});
+    ASSERT_TRUE(okField(current));
+    EXPECT_EQ(u64Field(current, "version"), rdp::kProtocolVersion);
+
+    // ...a newer client degrades to our version...
     Json newer =
         client.cmd("hello", {{"version", Json(uint64_t(99))}});
     ASSERT_TRUE(okField(newer));
@@ -166,7 +173,7 @@ TEST(RdpServer, StructuredErrorsNeverCrash)
     Json nosession = client.cmd("run", {{"n", Json(uint64_t(5))}});
     EXPECT_FALSE(okField(nosession));
     EXPECT_EQ(nosession.find("error")->asString(),
-              "unknown-session");
+              "no-session");
 
     // Unknown design.
     Json baddesign = client.cmd("open", {{"design", Json("vax")}});
@@ -429,10 +436,241 @@ TEST(RdpServer, TwoConcurrentSessionsStayIsolated)
     Json gone = closer.cmd("run", {{"session", Json(session_a)},
                                    {"n", Json(1)}});
     EXPECT_FALSE(okField(gone));
-    EXPECT_EQ(gone.find("error")->asString(), "unknown-session");
+    EXPECT_EQ(gone.find("error")->asString(), "no-session");
     Json alive = closer.cmd("run", {{"session", Json(session_b)},
                                     {"n", Json(1)}});
     EXPECT_TRUE(okField(alive));
+}
+
+TEST(RdpServer, BatchExecutesInOneRoundTrip)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    ASSERT_TRUE(okField(
+        client.cmd("hello", {{"version", Json(uint64_t(2))}})));
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")}})));
+
+    // The acceptance batch: snapshot, force, run — three commands,
+    // one request line, one reply line.
+    Json requests = Json::array();
+    {
+        Json snap = Json::object();
+        snap.set("cmd", "snapshot");
+        requests.push(std::move(snap));
+        Json force = Json::object();
+        force.set("cmd", "force");
+        force.set("name", "mut/count");
+        force.set("value", uint64_t(7));
+        requests.push(std::move(force));
+        Json run = Json::object();
+        run.set("cmd", "run");
+        run.set("n", uint64_t(10));
+        requests.push(std::move(run));
+    }
+    Json reply =
+        client.cmd("batch", {{"requests", std::move(requests)}});
+    ASSERT_TRUE(okField(reply)) << reply.encode();
+    EXPECT_EQ(u64Field(reply, "executed"), 3u);
+    EXPECT_EQ(u64Field(reply, "failed"), 0u);
+
+    const Json *results = reply.find("results");
+    ASSERT_TRUE(results && results->isArray());
+    ASSERT_EQ(results->size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(okField(results->at(i))) << i;
+        EXPECT_EQ(u64Field(results->at(i), "index"), i);
+    }
+    // The scheduled run's metrics surface inside the batch too.
+    EXPECT_EQ(u64Field(results->at(2), "cycles_run"), 10u);
+
+    // The batch really mutated the device: count was forced to 7
+    // and then ran 10 cycles.
+    Json count =
+        client.cmd("print", {{"name", Json("mut/count")}});
+    ASSERT_TRUE(okField(count));
+    EXPECT_EQ(u64Field(count, "value"), 17u);
+
+    // And the snapshot taken as sub-request 0 restores pre-force
+    // state.
+    ASSERT_TRUE(okField(client.cmd("restore")));
+    Json restored =
+        client.cmd("print", {{"name", Json("mut/count")}});
+    EXPECT_EQ(u64Field(restored, "value"), 0u);
+}
+
+TEST(RdpServer, BatchMidErrorContinuesOrAborts)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")}})));
+
+    auto makeRequests = [] {
+        Json requests = Json::array();
+        Json run1 = Json::object();
+        run1.set("cmd", "run");
+        run1.set("n", uint64_t(5));
+        requests.push(std::move(run1));
+        Json bad = Json::object();
+        bad.set("cmd", "print");
+        bad.set("name", "zz/top"); // unknown-name mid-batch
+        requests.push(std::move(bad));
+        Json run2 = Json::object();
+        run2.set("cmd", "run");
+        run2.set("n", uint64_t(5));
+        requests.push(std::move(run2));
+        return requests;
+    };
+
+    // Without abort_on_error the batch runs to completion: the
+    // outer reply reports the first failure, later sub-requests
+    // still execute.
+    Json keep_going =
+        client.cmd("batch", {{"requests", makeRequests()}});
+    EXPECT_FALSE(okField(keep_going));
+    EXPECT_EQ(keep_going.find("error")->asString(),
+              "unknown-name");
+    EXPECT_EQ(u64Field(keep_going, "executed"), 3u);
+    EXPECT_EQ(u64Field(keep_going, "failed"), 1u);
+    EXPECT_FALSE(keep_going.find("aborted"));
+    const Json *results = keep_going.find("results");
+    ASSERT_TRUE(results && results->size() == 3u);
+    EXPECT_TRUE(okField(results->at(0)));
+    EXPECT_FALSE(okField(results->at(1)));
+    EXPECT_TRUE(okField(results->at(2)));
+    Json count =
+        client.cmd("print", {{"name", Json("mut/count")}});
+    EXPECT_EQ(u64Field(count, "value"), 10u); // both runs landed
+
+    // With abort_on_error the failing sub-request is the last one
+    // executed.
+    Json aborted = client.cmd("batch",
+                              {{"requests", makeRequests()},
+                               {"abort_on_error", Json(true)}});
+    EXPECT_FALSE(okField(aborted));
+    EXPECT_EQ(u64Field(aborted, "executed"), 2u);
+    EXPECT_EQ(u64Field(aborted, "failed"), 1u);
+    const Json *flag = aborted.find("aborted");
+    ASSERT_TRUE(flag);
+    EXPECT_TRUE(flag->asBool());
+    Json after =
+        client.cmd("print", {{"name", Json("mut/count")}});
+    EXPECT_EQ(u64Field(after, "value"), 15u); // run2 never ran
+
+    // Nested batches and connection-control commands are refused
+    // inside a batch.
+    Json nested = Json::array();
+    Json inner = Json::object();
+    inner.set("cmd", "batch");
+    inner.set("requests", Json::array());
+    nested.push(std::move(inner));
+    Json refused =
+        client.cmd("batch", {{"requests", std::move(nested)}});
+    EXPECT_FALSE(okField(refused));
+    EXPECT_EQ(refused.find("results")->at(0)
+                  .find("error")->asString(),
+              "bad-args");
+}
+
+TEST(RdpServer, BatchRequiresProtocolV2)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    // A connection that negotiated v1 must keep seeing the v1
+    // surface: batch does not exist there.
+    ASSERT_TRUE(okField(
+        client.cmd("hello", {{"version", Json(uint64_t(1))}})));
+    Json refused =
+        client.cmd("batch", {{"requests", Json::array()}});
+    EXPECT_FALSE(okField(refused));
+    EXPECT_EQ(refused.find("error")->asString(),
+              "unknown-command");
+
+    // Re-negotiating v2 on the same connection unlocks it.
+    ASSERT_TRUE(okField(
+        client.cmd("hello", {{"version", Json(uint64_t(2))}})));
+    Json empty =
+        client.cmd("batch", {{"requests", Json::array()}});
+    EXPECT_TRUE(okField(empty));
+    EXPECT_EQ(u64Field(empty, "executed"), 0u);
+}
+
+TEST(RdpServer, CommandsIntrospectionDescribesTheApi)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    Json reply = client.cmd("commands");
+    ASSERT_TRUE(okField(reply));
+    const Json *commands = reply.find("commands");
+    ASSERT_TRUE(commands && commands->isArray());
+
+    auto entry = [&](const std::string &name) -> const Json * {
+        for (size_t i = 0; i < commands->size(); ++i) {
+            const Json *n = commands->at(i).find("name");
+            if (n && n->asString() == name)
+                return &commands->at(i);
+        }
+        return nullptr;
+    };
+
+    // A session command with its machine-readable arg schema.
+    const Json *run = entry("run");
+    ASSERT_TRUE(run);
+    EXPECT_EQ(run->find("scope")->asString(), "session");
+    const Json *args = run->find("args");
+    ASSERT_TRUE(args && args->isArray());
+    ASSERT_GE(args->size(), 1u);
+    EXPECT_EQ(args->at(0).find("name")->asString(), "n");
+    EXPECT_EQ(args->at(0).find("type")->asString(), "u64");
+    EXPECT_TRUE(args->at(0).find("required")->asBool());
+
+    // Server commands carry scope and the minimum protocol
+    // version, so a client can feature-detect batch.
+    const Json *open = entry("open");
+    ASSERT_TRUE(open);
+    EXPECT_EQ(open->find("scope")->asString(), "server");
+    EXPECT_EQ(u64Field(*open, "min_version"), 1u);
+    const Json *batch = entry("batch");
+    ASSERT_TRUE(batch);
+    EXPECT_EQ(u64Field(*batch, "min_version"), 2u);
+
+    // Every REPL command name appears in the introspection.
+    for (const std::string &name :
+         rdp::Dispatcher::commandNames())
+        EXPECT_TRUE(entry(name)) << name;
+}
+
+TEST(RdpServer, SessionsReportSchedulerMetrics)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")}})));
+    ASSERT_TRUE(
+        okField(client.cmd("run", {{"n", Json(uint64_t(64))}})));
+
+    Json reply = client.cmd("sessions");
+    ASSERT_TRUE(okField(reply));
+    const Json *sessions = reply.find("sessions");
+    ASSERT_TRUE(sessions && sessions->isArray());
+    ASSERT_EQ(sessions->size(), 1u);
+    const Json &entry = sessions->at(0);
+    EXPECT_EQ(u64Field(entry, "cycles"), 64u);
+    EXPECT_EQ(u64Field(entry, "run_requests"), 1u);
+    EXPECT_TRUE(entry.find("exec_us"));
+    EXPECT_TRUE(entry.find("queue_wait_us"));
+    EXPECT_EQ(u64Field(entry, "pending_runs"), 0u);
+    EXPECT_TRUE(entry.find("idle_us"));
 }
 
 TEST(RdpServer, ReplAndWireShareTheCommandTable)
