@@ -22,6 +22,7 @@
  *     [--quantum N]                   cycles per scheduler slice
  *     [--idle-timeout-ms N]           reap sessions idle > N ms
  *     [--read-timeout-ms N]           per-connection read deadline
+ *     [--trace-chunk-bytes N]         VCD bytes per trace_chunk
  *
  * A minimal session (pipe or `nc 127.0.0.1 PORT`):
  *   {"cmd":"hello","version":2}
@@ -30,6 +31,10 @@
  *     {"cmd":"break","slot":0,"value":12},{"cmd":"run","n":200}]}
  *   {"cmd":"print","name":"cpu/pc","id":2}
  *   {"cmd":"quit"}
+ *
+ * A v2 `trace` without a "file" argument streams the VCD back as
+ * ordered `trace_chunk` events plus a checksummed `trace_done` —
+ * see the "Remote trace" recipe in README.md for a reassembler.
  */
 
 #include <cstdio>
@@ -117,13 +122,21 @@ main(int argc, char **argv)
                              value("--read-timeout-ms"), num))
                 return 2;
             net_options.readTimeoutMs = int(num);
+        } else if (std::strcmp(argv[i], "--trace-chunk-bytes") ==
+                   0) {
+            if (!parseArgNum("--trace-chunk-bytes",
+                             value("--trace-chunk-bytes"), num) ||
+                num == 0)
+                return 2;
+            server_options.traceChunkBytes = size_t(num);
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--script FILE] [--events-only]\n"
                 "       %s --listen PORT [--bind ADDR] "
                 "[--workers N] [--max-sessions N] [--quantum N] "
-                "[--idle-timeout-ms N] [--read-timeout-ms N]\n",
+                "[--idle-timeout-ms N] [--read-timeout-ms N] "
+                "[--trace-chunk-bytes N]\n",
                 argv[0], argv[0]);
             return 2;
         }

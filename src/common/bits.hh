@@ -8,6 +8,7 @@
 #ifndef ZOOMIE_COMMON_BITS_HH
 #define ZOOMIE_COMMON_BITS_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "logging.hh"
@@ -67,6 +68,27 @@ inline unsigned
 popCount(uint64_t value)
 {
     return static_cast<unsigned>(__builtin_popcountll(value));
+}
+
+/** FNV-1a 64-bit offset basis: the seed for a fresh hash. */
+inline constexpr uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
+
+/**
+ * 64-bit FNV-1a over a byte string. Used as the end-to-end
+ * checksum for streamed trace delivery (rdp `trace_done`): tiny,
+ * dependency-free, and trivially reimplementable by wire clients
+ * in any language (see the README reassembly recipe). Pass a
+ * previous result as @p seed to hash a document incrementally.
+ */
+inline uint64_t
+fnv1a64(const char *data, size_t size, uint64_t seed = kFnv1aBasis)
+{
+    uint64_t hash = seed;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= uint64_t(static_cast<unsigned char>(data[i]));
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
 }
 
 } // namespace zoomie

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/bits.hh"
 #include "core/instrument.hh"
 #include "rdp/scheduler.hh"
 #include "sim/trace.hh"
@@ -104,6 +105,8 @@ struct Dispatcher::Ctx
     Session &session;
     std::shared_ptr<Session> ref; ///< null for direct execution
     Scheduler *scheduler;         ///< null for direct execution
+    EventSink *sink;              ///< null: streaming unavailable
+    size_t traceChunkBytes;       ///< trace_chunk payload cap
 };
 
 struct Dispatcher::CommandSpec
@@ -375,35 +378,175 @@ cmdRestore(Ctx &c, const Args &)
     return out;
 }
 
+/**
+ * Resolve the trace signal list. An explicit comma-separated
+ * @p list must name readable registers only — validated here,
+ * before any file or stream is opened, so a bad name can never
+ * leave a truncated VCD behind. Without a list, every readable
+ * watch signal is traced (watched wires are skipped: they are not
+ * readable by name).
+ */
+std::vector<std::string>
+traceSignals(Session &s, const Args &a)
+{
+    core::Debugger &dbg = s.debugger();
+    std::vector<std::string> signals;
+    if (a.has("signals")) {
+        const std::string &list = a.str("signals");
+        size_t start = 0;
+        while (start <= list.size()) {
+            size_t comma = list.find(',', start);
+            if (comma == std::string::npos)
+                comma = list.size();
+            std::string name = list.substr(start, comma - start);
+            if (name.empty()) {
+                throw CommandError{
+                    Errc::BadArgs,
+                    "signals: empty name in comma-separated list"};
+            }
+            if (!dbg.hasRegister(name)) {
+                throw CommandError{Errc::UnknownName,
+                                   "unknown signal '" + name +
+                                       "'"};
+            }
+            signals.push_back(std::move(name));
+            start = comma + 1;
+        }
+    } else {
+        for (const std::string &signal :
+             s.platform().instrumented().watchSignals) {
+            if (dbg.hasRegister(signal))
+                signals.push_back(signal);
+        }
+    }
+    if (signals.empty()) {
+        throw CommandError{Errc::BadArgs,
+                           "no readable signals to trace"};
+    }
+    return signals;
+}
+
 Json
 cmdTrace(Ctx &c, const Args &a)
 {
     Session &s = c.session;
     uint64_t n = checkedCycles(a.num("n"));
+    bool to_file = a.has("file");
+    if (!to_file && !c.sink) {
+        throw CommandError{
+            Errc::BadArgs,
+            "trace without 'file' streams trace_chunk events, "
+            "which needs a protocol v2 server connection; pass "
+            "'file' to write a server-side VCD instead"};
+    }
+
+    // Validate every signal before capturing or opening anything.
+    std::vector<std::string> signals = traceSignals(s, a);
     core::Debugger &dbg = s.debugger();
     sim::Trace trace;
-    for (const std::string &signal :
-         s.platform().instrumented().watchSignals) {
-        if (!dbg.hasRegister(signal))
-            continue;  // watched wire: not readable by name
+    for (const std::string &signal : signals) {
         trace.addSignal(signal, [&dbg, signal]() {
             return dbg.readRegister(signal);
         });
     }
-    for (uint64_t i = 0; i < n; ++i) {
-        trace.sample();
-        s.platform().run(1);
+
+    // Capture: one sample before each device cycle. Through the
+    // scheduler when attached, so an N-cycle capture is sliced
+    // into quanta and stays fair against other sessions.
+    uint64_t samples = n;
+    if (c.scheduler && c.ref) {
+        std::function<void()> sampler = [&trace] {
+            trace.sample();
+        };
+        Scheduler::RunOutcome res =
+            c.scheduler->run(c.ref, n, sampler);
+        if (res.cancelled) {
+            throw CommandError{Errc::Busy,
+                               "server is shutting down"};
+        }
+        if (res.budgetExhausted && res.cyclesRun == 0) {
+            throw CommandError{
+                Errc::Busy,
+                "session cycle budget exhausted (" +
+                    std::to_string(
+                        c.scheduler->options().cycleBudget) +
+                    " cycles)"};
+        }
+        samples = res.cyclesRun;
+    } else {
+        std::lock_guard<std::mutex> lock(s.mutex());
+        for (uint64_t i = 0; i < n; ++i) {
+            trace.sample();
+            s.platform().run(1);
+        }
     }
-    const std::string &file = a.str("file");
-    std::ofstream out_file(file);
-    if (!out_file) {
-        throw CommandError{Errc::BadArgs,
-                           "cannot open '" + file + "' for writing"};
-    }
-    sim::writeVcd(trace, out_file);
+
     Json out = Json::object();
-    out.set("samples", n);
-    out.set("file", file);
+    out.set("samples", samples);
+
+    if (to_file) {
+        const std::string &file = a.str("file");
+        std::ofstream out_file(file);
+        if (!out_file) {
+            throw CommandError{Errc::BadArgs,
+                               "cannot open '" + file +
+                                   "' for writing"};
+        }
+        sim::writeVcd(trace, out_file);
+        out.set("file", file);
+        return out;
+    }
+
+    // Stream the document as ordered trace_chunk events. The
+    // capture is complete and the session mutex is not held here,
+    // so a slow client cannot wedge the device; a *stalled* client
+    // fills the bounded outbox, emit() refuses, and the stream is
+    // cut with a typed overflow instead of blocking.
+    uint64_t seq = 0;
+    uint64_t offset = 0;
+    uint64_t checksum = kFnv1aBasis;
+    bool stalled = false;
+    sim::VcdChunkWriter writer(
+        [&](std::string_view chunk) {
+            if (stalled)
+                return;
+            if (!c.sink->emit(traceChunkEvent(s.id(), seq, offset,
+                                              chunk))) {
+                stalled = true;
+                return;
+            }
+            checksum =
+                fnv1a64(chunk.data(), chunk.size(), checksum);
+            ++seq;
+            offset += chunk.size();
+        },
+        trace.names(), sim::vcdWidths(trace), "1ns",
+        c.traceChunkBytes);
+    std::vector<uint64_t> values(trace.signalCount());
+    for (size_t t = 0; t < trace.length() && !stalled; ++t) {
+        for (size_t sig = 0; sig < values.size(); ++sig)
+            values[sig] = trace.at(sig, t);
+        writer.appendSample(values);
+    }
+    if (!stalled)
+        writer.finish();
+
+    if (stalled) {
+        c.sink->emitControl(traceOverflowEvent(
+            s.id(), seq,
+            "outbox full after " + std::to_string(seq) +
+                " chunks; the stream was cut"));
+        throw CommandError{
+            Errc::TraceOverflow,
+            "client stalled: stream cut after " +
+                std::to_string(seq) + " chunks (" +
+                std::to_string(offset) + " bytes delivered)"};
+    }
+    c.sink->emitControl(
+        traceDoneEvent(s.id(), seq, offset, checksum, samples));
+    out.set("streamed", true);
+    out.set("chunks", seq);
+    out.set("bytes", offset);
     return out;
 }
 
@@ -526,9 +669,10 @@ Dispatcher::table()
          cmdRestore, false},
         {"trace", nullptr,
          {{"n", ArgKind::Num, true},
-          {"file", ArgKind::Str, true}},
-         "sample watch signals for N cycles, write VCD",
-         cmdTrace, true},
+          {"file", ArgKind::Str, false},
+          {"signals", ArgKind::Str, false}},
+         "sample signals N cycles; stream VCD chunks or write FILE",
+         cmdTrace, true, /*yields=*/true},
         {"info", nullptr, {},
          "session status",
          cmdInfo, false},
@@ -660,7 +804,7 @@ Dispatcher::execute(const Request &req)
         }
     }
 
-    Ctx ctx{_session, _ref, _scheduler};
+    Ctx ctx{_session, _ref, _scheduler, _sink, _traceChunkBytes};
     try {
         Json fields;
         if (spec->yields) {
@@ -854,9 +998,15 @@ Dispatcher::renderText(const Result &result)
         out += "restored to mut cycle " +
                std::to_string(u64("cycle")) + "\n";
     } else if (cmd == "trace") {
-        out += "wrote " + std::to_string(u64("samples")) +
-               " samples to " + reply.find("file")->asString() +
-               "\n";
+        if (const Json *file = reply.find("file")) {
+            out += "wrote " + std::to_string(u64("samples")) +
+                   " samples to " + file->asString() + "\n";
+        } else {
+            out += "streamed " + std::to_string(u64("samples")) +
+                   " samples (" + std::to_string(u64("chunks")) +
+                   " chunks, " + std::to_string(u64("bytes")) +
+                   " bytes)\n";
+        }
     } else if (cmd == "info") {
         out += "design: " + reply.find("design")->asString() +
                "  mut cycles: " + std::to_string(u64("cycle")) +

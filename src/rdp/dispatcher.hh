@@ -34,6 +34,29 @@ namespace zoomie::rdp {
 
 class Scheduler;
 
+/**
+ * Receives events a command emits *while it executes* — today the
+ * `trace_chunk` stream of a file-less `trace` — as opposed to the
+ * post-command events returned in Result::events. Implemented by
+ * the server's per-connection outbox; null for direct (REPL)
+ * execution, where streaming commands answer a structured error.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    /**
+     * Deliver one droppable bulk-data event (a trace chunk).
+     * @return false when the outbox is full — the client has
+     * stalled — and the producer must cut the stream.
+     */
+    virtual bool emit(const Json &event) = 0;
+
+    /** Deliver one control event; never refused, never dropped. */
+    virtual void emitControl(const Json &event) = 0;
+};
+
 /** Executes protocol requests against one session. */
 class Dispatcher
 {
@@ -60,6 +83,20 @@ class Dispatcher
         Json reply;
         std::vector<Json> events;
     };
+
+    /**
+     * Attach the connection's event sink: commands that stream
+     * (v2 `trace` without a file) emit through it mid-execution.
+     * Null (the default) disables streaming on this dispatcher.
+     */
+    void setEventSink(EventSink *sink) { _sink = sink; }
+
+    /** Cap on the VCD payload bytes of one `trace_chunk` event. */
+    void setTraceChunkBytes(size_t bytes)
+    {
+        if (bytes > 0)
+            _traceChunkBytes = bytes;
+    }
 
     /**
      * Validate arguments and run @p req against the session. Never
@@ -102,12 +139,17 @@ class Dispatcher
     struct Ctx;
     static const std::vector<CommandSpec> &table();
 
+    /** Default `trace_chunk` payload cap (pre-JSON-escaping). */
+    static constexpr size_t kDefaultTraceChunkBytes = 32 * 1024;
+
   private:
     std::vector<Json> pollStopEvents();
 
     Session &_session;
     std::shared_ptr<Session> _ref; ///< null for direct execution
     Scheduler *_scheduler = nullptr;
+    EventSink *_sink = nullptr; ///< null: streaming unavailable
+    size_t _traceChunkBytes = kDefaultTraceChunkBytes;
 };
 
 } // namespace zoomie::rdp

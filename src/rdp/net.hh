@@ -9,6 +9,14 @@
  * thread count, and shutdown is clean — a self-pipe wakes the
  * accept loop, live connections are kicked with shutdown(2), and
  * every thread is joined before stop() returns.
+ *
+ * Output ordering: inside serve() every line — replies, stop
+ * events, streamed trace_chunk events — leaves through the
+ * connection's bounded Outbox (see server.hh), whose single writer
+ * thread calls writeLine(); writeLine() is additionally guarded by
+ * its own mutex so the post-serve error events the connection loop
+ * emits (read timeout, oversized line) can never interleave
+ * mid-line with outbox output.
  */
 
 #ifndef ZOOMIE_RDP_NET_HH

@@ -1,6 +1,7 @@
 #include "protocol.hh"
 
 #include <charconv>
+#include <cstdio>
 
 namespace zoomie::rdp {
 
@@ -16,6 +17,7 @@ errcName(Errc code)
     case Errc::UnsupportedVersion: return "unsupported-version";
     case Errc::Busy: return "busy";
     case Errc::Timeout: return "timeout";
+    case Errc::TraceOverflow: return "trace-overflow";
     case Errc::Internal: return "internal";
     }
     return "internal";
@@ -132,6 +134,52 @@ watchHitEvent(uint64_t session, unsigned slot,
     event.set("old", old_value);
     event.set("new", new_value);
     event.set("cycle", cycle);
+    return event;
+}
+
+Json
+traceChunkEvent(uint64_t session, uint64_t seq, uint64_t offset,
+                std::string_view data)
+{
+    Json event = Json::object();
+    event.set("type", "trace_chunk");
+    event.set("session", session);
+    event.set("seq", seq);
+    event.set("offset", offset);
+    event.set("bytes", uint64_t(data.size()));
+    event.set("data", std::string(data));
+    return event;
+}
+
+Json
+traceDoneEvent(uint64_t session, uint64_t chunks, uint64_t bytes,
+               uint64_t checksum, uint64_t samples)
+{
+    Json event = Json::object();
+    event.set("type", "trace_done");
+    event.set("session", session);
+    event.set("chunks", chunks);
+    event.set("bytes", bytes);
+    // Hex string: the checksum is an opaque token to compare, and
+    // not every JSON client keeps 64-bit integers exact.
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  (unsigned long long)checksum);
+    event.set("checksum", hex);
+    event.set("samples", samples);
+    return event;
+}
+
+Json
+traceOverflowEvent(uint64_t session, uint64_t delivered,
+                   const std::string &detail)
+{
+    Json event = Json::object();
+    event.set("type", "trace_overflow");
+    event.set("session", session);
+    event.set("delivered", delivered);
+    event.set("error", errcName(Errc::TraceOverflow));
+    event.set("detail", detail);
     return event;
 }
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "rdp/json.hh"
 
@@ -54,6 +55,7 @@ enum class Errc {
     UnsupportedVersion, ///< client requires a newer protocol
     Busy,               ///< admission refused / budget exhausted
     Timeout,            ///< transport read deadline expired
+    TraceOverflow,      ///< stream outbox filled (client stalled)
     Internal,           ///< unexpected server-side failure
 };
 
@@ -100,6 +102,31 @@ Json assertionFiredEvent(uint64_t session, unsigned index,
 Json watchHitEvent(uint64_t session, unsigned slot,
                    const std::string &signal, uint64_t old_value,
                    uint64_t new_value, uint64_t cycle);
+
+// ---- streamed trace delivery (protocol v2) ---------------------------
+//
+// A v2 `trace` request without a `file` argument streams the VCD
+// document to the requesting client as ordered `trace_chunk`
+// events (raw document text as a JSON string; VCD is plain ASCII)
+// followed by one `trace_done` carrying the total byte count and
+// an FNV-1a checksum, so a remote client reconstructs a byte-
+// identical file with no shared filesystem. A stalled client that
+// fills the bounded outbox gets a `trace_overflow` event and a
+// `trace-overflow` error reply instead of wedging the server.
+
+/** One ordered VCD segment: seq numbers start at 0, @p offset is
+ *  the byte position of this segment in the whole document. */
+Json traceChunkEvent(uint64_t session, uint64_t seq,
+                     uint64_t offset, std::string_view data);
+
+/** Terminal event: the stream is complete and checksummable. */
+Json traceDoneEvent(uint64_t session, uint64_t chunks,
+                    uint64_t bytes, uint64_t checksum,
+                    uint64_t samples);
+
+/** Backpressure: the stream was cut after @p delivered chunks. */
+Json traceOverflowEvent(uint64_t session, uint64_t delivered,
+                        const std::string &detail);
 
 // ---- hardened numeric parsing ----------------------------------------
 //

@@ -60,7 +60,8 @@ Scheduler::canAdmit() const
 
 Scheduler::RunOutcome
 Scheduler::run(const std::shared_ptr<Session> &session,
-               uint64_t cycles)
+               uint64_t cycles,
+               const std::function<void()> &perCycle)
 {
     RunOutcome outcome;
     if (!session)
@@ -83,6 +84,8 @@ Scheduler::run(const std::shared_ptr<Session> &session,
 
     Task task;
     task.session = session;
+    if (perCycle)
+        task.perCycle = &perCycle;
     task.remaining = cycles;
     session->stats().pendingRuns.fetch_add(1);
     {
@@ -134,7 +137,17 @@ Scheduler::workerLoop()
         {
             std::lock_guard<std::mutex> device(
                 task->session->mutex());
-            task->session->platform().run(slice);
+            if (task->perCycle) {
+                // Sampled run (streamed trace capture): the hook
+                // observes the device before each cycle, still one
+                // quantum per turn so other sessions interleave.
+                for (uint64_t i = 0; i < slice; ++i) {
+                    (*task->perCycle)();
+                    task->session->platform().run(1);
+                }
+            } else {
+                task->session->platform().run(slice);
+            }
         }
         int64_t t1 = steadyNowMicros();
 

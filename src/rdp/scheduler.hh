@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -82,9 +83,16 @@ class Scheduler
      * against every other queued run. Blocks the calling thread
      * until the task completes (or the scheduler stops). Updates
      * the session's SessionStats. Safe to call from many threads.
+     *
+     * When @p perCycle is non-null the worker calls it before
+     * every device cycle, under the session's mutex — this is how
+     * a streamed `trace` capture samples its signals while staying
+     * fair against other sessions' quanta. The callback must not
+     * block and must not touch the scheduler.
      */
     RunOutcome run(const std::shared_ptr<Session> &session,
-                   uint64_t cycles);
+                   uint64_t cycles,
+                   const std::function<void()> &perCycle = {});
 
     /** Admission check for `open` against maxSessions. */
     bool canAdmit() const;
@@ -106,6 +114,7 @@ class Scheduler
     struct Task
     {
         std::shared_ptr<Session> session;
+        const std::function<void()> *perCycle = nullptr;
         uint64_t remaining = 0;
         uint64_t cyclesRun = 0;
         uint64_t queueWaitMicros = 0;

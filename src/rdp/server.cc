@@ -33,7 +33,11 @@ void
 LineQueue::push(std::string line)
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        std::unique_lock<std::mutex> lock(_mutex);
+        _space.wait(lock, [this] {
+            return _closed || _capacity == 0 ||
+                   _lines.size() < _capacity;
+        });
         if (_closed)
             return;
         _lines.push_back(std::move(line));
@@ -44,13 +48,16 @@ LineQueue::push(std::string line)
 bool
 LineQueue::pop(std::string &line)
 {
-    std::unique_lock<std::mutex> lock(_mutex);
-    _ready.wait(lock,
-                [this] { return _closed || !_lines.empty(); });
-    if (_lines.empty())
-        return false;
-    line = std::move(_lines.front());
-    _lines.pop_front();
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _ready.wait(lock,
+                    [this] { return _closed || !_lines.empty(); });
+        if (_lines.empty())
+            return false;
+        line = std::move(_lines.front());
+        _lines.pop_front();
+    }
+    _space.notify_one();
     return true;
 }
 
@@ -62,6 +69,91 @@ LineQueue::close()
         _closed = true;
     }
     _ready.notify_all();
+    _space.notify_all();
+}
+
+// ---- the per-connection outbox ----------------------------------------
+
+Outbox::Outbox(Transport &out, size_t capacity)
+    : _out(out), _capacity(std::max<size_t>(1, capacity)),
+      _writer([this] { drainLoop(); })
+{
+}
+
+Outbox::~Outbox()
+{
+    close();
+}
+
+bool
+Outbox::push(std::string line, bool droppable)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_closed)
+            return false;
+        if (droppable) {
+            if (_queuedDroppable >= _capacity)
+                return false; // client stalled: refuse, don't grow
+            ++_queuedDroppable;
+        }
+        _lines.emplace_back(std::move(line), droppable);
+    }
+    _ready.notify_one();
+    return true;
+}
+
+bool
+Outbox::emit(const Json &event)
+{
+    return push(event.encode(), /*droppable=*/true);
+}
+
+void
+Outbox::emitControl(const Json &event)
+{
+    push(event.encode(), /*droppable=*/false);
+}
+
+void
+Outbox::pushLine(std::string line)
+{
+    push(std::move(line), /*droppable=*/false);
+}
+
+void
+Outbox::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _closed = true;
+    }
+    _ready.notify_all();
+    if (_writer.joinable())
+        _writer.join();
+}
+
+void
+Outbox::drainLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _ready.wait(lock, [this] {
+            return _closed || !_lines.empty();
+        });
+        if (_lines.empty())
+            return; // closed and fully drained
+        std::string line = std::move(_lines.front().first);
+        if (_lines.front().second)
+            --_queuedDroppable;
+        _lines.pop_front();
+        lock.unlock();
+        // The transport write happens without the queue lock: a
+        // blocked client stalls only this writer, producers keep
+        // queueing until the droppable bound trips.
+        _out.writeLine(line);
+        lock.lock();
+    }
 }
 
 // ---- the server-level command table -----------------------------------
@@ -472,8 +564,14 @@ Server::dispatchRequest(const Request &req, ConnState &conn,
         }
     }
 
-    Dispatcher::Result result =
-        Dispatcher(session, &_scheduler).execute(req);
+    Dispatcher dispatcher(session, &_scheduler);
+    // Mid-command streaming (trace_chunk) is a v2 capability and
+    // needs the connection's outbox; v1 clients and single-shot
+    // handleLine() keep the file-path behaviour.
+    if (conn.version >= 2)
+        dispatcher.setEventSink(conn.sink);
+    dispatcher.setTraceChunkBytes(_options.traceChunkBytes);
+    Dispatcher::Result result = dispatcher.execute(req);
     for (const Json &event : result.events)
         out.push_back(event.encode());
     return result.reply;
@@ -520,15 +618,21 @@ void
 Server::serve(Transport &transport)
 {
     ConnState conn;
+    // Every line this connection emits goes through one bounded
+    // outbox, so streamed trace chunks interleave with replies in
+    // emission order and a stalled client surfaces as a typed
+    // trace-overflow instead of an unbounded queue.
+    Outbox outbox(transport, _options.outboxCapacity);
+    conn.sink = &outbox;
     std::string line;
     while (transport.readLine(line)) {
         bool quit = false;
-        for (const std::string &reply :
-             handleLine(line, conn, quit))
-            transport.writeLine(reply);
+        for (std::string &reply : handleLine(line, conn, quit))
+            outbox.pushLine(std::move(reply));
         if (quit)
             break;
     }
+    outbox.close(); // drain queued lines, then join the writer
 }
 
 } // namespace zoomie::rdp

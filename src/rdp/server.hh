@@ -25,6 +25,8 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "rdp/dispatcher.hh"
@@ -66,14 +68,20 @@ class StreamTransport : public Transport
 class LineQueue
 {
   public:
+    /** @param capacity max queued lines; 0 = unbounded. */
+    explicit LineQueue(size_t capacity = 0) : _capacity(capacity) {}
+
+    /** Blocks while a bounded queue is full (until pop or close). */
     void push(std::string line);
     /** Blocks until a line or close. @return false when drained. */
     bool pop(std::string &line);
     void close();
 
   private:
+    size_t _capacity;
     std::mutex _mutex;
     std::condition_variable _ready;
+    std::condition_variable _space;
     std::deque<std::string> _lines;
     bool _closed = false;
 };
@@ -86,8 +94,15 @@ class LineQueue
 class DuplexPipe
 {
   public:
-    DuplexPipe()
-        : _serverEnd(_toServer, _toClient),
+    /**
+     * @param clientCapacity bound on server→client lines in
+     * flight; 0 = unbounded. A small bound simulates a client
+     * that stops reading: the server's writer blocks, its outbox
+     * fills, and streamed traces overflow — deterministically.
+     */
+    explicit DuplexPipe(size_t clientCapacity = 0)
+        : _toClient(clientCapacity),
+          _serverEnd(_toServer, _toClient),
           _clientEnd(_toClient, _toServer)
     {
     }
@@ -123,6 +138,55 @@ class DuplexPipe
     End _clientEnd;
 };
 
+/**
+ * Per-connection bounded outbox: every line the server emits on
+ * one connection — replies, stop events, streamed trace chunks —
+ * is queued here in emission order and written to the transport by
+ * one writer thread, so chunk events interleave cleanly with
+ * replies even while the transport blocks. Droppable lines (trace
+ * chunks, via emit()) are refused once `capacity` of them are
+ * waiting: the client has stalled, and the producer cuts the
+ * stream with a typed `trace-overflow` error instead of queueing
+ * without bound. Control lines (replies, emitControl()) are always
+ * accepted. close() drains whatever is queued, then joins the
+ * writer; serve() calls it before returning.
+ */
+class Outbox : public EventSink
+{
+  public:
+    explicit Outbox(Transport &out, size_t capacity = 256);
+    ~Outbox() override;
+
+    Outbox(const Outbox &) = delete;
+    Outbox &operator=(const Outbox &) = delete;
+
+    /** Queue a droppable line. @return false when full (stall). */
+    bool emit(const Json &event) override;
+
+    /** Queue a control line; never refused. */
+    void emitControl(const Json &event) override;
+
+    /** Queue one raw control line (an encoded reply). */
+    void pushLine(std::string line);
+
+    /** Drain queued lines, then stop the writer. Idempotent. */
+    void close();
+
+  private:
+    void drainLoop();
+    bool push(std::string line, bool droppable);
+
+    Transport &_out;
+    size_t _capacity;
+    std::mutex _mutex;
+    std::condition_variable _ready;
+    /** (line, droppable) in emission order. */
+    std::deque<std::pair<std::string, bool>> _lines;
+    size_t _queuedDroppable = 0;
+    bool _closed = false;
+    std::thread _writer;
+};
+
 /** Server configuration. */
 struct ServerOptions
 {
@@ -130,16 +194,27 @@ struct ServerOptions
 
     /** Worker pool / admission / reaper configuration. */
     SchedulerOptions scheduler;
+
+    /** VCD payload bytes per streamed `trace_chunk` event. */
+    size_t traceChunkBytes = Dispatcher::kDefaultTraceChunkBytes;
+
+    /** Droppable lines one connection's outbox may hold. */
+    size_t outboxCapacity = 256;
 };
 
 /**
  * Per-connection protocol state. Connections that skip `hello`
  * speak the newest protocol; `hello` pins the negotiated version,
- * which gates v2-only commands (`batch`) on that connection.
+ * which gates v2-only commands (`batch`, streamed `trace`) on that
+ * connection.
  */
 struct ConnState
 {
     uint64_t version = kProtocolVersion;
+
+    /** The connection's outbox; null for single-shot handleLine
+     *  (no transport to stream on). Set by serve(). */
+    EventSink *sink = nullptr;
 };
 
 /** The multi-session Zoomie debug server. */

@@ -1,7 +1,6 @@
 #include "vcd.hh"
 
 #include <algorithm>
-#include <vector>
 
 namespace zoomie::sim {
 
@@ -32,14 +31,11 @@ binary(uint64_t value, unsigned width)
 
 } // namespace
 
-void
-writeVcd(const Trace &trace, std::ostream &os,
-         const std::string &timescale)
+std::vector<unsigned>
+vcdWidths(const Trace &trace)
 {
     const size_t num_signals = trace.signalCount();
     const size_t cycles = trace.length();
-
-    // Infer widths from the widest observed value.
     std::vector<unsigned> width(num_signals, 1);
     for (size_t s = 0; s < num_signals; ++s) {
         uint64_t max_value = 0;
@@ -48,36 +44,103 @@ writeVcd(const Trace &trace, std::ostream &os,
         while (width[s] < 64 && (max_value >> width[s]))
             ++width[s];
     }
+    return width;
+}
 
-    os << "$date zoomie $end\n";
-    os << "$version zoomie trace export $end\n";
-    os << "$timescale " << timescale << " $end\n";
-    os << "$scope module trace $end\n";
-    for (size_t s = 0; s < num_signals; ++s) {
+VcdChunkWriter::VcdChunkWriter(Sink sink,
+                               const std::vector<std::string> &names,
+                               const std::vector<unsigned> &widths,
+                               const std::string &timescale,
+                               size_t chunkBytes)
+    : _sink(std::move(sink)), _widths(widths),
+      _chunkBytes(std::max<size_t>(1, chunkBytes))
+{
+    _pending += "$date zoomie $end\n";
+    _pending += "$version zoomie trace export $end\n";
+    _pending += "$timescale " + timescale + " $end\n";
+    _pending += "$scope module trace $end\n";
+    for (size_t s = 0; s < names.size(); ++s) {
         // Slashes are scope separators in design names; VCD wants
         // flat identifiers here, so flatten them.
-        std::string name = trace.names()[s];
+        std::string name = names[s];
         std::replace(name.begin(), name.end(), '/', '.');
-        os << "$var wire " << width[s] << ' ' << idCode(s) << ' '
-           << name << " $end\n";
+        _pending += "$var wire " + std::to_string(_widths[s]) +
+                    ' ' + idCode(s) + ' ' + name + " $end\n";
     }
-    os << "$upscope $end\n$enddefinitions $end\n";
+    _pending += "$upscope $end\n$enddefinitions $end\n";
+    drain(false);
+}
 
-    for (size_t t = 0; t < cycles; ++t) {
-        os << '#' << t << '\n';
-        for (size_t s = 0; s < num_signals; ++s) {
-            uint64_t value = trace.at(s, t);
-            bool changed = t == 0 || trace.at(s, t - 1) != value;
-            if (!changed)
-                continue;
-            if (width[s] == 1) {
-                os << (value ? '1' : '0') << idCode(s) << '\n';
-            } else {
-                os << 'b' << binary(value, width[s]) << ' '
-                   << idCode(s) << '\n';
-            }
+void
+VcdChunkWriter::appendSample(const std::vector<uint64_t> &values)
+{
+    _pending += '#';
+    _pending += std::to_string(_samples);
+    _pending += '\n';
+    for (size_t s = 0; s < _widths.size(); ++s) {
+        uint64_t value = values[s];
+        bool changed = _samples == 0 || _last[s] != value;
+        if (!changed)
+            continue;
+        if (_widths[s] == 1) {
+            _pending += value ? '1' : '0';
+            _pending += idCode(s);
+            _pending += '\n';
+        } else {
+            _pending += 'b';
+            _pending += binary(value, _widths[s]);
+            _pending += ' ';
+            _pending += idCode(s);
+            _pending += '\n';
         }
     }
+    _last = values;
+    ++_samples;
+    drain(false);
+}
+
+void
+VcdChunkWriter::finish()
+{
+    drain(true);
+}
+
+void
+VcdChunkWriter::drain(bool flushAll)
+{
+    size_t offset = 0;
+    while (_pending.size() - offset >= _chunkBytes) {
+        _sink(std::string_view(_pending)
+                  .substr(offset, _chunkBytes));
+        _bytesEmitted += _chunkBytes;
+        offset += _chunkBytes;
+    }
+    if (flushAll && _pending.size() > offset) {
+        _sink(std::string_view(_pending).substr(offset));
+        _bytesEmitted += _pending.size() - offset;
+        offset = _pending.size();
+    }
+    _pending.erase(0, offset);
+}
+
+void
+writeVcd(const Trace &trace, std::ostream &os,
+         const std::string &timescale)
+{
+    VcdChunkWriter writer(
+        [&os](std::string_view chunk) {
+            os.write(chunk.data(),
+                     std::streamsize(chunk.size()));
+        },
+        trace.names(), vcdWidths(trace), timescale);
+    const size_t cycles = trace.length();
+    std::vector<uint64_t> values(trace.signalCount());
+    for (size_t t = 0; t < cycles; ++t) {
+        for (size_t s = 0; s < values.size(); ++s)
+            values[s] = trace.at(s, t);
+        writer.appendSample(values);
+    }
+    writer.finish();
 }
 
 } // namespace zoomie::sim

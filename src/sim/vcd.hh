@@ -4,17 +4,91 @@
  * debugging sessions and snapshot replays can be inspected in any
  * standard waveform viewer (GTKWave etc.) — part of giving FPGA
  * debugging the software tooling ecosystem the paper argues for.
+ *
+ * Two producers share one emission engine:
+ *
+ * - writeVcd(): the classic whole-trace export to a stream.
+ * - VcdChunkWriter: an incremental writer that emits the document
+ *   as bounded chunks into a caller-provided sink — header and
+ *   definitions first, then value-change sections as samples are
+ *   appended. The remote debug protocol streams these chunks as
+ *   `trace_chunk` events so clients reconstruct the VCD without a
+ *   shared filesystem. writeVcd() is implemented on top of the
+ *   chunk writer, so the concatenated chunk stream is byte-
+ *   identical to the file export for the same trace.
  */
 
 #ifndef ZOOMIE_SIM_VCD_HH
 #define ZOOMIE_SIM_VCD_HH
 
+#include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "sim/trace.hh"
 
 namespace zoomie::sim {
+
+/**
+ * Signal widths as writeVcd infers them: the narrowest width (at
+ * least 1 bit) holding the widest sample observed per signal.
+ * Callers streaming a captured trace use this so the incremental
+ * document matches the file export byte for byte.
+ */
+std::vector<unsigned> vcdWidths(const Trace &trace);
+
+/**
+ * Incremental VCD document writer. Construction emits the header
+ * and `$var` definitions; each appendSample() emits one `#t`
+ * timestep with change-only value records; finish() flushes the
+ * tail. Output leaves through @p sink in segments of at most
+ * @p chunkBytes (the final segment may be shorter). Concatenating
+ * every segment yields the complete document.
+ */
+class VcdChunkWriter
+{
+  public:
+    /** Receives consecutive document segments, in order. */
+    using Sink = std::function<void(std::string_view chunk)>;
+
+    /**
+     * @param sink       segment consumer
+     * @param names      signal names (slashes become dots)
+     * @param widths     per-signal bit widths (same order)
+     * @param timescale  e.g. "1ns"
+     * @param chunkBytes segment size cap (>= 1)
+     */
+    VcdChunkWriter(Sink sink, const std::vector<std::string> &names,
+                   const std::vector<unsigned> &widths,
+                   const std::string &timescale = "1ns",
+                   size_t chunkBytes = 64 * 1024);
+
+    /** Emit the next timestep; @p values is one value per signal. */
+    void appendSample(const std::vector<uint64_t> &values);
+
+    /** Flush any buffered output. Idempotent. */
+    void finish();
+
+    /** Bytes emitted through the sink so far. */
+    uint64_t bytesEmitted() const { return _bytesEmitted; }
+
+    /** Timesteps appended so far. */
+    uint64_t samples() const { return _samples; }
+
+  private:
+    void drain(bool flushAll);
+
+    Sink _sink;
+    std::vector<unsigned> _widths;
+    std::vector<uint64_t> _last; ///< previous sample, for change detection
+    size_t _chunkBytes;
+    std::string _pending;
+    uint64_t _bytesEmitted = 0;
+    uint64_t _samples = 0;
+};
 
 /**
  * Write a captured trace as a VCD document.

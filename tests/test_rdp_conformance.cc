@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Wire-protocol conformance: one golden request/reply pair per
+ * command in the Dispatcher CommandSpec table and the Server
+ * ServerCommandSpec table, executed against a fresh server through
+ * the public handleLine() entry point and compared byte-for-byte
+ * (after scrubbing wall-clock fields). The covered command set is
+ * auto-enumerated from the `commands` introspection reply, so
+ * adding a command without adding a conformance row fails the
+ * suite — and any drift in a reply's shape, field order, or error
+ * taxonomy shows up as a diff against the pinned golden line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdp/server.hh"
+
+using namespace zoomie;
+using rdp::Json;
+
+namespace {
+
+/**
+ * Zero the wall-clock metric fields so golden replies stay stable:
+ * these are the only values in any reply that depend on timing.
+ */
+std::string
+scrub(std::string line)
+{
+    for (const char *key :
+         {"queue_wait_us", "exec_us", "idle_us"}) {
+        std::string pat = std::string("\"") + key + "\":";
+        size_t pos = 0;
+        while ((pos = line.find(pat, pos)) != std::string::npos) {
+            size_t value = pos + pat.size();
+            size_t end = value;
+            while (end < line.size() &&
+                   std::isdigit((unsigned char)line[end]))
+                ++end;
+            line.replace(value, end - value, "0");
+            pos = value + 1;
+        }
+    }
+    return line;
+}
+
+struct GoldenCase
+{
+    std::vector<std::string> setup; ///< lines run first, must be ok
+    std::string request;            ///< the golden request (id 1)
+    std::string reply;              ///< expected reply, scrubbed
+    bool expectQuit = false;
+};
+
+const std::string kOpen = R"({"cmd":"open","design":"counter"})";
+const std::string kOpenRv = R"({"cmd":"open","design":"tinyrv"})";
+const std::string kOpenAssert =
+    R"({"cmd":"open","design":"counter","assertions":["assert property (mut/count != 50);"]})";
+const std::string kPause = R"({"cmd":"pause"})";
+const std::string kSnap = R"({"cmd":"snapshot"})";
+const std::string kRun3 = R"({"cmd":"run","n":3})";
+
+/** One golden row per wire command — session and server scope. */
+const std::vector<std::pair<std::string, GoldenCase>> &
+goldenTable()
+{
+    static const std::vector<std::pair<std::string, GoldenCase>>
+        rows = {
+            {"hello",
+             {{},
+              R"({"cmd":"hello","id":1,"version":2})",
+              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","forcemem","regs","snapshot","restore","trace","info","assert","hello","open","close","sessions","commands","batch","quit","shutdown"]})"}},
+            {"open",
+             {{},
+              R"({"cmd":"open","id":1,"design":"counter"})",
+              R"({"type":"reply","id":1,"cmd":"open","ok":true,"session":1,"design":"counter","watch":["mut/count"]})"}},
+            {"close",
+             {{kOpen},
+              R"({"cmd":"close","id":1})",
+              R"({"type":"reply","id":1,"cmd":"close","ok":true,"session":1})"}},
+            {"sessions",
+             {{kOpen},
+              R"({"cmd":"sessions","id":1})",
+              R"({"type":"reply","id":1,"cmd":"sessions","ok":true,"sessions":[{"session":1,"design":"counter","cycles":0,"run_requests":0,"exec_us":0,"queue_wait_us":0,"pending_runs":0,"idle_us":0}]})"}},
+            {"commands",
+             {{},
+              R"({"cmd":"commands","id":1})",
+              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false},{"name":"snapshot","alias":"snap","scope":"session","help":"capture the whole design state","args":[],"events":false},{"name":"restore","scope":"session","help":"restore the last snapshot","args":[],"events":false},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true},{"name":"info","scope":"session","help":"session status","args":[],"events":false},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false}],"min_version":1},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
+            {"batch",
+             {{kOpen},
+              R"({"cmd":"batch","id":1,"requests":[{"cmd":"snapshot"}]})",
+              R"({"type":"reply","id":1,"cmd":"batch","ok":true,"executed":1,"failed":0,"results":[{"type":"reply","cmd":"snapshot","ok":true,"cycle":0,"index":0}]})"}},
+            {"quit",
+             {{},
+              R"({"cmd":"quit","id":1})",
+              R"({"type":"reply","id":1,"cmd":"quit","ok":true})",
+              /*expectQuit=*/true}},
+            {"shutdown",
+             {{},
+              R"({"cmd":"shutdown","id":1})",
+              R"({"type":"reply","id":1,"cmd":"shutdown","ok":true})",
+              /*expectQuit=*/true}},
+            {"run",
+             {{kOpen},
+              R"({"cmd":"run","id":1,"n":4})",
+              R"({"type":"reply","id":1,"cmd":"run","ok":true,"cycles_run":4,"queue_wait_us":0,"cycle":4,"paused":false})"}},
+            {"pause",
+             {{kOpen},
+              R"({"cmd":"pause","id":1})",
+              R"({"type":"reply","id":1,"cmd":"pause","ok":true,"cycle":0})"}},
+            {"resume",
+             {{kOpen, kPause},
+              R"({"cmd":"resume","id":1})",
+              R"({"type":"reply","id":1,"cmd":"resume","ok":true,"cycle":0})"}},
+            {"step",
+             {{kOpen, kPause},
+              R"({"cmd":"step","id":1,"n":3})",
+              R"({"type":"reply","id":1,"cmd":"step","ok":true,"cycle":3,"paused":true})"}},
+            {"break",
+             {{kOpen},
+              R"({"cmd":"break","id":1,"slot":0,"value":5})",
+              R"({"type":"reply","id":1,"cmd":"break","ok":true,"slot":0,"value":5,"group":"and","signal":"mut/count"})"}},
+            {"watch",
+             {{kOpen},
+              R"({"cmd":"watch","id":1,"slot":0})",
+              R"({"type":"reply","id":1,"cmd":"watch","ok":true,"slot":0,"on":true,"signal":"mut/count"})"}},
+            {"clear",
+             {{kOpen},
+              R"({"cmd":"clear","id":1})",
+              R"({"type":"reply","id":1,"cmd":"clear","ok":true})"}},
+            {"print",
+             {{kOpen, kRun3},
+              R"({"cmd":"print","id":1,"name":"mut/count"})",
+              R"({"type":"reply","id":1,"cmd":"print","ok":true,"name":"mut/count","value":3})"}},
+            {"x",
+             {{kOpenRv},
+              R"({"cmd":"x","id":1,"name":"cpu/mem","addr":0})",
+              R"({"type":"reply","id":1,"cmd":"x","ok":true,"name":"cpu/mem","addr":0,"value":147})"}},
+            {"force",
+             {{kOpen},
+              R"({"cmd":"force","id":1,"name":"mut/count","value":9})",
+              R"({"type":"reply","id":1,"cmd":"force","ok":true,"name":"mut/count","value":9})"}},
+            {"forcemem",
+             {{kOpenRv},
+              R"({"cmd":"forcemem","id":1,"name":"cpu/mem","addr":4,"value":7})",
+              R"({"type":"reply","id":1,"cmd":"forcemem","ok":true,"name":"cpu/mem","addr":4,"value":7})"}},
+            {"regs",
+             {{kOpen},
+              R"({"cmd":"regs","id":1,"prefix":"mut/"})",
+              R"({"type":"reply","id":1,"cmd":"regs","ok":true,"regs":{"mut/count":0}})"}},
+            {"snapshot",
+             {{kOpen},
+              R"({"cmd":"snapshot","id":1})",
+              R"({"type":"reply","id":1,"cmd":"snapshot","ok":true,"cycle":0})"}},
+            {"restore",
+             {{kOpen, kSnap},
+              R"({"cmd":"restore","id":1})",
+              R"({"type":"reply","id":1,"cmd":"restore","ok":true,"cycle":0})"}},
+            {"trace",
+             {{kOpen},
+              R"({"cmd":"trace","id":1,"n":4,"file":"conformance_trace.vcd"})",
+              R"({"type":"reply","id":1,"cmd":"trace","ok":true,"samples":4,"file":"conformance_trace.vcd"})"}},
+            {"info",
+             {{kOpen},
+              R"({"cmd":"info","id":1})",
+              R"({"type":"reply","id":1,"cmd":"info","ok":true,"design":"counter","cycle":0,"paused":false,"watch":["mut/count"],"assertions":[]})"}},
+            {"assert",
+             {{kOpenAssert},
+              R"({"cmd":"assert","id":1,"index":0,"on":0})",
+              R"({"type":"reply","id":1,"cmd":"assert","ok":true,"index":0,"on":false})"}},
+        };
+    return rows;
+}
+
+/** Command names the server itself advertises via introspection. */
+std::set<std::string>
+introspectedNames()
+{
+    rdp::Server server;
+    bool quit = false;
+    auto out =
+        server.handleLine(R"({"cmd":"commands","id":1})", quit);
+    std::set<std::string> names;
+    if (out.empty()) {
+        ADD_FAILURE() << "commands introspection gave no reply";
+        return names;
+    }
+    auto reply = Json::parse(out.back());
+    if (!reply) {
+        ADD_FAILURE() << "unparseable reply: " << out.back();
+        return names;
+    }
+    const Json *commands = reply->find("commands");
+    if (!commands || !commands->isArray()) {
+        ADD_FAILURE() << "no commands array in " << out.back();
+        return names;
+    }
+    for (size_t i = 0; i < commands->size(); ++i) {
+        const Json *name = commands->at(i).find("name");
+        if (name && name->isString())
+            names.insert(name->asString());
+    }
+    return names;
+}
+
+} // namespace
+
+TEST(RdpConformance, IntrospectionIsFullyCovered)
+{
+    // The coverage contract, in both directions: every command the
+    // server advertises has a golden row (a new command without a
+    // conformance entry fails here), and every golden row names a
+    // real command (a renamed command fails here too).
+    std::set<std::string> advertised = introspectedNames();
+    ASSERT_FALSE(advertised.empty());
+
+    std::set<std::string> covered;
+    for (const auto &[name, row] : goldenTable())
+        covered.insert(name);
+
+    for (const std::string &name : advertised) {
+        EXPECT_TRUE(covered.count(name))
+            << "command '" << name
+            << "' is advertised by introspection but has no "
+               "conformance row — add a golden request/reply pair";
+    }
+    for (const std::string &name : covered) {
+        EXPECT_TRUE(advertised.count(name))
+            << "conformance row '" << name
+            << "' names a command introspection does not "
+               "advertise";
+    }
+}
+
+TEST(RdpConformance, GoldenRequestReplyPairs)
+{
+    for (const auto &[name, row] : goldenTable()) {
+        SCOPED_TRACE("command: " + name);
+        // Fresh server per row: rows are order-independent and a
+        // failure in one cannot poison another.
+        rdp::Server server;
+        rdp::ConnState conn;
+        bool quit = false;
+        for (const std::string &line : row.setup) {
+            auto out = server.handleLine(line, conn, quit);
+            ASSERT_FALSE(out.empty()) << "setup: " << line;
+            ASSERT_NE(out.back().find("\"ok\":true"),
+                      std::string::npos)
+                << "setup failed: " << out.back();
+        }
+        auto out = server.handleLine(row.request, conn, quit);
+        ASSERT_FALSE(out.empty());
+        EXPECT_EQ(scrub(out.back()), row.reply);
+        EXPECT_EQ(quit, row.expectQuit);
+    }
+    std::remove("conformance_trace.vcd");
+}
+
+TEST(RdpConformance, GoldenRequestsRoundTripThroughTheParser)
+{
+    // Every golden request must itself be a well-formed protocol
+    // request: parse → encode → parse yields the same command.
+    for (const auto &[name, row] : goldenTable()) {
+        SCOPED_TRACE("command: " + name);
+        auto msg = Json::parse(row.request);
+        ASSERT_TRUE(msg);
+        std::string err;
+        auto req = rdp::parseRequest(*msg, &err);
+        ASSERT_TRUE(req) << err;
+        EXPECT_EQ(req->cmd, name);
+        ASSERT_TRUE(req->id);
+        EXPECT_EQ(*req->id, 1u);
+    }
+}

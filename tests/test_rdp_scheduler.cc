@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "common/bits.hh"
 #include "rdp/scheduler.hh"
 #include "rdp/server.hh"
 
@@ -180,6 +184,211 @@ TEST(RdpScheduler, IdleReaperClosesOnlyIdleSessions)
     std::this_thread::sleep_for(std::chrono::milliseconds(40));
     EXPECT_EQ(scheduler.reapIdle(), 1u);
     EXPECT_EQ(registry.count(), 0u);
+}
+
+namespace {
+
+/** Minimal JSONL client for the stress tests below: send one
+ *  request, collect events until the matching reply. */
+struct StressClient
+{
+    explicit StressClient(rdp::Transport &end) : transport(end) {}
+
+    Json request(const std::string &line, uint64_t id)
+    {
+        transport.writeLine(line);
+        std::string raw;
+        while (transport.readLine(raw)) {
+            auto msg = Json::parse(raw);
+            if (!msg) {
+                ADD_FAILURE() << "unparseable line: " << raw;
+                return Json();
+            }
+            const Json *type = msg->find("type");
+            if (type && type->asString() == "reply" &&
+                msg->find("id") &&
+                msg->find("id")->asU64() == id)
+                return *msg;
+            events.push_back(*msg);
+        }
+        ADD_FAILURE() << "pipe closed awaiting reply " << id;
+        return Json();
+    }
+
+    rdp::Transport &transport;
+    std::vector<Json> events;
+};
+
+} // namespace
+
+TEST(RdpScheduler, EightStreamingSessionsKeepPerSessionOrder)
+{
+    // The stress shape from the issue: 8 connections stream traces
+    // concurrently through a 2-worker pool. Each client must see
+    // its own chunks in order — seq monotone from 0, offsets
+    // contiguous — and reassemble a checksum-clean document, no
+    // matter how the workers interleave the capture quanta.
+    rdp::ServerOptions options;
+    options.scheduler.workers = 2;
+    options.scheduler.quantum = 16;
+    options.traceChunkBytes = 64;
+    rdp::Server server(options);
+
+    constexpr int kClients = 8;
+    std::vector<std::unique_ptr<rdp::DuplexPipe>> pipes;
+    for (int i = 0; i < kClients; ++i)
+        pipes.push_back(std::make_unique<rdp::DuplexPipe>());
+    std::vector<std::thread> serve_threads;
+    for (int i = 0; i < kClients; ++i) {
+        rdp::DuplexPipe *pipe = pipes[i].get();
+        serve_threads.emplace_back(
+            [&server, pipe] { server.serve(pipe->serverEnd()); });
+    }
+
+    std::vector<std::string> documents(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            StressClient client(pipes[i]->clientEnd());
+            Json opened = client.request(
+                R"({"cmd":"open","id":1,"design":"counter"})", 1);
+            const Json *session = opened.find("session");
+            ASSERT_TRUE(session) << opened.encode();
+            uint64_t sid = session->asU64();
+
+            // Desynchronise the captures a little.
+            char run[96];
+            std::snprintf(run, sizeof(run),
+                          R"({"cmd":"run","id":2,"session":%llu,"n":%d})",
+                          (unsigned long long)sid, 3 + i);
+            client.request(run, 2);
+
+            char trace[96];
+            std::snprintf(trace, sizeof(trace),
+                          R"({"cmd":"trace","id":3,"session":%llu,"n":%d})",
+                          (unsigned long long)sid, 24 + i);
+            Json reply = client.request(trace, 3);
+            const Json *ok = reply.find("ok");
+            ASSERT_TRUE(ok && ok->asBool()) << reply.encode();
+
+            // Per-session ordering invariants.
+            std::string document;
+            uint64_t expect_seq = 0;
+            uint64_t done_count = 0;
+            std::string checksum;
+            for (const Json &event : client.events) {
+                const std::string type =
+                    event.find("type")->asString();
+                if (type == "trace_chunk") {
+                    EXPECT_EQ(event.find("session")->asU64(), sid);
+                    EXPECT_EQ(event.find("seq")->asU64(),
+                              expect_seq++);
+                    EXPECT_EQ(event.find("offset")->asU64(),
+                              document.size());
+                    document += event.find("data")->asString();
+                } else if (type == "trace_done") {
+                    ++done_count;
+                    EXPECT_EQ(event.find("bytes")->asU64(),
+                              document.size());
+                    checksum = event.find("checksum")->asString();
+                }
+            }
+            EXPECT_GT(expect_seq, 1u) << "expected a multi-chunk "
+                                         "stream";
+            EXPECT_EQ(done_count, 1u);
+            EXPECT_EQ(std::strtoull(checksum.c_str(), nullptr, 16),
+                      fnv1a64(document.data(), document.size()));
+            documents[i] = document;
+        });
+    }
+    for (std::thread &thread : clients)
+        thread.join();
+    for (int i = 0; i < kClients; ++i)
+        pipes[i]->closeFromClient();
+    for (std::thread &thread : serve_threads)
+        thread.join();
+
+    // Every client got a real, distinct-length VCD (n differs).
+    for (int i = 0; i < kClients; ++i) {
+        EXPECT_NE(documents[i].find("$enddefinitions"),
+                  std::string::npos)
+            << i;
+    }
+    EXPECT_NE(documents[0].size(), documents[kClients - 1].size());
+}
+
+TEST(RdpScheduler, StalledClientOverflowsInsteadOfWedging)
+{
+    // Backpressure: the client stops reading mid-stream. With a
+    // 1-line pipe and a 2-line outbox the capacity chain absorbs a
+    // handful of chunks; the rest must be dropped via the typed
+    // trace_overflow path — and the server thread must never block
+    // on the stalled client inside the trace handler.
+    rdp::ServerOptions options;
+    options.traceChunkBytes = 16;
+    options.outboxCapacity = 2;
+    rdp::Server server(options);
+
+    rdp::DuplexPipe pipe(/*clientCapacity=*/1);
+    std::thread serve_thread(
+        [&] { server.serve(pipe.serverEnd()); });
+    rdp::Transport &end = pipe.clientEnd();
+
+    StressClient setup(end);
+    Json opened = setup.request(
+        R"({"cmd":"open","id":1,"design":"counter"})", 1);
+    ASSERT_TRUE(opened.find("ok")->asBool());
+
+    // Send the trace and *do not read*: a 64-sample capture at 16
+    // bytes per chunk emits far more chunks than pipe (1) + writer
+    // (1) + outbox (2) can hold, so the overflow is deterministic.
+    end.writeLine(R"({"cmd":"trace","id":2,"n":64})");
+
+    // Now drain. Everything the outbox accepted arrives, then the
+    // overflow event, then the failing reply.
+    std::vector<Json> events;
+    Json reply;
+    std::string raw;
+    while (end.readLine(raw)) {
+        auto msg = Json::parse(raw);
+        ASSERT_TRUE(msg) << raw;
+        const Json *type = msg->find("type");
+        if (type && type->asString() == "reply") {
+            reply = *msg;
+            break;
+        }
+        events.push_back(*msg);
+    }
+
+    ASSERT_TRUE(reply.find("ok"));
+    EXPECT_FALSE(reply.find("ok")->asBool());
+    EXPECT_EQ(reply.find("error")->asString(), "trace-overflow");
+
+    uint64_t chunks = 0;
+    uint64_t overflows = 0;
+    uint64_t delivered = 0;
+    for (const Json &event : events) {
+        const std::string type = event.find("type")->asString();
+        if (type == "trace_chunk")
+            ++chunks;
+        if (type == "trace_overflow") {
+            ++overflows;
+            delivered = event.find("delivered")->asU64();
+        }
+    }
+    ASSERT_EQ(overflows, 1u);
+    // Every chunk the outbox accepted before the cut reaches the
+    // client once it resumes reading — none vanish silently.
+    EXPECT_EQ(chunks, delivered);
+    EXPECT_GT(delivered, 0u);
+
+    // The connection is alive and well after the overflow.
+    StressClient after(end);
+    Json info = after.request(R"({"cmd":"info","id":3})", 3);
+    EXPECT_TRUE(info.find("ok")->asBool());
+
+    pipe.closeFromClient();
+    serve_thread.join();
 }
 
 TEST(RdpScheduler, StopCancelsBlockedRuns)

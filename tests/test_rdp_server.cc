@@ -12,8 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
+#include "common/bits.hh"
 #include "designs/tinyrv.hh"
 #include "rdp/server.hh"
 
@@ -671,6 +676,174 @@ TEST(RdpServer, SessionsReportSchedulerMetrics)
     EXPECT_TRUE(entry.find("queue_wait_us"));
     EXPECT_EQ(u64Field(entry, "pending_runs"), 0u);
     EXPECT_TRUE(entry.find("idle_us"));
+}
+
+namespace {
+
+/** Reassemble a streamed trace from a client's collected events,
+ *  asserting ordering invariants along the way: seq starts at 0 and
+ *  is monotone, offsets are contiguous, bytes matches the payload. */
+std::string
+reassembleTrace(const Client &client)
+{
+    std::string document;
+    uint64_t expect_seq = 0;
+    for (const Json &chunk : client.eventsOfType("trace_chunk")) {
+        EXPECT_EQ(u64Field(chunk, "seq"), expect_seq);
+        EXPECT_EQ(u64Field(chunk, "offset"), document.size());
+        const Json *data = chunk.find("data");
+        EXPECT_TRUE(data && data->isString());
+        if (data)
+            document += data->asString();
+        EXPECT_EQ(u64Field(chunk, "bytes"),
+                  data ? data->asString().size() : 0);
+        ++expect_seq;
+    }
+    return document;
+}
+
+} // namespace
+
+TEST(RdpServer, TraceStreamsChunksThatReassembleByteIdentically)
+{
+    // The tentpole acceptance path: a v2 client runs `trace` with no
+    // file argument and reconstructs the exact VCD from trace_chunk
+    // events — sequence-numbered, offset-contiguous, and checksummed
+    // by the terminal trace_done.
+    rdp::ServerOptions options;
+    options.traceChunkBytes = 32; // force a multi-chunk stream
+    rdp::Server server(options);
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")}})));
+    ASSERT_TRUE(okField(client.cmd("snapshot")));
+
+    Json reply = client.cmd("trace", {{"n", Json(uint64_t(8))}});
+    ASSERT_TRUE(okField(reply)) << reply.encode();
+    EXPECT_TRUE(reply.find("streamed")->asBool());
+    EXPECT_FALSE(reply.find("file"));
+    EXPECT_EQ(u64Field(reply, "samples"), 8u);
+
+    std::string document = reassembleTrace(client);
+    EXPECT_GT(u64Field(reply, "chunks"), 1u);
+    EXPECT_EQ(u64Field(reply, "bytes"), document.size());
+
+    // trace_done seals the stream: totals and checksum must match
+    // what the client reassembled.
+    auto done = client.eventsOfType("trace_done");
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(u64Field(done[0], "chunks"),
+              client.eventsOfType("trace_chunk").size());
+    EXPECT_EQ(u64Field(done[0], "bytes"), document.size());
+    EXPECT_EQ(u64Field(done[0], "samples"), 8u);
+    const Json *checksum = done[0].find("checksum");
+    ASSERT_TRUE(checksum && checksum->isString());
+    EXPECT_EQ(std::strtoull(checksum->asString().c_str(),
+                            nullptr, 16),
+              fnv1a64(document.data(), document.size()));
+
+    // Byte identity with the legacy file export: restore the
+    // snapshot so the second capture sees identical state, write
+    // the same trace to a server-side file, and diff.
+    ASSERT_TRUE(okField(client.cmd("restore")));
+    const char *path = "stream_check.vcd";
+    Json filed = client.cmd("trace",
+                            {{"n", Json(uint64_t(8))},
+                             {"file", Json(path)}});
+    ASSERT_TRUE(okField(filed)) << filed.encode();
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream file_bytes;
+    file_bytes << in.rdbuf();
+    in.close();
+    std::remove(path);
+    EXPECT_EQ(document, file_bytes.str());
+
+    // The VCD really is one: header plus the watch signal.
+    EXPECT_NE(document.find("$timescale"), std::string::npos);
+    EXPECT_NE(document.find("mut.count"), std::string::npos);
+}
+
+TEST(RdpServer, TraceWithoutFileRequiresProtocolV2)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    ASSERT_TRUE(okField(
+        client.cmd("hello", {{"version", Json(uint64_t(1))}})));
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")}})));
+
+    // On a v1 connection the streaming form does not exist; the
+    // refusal explains the upgrade path instead of silently writing
+    // a file nobody asked for.
+    Json refused = client.cmd("trace", {{"n", Json(uint64_t(4))}});
+    EXPECT_FALSE(okField(refused));
+    EXPECT_EQ(refused.find("error")->asString(), "bad-args");
+    EXPECT_NE(refused.find("detail")->asString().find("v2"),
+              std::string::npos);
+    EXPECT_TRUE(client.eventsOfType("trace_chunk").empty());
+
+    // Upgrading the same connection unlocks streaming.
+    ASSERT_TRUE(okField(
+        client.cmd("hello", {{"version", Json(uint64_t(2))}})));
+    Json streamed =
+        client.cmd("trace", {{"n", Json(uint64_t(4))}});
+    ASSERT_TRUE(okField(streamed));
+    EXPECT_TRUE(streamed.find("streamed")->asBool());
+    EXPECT_FALSE(client.eventsOfType("trace_done").empty());
+}
+
+TEST(RdpServer, TraceValidatesSignalsBeforeOpeningTheFile)
+{
+    // Regression: an unknown signal used to surface only after the
+    // sink was open, leaving a partial file behind. Validation now
+    // precedes both the capture and the open.
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")}})));
+
+    const char *path = "partial_check.vcd";
+    std::remove(path);
+    Json refused =
+        client.cmd("trace",
+                   {{"n", Json(uint64_t(4))},
+                    {"file", Json(path)},
+                    {"signals", Json("mut/count,mut/bogus")}});
+    EXPECT_FALSE(okField(refused));
+    EXPECT_EQ(refused.find("error")->asString(), "unknown-name");
+    EXPECT_NE(refused.find("detail")->asString().find("mut/bogus"),
+              std::string::npos);
+    std::ifstream leftover(path);
+    EXPECT_FALSE(leftover.is_open())
+        << "rejected trace left a partial file behind";
+
+    // An explicit valid list works in both modes.
+    Json good = client.cmd("trace",
+                           {{"n", Json(uint64_t(4))},
+                            {"file", Json(path)},
+                            {"signals", Json("mut/count")}});
+    EXPECT_TRUE(okField(good)) << good.encode();
+    std::ifstream written(path);
+    EXPECT_TRUE(written.is_open());
+    written.close();
+    std::remove(path);
+
+    // The same bad list is equally refused on the streaming path,
+    // with no stray chunk events.
+    Json stream_refused =
+        client.cmd("trace",
+                   {{"n", Json(uint64_t(4))},
+                    {"signals", Json("mut/bogus")}});
+    EXPECT_FALSE(okField(stream_refused));
+    EXPECT_EQ(stream_refused.find("error")->asString(),
+              "unknown-name");
+    EXPECT_TRUE(client.eventsOfType("trace_chunk").empty());
 }
 
 TEST(RdpServer, ReplAndWireShareTheCommandTable)

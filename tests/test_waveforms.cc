@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/zoomie.hh"
 #include "rtl/builder.hh"
@@ -77,6 +81,101 @@ TEST(Vcd, OnlyChangesAreEmitted)
     size_t first = vcd.find("1!");
     ASSERT_NE(first, std::string::npos);
     EXPECT_EQ(vcd.find("1!", first + 1), std::string::npos);
+}
+
+namespace {
+
+/** The Vcd fixture trace: mut/bus = 3t, mut/bit = t&1, 8 samples. */
+sim::Trace
+fixtureTrace()
+{
+    sim::Trace trace;
+    static uint64_t t;
+    t = 0;
+    trace.addSignal("mut/bus", []() { return t * 3; });
+    trace.addSignal("mut/bit", []() { return t & 1; });
+    for (t = 0; t < 8; ++t)
+        trace.sample();
+    return trace;
+}
+
+/** Stream @p trace through a VcdChunkWriter at @p chunkBytes and
+ *  return (concatenated document, chunk sizes). */
+std::pair<std::string, std::vector<size_t>>
+streamed(const sim::Trace &trace, size_t chunkBytes)
+{
+    std::string document;
+    std::vector<size_t> sizes;
+    sim::VcdChunkWriter writer(
+        [&](std::string_view chunk) {
+            document.append(chunk);
+            sizes.push_back(chunk.size());
+        },
+        trace.names(), sim::vcdWidths(trace), "1ns", chunkBytes);
+    std::vector<uint64_t> values(trace.signalCount());
+    for (size_t t = 0; t < trace.length(); ++t) {
+        for (size_t s = 0; s < values.size(); ++s)
+            values[s] = trace.at(s, t);
+        writer.appendSample(values);
+    }
+    writer.finish();
+    EXPECT_EQ(writer.bytesEmitted(), document.size());
+    EXPECT_EQ(writer.samples(), trace.length());
+    return {document, sizes};
+}
+
+} // namespace
+
+TEST(VcdChunks, ConcatenationMatchesWriteVcdByteForByte)
+{
+    sim::Trace trace = fixtureTrace();
+    std::ostringstream os;
+    sim::writeVcd(trace, os);
+    const std::string golden = os.str();
+    ASSERT_FALSE(golden.empty());
+
+    // Every chunk size must reassemble to the identical document —
+    // including degenerate 1-byte chunks and a cap larger than the
+    // whole document.
+    for (size_t chunkBytes : {size_t(1), size_t(7), size_t(64),
+                              size_t(4096)}) {
+        auto [document, sizes] = streamed(trace, chunkBytes);
+        EXPECT_EQ(document, golden)
+            << "chunkBytes=" << chunkBytes;
+        for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+            EXPECT_EQ(sizes[i], chunkBytes)
+                << "only the final chunk may run short";
+        }
+        if (!sizes.empty()) {
+            EXPECT_LE(sizes.back(), chunkBytes);
+        }
+    }
+}
+
+TEST(VcdChunks, HeaderLeavesBeforeTheFirstSample)
+{
+    sim::Trace trace = fixtureTrace();
+    // A tiny cap forces the constructor itself to emit: the header
+    // and $var definitions stream out before any sample exists.
+    std::string early;
+    sim::VcdChunkWriter writer(
+        [&](std::string_view chunk) { early.append(chunk); },
+        trace.names(), sim::vcdWidths(trace), "1ns", 16);
+    EXPECT_NE(early.find("$timescale 1ns $end"),
+              std::string::npos);
+    EXPECT_NE(early.find("mut.bus"), std::string::npos);
+    writer.finish();
+    EXPECT_NE(early.find("$enddefinitions $end"),
+              std::string::npos);
+}
+
+TEST(VcdChunks, WidthInferenceMatchesTheFileExport)
+{
+    sim::Trace trace = fixtureTrace();
+    std::vector<unsigned> widths = sim::vcdWidths(trace);
+    ASSERT_EQ(widths.size(), 2u);
+    EXPECT_EQ(widths[0], 5u); // widest sample 21 = 0b10101
+    EXPECT_EQ(widths[1], 1u);
 }
 
 TEST(ClockDividers, PhaseAlignedIntegerRatiosStepPrecisely)
