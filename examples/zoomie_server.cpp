@@ -11,11 +11,18 @@
  * for pipelines (zem-style); `--events-only` silences the banner
  * entirely.
  *
+ * With `--dap` the same server also (or instead) speaks the Debug
+ * Adapter Protocol on a second port, so IDE debuggers (VS Code,
+ * anything DAP-capable) attach directly: each DAP connection gets
+ * its own bridge that translates requests onto the shared session
+ * registry — see the "IDE debugging" recipe in README.md.
+ *
  * Usage:
  *   zoomie_server                     serve requests from stdin
  *   zoomie_server --script FILE       serve requests from FILE
  *   zoomie_server --events-only       no stderr banner
  *   zoomie_server --listen PORT       serve TCP on 127.0.0.1:PORT
+ *   zoomie_server --dap PORT          serve DAP on 127.0.0.1:PORT
  *     [--bind ADDR]                   listen address
  *     [--workers N]                   scheduler worker threads
  *     [--max-sessions N]              admission cap (busy beyond)
@@ -44,6 +51,7 @@
 #include <iostream>
 #include <string>
 
+#include "dap/net.hh"
 #include "rdp/net.hh"
 #include "rdp/server.hh"
 
@@ -69,9 +77,11 @@ main(int argc, char **argv)
 {
     bool events_only = false;
     bool listen = false;
+    bool dap = false;
     std::string script;
     zoomie::rdp::ServerOptions server_options;
     zoomie::rdp::NetOptions net_options;
+    zoomie::dap::NetOptions dap_options;
     net_options.readTimeoutMs = 60'000;
 
     for (int i = 1; i < argc; ++i) {
@@ -95,8 +105,15 @@ main(int argc, char **argv)
                 return 2;
             net_options.port = uint16_t(num);
             listen = true;
+        } else if (std::strcmp(argv[i], "--dap") == 0) {
+            if (!parseArgNum("--dap", value("--dap"), num) ||
+                num > 65535)
+                return 2;
+            dap_options.port = uint16_t(num);
+            dap = true;
         } else if (std::strcmp(argv[i], "--bind") == 0) {
             net_options.bindAddress = value("--bind");
+            dap_options.bindAddress = net_options.bindAddress;
         } else if (std::strcmp(argv[i], "--workers") == 0) {
             if (!parseArgNum("--workers", value("--workers"), num))
                 return 2;
@@ -133,10 +150,10 @@ main(int argc, char **argv)
             std::fprintf(
                 stderr,
                 "usage: %s [--script FILE] [--events-only]\n"
-                "       %s --listen PORT [--bind ADDR] "
-                "[--workers N] [--max-sessions N] [--quantum N] "
-                "[--idle-timeout-ms N] [--read-timeout-ms N] "
-                "[--trace-chunk-bytes N]\n",
+                "       %s [--listen PORT] [--dap PORT] "
+                "[--bind ADDR] [--workers N] [--max-sessions N] "
+                "[--quantum N] [--idle-timeout-ms N] "
+                "[--read-timeout-ms N] [--trace-chunk-bytes N]\n",
                 argv[0], argv[0]);
             return 2;
         }
@@ -144,28 +161,52 @@ main(int argc, char **argv)
 
     zoomie::rdp::Server server(server_options);
 
-    if (listen) {
+    if (listen || dap) {
         zoomie::rdp::TcpServer tcp(server, net_options);
-        server.setShutdownHook([&tcp] { tcp.requestStop(); });
+        zoomie::dap::TcpServer dap_tcp(server, dap_options);
+        server.setShutdownHook([&] {
+            tcp.requestStop();
+            dap_tcp.requestStop();
+        });
         std::string error;
-        if (!tcp.start(&error)) {
+        if (listen && !tcp.start(&error)) {
             std::fprintf(stderr, "zoomie-server: %s\n",
                          error.c_str());
             return 1;
         }
-        if (!events_only) {
-            std::fprintf(
-                stderr,
-                "zoomie-server: protocol v%llu, listening on "
-                "%s:%u (%u workers, %zu session slots; send "
-                "{\"cmd\":\"shutdown\"} to stop)\n",
-                (unsigned long long)zoomie::rdp::kProtocolVersion,
-                net_options.bindAddress.c_str(),
-                unsigned(tcp.port()),
-                server.options().scheduler.workers,
-                server.options().scheduler.maxSessions);
+        if (dap && !dap_tcp.start(&error)) {
+            std::fprintf(stderr, "zoomie-server: %s\n",
+                         error.c_str());
+            tcp.stop();
+            return 1;
         }
-        tcp.wait();
+        if (!events_only) {
+            if (listen) {
+                std::fprintf(
+                    stderr,
+                    "zoomie-server: protocol v%llu, listening on "
+                    "%s:%u (%u workers, %zu session slots; send "
+                    "{\"cmd\":\"shutdown\"} to stop)\n",
+                    (unsigned long long)
+                        zoomie::rdp::kProtocolVersion,
+                    net_options.bindAddress.c_str(),
+                    unsigned(tcp.port()),
+                    server.options().scheduler.workers,
+                    server.options().scheduler.maxSessions);
+            }
+            if (dap) {
+                std::fprintf(
+                    stderr,
+                    "zoomie-server: DAP bridge on %s:%u "
+                    "(attach an IDE debugger here)\n",
+                    dap_options.bindAddress.c_str(),
+                    unsigned(dap_tcp.port()));
+            }
+        }
+        if (listen)
+            tcp.wait();
+        if (dap)
+            dap_tcp.wait();
         return 0;
     }
 

@@ -1,0 +1,889 @@
+#include "bridge.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "rdp/dispatcher.hh"
+#include "rdp/protocol.hh"
+
+namespace zoomie::dap {
+
+namespace {
+
+std::string
+hex(uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  (unsigned long long)value);
+    return buf;
+}
+
+/**
+ * DAP stop reasons for RDP stop reasons. `breakpoint`, `step` and
+ * `pause` are shared vocabulary; the two Zoomie-specific triggers
+ * map onto the closest DAP notions: a watchpoint is a data
+ * breakpoint, a fired hardware assertion is an exception.
+ */
+std::string
+mapStopReason(const std::string &reason)
+{
+    if (reason == "watchpoint")
+        return "data breakpoint";
+    if (reason == "assertion")
+        return "exception";
+    return reason;
+}
+
+/** Throw the reply's error taxonomy as a BridgeError. */
+Json
+checkOk(Json reply)
+{
+    const Json *ok = reply.find("ok");
+    if (ok && ok->asBool())
+        return reply;
+    const Json *error = reply.find("error");
+    const Json *detail = reply.find("detail");
+    std::string message = error && error->isString()
+                              ? error->asString()
+                              : "debug server error";
+    if (detail && detail->isString() &&
+        !detail->asString().empty())
+        message += ": " + detail->asString();
+    throw BridgeError{std::move(message)};
+}
+
+uint64_t
+u64Field(const Json &object, const char *key)
+{
+    const Json *field = object.find(key);
+    return field && field->isInt() ? field->asU64() : 0;
+}
+
+std::string
+strField(const Json &object, const char *key)
+{
+    const Json *field = object.find(key);
+    return field && field->isString() ? field->asString()
+                                      : std::string();
+}
+
+} // namespace
+
+Bridge::Bridge(rdp::Server &server, Sink sink,
+               BridgeOptions options)
+    : _server(server), _sink(std::move(sink)), _options(options)
+{
+    auto hook = [this](const Json &event) { onRdpEvent(event); };
+    _conn.onEvent = hook;
+    _runnerConn.onEvent = hook;
+}
+
+Bridge::~Bridge()
+{
+    stopRunner();
+}
+
+// ---- DAP-side plumbing ------------------------------------------------
+
+void
+Bridge::send(Json message)
+{
+    std::lock_guard<std::mutex> lock(_ioMutex);
+    sendLocked(std::move(message));
+}
+
+void
+Bridge::sendLocked(Json message)
+{
+    Json out = Json::object();
+    out.set("seq", _seq++);
+    for (const auto &[key, value] : message.members())
+        out.set(key, value);
+    _sink(out.encode());
+}
+
+void
+Bridge::sendEvent(const char *event, Json body)
+{
+    Json message = Json::object();
+    message.set("type", "event");
+    message.set("event", event);
+    message.set("body", std::move(body));
+    send(std::move(message));
+}
+
+// ---- RDP-side plumbing ------------------------------------------------
+
+Json
+Bridge::callRdp(Json request, rdp::ConnState &conn)
+{
+    request.set("id", _rdpId.fetch_add(1));
+    if (_session && !request.has("session"))
+        request.set("session", *_session);
+    bool quit = false;
+    std::vector<std::string> out =
+        _server.handleLine(request.encode(), conn, quit);
+    if (out.empty())
+        throw BridgeError{"no reply from the debug server"};
+    std::optional<Json> reply = Json::parse(out.back());
+    if (!reply || !reply->isObject())
+        throw BridgeError{"unparseable debug-server reply"};
+    return *reply;
+}
+
+Json
+Bridge::callRdp(Json request)
+{
+    return callRdp(std::move(request), _conn);
+}
+
+void
+Bridge::onRdpEvent(const Json &event)
+{
+    const Json *type = event.find("type");
+    if (!type || !type->isString())
+        return;
+    const std::string &kind = type->asString();
+    std::lock_guard<std::mutex> lock(_ioMutex);
+
+    if (kind == "watch_hit") {
+        // Context for the dbg_stop that follows in the same poll.
+        _stopDetail = strField(event, "signal") + " changed " +
+                      hex(u64Field(event, "old")) + " -> " +
+                      hex(u64Field(event, "new"));
+        return;
+    }
+    if (kind == "assertion_fired") {
+        std::string name = strField(event, "name");
+        if (name.empty())
+            name = "assertion";
+        Json body = Json::object();
+        body.set("category", "important");
+        body.set("output",
+                 "assertion '" + name + "' fired at mut cycle " +
+                     std::to_string(u64Field(event, "cycle")) +
+                     "\n");
+        Json message = Json::object();
+        message.set("type", "event");
+        message.set("event", "output");
+        message.set("body", std::move(body));
+        sendLocked(std::move(message));
+        _stopDetail = "assertion '" + name + "' fired";
+        return;
+    }
+    if (kind == "dbg_stop") {
+        Json body = Json::object();
+        body.set("reason", mapStopReason(strField(event, "reason")));
+        if (!_stopDetail.empty()) {
+            body.set("description", _stopDetail);
+            _stopDetail.clear();
+        }
+        body.set("threadId", 1);
+        body.set("allThreadsStopped", true);
+        Json message = Json::object();
+        message.set("type", "event");
+        message.set("event", "stopped");
+        message.set("body", std::move(body));
+        _sawStop = true;
+        sendLocked(std::move(message));
+        return;
+    }
+    // Anything else (trace chunks, ...) has no DAP equivalent.
+}
+
+// ---- message dispatch -------------------------------------------------
+
+const std::vector<Bridge::CommandSpec> &
+Bridge::table()
+{
+    static const std::vector<CommandSpec> specs = {
+        {"initialize", &Bridge::reqInitialize},
+        {"launch", &Bridge::reqLaunch},
+        {"setBreakpoints", &Bridge::reqSetBreakpoints},
+        {"setDataBreakpoints", &Bridge::reqSetDataBreakpoints},
+        {"dataBreakpointInfo", &Bridge::reqDataBreakpointInfo},
+        {"configurationDone", &Bridge::reqConfigurationDone},
+        {"threads", &Bridge::reqThreads},
+        {"stackTrace", &Bridge::reqStackTrace},
+        {"scopes", &Bridge::reqScopes},
+        {"variables", &Bridge::reqVariables},
+        {"setVariable", &Bridge::reqSetVariable},
+        {"evaluate", &Bridge::reqEvaluate},
+        {"continue", &Bridge::reqContinue},
+        {"next", &Bridge::reqNext},
+        {"stepIn", &Bridge::reqNext},
+        {"stepOut", &Bridge::reqNext},
+        {"pause", &Bridge::reqPause},
+        {"disconnect", &Bridge::reqDisconnect},
+    };
+    return specs;
+}
+
+std::vector<std::string>
+Bridge::commandNames()
+{
+    std::vector<std::string> names;
+    for (const CommandSpec &spec : table())
+        names.push_back(spec.name);
+    return names;
+}
+
+void
+Bridge::handleMessage(const std::string &body)
+{
+    std::optional<Json> parsed = Json::parse(body);
+    if (!parsed || !parsed->isObject()) {
+        Json out = Json::object();
+        out.set("category", "stderr");
+        out.set("output", "dropped an undecodable DAP message\n");
+        sendEvent("output", std::move(out));
+        return;
+    }
+    // Clients only ever send requests; anything else is ignored.
+    const Json *type = parsed->find("type");
+    if (!type || !type->isString() ||
+        type->asString() != "request")
+        return;
+
+    std::string command = strField(*parsed, "command");
+    uint64_t requestSeq = u64Field(*parsed, "seq");
+    const Json *argsField = parsed->find("arguments");
+    Json args = argsField && argsField->isObject()
+                    ? *argsField
+                    : Json::object();
+
+    const CommandSpec *spec = nullptr;
+    for (const CommandSpec &row : table()) {
+        if (command == row.name) {
+            spec = &row;
+            break;
+        }
+    }
+
+    bool success = false;
+    Json responseBody;
+    std::string message;
+    if (!spec) {
+        message = "unsupported command '" + command + "'";
+    } else {
+        try {
+            responseBody = (this->*spec->handler)(args);
+            success = true;
+        } catch (const BridgeError &e) {
+            message = e.message;
+        } catch (const std::exception &e) {
+            message = e.what();
+        }
+    }
+
+    Json response = Json::object();
+    response.set("type", "response");
+    response.set("request_seq", requestSeq);
+    response.set("success", success);
+    response.set("command", command);
+    if (!message.empty())
+        response.set("message", message);
+    if (success)
+        response.set("body", std::move(responseBody));
+    send(std::move(response));
+
+    // Deferred actions: events and threads that must trail the
+    // response on the wire (see the ordering contract up top).
+    if (_deferInitialized) {
+        _deferInitialized = false;
+        sendEvent("initialized", Json::object());
+    }
+    if (_deferEntryStop) {
+        _deferEntryStop = false;
+        Json stop = Json::object();
+        stop.set("reason", "entry");
+        stop.set("description", "stopped on entry");
+        stop.set("threadId", 1);
+        stop.set("allThreadsStopped", true);
+        sendEvent("stopped", std::move(stop));
+    }
+    if (_deferStartRunner) {
+        _deferStartRunner = false;
+        startRunner();
+    }
+    if (_deferTerminate) {
+        _deferTerminate = false;
+        sendEvent("terminated", Json::object());
+        _finished = true;
+    }
+}
+
+// ---- request handlers -------------------------------------------------
+
+void
+Bridge::requireSession() const
+{
+    if (!_session)
+        throw BridgeError{"no debug session (send launch first)"};
+}
+
+Json
+Bridge::reqInitialize(const Json &)
+{
+    // The capability set is derived, not hardcoded: ask the server
+    // what it can do and advertise exactly that.
+    Json req = Json::object();
+    req.set("cmd", "commands");
+    Json reply = checkOk(callRdp(std::move(req)));
+    std::set<std::string> names;
+    if (const Json *commands = reply.find("commands");
+        commands && commands->isArray()) {
+        for (const Json &command : commands->items()) {
+            if (const Json *name = command.find("name");
+                name && name->isString())
+                names.insert(name->asString());
+        }
+    }
+    auto have = [&](const char *name) {
+        return names.count(name) != 0;
+    };
+
+    Json caps = Json::object();
+    caps.set("supportsConfigurationDoneRequest", true);
+    caps.set("supportsEvaluateForHovers", have("print"));
+    caps.set("supportsSetVariable", have("force"));
+    caps.set("supportsDataBreakpoints", have("watch"));
+    caps.set("supportsFunctionBreakpoints", false);
+    caps.set("supportsConditionalBreakpoints", false);
+    caps.set("supportsRestartRequest", false);
+    caps.set("supportsTerminateRequest", false);
+    _deferInitialized = true;
+    return caps;
+}
+
+Json
+Bridge::reqLaunch(const Json &args)
+{
+    if (_session)
+        throw BridgeError{"a session is already launched"};
+    Json open = Json::object();
+    open.set("cmd", "open");
+    for (const char *key :
+         {"design", "program", "watch", "assertions"}) {
+        if (const Json *value = args.find(key))
+            open.set(key, *value);
+    }
+    Json reply = checkOk(callRdp(std::move(open)));
+    const Json *session = reply.find("session");
+    if (!session || !session->isInt())
+        throw BridgeError{"open reply carried no session id"};
+    _session = session->asU64();
+    _design = strField(reply, "design");
+    _watchSignals.clear();
+    if (const Json *watch = reply.find("watch");
+        watch && watch->isArray()) {
+        for (const Json &signal : watch->items())
+            if (signal.isString())
+                _watchSignals.push_back(signal.asString());
+    }
+
+    _breakSignal = strField(args, "breakpointSignal");
+    if (_breakSignal.empty() && !_watchSignals.empty())
+        _breakSignal = _watchSignals.front();
+    _regsPrefix = strField(args, "registersPrefix");
+    if (_regsPrefix.empty()) {
+        // "cpu/pc" breaks under the "cpu/" register scope.
+        size_t slash = _breakSignal.rfind('/');
+        _regsPrefix = slash == std::string::npos
+                          ? _breakSignal
+                          : _breakSignal.substr(0, slash + 1);
+    }
+    if (const Json *stop = args.find("stopOnEntry");
+        stop && stop->isBool())
+        _stopOnEntry = stop->asBool();
+
+    _launched = true;
+    if (!_breakLines.empty())
+        applyBreakpoints(nullptr);
+    maybeReportEntry();
+    return Json::object();
+}
+
+Json
+Bridge::reqSetBreakpoints(const Json &args)
+{
+    std::vector<uint64_t> lines;
+    auto takeLine = [&](const Json *line) {
+        if (!line || !line->isInt() || line->isNegative()) {
+            throw BridgeError{
+                "every breakpoint needs a non-negative \"line\" "
+                "(the stop value for the breakpoint signal)"};
+        }
+        lines.push_back(line->asU64());
+    };
+    if (const Json *breakpoints = args.find("breakpoints");
+        breakpoints && breakpoints->isArray()) {
+        for (const Json &bp : breakpoints->items())
+            takeLine(bp.isObject() ? bp.find("line") : nullptr);
+    } else if (const Json *plain = args.find("lines");
+               plain && plain->isArray()) {
+        for (const Json &line : plain->items())
+            takeLine(&line);
+    }
+
+    _breakLines = lines;
+    std::vector<bool> verified(lines.size(), true);
+    if (_launched)
+        applyBreakpoints(&verified);
+
+    Json list = Json::array();
+    for (size_t i = 0; i < lines.size(); ++i) {
+        Json bp = Json::object();
+        bp.set("verified", bool(verified[i]));
+        bp.set("line", lines[i]);
+        if (!verified[i])
+            bp.set("message",
+                   "no free watch slot carries the breakpoint "
+                   "signal '" + _breakSignal + "'");
+        list.push(std::move(bp));
+    }
+    Json body = Json::object();
+    body.set("breakpoints", std::move(list));
+    return body;
+}
+
+/**
+ * Arm the stored breakpoint values: clear the session's value
+ * triggers, then `break` one watch slot per requested value on
+ * every slot that carries the breakpoint signal (group "or", so
+ * any one of them stops the device). Values beyond the available
+ * slots stay unverified.
+ */
+void
+Bridge::applyBreakpoints(std::vector<bool> *verified)
+{
+    Json clear = Json::object();
+    clear.set("cmd", "clear");
+    checkOk(callRdp(std::move(clear)));
+
+    std::vector<uint64_t> slots;
+    for (size_t i = 0; i < _watchSignals.size(); ++i)
+        if (_watchSignals[i] == _breakSignal)
+            slots.push_back(i);
+
+    for (size_t i = 0; i < _breakLines.size(); ++i) {
+        if (i >= slots.size()) {
+            if (verified)
+                (*verified)[i] = false;
+            continue;
+        }
+        Json arm = Json::object();
+        arm.set("cmd", "break");
+        arm.set("slot", slots[i]);
+        arm.set("value", _breakLines[i]);
+        arm.set("group", "or");
+        checkOk(callRdp(std::move(arm)));
+    }
+}
+
+Json
+Bridge::reqSetDataBreakpoints(const Json &args)
+{
+    requireSession();
+    std::vector<std::string> wanted;
+    if (const Json *breakpoints = args.find("breakpoints");
+        breakpoints && breakpoints->isArray()) {
+        for (const Json &bp : breakpoints->items())
+            wanted.push_back(
+                bp.isObject() ? strField(bp, "dataId")
+                              : std::string());
+    }
+    auto isWatched = [&](const std::string &signal) {
+        return std::find(_watchSignals.begin(),
+                         _watchSignals.end(),
+                         signal) != _watchSignals.end();
+    };
+
+    // Reprogram every slot: on when its signal was requested, off
+    // otherwise — setDataBreakpoints replaces the whole set.
+    for (size_t slot = 0; slot < _watchSignals.size(); ++slot) {
+        bool on = std::find(wanted.begin(), wanted.end(),
+                            _watchSignals[slot]) != wanted.end();
+        Json watch = Json::object();
+        watch.set("cmd", "watch");
+        watch.set("slot", uint64_t(slot));
+        watch.set("on", on ? 1 : 0);
+        checkOk(callRdp(std::move(watch)));
+    }
+
+    Json list = Json::array();
+    for (const std::string &signal : wanted) {
+        bool ok = isWatched(signal);
+        Json row = Json::object();
+        row.set("verified", ok);
+        if (!ok)
+            row.set("message", "'" + signal +
+                                   "' is not a watched signal");
+        list.push(std::move(row));
+    }
+    Json body = Json::object();
+    body.set("breakpoints", std::move(list));
+    return body;
+}
+
+Json
+Bridge::reqDataBreakpointInfo(const Json &args)
+{
+    requireSession();
+    std::string name = strField(args, "name");
+    bool watched =
+        std::find(_watchSignals.begin(), _watchSignals.end(),
+                  name) != _watchSignals.end();
+    Json body = Json::object();
+    if (watched) {
+        body.set("dataId", name);
+        body.set("description",
+                 "stop when " + name + " changes");
+        Json access = Json::array();
+        access.push("write");
+        body.set("accessTypes", std::move(access));
+        body.set("canPersist", false);
+    } else {
+        body.set("dataId", Json());
+        body.set("description",
+                 "'" + name +
+                     "' is not in the session's watch list");
+    }
+    return body;
+}
+
+Json
+Bridge::reqConfigurationDone(const Json &)
+{
+    _configured = true;
+    maybeReportEntry();
+    return Json::object();
+}
+
+/**
+ * Once both launch and configurationDone have happened, report how
+ * the session starts: a `stopped(entry)` event when stopOnEntry
+ * (the default — the device comes up paused for inspection), else
+ * the background runner takes off immediately.
+ */
+void
+Bridge::maybeReportEntry()
+{
+    if (!_launched || !_configured || _entryReported)
+        return;
+    _entryReported = true;
+    if (_stopOnEntry)
+        _deferEntryStop = true;
+    else
+        _deferStartRunner = true;
+}
+
+Json
+Bridge::reqThreads(const Json &)
+{
+    Json thread = Json::object();
+    thread.set("id", 1);
+    thread.set("name", "device");
+    Json list = Json::array();
+    list.push(std::move(thread));
+    Json body = Json::object();
+    body.set("threads", std::move(list));
+    return body;
+}
+
+Json
+Bridge::reqStackTrace(const Json &)
+{
+    requireSession();
+    Json info = Json::object();
+    info.set("cmd", "info");
+    Json reply = checkOk(callRdp(std::move(info)));
+    uint64_t cycle = u64Field(reply, "cycle");
+
+    uint64_t line = 0;
+    if (!_breakSignal.empty()) {
+        Json print = Json::object();
+        print.set("cmd", "print");
+        print.set("name", _breakSignal);
+        Json value = callRdp(std::move(print));
+        if (const Json *ok = value.find("ok"); ok && ok->asBool())
+            line = u64Field(value, "value");
+    }
+
+    std::string design = _design.empty() ? "device" : _design;
+    Json frame = Json::object();
+    frame.set("id", 1);
+    frame.set("name",
+              design + " @ cycle " + std::to_string(cycle));
+    Json source = Json::object();
+    source.set("name", design);
+    frame.set("source", std::move(source));
+    frame.set("line", line);
+    frame.set("column", 0);
+
+    Json frames = Json::array();
+    frames.push(std::move(frame));
+    Json body = Json::object();
+    body.set("stackFrames", std::move(frames));
+    body.set("totalFrames", 1);
+    return body;
+}
+
+Json
+Bridge::reqScopes(const Json &)
+{
+    Json scope = Json::object();
+    scope.set("name", "Registers");
+    scope.set("variablesReference", 1);
+    scope.set("expensive", false);
+    Json list = Json::array();
+    list.push(std::move(scope));
+    Json body = Json::object();
+    body.set("scopes", std::move(list));
+    return body;
+}
+
+Json
+Bridge::reqVariables(const Json &args)
+{
+    requireSession();
+    const Json *ref = args.find("variablesReference");
+    if (!ref || !ref->isInt() || ref->asU64() != 1)
+        throw BridgeError{"unknown variablesReference"};
+    Json regs = Json::object();
+    regs.set("cmd", "regs");
+    regs.set("prefix", _regsPrefix);
+    Json reply = checkOk(callRdp(std::move(regs)));
+
+    Json list = Json::array();
+    if (const Json *dump = reply.find("regs");
+        dump && dump->isObject()) {
+        for (const auto &[name, value] : dump->members()) {
+            Json variable = Json::object();
+            variable.set("name", name);
+            variable.set("value", hex(value.asU64()));
+            variable.set("variablesReference", 0);
+            list.push(std::move(variable));
+        }
+    }
+    Json body = Json::object();
+    body.set("variables", std::move(list));
+    return body;
+}
+
+Json
+Bridge::reqSetVariable(const Json &args)
+{
+    requireSession();
+    std::string name = strField(args, "name");
+    if (name.empty())
+        throw BridgeError{"\"name\" is required"};
+    uint64_t value = 0;
+    const Json *raw = args.find("value");
+    if (raw && raw->isInt() && !raw->isNegative()) {
+        value = raw->asU64();
+    } else if (raw && raw->isString()) {
+        if (!rdp::parseU64(raw->asString(), value))
+            throw BridgeError{"cannot parse value '" +
+                              raw->asString() + "'"};
+    } else {
+        throw BridgeError{
+            "\"value\" must be a number or numeric string"};
+    }
+    Json force = Json::object();
+    force.set("cmd", "force");
+    force.set("name", name);
+    force.set("value", value);
+    checkOk(callRdp(std::move(force)));
+    Json body = Json::object();
+    body.set("value", hex(value));
+    return body;
+}
+
+Json
+Bridge::reqEvaluate(const Json &args)
+{
+    requireSession();
+    const Json *expression = args.find("expression");
+    if (!expression || !expression->isString())
+        throw BridgeError{"\"expression\" is required"};
+    const std::string &expr = expression->asString();
+
+    // Any REPL line evaluates as itself; a bare register name
+    // falls back to `print <name>` so hover evaluation works.
+    std::string error;
+    std::optional<rdp::Request> parsed =
+        rdp::Dispatcher::parseLine(expr, &error);
+    if (!parsed) {
+        std::string fallbackError;
+        parsed = rdp::Dispatcher::parseLine("print " + expr,
+                                            &fallbackError);
+        if (!parsed)
+            throw BridgeError{error.empty() ? fallbackError
+                                            : error};
+    }
+
+    Json reply = checkOk(callRdp(std::move(parsed->args)));
+    std::string result;
+    if (const Json *value = reply.find("value");
+        value && value->isInt()) {
+        result = hex(value->asU64());
+    } else {
+        Json trimmed = Json::object();
+        for (const auto &[key, field] : reply.members()) {
+            if (key != "type" && key != "id" && key != "ok" &&
+                key != "cmd" && key != "session")
+                trimmed.set(key, field);
+        }
+        result = trimmed.encode();
+    }
+    Json body = Json::object();
+    body.set("result", result);
+    body.set("variablesReference", 0);
+    return body;
+}
+
+Json
+Bridge::reqContinue(const Json &)
+{
+    requireSession();
+    if (!_running.load()) {
+        Json resume = Json::object();
+        resume.set("cmd", "resume");
+        checkOk(callRdp(std::move(resume)));
+        _deferStartRunner = true;
+    }
+    Json body = Json::object();
+    body.set("allThreadsContinued", true);
+    return body;
+}
+
+Json
+Bridge::reqNext(const Json &)
+{
+    requireSession();
+    if (_running.load())
+        throw BridgeError{"the device is running; pause first"};
+    Json step = Json::object();
+    step.set("cmd", "step");
+    step.set("n", 1);
+    // The step's dbg_stop arrives through onRdpEvent during this
+    // call, so the stopped(step) event precedes the response.
+    checkOk(callRdp(std::move(step)));
+    return Json::object();
+}
+
+Json
+Bridge::reqPause(const Json &)
+{
+    requireSession();
+    Json pause = Json::object();
+    pause.set("cmd", "pause");
+    // The pause's own event poll reports dbg_stop(pause); _sawStop
+    // then retires the background runner after its current slice.
+    checkOk(callRdp(std::move(pause)));
+    return Json::object();
+}
+
+Json
+Bridge::reqDisconnect(const Json &)
+{
+    stopRunner();
+    if (_session) {
+        Json close = Json::object();
+        close.set("cmd", "close");
+        try {
+            callRdp(std::move(close));
+        } catch (...) {
+            // Closing is best-effort; the reaper would get it.
+        }
+        _session.reset();
+    }
+    _deferTerminate = true;
+    return Json::object();
+}
+
+// ---- the background runner --------------------------------------------
+
+void
+Bridge::startRunner()
+{
+    if (_running.load())
+        return;
+    if (_runner.joinable())
+        _runner.join();
+    _sawStop = false;
+    _quitRunner = false;
+    _running = true;
+    _runner = std::thread([this] { runnerLoop(); });
+}
+
+void
+Bridge::stopRunner()
+{
+    _quitRunner = true;
+    if (_runner.joinable())
+        _runner.join();
+    _quitRunner = false;
+}
+
+/**
+ * Drive the device in bounded `run` slices until something stops
+ * it: a dbg_stop event (breakpoint, watchpoint, assertion, pause —
+ * _sawStop), the scheduler's cycle budget, a server error, or
+ * bridge teardown. Slices keep each request scheduler-fair and
+ * bound how long pause/disconnect wait for the loop to notice.
+ */
+void
+Bridge::runnerLoop()
+{
+    while (!_quitRunner.load() && !_sawStop.load()) {
+        Json run = Json::object();
+        run.set("cmd", "run");
+        run.set("n", _options.runChunkCycles);
+        Json reply;
+        try {
+            reply = callRdp(std::move(run), _runnerConn);
+        } catch (...) {
+            break;
+        }
+        const Json *ok = reply.find("ok");
+        if (!ok || !ok->asBool()) {
+            std::string detail = strField(reply, "detail");
+            if (detail.empty())
+                detail = "run refused";
+            Json note = Json::object();
+            note.set("category", "console");
+            note.set("output", "run stopped: " + detail + "\n");
+            sendEvent("output", std::move(note));
+            Json stop = Json::object();
+            stop.set("reason", "pause");
+            stop.set("description", detail);
+            stop.set("threadId", 1);
+            stop.set("allThreadsStopped", true);
+            sendEvent("stopped", std::move(stop));
+            break;
+        }
+        if (const Json *budget = reply.find("budget_exhausted");
+            budget && budget->asBool() && !_sawStop.load()) {
+            Json note = Json::object();
+            note.set("category", "console");
+            note.set("output",
+                     "run stopped: session cycle budget "
+                     "exhausted\n");
+            sendEvent("output", std::move(note));
+            Json stop = Json::object();
+            stop.set("reason", "pause");
+            stop.set("description", "cycle budget exhausted");
+            stop.set("threadId", 1);
+            stop.set("allThreadsStopped", true);
+            sendEvent("stopped", std::move(stop));
+            break;
+        }
+    }
+    _running = false;
+}
+
+} // namespace zoomie::dap

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The DAP↔RDP bridge: speaks the Debug Adapter Protocol on one
+ * side (decoded message bodies in, message bodies out — framing
+ * lives in dap/framing.hh) and the Zoomie remote debug protocol on
+ * the other, by driving a shared rdp::Server through its public
+ * handleLine() entry point. One Bridge is one DAP session: it owns
+ * at most one debug session in the server's registry, subscribes
+ * to that session's events through ConnState::onEvent (so
+ * `dbg_stop` / `watch_hit` / `assertion_fired` arrive the moment a
+ * command provokes them — no polling), and translates:
+ *
+ *   initialize         -> `commands` introspection => capabilities
+ *   launch             -> `open` (design/program/watch/assertions)
+ *   setBreakpoints     -> `clear` + `break` (line == signal value)
+ *   setDataBreakpoints -> `watch` slots
+ *   continue           -> chunked `run` on a background thread
+ *   next/stepIn/stepOut-> `step`
+ *   pause              -> `pause`
+ *   stackTrace         -> `info` + `print` (one device frame)
+ *   variables          -> `regs`
+ *   setVariable        -> `force`
+ *   evaluate           -> any REPL line via Dispatcher::parseLine
+ *   disconnect         -> `close`
+ *
+ *   dbg_stop           -> `stopped` (reason mapped: watchpoint =>
+ *                         "data breakpoint", assertion =>
+ *                         "exception")
+ *   assertion_fired    -> `output` event + stop description
+ *   watch_hit          -> stop description for the next `stopped`
+ *
+ * Ordering contract: events a request provokes synchronously are
+ * written *before* its response (the same contract as the JSONL
+ * protocol); the `continue` response is written before the
+ * background run starts, so its `stopped` always follows it.
+ */
+
+#ifndef ZOOMIE_DAP_BRIDGE_HH
+#define ZOOMIE_DAP_BRIDGE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rdp/server.hh"
+
+namespace zoomie::dap {
+
+using rdp::Json;
+
+/** Bridge configuration. */
+struct BridgeOptions
+{
+    /**
+     * Device cycles per RDP `run` slice while a DAP `continue` is
+     * in flight. Each slice is a bounded, scheduler-fair request;
+     * the runner keeps issuing slices until a stop event lands, so
+     * `pause` and `disconnect` are never more than one slice away.
+     */
+    uint64_t runChunkCycles = 25'000;
+};
+
+/** Handler failure: becomes a success:false DAP response. */
+struct BridgeError
+{
+    std::string message;
+};
+
+/** One DAP client session bridged onto a shared rdp::Server. */
+class Bridge
+{
+  public:
+    /** Receives every outgoing DAP message body (unframed). */
+    using Sink = std::function<void(const std::string &body)>;
+
+    Bridge(rdp::Server &server, Sink sink,
+           BridgeOptions options = {});
+    ~Bridge();
+
+    Bridge(const Bridge &) = delete;
+    Bridge &operator=(const Bridge &) = delete;
+
+    /**
+     * Handle one decoded DAP message body. Responses and any
+     * events go through the sink; the sink may also fire from the
+     * background runner thread, never concurrently (all sends
+     * serialize on one mutex). Safe to call repeatedly from one
+     * transport thread.
+     */
+    void handleMessage(const std::string &body);
+
+    /** True once a `disconnect` request was answered. */
+    bool finished() const { return _finished.load(); }
+
+    /** The DAP request commands this bridge implements. */
+    static std::vector<std::string> commandNames();
+
+  private:
+    struct CommandSpec
+    {
+        const char *name;
+        Json (Bridge::*handler)(const Json &args);
+    };
+    static const std::vector<CommandSpec> &table();
+
+    // ---- DAP-side plumbing ---------------------------------------
+    void send(Json message); ///< assign seq, encode, sink
+    void sendLocked(Json message); ///< caller holds _ioMutex
+    void sendEvent(const char *event, Json body);
+
+    // ---- RDP-side plumbing ---------------------------------------
+    Json callRdp(Json request, rdp::ConnState &conn);
+    Json callRdp(Json request);
+    void onRdpEvent(const Json &event);
+
+    // ---- request handlers ----------------------------------------
+    Json reqInitialize(const Json &args);
+    Json reqLaunch(const Json &args);
+    Json reqSetBreakpoints(const Json &args);
+    Json reqSetDataBreakpoints(const Json &args);
+    Json reqDataBreakpointInfo(const Json &args);
+    Json reqConfigurationDone(const Json &args);
+    Json reqThreads(const Json &args);
+    Json reqStackTrace(const Json &args);
+    Json reqScopes(const Json &args);
+    Json reqVariables(const Json &args);
+    Json reqSetVariable(const Json &args);
+    Json reqEvaluate(const Json &args);
+    Json reqContinue(const Json &args);
+    Json reqNext(const Json &args);
+    Json reqPause(const Json &args);
+    Json reqDisconnect(const Json &args);
+
+    void requireSession() const;
+    void applyBreakpoints(std::vector<bool> *verified);
+    void maybeReportEntry();
+    void startRunner();
+    void stopRunner();
+    void runnerLoop();
+
+    rdp::Server &_server;
+    Sink _sink;
+    BridgeOptions _options;
+
+    std::mutex _ioMutex; ///< serializes seq + sink + stop details
+    uint64_t _seq = 1;
+    std::string _stopDetail; ///< watch-hit/assertion context
+
+    rdp::ConnState _conn;       ///< request-thread connection
+    rdp::ConnState _runnerConn; ///< runner-thread connection
+    std::atomic<uint64_t> _rdpId{1};
+
+    std::optional<uint64_t> _session;
+    std::string _design;
+    std::vector<std::string> _watchSignals;
+    std::string _breakSignal; ///< value breakpoints target this
+    std::string _regsPrefix;  ///< `regs` scope for variables
+    std::vector<uint64_t> _breakLines;
+    bool _stopOnEntry = true;
+    bool _launched = false;
+    bool _configured = false;
+    bool _entryReported = false;
+
+    // Deferred actions handleMessage performs *after* the response
+    // is on the wire, so event order matches the contract above.
+    bool _deferInitialized = false;
+    bool _deferEntryStop = false;
+    bool _deferStartRunner = false;
+    bool _deferTerminate = false;
+
+    std::thread _runner;
+    std::atomic<bool> _running{false};
+    std::atomic<bool> _sawStop{false};
+    std::atomic<bool> _quitRunner{false};
+    std::atomic<bool> _finished{false};
+};
+
+} // namespace zoomie::dap
+
+#endif // ZOOMIE_DAP_BRIDGE_HH

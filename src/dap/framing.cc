@@ -1,0 +1,170 @@
+#include "framing.hh"
+
+#include <cctype>
+
+namespace zoomie::dap {
+
+const char *
+frameErrorName(FrameError error)
+{
+    switch (error) {
+      case FrameError::None: return "none";
+      case FrameError::HeaderOverflow: return "header-overflow";
+      case FrameError::BadHeader: return "bad-header";
+      case FrameError::MissingLength: return "missing-length";
+      case FrameError::LengthOverflow: return "length-overflow";
+    }
+    return "unknown";
+}
+
+std::string
+encodeFrame(std::string_view body)
+{
+    std::string out = "Content-Length: " +
+                      std::to_string(body.size()) + "\r\n\r\n";
+    out.append(body.data(), body.size());
+    return out;
+}
+
+bool
+FrameReader::fail(FrameError error, std::string detail)
+{
+    _error = error;
+    _detail = std::move(detail);
+    _buffer.clear();
+    return false;
+}
+
+/**
+ * Parse one header section (everything before the blank line).
+ * Fields are `Name: value\r\n`; names compare case-insensitively;
+ * unknown fields are skipped, as the spec demands. Exactly the
+ * Content-Length value is extracted and validated.
+ */
+bool
+FrameReader::parseHeader(std::string_view header)
+{
+    bool haveLength = false;
+    size_t pos = 0;
+    while (pos < header.size()) {
+        size_t eol = header.find("\r\n", pos);
+        if (eol == std::string_view::npos)
+            eol = header.size();
+        std::string_view line = header.substr(pos, eol - pos);
+        pos = eol + (eol < header.size() ? 2 : 0);
+        if (line.empty())
+            continue;
+
+        size_t colon = line.find(':');
+        if (colon == std::string_view::npos) {
+            return fail(FrameError::BadHeader,
+                        "header line without ':': '" +
+                            std::string(line) + "'");
+        }
+        std::string name;
+        for (char c : line.substr(0, colon))
+            name += char(std::tolower((unsigned char)c));
+        if (name != "content-length")
+            continue; // other fields are legal and ignored
+
+        std::string_view value = line.substr(colon + 1);
+        while (!value.empty() &&
+               (value.front() == ' ' || value.front() == '\t'))
+            value.remove_prefix(1);
+        while (!value.empty() &&
+               (value.back() == ' ' || value.back() == '\t'))
+            value.remove_suffix(1);
+        if (value.empty()) {
+            return fail(FrameError::BadHeader,
+                        "empty Content-Length value");
+        }
+        uint64_t length = 0;
+        for (char c : value) {
+            if (!std::isdigit((unsigned char)c)) {
+                return fail(FrameError::BadHeader,
+                            "Content-Length is not a decimal "
+                            "integer: '" +
+                                std::string(value) + "'");
+            }
+            length = length * 10 + uint64_t(c - '0');
+            if (length > _limits.maxBodyBytes) {
+                return fail(
+                    FrameError::LengthOverflow,
+                    "Content-Length " + std::string(value) +
+                        " exceeds the " +
+                        std::to_string(_limits.maxBodyBytes) +
+                        "-byte body cap");
+            }
+        }
+        if (haveLength && length != _bodyLength) {
+            return fail(FrameError::BadHeader,
+                        "conflicting Content-Length fields");
+        }
+        _bodyLength = size_t(length);
+        haveLength = true;
+    }
+    if (!haveLength) {
+        return fail(FrameError::MissingLength,
+                    "header section carries no Content-Length");
+    }
+    return true;
+}
+
+bool
+FrameReader::feed(std::string_view bytes)
+{
+    if (_error != FrameError::None)
+        return false;
+    _buffer.append(bytes.data(), bytes.size());
+
+    for (;;) {
+        if (_inBody) {
+            if (_buffer.size() < _bodyLength)
+                return true; // wait for the rest of the body
+            _ready.push_back(_buffer.substr(0, _bodyLength));
+            _buffer.erase(0, _bodyLength);
+            _inBody = false;
+            continue;
+        }
+
+        size_t end = _buffer.find("\r\n\r\n");
+        if (end == std::string_view::npos) {
+            // No terminator yet. More buffered header bytes than
+            // the cap without one is an overflow, terminator or
+            // not — a peer streaming junk must not grow the
+            // buffer forever.
+            if (_buffer.size() > _limits.maxHeaderBytes) {
+                return fail(
+                    FrameError::HeaderOverflow,
+                    "header section exceeds " +
+                        std::to_string(_limits.maxHeaderBytes) +
+                        " bytes with no blank line");
+            }
+            return true;
+        }
+        if (end > _limits.maxHeaderBytes) {
+            return fail(FrameError::HeaderOverflow,
+                        "header section exceeds " +
+                            std::to_string(
+                                _limits.maxHeaderBytes) +
+                            " bytes");
+        }
+        if (!parseHeader(
+                std::string_view(_buffer).substr(0, end)))
+            return false;
+        _buffer.erase(0, end + 4);
+        _inBody = true;
+    }
+}
+
+bool
+FrameReader::next(std::string &body)
+{
+    if (_ready.empty())
+        return false;
+    body = std::move(_ready.front());
+    _ready.pop_front();
+    return true;
+}
+
+} // namespace zoomie::dap

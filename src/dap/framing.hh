@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Debug Adapter Protocol message framing: each message is a JSON
+ * body preceded by an HTTP-style header section —
+ *
+ *   Content-Length: <bytes>\r\n
+ *   \r\n
+ *   <body>
+ *
+ * FrameReader is an incremental parser hardened the same way the
+ * JSONL transport is: feed bytes exactly as they arrive off a
+ * socket (split reads, many frames per read, a header torn across
+ * reads are all fine) and pull complete bodies out in order. A
+ * capped header size and a capped Content-Length mean a hostile
+ * peer cannot make the reader buffer without bound, and every
+ * failure is a typed, sticky FrameError — DAP framing has no
+ * resync point, so an erroring connection must close.
+ */
+
+#ifndef ZOOMIE_DAP_FRAMING_HH
+#define ZOOMIE_DAP_FRAMING_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace zoomie::dap {
+
+/** Why a FrameReader refused its input (sticky once set). */
+enum class FrameError {
+    None,
+    HeaderOverflow, ///< header section exceeds the cap, no blank line
+    BadHeader,      ///< malformed header line or length value
+    MissingLength,  ///< header section had no Content-Length field
+    LengthOverflow, ///< Content-Length exceeds the body cap
+};
+
+/** Stable name for logs and tests ("bad-header", ...). */
+const char *frameErrorName(FrameError error);
+
+/** Wrap one message body in Content-Length framing. */
+std::string encodeFrame(std::string_view body);
+
+/** Incremental Content-Length frame parser. */
+class FrameReader
+{
+  public:
+    struct Limits
+    {
+        /** Longest accepted header section (to the blank line). */
+        size_t maxHeaderBytes = 4096;
+
+        /** Largest accepted Content-Length value. */
+        size_t maxBodyBytes = 4 << 20;
+    };
+
+    FrameReader() = default;
+    explicit FrameReader(Limits limits) : _limits(limits) {}
+
+    /**
+     * Consume @p bytes. @return false once the reader is in an
+     * error state (the bytes are discarded); complete bodies keep
+     * accumulating until popped with next().
+     */
+    bool feed(std::string_view bytes);
+
+    /** Pop the oldest complete body. @return false when none. */
+    bool next(std::string &body);
+
+    FrameError error() const { return _error; }
+
+    /** Human detail for the sticky error ("" when none). */
+    const std::string &errorDetail() const { return _detail; }
+
+  private:
+    bool fail(FrameError error, std::string detail);
+    bool parseHeader(std::string_view header);
+
+    Limits _limits{};
+    std::string _buffer;
+    bool _inBody = false;
+    size_t _bodyLength = 0;
+    std::deque<std::string> _ready;
+    FrameError _error = FrameError::None;
+    std::string _detail;
+};
+
+} // namespace zoomie::dap
+
+#endif // ZOOMIE_DAP_FRAMING_HH

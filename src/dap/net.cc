@@ -1,0 +1,332 @@
+#include "net.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace zoomie::dap {
+
+// ---- FrameTransport ---------------------------------------------------
+
+FrameTransport::FrameTransport(int fd, int readTimeoutMs)
+    : _fd(fd), _timeoutMs(readTimeoutMs)
+{
+}
+
+FrameTransport::~FrameTransport()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+FrameTransport::kick()
+{
+    ::shutdown(_fd, SHUT_RD);
+}
+
+size_t
+FrameTransport::read(char *buffer, size_t capacity)
+{
+    for (;;) {
+        if (_timeoutMs > 0) {
+            struct pollfd pfd = {};
+            pfd.fd = _fd;
+            pfd.events = POLLIN;
+            int rc = ::poll(&pfd, 1, _timeoutMs);
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                return 0;
+            }
+            if (rc == 0) {
+                _timedOut = true;
+                return 0;
+            }
+        }
+        ssize_t n = ::recv(_fd, buffer, capacity, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return 0;
+        }
+        return size_t(n);
+    }
+}
+
+void
+FrameTransport::writeFrame(const std::string &body)
+{
+    std::lock_guard<std::mutex> lock(_writeMutex);
+    std::string framed = encodeFrame(body);
+    const char *data = framed.data();
+    size_t left = framed.size();
+    while (left > 0) {
+        ssize_t n = ::send(_fd, data, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // peer is gone; the read side will notice
+        }
+        data += n;
+        left -= size_t(n);
+    }
+}
+
+// ---- TcpServer --------------------------------------------------------
+
+TcpServer::TcpServer(rdp::Server &server, NetOptions options)
+    : _server(server), _options(std::move(options))
+{
+}
+
+TcpServer::~TcpServer()
+{
+    stop();
+}
+
+bool
+TcpServer::start(std::string *error)
+{
+    auto fail = [this, error](const std::string &what) {
+        if (error)
+            *error = what + ": " + std::strerror(errno);
+        if (_listenFd >= 0) {
+            ::close(_listenFd);
+            _listenFd = -1;
+        }
+        return false;
+    };
+
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(_options.port);
+    if (::inet_pton(AF_INET, _options.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        errno = EINVAL;
+        return fail("bad bind address '" + _options.bindAddress +
+                    "'");
+    }
+    if (::bind(_listenFd, (struct sockaddr *)&addr,
+               sizeof(addr)) < 0)
+        return fail("bind");
+    if (::listen(_listenFd, _options.backlog) < 0)
+        return fail("listen");
+
+    struct sockaddr_in bound = {};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(_listenFd, (struct sockaddr *)&bound,
+                      &len) == 0)
+        _port = ntohs(bound.sin_port);
+
+    if (::pipe(_wakePipe) < 0)
+        return fail("pipe");
+
+    _acceptThread = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+size_t
+TcpServer::connectionCount() const
+{
+    std::lock_guard<std::mutex> lock(_connMutex);
+    return _connections.size() - _finished.size();
+}
+
+void
+TcpServer::requestStop()
+{
+    if (_stopping.exchange(true))
+        return;
+    if (_wakePipe[1] >= 0) {
+        char byte = 'q';
+        [[maybe_unused]] ssize_t n =
+            ::write(_wakePipe[1], &byte, 1);
+    }
+}
+
+void
+TcpServer::wait()
+{
+    std::lock_guard<std::mutex> lock(_stopMutex);
+    if (_stopped)
+        return;
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+    for (int &fd : _wakePipe) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    _stopped = true;
+}
+
+void
+TcpServer::stop()
+{
+    requestStop();
+    wait();
+}
+
+namespace {
+
+/**
+ * A DAP `output` event written outside any bridge (so with seq 0):
+ * the one-shot diagnostics a connection sends when it is refused
+ * or when framing breaks, right before hanging up.
+ */
+std::string
+looseOutputEvent(const std::string &text)
+{
+    Json body = Json::object();
+    body.set("category", "stderr");
+    body.set("output", text + "\n");
+    Json event = Json::object();
+    event.set("seq", 0);
+    event.set("type", "event");
+    event.set("event", "output");
+    event.set("body", std::move(body));
+    return event.encode();
+}
+
+} // namespace
+
+void
+TcpServer::serveConnection(
+    uint64_t id, std::shared_ptr<FrameTransport> transport)
+{
+    {
+        FrameReader reader(_options.framing);
+        Bridge bridge(
+            _server,
+            [&transport](const std::string &body) {
+                transport->writeFrame(body);
+            },
+            _options.bridge);
+
+        char chunk[4096];
+        while (!bridge.finished()) {
+            size_t n = transport->read(chunk, sizeof chunk);
+            if (n == 0) {
+                if (transport->timedOut()) {
+                    transport->writeFrame(looseOutputEvent(
+                        "read timeout after " +
+                        std::to_string(_options.readTimeoutMs) +
+                        " ms; closing connection"));
+                }
+                break;
+            }
+            if (!reader.feed(std::string_view(chunk, n))) {
+                transport->writeFrame(looseOutputEvent(
+                    "framing error (" +
+                    std::string(frameErrorName(reader.error())) +
+                    "): " + reader.errorDetail() +
+                    "; closing connection"));
+                break;
+            }
+            std::string body;
+            while (!bridge.finished() && reader.next(body))
+                bridge.handleMessage(body);
+        }
+        // The bridge leaves scope here: its destructor joins the
+        // background runner before the transport can go away.
+    }
+    std::lock_guard<std::mutex> lock(_connMutex);
+    // During teardown the accept loop has already swapped the
+    // connection table out and will join us directly; recording a
+    // finished id nobody will reap would skew connectionCount().
+    if (_connections.count(id))
+        _finished.push_back(id);
+}
+
+void
+TcpServer::acceptLoop()
+{
+    auto reapFinished = [this] {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        for (uint64_t id : _finished) {
+            auto it = _connections.find(id);
+            if (it == _connections.end())
+                continue;
+            it->second.thread.join();
+            _connections.erase(it);
+        }
+        _finished.clear();
+    };
+
+    while (!_stopping.load()) {
+        struct pollfd fds[2] = {};
+        fds[0].fd = _listenFd;
+        fds[0].events = POLLIN;
+        fds[1].fd = _wakePipe[0];
+        fds[1].events = POLLIN;
+        int rc = ::poll(fds, 2, 500);
+        reapFinished();
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents != 0)
+            break; // woken by requestStop()
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+
+        if (_options.maxConnections > 0 &&
+            connectionCount() >= _options.maxConnections) {
+            FrameTransport refused(fd);
+            refused.writeFrame(looseOutputEvent(
+                "connection limit reached (" +
+                std::to_string(_options.maxConnections) + ")"));
+            continue; // destructor closes the socket
+        }
+
+        auto transport = std::make_shared<FrameTransport>(
+            fd, _options.readTimeoutMs);
+        std::lock_guard<std::mutex> lock(_connMutex);
+        uint64_t connId = _nextConnId++;
+        Connection &conn = _connections[connId];
+        conn.transport = transport;
+        conn.thread = std::thread([this, connId, transport] {
+            serveConnection(connId, transport);
+        });
+    }
+
+    // Teardown: kick every live connection out of read(), then
+    // join all serve threads so stop() returns with no stragglers.
+    std::map<uint64_t, Connection> remaining;
+    {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        for (auto &[id, conn] : _connections)
+            conn.transport->kick();
+        remaining.swap(_connections);
+        _finished.clear();
+    }
+    for (auto &[id, conn] : remaining)
+        conn.thread.join();
+}
+
+} // namespace zoomie::dap

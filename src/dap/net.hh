@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The TCP front end for the DAP bridge: a POSIX listener that
+ * gives each accepted connection its own thread, FrameReader and
+ * Bridge, all sharing one rdp::Server (and therefore one session
+ * registry and scheduler). The hardening mirrors rdp/net.hh: a
+ * read timeout and the FrameReader's header/body caps bound what a
+ * stuck or hostile client can cost, a connection cap bounds the
+ * thread count, and teardown is clean — a self-pipe wakes the
+ * accept loop, live sockets are kicked with shutdown(2), and every
+ * thread is joined before stop() returns. A connection ends at
+ * EOF, on a framing error (DAP framing has no resync point), or
+ * once its bridge answers `disconnect`.
+ */
+
+#ifndef ZOOMIE_DAP_NET_HH
+#define ZOOMIE_DAP_NET_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "dap/bridge.hh"
+#include "dap/framing.hh"
+
+namespace zoomie::dap {
+
+/** DAP listener configuration. */
+struct NetOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    uint16_t port = 0; ///< 0 = ephemeral; read back via port()
+    int backlog = 16;
+
+    /** Idle read deadline per connection (0 = no timeout). */
+    int readTimeoutMs = 0;
+
+    /** Concurrent connection cap (0 = unlimited). */
+    size_t maxConnections = 16;
+
+    /** Framing caps (header and body size). */
+    FrameReader::Limits framing;
+
+    /** Per-connection bridge configuration. */
+    BridgeOptions bridge;
+};
+
+/**
+ * A connected socket carrying Content-Length framed messages:
+ * raw chunked reads on the input side (the FrameReader does the
+ * splitting), whole atomic frames on the output side.
+ */
+class FrameTransport
+{
+  public:
+    explicit FrameTransport(int fd, int readTimeoutMs = 0);
+    ~FrameTransport();
+
+    FrameTransport(const FrameTransport &) = delete;
+    FrameTransport &operator=(const FrameTransport &) = delete;
+
+    /**
+     * Read whatever bytes are available (blocking up to the read
+     * timeout). @return the byte count, or 0 on EOF/timeout/error.
+     */
+    size_t read(char *buffer, size_t capacity);
+
+    /** Frame @p body and write it whole (mutex-serialized). */
+    void writeFrame(const std::string &body);
+
+    /** Unblock a reader from another thread (shutdown(2)). */
+    void kick();
+
+    bool timedOut() const { return _timedOut; }
+
+  private:
+    int _fd;
+    int _timeoutMs;
+    std::atomic<bool> _timedOut{false};
+    std::mutex _writeMutex;
+};
+
+/** The DAP TCP listener: accept loop + one bridge per client. */
+class TcpServer
+{
+  public:
+    TcpServer(rdp::Server &server, NetOptions options = {});
+    ~TcpServer();
+
+    TcpServer(const TcpServer &) = delete;
+    TcpServer &operator=(const TcpServer &) = delete;
+
+    /** Bind, listen, spawn the accept thread. */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (after start(); resolves port 0). */
+    uint16_t port() const { return _port; }
+
+    /** Begin teardown without blocking. */
+    void requestStop();
+
+    /** Block until the accept loop and every connection exit. */
+    void wait();
+
+    /** requestStop() + wait(). Idempotent. */
+    void stop();
+
+    size_t connectionCount() const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(uint64_t id,
+                         std::shared_ptr<FrameTransport> transport);
+
+    rdp::Server &_server;
+    NetOptions _options;
+
+    int _listenFd = -1;
+    int _wakePipe[2] = {-1, -1};
+    uint16_t _port = 0;
+    std::atomic<bool> _stopping{false};
+    std::thread _acceptThread;
+
+    struct Connection
+    {
+        std::thread thread;
+        std::shared_ptr<FrameTransport> transport;
+    };
+    mutable std::mutex _connMutex;
+    std::map<uint64_t, Connection> _connections;
+    std::vector<uint64_t> _finished; ///< ids awaiting join
+    uint64_t _nextConnId = 1;
+    std::mutex _stopMutex;
+    bool _stopped = false;
+};
+
+} // namespace zoomie::dap
+
+#endif // ZOOMIE_DAP_NET_HH

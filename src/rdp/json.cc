@@ -57,7 +57,13 @@ encodeValue(const Json &v, std::string &out)
       case Json::Type::Double: {
         double d = v.asDouble();
         if (!std::isfinite(d)) {
-            out += "null";  // JSON has no inf/nan
+            // JSON has no inf/nan literal. Clamp to a string
+            // instead of `null` so a non-finite metric stays
+            // visible on the wire rather than silently vanishing.
+            encodeString(std::isnan(d) ? "nan"
+                         : d < 0       ? "-inf"
+                                       : "inf",
+                         out);
             break;
         }
         char buf[32];

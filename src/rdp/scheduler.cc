@@ -55,7 +55,7 @@ bool
 Scheduler::canAdmit() const
 {
     return _options.maxSessions == 0 ||
-           _registry.count() < _options.maxSessions;
+           _registry.admitted() < _options.maxSessions;
 }
 
 Scheduler::RunOutcome
@@ -67,14 +67,33 @@ Scheduler::run(const std::shared_ptr<Session> &session,
     if (!session)
         return outcome;
 
+    // Reserve the whole request against the cycle budget *before*
+    // queueing, with a CAS loop on budgetReserved: two concurrent
+    // runs each get a disjoint grant, so the session can never
+    // overshoot cycleBudget no matter how requests race. Cancelled
+    // runs refund their unexecuted remainder below.
     if (_options.cycleBudget > 0) {
-        uint64_t used = session->stats().cyclesRun.load();
-        uint64_t left = used >= _options.cycleBudget
-                            ? 0
-                            : _options.cycleBudget - used;
-        if (cycles > left) {
-            outcome.budgetExhausted = true;
-            cycles = left;
+        std::atomic<uint64_t> &reserved =
+            session->stats().budgetReserved;
+        uint64_t want = cycles;
+        uint64_t current = reserved.load();
+        for (;;) {
+            uint64_t left = current >= _options.cycleBudget
+                                ? 0
+                                : _options.cycleBudget - current;
+            uint64_t grant = std::min(want, left);
+            if (grant < want)
+                outcome.budgetExhausted = true;
+            if (grant == 0) {
+                cycles = 0;
+                break;
+            }
+            if (reserved.compare_exchange_weak(current,
+                                               current + grant)) {
+                cycles = grant;
+                break;
+            }
+            outcome.budgetExhausted = false; // re-derive next spin
         }
     }
     if (cycles == 0) {
@@ -92,6 +111,8 @@ Scheduler::run(const std::shared_ptr<Session> &session,
         std::unique_lock<std::mutex> lock(_mutex);
         if (_stopping) {
             session->stats().pendingRuns.fetch_sub(1);
+            if (_options.cycleBudget > 0)
+                session->stats().budgetReserved.fetch_sub(cycles);
             outcome.cancelled = true;
             return outcome;
         }
@@ -101,6 +122,12 @@ Scheduler::run(const std::shared_ptr<Session> &session,
         _done.wait(lock, [&task] { return task.done; });
     }
     session->stats().pendingRuns.fetch_sub(1);
+    // A cancelled run executed fewer cycles than it reserved;
+    // refund the difference so a later client can still spend the
+    // remaining budget.
+    if (_options.cycleBudget > 0 && task.cyclesRun < cycles)
+        session->stats().budgetReserved.fetch_sub(
+            cycles - task.cyclesRun);
     session->stats().runRequests.fetch_add(1);
     session->stats().execMicros.fetch_add(task.execMicros);
     session->stats().queueWaitMicros.fetch_add(

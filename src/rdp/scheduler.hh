@@ -94,7 +94,12 @@ class Scheduler
                    uint64_t cycles,
                    const std::function<void()> &perCycle = {});
 
-    /** Admission check for `open` against maxSessions. */
+    /**
+     * Advisory admission check against maxSessions (counts live
+     * sessions plus bring-ups in flight). The *authoritative*
+     * check is SessionRegistry::create()'s atomic check-and-
+     * reserve; this is only a racy hint for metrics/UI.
+     */
     bool canAdmit() const;
 
     /**

@@ -259,14 +259,6 @@ Json
 Server::handleOpen(const Request &req, ConnState &,
                    std::vector<std::string> &)
 {
-    if (!_scheduler.canAdmit()) {
-        return errorReply(
-            req, Errc::Busy,
-            "session limit reached (" +
-                std::to_string(_options.scheduler.maxSessions) +
-                " open); close one or retry later");
-    }
-
     SessionConfig config;
     if (const Json *design = req.args.find("design")) {
         if (!design->isString()) {
@@ -324,7 +316,12 @@ Server::handleOpen(const Request &req, ConnState &,
 
     std::shared_ptr<Session> session;
     try {
+        // create() enforces the session cap atomically (check and
+        // reserve under the registry lock) — the only admission
+        // check, so concurrent opens cannot overshoot maxSessions.
         session = _registry.create(std::move(config));
+    } catch (const RegistryFull &e) {
+        return errorReply(req, Errc::Busy, e.what());
     } catch (const std::exception &e) {
         return errorReply(req, Errc::BadArgs, e.what());
     }
@@ -572,8 +569,12 @@ Server::dispatchRequest(const Request &req, ConnState &conn,
         dispatcher.setEventSink(conn.sink);
     dispatcher.setTraceChunkBytes(_options.traceChunkBytes);
     Dispatcher::Result result = dispatcher.execute(req);
-    for (const Json &event : result.events)
-        out.push_back(event.encode());
+    for (const Json &event : result.events) {
+        if (conn.onEvent)
+            conn.onEvent(event); // subscription hook (DAP bridge)
+        else
+            out.push_back(event.encode());
+    }
     return result.reply;
 }
 

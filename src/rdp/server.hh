@@ -215,6 +215,18 @@ struct ConnState
     /** The connection's outbox; null for single-shot handleLine
      *  (no transport to stream on). Set by serve(). */
     EventSink *sink = nullptr;
+
+    /**
+     * Event-subscription hook: when set, session events a command
+     * on this connection provokes (`dbg_stop`, `watch_hit`,
+     * `assertion_fired`) are delivered here — in emission order,
+     * during dispatch, before the reply — instead of being
+     * returned as encoded output lines. The DAP bridge subscribes
+     * through this so it sees stop events the moment they happen,
+     * without polling session state. Called on the thread
+     * executing the request; must not re-enter the server.
+     */
+    std::function<void(const Json &)> onEvent;
 };
 
 /** The multi-session Zoomie debug server. */
@@ -225,6 +237,10 @@ class Server
         : _options(std::move(options)),
           _scheduler(_registry, _options.scheduler)
     {
+        // The registry is the admission authority: `open` relies on
+        // create()'s atomic check-and-reserve, not a separate
+        // pre-check, so racing opens cannot overshoot the cap.
+        _registry.setMaxSessions(_options.scheduler.maxSessions);
     }
 
     SessionRegistry &sessions() { return _registry; }

@@ -90,15 +90,33 @@ Session::Session(uint64_t id, SessionConfig config)
 std::shared_ptr<Session>
 SessionRegistry::create(SessionConfig config)
 {
-    // Bring-up happens outside the lock: compiling a design is slow
-    // and must not block commands against live sessions.
+    // Check-and-reserve is one atomic step: counting live sessions
+    // *and* bring-ups in flight closes the TOCTOU window where N
+    // racing opens all pass the cap check before any insert lands.
     uint64_t id;
     {
         std::lock_guard<std::mutex> lock(_mutex);
+        if (_maxSessions != 0 &&
+            _sessions.size() + _reserved >= _maxSessions)
+            throw RegistryFull(_maxSessions);
+        ++_reserved;
         id = _next++;
     }
-    auto session = std::make_shared<Session>(id, std::move(config));
+
+    // Bring-up happens outside the lock against the reserved slot:
+    // compiling a design is slow and must not block commands
+    // against live sessions. A failed bring-up releases the slot.
+    std::shared_ptr<Session> session;
+    try {
+        session =
+            std::make_shared<Session>(id, std::move(config));
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        --_reserved;
+        throw;
+    }
     std::lock_guard<std::mutex> lock(_mutex);
+    --_reserved;
     _sessions[id] = session;
     return session;
 }
@@ -142,6 +160,13 @@ SessionRegistry::count() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     return _sessions.size();
+}
+
+size_t
+SessionRegistry::admitted() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _sessions.size() + _reserved;
 }
 
 } // namespace zoomie::rdp

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,16 @@ struct SessionStats
     std::atomic<uint64_t> queueWaitMicros{0}; ///< time spent queued
     std::atomic<uint64_t> pendingRuns{0}; ///< runs queued or executing
     std::atomic<int64_t> lastActiveMicros{0}; ///< steadyNowMicros() stamp
+
+    /**
+     * Cycles reserved against the session's cycle budget. The
+     * scheduler grants budget with a CAS loop *before* queueing a
+     * run and refunds the unexecuted remainder of a cancelled run,
+     * so two concurrent `run` requests can never both claim the
+     * same remaining budget (`cyclesRun` lags execution and must
+     * not be the admission authority).
+     */
+    std::atomic<uint64_t> budgetReserved{0};
 };
 
 /** What to bring up when a session opens. */
@@ -108,11 +119,48 @@ class Session
     SessionStats _stats;
 };
 
+/**
+ * Thrown by SessionRegistry::create when the session cap is
+ * reached, so callers can answer the typed `busy` error instead of
+ * treating it as a bad-config failure.
+ */
+class RegistryFull : public std::runtime_error
+{
+  public:
+    explicit RegistryFull(size_t cap)
+        : std::runtime_error("session limit reached (" +
+                             std::to_string(cap) +
+                             " open); close one or retry later"),
+          _cap(cap)
+    {
+    }
+    size_t cap() const { return _cap; }
+
+  private:
+    size_t _cap;
+};
+
 /** Thread-safe registry of concurrent sessions. */
 class SessionRegistry
 {
   public:
-    /** Bring up a new session; throws std::runtime_error on bad config. */
+    /**
+     * Admission cap enforced atomically by create() (0 =
+     * unlimited). Set once at server construction, before any
+     * concurrent opens.
+     */
+    void setMaxSessions(size_t cap) { _maxSessions = cap; }
+    size_t maxSessions() const { return _maxSessions; }
+
+    /**
+     * Bring up a new session; throws RegistryFull when the cap is
+     * reached and std::runtime_error on bad config. The cap check
+     * and the slot reservation are one atomic step under the
+     * registry lock — N racing creates can never overshoot the cap
+     * — while the slow bring-up itself runs outside the lock
+     * against a reserved slot that is released if the Session
+     * constructor throws.
+     */
     std::shared_ptr<Session> create(SessionConfig config);
 
     /** Look up a session by id (null when unknown/closed). */
@@ -127,9 +175,14 @@ class SessionRegistry
     std::vector<uint64_t> ids() const;
     size_t count() const;
 
+    /** Live sessions plus reserved slots (bring-ups in flight). */
+    size_t admitted() const;
+
   private:
     mutable std::mutex _mutex;
     uint64_t _next = 1;
+    size_t _maxSessions = 0;
+    size_t _reserved = 0; ///< slots held by in-flight bring-ups
     std::map<uint64_t, std::shared_ptr<Session>> _sessions;
 };
 

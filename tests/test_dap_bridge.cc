@@ -1,0 +1,509 @@
+/**
+ * @file
+ * The DAP bridge end to end. The centerpiece is a scripted DAP
+ * client talking real Content-Length frames over loopback TCP to
+ * dap::TcpServer: initialize → setBreakpoints → launch →
+ * configurationDone → stopped at the breakpoint → stackTrace and
+ * variables reflect the device state → continue → pause → clean
+ * disconnect. Framing is byte-exact on both sides — the client
+ * decodes with the same hardened FrameReader the server uses, so a
+ * single stray byte anywhere breaks the run. Around that:
+ * event-mapping tests (watch_hit → stopped "data breakpoint",
+ * assertion_fired → output + stopped "exception") on an in-memory
+ * bridge, the session-cap busy path surfacing through `launch`,
+ * and the scheduler cycle budget retiring a DAP `continue`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "dap/bridge.hh"
+#include "dap/net.hh"
+
+using namespace zoomie;
+using rdp::Json;
+
+namespace {
+
+/** A bridge wired straight to an in-memory sink. */
+struct BridgeHarness
+{
+    rdp::Server server;
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::vector<std::string> out;
+    dap::Bridge bridge;
+
+    explicit BridgeHarness(rdp::ServerOptions options = {},
+                           dap::BridgeOptions bridgeOptions = {})
+        : server(std::move(options)),
+          bridge(
+              server,
+              [this](const std::string &body) {
+                  {
+                      std::lock_guard<std::mutex> lock(mutex);
+                      out.push_back(body);
+                  }
+                  arrived.notify_all();
+              },
+              bridgeOptions)
+    {
+    }
+
+    /**
+     * Block until a message matching @p pred arrives (scanning
+     * everything received so far first); returns it decoded.
+     */
+    Json await(const std::function<bool(const Json &)> &pred,
+               int timeoutMs = 15'000)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        size_t scanned = 0;
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeoutMs);
+        for (;;) {
+            for (; scanned < out.size(); ++scanned) {
+                auto parsed = Json::parse(out[scanned]);
+                if (parsed && pred(*parsed))
+                    return *parsed;
+            }
+            if (arrived.wait_until(lock, deadline) ==
+                    std::cv_status::timeout &&
+                scanned >= out.size()) {
+                ADD_FAILURE() << "timed out awaiting a message";
+                return Json();
+            }
+        }
+    }
+};
+
+/** Match an event message by name (and optional stop reason). */
+std::function<bool(const Json &)>
+isEvent(const std::string &name, const std::string &reason = "")
+{
+    return [name, reason](const Json &msg) {
+        const Json *event = msg.find("event");
+        if (!event || !event->isString() ||
+            event->asString() != name)
+            return false;
+        if (reason.empty())
+            return true;
+        const Json *body = msg.find("body");
+        const Json *got =
+            body && body->isObject() ? body->find("reason")
+                                     : nullptr;
+        return got && got->isString() &&
+               got->asString() == reason;
+    };
+}
+
+/** Match the response to @p command. */
+std::function<bool(const Json &)>
+isResponse(const std::string &command)
+{
+    return [command](const Json &msg) {
+        const Json *type = msg.find("type");
+        const Json *cmd = msg.find("command");
+        return type && type->isString() &&
+               type->asString() == "response" && cmd &&
+               cmd->isString() && cmd->asString() == command;
+    };
+}
+
+std::string
+request(int seq, const std::string &command,
+        const std::string &argsJson = "")
+{
+    std::string out = "{\"seq\":" + std::to_string(seq) +
+                      ",\"type\":\"request\",\"command\":\"" +
+                      command + "\"";
+    if (!argsJson.empty())
+        out += ",\"arguments\":" + argsJson;
+    return out + "}";
+}
+
+/**
+ * A scripted DAP client on a real socket: sends Content-Length
+ * framed requests, decodes the return stream with the same
+ * FrameReader the server uses (so framing must be byte-exact in
+ * both directions), and awaits messages by predicate.
+ */
+class DapClient
+{
+  public:
+    explicit DapClient(uint16_t port)
+    {
+        _fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(_fd, 0);
+        struct sockaddr_in addr = {};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        EXPECT_EQ(::connect(_fd, (struct sockaddr *)&addr,
+                            sizeof(addr)),
+                  0)
+            << "connect: " << strerror(errno);
+    }
+
+    ~DapClient()
+    {
+        if (_fd >= 0)
+            ::close(_fd);
+    }
+
+    void send(const std::string &body)
+    {
+        std::string framed = dap::encodeFrame(body);
+        ASSERT_EQ(::send(_fd, framed.data(), framed.size(),
+                         MSG_NOSIGNAL),
+                  ssize_t(framed.size()));
+    }
+
+    Json await(const std::function<bool(const Json &)> &pred,
+               int timeoutMs = 15'000)
+    {
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeoutMs);
+        for (;;) {
+            for (; _scanned < _messages.size(); ++_scanned) {
+                auto parsed = Json::parse(_messages[_scanned]);
+                EXPECT_TRUE(parsed)
+                    << "unparseable DAP body: "
+                    << _messages[_scanned];
+                if (parsed && pred(*parsed))
+                    return *parsed;
+            }
+            int leftMs = int(
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count());
+            if (leftMs <= 0 || !pump(leftMs)) {
+                ADD_FAILURE()
+                    << "timed out awaiting a DAP message";
+                return Json();
+            }
+        }
+    }
+
+  private:
+    /** Read more bytes into the frame reader. @return false on
+     *  timeout/EOF/framing error. */
+    bool pump(int timeoutMs)
+    {
+        struct pollfd pfd = {};
+        pfd.fd = _fd;
+        pfd.events = POLLIN;
+        if (::poll(&pfd, 1, timeoutMs) <= 0)
+            return false;
+        char chunk[4096];
+        ssize_t n = ::recv(_fd, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            return false;
+        if (!_reader.feed(std::string_view(chunk, size_t(n)))) {
+            ADD_FAILURE() << "client-side framing error: "
+                          << _reader.errorDetail();
+            return false;
+        }
+        std::string body;
+        while (_reader.next(body))
+            _messages.push_back(body);
+        return true;
+    }
+
+    int _fd = -1;
+    dap::FrameReader _reader;
+    std::deque<std::string> _messages;
+    size_t _scanned = 0;
+};
+
+std::string
+frameName(const Json &stackTraceResponse)
+{
+    const Json *body = stackTraceResponse.find("body");
+    if (!body)
+        return "";
+    const Json *frames = body->find("stackFrames");
+    if (!frames || !frames->isArray() || frames->size() == 0)
+        return "";
+    const Json *name = frames->at(0).find("name");
+    return name && name->isString() ? name->asString() : "";
+}
+
+} // namespace
+
+/**
+ * The acceptance script, over a real TCP socket with byte-exact
+ * Content-Length framing end to end.
+ */
+TEST(DapBridge, EndToEndOverLoopbackTcp)
+{
+    rdp::Server server;
+    dap::TcpServer tcp(server);
+    std::string error;
+    ASSERT_TRUE(tcp.start(&error)) << error;
+
+    {
+        DapClient client(tcp.port());
+
+        client.send(request(1, "initialize",
+                            R"({"adapterID":"zoomie-e2e"})"));
+        Json init = client.await(isResponse("initialize"));
+        ASSERT_TRUE(init.find("body"));
+        EXPECT_TRUE(init.find("body")
+                        ->find("supportsConfigurationDoneRequest")
+                        ->asBool());
+        client.await(isEvent("initialized"));
+
+        // Configuration first, launch not yet running: breakpoints
+        // arrive before the design does and still verify at launch.
+        client.send(request(
+            2, "setBreakpoints",
+            R"({"source":{"name":"counter"},"breakpoints":[{"line":5}]})"));
+        Json bps = client.await(isResponse("setBreakpoints"));
+        EXPECT_TRUE(bps.find("body")
+                        ->find("breakpoints")
+                        ->at(0)
+                        .find("verified")
+                        ->asBool());
+
+        client.send(request(
+            3, "launch",
+            R"({"design":"counter","stopOnEntry":false})"));
+        client.await(isResponse("launch"));
+
+        // configurationDone releases the device; the armed value
+        // breakpoint stops it deterministically at count == 5.
+        client.send(request(4, "configurationDone"));
+        client.await(isResponse("configurationDone"));
+        client.await(isEvent("stopped", "breakpoint"));
+
+        client.send(request(5, "stackTrace",
+                            R"({"threadId":1})"));
+        Json stack = client.await(isResponse("stackTrace"));
+        EXPECT_EQ(frameName(stack), "counter @ cycle 5");
+
+        client.send(request(6, "scopes", R"({"frameId":1})"));
+        Json scopes = client.await(isResponse("scopes"));
+        EXPECT_EQ(scopes.find("body")
+                      ->find("scopes")
+                      ->at(0)
+                      .find("variablesReference")
+                      ->asU64(),
+                  1u);
+
+        client.send(request(7, "variables",
+                            R"({"variablesReference":1})"));
+        Json vars = client.await(isResponse("variables"));
+        const Json *variable =
+            &vars.find("body")->find("variables")->at(0);
+        EXPECT_EQ(variable->find("name")->asString(),
+                  "mut/count");
+        EXPECT_EQ(variable->find("value")->asString(), "0x5");
+
+        client.send(request(
+            8, "evaluate",
+            R"({"expression":"print mut/count"})"));
+        Json eval = client.await(isResponse("evaluate"));
+        EXPECT_EQ(eval.find("body")->find("result")->asString(),
+                  "0x5");
+
+        // Clear the breakpoint, run free, then pause from outside.
+        client.send(request(9, "setBreakpoints",
+                            R"({"breakpoints":[]})"));
+        client.await(isResponse("setBreakpoints"));
+        client.send(request(10, "continue",
+                            R"({"threadId":1})"));
+        Json cont = client.await(isResponse("continue"));
+        EXPECT_TRUE(cont.find("body")
+                        ->find("allThreadsContinued")
+                        ->asBool());
+
+        client.send(request(11, "pause", R"({"threadId":1})"));
+        client.await(isEvent("stopped", "pause"));
+        client.await(isResponse("pause"));
+
+        client.send(request(12, "disconnect"));
+        Json bye = client.await(isResponse("disconnect"));
+        EXPECT_TRUE(bye.find("success")->asBool());
+        client.await(isEvent("terminated"));
+    }
+
+    // The bridge closed its session on disconnect; nothing leaks
+    // into the shared registry.
+    for (int i = 0; i < 100 && !server.sessions().ids().empty();
+         ++i)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    EXPECT_TRUE(server.sessions().ids().empty());
+
+    tcp.stop();
+}
+
+TEST(DapBridge, WatchHitMapsToDataBreakpointStop)
+{
+    BridgeHarness h;
+    h.bridge.handleMessage(request(1, "initialize"));
+    h.bridge.handleMessage(request(
+        2, "launch",
+        R"({"design":"counter","stopOnEntry":false})"));
+    h.bridge.handleMessage(request(
+        3, "setDataBreakpoints",
+        R"({"breakpoints":[{"dataId":"mut/count"}]})"));
+    h.bridge.handleMessage(request(4, "configurationDone"));
+
+    // The first counter increment trips the watchpoint.
+    Json stop = h.await(isEvent("stopped", "data breakpoint"));
+    const Json *description =
+        stop.find("body")->find("description");
+    ASSERT_TRUE(description && description->isString());
+    EXPECT_NE(description->asString().find(
+                  "mut/count changed 0x0 -> 0x1"),
+              std::string::npos)
+        << description->asString();
+}
+
+TEST(DapBridge, AssertionMapsToExceptionStopAndOutput)
+{
+    BridgeHarness h;
+    h.bridge.handleMessage(request(1, "initialize"));
+    h.bridge.handleMessage(request(
+        2, "launch",
+        R"({"design":"counter","stopOnEntry":false,)"
+        R"("assertions":["assert property (mut/count != 50);"]})"));
+    h.bridge.handleMessage(request(4, "configurationDone"));
+
+    Json output = h.await([](const Json &msg) {
+        const Json *event = msg.find("event");
+        if (!event || !event->isString() ||
+            event->asString() != "output")
+            return false;
+        const Json *body = msg.find("body");
+        const Json *text = body ? body->find("output") : nullptr;
+        return text && text->isString() &&
+               text->asString().find("fired") !=
+                   std::string::npos;
+    });
+    EXPECT_EQ(output.find("body")
+                  ->find("category")
+                  ->asString(),
+              "important");
+
+    Json stop = h.await(isEvent("stopped", "exception"));
+    const Json *description =
+        stop.find("body")->find("description");
+    ASSERT_TRUE(description && description->isString());
+    EXPECT_NE(description->asString().find("fired"),
+              std::string::npos);
+}
+
+TEST(DapBridge, LaunchSurfacesTheSessionCapAsBusy)
+{
+    rdp::ServerOptions options;
+    options.scheduler.maxSessions = 1;
+    BridgeHarness h(options);
+    // Fill the only slot through the JSONL side; the DAP launch
+    // must then fail with the registry's typed busy error.
+    bool quit = false;
+    auto out = h.server.handleLine(
+        R"({"cmd":"open","design":"counter"})", quit);
+    ASSERT_NE(out.back().find("\"ok\":true"), std::string::npos);
+
+    h.bridge.handleMessage(request(1, "initialize"));
+    h.bridge.handleMessage(
+        request(2, "launch", R"({"design":"counter"})"));
+    Json launch = h.await(isResponse("launch"));
+    EXPECT_FALSE(launch.find("success")->asBool());
+    const Json *message = launch.find("message");
+    ASSERT_TRUE(message && message->isString());
+    EXPECT_NE(message->asString().find("busy"),
+              std::string::npos)
+        << message->asString();
+    EXPECT_NE(message->asString().find("session limit reached"),
+              std::string::npos);
+}
+
+TEST(DapBridge, CycleBudgetRetiresAContinue)
+{
+    rdp::ServerOptions options;
+    options.scheduler.cycleBudget = 1000;
+    BridgeHarness h(options);
+    h.bridge.handleMessage(request(1, "initialize"));
+    h.bridge.handleMessage(request(
+        2, "launch",
+        R"({"design":"counter","stopOnEntry":false})"));
+    // No breakpoints: only the budget can stop the runner.
+    h.bridge.handleMessage(request(3, "configurationDone"));
+
+    Json stop = h.await(isEvent("stopped", "pause"));
+    const Json *description =
+        stop.find("body")->find("description");
+    ASSERT_TRUE(description && description->isString());
+    EXPECT_EQ(description->asString(),
+              "cycle budget exhausted");
+}
+
+TEST(DapBridge, StackTraceBeforeLaunchFailsCleanly)
+{
+    BridgeHarness h;
+    h.bridge.handleMessage(request(1, "stackTrace"));
+    Json resp = h.await(isResponse("stackTrace"));
+    EXPECT_FALSE(resp.find("success")->asBool());
+    EXPECT_NE(resp.find("message")->asString().find("launch"),
+              std::string::npos);
+}
+
+TEST(DapBridge, FramingErrorClosesTheTcpConnection)
+{
+    rdp::Server server;
+    dap::TcpServer tcp(server);
+    std::string error;
+    ASSERT_TRUE(tcp.start(&error)) << error;
+    {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        struct sockaddr_in addr = {};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(tcp.port());
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        ASSERT_EQ(::connect(fd, (struct sockaddr *)&addr,
+                            sizeof(addr)),
+                  0);
+        const char junk[] = "Content-Length: nope\r\n\r\n";
+        ASSERT_GT(::send(fd, junk, sizeof junk - 1, MSG_NOSIGNAL),
+                  0);
+        // The server reports the framing error, then hangs up —
+        // recv eventually returns 0 (EOF), not a hang.
+        std::string received;
+        char chunk[1024];
+        for (;;) {
+            struct pollfd pfd = {};
+            pfd.fd = fd;
+            pfd.events = POLLIN;
+            ASSERT_GT(::poll(&pfd, 1, 15'000), 0)
+                << "server never closed the connection";
+            ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n <= 0)
+                break;
+            received.append(chunk, size_t(n));
+        }
+        EXPECT_NE(received.find("bad-header"), std::string::npos)
+            << received;
+        ::close(fd);
+    }
+    tcp.stop();
+}

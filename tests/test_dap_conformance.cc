@@ -1,0 +1,268 @@
+/**
+ * @file
+ * DAP wire conformance: one golden request/response pair per DAP
+ * command the bridge implements, executed against a fresh
+ * rdp::Server + dap::Bridge and compared byte-for-byte — sequence
+ * numbers, field order, capability set, event payloads. The
+ * covered command set is enumerated from Bridge::commandNames(),
+ * both ways: a command without a golden row fails the suite, and a
+ * row naming an unknown command fails it too (the same contract
+ * test_rdp_conformance pins for the JSONL protocol). DAP replies
+ * carry no wall-clock fields, so no scrubbing is needed; the only
+ * asynchronous row (`continue`) waits for its deterministic
+ * breakpoint stop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dap/bridge.hh"
+
+using namespace zoomie;
+
+namespace {
+
+/** A bridge wired to an in-memory sink with arrival signalling. */
+struct BridgeHarness
+{
+    rdp::Server server;
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::vector<std::string> out;
+    dap::Bridge bridge;
+
+    BridgeHarness()
+        : bridge(server,
+                 [this](const std::string &body) {
+                     {
+                         std::lock_guard<std::mutex> lock(mutex);
+                         out.push_back(body);
+                     }
+                     arrived.notify_all();
+                 })
+    {
+    }
+
+    size_t count()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return out.size();
+    }
+
+    bool waitForCount(size_t n, int timeoutMs = 10'000)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        return arrived.wait_for(
+            lock, std::chrono::milliseconds(timeoutMs),
+            [&] { return out.size() >= n; });
+    }
+
+    std::vector<std::string> snapshot()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return out;
+    }
+};
+
+struct GoldenCase
+{
+    std::vector<std::string> setup; ///< requests run first
+    std::string request;            ///< the golden request
+    std::vector<std::string> expect; ///< its messages, in order
+};
+
+// Shared setup ladders. Client seqs count 1,2,3,...; the bridge's
+// own seq counter ticks once per outgoing message, so each ladder
+// leaves it at a known value (noted per ladder).
+const std::string kInit =
+    R"({"seq":1,"type":"request","command":"initialize","arguments":{"adapterID":"zoomie"}})";
+const std::string kLaunch =
+    R"({"seq":2,"type":"request","command":"launch","arguments":{"design":"counter"}})";
+const std::string kConfigDone =
+    R"({"seq":3,"type":"request","command":"configurationDone"})";
+const std::string kBreakAt5 =
+    R"({"seq":4,"type":"request","command":"setBreakpoints","arguments":{"breakpoints":[{"line":5}]}})";
+
+/** initialize → 2 messages out (response, initialized). */
+const std::vector<std::string> SETUP_INIT = {kInit};
+/** + launch → 3 messages out. */
+const std::vector<std::string> SETUP_LAUNCH = {kInit, kLaunch};
+/** + configurationDone → 5 messages out (+stopped entry). */
+const std::vector<std::string> SETUP_CONFIG = {kInit, kLaunch,
+                                               kConfigDone};
+
+const std::vector<std::pair<std::string, GoldenCase>> &
+goldenTable()
+{
+    static const std::vector<std::pair<std::string, GoldenCase>>
+        rows = {
+            {"initialize",
+             {{},
+              kInit,
+              {R"({"seq":1,"type":"response","request_seq":1,"success":true,"command":"initialize","body":{"supportsConfigurationDoneRequest":true,"supportsEvaluateForHovers":true,"supportsSetVariable":true,"supportsDataBreakpoints":true,"supportsFunctionBreakpoints":false,"supportsConditionalBreakpoints":false,"supportsRestartRequest":false,"supportsTerminateRequest":false}})",
+               R"({"seq":2,"type":"event","event":"initialized","body":{}})"}}},
+            {"launch",
+             {SETUP_INIT,
+              kLaunch,
+              {R"({"seq":3,"type":"response","request_seq":2,"success":true,"command":"launch","body":{}})"}}},
+            {"configurationDone",
+             {SETUP_LAUNCH,
+              kConfigDone,
+              {R"({"seq":4,"type":"response","request_seq":3,"success":true,"command":"configurationDone","body":{}})",
+               R"({"seq":5,"type":"event","event":"stopped","body":{"reason":"entry","description":"stopped on entry","threadId":1,"allThreadsStopped":true}})"}}},
+            {"setBreakpoints",
+             {SETUP_LAUNCH,
+              R"({"seq":3,"type":"request","command":"setBreakpoints","arguments":{"breakpoints":[{"line":5}]}})",
+              {R"({"seq":4,"type":"response","request_seq":3,"success":true,"command":"setBreakpoints","body":{"breakpoints":[{"verified":true,"line":5}]}})"}}},
+            {"setDataBreakpoints",
+             {SETUP_LAUNCH,
+              R"({"seq":3,"type":"request","command":"setDataBreakpoints","arguments":{"breakpoints":[{"dataId":"mut/count"}]}})",
+              {R"({"seq":4,"type":"response","request_seq":3,"success":true,"command":"setDataBreakpoints","body":{"breakpoints":[{"verified":true}]}})"}}},
+            {"dataBreakpointInfo",
+             {SETUP_LAUNCH,
+              R"({"seq":3,"type":"request","command":"dataBreakpointInfo","arguments":{"name":"mut/count"}})",
+              {R"({"seq":4,"type":"response","request_seq":3,"success":true,"command":"dataBreakpointInfo","body":{"dataId":"mut/count","description":"stop when mut/count changes","accessTypes":["write"],"canPersist":false}})"}}},
+            {"threads",
+             {{},
+              R"({"seq":1,"type":"request","command":"threads"})",
+              {R"({"seq":1,"type":"response","request_seq":1,"success":true,"command":"threads","body":{"threads":[{"id":1,"name":"device"}]}})"}}},
+            {"stackTrace",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"stackTrace","arguments":{"threadId":1}})",
+              {R"({"seq":6,"type":"response","request_seq":4,"success":true,"command":"stackTrace","body":{"stackFrames":[{"id":1,"name":"counter @ cycle 0","source":{"name":"counter"},"line":0,"column":0}],"totalFrames":1}})"}}},
+            {"scopes",
+             {{},
+              R"({"seq":1,"type":"request","command":"scopes","arguments":{"frameId":1}})",
+              {R"({"seq":1,"type":"response","request_seq":1,"success":true,"command":"scopes","body":{"scopes":[{"name":"Registers","variablesReference":1,"expensive":false}]}})"}}},
+            {"variables",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"variables","arguments":{"variablesReference":1}})",
+              {R"({"seq":6,"type":"response","request_seq":4,"success":true,"command":"variables","body":{"variables":[{"name":"mut/count","value":"0x0","variablesReference":0}]}})"}}},
+            {"setVariable",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"setVariable","arguments":{"variablesReference":1,"name":"mut/count","value":"0x2a"}})",
+              {R"({"seq":6,"type":"response","request_seq":4,"success":true,"command":"setVariable","body":{"value":"0x2a"}})"}}},
+            {"evaluate",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"evaluate","arguments":{"expression":"print mut/count"}})",
+              {R"({"seq":6,"type":"response","request_seq":4,"success":true,"command":"evaluate","body":{"result":"0x0","variablesReference":0}})"}}},
+            {"continue",
+             {{kInit, kLaunch, kConfigDone, kBreakAt5},
+              R"({"seq":5,"type":"request","command":"continue","arguments":{"threadId":1}})",
+              {R"({"seq":7,"type":"response","request_seq":5,"success":true,"command":"continue","body":{"allThreadsContinued":true}})",
+               R"({"seq":8,"type":"event","event":"stopped","body":{"reason":"breakpoint","threadId":1,"allThreadsStopped":true}})"}}},
+            {"next",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"next","arguments":{"threadId":1}})",
+              {R"({"seq":6,"type":"event","event":"stopped","body":{"reason":"step","threadId":1,"allThreadsStopped":true}})",
+               R"({"seq":7,"type":"response","request_seq":4,"success":true,"command":"next","body":{}})"}}},
+            {"stepIn",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"stepIn","arguments":{"threadId":1}})",
+              {R"({"seq":6,"type":"event","event":"stopped","body":{"reason":"step","threadId":1,"allThreadsStopped":true}})",
+               R"({"seq":7,"type":"response","request_seq":4,"success":true,"command":"stepIn","body":{}})"}}},
+            {"stepOut",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"stepOut","arguments":{"threadId":1}})",
+              {R"({"seq":6,"type":"event","event":"stopped","body":{"reason":"step","threadId":1,"allThreadsStopped":true}})",
+               R"({"seq":7,"type":"response","request_seq":4,"success":true,"command":"stepOut","body":{}})"}}},
+            {"pause",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"pause","arguments":{"threadId":1}})",
+              {R"({"seq":6,"type":"event","event":"stopped","body":{"reason":"pause","threadId":1,"allThreadsStopped":true}})",
+               R"({"seq":7,"type":"response","request_seq":4,"success":true,"command":"pause","body":{}})"}}},
+            {"disconnect",
+             {SETUP_CONFIG,
+              R"({"seq":4,"type":"request","command":"disconnect"})",
+              {R"({"seq":6,"type":"response","request_seq":4,"success":true,"command":"disconnect","body":{}})",
+               R"({"seq":7,"type":"event","event":"terminated","body":{}})"}}},
+        };
+    return rows;
+}
+
+} // namespace
+
+TEST(DapConformance, CommandNamesAreFullyCovered)
+{
+    // The coverage contract, in both directions: every DAP command
+    // the bridge implements has a golden row, and every row names a
+    // command the bridge actually implements.
+    std::vector<std::string> names = dap::Bridge::commandNames();
+    std::set<std::string> implemented(names.begin(), names.end());
+    ASSERT_FALSE(implemented.empty());
+
+    std::set<std::string> covered;
+    for (const auto &[name, row] : goldenTable())
+        covered.insert(name);
+
+    for (const std::string &name : implemented) {
+        EXPECT_TRUE(covered.count(name))
+            << "DAP command '" << name
+            << "' is implemented but has no conformance row — add "
+               "a golden request/response pair";
+    }
+    for (const std::string &name : covered) {
+        EXPECT_TRUE(implemented.count(name))
+            << "conformance row '" << name
+            << "' names a command the bridge does not implement";
+    }
+}
+
+TEST(DapConformance, GoldenRequestResponsePairs)
+{
+    for (const auto &[name, row] : goldenTable()) {
+        SCOPED_TRACE("command: " + name);
+        // A fresh server and bridge per row keeps rows independent.
+        BridgeHarness h;
+        for (const std::string &line : row.setup)
+            h.bridge.handleMessage(line);
+        size_t base = h.count();
+
+        h.bridge.handleMessage(row.request);
+        ASSERT_TRUE(h.waitForCount(base + row.expect.size()))
+            << "timed out waiting for " << row.expect.size()
+            << " messages";
+        std::vector<std::string> out = h.snapshot();
+        for (size_t i = 0; i < row.expect.size(); ++i)
+            EXPECT_EQ(out[base + i], row.expect[i])
+                << "message " << i;
+    }
+}
+
+TEST(DapConformance, UnsupportedCommandGetsTypedFailure)
+{
+    BridgeHarness h;
+    h.bridge.handleMessage(
+        R"({"seq":9,"type":"request","command":"restart"})");
+    ASSERT_TRUE(h.waitForCount(1));
+    EXPECT_EQ(
+        h.snapshot()[0],
+        R"({"seq":1,"type":"response","request_seq":9,"success":false,"command":"restart","message":"unsupported command 'restart'"})");
+}
+
+TEST(DapConformance, NonRequestMessagesAreIgnored)
+{
+    BridgeHarness h;
+    h.bridge.handleMessage(
+        R"({"seq":1,"type":"event","event":"stopped"})");
+    h.bridge.handleMessage(
+        R"({"seq":2,"type":"response","request_seq":1})");
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(DapConformance, UndecodableMessageYieldsOutputEvent)
+{
+    BridgeHarness h;
+    h.bridge.handleMessage("this is not json");
+    ASSERT_TRUE(h.waitForCount(1));
+    EXPECT_EQ(
+        h.snapshot()[0],
+        R"({"seq":1,"type":"event","event":"output","body":{"category":"stderr","output":"dropped an undecodable DAP message\n"}})");
+}

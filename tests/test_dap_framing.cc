@@ -1,0 +1,306 @@
+/**
+ * @file
+ * The DAP Content-Length framing layer (dap/framing.hh), exercised
+ * the way a socket would: whole frames, frames torn at every byte
+ * boundary, many frames per read, and then the hostile cases —
+ * truncated headers, oversized and malformed Content-Length
+ * values, junk streams — which must each land in a typed, sticky
+ * FrameError instead of unbounded buffering or a crash. A seeded
+ * mutation sweep (SplitMix64, common/rng.hh) closes with the fuzz
+ * invariant: feed() never throws, and it refuses input only with a
+ * typed error set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dap/framing.hh"
+
+using namespace zoomie;
+using dap::FrameError;
+using dap::FrameReader;
+
+namespace {
+
+std::vector<std::string>
+drain(FrameReader &reader)
+{
+    std::vector<std::string> bodies;
+    std::string body;
+    while (reader.next(body))
+        bodies.push_back(body);
+    return bodies;
+}
+
+} // namespace
+
+TEST(DapFraming, EncodeProducesExactWireBytes)
+{
+    EXPECT_EQ(dap::encodeFrame("{\"seq\":1}"),
+              "Content-Length: 9\r\n\r\n{\"seq\":1}");
+    EXPECT_EQ(dap::encodeFrame(""), "Content-Length: 0\r\n\r\n");
+}
+
+TEST(DapFraming, RoundTripsOneFrame)
+{
+    FrameReader reader;
+    ASSERT_TRUE(reader.feed(dap::encodeFrame("{\"a\":1}")));
+    EXPECT_EQ(drain(reader),
+              std::vector<std::string>{"{\"a\":1}"});
+    EXPECT_EQ(reader.error(), FrameError::None);
+}
+
+TEST(DapFraming, RoundTripsAnEmptyBody)
+{
+    FrameReader reader;
+    ASSERT_TRUE(reader.feed(dap::encodeFrame("")));
+    EXPECT_EQ(drain(reader), std::vector<std::string>{""});
+}
+
+TEST(DapFraming, SplitsAtEveryByteBoundary)
+{
+    const std::string wire = dap::encodeFrame("{\"seq\":1}") +
+                             dap::encodeFrame("{\"seq\":22}");
+    for (size_t cut = 0; cut <= wire.size(); ++cut) {
+        FrameReader reader;
+        ASSERT_TRUE(reader.feed(
+            std::string_view(wire).substr(0, cut)));
+        ASSERT_TRUE(
+            reader.feed(std::string_view(wire).substr(cut)));
+        EXPECT_EQ(drain(reader),
+                  (std::vector<std::string>{"{\"seq\":1}",
+                                            "{\"seq\":22}"}))
+            << "split at byte " << cut;
+    }
+}
+
+TEST(DapFraming, FeedsOneByteAtATime)
+{
+    const std::string wire = dap::encodeFrame("{\"x\":true}");
+    FrameReader reader;
+    for (char byte : wire)
+        ASSERT_TRUE(reader.feed(std::string_view(&byte, 1)));
+    EXPECT_EQ(drain(reader),
+              std::vector<std::string>{"{\"x\":true}"});
+}
+
+TEST(DapFraming, ManyFramesInOneRead)
+{
+    std::string wire;
+    std::vector<std::string> expect;
+    for (int i = 0; i < 20; ++i) {
+        std::string body =
+            "{\"seq\":" + std::to_string(i) + "}";
+        wire += dap::encodeFrame(body);
+        expect.push_back(body);
+    }
+    FrameReader reader;
+    ASSERT_TRUE(reader.feed(wire));
+    EXPECT_EQ(drain(reader), expect);
+}
+
+TEST(DapFraming, IgnoresUnknownHeaderFields)
+{
+    FrameReader reader;
+    ASSERT_TRUE(reader.feed("Content-Type: application/json\r\n"
+                            "Content-Length: 2\r\n"
+                            "X-Extra: yes\r\n"
+                            "\r\n"
+                            "{}"));
+    EXPECT_EQ(drain(reader), std::vector<std::string>{"{}"});
+}
+
+TEST(DapFraming, HeaderNameIsCaseInsensitive)
+{
+    FrameReader reader;
+    ASSERT_TRUE(reader.feed("CONTENT-LENGTH: 2\r\n\r\nhi"));
+    EXPECT_EQ(drain(reader), std::vector<std::string>{"hi"});
+}
+
+TEST(DapFraming, AcceptsMatchingDuplicateLengths)
+{
+    FrameReader reader;
+    ASSERT_TRUE(reader.feed(
+        "Content-Length: 2\r\nContent-Length: 2\r\n\r\nok"));
+    EXPECT_EQ(drain(reader), std::vector<std::string>{"ok"});
+}
+
+TEST(DapFraming, TruncatedHeaderJustWaits)
+{
+    FrameReader reader;
+    ASSERT_TRUE(reader.feed("Content-Length: 13\r\n"));
+    EXPECT_TRUE(drain(reader).empty());
+    EXPECT_EQ(reader.error(), FrameError::None);
+    // The rest can still arrive later.
+    ASSERT_TRUE(reader.feed("\r\n{\"late\":true}"));
+    EXPECT_EQ(drain(reader),
+              std::vector<std::string>{"{\"late\":true}"});
+}
+
+TEST(DapFraming, HeaderOverflowWithNoTerminator)
+{
+    FrameReader reader(FrameReader::Limits{64, 1024});
+    std::string junk(65, 'x');
+    EXPECT_FALSE(reader.feed(junk));
+    EXPECT_EQ(reader.error(), FrameError::HeaderOverflow);
+    EXPECT_STREQ(dap::frameErrorName(reader.error()),
+                 "header-overflow");
+}
+
+TEST(DapFraming, HeaderOverflowWithTerminator)
+{
+    FrameReader reader(FrameReader::Limits{32, 1024});
+    std::string header = "A: " + std::string(40, 'y') +
+                         "\r\nContent-Length: 1\r\n\r\nz";
+    EXPECT_FALSE(reader.feed(header));
+    EXPECT_EQ(reader.error(), FrameError::HeaderOverflow);
+}
+
+TEST(DapFraming, OversizedContentLengthIsTyped)
+{
+    FrameReader reader(FrameReader::Limits{4096, 1000});
+    EXPECT_FALSE(reader.feed("Content-Length: 1001\r\n\r\n"));
+    EXPECT_EQ(reader.error(), FrameError::LengthOverflow);
+    EXPECT_NE(reader.errorDetail().find("1001"),
+              std::string::npos);
+}
+
+TEST(DapFraming, AstronomicalContentLengthCannotWrap)
+{
+    FrameReader reader;
+    EXPECT_FALSE(reader.feed(
+        "Content-Length: 99999999999999999999999999\r\n\r\n"));
+    EXPECT_EQ(reader.error(), FrameError::LengthOverflow);
+}
+
+TEST(DapFraming, RejectsNonDecimalLength)
+{
+    for (const char *bad : {"0x10", "12abc", "-4", " ", "1 2"}) {
+        FrameReader reader;
+        EXPECT_FALSE(reader.feed(std::string("Content-Length: ") +
+                                 bad + "\r\n\r\n"))
+            << bad;
+        EXPECT_EQ(reader.error(), FrameError::BadHeader) << bad;
+    }
+}
+
+TEST(DapFraming, RejectsConflictingLengths)
+{
+    FrameReader reader;
+    EXPECT_FALSE(reader.feed(
+        "Content-Length: 2\r\nContent-Length: 3\r\n\r\n"));
+    EXPECT_EQ(reader.error(), FrameError::BadHeader);
+}
+
+TEST(DapFraming, RejectsHeaderLineWithoutColon)
+{
+    FrameReader reader;
+    EXPECT_FALSE(
+        reader.feed("Content-Length 2\r\n\r\nhi"));
+    EXPECT_EQ(reader.error(), FrameError::BadHeader);
+}
+
+TEST(DapFraming, MissingLengthIsTyped)
+{
+    FrameReader reader;
+    EXPECT_FALSE(
+        reader.feed("Content-Type: application/json\r\n\r\n"));
+    EXPECT_EQ(reader.error(), FrameError::MissingLength);
+    EXPECT_STREQ(dap::frameErrorName(reader.error()),
+                 "missing-length");
+}
+
+TEST(DapFraming, ErrorsAreSticky)
+{
+    FrameReader reader;
+    EXPECT_FALSE(reader.feed("no colon here\r\n\r\n"));
+    ASSERT_EQ(reader.error(), FrameError::BadHeader);
+    // A perfectly valid frame afterwards is still refused: DAP
+    // framing has no resync point, the connection must close.
+    EXPECT_FALSE(reader.feed(dap::encodeFrame("{}")));
+    EXPECT_EQ(reader.error(), FrameError::BadHeader);
+    EXPECT_TRUE(drain(reader).empty());
+}
+
+/**
+ * The fuzz invariant: whatever bytes arrive, however they are
+ * split, feed() never throws and never grows state without bound —
+ * it either keeps accepting or parks on a typed error.
+ */
+TEST(DapFraming, SeededMutationSweepNeverCrashes)
+{
+    std::vector<std::string> corpus = {
+        dap::encodeFrame("{\"seq\":1,\"type\":\"request\","
+                         "\"command\":\"initialize\"}"),
+        dap::encodeFrame(""),
+        "Content-Length: 5\r\nContent-Type: json\r\n\r\nhello",
+        "Content-Length: 0\r\n\r\n",
+    };
+    Rng rng(0xda9f4a11ULL);
+    for (int round = 0; round < 4000; ++round) {
+        std::string wire = corpus[rng.nextBelow(corpus.size())];
+        // Byte-level mutation: flips, truncation, duplication.
+        unsigned edits = unsigned(rng.nextBelow(4));
+        for (unsigned e = 0; e < edits && !wire.empty(); ++e) {
+            switch (rng.nextBelow(3)) {
+              case 0:
+                wire[rng.nextBelow(wire.size())] =
+                    char(rng.nextBits(8));
+                break;
+              case 1:
+                wire.resize(rng.nextBelow(wire.size() + 1));
+                break;
+              default:
+                wire += wire.substr(
+                    rng.nextBelow(wire.size() + 1));
+                break;
+            }
+        }
+        FrameReader reader(FrameReader::Limits{512, 4096});
+        size_t pos = 0;
+        bool alive = true;
+        while (pos < wire.size()) {
+            size_t take = 1 + rng.nextBelow(7);
+            take = std::min(take, wire.size() - pos);
+            alive = reader.feed(
+                std::string_view(wire).substr(pos, take));
+            pos += take;
+            if (!alive)
+                break;
+        }
+        if (!alive) {
+            EXPECT_NE(reader.error(), FrameError::None);
+            EXPECT_FALSE(reader.errorDetail().empty());
+        }
+        drain(reader); // must not throw either way
+    }
+}
+
+/** Random split points never change what a valid stream decodes to. */
+TEST(DapFraming, RandomSplitsAreTransparent)
+{
+    std::string wire;
+    std::vector<std::string> expect;
+    for (int i = 0; i < 8; ++i) {
+        std::string body(size_t(1) << i, char('a' + i));
+        wire += dap::encodeFrame(body);
+        expect.push_back(body);
+    }
+    Rng rng(7);
+    for (int round = 0; round < 200; ++round) {
+        FrameReader reader;
+        size_t pos = 0;
+        while (pos < wire.size()) {
+            size_t take = 1 + rng.nextBelow(97);
+            take = std::min(take, wire.size() - pos);
+            ASSERT_TRUE(reader.feed(
+                std::string_view(wire).substr(pos, take)));
+            pos += take;
+        }
+        EXPECT_EQ(drain(reader), expect);
+    }
+}

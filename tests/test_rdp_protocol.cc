@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rdp/json.hh"
 #include "rdp/protocol.hh"
 
@@ -297,4 +299,31 @@ TEST(Protocol, BuildsReplyAndEventSchemas)
 
     // Every event encodes to one line (JSONL framing).
     EXPECT_EQ(stop.encode().find('\n'), std::string::npos);
+}
+
+/**
+ * JSON has no inf/nan literals. Non-finite doubles must encode as
+ * the strings "inf"/"-inf"/"nan" — never as bare `inf` tokens that
+ * would corrupt the JSONL stream for every standard parser.
+ */
+TEST(Json, NonFiniteDoublesEncodeAsStrings)
+{
+    double inf = std::numeric_limits<double>::infinity();
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(Json(inf).encode(), "\"inf\"");
+    EXPECT_EQ(Json(-inf).encode(), "\"-inf\"");
+    EXPECT_EQ(Json(nan).encode(), "\"nan\"");
+
+    // Inside a message the result stays valid, parseable JSON.
+    Json msg = Json::object();
+    msg.set("ratio", Json(inf));
+    msg.set("mean", Json(nan));
+    EXPECT_EQ(msg.encode(),
+              "{\"ratio\":\"inf\",\"mean\":\"nan\"}");
+    auto parsed = Json::parse(msg.encode());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->find("ratio")->asString(), "inf");
+
+    // Finite doubles are untouched by the clamp.
+    EXPECT_EQ(Json(2.5).encode(), "2.5");
 }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <string>
@@ -418,4 +419,121 @@ TEST(RdpScheduler, StopCancelsBlockedRuns)
     auto refused = scheduler.run(session, 100);
     EXPECT_TRUE(refused.cancelled);
     EXPECT_EQ(refused.cyclesRun, 0u);
+}
+
+/**
+ * Regression for the admission TOCTOU: N opens racing at the cap
+ * used to all pass the "count < cap" check before any insert
+ * landed, overshooting the cap. The check-and-reserve in
+ * SessionRegistry::create is now one atomic step, so exactly `cap`
+ * opens win no matter how the threads interleave.
+ */
+TEST(RdpScheduler, ParallelOpensNeverOvershootTheCap)
+{
+    constexpr size_t kCap = 2;
+    constexpr int kThreads = 8;
+    for (int round = 0; round < 10; ++round) {
+        rdp::SessionRegistry registry;
+        registry.setMaxSessions(kCap);
+
+        std::atomic<int> ready{0};
+        std::atomic<bool> go{false};
+        std::atomic<int> admitted{0};
+        std::atomic<int> refused{0};
+        std::vector<std::thread> openers;
+        for (int t = 0; t < kThreads; ++t) {
+            openers.emplace_back([&] {
+                ++ready;
+                while (!go.load())
+                    std::this_thread::yield();
+                try {
+                    rdp::SessionConfig config;
+                    config.design = "counter";
+                    registry.create(std::move(config));
+                    ++admitted;
+                } catch (const rdp::RegistryFull &) {
+                    ++refused;
+                }
+            });
+        }
+        while (ready.load() < kThreads)
+            std::this_thread::yield();
+        go = true;
+        for (auto &opener : openers)
+            opener.join();
+
+        EXPECT_EQ(admitted.load(), int(kCap));
+        EXPECT_EQ(refused.load(), kThreads - int(kCap));
+        EXPECT_EQ(registry.count(), kCap);
+        EXPECT_EQ(registry.admitted(), kCap);
+    }
+}
+
+/** A bring-up that throws must release its reserved slot. */
+TEST(RdpScheduler, FailedBringUpReleasesItsReservedSlot)
+{
+    rdp::SessionRegistry registry;
+    registry.setMaxSessions(1);
+
+    rdp::SessionConfig bogus;
+    bogus.design = "no-such-design";
+    EXPECT_THROW(registry.create(std::move(bogus)),
+                 std::runtime_error);
+    EXPECT_EQ(registry.admitted(), 0u);
+
+    // The slot is free again: a valid open succeeds.
+    rdp::SessionConfig config;
+    config.design = "counter";
+    EXPECT_NE(registry.create(std::move(config)), nullptr);
+    EXPECT_EQ(registry.admitted(), 1u);
+}
+
+/**
+ * Regression for the cycle-budget TOCTOU: two runs racing against
+ * the same session's budget used to both read the spent counter
+ * before either added to it, together executing more cycles than
+ * the budget allows. Reservations now go through a CAS loop, so
+ * concurrent grants are disjoint and the device never advances
+ * past the budget.
+ */
+TEST(RdpScheduler, ConcurrentRunsNeverOvershootTheBudget)
+{
+    constexpr uint64_t kBudget = 1'000;
+    for (int round = 0; round < 10; ++round) {
+        rdp::SessionRegistry registry;
+        rdp::SchedulerOptions options;
+        options.workers = 2;
+        options.quantum = 64;
+        options.cycleBudget = kBudget;
+        rdp::Scheduler scheduler(registry, options);
+        auto session = openCounter(registry);
+
+        // 2 clients x 4 runs x 200 cycles = 1600 requested against
+        // a budget of 1000: the grants must sum to exactly 1000.
+        std::atomic<uint64_t> executed{0};
+        std::atomic<bool> go{false};
+        std::vector<std::thread> clients;
+        for (int t = 0; t < 2; ++t) {
+            clients.emplace_back([&] {
+                while (!go.load())
+                    std::this_thread::yield();
+                for (int i = 0; i < 4; ++i)
+                    executed += scheduler
+                                    .run(session, 200)
+                                    .cyclesRun;
+            });
+        }
+        go = true;
+        for (auto &client : clients)
+            client.join();
+
+        EXPECT_EQ(executed.load(), kBudget);
+        EXPECT_EQ(session->platform().mutCycles(), kBudget);
+        EXPECT_EQ(session->stats().cyclesRun.load(), kBudget);
+
+        // And the budget really is spent.
+        auto refused = scheduler.run(session, 1);
+        EXPECT_EQ(refused.cyclesRun, 0u);
+        EXPECT_TRUE(refused.budgetExhausted);
+    }
 }

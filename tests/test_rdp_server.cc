@@ -887,3 +887,31 @@ TEST(RdpServer, ReplAndWireShareTheCommandTable)
             << cmd;
     }
 }
+
+/**
+ * Pin of the wire contract the DAP bridge and CLI clients rely on:
+ * any `Num` argument also accepts a "0x..." hex string, and a
+ * malformed one is a typed bad-args error, not a silent zero.
+ */
+TEST(RdpServer, NumArgumentsAcceptHexStrings)
+{
+    rdp::Server server;
+    ServedPipe pipe(server);
+    Client client(pipe.clientEnd());
+
+    ASSERT_TRUE(okField(
+        client.cmd("open", {{"design", Json("counter")}})));
+
+    Json ran = client.cmd("run", {{"n", Json("0x10")}});
+    ASSERT_TRUE(okField(ran));
+    EXPECT_EQ(u64Field(ran, "cycles_run"), 16u);
+
+    Json printed =
+        client.cmd("print", {{"name", Json("mut/count")}});
+    ASSERT_TRUE(okField(printed));
+    EXPECT_EQ(u64Field(printed, "value"), 16u);
+
+    Json refused = client.cmd("run", {{"n", Json("0xzz")}});
+    EXPECT_FALSE(okField(refused));
+    EXPECT_EQ(refused.find("error")->asString(), "bad-args");
+}
