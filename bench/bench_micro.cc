@@ -10,7 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/zoomie.hh"
+#include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
+#include "lint/lint.hh"
 #include "rtl/builder.hh"
 #include "sim/simulator.hh"
 #include "sva/compiler.hh"
@@ -109,6 +111,22 @@ BM_AssertionEvaluator(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AssertionEvaluator);
+
+void
+BM_LintServSoc(benchmark::State &state)
+{
+    rtl::Design design = designs::buildServSoc({});
+    lint::Linter linter;
+    for (auto _ : state) {
+        lint::Report report = linter.run(design);
+        benchmark::DoNotOptimize(report.diags.data());
+    }
+    // Throughput in nets analysed per second: every pass walks the
+    // whole node table, so the node count is the work unit.
+    state.SetItemsProcessed(state.iterations() *
+                            design.nodes.size());
+}
+BENCHMARK(BM_LintServSoc);
 
 } // namespace
 

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * `zoomie_lint`: the standalone CLI front end of the lint engine
+ * (src/lint). Runs the static-analysis passes over one of the
+ * built-in designs and prints gcc-style findings; exits nonzero
+ * when unwaived error-severity findings remain, so it slots into
+ * CI pipelines and pre-compile hooks.
+ *
+ *     zoomie_lint [--design NAME] [--pass ID[,ID...]]
+ *                 [--severity note|warning|error]
+ *                 [--waivers FILE] [--show-waived] [--list-passes]
+ *
+ * Designs: counter, tinyrv, serv_soc, cohort, beehive.
+ * Exit status: 0 = no unwaived errors, 1 = error findings,
+ * 2 = bad usage or unreadable waiver file.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "designs/beehive.hh"
+#include "designs/cohort.hh"
+#include "designs/serv_soc.hh"
+#include "designs/tinyrv.hh"
+#include "lint/lint.hh"
+#include "rtl/builder.hh"
+
+using namespace zoomie;
+
+namespace {
+
+/** The RDP server's demo workload, for design parity with it. */
+std::vector<uint32_t>
+demoProgram()
+{
+    using namespace designs::rv;
+    return {
+        addi(1, 0, 0), addi(2, 0, 1),
+        add(1, 1, 2),  addi(2, 2, 1),
+        sw(1, 0, 0x200), jal(0, -12),
+    };
+}
+
+/** Free-running 16-bit counter, matching the RDP "counter". */
+rtl::Design
+buildCounter()
+{
+    rtl::Builder b("app");
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+bool
+buildDesign(const std::string &name, rtl::Design &out)
+{
+    if (name == "counter") {
+        out = buildCounter();
+    } else if (name == "tinyrv") {
+        out = designs::buildTinyRv(demoProgram());
+    } else if (name == "serv_soc") {
+        out = designs::buildServSoc({});
+    } else if (name == "cohort") {
+        out = designs::buildCohortAccel({});
+    } else if (name == "beehive") {
+        out = designs::buildBeehive({});
+    } else {
+        return false;
+    }
+    return true;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--design counter|tinyrv|serv_soc|cohort|"
+        "beehive]\n"
+        "          [--pass ID[,ID...]] "
+        "[--severity note|warning|error]\n"
+        "          [--waivers FILE] [--show-waived] "
+        "[--list-passes]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string design_name = "tinyrv";
+    lint::Options options;
+    bool show_waived = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--list-passes") {
+            lint::Linter linter;
+            for (const auto &pass : linter.passes()) {
+                std::printf("%-16s %s\n", pass->id(),
+                            pass->description());
+            }
+            return 0;
+        } else if (arg == "--design") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            design_name = v;
+        } else if (arg == "--pass") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            std::string list = v;
+            size_t start = 0;
+            while (start <= list.size()) {
+                size_t comma = list.find(',', start);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > start)
+                    options.passes.push_back(
+                        list.substr(start, comma - start));
+                start = comma + 1;
+            }
+        } else if (arg == "--severity") {
+            const char *v = value();
+            if (!v || !lint::parseSeverity(v, options.minSeverity))
+                return usage(argv[0]);
+        } else if (arg == "--waivers") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            std::string error;
+            if (!lint::WaiverSet::load(v, options.waivers,
+                                       &error)) {
+                std::fprintf(stderr, "zoomie_lint: %s\n",
+                             error.c_str());
+                return 2;
+            }
+        } else if (arg == "--show-waived") {
+            show_waived = true;
+        } else {
+            std::fprintf(stderr, "zoomie_lint: unknown option %s\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    rtl::Design design;
+    if (!buildDesign(design_name, design)) {
+        std::fprintf(stderr, "zoomie_lint: unknown design '%s'\n",
+                     design_name.c_str());
+        return usage(argv[0]);
+    }
+
+    lint::Linter linter;
+    for (const std::string &id : options.passes) {
+        if (!linter.hasPass(id)) {
+            std::fprintf(stderr,
+                         "zoomie_lint: unknown pass '%s' (try "
+                         "--list-passes)\n",
+                         id.c_str());
+            return 2;
+        }
+    }
+
+    lint::Report report = linter.run(design, options);
+    std::string text = report.renderText(show_waived);
+    std::fputs(text.c_str(), stdout);
+    std::printf("%s: %zu errors, %zu warnings, %zu notes\n",
+                design.name.c_str(), report.errors(),
+                report.warnings(), report.notes());
+    return report.errors() > 0 ? 1 : 0;
+}

@@ -1,0 +1,127 @@
+#include "diagnostics.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bits.hh"
+
+namespace zoomie::lint {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+bool
+parseSeverity(const std::string &text, Severity &out)
+{
+    if (text == "note") {
+        out = Severity::Note;
+    } else if (text == "warning") {
+        out = Severity::Warning;
+    } else if (text == "error") {
+        out = Severity::Error;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::string
+fingerprintOf(const std::string &pass, const std::string &kind,
+              const std::string &scope,
+              const std::vector<std::string> &objects)
+{
+    uint64_t hash = kFnv1aBasis;
+    auto mix = [&hash](const std::string &part) {
+        hash = fnv1a64(part.data(), part.size(), hash);
+        // NUL separator so ("ab","c") and ("a","bc") differ.
+        const char sep = '\0';
+        hash = fnv1a64(&sep, 1, hash);
+    };
+    mix(pass);
+    mix(kind);
+    mix(scope);
+    for (const std::string &object : objects)
+        mix(object);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)hash);
+    return buf;
+}
+
+size_t
+Report::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &diag : diags) {
+        if (!diag.waived && diag.severity == severity)
+            ++n;
+    }
+    return n;
+}
+
+void
+Report::add(std::string pass, Severity severity,
+            const std::string &kind, std::string scope,
+            std::vector<std::string> objects, std::string message)
+{
+    Diagnostic diag;
+    diag.fingerprint = fingerprintOf(pass, kind, scope, objects);
+    diag.pass = std::move(pass);
+    diag.severity = severity;
+    diag.scope = std::move(scope);
+    diag.objects = std::move(objects);
+    diag.message = std::move(message);
+    diags.push_back(std::move(diag));
+}
+
+void
+Report::sort()
+{
+    std::stable_sort(
+        diags.begin(), diags.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            if (a.severity != b.severity)
+                return a.severity > b.severity;
+            if (a.pass != b.pass)
+                return a.pass < b.pass;
+            return a.fingerprint < b.fingerprint;
+        });
+}
+
+std::string
+Report::renderText(bool show_waived) const
+{
+    std::string out;
+    for (const Diagnostic &diag : diags) {
+        if (diag.waived && !show_waived)
+            continue;
+        out += diag.waived
+                   ? std::string("waived ")
+                   : std::string(severityName(diag.severity)) + ": ";
+        out += "[" + diag.pass + "] ";
+        if (!diag.scope.empty())
+            out += diag.scope + ": ";
+        out += diag.message;
+        if (!diag.objects.empty()) {
+            out += " (";
+            for (size_t i = 0; i < diag.objects.size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += diag.objects[i];
+            }
+            out += ")";
+        }
+        out += " [" + diag.fingerprint + "]\n";
+    }
+    return out;
+}
+
+} // namespace zoomie::lint

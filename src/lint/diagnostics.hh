@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Structured diagnostics for the RTL lint engine. Every finding a
+ * pass emits is a Diagnostic: the pass id, a severity, the
+ * hierarchical scope it applies to, the named nets/registers it
+ * involves, a human message and a machine-stable fingerprint. The
+ * fingerprint hashes the pass id, a per-pass kind tag, the scope
+ * and the object *names* — never node indices or message wording —
+ * so it survives rebuilds, design edits elsewhere in the hierarchy
+ * and diagnostic-text polish, which is what makes checked-in
+ * waiver files (waivers.hh) possible.
+ */
+
+#ifndef ZOOMIE_LINT_DIAGNOSTICS_HH
+#define ZOOMIE_LINT_DIAGNOSTICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zoomie::lint {
+
+/** Finding severity; Error findings gate compiles and CLI exits. */
+enum class Severity : uint8_t { Note, Warning, Error };
+
+/** Wire name of a severity ("note" / "warning" / "error"). */
+const char *severityName(Severity severity);
+
+/** Parse a wire severity name. @return false on unknown input. */
+bool parseSeverity(const std::string &text, Severity &out);
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string pass;     ///< emitting pass id ("comb-loop", ...)
+    Severity severity = Severity::Warning;
+    std::string scope;    ///< hierarchical scope prefix ("" = top)
+    /** Named nets/regs/mems involved; for comb-loop, the full
+     *  cycle path in dependency order. */
+    std::vector<std::string> objects;
+    std::string message;  ///< human-readable description
+    /** 16 lowercase hex digits; stable across runs and rebuilds. */
+    std::string fingerprint;
+    bool waived = false;  ///< matched by a waiver entry
+};
+
+/**
+ * Compute the stable fingerprint of a finding.
+ *
+ * @param pass    emitting pass id
+ * @param kind    per-pass finding kind tag (not the message)
+ * @param scope   hierarchical scope
+ * @param objects involved object names
+ */
+std::string fingerprintOf(const std::string &pass,
+                          const std::string &kind,
+                          const std::string &scope,
+                          const std::vector<std::string> &objects);
+
+/** The outcome of a lint run. */
+struct Report
+{
+    std::vector<Diagnostic> diags;
+
+    /** Unwaived findings at exactly @p severity. */
+    size_t count(Severity severity) const;
+    size_t errors() const { return count(Severity::Error); }
+    size_t warnings() const { return count(Severity::Warning); }
+    size_t notes() const { return count(Severity::Note); }
+
+    /** True when no unwaived error or warning remains. */
+    bool clean() const { return errors() == 0 && warnings() == 0; }
+
+    /** Append a finding, computing its fingerprint. */
+    void add(std::string pass, Severity severity,
+             const std::string &kind, std::string scope,
+             std::vector<std::string> objects, std::string message);
+
+    /**
+     * Canonical presentation order: errors first, then by pass id,
+     * then by fingerprint. Stable across runs — the basis of the
+     * wire command's deterministic replies.
+     */
+    void sort();
+
+    /** gcc-style text rendering, one line per finding. */
+    std::string renderText(bool show_waived = false) const;
+};
+
+} // namespace zoomie::lint
+
+#endif // ZOOMIE_LINT_DIAGNOSTICS_HH

@@ -1,0 +1,435 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.hh"
+#include "lint/passes.hh"
+
+namespace zoomie::lint {
+
+// ---- Analysis ---------------------------------------------------------
+
+Analysis::Analysis(const rtl::Design &design) : _design(design)
+{
+    const size_t n = design.nodes.size();
+    _consumers.resize(n);
+    _useCount.assign(n, 0);
+    _regOfQ.assign(n, -1);
+    _memOfData.assign(n, -1);
+    _dataClock.assign(n, -1);
+
+    auto valid = [n](rtl::NetId net) { return net < n; };
+    // A reference that is set but lands outside the node table is
+    // corruption: derived structures cannot be trusted, so the
+    // linter gates value-level passes on _sound.
+    auto use = [&](rtl::NetId net) {
+        if (valid(net))
+            ++_useCount[net];
+        else if (net != rtl::kNoNet)
+            _sound = false;
+    };
+
+    for (rtl::NetId id = 0; id < n; ++id) {
+        const rtl::Node &node = design.nodes[id];
+        const unsigned arity = rtl::opArity(node.op);
+        const rtl::NetId operands[3] = {node.a, node.b, node.c};
+        for (unsigned slot = 0; slot < arity; ++slot) {
+            if (valid(operands[slot]))
+                _consumers[operands[slot]].push_back(id);
+            use(operands[slot]);
+        }
+    }
+
+    for (size_t i = 0; i < design.regs.size(); ++i) {
+        const rtl::Reg &reg = design.regs[i];
+        if (valid(reg.q))
+            _regOfQ[reg.q] = static_cast<int>(i);
+        else if (reg.q != rtl::kNoNet)
+            _sound = false;
+        use(reg.d);
+        use(reg.en);
+        use(reg.rst);
+    }
+
+    for (size_t i = 0; i < design.mems.size(); ++i) {
+        const rtl::Mem &mem = design.mems[i];
+        for (const rtl::MemReadPort &rp : mem.readPorts) {
+            use(rp.addr);
+            if (valid(rp.data)) {
+                _memOfData[rp.data] = static_cast<int>(i);
+                if (rp.sync)
+                    _dataClock[rp.data] =
+                        static_cast<int8_t>(rp.clock);
+            } else if (rp.data != rtl::kNoNet) {
+                _sound = false;
+            }
+        }
+        for (const rtl::MemWritePort &wp : mem.writePorts) {
+            use(wp.addr);
+            use(wp.data);
+            use(wp.en);
+        }
+    }
+
+    for (const rtl::OutputPort &out : design.outputs)
+        use(out.net);
+    for (const rtl::DecoupledIface &iface : design.ifaces) {
+        use(iface.valid);
+        use(iface.ready);
+        for (rtl::NetId payload : iface.payload)
+            use(payload);
+    }
+
+    _topo = design.tryTopoOrder();
+
+    // Constant propagation, only over a sound, acyclic design and
+    // only through nodes whose widths are themselves legal (the
+    // width pass reports illegal ones; evaluating them would trip
+    // maskForWidth's own precondition panics).
+    _constant.assign(n, std::nullopt);
+    if (!_sound || !_topo.ok)
+        return;
+    auto widthOk = [](unsigned w) { return w >= 1 && w <= 64; };
+    for (rtl::NetId id : _topo.order) {
+        const rtl::Node &node = design.nodes[id];
+        if (!widthOk(node.width))
+            continue;
+        auto va = node.a < n ? _constant[node.a] : std::nullopt;
+        auto vb = node.b < n ? _constant[node.b] : std::nullopt;
+        auto vc = node.c < n ? _constant[node.c] : std::nullopt;
+        auto wa = node.a < n ? design.nodes[node.a].width : 0;
+        auto wb = node.b < n ? design.nodes[node.b].width : 0;
+        std::optional<uint64_t> value;
+        switch (node.op) {
+          case rtl::Op::Const:
+            value = truncToWidth(node.imm, node.width);
+            break;
+          case rtl::Op::And:
+            if (va && vb) value = *va & *vb;
+            break;
+          case rtl::Op::Or:
+            if (va && vb) value = *va | *vb;
+            break;
+          case rtl::Op::Xor:
+            if (va && vb) value = *va ^ *vb;
+            break;
+          case rtl::Op::Not:
+            if (va) value = ~*va;
+            break;
+          case rtl::Op::Add:
+            if (va && vb) value = *va + *vb;
+            break;
+          case rtl::Op::Sub:
+            if (va && vb) value = *va - *vb;
+            break;
+          case rtl::Op::Mul:
+            if (va && vb) value = *va * *vb;
+            break;
+          case rtl::Op::Eq:
+            if (va && vb) value = *va == *vb ? 1 : 0;
+            break;
+          case rtl::Op::Ne:
+            if (va && vb) value = *va != *vb ? 1 : 0;
+            break;
+          case rtl::Op::Ult:
+            if (va && vb) value = *va < *vb ? 1 : 0;
+            break;
+          case rtl::Op::Ule:
+            if (va && vb) value = *va <= *vb ? 1 : 0;
+            break;
+          case rtl::Op::Shl:
+            if (va && vb) value = *vb >= 64 ? 0 : *va << *vb;
+            break;
+          case rtl::Op::Shr:
+            if (va && vb) value = *vb >= 64 ? 0 : *va >> *vb;
+            break;
+          case rtl::Op::Mux:
+            if (va)
+                value = *va ? vb : vc;
+            else if (vb && vc && *vb == *vc)
+                value = vb;
+            break;
+          case rtl::Op::Concat:
+            if (va && vb && widthOk(wb) && wb < 64)
+                value = (*va << wb) | *vb;
+            break;
+          case rtl::Op::Slice:
+            if (va && widthOk(wa) &&
+                node.imm + node.width <= wa)
+                value = extractBits(*va, unsigned(node.imm),
+                                    node.width);
+            break;
+          case rtl::Op::Zext:
+            value = va;
+            break;
+          case rtl::Op::RedAnd:
+            if (va && widthOk(wa))
+                value = *va == maskForWidth(wa) ? 1 : 0;
+            break;
+          case rtl::Op::RedOr:
+            if (va) value = *va != 0 ? 1 : 0;
+            break;
+          case rtl::Op::RedXor:
+            if (va) value = popCount(*va) & 1;
+            break;
+          default:
+            break; // Input, RegQ, MemRd*: never constant
+        }
+        if (value)
+            _constant[id] = truncToWidth(*value, node.width);
+    }
+}
+
+std::string
+Analysis::netName(rtl::NetId net) const
+{
+    if (net >= _design.nodes.size()) {
+        return net == rtl::kNoNet
+                   ? "<unconnected>"
+                   : "<corrupt#" + std::to_string(net) + ">";
+    }
+    // Deterministic preference order: explicit debug name
+    // (lexicographically smallest when several alias one net),
+    // then the owning register / input port / memory.
+    std::string best;
+    for (const auto &[name, id] : _design.netNames) {
+        if (id == net && (best.empty() || name < best))
+            best = name;
+    }
+    if (!best.empty())
+        return best;
+    if (_regOfQ[net] >= 0)
+        return _design.regs[size_t(_regOfQ[net])].name;
+    const rtl::Node &node = _design.nodes[net];
+    if (node.op == rtl::Op::Input) {
+        for (const rtl::InputPort &in : _design.inputs) {
+            if (in.net == net)
+                return in.name;
+        }
+    }
+    if (_memOfData[net] >= 0)
+        return _design.mems[size_t(_memOfData[net])].name + "/rd";
+    for (const rtl::OutputPort &out : _design.outputs) {
+        if (out.net == net)
+            return out.name;
+    }
+    return std::string(rtl::opName(node.op)) + "#" +
+           std::to_string(net);
+}
+
+std::string
+Analysis::nodeScope(rtl::NetId net) const
+{
+    if (net >= _design.nodeScope.size())
+        return "";
+    uint32_t scope = _design.nodeScope[net];
+    return scope < _design.scopeNames.size()
+               ? _design.scopeNames[scope]
+               : "";
+}
+
+const std::vector<rtl::NetId> &
+Analysis::consumers(rtl::NetId net) const
+{
+    static const std::vector<rtl::NetId> kEmpty;
+    return net < _consumers.size() ? _consumers[net] : kEmpty;
+}
+
+uint32_t
+Analysis::useCount(rtl::NetId net) const
+{
+    return net < _useCount.size() ? _useCount[net] : 0;
+}
+
+int
+Analysis::regOfQ(rtl::NetId net) const
+{
+    return net < _regOfQ.size() ? _regOfQ[net] : -1;
+}
+
+std::optional<uint8_t>
+Analysis::sourceClock(rtl::NetId net) const
+{
+    if (net >= _design.nodes.size())
+        return std::nullopt;
+    int reg = _regOfQ[net];
+    if (reg >= 0)
+        return _design.regs[size_t(reg)].clock;
+    if (_dataClock[net] >= 0)
+        return uint8_t(_dataClock[net]);
+    return std::nullopt;
+}
+
+std::optional<uint64_t>
+Analysis::constOf(rtl::NetId net) const
+{
+    return net < _constant.size() ? _constant[net] : std::nullopt;
+}
+
+std::vector<rtl::NetId>
+Analysis::combSources(rtl::NetId net) const
+{
+    std::vector<rtl::NetId> sources;
+    if (net >= _design.nodes.size())
+        return sources;
+    std::vector<rtl::NetId> stack{net};
+    std::set<rtl::NetId> visited;
+    while (!stack.empty()) {
+        rtl::NetId at = stack.back();
+        stack.pop_back();
+        if (at >= _design.nodes.size() ||
+            !visited.insert(at).second)
+            continue;
+        const rtl::Node &node = _design.nodes[at];
+        switch (node.op) {
+          case rtl::Op::RegQ:
+          case rtl::Op::Input:
+          case rtl::Op::MemRdSync:
+            sources.push_back(at);
+            continue; // sequential/external boundary
+          case rtl::Op::Const:
+            continue;
+          default:
+            break;
+        }
+        const unsigned arity = rtl::opArity(node.op);
+        const rtl::NetId operands[3] = {node.a, node.b, node.c};
+        for (unsigned slot = 0; slot < arity; ++slot)
+            stack.push_back(operands[slot]);
+    }
+    std::sort(sources.begin(), sources.end());
+    return sources;
+}
+
+bool
+Analysis::combDependsOn(rtl::NetId net, rtl::NetId target) const
+{
+    if (net >= _design.nodes.size())
+        return false;
+    std::vector<rtl::NetId> stack{net};
+    std::set<rtl::NetId> visited;
+    while (!stack.empty()) {
+        rtl::NetId at = stack.back();
+        stack.pop_back();
+        if (at >= _design.nodes.size() ||
+            !visited.insert(at).second)
+            continue;
+        if (at == target)
+            return true;
+        const rtl::Node &node = _design.nodes[at];
+        if (node.op == rtl::Op::RegQ ||
+            node.op == rtl::Op::Input ||
+            node.op == rtl::Op::MemRdSync ||
+            node.op == rtl::Op::Const)
+            continue;
+        const unsigned arity = rtl::opArity(node.op);
+        const rtl::NetId operands[3] = {node.a, node.b, node.c};
+        for (unsigned slot = 0; slot < arity; ++slot)
+            stack.push_back(operands[slot]);
+    }
+    return false;
+}
+
+// ---- Linter -----------------------------------------------------------
+
+Linter::Linter()
+{
+    registerBuiltinPasses(_passes);
+}
+
+bool
+Linter::hasPass(const std::string &id) const
+{
+    for (const auto &pass : _passes) {
+        if (id == pass->id())
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+Linter::passIds()
+{
+    static const Linter kLinter;
+    std::vector<std::string> ids;
+    for (const auto &pass : kLinter._passes)
+        ids.push_back(pass->id());
+    return ids;
+}
+
+Report
+Linter::run(const rtl::Design &design, const Options &options) const
+{
+    Report report;
+
+    std::set<std::string> selected(options.passes.begin(),
+                                   options.passes.end());
+    for (const std::string &id : selected) {
+        if (!hasPass(id)) {
+            std::string known;
+            for (const auto &pass : _passes) {
+                if (!known.empty())
+                    known += ", ";
+                known += pass->id();
+            }
+            report.add("lint", Severity::Error, "unknown-pass", "",
+                       {id},
+                       "unknown pass '" + id + "' (known: " +
+                           known + ")");
+        }
+    }
+
+    Analysis analysis(design);
+    auto wants = [&](const char *id) {
+        return selected.empty() || selected.count(id) != 0;
+    };
+
+    size_t skipped = 0;
+    for (const auto &pass : _passes) {
+        if (!wants(pass->id()))
+            continue;
+        // On a structurally unsound design (corrupt references)
+        // only the passes that never follow net references by
+        // value may run; Analysis computed the gate already.
+        std::string id = pass->id();
+        bool refSafe = id == "structural" || id == "comb-loop";
+        if (!analysis.sound() && !refSafe) {
+            ++skipped;
+            continue;
+        }
+        pass->run(analysis, report);
+    }
+    if (skipped > 0) {
+        report.add("lint", Severity::Note, "skipped", "", {},
+                   std::to_string(skipped) +
+                       " passes skipped: design is structurally "
+                       "unsound (see `structural` findings)");
+    }
+
+    std::vector<std::string> stale =
+        options.waivers.apply(report);
+    if (options.reportUnusedWaivers) {
+        for (const std::string &fingerprint : stale) {
+            report.add("lint", Severity::Note, "unused-waiver", "",
+                       {fingerprint},
+                       "waiver " + fingerprint +
+                           " matched no finding (stale?)");
+        }
+    }
+
+    if (options.minSeverity != Severity::Note) {
+        auto below = [&](const Diagnostic &diag) {
+            return diag.severity < options.minSeverity;
+        };
+        report.diags.erase(std::remove_if(report.diags.begin(),
+                                          report.diags.end(),
+                                          below),
+                           report.diags.end());
+    }
+
+    report.sort();
+    return report;
+}
+
+} // namespace zoomie::lint

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The RTL lint engine: a pass manager running static-analysis
+ * passes over a word-level rtl::Design, producing structured
+ * Diagnostics (diagnostics.hh) instead of panics. The shared
+ * Analysis precomputes what every pass needs — best-effort net
+ * naming, consumer lists, constant propagation, combinational cone
+ * walks, clock-domain resolution — defensively, so passes stay
+ * safe on arbitrarily malformed designs.
+ *
+ * Gating: the Analysis soundness scan runs up front. When it finds
+ * corrupt references (operand ids outside the node table), only the
+ * reference-safe `structural` and `comb-loop` passes still run and
+ * the rest are skipped with a note — a malformed design must
+ * produce a report, never undefined behaviour.
+ *
+ * Built-in passes (ids):
+ *   structural     corrupt references, bad clocks, duplicate names
+ *   comb-loop      combinational cycles, localized as named paths
+ *   width          operand width / out-of-range-operand checks
+ *   undriven       required connections left kNoNet
+ *   unused         inputs / registers / read ports never consumed
+ *   dead-logic     constant-propagation dead code
+ *   mem-conflict   write-write conflicting memory ports
+ *   cdc            unsynchronized clock-domain crossings
+ *   iface          decoupled (valid/ready) interface checks
+ *   reset-coverage uninitialized registers feeding control logic
+ */
+
+#ifndef ZOOMIE_LINT_LINT_HH
+#define ZOOMIE_LINT_LINT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hh"
+#include "lint/waivers.hh"
+#include "rtl/ir.hh"
+
+namespace zoomie::lint {
+
+/**
+ * Precomputed design facts shared by every pass. Construction
+ * never panics: all derived structures are guarded against corrupt
+ * net references.
+ */
+class Analysis
+{
+  public:
+    explicit Analysis(const rtl::Design &design);
+
+    const rtl::Design &design() const { return _design; }
+
+    /** True when every net reference lands inside the node table
+     *  (kNoNet references are allowed — `undriven` reports them). */
+    bool sound() const { return _sound; }
+
+    /** Combinational order / cycle localization. */
+    const rtl::Design::TopoResult &topo() const { return _topo; }
+
+    // ---- naming --------------------------------------------------
+    /**
+     * Best-effort display name for a net: a debug name from
+     * Design::netNames, the owning register's name for a RegQ, the
+     * port name for an Input, the memory's name for a read port
+     * data net — falling back to "<op>#<id>". Never fails.
+     */
+    std::string netName(rtl::NetId net) const;
+
+    /** Scope prefix a node was created in ("" = top level). */
+    std::string nodeScope(rtl::NetId net) const;
+
+    // ---- structure -----------------------------------------------
+    /** Combinational consumer node ids of a net (operand uses). */
+    const std::vector<rtl::NetId> &consumers(rtl::NetId net) const;
+
+    /** Total uses of a net: operand slots plus register inputs,
+     *  memory ports, outputs and declared interfaces. */
+    uint32_t useCount(rtl::NetId net) const;
+
+    /** Register index owning this RegQ net, or -1. */
+    int regOfQ(rtl::NetId net) const;
+
+    /** Clock domain that produces @p net if it is a sequential
+     *  source (RegQ or MemRdSync data); nullopt otherwise. */
+    std::optional<uint8_t> sourceClock(rtl::NetId net) const;
+
+    // ---- constant propagation ------------------------------------
+    /** Propagated constant value of a net (valid when the design
+     *  is sound and acyclic); nullopt when not a constant. */
+    std::optional<uint64_t> constOf(rtl::NetId net) const;
+
+    // ---- cone walks ----------------------------------------------
+    /**
+     * Sequential/source nets (RegQ, Input, MemRdSync data) feeding
+     * @p net through combinational logic, including @p net itself
+     * when it is a source. Deduplicated, ascending.
+     */
+    std::vector<rtl::NetId> combSources(rtl::NetId net) const;
+
+    /** True when @p target appears in the combinational input cone
+     *  of @p net (inclusive of @p net itself). */
+    bool combDependsOn(rtl::NetId net, rtl::NetId target) const;
+
+  private:
+    const rtl::Design &_design;
+    bool _sound = true;
+    rtl::Design::TopoResult _topo;
+    std::vector<std::vector<rtl::NetId>> _consumers;
+    std::vector<uint32_t> _useCount;
+    std::vector<int> _regOfQ;
+    std::vector<int> _memOfData;  ///< mem index or -1
+    std::vector<int8_t> _dataClock; ///< MemRdSync port clock or -1
+    std::vector<std::optional<uint64_t>> _constant;
+};
+
+/** One static-analysis pass. Stateless; run() may be called from
+ *  several threads on distinct reports. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    virtual const char *id() const = 0;
+    virtual const char *description() const = 0;
+    virtual void run(const Analysis &analysis,
+                     Report &report) const = 0;
+};
+
+/** Lint run configuration. */
+struct Options
+{
+    /** Pass ids to run; empty = every built-in pass. The soundness
+     *  gate (Analysis) applies regardless of the selection. */
+    std::vector<std::string> passes;
+
+    /** Drop findings below this severity from the report. */
+    Severity minSeverity = Severity::Note;
+
+    /** Waivers applied after all passes ran. */
+    WaiverSet waivers;
+
+    /** Emit a note-severity finding for each stale waiver. */
+    bool reportUnusedWaivers = true;
+};
+
+/** The pass manager. */
+class Linter
+{
+  public:
+    /** Constructs with every built-in pass registered. */
+    Linter();
+
+    /** Registered passes, in execution order. */
+    const std::vector<std::unique_ptr<Pass>> &passes() const
+    {
+        return _passes;
+    }
+
+    bool hasPass(const std::string &id) const;
+
+    /** All built-in pass ids, in execution order. */
+    static std::vector<std::string> passIds();
+
+    /**
+     * Run the configured passes over @p design and return the
+     * sorted report. Unknown pass ids in @p options are reported
+     * as error-severity findings of pass "lint" (a library API
+     * must not panic on a typo).
+     */
+    Report run(const rtl::Design &design,
+               const Options &options = {}) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> _passes;
+};
+
+} // namespace zoomie::lint
+
+#endif // ZOOMIE_LINT_LINT_HH

@@ -1,0 +1,1116 @@
+/**
+ * @file
+ * The built-in lint passes. Each pass is file-local and registered
+ * through registerBuiltinPasses(); ids and one-line descriptions
+ * are surfaced through Linter::passes() for CLI/RDP introspection.
+ *
+ * Severity calibration: findings that are wrong on any target
+ * (corrupt references, cycles, irrevocable-contract violations)
+ * are errors; constructs that are suspicious but sometimes
+ * intentional (unused state, conflicting write ports) are
+ * warnings and waivable; purely informational observations
+ * (synchronizer heads, redundant enables) are notes, which the
+ * built-in designs are not required to waive.
+ */
+
+#include "lint/passes.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/bits.hh"
+
+namespace zoomie::lint {
+
+namespace {
+
+using rtl::kNoNet;
+using rtl::NetId;
+using rtl::Op;
+
+/** Scope of the node, reg or mem a finding anchors on. */
+std::string
+regScopeOf(const Analysis &analysis, size_t reg)
+{
+    const rtl::Design &design = analysis.design();
+    if (reg >= design.regScope.size())
+        return "";
+    uint32_t scope = design.regScope[reg];
+    return scope < design.scopeNames.size()
+               ? design.scopeNames[scope]
+               : "";
+}
+
+std::string
+memScopeOf(const Analysis &analysis, size_t mem)
+{
+    const rtl::Design &design = analysis.design();
+    if (mem >= design.memScope.size())
+        return "";
+    uint32_t scope = design.memScope[mem];
+    return scope < design.scopeNames.size()
+               ? design.scopeNames[scope]
+               : "";
+}
+
+// ---- structural -------------------------------------------------------
+// Reference-safe by construction: it never indexes through a net id
+// without bounds-checking, so it runs even on unsound designs.
+
+class StructuralPass : public Pass
+{
+  public:
+    const char *id() const override { return "structural"; }
+    const char *description() const override
+    {
+        return "corrupt net references, bad clock indices, "
+               "duplicate and shared state names";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+        const size_t n = design.nodes.size();
+        auto corrupt = [&](NetId net) {
+            return net != kNoNet && net >= n;
+        };
+
+        for (NetId id = 0; id < n; ++id) {
+            const rtl::Node &node = design.nodes[id];
+            const unsigned arity = rtl::opArity(node.op);
+            const NetId operands[3] = {node.a, node.b, node.c};
+            const char *slots[3] = {"a", "b", "c"};
+            for (unsigned slot = 0; slot < arity; ++slot) {
+                if (!corrupt(operands[slot]))
+                    continue;
+                report.add(this->id(), Severity::Error,
+                           "corrupt-ref",
+                           analysis.nodeScope(id),
+                           {analysis.netName(id), slots[slot]},
+                           "operand " + std::string(slots[slot]) +
+                               " of " + analysis.netName(id) +
+                               " references nonexistent net #" +
+                               std::to_string(operands[slot]));
+            }
+            if (node.width == 0 || node.width > 64) {
+                report.add(this->id(), Severity::Error,
+                           "bad-node-width",
+                           analysis.nodeScope(id),
+                           {analysis.netName(id)},
+                           "node " + analysis.netName(id) +
+                               " has illegal width " +
+                               std::to_string(node.width));
+            }
+        }
+
+        std::map<std::string, size_t> regNames;
+        std::map<NetId, size_t> regQs;
+        for (size_t i = 0; i < design.regs.size(); ++i) {
+            const rtl::Reg &reg = design.regs[i];
+            std::string scope = regScopeOf(analysis, i);
+            for (NetId net : {reg.q, reg.d, reg.en, reg.rst}) {
+                if (!corrupt(net))
+                    continue;
+                report.add(this->id(), Severity::Error,
+                           "corrupt-ref", scope, {reg.name},
+                           "register '" + reg.name +
+                               "' references nonexistent net #" +
+                               std::to_string(net));
+            }
+            if (reg.q < n &&
+                design.nodes[reg.q].op != Op::RegQ) {
+                report.add(this->id(), Severity::Error, "bad-regq",
+                           scope, {reg.name},
+                           "register '" + reg.name +
+                               "' q net is a " +
+                               rtl::opName(design.nodes[reg.q].op) +
+                               " node, not a RegQ");
+            }
+            if (reg.clock >= design.clocks.size()) {
+                report.add(this->id(), Severity::Error, "bad-clock",
+                           scope, {reg.name},
+                           "register '" + reg.name +
+                               "' references missing clock index " +
+                               std::to_string(reg.clock));
+            }
+            if (!regNames.try_emplace(reg.name, i).second) {
+                report.add(this->id(), Severity::Warning,
+                           "dup-reg-name", scope, {reg.name},
+                           "two registers share the name '" +
+                               reg.name + "'");
+            }
+            if (reg.q < n) {
+                auto [qIt, qNew] = regQs.try_emplace(reg.q, i);
+                if (!qNew) {
+                    report.add(
+                        this->id(), Severity::Error, "shared-regq",
+                        scope,
+                        {design.regs[qIt->second].name, reg.name},
+                        "registers '" +
+                            design.regs[qIt->second].name +
+                            "' and '" + reg.name +
+                            "' drive the same q net (multiply "
+                            "driven state)");
+                }
+            }
+        }
+
+        for (size_t i = 0; i < design.mems.size(); ++i) {
+            const rtl::Mem &mem = design.mems[i];
+            std::string scope = memScopeOf(analysis, i);
+            auto port = [&](NetId net, const char *what,
+                            uint8_t clock, bool clocked) {
+                if (corrupt(net)) {
+                    report.add(this->id(), Severity::Error,
+                               "corrupt-ref", scope, {mem.name},
+                               "memory '" + mem.name + "' " + what +
+                                   " references nonexistent net #" +
+                                   std::to_string(net));
+                }
+                if (clocked && clock >= design.clocks.size()) {
+                    report.add(this->id(), Severity::Error,
+                               "bad-clock", scope,
+                               {mem.name, what},
+                               "memory '" + mem.name + "' " + what +
+                                   " references missing clock "
+                                   "index " +
+                                   std::to_string(clock));
+                }
+            };
+            for (const rtl::MemReadPort &rp : mem.readPorts) {
+                port(rp.addr, "read addr", rp.clock, rp.sync);
+                port(rp.data, "read data", rp.clock, false);
+            }
+            for (const rtl::MemWritePort &wp : mem.writePorts) {
+                port(wp.addr, "write addr", wp.clock, true);
+                port(wp.data, "write data", wp.clock, false);
+                port(wp.en, "write en", wp.clock, false);
+            }
+        }
+
+        for (const rtl::OutputPort &out : design.outputs) {
+            if (corrupt(out.net)) {
+                report.add(this->id(), Severity::Error,
+                           "corrupt-ref", "", {out.name},
+                           "output '" + out.name +
+                               "' references nonexistent net #" +
+                               std::to_string(out.net));
+            }
+        }
+        for (const rtl::DecoupledIface &iface : design.ifaces) {
+            for (NetId net :
+                 {iface.valid, iface.ready}) {
+                if (corrupt(net)) {
+                    report.add(this->id(), Severity::Error,
+                               "corrupt-ref", iface.scope,
+                               {iface.name},
+                               "interface '" + iface.name +
+                                   "' references nonexistent net "
+                                   "#" + std::to_string(net));
+                }
+            }
+            for (NetId net : iface.payload) {
+                if (corrupt(net)) {
+                    report.add(this->id(), Severity::Error,
+                               "corrupt-ref", iface.scope,
+                               {iface.name},
+                               "interface '" + iface.name +
+                                   "' payload references "
+                                   "nonexistent net #" +
+                                   std::to_string(net));
+                }
+            }
+        }
+    }
+};
+
+// ---- comb-loop --------------------------------------------------------
+
+class CombLoopPass : public Pass
+{
+  public:
+    const char *id() const override { return "comb-loop"; }
+    const char *description() const override
+    {
+        return "combinational cycles, localized as a named path";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design::TopoResult &topo = analysis.topo();
+        if (topo.ok)
+            return;
+        if (topo.cycle.empty()) {
+            report.add(id(), Severity::Error, "cycle", "", {},
+                       "combinational logic does not order but no "
+                       "cycle could be localized (corrupt operand "
+                       "references; see `structural`)");
+            return;
+        }
+
+        // Rotate so the cycle starts at the lexicographically
+        // smallest name: the fingerprint must not depend on which
+        // node the walk happened to enter the cycle through.
+        std::vector<std::string> names;
+        names.reserve(topo.cycle.size());
+        for (NetId net : topo.cycle)
+            names.push_back(analysis.netName(net));
+        size_t pivot = size_t(
+            std::min_element(names.begin(), names.end()) -
+            names.begin());
+        std::rotate(names.begin(),
+                    names.begin() + static_cast<long>(pivot),
+                    names.end());
+
+        std::string path;
+        for (const std::string &name : names) {
+            path += name;
+            path += " -> ";
+        }
+        path += names.front(); // close the loop for readability
+        report.add(id(), Severity::Error, "cycle",
+                   analysis.nodeScope(topo.cycle[pivot]), names,
+                   "combinational cycle through " +
+                       std::to_string(names.size()) +
+                       " nets: " + path);
+    }
+};
+
+// ---- width ------------------------------------------------------------
+
+class WidthPass : public Pass
+{
+  public:
+    const char *id() const override { return "width"; }
+    const char *description() const override
+    {
+        return "operand width mismatches and out-of-range "
+               "operands";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+        const size_t n = design.nodes.size();
+        auto width = [&](NetId net) { return design.widthOf(net); };
+        auto mismatch = [&](NetId id, const std::string &kind,
+                            const std::string &message) {
+            report.add(this->id(), Severity::Error, kind,
+                       analysis.nodeScope(id),
+                       {analysis.netName(id)}, message);
+        };
+
+        for (NetId id = 0; id < n; ++id) {
+            const rtl::Node &node = design.nodes[id];
+            const std::string name = analysis.netName(id);
+            switch (node.op) {
+              case Op::And:
+              case Op::Or:
+              case Op::Xor:
+              case Op::Add:
+              case Op::Sub:
+              case Op::Mul:
+                if (node.a < n && node.b < n &&
+                    (width(node.a) != node.width ||
+                     width(node.b) != node.width)) {
+                    mismatch(id, "binop-width",
+                             std::string(rtl::opName(node.op)) +
+                                 " node " + name + " has width " +
+                                 std::to_string(node.width) +
+                                 " but operands are " +
+                                 std::to_string(width(node.a)) +
+                                 " and " +
+                                 std::to_string(width(node.b)));
+                }
+                break;
+              case Op::Eq:
+              case Op::Ne:
+              case Op::Ult:
+              case Op::Ule:
+                if (node.width != 1)
+                    mismatch(id, "cmp-width",
+                             "comparison " + name +
+                                 " is not 1 bit wide");
+                if (node.a < n && node.b < n &&
+                    width(node.a) != width(node.b)) {
+                    mismatch(id, "cmp-operand-width",
+                             "comparison " + name +
+                                 " compares operands of widths " +
+                                 std::to_string(width(node.a)) +
+                                 " and " +
+                                 std::to_string(width(node.b)));
+                }
+                break;
+              case Op::RedAnd:
+              case Op::RedOr:
+              case Op::RedXor:
+                if (node.width != 1)
+                    mismatch(id, "cmp-width",
+                             "reduction " + name +
+                                 " is not 1 bit wide");
+                break;
+              case Op::Mux:
+                if (node.a < n && width(node.a) != 1)
+                    mismatch(id, "mux-select-width",
+                             "mux " + name +
+                                 " select is not 1 bit wide");
+                if (node.b < n && node.c < n &&
+                    (width(node.b) != node.width ||
+                     width(node.c) != node.width)) {
+                    mismatch(id, "mux-arm-width",
+                             "mux " + name + " arms have widths " +
+                                 std::to_string(width(node.b)) +
+                                 " and " +
+                                 std::to_string(width(node.c)) +
+                                 " but the node is " +
+                                 std::to_string(node.width));
+                }
+                break;
+              case Op::Concat:
+                if (node.a < n && node.b < n &&
+                    width(node.a) + width(node.b) != node.width) {
+                    mismatch(id, "concat-width",
+                             "concat " + name + " joins " +
+                                 std::to_string(width(node.a)) +
+                                 " and " +
+                                 std::to_string(width(node.b)) +
+                                 " bits into a " +
+                                 std::to_string(node.width) +
+                                 "-bit net");
+                }
+                break;
+              case Op::Slice:
+                if (node.a < n &&
+                    node.imm + node.width > width(node.a)) {
+                    mismatch(id, "slice-range",
+                             "slice " + name + " reads bits [" +
+                                 std::to_string(node.imm +
+                                                node.width - 1) +
+                                 ":" + std::to_string(node.imm) +
+                                 "] of a " +
+                                 std::to_string(width(node.a)) +
+                                 "-bit net");
+                }
+                break;
+              case Op::Zext:
+                if (node.a < n && width(node.a) > node.width)
+                    mismatch(id, "zext-narrows",
+                             "zext " + name + " narrows " +
+                                 std::to_string(width(node.a)) +
+                                 " bits to " +
+                                 std::to_string(node.width));
+                break;
+              case Op::Shl:
+              case Op::Shr: {
+                auto amount = node.b < n ? analysis.constOf(node.b)
+                                         : std::nullopt;
+                if (amount && *amount >= node.width) {
+                    report.add(
+                        this->id(), Severity::Warning, "shift-oob",
+                        analysis.nodeScope(id), {name},
+                        "shift " + name + " by constant " +
+                            std::to_string(*amount) +
+                            " >= width " +
+                            std::to_string(node.width) +
+                            " always yields 0");
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        for (size_t i = 0; i < design.regs.size(); ++i) {
+            const rtl::Reg &reg = design.regs[i];
+            if (reg.d < n && width(reg.d) != reg.width) {
+                report.add(this->id(), Severity::Error,
+                           "reg-d-width", regScopeOf(analysis, i),
+                           {reg.name},
+                           "register '" + reg.name + "' is " +
+                               std::to_string(reg.width) +
+                               " bits but its d input is " +
+                               std::to_string(width(reg.d)));
+            }
+        }
+
+        for (size_t i = 0; i < design.mems.size(); ++i) {
+            const rtl::Mem &mem = design.mems[i];
+            if (mem.depth == 0)
+                continue; // structural territory
+            std::string scope = memScopeOf(analysis, i);
+            auto addrCheck = [&](NetId addr, const char *what) {
+                if (addr >= n)
+                    return;
+                unsigned wa = width(addr);
+                if (wa > 63 || (1ULL << wa) > uint64_t(mem.depth)) {
+                    report.add(this->id(), Severity::Warning,
+                               "addr-overflow", scope,
+                               {mem.name, what},
+                               std::string(what) + " of memory '" +
+                                   mem.name + "' is " +
+                                   std::to_string(wa) +
+                                   " bits and can exceed depth " +
+                                   std::to_string(mem.depth));
+                } else if ((1ULL << wa) < uint64_t(mem.depth)) {
+                    report.add(this->id(), Severity::Warning,
+                               "addr-underflow", scope,
+                               {mem.name, what},
+                               std::string(what) + " of memory '" +
+                                   mem.name + "' is " +
+                                   std::to_string(wa) +
+                                   " bits and cannot reach all " +
+                                   std::to_string(mem.depth) +
+                                   " entries");
+                }
+                auto value = analysis.constOf(addr);
+                if (value && *value >= mem.depth) {
+                    report.add(this->id(), Severity::Error,
+                               "addr-const-oob", scope,
+                               {mem.name, what},
+                               std::string(what) + " of memory '" +
+                                   mem.name + "' is constant " +
+                                   std::to_string(*value) +
+                                   " >= depth " +
+                                   std::to_string(mem.depth));
+                }
+            };
+            for (const rtl::MemReadPort &rp : mem.readPorts)
+                addrCheck(rp.addr, "read addr");
+            for (const rtl::MemWritePort &wp : mem.writePorts) {
+                addrCheck(wp.addr, "write addr");
+                if (wp.data < n && width(wp.data) != mem.width) {
+                    report.add(this->id(), Severity::Error,
+                               "mem-data-width", scope, {mem.name},
+                               "write data of memory '" + mem.name +
+                                   "' is " +
+                                   std::to_string(width(wp.data)) +
+                                   " bits but the memory is " +
+                                   std::to_string(mem.width));
+                }
+            }
+        }
+    }
+};
+
+// ---- undriven ---------------------------------------------------------
+
+class UndrivenPass : public Pass
+{
+  public:
+    const char *id() const override { return "undriven"; }
+    const char *description() const override
+    {
+        return "required connections left unconnected";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+        for (NetId id = 0; id < design.nodes.size(); ++id) {
+            const rtl::Node &node = design.nodes[id];
+            const unsigned arity = rtl::opArity(node.op);
+            const NetId operands[3] = {node.a, node.b, node.c};
+            const char *slots[3] = {"a", "b", "c"};
+            for (unsigned slot = 0; slot < arity; ++slot) {
+                if (operands[slot] != kNoNet)
+                    continue;
+                report.add(this->id(), Severity::Error, "operand",
+                           analysis.nodeScope(id),
+                           {analysis.netName(id), slots[slot]},
+                           "operand " + std::string(slots[slot]) +
+                               " of " + analysis.netName(id) +
+                               " is unconnected");
+            }
+        }
+        for (size_t i = 0; i < design.regs.size(); ++i) {
+            const rtl::Reg &reg = design.regs[i];
+            if (reg.d == kNoNet) {
+                report.add(this->id(), Severity::Error, "reg-d",
+                           regScopeOf(analysis, i), {reg.name},
+                           "register '" + reg.name +
+                               "' has no d input");
+            }
+        }
+        for (size_t i = 0; i < design.mems.size(); ++i) {
+            const rtl::Mem &mem = design.mems[i];
+            std::string scope = memScopeOf(analysis, i);
+            auto need = [&](NetId net, const char *what) {
+                if (net != kNoNet)
+                    return;
+                report.add(this->id(), Severity::Error, "mem-port",
+                           scope, {mem.name, what},
+                           std::string(what) + " of memory '" +
+                               mem.name + "' is unconnected");
+            };
+            for (const rtl::MemReadPort &rp : mem.readPorts) {
+                need(rp.addr, "read addr");
+                need(rp.data, "read data");
+            }
+            for (const rtl::MemWritePort &wp : mem.writePorts) {
+                need(wp.addr, "write addr");
+                need(wp.data, "write data");
+                need(wp.en, "write en");
+            }
+        }
+        for (const rtl::OutputPort &out : design.outputs) {
+            if (out.net == kNoNet) {
+                report.add(this->id(), Severity::Error, "output",
+                           "", {out.name},
+                           "output '" + out.name +
+                               "' is unconnected");
+            }
+        }
+        for (const rtl::DecoupledIface &iface : design.ifaces) {
+            if (iface.valid == kNoNet || iface.ready == kNoNet) {
+                report.add(this->id(), Severity::Error, "iface",
+                           iface.scope, {iface.name},
+                           "interface '" + iface.name +
+                               "' handshake is unconnected");
+            }
+        }
+    }
+};
+
+// ---- unused -----------------------------------------------------------
+
+class UnusedPass : public Pass
+{
+  public:
+    const char *id() const override { return "unused"; }
+    const char *description() const override
+    {
+        return "inputs, registers and read ports nothing consumes";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+        for (const rtl::InputPort &in : design.inputs) {
+            if (in.net != kNoNet &&
+                analysis.useCount(in.net) == 0) {
+                report.add(this->id(), Severity::Warning, "input",
+                           "", {in.name},
+                           "input '" + in.name +
+                               "' is never used");
+            }
+        }
+        for (size_t i = 0; i < design.regs.size(); ++i) {
+            const rtl::Reg &reg = design.regs[i];
+            if (reg.q != kNoNet &&
+                analysis.useCount(reg.q) == 0) {
+                report.add(this->id(), Severity::Warning, "reg",
+                           regScopeOf(analysis, i), {reg.name},
+                           "register '" + reg.name +
+                               "' is never read");
+            }
+        }
+        for (size_t i = 0; i < design.mems.size(); ++i) {
+            const rtl::Mem &mem = design.mems[i];
+            std::string scope = memScopeOf(analysis, i);
+            size_t port = 0;
+            for (const rtl::MemReadPort &rp : mem.readPorts) {
+                if (rp.data != kNoNet &&
+                    analysis.useCount(rp.data) == 0) {
+                    report.add(this->id(), Severity::Warning,
+                               "mem-read", scope,
+                               {mem.name,
+                                "port" + std::to_string(port)},
+                               "read port " + std::to_string(port) +
+                                   " of memory '" + mem.name +
+                                   "' is never used");
+                }
+                ++port;
+            }
+            if (mem.readPorts.empty()) {
+                report.add(this->id(), Severity::Warning,
+                           "mem-no-read", scope, {mem.name},
+                           "memory '" + mem.name +
+                               "' is never read");
+            }
+        }
+    }
+};
+
+// ---- dead-logic -------------------------------------------------------
+
+class DeadLogicPass : public Pass
+{
+  public:
+    const char *id() const override { return "dead-logic"; }
+    const char *description() const override
+    {
+        return "logic that constant propagation proves inert";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+        const size_t n = design.nodes.size();
+        for (NetId id = 0; id < n; ++id) {
+            const rtl::Node &node = design.nodes[id];
+            const std::string name = analysis.netName(id);
+            if (node.op == Op::Mux) {
+                auto sel = node.a < n ? analysis.constOf(node.a)
+                                      : std::nullopt;
+                if (sel && analysis.useCount(id) > 0) {
+                    report.add(
+                        this->id(), Severity::Warning,
+                        "const-select", analysis.nodeScope(id),
+                        {name},
+                        "mux " + name + " select is constant " +
+                            std::to_string(*sel) + "; the " +
+                            (*sel ? "else" : "then") +
+                            " arm is dead");
+                }
+                if (node.b != kNoNet && node.b == node.c) {
+                    report.add(this->id(), Severity::Warning,
+                               "same-arms", analysis.nodeScope(id),
+                               {name},
+                               "mux " + name +
+                                   " has identical arms; the "
+                                   "select is dead");
+                }
+            }
+            if ((node.op == Op::Eq || node.op == Op::Ne ||
+                 node.op == Op::Ult || node.op == Op::Ule) &&
+                node.a != kNoNet && node.a == node.b) {
+                report.add(this->id(), Severity::Warning,
+                           "self-compare", analysis.nodeScope(id),
+                           {name},
+                           std::string(rtl::opName(node.op)) +
+                               " node " + name +
+                               " compares a net with itself; the "
+                               "result is constant");
+            }
+            // Non-trivial logic folding to a constant is only worth
+            // a note: generated designs legitimately specialize.
+            if (node.op != Op::Const && rtl::opArity(node.op) > 0 &&
+                analysis.constOf(id) && analysis.useCount(id) > 0) {
+                report.add(this->id(), Severity::Note, "const-net",
+                           analysis.nodeScope(id), {name},
+                           std::string(rtl::opName(node.op)) +
+                               " node " + name +
+                               " always evaluates to " +
+                               std::to_string(*analysis.constOf(id)));
+            }
+        }
+
+        for (size_t i = 0; i < design.regs.size(); ++i) {
+            const rtl::Reg &reg = design.regs[i];
+            std::string scope = regScopeOf(analysis, i);
+            auto en = reg.en != kNoNet ? analysis.constOf(reg.en)
+                                       : std::nullopt;
+            if (en && *en == 0) {
+                report.add(this->id(), Severity::Warning,
+                           "never-loads", scope, {reg.name},
+                           "register '" + reg.name +
+                               "' enable is constant 0; it never "
+                               "loads");
+            } else if (en && *en != 0) {
+                report.add(this->id(), Severity::Note,
+                           "redundant-enable", scope, {reg.name},
+                           "register '" + reg.name +
+                               "' enable is constant 1");
+            }
+            auto rst = reg.rst != kNoNet ? analysis.constOf(reg.rst)
+                                         : std::nullopt;
+            if (rst && *rst != 0) {
+                report.add(this->id(), Severity::Warning,
+                           "stuck-in-reset", scope, {reg.name},
+                           "register '" + reg.name +
+                               "' reset is constant 1; it is stuck "
+                               "at its reset value");
+            }
+            if (reg.d != kNoNet && reg.d == reg.q &&
+                reg.en == kNoNet) {
+                report.add(this->id(), Severity::Warning,
+                           "self-loop", scope, {reg.name},
+                           "register '" + reg.name +
+                               "' unconditionally reloads its own "
+                               "output; it never changes");
+            }
+        }
+
+        for (size_t i = 0; i < design.mems.size(); ++i) {
+            const rtl::Mem &mem = design.mems[i];
+            for (const rtl::MemWritePort &wp : mem.writePorts) {
+                auto en = wp.en != kNoNet
+                              ? analysis.constOf(wp.en)
+                              : std::nullopt;
+                if (en && *en == 0) {
+                    report.add(this->id(), Severity::Warning,
+                               "dead-write",
+                               memScopeOf(analysis, i), {mem.name},
+                               "write port of memory '" + mem.name +
+                                   "' has a constant-0 enable");
+                }
+            }
+        }
+    }
+};
+
+// ---- mem-conflict -----------------------------------------------------
+
+class MemConflictPass : public Pass
+{
+  public:
+    const char *id() const override { return "mem-conflict"; }
+    const char *description() const override
+    {
+        return "write-write conflicting memory ports";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+        for (size_t i = 0; i < design.mems.size(); ++i) {
+            const rtl::Mem &mem = design.mems[i];
+            const auto &ports = mem.writePorts;
+            for (size_t p = 0; p < ports.size(); ++p) {
+                for (size_t q = p + 1; q < ports.size(); ++q) {
+                    if (ports[p].clock != ports[q].clock)
+                        continue; // cdc territory
+                    if (exclusive(analysis, ports[p], ports[q]))
+                        continue;
+                    report.add(
+                        this->id(), Severity::Warning,
+                        "write-write", memScopeOf(analysis, i),
+                        {mem.name, "port" + std::to_string(p),
+                         "port" + std::to_string(q)},
+                        "write ports " + std::to_string(p) +
+                            " and " + std::to_string(q) +
+                            " of memory '" + mem.name +
+                            "' can fire in the same cycle with "
+                            "unprovably distinct addresses");
+                }
+            }
+        }
+    }
+
+  private:
+    /** Conservatively prove two write ports never collide. */
+    static bool exclusive(const Analysis &analysis,
+                          const rtl::MemWritePort &p,
+                          const rtl::MemWritePort &q)
+    {
+        auto enP = p.en != kNoNet ? analysis.constOf(p.en)
+                                  : std::nullopt;
+        auto enQ = q.en != kNoNet ? analysis.constOf(q.en)
+                                  : std::nullopt;
+        if ((enP && *enP == 0) || (enQ && *enQ == 0))
+            return true; // one port is dead (dead-logic reports it)
+
+        // Enables are literally complementary: q.en = Not(p.en) or
+        // vice versa.
+        const rtl::Design &design = analysis.design();
+        auto isNotOf = [&](NetId maybe_not, NetId base) {
+            return maybe_not < design.nodes.size() &&
+                   design.nodes[maybe_not].op == Op::Not &&
+                   design.nodes[maybe_not].a == base;
+        };
+        if (p.en != kNoNet && q.en != kNoNet &&
+            (isNotOf(p.en, q.en) || isNotOf(q.en, p.en)))
+            return true;
+
+        // Distinct constant addresses never collide.
+        auto addrP = p.addr != kNoNet ? analysis.constOf(p.addr)
+                                      : std::nullopt;
+        auto addrQ = q.addr != kNoNet ? analysis.constOf(q.addr)
+                                      : std::nullopt;
+        return addrP && addrQ && *addrP != *addrQ;
+    }
+};
+
+// ---- cdc --------------------------------------------------------------
+
+class CdcPass : public Pass
+{
+  public:
+    const char *id() const override { return "cdc"; }
+    const char *description() const override
+    {
+        return "unsynchronized clock-domain crossings";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+        if (design.clocks.size() < 2)
+            return; // single-domain designs cannot cross
+
+        for (size_t i = 0; i < design.regs.size(); ++i) {
+            const rtl::Reg &reg = design.regs[i];
+            std::string scope = regScopeOf(analysis, i);
+
+            // Control inputs must never cross domains raw.
+            for (NetId control : {reg.en, reg.rst}) {
+                if (control == kNoNet)
+                    continue;
+                for (NetId src : analysis.combSources(control)) {
+                    auto clock = analysis.sourceClock(src);
+                    if (clock && *clock != reg.clock) {
+                        report.add(
+                            this->id(), Severity::Error,
+                            "control-crossing", scope,
+                            {analysis.netName(src), reg.name},
+                            "control input of register '" +
+                                reg.name + "' (" +
+                                clockName(design, reg.clock) +
+                                ") is driven from '" +
+                                analysis.netName(src) + "' in " +
+                                clockName(design, *clock));
+                    }
+                }
+            }
+
+            if (reg.d == kNoNet)
+                continue;
+            for (NetId src : analysis.combSources(reg.d)) {
+                auto clock = analysis.sourceClock(src);
+                if (!clock || *clock == reg.clock)
+                    continue;
+                if (isSyncHead(analysis, reg, src)) {
+                    report.add(this->id(), Severity::Note,
+                               "synchronizer", scope,
+                               {analysis.netName(src), reg.name},
+                               "register '" + reg.name +
+                                   "' is the head of a "
+                                   "synchronizer chain for '" +
+                                   analysis.netName(src) + "' (" +
+                                   clockName(design, *clock) +
+                                   " -> " +
+                                   clockName(design, reg.clock) +
+                                   ")");
+                } else {
+                    report.add(
+                        this->id(), Severity::Warning, "crossing",
+                        scope, {analysis.netName(src), reg.name},
+                        "register '" + reg.name + "' (" +
+                            clockName(design, reg.clock) +
+                            ") samples '" + analysis.netName(src) +
+                            "' from " + clockName(design, *clock) +
+                            " without a recognizable "
+                            "synchronizer");
+                }
+            }
+        }
+
+        for (size_t i = 0; i < design.mems.size(); ++i) {
+            const rtl::Mem &mem = design.mems[i];
+            std::set<uint8_t> domains;
+            for (const rtl::MemReadPort &rp : mem.readPorts) {
+                if (rp.sync)
+                    domains.insert(rp.clock);
+            }
+            for (const rtl::MemWritePort &wp : mem.writePorts)
+                domains.insert(wp.clock);
+            if (domains.size() > 1) {
+                report.add(this->id(), Severity::Warning,
+                           "multi-clock-mem",
+                           memScopeOf(analysis, i), {mem.name},
+                           "memory '" + mem.name +
+                               "' is accessed from " +
+                               std::to_string(domains.size()) +
+                               " clock domains");
+            }
+        }
+    }
+
+  private:
+    static std::string clockName(const rtl::Design &design,
+                                 uint8_t clock)
+    {
+        return clock < design.clocks.size()
+                   ? "clock '" + design.clocks[clock] + "'"
+                   : "missing clock " + std::to_string(clock);
+    }
+
+    /**
+     * Recognize @p reg as the first stage of a synchronizer for
+     * foreign source @p src: a 1-bit register sampling the foreign
+     * net directly (no logic in between) whose output is consumed
+     * only by same-domain register d inputs — the classic 2-FF
+     * chain shape.
+     */
+    static bool isSyncHead(const Analysis &analysis,
+                           const rtl::Reg &reg, NetId src)
+    {
+        if (reg.width != 1 || reg.d != src)
+            return false;
+        if (!analysis.consumers(reg.q).empty())
+            return false; // feeds combinational logic directly
+        bool hasStage2 = false;
+        for (const rtl::Reg &other : analysis.design().regs) {
+            if (other.q == reg.q)
+                continue; // reg itself
+            if (other.en == reg.q || other.rst == reg.q)
+                return false; // q used as a control raw
+            if (other.d == reg.q) {
+                if (other.clock != reg.clock)
+                    return false; // chain changes domain again
+                hasStage2 = true;
+            }
+        }
+        return hasStage2;
+    }
+};
+
+// ---- iface ------------------------------------------------------------
+
+class IfacePass : public Pass
+{
+  public:
+    const char *id() const override { return "iface"; }
+    const char *description() const override
+    {
+        return "decoupled (valid/ready) interface contract checks";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+        std::map<std::string, size_t> names;
+        for (size_t i = 0; i < design.ifaces.size(); ++i) {
+            const rtl::DecoupledIface &iface = design.ifaces[i];
+            if (!names.try_emplace(iface.name, i).second) {
+                report.add(this->id(), Severity::Warning,
+                           "dup-iface", iface.scope, {iface.name},
+                           "two interfaces share the name '" +
+                               iface.name + "'");
+            }
+            for (NetId net : {iface.valid, iface.ready}) {
+                if (net != kNoNet && design.validNet(net) &&
+                    design.widthOf(net) != 1) {
+                    report.add(this->id(), Severity::Error,
+                               "handshake-width", iface.scope,
+                               {iface.name, analysis.netName(net)},
+                               "handshake net '" +
+                                   analysis.netName(net) +
+                                   "' of interface '" + iface.name +
+                                   "' is " +
+                                   std::to_string(
+                                       design.widthOf(net)) +
+                                   " bits wide");
+                }
+            }
+            if (iface.payload.empty()) {
+                report.add(this->id(), Severity::Warning,
+                           "no-payload", iface.scope, {iface.name},
+                           "interface '" + iface.name +
+                               "' declares no payload nets");
+            }
+            if (iface.irrevocable &&
+                design.validNet(iface.valid) &&
+                design.validNet(iface.ready) &&
+                analysis.combDependsOn(iface.valid, iface.ready)) {
+                report.add(
+                    this->id(), Severity::Error,
+                    "irrevocable-valid", iface.scope, {iface.name},
+                    "interface '" + iface.name +
+                        "' is irrevocable but its valid is driven "
+                        "combinationally from its own ready; valid "
+                        "could retract when ready falls");
+            }
+        }
+    }
+};
+
+// ---- reset-coverage ---------------------------------------------------
+
+class ResetCoveragePass : public Pass
+{
+  public:
+    const char *id() const override { return "reset-coverage"; }
+    const char *description() const override
+    {
+        return "registers without reset feeding control logic, in "
+               "designs that use synchronous resets";
+    }
+
+    void run(const Analysis &analysis, Report &report) const override
+    {
+        const rtl::Design &design = analysis.design();
+
+        // Discipline consistency: only meaningful in designs that
+        // use synchronous resets at all. Zoomie targets configure
+        // initial state through the bitstream (Reg::initVal), and
+        // flagging every register in such a design is pure noise.
+        bool usesReset = false;
+        for (const rtl::Reg &reg : design.regs)
+            usesReset = usesReset || reg.rst != kNoNet;
+        if (!usesReset)
+            return;
+
+        // Nets whose combinational cones steer state updates:
+        // register enables/resets, memory write enables and mux
+        // selects. A flop with undefined reset state feeding one
+        // of these can corrupt state that *is* reset.
+        std::set<NetId> controlSources;
+        auto addCone = [&](NetId root) {
+            if (root == kNoNet)
+                return;
+            for (NetId src : analysis.combSources(root))
+                controlSources.insert(src);
+        };
+        for (const rtl::Reg &reg : design.regs) {
+            addCone(reg.en);
+            addCone(reg.rst);
+        }
+        for (const rtl::Mem &mem : design.mems) {
+            for (const rtl::MemWritePort &wp : mem.writePorts)
+                addCone(wp.en);
+        }
+        for (NetId id = 0; id < design.nodes.size(); ++id) {
+            if (design.nodes[id].op == Op::Mux)
+                addCone(design.nodes[id].a);
+        }
+
+        for (size_t i = 0; i < design.regs.size(); ++i) {
+            const rtl::Reg &reg = design.regs[i];
+            if (reg.rst != kNoNet) {
+                if (reg.rstVal != reg.initVal) {
+                    report.add(
+                        this->id(), Severity::Note,
+                        "reset-vs-init", regScopeOf(analysis, i),
+                        {reg.name},
+                        "register '" + reg.name +
+                            "' resets to " +
+                            std::to_string(reg.rstVal) +
+                            " but powers on as " +
+                            std::to_string(reg.initVal));
+                }
+                continue;
+            }
+            if (reg.q != kNoNet && controlSources.count(reg.q)) {
+                report.add(this->id(), Severity::Warning,
+                           "uncovered-control",
+                           regScopeOf(analysis, i), {reg.name},
+                           "register '" + reg.name +
+                               "' has no reset but feeds control "
+                               "logic in a design that uses "
+                               "synchronous resets");
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+registerBuiltinPasses(std::vector<std::unique_ptr<Pass>> &out)
+{
+    out.push_back(std::make_unique<StructuralPass>());
+    out.push_back(std::make_unique<CombLoopPass>());
+    out.push_back(std::make_unique<WidthPass>());
+    out.push_back(std::make_unique<UndrivenPass>());
+    out.push_back(std::make_unique<UnusedPass>());
+    out.push_back(std::make_unique<DeadLogicPass>());
+    out.push_back(std::make_unique<MemConflictPass>());
+    out.push_back(std::make_unique<CdcPass>());
+    out.push_back(std::make_unique<IfacePass>());
+    out.push_back(std::make_unique<ResetCoveragePass>());
+}
+
+} // namespace zoomie::lint

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Registration hook for the built-in lint passes (see lint.hh for
+ * the catalog). Kept separate so the Linter constructor stays a
+ * one-liner and the pass definitions stay file-local.
+ */
+
+#ifndef ZOOMIE_LINT_PASSES_HH
+#define ZOOMIE_LINT_PASSES_HH
+
+#include <memory>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace zoomie::lint {
+
+/** Append every built-in pass, in execution order. */
+void registerBuiltinPasses(std::vector<std::unique_ptr<Pass>> &out);
+
+} // namespace zoomie::lint
+
+#endif // ZOOMIE_LINT_PASSES_HH

@@ -1,0 +1,126 @@
+#include "waivers.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace zoomie::lint {
+
+namespace {
+
+bool
+isFingerprint(const std::string &token)
+{
+    if (token.size() != 16)
+        return false;
+    for (char c : token) {
+        if (!std::isxdigit(static_cast<unsigned char>(c)) ||
+            std::isupper(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+std::string
+trimmed(const std::string &text)
+{
+    size_t begin = text.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = text.find_last_not_of(" \t");
+    return text.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+bool
+WaiverSet::parse(const std::string &text, WaiverSet &out,
+                 std::string *error)
+{
+    std::istringstream is(text);
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string note;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            note = trimmed(line.substr(hash + 1));
+            line.resize(hash);
+        }
+        std::istringstream tokens(line);
+        std::string fingerprint, pass, extra;
+        if (!(tokens >> fingerprint))
+            continue; // blank or comment-only line
+        if (!isFingerprint(fingerprint)) {
+            if (error) {
+                *error = "line " + std::to_string(lineno) + ": '" +
+                         fingerprint +
+                         "' is not a 16-hex-digit fingerprint";
+            }
+            return false;
+        }
+        tokens >> pass;
+        if (tokens >> extra) {
+            if (error) {
+                *error = "line " + std::to_string(lineno) +
+                         ": unexpected token '" + extra + "'";
+            }
+            return false;
+        }
+        out.add({fingerprint, pass, note});
+    }
+    return true;
+}
+
+bool
+WaiverSet::load(const std::string &path, WaiverSet &out,
+                std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open waiver file '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), out, error);
+}
+
+std::vector<std::string>
+WaiverSet::apply(Report &report) const
+{
+    std::vector<std::string> unused;
+    for (const Waiver &waiver : _entries) {
+        bool matched = false;
+        for (Diagnostic &diag : report.diags) {
+            if (diag.fingerprint != waiver.fingerprint)
+                continue;
+            if (!waiver.pass.empty() && diag.pass != waiver.pass)
+                continue;
+            diag.waived = true;
+            matched = true;
+        }
+        if (!matched)
+            unused.push_back(waiver.fingerprint);
+    }
+    return unused;
+}
+
+std::string
+WaiverSet::serialize() const
+{
+    std::string out;
+    for (const Waiver &waiver : _entries) {
+        out += waiver.fingerprint;
+        if (!waiver.pass.empty())
+            out += " " + waiver.pass;
+        if (!waiver.note.empty())
+            out += "  # " + waiver.note;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace zoomie::lint

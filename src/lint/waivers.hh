@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Waiver files: pinning known lint findings so a design lints
+ * clean while the underlying (intentional or historical) construct
+ * stays in place. The format is line-oriented and diff-friendly:
+ *
+ *     # comment
+ *     <fingerprint> [pass-id]   # trailing note
+ *
+ * A waiver matches a diagnostic by fingerprint; when the optional
+ * pass id is present it must also match, which catches a stale
+ * fingerprint that collides with a different pass's finding.
+ * Waivers that match nothing are reported back by apply() so
+ * checked-in files cannot silently rot.
+ */
+
+#ifndef ZOOMIE_LINT_WAIVERS_HH
+#define ZOOMIE_LINT_WAIVERS_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hh"
+
+namespace zoomie::lint {
+
+/** One waiver entry. */
+struct Waiver
+{
+    std::string fingerprint; ///< 16 lowercase hex digits
+    std::string pass;        ///< optional pass id restriction
+    std::string note;        ///< trailing comment, if any
+};
+
+/** A parsed waiver file. */
+class WaiverSet
+{
+  public:
+    /**
+     * Parse waiver text. @return false (with @p error set to a
+     * line-tagged description) on the first malformed line.
+     */
+    static bool parse(const std::string &text, WaiverSet &out,
+                      std::string *error = nullptr);
+
+    /** Load and parse a waiver file. @return false on I/O or
+     *  parse failure with @p error set. */
+    static bool load(const std::string &path, WaiverSet &out,
+                     std::string *error = nullptr);
+
+    void add(Waiver waiver) { _entries.push_back(std::move(waiver)); }
+    size_t size() const { return _entries.size(); }
+    bool empty() const { return _entries.empty(); }
+    const std::vector<Waiver> &entries() const { return _entries; }
+
+    /**
+     * Mark matching diagnostics in @p report as waived.
+     *
+     * @return the fingerprints of waivers that matched no
+     * diagnostic (stale entries the caller should surface).
+     */
+    std::vector<std::string> apply(Report &report) const;
+
+    /** Render back to the file format (round-trips parse()). */
+    std::string serialize() const;
+
+  private:
+    std::vector<Waiver> _entries;
+};
+
+} // namespace zoomie::lint
+
+#endif // ZOOMIE_LINT_WAIVERS_HH

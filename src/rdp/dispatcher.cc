@@ -9,6 +9,7 @@
 
 #include "common/bits.hh"
 #include "core/instrument.hh"
+#include "lint/lint.hh"
 #include "rdp/scheduler.hh"
 #include "sim/trace.hh"
 #include "sim/vcd.hh"
@@ -601,6 +602,79 @@ cmdAssert(Ctx &c, const Args &a)
     return out;
 }
 
+Json
+cmdLint(Ctx &c, const Args &a)
+{
+    Session &s = c.session;
+    lint::Options options;
+    if (a.has("pass")) {
+        const std::string &list = a.str("pass");
+        size_t start = 0;
+        while (start <= list.size()) {
+            size_t comma = list.find(',', start);
+            if (comma == std::string::npos)
+                comma = list.size();
+            std::string id = list.substr(start, comma - start);
+            if (id.empty()) {
+                throw CommandError{
+                    Errc::BadArgs,
+                    "pass: empty id in comma-separated list"};
+            }
+            options.passes.push_back(std::move(id));
+            start = comma + 1;
+        }
+    }
+    if (a.has("severity") &&
+        !lint::parseSeverity(a.str("severity"),
+                             options.minSeverity)) {
+        throw CommandError{Errc::BadArgs,
+                           "severity must be note, warning or "
+                           "error, got \"" +
+                               a.str("severity") + "\""};
+    }
+    // Unknown pass ids surface as typed errors on the wire (a
+    // structured reply the conformance suite can pin), not as
+    // findings the way the library reports them.
+    static const lint::Linter linter;
+    for (const std::string &id : options.passes) {
+        if (!linter.hasPass(id)) {
+            throw CommandError{Errc::UnknownName,
+                               "unknown lint pass '" + id + "'"};
+        }
+    }
+
+    // Lint the *user* design: the instrumented one adds a gated
+    // clock domain and scan plumbing that would drown the user's
+    // own findings in tool-inserted constructs.
+    lint::Report report = linter.run(s.userDesign(), options);
+
+    Json findings = Json::array();
+    for (const lint::Diagnostic &diag : report.diags) {
+        Json entry = Json::object();
+        entry.set("pass", diag.pass);
+        entry.set("severity",
+                  std::string(lint::severityName(diag.severity)));
+        if (!diag.scope.empty())
+            entry.set("scope", diag.scope);
+        Json objects = Json::array();
+        for (const std::string &object : diag.objects)
+            objects.push(object);
+        entry.set("objects", std::move(objects));
+        entry.set("message", diag.message);
+        entry.set("fingerprint", diag.fingerprint);
+        findings.push(std::move(entry));
+    }
+    Json out = Json::object();
+    out.set("design", s.config().design);
+    out.set("findings", std::move(findings));
+    out.set("errors", uint64_t(report.count(lint::Severity::Error)));
+    out.set("warnings",
+            uint64_t(report.count(lint::Severity::Warning)));
+    out.set("notes", uint64_t(report.count(lint::Severity::Note)));
+    out.set("clean", report.clean());
+    return out;
+}
+
 } // namespace
 
 // ---- the command table ------------------------------------------------
@@ -681,6 +755,11 @@ Dispatcher::table()
           {"on", ArgKind::Num, false}},
          "enable/disable an assertion breakpoint",
          cmdAssert, false},
+        {"lint", nullptr,
+         {{"pass", ArgKind::Str, false},
+          {"severity", ArgKind::Str, false}},
+         "static-analysis findings for the session's user design",
+         cmdLint, false},
     };
     return specs;
 }
@@ -1019,6 +1098,20 @@ Dispatcher::renderText(const Result &result)
             out += "  slot " + std::to_string(slot++) + ": " +
                    signal.asString() + "\n";
         }
+    } else if (cmd == "lint") {
+        for (const Json &finding :
+             reply.find("findings")->items()) {
+            out += finding.find("severity")->asString() + ": [" +
+                   finding.find("pass")->asString() + "] ";
+            if (const Json *scope = finding.find("scope"))
+                out += scope->asString() + ": ";
+            out += finding.find("message")->asString() + " [" +
+                   finding.find("fingerprint")->asString() + "]\n";
+        }
+        out += reply.find("design")->asString() + ": " +
+               std::to_string(u64("errors")) + " errors, " +
+               std::to_string(u64("warnings")) + " warnings, " +
+               std::to_string(u64("notes")) + " notes\n";
     } else {
         out += "ok\n";
     }

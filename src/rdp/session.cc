@@ -71,19 +71,19 @@ Session::Session(uint64_t id, SessionConfig config)
     : _id(id), _config(std::move(config))
 {
     core::PlatformOptions opts;
-    rtl::Design design = makeDesign(_config, opts);
+    _userDesign = makeDesign(_config, opts);
     // Pre-validate watch signals so a typo becomes a structured
     // error reply rather than instrument()'s fatal exit.
     for (const std::string &signal : _config.watchSignals) {
-        if (design.findNet(signal) == rtl::kNoNet &&
-            design.findReg(signal) < 0) {
+        if (_userDesign.findNet(signal) == rtl::kNoNet &&
+            _userDesign.findReg(signal) < 0) {
             throw std::runtime_error("unknown watch signal '" +
                                      signal + "'");
         }
     }
     opts.instrument.watchSignals = _config.watchSignals;
     opts.instrument.assertions = _config.assertions;
-    _platform = core::Platform::create(design, opts);
+    _platform = core::Platform::create(_userDesign, opts);
     touch();
 }
 

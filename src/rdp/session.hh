@@ -94,6 +94,14 @@ class Session
     core::Platform &platform() { return *_platform; }
     core::Debugger &debugger() { return _platform->debugger(); }
 
+    /**
+     * The design as the user wrote it, before instrumentation.
+     * Static analysis (the `lint` command) runs on this: the
+     * instrumented design adds a gated clock domain and scan
+     * plumbing that would drown the user's own findings.
+     */
+    const rtl::Design &userDesign() const { return _userDesign; }
+
     /** Serializes commands against this session's device. */
     std::mutex &mutex() { return _mutex; }
 
@@ -114,6 +122,7 @@ class Session
   private:
     uint64_t _id;
     SessionConfig _config;
+    rtl::Design _userDesign;
     std::unique_ptr<core::Platform> _platform;
     std::mutex _mutex;
     SessionStats _stats;

@@ -1,6 +1,7 @@
 #include "ir.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
@@ -110,8 +111,8 @@ Design::findNet(const std::string &net_name) const
     return it == netNames.end() ? kNoNet : it->second;
 }
 
-std::vector<NetId>
-Design::topoOrder() const
+Design::TopoResult
+Design::tryTopoOrder() const
 {
     // Combinational dependencies only: RegQ and MemRdSync outputs
     // are sources (their inputs are sampled at clock edges), while
@@ -121,6 +122,8 @@ Design::topoOrder() const
     std::vector<std::vector<NetId>> fanout(n);
 
     auto addEdge = [&](NetId from, NetId to) {
+        if (from >= n)
+            return; // dangling operand; check() reports it
         fanout[from].push_back(to);
         ++pending[to];
     };
@@ -138,62 +141,132 @@ Design::topoOrder() const
             addEdge(node.c, id);
     }
 
-    std::vector<NetId> order;
-    order.reserve(n);
+    TopoResult result;
+    result.order.reserve(n);
     for (NetId id = 0; id < n; ++id) {
         if (pending[id] == 0)
-            order.push_back(id);
+            result.order.push_back(id);
     }
-    for (size_t head = 0; head < order.size(); ++head) {
-        for (NetId succ : fanout[order[head]]) {
+    for (size_t head = 0; head < result.order.size(); ++head) {
+        for (NetId succ : fanout[result.order[head]]) {
             if (--pending[succ] == 0)
-                order.push_back(succ);
+                result.order.push_back(succ);
         }
     }
-    panic_if(order.size() != n,
-             "combinational cycle in design '", name, "': ",
-             n - order.size(), " nodes unreachable");
-    return order;
+    if (result.order.size() == n)
+        return result;
+
+    // A cycle exists: every node still pending has at least one
+    // still-pending operand. Walk backwards through pending
+    // operands until a node repeats; the repeated suffix is one
+    // cycle. Reversing the walk yields dependency order.
+    result.ok = false;
+    NetId start = kNoNet;
+    for (NetId id = 0; id < n && start == kNoNet; ++id) {
+        if (pending[id] != 0)
+            start = id;
+    }
+    std::vector<NetId> walk;
+    std::unordered_map<NetId, size_t> seen;
+    NetId at = start;
+    while (seen.find(at) == seen.end()) {
+        seen[at] = walk.size();
+        walk.push_back(at);
+        const Node &node = nodes[at];
+        const unsigned arity = opArity(node.op);
+        NetId next = kNoNet;
+        for (unsigned slot = 0; slot < arity && next == kNoNet;
+             ++slot) {
+            NetId operand = slot == 0   ? node.a
+                            : slot == 1 ? node.b
+                                        : node.c;
+            if (operand < n && pending[operand] != 0)
+                next = operand;
+        }
+        if (next == kNoNet)
+            break; // dangling-operand corruption; best effort
+        at = next;
+    }
+    auto it = seen.find(at);
+    if (it != seen.end()) {
+        result.cycle.assign(walk.begin() +
+                                static_cast<long>(it->second),
+                            walk.end());
+        std::reverse(result.cycle.begin(), result.cycle.end());
+    }
+    return result;
 }
 
-void
-Design::validate() const
+std::vector<NetId>
+Design::topoOrder() const
 {
+    TopoResult result = tryTopoOrder();
+    if (!result.ok) {
+        std::string path;
+        for (NetId id : result.cycle) {
+            if (!path.empty())
+                path += " -> ";
+            path += opName(id < nodes.size() ? nodes[id].op
+                                             : Op::Const);
+            path += "#" + std::to_string(id);
+        }
+        panic("combinational cycle in design '", name, "': ", path);
+    }
+    return result.order;
+}
+
+std::vector<std::string>
+Design::check() const
+{
+    std::vector<std::string> errors;
     const size_t n = nodes.size();
-    auto checkNet = [&](NetId net, const char *what) {
-        panic_if(net == kNoNet || net >= n, "dangling ", what,
-                 " in design '", name, "'");
+
+    auto bad = [&](std::string msg) {
+        errors.push_back(std::move(msg));
+    };
+    // True when @p net is usable; otherwise reports and returns
+    // false so dependent checks (widths) are skipped, never
+    // indexing out of range.
+    auto checkNet = [&](NetId net, const std::string &what) {
+        if (net < n)
+            return true;
+        bad("dangling " + what + " in design '" + name + "'");
+        return false;
     };
 
     for (NetId id = 0; id < n; ++id) {
         const Node &node = nodes[id];
-        panic_if(node.width == 0 || node.width > 64,
-                 "node ", id, " has bad width");
+        std::string where =
+            std::string(opName(node.op)) + "#" + std::to_string(id);
+        if (node.width == 0 || node.width > 64)
+            bad("node " + where + " has bad width " +
+                std::to_string(node.width));
         const unsigned arity = opArity(node.op);
-        if (arity >= 1)
-            checkNet(node.a, "operand a");
-        if (arity >= 2)
-            checkNet(node.b, "operand b");
-        if (arity >= 3)
-            checkNet(node.c, "operand c");
+        bool a_ok = arity < 1 || checkNet(node.a, "operand a of " + where);
+        bool b_ok = arity < 2 || checkNet(node.b, "operand b of " + where);
+        bool c_ok = arity < 3 || checkNet(node.c, "operand c of " + where);
         switch (node.op) {
           case Op::Mux:
-            panic_if(nodes[node.a].width != 1, "mux select not 1 bit");
-            panic_if(nodes[node.b].width != node.width ||
-                     nodes[node.c].width != node.width,
-                     "mux arm width mismatch at node ", id);
+            if (a_ok && nodes[node.a].width != 1)
+                bad("mux select not 1 bit at node " + where);
+            if (b_ok && c_ok &&
+                (nodes[node.b].width != node.width ||
+                 nodes[node.c].width != node.width))
+                bad("mux arm width mismatch at node " + where);
             break;
           case Op::Concat:
-            panic_if(nodes[node.a].width + nodes[node.b].width !=
-                     node.width, "concat width mismatch at node ", id);
+            if (a_ok && b_ok &&
+                nodes[node.a].width + nodes[node.b].width !=
+                    node.width)
+                bad("concat width mismatch at node " + where);
             break;
           case Op::Slice:
-            panic_if(node.imm + node.width > nodes[node.a].width,
-                     "slice out of range at node ", id);
+            if (a_ok && node.imm + node.width > nodes[node.a].width)
+                bad("slice out of range at node " + where);
             break;
           case Op::Zext:
-            panic_if(nodes[node.a].width > node.width,
-                     "zext narrows at node ", id);
+            if (a_ok && nodes[node.a].width > node.width)
+                bad("zext narrows at node " + where);
             break;
           case Op::Eq:
           case Op::Ne:
@@ -202,7 +275,8 @@ Design::validate() const
           case Op::RedAnd:
           case Op::RedOr:
           case Op::RedXor:
-            panic_if(node.width != 1, "comparison width not 1");
+            if (node.width != 1)
+                bad("comparison width not 1 at node " + where);
             break;
           default:
             break;
@@ -210,37 +284,57 @@ Design::validate() const
     }
 
     for (const Reg &reg : regs) {
-        checkNet(reg.q, "reg q");
-        checkNet(reg.d, "reg d");
-        panic_if(nodes[reg.q].op != Op::RegQ, "reg q is not a RegQ");
-        panic_if(nodes[reg.d].width != reg.width,
-                 "reg '", reg.name, "' d width mismatch");
+        bool q_ok = checkNet(reg.q, "q of reg '" + reg.name + "'");
+        bool d_ok = checkNet(reg.d, "d of reg '" + reg.name + "'");
+        if (q_ok && nodes[reg.q].op != Op::RegQ)
+            bad("reg '" + reg.name + "' q is not a RegQ");
+        if (d_ok && nodes[reg.d].width != reg.width)
+            bad("reg '" + reg.name + "' d width mismatch");
         if (reg.en != kNoNet)
-            checkNet(reg.en, "reg en");
+            checkNet(reg.en, "en of reg '" + reg.name + "'");
         if (reg.rst != kNoNet)
-            checkNet(reg.rst, "reg rst");
-        panic_if(reg.clock >= clocks.size(),
-                 "reg '", reg.name, "' references missing clock");
+            checkNet(reg.rst, "rst of reg '" + reg.name + "'");
+        if (reg.clock >= clocks.size())
+            bad("reg '" + reg.name + "' references missing clock");
     }
 
     for (const Mem &mem : mems) {
-        panic_if(mem.depth == 0, "memory '", mem.name, "' empty");
+        if (mem.depth == 0)
+            bad("memory '" + mem.name + "' empty");
         for (const auto &rp : mem.readPorts) {
-            checkNet(rp.addr, "mem read addr");
-            checkNet(rp.data, "mem read data");
+            checkNet(rp.addr, "read addr of mem '" + mem.name + "'");
+            checkNet(rp.data, "read data of mem '" + mem.name + "'");
         }
         for (const auto &wp : mem.writePorts) {
-            checkNet(wp.addr, "mem write addr");
-            checkNet(wp.data, "mem write data");
-            checkNet(wp.en, "mem write en");
+            checkNet(wp.addr, "write addr of mem '" + mem.name + "'");
+            checkNet(wp.data, "write data of mem '" + mem.name + "'");
+            checkNet(wp.en, "write en of mem '" + mem.name + "'");
         }
     }
 
     for (const auto &out : outputs)
-        checkNet(out.net, "output");
+        checkNet(out.net, "output '" + out.name + "'");
 
-    // Ensures combinational acyclicity.
-    topoOrder();
+    TopoResult topo = tryTopoOrder();
+    if (!topo.ok) {
+        std::string path;
+        for (NetId id : topo.cycle) {
+            if (!path.empty())
+                path += " -> ";
+            path += opName(id < n ? nodes[id].op : Op::Const);
+            path += "#" + std::to_string(id);
+        }
+        bad("combinational cycle in design '" + name + "': " + path);
+    }
+    return errors;
+}
+
+void
+Design::validate() const
+{
+    std::vector<std::string> errors = check();
+    panic_if(!errors.empty(), "design '", name, "' is invalid (",
+             errors.size(), " violations); first: ", errors.front());
 }
 
 } // namespace zoomie::rtl

@@ -169,8 +169,18 @@ struct Design
     /** Optional net names for debugging / breakpoint targets. */
     std::unordered_map<std::string, NetId> netNames;
 
-    /** Width of a net. */
-    unsigned widthOf(NetId net) const { return nodes[net].width; }
+    /**
+     * Width of a net. Returns 0 for kNoNet or an out-of-range id so
+     * callers probing a possibly-malformed design never index out of
+     * bounds (0 is not a legal node width).
+     */
+    unsigned widthOf(NetId net) const
+    {
+        return net < nodes.size() ? nodes[net].width : 0;
+    }
+
+    /** True when @p net names an existing node. */
+    bool validNet(NetId net) const { return net < nodes.size(); }
 
     /** Total state bits (registers only). */
     uint64_t stateBits() const;
@@ -185,15 +195,48 @@ struct Design
     NetId findNet(const std::string &name) const;
 
     /**
+     * Outcome of tryTopoOrder(): either a complete evaluation order
+     * or the localization of one combinational cycle.
+     */
+    struct TopoResult
+    {
+        bool ok = true;
+        /** Evaluation order (complete only when ok). */
+        std::vector<NetId> order;
+        /** One combinational cycle, in dependency order, when !ok. */
+        std::vector<NetId> cycle;
+    };
+
+    /**
+     * Compute a topological order of the combinational nodes
+     * without panicking: a combinational cycle is reported as a
+     * localized node path instead. Library entry point for tools
+     * (the lint engine, servers) that must turn malformed designs
+     * into reports rather than process aborts.
+     */
+    TopoResult tryTopoOrder() const;
+
+    /**
      * Validate structural invariants (operand ranges, widths,
      * acyclic combinational logic) and compute a topological order
-     * of the combinational nodes.
+     * of the combinational nodes. Thin panicking wrapper over
+     * tryTopoOrder() for call sites that require a valid design.
      *
      * @return evaluation order over node ids (state sources first).
      */
     std::vector<NetId> topoOrder() const;
 
-    /** Check invariants; panics with a description on violation. */
+    /**
+     * Collect every structural violation (operand ranges, widths,
+     * clock indices, combinational cycles) as human-readable
+     * strings. Never panics, never indexes out of range — safe on
+     * arbitrarily malformed designs. An empty result means the
+     * design is valid.
+     */
+    std::vector<std::string> check() const;
+
+    /** Check invariants; panics with a description on violation.
+     *  Thin wrapper over check() for existing call sites. */
     void validate() const;
 };
 

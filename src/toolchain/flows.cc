@@ -1,9 +1,11 @@
 #include "flows.hh"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "lint/lint.hh"
 #include "toolchain/linker.hh"
 #include "toolchain/placer.hh"
 
@@ -129,6 +131,18 @@ Vti::rebaseProvenance(size_t part_index, const rtl::Design &design)
 CompileResult
 Vti::compileInitial(const rtl::Design &design)
 {
+    if (_opts.lintBeforeCompile) {
+        lint::Options lint_opts;
+        lint_opts.waivers = _opts.lintWaivers;
+        lint::Report report = lint::Linter().run(design, lint_opts);
+        if (report.errors() > 0) {
+            throw std::runtime_error(
+                "lint gate: design '" + design.name + "' has " +
+                std::to_string(report.errors()) +
+                " error finding(s):\n" + report.renderText());
+        }
+    }
+
     const size_t num_parts = _opts.iteratedModules.size() + 1;
     _parts.clear();
     _parts.resize(num_parts);

@@ -28,6 +28,7 @@
 
 #include "fpga/device_spec.hh"
 #include "fpga/placement.hh"
+#include "lint/waivers.hh"
 #include "rtl/ir.hh"
 #include "synth/netlist.hh"
 #include "synth/techmap.hh"
@@ -91,6 +92,20 @@ class Vti
         double overprovision = 0.30;
         CostModel cost;
         TimingParams timing;
+
+        /**
+         * Opt-in gate: run the lint engine (src/lint) over the
+         * design before the initial compile and refuse — with a
+         * std::runtime_error carrying the findings — when any
+         * unwaived error-severity finding remains. A design that
+         * fails this gate would either panic deeper in the flow or
+         * ship broken logic; the gate turns that into a report up
+         * front.
+         */
+        bool lintBeforeCompile = false;
+
+        /** Waivers applied to the pre-compile lint report. */
+        lint::WaiverSet lintWaivers;
     };
 
     Vti(fpga::DeviceSpec spec, Options options)

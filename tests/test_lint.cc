@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Tests for the RTL lint engine (src/lint): a firing and a silent
+ * fixture per pass, diagnostic fingerprint stability, waiver file
+ * parsing/application, the soundness gate on corrupt designs, the
+ * Vti pre-compile lint gate, and a regression pinning every
+ * built-in design clean modulo the checked-in waiver files.
+ */
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "designs/beehive.hh"
+#include "designs/cohort.hh"
+#include "designs/serv_soc.hh"
+#include "designs/tinyrv.hh"
+#include "fpga/device_spec.hh"
+#include "lint/lint.hh"
+#include "rtl/builder.hh"
+#include "toolchain/flows.hh"
+
+using namespace zoomie;
+
+namespace {
+
+/** Free-running 16-bit counter (the RDP server's default design). */
+rtl::Design
+counterDesign()
+{
+    rtl::Builder b("app");
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+std::vector<uint32_t>
+demoProgram()
+{
+    using namespace designs::rv;
+    return {
+        addi(1, 0, 0), addi(2, 0, 1),
+        add(1, 1, 2),  addi(2, 2, 1),
+        sw(1, 0, 0x200), jal(0, -12),
+    };
+}
+
+lint::Report
+runPass(const rtl::Design &design, const std::string &pass)
+{
+    lint::Options options;
+    options.passes = {pass};
+    return lint::Linter().run(design, options);
+}
+
+/** First diagnostic emitted by @p pass, or nullptr. */
+const lint::Diagnostic *
+findFrom(const lint::Report &report, const std::string &pass)
+{
+    for (const auto &d : report.diags)
+        if (d.pass == pass)
+            return &d;
+    return nullptr;
+}
+
+bool
+hasObject(const lint::Diagnostic &diag, const std::string &name)
+{
+    for (const auto &o : diag.objects)
+        if (o == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+// ---- pass manager ------------------------------------------------
+
+TEST(Linter, RegistersAllBuiltinPasses)
+{
+    const std::vector<std::string> expected = {
+        "structural", "comb-loop",    "width",
+        "undriven",   "unused",       "dead-logic",
+        "mem-conflict", "cdc",        "iface",
+        "reset-coverage",
+    };
+    EXPECT_EQ(lint::Linter::passIds(), expected);
+
+    lint::Linter linter;
+    for (const auto &id : expected)
+        EXPECT_TRUE(linter.hasPass(id)) << id;
+    EXPECT_FALSE(linter.hasPass("nosuch"));
+    for (const auto &pass : linter.passes())
+        EXPECT_STRNE(pass->description(), "");
+}
+
+TEST(Linter, UnknownPassIdIsAnErrorFindingNotAPanic)
+{
+    lint::Options options;
+    options.passes = {"bogus", "width"};
+    lint::Report report =
+        lint::Linter().run(counterDesign(), options);
+    const lint::Diagnostic *diag = findFrom(report, "lint");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Error);
+    EXPECT_NE(diag->message.find("bogus"), std::string::npos);
+}
+
+TEST(Linter, MinSeverityDropsLowerFindings)
+{
+    // A 4-bit address over a depth-10 memory fires a width warning;
+    // raising the floor to Error must drop it.
+    rtl::Builder b("w");
+    auto addr = b.input("addr", 4);
+    auto m = b.mem("m", 8, 10);
+    b.output("o", b.memReadAsync(m, addr));
+    rtl::Design design = b.finish();
+
+    lint::Options options;
+    options.passes = {"width"};
+    EXPECT_GE(lint::Linter().run(design, options).warnings(), 1u);
+
+    options.minSeverity = lint::Severity::Error;
+    EXPECT_TRUE(lint::Linter().run(design, options).diags.empty());
+}
+
+// ---- structural + soundness gate ---------------------------------
+
+TEST(LintStructural, CorruptReferenceGatesUnsafePasses)
+{
+    rtl::Design design = counterDesign();
+    size_t add_node = design.nodes.size();
+    for (size_t i = 0; i < design.nodes.size(); ++i)
+        if (design.nodes[i].op == rtl::Op::Add)
+            add_node = i;
+    ASSERT_LT(add_node, design.nodes.size());
+    design.nodes[add_node].a = 999999; // dangling operand
+
+    lint::Analysis analysis(design);
+    EXPECT_FALSE(analysis.sound());
+
+    lint::Report report = lint::Linter().run(design);
+    const lint::Diagnostic *corrupt = findFrom(report, "structural");
+    ASSERT_NE(corrupt, nullptr);
+    EXPECT_EQ(corrupt->severity, lint::Severity::Error);
+
+    // Reference-unsafe passes must be skipped with a note, and must
+    // not have produced findings of their own.
+    const lint::Diagnostic *skipped = findFrom(report, "lint");
+    ASSERT_NE(skipped, nullptr);
+    EXPECT_EQ(skipped->severity, lint::Severity::Note);
+    EXPECT_NE(skipped->message.find("skipped"), std::string::npos);
+    EXPECT_EQ(findFrom(report, "width"), nullptr);
+    EXPECT_EQ(findFrom(report, "unused"), nullptr);
+}
+
+TEST(LintStructural, SilentOnValidDesign)
+{
+    EXPECT_TRUE(
+        runPass(counterDesign(), "structural").diags.empty());
+}
+
+// ---- comb-loop ---------------------------------------------------
+
+TEST(LintCombLoop, NamesEveryNetOnTheCycle)
+{
+    rtl::Builder b("loop");
+    auto x = b.input("x", 1);
+    auto n1 = b.bnot(x);
+    auto n2 = b.bnot(n1);
+    b.nameNet("a", n1);
+    b.nameNet("b", n2);
+    b.output("y", n2);
+    rtl::Design design = b.peek(); // copy before validation
+    design.nodes[n1.id].a = n2.id; // close the loop
+
+    // The non-aborting IR entry points must localize, not panic.
+    rtl::Design::TopoResult topo = design.tryTopoOrder();
+    EXPECT_FALSE(topo.ok);
+    EXPECT_FALSE(topo.cycle.empty());
+    EXPECT_FALSE(design.check().empty());
+
+    lint::Report report = runPass(design, "comb-loop");
+    const lint::Diagnostic *diag = findFrom(report, "comb-loop");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Error);
+    ASSERT_EQ(diag->objects.size(), 2u);
+    // Rotated so the lexicographically smallest name leads, which
+    // keeps the fingerprint stable however the walk entered.
+    EXPECT_EQ(diag->objects[0], "a");
+    EXPECT_EQ(diag->objects[1], "b");
+    EXPECT_NE(diag->message.find("combinational cycle"),
+              std::string::npos);
+    EXPECT_NE(diag->message.find("a -> b -> a"), std::string::npos);
+}
+
+TEST(LintCombLoop, SilentOnAcyclicDesign)
+{
+    EXPECT_TRUE(
+        runPass(counterDesign(), "comb-loop").diags.empty());
+}
+
+// ---- width -------------------------------------------------------
+
+TEST(LintWidth, FlagsOperandWidthMismatch)
+{
+    rtl::Builder b("w");
+    auto x = b.input("x", 8);
+    auto y = b.input("y", 8);
+    auto s = b.add(x, y);
+    b.output("o", s);
+    rtl::Design design = b.peek();
+    design.nodes[s.id].width = 4; // Builder would have refused this
+
+    lint::Report report = runPass(design, "width");
+    const lint::Diagnostic *diag = findFrom(report, "width");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Error);
+}
+
+TEST(LintWidth, FlagsAddressWiderThanDepth)
+{
+    rtl::Builder b("w");
+    auto addr = b.input("addr", 4); // 16 slots over depth 10
+    auto m = b.mem("m", 8, 10);
+    b.output("o", b.memReadAsync(m, addr));
+    lint::Report report = runPass(b.finish(), "width");
+    const lint::Diagnostic *diag = findFrom(report, "width");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Warning);
+    EXPECT_TRUE(hasObject(*diag, "m"));
+}
+
+TEST(LintWidth, SilentOnWellFormedDesign)
+{
+    EXPECT_TRUE(runPass(counterDesign(), "width").diags.empty());
+}
+
+// ---- undriven ----------------------------------------------------
+
+TEST(LintUndriven, FlagsUnconnectedRegister)
+{
+    rtl::Builder b("ud");
+    auto r = b.reg("r", 8, 0);
+    b.output("o", r.q);
+    rtl::Design design = b.peek(); // connect() never called
+
+    lint::Report report = runPass(design, "undriven");
+    const lint::Diagnostic *diag = findFrom(report, "undriven");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Error);
+    EXPECT_TRUE(hasObject(*diag, "r"));
+}
+
+TEST(LintUndriven, SilentOnConnectedDesign)
+{
+    EXPECT_TRUE(
+        runPass(counterDesign(), "undriven").diags.empty());
+}
+
+// ---- unused ------------------------------------------------------
+
+TEST(LintUnused, FlagsUnconsumedInput)
+{
+    rtl::Builder b("uu");
+    b.input("ghost", 8); // never consumed
+    auto live = b.input("live", 8);
+    b.output("o", live);
+    lint::Report report = runPass(b.finish(), "unused");
+    const lint::Diagnostic *diag = findFrom(report, "unused");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Warning);
+    EXPECT_TRUE(hasObject(*diag, "ghost"));
+}
+
+TEST(LintUnused, SilentWhenEverythingIsConsumed)
+{
+    EXPECT_TRUE(runPass(counterDesign(), "unused").diags.empty());
+}
+
+// ---- dead-logic --------------------------------------------------
+
+TEST(LintDeadLogic, FlagsConstantMuxSelect)
+{
+    rtl::Builder b("dl");
+    auto x = b.input("x", 8);
+    auto y = b.input("y", 8);
+    auto m = b.mux(b.lit(1, 1), x, y); // always picks x
+    b.output("o", m);
+    lint::Report report = runPass(b.finish(), "dead-logic");
+    const lint::Diagnostic *diag = findFrom(report, "dead-logic");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Warning);
+}
+
+TEST(LintDeadLogic, SilentOnLiveDesign)
+{
+    EXPECT_TRUE(
+        runPass(counterDesign(), "dead-logic").diags.empty());
+}
+
+// ---- mem-conflict ------------------------------------------------
+
+TEST(LintMemConflict, FlagsUnprovenWriteWritePair)
+{
+    rtl::Builder b("mc");
+    auto addr = b.input("addr", 4);
+    auto din = b.input("din", 8);
+    auto en1 = b.input("en1", 1);
+    auto en2 = b.input("en2", 1);
+    auto m = b.mem("m", 8, 16);
+    b.memWrite(m, addr, din, en1);
+    b.memWrite(m, addr, din, en2);
+    b.output("o", b.memReadAsync(m, addr));
+    lint::Report report = runPass(b.finish(), "mem-conflict");
+    const lint::Diagnostic *diag = findFrom(report, "mem-conflict");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Warning);
+    EXPECT_TRUE(hasObject(*diag, "m"));
+}
+
+TEST(LintMemConflict, SilentWhenEnablesAreComplementary)
+{
+    rtl::Builder b("mc");
+    auto addr = b.input("addr", 4);
+    auto din = b.input("din", 8);
+    auto en1 = b.input("en1", 1);
+    auto m = b.mem("m", 8, 16);
+    b.memWrite(m, addr, din, en1);
+    b.memWrite(m, addr, din, b.lnot(en1));
+    b.output("o", b.memReadAsync(m, addr));
+    EXPECT_TRUE(
+        runPass(b.finish(), "mem-conflict").diags.empty());
+}
+
+// ---- cdc ---------------------------------------------------------
+
+TEST(LintCdc, FlagsUnsynchronizedCrossingButNotSyncChain)
+{
+    rtl::Builder b("cdc");
+    uint8_t clkb = b.addClock("clkb");
+    auto src = b.reg("src", 1, 0);
+    b.connect(src, b.bnot(src.q));
+    // Crossing through combinational logic: a real hazard.
+    auto bad = b.reg("bad", 1, 0, clkb);
+    b.connect(bad, b.bnot(src.q));
+    // Canonical two-flop synchronizer: recognized, demoted to note.
+    auto s1 = b.reg("sync1", 1, 0, clkb);
+    b.connect(s1, src.q);
+    auto s2 = b.reg("sync2", 1, 0, clkb);
+    b.connect(s2, s1.q);
+    b.output("o", s2.q);
+    b.output("p", bad.q);
+
+    lint::Report report = runPass(b.finish(), "cdc");
+    EXPECT_EQ(report.warnings(), 1u);
+    EXPECT_EQ(report.notes(), 1u);
+    bool warned_bad = false, noted_sync = false;
+    for (const auto &d : report.diags) {
+        if (d.severity == lint::Severity::Warning)
+            warned_bad = hasObject(d, "bad");
+        if (d.severity == lint::Severity::Note)
+            noted_sync = hasObject(d, "sync1");
+    }
+    EXPECT_TRUE(warned_bad);
+    EXPECT_TRUE(noted_sync);
+}
+
+TEST(LintCdc, TriviallySilentOnSingleClockDesign)
+{
+    EXPECT_TRUE(runPass(counterDesign(), "cdc").diags.empty());
+}
+
+// ---- iface -------------------------------------------------------
+
+TEST(LintIface, FlagsIrrevocableValidDependingOnOwnReady)
+{
+    rtl::Builder b("if");
+    auto ready = b.input("ready", 1);
+    auto data = b.input("data", 8);
+    auto valid = b.lnot(ready); // comb dependence: protocol break
+    b.declareIface("tx", rtl::IfaceDir::Out, valid, ready, {data},
+                   /*irrevocable=*/true);
+    b.output("v", valid);
+    lint::Report report = runPass(b.finish(), "iface");
+    const lint::Diagnostic *diag = findFrom(report, "iface");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Error);
+    EXPECT_TRUE(hasObject(*diag, "tx"));
+}
+
+TEST(LintIface, SilentWhenValidIsRegistered)
+{
+    rtl::Builder b("if");
+    auto ready = b.input("ready", 1);
+    auto data = b.input("data", 8);
+    auto vreg = b.reg("vreg", 1, 0);
+    b.connect(vreg, b.lnot(ready));
+    b.declareIface("tx", rtl::IfaceDir::Out, vreg.q, ready, {data},
+                   /*irrevocable=*/true);
+    b.output("v", vreg.q);
+    EXPECT_TRUE(runPass(b.finish(), "iface").diags.empty());
+}
+
+// ---- reset-coverage ----------------------------------------------
+
+TEST(LintResetCoverage, FlagsUnresetRegisterFeedingControl)
+{
+    rtl::Builder b("rc");
+    auto rst = b.input("rst", 1);
+    auto a = b.reg("a", 8, 0);
+    b.connect(a, b.addLit(a.q, 1));
+    b.resetTo(a, rst, 0); // establishes a reset discipline
+    auto ctrl = b.reg("ctrl", 1, 0); // unreset, steers a mux
+    b.connect(ctrl, b.bnot(ctrl.q));
+    b.output("o", b.mux(ctrl.q, a.q, b.lit(0, 8)));
+
+    lint::Report report = runPass(b.finish(), "reset-coverage");
+    const lint::Diagnostic *diag =
+        findFrom(report, "reset-coverage");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_EQ(diag->severity, lint::Severity::Warning);
+    EXPECT_TRUE(hasObject(*diag, "ctrl"));
+}
+
+TEST(LintResetCoverage, SilentWhenDesignDeclaresNoResets)
+{
+    EXPECT_TRUE(
+        runPass(counterDesign(), "reset-coverage").diags.empty());
+}
+
+// ---- analysis ----------------------------------------------------
+
+TEST(LintAnalysis, ConstantPropagationAndNaming)
+{
+    rtl::Builder b("an");
+    auto c = b.add(b.lit(2, 8), b.lit(3, 8));
+    auto x = b.input("x", 8);
+    auto s = b.add(x, c);
+    b.nameNet("sum", s);
+    b.output("o", s);
+    rtl::Design design = b.finish();
+
+    lint::Analysis analysis(design);
+    EXPECT_TRUE(analysis.sound());
+    ASSERT_TRUE(analysis.constOf(c.id).has_value());
+    EXPECT_EQ(*analysis.constOf(c.id), 5u);
+    EXPECT_FALSE(analysis.constOf(s.id).has_value());
+    EXPECT_EQ(analysis.netName(s.id), "sum");
+    EXPECT_EQ(analysis.netName(x.id), "x");
+    EXPECT_TRUE(analysis.combDependsOn(s.id, x.id));
+    EXPECT_FALSE(analysis.combDependsOn(c.id, x.id));
+    EXPECT_EQ(analysis.useCount(s.id), 1u); // the output port
+}
+
+TEST(LintAnalysis, IrAccessorsAreTotalOnBadIds)
+{
+    rtl::Design design = counterDesign();
+    EXPECT_EQ(design.widthOf(rtl::kNoNet), 0u);
+    EXPECT_EQ(design.widthOf(design.nodes.size() + 7), 0u);
+    EXPECT_FALSE(design.validNet(rtl::kNoNet));
+    EXPECT_TRUE(design.validNet(0));
+    EXPECT_EQ(design.findReg("nosuch"), -1);
+    EXPECT_EQ(design.findNet("nosuch"), rtl::kNoNet);
+    EXPECT_TRUE(design.check().empty());
+}
+
+// ---- fingerprints + waivers --------------------------------------
+
+TEST(LintFingerprint, StableAcrossRunsAndWellFormed)
+{
+    rtl::Design design = designs::buildServSoc({});
+    lint::Report a = lint::Linter().run(design);
+    lint::Report b = lint::Linter().run(design);
+    ASSERT_EQ(a.diags.size(), b.diags.size());
+    for (size_t i = 0; i < a.diags.size(); ++i) {
+        EXPECT_EQ(a.diags[i].fingerprint, b.diags[i].fingerprint);
+        ASSERT_EQ(a.diags[i].fingerprint.size(), 16u);
+        for (char ch : a.diags[i].fingerprint)
+            EXPECT_TRUE((ch >= '0' && ch <= '9') ||
+                        (ch >= 'a' && ch <= 'f'))
+                << a.diags[i].fingerprint;
+    }
+}
+
+TEST(LintWaivers, ParseSerializeRoundTrip)
+{
+    const std::string text =
+        "# header comment\n"
+        "\n"
+        "0123456789abcdef width  # a pinned finding\n"
+        "fedcba9876543210\n";
+    lint::WaiverSet set;
+    std::string error;
+    ASSERT_TRUE(lint::WaiverSet::parse(text, set, &error)) << error;
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.entries()[0].fingerprint, "0123456789abcdef");
+    EXPECT_EQ(set.entries()[0].pass, "width");
+    EXPECT_EQ(set.entries()[1].pass, "");
+
+    lint::WaiverSet again;
+    ASSERT_TRUE(
+        lint::WaiverSet::parse(set.serialize(), again, &error))
+        << error;
+    EXPECT_EQ(again.size(), set.size());
+}
+
+TEST(LintWaivers, RejectsMalformedLinesWithLineNumber)
+{
+    lint::WaiverSet set;
+    std::string error;
+    EXPECT_FALSE(
+        lint::WaiverSet::parse("# ok\nnot-a-fingerprint\n", set,
+                               &error));
+    EXPECT_NE(error.find("2"), std::string::npos) << error;
+}
+
+TEST(LintWaivers, ApplyWaivesMatchesAndReportsStaleEntries)
+{
+    // Real finding: 4-bit address over a depth-10 memory.
+    rtl::Builder b("wv");
+    auto addr = b.input("addr", 4);
+    auto m = b.mem("m", 8, 10);
+    b.output("o", b.memReadAsync(m, addr));
+    rtl::Design design = b.finish();
+
+    lint::Report probe = runPass(design, "width");
+    ASSERT_GE(probe.diags.size(), 1u);
+    const std::string fp = probe.diags[0].fingerprint;
+
+    lint::Options options;
+    options.passes = {"width"};
+    options.waivers.add({fp, "width", "known narrow memory"});
+    options.waivers.add({"0000000000000000", "", "stale"});
+    lint::Report report = lint::Linter().run(design, options);
+
+    EXPECT_TRUE(report.clean());
+    const lint::Diagnostic *waived = findFrom(report, "width");
+    ASSERT_NE(waived, nullptr);
+    EXPECT_TRUE(waived->waived);
+    // The stale entry surfaces as a note so checked-in waiver
+    // files cannot silently rot.
+    const lint::Diagnostic *stale = findFrom(report, "lint");
+    ASSERT_NE(stale, nullptr);
+    EXPECT_EQ(stale->severity, lint::Severity::Note);
+    EXPECT_NE(stale->message.find("0000000000000000"),
+              std::string::npos);
+}
+
+TEST(LintWaivers, PassRestrictionMustMatch)
+{
+    rtl::Builder b("wv");
+    auto addr = b.input("addr", 4);
+    auto m = b.mem("m", 8, 10);
+    b.output("o", b.memReadAsync(m, addr));
+    rtl::Design design = b.finish();
+    const std::string fp =
+        runPass(design, "width").diags[0].fingerprint;
+
+    lint::Options options;
+    options.passes = {"width"};
+    options.reportUnusedWaivers = false;
+    options.waivers.add({fp, "cdc", "wrong pass"});
+    lint::Report report = lint::Linter().run(design, options);
+    const lint::Diagnostic *diag = findFrom(report, "width");
+    ASSERT_NE(diag, nullptr);
+    EXPECT_FALSE(diag->waived);
+    EXPECT_FALSE(report.clean());
+}
+
+// ---- built-in design regression ----------------------------------
+
+TEST(LintRegression, BuiltinDesignsLintCleanModuloWaivers)
+{
+    struct Entry
+    {
+        std::string key;
+        rtl::Design design;
+    };
+    const std::vector<Entry> entries = {
+        {"counter", counterDesign()},
+        {"tinyrv", designs::buildTinyRv(demoProgram())},
+        {"serv_soc", designs::buildServSoc({})},
+        {"cohort", designs::buildCohortAccel({})},
+        {"beehive", designs::buildBeehive({})},
+    };
+    for (const auto &entry : entries) {
+        lint::Options options;
+        const std::string path = std::string(ZOOMIE_WAIVER_DIR) +
+                                 "/" + entry.key + ".waive";
+        if (std::ifstream(path).good()) {
+            std::string error;
+            ASSERT_TRUE(lint::WaiverSet::load(
+                path, options.waivers, &error))
+                << path << ": " << error;
+        }
+        lint::Report report =
+            lint::Linter().run(entry.design, options);
+        EXPECT_TRUE(report.clean())
+            << entry.key << " is not lint-clean:\n"
+            << report.renderText(true);
+        // A stale waiver is a note finding from pass "lint".
+        EXPECT_EQ(findFrom(report, "lint"), nullptr)
+            << entry.key << " has stale waivers:\n"
+            << report.renderText(true);
+    }
+}
+
+TEST(LintRegression, ServSocWaiversPinRealFindings)
+{
+    lint::Report report =
+        lint::Linter().run(designs::buildServSoc({}));
+    // The two known width findings must still exist (else the
+    // checked-in waiver file has rotted) and be warnings.
+    EXPECT_EQ(report.warnings(), 2u);
+    EXPECT_EQ(report.errors(), 0u);
+}
+
+// ---- toolchain gate ----------------------------------------------
+
+TEST(LintGate, VtiRefusesDesignWithErrorFindings)
+{
+    rtl::Builder b("gate");
+    auto x = b.input("x", 8);
+    auto y = b.input("y", 8);
+    auto s = b.add(x, y);
+    b.output("o", s);
+    rtl::Design design = b.peek();
+    design.nodes[s.id].width = 4; // width error finding
+
+    toolchain::Vti::Options opts;
+    opts.lintBeforeCompile = true;
+    toolchain::Vti vti(fpga::makeTestDevice(), opts);
+    try {
+        vti.compileInitial(design);
+        FAIL() << "lint gate did not fire";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("lint gate"),
+                  std::string::npos);
+    }
+}
+
+TEST(LintGate, VtiCompilesCleanDesignWithGateEnabled)
+{
+    toolchain::Vti::Options opts;
+    opts.lintBeforeCompile = true;
+    opts.iteratedModules = {"mut/"};
+    toolchain::Vti vti(fpga::makeTestDevice(), opts);
+    toolchain::CompileResult result =
+        vti.compileInitial(counterDesign());
+    EXPECT_FALSE(result.bitstream.empty());
+}

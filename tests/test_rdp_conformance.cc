@@ -76,7 +76,7 @@ goldenTable()
             {"hello",
              {{},
               R"({"cmd":"hello","id":1,"version":2})",
-              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","forcemem","regs","snapshot","restore","trace","info","assert","hello","open","close","sessions","commands","batch","quit","shutdown"]})"}},
+              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","forcemem","regs","snapshot","restore","trace","info","assert","lint","hello","open","close","sessions","commands","batch","quit","shutdown"]})"}},
             {"open",
              {{},
               R"({"cmd":"open","id":1,"design":"counter"})",
@@ -92,7 +92,7 @@ goldenTable()
             {"commands",
              {{},
               R"({"cmd":"commands","id":1})",
-              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false},{"name":"snapshot","alias":"snap","scope":"session","help":"capture the whole design state","args":[],"events":false},{"name":"restore","scope":"session","help":"restore the last snapshot","args":[],"events":false},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true},{"name":"info","scope":"session","help":"session status","args":[],"events":false},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false}],"min_version":1},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
+              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false},{"name":"snapshot","alias":"snap","scope":"session","help":"capture the whole design state","args":[],"events":false},{"name":"restore","scope":"session","help":"restore the last snapshot","args":[],"events":false},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true},{"name":"info","scope":"session","help":"session status","args":[],"events":false},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false}],"min_version":1},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
             {"batch",
              {{kOpen},
               R"({"cmd":"batch","id":1,"requests":[{"cmd":"snapshot"}]})",
@@ -175,6 +175,10 @@ goldenTable()
              {{kOpenAssert},
               R"({"cmd":"assert","id":1,"index":0,"on":0})",
               R"({"type":"reply","id":1,"cmd":"assert","ok":true,"index":0,"on":false})"}},
+            {"lint",
+             {{kOpen},
+              R"({"cmd":"lint","id":1})",
+              R"({"type":"reply","id":1,"cmd":"lint","ok":true,"design":"counter","findings":[],"errors":0,"warnings":0,"notes":0,"clean":true})"}},
         };
     return rows;
 }
