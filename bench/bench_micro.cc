@@ -13,11 +13,13 @@
 #include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
 #include "lint/lint.hh"
+#include "rdp/server.hh"
 #include "rtl/builder.hh"
 #include "sim/simulator.hh"
 #include "sva/compiler.hh"
 #include "sva/eval.hh"
 #include "synth/techmap.hh"
+#include "verilog/verilog.hh"
 
 using namespace zoomie;
 
@@ -127,6 +129,73 @@ BM_LintServSoc(benchmark::State &state)
                             design.nodes.size());
 }
 BENCHMARK(BM_LintServSoc);
+
+/** A mid-size source: parameterized FIFO under a wrapper top. */
+const char *
+fifoSource()
+{
+    return
+        "module fifo #(parameter W = 8, parameter AW = 2)\n"
+        "  (input clk, input push, input [W-1:0] din,\n"
+        "   output [W-1:0] dout, output [AW:0] fill);\n"
+        "  reg [W-1:0] store [0:3];\n"
+        "  reg [AW-1:0] wptr;\n"
+        "  reg [AW:0] count;\n"
+        "  always @(posedge clk) begin\n"
+        "    if (push) begin\n"
+        "      store[wptr] <= din;\n"
+        "      wptr <= wptr + 1;\n"
+        "      count <= count + 1;\n"
+        "    end\n"
+        "  end\n"
+        "  assign dout = store[0];\n"
+        "  assign fill = count;\n"
+        "endmodule\n"
+        "module top(input clk, input push, input [7:0] din,\n"
+        "           output [7:0] dout, output [2:0] fill);\n"
+        "  fifo #(.W(8), .AW(2)) f (.clk(clk), .push(push),\n"
+        "      .din(din), .dout(dout), .fill(fill));\n"
+        "endmodule\n";
+}
+
+void
+BM_VerilogParseElaborate(benchmark::State &state)
+{
+    const std::string text = fifoSource();
+    verilog::CompileOptions options;
+    options.file = "<bench>";
+    for (auto _ : state) {
+        verilog::CompileResult result =
+            verilog::compile(text, options);
+        benchmark::DoNotOptimize(result.design->nodes.data());
+    }
+    // Front-end throughput in source bytes per second.
+    state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_VerilogParseElaborate);
+
+void
+BM_OpenSourceEndToEnd(benchmark::State &state)
+{
+    // The full tenant-upload round trip: decode the JSONL request,
+    // compile, lint-gate, admit a scheduled session — then close
+    // it so the registry slot recycles each iteration.
+    rdp::Server server;
+    rdp::Json req = rdp::Json::object();
+    req.set("cmd", "open_source");
+    req.set("text", fifoSource());
+    const std::string open_line = req.encode();
+    for (auto _ : state) {
+        bool quit = false;
+        auto out = server.handleLine(open_line, quit);
+        benchmark::DoNotOptimize(out.data());
+        auto closed = server.handleLine(
+            R"({"cmd":"close"})", quit);
+        benchmark::DoNotOptimize(closed.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpenSourceEndToEnd);
 
 } // namespace
 

@@ -2,8 +2,11 @@
  * @file
  * zoomie-dbg: a gdb-style interactive debugger shell over the
  * platform — the "software-like debugging experience" of the title,
- * as a tool. Drives the TinyRV CPU by default. Reads commands from
- * stdin (or from the command line after "--", for scripted runs).
+ * as a tool. Drives the TinyRV CPU by default; `source FILE.v`
+ * compiles a Verilog file through the src/verilog front end and
+ * swaps the live session for one debugging the uploaded design.
+ * Reads commands from stdin (or from the command line after "--",
+ * for scripted runs).
  *
  * The shell is a thin front end over rdp::Dispatcher — the same
  * command table the wire protocol (`zoomie_server`) serves, so
@@ -12,28 +15,93 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "rdp/dispatcher.hh"
 #include "rdp/session.hh"
+#include "verilog/verilog.hh"
 
 using namespace zoomie;
+
+namespace {
+
+void
+printWatchSlots(rdp::Session &session)
+{
+    const auto &watch =
+        session.platform().instrumented().watchSignals;
+    for (size_t slot = 0; slot < watch.size(); ++slot)
+        std::printf("watch slot %zu: %s\n", slot,
+                    watch[slot].c_str());
+}
+
+/**
+ * `source FILE.v`: compile the file and bring up a fresh session
+ * around the elaborated design. On any failure the current session
+ * stays live and the diagnostics are printed.
+ * @return the new session, or null when the file was rejected.
+ */
+std::unique_ptr<rdp::Session>
+sourceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::printf("error: cannot read %s\n", path.c_str());
+        return nullptr;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    verilog::CompileOptions options;
+    options.file = path;
+    verilog::CompileResult result =
+        verilog::compile(text.str(), options);
+    std::fputs(result.renderDiags().c_str(), stdout);
+    if (!result.ok || !result.design) {
+        std::printf("error: %s rejected\n", path.c_str());
+        return nullptr;
+    }
+    if (result.design->regs.empty()) {
+        std::printf("error: %s has no registers; nothing to "
+                    "debug\n",
+                    path.c_str());
+        return nullptr;
+    }
+
+    rdp::SessionConfig config;
+    config.design = "source";
+    config.topModule = result.top;
+    config.uploaded = std::make_shared<const rtl::Design>(
+        std::move(*result.design));
+    try {
+        auto session =
+            std::make_unique<rdp::Session>(0, std::move(config));
+        std::printf("sourced %s: top=%s, %zu regs\n", path.c_str(),
+                    session->config().topModule.c_str(),
+                    session->userDesign().regs.size());
+        return session;
+    } catch (const std::exception &e) {
+        std::printf("error: %s\n", e.what());
+        return nullptr;
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     rdp::SessionConfig config;  // tinyrv + demo sum loop
     std::printf("zoomie-dbg: bringing up TinyRV...\n");
-    rdp::Session session(0, config);
-    rdp::Dispatcher dispatcher(session);
-    const auto &watch =
-        session.platform().instrumented().watchSignals;
-    for (size_t slot = 0; slot < watch.size(); ++slot)
-        std::printf("watch slot %zu: %s\n", slot,
-                    watch[slot].c_str());
+    auto session = std::make_unique<rdp::Session>(0, config);
+    auto dispatcher =
+        std::make_unique<rdp::Dispatcher>(*session);
+    printWatchSlots(*session);
 
     // Scripted mode: everything after "--" is a ';'-separated
     // command list.
@@ -76,6 +144,27 @@ main(int argc, char **argv)
             for (const std::string &entry :
                  rdp::Dispatcher::helpLines())
                 std::printf("%s\n", entry.c_str());
+            std::printf(
+                "  source FILE.v               compile a Verilog "
+                "file and debug it\n");
+            continue;
+        }
+        if (first == "source") {
+            std::string path;
+            if (!(is >> path)) {
+                std::printf("usage: source FILE.v\n");
+                continue;
+            }
+            // The new session replaces the old one only after a
+            // fully successful bring-up; the dispatcher is rebound
+            // because it holds a reference to the live session.
+            if (auto fresh = sourceFile(path)) {
+                dispatcher.reset();
+                session = std::move(fresh);
+                dispatcher =
+                    std::make_unique<rdp::Dispatcher>(*session);
+                printWatchSlots(*session);
+            }
             continue;
         }
         std::string error;
@@ -84,7 +173,7 @@ main(int argc, char **argv)
             std::printf("error: %s\n", error.c_str());
             continue;
         }
-        auto result = dispatcher.execute(*request);
+        auto result = dispatcher->execute(*request);
         std::fputs(rdp::Dispatcher::renderText(result).c_str(),
                    stdout);
     }

@@ -318,6 +318,47 @@ cmdForce(Ctx &c, const Args &a)
 }
 
 Json
+cmdPoke(Ctx &c, const Args &a)
+{
+    Session &s = c.session;
+    const std::string &name = a.str("name");
+    const rtl::Design &design = s.userDesign();
+    const rtl::InputPort *port = nullptr;
+    for (const rtl::InputPort &candidate : design.inputs) {
+        if (candidate.name == name) {
+            port = &candidate;
+            break;
+        }
+    }
+    if (!port) {
+        std::string known;
+        for (const rtl::InputPort &candidate : design.inputs) {
+            if (!known.empty())
+                known += ", ";
+            known += candidate.name;
+        }
+        throw CommandError{Errc::UnknownName,
+                           "unknown input port '" + name + "'" +
+                               (known.empty()
+                                    ? " (design has no inputs)"
+                                    : " (inputs: " + known + ")")};
+    }
+    uint64_t value = a.num("value");
+    unsigned width = port->width;
+    if (width < 64 && value >> width) {
+        throw CommandError{Errc::BadArgs,
+                           "value does not fit input '" + name +
+                               "' (" + std::to_string(width) +
+                               " bits)"};
+    }
+    s.platform().poke(name, value);
+    Json out = Json::object();
+    out.set("name", name);
+    out.set("value", value);
+    return out;
+}
+
+Json
 cmdForceMem(Ctx &c, const Args &a)
 {
     Session &s = c.session;
@@ -725,6 +766,11 @@ Dispatcher::table()
           {"value", ArgKind::Num, true}},
          "inject a register value",
          cmdForce, false},
+        {"poke", nullptr,
+         {{"name", ArgKind::Str, true},
+          {"value", ArgKind::Num, true}},
+         "drive a top-level input port",
+         cmdPoke, false},
         {"forcemem", nullptr,
          {{"name", ArgKind::Str, true},
           {"addr", ArgKind::Num, true},

@@ -18,6 +18,8 @@ errcName(Errc code)
     case Errc::Busy: return "busy";
     case Errc::Timeout: return "timeout";
     case Errc::TraceOverflow: return "trace-overflow";
+    case Errc::ParseError: return "parse-error";
+    case Errc::LintRejected: return "lint-rejected";
     case Errc::Internal: return "internal";
     }
     return "internal";

@@ -56,6 +56,8 @@ enum class Errc {
     Busy,               ///< admission refused / budget exhausted
     Timeout,            ///< transport read deadline expired
     TraceOverflow,      ///< stream outbox filled (client stalled)
+    ParseError,         ///< uploaded RTL failed to parse/elaborate
+    LintRejected,       ///< uploaded RTL failed the lint gate
     Internal,           ///< unexpected server-side failure
 };
 

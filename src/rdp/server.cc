@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
+
+#include "lint/lint.hh"
+#include "verilog/verilog.hh"
 
 namespace zoomie::rdp {
 
@@ -175,6 +179,18 @@ Server::serverTable()
           {"watch", "array", false},
           {"assertions", "array", false}},
          &Server::handleOpen},
+        {"open_source",
+         "compile uploaded Verilog into a new debug session",
+         2, false,
+         {{"text", "string", false},
+          {"chunk", "string", false},
+          {"seq", "u64", false},
+          {"last", "bool", false},
+          {"top", "string", false},
+          {"watch", "array", false},
+          {"assertions", "array", false},
+          {"lint", "bool", false}},
+         &Server::handleOpenSource},
         {"close",
          "tear down a session",
          1, false,
@@ -328,6 +344,264 @@ Server::handleOpen(const Request &req, ConnState &,
     Json reply = okReply(req);
     reply.set("session", session->id());
     reply.set("design", session->config().design);
+    Json watch = Json::array();
+    for (const std::string &signal :
+         session->platform().instrumented().watchSignals)
+        watch.push(signal);
+    reply.set("watch", std::move(watch));
+    return reply;
+}
+
+Json
+Server::handleOpenSource(const Request &req, ConnState &conn,
+                         std::vector<std::string> &)
+{
+    // ---- gather the RTL text: single-shot or chunked ------------
+    //
+    // Either {"text": "..."} carries the whole source, or a series
+    // of {"chunk": "...", "seq": N} requests accumulates it in the
+    // connection's buffer until one arrives with {"last": true}.
+    // Every rejection below happens *before* admission, so a bad
+    // upload never consumes a registry slot.
+    const Json *text = req.args.find("text");
+    const Json *chunk = req.args.find("chunk");
+    if (text && chunk) {
+        return errorReply(req, Errc::BadArgs,
+                          "\"text\" and \"chunk\" are mutually "
+                          "exclusive");
+    }
+    std::string source;
+    if (chunk) {
+        if (!chunk->isString()) {
+            return errorReply(req, Errc::BadArgs,
+                              "\"chunk\" must be a string");
+        }
+        uint64_t seq = conn.sourceNextSeq;
+        if (const Json *s = req.args.find("seq")) {
+            if (!s->isInt() || s->isNegative()) {
+                return errorReply(req, Errc::BadArgs,
+                                  "\"seq\" must be a non-negative "
+                                  "integer");
+            }
+            seq = s->asU64();
+        }
+        if (seq != conn.sourceNextSeq) {
+            // Out-of-order chunk: the upload is unrecoverable, so
+            // drop it entirely — the client restarts from seq 0.
+            uint64_t expected = conn.sourceNextSeq;
+            conn.sourceBuffer.clear();
+            conn.sourceNextSeq = 0;
+            return errorReply(req, Errc::BadArgs,
+                              "\"seq\" " + std::to_string(seq) +
+                                  " out of order (expected " +
+                                  std::to_string(expected) +
+                                  "); upload discarded");
+        }
+        if (conn.sourceBuffer.size() + chunk->asString().size() >
+            _options.maxSourceBytes) {
+            conn.sourceBuffer.clear();
+            conn.sourceNextSeq = 0;
+            return errorReply(
+                req, Errc::BadArgs,
+                "source exceeds " +
+                    std::to_string(_options.maxSourceBytes) +
+                    " bytes; upload discarded");
+        }
+        conn.sourceBuffer += chunk->asString();
+        conn.sourceNextSeq = seq + 1;
+        bool last = false;
+        if (const Json *l = req.args.find("last")) {
+            if (!l->isBool()) {
+                return errorReply(req, Errc::BadArgs,
+                                  "\"last\" must be a bool");
+            }
+            last = l->asBool();
+        }
+        if (!last) {
+            Json reply = okReply(req);
+            reply.set("received", conn.sourceBuffer.size());
+            reply.set("next_seq", conn.sourceNextSeq);
+            return reply;
+        }
+        source = std::move(conn.sourceBuffer);
+        conn.sourceBuffer.clear();
+        conn.sourceNextSeq = 0;
+    } else if (text) {
+        if (!text->isString()) {
+            return errorReply(req, Errc::BadArgs,
+                              "\"text\" must be a string");
+        }
+        // A single-shot upload supersedes any half-done chunk
+        // series on this connection.
+        conn.sourceBuffer.clear();
+        conn.sourceNextSeq = 0;
+        source = text->asString();
+        if (source.size() > _options.maxSourceBytes) {
+            return errorReply(
+                req, Errc::BadArgs,
+                "source exceeds " +
+                    std::to_string(_options.maxSourceBytes) +
+                    " bytes");
+        }
+    } else {
+        return errorReply(req, Errc::BadArgs,
+                          "one of \"text\" or \"chunk\" is "
+                          "required");
+    }
+    if (source.empty()) {
+        return errorReply(req, Errc::BadArgs,
+                          "uploaded source is empty");
+    }
+
+    // ---- session options ----------------------------------------
+    SessionConfig config;
+    config.design = "source";
+    verilog::CompileOptions copts;
+    copts.file = "<upload>";
+    if (const Json *top = req.args.find("top")) {
+        if (!top->isString()) {
+            return errorReply(req, Errc::BadArgs,
+                              "\"top\" must be a string");
+        }
+        copts.top = top->asString();
+    }
+    if (const Json *watch = req.args.find("watch")) {
+        if (!watch->isArray()) {
+            return errorReply(
+                req, Errc::BadArgs,
+                "\"watch\" must be an array of signal names");
+        }
+        for (const Json &signal : watch->items()) {
+            if (!signal.isString()) {
+                return errorReply(
+                    req, Errc::BadArgs,
+                    "\"watch\" entries must be strings");
+            }
+            config.watchSignals.push_back(signal.asString());
+        }
+    }
+    if (const Json *asserts = req.args.find("assertions")) {
+        if (!asserts->isArray()) {
+            return errorReply(
+                req, Errc::BadArgs,
+                "\"assertions\" must be an array of SVA strings");
+        }
+        for (const Json &entry : asserts->items()) {
+            if (!entry.isString()) {
+                return errorReply(
+                    req, Errc::BadArgs,
+                    "\"assertions\" entries must be strings");
+            }
+            config.assertions.push_back(entry.asString());
+        }
+    }
+    bool lintGate = true;
+    if (const Json *lint = req.args.find("lint")) {
+        if (!lint->isBool()) {
+            return errorReply(req, Errc::BadArgs,
+                              "\"lint\" must be a bool");
+        }
+        lintGate = lint->asBool();
+    }
+
+    // ---- compile: lex / parse / elaborate -----------------------
+    verilog::CompileResult result = verilog::compile(source, copts);
+    if (!result.ok || !result.design) {
+        size_t errors = 0;
+        Json diags = Json::array();
+        for (const verilog::Diag &d : result.diags) {
+            if (d.severity == verilog::Diag::Severity::Error)
+                ++errors;
+            Json item = Json::object();
+            item.set("file", d.file);
+            item.set("line", uint64_t(d.line));
+            item.set("col", uint64_t(d.col));
+            item.set("severity",
+                     d.severity == verilog::Diag::Severity::Error
+                         ? "error"
+                         : "warning");
+            item.set("message", d.message);
+            diags.push(std::move(item));
+        }
+        Json reply = errorReply(
+            req, Errc::ParseError,
+            "Verilog compile failed with " +
+                std::to_string(errors) + " error(s)");
+        reply.set("diagnostics", std::move(diags));
+        return reply;
+    }
+
+    // ---- the lint gate ------------------------------------------
+    if (lintGate) {
+        lint::Linter linter;
+        lint::Report report =
+            linter.run(*result.design, lint::Options{});
+        if (report.errors() > 0) {
+            Json findings = Json::array();
+            for (const lint::Diagnostic &d : report.diags) {
+                if (d.waived ||
+                    d.severity != lint::Severity::Error)
+                    continue;
+                Json item = Json::object();
+                item.set("pass", d.pass);
+                item.set("severity", severityName(d.severity));
+                item.set("message", d.message);
+                Json objects = Json::array();
+                for (const std::string &name : d.objects)
+                    objects.push(name);
+                item.set("objects", std::move(objects));
+                findings.push(std::move(item));
+            }
+            Json reply = errorReply(
+                req, Errc::LintRejected,
+                "lint gate rejected the design (" +
+                    std::to_string(report.errors()) +
+                    " error(s))");
+            reply.set("findings", std::move(findings));
+            return reply;
+        }
+    }
+
+    // ---- pre-admission shape checks -----------------------------
+    //
+    // instrument() exits the process on a design whose MUT scope
+    // holds no registers, and the gated-clock plumbing assumes one
+    // user clock — both must become typed errors here.
+    if (result.design->regs.empty()) {
+        return errorReply(req, Errc::BadArgs,
+                          "design has no registers; nothing to "
+                          "debug");
+    }
+    if (result.design->clocks.size() > 1) {
+        return errorReply(
+            req, Errc::BadArgs,
+            "multi-clock designs are not supported over "
+            "open_source (" +
+                std::to_string(result.design->clocks.size()) +
+                " clock domains)");
+    }
+
+    config.topModule = result.top;
+    config.uploaded = std::make_shared<const rtl::Design>(
+        std::move(*result.design));
+
+    std::shared_ptr<Session> session;
+    try {
+        session = _registry.create(std::move(config));
+    } catch (const RegistryFull &e) {
+        return errorReply(req, Errc::Busy, e.what());
+    } catch (const std::exception &e) {
+        return errorReply(req, Errc::BadArgs, e.what());
+    }
+    const rtl::Design &design = session->userDesign();
+    Json reply = okReply(req);
+    reply.set("session", session->id());
+    reply.set("design", "source");
+    reply.set("top", session->config().topModule);
+    reply.set("nodes", design.nodes.size());
+    reply.set("regs", design.regs.size());
+    reply.set("mems", design.mems.size());
+    reply.set("state_bits", design.stateBits());
     Json watch = Json::array();
     for (const std::string &signal :
          session->platform().instrumented().watchSignals)

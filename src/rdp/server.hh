@@ -200,6 +200,10 @@ struct ServerOptions
 
     /** Droppable lines one connection's outbox may hold. */
     size_t outboxCapacity = 256;
+
+    /** Upper bound on accumulated `open_source` RTL text bytes per
+     *  connection (single-shot or chunked). */
+    size_t maxSourceBytes = 1 << 20;
 };
 
 /**
@@ -227,6 +231,13 @@ struct ConnState
      * executing the request; must not re-enter the server.
      */
     std::function<void(const Json &)> onEvent;
+
+    // ---- chunked open_source upload state ------------------------
+    /** RTL text accumulated by `open_source` chunk requests. */
+    std::string sourceBuffer;
+
+    /** Next expected chunk sequence number (0 = no upload open). */
+    uint64_t sourceNextSeq = 0;
 };
 
 /** The multi-session Zoomie debug server. */
@@ -309,6 +320,8 @@ class Server
                      std::vector<std::string> &out);
     Json handleOpen(const Request &req, ConnState &conn,
                     std::vector<std::string> &out);
+    Json handleOpenSource(const Request &req, ConnState &conn,
+                          std::vector<std::string> &out);
     Json handleClose(const Request &req, ConnState &conn,
                      std::vector<std::string> &out);
     Json handleSessions(const Request &req, ConnState &conn,

@@ -52,6 +52,43 @@ makeDesign(SessionConfig &config, core::PlatformOptions &opts)
         opts.spec = spec;
         return designs::buildTinyRv(config.program);
     }
+    if (config.design == "source") {
+        // The open_source wire command compiled and gated the
+        // design before admission; by the time we are here the IR
+        // exists, has >= 1 register, and passed Design::check().
+        if (!config.uploaded)
+            throw std::runtime_error(
+                "design 'source' requires uploaded RTL (use the "
+                "open_source command)");
+        if (!config.program.empty())
+            throw std::runtime_error(
+                "design 'source' takes no program");
+        const rtl::Design &design = *config.uploaded;
+        if (design.regs.empty())
+            throw std::runtime_error(
+                "uploaded design has no registers; nothing to "
+                "debug");
+        if (config.watchSignals.empty()) {
+            // Default watch list: the first few registers, in
+            // declaration order — there is always at least one.
+            for (const rtl::Reg &reg : design.regs) {
+                config.watchSignals.push_back(reg.name);
+                if (config.watchSignals.size() >= 4)
+                    break;
+            }
+        }
+        opts.instrument.mutPrefix = "mut/";
+        fpga::DeviceSpec spec = fpga::makeTestDevice();
+        if (design.nodes.size() > 300 || !design.mems.empty()) {
+            // Larger uploads need more fabric than the tiny test
+            // device; mirror the TinyRV sizing.
+            spec.clbCols = 32;
+            spec.clbRows = 64;
+            spec.bramCols = 4;
+        }
+        opts.spec = spec;
+        return design;
+    }
     if (config.design == "counter") {
         if (!config.program.empty())
             throw std::runtime_error(

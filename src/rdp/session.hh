@@ -65,7 +65,11 @@ struct SessionStats
 /** What to bring up when a session opens. */
 struct SessionConfig
 {
-    /** Design to instantiate: "tinyrv" (default) or "counter". */
+    /**
+     * Design to instantiate: "tinyrv" (default), "counter", or
+     * "source" for a tenant-uploaded Verilog design (`uploaded`
+     * must then carry the elaborated IR).
+     */
     std::string design = "tinyrv";
 
     /** TinyRV program words; empty selects a built-in demo loop. */
@@ -76,6 +80,17 @@ struct SessionConfig
 
     /** SVA assertion texts to synthesize into breakpoints. */
     std::vector<std::string> assertions;
+
+    /**
+     * Pre-elaborated design for design=="source" (the open_source
+     * wire command compiles Verilog text before admission so a
+     * parse error never consumes a registry slot). Shared const:
+     * the Session copies it during bring-up.
+     */
+    std::shared_ptr<const rtl::Design> uploaded;
+
+    /** Top module name of the uploaded source (reply metadata). */
+    std::string topModule;
 };
 
 /**

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Abstract syntax tree for the synthesizable Verilog-2005 subset.
+ * The parser (parser.hh) produces one SourceUnit per input; the
+ * elaborator (elaborate.hh) resolves parameters, flattens the
+ * instance hierarchy and lowers the tree onto rtl::Design. Every
+ * node carries its source position so both stages report
+ * structured {file,line,col,message} diagnostics.
+ *
+ * The tree is deliberately small: expressions are one variant
+ * struct, statements another, and a module is ordered lists of
+ * declarations plus an item order vector so elaboration replays
+ * the body exactly as written.
+ */
+
+#ifndef ZOOMIE_VERILOG_AST_HH
+#define ZOOMIE_VERILOG_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace zoomie::verilog::ast {
+
+struct Expr;
+using ExprP = std::unique_ptr<Expr>;
+
+/** One expression node. */
+struct Expr
+{
+    enum class Kind : uint8_t {
+        Number,  ///< value/width (width 0 = unsized)
+        Ident,   ///< name
+        Unary,   ///< op(name), ops[0]
+        Binary,  ///< op(name), ops[0], ops[1]
+        Ternary, ///< ops[0] ? ops[1] : ops[2]
+        Concat,  ///< {ops...}, ops[0] is the high part
+        Repl,    ///< {N{x}}: ops[0] = count, ops[1] = x
+        Select,  ///< name[ops[0]] or name[ops[0]:ops[1]] (isRange)
+    };
+
+    Kind kind = Kind::Number;
+    int line = 0;
+    int col = 0;
+
+    uint64_t value = 0; ///< Number: decoded value
+    int width = 0;      ///< Number: declared size, 0 = unsized
+
+    /** Ident/Select: identifier. Unary/Binary: operator lexeme. */
+    std::string name;
+
+    std::vector<ExprP> ops;
+    bool isRange = false; ///< Select: [msb:lsb] part-select
+};
+
+struct Stmt;
+using StmtP = std::unique_ptr<Stmt>;
+
+/** One procedural statement. */
+struct Stmt
+{
+    enum class Kind : uint8_t {
+        Block,       ///< begin ... end (stmts)
+        If,          ///< cond, thenStmts, elseStmts
+        Case,        ///< caseExpr, items
+        Blocking,    ///< lhs = rhs
+        NonBlocking, ///< lhs <= rhs
+    };
+
+    struct CaseItem
+    {
+        /** Label expressions; empty = the `default` item. */
+        std::vector<ExprP> labels;
+        std::vector<StmtP> body;
+        int line = 0;
+        int col = 0;
+    };
+
+    Kind kind = Kind::Block;
+    int line = 0;
+    int col = 0;
+
+    ExprP lhs; ///< assignment target (Ident or Select)
+    ExprP rhs;
+
+    ExprP cond;
+    std::vector<StmtP> thenStmts;
+    std::vector<StmtP> elseStmts;
+
+    ExprP caseExpr;
+    std::vector<CaseItem> items;
+
+    std::vector<StmtP> stmts;
+};
+
+/** An optional [msb:lsb] range; both bounds are constant exprs. */
+struct Range
+{
+    bool present = false;
+    ExprP msb;
+    ExprP lsb;
+};
+
+/** Port direction. */
+enum class Dir : uint8_t { Input, Output };
+
+/** One declared port (from the header or a body declaration). */
+struct PortDecl
+{
+    Dir dir = Dir::Input;
+    bool isReg = false; ///< `output reg ...`
+    Range range;
+    std::string name;
+    int line = 0;
+    int col = 0;
+};
+
+/** A body `wire`/`reg` declaration (one per declared name). */
+struct NetDecl
+{
+    bool isReg = false;
+    Range range;
+    Range array; ///< present => memory ([0:depth-1])
+    std::string name;
+    int line = 0;
+    int col = 0;
+};
+
+/** `parameter` / `localparam` declaration. */
+struct ParamDecl
+{
+    bool local = false;
+    std::string name;
+    ExprP value;
+    int line = 0;
+    int col = 0;
+};
+
+/** One continuous assign. */
+struct AssignItem
+{
+    ExprP lhs;
+    ExprP rhs;
+    int line = 0;
+    int col = 0;
+};
+
+/** One always block: @* (comb) or @(posedge clock). */
+struct AlwaysItem
+{
+    bool comb = false;
+    std::string clock; ///< posedge identifier (when !comb)
+    StmtP body;
+    int line = 0;
+    int col = 0;
+};
+
+/** Named or positional connection (port empty = positional). */
+struct Connection
+{
+    std::string port;
+    ExprP expr; ///< null for explicitly empty `.port()`
+    int line = 0;
+    int col = 0;
+};
+
+/** One module instantiation. */
+struct Instance
+{
+    std::string moduleName;
+    std::string name;
+    std::vector<Connection> paramOverrides;
+    std::vector<Connection> conns;
+    bool paramsPositional = false;
+    bool connsPositional = false;
+    int line = 0;
+    int col = 0;
+};
+
+/** One parsed module. */
+struct Module
+{
+    std::string name;
+    int line = 0;
+    int col = 0;
+
+    /** Header port names, in order (positional connections). */
+    std::vector<std::string> portOrder;
+
+    std::vector<PortDecl> ports;
+    std::vector<ParamDecl> params;
+    std::vector<NetDecl> nets;
+    std::vector<AssignItem> assigns;
+    std::vector<AlwaysItem> always;
+    std::vector<Instance> instances;
+
+    /** Body order: which list the next item lives in. */
+    struct Item
+    {
+        enum class Kind : uint8_t { Assign, Always, Instance };
+        Kind kind;
+        size_t index;
+    };
+    std::vector<Item> items;
+};
+
+/** One parsed compilation unit. */
+struct SourceUnit
+{
+    std::vector<Module> modules;
+};
+
+} // namespace zoomie::verilog::ast
+
+#endif // ZOOMIE_VERILOG_AST_HH

@@ -1,0 +1,1660 @@
+#include "elaborate.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "rtl/builder.hh"
+
+namespace zoomie::verilog {
+
+namespace {
+
+using namespace ast;
+
+/** Unwind to the enclosing module-item loop after a diagnostic. */
+struct ElabAbort
+{
+};
+
+/** Unwind the whole elaboration (error cap / size cap reached). */
+struct ElabFatal
+{
+};
+
+/** Address width needed to index @p depth entries. */
+unsigned
+addrBits(uint32_t depth)
+{
+    unsigned bits = 0;
+    while ((uint64_t(1) << bits) < depth && bits < 31)
+        ++bits;
+    return bits ? bits : 1;
+}
+
+/** Natural width of an elaborated parameter/constant value. */
+unsigned
+constWidth(uint64_t value)
+{
+    return (value >> 32) != 0 ? 64 : 32;
+}
+
+class Elaborator
+{
+  public:
+    Elaborator(const SourceUnit &unit, const CompileOptions &opts,
+               std::vector<Diag> &diags)
+        : _unit(unit), _opts(opts), _diags(diags)
+    {
+    }
+
+    std::optional<rtl::Design> run(std::string &topName)
+    {
+        try {
+            const Module *top = selectTop();
+            if (!top)
+                return std::nullopt;
+            topName = top->name;
+            elabTop(*top);
+        } catch (const ElabAbort &) {
+            return std::nullopt;
+        } catch (const ElabFatal &) {
+            return std::nullopt;
+        }
+        if (_errors > 0)
+            return std::nullopt;
+        rtl::Design design = _b->peek();
+        // The elaborator never calls Builder::finish()/validate()
+        // (they abort the process); check() reports residual
+        // violations — in practice only combinational cycles routed
+        // through logic, which the placeholder-rewiring scheme
+        // cannot see locally.
+        std::vector<std::string> violations = design.check();
+        if (!violations.empty()) {
+            for (const std::string &v : violations)
+                errorKeep(0, 0, v + " (combinational loop?)");
+            return std::nullopt;
+        }
+        return design;
+    }
+
+  private:
+    static constexpr size_t kMaxErrors = 60;
+    static constexpr size_t kMaxNodes = 500000;
+    static constexpr int kMaxDepth = 32;
+    static constexpr uint64_t kMaxMemDepth = 65536;
+
+    // ---- symbols --------------------------------------------------
+    struct Entry
+    {
+        enum class Kind : uint8_t {
+            Unset,  ///< declared, role not yet known
+            Wire,   ///< placeholder-driven net (incl. input ports)
+            Flop,   ///< posedge always target
+            Comb,   ///< always @* target
+            Memory,
+            Clock,
+            Param,
+        };
+
+        Kind kind = Kind::Unset;
+        unsigned width = 1;
+        int line = 0;
+        int col = 0;
+        bool declaredReg = false;
+        bool isPort = false;
+        bool isInput = false;
+        bool isOutput = false;
+        int ownerBlock = -1; ///< always block that assigns this reg
+
+        rtl::Value placeholder{};
+        bool resolved = false;
+        rtl::Value value{};
+        bool readBeforeDrive = false;
+
+        rtl::RegHandle reg{};
+        uint8_t clock = 0; ///< Clock: domain index
+
+        rtl::MemHandle mem{};
+        uint32_t depth = 0;
+
+        uint64_t paramValue = 0;
+    };
+
+    /** Per-module elaboration state. */
+    struct ModCtx
+    {
+        const Module *mod = nullptr;
+        std::map<std::string, uint64_t> params;
+        std::map<std::string, Entry> entries;
+        std::vector<uint8_t> blockClock; ///< per always index
+        std::set<size_t> badBlocks;      ///< failed scanAlways
+    };
+
+    /** What an instance connection binds a child port to. */
+    struct Sym
+    {
+        enum class Kind : uint8_t { Value, Clock };
+        Kind kind = Kind::Value;
+        rtl::Value v{};
+        uint8_t clock = 0;
+    };
+
+    struct ProcState
+    {
+        std::map<std::string, rtl::Value> pending;
+    };
+
+    /** Expression-evaluation context. */
+    struct EvalCtx
+    {
+        ModCtx &m;
+        ProcState *ps = nullptr;
+        /** Targets of the always @* block being executed. */
+        const std::set<std::string> *combTargets = nullptr;
+    };
+
+    struct ScopeGuard
+    {
+        rtl::Builder &b;
+        ScopeGuard(rtl::Builder &builder, const std::string &scope)
+            : b(builder)
+        {
+            b.pushScope(scope);
+        }
+        ~ScopeGuard() { b.popScope(); }
+    };
+
+    // ---- diagnostics ----------------------------------------------
+    void emit(Diag::Severity sev, int line, int col,
+              std::string message)
+    {
+        Diag d;
+        d.severity = sev;
+        d.file = _opts.file;
+        d.line = line;
+        d.col = col;
+        d.message = std::move(message);
+        _diags.push_back(std::move(d));
+        if (sev == Diag::Severity::Error &&
+            ++_errors >= kMaxErrors)
+            throw ElabFatal{};
+    }
+
+    [[noreturn]] void errorAt(int line, int col, std::string msg)
+    {
+        emit(Diag::Severity::Error, line, col, std::move(msg));
+        throw ElabAbort{};
+    }
+
+    /** Record an error without unwinding (epilogue sweeps). */
+    void errorKeep(int line, int col, std::string msg)
+    {
+        emit(Diag::Severity::Error, line, col, std::move(msg));
+    }
+
+    void warnAt(int line, int col, std::string msg)
+    {
+        emit(Diag::Severity::Warning, line, col, std::move(msg));
+    }
+
+    void checkNodeBudget()
+    {
+        if (_b->peek().nodes.size() > kMaxNodes) {
+            errorKeep(0, 0, "design exceeds " +
+                                std::to_string(kMaxNodes) +
+                                " nodes after elaboration");
+            throw ElabFatal{};
+        }
+    }
+
+    // ---- net plumbing ---------------------------------------------
+    /** Follow placeholder-to-driver links to the final net. */
+    rtl::Value chase(rtl::Value v) const
+    {
+        for (int i = 0; i < 1000000; ++i) {
+            auto it = _forward.find(v.id);
+            if (it == _forward.end())
+                return v;
+            v.id = it->second;
+        }
+        return v; // unreachable: links are acyclic by construction
+    }
+
+    rtl::Value fit(rtl::Value v, unsigned width)
+    {
+        if (v.width == width)
+            return v;
+        if (v.width < width)
+            return _b->zext(v, width);
+        return _b->slice(v, 0, width);
+    }
+
+    rtl::Value boolify(rtl::Value v)
+    {
+        return v.width == 1 ? v : _b->redOr(v);
+    }
+
+    rtl::Value pathAnd(rtl::Value path, rtl::Value cond)
+    {
+        return path.valid() ? _b->land(path, cond) : cond;
+    }
+
+    /** Resolve @p e (a Wire/Comb placeholder) to driver @p v. */
+    void resolveNet(Entry &e, const std::string &name,
+                    rtl::Value v, int line, int col)
+    {
+        v = chase(fit(v, e.width));
+        if (v.id == e.placeholder.id)
+            errorAt(line, col,
+                    "'" + name + "' is driven by itself");
+        _b->rewireConsumers(e.placeholder.id, v.id,
+                            [](const std::string &) { return true; });
+        _forward[e.placeholder.id] = v.id;
+        e.value = v;
+        e.resolved = true;
+    }
+
+    // ---- constant expressions -------------------------------------
+    std::optional<uint64_t> cEval(const ModCtx &m, const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return e.value;
+          case Expr::Kind::Ident: {
+            auto it = m.params.find(e.name);
+            if (it == m.params.end())
+                return std::nullopt;
+            return it->second;
+          }
+          case Expr::Kind::Unary: {
+            auto v = cEval(m, *e.ops[0]);
+            if (!v)
+                return std::nullopt;
+            if (e.name == "+")
+                return *v;
+            if (e.name == "-")
+                return uint64_t(0) - *v;
+            if (e.name == "~")
+                return ~*v;
+            if (e.name == "!")
+                return uint64_t(*v == 0);
+            return std::nullopt;
+          }
+          case Expr::Kind::Binary: {
+            auto a = cEval(m, *e.ops[0]);
+            auto b = cEval(m, *e.ops[1]);
+            if (!a || !b)
+                return std::nullopt;
+            const std::string &op = e.name;
+            if (op == "+") return *a + *b;
+            if (op == "-") return *a - *b;
+            if (op == "*") return *a * *b;
+            if (op == "/") return *b ? *a / *b
+                                     : std::optional<uint64_t>{};
+            if (op == "%") return *b ? *a % *b
+                                     : std::optional<uint64_t>{};
+            if (op == "<<") return *b >= 64 ? 0 : *a << *b;
+            if (op == ">>") return *b >= 64 ? 0 : *a >> *b;
+            if (op == "&") return *a & *b;
+            if (op == "|") return *a | *b;
+            if (op == "^") return *a ^ *b;
+            if (op == "^~" || op == "~^") return ~(*a ^ *b);
+            if (op == "==") return uint64_t(*a == *b);
+            if (op == "!=") return uint64_t(*a != *b);
+            if (op == "<") return uint64_t(*a < *b);
+            if (op == "<=") return uint64_t(*a <= *b);
+            if (op == ">") return uint64_t(*a > *b);
+            if (op == ">=") return uint64_t(*a >= *b);
+            if (op == "&&") return uint64_t(*a && *b);
+            if (op == "||") return uint64_t(*a || *b);
+            return std::nullopt;
+          }
+          case Expr::Kind::Ternary: {
+            auto c = cEval(m, *e.ops[0]);
+            auto a = cEval(m, *e.ops[1]);
+            auto b = cEval(m, *e.ops[2]);
+            if (!c || !a || !b)
+                return std::nullopt;
+            return *c ? *a : *b;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    uint64_t cEvalOrError(const ModCtx &m, const Expr &e,
+                          const std::string &what)
+    {
+        auto v = cEval(m, e);
+        if (!v)
+            errorAt(e.line, e.col,
+                    what + " must be a constant expression");
+        return *v;
+    }
+
+    /** [msb:0] range to a width; absent range = 1 bit. */
+    unsigned rangeWidth(const ModCtx &m, const Range &range)
+    {
+        if (!range.present)
+            return 1;
+        uint64_t msb = cEvalOrError(m, *range.msb, "range bound");
+        uint64_t lsb = cEvalOrError(m, *range.lsb, "range bound");
+        if (lsb != 0)
+            errorAt(range.lsb->line, range.lsb->col,
+                    "ranges must be [N:0] in this subset");
+        if (msb > 63)
+            errorAt(range.msb->line, range.msb->col,
+                    "width " + std::to_string(msb + 1) +
+                        " exceeds the 64-bit limit");
+        return unsigned(msb) + 1;
+    }
+
+    /** Best-effort width for pre-elaboration port sizing. */
+    unsigned tryRangeWidth(const ModCtx &m, const Range &range)
+    {
+        if (!range.present)
+            return 1;
+        auto msb = cEval(m, *range.msb);
+        auto lsb = cEval(m, *range.lsb);
+        if (!msb || !lsb || *lsb != 0 || *msb > 63)
+            return 1; // the real diagnostic comes from rangeWidth
+        return unsigned(*msb) + 1;
+    }
+
+    uint32_t arrayDepth(const ModCtx &m, const Range &range)
+    {
+        uint64_t first = cEvalOrError(m, *range.msb, "array bound");
+        uint64_t last = cEvalOrError(m, *range.lsb, "array bound");
+        if (first != 0 || last < first)
+            errorAt(range.msb->line, range.msb->col,
+                    "memory ranges must be [0:depth-1]");
+        if (last + 1 > kMaxMemDepth)
+            errorAt(range.lsb->line, range.lsb->col,
+                    "memory depth " + std::to_string(last + 1) +
+                        " exceeds " + std::to_string(kMaxMemDepth));
+        return uint32_t(last) + 1;
+    }
+
+    // ---- module table / top selection -----------------------------
+    const Module *findModule(const std::string &name) const
+    {
+        auto it = _mods.find(name);
+        return it == _mods.end() ? nullptr : it->second;
+    }
+
+    const Module *selectTop()
+    {
+        if (_unit.modules.empty()) {
+            errorKeep(0, 0, "input contains no modules");
+            return nullptr;
+        }
+        for (const Module &mod : _unit.modules) {
+            if (_mods.count(mod.name)) {
+                errorKeep(mod.line, mod.col,
+                          "duplicate module '" + mod.name + "'");
+                continue;
+            }
+            _mods[mod.name] = &mod;
+        }
+        if (_errors > 0)
+            return nullptr;
+        if (!_opts.top.empty()) {
+            const Module *top = findModule(_opts.top);
+            if (!top)
+                errorKeep(0, 0, "top module '" + _opts.top +
+                                    "' not found");
+            return top;
+        }
+        std::set<std::string> instantiated;
+        for (const Module &mod : _unit.modules)
+            for (const Instance &inst : mod.instances)
+                instantiated.insert(inst.moduleName);
+        std::vector<const Module *> roots;
+        for (const Module &mod : _unit.modules)
+            if (!instantiated.count(mod.name))
+                roots.push_back(&mod);
+        if (roots.size() == 1)
+            return roots[0];
+        if (roots.empty()) {
+            errorKeep(0, 0, "no top module: every module is "
+                            "instantiated by another");
+            return nullptr;
+        }
+        std::string names;
+        for (const Module *r : roots)
+            names += (names.empty() ? "" : ", ") + r->name;
+        errorKeep(0, 0, "ambiguous top module (" + names +
+                            "); select one explicitly");
+        return nullptr;
+    }
+
+    // ---- clock-sink analysis --------------------------------------
+    /**
+     * Port/identifier names of @p mod that (transitively) feed a
+     * posedge sensitivity list — these must be bound to clocks.
+     */
+    const std::set<std::string> &clockSinks(const Module &mod)
+    {
+        auto it = _sinkMemo.find(&mod);
+        if (it != _sinkMemo.end())
+            return it->second;
+        _sinkMemo[&mod]; // breaks instantiation cycles
+        std::set<std::string> sinks;
+        for (const AlwaysItem &a : mod.always)
+            if (!a.comb)
+                sinks.insert(a.clock);
+        for (const Instance &inst : mod.instances) {
+            const Module *child = findModule(inst.moduleName);
+            if (!child)
+                continue;
+            const std::set<std::string> &cs = clockSinks(*child);
+            for (size_t i = 0; i < inst.conns.size(); ++i) {
+                const Connection &conn = inst.conns[i];
+                std::string port = conn.port;
+                if (inst.connsPositional) {
+                    if (i >= child->portOrder.size())
+                        break;
+                    port = child->portOrder[i];
+                }
+                if (cs.count(port) && conn.expr &&
+                    conn.expr->kind == Expr::Kind::Ident)
+                    sinks.insert(conn.expr->name);
+            }
+        }
+        return _sinkMemo[&mod] = std::move(sinks);
+    }
+
+    // ---- ports ----------------------------------------------------
+    struct PortInfo
+    {
+        std::string name;
+        Dir dir = Dir::Input;
+        bool isReg = false;
+        unsigned width = 1;
+        int line = 0;
+        int col = 0;
+    };
+
+    static const PortDecl *findPortDecl(const Module &mod,
+                                        const std::string &name)
+    {
+        for (const PortDecl &p : mod.ports)
+            if (p.name == name)
+                return &p;
+        return nullptr;
+    }
+
+    /**
+     * Validate the port declarations against the header list and
+     * merge classic-style body redeclarations (`output [3:0] q;`
+     * followed by `reg [3:0] q;`). Net declarations absorbed into a
+     * port land in @p consumedNets.
+     */
+    std::vector<PortInfo> buildPorts(ModCtx &m,
+                                     std::set<size_t> &consumedNets)
+    {
+        const Module &mod = *m.mod;
+        std::vector<PortInfo> out;
+        std::set<std::string> seen;
+        for (const PortDecl &p : mod.ports) {
+            if (std::find(mod.portOrder.begin(),
+                          mod.portOrder.end(),
+                          p.name) == mod.portOrder.end())
+                errorKeep(p.line, p.col,
+                          "'" + p.name + "' is declared as a port "
+                          "but is not in the module header");
+        }
+        for (const std::string &name : mod.portOrder) {
+            if (!seen.insert(name).second) {
+                errorKeep(mod.line, mod.col,
+                          "port '" + name +
+                              "' listed twice in the header");
+                continue;
+            }
+            const PortDecl *decl = findPortDecl(mod, name);
+            if (!decl) {
+                errorKeep(mod.line, mod.col,
+                          "port '" + name + "' has no input/output "
+                          "declaration");
+                continue;
+            }
+            PortInfo info;
+            info.name = name;
+            info.dir = decl->dir;
+            info.isReg = decl->isReg;
+            info.line = decl->line;
+            info.col = decl->col;
+            try {
+                info.width = rangeWidth(m, decl->range);
+            } catch (const ElabAbort &) {
+                info.width = 1;
+            }
+            for (size_t j = 0; j < mod.nets.size(); ++j) {
+                const NetDecl &net = mod.nets[j];
+                if (net.name != name)
+                    continue;
+                consumedNets.insert(j);
+                if (net.array.present) {
+                    errorKeep(net.line, net.col,
+                              "port '" + name +
+                                  "' cannot be a memory");
+                    continue;
+                }
+                unsigned nw = 1;
+                try {
+                    nw = rangeWidth(m, net.range);
+                } catch (const ElabAbort &) {
+                }
+                if (nw != info.width)
+                    errorKeep(net.line, net.col,
+                              "conflicting widths for port '" +
+                                  name + "'");
+                if (net.isReg) {
+                    if (decl->dir != Dir::Output)
+                        errorKeep(net.line, net.col,
+                                  "input port '" + name +
+                                      "' cannot be a reg");
+                    else
+                        info.isReg = true;
+                }
+            }
+            out.push_back(std::move(info));
+        }
+        return out;
+    }
+
+    // ---- parameters -----------------------------------------------
+    std::map<std::string, uint64_t>
+    resolveParams(const Module &mod,
+                  const std::map<std::string, uint64_t> &overrides)
+    {
+        ModCtx tmp;
+        tmp.mod = &mod;
+        for (const ParamDecl &p : mod.params) {
+            if (tmp.params.count(p.name)) {
+                errorKeep(p.line, p.col,
+                          "duplicate parameter '" + p.name + "'");
+                continue;
+            }
+            uint64_t value;
+            auto ov = overrides.find(p.name);
+            if (!p.local && ov != overrides.end())
+                value = ov->second;
+            else
+                value = cEvalOrError(tmp, *p.value,
+                                     "parameter '" + p.name + "'");
+            tmp.params[p.name] = value;
+        }
+        return std::move(tmp.params);
+    }
+
+    // ---- expressions ----------------------------------------------
+    Entry *findEntry(ModCtx &m, const std::string &name)
+    {
+        auto it = m.entries.find(name);
+        return it == m.entries.end() ? nullptr : &it->second;
+    }
+
+    Entry &requireEntry(EvalCtx &x, const std::string &name,
+                        int line, int col)
+    {
+        Entry *e = findEntry(x.m, name);
+        if (!e)
+            errorAt(line, col,
+                    "undeclared identifier '" + name + "'");
+        return *e;
+    }
+
+    rtl::Value readSym(EvalCtx &x, const std::string &name,
+                       int line, int col)
+    {
+        Entry &e = requireEntry(x, name, line, col);
+        switch (e.kind) {
+          case Entry::Kind::Param:
+            return _b->lit(e.paramValue, constWidth(e.paramValue));
+          case Entry::Kind::Clock:
+            errorAt(line, col, "clock '" + name +
+                                   "' cannot be used in an "
+                                   "expression");
+          case Entry::Kind::Memory:
+            errorAt(line, col,
+                    "memory '" + name + "' must be indexed");
+          case Entry::Kind::Flop:
+            // Nonblocking semantics: reads see the registered
+            // value, even inside the assigning block.
+            return e.reg.q;
+          case Entry::Kind::Comb:
+            if (x.combTargets && x.combTargets->count(name)) {
+                auto it = x.ps->pending.find(name);
+                if (it != x.ps->pending.end())
+                    return it->second;
+                errorAt(line, col,
+                        "'" + name + "' is read in always @* "
+                        "before it is assigned");
+            }
+            [[fallthrough]];
+          case Entry::Kind::Wire:
+          case Entry::Kind::Unset:
+            if (e.resolved)
+                return e.value = chase(e.value);
+            e.readBeforeDrive = true;
+            return e.placeholder;
+        }
+        errorAt(line, col, "internal: bad symbol kind");
+    }
+
+    rtl::Value evalBinary(const std::string &op, rtl::Value a,
+                          rtl::Value b, int line, int col)
+    {
+        unsigned w = std::max(a.width, b.width);
+        if (op == "+")
+            return _b->add(fit(a, w), fit(b, w));
+        if (op == "-")
+            return _b->sub(fit(a, w), fit(b, w));
+        if (op == "*")
+            return _b->mul(fit(a, w), fit(b, w));
+        if (op == "&")
+            return _b->band(fit(a, w), fit(b, w));
+        if (op == "|")
+            return _b->bor(fit(a, w), fit(b, w));
+        if (op == "^")
+            return _b->bxor(fit(a, w), fit(b, w));
+        if (op == "^~" || op == "~^")
+            return _b->bnot(_b->bxor(fit(a, w), fit(b, w)));
+        if (op == "==")
+            return _b->eq(fit(a, w), fit(b, w));
+        if (op == "!=")
+            return _b->ne(fit(a, w), fit(b, w));
+        if (op == "<")
+            return _b->ult(fit(a, w), fit(b, w));
+        if (op == "<=")
+            return _b->ule(fit(a, w), fit(b, w));
+        if (op == ">")
+            return _b->ult(fit(b, w), fit(a, w));
+        if (op == ">=")
+            return _b->ule(fit(b, w), fit(a, w));
+        if (op == "<<")
+            return _b->shl(a, b);
+        if (op == ">>")
+            return _b->shr(a, b);
+        if (op == "&&")
+            return _b->land(boolify(a), boolify(b));
+        if (op == "||")
+            return _b->lor(boolify(a), boolify(b));
+        errorAt(line, col,
+                "operator '" + op + "' is not supported");
+    }
+
+    rtl::Value evalUnary(const std::string &op, rtl::Value v,
+                         int line, int col)
+    {
+        if (op == "+")
+            return v;
+        if (op == "-")
+            return _b->sub(_b->lit(0, v.width), v);
+        if (op == "~")
+            return _b->bnot(v);
+        if (op == "!")
+            return _b->lnot(boolify(v));
+        if (op == "&")
+            return _b->redAnd(v);
+        if (op == "|")
+            return _b->redOr(v);
+        if (op == "^")
+            return _b->redXor(v);
+        if (op == "~&")
+            return _b->bnot(_b->redAnd(v));
+        if (op == "~|")
+            return _b->bnot(_b->redOr(v));
+        if (op == "~^" || op == "^~")
+            return _b->bnot(_b->redXor(v));
+        errorAt(line, col,
+                "operator '" + op + "' is not supported");
+    }
+
+    rtl::Value evalExpr(EvalCtx &x, const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number: {
+            unsigned w = e.width ? unsigned(e.width)
+                                 : constWidth(e.value);
+            return _b->lit(e.value, w);
+          }
+          case Expr::Kind::Ident:
+            return readSym(x, e.name, e.line, e.col);
+          case Expr::Kind::Unary:
+            return evalUnary(e.name, evalExpr(x, *e.ops[0]),
+                             e.line, e.col);
+          case Expr::Kind::Binary: {
+            if (e.name == "/" || e.name == "%") {
+                auto v = cEval(x.m, e);
+                if (!v)
+                    errorAt(e.line, e.col,
+                            "'" + e.name + "' is only supported "
+                            "in constant expressions");
+                return _b->lit(*v, constWidth(*v));
+            }
+            rtl::Value a = evalExpr(x, *e.ops[0]);
+            rtl::Value b = evalExpr(x, *e.ops[1]);
+            return evalBinary(e.name, a, b, e.line, e.col);
+          }
+          case Expr::Kind::Ternary: {
+            rtl::Value c = boolify(evalExpr(x, *e.ops[0]));
+            rtl::Value t = evalExpr(x, *e.ops[1]);
+            rtl::Value f = evalExpr(x, *e.ops[2]);
+            unsigned w = std::max(t.width, f.width);
+            return _b->mux(c, fit(t, w), fit(f, w));
+          }
+          case Expr::Kind::Concat: {
+            unsigned total = 0;
+            std::vector<rtl::Value> parts;
+            for (const ExprP &op : e.ops)
+                parts.push_back(evalExpr(x, *op));
+            for (const rtl::Value &p : parts)
+                total += p.width;
+            if (total > 64)
+                errorAt(e.line, e.col,
+                        "concatenation is " + std::to_string(total) +
+                            " bits wide (limit 64)");
+            rtl::Value acc = parts[0];
+            for (size_t i = 1; i < parts.size(); ++i)
+                acc = _b->concat(acc, parts[i]);
+            return acc;
+          }
+          case Expr::Kind::Repl: {
+            uint64_t n = cEvalOrError(x.m, *e.ops[0],
+                                      "replication count");
+            if (n == 0)
+                errorAt(e.line, e.col,
+                        "replication count must be positive");
+            rtl::Value v = evalExpr(x, *e.ops[1]);
+            if (n * v.width > 64)
+                errorAt(e.line, e.col,
+                        "replication is " +
+                            std::to_string(n * v.width) +
+                            " bits wide (limit 64)");
+            rtl::Value acc = v;
+            for (uint64_t i = 1; i < n; ++i)
+                acc = _b->concat(acc, v);
+            return acc;
+          }
+          case Expr::Kind::Select: {
+            Entry &ent = requireEntry(x, e.name, e.line, e.col);
+            if (ent.kind == Entry::Kind::Memory) {
+                if (e.isRange)
+                    errorAt(e.line, e.col,
+                            "part-select of memory '" + e.name +
+                                "' is not supported");
+                rtl::Value addr = fit(evalExpr(x, *e.ops[0]),
+                                      addrBits(ent.depth));
+                return _b->memReadAsync(ent.mem, addr);
+            }
+            rtl::Value base = readSym(x, e.name, e.line, e.col);
+            if (e.isRange) {
+                uint64_t msb = cEvalOrError(x.m, *e.ops[0],
+                                            "part-select bound");
+                uint64_t lsb = cEvalOrError(x.m, *e.ops[1],
+                                            "part-select bound");
+                if (msb < lsb || msb >= base.width)
+                    errorAt(e.line, e.col,
+                            "select [" + std::to_string(msb) + ":" +
+                                std::to_string(lsb) +
+                                "] is out of range for '" + e.name +
+                                "' (" + std::to_string(base.width) +
+                                " bits)");
+                return _b->slice(base, unsigned(lsb),
+                                 unsigned(msb - lsb) + 1);
+            }
+            if (auto idx = cEval(x.m, *e.ops[0])) {
+                if (*idx >= base.width)
+                    errorAt(e.line, e.col,
+                            "bit " + std::to_string(*idx) +
+                                " is out of range for '" + e.name +
+                                "' (" +
+                                std::to_string(base.width) +
+                                " bits)");
+                return _b->slice(base, unsigned(*idx), 1);
+            }
+            rtl::Value idx = evalExpr(x, *e.ops[0]);
+            return _b->slice(_b->shr(base, idx), 0, 1);
+          }
+        }
+        errorAt(e.line, e.col, "internal: bad expression kind");
+    }
+
+    // ---- always blocks --------------------------------------------
+    struct ExecCtx
+    {
+        ModCtx &m;
+        ProcState &ps;
+        bool clocked = false;
+        uint8_t clock = 0;
+        const std::set<std::string> *targets = nullptr;
+        size_t block = 0;
+    };
+
+    static void collectLhs(const Stmt &s,
+                           std::vector<const Expr *> &out)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block:
+            for (const StmtP &c : s.stmts)
+                collectLhs(*c, out);
+            break;
+          case Stmt::Kind::If:
+            for (const StmtP &c : s.thenStmts)
+                collectLhs(*c, out);
+            for (const StmtP &c : s.elseStmts)
+                collectLhs(*c, out);
+            break;
+          case Stmt::Kind::Case:
+            for (const Stmt::CaseItem &item : s.items)
+                for (const StmtP &c : item.body)
+                    collectLhs(*c, out);
+            break;
+          case Stmt::Kind::Blocking:
+          case Stmt::Kind::NonBlocking:
+            out.push_back(s.lhs.get());
+            break;
+        }
+    }
+
+    void scanAlways(ModCtx &m, size_t idx)
+    {
+        const AlwaysItem &a = m.mod->always[idx];
+        uint8_t clock = 0;
+        if (!a.comb) {
+            Entry *ce = findEntry(m, a.clock);
+            if (!ce)
+                errorAt(a.line, a.col,
+                        "undeclared identifier '" + a.clock +
+                            "' in the sensitivity list");
+            if (ce->kind != Entry::Kind::Clock)
+                errorAt(a.line, a.col,
+                        "'" + a.clock + "' is not a clock input; "
+                        "derived clocks are not supported");
+            clock = ce->clock;
+        }
+        m.blockClock[idx] = clock;
+        std::vector<const Expr *> lhsList;
+        collectLhs(*a.body, lhsList);
+        for (const Expr *lhs : lhsList) {
+            Entry *e = findEntry(m, lhs->name);
+            if (!e)
+                errorAt(lhs->line, lhs->col,
+                        "undeclared identifier '" + lhs->name +
+                            "'");
+            if (e->kind == Entry::Kind::Memory) {
+                if (lhs->kind != Expr::Kind::Select)
+                    errorAt(lhs->line, lhs->col,
+                            "memory '" + lhs->name +
+                                "' must be written with an index");
+                if (a.comb)
+                    errorAt(lhs->line, lhs->col,
+                            "memories can only be written in "
+                            "clocked always blocks");
+                continue;
+            }
+            if (e->kind == Entry::Kind::Clock ||
+                e->kind == Entry::Kind::Param)
+                errorAt(lhs->line, lhs->col,
+                        "cannot assign to '" + lhs->name + "'");
+            if (e->isInput)
+                errorAt(lhs->line, lhs->col,
+                        "cannot assign to input port '" +
+                            lhs->name + "'");
+            if (!e->declaredReg)
+                errorAt(lhs->line, lhs->col,
+                        "assignment to wire '" + lhs->name +
+                            "' in an always block (declare it "
+                            "'reg')");
+            if (e->ownerBlock >= 0 &&
+                e->ownerBlock != int(idx))
+                errorAt(lhs->line, lhs->col,
+                        "'" + lhs->name + "' is assigned in more "
+                        "than one always block");
+            if (e->ownerBlock == int(idx))
+                continue;
+            e->ownerBlock = int(idx);
+            if (a.comb) {
+                e->kind = Entry::Kind::Comb;
+            } else {
+                e->kind = Entry::Kind::Flop;
+                e->reg = _b->reg(lhs->name, e->width, 0, clock);
+            }
+        }
+    }
+
+    /** Pre-branch value a signal holds when a path skips it. */
+    rtl::Value baseValue(ExecCtx &x, const std::string &name,
+                         int line, int col)
+    {
+        Entry &e = *findEntry(x.m, name);
+        if (x.clocked)
+            return e.reg.q; // hold
+        errorAt(line, col,
+                "latch inferred: '" + name + "' is not assigned "
+                "on every path of always @*; assign a default "
+                "value first");
+    }
+
+    void mergeBranches(ExecCtx &x, rtl::Value cond,
+                       ProcState &psT, ProcState &psE,
+                       int line, int col)
+    {
+        std::set<std::string> names;
+        for (const auto &kv : psT.pending)
+            names.insert(kv.first);
+        for (const auto &kv : psE.pending)
+            names.insert(kv.first);
+        for (const std::string &name : names) {
+            auto tIt = psT.pending.find(name);
+            auto eIt = psE.pending.find(name);
+            rtl::Value tv = tIt != psT.pending.end()
+                                ? tIt->second
+                                : baseValue(x, name, line, col);
+            rtl::Value ev = eIt != psE.pending.end()
+                                ? eIt->second
+                                : baseValue(x, name, line, col);
+            x.ps.pending[name] =
+                tv.id == ev.id ? tv : _b->mux(cond, tv, ev);
+        }
+    }
+
+    /** Write @p data into bits [lo, lo+len) of @p cur. */
+    rtl::Value setBits(rtl::Value cur, unsigned lo, unsigned len,
+                       rtl::Value data)
+    {
+        rtl::Value out = fit(data, len);
+        if (lo > 0)
+            out = _b->concat(out, _b->slice(cur, 0, lo));
+        if (lo + len < cur.width)
+            out = _b->concat(
+                _b->slice(cur, lo + len, cur.width - lo - len),
+                out);
+        return out;
+    }
+
+    void execAssign(ExecCtx &x, const Stmt &s, rtl::Value path)
+    {
+        if (x.clocked && s.kind == Stmt::Kind::Blocking)
+            errorAt(s.line, s.col,
+                    "use nonblocking assignment (<=) in clocked "
+                    "always blocks");
+        if (!x.clocked && s.kind == Stmt::Kind::NonBlocking)
+            errorAt(s.line, s.col,
+                    "use blocking assignment (=) in always @*");
+        EvalCtx ev{x.m, &x.ps,
+                   x.clocked ? nullptr : x.targets};
+        const Expr &lhs = *s.lhs;
+        Entry &e = requireEntry(ev, lhs.name, lhs.line, lhs.col);
+        if (lhs.kind == Expr::Kind::Ident) {
+            if (e.kind == Entry::Kind::Memory)
+                errorAt(lhs.line, lhs.col,
+                        "memory '" + lhs.name +
+                            "' must be written with an index");
+            rtl::Value v = evalExpr(ev, *s.rhs);
+            x.ps.pending[lhs.name] = fit(v, e.width);
+            return;
+        }
+        // Select target.
+        if (e.kind == Entry::Kind::Memory) {
+            if (lhs.isRange)
+                errorAt(lhs.line, lhs.col,
+                        "range writes to memories are not "
+                        "supported");
+            rtl::Value addr = fit(evalExpr(ev, *lhs.ops[0]),
+                                  addrBits(e.depth));
+            rtl::Value data = fit(evalExpr(ev, *s.rhs), e.width);
+            rtl::Value en =
+                path.valid() ? path : _b->lit(1, 1);
+            _b->memWrite(e.mem, addr, data, en, x.clock);
+            return;
+        }
+        // Read-modify-write on a register's bits.
+        rtl::Value cur;
+        auto pend = x.ps.pending.find(lhs.name);
+        if (pend != x.ps.pending.end())
+            cur = pend->second;
+        else if (x.clocked)
+            cur = e.reg.q;
+        else
+            errorAt(lhs.line, lhs.col,
+                    "latch inferred: bits of '" + lhs.name +
+                        "' outside the select are unassigned; "
+                        "assign the whole reg first");
+        rtl::Value result;
+        if (lhs.isRange) {
+            uint64_t msb = cEvalOrError(x.m, *lhs.ops[0],
+                                        "part-select bound");
+            uint64_t lsb = cEvalOrError(x.m, *lhs.ops[1],
+                                        "part-select bound");
+            if (msb < lsb || msb >= cur.width)
+                errorAt(lhs.line, lhs.col,
+                        "select out of range for '" + lhs.name +
+                            "'");
+            rtl::Value data = evalExpr(ev, *s.rhs);
+            result = setBits(cur, unsigned(lsb),
+                             unsigned(msb - lsb) + 1, data);
+        } else if (auto idx = cEval(x.m, *lhs.ops[0])) {
+            if (*idx >= cur.width)
+                errorAt(lhs.line, lhs.col,
+                        "bit " + std::to_string(*idx) +
+                            " is out of range for '" + lhs.name +
+                            "'");
+            rtl::Value data = evalExpr(ev, *s.rhs);
+            result = setBits(cur, unsigned(*idx), 1, data);
+        } else {
+            // Dynamic bit index: mask out the bit, OR in the new.
+            rtl::Value at = evalExpr(ev, *lhs.ops[0]);
+            rtl::Value bitv = fit(evalExpr(ev, *s.rhs), 1);
+            rtl::Value mask =
+                _b->shl(_b->lit(1, cur.width), at);
+            rtl::Value cleared = _b->band(cur, _b->bnot(mask));
+            rtl::Value placed =
+                _b->shl(_b->zext(bitv, cur.width), at);
+            result = _b->bor(cleared, placed);
+        }
+        x.ps.pending[lhs.name] = result;
+    }
+
+    void execCaseChain(ExecCtx &x, rtl::Value sel,
+                       const std::vector<const Stmt::CaseItem *> &items,
+                       size_t i, const Stmt::CaseItem *defItem,
+                       rtl::Value path)
+    {
+        EvalCtx ev{x.m, &x.ps, x.clocked ? nullptr : x.targets};
+        if (i == items.size()) {
+            if (defItem)
+                for (const StmtP &c : defItem->body)
+                    execStmt(x, *c, path);
+            return;
+        }
+        const Stmt::CaseItem &item = *items[i];
+        rtl::Value cond{};
+        for (const ExprP &label : item.labels) {
+            rtl::Value lv = evalExpr(ev, *label);
+            unsigned w = std::max(sel.width, lv.width);
+            rtl::Value c = _b->eq(fit(sel, w), fit(lv, w));
+            cond = cond.valid() ? _b->lor(cond, c) : c;
+        }
+        ProcState psT = x.ps;
+        ProcState psE = x.ps;
+        {
+            ExecCtx xt{x.m, psT, x.clocked, x.clock, x.targets,
+                       x.block};
+            rtl::Value pT = pathAnd(path, cond);
+            for (const StmtP &c : item.body)
+                execStmt(xt, *c, pT);
+        }
+        {
+            ExecCtx xe{x.m, psE, x.clocked, x.clock, x.targets,
+                       x.block};
+            execCaseChain(xe, sel, items, i + 1, defItem,
+                          pathAnd(path, _b->lnot(cond)));
+        }
+        ExecCtx xm{x.m, x.ps, x.clocked, x.clock, x.targets,
+                   x.block};
+        mergeBranches(xm, cond, psT, psE, item.line, item.col);
+    }
+
+    void execStmt(ExecCtx &x, const Stmt &s, rtl::Value path)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block:
+            for (const StmtP &c : s.stmts)
+                execStmt(x, *c, path);
+            return;
+          case Stmt::Kind::If: {
+            EvalCtx ev{x.m, &x.ps,
+                       x.clocked ? nullptr : x.targets};
+            rtl::Value cond = boolify(evalExpr(ev, *s.cond));
+            ProcState psT = x.ps;
+            ProcState psE = x.ps;
+            {
+                ExecCtx xt{x.m, psT, x.clocked, x.clock,
+                           x.targets, x.block};
+                rtl::Value pT = pathAnd(path, cond);
+                for (const StmtP &c : s.thenStmts)
+                    execStmt(xt, *c, pT);
+            }
+            {
+                ExecCtx xe{x.m, psE, x.clocked, x.clock,
+                           x.targets, x.block};
+                rtl::Value pE = pathAnd(path, _b->lnot(cond));
+                for (const StmtP &c : s.elseStmts)
+                    execStmt(xe, *c, pE);
+            }
+            ExecCtx xm{x.m, x.ps, x.clocked, x.clock, x.targets,
+                       x.block};
+            mergeBranches(xm, cond, psT, psE, s.line, s.col);
+            return;
+          }
+          case Stmt::Kind::Case: {
+            EvalCtx ev{x.m, &x.ps,
+                       x.clocked ? nullptr : x.targets};
+            rtl::Value sel = evalExpr(ev, *s.caseExpr);
+            const Stmt::CaseItem *defItem = nullptr;
+            std::vector<const Stmt::CaseItem *> items;
+            for (const Stmt::CaseItem &item : s.items) {
+                if (item.labels.empty()) {
+                    if (defItem)
+                        errorAt(item.line, item.col,
+                                "multiple default items in case");
+                    defItem = &item;
+                } else {
+                    items.push_back(&item);
+                }
+            }
+            execCaseChain(x, sel, items, 0, defItem, path);
+            return;
+          }
+          case Stmt::Kind::Blocking:
+          case Stmt::Kind::NonBlocking:
+            execAssign(x, s, path);
+            return;
+        }
+    }
+
+    void doAlways(ModCtx &m, size_t idx)
+    {
+        if (m.badBlocks.count(idx))
+            return;
+        const AlwaysItem &a = m.mod->always[idx];
+        std::set<std::string> targets;
+        for (const auto &kv : m.entries)
+            if (kv.second.ownerBlock == int(idx))
+                targets.insert(kv.first);
+        ProcState ps;
+        ExecCtx x{m, ps, !a.comb, m.blockClock[idx], &targets,
+                  idx};
+        execStmt(x, *a.body, rtl::Value{});
+        if (!a.comb) {
+            for (const std::string &name : targets) {
+                Entry &e = *findEntry(m, name);
+                if (e.kind != Entry::Kind::Flop)
+                    continue;
+                auto it = ps.pending.find(name);
+                _b->connect(e.reg, it != ps.pending.end()
+                                       ? it->second
+                                       : e.reg.q);
+            }
+        } else {
+            for (const std::string &name : targets) {
+                Entry &e = *findEntry(m, name);
+                if (e.kind != Entry::Kind::Comb)
+                    continue;
+                auto it = ps.pending.find(name);
+                if (it == ps.pending.end())
+                    continue; // diagnostics already emitted
+                resolveNet(e, name, it->second, a.line, a.col);
+            }
+        }
+    }
+
+    // ---- continuous assigns ---------------------------------------
+    void doAssign(ModCtx &m, const AssignItem &a)
+    {
+        EvalCtx ev{m, nullptr, nullptr};
+        const Expr &lhs = *a.lhs;
+        if (lhs.kind != Expr::Kind::Ident)
+            errorAt(lhs.line, lhs.col,
+                    "part-select targets are not supported in "
+                    "continuous assigns");
+        Entry &e = requireEntry(ev, lhs.name, lhs.line, lhs.col);
+        if (e.kind == Entry::Kind::Memory ||
+            e.kind == Entry::Kind::Clock ||
+            e.kind == Entry::Kind::Param)
+            errorAt(lhs.line, lhs.col,
+                    "cannot assign to '" + lhs.name + "'");
+        if (e.isInput)
+            errorAt(lhs.line, lhs.col,
+                    "cannot drive input port '" + lhs.name + "'");
+        if (e.declaredReg || e.kind == Entry::Kind::Flop ||
+            e.kind == Entry::Kind::Comb)
+            errorAt(lhs.line, lhs.col,
+                    "'" + lhs.name + "' is a reg; drive it from "
+                    "an always block, not 'assign'");
+        if (e.resolved)
+            errorAt(lhs.line, lhs.col,
+                    "multiple drivers for '" + lhs.name + "'");
+        rtl::Value v = evalExpr(ev, *a.rhs);
+        resolveNet(e, lhs.name, v, lhs.line, lhs.col);
+    }
+
+    // ---- instances ------------------------------------------------
+    std::map<std::string, const Connection *>
+    mapConnections(const Instance &inst, const Module &child)
+    {
+        std::map<std::string, const Connection *> out;
+        if (inst.connsPositional) {
+            if (inst.conns.size() > child.portOrder.size())
+                errorAt(inst.line, inst.col,
+                        "too many connections for '" +
+                            child.name + "' (" +
+                            std::to_string(inst.conns.size()) +
+                            " given, " +
+                            std::to_string(
+                                child.portOrder.size()) +
+                            " ports)");
+            for (size_t i = 0; i < inst.conns.size(); ++i)
+                out[child.portOrder[i]] = &inst.conns[i];
+            return out;
+        }
+        for (const Connection &conn : inst.conns) {
+            if (std::find(child.portOrder.begin(),
+                          child.portOrder.end(),
+                          conn.port) == child.portOrder.end())
+                errorAt(conn.line, conn.col,
+                        "'" + child.name + "' has no port '" +
+                            conn.port + "'");
+            if (out.count(conn.port))
+                errorAt(conn.line, conn.col,
+                        "port '" + conn.port +
+                            "' connected twice");
+            out[conn.port] = &conn;
+        }
+        return out;
+    }
+
+    std::map<std::string, uint64_t>
+    overrideMap(ModCtx &m, const Instance &inst,
+                const Module &child)
+    {
+        std::map<std::string, uint64_t> out;
+        std::vector<const ParamDecl *> settable;
+        for (const ParamDecl &p : child.params)
+            if (!p.local)
+                settable.push_back(&p);
+        if (inst.paramsPositional) {
+            if (inst.paramOverrides.size() > settable.size())
+                errorAt(inst.line, inst.col,
+                        "too many parameter overrides for '" +
+                            child.name + "'");
+            for (size_t i = 0; i < inst.paramOverrides.size();
+                 ++i) {
+                const Connection &ov = inst.paramOverrides[i];
+                out[settable[i]->name] = cEvalOrError(
+                    m, *ov.expr, "parameter override");
+            }
+            return out;
+        }
+        for (const Connection &ov : inst.paramOverrides) {
+            bool found = false;
+            for (const ParamDecl *p : settable)
+                found = found || p->name == ov.port;
+            if (!found)
+                errorAt(ov.line, ov.col,
+                        "'" + child.name +
+                            "' has no overridable parameter '" +
+                            ov.port + "'");
+            if (!ov.expr)
+                errorAt(ov.line, ov.col,
+                        "parameter override '" + ov.port +
+                            "' has no value");
+            out[ov.port] = cEvalOrError(m, *ov.expr,
+                                        "parameter override");
+        }
+        return out;
+    }
+
+    void doInstance(ModCtx &m, const Instance &inst, int depth)
+    {
+        const Module *child = findModule(inst.moduleName);
+        if (!child)
+            errorAt(inst.line, inst.col,
+                    "unknown module '" + inst.moduleName + "'");
+        if (depth + 1 > kMaxDepth)
+            errorAt(inst.line, inst.col,
+                    "instantiation nests deeper than " +
+                        std::to_string(kMaxDepth) +
+                        " (recursive instantiation?)");
+        if (m.entries.count(inst.name))
+            errorAt(inst.line, inst.col,
+                    "instance name '" + inst.name +
+                        "' collides with a declaration");
+        std::map<std::string, uint64_t> overrides =
+            overrideMap(m, inst, *child);
+        std::map<std::string, uint64_t> env =
+            resolveParams(*child, overrides);
+        std::map<std::string, const Connection *> conns =
+            mapConnections(inst, *child);
+        const std::set<std::string> &sinks = clockSinks(*child);
+        std::map<std::string, Sym> bindings;
+        EvalCtx ev{m, nullptr, nullptr};
+        for (const std::string &port : child->portOrder) {
+            const PortDecl *decl = findPortDecl(*child, port);
+            if (!decl || decl->dir != Dir::Input)
+                continue;
+            auto cIt = conns.find(port);
+            const Connection *conn =
+                cIt == conns.end() ? nullptr : cIt->second;
+            if (!conn || !conn->expr)
+                errorAt(inst.line, inst.col,
+                        "input port '" + port + "' of '" +
+                            child->name + "' is not connected");
+            if (sinks.count(port)) {
+                Sym sym;
+                sym.kind = Sym::Kind::Clock;
+                const Expr &ce = *conn->expr;
+                Entry *pe = ce.kind == Expr::Kind::Ident
+                                ? findEntry(m, ce.name)
+                                : nullptr;
+                if (!pe || pe->kind != Entry::Kind::Clock)
+                    errorAt(ce.line, ce.col,
+                            "port '" + port + "' of '" +
+                                child->name + "' is a clock and "
+                                "must be driven by a clock "
+                                "input");
+                sym.clock = pe->clock;
+                bindings[port] = sym;
+            } else {
+                Sym sym;
+                sym.v = evalExpr(ev, *conn->expr);
+                bindings[port] = sym;
+            }
+        }
+        std::map<std::string, rtl::Value> outs;
+        {
+            ScopeGuard scope(*_b, inst.name);
+            outs = elabModule(*child, std::move(env), bindings,
+                              depth + 1);
+        }
+        for (const std::string &port : child->portOrder) {
+            const PortDecl *decl = findPortDecl(*child, port);
+            if (!decl || decl->dir != Dir::Output)
+                continue;
+            auto cIt = conns.find(port);
+            if (cIt == conns.end() || !cIt->second->expr)
+                continue; // floating output
+            const Connection &conn = *cIt->second;
+            auto oIt = outs.find(port);
+            if (oIt == outs.end())
+                continue; // child-side error already reported
+            if (conn.expr->kind != Expr::Kind::Ident)
+                errorAt(conn.expr->line, conn.expr->col,
+                        "output port connections must be plain "
+                        "wires");
+            Entry *pe = findEntry(m, conn.expr->name);
+            if (!pe)
+                errorAt(conn.expr->line, conn.expr->col,
+                        "undeclared identifier '" +
+                            conn.expr->name + "'");
+            if (pe->kind != Entry::Kind::Wire &&
+                pe->kind != Entry::Kind::Unset)
+                errorAt(conn.expr->line, conn.expr->col,
+                        "output port '" + port +
+                            "' must drive a wire");
+            if (pe->isInput)
+                errorAt(conn.expr->line, conn.expr->col,
+                        "cannot drive input port '" +
+                            conn.expr->name + "'");
+            if (pe->resolved)
+                errorAt(conn.expr->line, conn.expr->col,
+                        "multiple drivers for '" +
+                            conn.expr->name + "'");
+            resolveNet(*pe, conn.expr->name, oIt->second,
+                       conn.expr->line, conn.expr->col);
+        }
+    }
+
+    // ---- module elaboration ---------------------------------------
+    std::map<std::string, rtl::Value>
+    elabModule(const Module &mod,
+               std::map<std::string, uint64_t> env,
+               const std::map<std::string, Sym> &bindings,
+               int depth)
+    {
+        ModCtx m;
+        m.mod = &mod;
+        m.params = std::move(env);
+        m.blockClock.assign(mod.always.size(), 0);
+
+        // Parameter entries.
+        for (const auto &kv : m.params) {
+            Entry e;
+            e.kind = Entry::Kind::Param;
+            e.paramValue = kv.second;
+            m.entries[kv.first] = e;
+        }
+
+        // Port entries.
+        std::set<size_t> consumedNets;
+        std::vector<PortInfo> ports = buildPorts(m, consumedNets);
+        for (const PortInfo &pi : ports) {
+            if (m.entries.count(pi.name)) {
+                errorKeep(pi.line, pi.col,
+                          "port '" + pi.name +
+                              "' collides with a parameter");
+                continue;
+            }
+            Entry e;
+            e.width = pi.width;
+            e.line = pi.line;
+            e.col = pi.col;
+            e.isPort = true;
+            if (pi.dir == Dir::Input) {
+                e.isInput = true;
+                auto bIt = bindings.find(pi.name);
+                if (bIt == bindings.end()) {
+                    errorKeep(pi.line, pi.col,
+                              "input port '" + pi.name +
+                                  "' has no driver");
+                    e.kind = Entry::Kind::Wire;
+                    e.placeholder = _b->lit(0, e.width);
+                } else if (bIt->second.kind ==
+                           Sym::Kind::Clock) {
+                    e.kind = Entry::Kind::Clock;
+                    e.clock = bIt->second.clock;
+                } else {
+                    e.kind = Entry::Kind::Wire;
+                    e.resolved = true;
+                    e.value = fit(bIt->second.v, e.width);
+                }
+            } else {
+                e.isOutput = true;
+                e.declaredReg = pi.isReg;
+            }
+            m.entries[pi.name] = e;
+        }
+
+        // Net and memory entries.
+        for (size_t j = 0; j < mod.nets.size(); ++j) {
+            if (consumedNets.count(j))
+                continue;
+            const NetDecl &net = mod.nets[j];
+            if (m.entries.count(net.name)) {
+                errorKeep(net.line, net.col,
+                          "duplicate declaration of '" +
+                              net.name + "'");
+                continue;
+            }
+            Entry e;
+            e.line = net.line;
+            e.col = net.col;
+            try {
+                e.width = rangeWidth(m, net.range);
+                if (net.array.present) {
+                    e.kind = Entry::Kind::Memory;
+                    e.depth = arrayDepth(m, net.array);
+                    e.mem = _b->mem(net.name, e.width, e.depth);
+                } else {
+                    e.declaredReg = net.isReg;
+                }
+            } catch (const ElabAbort &) {
+                // Width diagnostics recorded; keep a 1-bit stub
+                // so later references don't cascade.
+            }
+            m.entries[net.name] = e;
+        }
+
+        // Classify always-block targets (flops vs. comb).
+        for (size_t i = 0; i < mod.always.size(); ++i) {
+            try {
+                scanAlways(m, i);
+            } catch (const ElabAbort &) {
+                m.badBlocks.insert(i);
+            }
+        }
+
+        // Give every undriven-as-yet net a placeholder; regs no
+        // always block assigns become hold-state flops.
+        for (auto &kv : m.entries) {
+            Entry &e = kv.second;
+            if (e.kind == Entry::Kind::Unset) {
+                if (e.declaredReg) {
+                    e.kind = Entry::Kind::Flop;
+                    e.reg = _b->reg(kv.first, e.width, 0, 0);
+                    _b->connect(e.reg, e.reg.q);
+                    warnAt(e.line, e.col,
+                           "reg '" + kv.first +
+                               "' is never assigned; it holds "
+                               "its power-on value");
+                } else {
+                    e.kind = Entry::Kind::Wire;
+                    e.placeholder = _b->lit(0, e.width);
+                }
+            } else if (e.kind == Entry::Kind::Comb) {
+                e.placeholder = _b->lit(0, e.width);
+            }
+        }
+
+        // Replay the body in source order.
+        for (const Module::Item &item : mod.items) {
+            try {
+                switch (item.kind) {
+                  case Module::Item::Kind::Assign:
+                    doAssign(m, mod.assigns[item.index]);
+                    break;
+                  case Module::Item::Kind::Always:
+                    doAlways(m, item.index);
+                    break;
+                  case Module::Item::Kind::Instance:
+                    doInstance(m, mod.instances[item.index],
+                               depth);
+                    break;
+                }
+            } catch (const ElabAbort &) {
+            }
+            checkNodeBudget();
+        }
+
+        // Epilogue: undriven nets, debug names, output map.
+        for (auto &kv : m.entries) {
+            Entry &e = kv.second;
+            bool placeholderNet =
+                e.kind == Entry::Kind::Wire ||
+                e.kind == Entry::Kind::Comb;
+            if (!placeholderNet)
+                continue;
+            if (!e.resolved && !e.isInput) {
+                if (e.readBeforeDrive)
+                    errorKeep(e.line, e.col,
+                              "'" + kv.first +
+                                  "' is read but never driven");
+                else if (e.isOutput)
+                    errorKeep(e.line, e.col,
+                              "output port '" + kv.first +
+                                  "' is never driven");
+                else
+                    warnAt(e.line, e.col,
+                           "wire '" + kv.first +
+                               "' is never driven");
+                continue;
+            }
+            if (e.resolved)
+                _b->nameNet(kv.first, chase(e.value));
+        }
+        std::map<std::string, rtl::Value> outs;
+        for (const PortInfo &pi : ports) {
+            if (pi.dir != Dir::Output)
+                continue;
+            Entry *e = findEntry(m, pi.name);
+            if (!e)
+                continue;
+            rtl::Value v{};
+            if (e->kind == Entry::Kind::Flop)
+                v = e->reg.q;
+            else if (e->resolved)
+                v = chase(e->value);
+            else if (e->placeholder.valid())
+                v = e->placeholder; // error already recorded
+            else
+                continue;
+            outs[pi.name] = v;
+        }
+        return outs;
+    }
+
+    // ---- top ------------------------------------------------------
+    void elabTop(const Module &top)
+    {
+        _b.emplace(top.name);
+        std::map<std::string, uint64_t> env =
+            resolveParams(top, {});
+        const std::set<std::string> &sinks = clockSinks(top);
+        std::map<std::string, Sym> bindings;
+        bool haveClock = false;
+        // Ports are created at the root scope (unprefixed names);
+        // the module body elaborates under options.topScope so the
+        // debug server's module-under-test prefix matches.
+        ModCtx widthCtx;
+        widthCtx.mod = &top;
+        widthCtx.params = env;
+        for (const std::string &name : top.portOrder) {
+            const PortDecl *decl = findPortDecl(top, name);
+            if (!decl || decl->dir != Dir::Input)
+                continue; // buildPorts reports missing decls
+            unsigned w = tryRangeWidth(widthCtx, decl->range);
+            if (sinks.count(name)) {
+                Sym sym;
+                sym.kind = Sym::Kind::Clock;
+                sym.clock =
+                    haveClock ? _b->addClock(name) : 0;
+                haveClock = true;
+                bindings[name] = sym;
+            } else {
+                Sym sym;
+                sym.v = _b->input(name, w);
+                bindings[name] = sym;
+            }
+        }
+        std::map<std::string, rtl::Value> outs;
+        if (_opts.topScope.empty()) {
+            outs = elabModule(top, std::move(env), bindings, 0);
+        } else {
+            ScopeGuard scope(*_b, _opts.topScope);
+            outs = elabModule(top, std::move(env), bindings, 0);
+        }
+        for (const std::string &name : top.portOrder) {
+            const PortDecl *decl = findPortDecl(top, name);
+            if (!decl || decl->dir != Dir::Output)
+                continue;
+            auto it = outs.find(name);
+            if (it != outs.end())
+                _b->output(name, it->second);
+        }
+    }
+
+    const SourceUnit &_unit;
+    const CompileOptions &_opts;
+    std::vector<Diag> &_diags;
+    std::optional<rtl::Builder> _b;
+    std::map<std::string, const Module *> _mods;
+    std::map<const Module *, std::set<std::string>> _sinkMemo;
+    std::unordered_map<rtl::NetId, rtl::NetId> _forward;
+    size_t _errors = 0;
+};
+
+} // namespace
+
+std::optional<rtl::Design>
+elaborate(const ast::SourceUnit &unit, const CompileOptions &options,
+          std::vector<Diag> &diags, std::string &top_name)
+{
+    return Elaborator(unit, options, diags).run(top_name);
+}
+
+} // namespace zoomie::verilog

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Elaboration: ast::SourceUnit to rtl::Design. Resolves parameters,
+ * flattens the instance hierarchy into slash-separated scopes,
+ * infers flip-flops from `always @(posedge clk)` blocks and
+ * combinational logic from `always @*` (an inferred latch is an
+ * error), and reports every failure as a structured Diag instead of
+ * panicking — the elaborator pre-validates widths, ranges and
+ * drivers itself and never calls a Builder entry point that can
+ * abort the process on user input.
+ */
+
+#ifndef ZOOMIE_VERILOG_ELABORATE_HH
+#define ZOOMIE_VERILOG_ELABORATE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hh"
+#include "verilog/ast.hh"
+#include "verilog/verilog.hh"
+
+namespace zoomie::verilog {
+
+/**
+ * Elaborate @p unit under @p options, appending diagnostics to
+ * @p diags. Returns the design only when elaboration produced zero
+ * error-severity diagnostics and the result passes
+ * rtl::Design::check(); @p top_name receives the chosen top module.
+ */
+std::optional<rtl::Design> elaborate(const ast::SourceUnit &unit,
+                                     const CompileOptions &options,
+                                     std::vector<Diag> &diags,
+                                     std::string &top_name);
+
+} // namespace zoomie::verilog
+
+#endif // ZOOMIE_VERILOG_ELABORATE_HH

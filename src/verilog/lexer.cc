@@ -1,0 +1,307 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace zoomie::verilog {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+}
+
+/** Digit value in @p base, or -1. Underscores are handled upstream. */
+int
+digitValue(char c, int base)
+{
+    int v;
+    if (c >= '0' && c <= '9')
+        v = c - '0';
+    else if (c >= 'a' && c <= 'f')
+        v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F')
+        v = c - 'A' + 10;
+    else
+        return -1;
+    return v < base ? v : -1;
+}
+
+/** Multi-character punctuation, longest first. */
+const char *const kPuncts[] = {
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||",
+    "<<",  ">>",  "~&",  "~|",  "~^", "^~", "+:", "-:", "->", "**",
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : _src(src) {}
+
+    std::vector<Token> run()
+    {
+        std::vector<Token> out;
+        for (;;) {
+            skipSpaceAndComments(out);
+            Token tok;
+            tok.line = _line;
+            tok.col = _col;
+            if (_pos >= _src.size()) {
+                tok.kind = Token::Kind::End;
+                out.push_back(std::move(tok));
+                return out;
+            }
+            char c = _src[_pos];
+            if (identStart(c))
+                lexIdent(tok);
+            else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                     c == '\'')
+                lexNumber(tok);
+            else
+                lexPunct(tok);
+            out.push_back(std::move(tok));
+        }
+    }
+
+  private:
+    char peek(size_t ahead = 0) const
+    {
+        return _pos + ahead < _src.size() ? _src[_pos + ahead] : '\0';
+    }
+
+    void advance()
+    {
+        if (_src[_pos] == '\n') {
+            ++_line;
+            _col = 1;
+        } else {
+            ++_col;
+        }
+        ++_pos;
+    }
+
+    void skipSpaceAndComments(std::vector<Token> &out)
+    {
+        for (;;) {
+            while (_pos < _src.size() &&
+                   std::isspace(static_cast<unsigned char>(
+                       _src[_pos])))
+                advance();
+            if (peek() == '/' && peek(1) == '/') {
+                while (_pos < _src.size() && _src[_pos] != '\n')
+                    advance();
+                continue;
+            }
+            if (peek() == '/' && peek(1) == '*') {
+                Token err;
+                err.line = _line;
+                err.col = _col;
+                advance();
+                advance();
+                bool closed = false;
+                while (_pos < _src.size()) {
+                    if (peek() == '*' && peek(1) == '/') {
+                        advance();
+                        advance();
+                        closed = true;
+                        break;
+                    }
+                    advance();
+                }
+                if (!closed) {
+                    err.kind = Token::Kind::Error;
+                    err.text = "unterminated block comment";
+                    out.push_back(std::move(err));
+                }
+                continue;
+            }
+            // Compiler directives (`timescale, `define...) are out
+            // of subset: skip the rest of the line, like a comment,
+            // so common headers don't poison whole files.
+            if (peek() == '`') {
+                while (_pos < _src.size() && _src[_pos] != '\n')
+                    advance();
+                continue;
+            }
+            return;
+        }
+    }
+
+    void lexIdent(Token &tok)
+    {
+        tok.kind = Token::Kind::Ident;
+        while (_pos < _src.size() && identChar(_src[_pos])) {
+            tok.text += _src[_pos];
+            advance();
+        }
+    }
+
+    /**
+     * Numbers: `123`, `8'hFF`, `'b1010`, `4'd9`; underscores
+     * allowed between digits. x/z digits are an Error token (4-state
+     * constants are out of subset).
+     */
+    void lexNumber(Token &tok)
+    {
+        tok.kind = Token::Kind::Number;
+        uint64_t lead = 0;
+        bool leadDigits = false;
+        bool overflow = false;
+        while (std::isdigit(static_cast<unsigned char>(peek())) ||
+               peek() == '_') {
+            if (peek() != '_') {
+                leadDigits = true;
+                if (lead > (UINT64_MAX - 9) / 10)
+                    overflow = true;
+                lead = lead * 10 + uint64_t(peek() - '0');
+            }
+            tok.text += peek();
+            advance();
+        }
+        if (peek() != '\'') {
+            // Plain unsized decimal.
+            tok.value = lead;
+            tok.width = 0;
+            if (!leadDigits || overflow) {
+                tok.kind = Token::Kind::Error;
+                tok.text = overflow
+                               ? "decimal literal overflows 64 bits"
+                               : "malformed number";
+            }
+            return;
+        }
+        tok.text += '\'';
+        advance();
+        if (leadDigits && (lead == 0 || lead > 64)) {
+            tok.kind = Token::Kind::Error;
+            tok.text = "literal size " + std::to_string(lead) +
+                       " out of range (1..64)";
+            skipBasedDigits();
+            return;
+        }
+        tok.width = leadDigits ? int(lead) : 32;
+        int base = 0;
+        char b = peek();
+        if (b == 's' || b == 'S') {
+            tok.kind = Token::Kind::Error;
+            tok.text = "signed literals are not supported";
+            advance();
+            skipBasedDigits();
+            return;
+        }
+        switch (b) {
+          case 'b': case 'B': base = 2; break;
+          case 'o': case 'O': base = 8; break;
+          case 'd': case 'D': base = 10; break;
+          case 'h': case 'H': base = 16; break;
+          default:
+            tok.kind = Token::Kind::Error;
+            tok.text = std::string("bad literal base '") + b + "'";
+            if (b != '\0')
+                advance();
+            skipBasedDigits();
+            return;
+        }
+        tok.text += b;
+        advance();
+        uint64_t value = 0;
+        bool any = false;
+        while (_pos < _src.size()) {
+            char c = peek();
+            if (c == '_') {
+                advance();
+                continue;
+            }
+            if (c == 'x' || c == 'X' || c == 'z' || c == 'Z' ||
+                c == '?') {
+                tok.kind = Token::Kind::Error;
+                tok.text = "x/z digits are not supported "
+                           "(2-state subset)";
+                skipBasedDigits();
+                return;
+            }
+            int d = digitValue(c, base);
+            if (d < 0)
+                break;
+            any = true;
+            // Detect overflow of the 64-bit accumulator.
+            if (value > (UINT64_MAX - uint64_t(d)) / uint64_t(base)) {
+                tok.kind = Token::Kind::Error;
+                tok.text = "literal overflows 64 bits";
+                skipBasedDigits();
+                return;
+            }
+            value = value * uint64_t(base) + uint64_t(d);
+            tok.text += c;
+            advance();
+        }
+        if (!any) {
+            tok.kind = Token::Kind::Error;
+            tok.text = "literal has no digits";
+            return;
+        }
+        // A sized literal must fit its declared width.
+        if (tok.width < 64 && tok.width > 0 &&
+            value >> tok.width != 0) {
+            tok.kind = Token::Kind::Error;
+            tok.text = "literal value does not fit in " +
+                       std::to_string(tok.width) + " bits";
+            return;
+        }
+        tok.value = value;
+    }
+
+    void skipBasedDigits()
+    {
+        while (_pos < _src.size() &&
+               (identChar(peek()) || peek() == '?'))
+            advance();
+    }
+
+    void lexPunct(Token &tok)
+    {
+        tok.kind = Token::Kind::Punct;
+        for (const char *p : kPuncts) {
+            size_t len = std::char_traits<char>::length(p);
+            if (_src.compare(_pos, len, p) == 0) {
+                tok.text = p;
+                for (size_t i = 0; i < len; ++i)
+                    advance();
+                return;
+            }
+        }
+        char c = _src[_pos];
+        static const std::string kSingles = "()[]{}:;,.#?@=+-*/%&|^~<>!";
+        if (kSingles.find(c) == std::string::npos) {
+            tok.kind = Token::Kind::Error;
+            tok.text = std::string("stray character '") + c + "'";
+            advance();
+            return;
+        }
+        tok.text = c;
+        advance();
+    }
+
+    const std::string &_src;
+    size_t _pos = 0;
+    int _line = 1;
+    int _col = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace zoomie::verilog

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tokenizer for the synthesizable Verilog-2005 subset the front end
+ * accepts (verilog.hh). Produces a flat token stream with source
+ * positions (line, column) so every later stage — parser,
+ * elaborator — can report structured {file,line,col,message}
+ * diagnostics instead of aborting. Handles // and block comments,
+ * identifiers (keywords are recognized by text, not a separate
+ * kind), sized and unsized numeric literals with underscores
+ * (`8'hFF`, `'b1010`, `42`), and the multi-character operators of
+ * the expression grammar. x/z digits and other out-of-subset
+ * lexemes become Error tokens carrying a message, never exceptions.
+ */
+
+#ifndef ZOOMIE_VERILOG_LEXER_HH
+#define ZOOMIE_VERILOG_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zoomie::verilog {
+
+/** One lexed token. */
+struct Token
+{
+    enum class Kind : uint8_t {
+        End,    ///< end of input
+        Ident,  ///< identifier or keyword (text distinguishes)
+        Number, ///< numeric literal (value/width decoded)
+        Punct,  ///< operator or punctuation (text is the lexeme)
+        Error,  ///< bad lexeme; text carries the message
+    };
+
+    Kind kind = Kind::End;
+    std::string text;   ///< lexeme (Error: the message)
+    uint64_t value = 0; ///< Number: decoded value
+    int width = 0;      ///< Number: declared size; 0 = unsized
+    int line = 1;
+    int col = 1;
+};
+
+/**
+ * Lex the whole input up front. Lexing never fails as a whole:
+ * malformed lexemes become Error tokens in place, so the parser
+ * can turn each into one diagnostic and resynchronize.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace zoomie::verilog
+
+#endif // ZOOMIE_VERILOG_LEXER_HH

@@ -1,0 +1,931 @@
+#include "parser.hh"
+
+#include <set>
+
+#include "verilog/lexer.hh"
+
+namespace zoomie::verilog {
+
+namespace {
+
+using namespace ast;
+
+/** Internal unwind after a recorded diagnostic; never escapes. */
+struct ParseAbort
+{
+};
+
+/** Words that can never be identifiers in this subset. */
+const std::set<std::string> &
+keywords()
+{
+    static const std::set<std::string> words = {
+        "module",   "endmodule", "input",    "output",   "inout",
+        "wire",     "reg",       "parameter", "localparam",
+        "assign",   "always",    "begin",    "end",      "if",
+        "else",     "case",      "casez",    "casex",    "endcase",
+        "default",  "posedge",   "negedge",  "or",       "initial",
+        "integer",  "genvar",    "generate", "endgenerate",
+        "for",      "while",     "function", "endfunction",
+        "task",     "endtask",   "signed",   "real",     "wand",
+        "wor",      "tri",       "supply0",  "supply1",  "time",
+        "forever",  "repeat",    "wait",     "fork",     "join",
+        "deassign", "force",     "release",  "disable",  "specify",
+    };
+    return words;
+}
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> toks, std::string file,
+           std::vector<Diag> &diags)
+        : _toks(std::move(toks)), _file(std::move(file)),
+          _diags(diags)
+    {
+    }
+
+    SourceUnit run()
+    {
+        SourceUnit unit;
+        while (!atEnd() && _diags.size() < kMaxDiags) {
+            if (peekIdent("module")) {
+                try {
+                    unit.modules.push_back(parseModule());
+                } catch (const ParseAbort &) {
+                    // Skip to the next 'endmodule' / 'module'.
+                    while (!atEnd() && !peekIdent("module")) {
+                        bool wasEnd = peekIdent("endmodule");
+                        next();
+                        if (wasEnd)
+                            break;
+                    }
+                }
+                continue;
+            }
+            Token tok = peek();
+            error(tok, "expected 'module', got " + describe(tok));
+            next();
+            // Resync to the next module keyword.
+            while (!atEnd() && !peekIdent("module"))
+                next();
+        }
+        return unit;
+    }
+
+  private:
+    static constexpr size_t kMaxDiags = 50;
+    static constexpr int kMaxExprDepth = 64;
+
+    // ---- token plumbing ------------------------------------------
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = _idx + ahead;
+        return i < _toks.size() ? _toks[i] : _toks.back();
+    }
+
+    bool atEnd() const
+    {
+        return peek().kind == Token::Kind::End;
+    }
+
+    Token next()
+    {
+        Token tok = peek();
+        if (_idx + 1 < _toks.size())
+            ++_idx;
+        if (tok.kind == Token::Kind::Error) {
+            // A bad lexeme surfaces exactly once, where it occurs.
+            error(tok, tok.text);
+        }
+        return tok;
+    }
+
+    bool peekIdent(const char *word, size_t ahead = 0) const
+    {
+        const Token &tok = peek(ahead);
+        return tok.kind == Token::Kind::Ident && tok.text == word;
+    }
+
+    bool peekPunct(const char *punct, size_t ahead = 0) const
+    {
+        const Token &tok = peek(ahead);
+        return tok.kind == Token::Kind::Punct && tok.text == punct;
+    }
+
+    bool acceptIdent(const char *word)
+    {
+        if (!peekIdent(word))
+            return false;
+        next();
+        return true;
+    }
+
+    bool acceptPunct(const char *punct)
+    {
+        if (!peekPunct(punct))
+            return false;
+        next();
+        return true;
+    }
+
+    void expectPunct(const char *punct, const char *context)
+    {
+        if (!acceptPunct(punct)) {
+            error(peek(), std::string("expected '") + punct +
+                              "' " + context + ", got " +
+                              describe(peek()));
+            throw ParseAbort{};
+        }
+    }
+
+    void expectIdent(const char *word, const char *context)
+    {
+        if (!acceptIdent(word)) {
+            error(peek(), std::string("expected '") + word + "' " +
+                              context + ", got " +
+                              describe(peek()));
+            throw ParseAbort{};
+        }
+    }
+
+    std::string expectName(const char *context)
+    {
+        const Token &tok = peek();
+        if (tok.kind != Token::Kind::Ident ||
+            keywords().count(tok.text)) {
+            error(tok, std::string("expected identifier ") +
+                           context + ", got " + describe(tok));
+            throw ParseAbort{};
+        }
+        return next().text;
+    }
+
+    static std::string describe(const Token &tok)
+    {
+        switch (tok.kind) {
+          case Token::Kind::End:
+            return "end of input";
+          case Token::Kind::Number:
+            return "number '" + tok.text + "'";
+          case Token::Kind::Error:
+            return "bad token";
+          default:
+            return "'" + tok.text + "'";
+        }
+    }
+
+    void error(const Token &at, const std::string &message)
+    {
+        if (_diags.size() >= kMaxDiags)
+            return;
+        Diag d;
+        d.severity = Diag::Severity::Error;
+        d.file = _file;
+        d.line = at.line;
+        d.col = at.col;
+        d.message = message;
+        _diags.push_back(std::move(d));
+    }
+
+    [[noreturn]] void fail(const Token &at,
+                           const std::string &message)
+    {
+        error(at, message);
+        throw ParseAbort{};
+    }
+
+    /** Skip to just past the next ';' (or before endmodule/end). */
+    void resyncStatement()
+    {
+        while (!atEnd()) {
+            if (peekIdent("endmodule") || peekIdent("end") ||
+                peekIdent("endcase"))
+                return;
+            bool wasSemi = peekPunct(";");
+            next();
+            if (wasSemi)
+                return;
+        }
+    }
+
+    // ---- module structure ----------------------------------------
+    Module parseModule()
+    {
+        Module mod;
+        Token kw = peek();
+        expectIdent("module", "to start a module");
+        mod.line = kw.line;
+        mod.col = kw.col;
+        mod.name = expectName("after 'module'");
+
+        if (acceptPunct("#"))
+            parseHeaderParams(mod);
+        if (peekPunct("("))
+            parsePortList(mod);
+        expectPunct(";", "after the module header");
+
+        while (!atEnd() && !peekIdent("endmodule")) {
+            if (_diags.size() >= kMaxDiags)
+                throw ParseAbort{};
+            try {
+                parseModuleItem(mod);
+            } catch (const ParseAbort &) {
+                resyncStatement();
+            }
+        }
+        expectIdent("endmodule", "to close the module");
+        return mod;
+    }
+
+    void parseHeaderParams(Module &mod)
+    {
+        expectPunct("(", "after '#'");
+        do {
+            acceptIdent("parameter"); // optional on continuations
+            parseOneParam(mod, /*local=*/false);
+        } while (acceptPunct(","));
+        expectPunct(")", "after the parameter list");
+    }
+
+    void parseOneParam(Module &mod, bool local)
+    {
+        // Optional (ignored) range on the parameter itself.
+        if (peekPunct("["))
+            parseRange();
+        ParamDecl p;
+        p.local = local;
+        Token at = peek();
+        p.name = expectName("in parameter declaration");
+        p.line = at.line;
+        p.col = at.col;
+        expectPunct("=", "after the parameter name");
+        p.value = parseExpr();
+        mod.params.push_back(std::move(p));
+    }
+
+    /** `[msb:lsb]` with constant-expression bounds. */
+    Range parseRange()
+    {
+        Range range;
+        expectPunct("[", "to open the range");
+        range.present = true;
+        range.msb = parseExpr();
+        expectPunct(":", "in the range");
+        range.lsb = parseExpr();
+        expectPunct("]", "to close the range");
+        return range;
+    }
+
+    /** Header ports: ANSI (`input [3:0] a, output reg b`) or the
+     *  classic bare name list (`a, b, clk`). */
+    void parsePortList(Module &mod)
+    {
+        expectPunct("(", "to open the port list");
+        if (acceptPunct(")"))
+            return;
+        bool ansi = peekIdent("input") || peekIdent("output") ||
+                    peekIdent("inout");
+        if (ansi) {
+            Dir dir = Dir::Input;
+            bool isReg = false;
+            Range range;
+            do {
+                Token at = peek();
+                if (peekIdent("inout"))
+                    fail(at, "inout ports are not supported");
+                bool newDecl = false;
+                if (acceptIdent("input")) {
+                    dir = Dir::Input;
+                    newDecl = true;
+                } else if (acceptIdent("output")) {
+                    dir = Dir::Output;
+                    newDecl = true;
+                }
+                if (newDecl) {
+                    isReg = false;
+                    range = Range{};
+                    acceptIdent("wire");
+                    if (acceptIdent("reg"))
+                        isReg = true;
+                    if (acceptIdent("signed"))
+                        fail(at, "signed ports are not supported");
+                    if (peekPunct("["))
+                        range = parseRange();
+                }
+                PortDecl port;
+                port.dir = dir;
+                port.isReg = isReg;
+                port.range = cloneRange(range);
+                Token nameAt = peek();
+                port.name = expectName("in the port list");
+                port.line = nameAt.line;
+                port.col = nameAt.col;
+                if (isReg && dir == Dir::Input)
+                    fail(nameAt, "input ports cannot be 'reg'");
+                mod.portOrder.push_back(port.name);
+                mod.ports.push_back(std::move(port));
+            } while (acceptPunct(","));
+        } else {
+            do {
+                mod.portOrder.push_back(
+                    expectName("in the port list"));
+            } while (acceptPunct(","));
+        }
+        expectPunct(")", "to close the port list");
+    }
+
+    void parseModuleItem(Module &mod)
+    {
+        const Token &tok = peek();
+        if (tok.kind == Token::Kind::Error) {
+            next(); // reports the lexeme error
+            throw ParseAbort{};
+        }
+        if (tok.kind != Token::Kind::Ident)
+            fail(tok, "expected a module item, got " +
+                          describe(tok));
+
+        const std::string &word = tok.text;
+        if (word == "parameter" || word == "localparam") {
+            bool local = word == "localparam";
+            next();
+            do {
+                parseOneParam(mod, local);
+            } while (acceptPunct(","));
+            expectPunct(";", "after the parameter declaration");
+            return;
+        }
+        if (word == "input" || word == "output") {
+            parseClassicPortDecl(mod);
+            return;
+        }
+        if (word == "inout")
+            fail(tok, "inout ports are not supported");
+        if (word == "wire" || word == "reg") {
+            parseNetDecl(mod);
+            return;
+        }
+        if (word == "assign") {
+            parseAssign(mod);
+            return;
+        }
+        if (word == "always") {
+            parseAlways(mod);
+            return;
+        }
+        static const std::set<std::string> unsupported = {
+            "initial",  "generate", "genvar",   "integer",
+            "function", "task",     "real",     "for",
+            "specify",  "wand",     "wor",      "tri",
+            "supply0",  "supply1",  "signed",   "time",
+        };
+        if (unsupported.count(word))
+            fail(tok, "'" + word +
+                          "' is outside the supported subset");
+        if (keywords().count(word))
+            fail(tok, "unexpected '" + word + "'");
+        parseInstance(mod);
+    }
+
+    /** Body `input`/`output` declarations for header-name ports. */
+    void parseClassicPortDecl(Module &mod)
+    {
+        Token at = peek();
+        Dir dir = acceptIdent("input") ? Dir::Input
+                                       : (next(), Dir::Output);
+        bool isReg = false;
+        acceptIdent("wire");
+        if (acceptIdent("reg"))
+            isReg = true;
+        if (acceptIdent("signed"))
+            fail(at, "signed ports are not supported");
+        Range range;
+        if (peekPunct("["))
+            range = parseRange();
+        do {
+            PortDecl port;
+            port.dir = dir;
+            port.isReg = isReg;
+            port.range = cloneRange(range);
+            Token nameAt = peek();
+            port.name = expectName("in the port declaration");
+            port.line = nameAt.line;
+            port.col = nameAt.col;
+            if (isReg && dir == Dir::Input)
+                fail(nameAt, "input ports cannot be 'reg'");
+            mod.ports.push_back(std::move(port));
+        } while (acceptPunct(","));
+        expectPunct(";", "after the port declaration");
+    }
+
+    void parseNetDecl(Module &mod)
+    {
+        bool isReg = acceptIdent("reg");
+        if (!isReg)
+            expectIdent("wire", "in a net declaration");
+        if (acceptIdent("signed"))
+            fail(peek(), "signed nets are not supported");
+        Range range;
+        if (peekPunct("["))
+            range = parseRange();
+        do {
+            NetDecl net;
+            net.isReg = isReg;
+            net.range = cloneRange(range);
+            Token nameAt = peek();
+            net.name = expectName("in the net declaration");
+            net.line = nameAt.line;
+            net.col = nameAt.col;
+            if (peekPunct("[")) {
+                if (!isReg)
+                    fail(peek(), "only 'reg' arrays (memories) "
+                                 "are supported");
+                net.array = parseRange();
+            }
+            if (peekPunct("=")) {
+                // `wire x = expr;` sugar: declaration + assign.
+                if (isReg)
+                    fail(peek(), "reg initializers are not "
+                                 "supported (state powers on as 0)");
+                next();
+                AssignItem item;
+                item.line = nameAt.line;
+                item.col = nameAt.col;
+                item.lhs = identExpr(net.name, nameAt);
+                item.rhs = parseExpr();
+                mod.items.push_back(
+                    {Module::Item::Kind::Assign,
+                     mod.assigns.size()});
+                mod.assigns.push_back(std::move(item));
+            }
+            mod.nets.push_back(std::move(net));
+        } while (acceptPunct(","));
+        expectPunct(";", "after the net declaration");
+    }
+
+    void parseAssign(Module &mod)
+    {
+        Token at = peek();
+        expectIdent("assign", "to start a continuous assign");
+        do {
+            AssignItem item;
+            item.line = at.line;
+            item.col = at.col;
+            item.lhs = parseLvalue();
+            expectPunct("=", "in the continuous assign");
+            item.rhs = parseExpr();
+            mod.items.push_back(
+                {Module::Item::Kind::Assign, mod.assigns.size()});
+            mod.assigns.push_back(std::move(item));
+        } while (acceptPunct(","));
+        expectPunct(";", "after the continuous assign");
+    }
+
+    void parseAlways(Module &mod)
+    {
+        Token at = peek();
+        expectIdent("always", "to start an always block");
+        expectPunct("@", "after 'always'");
+        AlwaysItem item;
+        item.line = at.line;
+        item.col = at.col;
+        if (acceptPunct("*")) {
+            item.comb = true;
+        } else {
+            expectPunct("(", "after '@'");
+            if (acceptPunct("*")) {
+                item.comb = true;
+            } else if (acceptIdent("posedge")) {
+                item.clock = expectName("after 'posedge'");
+                if (peekIdent("or") || peekPunct(",")) {
+                    fail(peek(),
+                         "multiple events in one sensitivity list "
+                         "are not supported (use synchronous "
+                         "resets)");
+                }
+            } else if (peekIdent("negedge")) {
+                fail(peek(), "negedge clocks are not supported");
+            } else {
+                // An explicit signal list: treat as combinational
+                // only when it is pure identifiers (classic
+                // pre-2001 style); the elaborator recomputes the
+                // true sensitivity anyway.
+                do {
+                    if (peekIdent("posedge") ||
+                        peekIdent("negedge"))
+                        fail(peek(), "mixed edge/level "
+                                     "sensitivity lists are not "
+                                     "supported");
+                    expectName("in the sensitivity list");
+                } while (acceptIdent("or") || acceptPunct(","));
+                item.comb = true;
+            }
+            expectPunct(")", "to close the sensitivity list");
+        }
+        item.body = parseStmt();
+        mod.items.push_back(
+            {Module::Item::Kind::Always, mod.always.size()});
+        mod.always.push_back(std::move(item));
+    }
+
+    void parseInstance(Module &mod)
+    {
+        Instance inst;
+        Token at = peek();
+        inst.line = at.line;
+        inst.col = at.col;
+        inst.moduleName = expectName("naming a module to "
+                                     "instantiate");
+        if (acceptPunct("#")) {
+            expectPunct("(", "after '#'");
+            parseConnections(inst.paramOverrides,
+                             inst.paramsPositional);
+            expectPunct(")", "after the parameter overrides");
+        }
+        inst.name = expectName("naming the instance");
+        expectPunct("(", "to open the connection list");
+        if (!peekPunct(")"))
+            parseConnections(inst.conns, inst.connsPositional);
+        expectPunct(")", "to close the connection list");
+        expectPunct(";", "after the instantiation");
+        mod.items.push_back(
+            {Module::Item::Kind::Instance, mod.instances.size()});
+        mod.instances.push_back(std::move(inst));
+    }
+
+    void parseConnections(std::vector<Connection> &out,
+                          bool &positional)
+    {
+        positional = !peekPunct(".");
+        do {
+            Connection conn;
+            Token at = peek();
+            conn.line = at.line;
+            conn.col = at.col;
+            if (!positional) {
+                expectPunct(".", "in the named connection list");
+                conn.port = expectName("after '.'");
+                expectPunct("(", "after the port name");
+                if (!peekPunct(")"))
+                    conn.expr = parseExpr();
+                expectPunct(")", "after the connection");
+            } else {
+                conn.expr = parseExpr();
+            }
+            out.push_back(std::move(conn));
+        } while (acceptPunct(","));
+    }
+
+    // ---- statements ----------------------------------------------
+    StmtP parseStmt()
+    {
+        Token at = peek();
+        if (acceptIdent("begin")) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = Stmt::Kind::Block;
+            stmt->line = at.line;
+            stmt->col = at.col;
+            while (!atEnd() && !peekIdent("end")) {
+                if (_diags.size() >= kMaxDiags)
+                    throw ParseAbort{};
+                try {
+                    stmt->stmts.push_back(parseStmt());
+                } catch (const ParseAbort &) {
+                    resyncStatement();
+                    if (peekIdent("endmodule"))
+                        throw;
+                }
+            }
+            expectIdent("end", "to close the block");
+            return stmt;
+        }
+        if (acceptIdent("if")) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = Stmt::Kind::If;
+            stmt->line = at.line;
+            stmt->col = at.col;
+            expectPunct("(", "after 'if'");
+            stmt->cond = parseExpr();
+            expectPunct(")", "after the if condition");
+            stmt->thenStmts.push_back(parseStmt());
+            if (acceptIdent("else"))
+                stmt->elseStmts.push_back(parseStmt());
+            return stmt;
+        }
+        if (peekIdent("casez") || peekIdent("casex"))
+            fail(at, "casez/casex are not supported (2-state "
+                     "subset)");
+        if (acceptIdent("case")) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = Stmt::Kind::Case;
+            stmt->line = at.line;
+            stmt->col = at.col;
+            expectPunct("(", "after 'case'");
+            stmt->caseExpr = parseExpr();
+            expectPunct(")", "after the case expression");
+            while (!atEnd() && !peekIdent("endcase")) {
+                if (_diags.size() >= kMaxDiags)
+                    throw ParseAbort{};
+                Stmt::CaseItem item;
+                Token itemAt = peek();
+                item.line = itemAt.line;
+                item.col = itemAt.col;
+                if (acceptIdent("default")) {
+                    acceptPunct(":");
+                } else {
+                    do {
+                        item.labels.push_back(parseExpr());
+                    } while (acceptPunct(","));
+                    expectPunct(":", "after the case labels");
+                }
+                item.body.push_back(parseStmt());
+                stmt->items.push_back(std::move(item));
+            }
+            expectIdent("endcase", "to close the case");
+            return stmt;
+        }
+        if (acceptPunct(";")) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = Stmt::Kind::Block;
+            stmt->line = at.line;
+            stmt->col = at.col;
+            return stmt;
+        }
+        if (peekIdent("for") || peekIdent("while") ||
+            peekIdent("forever") || peekIdent("repeat"))
+            fail(at, "'" + at.text +
+                         "' loops are not supported");
+
+        // Assignment.
+        auto stmt = std::make_unique<Stmt>();
+        stmt->line = at.line;
+        stmt->col = at.col;
+        stmt->lhs = parseLvalue();
+        if (acceptPunct("<=")) {
+            stmt->kind = Stmt::Kind::NonBlocking;
+        } else if (acceptPunct("=")) {
+            stmt->kind = Stmt::Kind::Blocking;
+        } else {
+            fail(peek(), "expected '=' or '<=' in the assignment, "
+                         "got " + describe(peek()));
+        }
+        stmt->rhs = parseExpr();
+        expectPunct(";", "after the assignment");
+        return stmt;
+    }
+
+    // ---- expressions ---------------------------------------------
+    ExprP identExpr(const std::string &name, const Token &at)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Ident;
+        e->name = name;
+        e->line = at.line;
+        e->col = at.col;
+        return e;
+    }
+
+    /** lvalue := ident | ident[expr] | ident[msb:lsb] */
+    ExprP parseLvalue()
+    {
+        if (peekPunct("{"))
+            fail(peek(), "concatenation targets are not supported");
+        Token at = peek();
+        std::string name = expectName("as the assignment target");
+        if (!peekPunct("["))
+            return identExpr(name, at);
+        return parseSelect(name, at);
+    }
+
+    ExprP parseSelect(const std::string &name, const Token &at)
+    {
+        expectPunct("[", "in the select");
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Select;
+        e->name = name;
+        e->line = at.line;
+        e->col = at.col;
+        e->ops.push_back(parseExpr());
+        if (peekPunct("+:") || peekPunct("-:"))
+            fail(peek(), "indexed part-selects (+: -:) are not "
+                         "supported");
+        if (acceptPunct(":")) {
+            e->isRange = true;
+            e->ops.push_back(parseExpr());
+        }
+        expectPunct("]", "to close the select");
+        if (peekPunct("["))
+            fail(peek(), "multi-dimensional selects are not "
+                         "supported");
+        return e;
+    }
+
+    ExprP parseExpr()
+    {
+        if (++_exprDepth > kMaxExprDepth) {
+            --_exprDepth;
+            fail(peek(), "expression nests too deeply");
+        }
+        ExprP e = parseTernary();
+        --_exprDepth;
+        return e;
+    }
+
+    ExprP parseTernary()
+    {
+        ExprP cond = parseBinary(0);
+        if (!acceptPunct("?"))
+            return cond;
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Ternary;
+        e->line = cond->line;
+        e->col = cond->col;
+        e->ops.push_back(std::move(cond));
+        e->ops.push_back(parseExpr());
+        expectPunct(":", "in the conditional expression");
+        e->ops.push_back(parseExpr());
+        return e;
+    }
+
+    /** Binary precedence levels, lowest first. */
+    static int binaryLevel(const std::string &op)
+    {
+        if (op == "||")
+            return 0;
+        if (op == "&&")
+            return 1;
+        if (op == "|")
+            return 2;
+        if (op == "^" || op == "^~" || op == "~^")
+            return 3;
+        if (op == "&")
+            return 4;
+        if (op == "==" || op == "!=")
+            return 5;
+        if (op == "<" || op == "<=" || op == ">" || op == ">=")
+            return 6;
+        if (op == "<<" || op == ">>")
+            return 7;
+        if (op == "+" || op == "-")
+            return 8;
+        if (op == "*" || op == "/" || op == "%")
+            return 9;
+        return -1;
+    }
+
+    ExprP parseBinary(int level)
+    {
+        if (level > 9)
+            return parseUnary();
+        ExprP lhs = parseBinary(level + 1);
+        for (;;) {
+            const Token &tok = peek();
+            if (tok.kind != Token::Kind::Punct ||
+                binaryLevel(tok.text) != level)
+                return lhs;
+            if (tok.text == "===" || tok.text == "!==")
+                fail(tok, "case equality (===) is not supported "
+                          "(2-state subset)");
+            Token op = next();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->name = op.text;
+            e->line = op.line;
+            e->col = op.col;
+            e->ops.push_back(std::move(lhs));
+            e->ops.push_back(parseBinary(level + 1));
+            lhs = std::move(e);
+        }
+    }
+
+    ExprP parseUnary()
+    {
+        const Token &tok = peek();
+        if (tok.kind == Token::Kind::Punct) {
+            const std::string &op = tok.text;
+            if (op == "~" || op == "!" || op == "-" || op == "+" ||
+                op == "&" || op == "|" || op == "^" || op == "~&" ||
+                op == "~|" || op == "~^" || op == "^~") {
+                Token opTok = next();
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Unary;
+                e->name = opTok.text;
+                e->line = opTok.line;
+                e->col = opTok.col;
+                e->ops.push_back(parseUnary());
+                return e;
+            }
+            if (op == "**")
+                fail(tok, "the power operator is not supported");
+        }
+        return parsePrimary();
+    }
+
+    ExprP parsePrimary()
+    {
+        Token tok = peek();
+        if (tok.kind == Token::Kind::Number) {
+            next();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Number;
+            e->value = tok.value;
+            e->width = tok.width;
+            e->line = tok.line;
+            e->col = tok.col;
+            return e;
+        }
+        if (acceptPunct("(")) {
+            ExprP e = parseExpr();
+            expectPunct(")", "to close the parenthesized "
+                             "expression");
+            return e;
+        }
+        if (acceptPunct("{")) {
+            // Concatenation or replication.
+            ExprP first = parseExpr();
+            if (acceptPunct("{")) {
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Repl;
+                e->line = tok.line;
+                e->col = tok.col;
+                e->ops.push_back(std::move(first));
+                e->ops.push_back(parseExpr());
+                expectPunct("}", "to close the replication");
+                expectPunct("}", "after the replication");
+                return e;
+            }
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Concat;
+            e->line = tok.line;
+            e->col = tok.col;
+            e->ops.push_back(std::move(first));
+            while (acceptPunct(","))
+                e->ops.push_back(parseExpr());
+            expectPunct("}", "to close the concatenation");
+            return e;
+        }
+        if (tok.kind == Token::Kind::Ident &&
+            !keywords().count(tok.text)) {
+            std::string name = next().text;
+            if (peekPunct("("))
+                fail(tok, "function calls are not supported");
+            if (peekPunct("["))
+                return parseSelect(name, tok);
+            return identExpr(name, tok);
+        }
+        if (tok.kind == Token::Kind::Error) {
+            next();
+            throw ParseAbort{};
+        }
+        fail(tok, "expected an expression, got " + describe(tok));
+    }
+
+    static Range cloneRange(const Range &range);
+
+    std::vector<Token> _toks;
+    std::string _file;
+    std::vector<Diag> &_diags;
+    size_t _idx = 0;
+    int _exprDepth = 0;
+};
+
+/** Deep-copy an expression (for shared declaration ranges). */
+ExprP
+cloneExpr(const ExprP &e)
+{
+    if (!e)
+        return nullptr;
+    auto out = std::make_unique<Expr>();
+    out->kind = e->kind;
+    out->line = e->line;
+    out->col = e->col;
+    out->value = e->value;
+    out->width = e->width;
+    out->name = e->name;
+    out->isRange = e->isRange;
+    for (const ExprP &op : e->ops)
+        out->ops.push_back(cloneExpr(op));
+    return out;
+}
+
+Range
+Parser::cloneRange(const Range &range)
+{
+    Range out;
+    out.present = range.present;
+    out.msb = cloneExpr(range.msb);
+    out.lsb = cloneExpr(range.lsb);
+    return out;
+}
+
+} // namespace
+
+ast::SourceUnit
+parse(const std::string &source, const std::string &file,
+      std::vector<Diag> &diags)
+{
+    return Parser(lex(source), file, diags).run();
+}
+
+} // namespace zoomie::verilog

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Recursive-descent parser for the Verilog subset: token stream
+ * (lexer.hh) to ast::SourceUnit. Parse errors become structured
+ * Diags; the parser resynchronizes at the next ';' / 'end' /
+ * 'endmodule' after each error so one typo yields one diagnostic,
+ * not a cascade, and later modules in the same file still parse.
+ */
+
+#ifndef ZOOMIE_VERILOG_PARSER_HH
+#define ZOOMIE_VERILOG_PARSER_HH
+
+#include <string>
+#include <vector>
+
+#include "verilog/ast.hh"
+#include "verilog/verilog.hh"
+
+namespace zoomie::verilog {
+
+/**
+ * Parse @p source into an AST, appending diagnostics (with
+ * @p file as their file field) to @p diags. The returned tree is
+ * structurally complete only for the modules that parsed without
+ * errors; callers must treat any error-severity diagnostic as
+ * "do not elaborate".
+ */
+ast::SourceUnit parse(const std::string &source,
+                      const std::string &file,
+                      std::vector<Diag> &diags);
+
+} // namespace zoomie::verilog
+
+#endif // ZOOMIE_VERILOG_PARSER_HH

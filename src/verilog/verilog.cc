@@ -1,0 +1,53 @@
+#include "verilog.hh"
+
+#include "verilog/elaborate.hh"
+#include "verilog/parser.hh"
+
+namespace zoomie::verilog {
+
+std::string
+Diag::render() const
+{
+    const char *sev =
+        severity == Severity::Error ? "error" : "warning";
+    return file + ":" + std::to_string(line) + ":" +
+           std::to_string(col) + ": " + sev + ": " + message;
+}
+
+bool
+CompileResult::hasErrors() const
+{
+    for (const Diag &d : diags)
+        if (d.severity == Diag::Severity::Error)
+            return true;
+    return false;
+}
+
+std::string
+CompileResult::renderDiags() const
+{
+    std::string out;
+    for (const Diag &d : diags) {
+        out += d.render();
+        out += '\n';
+    }
+    return out;
+}
+
+CompileResult
+compile(const std::string &source, const CompileOptions &options)
+{
+    CompileResult result;
+    ast::SourceUnit unit =
+        parse(source, options.file, result.diags);
+    if (result.hasErrors())
+        return result;
+    result.design = elaborate(unit, options, result.diags,
+                              result.top);
+    result.ok = result.design.has_value() && !result.hasErrors();
+    if (!result.ok)
+        result.design.reset();
+    return result;
+}
+
+} // namespace zoomie::verilog

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Verilog front end facade: text in, rtl::Design out. This is
+ * what the `open_source` wire command, the `source` REPL command
+ * and the zoomie_vparse CLI call. A compile is
+ *
+ *     lex -> parse (ast.hh) -> elaborate (elaborate.hh)
+ *
+ * and never throws or aborts on bad input: every failure — lexical,
+ * syntactic, semantic (latch inference, undriven wires, width
+ * violations, recursive instantiation) — is a structured Diag with
+ * file/line/column, so servers turn user RTL straight into typed
+ * error replies.
+ *
+ * Supported subset (DESIGN.md §12 has the full table): modules with
+ * ANSI or classic port lists, parameters/localparams, wire/reg
+ * declarations, memories (`reg [w:0] m [0:d];`), continuous
+ * assigns, `always @(posedge clk)` with nonblocking assigns and
+ * `always @*` with blocking assigns (if/case inside), the
+ * binary/unary/ternary/concat/replication/slice expression grammar,
+ * and module instantiation with named or positional connections.
+ * Two-state semantics, unsigned arithmetic, widths up to 64 bits.
+ */
+
+#ifndef ZOOMIE_VERILOG_VERILOG_HH
+#define ZOOMIE_VERILOG_VERILOG_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hh"
+
+namespace zoomie::verilog {
+
+/** One structured diagnostic. */
+struct Diag
+{
+    enum class Severity : uint8_t { Error, Warning };
+
+    Severity severity = Severity::Error;
+    std::string file;
+    int line = 0;
+    int col = 0;
+    std::string message;
+
+    /** "file:line:col: error: message" (gcc style). */
+    std::string render() const;
+};
+
+/** Compile configuration. */
+struct CompileOptions
+{
+    /** Name reported in diagnostics. */
+    std::string file = "<input>";
+
+    /** Top module; empty = infer (the one module no other module
+     *  instantiates; ambiguity is an error). */
+    std::string top;
+
+    /**
+     * Scope the flattened top module's state lives under. The
+     * default "mut" matches the debug server's module-under-test
+     * convention: an uploaded design's registers become
+     * "mut/<name>" and instrumentation gates exactly that scope.
+     * Empty = no wrapping scope.
+     */
+    std::string topScope = "mut";
+};
+
+/** Outcome of a compile. */
+struct CompileResult
+{
+    /** True when design holds a valid elaborated rtl::Design. */
+    bool ok = false;
+
+    std::optional<rtl::Design> design;
+
+    /** The top module that was elaborated. */
+    std::string top;
+
+    std::vector<Diag> diags;
+
+    bool hasErrors() const;
+
+    /** All diagnostics rendered one per line. */
+    std::string renderDiags() const;
+};
+
+/** Compile Verilog source text. Never throws on bad input. */
+CompileResult compile(const std::string &source,
+                      const CompileOptions &options = {});
+
+} // namespace zoomie::verilog
+
+#endif // ZOOMIE_VERILOG_VERILOG_HH

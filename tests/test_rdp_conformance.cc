@@ -67,6 +67,10 @@ const std::string kPause = R"({"cmd":"pause"})";
 const std::string kSnap = R"({"cmd":"snapshot"})";
 const std::string kRun3 = R"({"cmd":"run","n":3})";
 
+/** Upload the counter-with-enable design through the wire. */
+const std::string kOpenSource =
+    R"({"cmd":"open_source","text":"module counter(input clk, input en, output [15:0] value);\n  reg [15:0] count;\n  always @(posedge clk) if (en) count <= count + 1;\n  assign value = count;\nendmodule\n"})";
+
 /** One golden row per wire command — session and server scope. */
 const std::vector<std::pair<std::string, GoldenCase>> &
 goldenTable()
@@ -76,7 +80,7 @@ goldenTable()
             {"hello",
              {{},
               R"({"cmd":"hello","id":1,"version":2})",
-              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","forcemem","regs","snapshot","restore","trace","info","assert","lint","hello","open","close","sessions","commands","batch","quit","shutdown"]})"}},
+              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","poke","forcemem","regs","snapshot","restore","trace","info","assert","lint","hello","open","open_source","close","sessions","commands","batch","quit","shutdown"]})"}},
             {"open",
              {{},
               R"({"cmd":"open","id":1,"design":"counter"})",
@@ -92,7 +96,7 @@ goldenTable()
             {"commands",
              {{},
               R"({"cmd":"commands","id":1})",
-              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false},{"name":"snapshot","alias":"snap","scope":"session","help":"capture the whole design state","args":[],"events":false},{"name":"restore","scope":"session","help":"restore the last snapshot","args":[],"events":false},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true},{"name":"info","scope":"session","help":"session status","args":[],"events":false},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false}],"min_version":1},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
+              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"poke","scope":"session","help":"drive a top-level input port","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false},{"name":"snapshot","alias":"snap","scope":"session","help":"capture the whole design state","args":[],"events":false},{"name":"restore","scope":"session","help":"restore the last snapshot","args":[],"events":false},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true},{"name":"info","scope":"session","help":"session status","args":[],"events":false},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false}],"min_version":1},{"name":"open_source","scope":"server","help":"compile uploaded Verilog into a new debug session","args":[{"name":"text","type":"string","required":false},{"name":"chunk","type":"string","required":false},{"name":"seq","type":"u64","required":false},{"name":"last","type":"bool","required":false},{"name":"top","type":"string","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"lint","type":"bool","required":false}],"min_version":2},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
             {"batch",
              {{kOpen},
               R"({"cmd":"batch","id":1,"requests":[{"cmd":"snapshot"}]})",
@@ -179,6 +183,14 @@ goldenTable()
              {{kOpen},
               R"({"cmd":"lint","id":1})",
               R"({"type":"reply","id":1,"cmd":"lint","ok":true,"design":"counter","findings":[],"errors":0,"warnings":0,"notes":0,"clean":true})"}},
+            {"open_source",
+             {{},
+              R"({"cmd":"open_source","id":1,"text":"module counter(input clk, input en, output [15:0] value);\n  reg [15:0] count;\n  always @(posedge clk) if (en) count <= count + 1;\n  assign value = count;\nendmodule\n"})",
+              R"({"type":"reply","id":1,"cmd":"open_source","ok":true,"session":1,"design":"source","top":"counter","nodes":9,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"]})"}},
+            {"poke",
+             {{kOpenSource},
+              R"({"cmd":"poke","id":1,"name":"en","value":1})",
+              R"({"type":"reply","id":1,"cmd":"poke","ok":true,"name":"en","value":1})"}},
         };
     return rows;
 }
@@ -282,4 +294,145 @@ TEST(RdpConformance, GoldenRequestsRoundTripThroughTheParser)
         ASSERT_TRUE(req->id);
         EXPECT_EQ(*req->id, 1u);
     }
+}
+
+// ---- open_source error-path goldens ----------------------------------
+//
+// The upload pipeline's typed rejections, pinned byte-for-byte:
+// each failure mode answers its own Errc and none of them consumes
+// a registry slot.
+
+TEST(RdpConformance, OpenSourceParseErrorGolden)
+{
+    rdp::Server server;
+    bool quit = false;
+    auto out = server.handleLine(
+        R"({"cmd":"open_source","id":1,"text":"module broken(input clk; endmodule"})",
+        quit);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(
+        out.back(),
+        R"x({"type":"reply","id":1,"cmd":"open_source","ok":false,"error":"parse-error","detail":"Verilog compile failed with 1 error(s)","diagnostics":[{"file":"<upload>","line":1,"col":24,"severity":"error","message":"expected ')' to close the port list, got ';'"}]})x");
+    EXPECT_EQ(server.sessions().count(), 0u);
+}
+
+TEST(RdpConformance, OpenSourceLintRejectedGolden)
+{
+    // A constant memory address beyond a non-power-of-two depth is
+    // legal source, passes elaboration, and trips the lint width
+    // pass with an error-severity finding: exactly the class of
+    // defect the gate exists for.
+    const std::string upload =
+        R"("text":"module m(input clk, input [7:0] d, output [7:0] q);\n  reg [7:0] store [0:5];\n  reg [7:0] r;\n  always @(posedge clk) begin\n    store[7] <= d;\n    r <= store[0];\n  end\n  assign q = r;\nendmodule\n")";
+    rdp::Server server;
+    bool quit = false;
+    auto out = server.handleLine(
+        R"({"cmd":"open_source","id":1,)" + upload + "}", quit);
+    ASSERT_FALSE(out.empty());
+    // The reply must be the typed lint-rejected error with at
+    // least one structured finding, and no session may exist.
+    EXPECT_NE(out.back().find("\"error\":\"lint-rejected\""),
+              std::string::npos)
+        << out.back();
+    EXPECT_NE(out.back().find("\"findings\":["), std::string::npos)
+        << out.back();
+    EXPECT_NE(out.back().find("\"pass\":\"width\""),
+              std::string::npos)
+        << out.back();
+    EXPECT_NE(out.back().find("constant 7 >= depth 6"),
+              std::string::npos)
+        << out.back();
+    EXPECT_EQ(server.sessions().count(), 0u);
+
+    // The same design with {"lint":false} must be admitted: the
+    // gate, not the compiler, rejected it.
+    auto out2 = server.handleLine(
+        R"({"cmd":"open_source","id":2,"lint":false,)" + upload +
+            "}",
+        quit);
+    ASSERT_FALSE(out2.empty());
+    EXPECT_NE(out2.back().find("\"ok\":true"), std::string::npos)
+        << out2.back();
+    EXPECT_EQ(server.sessions().count(), 1u);
+}
+
+TEST(RdpConformance, OpenSourceBusyGolden)
+{
+    rdp::ServerOptions options;
+    options.scheduler.maxSessions = 1;
+    rdp::Server server(options);
+    bool quit = false;
+    auto ok = server.handleLine(
+        R"({"cmd":"open","design":"counter"})", quit);
+    ASSERT_NE(ok.back().find("\"ok\":true"), std::string::npos);
+    auto out = server.handleLine(
+        R"({"cmd":"open_source","id":1,"text":"module counter(input clk, output [15:0] value);\n  reg [15:0] count;\n  always @(posedge clk) count <= count + 1;\n  assign value = count;\nendmodule\n"})",
+        quit);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(
+        out.back(),
+        R"({"type":"reply","id":1,"cmd":"open_source","ok":false,"error":"busy","detail":"session limit reached (1 open); close one or retry later"})");
+    EXPECT_EQ(server.sessions().count(), 1u);
+}
+
+TEST(RdpConformance, OpenSourceGatedOnV1Golden)
+{
+    rdp::Server server;
+    rdp::ConnState conn;
+    bool quit = false;
+    auto hello = server.handleLine(
+        R"({"cmd":"hello","version":1})", conn, quit);
+    ASSERT_NE(hello.back().find("\"version\":1"),
+              std::string::npos);
+    auto out = server.handleLine(
+        R"({"cmd":"open_source","id":1,"text":"module m(); endmodule"})",
+        conn, quit);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(
+        out.back(),
+        R"x({"type":"reply","id":1,"cmd":"open_source","ok":false,"error":"unknown-command","detail":"\"open_source\" requires protocol >= 2 (negotiated 1)"})x");
+    EXPECT_EQ(server.sessions().count(), 0u);
+}
+
+TEST(RdpConformance, OpenSourceNoRegistersGolden)
+{
+    rdp::Server server;
+    bool quit = false;
+    auto out = server.handleLine(
+        R"({"cmd":"open_source","id":1,"text":"module w(input a, output b);\n  assign b = !a;\nendmodule\n"})",
+        quit);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(
+        out.back(),
+        R"({"type":"reply","id":1,"cmd":"open_source","ok":false,"error":"bad-args","detail":"design has no registers; nothing to debug"})");
+    EXPECT_EQ(server.sessions().count(), 0u);
+}
+
+TEST(RdpConformance, OpenSourceChunkedGolden)
+{
+    rdp::Server server;
+    rdp::ConnState conn;
+    bool quit = false;
+    auto first = server.handleLine(
+        R"({"cmd":"open_source","id":1,"chunk":"module counter(input clk, output [15:0] value);\n  reg [15:0] count;\n","seq":0})",
+        conn, quit);
+    EXPECT_EQ(
+        first.back(),
+        R"({"type":"reply","id":1,"cmd":"open_source","ok":true,"received":68,"next_seq":1})");
+    auto last = server.handleLine(
+        R"({"cmd":"open_source","id":2,"chunk":"  always @(posedge clk) count <= count + 1;\n  assign value = count;\nendmodule\n","seq":1,"last":true})",
+        conn, quit);
+    EXPECT_EQ(
+        last.back(),
+        R"({"type":"reply","id":2,"cmd":"open_source","ok":true,"session":1,"design":"source","top":"counter","nodes":6,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"]})");
+    EXPECT_EQ(server.sessions().count(), 1u);
+
+    // An out-of-order chunk resets the buffer with a typed error.
+    auto bad = server.handleLine(
+        R"({"cmd":"open_source","id":3,"chunk":"x","seq":7})",
+        conn, quit);
+    EXPECT_EQ(
+        bad.back(),
+        R"({"type":"reply","id":3,"cmd":"open_source","ok":false,"error":"bad-args","detail":"\"seq\" 7 out of order (expected 0); upload discarded"})");
+    EXPECT_EQ(server.sessions().count(), 1u);
 }

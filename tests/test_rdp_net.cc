@@ -229,6 +229,103 @@ requestCollect(LoopbackClient &client, const std::string &line)
 
 } // namespace
 
+TEST(RdpNet, UploadedVerilogDebugsEndToEnd)
+{
+    // The PR's acceptance run: a counter-with-enable written in
+    // Verilog round-trips end-to-end with zero C++ Builder calls —
+    // chunked `open_source` upload over a real loopback socket,
+    // through the lint gate, into a scheduled session; then
+    // poke/break/run/print/regs/trace against the compiled design.
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+
+    LoopbackClient client(fx.tcp.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(replyOk(client.request(
+        "{\"cmd\":\"hello\",\"version\":2,\"id\":1}")));
+
+    const std::string rtl =
+        "module counter(input clk, input en, output [15:0] q);\n"
+        "  reg [15:0] count;\n"
+        "  always @(posedge clk) if (en) count <= count + 1;\n"
+        "  assign q = count;\n"
+        "endmodule\n";
+
+    // Upload in two chunks: the reassembly must be byte-exact or
+    // the compile below fails.
+    size_t cut = rtl.size() / 2;
+    Json first = Json::object();
+    first.set("cmd", "open_source");
+    first.set("chunk", rtl.substr(0, cut));
+    first.set("seq", uint64_t(0));
+    first.set("id", 2);
+    Json ack = client.request(first.encode());
+    ASSERT_TRUE(replyOk(ack)) << ack.encode();
+    EXPECT_EQ(ack.find("received")->asU64(), cut);
+    EXPECT_EQ(ack.find("next_seq")->asU64(), 1u);
+
+    Json second = Json::object();
+    second.set("cmd", "open_source");
+    second.set("chunk", rtl.substr(cut));
+    second.set("seq", uint64_t(1));
+    second.set("last", true);
+    second.set("id", 3);
+    Json open = client.request(second.encode());
+    ASSERT_TRUE(replyOk(open)) << open.encode();
+    EXPECT_EQ(open.find("design")->asString(), "source");
+    EXPECT_EQ(open.find("top")->asString(), "counter");
+    EXPECT_EQ(open.find("regs")->asU64(), 1u);
+    uint64_t sid = open.find("session")->asU64();
+    EXPECT_GT(sid, 0u);
+
+    // The counter only advances while its input is driven high.
+    ASSERT_TRUE(replyOk(client.request(
+        "{\"cmd\":\"poke\",\"name\":\"en\",\"value\":1,"
+        "\"id\":4}")));
+    ASSERT_TRUE(replyOk(client.request(
+        "{\"cmd\":\"break\",\"slot\":0,\"value\":25,"
+        "\"id\":5}")));
+
+    auto [events, run] = requestCollect(
+        client, "{\"cmd\":\"run\",\"n\":200,\"id\":6}");
+    ASSERT_TRUE(replyOk(run)) << run.encode();
+    EXPECT_TRUE(run.find("paused")->asBool());
+    EXPECT_EQ(run.find("cycle")->asU64(), 25u);
+    bool stopped = false;
+    for (const Json &event : events)
+        if (event.find("type")->asString() == "dbg_stop")
+            stopped = true;
+    EXPECT_TRUE(stopped) << "no dbg_stop event for the breakpoint";
+
+    Json print = client.request(
+        "{\"cmd\":\"print\",\"name\":\"mut/count\",\"id\":7}");
+    ASSERT_TRUE(replyOk(print));
+    EXPECT_EQ(print.find("value")->asU64(), 25u);
+
+    Json regs = client.request(
+        "{\"cmd\":\"regs\",\"prefix\":\"mut/\",\"id\":8}");
+    ASSERT_TRUE(replyOk(regs));
+    const Json *values = regs.find("regs");
+    ASSERT_TRUE(values && values->isObject());
+    ASSERT_TRUE(values->find("mut/count"));
+    EXPECT_EQ(values->find("mut/count")->asU64(), 25u);
+
+    auto [tevents, trace] = requestCollect(
+        client, "{\"cmd\":\"trace\",\"n\":4,\"id\":9}");
+    ASSERT_TRUE(replyOk(trace)) << trace.encode();
+    std::string document;
+    for (const Json &event : tevents)
+        if (event.find("type")->asString() == "trace_chunk")
+            document += event.find("data")->asString();
+    EXPECT_NE(document.find("mut.count"), std::string::npos);
+
+    ASSERT_TRUE(replyOk(client.request(
+        "{\"cmd\":\"close\",\"id\":10}")));
+    EXPECT_EQ(fx.server.sessions().count(), 0u);
+
+    fx.tcp.stop();
+}
+
 TEST(RdpNet, StreamedTraceReconstructsWithoutServerSideFiles)
 {
     // The PR's acceptance run: a v2 client on a real loopback

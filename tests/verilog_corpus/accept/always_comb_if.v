@@ -1,0 +1,18 @@
+// always @* with complete if/else chains (no latch).
+module prio(input clk, input [3:0] req, output [1:0] grant_out);
+  reg [1:0] grant;
+  reg [1:0] held;
+  always @* begin
+    if (req[0])
+      grant = 0;
+    else if (req[1])
+      grant = 1;
+    else if (req[2])
+      grant = 2;
+    else
+      grant = 3;
+  end
+  always @(posedge clk)
+    held <= grant;
+  assign grant_out = held;
+endmodule

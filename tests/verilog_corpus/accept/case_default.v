@@ -1,0 +1,12 @@
+// Case with expression labels and a default in the middle.
+module decode(input clk, input [2:0] op, output [7:0] mask_out);
+  reg [7:0] mask;
+  always @(posedge clk)
+    case (op)
+      0: mask <= 8'h01;
+      1, 2: mask <= 8'h06;
+      default: mask <= 8'h00;
+      7: mask <= 8'h80;
+    endcase
+  assign mask_out = mask;
+endmodule

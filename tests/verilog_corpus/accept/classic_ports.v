@@ -1,0 +1,9 @@
+// Classic (non-ANSI) port declarations, output reg merge.
+module legacy(clk, d, q);
+  input clk;
+  input [3:0] d;
+  output [3:0] q;
+  reg [3:0] q;
+  always @(posedge clk)
+    q <= d;
+endmodule

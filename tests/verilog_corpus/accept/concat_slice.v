@@ -1,0 +1,9 @@
+// Concatenation, part selects, bit selects.
+module swizzle(input clk, input [15:0] word, output [15:0] out);
+  reg [15:0] held;
+  wire [7:0] hi = word[15:8];
+  wire [7:0] lo = word[7:0];
+  always @(posedge clk)
+    held <= {lo, hi};
+  assign out = {held[7:0], held[15], held[14:8]};
+endmodule

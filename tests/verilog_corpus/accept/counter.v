@@ -1,0 +1,7 @@
+// Free-running counter: the smallest sequential design.
+module counter(input clk, output [15:0] value);
+  reg [15:0] count;
+  always @(posedge clk)
+    count <= count + 1;
+  assign value = count;
+endmodule

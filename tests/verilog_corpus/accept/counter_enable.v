@@ -1,0 +1,9 @@
+// Counter with an enable: the open_source e2e workload.
+module counter(input clk, input en, output [15:0] value);
+  reg [15:0] count;
+  always @(posedge clk) begin
+    if (en)
+      count <= count + 1;
+  end
+  assign value = count;
+endmodule

@@ -1,0 +1,26 @@
+// Parameterized FIFO instantiated with named connections.
+module fifo #(parameter W = 8, parameter DEPTH_LOG2 = 2) (
+    input clk, input push, input pop, input [W-1:0] din,
+    output [W-1:0] dout, output empty
+);
+  reg [W-1:0] store [0:(1 << DEPTH_LOG2) - 1];
+  reg [DEPTH_LOG2:0] rd;
+  reg [DEPTH_LOG2:0] wr;
+  always @(posedge clk) begin
+    if (push) begin
+      store[wr[DEPTH_LOG2-1:0]] <= din;
+      wr <= wr + 1;
+    end
+    if (pop)
+      rd <= rd + 1;
+  end
+  assign dout = store[rd[DEPTH_LOG2-1:0]];
+  assign empty = rd == wr;
+endmodule
+
+module top(input clk, input push, input pop, input [3:0] din,
+           output [3:0] dout, output empty);
+  fifo #(.W(4), .DEPTH_LOG2(3)) q (
+      .clk(clk), .push(push), .pop(pop), .din(din),
+      .dout(dout), .empty(empty));
+endmodule

@@ -1,0 +1,23 @@
+// Two-process FSM: registered state, combinational next-state.
+module fsm(input clk, input go, input stop, output [1:0] state_out,
+           output busy);
+  localparam IDLE = 0, RUN = 1, DONE = 2;
+  reg [1:0] state;
+  reg [1:0] next;
+  always @* begin
+    next = state;
+    case (state)
+      IDLE: if (go) next = RUN;
+      RUN: begin
+        if (stop)
+          next = DONE;
+      end
+      DONE: next = IDLE;
+      default: next = IDLE;
+    endcase
+  end
+  always @(posedge clk)
+    state <= next;
+  assign state_out = state;
+  assign busy = state == RUN;
+endmodule

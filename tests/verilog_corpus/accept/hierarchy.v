@@ -1,0 +1,13 @@
+// Two-level hierarchy, positional and named connections.
+module stage(input clk, input [7:0] d, output [7:0] q);
+  reg [7:0] r;
+  always @(posedge clk)
+    r <= d;
+  assign q = r;
+endmodule
+
+module pipe(input clk, input [7:0] din, output [7:0] dout);
+  wire [7:0] mid;
+  stage s0 (clk, din, mid);
+  stage s1 (.clk(clk), .d(mid + 1), .q(dout));
+endmodule

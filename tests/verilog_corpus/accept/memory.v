@@ -1,0 +1,13 @@
+// Inferred memory: synchronous write, asynchronous read.
+module scratch(input clk, input we, input [3:0] waddr,
+               input [7:0] wdata, input [3:0] raddr,
+               output [7:0] rdata);
+  reg [7:0] store [0:15];
+  reg [7:0] out;
+  always @(posedge clk) begin
+    if (we)
+      store[waddr] <= wdata;
+    out <= store[raddr];
+  end
+  assign rdata = out;
+endmodule

@@ -1,0 +1,11 @@
+// Comma-separated declarations and wire initializers.
+module multi(input clk, input [7:0] a, input [7:0] b,
+             output [7:0] x, output [7:0] y);
+  wire [7:0] s = a + b, d = a - b;
+  reg [7:0] p, q;
+  always @(posedge clk) begin
+    p <= s;
+    q <= d;
+  end
+  assign x = p, y = q;
+endmodule

@@ -1,0 +1,8 @@
+// Ternary selects and boolean conditions.
+module pick(input clk, input sel, input [7:0] a, input [7:0] b,
+            output [7:0] y);
+  reg [7:0] held;
+  always @(posedge clk)
+    held <= sel ? a : b;
+  assign y = (a == b) ? held : (sel ? a : b);
+endmodule

@@ -1,0 +1,11 @@
+// Parameters and localparams in constant expressions.
+module accum #(parameter WIDTH = 8, parameter STEP = 3) (
+    input clk,
+    output [WIDTH-1:0] total
+);
+  localparam INCR = STEP * 2;
+  reg [WIDTH-1:0] acc;
+  always @(posedge clk)
+    acc <= acc + INCR;
+  assign total = acc;
+endmodule

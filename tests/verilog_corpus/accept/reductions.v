@@ -1,0 +1,11 @@
+// Unary reductions and logical operators.
+module flags(input clk, input [7:0] bus, output [3:0] out);
+  reg all_set, any_set, parity, none;
+  always @(posedge clk) begin
+    all_set <= &bus;
+    any_set <= |bus;
+    parity  <= ^bus;
+    none    <= !(|bus) && (bus == 0);
+  end
+  assign out = {all_set, any_set, parity, none};
+endmodule

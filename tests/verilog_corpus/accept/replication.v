@@ -1,0 +1,7 @@
+// Replication inside concatenation (sign/fill patterns).
+module fill(input clk, input [3:0] nib, output [15:0] wide);
+  reg [15:0] r;
+  always @(posedge clk)
+    r <= {4{nib}};
+  assign wide = {{8{nib[3]}}, r[7:0]};
+endmodule

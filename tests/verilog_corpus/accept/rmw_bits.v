@@ -1,0 +1,10 @@
+// Read-modify-write bit and part-select assignment targets.
+module bitset(input clk, input [2:0] idx, input bit_in,
+              output [7:0] out);
+  reg [7:0] r;
+  always @(posedge clk) begin
+    r[idx] <= bit_in;
+    r[7:6] <= 2'b10;
+  end
+  assign out = r;
+endmodule

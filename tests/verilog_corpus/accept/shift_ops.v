@@ -1,0 +1,8 @@
+// Shifts by constants and by dynamic amounts.
+module shifter(input clk, input [15:0] v, input [3:0] amt,
+               output [15:0] out);
+  reg [15:0] r;
+  always @(posedge clk)
+    r <= (v << amt) | (v >> (16 - {12'b0, amt}));
+  assign out = r << 1;
+endmodule

@@ -1,0 +1,9 @@
+// Full 64-bit datapath (the IR's width ceiling).
+module wide(input clk, input [63:0] a, input [63:0] b,
+            output [63:0] sum, output lt);
+  reg [63:0] acc;
+  always @(posedge clk)
+    acc <= a + b;
+  assign sum = acc;
+  assign lt = a < b;
+endmodule

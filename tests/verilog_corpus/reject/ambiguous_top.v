@@ -1,0 +1,12 @@
+// Two candidate tops and no explicit selection.
+module one(input clk, output q);
+  reg r;
+  always @(posedge clk) r <= !r;
+  assign q = r;
+endmodule
+
+module two(input clk, output q);
+  reg r;
+  always @(posedge clk) r <= r;
+  assign q = r;
+endmodule

@@ -1,0 +1,10 @@
+// casez is outside the subset (wildcard matching).
+module cz(input clk, input [3:0] op, output [1:0] q);
+  reg [1:0] r;
+  always @(posedge clk)
+    casez (op)
+      4'b1zzz: r <= 3;
+      default: r <= 0;
+    endcase
+  assign q = r;
+endmodule

@@ -1,0 +1,8 @@
+// Combinational cycle through two continuous assigns.
+module loop(input [3:0] seed, output [3:0] out);
+  wire [3:0] a;
+  wire [3:0] b;
+  assign a = b ^ seed;
+  assign b = a + 1;
+  assign out = a;
+endmodule

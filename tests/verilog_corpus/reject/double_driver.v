@@ -1,0 +1,7 @@
+// Two continuous assigns drive the same wire.
+module dd(input [3:0] a, input [3:0] b, output [3:0] y);
+  wire [3:0] w;
+  assign w = a;
+  assign w = b;
+  assign y = w;
+endmodule

@@ -1,0 +1,4 @@
+// Bidirectional ports are outside the subset.
+module pad(input clk, inout [7:0] bus, output q);
+  assign q = bus[0];
+endmodule

@@ -1,0 +1,9 @@
+// Incomplete if in a combinational block infers a latch.
+module latchy(input sel, input [3:0] d, output [3:0] q);
+  reg [3:0] held;
+  always @* begin
+    if (sel)
+      held = d;
+  end
+  assign q = held;
+endmodule

@@ -1,0 +1,7 @@
+// Negative-edge clocking is outside the subset.
+module neg(input clk, output [3:0] q);
+  reg [3:0] r;
+  always @(negedge clk)
+    r <= r + 1;
+  assign q = r;
+endmodule

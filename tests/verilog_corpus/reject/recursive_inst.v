@@ -1,0 +1,6 @@
+// Self-instantiation: hierarchy depth explodes.
+module rec(input clk, output q);
+  wire inner;
+  rec r (.clk(clk), .q(inner));
+  assign q = inner;
+endmodule

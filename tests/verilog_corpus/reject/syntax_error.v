@@ -1,0 +1,7 @@
+// Missing semicolon after the register declaration.
+module broken(input clk, output [7:0] q);
+  reg [7:0] r
+  always @(posedge clk)
+    r <= r + 1;
+  assign q = r;
+endmodule

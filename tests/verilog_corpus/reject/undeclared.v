@@ -1,0 +1,7 @@
+// Reads an identifier that is never declared.
+module oops(input clk, output [7:0] q);
+  reg [7:0] r;
+  always @(posedge clk)
+    r <= r + mystery;
+  assign q = r;
+endmodule

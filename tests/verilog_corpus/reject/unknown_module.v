@@ -1,0 +1,4 @@
+// Instantiates a module that is never defined.
+module top(input clk, output [7:0] q);
+  ghost g (.clk(clk), .q(q));
+endmodule

@@ -1,0 +1,7 @@
+// Vectors wider than 64 bits exceed the word-level IR.
+module huge(input clk, output wide_out);
+  reg [64:0] wide;
+  always @(posedge clk)
+    wide <= wide + 1;
+  assign wide_out = wide[0];
+endmodule

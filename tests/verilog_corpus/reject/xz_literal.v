@@ -1,0 +1,7 @@
+// Four-state literals: two-state semantics reject x/z bits.
+module fourstate(input clk, output [3:0] q);
+  reg [3:0] r;
+  always @(posedge clk)
+    r <= 4'b10xz;
+  assign q = r;
+endmodule
