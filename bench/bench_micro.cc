@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/snapshot.hh"
 #include "core/zoomie.hh"
 #include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
@@ -196,6 +197,72 @@ BM_OpenSourceEndToEnd(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OpenSourceEndToEnd);
+
+std::unique_ptr<core::Platform>
+makeServSocPlatform()
+{
+    designs::ServSocConfig config;
+    config.cores = 2;
+    config.coresPerCluster = 2;
+    config.clusterBrams = 1;
+    config.l2Brams = 0;
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "cluster0/";
+    opts.instrument.watchSignals = {"cluster0/core0/pc"};
+    return core::Platform::create(designs::buildServSoc(config),
+                                  opts);
+}
+
+void
+BM_SnapshotDelta(benchmark::State &state)
+{
+    // Cost of one content-addressed delta capture on a running
+    // serv_soc: full-image readback + diff against the base +
+    // FNV-1a over the dirty frames. The counter reports how small
+    // the steady-state delta is next to a full image.
+    auto platform = makeServSocPlatform();
+    core::SnapshotStore store(*platform);
+    platform->run(5);
+    store.capture(/*pinned=*/true);  // establishes the base image
+    uint64_t delta_bytes = 0;
+    for (auto _ : state) {
+        platform->run(16);
+        auto info = store.capture(/*pinned=*/false);
+        delta_bytes = info ? info->bytes : 0;
+        benchmark::DoNotOptimize(delta_bytes);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["delta_bytes"] = double(delta_bytes);
+    state.counters["full_image_bytes"] =
+        double(store.fullImageBytes());
+}
+BENCHMARK(BM_SnapshotDelta);
+
+void
+BM_RestoreNearest(benchmark::State &state)
+{
+    // Cost of one reverse-execution hop: restore the nearest
+    // snapshot at or before the target (minimal frame writes) and
+    // deterministically replay up to the target cycle.
+    auto platform = makeServSocPlatform();
+    core::SnapshotStore store(*platform);
+    platform->run(5);
+    platform->debugger().pause();
+    platform->run(1);
+    store.capture(/*pinned=*/true);
+    for (int i = 0; i < 8; ++i) {
+        platform->debugger().stepCycles(16);
+        platform->run(20);
+        store.capture(/*pinned=*/false);
+    }
+    const uint64_t target = platform->mutCycles() - 8;
+    for (auto _ : state) {
+        auto result = store.travel(target);
+        benchmark::DoNotOptimize(result->replayed);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RestoreNearest);
 
 } // namespace
 

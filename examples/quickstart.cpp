@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "core/snapshot.hh"
 #include "core/zoomie.hh"
 #include "rtl/builder.hh"
 
@@ -88,14 +89,24 @@ main()
     std::printf("forced:     count = %llu\n",
                 (unsigned long long)dbg.readRegister("mut/count"));
 
-    // 6. Snapshot, run ahead, replay.
-    core::Snapshot snap = dbg.snapshot();
+    // 6. Snapshot, run ahead, time-travel back, replay. Snapshots
+    //    are content-addressed dirty-frame deltas in a bounded
+    //    ring; restoring writes only the frames that changed.
+    core::SnapshotStore snapshots(*platform);
+    auto snap = snapshots.capture(/*pinned=*/true);
+    std::printf("snapshot:   id 0x%llx at cycle %llu (%llu delta "
+                "frames, %llu bytes vs %llu full)\n",
+                (unsigned long long)snap->id,
+                (unsigned long long)snap->cycle,
+                (unsigned long long)snap->deltaFrames,
+                (unsigned long long)snap->bytes,
+                (unsigned long long)snapshots.fullImageBytes());
     dbg.resume();
     platform->run(200);
     uint64_t ahead = platform->peek("value");
     dbg.pause();
     platform->run(1);
-    dbg.restore(snap);
+    snapshots.restore(snap->id);
     dbg.resume();
     platform->run(200);
     std::printf("replay:     %llu == %llu (deterministic)\n",

@@ -381,8 +381,8 @@ Debugger::assertionsFired()
 
 // ---- snapshots ----------------------------------------------------------
 
-Snapshot
-Debugger::snapshot()
+std::vector<std::vector<uint32_t>>
+Debugger::readbackImage()
 {
     const fpga::DeviceSpec &spec = _device.spec();
     std::vector<uint32_t> all_slrs;
@@ -390,18 +390,32 @@ Debugger::snapshot()
         all_slrs.push_back(slr);
     clearMaskAndCapture(all_slrs);
 
-    Snapshot snap;
-    snap.images.resize(spec.numSlrs);
+    std::vector<std::vector<uint32_t>> images(spec.numSlrs);
     for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
         CommandBuilder cb;
         uint32_t words = spec.framesPerSlr() * fpga::kFrameWords;
         cb.sync().selectHop(hopOf(slr)).readRequest(0, words);
         _host.send(cb.take());
-        snap.images[slr] = _host.read(words);
+        images[slr] = _host.read(words);
         CommandBuilder fin;
         fin.desync();
         _host.send(fin.take());
     }
+    return images;
+}
+
+void
+Debugger::writeFrames(const std::vector<toolchain::FrameSpan> &spans)
+{
+    _host.send(toolchain::partialBitstream(_device.spec(), spans));
+}
+
+Snapshot
+Debugger::snapshot()
+{
+    // deprecated: value-blob shim over readbackImage().
+    Snapshot snap;
+    snap.images = readbackImage();
     snap.mutCycles = _device.cycles(_meta.gatedClock);
     return snap;
 }
@@ -409,6 +423,7 @@ Debugger::snapshot()
 void
 Debugger::restore(const Snapshot &snap)
 {
+    // deprecated: whole-image shim over writeFrames().
     const fpga::DeviceSpec &spec = _device.spec();
     std::vector<toolchain::FrameSpan> spans;
     for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
@@ -418,7 +433,7 @@ Debugger::restore(const Snapshot &snap)
         span.words = snap.images[slr];
         spans.push_back(std::move(span));
     }
-    _host.send(toolchain::partialBitstream(spec, spans));
+    writeFrames(spans);
 }
 
 // ---- readback measurement -----------------------------------------------

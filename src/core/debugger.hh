@@ -19,11 +19,19 @@
 #include "core/instrument.hh"
 #include "fpga/device.hh"
 #include "jtag/jtag.hh"
+#include "toolchain/bitgen.hh"
 #include "toolchain/logicloc.hh"
 
 namespace zoomie::core {
 
-/** A stored snapshot: captured frames of the whole device. */
+/**
+ * A stored snapshot: captured frames of the whole device.
+ *
+ * deprecated: value-blob snapshots predate the content-addressed
+ * SnapshotStore (core/snapshot.hh). Kept for one release so
+ * out-of-tree callers of Debugger::snapshot()/restore() keep
+ * compiling; new code should go through SnapshotStore.
+ */
 struct Snapshot
 {
     /** Per SLR: full frame image at capture time. */
@@ -156,10 +164,27 @@ class Debugger
         const std::string &prefix);
 
     // ---- snapshots --------------------------------------------------
-    /** Capture the complete design state. */
+    /**
+     * Capture + read back the full frame image of every SLR,
+     * indexed [slr][word]. This is the raw material SnapshotStore
+     * diffs against its base image; the capture path is identical
+     * to the one readRegister uses (GSR mask cleared first, §4.7).
+     */
+    std::vector<std::vector<uint32_t>> readbackImage();
+
+    /**
+     * Write a set of frame spans back into configuration memory
+     * (partial reconfiguration + GRESTORE). Spans may cover any
+     * subset of frames — SnapshotStore sends only dirty frames.
+     */
+    void writeFrames(const std::vector<toolchain::FrameSpan> &spans);
+
+    /** deprecated: use core::SnapshotStore. Captures the complete
+     *  design state as a value blob. */
     Snapshot snapshot();
 
-    /** Restore a snapshot (partial reconfiguration + GRESTORE). */
+    /** deprecated: use core::SnapshotStore. Restores a value-blob
+     *  snapshot (does not rewind the device cycle counter). */
     void restore(const Snapshot &snap);
 
     // ---- readback measurement (Table 3) ------------------------------

@@ -1,0 +1,319 @@
+#include "snapshot.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "fpga/device.hh"
+#include "toolchain/bitgen.hh"
+
+namespace zoomie::core {
+
+SnapshotStore::SnapshotStore(Platform &platform, size_t capacity)
+    : _platform(platform), _capacity(capacity)
+{
+    fatal_if(_capacity == 0, "Zoomie: snapshot ring needs room");
+}
+
+static SnapshotId
+hashOf(uint64_t cycle, const std::vector<SnapshotDelta> &deltas,
+       const std::vector<std::pair<std::string, uint64_t>> &inputs)
+{
+    uint64_t hash = fnv1a64(reinterpret_cast<const char *>(&cycle),
+                            sizeof cycle);
+    for (const SnapshotDelta &delta : deltas) {
+        hash = fnv1a64(reinterpret_cast<const char *>(&delta.slr),
+                       sizeof delta.slr, hash);
+        hash = fnv1a64(reinterpret_cast<const char *>(&delta.frame),
+                       sizeof delta.frame, hash);
+        hash = fnv1a64(
+            reinterpret_cast<const char *>(delta.words.data()),
+            delta.words.size() * sizeof(uint32_t), hash);
+    }
+    // Input ports live outside configuration memory but are part
+    // of the captured state: address them too.
+    for (const auto &[port, value] : inputs) {
+        hash = fnv1a64(port.data(), port.size(), hash);
+        hash = fnv1a64(reinterpret_cast<const char *>(&value),
+                       sizeof value, hash);
+    }
+    return hash;
+}
+
+SnapshotInfo
+SnapshotStore::infoOf(const Record &rec) const
+{
+    SnapshotInfo info;
+    info.id = rec.id;
+    info.cycle = rec.cycle;
+    info.deltaFrames = rec.deltas.size();
+    info.bytes =
+        rec.deltas.size() * fpga::kFrameWords * sizeof(uint32_t);
+    info.pinned = rec.pinned;
+    return info;
+}
+
+std::vector<SnapshotDelta>
+SnapshotStore::diffAgainstBase(
+    const std::vector<std::vector<uint32_t>> &image) const
+{
+    const fpga::DeviceSpec &spec = _platform.device().spec();
+    std::vector<SnapshotDelta> deltas;
+    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
+        for (uint32_t frame = 0; frame < spec.framesPerSlr();
+             ++frame) {
+            const uint32_t *have =
+                image[slr].data() + frame * fpga::kFrameWords;
+            const uint32_t *base =
+                _base[slr].data() + frame * fpga::kFrameWords;
+            if (std::equal(have, have + fpga::kFrameWords, base))
+                continue;
+            SnapshotDelta delta;
+            delta.slr = slr;
+            delta.frame = frame;
+            delta.words.assign(have, have + fpga::kFrameWords);
+            deltas.push_back(std::move(delta));
+        }
+    }
+    return deltas;
+}
+
+std::optional<SnapshotInfo>
+SnapshotStore::capture(bool pinned)
+{
+    auto image = _platform.debugger().readbackImage();
+    if (_base.empty())
+        _base = image;
+    uint64_t cycle = _platform.mutCycles();
+    std::vector<SnapshotDelta> deltas = diffAgainstBase(image);
+    std::vector<std::pair<std::string, uint64_t>> inputs;
+    for (const std::string &port : _platform.device().inputPorts())
+        inputs.emplace_back(port,
+                            _platform.device().peekInput(port));
+    SnapshotId id = hashOf(cycle, deltas, inputs);
+
+    // Content addressing makes re-capturing the same state at the
+    // same cycle idempotent: refresh the existing entry.
+    for (Record &rec : _ring) {
+        if (rec.id == id) {
+            rec.pinned = rec.pinned || pinned;
+            return infoOf(rec);
+        }
+    }
+
+    if (_ring.size() >= _capacity) {
+        auto victim =
+            std::find_if(_ring.begin(), _ring.end(),
+                         [](const Record &rec) {
+                             return !rec.pinned;
+                         });
+        if (victim == _ring.end())
+            return std::nullopt;  // ring full of pinned snapshots
+        _ring.erase(victim);
+    }
+
+    Record rec;
+    rec.id = id;
+    rec.cycle = cycle;
+    rec.deltas = std::move(deltas);
+    rec.inputs = std::move(inputs);
+    rec.pinned = pinned;
+    _ring.push_back(std::move(rec));
+    return infoOf(_ring.back());
+}
+
+void
+SnapshotStore::restoreRecord(const Record &rec)
+{
+    // Materialize the target image (base + deltas), then write
+    // back only the frames that differ from the device's *current*
+    // state — byte-identical to a full-image restore, with the
+    // frame set minimized against live readback.
+    const fpga::DeviceSpec &spec = _platform.device().spec();
+    std::vector<std::vector<uint32_t>> target = _base;
+    for (const SnapshotDelta &delta : rec.deltas) {
+        std::copy(delta.words.begin(), delta.words.end(),
+                  target[delta.slr].begin() +
+                      delta.frame * fpga::kFrameWords);
+    }
+
+    auto current = _platform.debugger().readbackImage();
+    std::vector<toolchain::FrameSpan> spans;
+    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
+        for (uint32_t frame = 0; frame < spec.framesPerSlr();
+             ++frame) {
+            const uint32_t *want =
+                target[slr].data() + frame * fpga::kFrameWords;
+            const uint32_t *have =
+                current[slr].data() + frame * fpga::kFrameWords;
+            if (std::equal(want, want + fpga::kFrameWords, have))
+                continue;
+            toolchain::FrameSpan span;
+            span.slr = slr;
+            span.farStart = frame;
+            span.words.assign(want, want + fpga::kFrameWords);
+            spans.push_back(std::move(span));
+        }
+    }
+    if (!spans.empty())
+        _platform.debugger().writeFrames(spans);
+
+    // The cycle counter and input ports live outside the fabric:
+    // rewind the counter so the restored state and the clock agree,
+    // and re-drive every port to its captured value (deriving ports
+    // from the poke log would leave a port poked *after* the
+    // capture at its live value when nothing was recorded before).
+    _platform.device().setCycles(
+        _platform.instrumented().gatedClock, rec.cycle);
+    for (const auto &[port, value] : rec.inputs)
+        _platform.poke(port, value);
+}
+
+std::optional<SnapshotInfo>
+SnapshotStore::restore(SnapshotId id)
+{
+    for (const Record &rec : _ring) {
+        if (rec.id != id)
+            continue;
+        restoreRecord(rec);
+        return infoOf(rec);
+    }
+    return std::nullopt;
+}
+
+void
+SnapshotStore::stepExactly(uint64_t cycles)
+{
+    // The step counter pauses the MUT after exactly @p cycles; the
+    // extra external ticks let the pause latch settle without
+    // advancing the gated clock once paused (same idiom as the
+    // wire `step` command).
+    _platform.debugger().stepCycles(cycles);
+    _platform.run(cycles + 4);
+}
+
+std::optional<TravelResult>
+SnapshotStore::travel(uint64_t targetCycle)
+{
+    const Record *best = nullptr;
+    for (const Record &rec : _ring) {
+        if (rec.cycle <= targetCycle &&
+            (!best || rec.cycle > best->cycle))
+            best = &rec;
+    }
+    if (!best)
+        return std::nullopt;
+
+    restoreRecord(*best);
+
+    // Deterministic re-run: step to each recorded poke cycle in
+    // order, re-apply the pokes, then step to the target. Always
+    // ends paused — a zero-length replay still pauses the design.
+    uint64_t cur = best->cycle;
+    std::map<uint64_t, std::vector<const PokeRecord *>> groups;
+    for (const PokeRecord &poke : _pokes) {
+        if (poke.cycle > cur && poke.cycle <= targetCycle)
+            groups[poke.cycle].push_back(&poke);
+    }
+    for (const auto &[cycle, pokes] : groups) {
+        stepExactly(cycle - cur);
+        cur = cycle;
+        for (const PokeRecord *poke : pokes)
+            _platform.poke(poke->port, poke->value);
+    }
+    stepExactly(targetCycle - cur);
+
+    TravelResult result;
+    result.from = infoOf(*best);
+    result.cycle = targetCycle;
+    result.replayed = targetCycle - best->cycle;
+    return result;
+}
+
+void
+SnapshotStore::recordPoke(const std::string &port, uint64_t value)
+{
+    uint64_t cycle = _platform.mutCycles();
+    // A poke after a rewind rewrites history: the recorded future
+    // belongs to an abandoned timeline and must not replay.
+    while (!_pokes.empty() && _pokes.back().cycle > cycle)
+        _pokes.pop_back();
+    _pokes.push_back({cycle, port, value});
+    compactPokes();
+}
+
+void
+SnapshotStore::compactPokes()
+{
+    if (_pokes.size() <= kMaxPokeLog)
+        return;
+    // Replay only ever needs (a) the latest poke per port at or
+    // before the oldest snapshot in the ring and (b) everything
+    // newer — fold the prefix down to (a).
+    uint64_t horizon = _platform.mutCycles();
+    for (const Record &rec : _ring)
+        horizon = std::min(horizon, rec.cycle);
+    std::map<std::string, PokeRecord> latest;
+    std::vector<PokeRecord> newer;
+    for (PokeRecord &poke : _pokes) {
+        if (poke.cycle <= horizon)
+            latest[poke.port] = std::move(poke);
+        else
+            newer.push_back(std::move(poke));
+    }
+    std::vector<PokeRecord> kept;
+    for (auto &[port, poke] : latest)
+        kept.push_back(std::move(poke));
+    std::sort(kept.begin(), kept.end(),
+              [](const PokeRecord &a, const PokeRecord &b) {
+                  return a.cycle < b.cycle;
+              });
+    kept.insert(kept.end(),
+                std::make_move_iterator(newer.begin()),
+                std::make_move_iterator(newer.end()));
+    _pokes = std::move(kept);
+}
+
+void
+SnapshotStore::autoTick(uint64_t interval)
+{
+    if (interval == 0)
+        return;
+    uint64_t cur = _platform.mutCycles();
+    if (cur < _lastAutoCycle)
+        _lastAutoCycle = cur;  // the session travelled backwards
+    if (cur - _lastAutoCycle < interval)
+        return;
+    _lastAutoCycle = cur;
+    capture(false);
+}
+
+std::vector<SnapshotInfo>
+SnapshotStore::list() const
+{
+    std::vector<SnapshotInfo> out;
+    for (const Record &rec : _ring)
+        out.push_back(infoOf(rec));
+    return out;
+}
+
+std::optional<SnapshotInfo>
+SnapshotStore::info(SnapshotId id) const
+{
+    for (const Record &rec : _ring) {
+        if (rec.id == id)
+            return infoOf(rec);
+    }
+    return std::nullopt;
+}
+
+uint64_t
+SnapshotStore::fullImageBytes() const
+{
+    const fpga::DeviceSpec &spec = _platform.device().spec();
+    return uint64_t(spec.numSlrs) * spec.framesPerSlr() *
+           fpga::kFrameWords * sizeof(uint32_t);
+}
+
+} // namespace zoomie::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Content-addressed snapshot store and time travel. Snapshots are
+ * no longer value blobs: each one is a set of dirty-frame deltas
+ * against a per-session base image, addressed by an FNV-1a-64 hash
+ * of its capture cycle and delta payload (a SnapshotId). The store
+ * keeps a bounded ring — explicit snapshots are pinned, periodic
+ * auto-snapshots (taken from the scheduler's cycle hook) are
+ * evicted oldest-first — and implements reverse execution as
+ * restore-nearest-snapshot + deterministic re-run, replaying the
+ * session's recorded input pokes at their original cycles. The
+ * delta format (slr, frame, kFrameWords payload) doubles as the
+ * future shard-migration wire format.
+ */
+
+#ifndef ZOOMIE_CORE_SNAPSHOT_HH
+#define ZOOMIE_CORE_SNAPSHOT_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/zoomie.hh"
+
+namespace zoomie::core {
+
+/** Content address of a stored snapshot: FNV-1a-64 over the
+ *  capture cycle and every dirty frame (slr, far, payload). */
+using SnapshotId = uint64_t;
+
+/** One dirty frame relative to the store's base image. */
+struct SnapshotDelta
+{
+    uint32_t slr = 0;
+    uint32_t frame = 0;           ///< frame address within the SLR
+    std::vector<uint32_t> words;  ///< fpga::kFrameWords payload
+};
+
+/** Wire-facing summary of one stored snapshot. */
+struct SnapshotInfo
+{
+    SnapshotId id = 0;
+    uint64_t cycle = 0;        ///< MUT cycle at capture
+    uint64_t bytes = 0;        ///< delta payload bytes
+    uint64_t deltaFrames = 0;  ///< dirty frames vs the base image
+    bool pinned = false;       ///< explicit snapshots never auto-evict
+};
+
+/** One recorded input poke, replayed during time travel. */
+struct PokeRecord
+{
+    uint64_t cycle = 0;  ///< MUT cycle the poke took effect at
+    std::string port;
+    uint64_t value = 0;
+};
+
+/** What a travel() landed on. */
+struct TravelResult
+{
+    SnapshotInfo from;      ///< the snapshot restored before replay
+    uint64_t cycle = 0;     ///< MUT cycle after replay (the target)
+    uint64_t replayed = 0;  ///< cycles re-executed from the snapshot
+};
+
+/**
+ * Bounded per-session ring of content-addressed snapshots over one
+ * Platform. Not internally synchronized: every caller (dispatcher
+ * handlers, the scheduler's worker loop) already holds the session
+ * mutex. Holds the Platform, not the Debugger — applyEdit rebuilds
+ * the debugger, so it is re-fetched per call.
+ */
+class SnapshotStore
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 16;
+    static constexpr size_t kMaxPokeLog = 65'536;
+
+    explicit SnapshotStore(Platform &platform,
+                           size_t capacity = kDefaultCapacity);
+
+    /**
+     * Capture the current state as deltas against the base image
+     * (the first capture also establishes the base). Identical
+     * content at the same cycle dedups onto the existing ring
+     * entry. Returns std::nullopt when the ring is full of pinned
+     * snapshots: callers taking an explicit (pinned) snapshot map
+     * that to snapshot-overflow; the auto path silently skips.
+     */
+    std::optional<SnapshotInfo> capture(bool pinned);
+
+    /**
+     * Restore snapshot @p id exactly: reconstruct base + deltas,
+     * write only the frames that differ from the device's current
+     * state, rewind the gated-clock counter, and re-drive every
+     * input port to the value captured with the snapshot (ports
+     * live outside configuration memory, so they are recorded
+     * separately — without this, a port poked after the capture
+     * would leak its live value into the restored timeline).
+     * std::nullopt when @p id is not in the ring.
+     */
+    std::optional<SnapshotInfo> restore(SnapshotId id);
+
+    /**
+     * Time travel: restore the nearest snapshot at or before
+     * @p targetCycle, then deterministically re-run to the target,
+     * replaying recorded pokes at their original cycles. Leaves
+     * the design paused at the target. std::nullopt when no
+     * snapshot covers the target.
+     */
+    std::optional<TravelResult> travel(uint64_t targetCycle);
+
+    /**
+     * Record an input poke for replay, stamped with the current
+     * MUT cycle. A poke after a rewind truncates the recorded
+     * future — the timeline has diverged.
+     */
+    void recordPoke(const std::string &port, uint64_t value);
+
+    /** Periodic hook: capture an unpinned snapshot when at least
+     *  @p interval MUT cycles have passed since the last auto
+     *  capture. interval 0 disables. */
+    void autoTick(uint64_t interval);
+
+    /** Ring contents, oldest first. */
+    std::vector<SnapshotInfo> list() const;
+
+    /** Summary of one snapshot, if present. */
+    std::optional<SnapshotInfo> info(SnapshotId id) const;
+
+    size_t size() const { return _ring.size(); }
+    size_t capacity() const { return _capacity; }
+    size_t pokeLogSize() const { return _pokes.size(); }
+
+    /** Bytes of a full (non-delta) device image, for comparison. */
+    uint64_t fullImageBytes() const;
+
+  private:
+    struct Record
+    {
+        SnapshotId id = 0;
+        uint64_t cycle = 0;
+        std::vector<SnapshotDelta> deltas;
+        /** Input-port values at capture, netlist order. */
+        std::vector<std::pair<std::string, uint64_t>> inputs;
+        bool pinned = false;
+    };
+
+    SnapshotInfo infoOf(const Record &rec) const;
+    std::vector<SnapshotDelta>
+    diffAgainstBase(const std::vector<std::vector<uint32_t>> &image)
+        const;
+    void restoreRecord(const Record &rec);
+    void stepExactly(uint64_t cycles);
+    void compactPokes();
+
+    Platform &_platform;
+    size_t _capacity;
+    /** Per SLR: the frame image every delta is relative to. */
+    std::vector<std::vector<uint32_t>> _base;
+    std::deque<Record> _ring;  ///< oldest first
+    std::vector<PokeRecord> _pokes;
+    uint64_t _lastAutoCycle = 0;
+};
+
+} // namespace zoomie::core
+
+#endif // ZOOMIE_CORE_SNAPSHOT_HH

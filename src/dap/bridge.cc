@@ -187,6 +187,11 @@ Bridge::onRdpEvent(const Json &event)
         message.set("event", "stopped");
         message.set("body", std::move(body));
         _sawStop = true;
+        // The device is already paused when dbg_stop arrives: mark
+        // the bridge stopped *before* the event reaches the client,
+        // so a stepBack sent in reaction to it is never refused as
+        // "still running" while the runner thread winds down.
+        _running = false;
         sendLocked(std::move(message));
         return;
     }
@@ -215,6 +220,8 @@ Bridge::table()
         {"next", &Bridge::reqNext},
         {"stepIn", &Bridge::reqNext},
         {"stepOut", &Bridge::reqNext},
+        {"stepBack", &Bridge::reqStepBack},
+        {"reverseContinue", &Bridge::reqReverseContinue},
         {"pause", &Bridge::reqPause},
         {"disconnect", &Bridge::reqDisconnect},
     };
@@ -350,6 +357,9 @@ Bridge::reqInitialize(const Json &)
     caps.set("supportsEvaluateForHovers", have("print"));
     caps.set("supportsSetVariable", have("force"));
     caps.set("supportsDataBreakpoints", have("watch"));
+    // Time travel rides on the snapshot ring: a v1 server (no
+    // `snapshots`) simply never advertises reverse execution.
+    caps.set("supportsStepBack", have("snapshots"));
     caps.set("supportsFunctionBreakpoints", false);
     caps.set("supportsConditionalBreakpoints", false);
     caps.set("supportsRestartRequest", false);
@@ -775,6 +785,84 @@ Bridge::reqNext(const Json &)
     return Json::object();
 }
 
+/** The session's current MUT cycle, via `info`. */
+uint64_t
+Bridge::currentCycle()
+{
+    Json info = Json::object();
+    info.set("cmd", "info");
+    Json reply = checkOk(callRdp(std::move(info)));
+    return u64Field(reply, "cycle");
+}
+
+Json
+Bridge::reqStepBack(const Json &)
+{
+    requireSession();
+    if (_running.load())
+        throw BridgeError{"the device is running; pause first"};
+    uint64_t cycle = currentCycle();
+    if (cycle == 0)
+        throw BridgeError{
+            "already at cycle 0; nothing to step back to"};
+    Json restore = Json::object();
+    restore.set("cmd", "restore");
+    restore.set("cycle", cycle - 1);
+    checkOk(callRdp(std::move(restore)));
+    // The time-travel `restore` reports no dbg_stop of its own (the
+    // device lands paused, already "reported"); synthesize the stop
+    // here so it precedes the response per the ordering contract.
+    Json stop = Json::object();
+    stop.set("reason", "step");
+    stop.set("description",
+             "stepped back to cycle " + std::to_string(cycle - 1));
+    stop.set("threadId", 1);
+    stop.set("allThreadsStopped", true);
+    sendEvent("stopped", std::move(stop));
+    return Json::object();
+}
+
+Json
+Bridge::reqReverseContinue(const Json &)
+{
+    requireSession();
+    if (_running.load())
+        throw BridgeError{"the device is running; pause first"};
+    uint64_t cycle = currentCycle();
+    // Rewind to the newest snapshot strictly before now — the
+    // reverse analogue of `continue` running to the next stop.
+    Json list = Json::object();
+    list.set("cmd", "snapshots");
+    Json reply = checkOk(callRdp(std::move(list)));
+    std::optional<uint64_t> target;
+    if (const Json *snaps = reply.find("snapshots");
+        snaps && snaps->isArray()) {
+        for (const Json &snap : snaps->items()) {
+            uint64_t at = u64Field(snap, "cycle");
+            if (at < cycle && (!target || at > *target))
+                target = at;
+        }
+    }
+    if (!target)
+        throw BridgeError{
+            "no snapshot before cycle " + std::to_string(cycle) +
+            "; nothing to rewind to"};
+    Json restore = Json::object();
+    restore.set("cmd", "restore");
+    restore.set("cycle", *target);
+    checkOk(callRdp(std::move(restore)));
+    Json stop = Json::object();
+    stop.set("reason", "pause");
+    stop.set("description",
+             "rewound to cycle " + std::to_string(*target));
+    stop.set("threadId", 1);
+    stop.set("allThreadsStopped", true);
+    sendEvent("stopped", std::move(stop));
+    Json body = Json::object();
+    body.set("allThreadsContinued", true);
+    return body;
+}
+
 Json
 Bridge::reqPause(const Json &)
 {
@@ -863,6 +951,7 @@ Bridge::runnerLoop()
             stop.set("description", detail);
             stop.set("threadId", 1);
             stop.set("allThreadsStopped", true);
+            _running = false;  // before the client can react
             sendEvent("stopped", std::move(stop));
             break;
         }
@@ -879,6 +968,7 @@ Bridge::runnerLoop()
             stop.set("description", "cycle budget exhausted");
             stop.set("threadId", 1);
             stop.set("allThreadsStopped", true);
+            _running = false;  // before the client can react
             sendEvent("stopped", std::move(stop));
             break;
         }

@@ -16,6 +16,8 @@
  *   setDataBreakpoints -> `watch` slots
  *   continue           -> chunked `run` on a background thread
  *   next/stepIn/stepOut-> `step`
+ *   stepBack           -> `restore cycle:<cur-1>` (time travel)
+ *   reverseContinue    -> `restore cycle:<newest snapshot < cur>`
  *   pause              -> `pause`
  *   stackTrace         -> `info` + `print` (one device frame)
  *   variables          -> `regs`
@@ -133,10 +135,13 @@ class Bridge
     Json reqEvaluate(const Json &args);
     Json reqContinue(const Json &args);
     Json reqNext(const Json &args);
+    Json reqStepBack(const Json &args);
+    Json reqReverseContinue(const Json &args);
     Json reqPause(const Json &args);
     Json reqDisconnect(const Json &args);
 
     void requireSession() const;
+    uint64_t currentCycle();
     void applyBreakpoints(std::vector<bool> *verified);
     void maybeReportEntry();
     void startRunner();

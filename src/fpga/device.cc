@@ -169,6 +169,32 @@ Device::pokeInput(const std::string &port, uint64_t value)
 }
 
 uint64_t
+Device::peekInput(const std::string &port) const
+{
+    panic_if(!_net, "no design attached");
+    for (const auto &in : _net->inputs) {
+        if (in.name != port)
+            continue;
+        uint64_t value = 0;
+        for (size_t bit = 0; bit < in.bits.size(); ++bit)
+            value |= uint64_t(_value[in.bits[bit]]) << bit;
+        return value;
+    }
+    panic("unknown input port '", port, "'");
+}
+
+std::vector<std::string>
+Device::inputPorts() const
+{
+    panic_if(!_net, "no design attached");
+    std::vector<std::string> names;
+    names.reserve(_net->inputs.size());
+    for (const auto &in : _net->inputs)
+        names.push_back(in.name);
+    return names;
+}
+
+uint64_t
 Device::peekOutput(const std::string &port)
 {
     panic_if(!_net, "no design attached");

@@ -102,6 +102,12 @@ class Device : public ConfigSink
     /** Drive a top-level input port. */
     void pokeInput(const std::string &port, uint64_t value);
 
+    /** Value currently driven on a top-level input port. */
+    uint64_t peekInput(const std::string &port) const;
+
+    /** Names of every top-level input port, netlist order. */
+    std::vector<std::string> inputPorts() const;
+
     /** Observe a top-level output port. */
     uint64_t peekOutput(const std::string &port);
 
@@ -116,6 +122,13 @@ class Device : public ConfigSink
 
     /** Cycles taken per clock domain. */
     uint64_t cycles(uint8_t domain) const { return _cycles[domain]; }
+
+    /**
+     * Rewind a domain's cycle counter. State restoration (snapshot
+     * time travel) needs the gated-clock count to match the restored
+     * fabric state so replay lands on the same cycle numbers.
+     */
+    void setCycles(uint8_t domain, uint64_t n) { _cycles[domain] = n; }
 
     // ---- ConfigSink ----------------------------------------------
     void onStart(uint32_t slr, bool masked, uint32_t frame_lo,

@@ -125,6 +125,9 @@ struct Dispatcher::CommandSpec
     Json (*handler)(Dispatcher::Ctx &, const Dispatcher::Args &);
     bool pollsEvents;  ///< command can advance/stop the MUT clock
     bool yields = false; ///< cycles go through the scheduler
+    /** Lowest negotiated protocol version that may call this
+     *  command over the wire; the server gates by connection. */
+    uint64_t minVersion = 1;
 };
 
 // ---- command handlers -------------------------------------------------
@@ -161,6 +164,8 @@ cmdRun(Ctx &c, const Args &a)
         out.set("queue_wait_us", res.queueWaitMicros);
         if (res.budgetExhausted)
             out.set("budget_exhausted", true);
+        if (res.preempted)
+            out.set("preempted", true);
     } else {
         std::lock_guard<std::mutex> lock(c.session.mutex());
         c.session.platform().run(n);
@@ -352,6 +357,9 @@ cmdPoke(Ctx &c, const Args &a)
                                " bits)"};
     }
     s.platform().poke(name, value);
+    // Recorded for deterministic replay: time travel re-applies
+    // this poke at the same MUT cycle during re-runs.
+    s.snapshots().recordPoke(name, value);
     Json out = Json::object();
     out.set("name", name);
     out.set("value", value);
@@ -395,28 +403,135 @@ cmdRegs(Ctx &c, const Args &a)
     return out;
 }
 
+/** The normalized snapshot descriptor (DESIGN.md §8): every
+ *  snapshot-bearing reply carries {id, cycle, bytes, delta_frames},
+ *  with the content address rendered as a hex string. Nested under
+ *  the reply's "snapshot" key (or a "snapshots" list entry) — a
+ *  top-level "id" would clobber the request-correlation id. */
 Json
-cmdSnapshot(Ctx &c, const Args &)
+snapshotJson(const core::SnapshotInfo &info)
 {
-    Session &s = c.session;
-    s.snapshot = s.debugger().snapshot();
     Json out = Json::object();
-    out.set("cycle", s.snapshot->mutCycles);
+    out.set("id", hex(info.id));
+    out.set("cycle", info.cycle);
+    out.set("bytes", info.bytes);
+    out.set("delta_frames", info.deltaFrames);
     return out;
 }
 
 Json
-cmdRestore(Ctx &c, const Args &)
+cmdSnapshot(Ctx &c, const Args &)
 {
     Session &s = c.session;
-    if (!s.snapshot) {
-        throw CommandError{Errc::BadArgs,
-                           "no snapshot has been taken"};
+    std::optional<core::SnapshotInfo> info =
+        s.snapshots().capture(/*pinned=*/true);
+    if (!info) {
+        throw CommandError{
+            Errc::SnapshotOverflow,
+            "snapshot ring full (" +
+                std::to_string(s.snapshots().capacity()) +
+                " pinned snapshots); restore and rerun, or open "
+                "a fresh session"};
     }
-    s.debugger().restore(*s.snapshot);
+    Json out = Json::object();
+    out.set("snapshot", snapshotJson(*info));
+    return out;
+}
+
+Json
+cmdSnapshots(Ctx &c, const Args &)
+{
+    Session &s = c.session;
+    Json list = Json::array();
+    for (const core::SnapshotInfo &info : s.snapshots().list()) {
+        Json entry = snapshotJson(info);
+        entry.set("pinned", info.pinned);
+        list.push(std::move(entry));
+    }
+    Json out = Json::object();
+    out.set("snapshots", std::move(list));
+    out.set("capacity", uint64_t(s.snapshots().capacity()));
+    return out;
+}
+
+Json
+cmdRestore(Ctx &c, const Args &a)
+{
+    Session &s = c.session;
+    // The content address travels as "snapshot", not "id" — the
+    // request envelope's correlation id owns that key.
+    if (a.has("snapshot") && a.has("cycle")) {
+        throw CommandError{Errc::BadArgs,
+                           "pass 'snapshot' or 'cycle', not both"};
+    }
+    // Preempt any scheduled run still in flight *before* touching
+    // the device: the worker retires it at its next epoch check
+    // and the blocked `run` caller gets its unspent cycle-budget
+    // reservation refunded, instead of the rewind racing a worker
+    // quantum for the device.
+    if (c.scheduler && c.ref)
+        c.scheduler->cancelRuns(c.ref);
+
+    if (a.has("cycle")) {
+        uint64_t target = a.num("cycle");
+        // The per-command cycle cap applies to the *replay
+        // distance* (restore itself is O(frames)), so find the
+        // nearest restore point first.
+        bool found = false;
+        uint64_t nearest = 0;
+        for (const core::SnapshotInfo &info :
+             s.snapshots().list()) {
+            if (info.cycle <= target &&
+                (!found || info.cycle > nearest)) {
+                nearest = info.cycle;
+                found = true;
+            }
+        }
+        if (!found) {
+            throw CommandError{
+                Errc::SnapshotNotFound,
+                "no snapshot at or before cycle " +
+                    std::to_string(target)};
+        }
+        checkedCycles(target - nearest);
+        std::optional<core::TravelResult> res =
+            s.snapshots().travel(target);
+        if (!res) {
+            throw CommandError{
+                Errc::SnapshotNotFound,
+                "no snapshot at or before cycle " +
+                    std::to_string(target)};
+        }
+        // Time travel always ends paused at the target; the reply
+        // itself reports the stop, so no dbg_stop event is owed.
+        s.stopReported = true;
+        s.stepPending = false;
+        Json out = Json::object();
+        out.set("snapshot", snapshotJson(res->from));
+        out.set("cycle", res->cycle);
+        out.set("replayed", res->replayed);
+        out.set("paused", true);
+        return out;
+    }
+
+    core::SnapshotId id;
+    if (a.has("snapshot")) {
+        id = a.num("snapshot");
+    } else {
+        // Bare restore: the newest ring entry (the ring is never
+        // empty — bring-up pins a genesis snapshot).
+        id = s.snapshots().list().back().id;
+    }
+    std::optional<core::SnapshotInfo> info =
+        s.snapshots().restore(id);
+    if (!info) {
+        throw CommandError{Errc::SnapshotNotFound,
+                           "no snapshot with id " + hex(id)};
+    }
     s.stopReported = false;
     Json out = Json::object();
-    out.set("cycle", s.snapshot->mutCycles);
+    out.set("snapshot", snapshotJson(*info));
+    out.set("cycle", info->cycle);
     return out;
 }
 
@@ -782,11 +897,17 @@ Dispatcher::table()
          "dump every register under a scope prefix",
          cmdRegs, false},
         {"snapshot", "snap", {},
-         "capture the whole design state",
-         cmdSnapshot, false},
-        {"restore", nullptr, {},
-         "restore the last snapshot",
-         cmdRestore, false},
+         "capture a pinned content-addressed snapshot",
+         cmdSnapshot, false, /*yields=*/false, /*minVersion=*/2},
+        {"snapshots", nullptr, {},
+         "list the snapshot ring, oldest first",
+         cmdSnapshots, false, /*yields=*/false, /*minVersion=*/2},
+        {"restore", nullptr,
+         {{"cycle", ArgKind::Num, false},
+          {"snapshot", ArgKind::Num, false}},
+         "time-travel to CYCLE, or restore SNAPSHOT by id "
+         "(default: newest)",
+         cmdRestore, false, /*yields=*/false, /*minVersion=*/2},
         {"trace", nullptr,
          {{"n", ArgKind::Num, true},
           {"file", ArgKind::Str, false},
@@ -1117,11 +1238,39 @@ Dispatcher::renderText(const Result &result)
             out += line;
         }
     } else if (cmd == "snapshot") {
-        out += "snapshot taken at mut cycle " +
-               std::to_string(u64("cycle")) + "\n";
+        const Json &snap = *reply.find("snapshot");
+        out += "snapshot " + snap.find("id")->asString() +
+               " at mut cycle " +
+               std::to_string(snap.find("cycle")->asU64()) + " (" +
+               std::to_string(snap.find("delta_frames")->asU64()) +
+               " delta frames, " +
+               std::to_string(snap.find("bytes")->asU64()) +
+               " bytes)\n";
+    } else if (cmd == "snapshots") {
+        for (const Json &snap :
+             reply.find("snapshots")->items()) {
+            out += "  " + snap.find("id")->asString() +
+                   "  cycle " +
+                   std::to_string(snap.find("cycle")->asU64()) +
+                   "  " +
+                   std::to_string(
+                       snap.find("delta_frames")->asU64()) +
+                   " delta frames" +
+                   (snap.find("pinned")->asBool() ? "  [pinned]"
+                                                  : "") +
+                   "\n";
+        }
     } else if (cmd == "restore") {
         out += "restored to mut cycle " +
-               std::to_string(u64("cycle")) + "\n";
+               std::to_string(u64("cycle"));
+        if (const Json *replayed = reply.find("replayed")) {
+            out += " (replayed " +
+                   std::to_string(replayed->asU64()) +
+                   " cycles from " +
+                   reply.find("snapshot")->find("id")->asString() +
+                   ")";
+        }
+        out += "\n";
     } else if (cmd == "trace") {
         if (const Json *file = reply.find("file")) {
             out += "wrote " + std::to_string(u64("samples")) +
@@ -1189,6 +1338,23 @@ Dispatcher::commandNames()
     return names;
 }
 
+std::vector<std::string>
+Dispatcher::commandNames(uint64_t version)
+{
+    std::vector<std::string> names;
+    for (const auto &spec : table())
+        if (spec.minVersion <= version)
+            names.push_back(spec.name);
+    return names;
+}
+
+uint64_t
+Dispatcher::commandMinVersion(const std::string &cmd)
+{
+    const CommandSpec *spec = findSpec(cmd);
+    return spec ? spec->minVersion : 0;
+}
+
 Json
 Dispatcher::commandsJson()
 {
@@ -1211,6 +1377,7 @@ Dispatcher::commandsJson()
         }
         entry.set("args", std::move(args));
         entry.set("events", spec.pollsEvents);
+        entry.set("min_version", spec.minVersion);
         commands.push(std::move(entry));
     }
     return commands;

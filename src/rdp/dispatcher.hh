@@ -125,6 +125,14 @@ class Dispatcher
     /** Canonical command names (the wire command set). */
     static std::vector<std::string> commandNames();
 
+    /** Command names visible to a connection that negotiated
+     *  @p version (filters by each spec's minVersion). */
+    static std::vector<std::string> commandNames(uint64_t version);
+
+    /** Lowest protocol version that may call @p cmd; 0 when the
+     *  command does not exist. */
+    static uint64_t commandMinVersion(const std::string &cmd);
+
     /**
      * The machine-readable command schema served by the
      * `commands` introspection request: an array of

@@ -20,6 +20,8 @@ errcName(Errc code)
     case Errc::TraceOverflow: return "trace-overflow";
     case Errc::ParseError: return "parse-error";
     case Errc::LintRejected: return "lint-rejected";
+    case Errc::SnapshotNotFound: return "snapshot-not-found";
+    case Errc::SnapshotOverflow: return "snapshot-overflow";
     case Errc::Internal: return "internal";
     }
     return "internal";

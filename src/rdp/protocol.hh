@@ -58,6 +58,8 @@ enum class Errc {
     TraceOverflow,      ///< stream outbox filled (client stalled)
     ParseError,         ///< uploaded RTL failed to parse/elaborate
     LintRejected,       ///< uploaded RTL failed the lint gate
+    SnapshotNotFound,   ///< no snapshot with that id / at that cycle
+    SnapshotOverflow,   ///< snapshot ring full of pinned snapshots
     Internal,           ///< unexpected server-side failure
 };
 

@@ -117,6 +117,10 @@ Scheduler::run(const std::shared_ptr<Session> &session,
             return outcome;
         }
         task.enqueuedAtMicros = steadyNowMicros();
+        // Epoch-stamp under the scheduler mutex: a cancelRuns that
+        // already ran leaves its bump visible here, so this run
+        // (issued after the restore) proceeds normally.
+        task.epoch = session->stats().preemptEpoch.load();
         _ready.push_back(&task);
         _work.notify_one();
         _done.wait(lock, [&task] { return task.done; });
@@ -136,9 +140,35 @@ Scheduler::run(const std::shared_ptr<Session> &session,
 
     outcome.cyclesRun = task.cyclesRun;
     outcome.cancelled = task.cancelled;
+    outcome.preempted = task.preempted;
     outcome.queueWaitMicros = task.queueWaitMicros;
     outcome.execMicros = task.execMicros;
     return outcome;
+}
+
+void
+Scheduler::cancelRuns(const std::shared_ptr<Session> &session)
+{
+    if (!session)
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    // The bump retires in-flight tasks at their next epoch check
+    // (before or after a quantum); queued tasks are swept here so
+    // they never touch the device again. Refunds happen on the
+    // blocked run() callers' side, via the cyclesRun < reserved
+    // path — exactly the cancelled-run refund.
+    session->stats().preemptEpoch.fetch_add(1);
+    for (auto it = _ready.begin(); it != _ready.end();) {
+        Task *task = *it;
+        if (task->session == session) {
+            task->preempted = true;
+            task->done = true;
+            it = _ready.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    _done.notify_all();
 }
 
 void
@@ -156,6 +186,16 @@ Scheduler::workerLoop()
         _ready.pop_front();
         task->queueWaitMicros += uint64_t(std::max<int64_t>(
             0, steadyNowMicros() - task->enqueuedAtMicros));
+        if (task->session->stats().preemptEpoch.load() !=
+            task->epoch) {
+            // Preempted while queued but missed by the sweep (it
+            // cannot happen today, but the check is cheap and the
+            // invariant matters): never touch the device again.
+            task->preempted = true;
+            task->done = true;
+            _done.notify_all();
+            continue;
+        }
         uint64_t slice =
             std::min(_options.quantum, task->remaining);
         lock.unlock();
@@ -171,9 +211,17 @@ Scheduler::workerLoop()
                 for (uint64_t i = 0; i < slice; ++i) {
                     (*task->perCycle)();
                     task->session->platform().run(1);
+                    task->session->snapshots().autoTick(
+                        _options.autoSnapshotCycles);
                 }
             } else {
                 task->session->platform().run(slice);
+                // Bulk runs check the auto-snapshot cadence once
+                // per quantum: captures land within a quantum of
+                // their nominal cycle, which the ring policy
+                // tolerates by design.
+                task->session->snapshots().autoTick(
+                    _options.autoSnapshotCycles);
             }
         }
         int64_t t1 = steadyNowMicros();
@@ -186,7 +234,14 @@ Scheduler::workerLoop()
         task->remaining -= slice;
         task->cyclesRun += slice;
         task->execMicros += uint64_t(std::max<int64_t>(0, t1 - t0));
-        if (task->remaining == 0 || _stopping) {
+        if (task->session->stats().preemptEpoch.load() !=
+            task->epoch) {
+            // A restore preempted this run between quanta: this
+            // quantum was its last, whatever cycles remain.
+            task->preempted = true;
+            task->done = true;
+            _done.notify_all();
+        } else if (task->remaining == 0 || _stopping) {
             task->cancelled = _stopping && task->remaining != 0;
             task->done = true;
             _done.notify_all();

@@ -53,6 +53,14 @@ struct SchedulerOptions
 
     /** Background reaper period (0 = only manual reapIdle()). */
     uint64_t reapIntervalMs = 0;
+
+    /**
+     * Auto-snapshot cadence: workers capture an unpinned snapshot
+     * into the session's ring roughly every this many MUT cycles
+     * while runs execute (checked per cycle on sampled runs, per
+     * quantum on bulk runs). 0 disables auto-snapshots.
+     */
+    uint64_t autoSnapshotCycles = 4096;
 };
 
 /** Time-slicing worker pool over a shared session registry. */
@@ -74,6 +82,7 @@ class Scheduler
         uint64_t cyclesRun = 0;
         bool cancelled = false;       ///< scheduler stopped mid-run
         bool budgetExhausted = false; ///< clamped by the cycle budget
+        bool preempted = false;       ///< retired by cancelRuns()
         uint64_t queueWaitMicros = 0;
         uint64_t execMicros = 0;
     };
@@ -103,6 +112,19 @@ class Scheduler
     bool canAdmit() const;
 
     /**
+     * Preempt every queued or in-flight run of @p session: bump the
+     * session's preempt epoch, sweep its queued tasks out of the
+     * ready queue, and let any currently-executing quantum be the
+     * task's last. Blocked run() callers wake with `preempted` set
+     * and their unexecuted budget reservation refunded — the same
+     * CAS refund path a cancelled run takes. Called by `restore`
+     * (which holds the session mutex) so a rewind never races a
+     * worker for the device; safe because workers never hold the
+     * scheduler mutex and a session mutex at the same time.
+     */
+    void cancelRuns(const std::shared_ptr<Session> &session);
+
+    /**
      * Close sessions idle beyond idleTimeoutMs with no queued or
      * executing run. @return the number of sessions reaped.
      */
@@ -125,8 +147,10 @@ class Scheduler
         uint64_t queueWaitMicros = 0;
         uint64_t execMicros = 0;
         int64_t enqueuedAtMicros = 0;
+        uint64_t epoch = 0;  ///< preemptEpoch stamp at enqueue
         bool done = false;
         bool cancelled = false;
+        bool preempted = false;
     };
 
     void workerLoop();

@@ -261,7 +261,8 @@ Server::handleHello(const Request &req, ConnState &conn,
     reply.set("max_sessions", _options.scheduler.maxSessions);
     reply.set("workers", _options.scheduler.workers);
     Json commands = Json::array();
-    for (const std::string &name : Dispatcher::commandNames())
+    for (const std::string &name :
+         Dispatcher::commandNames(conn.version))
         commands.push(name);
     for (const ServerCommandSpec &spec : serverTable()) {
         if (conn.version >= spec.minVersion)
@@ -811,6 +812,18 @@ Server::dispatchRequest(const Request &req, ConnState &conn,
         if (spec.quits)
             quit = true;
         return (this->*spec.handler)(req, conn, out);
+    }
+
+    // Session-scoped commands gate on the negotiated version too:
+    // a v1 client asking for a v2 command (snapshot/restore/...)
+    // gets the same typed refusal as for a v2 server command.
+    uint64_t minVersion = Dispatcher::commandMinVersion(req.cmd);
+    if (minVersion > conn.version) {
+        return errorReply(
+            req, Errc::UnknownCommand,
+            "\"" + req.cmd + "\" requires protocol >= " +
+                std::to_string(minVersion) + " (negotiated " +
+                std::to_string(conn.version) + ")");
     }
 
     // Session-scoped command: route to the named session, or to

@@ -121,6 +121,12 @@ Session::Session(uint64_t id, SessionConfig config)
     opts.instrument.watchSignals = _config.watchSignals;
     opts.instrument.assertions = _config.assertions;
     _platform = core::Platform::create(_userDesign, opts);
+    // A pinned genesis snapshot (cycle 0) both establishes the
+    // store's base image and guarantees time travel always has a
+    // restore point at or before any requested cycle.
+    _snapshots =
+        std::make_unique<core::SnapshotStore>(*_platform);
+    _snapshots->capture(/*pinned=*/true);
     touch();
 }
 

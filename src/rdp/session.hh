@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.hh"
 #include "core/zoomie.hh"
 
 namespace zoomie::rdp {
@@ -60,6 +61,15 @@ struct SessionStats
      * not be the admission authority).
      */
     std::atomic<uint64_t> budgetReserved{0};
+
+    /**
+     * Bumped by Scheduler::cancelRuns (a `restore` preempting an
+     * in-flight `run`). Workers stamp the epoch into each task at
+     * enqueue and retire the task — refunding its unspent budget —
+     * when the stamp no longer matches, instead of racing the
+     * restore for the device.
+     */
+    std::atomic<uint64_t> preemptEpoch{0};
 };
 
 /** What to bring up when a session opens. */
@@ -126,8 +136,14 @@ class Session
     /** Stamp the session as recently used (defers the reaper). */
     void touch() { _stats.lastActiveMicros = steadyNowMicros(); }
 
+    /**
+     * The session's content-addressed snapshot ring. Bring-up
+     * captures a pinned genesis snapshot at cycle 0, so time
+     * travel always has a baseline to restore-and-replay from.
+     */
+    core::SnapshotStore &snapshots() { return *_snapshots; }
+
     // ---- dispatcher-tracked state --------------------------------
-    std::optional<core::Snapshot> snapshot;
     uint64_t reportedAssertions = 0; ///< already emitted as events
     bool stopReported = false;       ///< dbg_stop emitted for this pause
     bool stepPending = false;        ///< a step command armed the counter
@@ -139,6 +155,7 @@ class Session
     SessionConfig _config;
     rtl::Design _userDesign;
     std::unique_ptr<core::Platform> _platform;
+    std::unique_ptr<core::SnapshotStore> _snapshots;
     std::mutex _mutex;
     SessionStats _stats;
 };

@@ -294,6 +294,10 @@ TEST(Platform, ReadAllRegistersGivesFullVisibility)
     EXPECT_EQ(regs["mut/count"], 17u);
 }
 
+// Pins the deprecated value-blob shim (Debugger::snapshot/restore).
+// New code goes through core::SnapshotStore — see test_snapshot.cc;
+// this stays until the shim is removed so migrating callers keep a
+// behavioral reference.
 TEST(Platform, SnapshotAndReplayReproducesExecution)
 {
     auto p = counterPlatform();

@@ -354,6 +354,125 @@ TEST(DapBridge, EndToEndOverLoopbackTcp)
     tcp.stop();
 }
 
+/**
+ * The time-travel acceptance script, over the same byte-exact TCP
+ * transport: initialize (capabilities advertise stepBack) → launch
+ * stopped on entry → continue to a deterministic breakpoint stop at
+ * cycle 5 → stepBack → variables observe the cycle-4 state →
+ * reverseContinue rewinds to the newest earlier snapshot (the
+ * pinned genesis at cycle 0) → stepBack at cycle 0 fails cleanly.
+ */
+TEST(DapBridge, TimeTravelStepBackObservesEarlierState)
+{
+    rdp::Server server;
+    dap::TcpServer tcp(server);
+    std::string error;
+    ASSERT_TRUE(tcp.start(&error)) << error;
+
+    {
+        DapClient client(tcp.port());
+
+        client.send(request(1, "initialize",
+                            R"({"adapterID":"zoomie-tt"})"));
+        Json init = client.await(isResponse("initialize"));
+        ASSERT_TRUE(init.find("body"));
+        EXPECT_TRUE(init.find("body")
+                        ->find("supportsStepBack")
+                        ->asBool());
+        client.await(isEvent("initialized"));
+
+        client.send(request(
+            2, "setBreakpoints",
+            R"({"source":{"name":"counter"},"breakpoints":[{"line":5}]})"));
+        client.await(isResponse("setBreakpoints"));
+
+        client.send(request(
+            3, "launch",
+            R"({"design":"counter","stopOnEntry":true})"));
+        client.await(isResponse("launch"));
+        client.send(request(4, "configurationDone"));
+        client.await(isResponse("configurationDone"));
+        client.await(isEvent("stopped", "entry"));
+
+        // Forward to the breakpoint: count == 5, cycle 5.
+        client.send(request(5, "continue", R"({"threadId":1})"));
+        client.await(isResponse("continue"));
+        client.await(isEvent("stopped", "breakpoint"));
+        client.send(request(6, "variables",
+                            R"({"variablesReference":1})"));
+        Json at5 = client.await(isResponse("variables"));
+        EXPECT_EQ(at5.find("body")
+                      ->find("variables")
+                      ->at(0)
+                      .find("value")
+                      ->asString(),
+                  "0x5");
+
+        // One step back in time: the stop event precedes the
+        // response, and the device now shows the cycle-4 state.
+        client.send(request(7, "stepBack", R"({"threadId":1})"));
+        Json back = client.await(isEvent("stopped", "step"));
+        EXPECT_EQ(back.find("body")
+                      ->find("description")
+                      ->asString(),
+                  "stepped back to cycle 4");
+        client.await(isResponse("stepBack"));
+        client.send(request(8, "variables",
+                            R"({"variablesReference":1})"));
+        Json at4 = client.await(isResponse("variables"));
+        EXPECT_EQ(at4.find("body")
+                      ->find("variables")
+                      ->at(0)
+                      .find("value")
+                      ->asString(),
+                  "0x4");
+        client.send(request(9, "stackTrace",
+                            R"({"threadId":1})"));
+        EXPECT_EQ(frameName(client.await(isResponse("stackTrace"))),
+                  "counter @ cycle 4");
+
+        // reverseContinue lands on the newest snapshot before
+        // cycle 4 — the pinned genesis at cycle 0.
+        client.send(request(10, "reverseContinue",
+                            R"({"threadId":1})"));
+        Json rewound = client.await(isEvent("stopped", "pause"));
+        EXPECT_EQ(rewound.find("body")
+                      ->find("description")
+                      ->asString(),
+                  "rewound to cycle 0");
+        client.await(isResponse("reverseContinue"));
+        client.send(request(11, "variables",
+                            R"({"variablesReference":1})"));
+        Json at0 = client.await(isResponse("variables"));
+        EXPECT_EQ(at0.find("body")
+                      ->find("variables")
+                      ->at(0)
+                      .find("value")
+                      ->asString(),
+                  "0x0");
+
+        // History ends at cycle 0.
+        client.send(request(12, "stepBack", R"({"threadId":1})"));
+        Json refused = client.await(isResponse("stepBack"));
+        EXPECT_FALSE(refused.find("success")->asBool());
+        EXPECT_NE(refused.find("message")->asString().find(
+                      "already at cycle 0"),
+                  std::string::npos);
+
+        client.send(request(13, "disconnect"));
+        client.await(isResponse("disconnect"));
+        client.await(isEvent("terminated"));
+    }
+
+    for (int i = 0; i < 100 && !server.sessions().ids().empty();
+         ++i)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    EXPECT_TRUE(server.sessions().ids().empty());
+
+    tcp.stop();
+}
+
 TEST(DapBridge, WatchHitMapsToDataBreakpointStop)
 {
     BridgeHarness h;

@@ -89,6 +89,8 @@ const std::string kConfigDone =
     R"({"seq":3,"type":"request","command":"configurationDone"})";
 const std::string kBreakAt5 =
     R"({"seq":4,"type":"request","command":"setBreakpoints","arguments":{"breakpoints":[{"line":5}]}})";
+const std::string kNext =
+    R"({"seq":4,"type":"request","command":"next","arguments":{"threadId":1}})";
 
 /** initialize → 2 messages out (response, initialized). */
 const std::vector<std::string> SETUP_INIT = {kInit};
@@ -97,6 +99,9 @@ const std::vector<std::string> SETUP_LAUNCH = {kInit, kLaunch};
 /** + configurationDone → 5 messages out (+stopped entry). */
 const std::vector<std::string> SETUP_CONFIG = {kInit, kLaunch,
                                                kConfigDone};
+/** + one step to cycle 1 → 7 messages out (+stopped, +response). */
+const std::vector<std::string> SETUP_STEPPED = {kInit, kLaunch,
+                                                kConfigDone, kNext};
 
 const std::vector<std::pair<std::string, GoldenCase>> &
 goldenTable()
@@ -106,7 +111,7 @@ goldenTable()
             {"initialize",
              {{},
               kInit,
-              {R"({"seq":1,"type":"response","request_seq":1,"success":true,"command":"initialize","body":{"supportsConfigurationDoneRequest":true,"supportsEvaluateForHovers":true,"supportsSetVariable":true,"supportsDataBreakpoints":true,"supportsFunctionBreakpoints":false,"supportsConditionalBreakpoints":false,"supportsRestartRequest":false,"supportsTerminateRequest":false}})",
+              {R"({"seq":1,"type":"response","request_seq":1,"success":true,"command":"initialize","body":{"supportsConfigurationDoneRequest":true,"supportsEvaluateForHovers":true,"supportsSetVariable":true,"supportsDataBreakpoints":true,"supportsStepBack":true,"supportsFunctionBreakpoints":false,"supportsConditionalBreakpoints":false,"supportsRestartRequest":false,"supportsTerminateRequest":false}})",
                R"({"seq":2,"type":"event","event":"initialized","body":{}})"}}},
             {"launch",
              {SETUP_INIT,
@@ -173,6 +178,16 @@ goldenTable()
               R"({"seq":4,"type":"request","command":"stepOut","arguments":{"threadId":1}})",
               {R"({"seq":6,"type":"event","event":"stopped","body":{"reason":"step","threadId":1,"allThreadsStopped":true}})",
                R"({"seq":7,"type":"response","request_seq":4,"success":true,"command":"stepOut","body":{}})"}}},
+            {"stepBack",
+             {SETUP_STEPPED,
+              R"({"seq":5,"type":"request","command":"stepBack","arguments":{"threadId":1}})",
+              {R"({"seq":8,"type":"event","event":"stopped","body":{"reason":"step","description":"stepped back to cycle 0","threadId":1,"allThreadsStopped":true}})",
+               R"({"seq":9,"type":"response","request_seq":5,"success":true,"command":"stepBack","body":{}})"}}},
+            {"reverseContinue",
+             {SETUP_STEPPED,
+              R"({"seq":5,"type":"request","command":"reverseContinue","arguments":{"threadId":1}})",
+              {R"({"seq":8,"type":"event","event":"stopped","body":{"reason":"pause","description":"rewound to cycle 0","threadId":1,"allThreadsStopped":true}})",
+               R"({"seq":9,"type":"response","request_seq":5,"success":true,"command":"reverseContinue","body":{"allThreadsContinued":true}})"}}},
             {"pause",
              {SETUP_CONFIG,
               R"({"seq":4,"type":"request","command":"pause","arguments":{"threadId":1}})",

@@ -66,6 +66,7 @@ const std::string kOpenAssert =
 const std::string kPause = R"({"cmd":"pause"})";
 const std::string kSnap = R"({"cmd":"snapshot"})";
 const std::string kRun3 = R"({"cmd":"run","n":3})";
+const std::string kRun10 = R"({"cmd":"run","n":10})";
 
 /** Upload the counter-with-enable design through the wire. */
 const std::string kOpenSource =
@@ -80,7 +81,7 @@ goldenTable()
             {"hello",
              {{},
               R"({"cmd":"hello","id":1,"version":2})",
-              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","poke","forcemem","regs","snapshot","restore","trace","info","assert","lint","hello","open","open_source","close","sessions","commands","batch","quit","shutdown"]})"}},
+              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","poke","forcemem","regs","snapshot","snapshots","restore","trace","info","assert","lint","hello","open","open_source","close","sessions","commands","batch","quit","shutdown"]})"}},
             {"open",
              {{},
               R"({"cmd":"open","id":1,"design":"counter"})",
@@ -96,11 +97,11 @@ goldenTable()
             {"commands",
              {{},
               R"({"cmd":"commands","id":1})",
-              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"poke","scope":"session","help":"drive a top-level input port","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false},{"name":"snapshot","alias":"snap","scope":"session","help":"capture the whole design state","args":[],"events":false},{"name":"restore","scope":"session","help":"restore the last snapshot","args":[],"events":false},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true},{"name":"info","scope":"session","help":"session status","args":[],"events":false},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false}],"min_version":1},{"name":"open_source","scope":"server","help":"compile uploaded Verilog into a new debug session","args":[{"name":"text","type":"string","required":false},{"name":"chunk","type":"string","required":false},{"name":"seq","type":"u64","required":false},{"name":"last","type":"bool","required":false},{"name":"top","type":"string","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"lint","type":"bool","required":false}],"min_version":2},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
+              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true,"min_version":1},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false,"min_version":1},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false,"min_version":1},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false,"min_version":1},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false,"min_version":1},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false,"min_version":1},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"poke","scope":"session","help":"drive a top-level input port","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false,"min_version":1},{"name":"snapshot","alias":"snap","scope":"session","help":"capture a pinned content-addressed snapshot","args":[],"events":false,"min_version":2},{"name":"snapshots","scope":"session","help":"list the snapshot ring, oldest first","args":[],"events":false,"min_version":2},{"name":"restore","scope":"session","help":"time-travel to CYCLE, or restore SNAPSHOT by id (default: newest)","args":[{"name":"cycle","type":"u64","required":false},{"name":"snapshot","type":"u64","required":false}],"events":false,"min_version":2},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true,"min_version":1},{"name":"info","scope":"session","help":"session status","args":[],"events":false,"min_version":1},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false,"min_version":1},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false}],"min_version":1},{"name":"open_source","scope":"server","help":"compile uploaded Verilog into a new debug session","args":[{"name":"text","type":"string","required":false},{"name":"chunk","type":"string","required":false},{"name":"seq","type":"u64","required":false},{"name":"last","type":"bool","required":false},{"name":"top","type":"string","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"lint","type":"bool","required":false}],"min_version":2},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
             {"batch",
              {{kOpen},
               R"({"cmd":"batch","id":1,"requests":[{"cmd":"snapshot"}]})",
-              R"({"type":"reply","id":1,"cmd":"batch","ok":true,"executed":1,"failed":0,"results":[{"type":"reply","cmd":"snapshot","ok":true,"cycle":0,"index":0}]})"}},
+              R"({"type":"reply","id":1,"cmd":"batch","ok":true,"executed":1,"failed":0,"results":[{"type":"reply","cmd":"snapshot","ok":true,"snapshot":{"id":"0xa8c7f832281a39c5","cycle":0,"bytes":0,"delta_frames":0},"index":0}]})"}},
             {"quit",
              {{},
               R"({"cmd":"quit","id":1})",
@@ -162,11 +163,15 @@ goldenTable()
             {"snapshot",
              {{kOpen},
               R"({"cmd":"snapshot","id":1})",
-              R"({"type":"reply","id":1,"cmd":"snapshot","ok":true,"cycle":0})"}},
+              R"({"type":"reply","id":1,"cmd":"snapshot","ok":true,"snapshot":{"id":"0xa8c7f832281a39c5","cycle":0,"bytes":0,"delta_frames":0}})"}},
             {"restore",
              {{kOpen, kSnap},
               R"({"cmd":"restore","id":1})",
-              R"({"type":"reply","id":1,"cmd":"restore","ok":true,"cycle":0})"}},
+              R"({"type":"reply","id":1,"cmd":"restore","ok":true,"snapshot":{"id":"0xa8c7f832281a39c5","cycle":0,"bytes":0,"delta_frames":0},"cycle":0})"}},
+            {"snapshots",
+             {{kOpen, kSnap, kRun10, kSnap},
+              R"({"cmd":"snapshots","id":1})",
+              R"({"type":"reply","id":1,"cmd":"snapshots","ok":true,"snapshots":[{"id":"0xa8c7f832281a39c5","cycle":0,"bytes":0,"delta_frames":0,"pinned":true},{"id":"0x8c618a7d53b72be0","cycle":10,"bytes":372,"delta_frames":1,"pinned":true}],"capacity":16})"}},
             {"trace",
              {{kOpen},
               R"({"cmd":"trace","id":1,"n":4,"file":"conformance_trace.vcd"})",
@@ -435,4 +440,79 @@ TEST(RdpConformance, OpenSourceChunkedGolden)
         bad.back(),
         R"({"type":"reply","id":3,"cmd":"open_source","ok":false,"error":"bad-args","detail":"\"seq\" 7 out of order (expected 0); upload discarded"})");
     EXPECT_EQ(server.sessions().count(), 1u);
+}
+
+// ---- snapshot / restore error-path and gating goldens ----------------
+//
+// The time-travel surface's typed failures, pinned byte-for-byte:
+// restore-by-cycle replays deterministically, an unknown content
+// address answers `snapshot-not-found`, and a v1 connection cannot
+// see any of the snapshot commands.
+
+TEST(RdpConformance, RestoreByCycleReplaysGolden)
+{
+    rdp::Server server;
+    rdp::ConnState conn;
+    bool quit = false;
+    for (const std::string &line : {kOpen, kSnap, kRun10}) {
+        auto out = server.handleLine(line, conn, quit);
+        ASSERT_NE(out.back().find("\"ok\":true"),
+                  std::string::npos)
+            << out.back();
+    }
+    auto out = server.handleLine(
+        R"({"cmd":"restore","id":1,"cycle":6})", conn, quit);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(
+        scrub(out.back()),
+        R"({"type":"reply","id":1,"cmd":"restore","ok":true,"snapshot":{"id":"0xa8c7f832281a39c5","cycle":0,"bytes":0,"delta_frames":0},"cycle":6,"replayed":6,"paused":true})");
+}
+
+TEST(RdpConformance, RestoreUnknownIdGolden)
+{
+    rdp::Server server;
+    rdp::ConnState conn;
+    bool quit = false;
+    auto ok = server.handleLine(kOpen, conn, quit);
+    ASSERT_NE(ok.back().find("\"ok\":true"), std::string::npos);
+    auto out = server.handleLine(
+        R"({"cmd":"restore","id":1,"snapshot":99})", conn, quit);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(
+        out.back(),
+        R"({"type":"reply","id":1,"cmd":"restore","ok":false,"error":"snapshot-not-found","detail":"no snapshot with id 0x63"})");
+}
+
+TEST(RdpConformance, SnapshotCommandsGatedOnV1Golden)
+{
+    // One connection, negotiated down to v1: all three snapshot
+    // commands answer the same typed unknown-command refusal the
+    // server commands use, and hello's advertisement omits them.
+    rdp::Server server;
+    rdp::ConnState conn;
+    bool quit = false;
+    auto hello = server.handleLine(
+        R"({"cmd":"hello","id":1,"version":1})", conn, quit);
+    ASSERT_FALSE(hello.empty());
+    EXPECT_EQ(
+        hello.back(),
+        R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":1,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","poke","forcemem","regs","trace","info","assert","lint","hello","open","close","sessions","commands","quit","shutdown"]})");
+    auto ok = server.handleLine(kOpen, conn, quit);
+    ASSERT_NE(ok.back().find("\"ok\":true"), std::string::npos);
+
+    auto snap = server.handleLine(
+        R"({"cmd":"snapshot","id":1})", conn, quit);
+    EXPECT_EQ(
+        snap.back(),
+        R"x({"type":"reply","id":1,"cmd":"snapshot","ok":false,"error":"unknown-command","detail":"\"snapshot\" requires protocol >= 2 (negotiated 1)"})x");
+    auto list = server.handleLine(
+        R"({"cmd":"snapshots","id":1})", conn, quit);
+    EXPECT_EQ(
+        list.back(),
+        R"x({"type":"reply","id":1,"cmd":"snapshots","ok":false,"error":"unknown-command","detail":"\"snapshots\" requires protocol >= 2 (negotiated 1)"})x");
+    auto restore = server.handleLine(
+        R"({"cmd":"restore","id":1})", conn, quit);
+    EXPECT_EQ(
+        restore.back(),
+        R"x({"type":"reply","id":1,"cmd":"restore","ok":false,"error":"unknown-command","detail":"\"restore\" requires protocol >= 2 (negotiated 1)"})x");
 }

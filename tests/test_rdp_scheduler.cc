@@ -537,3 +537,81 @@ TEST(RdpScheduler, ConcurrentRunsNeverOvershootTheBudget)
         EXPECT_TRUE(refused.budgetExhausted);
     }
 }
+
+/**
+ * Regression for the restore-vs-scheduled-run race: a `restore`
+ * arriving while runs are queued or executing must preempt them
+ * through cancelRuns (epoch bump + ready-queue sweep) and refund
+ * every unexecuted cycle reservation through the same CAS path a
+ * cancelled run takes. The canceller below does exactly what the
+ * wire `restore` handler does — session mutex, cancelRuns, rewind
+ * to the genesis snapshot — while two clients hammer runs, so TSan
+ * sees the worker/restore interleaving and the budget ledger must
+ * balance to the cycle afterwards.
+ */
+TEST(RdpScheduler, RestorePreemptionRefundsBudgetExactly)
+{
+    constexpr uint64_t kBudget = 200'000;
+    uint64_t total_preempted = 0;
+    for (int round = 0; round < 5; ++round) {
+        rdp::SessionRegistry registry;
+        rdp::SchedulerOptions options;
+        options.workers = 2;
+        options.quantum = 64;
+        options.cycleBudget = kBudget;
+        rdp::Scheduler scheduler(registry, options);
+        auto session = openCounter(registry);
+
+        std::atomic<uint64_t> preempted{0};
+        std::atomic<bool> go{false};
+        std::vector<std::thread> clients;
+        for (int t = 0; t < 2; ++t) {
+            clients.emplace_back([&] {
+                while (!go.load())
+                    std::this_thread::yield();
+                for (int i = 0; i < 3; ++i) {
+                    auto outcome = scheduler.run(session, 100'000);
+                    if (outcome.preempted)
+                        preempted.fetch_add(1);
+                }
+            });
+        }
+        std::thread restorer([&] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < 4; ++i) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                std::lock_guard<std::mutex> lock(session->mutex());
+                scheduler.cancelRuns(session);
+                auto ring = session->snapshots().list();
+                EXPECT_FALSE(ring.empty());
+                if (!ring.empty())
+                    session->snapshots().restore(ring.front().id);
+            }
+        });
+        go = true;
+        for (auto &client : clients)
+            client.join();
+        restorer.join();
+        total_preempted += preempted.load();
+
+        // Every preempted or clamped run refunded what it did not
+        // execute: the reservation ledger equals the cycles that
+        // actually ran.
+        uint64_t executed = session->stats().cyclesRun.load();
+        EXPECT_LE(executed, kBudget);
+        EXPECT_EQ(session->stats().budgetReserved.load(), executed);
+
+        // And the remainder is exactly spendable — nothing leaked,
+        // nothing refunded twice.
+        auto rest = scheduler.run(session, kBudget);
+        EXPECT_EQ(executed + rest.cyclesRun, kBudget);
+        auto refused = scheduler.run(session, 1);
+        EXPECT_EQ(refused.cyclesRun, 0u);
+        EXPECT_TRUE(refused.budgetExhausted);
+    }
+    // Across the rounds the canceller must actually have caught
+    // runs in flight — otherwise this test raced nothing.
+    EXPECT_GT(total_preempted, 0u);
+}

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * SnapshotStore tests: content-addressed capture (dedup, ring
+ * eviction, pinned overflow), exact restore by id, time travel with
+ * deterministic poke replay, poke-log truncation after a rewind,
+ * the scheduler's auto-capture cadence — and, on the serv_soc
+ * design, byte-identity of delta restore against the full readback
+ * image plus the steady-state compression bound (deltas at least
+ * 5x smaller than a full image).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.hh"
+#include "core/zoomie.hh"
+#include "designs/serv_soc.hh"
+#include "fpga/device.hh"
+#include "rtl/builder.hh"
+
+using namespace zoomie;
+using core::SnapshotInfo;
+using core::SnapshotStore;
+using rtl::Builder;
+using rtl::Value;
+
+namespace {
+
+/** Free-running counter inside scope "mut/". */
+rtl::Design
+mutCounter()
+{
+    Builder b("app");
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+/** Counter whose increment is an input port — poke-replayable. */
+rtl::Design
+pokeCounter()
+{
+    Builder b("app");
+    Value add = b.input("add", 8);
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.add(count.q, b.zext(add, 16)));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+std::unique_ptr<core::Platform>
+platformFor(rtl::Design design)
+{
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "mut/";
+    opts.instrument.watchSignals = {"mut/count"};
+    return core::Platform::create(std::move(design), opts);
+}
+
+/** Pause the MUT and let the pause latch settle. */
+void
+pauseSettled(core::Platform &p)
+{
+    p.debugger().pause();
+    p.run(1);
+}
+
+/** Advance the paused MUT by exactly @p cycles. */
+void
+stepMut(core::Platform &p, uint64_t cycles)
+{
+    p.debugger().stepCycles(cycles);
+    p.run(cycles + 4);
+}
+
+} // namespace
+
+// ---- capture: content addressing and the ring ------------------------
+
+TEST(SnapshotStore, CaptureDedupsIdenticalContent)
+{
+    auto p = platformFor(mutCounter());
+    SnapshotStore store(*p);
+    pauseSettled(*p);
+
+    auto a = store.capture(/*pinned=*/false);
+    ASSERT_TRUE(a.has_value());
+    auto b = store.capture(/*pinned=*/true);
+    ASSERT_TRUE(b.has_value());
+
+    // Same state, same cycle => same id, one ring entry; the pinned
+    // re-capture upgrades the existing entry instead of duplicating.
+    EXPECT_EQ(a->id, b->id);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_FALSE(a->pinned);
+    EXPECT_TRUE(b->pinned);
+    ASSERT_TRUE(store.info(a->id).has_value());
+    EXPECT_TRUE(store.info(a->id)->pinned);
+}
+
+TEST(SnapshotStore, RingEvictsOldestUnpinnedAndKeepsPinned)
+{
+    auto p = platformFor(mutCounter());
+    SnapshotStore store(*p, /*capacity=*/3);
+    pauseSettled(*p);
+
+    auto pinned = store.capture(true);
+    ASSERT_TRUE(pinned.has_value());
+
+    std::vector<SnapshotInfo> autos;
+    for (int i = 0; i < 3; ++i) {
+        stepMut(*p, 10);
+        auto s = store.capture(false);
+        ASSERT_TRUE(s.has_value());
+        autos.push_back(*s);
+    }
+
+    // Capacity 3: the fourth distinct capture evicted the oldest
+    // *unpinned* snapshot; the pinned one survives.
+    EXPECT_EQ(store.size(), 3u);
+    EXPECT_TRUE(store.info(pinned->id).has_value());
+    EXPECT_FALSE(store.info(autos[0].id).has_value());
+    EXPECT_TRUE(store.info(autos[1].id).has_value());
+    EXPECT_TRUE(store.info(autos[2].id).has_value());
+
+    // list() is oldest first.
+    auto list = store.list();
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0].id, pinned->id);
+    EXPECT_EQ(list[1].id, autos[1].id);
+    EXPECT_EQ(list[2].id, autos[2].id);
+}
+
+TEST(SnapshotStore, RingFullOfPinnedSnapshotsRefusesCapture)
+{
+    auto p = platformFor(mutCounter());
+    SnapshotStore store(*p, /*capacity=*/2);
+    pauseSettled(*p);
+
+    ASSERT_TRUE(store.capture(true).has_value());
+    stepMut(*p, 5);
+    ASSERT_TRUE(store.capture(true).has_value());
+
+    stepMut(*p, 5);
+    // Overflow: no unpinned victim — both the explicit and the
+    // auto path get std::nullopt (the wire maps the former to
+    // snapshot-overflow, the latter silently skips).
+    EXPECT_FALSE(store.capture(true).has_value());
+    EXPECT_FALSE(store.capture(false).has_value());
+    EXPECT_EQ(store.size(), 2u);
+}
+
+// ---- restore and travel ----------------------------------------------
+
+TEST(SnapshotStore, RestoreByIdRewindsStateAndCycle)
+{
+    auto p = platformFor(mutCounter());
+    SnapshotStore store(*p);
+    pauseSettled(*p);
+    stepMut(*p, 30);
+
+    auto snap = store.capture(true);
+    ASSERT_TRUE(snap.has_value());
+    uint64_t count = p->debugger().readRegister("mut/count");
+    uint64_t cycle = p->mutCycles();
+
+    stepMut(*p, 100);
+    ASSERT_EQ(p->debugger().readRegister("mut/count"), count + 100);
+
+    auto restored = store.restore(snap->id);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->id, snap->id);
+    EXPECT_EQ(p->debugger().readRegister("mut/count"), count);
+    EXPECT_EQ(p->mutCycles(), cycle);
+
+    // Unknown ids are a clean miss, not a crash.
+    EXPECT_FALSE(store.restore(snap->id ^ 1).has_value());
+}
+
+TEST(SnapshotStore, TravelReplaysRecordedPokesDeterministically)
+{
+    auto p = platformFor(pokeCounter());
+    SnapshotStore store(*p);
+    pauseSettled(*p);
+    stepMut(*p, 3);  // genesis above cycle 0 so a miss is reachable
+    uint64_t c0 = p->mutCycles();
+
+    ASSERT_TRUE(store.capture(true).has_value());
+
+    // Original timeline: add=1 from +10, add=3 from +20.
+    stepMut(*p, 10);
+    p->poke("add", 1);
+    store.recordPoke("add", 1);
+    stepMut(*p, 10);
+    p->poke("add", 3);
+    store.recordPoke("add", 3);
+    stepMut(*p, 5);
+    uint64_t count_at_25 = p->debugger().readRegister("mut/count");
+    stepMut(*p, 5);
+    uint64_t count_at_30 = p->debugger().readRegister("mut/count");
+    EXPECT_GT(count_at_30, count_at_25);
+
+    // Travel to +25: restores the only snapshot (the genesis at c0)
+    // and re-runs 25 cycles, re-applying both pokes at their
+    // original cycles.
+    auto result = store.travel(c0 + 25);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->from.cycle, c0);
+    EXPECT_EQ(result->cycle, c0 + 25);
+    EXPECT_EQ(result->replayed, 25u);
+    EXPECT_EQ(p->mutCycles(), c0 + 25);
+    EXPECT_EQ(p->debugger().readRegister("mut/count"), count_at_25);
+
+    // A target no snapshot covers is a clean miss.
+    EXPECT_FALSE(store.travel(c0 - 1).has_value());
+}
+
+TEST(SnapshotStore, PokeAfterRewindTruncatesRecordedFuture)
+{
+    auto p = platformFor(pokeCounter());
+    SnapshotStore store(*p);
+    pauseSettled(*p);
+    uint64_t c0 = p->mutCycles();
+    ASSERT_TRUE(store.capture(true).has_value());
+
+    stepMut(*p, 10);
+    p->poke("add", 1);
+    store.recordPoke("add", 1);
+    stepMut(*p, 10);
+    p->poke("add", 3);
+    store.recordPoke("add", 3);
+    ASSERT_EQ(store.pokeLogSize(), 2u);
+
+    // Rewind to +5, then poke: both recorded pokes are in the
+    // abandoned future and must not replay on the new timeline.
+    ASSERT_TRUE(store.travel(c0 + 5).has_value());
+    p->poke("add", 7);
+    store.recordPoke("add", 7);
+    EXPECT_EQ(store.pokeLogSize(), 1u);
+
+    stepMut(*p, 5);
+    uint64_t count_new = p->debugger().readRegister("mut/count");
+    ASSERT_TRUE(store.travel(c0 + 10).has_value());
+    EXPECT_EQ(p->debugger().readRegister("mut/count"), count_new);
+}
+
+TEST(SnapshotStore, AutoTickCapturesOnTheInterval)
+{
+    auto p = platformFor(mutCounter());
+    SnapshotStore store(*p);
+    pauseSettled(*p);
+
+    store.autoTick(0);  // disabled: no capture
+    EXPECT_EQ(store.size(), 0u);
+
+    store.autoTick(10);  // below the interval from cycle 0
+    EXPECT_EQ(store.size(), 0u);
+
+    stepMut(*p, 10);
+    store.autoTick(10);
+    EXPECT_EQ(store.size(), 1u);
+
+    stepMut(*p, 5);
+    store.autoTick(10);  // only 5 cycles since the last capture
+    EXPECT_EQ(store.size(), 1u);
+
+    stepMut(*p, 5);
+    store.autoTick(10);
+    EXPECT_EQ(store.size(), 2u);
+
+    auto list = store.list();
+    for (const SnapshotInfo &info : list)
+        EXPECT_FALSE(info.pinned);
+}
+
+// ---- serv_soc: byte identity and compression -------------------------
+
+namespace {
+
+std::unique_ptr<core::Platform>
+servSocPlatform()
+{
+    designs::ServSocConfig config;
+    config.cores = 2;
+    config.coresPerCluster = 2;
+    config.clusterBrams = 1;
+    config.l2Brams = 0;
+    core::PlatformOptions opts;
+    opts.instrument.mutPrefix = "cluster0/";
+    opts.instrument.watchSignals = {"cluster0/core0/pc"};
+    opts.spec = fpga::makeTestDevice();
+    return core::Platform::create(designs::buildServSoc(config),
+                                  opts);
+}
+
+} // namespace
+
+TEST(SnapshotStore, ServSocDeltaRestoreIsByteIdenticalToFullImage)
+{
+    auto p = servSocPlatform();
+    SnapshotStore store(*p);
+    p->run(40);
+    pauseSettled(*p);
+
+    auto snap = store.capture(true);
+    ASSERT_TRUE(snap.has_value());
+    auto image = p->debugger().readbackImage();
+    uint64_t cycle = p->mutCycles();
+
+    stepMut(*p, 60);
+    auto later = store.capture(true);
+    ASSERT_TRUE(later.has_value());
+    EXPECT_NE(later->id, snap->id);
+
+    // Delta restore must reproduce the exact full readback image —
+    // every word of every frame on every SLR — not just the watched
+    // registers.
+    ASSERT_TRUE(store.restore(snap->id).has_value());
+    auto restored = p->debugger().readbackImage();
+    ASSERT_EQ(restored.size(), image.size());
+    for (size_t slr = 0; slr < image.size(); ++slr)
+        ASSERT_EQ(restored[slr], image[slr]) << "slr " << slr;
+    EXPECT_EQ(p->mutCycles(), cycle);
+}
+
+TEST(SnapshotStore, ServSocSteadyStateDeltasAreAtLeastFiveTimesSmaller)
+{
+    auto p = servSocPlatform();
+    SnapshotStore store(*p);
+
+    // Base image at the start, then a steady-state snapshot after
+    // the SoC has run: only frames holding evolving state (PCs,
+    // register files, the checksum ring) should be dirty.
+    p->run(5);
+    pauseSettled(*p);
+    ASSERT_TRUE(store.capture(true).has_value());
+    p->debugger().resume();
+    p->run(100);
+    pauseSettled(*p);
+
+    auto snap = store.capture(true);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_GT(snap->bytes, 0u);
+    EXPECT_GE(store.fullImageBytes(), 5 * snap->bytes)
+        << "delta " << snap->bytes << " bytes ("
+        << snap->deltaFrames << " frames) vs full image "
+        << store.fullImageBytes() << " bytes";
+}
