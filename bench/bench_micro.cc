@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/snapshot.hh"
+#include "difftest/difftest.hh"
 #include "core/zoomie.hh"
 #include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
@@ -263,6 +264,36 @@ BM_RestoreNearest(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RestoreNearest);
+
+void
+BM_DifftestLockstepCycle(benchmark::State &state)
+{
+    // Cost of one full differential-test cycle on the counter:
+    // execute a 24-command seeded sequence through both backends
+    // (fabric vs interpreter) in lockstep — two sessions opened,
+    // every normalized reply compared, register state probed at
+    // quiescent points. This is the unit of work the fixed-seed
+    // CI sweeps repeat by the thousand; items = commands.
+    difftest::GeneratorOptions gen;
+    gen.design = "counter";
+    gen.seed = 1;
+    gen.length = 24;
+    auto vocab =
+        difftest::discoverVocabulary(difftest::openLine(gen));
+    auto sequence = difftest::generateSequence(gen, *vocab);
+    difftest::LockstepOptions options;
+    options.probePrefixes = vocab->prefixes;
+    uint64_t divergences = 0;
+    for (auto _ : state) {
+        auto d = difftest::runLockstep(sequence, options);
+        divergences += d.has_value();
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(state.iterations() * sequence.size());
+    state.counters["commands"] = double(sequence.size());
+    state.counters["divergences"] = double(divergences);
+}
+BENCHMARK(BM_DifftestLockstepCycle);
 
 } // namespace
 

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * `zoomie_difftest`: the differential-testing CLI (src/difftest).
+ * Sweeps seeded random-but-guided wire-command sequences through
+ * two backends of the same design in lockstep — fabric execution
+ * vs the RTL interpreter by default — and reports the first
+ * divergence as a shrunk, replayable JSONL repro.
+ *
+ *     zoomie_difftest [--seed N] [--design NAME | --source FILE]
+ *                     [--count N] [--length N]
+ *                     [--backends A,B] [--repro FILE]
+ *                     [--replay FILE] [--skew-forces]
+ *
+ * Designs: counter, tinyrv, serv_soc (the server's built-ins);
+ * --source uploads a Verilog file through open_source instead.
+ * --replay re-executes a repro file and reports whether it still
+ * diverges. --skew-forces plants a fault (backend B executes every
+ * `force` with value+1) to demonstrate detection and shrinking.
+ * Exit status: 0 = no divergence, 1 = divergence found (repro
+ * printed and, with --repro, written), 2 = bad usage.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "difftest/difftest.hh"
+
+using namespace zoomie;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seed N] [--design NAME | --source FILE]\n"
+        "          [--count N] [--length N] [--backends A,B]\n"
+        "          [--repro FILE] [--replay FILE] [--skew-forces]\n",
+        argv0);
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream text;
+    text << in.rdbuf();
+    out = text.str();
+    return true;
+}
+
+void
+printDivergence(const difftest::Divergence &d)
+{
+    std::printf("divergence (%s) at command %zu: %s\n",
+                d.kind.c_str(), d.commandIndex,
+                d.command.c_str());
+    std::printf("--- backend A ---\n%s\n", d.lhs.c_str());
+    std::printf("--- backend B ---\n%s\n", d.rhs.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    difftest::GeneratorOptions gen;
+    difftest::LockstepOptions options;
+    size_t count = 20;
+    std::string repro_path;
+    std::string replay_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--seed") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            gen.seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--design") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            gen.design = v;
+        } else if (arg == "--source") {
+            const char *v = value();
+            if (!v || !readFile(v, gen.source)) {
+                std::fprintf(stderr, "cannot read %s\n",
+                             v ? v : "(missing)");
+                return 2;
+            }
+        } else if (arg == "--count") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            count = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--length") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            gen.length = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--backends") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            std::string pair = v;
+            size_t comma = pair.find(',');
+            if (comma == std::string::npos)
+                return usage(argv[0]);
+            options.backendA = pair.substr(0, comma);
+            options.backendB = pair.substr(comma + 1);
+        } else if (arg == "--repro") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            repro_path = v;
+        } else if (arg == "--replay") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            replay_path = v;
+        } else if (arg == "--skew-forces") {
+            options.skewForces = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    // ---- replay mode --------------------------------------------------
+    if (!replay_path.empty()) {
+        std::string text;
+        if (!readFile(replay_path, text)) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         replay_path.c_str());
+            return 2;
+        }
+        std::string err;
+        auto sequence = difftest::decodeRepro(text, &err);
+        if (!sequence) {
+            std::fprintf(stderr, "%s: %s\n", replay_path.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        auto divergence =
+            difftest::runLockstep(*sequence, options);
+        if (!divergence) {
+            std::printf("replay of %zu commands: no divergence\n",
+                        sequence->size());
+            return 0;
+        }
+        printDivergence(*divergence);
+        return 1;
+    }
+
+    // ---- sweep mode ---------------------------------------------------
+    difftest::SweepResult result =
+        difftest::sweep(gen, options, count);
+    if (!result.failure) {
+        std::printf(
+            "%zu sequences (%zu commands) on %s vs %s: "
+            "no divergence\n",
+            result.sequences, result.commands,
+            options.backendA.c_str(), options.backendB.c_str());
+        return 0;
+    }
+
+    std::printf("seed %llu diverged; shrunk to %zu commands "
+                "in %zu attempts\n",
+                static_cast<unsigned long long>(
+                    result.failingSeed),
+                result.failure->sequence.size(),
+                result.failure->attempts);
+    printDivergence(result.failure->divergence);
+    std::string repro = difftest::encodeRepro(
+        *result.failure, options, result.failingSeed);
+    if (!repro_path.empty()) {
+        std::ofstream out(repro_path);
+        out << repro;
+        std::printf("repro written to %s\n", repro_path.c_str());
+    } else {
+        std::printf("repro:\n%s", repro.c_str());
+    }
+    return 1;
+}

@@ -34,7 +34,7 @@ void
 printWatchSlots(rdp::Session &session)
 {
     const auto &watch =
-        session.platform().instrumented().watchSignals;
+        session.backend().instrumented().watchSignals;
     for (size_t slot = 0; slot < watch.size(); ++slot)
         std::printf("watch slot %zu: %s\n", slot,
                     watch[slot].c_str());

@@ -1,0 +1,462 @@
+#include "backend.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace zoomie::core {
+
+// ---- FabricBackend ----------------------------------------------------
+
+std::unique_ptr<FabricBackend>
+FabricBackend::create(const rtl::Design &user_design,
+                      PlatformOptions options)
+{
+    auto platform =
+        Platform::create(user_design, std::move(options));
+    auto backend =
+        std::make_unique<FabricBackend>(*platform);
+    backend->_owned = std::move(platform);
+    backend->_platform = backend->_owned.get();
+    return backend;
+}
+
+uint64_t
+FabricBackend::mutCycles() const
+{
+    return _platform->mutCycles();
+}
+
+void
+FabricBackend::setMutCycles(uint64_t n)
+{
+    _platform->device().setCycles(
+        _platform->instrumented().gatedClock, n);
+}
+
+std::vector<std::string>
+FabricBackend::inputPorts() const
+{
+    return _platform->device().inputPorts();
+}
+
+uint64_t
+FabricBackend::peekInput(const std::string &port) const
+{
+    return _platform->device().peekInput(port);
+}
+
+size_t
+FabricBackend::watchSlotCount() const
+{
+    return _platform->instrumented().watchSignals.size();
+}
+
+bool
+FabricBackend::hasRegister(const std::string &name) const
+{
+    return _platform->debugger().hasRegister(name);
+}
+
+bool
+FabricBackend::hasMemory(const std::string &name) const
+{
+    return _platform->debugger().hasMemory(name);
+}
+
+uint32_t
+FabricBackend::memoryDepth(const std::string &name) const
+{
+    const toolchain::MemLocation *mem =
+        _platform->debugger().locations().findMem(name);
+    return mem ? mem->depth : 0;
+}
+
+uint32_t
+FabricBackend::numSlrs() const
+{
+    return _platform->device().spec().numSlrs;
+}
+
+uint32_t
+FabricBackend::framesPerSlr() const
+{
+    return _platform->device().spec().framesPerSlr();
+}
+
+// ---- SimBackend -------------------------------------------------------
+
+std::unique_ptr<SimBackend>
+SimBackend::create(const rtl::Design &user_design,
+                   PlatformOptions options)
+{
+    std::unique_ptr<SimBackend> backend(new SimBackend());
+    backend->_meta = instrument(user_design, options.instrument);
+    backend->_sim =
+        std::make_unique<sim::Simulator>(backend->_meta.design);
+
+    // Pseudo-frame geometry: every state word (register, sync read
+    // latch, memory word) as two uint32s, padded to whole frames on
+    // one pseudo-SLR. The SnapshotStore never interprets frames —
+    // only diffs, hashes and restores them — so this encoding gets
+    // content-addressed deltas and time travel for free.
+    const rtl::Design &design = backend->_meta.design;
+    uint64_t words = design.regs.size();
+    words += backend->_sim->syncLatchCount();
+    for (const rtl::Mem &mem : design.mems)
+        words += mem.depth;
+    backend->_stateWords = uint32_t(words);
+    backend->_frames = uint32_t(
+        (words * 2 + fpga::kFrameWords - 1) / fpga::kFrameWords);
+    if (backend->_frames == 0)
+        backend->_frames = 1;
+
+    for (const rtl::InputPort &in : design.inputs)
+        backend->_inputs.emplace_back(in.name, 0);
+    return backend;
+}
+
+void
+SimBackend::run(uint64_t n)
+{
+    // Mirror fpga::Device::stepGlobal: evaluate, sample the clock
+    // gate, then step every enabled domain *simultaneously* from
+    // the same pre-edge values. Only the gated domain has a gate;
+    // everything else free-runs.
+    const size_t domains = _meta.design.clocks.size();
+    std::vector<uint8_t> enabled;
+    enabled.reserve(domains);
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t gate = _sim->peek("zoomie/clk_en");
+        enabled.clear();
+        for (size_t d = 0; d < domains; ++d) {
+            if (uint8_t(d) != _meta.gatedClock || gate)
+                enabled.push_back(uint8_t(d));
+        }
+        _sim->stepDomains(enabled);
+    }
+}
+
+void
+SimBackend::poke(const std::string &port, uint64_t value)
+{
+    _sim->poke(port, value);
+    for (auto &[name, cur] : _inputs) {
+        if (name == port) {
+            cur = value;
+            return;
+        }
+    }
+}
+
+std::vector<std::string>
+SimBackend::inputPorts() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, value] : _inputs)
+        out.push_back(name);
+    return out;
+}
+
+uint64_t
+SimBackend::peekInput(const std::string &port) const
+{
+    for (const auto &[name, value] : _inputs) {
+        if (name == port)
+            return value;
+    }
+    panic("unknown input port '", port, "'");
+}
+
+void
+SimBackend::pause()
+{
+    forceRegister(ControlRegs::hostPause, 1);
+}
+
+void
+SimBackend::resume()
+{
+    forceRegisters({{ControlRegs::hostPause, 0},
+                    {ControlRegs::stepArmed, 0},
+                    {ControlRegs::pauseState, 0}});
+}
+
+void
+SimBackend::stepCycles(uint64_t n)
+{
+    // Preload n + 1: the counter pauses the design at 1, exactly
+    // like the fabric debugger's step (§3.4).
+    forceRegisters({{ControlRegs::stepCount, n + 1},
+                    {ControlRegs::stepArmed, 1},
+                    {ControlRegs::hostPause, 0},
+                    {ControlRegs::pauseState, 0}});
+}
+
+bool
+SimBackend::isPaused()
+{
+    return readRegister(ControlRegs::pauseState) != 0;
+}
+
+StopInfo
+SimBackend::stopInfo()
+{
+    // Same classification as Debugger::stopInfo, reading the same
+    // controller registers — by interpretation instead of capture
+    // + readback.
+    StopInfo info;
+    info.paused = isPaused();
+    info.hostPauseRequested =
+        readRegister(ControlRegs::hostPause) != 0;
+    if (readRegister(ControlRegs::stepArmed) != 0)
+        info.stepDone = readRegister(ControlRegs::stepCount) <= 1;
+    info.assertionsFired = assertionsFired();
+    for (unsigned slot = 0; slot < _meta.watchSignals.size();
+         ++slot) {
+        if (readRegister(ControlRegs::bpChg(slot)) == 0)
+            continue;
+        const std::string &watched = _meta.watchSignals[slot];
+        if (!hasRegister(watched))
+            continue;  // watched wire: live value not readable
+        uint64_t prev = readRegister(ControlRegs::bpPrev(slot));
+        uint64_t cur = readRegister(watched);
+        if (cur != prev)
+            info.watchHits.push_back({slot, watched, prev, cur});
+    }
+    return info;
+}
+
+void
+SimBackend::setValueBreakpoint(unsigned slot, uint64_t ref_val,
+                               bool in_and_group, bool in_or_group)
+{
+    fatal_if(slot >= _meta.watchSignals.size(),
+             "Zoomie: breakpoint slot ", slot, " not instrumented");
+    forceRegisters({{ControlRegs::bpRef(slot), ref_val},
+                    {ControlRegs::bpAnd(slot),
+                     in_and_group ? 1u : 0u},
+                    {ControlRegs::bpOr(slot),
+                     in_or_group ? 1u : 0u}});
+}
+
+void
+SimBackend::setWatchpoint(unsigned slot, bool enabled)
+{
+    fatal_if(slot >= _meta.watchSignals.size(),
+             "Zoomie: watchpoint slot ", slot, " not instrumented");
+    std::vector<std::pair<std::string, uint64_t>> writes;
+    if (enabled) {
+        const std::string &watched = _meta.watchSignals[slot];
+        uint64_t baseline =
+            hasRegister(watched)
+                ? readRegister(watched)
+                : readRegister(ControlRegs::bpPrev(slot));
+        writes.emplace_back(ControlRegs::bpPrev(slot), baseline);
+    }
+    writes.emplace_back(ControlRegs::bpChg(slot), enabled ? 1 : 0);
+    forceRegisters(writes);
+}
+
+void
+SimBackend::clearValueBreakpoints()
+{
+    std::vector<std::pair<std::string, uint64_t>> writes;
+    for (unsigned i = 0; i < _meta.watchSignals.size(); ++i) {
+        writes.emplace_back(ControlRegs::bpAnd(i), 0);
+        writes.emplace_back(ControlRegs::bpOr(i), 0);
+        writes.emplace_back(ControlRegs::bpChg(i), 0);
+    }
+    writes.emplace_back(ControlRegs::andSel, 0);
+    writes.emplace_back(ControlRegs::orSel, 0);
+    forceRegisters(writes);
+}
+
+void
+SimBackend::armTriggers(bool and_group, bool or_group)
+{
+    forceRegisters({{ControlRegs::andSel, and_group ? 1u : 0u},
+                    {ControlRegs::orSel, or_group ? 1u : 0u}});
+}
+
+void
+SimBackend::enableAssertion(unsigned index, bool enabled)
+{
+    uint64_t mask = readRegister(ControlRegs::assertEn);
+    mask = setBit(mask, index, enabled);
+    forceRegister(ControlRegs::assertEn, mask);
+}
+
+uint64_t
+SimBackend::assertionsFired()
+{
+    if (!hasRegister(ControlRegs::assertFired))
+        return 0;
+    return readRegister(ControlRegs::assertFired);
+}
+
+bool
+SimBackend::hasRegister(const std::string &name) const
+{
+    return _meta.design.findReg(name) >= 0;
+}
+
+int
+SimBackend::findMem(const std::string &name) const
+{
+    const auto &mems = _meta.design.mems;
+    for (size_t m = 0; m < mems.size(); ++m) {
+        if (mems[m].name == name)
+            return int(m);
+    }
+    return -1;
+}
+
+bool
+SimBackend::hasMemory(const std::string &name) const
+{
+    return findMem(name) >= 0;
+}
+
+uint32_t
+SimBackend::memoryDepth(const std::string &name) const
+{
+    int mem = findMem(name);
+    return mem < 0 ? 0 : _meta.design.mems[mem].depth;
+}
+
+uint64_t
+SimBackend::readRegister(const std::string &name)
+{
+    return _sim->regByName(name);
+}
+
+void
+SimBackend::forceRegister(const std::string &name, uint64_t value)
+{
+    _sim->forceRegByName(name, value);
+}
+
+void
+SimBackend::forceRegisters(
+    const std::vector<std::pair<std::string, uint64_t>> &writes)
+{
+    for (const auto &[name, value] : writes)
+        _sim->forceRegByName(name, value);
+}
+
+uint64_t
+SimBackend::readMemWord(const std::string &name, uint32_t addr)
+{
+    int mem = findMem(name);
+    fatal_if(mem < 0, "Zoomie: unknown memory '", name, "'");
+    return _sim->memWord(uint32_t(mem), addr);
+}
+
+void
+SimBackend::forceMemWord(const std::string &name, uint32_t addr,
+                         uint64_t value)
+{
+    int mem = findMem(name);
+    fatal_if(mem < 0, "Zoomie: unknown memory '", name, "'");
+    _sim->forceMemWord(uint32_t(mem), addr, value);
+}
+
+std::map<std::string, uint64_t>
+SimBackend::readAllRegisters(const std::string &prefix)
+{
+    std::map<std::string, uint64_t> out;
+    const auto &regs = _meta.design.regs;
+    for (uint32_t i = 0; i < regs.size(); ++i) {
+        if (regs[i].name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        out[regs[i].name] = _sim->regValue(i);
+    }
+    return out;
+}
+
+// ---- pseudo-frame state encoding --------------------------------------
+
+std::vector<uint32_t>
+SimBackend::encodeState()
+{
+    std::vector<uint32_t> flat;
+    flat.reserve(size_t(_frames) * fpga::kFrameWords);
+    auto push64 = [&flat](uint64_t value) {
+        flat.push_back(uint32_t(value));
+        flat.push_back(uint32_t(value >> 32));
+    };
+    const rtl::Design &design = _meta.design;
+    for (uint32_t i = 0; i < design.regs.size(); ++i)
+        push64(_sim->regValue(i));
+    for (size_t i = 0; i < _sim->syncLatchCount(); ++i)
+        push64(_sim->syncLatchValue(i));
+    for (uint32_t m = 0; m < design.mems.size(); ++m) {
+        for (uint32_t a = 0; a < design.mems[m].depth; ++a)
+            push64(_sim->memWord(m, a));
+    }
+    flat.resize(size_t(_frames) * fpga::kFrameWords, 0);
+    return flat;
+}
+
+void
+SimBackend::decodeState(const std::vector<uint32_t> &flat)
+{
+    size_t at = 0;
+    auto pull64 = [&flat, &at]() {
+        uint64_t lo = flat[at++];
+        uint64_t hi = flat[at++];
+        return lo | (hi << 32);
+    };
+    const rtl::Design &design = _meta.design;
+    for (uint32_t i = 0; i < design.regs.size(); ++i)
+        _sim->forceReg(i, pull64());
+    for (size_t i = 0; i < _sim->syncLatchCount(); ++i)
+        _sim->setSyncLatchValue(i, pull64());
+    for (uint32_t m = 0; m < design.mems.size(); ++m) {
+        for (uint32_t a = 0; a < design.mems[m].depth; ++a)
+            _sim->forceMemWord(m, a, pull64());
+    }
+}
+
+std::vector<std::vector<uint32_t>>
+SimBackend::readbackImage()
+{
+    return {encodeState()};
+}
+
+void
+SimBackend::writeFrames(
+    const std::vector<toolchain::FrameSpan> &spans)
+{
+    std::vector<uint32_t> flat = encodeState();
+    for (const toolchain::FrameSpan &span : spans) {
+        panic_if(span.slr != 0,
+                 "sim backend has one pseudo-SLR");
+        size_t at = size_t(span.farStart) * fpga::kFrameWords;
+        panic_if(at + span.words.size() > flat.size(),
+                 "frame span past the state image");
+        std::copy(span.words.begin(), span.words.end(),
+                  flat.begin() + at);
+    }
+    decodeState(flat);
+}
+
+// ---- factory ----------------------------------------------------------
+
+std::unique_ptr<Backend>
+makeBackend(const std::string &kind,
+            const rtl::Design &user_design, PlatformOptions options)
+{
+    if (kind == "fabric")
+        return FabricBackend::create(user_design,
+                                     std::move(options));
+    if (kind == "sim")
+        return SimBackend::create(user_design, std::move(options));
+    throw std::runtime_error("unknown backend '" + kind +
+                             "' (supported: fabric, sim)");
+}
+
+} // namespace zoomie::core

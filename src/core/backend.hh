@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Execution-backend abstraction. Zoomie has more than one way to
+ * execute the same instrumented design — fabric execution of the
+ * configured bitstream (src/fpga behind a Platform) and direct
+ * interpretation of the elaborated circuit (src/sim) — and the
+ * ROADMAP adds a compiled-simulation backend next. A Backend is
+ * the complete surface the serving layer (sessions, dispatcher,
+ * scheduler, snapshot store) needs from one execution: run the
+ * external clock, drive/observe IO, and perform every debugger
+ * operation. Because the Debug Controller is ordinary RTL inside
+ * the instrumented design, a backend implements breakpoints,
+ * stepping and pause by reading/forcing the same "zoomie/" scope
+ * registers the fabric debugger patches through configuration
+ * frames — the semantics live in the RTL, not in the backend.
+ *
+ * Two backends over the same design must agree cycle-for-cycle on
+ * every observable: that redundancy is what the differential-test
+ * harness (src/difftest) checks, and what keeps every future
+ * backend honest.
+ */
+
+#ifndef ZOOMIE_CORE_BACKEND_HH
+#define ZOOMIE_CORE_BACKEND_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/debugger.hh"
+#include "core/zoomie.hh"
+#include "sim/simulator.hh"
+
+namespace zoomie::core {
+
+/** One execution of an instrumented design plus its debug plane. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Backend family name ("fabric", "sim", later "jit"). */
+    virtual std::string kind() const = 0;
+
+    /** Instrumentation metadata (watch slots, assertions, ...). */
+    virtual const InstrumentResult &instrumented() const = 0;
+
+    // ---- execution -------------------------------------------------
+    /** Advance the external (free-running) clock @p n cycles. */
+    virtual void run(uint64_t n) = 0;
+
+    /** MUT cycles executed (the gated domain's count). */
+    virtual uint64_t mutCycles() const = 0;
+
+    /** Rewind/overwrite the MUT cycle counter (snapshot restore). */
+    virtual void setMutCycles(uint64_t n) = 0;
+
+    // ---- top-level IO ----------------------------------------------
+    virtual void poke(const std::string &port, uint64_t value) = 0;
+    virtual uint64_t peek(const std::string &port) = 0;
+    virtual std::vector<std::string> inputPorts() const = 0;
+    virtual uint64_t peekInput(const std::string &port) const = 0;
+
+    // ---- execution control ------------------------------------------
+    virtual void pause() = 0;
+    virtual void resume() = 0;
+    virtual void stepCycles(uint64_t n) = 0;
+    virtual bool isPaused() = 0;
+    virtual StopInfo stopInfo() = 0;
+
+    // ---- triggers ----------------------------------------------------
+    virtual size_t watchSlotCount() const = 0;
+    virtual void setValueBreakpoint(unsigned slot, uint64_t ref_val,
+                                    bool in_and_group,
+                                    bool in_or_group) = 0;
+    virtual void setWatchpoint(unsigned slot, bool enabled) = 0;
+    virtual void clearValueBreakpoints() = 0;
+    virtual void armTriggers(bool and_group, bool or_group) = 0;
+    virtual void enableAssertion(unsigned index, bool enabled) = 0;
+    virtual uint64_t assertionsFired() = 0;
+
+    // ---- state inspection / manipulation -----------------------------
+    virtual bool hasRegister(const std::string &name) const = 0;
+    virtual bool hasMemory(const std::string &name) const = 0;
+
+    /** Depth in words of memory @p name (0 when unknown). */
+    virtual uint32_t memoryDepth(const std::string &name) const = 0;
+
+    virtual uint64_t readRegister(const std::string &name) = 0;
+    virtual void forceRegister(const std::string &name,
+                               uint64_t value) = 0;
+    virtual void forceRegisters(
+        const std::vector<std::pair<std::string, uint64_t>>
+            &writes) = 0;
+    virtual uint64_t readMemWord(const std::string &name,
+                                 uint32_t addr) = 0;
+    virtual void forceMemWord(const std::string &name, uint32_t addr,
+                              uint64_t value) = 0;
+    virtual std::map<std::string, uint64_t> readAllRegisters(
+        const std::string &prefix) = 0;
+
+    // ---- snapshot material --------------------------------------------
+    //
+    // Every backend exposes its complete state as frame images so
+    // the content-addressed SnapshotStore (core/snapshot.hh) works
+    // unchanged over any of them: [slr][word] images, dirty-frame
+    // spans, fpga::kFrameWords granularity. For non-fabric backends
+    // the "frames" are a deterministic pseudo-frame encoding of
+    // register/memory/latch state — the store never interprets
+    // frame contents, only diffs and restores them.
+    virtual std::vector<std::vector<uint32_t>> readbackImage() = 0;
+    virtual void writeFrames(
+        const std::vector<toolchain::FrameSpan> &spans) = 0;
+    virtual uint32_t numSlrs() const = 0;
+    virtual uint32_t framesPerSlr() const = 0;
+};
+
+/**
+ * Fabric execution: forwards to a Platform (configured device +
+ * JTAG host + frame-level Debugger). Non-owning by default so the
+ * many direct Platform users (examples, tests) can layer a Backend
+ * view over an existing bring-up; the owning factory is what
+ * sessions use.
+ */
+class FabricBackend : public Backend
+{
+  public:
+    /** Wrap an existing Platform (caller keeps ownership). */
+    explicit FabricBackend(Platform &platform)
+        : _platform(&platform)
+    {
+    }
+
+    /** Own the full bring-up for @p user_design. */
+    static std::unique_ptr<FabricBackend> create(
+        const rtl::Design &user_design, PlatformOptions options);
+
+    Platform &platform() { return *_platform; }
+
+    std::string kind() const override { return "fabric"; }
+    const InstrumentResult &instrumented() const override
+    {
+        return _platform->instrumented();
+    }
+
+    void run(uint64_t n) override { _platform->run(n); }
+    uint64_t mutCycles() const override;
+    void setMutCycles(uint64_t n) override;
+
+    void poke(const std::string &port, uint64_t value) override
+    {
+        _platform->poke(port, value);
+    }
+    uint64_t peek(const std::string &port) override
+    {
+        return _platform->peek(port);
+    }
+    std::vector<std::string> inputPorts() const override;
+    uint64_t peekInput(const std::string &port) const override;
+
+    void pause() override { dbg().pause(); }
+    void resume() override { dbg().resume(); }
+    void stepCycles(uint64_t n) override { dbg().stepCycles(n); }
+    bool isPaused() override { return dbg().isPaused(); }
+    StopInfo stopInfo() override { return dbg().stopInfo(); }
+
+    size_t watchSlotCount() const override;
+    void setValueBreakpoint(unsigned slot, uint64_t ref_val,
+                            bool in_and_group,
+                            bool in_or_group) override
+    {
+        dbg().setValueBreakpoint(slot, ref_val, in_and_group,
+                                 in_or_group);
+    }
+    void setWatchpoint(unsigned slot, bool enabled) override
+    {
+        dbg().setWatchpoint(slot, enabled);
+    }
+    void clearValueBreakpoints() override
+    {
+        dbg().clearValueBreakpoints();
+    }
+    void armTriggers(bool and_group, bool or_group) override
+    {
+        dbg().armTriggers(and_group, or_group);
+    }
+    void enableAssertion(unsigned index, bool enabled) override
+    {
+        dbg().enableAssertion(index, enabled);
+    }
+    uint64_t assertionsFired() override
+    {
+        return dbg().assertionsFired();
+    }
+
+    bool hasRegister(const std::string &name) const override;
+    bool hasMemory(const std::string &name) const override;
+    uint32_t memoryDepth(const std::string &name) const override;
+    uint64_t readRegister(const std::string &name) override
+    {
+        return dbg().readRegister(name);
+    }
+    void forceRegister(const std::string &name,
+                       uint64_t value) override
+    {
+        dbg().forceRegister(name, value);
+    }
+    void forceRegisters(
+        const std::vector<std::pair<std::string, uint64_t>> &writes)
+        override
+    {
+        dbg().forceRegisters(writes);
+    }
+    uint64_t readMemWord(const std::string &name,
+                         uint32_t addr) override
+    {
+        return dbg().readMemWord(name, addr);
+    }
+    void forceMemWord(const std::string &name, uint32_t addr,
+                      uint64_t value) override
+    {
+        dbg().forceMemWord(name, addr, value);
+    }
+    std::map<std::string, uint64_t> readAllRegisters(
+        const std::string &prefix) override
+    {
+        return dbg().readAllRegisters(prefix);
+    }
+
+    std::vector<std::vector<uint32_t>> readbackImage() override
+    {
+        return dbg().readbackImage();
+    }
+    void writeFrames(
+        const std::vector<toolchain::FrameSpan> &spans) override
+    {
+        dbg().writeFrames(spans);
+    }
+    uint32_t numSlrs() const override;
+    uint32_t framesPerSlr() const override;
+
+  private:
+    /** applyEdit() rebuilds the debugger; re-fetch per call. */
+    Debugger &dbg() { return _platform->debugger(); }
+
+    Platform *_platform;
+    std::unique_ptr<Platform> _owned;  ///< set by create()
+};
+
+/**
+ * Interpreted execution: instruments the user design exactly like
+ * Platform::create, then runs the instrumented circuit in the RTL
+ * interpreter — no synthesis, no placement, no bitstream. Debug
+ * operations read/force the controller's "zoomie/" registers by
+ * name, so trigger/step/pause behavior is byte-identical to the
+ * fabric by construction (the same RTL computes it). The external
+ * clock loop mirrors fpga::Device::stepGlobal: evaluate, sample
+ * the "zoomie/clk_en" gate, then commit every enabled domain
+ * simultaneously from pre-edge values.
+ */
+class SimBackend : public Backend
+{
+  public:
+    /** Instrument and bring up @p user_design in the interpreter.
+     *  Only options.instrument is honored (no device to size). */
+    static std::unique_ptr<SimBackend> create(
+        const rtl::Design &user_design, PlatformOptions options);
+
+    sim::Simulator &simulator() { return *_sim; }
+
+    std::string kind() const override { return "sim"; }
+    const InstrumentResult &instrumented() const override
+    {
+        return _meta;
+    }
+
+    void run(uint64_t n) override;
+    uint64_t mutCycles() const override
+    {
+        return _sim->cycles(_meta.gatedClock);
+    }
+    void setMutCycles(uint64_t n) override
+    {
+        _sim->setCycles(_meta.gatedClock, n);
+    }
+
+    void poke(const std::string &port, uint64_t value) override;
+    uint64_t peek(const std::string &port) override
+    {
+        return _sim->peek(port);
+    }
+    std::vector<std::string> inputPorts() const override;
+    uint64_t peekInput(const std::string &port) const override;
+
+    void pause() override;
+    void resume() override;
+    void stepCycles(uint64_t n) override;
+    bool isPaused() override;
+    StopInfo stopInfo() override;
+
+    size_t watchSlotCount() const override
+    {
+        return _meta.watchSignals.size();
+    }
+    void setValueBreakpoint(unsigned slot, uint64_t ref_val,
+                            bool in_and_group,
+                            bool in_or_group) override;
+    void setWatchpoint(unsigned slot, bool enabled) override;
+    void clearValueBreakpoints() override;
+    void armTriggers(bool and_group, bool or_group) override;
+    void enableAssertion(unsigned index, bool enabled) override;
+    uint64_t assertionsFired() override;
+
+    bool hasRegister(const std::string &name) const override;
+    bool hasMemory(const std::string &name) const override;
+    uint32_t memoryDepth(const std::string &name) const override;
+    uint64_t readRegister(const std::string &name) override;
+    void forceRegister(const std::string &name,
+                       uint64_t value) override;
+    void forceRegisters(
+        const std::vector<std::pair<std::string, uint64_t>> &writes)
+        override;
+    uint64_t readMemWord(const std::string &name,
+                         uint32_t addr) override;
+    void forceMemWord(const std::string &name, uint32_t addr,
+                      uint64_t value) override;
+    std::map<std::string, uint64_t> readAllRegisters(
+        const std::string &prefix) override;
+
+    std::vector<std::vector<uint32_t>> readbackImage() override;
+    void writeFrames(
+        const std::vector<toolchain::FrameSpan> &spans) override;
+    uint32_t numSlrs() const override { return 1; }
+    uint32_t framesPerSlr() const override { return _frames; }
+
+  private:
+    SimBackend() = default;
+
+    int findMem(const std::string &name) const;
+    std::vector<uint32_t> encodeState();
+    void decodeState(const std::vector<uint32_t> &image);
+
+    InstrumentResult _meta;
+    std::unique_ptr<sim::Simulator> _sim;
+    uint32_t _frames = 0;   ///< pseudo-frame image size per "SLR"
+    uint32_t _stateWords = 0;
+
+    /** Last poked value per input port, declaration order. The
+     *  simulator only stores net values, but Device remembers poked
+     *  inputs for snapshot replay — mirror that here. */
+    std::vector<std::pair<std::string, uint64_t>> _inputs;
+};
+
+/**
+ * Build the backend @p kind ("fabric" or "sim") over
+ * @p user_design. Throws std::runtime_error on an unknown kind so
+ * front ends can answer a typed error.
+ */
+std::unique_ptr<Backend> makeBackend(const std::string &kind,
+                                     const rtl::Design &user_design,
+                                     PlatformOptions options);
+
+} // namespace zoomie::core
+
+#endif // ZOOMIE_CORE_BACKEND_HH

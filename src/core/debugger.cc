@@ -410,32 +410,6 @@ Debugger::writeFrames(const std::vector<toolchain::FrameSpan> &spans)
     _host.send(toolchain::partialBitstream(_device.spec(), spans));
 }
 
-Snapshot
-Debugger::snapshot()
-{
-    // deprecated: value-blob shim over readbackImage().
-    Snapshot snap;
-    snap.images = readbackImage();
-    snap.mutCycles = _device.cycles(_meta.gatedClock);
-    return snap;
-}
-
-void
-Debugger::restore(const Snapshot &snap)
-{
-    // deprecated: whole-image shim over writeFrames().
-    const fpga::DeviceSpec &spec = _device.spec();
-    std::vector<toolchain::FrameSpan> spans;
-    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
-        toolchain::FrameSpan span;
-        span.slr = slr;
-        span.farStart = 0;
-        span.words = snap.images[slr];
-        spans.push_back(std::move(span));
-    }
-    writeFrames(spans);
-}
-
 // ---- readback measurement -----------------------------------------------
 
 double

@@ -25,21 +25,6 @@
 namespace zoomie::core {
 
 /**
- * A stored snapshot: captured frames of the whole device.
- *
- * deprecated: value-blob snapshots predate the content-addressed
- * SnapshotStore (core/snapshot.hh). Kept for one release so
- * out-of-tree callers of Debugger::snapshot()/restore() keep
- * compiling; new code should go through SnapshotStore.
- */
-struct Snapshot
-{
-    /** Per SLR: full frame image at capture time. */
-    std::vector<std::vector<uint32_t>> images;
-    uint64_t mutCycles = 0;
-};
-
-/**
  * Why the MUT clock is (or is not) stopped, read back from the
  * debug controller's own registers — the host learns the stop
  * cause the same way it learns everything else: capture + readback.
@@ -178,14 +163,6 @@ class Debugger
      * subset of frames — SnapshotStore sends only dirty frames.
      */
     void writeFrames(const std::vector<toolchain::FrameSpan> &spans);
-
-    /** deprecated: use core::SnapshotStore. Captures the complete
-     *  design state as a value blob. */
-    Snapshot snapshot();
-
-    /** deprecated: use core::SnapshotStore. Restores a value-blob
-     *  snapshot (does not rewind the device cycle counter). */
-    void restore(const Snapshot &snap);
 
     // ---- readback measurement (Table 3) ------------------------------
     /**

@@ -10,8 +10,15 @@
 
 namespace zoomie::core {
 
+SnapshotStore::SnapshotStore(Backend &backend, size_t capacity)
+    : _backend(backend), _capacity(capacity)
+{
+    fatal_if(_capacity == 0, "Zoomie: snapshot ring needs room");
+}
+
 SnapshotStore::SnapshotStore(Platform &platform, size_t capacity)
-    : _platform(platform), _capacity(capacity)
+    : _ownedView(std::make_unique<FabricBackend>(platform)),
+      _backend(*_ownedView), _capacity(capacity)
 {
     fatal_if(_capacity == 0, "Zoomie: snapshot ring needs room");
 }
@@ -58,10 +65,9 @@ std::vector<SnapshotDelta>
 SnapshotStore::diffAgainstBase(
     const std::vector<std::vector<uint32_t>> &image) const
 {
-    const fpga::DeviceSpec &spec = _platform.device().spec();
     std::vector<SnapshotDelta> deltas;
-    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
-        for (uint32_t frame = 0; frame < spec.framesPerSlr();
+    for (uint32_t slr = 0; slr < _backend.numSlrs(); ++slr) {
+        for (uint32_t frame = 0; frame < _backend.framesPerSlr();
              ++frame) {
             const uint32_t *have =
                 image[slr].data() + frame * fpga::kFrameWords;
@@ -82,15 +88,14 @@ SnapshotStore::diffAgainstBase(
 std::optional<SnapshotInfo>
 SnapshotStore::capture(bool pinned)
 {
-    auto image = _platform.debugger().readbackImage();
+    auto image = _backend.readbackImage();
     if (_base.empty())
         _base = image;
-    uint64_t cycle = _platform.mutCycles();
+    uint64_t cycle = _backend.mutCycles();
     std::vector<SnapshotDelta> deltas = diffAgainstBase(image);
     std::vector<std::pair<std::string, uint64_t>> inputs;
-    for (const std::string &port : _platform.device().inputPorts())
-        inputs.emplace_back(port,
-                            _platform.device().peekInput(port));
+    for (const std::string &port : _backend.inputPorts())
+        inputs.emplace_back(port, _backend.peekInput(port));
     SnapshotId id = hashOf(cycle, deltas, inputs);
 
     // Content addressing makes re-capturing the same state at the
@@ -127,10 +132,9 @@ void
 SnapshotStore::restoreRecord(const Record &rec)
 {
     // Materialize the target image (base + deltas), then write
-    // back only the frames that differ from the device's *current*
+    // back only the frames that differ from the backend's *current*
     // state — byte-identical to a full-image restore, with the
     // frame set minimized against live readback.
-    const fpga::DeviceSpec &spec = _platform.device().spec();
     std::vector<std::vector<uint32_t>> target = _base;
     for (const SnapshotDelta &delta : rec.deltas) {
         std::copy(delta.words.begin(), delta.words.end(),
@@ -138,10 +142,10 @@ SnapshotStore::restoreRecord(const Record &rec)
                       delta.frame * fpga::kFrameWords);
     }
 
-    auto current = _platform.debugger().readbackImage();
+    auto current = _backend.readbackImage();
     std::vector<toolchain::FrameSpan> spans;
-    for (uint32_t slr = 0; slr < spec.numSlrs; ++slr) {
-        for (uint32_t frame = 0; frame < spec.framesPerSlr();
+    for (uint32_t slr = 0; slr < _backend.numSlrs(); ++slr) {
+        for (uint32_t frame = 0; frame < _backend.framesPerSlr();
              ++frame) {
             const uint32_t *want =
                 target[slr].data() + frame * fpga::kFrameWords;
@@ -157,17 +161,17 @@ SnapshotStore::restoreRecord(const Record &rec)
         }
     }
     if (!spans.empty())
-        _platform.debugger().writeFrames(spans);
+        _backend.writeFrames(spans);
 
-    // The cycle counter and input ports live outside the fabric:
-    // rewind the counter so the restored state and the clock agree,
-    // and re-drive every port to its captured value (deriving ports
-    // from the poke log would leave a port poked *after* the
-    // capture at its live value when nothing was recorded before).
-    _platform.device().setCycles(
-        _platform.instrumented().gatedClock, rec.cycle);
+    // The cycle counter and input ports live outside the captured
+    // frames: rewind the counter so the restored state and the
+    // clock agree, and re-drive every port to its captured value
+    // (deriving ports from the poke log would leave a port poked
+    // *after* the capture at its live value when nothing was
+    // recorded before).
+    _backend.setMutCycles(rec.cycle);
     for (const auto &[port, value] : rec.inputs)
-        _platform.poke(port, value);
+        _backend.poke(port, value);
 }
 
 std::optional<SnapshotInfo>
@@ -189,8 +193,8 @@ SnapshotStore::stepExactly(uint64_t cycles)
     // extra external ticks let the pause latch settle without
     // advancing the gated clock once paused (same idiom as the
     // wire `step` command).
-    _platform.debugger().stepCycles(cycles);
-    _platform.run(cycles + 4);
+    _backend.stepCycles(cycles);
+    _backend.run(cycles + 4);
 }
 
 std::optional<TravelResult>
@@ -220,7 +224,7 @@ SnapshotStore::travel(uint64_t targetCycle)
         stepExactly(cycle - cur);
         cur = cycle;
         for (const PokeRecord *poke : pokes)
-            _platform.poke(poke->port, poke->value);
+            _backend.poke(poke->port, poke->value);
     }
     stepExactly(targetCycle - cur);
 
@@ -234,7 +238,7 @@ SnapshotStore::travel(uint64_t targetCycle)
 void
 SnapshotStore::recordPoke(const std::string &port, uint64_t value)
 {
-    uint64_t cycle = _platform.mutCycles();
+    uint64_t cycle = _backend.mutCycles();
     // A poke after a rewind rewrites history: the recorded future
     // belongs to an abandoned timeline and must not replay.
     while (!_pokes.empty() && _pokes.back().cycle > cycle)
@@ -251,7 +255,7 @@ SnapshotStore::compactPokes()
     // Replay only ever needs (a) the latest poke per port at or
     // before the oldest snapshot in the ring and (b) everything
     // newer — fold the prefix down to (a).
-    uint64_t horizon = _platform.mutCycles();
+    uint64_t horizon = _backend.mutCycles();
     for (const Record &rec : _ring)
         horizon = std::min(horizon, rec.cycle);
     std::map<std::string, PokeRecord> latest;
@@ -280,7 +284,7 @@ SnapshotStore::autoTick(uint64_t interval)
 {
     if (interval == 0)
         return;
-    uint64_t cur = _platform.mutCycles();
+    uint64_t cur = _backend.mutCycles();
     if (cur < _lastAutoCycle)
         _lastAutoCycle = cur;  // the session travelled backwards
     if (cur - _lastAutoCycle < interval)
@@ -311,8 +315,7 @@ SnapshotStore::info(SnapshotId id) const
 uint64_t
 SnapshotStore::fullImageBytes() const
 {
-    const fpga::DeviceSpec &spec = _platform.device().spec();
-    return uint64_t(spec.numSlrs) * spec.framesPerSlr() *
+    return uint64_t(_backend.numSlrs()) * _backend.framesPerSlr() *
            fpga::kFrameWords * sizeof(uint32_t);
 }
 

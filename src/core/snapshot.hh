@@ -23,7 +23,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/zoomie.hh"
+#include "core/backend.hh"
 
 namespace zoomie::core {
 
@@ -67,10 +67,11 @@ struct TravelResult
 
 /**
  * Bounded per-session ring of content-addressed snapshots over one
- * Platform. Not internally synchronized: every caller (dispatcher
+ * Backend. Not internally synchronized: every caller (dispatcher
  * handlers, the scheduler's worker loop) already holds the session
- * mutex. Holds the Platform, not the Debugger — applyEdit rebuilds
- * the debugger, so it is re-fetched per call.
+ * mutex. The store never interprets frame contents — any backend's
+ * frame image (real configuration frames or a sim pseudo-frame
+ * encoding) diffs, hashes and restores the same way.
  */
 class SnapshotStore
 {
@@ -78,6 +79,11 @@ class SnapshotStore
     static constexpr size_t kDefaultCapacity = 16;
     static constexpr size_t kMaxPokeLog = 65'536;
 
+    explicit SnapshotStore(Backend &backend,
+                           size_t capacity = kDefaultCapacity);
+
+    /** Convenience: snapshot a bare Platform through an internally
+     *  owned FabricBackend view (direct-embedding users). */
     explicit SnapshotStore(Platform &platform,
                            size_t capacity = kDefaultCapacity);
 
@@ -156,7 +162,9 @@ class SnapshotStore
     void stepExactly(uint64_t cycles);
     void compactPokes();
 
-    Platform &_platform;
+    /** Set only by the Platform& convenience constructor. */
+    std::unique_ptr<FabricBackend> _ownedView;
+    Backend &_backend;
     size_t _capacity;
     /** Per SLR: the frame image every delta is relative to. */
     std::vector<std::vector<uint32_t>> _base;

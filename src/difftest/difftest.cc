@@ -1,0 +1,634 @@
+#include "difftest/difftest.hh"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace zoomie::difftest {
+
+using rdp::Json;
+
+namespace {
+
+// ---- lockstep plumbing ------------------------------------------------
+
+/** Captures streamed events (trace chunks, overflow/done markers)
+ *  in emission order; never refuses, so a difftest run exercises
+ *  the full stream rather than the overflow path. */
+class CollectingSink : public rdp::EventSink
+{
+  public:
+    bool emit(const Json &event) override
+    {
+        lines.push_back(event.encode());
+        return true;
+    }
+    void emitControl(const Json &event) override
+    {
+        lines.push_back(event.encode());
+    }
+
+    std::vector<std::string> lines;
+};
+
+/** One server + connection, i.e. one backend under test. */
+struct Side
+{
+    explicit Side(const rdp::ServerOptions &options)
+        : server(options)
+    {
+        conn.sink = &sink;
+    }
+
+    /** Feed one line; returns streamed events then reply lines. */
+    std::vector<std::string> feed(const std::string &line)
+    {
+        bool quit = false;
+        std::vector<std::string> out =
+            server.handleLine(line, conn, quit);
+        std::vector<std::string> all;
+        all.swap(sink.lines);
+        all.insert(all.end(), out.begin(), out.end());
+        return all;
+    }
+
+    rdp::Server server;
+    CollectingSink sink;
+    rdp::ConnState conn;
+};
+
+/**
+ * Pin the request to one side's backend, and apply the planted
+ * fault when asked: `open`/`open_source` gain a "backend" arg;
+ * with @p skew_force every `force` value is bumped by one.
+ * Unparseable lines pass through verbatim (both sides then refuse
+ * them with the same typed error).
+ */
+std::string
+rewriteForSide(const std::string &line, const std::string &backend,
+               bool skew_force)
+{
+    std::optional<Json> msg = Json::parse(line);
+    if (!msg || !msg->isObject())
+        return line;
+    const Json *cmd = msg->find("cmd");
+    if (!cmd || !cmd->isString())
+        return line;
+    Json copy = *msg;
+    if (cmd->asString() == "open" ||
+        cmd->asString() == "open_source")
+        copy.set("backend", backend);
+    if (skew_force && cmd->asString() == "force") {
+        const Json *value = copy.find("value");
+        if (value && value->isInt() && !value->isNegative())
+            copy.set("value", value->asU64() + 1);
+    }
+    return copy.encode();
+}
+
+/** Recursively drop fields that legitimately differ per backend. */
+Json
+scrub(const Json &v)
+{
+    if (v.isArray()) {
+        Json out = Json::array();
+        for (const Json &item : v.items())
+            out.push(scrub(item));
+        return out;
+    }
+    if (!v.isObject())
+        return v;
+    // A snapshot descriptor hashes the backend's frame encoding:
+    // its identity and byte counts differ even when the captured
+    // architectural state agrees. The `cycle` stays comparable.
+    bool snapshot_like = v.has("delta_frames");
+    Json out = Json::object();
+    for (const auto &[key, value] : v.members()) {
+        if (key == "queue_wait_us")
+            continue;
+        if (snapshot_like &&
+            (key == "id" || key == "bytes" || key == "delta_frames"))
+            continue;
+        out.set(key, scrub(value));
+    }
+    return out;
+}
+
+/**
+ * Normalize and join one side's output. In fault-injection mode
+ * the skewed `force` request's reply echoes the skewed value;
+ * dropping that echo forces the harness to catch the divergence
+ * where it matters — in observed state — instead of in the
+ * injected request's own mirror.
+ */
+std::string
+joinNormalized(const std::vector<std::string> &lines,
+               bool drop_force_echo)
+{
+    std::string joined;
+    for (const std::string &line : lines) {
+        std::string normalized = normalizeLine(line);
+        if (drop_force_echo) {
+            std::optional<Json> msg = Json::parse(normalized);
+            const Json *cmd = msg ? msg->find("cmd") : nullptr;
+            if (cmd && cmd->isString() &&
+                cmd->asString() == "force") {
+                Json copy = Json::object();
+                for (const auto &[key, value] : msg->members())
+                    if (key != "value")
+                        copy.set(key, value);
+                normalized = copy.encode();
+            }
+        }
+        if (!joined.empty())
+            joined += '\n';
+        joined += normalized;
+    }
+    return joined;
+}
+
+std::string
+probeRegsLine(const std::string &prefix)
+{
+    Json req = Json::object();
+    req.set("cmd", "regs");
+    req.set("prefix", prefix);
+    return req.encode();
+}
+
+} // namespace
+
+std::string
+normalizeLine(const std::string &line)
+{
+    std::optional<Json> msg = Json::parse(line);
+    if (!msg)
+        return line;
+    return scrub(*msg).encode();
+}
+
+std::optional<Divergence>
+runLockstep(const std::vector<std::string> &sequence,
+            const LockstepOptions &options)
+{
+    Side a(options.server);
+    Side b(options.server);
+    std::vector<std::string> prefixes = options.probePrefixes;
+    if (prefixes.empty())
+        prefixes.push_back("zoomie/");
+
+    for (size_t i = 0; i < sequence.size(); ++i) {
+        const std::string &line = sequence[i];
+        std::string lhs = joinNormalized(
+            a.feed(rewriteForSide(line, options.backendA,
+                                  /*skew_force=*/false)),
+            options.skewForces);
+        std::string rhs = joinNormalized(
+            b.feed(rewriteForSide(line, options.backendB,
+                                  options.skewForces)),
+            options.skewForces);
+        if (lhs != rhs)
+            return Divergence{i, line, "reply", lhs, rhs};
+
+        // Quiescent-point probe: full register state plus session
+        // status must agree whenever we stop to look.
+        bool last = i + 1 == sequence.size();
+        if (!options.probeEvery ||
+            (!last && (i + 1) % options.probeEvery != 0))
+            continue;
+        std::vector<std::string> probes{R"({"cmd":"info"})"};
+        for (const std::string &prefix : prefixes)
+            probes.push_back(probeRegsLine(prefix));
+        for (const std::string &probe : probes) {
+            std::string pa = joinNormalized(a.feed(probe), false);
+            std::string pb = joinNormalized(b.feed(probe), false);
+            if (pa != pb)
+                return Divergence{i, line, "probe", pa, pb};
+        }
+    }
+    return std::nullopt;
+}
+
+// ---- vocabulary discovery ---------------------------------------------
+
+std::optional<Vocabulary>
+discoverVocabulary(const std::string &open_line)
+{
+    Side scratch{rdp::ServerOptions{}};
+    auto out = scratch.feed(open_line);
+    if (out.empty())
+        return std::nullopt;
+    std::optional<Json> reply = Json::parse(out.back());
+    if (!reply)
+        return std::nullopt;
+    const Json *ok = reply->find("ok");
+    if (!ok || !ok->asBool())
+        return std::nullopt;
+
+    Vocabulary vocab;
+    if (const Json *watch = reply->find("watch");
+        watch && watch->isArray()) {
+        for (const Json &signal : watch->items())
+            if (signal.isString())
+                vocab.watchSignals.push_back(signal.asString());
+    }
+
+    // Scope prefixes: the instrumentation controller's scope plus
+    // each watch signal's leading scope (or leading character for
+    // flat designs — `regs` matches by prefix, not by scope).
+    std::set<std::string> prefixes{"zoomie/"};
+    for (const std::string &signal : vocab.watchSignals) {
+        size_t slash = signal.find('/');
+        prefixes.insert(slash == std::string::npos
+                            ? signal.substr(0, 1)
+                            : signal.substr(0, slash + 1));
+    }
+    vocab.prefixes.assign(prefixes.begin(), prefixes.end());
+
+    // Register names: dump each prefix over the wire.
+    for (const std::string &prefix : vocab.prefixes) {
+        auto dump = scratch.feed(probeRegsLine(prefix));
+        if (dump.empty())
+            continue;
+        std::optional<Json> regs_reply = Json::parse(dump.back());
+        const Json *regs =
+            regs_reply ? regs_reply->find("regs") : nullptr;
+        if (!regs || !regs->isObject())
+            continue;
+        for (const auto &[name, value] : regs->members())
+            vocab.registers.push_back(name);
+    }
+
+    // Input ports: a poke at a name no design can have makes the
+    // server enumerate the real ones in its typed error detail.
+    auto poked = scratch.feed(
+        R"({"cmd":"poke","name":"~nonesuch~","value":0})");
+    if (!poked.empty()) {
+        std::optional<Json> poke_reply = Json::parse(poked.back());
+        const Json *detail =
+            poke_reply ? poke_reply->find("detail") : nullptr;
+        if (detail && detail->isString()) {
+            const std::string &text = detail->asString();
+            size_t at = text.find("(inputs: ");
+            if (at != std::string::npos) {
+                size_t from = at + 9;
+                size_t close = text.find(')', from);
+                std::string list =
+                    text.substr(from, close - from);
+                size_t pos = 0;
+                while (pos < list.size()) {
+                    size_t comma = list.find(", ", pos);
+                    vocab.inputs.push_back(list.substr(
+                        pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos));
+                    if (comma == std::string::npos)
+                        break;
+                    pos = comma + 2;
+                }
+            }
+        }
+    }
+
+    // Assertion count, from `info`.
+    auto info = scratch.feed(R"({"cmd":"info"})");
+    if (!info.empty()) {
+        std::optional<Json> info_reply = Json::parse(info.back());
+        const Json *asserts =
+            info_reply ? info_reply->find("assertions") : nullptr;
+        if (asserts && asserts->isArray())
+            vocab.assertionCount = asserts->size();
+    }
+
+    // Memory-name guesses: common array names under each scope.
+    // Misses cost one typed unknown-name error on both sides —
+    // itself a comparison worth making.
+    for (const std::string &prefix : vocab.prefixes) {
+        if (prefix == "zoomie/")
+            continue;
+        for (const char *stem : {"mem", "rf", "store"})
+            vocab.memories.push_back(prefix + stem);
+    }
+    if (vocab.memories.empty())
+        vocab.memories = {"mem"};
+    return vocab;
+}
+
+// ---- generation -------------------------------------------------------
+
+std::string
+openLine(const GeneratorOptions &options)
+{
+    Json req = Json::object();
+    if (!options.source.empty()) {
+        req.set("cmd", "open_source");
+        req.set("text", options.source);
+        if (!options.top.empty())
+            req.set("top", options.top);
+    } else {
+        req.set("cmd", "open");
+        req.set("design", options.design);
+    }
+    return req.encode();
+}
+
+std::vector<std::string>
+generateSequence(const GeneratorOptions &options,
+                 const Vocabulary &vocab)
+{
+    Rng rng(options.seed ^ 0xd1fff7e57ULL);
+    std::vector<std::string> sequence;
+    sequence.push_back(openLine(options));
+
+    auto pick = [&rng](const std::vector<std::string> &pool) {
+        return pool.empty() ? std::string("nonesuch")
+                            : pool[rng.nextBelow(pool.size())];
+    };
+    size_t slots = std::max<size_t>(1, vocab.watchSignals.size());
+
+    for (size_t i = 0; i < options.length; ++i) {
+        Json req = Json::object();
+        switch (rng.nextBelow(20)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+            req.set("cmd", "run");
+            req.set("n",
+                    rng.nextBelow(options.maxRunCycles) + 1);
+            break;
+        case 4:
+            req.set("cmd", "step");
+            req.set("n", rng.nextBelow(8) + 1);
+            break;
+        case 5:
+            req.set("cmd", "pause");
+            break;
+        case 6:
+            req.set("cmd", "resume");
+            break;
+        case 7:
+            req.set("cmd", "break");
+            // An out-of-range slot now and then probes the typed
+            // error path on both sides.
+            req.set("slot", rng.chance(1, 8)
+                                ? slots + rng.nextBelow(3)
+                                : rng.nextBelow(slots));
+            req.set("value", rng.nextBits(8));
+            if (rng.chance(1, 2))
+                req.set("group",
+                        rng.chance(1, 2) ? "and" : "or");
+            break;
+        case 8:
+            req.set("cmd", "watch");
+            req.set("slot", rng.nextBelow(slots));
+            req.set("on", rng.nextBelow(2));
+            break;
+        case 9:
+            req.set("cmd", "clear");
+            break;
+        case 10:
+            req.set("cmd", "print");
+            req.set("name", pick(vocab.registers));
+            break;
+        case 11:
+            req.set("cmd", "force");
+            req.set("name", pick(vocab.registers));
+            req.set("value", rng.nextBits(16));
+            break;
+        case 12:
+            req.set("cmd", "poke");
+            req.set("name", pick(vocab.inputs));
+            req.set("value", rng.nextBits(4));
+            break;
+        case 13:
+            req.set("cmd", "regs");
+            req.set("prefix", pick(vocab.prefixes));
+            break;
+        case 14:
+            req.set("cmd", rng.chance(1, 2) ? "x" : "forcemem");
+            req.set("name", pick(vocab.memories));
+            req.set("addr", rng.nextBits(7));
+            if (req.find("cmd")->asString() == "forcemem")
+                req.set("value", rng.nextBits(16));
+            break;
+        case 15:
+            req.set("cmd", "snapshot");
+            break;
+        case 16:
+            req.set("cmd", "restore");
+            switch (rng.nextBelow(3)) {
+            case 0: // newest snapshot (typed error when none)
+                break;
+            case 1: // time travel
+                req.set("cycle", rng.nextBelow(256));
+                break;
+            default: // made-up id → snapshot-not-found, both sides
+                req.set("snapshot", rng.nextBelow(1'000'000));
+                break;
+            }
+            break;
+        case 17:
+            req.set("cmd", "snapshots");
+            break;
+        case 18:
+            req.set("cmd", "trace");
+            req.set("n", rng.nextBelow(16) + 1);
+            if (!vocab.watchSignals.empty() && rng.chance(1, 2))
+                req.set("signals", pick(vocab.watchSignals));
+            break;
+        default:
+            if (vocab.assertionCount && rng.chance(1, 2)) {
+                req.set("cmd", "assert");
+                req.set("index",
+                        rng.nextBelow(vocab.assertionCount));
+                req.set("on", rng.nextBelow(2));
+            } else {
+                req.set("cmd", "info");
+            }
+            break;
+        }
+        sequence.push_back(req.encode());
+    }
+    return sequence;
+}
+
+// ---- shrinking --------------------------------------------------------
+
+ShrinkResult
+shrink(const std::vector<std::string> &sequence,
+       const LockstepOptions &options)
+{
+    ShrinkResult result;
+    result.sequence = sequence;
+
+    auto diverges =
+        [&](const std::vector<std::string> &candidate) {
+            ++result.attempts;
+            return runLockstep(candidate, options);
+        };
+
+    std::optional<Divergence> seed = diverges(result.sequence);
+    panic_if(!seed, "shrink() needs a diverging sequence");
+    result.divergence = *seed;
+
+    // Phase 1: greedy chunk removal (ddmin-style). Halve the chunk
+    // until single commands; at chunk size 1 iterate to fixpoint.
+    size_t chunk = (result.sequence.size() + 1) / 2;
+    while (chunk >= 1) {
+        bool removed = false;
+        size_t start = 0;
+        while (start < result.sequence.size() &&
+               result.sequence.size() > 1 &&
+               chunk < result.sequence.size()) {
+            size_t end = std::min(result.sequence.size(),
+                                  start + chunk);
+            std::vector<std::string> candidate(
+                result.sequence.begin(),
+                result.sequence.begin() + start);
+            candidate.insert(candidate.end(),
+                             result.sequence.begin() + end,
+                             result.sequence.end());
+            if (auto d = diverges(candidate)) {
+                result.sequence = std::move(candidate);
+                result.divergence = *d;
+                removed = true;
+            } else {
+                start = end;
+            }
+        }
+        if (chunk == 1) {
+            if (!removed)
+                break;
+        } else {
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: shrink numeric arguments within the survivors.
+    for (size_t i = 0; i < result.sequence.size(); ++i) {
+        std::optional<Json> msg =
+            Json::parse(result.sequence[i]);
+        if (!msg || !msg->isObject())
+            continue;
+        for (const auto &[key, value] : msg->members()) {
+            if (!value.isInt() || value.isNegative())
+                continue;
+            uint64_t current = value.asU64();
+            for (uint64_t candidate_value :
+                 {uint64_t(0), uint64_t(1), current / 2}) {
+                if (candidate_value >= current)
+                    continue;
+                std::optional<Json> latest =
+                    Json::parse(result.sequence[i]);
+                Json patched = *latest;
+                patched.set(key, candidate_value);
+                std::vector<std::string> candidate =
+                    result.sequence;
+                candidate[i] = patched.encode();
+                if (auto d = diverges(candidate)) {
+                    result.sequence = std::move(candidate);
+                    result.divergence = *d;
+                    break;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+// ---- repro files ------------------------------------------------------
+
+std::string
+encodeRepro(const ShrinkResult &result,
+            const LockstepOptions &options, uint64_t seed)
+{
+    Json header = Json::object();
+    header.set("type", "difftest_repro");
+    header.set("version", uint64_t(1));
+    header.set("seed", seed);
+    header.set("backend_a", options.backendA);
+    header.set("backend_b", options.backendB);
+    if (options.skewForces)
+        header.set("skew_forces", true);
+    Json div = Json::object();
+    div.set("index", uint64_t(result.divergence.commandIndex));
+    div.set("command", result.divergence.command);
+    div.set("kind", result.divergence.kind);
+    div.set("lhs", result.divergence.lhs);
+    div.set("rhs", result.divergence.rhs);
+    header.set("divergence", std::move(div));
+
+    std::string text = header.encode() + "\n";
+    for (const std::string &line : result.sequence)
+        text += line + "\n";
+    return text;
+}
+
+std::optional<std::vector<std::string>>
+decodeRepro(const std::string &text, std::string *err)
+{
+    size_t newline = text.find('\n');
+    std::string first = text.substr(0, newline);
+    std::optional<Json> header = Json::parse(first, err);
+    if (!header)
+        return std::nullopt;
+    const Json *type = header->find("type");
+    if (!type || !type->isString() ||
+        type->asString() != "difftest_repro") {
+        if (err)
+            *err = "not a difftest_repro document";
+        return std::nullopt;
+    }
+    std::vector<std::string> sequence;
+    size_t pos =
+        newline == std::string::npos ? text.size() : newline + 1;
+    while (pos < text.size()) {
+        size_t end = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, end == std::string::npos ? std::string::npos
+                                          : end - pos);
+        if (!line.empty())
+            sequence.push_back(std::move(line));
+        if (end == std::string::npos)
+            break;
+        pos = end + 1;
+    }
+    return sequence;
+}
+
+// ---- sweeps -----------------------------------------------------------
+
+SweepResult
+sweep(const GeneratorOptions &base,
+      const LockstepOptions &options, size_t count)
+{
+    SweepResult result;
+    std::optional<Vocabulary> vocab =
+        discoverVocabulary(openLine(base));
+    Vocabulary v = vocab.value_or(Vocabulary{});
+
+    LockstepOptions opts = options;
+    if (opts.probePrefixes.empty())
+        opts.probePrefixes = v.prefixes;
+
+    for (size_t i = 0; i < count; ++i) {
+        GeneratorOptions gen = base;
+        gen.seed = base.seed + i;
+        std::vector<std::string> sequence =
+            generateSequence(gen, v);
+        ++result.sequences;
+        result.commands += sequence.size();
+        if (runLockstep(sequence, opts)) {
+            result.failure = shrink(sequence, opts);
+            result.failingSeed = gen.seed;
+            return result;
+        }
+    }
+    return result;
+}
+
+} // namespace zoomie::difftest

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Differential testing of execution backends over the wire
+ * protocol. The core claim behind Zoomie's Backend abstraction is
+ * that every backend executing the same instrumented design agrees
+ * cycle-for-cycle on every observable — registers, memories, stop
+ * events, trace contents, typed errors. This harness checks that
+ * claim mechanically:
+ *
+ *  - a seeded generator emits random-but-guided interactive command
+ *    sequences as v2 wire requests (open/run/step/break/watch/
+ *    force/poke/print/regs/snapshot/restore/trace/...), with the
+ *    vocabulary (register names, input ports, watch slots)
+ *    discovered over the wire from the design itself;
+ *  - a lockstep executor drives two servers — one per backend —
+ *    through Server::handleLine, command by command;
+ *  - a comparator diffs the normalized output of every command and
+ *    probes full register state at quiescent points, flagging any
+ *    divergence (value mismatch, missing stop event, or one side
+ *    failing typed-ly where the other succeeds);
+ *  - a shrinker delta-debugs a diverging sequence down to a
+ *    minimal reproducer — first whole commands, then numeric
+ *    arguments — and encodes it as a replayable JSONL repro file.
+ *
+ * Everything is deterministic from the seed, so a CI failure is a
+ * seed + a repro file, not a flake.
+ */
+
+#ifndef ZOOMIE_DIFFTEST_DIFFTEST_HH
+#define ZOOMIE_DIFFTEST_DIFFTEST_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdp/server.hh"
+
+namespace zoomie::difftest {
+
+// ---- vocabulary -------------------------------------------------------
+
+/**
+ * What the generator may name in commands. Discovered over the
+ * wire (regs dumps, the poke error's input list, info's watch
+ * array) so the harness needs no compile-time knowledge of the
+ * design — an uploaded Verilog file works as well as a built-in.
+ */
+struct Vocabulary
+{
+    std::vector<std::string> registers;
+    std::vector<std::string> inputs;
+    std::vector<std::string> watchSignals;
+    /** Scope prefixes covering the design's registers ("mut/",
+     *  "zoomie/", ...) — used for regs dumps and state probes. */
+    std::vector<std::string> prefixes;
+    /** Guessed memory names (derived from register scopes plus
+     *  well-known candidates); wrong guesses exercise the typed
+     *  unknown-name path on both sides identically. */
+    std::vector<std::string> memories;
+    size_t assertionCount = 0;
+};
+
+/**
+ * Discover the vocabulary behind @p open_line (an `open` or
+ * `open_source` request) by bringing the design up once on a
+ * scratch server and asking over the wire. Returns std::nullopt
+ * when the design fails to open.
+ */
+std::optional<Vocabulary>
+discoverVocabulary(const std::string &open_line);
+
+// ---- generation -------------------------------------------------------
+
+struct GeneratorOptions
+{
+    uint64_t seed = 1;
+
+    /** The opening request: either a built-in design name... */
+    std::string design = "counter";
+    /** ...or, when non-empty, Verilog source for open_source. */
+    std::string source;
+    /** Top module for open_source (empty: sole module). */
+    std::string top;
+
+    /** Commands per sequence, excluding the opening request. */
+    size_t length = 24;
+
+    /** Ceiling on run/trace cycle counts per command. */
+    uint64_t maxRunCycles = 64;
+};
+
+/** The opening request line implied by @p options. */
+std::string openLine(const GeneratorOptions &options);
+
+/**
+ * Generate one command sequence: the opening request followed by
+ * options.length guided commands drawn from @p vocab. Fully
+ * deterministic from options.seed.
+ */
+std::vector<std::string> generateSequence(
+    const GeneratorOptions &options, const Vocabulary &vocab);
+
+// ---- lockstep execution ----------------------------------------------
+
+/** Where and how two executions disagreed. */
+struct Divergence
+{
+    /** Index into the sequence of the command that exposed it. */
+    size_t commandIndex = 0;
+    /** The request line that exposed the divergence. */
+    std::string command;
+    /** "reply" (command output differed) or "probe" (register
+     *  state differed at the quiescent point after it). */
+    std::string kind;
+    /** Normalized output of each side, newline-joined. */
+    std::string lhs;
+    std::string rhs;
+};
+
+struct LockstepOptions
+{
+    /** Backend pair under comparison. */
+    std::string backendA = "fabric";
+    std::string backendB = "sim";
+
+    /** Probe full register state every N commands (and always
+     *  after the last one). 0 disables state probes. */
+    size_t probeEvery = 4;
+
+    /** Scope prefixes the state probe dumps; when empty the
+     *  executor falls back to "zoomie/". */
+    std::vector<std::string> probePrefixes;
+
+    /**
+     * Fault injection for harness self-tests: skew the value of
+     * every `force` request by +1 on backend B only, making the
+     * two executions genuinely diverge at the next probe.
+     */
+    bool skewForces = false;
+
+    /** Scheduler sizing for both servers. */
+    rdp::ServerOptions server;
+};
+
+/**
+ * Drive both backends through @p sequence in lockstep, comparing
+ * normalized outputs after every command and probing register
+ * state at quiescent points. @return the first divergence, or
+ * std::nullopt when the executions agree end to end.
+ */
+std::optional<Divergence>
+runLockstep(const std::vector<std::string> &sequence,
+            const LockstepOptions &options);
+
+/**
+ * Normalize one server output line for cross-backend comparison:
+ * scrub fields that legitimately differ between backends
+ * (queue_wait_us timing; snapshot ids/sizes, which hash
+ * backend-specific frame encodings). Non-JSON lines pass through
+ * unchanged.
+ */
+std::string normalizeLine(const std::string &line);
+
+// ---- shrinking --------------------------------------------------------
+
+struct ShrinkResult
+{
+    /** The minimized diverging sequence. */
+    std::vector<std::string> sequence;
+    /** The divergence the minimized sequence still exposes. */
+    Divergence divergence;
+    /** Lockstep executions spent shrinking. */
+    size_t attempts = 0;
+};
+
+/**
+ * Delta-debug @p sequence — which must diverge under @p options —
+ * to a locally minimal reproducer: greedy chunk removal over
+ * commands (ddmin), then numeric-argument shrinking within the
+ * survivors. Deterministic; every candidate is re-executed.
+ */
+ShrinkResult shrink(const std::vector<std::string> &sequence,
+                    const LockstepOptions &options);
+
+// ---- repro files ------------------------------------------------------
+
+/**
+ * Encode a replayable JSONL repro: one metadata header line
+ * (backends, seed, divergence details), then the command sequence
+ * verbatim, one request per line.
+ */
+std::string encodeRepro(const ShrinkResult &result,
+                        const LockstepOptions &options,
+                        uint64_t seed);
+
+/**
+ * Decode a repro produced by encodeRepro back into the command
+ * sequence (header skipped). @return std::nullopt and set @p err
+ * when @p text is not a repro document.
+ */
+std::optional<std::vector<std::string>>
+decodeRepro(const std::string &text, std::string *err = nullptr);
+
+// ---- sweeps -----------------------------------------------------------
+
+struct SweepResult
+{
+    size_t sequences = 0;
+    size_t commands = 0;
+    /** First diverging sequence, already shrunk. */
+    std::optional<ShrinkResult> failure;
+    /** Seed of the diverging sequence (valid when failure set). */
+    uint64_t failingSeed = 0;
+};
+
+/**
+ * Run @p count generated sequences (seeds base_seed, base_seed+1,
+ * ...) through the lockstep executor, shrinking the first
+ * divergence found. The bread-and-butter CI entry point.
+ */
+SweepResult sweep(const GeneratorOptions &base,
+                  const LockstepOptions &options, size_t count);
+
+} // namespace zoomie::difftest
+
+#endif // ZOOMIE_DIFFTEST_DIFFTEST_HH

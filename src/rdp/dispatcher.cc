@@ -43,7 +43,7 @@ checkedCycles(uint64_t n)
 unsigned
 checkedSlot(Session &session, uint64_t slot)
 {
-    size_t slots = session.debugger().watchSlotCount();
+    size_t slots = session.backend().watchSlotCount();
     if (slot >= slots) {
         throw CommandError{
             Errc::BadArgs,
@@ -168,12 +168,12 @@ cmdRun(Ctx &c, const Args &a)
             out.set("preempted", true);
     } else {
         std::lock_guard<std::mutex> lock(c.session.mutex());
-        c.session.platform().run(n);
+        c.session.backend().run(n);
         out.set("cycles_run", n);
     }
     std::lock_guard<std::mutex> lock(c.session.mutex());
-    out.set("cycle", c.session.platform().mutCycles());
-    out.set("paused", c.session.debugger().isPaused());
+    out.set("cycle", c.session.backend().mutCycles());
+    out.set("paused", c.session.backend().isPaused());
     return out;
 }
 
@@ -181,12 +181,12 @@ Json
 cmdPause(Ctx &c, const Args &)
 {
     Session &s = c.session;
-    s.debugger().pause();
+    s.backend().pause();
     // The request takes effect at the next MUT cycle; tick the
     // external clock so the latch engages before we report.
-    s.platform().run(1);
+    s.backend().run(1);
     Json out = Json::object();
-    out.set("cycle", s.platform().mutCycles());
+    out.set("cycle", s.backend().mutCycles());
     return out;
 }
 
@@ -194,11 +194,11 @@ Json
 cmdResume(Ctx &c, const Args &)
 {
     Session &s = c.session;
-    s.debugger().resume();
+    s.backend().resume();
     s.stopReported = false;
     s.stepPending = false;
     Json out = Json::object();
-    out.set("cycle", s.platform().mutCycles());
+    out.set("cycle", s.backend().mutCycles());
     return out;
 }
 
@@ -207,14 +207,14 @@ cmdStep(Ctx &c, const Args &a)
 {
     Session &s = c.session;
     uint64_t n = checkedCycles(a.num("n"));
-    s.debugger().stepCycles(n);
+    s.backend().stepCycles(n);
     s.stepPending = true;
     s.stopReported = false;
     // A few extra external ticks let the pause latch settle.
-    s.platform().run(n + 4);
+    s.backend().run(n + 4);
     Json out = Json::object();
-    out.set("cycle", s.platform().mutCycles());
-    out.set("paused", s.debugger().isPaused());
+    out.set("cycle", s.backend().mutCycles());
+    out.set("paused", s.backend().isPaused());
     return out;
 }
 
@@ -230,17 +230,17 @@ cmdBreak(Ctx &c, const Args &a)
                                group + "\""};
     }
     bool in_and = group == "and";
-    s.debugger().setValueBreakpoint(slot, a.num("value"), in_and,
+    s.backend().setValueBreakpoint(slot, a.num("value"), in_and,
                                     !in_and);
     s.andArmed = s.andArmed || in_and;
     s.orArmed = s.orArmed || !in_and;
-    s.debugger().armTriggers(s.andArmed, s.orArmed);
+    s.backend().armTriggers(s.andArmed, s.orArmed);
     Json out = Json::object();
     out.set("slot", slot);
     out.set("value", a.num("value"));
     out.set("group", group);
     out.set("signal",
-            s.platform().instrumented().watchSignals[slot]);
+            s.backend().instrumented().watchSignals[slot]);
     return out;
 }
 
@@ -250,12 +250,12 @@ cmdWatch(Ctx &c, const Args &a)
     Session &s = c.session;
     unsigned slot = checkedSlot(s, a.num("slot"));
     bool on = a.numOr("on", 1) != 0;
-    s.debugger().setWatchpoint(slot, on);
+    s.backend().setWatchpoint(slot, on);
     Json out = Json::object();
     out.set("slot", slot);
     out.set("on", on);
     out.set("signal",
-            s.platform().instrumented().watchSignals[slot]);
+            s.backend().instrumented().watchSignals[slot]);
     return out;
 }
 
@@ -263,7 +263,7 @@ Json
 cmdClear(Ctx &c, const Args &)
 {
     Session &s = c.session;
-    s.debugger().clearValueBreakpoints();
+    s.backend().clearValueBreakpoints();
     s.andArmed = false;
     s.orArmed = false;
     return Json::object();
@@ -274,13 +274,13 @@ cmdPrint(Ctx &c, const Args &a)
 {
     Session &s = c.session;
     const std::string &name = a.str("name");
-    if (!s.debugger().hasRegister(name)) {
+    if (!s.backend().hasRegister(name)) {
         throw CommandError{Errc::UnknownName,
                            "unknown register '" + name + "'"};
     }
     Json out = Json::object();
     out.set("name", name);
-    out.set("value", s.debugger().readRegister(name));
+    out.set("value", s.backend().readRegister(name));
     return out;
 }
 
@@ -289,20 +289,23 @@ cmdReadMem(Ctx &c, const Args &a)
 {
     Session &s = c.session;
     const std::string &name = a.str("name");
-    if (!s.debugger().hasMemory(name)) {
+    if (!s.backend().hasMemory(name)) {
         throw CommandError{Errc::UnknownName,
                            "unknown memory '" + name + "'"};
     }
     uint64_t addr = a.num("addr");
-    if (addr > UINT32_MAX) {
+    uint64_t depth = s.backend().memoryDepth(name);
+    if (addr >= depth) {
         throw CommandError{Errc::BadArgs,
-                           "address out of range"};
+                           "address " + std::to_string(addr) +
+                               " out of range (depth " +
+                               std::to_string(depth) + ")"};
     }
     Json out = Json::object();
     out.set("name", name);
     out.set("addr", addr);
     out.set("value",
-            s.debugger().readMemWord(name, uint32_t(addr)));
+            s.backend().readMemWord(name, uint32_t(addr)));
     return out;
 }
 
@@ -311,11 +314,11 @@ cmdForce(Ctx &c, const Args &a)
 {
     Session &s = c.session;
     const std::string &name = a.str("name");
-    if (!s.debugger().hasRegister(name)) {
+    if (!s.backend().hasRegister(name)) {
         throw CommandError{Errc::UnknownName,
                            "unknown register '" + name + "'"};
     }
-    s.debugger().forceRegister(name, a.num("value"));
+    s.backend().forceRegister(name, a.num("value"));
     Json out = Json::object();
     out.set("name", name);
     out.set("value", a.num("value"));
@@ -356,7 +359,7 @@ cmdPoke(Ctx &c, const Args &a)
                                "' (" + std::to_string(width) +
                                " bits)"};
     }
-    s.platform().poke(name, value);
+    s.backend().poke(name, value);
     // Recorded for deterministic replay: time travel re-applies
     // this poke at the same MUT cycle during re-runs.
     s.snapshots().recordPoke(name, value);
@@ -371,17 +374,20 @@ cmdForceMem(Ctx &c, const Args &a)
 {
     Session &s = c.session;
     const std::string &name = a.str("name");
-    if (!s.debugger().hasMemory(name)) {
+    if (!s.backend().hasMemory(name)) {
         throw CommandError{Errc::UnknownName,
                            "unknown memory '" + name + "'"};
     }
     uint64_t addr = a.num("addr");
-    if (addr > UINT32_MAX) {
+    uint64_t depth = s.backend().memoryDepth(name);
+    if (addr >= depth) {
         throw CommandError{Errc::BadArgs,
-                           "address out of range"};
+                           "address " + std::to_string(addr) +
+                               " out of range (depth " +
+                               std::to_string(depth) + ")"};
     }
-    s.debugger().forceMemWord(name, uint32_t(addr),
-                              a.num("value"));
+    s.backend().forceMemWord(name, uint32_t(addr),
+                             a.num("value"));
     Json out = Json::object();
     out.set("name", name);
     out.set("addr", addr);
@@ -395,7 +401,7 @@ cmdRegs(Ctx &c, const Args &a)
     Session &s = c.session;
     Json regs = Json::object();
     for (const auto &[name, value] :
-         s.debugger().readAllRegisters(a.str("prefix"))) {
+         s.backend().readAllRegisters(a.str("prefix"))) {
         regs.set(name, value);
     }
     Json out = Json::object();
@@ -546,7 +552,7 @@ cmdRestore(Ctx &c, const Args &a)
 std::vector<std::string>
 traceSignals(Session &s, const Args &a)
 {
-    core::Debugger &dbg = s.debugger();
+    core::Backend &dbg = s.backend();
     std::vector<std::string> signals;
     if (a.has("signals")) {
         const std::string &list = a.str("signals");
@@ -571,7 +577,7 @@ traceSignals(Session &s, const Args &a)
         }
     } else {
         for (const std::string &signal :
-             s.platform().instrumented().watchSignals) {
+             s.backend().instrumented().watchSignals) {
             if (dbg.hasRegister(signal))
                 signals.push_back(signal);
         }
@@ -599,7 +605,7 @@ cmdTrace(Ctx &c, const Args &a)
 
     // Validate every signal before capturing or opening anything.
     std::vector<std::string> signals = traceSignals(s, a);
-    core::Debugger &dbg = s.debugger();
+    core::Backend &dbg = s.backend();
     sim::Trace trace;
     for (const std::string &signal : signals) {
         trace.addSignal(signal, [&dbg, signal]() {
@@ -634,7 +640,7 @@ cmdTrace(Ctx &c, const Args &a)
         std::lock_guard<std::mutex> lock(s.mutex());
         for (uint64_t i = 0; i < n; ++i) {
             trace.sample();
-            s.platform().run(1);
+            s.backend().run(1);
         }
     }
 
@@ -713,13 +719,13 @@ cmdInfo(Ctx &c, const Args &)
     Session &s = c.session;
     Json watch = Json::array();
     for (const std::string &signal :
-         s.platform().instrumented().watchSignals)
+         s.backend().instrumented().watchSignals)
         watch.push(signal);
     Json asserts = Json::array();
-    uint64_t fired = s.debugger().assertionsFired();
+    uint64_t fired = s.backend().assertionsFired();
     unsigned index = 0;
     for (const core::AssertionInfo &info :
-         s.platform().instrumented().assertions) {
+         s.backend().instrumented().assertions) {
         Json entry = Json::object();
         entry.set("index", index);
         entry.set("name", info.name);
@@ -730,8 +736,8 @@ cmdInfo(Ctx &c, const Args &)
     }
     Json out = Json::object();
     out.set("design", s.config().design);
-    out.set("cycle", s.platform().mutCycles());
-    out.set("paused", s.debugger().isPaused());
+    out.set("cycle", s.backend().mutCycles());
+    out.set("paused", s.backend().isPaused());
     out.set("watch", std::move(watch));
     out.set("assertions", std::move(asserts));
     return out;
@@ -742,7 +748,7 @@ cmdAssert(Ctx &c, const Args &a)
 {
     Session &s = c.session;
     uint64_t index = a.num("index");
-    size_t total = s.platform().instrumented().assertions.size();
+    size_t total = s.backend().instrumented().assertions.size();
     if (index >= total) {
         throw CommandError{
             Errc::BadArgs,
@@ -751,7 +757,7 @@ cmdAssert(Ctx &c, const Args &a)
                 " assertions)"};
     }
     bool on = a.numOr("on", 1) != 0;
-    s.debugger().enableAssertion(unsigned(index), on);
+    s.backend().enableAssertion(unsigned(index), on);
     Json out = Json::object();
     out.set("index", index);
     out.set("on", on);
@@ -950,14 +956,14 @@ std::vector<Json>
 Dispatcher::pollStopEvents()
 {
     std::vector<Json> events;
-    core::StopInfo info = _session.debugger().stopInfo();
-    uint64_t cycle = _session.platform().mutCycles();
+    core::StopInfo info = _session.backend().stopInfo();
+    uint64_t cycle = _session.backend().mutCycles();
 
     uint64_t fresh =
         info.assertionsFired & ~_session.reportedAssertions;
     if (fresh) {
         const auto &asserts =
-            _session.platform().instrumented().assertions;
+            _session.backend().instrumented().assertions;
         for (unsigned i = 0; i < 64; ++i) {
             if (!(fresh >> i & 1))
                 continue;

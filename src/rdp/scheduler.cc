@@ -210,12 +210,12 @@ Scheduler::workerLoop()
                 // quantum per turn so other sessions interleave.
                 for (uint64_t i = 0; i < slice; ++i) {
                     (*task->perCycle)();
-                    task->session->platform().run(1);
+                    task->session->backend().run(1);
                     task->session->snapshots().autoTick(
                         _options.autoSnapshotCycles);
                 }
             } else {
-                task->session->platform().run(slice);
+                task->session->backend().run(slice);
                 // Bulk runs check the auto-snapshot cadence once
                 // per quantum: captures land within a quantum of
                 // their nominal cycle, which the ring policy

@@ -177,7 +177,8 @@ Server::serverTable()
          {{"design", "string", false},
           {"program", "array", false},
           {"watch", "array", false},
-          {"assertions", "array", false}},
+          {"assertions", "array", false},
+          {"backend", "string", false}},
          &Server::handleOpen},
         {"open_source",
          "compile uploaded Verilog into a new debug session",
@@ -189,7 +190,8 @@ Server::serverTable()
           {"top", "string", false},
           {"watch", "array", false},
           {"assertions", "array", false},
-          {"lint", "bool", false}},
+          {"lint", "bool", false},
+          {"backend", "string", false}},
          &Server::handleOpenSource},
         {"close",
          "tear down a session",
@@ -330,6 +332,13 @@ Server::handleOpen(const Request &req, ConnState &,
             config.assertions.push_back(text.asString());
         }
     }
+    if (const Json *backend = req.args.find("backend")) {
+        if (!backend->isString()) {
+            return errorReply(req, Errc::BadArgs,
+                              "\"backend\" must be a string");
+        }
+        config.backend = backend->asString();
+    }
 
     std::shared_ptr<Session> session;
     try {
@@ -347,7 +356,7 @@ Server::handleOpen(const Request &req, ConnState &,
     reply.set("design", session->config().design);
     Json watch = Json::array();
     for (const std::string &signal :
-         session->platform().instrumented().watchSignals)
+         session->backend().instrumented().watchSignals)
         watch.push(signal);
     reply.set("watch", std::move(watch));
     return reply;
@@ -496,6 +505,13 @@ Server::handleOpenSource(const Request &req, ConnState &conn,
             config.assertions.push_back(entry.asString());
         }
     }
+    if (const Json *backend = req.args.find("backend")) {
+        if (!backend->isString()) {
+            return errorReply(req, Errc::BadArgs,
+                              "\"backend\" must be a string");
+        }
+        config.backend = backend->asString();
+    }
     bool lintGate = true;
     if (const Json *lint = req.args.find("lint")) {
         if (!lint->isBool()) {
@@ -605,7 +621,7 @@ Server::handleOpenSource(const Request &req, ConnState &conn,
     reply.set("state_bits", design.stateBits());
     Json watch = Json::array();
     for (const std::string &signal :
-         session->platform().instrumented().watchSignals)
+         session->backend().instrumented().watchSignals)
         watch.push(signal);
     reply.set("watch", std::move(watch));
     return reply;

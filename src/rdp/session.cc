@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
 #include "rtl/builder.hh"
 
@@ -98,8 +99,23 @@ makeDesign(SessionConfig &config, core::PlatformOptions &opts)
         opts.instrument.mutPrefix = "mut/";
         return buildCounter();
     }
-    throw std::runtime_error("unknown design '" + config.design +
-                             "' (supported: tinyrv, counter)");
+    if (config.design == "serv_soc") {
+        if (!config.program.empty())
+            throw std::runtime_error(
+                "design 'serv_soc' takes no program");
+        if (config.watchSignals.empty())
+            config.watchSignals = {"cluster0/core0/pc"};
+        designs::ServSocConfig soc;
+        soc.cores = 2;
+        soc.coresPerCluster = 2;
+        soc.clusterBrams = 1;
+        soc.l2Brams = 0;
+        opts.instrument.mutPrefix = "cluster0/";
+        return designs::buildServSoc(soc);
+    }
+    throw std::runtime_error(
+        "unknown design '" + config.design +
+        "' (supported: tinyrv, counter, serv_soc)");
 }
 
 } // namespace
@@ -120,12 +136,13 @@ Session::Session(uint64_t id, SessionConfig config)
     }
     opts.instrument.watchSignals = _config.watchSignals;
     opts.instrument.assertions = _config.assertions;
-    _platform = core::Platform::create(_userDesign, opts);
+    _backend = core::makeBackend(_config.backend, _userDesign,
+                                 std::move(opts));
     // A pinned genesis snapshot (cycle 0) both establishes the
     // store's base image and guarantees time travel always has a
     // restore point at or before any requested cycle.
     _snapshots =
-        std::make_unique<core::SnapshotStore>(*_platform);
+        std::make_unique<core::SnapshotStore>(*_backend);
     _snapshots->capture(/*pinned=*/true);
     touch();
 }

@@ -1,8 +1,8 @@
 /**
  * @file
  * Debug-session lifecycle for the remote debug protocol. A Session
- * owns one live Platform (instrumented design, configured device,
- * debugger) plus the per-session front-end state the dispatcher
+ * owns one live execution Backend (fabric by default; the RTL
+ * interpreter on request) plus the per-session front-end state the dispatcher
  * tracks between commands (snapshot, armed trigger groups, which
  * stop has already been reported). A SessionRegistry owns many
  * concurrent sessions — independent devices — behind a mutex so
@@ -23,8 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hh"
 #include "core/snapshot.hh"
-#include "core/zoomie.hh"
 
 namespace zoomie::rdp {
 
@@ -101,6 +101,14 @@ struct SessionConfig
 
     /** Top module name of the uploaded source (reply metadata). */
     std::string topModule;
+
+    /**
+     * Execution backend: "fabric" (default) runs the configured
+     * bitstream on the device model; "sim" interprets the same
+     * instrumented design in src/sim. Identical wire behavior is
+     * what the differential-test harness checks.
+     */
+    std::string backend = "fabric";
 };
 
 /**
@@ -116,8 +124,7 @@ class Session
 
     uint64_t id() const { return _id; }
     const SessionConfig &config() const { return _config; }
-    core::Platform &platform() { return *_platform; }
-    core::Debugger &debugger() { return _platform->debugger(); }
+    core::Backend &backend() { return *_backend; }
 
     /**
      * The design as the user wrote it, before instrumentation.
@@ -154,7 +161,7 @@ class Session
     uint64_t _id;
     SessionConfig _config;
     rtl::Design _userDesign;
-    std::unique_ptr<core::Platform> _platform;
+    std::unique_ptr<core::Backend> _backend;
     std::unique_ptr<core::SnapshotStore> _snapshots;
     std::mutex _mutex;
     SessionStats _stats;

@@ -161,14 +161,27 @@ Simulator::peek(const std::string &port)
 void
 Simulator::step(uint8_t clock)
 {
+    stepDomains({clock});
+}
+
+void
+Simulator::stepDomains(const std::vector<uint8_t> &clocks)
+{
     evaluate();
+
+    auto clocked = [&clocks](uint8_t clock) {
+        for (uint8_t c : clocks)
+            if (c == clock)
+                return true;
+        return false;
+    };
 
     // Phase 1: compute next state from pre-edge values.
     std::vector<std::pair<uint32_t, uint64_t>> reg_next;
     reg_next.reserve(_design.regs.size());
     for (uint32_t i = 0; i < _design.regs.size(); ++i) {
         const rtl::Reg &reg = _design.regs[i];
-        if (reg.clock != clock)
+        if (!clocked(reg.clock))
             continue;
         if (reg.en != rtl::kNoNet && !_values[reg.en])
             continue;
@@ -184,7 +197,7 @@ Simulator::step(uint8_t clock)
         const auto &ref = _syncPorts[i];
         const rtl::Mem &mem = _design.mems[ref.mem];
         const rtl::MemReadPort &port = mem.readPorts[ref.port];
-        if (port.clock != clock)
+        if (!clocked(port.clock))
             continue;
         uint64_t addr = _values[port.addr] % mem.depth;
         latch_next.emplace_back(i, _memState[ref.mem][addr]);
@@ -195,7 +208,7 @@ Simulator::step(uint8_t clock)
     for (uint32_t m = 0; m < _design.mems.size(); ++m) {
         const rtl::Mem &mem = _design.mems[m];
         for (const auto &wp : mem.writePorts) {
-            if (wp.clock != clock || !_values[wp.en])
+            if (!clocked(wp.clock) || !_values[wp.en])
                 continue;
             writes.push_back({m, _values[wp.addr] % mem.depth,
                               truncToWidth(_values[wp.data],
@@ -211,7 +224,8 @@ Simulator::step(uint8_t clock)
     for (const auto &w : writes)
         _memState[w.mem][w.addr] = w.data;
 
-    ++_cycles[clock];
+    for (uint8_t clock : clocks)
+        ++_cycles[clock];
     markDirty();
 }
 

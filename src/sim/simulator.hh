@@ -46,6 +46,17 @@ class Simulator
     /** Advance one edge of clock domain @p clock. */
     void step(uint8_t clock = 0);
 
+    /**
+     * Advance one edge of several clock domains *simultaneously*:
+     * every domain's next state is computed from the same pre-edge
+     * values, then all domains commit together — exactly how
+     * fpga::Device::stepGlobal clocks a multi-domain design. A
+     * sequential step(a); step(b) is observably different whenever
+     * domain b samples a register in domain a (or vice versa), so
+     * backends that must match the fabric cycle-for-cycle use this.
+     */
+    void stepDomains(const std::vector<uint8_t> &clocks);
+
     /** Advance @p n edges of clock 0. */
     void run(uint64_t n);
 
@@ -72,6 +83,26 @@ class Simulator
 
     /** Edges taken on clock domain @p clock since construction. */
     uint64_t cycles(uint8_t clock = 0) const { return _cycles[clock]; }
+
+    /** Overwrite a domain's cycle counter (snapshot rewind). */
+    void setCycles(uint8_t clock, uint64_t n) { _cycles[clock] = n; }
+
+    /**
+     * Sync-read-port latch state, flattened in (mem, port)
+     * declaration order. Part of the design's complete state:
+     * backends that serialize simulator state for snapshotting
+     * must include these alongside registers and memories.
+     */
+    size_t syncLatchCount() const { return _syncReadLatch.size(); }
+    uint64_t syncLatchValue(size_t i) const
+    {
+        return _syncReadLatch[i];
+    }
+    void setSyncLatchValue(size_t i, uint64_t value)
+    {
+        _syncReadLatch[i] = value;
+        markDirty();
+    }
 
     /** Snapshot of all register values (index-aligned). */
     std::vector<uint64_t> snapshotRegs();

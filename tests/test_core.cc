@@ -12,6 +12,7 @@
 #include "common/rng.hh"
 #include "core/instrument.hh"
 #include "core/pause_buffer.hh"
+#include "core/snapshot.hh"
 #include "core/zoomie.hh"
 #include "rtl/builder.hh"
 #include "sim/simulator.hh"
@@ -294,17 +295,15 @@ TEST(Platform, ReadAllRegistersGivesFullVisibility)
     EXPECT_EQ(regs["mut/count"], 17u);
 }
 
-// Pins the deprecated value-blob shim (Debugger::snapshot/restore).
-// New code goes through core::SnapshotStore — see test_snapshot.cc;
-// this stays until the shim is removed so migrating callers keep a
-// behavioral reference.
 TEST(Platform, SnapshotAndReplayReproducesExecution)
 {
     auto p = counterPlatform();
+    core::SnapshotStore store(*p);
     p->run(30);
     p->debugger().pause();
     p->run(1);
-    core::Snapshot snap = p->debugger().snapshot();
+    auto snap = store.capture(/*pinned=*/true);
+    ASSERT_TRUE(snap.has_value());
 
     p->debugger().resume();
     p->run(100);
@@ -313,7 +312,7 @@ TEST(Platform, SnapshotAndReplayReproducesExecution)
     // Replay: restore and rerun the same 100 cycles.
     p->debugger().pause();
     p->run(1);
-    p->debugger().restore(snap);
+    ASSERT_TRUE(store.restore(snap->id).has_value());
     EXPECT_EQ(p->debugger().readRegister("mut/count"), 30u);
     p->debugger().resume();
     p->run(100);

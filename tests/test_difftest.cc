@@ -1,0 +1,307 @@
+/**
+ * @file
+ * The differential-testing harness under test — and, through it,
+ * the backend-agreement claim itself. Seeded sweeps drive the
+ * fabric and interpreter backends through identical wire-command
+ * sequences over every checked-in design and a slice of the
+ * Verilog corpus, requiring bit-identical normalized output at
+ * every step and equal register state at every quiescent point.
+ * A planted fault (the executor skews `force` values on one side)
+ * must be detected, shrunk to a handful of commands, and encoded
+ * as a replayable JSONL repro.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "difftest/difftest.hh"
+
+using namespace zoomie;
+using difftest::GeneratorOptions;
+using difftest::LockstepOptions;
+using difftest::Vocabulary;
+
+namespace {
+
+LockstepOptions
+pairedOptions()
+{
+    LockstepOptions options;
+    // Small slots/budget keep hostile-but-valid requests cheap;
+    // identical on both sides, so budget errors stay symmetric.
+    options.server.scheduler.maxSessions = 4;
+    options.server.scheduler.cycleBudget = 100'000;
+    return options;
+}
+
+/** Sweep `count` seeded sequences over one design; fail loudly
+ *  with the shrunk repro when any of them diverges. */
+void
+expectSweepClean(const GeneratorOptions &gen, size_t count)
+{
+    difftest::SweepResult result =
+        difftest::sweep(gen, pairedOptions(), count);
+    EXPECT_EQ(result.sequences, count);
+    if (!result.failure)
+        return;
+    ADD_FAILURE() << "backends diverged (seed "
+                  << result.failingSeed << ", "
+                  << result.failure->divergence.kind << " after '"
+                  << result.failure->divergence.command
+                  << "'):\n--- fabric ---\n"
+                  << result.failure->divergence.lhs
+                  << "\n--- sim ---\n"
+                  << result.failure->divergence.rhs << "\nrepro:\n"
+                  << encodeRepro(*result.failure, pairedOptions(),
+                                 result.failingSeed);
+}
+
+} // namespace
+
+TEST(Difftest, NormalizeScrubsVolatileFields)
+{
+    // Timing is scrubbed anywhere it appears.
+    EXPECT_EQ(difftest::normalizeLine(
+                  R"({"type":"reply","queue_wait_us":17,"n":3})"),
+              R"({"type":"reply","n":3})");
+    // Snapshot descriptors lose identity/size (backend-specific
+    // frame encodings hash differently) but keep the cycle.
+    EXPECT_EQ(
+        difftest::normalizeLine(
+            R"({"snapshot":{"id":"ab12","cycle":40,"bytes":512,)"
+            R"("delta_frames":3},"ok":true})"),
+        R"({"snapshot":{"cycle":40},"ok":true})");
+    // Reply-level ids (request echo) are NOT snapshot ids.
+    EXPECT_EQ(difftest::normalizeLine(R"({"id":7,"ok":true})"),
+              R"({"id":7,"ok":true})");
+    // Non-JSON lines pass through for raw comparison.
+    EXPECT_EQ(difftest::normalizeLine("not json"), "not json");
+}
+
+TEST(Difftest, VocabularyIsDiscoveredOverTheWire)
+{
+    GeneratorOptions gen;
+    gen.design = "counter";
+    auto vocab = difftest::discoverVocabulary(
+        difftest::openLine(gen));
+    ASSERT_TRUE(vocab.has_value());
+
+    auto has = [](const std::vector<std::string> &pool,
+                  const std::string &name) {
+        return std::find(pool.begin(), pool.end(), name) !=
+               pool.end();
+    };
+    EXPECT_TRUE(has(vocab->prefixes, "zoomie/"));
+    EXPECT_TRUE(has(vocab->prefixes, "mut/"));
+    EXPECT_TRUE(has(vocab->registers, "mut/count"));
+    EXPECT_TRUE(has(vocab->registers, "zoomie/pause_state"));
+    // The built-in counter is free-running: no input ports, which
+    // discovery must report as an empty pool (not a parse error).
+    EXPECT_TRUE(vocab->inputs.empty());
+    EXPECT_FALSE(vocab->watchSignals.empty());
+}
+
+TEST(Difftest, GenerationIsDeterministicFromTheSeed)
+{
+    GeneratorOptions gen;
+    gen.design = "counter";
+    gen.seed = 42;
+    auto vocab = difftest::discoverVocabulary(
+        difftest::openLine(gen));
+    ASSERT_TRUE(vocab.has_value());
+    auto one = difftest::generateSequence(gen, *vocab);
+    auto two = difftest::generateSequence(gen, *vocab);
+    EXPECT_EQ(one, two);
+    ASSERT_EQ(one.size(), gen.length + 1);
+    gen.seed = 43;
+    EXPECT_NE(difftest::generateSequence(gen, *vocab), one);
+}
+
+// ---- the tentpole sweeps: fabric vs interpreter ----------------------
+
+TEST(Difftest, CounterSweepAgreesAcrossBackends)
+{
+    // The headline sweep: 1000 seeded sequences, every command
+    // compared, state probed at every quiescent point.
+    GeneratorOptions gen;
+    gen.design = "counter";
+    gen.seed = 1000;
+    gen.length = 24;
+    expectSweepClean(gen, 1000);
+}
+
+TEST(Difftest, TinyRvSweepAgreesAcrossBackends)
+{
+    GeneratorOptions gen;
+    gen.design = "tinyrv";
+    gen.seed = 2000;
+    gen.length = 20;
+    expectSweepClean(gen, 30);
+}
+
+TEST(Difftest, ServSocSweepAgreesAcrossBackends)
+{
+    GeneratorOptions gen;
+    gen.design = "serv_soc";
+    gen.seed = 3000;
+    gen.length = 20;
+    expectSweepClean(gen, 100);
+}
+
+TEST(Difftest, VerilogCorpusSweepsAgreeAcrossBackends)
+{
+    namespace fs = std::filesystem;
+    const fs::path corpus =
+        fs::path(ZOOMIE_VCORPUS_DIR) / "accept";
+    ASSERT_TRUE(fs::exists(corpus));
+
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(corpus))
+        if (entry.path().extension() == ".v")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    ASSERT_GE(files.size(), 10u);
+
+    size_t opened = 0;
+    for (const fs::path &file : files) {
+        std::ifstream in(file);
+        std::stringstream text;
+        text << in.rdbuf();
+        GeneratorOptions gen;
+        gen.source = text.str();
+        gen.seed = 4000;
+        gen.length = 12;
+        // Some corpus files are refused pre-admission (no
+        // registers, multiple clocks): both backends must refuse
+        // them identically, which the sweep still checks — the
+        // generated commands then all fail `no-session` on both
+        // sides. Count the ones that genuinely open.
+        if (difftest::discoverVocabulary(
+                difftest::openLine(gen)))
+            ++opened;
+        expectSweepClean(gen, 2);
+        if (HasFailure())
+            FAIL() << "first divergence in corpus file " << file;
+    }
+    // The sweep exercised real sessions, not just refusals.
+    EXPECT_GE(opened, 10u);
+}
+
+// ---- planted divergence: detection, shrinking, repro ------------------
+
+TEST(Difftest, PlantedForceSkewIsDetectedAndShrunk)
+{
+    GeneratorOptions gen;
+    gen.design = "counter";
+    gen.seed = 77;
+    gen.length = 18;
+    auto vocab = difftest::discoverVocabulary(
+        difftest::openLine(gen));
+    ASSERT_TRUE(vocab.has_value());
+
+    // A realistic noisy session with one guaranteed observable
+    // force buried in the middle.
+    std::vector<std::string> sequence =
+        difftest::generateSequence(gen, *vocab);
+    sequence.insert(
+        sequence.begin() + sequence.size() / 2,
+        R"({"cmd":"force","name":"mut/count","value":9})");
+
+    LockstepOptions options = pairedOptions();
+    options.skewForces = true;
+    options.probePrefixes = {"mut/", "zoomie/"};
+
+    auto divergence = difftest::runLockstep(sequence, options);
+    ASSERT_TRUE(divergence.has_value())
+        << "planted force skew went undetected";
+
+    difftest::ShrinkResult shrunk =
+        difftest::shrink(sequence, options);
+    EXPECT_LE(shrunk.sequence.size(), 6u)
+        << "shrinker left " << shrunk.sequence.size()
+        << " commands";
+    ASSERT_FALSE(shrunk.sequence.empty());
+    // The reproducer still opens a session and still forces.
+    EXPECT_NE(shrunk.sequence.front().find("\"open\""),
+              std::string::npos);
+    bool has_force = false;
+    for (const std::string &line : shrunk.sequence)
+        has_force = has_force ||
+                    line.find("\"force\"") != std::string::npos;
+    EXPECT_TRUE(has_force);
+    EXPECT_GE(shrunk.attempts, 2u);
+
+    // The minimized sequence must still diverge stand-alone.
+    EXPECT_TRUE(
+        difftest::runLockstep(shrunk.sequence, options)
+            .has_value());
+
+    // And the repro file round-trips into the same sequence.
+    std::string repro =
+        difftest::encodeRepro(shrunk, options, gen.seed);
+    auto decoded = difftest::decodeRepro(repro);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, shrunk.sequence);
+}
+
+TEST(Difftest, ReproDecodeRejectsForeignDocuments)
+{
+    std::string err;
+    EXPECT_FALSE(
+        difftest::decodeRepro("not json at all\n", &err)
+            .has_value());
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(difftest::decodeRepro(
+                     R"({"type":"something_else"})" "\n", &err)
+                     .has_value());
+    EXPECT_EQ(err, "not a difftest_repro document");
+}
+
+TEST(Difftest, IdenticalBackendsNeverDiverge)
+{
+    // Self-check against comparator false positives: sim vs sim
+    // must agree even with snapshots and traces in the mix.
+    GeneratorOptions gen;
+    gen.design = "counter";
+    gen.seed = 5000;
+    gen.length = 24;
+    auto vocab = difftest::discoverVocabulary(
+        difftest::openLine(gen));
+    ASSERT_TRUE(vocab.has_value());
+
+    LockstepOptions options = pairedOptions();
+    options.backendA = "sim";
+    options.backendB = "sim";
+    options.probePrefixes = vocab->prefixes;
+    for (uint64_t seed = 5000; seed < 5006; ++seed) {
+        GeneratorOptions g = gen;
+        g.seed = seed;
+        auto divergence = difftest::runLockstep(
+            difftest::generateSequence(g, *vocab), options);
+        EXPECT_FALSE(divergence.has_value())
+            << "seed " << seed << ": " << divergence->kind
+            << " divergence between identical backends after '"
+            << divergence->command << "'";
+    }
+}
+
+TEST(Difftest, UnknownBackendPairFailsTypedOnBothSides)
+{
+    LockstepOptions options = pairedOptions();
+    options.backendA = "warp-drive";
+    options.backendB = "warp-drive";
+    // Both sides answer the same typed bad-args error, so the
+    // comparator sees agreement — an unknown backend is a typed
+    // refusal, not a crash or a divergence.
+    auto divergence = difftest::runLockstep(
+        {R"({"cmd":"open","design":"counter"})",
+         R"({"cmd":"info"})"},
+        options);
+    EXPECT_FALSE(divergence.has_value());
+}

@@ -113,6 +113,52 @@ TEST(Device, ConfiguresAndRunsCounter)
     EXPECT_EQ(loaded.device->peekOutput("value"), 5u);
 }
 
+TEST(Device, NoInputDesignHasEmptyPortListAndPanicsOnPeek)
+{
+    // The free-running counter has registers and outputs but no
+    // input ports: enumeration must return the empty pool (not
+    // fail), and name lookups must die with the typed panic —
+    // callers distinguish "no inputs" from "bad name".
+    Loaded loaded(counterDesign());
+    EXPECT_TRUE(loaded.device->inputPorts().empty());
+    EXPECT_DEATH(loaded.device->peekInput("count"),
+                 "unknown input port");
+    EXPECT_DEATH(loaded.device->pokeInput("en", 1),
+                 "unknown input port");
+    // Output names never alias into the input namespace.
+    EXPECT_DEATH(loaded.device->peekInput("value"),
+                 "unknown input port");
+}
+
+TEST(Device, PokeInputMasksValueToPortWidth)
+{
+    rtl::Builder b("adder");
+    rtl::Value add = b.input("add", 4);
+    auto count = b.reg("count", 8, 0);
+    b.connect(count, b.add(count.q, b.zext(add, 8)));
+    b.output("value", count.q);
+    Loaded loaded(b.finish());
+
+    ASSERT_EQ(loaded.device->inputPorts(),
+              std::vector<std::string>{"add"});
+    // Unpoked ports read back as driven-low.
+    EXPECT_EQ(loaded.device->peekInput("add"), 0u);
+
+    // An over-wide poke only lands on the port's own bits: the
+    // readback is the 4-bit truncation, and the fabric computes
+    // with the truncated value too.
+    loaded.device->pokeInput("add", 0xFF5u);
+    EXPECT_EQ(loaded.device->peekInput("add"), 0x5u);
+    loaded.device->stepGlobal();
+    EXPECT_EQ(loaded.device->peekOutput("value"), 5u);
+
+    // A later poke overwrites, not accumulates.
+    loaded.device->pokeInput("add", 0x13u);
+    EXPECT_EQ(loaded.device->peekInput("add"), 0x3u);
+    loaded.device->stepGlobal();
+    EXPECT_EQ(loaded.device->peekOutput("value"), 8u);
+}
+
 TEST(Device, FabricMatchesRtlSimulatorOnRandomDesigns)
 {
     for (uint64_t seed : {3ull, 11ull, 42ull}) {

@@ -13,6 +13,7 @@
 #include "bitstream/builder.hh"
 #include "bitstream/disassembler.hh"
 #include "common/rng.hh"
+#include "core/snapshot.hh"
 #include "core/zoomie.hh"
 #include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
@@ -181,11 +182,13 @@ TEST(Integration, SnapshotReplayOnACpu)
     };
     auto platform = cpuPlatform(program);
     auto &dbg = platform->debugger();
+    core::SnapshotStore store(*platform);
 
     platform->run(101);
     dbg.pause();
     platform->run(1);
-    core::Snapshot snap = dbg.snapshot();
+    auto snap = store.capture(/*pinned=*/true);
+    ASSERT_TRUE(snap.has_value());
     uint64_t x1_at_snap = dbg.readMemWord("cpu/rf", 1);
 
     dbg.resume();
@@ -196,7 +199,7 @@ TEST(Integration, SnapshotReplayOnACpu)
     ASSERT_GT(x1_later, x1_at_snap);
 
     // Replay: restore and run the same distance again.
-    dbg.restore(snap);
+    ASSERT_TRUE(store.restore(snap->id).has_value());
     EXPECT_EQ(dbg.readMemWord("cpu/rf", 1), x1_at_snap);
     dbg.resume();
     platform->run(100);

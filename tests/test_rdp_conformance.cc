@@ -97,7 +97,7 @@ goldenTable()
             {"commands",
              {{},
               R"({"cmd":"commands","id":1})",
-              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true,"min_version":1},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false,"min_version":1},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false,"min_version":1},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false,"min_version":1},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false,"min_version":1},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false,"min_version":1},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"poke","scope":"session","help":"drive a top-level input port","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false,"min_version":1},{"name":"snapshot","alias":"snap","scope":"session","help":"capture a pinned content-addressed snapshot","args":[],"events":false,"min_version":2},{"name":"snapshots","scope":"session","help":"list the snapshot ring, oldest first","args":[],"events":false,"min_version":2},{"name":"restore","scope":"session","help":"time-travel to CYCLE, or restore SNAPSHOT by id (default: newest)","args":[{"name":"cycle","type":"u64","required":false},{"name":"snapshot","type":"u64","required":false}],"events":false,"min_version":2},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true,"min_version":1},{"name":"info","scope":"session","help":"session status","args":[],"events":false,"min_version":1},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false,"min_version":1},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false}],"min_version":1},{"name":"open_source","scope":"server","help":"compile uploaded Verilog into a new debug session","args":[{"name":"text","type":"string","required":false},{"name":"chunk","type":"string","required":false},{"name":"seq","type":"u64","required":false},{"name":"last","type":"bool","required":false},{"name":"top","type":"string","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"lint","type":"bool","required":false}],"min_version":2},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
+              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true,"min_version":1},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false,"min_version":1},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false,"min_version":1},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false,"min_version":1},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false,"min_version":1},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false,"min_version":1},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"poke","scope":"session","help":"drive a top-level input port","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false,"min_version":1},{"name":"snapshot","alias":"snap","scope":"session","help":"capture a pinned content-addressed snapshot","args":[],"events":false,"min_version":2},{"name":"snapshots","scope":"session","help":"list the snapshot ring, oldest first","args":[],"events":false,"min_version":2},{"name":"restore","scope":"session","help":"time-travel to CYCLE, or restore SNAPSHOT by id (default: newest)","args":[{"name":"cycle","type":"u64","required":false},{"name":"snapshot","type":"u64","required":false}],"events":false,"min_version":2},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true,"min_version":1},{"name":"info","scope":"session","help":"session status","args":[],"events":false,"min_version":1},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false,"min_version":1},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"backend","type":"string","required":false}],"min_version":1},{"name":"open_source","scope":"server","help":"compile uploaded Verilog into a new debug session","args":[{"name":"text","type":"string","required":false},{"name":"chunk","type":"string","required":false},{"name":"seq","type":"u64","required":false},{"name":"last","type":"bool","required":false},{"name":"top","type":"string","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"lint","type":"bool","required":false},{"name":"backend","type":"string","required":false}],"min_version":2},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
             {"batch",
              {{kOpen},
               R"({"cmd":"batch","id":1,"requests":[{"cmd":"snapshot"}]})",

@@ -88,8 +88,8 @@ TEST(RdpScheduler, TwoSessionsShareOneWorkerFairly)
     EXPECT_EQ(slow->stats().cyclesRun.load(), kLongCycles);
 
     // The devices really advanced (MUT cycle readback).
-    EXPECT_EQ(slow->platform().mutCycles(), kLongCycles);
-    EXPECT_EQ(fast->platform().mutCycles(), kShortCycles);
+    EXPECT_EQ(slow->backend().mutCycles(), kLongCycles);
+    EXPECT_EQ(fast->backend().mutCycles(), kShortCycles);
 
     // Metrics populated: the short run was queued behind at least
     // one of the long run's quanta.
@@ -152,7 +152,7 @@ TEST(RdpScheduler, CycleBudgetClampsAndThenRefuses)
     auto refused = scheduler.run(session, 10);
     EXPECT_EQ(refused.cyclesRun, 0u);
     EXPECT_TRUE(refused.budgetExhausted);
-    EXPECT_EQ(session->platform().mutCycles(), 500u);
+    EXPECT_EQ(session->backend().mutCycles(), 500u);
 }
 
 TEST(RdpScheduler, IdleReaperClosesOnlyIdleSessions)
@@ -528,7 +528,7 @@ TEST(RdpScheduler, ConcurrentRunsNeverOvershootTheBudget)
             client.join();
 
         EXPECT_EQ(executed.load(), kBudget);
-        EXPECT_EQ(session->platform().mutCycles(), kBudget);
+        EXPECT_EQ(session->backend().mutCycles(), kBudget);
         EXPECT_EQ(session->stats().cyclesRun.load(), kBudget);
 
         // And the budget really is spent.

@@ -219,6 +219,37 @@ TEST(SnapshotStore, TravelReplaysRecordedPokesDeterministically)
     EXPECT_FALSE(store.travel(c0 - 1).has_value());
 }
 
+TEST(SnapshotStore, RestoreRedrivesCapturedInputPortValues)
+{
+    // Input ports live outside configuration memory, so restore
+    // must re-drive them from the values recorded at capture —
+    // otherwise a port poked after the capture leaks its live
+    // value into the restored timeline.
+    auto p = platformFor(pokeCounter());
+    SnapshotStore store(*p);
+    pauseSettled(*p);
+
+    p->poke("add", 2);
+    uint64_t base = p->debugger().readRegister("mut/count");
+    auto snap = store.capture(/*pinned=*/true);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(p->device().peekInput("add"), 2u);
+
+    // Diverge the live port (and some state) after the capture.
+    stepMut(*p, 3);
+    p->poke("add", 9);
+    EXPECT_EQ(p->device().peekInput("add"), 9u);
+
+    ASSERT_TRUE(store.restore(snap->id).has_value());
+    EXPECT_EQ(p->device().peekInput("add"), 2u);
+    EXPECT_EQ(p->debugger().readRegister("mut/count"), base);
+
+    // The restored timeline advances with the restored port value,
+    // not the stale live one.
+    stepMut(*p, 4);
+    EXPECT_EQ(p->debugger().readRegister("mut/count"), base + 2 * 4);
+}
+
 TEST(SnapshotStore, PokeAfterRewindTruncatesRecordedFuture)
 {
     auto p = platformFor(pokeCounter());

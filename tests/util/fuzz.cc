@@ -1,0 +1,210 @@
+#include "util/fuzz.hh"
+
+namespace zoomie::testutil {
+
+using rdp::Json;
+
+const std::set<std::string> &
+knownErrors()
+{
+    static const std::set<std::string> names = {
+        "bad-request", "bad-args",   "unknown-command",
+        "no-session",  "unknown-name", "unsupported-version",
+        "busy",        "timeout",    "trace-overflow",
+        "parse-error", "lint-rejected",
+        "snapshot-not-found", "snapshot-overflow",
+        "internal",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+seedCorpus()
+{
+    static const std::vector<std::string> seeds = {
+        R"({"cmd":"hello","version":2})",
+        R"({"cmd":"hello","version":1,"min":1})",
+        R"({"cmd":"open","design":"counter"})",
+        R"({"cmd":"run","id":3,"n":16})",
+        R"({"cmd":"step","n":2})",
+        R"({"cmd":"pause"})",
+        R"({"cmd":"resume"})",
+        R"({"cmd":"break","slot":0,"value":7,"group":"or"})",
+        R"({"cmd":"watch","slot":0,"on":1})",
+        R"({"cmd":"clear"})",
+        R"({"cmd":"print","name":"mut/count"})",
+        R"({"cmd":"x","name":"cpu/mem","addr":4})",
+        R"({"cmd":"force","name":"mut/count","value":9})",
+        R"({"cmd":"regs","prefix":"mut/"})",
+        R"({"cmd":"snapshot"})",
+        R"({"cmd":"snapshots"})",
+        R"({"cmd":"restore"})",
+        R"({"cmd":"restore","cycle":6})",
+        R"({"cmd":"restore","snapshot":99})",
+        R"({"cmd":"restore","snapshot":1,"cycle":2})",
+        R"({"cmd":"trace","n":4,"signals":"mut/count"})",
+        R"({"cmd":"info"})",
+        R"({"cmd":"assert","index":0,"on":0})",
+        R"({"cmd":"sessions"})",
+        R"({"cmd":"commands"})",
+        R"({"cmd":"close","session":1})",
+        R"({"cmd":"batch","requests":[{"cmd":"info"},{"cmd":"run","n":2}]})",
+        R"({"cmd":"batch","requests":[],"abort_on_error":true})",
+        // Near-protocol junk the decoder must refuse typed-ly.
+        R"({"cmd":42})",
+        R"({"id":-1,"cmd":"run","n":1})",
+        R"({"session":"x","cmd":"info"})",
+        R"([1,2,3])",
+        R"("just a string")",
+        R"({"cmd":"run","n":18446744073709551615})",
+        R"({"cmd":"run","n":1e308})",
+        R"({"cmd":"print","name":" ￿"})",
+    };
+    return seeds;
+}
+
+const std::vector<std::string> &
+rtlSeedCorpus()
+{
+    static const std::vector<std::string> seeds = {
+        // The counter-with-enable the e2e recipes debug.
+        "module counter(input clk, input en, output [15:0] q);\n"
+        "  reg [15:0] count;\n"
+        "  always @(posedge clk) if (en) count <= count + 1;\n"
+        "  assign q = count;\n"
+        "endmodule\n",
+        // Parameterized hierarchy: instantiations survive mutation
+        // poorly, probing the elaborator's error paths.
+        "module box #(parameter W = 8) "
+        "(input clk, output [W-1:0] q);\n"
+        "  reg [W-1:0] r;\n"
+        "  always @(posedge clk) r <= r + 1;\n"
+        "  assign q = r;\n"
+        "endmodule\n"
+        "module top(input clk, output [7:0] q);\n"
+        "  box #(.W(8)) b (.clk(clk), .q(q));\n"
+        "endmodule\n",
+        // Lint-gate fodder: a constant memory address past the
+        // depth is an error-severity finding → `lint-rejected`.
+        "module m(input clk, input [7:0] d, output [7:0] q);\n"
+        "  reg [7:0] store [0:5];\n"
+        "  reg [7:0] r;\n"
+        "  always @(posedge clk) begin\n"
+        "    store[7] <= d;\n"
+        "    r <= store[0];\n"
+        "  end\n"
+        "  assign q = r;\n"
+        "endmodule\n",
+        // Register-less: compiles, then refused pre-admission.
+        "module thru(input [3:0] a, output [3:0] y);\n"
+        "  assign y = a;\n"
+        "endmodule\n",
+    };
+    return seeds;
+}
+
+std::string
+clampDigitRuns(const std::string &line)
+{
+    std::string out;
+    size_t digits = 0;
+    for (char ch : line) {
+        if (ch >= '0' && ch <= '9') {
+            if (++digits > 3)
+                continue;
+        } else {
+            digits = 0;
+        }
+        out += ch;
+    }
+    return out;
+}
+
+std::string
+mutate(const std::string &seed,
+       const std::vector<std::string> &corpus, Rng &rng)
+{
+    std::string line = seed;
+    // Occasionally splice two seeds together mid-line.
+    if (rng.chance(1, 4)) {
+        const std::string &other =
+            corpus[rng.nextBelow(corpus.size())];
+        size_t cut_a = rng.nextBelow(line.size() + 1);
+        size_t cut_b = rng.nextBelow(other.size() + 1);
+        line = line.substr(0, cut_a) + other.substr(cut_b);
+    }
+    unsigned edits = unsigned(rng.nextBelow(4));
+    for (unsigned e = 0; e < edits; ++e) {
+        if (line.empty())
+            break;
+        switch (rng.nextBelow(4)) {
+        case 0: { // flip one byte (full range incl. non-ASCII)
+            line[rng.nextBelow(line.size())] =
+                char(rng.nextBits(8));
+            break;
+        }
+        case 1: { // truncate
+            line.resize(rng.nextBelow(line.size() + 1));
+            break;
+        }
+        case 2: { // insert a structural character
+            const char structural[] = "{}[]\",:0123456789eE+-. ";
+            size_t at = rng.nextBelow(line.size() + 1);
+            line.insert(line.begin() + at,
+                        structural[rng.nextBelow(
+                            sizeof(structural) - 1)]);
+            break;
+        }
+        default: { // duplicate a span
+            size_t from = rng.nextBelow(line.size());
+            size_t len = rng.nextBelow(line.size() - from) + 1;
+            size_t at = rng.nextBelow(line.size() + 1);
+            line.insert(at, line.substr(from, len));
+            break;
+        }
+        }
+    }
+    return clampDigitRuns(line);
+}
+
+std::string
+checkServerOutput(const std::vector<std::string> &out,
+                  const std::string &input)
+{
+    for (const std::string &line : out) {
+        std::string err;
+        auto msg = Json::parse(line, &err);
+        if (!msg)
+            return "unparseable server output '" + line + "' (" +
+                   err + ") for input: " + input;
+        const Json *type = msg->find("type");
+        if (!type || !type->isString())
+            return "untyped output " + line;
+        const Json *ok = msg->find("ok");
+        bool failed = (ok && !ok->asBool()) ||
+                      type->asString() == "error";
+        if (!failed)
+            continue;
+        const Json *code = msg->find("error");
+        if (!code || !code->isString())
+            return "failure without an error code: " + line;
+        if (!knownErrors().count(code->asString()))
+            return "unknown error code '" + code->asString() +
+                   "' for input: " + input;
+    }
+    return "";
+}
+
+rdp::ServerOptions
+fuzzOptions()
+{
+    rdp::ServerOptions options;
+    // Keep accidental-but-valid requests cheap: few session slots,
+    // a small per-session cycle budget (clamped runs come back as
+    // the typed `busy` error).
+    options.scheduler.maxSessions = 4;
+    options.scheduler.cycleBudget = 5000;
+    return options;
+}
+
+} // namespace zoomie::testutil

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared seeded-fuzz helpers for the wire-protocol harnesses. The
+ * JSONL fuzzer (test_rdp_fuzz) and the differential tester
+ * (src/difftest, test_difftest) both start from the same
+ * valid-request corpus, mutate it with the same deterministic
+ * byte-level mutator, and hold the server to the same oracle: every
+ * output line parses, carries a type, and names a known typed
+ * rdp::Errc on failure. Keeping one copy here means a new command
+ * or error code is added to the corpus/oracle exactly once.
+ */
+
+#ifndef ZOOMIE_TESTS_UTIL_FUZZ_HH
+#define ZOOMIE_TESTS_UTIL_FUZZ_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "rdp/server.hh"
+
+namespace zoomie::testutil {
+
+/** Every wire-legal error code (errcName() images). */
+const std::set<std::string> &knownErrors();
+
+/** Valid request lines the mutator starts from. */
+const std::vector<std::string> &seedCorpus();
+
+/** Verilog texts the RTL-upload mutator starts from. */
+const std::vector<std::string> &rtlSeedCorpus();
+
+/**
+ * Clamp every digit run to 3 characters so a lucky mutation can
+ * never assemble a valid multi-million-cycle `run`/`step` request:
+ * the fuzzer probes the protocol surface, not simulator throughput.
+ */
+std::string clampDigitRuns(const std::string &line);
+
+/** One deterministic mutation pass over @p seed. */
+std::string mutate(const std::string &seed,
+                   const std::vector<std::string> &corpus, Rng &rng);
+
+/**
+ * The fuzz oracle: every line the server emits must parse, carry a
+ * type, and name a known error code when it reports failure.
+ * @return "" when @p out passes, else a one-line diagnostic (kept
+ * gtest-free so non-test harnesses can use it too).
+ */
+std::string checkServerOutput(const std::vector<std::string> &out,
+                              const std::string &input);
+
+/** Server sized for adversarial traffic: few session slots, small
+ *  per-session cycle budget. */
+rdp::ServerOptions fuzzOptions();
+
+} // namespace zoomie::testutil
+
+#endif // ZOOMIE_TESTS_UTIL_FUZZ_HH
