@@ -14,6 +14,7 @@
 #include "core/zoomie.hh"
 #include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
+#include "jit/jitsim.hh"
 #include "lint/lint.hh"
 #include "rdp/server.hh"
 #include "rtl/builder.hh"
@@ -55,6 +56,66 @@ BM_RtlSimStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RtlSimStep);
+
+// ---- compiled simulation vs the interpreter ---------------------------
+//
+// The headline pair: cycles/second through the same serv_soc on
+// the interpreter and on the compiled backend (items_per_second is
+// the cycle rate; the BM_JitCycle / BM_InterpServSocCycle ratio is
+// the speedup the jit must deliver — see bench/BENCH_jit.json).
+
+rtl::Design
+makeBenchSoc()
+{
+    designs::ServSocConfig config;
+    config.cores = 8;
+    config.coresPerCluster = 8;
+    config.clusterBrams = 3;
+    config.l2Brams = 4;
+    return designs::buildServSoc(config);
+}
+
+void
+BM_InterpServSocCycle(benchmark::State &state)
+{
+    rtl::Design design = makeBenchSoc();
+    sim::Simulator sim(design);
+    for (auto _ : state) {
+        sim.step();
+        benchmark::DoNotOptimize(sim.cycles(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpServSocCycle);
+
+void
+BM_JitCycle(benchmark::State &state)
+{
+    rtl::Design design = makeBenchSoc();
+    jit::JitSim sim(design);
+    for (auto _ : state) {
+        sim.step();
+        benchmark::DoNotOptimize(sim.cycles(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["native"] = sim.nativeActive() ? 1 : 0;
+}
+BENCHMARK(BM_JitCycle);
+
+void
+BM_JitCycleBytecode(benchmark::State &state)
+{
+    // The portable tier alone, for platforms without the native
+    // backend (and to keep the dispatch loop honest).
+    rtl::Design design = makeBenchSoc();
+    jit::JitSim sim(design, /*enable_native=*/false);
+    for (auto _ : state) {
+        sim.step();
+        benchmark::DoNotOptimize(sim.cycles(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JitCycleBytecode);
 
 void
 BM_FabricStep(benchmark::State &state)

@@ -5,6 +5,8 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "jit/jitsim.hh"
+#include "sim/simulator.hh"
 
 namespace zoomie::core {
 
@@ -90,12 +92,18 @@ FabricBackend::framesPerSlr() const
 
 std::unique_ptr<SimBackend>
 SimBackend::create(const rtl::Design &user_design,
-                   PlatformOptions options)
+                   PlatformOptions options,
+                   const std::string &engine_kind)
 {
     std::unique_ptr<SimBackend> backend(new SimBackend());
     backend->_meta = instrument(user_design, options.instrument);
-    backend->_sim =
-        std::make_unique<sim::Simulator>(backend->_meta.design);
+    if (engine_kind == "jit") {
+        backend->_sim =
+            std::make_unique<jit::JitSim>(backend->_meta.design);
+    } else {
+        backend->_sim =
+            std::make_unique<sim::Simulator>(backend->_meta.design);
+    }
 
     // Pseudo-frame geometry: every state word (register, sync read
     // latch, memory word) as two uint32s, padded to whole frames on
@@ -453,10 +461,11 @@ makeBackend(const std::string &kind,
     if (kind == "fabric")
         return FabricBackend::create(user_design,
                                      std::move(options));
-    if (kind == "sim")
-        return SimBackend::create(user_design, std::move(options));
+    if (kind == "sim" || kind == "jit")
+        return SimBackend::create(user_design, std::move(options),
+                                  kind);
     throw std::runtime_error("unknown backend '" + kind +
-                             "' (supported: fabric, sim)");
+                             "' (supported: fabric, sim, jit)");
 }
 
 } // namespace zoomie::core

@@ -2,9 +2,9 @@
  * @file
  * Execution-backend abstraction. Zoomie has more than one way to
  * execute the same instrumented design — fabric execution of the
- * configured bitstream (src/fpga behind a Platform) and direct
- * interpretation of the elaborated circuit (src/sim) — and the
- * ROADMAP adds a compiled-simulation backend next. A Backend is
+ * configured bitstream (src/fpga behind a Platform), direct
+ * interpretation of the elaborated circuit (src/sim), and compiled
+ * simulation of the same circuit (src/jit). A Backend is
  * the complete surface the serving layer (sessions, dispatcher,
  * scheduler, snapshot store) needs from one execution: run the
  * external clock, drive/observe IO, and perform every debugger
@@ -31,7 +31,7 @@
 
 #include "core/debugger.hh"
 #include "core/zoomie.hh"
-#include "sim/simulator.hh"
+#include "sim/engine.hh"
 
 namespace zoomie::core {
 
@@ -41,7 +41,7 @@ class Backend
   public:
     virtual ~Backend() = default;
 
-    /** Backend family name ("fabric", "sim", later "jit"). */
+    /** Backend family name ("fabric", "sim", "jit"). */
     virtual std::string kind() const = 0;
 
     /** Instrumentation metadata (watch slots, assertions, ...). */
@@ -250,27 +250,32 @@ class FabricBackend : public Backend
 };
 
 /**
- * Interpreted execution: instruments the user design exactly like
- * Platform::create, then runs the instrumented circuit in the RTL
- * interpreter — no synthesis, no placement, no bitstream. Debug
- * operations read/force the controller's "zoomie/" registers by
- * name, so trigger/step/pause behavior is byte-identical to the
- * fabric by construction (the same RTL computes it). The external
- * clock loop mirrors fpga::Device::stepGlobal: evaluate, sample
- * the "zoomie/clk_en" gate, then commit every enabled domain
+ * Software execution: instruments the user design exactly like
+ * Platform::create, then runs the instrumented circuit in a
+ * sim::Engine — no synthesis, no placement, no bitstream. Two
+ * engines sit behind the same surface: the RTL interpreter
+ * (sim::Simulator, kind "sim") and the compiled-simulation
+ * bytecode/native VM (jit::JitSim, kind "jit"). Debug operations
+ * read/force the controller's "zoomie/" registers by name, so
+ * trigger/step/pause behavior is byte-identical to the fabric by
+ * construction (the same RTL computes it). The external clock loop
+ * mirrors fpga::Device::stepGlobal: evaluate, sample the
+ * "zoomie/clk_en" gate, then commit every enabled domain
  * simultaneously from pre-edge values.
  */
 class SimBackend : public Backend
 {
   public:
-    /** Instrument and bring up @p user_design in the interpreter.
-     *  Only options.instrument is honored (no device to size). */
+    /** Instrument and bring up @p user_design on engine
+     *  @p engine_kind ("sim" or "jit"). Only options.instrument is
+     *  honored (no device to size). */
     static std::unique_ptr<SimBackend> create(
-        const rtl::Design &user_design, PlatformOptions options);
+        const rtl::Design &user_design, PlatformOptions options,
+        const std::string &engine_kind = "sim");
 
-    sim::Simulator &simulator() { return *_sim; }
+    sim::Engine &engine() { return *_sim; }
 
-    std::string kind() const override { return "sim"; }
+    std::string kind() const override { return _sim->kind(); }
     const InstrumentResult &instrumented() const override
     {
         return _meta;
@@ -343,7 +348,7 @@ class SimBackend : public Backend
     void decodeState(const std::vector<uint32_t> &image);
 
     InstrumentResult _meta;
-    std::unique_ptr<sim::Simulator> _sim;
+    std::unique_ptr<sim::Engine> _sim;
     uint32_t _frames = 0;   ///< pseudo-frame image size per "SLR"
     uint32_t _stateWords = 0;
 
@@ -354,7 +359,7 @@ class SimBackend : public Backend
 };
 
 /**
- * Build the backend @p kind ("fabric" or "sim") over
+ * Build the backend @p kind ("fabric", "sim" or "jit") over
  * @p user_design. Throws std::runtime_error on an unknown kind so
  * front ends can answer a typed error.
  */

@@ -109,6 +109,11 @@ scrub(const Json &v)
     for (const auto &[key, value] : v.members()) {
         if (key == "queue_wait_us")
             continue;
+        // Backend identity echoes (open/sessions replies) name the
+        // engine itself: the one field that legitimately differs
+        // in a cross-backend comparison.
+        if (key == "backend")
+            continue;
         if (snapshot_like &&
             (key == "id" || key == "bytes" || key == "delta_frames"))
             continue;

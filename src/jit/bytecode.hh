@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Flat bytecode program produced by the jit compiler
+ * (jit::compileProgram) and executed by jit::JitSim. The program is
+ * the levelized rtl::Design lowered into:
+ *
+ *  - a value array ("slots"): [zero][one][const pool][inputs]
+ *    [register q block][sync-read latch block][instruction dests]
+ *    [regNext scratch][latchNext scratch]. Every materialized net
+ *    maps to one slot; nets folded, aliased, CSE'd or fused away
+ *    are elided (Program::kNoSlot) and recomputed on demand only
+ *    for debugger reads.
+ *  - homogeneous instruction runs over struct-of-array operand
+ *    streams. All instructions of one run share an opcode, and a
+ *    run's destinations are consecutive slots, so the dispatch
+ *    loop pays one switch per run, not per instruction.
+ *  - register/latch/write commit plans, pre-classified so the
+ *    sequential phase runs as a handful of tight loops.
+ */
+
+#ifndef ZOOMIE_JIT_BYTECODE_HH
+#define ZOOMIE_JIT_BYTECODE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace zoomie::jit {
+
+/**
+ * Bytecode opcodes. The first block mirrors rtl::Op; the rest are
+ * fused forms the compiler strength-reduces into: *Imm variants
+ * carry a constant operand, the S/SS variants absorb one or two
+ * single-use slice operands, the MuxEq/MuxS families absorb the
+ * selector compare/bit-test, MemRdAMask/MemRdAMod pre-resolve the
+ * power-of-two-ness of an async read's depth clamp.
+ */
+enum class BOp : uint8_t {
+    And, Or, Xor, Not, Add, Sub, Mul, Eq, Ne, Ult, Ule,
+    Shl, Shr, Mux, Concat, Slice, ShlImm, RedAnd, RedOr, RedXor,
+    MemRdAMask, MemRdAMod,
+    EqImm, NeImm, AndImm, OrImm, XorImm, AddImm, UltImm, UleImm,
+    MuxImmB, MuxImmC, MuxImmBC,
+    ConcatSS, XorSS, AndSS, OrSS,
+    ConcatSA, ConcatSB, XorSA, AndSA, OrSA,
+    MuxEq, MuxEqB, MuxEqC, MuxEqBC,
+    MuxS, MuxSB, MuxSC, MuxSBC,
+    kNumOps,
+};
+
+/** Mnemonic for one bytecode op (for dumps and introspection). */
+const char *opMnemonic(BOp op);
+
+/** Extended operand word for slice/selector-fused instructions. */
+struct Ext
+{
+    uint8_t sa = 0;    ///< shift applied to operand a
+    uint8_t sb = 0;    ///< shift applied to operand b
+    uint8_t wsh = 0;   ///< left-shift of a (concat) / unused
+    uint8_t pad = 0;
+    uint32_t pad2 = 0;
+    uint64_t mb = 0;   ///< mask for operand b / compare immediate
+};
+
+/**
+ * One homogeneous instruction run: instructions [start, start+count)
+ * all have opcode `op` and write slots [dstBase, dstBase+count).
+ */
+struct Run
+{
+    BOp op;
+    uint32_t start;
+    uint32_t count;
+    uint32_t dstBase;
+};
+
+/**
+ * Struct-of-arrays commit streams for one register class. The
+ * unified next-value formula is
+ *   nv   = ((V[d] >> sh) | (V[in2] << wsh)) & mask
+ *   nv   = V[rst] ? rstVal : nv
+ *   take = (V[en] != 0) ^ inv
+ *   q'   = take ? nv : q
+ * with absent operands encoded as the constant slots (en -> slot 1,
+ * rst/in2 -> slot 0) so every class degenerates gracefully. The
+ * compiler splits registers into classes (plain/shift/full x
+ * direct/buffered x enabled/free) so the executor runs each class
+ * as a loop specialized to skip the unused parts.
+ */
+struct RegStreams
+{
+    std::vector<uint32_t> d, in2, en, rst, q;
+    std::vector<uint8_t> sh, wsh, inv;
+    std::vector<uint64_t> mask, rstVal;
+    std::vector<uint32_t> ix;  ///< register index (regNext scratch)
+    size_t size() const { return d.size(); }
+};
+
+/**
+ * Per-register commit plan for the generic (clock-filtered) path:
+ * one entry per rtl::Reg in declaration order, carrying the clock
+ * domain so stepDomains can commit an arbitrary subset of domains.
+ */
+struct RegPlanC
+{
+    uint32_t d, in2, en, rst, q;
+    uint8_t sh, wsh, clock;
+    bool inv;
+    uint64_t mask, rstVal;
+};
+
+/** Sync read port latch plan (one per sync port, decl order). */
+struct LatchOp
+{
+    uint32_t addr;   ///< address slot
+    uint32_t mem;    ///< memory index
+    uint32_t slot;   ///< latched data slot
+    uint64_t depth;  ///< pow2 ? depth-1 (mask) : depth
+    bool pow2;
+    uint8_t clock;
+};
+
+/** Memory write port plan. */
+struct WriteOp
+{
+    uint32_t addr, data, en;
+    uint32_t mem;
+    uint64_t depth;  ///< pow2 ? depth-1 (mask) : depth
+    uint64_t mask;   ///< data mask (memory word width)
+    bool pow2;
+    uint8_t clock;
+};
+
+/** A compiled design: everything JitSim needs to execute. */
+struct Program
+{
+    static constexpr uint32_t kNoSlot = ~0u;
+
+    /** Initial value-array image (consts seeded, state at reset). */
+    std::vector<uint64_t> initV;
+    /** Slot of each net's canonical representative, or kNoSlot. */
+    std::vector<uint32_t> slotOf;
+    /** Slot of each register's q value, index-aligned with regs. */
+    std::vector<uint32_t> regSlot;
+    /** Slot of each sync read latch, flattened (mem, port) order. */
+    std::vector<uint32_t> latchSlot;
+    /** Scratch regions inside the value array. */
+    uint32_t rnBase = 0;  ///< buffered register next-values
+    uint32_t ltBase = 0;  ///< latch next-values
+
+    /** Combinational program. */
+    std::vector<Run> runs;
+    std::vector<uint32_t> ia, ib, ic;
+    std::vector<uint64_t> imask, immA, immB;
+    std::vector<uint8_t> ish;
+    std::vector<Ext> ext;
+
+    /** Sequential plans: specialized classes + generic fallback. */
+    RegStreams dPlainF, dShiftF, dPlain, dShift, dFull;
+    RegStreams bPlainF, bShiftF, bPlain, bShift, bFull;
+    std::vector<RegPlanC> regPlans;
+    std::vector<LatchOp> latches;
+    std::vector<WriteOp> writes;
+
+    /** Compile statistics (introspection / tests). */
+    size_t sourceNodes = 0;    ///< nodes in the rtl::Design
+    size_t instrCount = 0;     ///< emitted bytecode instructions
+    size_t enableRewrites = 0; ///< mux-feedback -> enable
+    size_t shiftAbsorbs = 0;   ///< concat/slice shift-register fusions
+    size_t sliceAbsorbs = 0;   ///< plain slice-into-register fusions
+
+    size_t runCount() const { return runs.size(); }
+};
+
+} // namespace zoomie::jit
+
+#endif // ZOOMIE_JIT_BYTECODE_HH

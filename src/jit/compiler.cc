@@ -1,0 +1,972 @@
+#include "compiler.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "common/bits.hh"
+
+namespace zoomie::jit {
+
+using rtl::kNoNet;
+using rtl::NetId;
+using rtl::Op;
+
+const char *
+opMnemonic(BOp op)
+{
+    static const char *names[] = {
+        "And", "Or", "Xor", "Not", "Add", "Sub", "Mul", "Eq", "Ne",
+        "Ult", "Ule", "Shl", "Shr", "Mux", "Concat", "Slice",
+        "ShlImm", "RedAnd", "RedOr", "RedXor", "MemRdAMask",
+        "MemRdAMod", "EqImm", "NeImm", "AndImm", "OrImm", "XorImm",
+        "AddImm", "UltImm", "UleImm", "MuxImmB", "MuxImmC",
+        "MuxImmBC", "ConcatSS", "XorSS", "AndSS", "OrSS", "ConcatSA",
+        "ConcatSB", "XorSA", "AndSA", "OrSA", "MuxEq", "MuxEqB",
+        "MuxEqC", "MuxEqBC", "MuxS", "MuxSB", "MuxSC", "MuxSBC",
+    };
+    return names[static_cast<size_t>(op)];
+}
+
+namespace {
+
+/** Pre-instruction: selected opcode still on design net ids. */
+struct Pre
+{
+    BOp op;
+    NetId dst;
+    NetId a = kNoNet, b = kNoNet, c = kNoNet;
+    uint8_t sh = 0;
+    uint64_t mask = 0;
+    uint64_t immA = 0, immB = 0;
+    uint8_t sa = 0, sb = 0, wsh = 0;
+    uint64_t mb = 0;
+    bool dead = false;
+};
+
+/** Register lowering plan, still on design net ids. */
+struct RegPlan
+{
+    NetId dn = kNoNet;
+    uint8_t sh = 0;
+    NetId in2 = kNoNet;
+    uint8_t wsh = 0;
+    NetId en = kNoNet;
+    bool enInv = false;
+    NetId rst = kNoNet;
+};
+
+} // namespace
+
+Program
+compileProgram(const rtl::Design &d)
+{
+    Program prg;
+    const size_t N = d.nodes.size();
+    prg.sourceNodes = N;
+    std::vector<NetId> order = d.topoOrder();
+
+    // Canonicalization state: repr maps every net to its living
+    // representative (alias chains collapse), isC/cval fold
+    // constants, sliceLike/sliceSrc/sliceLo normalize any
+    // shift-right/slice chain into (source, low-bit) form.
+    std::vector<uint32_t> repr(N);
+    std::vector<char> isC(N, 0);
+    std::vector<uint64_t> cval(N, 0);
+    std::vector<char> sliceLike(N, 0);
+    std::vector<NetId> sliceSrc(N, kNoNet);
+    std::vector<uint32_t> sliceLo(N, 0);
+    for (size_t i = 0; i < N; ++i)
+        repr[i] = i;
+    auto R = [&](NetId n) { return n == kNoNet ? kNoNet : repr[n]; };
+    auto isConst = [&](NetId n) { return n != kNoNet && isC[repr[n]]; };
+    auto constVal = [&](NetId n) { return cval[repr[n]]; };
+
+    // ---- Pass A: fold, alias, slice strength-reduction, CSE ----
+    std::map<std::array<uint64_t, 5>, NetId> cse;
+    for (NetId id : order) {
+        const rtl::Node &n = d.nodes[id];
+        const uint64_t mask = maskForWidth(n.width);
+        switch (n.op) {
+          case Op::Const:
+            cval[id] = n.imm & mask;
+            isC[id] = 1;
+            continue;
+          case Op::Input:
+          case Op::RegQ:
+          case Op::MemRdSync:
+            continue;
+          default:
+            break;
+        }
+        uint64_t va = n.a != kNoNet && isConst(n.a) ? constVal(n.a) : 0;
+        uint64_t vb = n.b != kNoNet && isConst(n.b) ? constVal(n.b) : 0;
+        uint64_t vc = n.c != kNoNet && isConst(n.c) ? constVal(n.c) : 0;
+        bool ca = isConst(n.a), cb = isConst(n.b), cc = isConst(n.c);
+        bool pure = n.op != Op::MemRdAsync;
+        if (pure && (n.a == kNoNet || ca) && (n.b == kNoNet || cb) &&
+            (n.c == kNoNet || cc)) {
+            uint64_t out = 0;
+            switch (n.op) {
+              case Op::And: out = va & vb; break;
+              case Op::Or: out = va | vb; break;
+              case Op::Xor: out = va ^ vb; break;
+              case Op::Not: out = ~va; break;
+              case Op::Add: out = va + vb; break;
+              case Op::Sub: out = va - vb; break;
+              case Op::Mul: out = va * vb; break;
+              case Op::Eq: out = va == vb; break;
+              case Op::Ne: out = va != vb; break;
+              case Op::Ult: out = va < vb; break;
+              case Op::Ule: out = va <= vb; break;
+              case Op::Shl: out = vb >= n.width ? 0 : va << vb; break;
+              case Op::Shr: out = vb >= n.width ? 0 : va >> vb; break;
+              case Op::Mux: out = va ? vb : vc; break;
+              case Op::Concat:
+                out = (va << d.nodes[n.b].width) | vb;
+                break;
+              case Op::Slice: out = va >> n.imm; break;
+              case Op::Zext: out = va; break;
+              case Op::RedAnd:
+                out = va == maskForWidth(d.nodes[n.a].width);
+                break;
+              case Op::RedOr: out = va != 0; break;
+              case Op::RedXor: out = popCount(va) & 1; break;
+              default: break;
+            }
+            cval[id] = out & mask;
+            isC[id] = 1;
+            continue;
+        }
+        if (n.op == Op::Zext) {
+            repr[id] = R(n.a);
+            continue;
+        }
+        if (n.op == Op::Mux && ca) {
+            repr[id] = va ? R(n.b) : R(n.c);
+            continue;
+        }
+        if (n.op == Op::Mux && R(n.b) == R(n.c) && n.b != kNoNet) {
+            repr[id] = R(n.b);
+            continue;
+        }
+        if (n.op == Op::And && (ca || cb)) {
+            uint64_t cv = ca ? va : vb;
+            NetId o = ca ? R(n.b) : R(n.a);
+            if (cv == mask) { repr[id] = o; continue; }
+            if (cv == 0) { cval[id] = 0; isC[id] = 1; continue; }
+        }
+        if ((n.op == Op::Or || n.op == Op::Xor || n.op == Op::Add) &&
+            (ca || cb)) {
+            uint64_t cv = ca ? va : vb;
+            NetId o = ca ? R(n.b) : R(n.a);
+            if (cv == 0) { repr[id] = o; continue; }
+        }
+        if (n.op == Op::Shl && cb) {
+            if (vb >= n.width) { cval[id] = 0; isC[id] = 1; continue; }
+            if (vb == 0) { repr[id] = R(n.a); continue; }
+            // falls through to pass C as ShlImm
+        }
+        bool asSlice = n.op == Op::Slice ||
+                       (n.op == Op::Shr && cb && vb < n.width);
+        if (n.op == Op::Shr && cb && vb >= n.width) {
+            cval[id] = 0;
+            isC[id] = 1;
+            continue;
+        }
+        if (asSlice) {
+            // Walk the slice toward its ultimate source: through
+            // other slices and into concat arms, as long as the
+            // selected bit range stays inside one operand.
+            NetId src = R(n.a);
+            uint64_t lo = n.op == Op::Slice ? n.imm : vb;
+            bool changed = true;
+            while (changed && src != kNoNet && !isC[src]) {
+                changed = false;
+                const rtl::Node &s = d.nodes[src];
+                if (sliceLike[src] && lo + n.width <= s.width) {
+                    lo += sliceLo[src];
+                    src = sliceSrc[src];
+                    changed = true;
+                } else if (s.op == Op::Slice &&
+                           lo + n.width <= s.width) {
+                    lo += s.imm;
+                    src = R(s.a);
+                    changed = true;
+                } else if (s.op == Op::Concat) {
+                    unsigned wb2 = d.nodes[s.b].width;
+                    if (lo >= wb2) {
+                        lo -= wb2;
+                        src = R(s.a);
+                        changed = true;
+                    } else if (lo + n.width <= wb2) {
+                        src = R(s.b);
+                        changed = true;
+                    }
+                }
+            }
+            if (src != kNoNet && isC[src]) {
+                cval[id] = (cval[src] >> lo) & mask;
+                isC[id] = 1;
+                continue;
+            }
+            if (lo == 0 && n.width >= d.nodes[src].width) {
+                repr[id] = src;
+                continue;
+            }
+            std::array<uint64_t, 5> key{
+                (uint64_t)Op::Slice | ((uint64_t)n.width << 8),
+                src, lo, 0, 0};
+            auto [it, fresh] = cse.emplace(key, id);
+            if (!fresh) { repr[id] = it->second; continue; }
+            sliceLike[id] = 1;
+            sliceSrc[id] = src;
+            sliceLo[id] = (uint32_t)lo;
+            continue;
+        }
+        if (pure) {
+            std::array<uint64_t, 5> key{
+                (uint64_t)n.op | ((uint64_t)n.width << 8),
+                R(n.a), R(n.b), R(n.c),
+                n.op == Op::Concat ? (uint64_t)d.nodes[n.b].width : 0};
+            auto [it, fresh] = cse.emplace(key, id);
+            if (!fresh) { repr[id] = it->second; continue; }
+        } else {
+            std::array<uint64_t, 5> key{
+                (uint64_t)n.op | ((uint64_t)n.width << 8),
+                R(n.a), n.imm, 0, 1};
+            auto [it, fresh] = cse.emplace(key, id);
+            if (!fresh) { repr[id] = it->second; continue; }
+        }
+    }
+
+    // ---- Pass B: canonical use counts, then register lowering ----
+    std::vector<int> uses(N, 0);
+    std::vector<char> suppressed(N, 0);
+    auto isInstr = [&](NetId id) {
+        if (repr[id] != id || isC[id])
+            return false;
+        Op o = d.nodes[id].op;
+        return o != Op::Const && o != Op::Input && o != Op::RegQ &&
+               o != Op::MemRdSync;
+    };
+    auto use = [&](NetId n) {
+        if (n != kNoNet && !isConst(n))
+            uses[repr[n]]++;
+    };
+    for (NetId id = 0; id < N; ++id) {
+        if (!isInstr(id))
+            continue;
+        const rtl::Node &n = d.nodes[id];
+        if (sliceLike[id]) { uses[sliceSrc[id]]++; continue; }
+        if (n.op == Op::MemRdAsync) { use(n.a); continue; }
+        use(n.a);
+        use(n.b);
+        use(n.c);
+    }
+    std::vector<RegPlan> rl(d.regs.size());
+    for (size_t i = 0; i < d.regs.size(); ++i) {
+        const rtl::Reg &r = d.regs[i];
+        rl[i].dn = R(r.d);
+        rl[i].en = r.en == kNoNet ? kNoNet : R(r.en);
+        rl[i].rst = r.rst == kNoNet ? kNoNet : R(r.rst);
+        use(rl[i].dn);
+        use(rl[i].en);
+        use(rl[i].rst);
+    }
+    for (auto &m : d.mems) {
+        for (auto &rp : m.readPorts)
+            use(rp.addr);
+        for (auto &wp : m.writePorts) {
+            use(wp.addr);
+            use(wp.data);
+            use(wp.en);
+        }
+    }
+    for (auto &o : d.outputs)
+        use(o.net);
+
+    for (size_t i = 0; i < d.regs.size(); ++i) {
+        const rtl::Reg &r = d.regs[i];
+        RegPlan &p = rl[i];
+        // Mux feedback -> enable: d = Mux(s, x, own q) and no
+        // en/rst means the register is "load x when s".
+        if (p.en == kNoNet && p.rst == kNoNet && p.dn != kNoNet &&
+            !isC[p.dn] && uses[p.dn] == 1 && !suppressed[p.dn] &&
+            d.nodes[p.dn].op == Op::Mux && !sliceLike[p.dn]) {
+            const rtl::Node &mx = d.nodes[p.dn];
+            if (!isConst(mx.a)) {
+                if (R(mx.c) == r.q) {
+                    suppressed[p.dn] = 1;
+                    uses[r.q]--;  // the dropped keep-arm
+                    p.en = R(mx.a);
+                    p.enInv = false;
+                    p.dn = R(mx.b);
+                    ++prg.enableRewrites;
+                } else if (R(mx.b) == r.q) {
+                    suppressed[p.dn] = 1;
+                    uses[r.q]--;
+                    p.en = R(mx.a);
+                    p.enInv = true;
+                    p.dn = R(mx.c);
+                    ++prg.enableRewrites;
+                }
+            }
+        }
+        // Shift-register absorption: d = Concat(in, inner) folds
+        // into the commit formula (q>>sh | in<<wsh).
+        if (p.dn != kNoNet && !isC[p.dn] && uses[p.dn] == 1 &&
+            !suppressed[p.dn] && !sliceLike[p.dn] &&
+            d.nodes[p.dn].op == Op::Concat) {
+            const rtl::Node &cc2 = d.nodes[p.dn];
+            unsigned wa = d.nodes[cc2.a].width;
+            unsigned wb = d.nodes[cc2.b].width;
+            if (cc2.width >= wa + wb) {
+                NetId bcan = R(cc2.b);
+                suppressed[p.dn] = 1;
+                p.in2 = R(cc2.a);
+                p.wsh = (uint8_t)wb;
+                ++prg.shiftAbsorbs;
+                if (!isC[bcan] && uses[bcan] == 1 && sliceLike[bcan] &&
+                    d.nodes[sliceSrc[bcan]].width - sliceLo[bcan] <= wb) {
+                    suppressed[bcan] = 1;
+                    uses[bcan]--;
+                    p.dn = sliceSrc[bcan];
+                    p.sh = (uint8_t)sliceLo[bcan];
+                } else {
+                    p.dn = bcan;
+                    p.sh = 0;
+                }
+            }
+        }
+        // Plain slice absorption: d = Slice(x, lo) wide enough to
+        // cover the register.
+        else if (p.dn != kNoNet && !isC[p.dn] && uses[p.dn] == 1 &&
+                 !suppressed[p.dn] && sliceLike[p.dn] &&
+                 d.nodes[p.dn].width >= r.width) {
+            suppressed[p.dn] = 1;
+            NetId src = sliceSrc[p.dn];
+            uint8_t lo = (uint8_t)sliceLo[p.dn];
+            p.dn = src;
+            p.sh = lo;
+            ++prg.sliceAbsorbs;
+        }
+    }
+
+    // ---- Pass C: instruction selection with fusion ----
+    std::vector<Pre> prog;
+    std::vector<int> preOf(N, -1);
+    auto fusable = [&](NetId n, BOp want) -> int {
+        if (n == kNoNet)
+            return -1;
+        NetId cand = repr[n];
+        if (isC[cand] || uses[cand] != 1 || suppressed[cand])
+            return -1;
+        int pi = preOf[cand];
+        if (pi < 0 || prog[pi].op != want || prog[pi].dead)
+            return -1;
+        return pi;
+    };
+    for (NetId id : order) {
+        if (!isInstr(id) || suppressed[id])
+            continue;
+        const rtl::Node &n = d.nodes[id];
+        const uint64_t mask = maskForWidth(n.width);
+        if (sliceLike[id]) {
+            Pre p{};
+            p.op = BOp::Slice;
+            p.dst = id;
+            p.a = sliceSrc[id];
+            p.sh = (uint8_t)sliceLo[id];
+            p.mask = mask;
+            preOf[id] = prog.size();
+            prog.push_back(p);
+            continue;
+        }
+        uint64_t va = n.a != kNoNet && isConst(n.a) ? constVal(n.a) : 0;
+        uint64_t vb = n.b != kNoNet && isConst(n.b) ? constVal(n.b) : 0;
+        uint64_t vc = n.c != kNoNet && isConst(n.c) ? constVal(n.c) : 0;
+        bool ca = isConst(n.a), cb = isConst(n.b), cc = isConst(n.c);
+        Pre p{};
+        p.dst = id;
+        p.mask = mask;
+        p.a = R(n.a);
+        p.b = R(n.b);
+        p.c = R(n.c);
+        switch (n.op) {
+          case Op::And:
+            if (cb || ca) {
+                p.op = BOp::AndImm;
+                p.immA = ca ? va : vb;
+                p.a = ca ? R(n.b) : R(n.a);
+                p.b = kNoNet;
+            } else
+                p.op = BOp::And;
+            break;
+          case Op::Or:
+            if (cb || ca) {
+                p.op = BOp::OrImm;
+                p.immA = ca ? va : vb;
+                p.a = ca ? R(n.b) : R(n.a);
+                p.b = kNoNet;
+            } else
+                p.op = BOp::Or;
+            break;
+          case Op::Xor:
+            if (cb || ca) {
+                p.op = BOp::XorImm;
+                p.immA = ca ? va : vb;
+                p.a = ca ? R(n.b) : R(n.a);
+                p.b = kNoNet;
+            } else
+                p.op = BOp::Xor;
+            break;
+          case Op::Not:
+            p.op = BOp::Not;
+            break;
+          case Op::Add:
+            if (cb || ca) {
+                p.op = BOp::AddImm;
+                p.immA = ca ? va : vb;
+                p.a = ca ? R(n.b) : R(n.a);
+                p.b = kNoNet;
+            } else
+                p.op = BOp::Add;
+            break;
+          case Op::Sub:
+            if (cb) {
+                p.op = BOp::AddImm;
+                p.immA = (uint64_t)0 - vb;
+                p.b = kNoNet;
+            } else
+                p.op = BOp::Sub;
+            break;
+          case Op::Mul:
+            p.op = BOp::Mul;
+            break;
+          case Op::Eq:
+            if (cb) {
+                p.op = BOp::EqImm;
+                p.immA = vb;
+                p.b = kNoNet;
+            } else if (ca) {
+                p.op = BOp::EqImm;
+                p.immA = va;
+                p.a = R(n.b);
+                p.b = kNoNet;
+            } else
+                p.op = BOp::Eq;
+            break;
+          case Op::Ne:
+            if (cb) {
+                p.op = BOp::NeImm;
+                p.immA = vb;
+                p.b = kNoNet;
+            } else if (ca) {
+                p.op = BOp::NeImm;
+                p.immA = va;
+                p.a = R(n.b);
+                p.b = kNoNet;
+            } else
+                p.op = BOp::Ne;
+            break;
+          case Op::Ult:
+            if (cb) {
+                p.op = BOp::UltImm;
+                p.immA = vb;
+                p.b = kNoNet;
+            } else
+                p.op = BOp::Ult;
+            break;
+          case Op::Ule:
+            if (cb) {
+                p.op = BOp::UleImm;
+                p.immA = vb;
+                p.b = kNoNet;
+            } else
+                p.op = BOp::Ule;
+            break;
+          case Op::Shl:
+            if (cb) {
+                p.op = BOp::ShlImm;
+                p.sh = (uint8_t)vb;
+                p.b = kNoNet;
+            } else {
+                p.op = BOp::Shl;
+                p.sh = n.width;
+            }
+            break;
+          case Op::Shr:
+            p.op = BOp::Shr;
+            p.sh = n.width;
+            break;
+          case Op::Mux:
+            if (cb && cc) {
+                p.op = BOp::MuxImmBC;
+                p.immA = vb;
+                p.immB = vc;
+                p.b = p.c = kNoNet;
+            } else if (cb) {
+                p.op = BOp::MuxImmB;
+                p.immA = vb;
+                p.b = R(n.c);
+                p.c = kNoNet;
+            } else if (cc) {
+                p.op = BOp::MuxImmC;
+                p.immA = vc;
+                p.c = kNoNet;
+            } else
+                p.op = BOp::Mux;
+            break;
+          case Op::Concat: {
+            int fa = fusable(n.a, BOp::Slice);
+            int fb = fusable(n.b, BOp::Slice);
+            unsigned wa2 = d.nodes[n.a].width;
+            unsigned wb2 = d.nodes[n.b].width;
+            if (fa >= 0 && fb >= 0 && n.width >= wa2 + wb2) {
+                Pre &A = prog[fa], &Bp = prog[fb];
+                p.op = BOp::ConcatSS;
+                p.a = A.a; p.sa = A.sh; p.mask = A.mask;
+                p.b = Bp.a; p.sb = Bp.sh; p.mb = Bp.mask;
+                p.wsh = (uint8_t)wb2;
+                A.dead = Bp.dead = true;
+                preOf[id] = prog.size();
+                prog.push_back(p);
+                continue;
+            }
+            if (fa >= 0 && n.width >= wa2 + wb2) {
+                Pre &A = prog[fa];
+                p.op = BOp::ConcatSA;
+                p.a = A.a; p.sa = A.sh; p.mb = A.mask;
+                p.wsh = (uint8_t)wb2;
+                A.dead = true;
+                preOf[id] = prog.size();
+                prog.push_back(p);
+                continue;
+            }
+            if (fb >= 0 && n.width >= wa2 + wb2) {
+                Pre &Bp = prog[fb];
+                p.op = BOp::ConcatSB;
+                p.b = Bp.a; p.sb = Bp.sh; p.mb = Bp.mask;
+                p.wsh = (uint8_t)wb2;
+                Bp.dead = true;
+                preOf[id] = prog.size();
+                prog.push_back(p);
+                continue;
+            }
+            p.op = BOp::Concat;
+            p.sh = (uint8_t)wb2;
+            break;
+          }
+          case Op::RedAnd:
+            p.op = BOp::RedAnd;
+            p.mask = maskForWidth(d.nodes[n.a].width);
+            break;
+          case Op::RedOr:
+            p.op = BOp::RedOr;
+            break;
+          case Op::RedXor:
+            p.op = BOp::RedXor;
+            break;
+          case Op::MemRdAsync: {
+            const auto &m = d.mems[n.imm];
+            bool pow2 = (m.depth & (m.depth - 1)) == 0;
+            p.op = pow2 ? BOp::MemRdAMask : BOp::MemRdAMod;
+            p.b = p.c = kNoNet;
+            p.immA = pow2 ? m.depth - 1 : m.depth;
+            p.mask = n.imm;  // memory index rides in the mask stream
+            break;
+          }
+          default:
+            // Unreachable for well-formed designs; keep the node as
+            // a plain slice of itself so execution stays defined.
+            p.op = BOp::OrImm;
+            p.immA = 0;
+            break;
+        }
+        if (p.op == BOp::Xor || p.op == BOp::And || p.op == BOp::Or) {
+            int fa = fusable(n.a, BOp::Slice);
+            int fb = fusable(n.b, BOp::Slice);
+            if (fa >= 0 && fb >= 0) {
+                Pre &A = prog[fa], &Bp = prog[fb];
+                p.op = p.op == BOp::Xor ? BOp::XorSS
+                     : p.op == BOp::And ? BOp::AndSS : BOp::OrSS;
+                p.a = A.a; p.sa = A.sh; p.mask = A.mask;
+                p.b = Bp.a; p.sb = Bp.sh; p.mb = Bp.mask;
+                A.dead = Bp.dead = true;
+                preOf[id] = prog.size();
+                prog.push_back(p);
+                continue;
+            }
+            if (fa >= 0 || fb >= 0) {
+                // Single slice operand: commute it into a.
+                Pre &A = prog[fa >= 0 ? fa : fb];
+                p.op = p.op == BOp::Xor ? BOp::XorSA
+                     : p.op == BOp::And ? BOp::AndSA : BOp::OrSA;
+                p.b = fa >= 0 ? R(n.b) : R(n.a);
+                p.a = A.a; p.sa = A.sh; p.mb = A.mask;
+                A.dead = true;
+                preOf[id] = prog.size();
+                prog.push_back(p);
+                continue;
+            }
+        }
+        if (p.op == BOp::Mux || p.op == BOp::MuxImmB ||
+            p.op == BOp::MuxImmC || p.op == BOp::MuxImmBC) {
+            int fe = fusable(n.a, BOp::EqImm);
+            if (fe >= 0) {
+                Pre &E2 = prog[fe];
+                p.mb = E2.immA;
+                p.a = E2.a;
+                E2.dead = true;
+                p.op = p.op == BOp::Mux ? BOp::MuxEq
+                     : p.op == BOp::MuxImmB ? BOp::MuxEqB
+                     : p.op == BOp::MuxImmC ? BOp::MuxEqC
+                     : BOp::MuxEqBC;
+                preOf[id] = prog.size();
+                prog.push_back(p);
+                continue;
+            }
+            int fs = fusable(n.a, BOp::Slice);
+            if (fs >= 0 && prog[fs].mask == 1) {
+                Pre &S2 = prog[fs];
+                p.sa = S2.sh;
+                p.a = S2.a;
+                S2.dead = true;
+                p.op = p.op == BOp::Mux ? BOp::MuxS
+                     : p.op == BOp::MuxImmB ? BOp::MuxSB
+                     : p.op == BOp::MuxImmC ? BOp::MuxSC
+                     : BOp::MuxSBC;
+                preOf[id] = prog.size();
+                prog.push_back(p);
+                continue;
+            }
+        }
+        preOf[id] = prog.size();
+        prog.push_back(p);
+    }
+    // Normalize MuxImmB/MuxEqB/MuxSB: the live arm moves into b.
+    for (auto &p : prog)
+        if ((p.op == BOp::MuxImmB || p.op == BOp::MuxEqB ||
+             p.op == BOp::MuxSB) && p.b == kNoNet) {
+            p.b = p.c;
+            p.c = kNoNet;
+        }
+
+    // ---- Selector replication: a compare / 1-bit test whose every
+    // consumer is a mux selector gets folded into all of them ----
+    {
+        std::unordered_map<NetId, int> preIdx;
+        for (size_t i = 0; i < prog.size(); ++i)
+            if (!prog[i].dead)
+                preIdx[prog[i].dst] = i;
+        std::unordered_map<NetId, int> selUses;
+        for (auto &p : prog)
+            if (!p.dead &&
+                (p.op == BOp::Mux || p.op == BOp::MuxImmB ||
+                 p.op == BOp::MuxImmC || p.op == BOp::MuxImmBC))
+                selUses[p.a]++;
+        std::vector<char> wasDead(prog.size());
+        for (size_t i = 0; i < prog.size(); ++i)
+            wasDead[i] = prog[i].dead;
+        for (auto &p : prog) {
+            if (p.dead)
+                continue;
+            if (!(p.op == BOp::Mux || p.op == BOp::MuxImmB ||
+                  p.op == BOp::MuxImmC || p.op == BOp::MuxImmBC))
+                continue;
+            auto it = preIdx.find(p.a);
+            if (it == preIdx.end() || wasDead[it->second])
+                continue;
+            Pre &s = prog[it->second];
+            if (uses[p.a] != selUses[p.a])
+                continue;  // consumed elsewhere too
+            if (s.op == BOp::EqImm) {
+                p.mb = s.immA;
+                p.a = s.a;
+                p.op = p.op == BOp::Mux ? BOp::MuxEq
+                     : p.op == BOp::MuxImmB ? BOp::MuxEqB
+                     : p.op == BOp::MuxImmC ? BOp::MuxEqC
+                     : BOp::MuxEqBC;
+            } else if (s.op == BOp::Slice && s.mask == 1) {
+                p.sa = s.sh;
+                p.a = s.a;
+                p.op = p.op == BOp::Mux ? BOp::MuxS
+                     : p.op == BOp::MuxImmB ? BOp::MuxSB
+                     : p.op == BOp::MuxImmC ? BOp::MuxSC
+                     : BOp::MuxSBC;
+            } else
+                continue;
+            s.dead = true;  // every consumer was rewritten away
+        }
+    }
+
+    // ---- Liveness from state/output roots ----
+    std::vector<char> live(N, 0);
+    std::vector<NetId> stk;
+    auto root = [&](NetId x) {
+        if (x != kNoNet && !isC[repr[x]])
+            stk.push_back(repr[x]);
+    };
+    for (size_t i = 0; i < d.regs.size(); ++i) {
+        root(rl[i].dn);
+        root(rl[i].in2);
+        root(rl[i].en);
+        root(rl[i].rst);
+    }
+    for (auto &m : d.mems) {
+        for (auto &rp : m.readPorts)
+            root(rp.addr);
+        for (auto &wp : m.writePorts) {
+            root(wp.addr);
+            root(wp.data);
+            root(wp.en);
+        }
+    }
+    for (auto &o : d.outputs)
+        root(o.net);
+    while (!stk.empty()) {
+        NetId s = stk.back();
+        stk.pop_back();
+        if (live[s])
+            continue;
+        live[s] = 1;
+        int pi = preOf[s];
+        if (pi < 0 || prog[pi].dead)
+            continue;
+        root(prog[pi].a);
+        root(prog[pi].b);
+        root(prog[pi].c);
+    }
+    {
+        std::vector<Pre> kept;
+        for (auto &p : prog)
+            if (!p.dead && live[p.dst])
+                kept.push_back(p);
+        prog.swap(kept);
+    }
+
+    // ---- Greedy list scheduling into same-opcode runs ----
+    const size_t P = prog.size();
+    std::unordered_map<NetId, int> prodOf;
+    for (size_t i = 0; i < P; ++i)
+        prodOf[prog[i].dst] = i;
+    std::vector<std::vector<int>> consumers(P);
+    std::vector<int> indeg(P, 0);
+    auto dep = [&](int i, NetId opnd) {
+        if (opnd == kNoNet)
+            return;
+        auto it = prodOf.find(opnd);
+        if (it != prodOf.end()) {
+            consumers[it->second].push_back(i);
+            indeg[i]++;
+        }
+    };
+    for (size_t i = 0; i < P; ++i) {
+        dep(i, prog[i].a);
+        dep(i, prog[i].b);
+        dep(i, prog[i].c);
+    }
+    std::vector<std::vector<int>> ready((size_t)BOp::kNumOps);
+    for (size_t i = 0; i < P; ++i)
+        if (!indeg[i])
+            ready[(size_t)prog[i].op].push_back(i);
+    std::vector<int> sched;
+    sched.reserve(P);
+    std::vector<std::pair<BOp, uint32_t>> runPlan;
+    size_t done = 0;
+    while (done < P) {
+        size_t best = 0, bestCount = 0;
+        for (size_t o = 0; o < ready.size(); ++o)
+            if (ready[o].size() > bestCount) {
+                best = o;
+                bestCount = ready[o].size();
+            }
+        uint32_t emitted = 0;
+        std::vector<int> wave;
+        wave.swap(ready[best]);
+        while (!wave.empty()) {
+            std::sort(wave.begin(), wave.end());
+            for (int i : wave) {
+                sched.push_back(i);
+                ++emitted;
+            }
+            std::vector<int> next;
+            for (int i : wave)
+                for (int cns : consumers[i])
+                    if (--indeg[cns] == 0) {
+                        if ((size_t)prog[cns].op == best)
+                            next.push_back(cns);
+                        else
+                            ready[(size_t)prog[cns].op].push_back(cns);
+                    }
+            wave.swap(next);
+        }
+        done += emitted;
+        runPlan.push_back({(BOp)best, emitted});
+    }
+    {
+        std::vector<Pre> ordered;
+        ordered.reserve(P);
+        for (int i : sched)
+            ordered.push_back(prog[i]);
+        prog.swap(ordered);
+    }
+    prg.instrCount = P;
+
+    // ---- Slot assignment ----
+    prg.slotOf.assign(N, Program::kNoSlot);
+    std::vector<uint64_t> init{0, 1};
+    std::unordered_map<uint64_t, uint32_t> cpool{{0, 0}, {1, 1}};
+    auto constSlot = [&](uint64_t val) -> uint32_t {
+        auto it = cpool.find(val);
+        if (it != cpool.end())
+            return it->second;
+        uint32_t s = init.size();
+        init.push_back(val);
+        cpool[val] = s;
+        return s;
+    };
+    for (NetId i = 0; i < N; ++i)
+        if (isC[i] && repr[i] == i)
+            prg.slotOf[i] = constSlot(cval[i]);
+    for (auto &in : d.inputs) {
+        prg.slotOf[in.net] = init.size();
+        init.push_back(0);
+    }
+    prg.regSlot.resize(d.regs.size());
+    for (size_t i = 0; i < d.regs.size(); ++i) {
+        prg.regSlot[i] = init.size();
+        prg.slotOf[d.regs[i].q] = init.size();
+        init.push_back(d.regs[i].initVal);
+    }
+    for (auto &m : d.mems)
+        for (auto &rp : m.readPorts)
+            if (rp.sync) {
+                prg.latchSlot.push_back(init.size());
+                prg.slotOf[rp.data] = init.size();
+                init.push_back(0);
+            }
+    uint32_t dstBase = init.size();
+    for (auto &p : prog) {
+        prg.slotOf[p.dst] = init.size();
+        init.push_back(0);
+    }
+    // Scratch regions for buffered commits (used by both tiers).
+    prg.rnBase = init.size();
+    init.resize(init.size() + d.regs.size(), 0);
+    prg.ltBase = init.size();
+    init.resize(init.size() + prg.latchSlot.size(), 0);
+    prg.initV = std::move(init);
+    // Aliased nets read their representative's slot.
+    for (NetId i = 0; i < N; ++i)
+        if (prg.slotOf[i] == Program::kNoSlot && repr[i] != i &&
+            prg.slotOf[repr[i]] != Program::kNoSlot)
+            prg.slotOf[i] = prg.slotOf[repr[i]];
+    auto S = [&](NetId n) -> uint32_t {
+        return n == kNoNet ? 0 : prg.slotOf[n];
+    };
+
+    uint32_t at = 0;
+    for (auto &[op, count] : runPlan) {
+        prg.runs.push_back({op, at, count, dstBase + at});
+        at += count;
+    }
+    for (auto &p : prog) {
+        prg.ia.push_back(S(p.a));
+        prg.ib.push_back(S(p.b));
+        prg.ic.push_back(S(p.c));
+        prg.imask.push_back(p.mask);
+        prg.immA.push_back(p.immA);
+        prg.immB.push_back(p.immB);
+        prg.ish.push_back(p.sh);
+        prg.ext.push_back({p.sa, p.sb, p.wsh, 0, 0, p.mb});
+    }
+
+    // ---- Sequential plans ----
+    {
+        size_t li = 0;
+        for (size_t m = 0; m < d.mems.size(); ++m)
+            for (auto &rp : d.mems[m].readPorts)
+                if (rp.sync) {
+                    bool pow2 =
+                        (d.mems[m].depth & (d.mems[m].depth - 1)) == 0;
+                    prg.latches.push_back(
+                        {S(rp.addr), (uint32_t)m, prg.latchSlot[li++],
+                         pow2 ? d.mems[m].depth - 1 : d.mems[m].depth,
+                         pow2, rp.clock});
+                }
+        for (size_t m = 0; m < d.mems.size(); ++m)
+            for (auto &wp : d.mems[m].writePorts) {
+                bool pow2 =
+                    (d.mems[m].depth & (d.mems[m].depth - 1)) == 0;
+                prg.writes.push_back(
+                    {S(wp.addr), S(wp.data), S(wp.en), (uint32_t)m,
+                     pow2 ? d.mems[m].depth - 1 : d.mems[m].depth,
+                     maskForWidth(d.mems[m].width), pow2, wp.clock});
+            }
+    }
+
+    // Direct/buffered classification: a register commits in place
+    // iff no other reg plan / latch / write reads its q slot.
+    std::vector<uint32_t> refs(prg.initV.size(), 0);
+    auto planSlots = [&](const RegPlan &p, uint32_t out[4]) {
+        out[0] = S(p.dn);
+        out[1] = p.in2 == kNoNet ? 0 : S(p.in2);
+        out[2] = p.en == kNoNet ? 1 : S(p.en);
+        out[3] = p.rst == kNoNet ? 0 : S(p.rst);
+    };
+    for (size_t i = 0; i < d.regs.size(); ++i) {
+        uint32_t s4[4];
+        planSlots(rl[i], s4);
+        for (int k = 0; k < 4; ++k)
+            refs[s4[k]]++;
+    }
+    for (auto &l : prg.latches)
+        refs[l.addr]++;
+    for (auto &w : prg.writes) {
+        refs[w.addr]++;
+        refs[w.data]++;
+        refs[w.en]++;
+    }
+    for (size_t i = 0; i < d.regs.size(); ++i) {
+        const rtl::Reg &r = d.regs[i];
+        uint32_t q = prg.regSlot[i];
+        uint32_t s4[4];
+        planSlots(rl[i], s4);
+        uint32_t self = 0;
+        for (int k = 0; k < 4; ++k)
+            if (s4[k] == q)
+                ++self;
+        bool direct = refs[q] == self;
+        bool isFull = rl[i].rst != kNoNet || rl[i].enInv;
+        bool isShift = rl[i].sh != 0 || rl[i].in2 != kNoNet;
+        bool free = rl[i].en == kNoNet && !isFull;
+        RegStreams &rs =
+            direct ? (isFull ? prg.dFull
+                     : isShift ? (free ? prg.dShiftF : prg.dShift)
+                               : (free ? prg.dPlainF : prg.dPlain))
+                   : (isFull ? prg.bFull
+                     : isShift ? (free ? prg.bShiftF : prg.bShift)
+                               : (free ? prg.bPlainF : prg.bPlain));
+        rs.d.push_back(s4[0]);
+        rs.in2.push_back(s4[1]);
+        rs.en.push_back(s4[2]);
+        rs.rst.push_back(s4[3]);
+        rs.q.push_back(q);
+        rs.sh.push_back(rl[i].sh);
+        rs.wsh.push_back(rl[i].wsh);
+        rs.inv.push_back(rl[i].enInv ? 1 : 0);
+        rs.mask.push_back(maskForWidth(r.width));
+        rs.rstVal.push_back(r.rstVal & maskForWidth(r.width));
+        rs.ix.push_back(i);
+        prg.regPlans.push_back({s4[0], s4[1], s4[2], s4[3], q,
+                                rl[i].sh, rl[i].wsh, r.clock,
+                                rl[i].enInv, maskForWidth(r.width),
+                                r.rstVal & maskForWidth(r.width)});
+    }
+    return prg;
+}
+
+} // namespace zoomie::jit

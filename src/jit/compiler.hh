@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Compile an rtl::Design into a jit::Program (see bytecode.hh).
+ * One-shot, whole-design compilation: constant folding, aliasing,
+ * slice strength-reduction, CSE, dead-node elision, register
+ * enable/shift absorption, fused instruction selection and
+ * same-opcode run scheduling.
+ */
+
+#ifndef ZOOMIE_JIT_COMPILER_HH
+#define ZOOMIE_JIT_COMPILER_HH
+
+#include "jit/bytecode.hh"
+#include "rtl/ir.hh"
+
+namespace zoomie::jit {
+
+/** Lower @p design to bytecode. The design must stay alive and
+ *  unchanged for as long as the program executes. */
+Program compileProgram(const rtl::Design &design);
+
+} // namespace zoomie::jit
+
+#endif // ZOOMIE_JIT_COMPILER_HH

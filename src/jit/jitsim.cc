@@ -1,0 +1,666 @@
+#include "jitsim.hh"
+
+#include <cstdlib>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "jit/compiler.hh"
+
+namespace zoomie::jit {
+
+using rtl::kNoNet;
+using rtl::NetId;
+using rtl::Op;
+
+namespace {
+
+/**
+ * Sequential commit for one register class. The template flags
+ * compile each class down to exactly the loads and selects it
+ * needs: kDirect commits in place (no other plan reads the q
+ * slot), kShift enables the shift-register form, kFull adds
+ * reset + inverted-enable, kEn gates on the enable slot.
+ */
+template <bool kDirect, bool kShift, bool kFull, bool kEn = true>
+void
+regLoop(const RegStreams &rs, uint64_t *__restrict V,
+        uint64_t *__restrict RN)
+{
+    const size_t n = rs.size();
+    const uint32_t *__restrict D = rs.d.data();
+    const uint32_t *__restrict I2 = rs.in2.data();
+    const uint32_t *__restrict En = rs.en.data();
+    const uint32_t *__restrict Rs = rs.rst.data();
+    const uint32_t *__restrict Q = rs.q.data();
+    const uint8_t *__restrict Sh = rs.sh.data();
+    const uint8_t *__restrict Ws = rs.wsh.data();
+    const uint8_t *__restrict Iv = rs.inv.data();
+    const uint64_t *__restrict Mk = rs.mask.data();
+    const uint64_t *__restrict RV = rs.rstVal.data();
+    const uint32_t *__restrict Ix = rs.ix.data();
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t nv =
+            kShift || kFull
+                ? ((V[D[i]] >> Sh[i]) | (V[I2[i]] << Ws[i])) & Mk[i]
+                : V[D[i]] & Mk[i];
+        bool take = true;
+        if (kFull) {
+            nv = V[Rs[i]] ? RV[i] : nv;
+            take = (V[En[i]] != 0) ^ (bool)Iv[i];
+        } else if (kEn) {
+            take = V[En[i]] != 0;
+        }
+        if (kDirect) {
+            if (kFull || kEn)
+                V[Q[i]] = take ? nv : V[Q[i]];
+            else
+                V[Q[i]] = nv;
+        } else {
+            if (kFull || kEn)
+                RN[Ix[i]] = take ? nv : V[Q[i]];
+            else
+                RN[Ix[i]] = nv;
+        }
+    }
+}
+
+void
+evalCombBytecode(const Program &p, uint64_t *__restrict V,
+                 const std::vector<std::vector<uint64_t>> &mem)
+{
+    const uint32_t *__restrict A = p.ia.data();
+    const uint32_t *__restrict B = p.ib.data();
+    const uint32_t *__restrict C = p.ic.data();
+    const uint64_t *__restrict M = p.imask.data();
+    const uint64_t *__restrict I1 = p.immA.data();
+    const uint64_t *__restrict I2 = p.immB.data();
+    const uint8_t *__restrict S = p.ish.data();
+    const Ext *__restrict E = p.ext.data();
+    for (const Run &r : p.runs) {
+        uint32_t k = r.start;
+        const uint32_t e = r.start + r.count;
+        uint64_t *__restrict D = V + r.dstBase - r.start;
+        switch (r.op) {
+          case BOp::And:
+            for (; k < e; ++k) D[k] = V[A[k]] & V[B[k]];
+            break;
+          case BOp::Or:
+            for (; k < e; ++k) D[k] = V[A[k]] | V[B[k]];
+            break;
+          case BOp::Xor:
+            for (; k < e; ++k) D[k] = V[A[k]] ^ V[B[k]];
+            break;
+          case BOp::Not:
+            for (; k < e; ++k) D[k] = ~V[A[k]] & M[k];
+            break;
+          case BOp::Add:
+            for (; k < e; ++k) D[k] = (V[A[k]] + V[B[k]]) & M[k];
+            break;
+          case BOp::Sub:
+            for (; k < e; ++k) D[k] = (V[A[k]] - V[B[k]]) & M[k];
+            break;
+          case BOp::Mul:
+            for (; k < e; ++k) D[k] = (V[A[k]] * V[B[k]]) & M[k];
+            break;
+          case BOp::Eq:
+            for (; k < e; ++k) D[k] = V[A[k]] == V[B[k]];
+            break;
+          case BOp::Ne:
+            for (; k < e; ++k) D[k] = V[A[k]] != V[B[k]];
+            break;
+          case BOp::Ult:
+            for (; k < e; ++k) D[k] = V[A[k]] < V[B[k]];
+            break;
+          case BOp::Ule:
+            for (; k < e; ++k) D[k] = V[A[k]] <= V[B[k]];
+            break;
+          case BOp::Shl:
+            for (; k < e; ++k) {
+                uint64_t b = V[B[k]];
+                D[k] = b >= S[k] ? 0 : (V[A[k]] << b) & M[k];
+            }
+            break;
+          case BOp::Shr:
+            for (; k < e; ++k) {
+                uint64_t b = V[B[k]];
+                D[k] = b >= S[k] ? 0 : V[A[k]] >> b;
+            }
+            break;
+          case BOp::Mux:
+            for (; k < e; ++k) D[k] = V[A[k]] ? V[B[k]] : V[C[k]];
+            break;
+          case BOp::Concat:
+            for (; k < e; ++k)
+                D[k] = ((V[A[k]] << S[k]) | V[B[k]]) & M[k];
+            break;
+          case BOp::Slice:
+            for (; k < e; ++k) D[k] = (V[A[k]] >> S[k]) & M[k];
+            break;
+          case BOp::ShlImm:
+            for (; k < e; ++k) D[k] = (V[A[k]] << S[k]) & M[k];
+            break;
+          case BOp::RedAnd:
+            for (; k < e; ++k) D[k] = V[A[k]] == M[k];
+            break;
+          case BOp::RedOr:
+            for (; k < e; ++k) D[k] = V[A[k]] != 0;
+            break;
+          case BOp::RedXor:
+            for (; k < e; ++k)
+                D[k] = (uint64_t)(popCount(V[A[k]]) & 1);
+            break;
+          case BOp::MemRdAMask:
+            for (; k < e; ++k) D[k] = mem[M[k]][V[A[k]] & I1[k]];
+            break;
+          case BOp::MemRdAMod:
+            for (; k < e; ++k) {
+                uint64_t ad = V[A[k]];
+                if (ad >= I1[k])
+                    ad %= I1[k];
+                D[k] = mem[M[k]][ad];
+            }
+            break;
+          case BOp::EqImm:
+            for (; k < e; ++k) D[k] = V[A[k]] == I1[k];
+            break;
+          case BOp::NeImm:
+            for (; k < e; ++k) D[k] = V[A[k]] != I1[k];
+            break;
+          case BOp::AndImm:
+            for (; k < e; ++k) D[k] = V[A[k]] & I1[k];
+            break;
+          case BOp::OrImm:
+            for (; k < e; ++k) D[k] = V[A[k]] | I1[k];
+            break;
+          case BOp::XorImm:
+            for (; k < e; ++k) D[k] = V[A[k]] ^ I1[k];
+            break;
+          case BOp::AddImm:
+            for (; k < e; ++k) D[k] = (V[A[k]] + I1[k]) & M[k];
+            break;
+          case BOp::UltImm:
+            for (; k < e; ++k) D[k] = V[A[k]] < I1[k];
+            break;
+          case BOp::UleImm:
+            for (; k < e; ++k) D[k] = V[A[k]] <= I1[k];
+            break;
+          case BOp::MuxImmB:
+            for (; k < e; ++k) D[k] = V[A[k]] ? I1[k] : V[B[k]];
+            break;
+          case BOp::MuxImmC:
+            for (; k < e; ++k) D[k] = V[A[k]] ? V[B[k]] : I1[k];
+            break;
+          case BOp::MuxImmBC:
+            for (; k < e; ++k) D[k] = V[A[k]] ? I1[k] : I2[k];
+            break;
+          case BOp::ConcatSS:
+            for (; k < e; ++k)
+                D[k] = (((V[A[k]] >> E[k].sa) & M[k]) << E[k].wsh) |
+                       ((V[B[k]] >> E[k].sb) & E[k].mb);
+            break;
+          case BOp::XorSS:
+            for (; k < e; ++k)
+                D[k] = ((V[A[k]] >> E[k].sa) & M[k]) ^
+                       ((V[B[k]] >> E[k].sb) & E[k].mb);
+            break;
+          case BOp::AndSS:
+            for (; k < e; ++k)
+                D[k] = ((V[A[k]] >> E[k].sa) & M[k]) &
+                       ((V[B[k]] >> E[k].sb) & E[k].mb);
+            break;
+          case BOp::OrSS:
+            for (; k < e; ++k)
+                D[k] = ((V[A[k]] >> E[k].sa) & M[k]) |
+                       ((V[B[k]] >> E[k].sb) & E[k].mb);
+            break;
+          case BOp::ConcatSA:
+            for (; k < e; ++k)
+                D[k] = (((V[A[k]] >> E[k].sa) & E[k].mb)
+                        << E[k].wsh) |
+                       V[B[k]];
+            break;
+          case BOp::ConcatSB:
+            for (; k < e; ++k)
+                D[k] = (V[A[k]] << E[k].wsh) |
+                       ((V[B[k]] >> E[k].sb) & E[k].mb);
+            break;
+          case BOp::XorSA:
+            for (; k < e; ++k)
+                D[k] = ((V[A[k]] >> E[k].sa) & E[k].mb) ^ V[B[k]];
+            break;
+          case BOp::AndSA:
+            for (; k < e; ++k)
+                D[k] = ((V[A[k]] >> E[k].sa) & E[k].mb) & V[B[k]];
+            break;
+          case BOp::OrSA:
+            for (; k < e; ++k)
+                D[k] = ((V[A[k]] >> E[k].sa) & E[k].mb) | V[B[k]];
+            break;
+          case BOp::MuxEq:
+            for (; k < e; ++k)
+                D[k] = V[A[k]] == E[k].mb ? V[B[k]] : V[C[k]];
+            break;
+          case BOp::MuxEqB:
+            for (; k < e; ++k)
+                D[k] = V[A[k]] == E[k].mb ? I1[k] : V[B[k]];
+            break;
+          case BOp::MuxEqC:
+            for (; k < e; ++k)
+                D[k] = V[A[k]] == E[k].mb ? V[B[k]] : I1[k];
+            break;
+          case BOp::MuxEqBC:
+            for (; k < e; ++k)
+                D[k] = V[A[k]] == E[k].mb ? I1[k] : I2[k];
+            break;
+          case BOp::MuxS:
+            for (; k < e; ++k)
+                D[k] = (V[A[k]] >> E[k].sa) & 1 ? V[B[k]] : V[C[k]];
+            break;
+          case BOp::MuxSB:
+            for (; k < e; ++k)
+                D[k] = (V[A[k]] >> E[k].sa) & 1 ? I1[k] : V[B[k]];
+            break;
+          case BOp::MuxSC:
+            for (; k < e; ++k)
+                D[k] = (V[A[k]] >> E[k].sa) & 1 ? V[B[k]] : I1[k];
+            break;
+          case BOp::MuxSBC:
+            for (; k < e; ++k)
+                D[k] = (V[A[k]] >> E[k].sa) & 1 ? I1[k] : I2[k];
+            break;
+          case BOp::kNumOps:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+JitSim::JitSim(const rtl::Design &design, bool enable_native)
+    : _design(design),
+      _prog(compileProgram(design)),
+      _v(_prog.initV),
+      _cycles(design.clocks.size(), 0)
+{
+    for (uint32_t i = 0; i < _design.inputs.size(); ++i)
+        _inputIndex[_design.inputs[i].name] = i;
+    for (uint32_t i = 0; i < _design.outputs.size(); ++i)
+        _outputIndex[_design.outputs[i].name] = i;
+    for (uint32_t i = 0; i < _design.regs.size(); ++i)
+        _regIndex[_design.regs[i].name] = i;
+
+    // Size every memory up front: the native tier bakes the data
+    // pointers into generated code, so these never reallocate.
+    _mem.resize(_design.mems.size());
+    for (uint32_t m = 0; m < _design.mems.size(); ++m)
+        _mem[m].assign(_design.mems[m].depth, 0);
+
+    _oneClock.resize(1, 0);
+    for (uint8_t c = 0; c < _design.clocks.size(); ++c)
+        _allClocks.push_back(c);
+
+    const char *env = std::getenv("ZOOMIE_JIT_NATIVE");
+    bool env_off = env && env[0] == '0' && env[1] == '\0';
+    if (enable_native && !env_off && NativeCode::supported()) {
+        auto native = std::make_unique<NativeCode>(_prog, _mem);
+        if (native->ok())
+            _native = std::move(native);
+    }
+
+    reset();
+}
+
+void
+JitSim::reset()
+{
+    for (size_t i = 0; i < _design.regs.size(); ++i)
+        _v[_prog.regSlot[i]] = _design.regs[i].initVal;
+    for (uint32_t m = 0; m < _design.mems.size(); ++m) {
+        const rtl::Mem &mem = _design.mems[m];
+        for (uint32_t a = 0; a < mem.depth; ++a)
+            _mem[m][a] = a < mem.init.size()
+                             ? truncToWidth(mem.init[a], mem.width)
+                             : 0;
+    }
+    for (uint32_t slot : _prog.latchSlot)
+        _v[slot] = 0;
+    markDirty();
+}
+
+void
+JitSim::poke(const std::string &port, uint64_t value)
+{
+    auto it = _inputIndex.find(port);
+    panic_if(it == _inputIndex.end(), "unknown input port '", port,
+             "' in design '", _design.name, "'");
+    const rtl::InputPort &in = _design.inputs[it->second];
+    _v[_prog.slotOf[in.net]] = truncToWidth(value, in.width);
+    markDirty();
+}
+
+void
+JitSim::evaluate()
+{
+    if (!_dirty)
+        return;
+    if (_native)
+        _native->comb(_v.data());
+    else
+        evalCombBytecode(_prog, _v.data(), _mem);
+    _dirty = false;
+}
+
+uint64_t
+JitSim::evalElided(rtl::NetId id)
+{
+    uint32_t slot = _prog.slotOf[id];
+    if (slot != Program::kNoSlot)
+        return _v[slot];
+    const size_t N = _design.nodes.size();
+    if (_odStamp.size() != N) {
+        _odStamp.assign(N, 0);
+        _odVal.assign(N, 0);
+    }
+    if (_odStamp[id] == _epoch)
+        return _odVal[id];
+    const rtl::Node &n = _design.nodes[id];
+    uint64_t va = n.a != kNoNet ? evalElided(n.a) : 0;
+    uint64_t vb = n.b != kNoNet ? evalElided(n.b) : 0;
+    uint64_t vc = n.c != kNoNet ? evalElided(n.c) : 0;
+    uint64_t out;
+    switch (n.op) {
+      case Op::Const: out = n.imm; break;
+      case Op::MemRdAsync: {
+        const rtl::Mem &mem = _design.mems[n.imm];
+        out = _mem[n.imm][va % mem.depth];
+        break;
+      }
+      case Op::And: out = va & vb; break;
+      case Op::Or: out = va | vb; break;
+      case Op::Xor: out = va ^ vb; break;
+      case Op::Not: out = ~va; break;
+      case Op::Add: out = va + vb; break;
+      case Op::Sub: out = va - vb; break;
+      case Op::Mul: out = va * vb; break;
+      case Op::Eq: out = va == vb; break;
+      case Op::Ne: out = va != vb; break;
+      case Op::Ult: out = va < vb; break;
+      case Op::Ule: out = va <= vb; break;
+      case Op::Shl: out = vb >= n.width ? 0 : va << vb; break;
+      case Op::Shr: out = vb >= n.width ? 0 : va >> vb; break;
+      case Op::Mux: out = va ? vb : vc; break;
+      case Op::Concat:
+        out = (va << _design.nodes[n.b].width) | vb;
+        break;
+      case Op::Slice: out = va >> n.imm; break;
+      case Op::Zext: out = va; break;
+      case Op::RedAnd:
+        out = va == maskForWidth(_design.nodes[n.a].width);
+        break;
+      case Op::RedOr: out = va != 0; break;
+      case Op::RedXor: out = popCount(va) & 1; break;
+      default:
+        // Input/RegQ/MemRdSync always hold slots and never recurse
+        // here; anything else is a malformed design.
+        panic("unhandled op ", rtl::opName(n.op));
+    }
+    out &= maskForWidth(n.width);
+    _odStamp[id] = _epoch;
+    _odVal[id] = out;
+    return out;
+}
+
+uint64_t
+JitSim::net(rtl::NetId id)
+{
+    evaluate();
+    return evalElided(id);
+}
+
+uint64_t
+JitSim::netByName(const std::string &name)
+{
+    rtl::NetId id = _design.findNet(name);
+    panic_if(id == rtl::kNoNet, "unknown net '", name, "'");
+    return net(id);
+}
+
+uint64_t
+JitSim::peek(const std::string &port)
+{
+    auto it = _outputIndex.find(port);
+    panic_if(it == _outputIndex.end(), "unknown output port '",
+             port, "'");
+    return net(_design.outputs[it->second].net);
+}
+
+void
+JitSim::fullStep()
+{
+    uint64_t *__restrict V = _v.data();
+    if (_native) {
+        _native->step(V);
+        return;
+    }
+    evalCombBytecode(_prog, V, _mem);
+    uint64_t *__restrict RN = V + _prog.rnBase;
+    uint64_t *__restrict LT = V + _prog.ltBase;
+    regLoop<false, false, false, false>(_prog.bPlainF, V, RN);
+    regLoop<false, true, false, false>(_prog.bShiftF, V, RN);
+    regLoop<false, false, false>(_prog.bPlain, V, RN);
+    regLoop<false, true, false>(_prog.bShift, V, RN);
+    regLoop<false, true, true>(_prog.bFull, V, RN);
+    for (size_t i = 0; i < _prog.latches.size(); ++i) {
+        const LatchOp &l = _prog.latches[i];
+        uint64_t addr = V[l.addr];
+        if (l.pow2)
+            addr &= l.depth;
+        else if (addr >= l.depth)
+            addr %= l.depth;
+        LT[i] = _mem[l.mem][addr];
+    }
+    for (const WriteOp &w : _prog.writes)
+        if (V[w.en]) {
+            uint64_t addr = V[w.addr];
+            if (w.pow2)
+                addr &= w.depth;
+            else if (addr >= w.depth)
+                addr %= w.depth;
+            _mem[w.mem][addr] = V[w.data] & w.mask;
+        }
+    regLoop<true, false, false, false>(_prog.dPlainF, V, RN);
+    regLoop<true, true, false, false>(_prog.dShiftF, V, RN);
+    regLoop<true, false, false>(_prog.dPlain, V, RN);
+    regLoop<true, true, false>(_prog.dShift, V, RN);
+    regLoop<true, true, true>(_prog.dFull, V, RN);
+    auto commit = [&](const RegStreams &rs) {
+        const uint32_t *Ix = rs.ix.data();
+        const uint32_t *Q = rs.q.data();
+        for (size_t i = 0; i < rs.size(); ++i)
+            V[Q[i]] = RN[Ix[i]];
+    };
+    commit(_prog.bPlainF);
+    commit(_prog.bShiftF);
+    commit(_prog.bPlain);
+    commit(_prog.bShift);
+    commit(_prog.bFull);
+    for (size_t i = 0; i < _prog.latches.size(); ++i)
+        V[_prog.latches[i].slot] = LT[i];
+}
+
+void
+JitSim::filteredStep(const std::vector<uint8_t> &clocks)
+{
+    evaluate();
+    uint64_t *V = _v.data();
+    uint64_t *RN = V + _prog.rnBase;
+    uint64_t *LT = V + _prog.ltBase;
+    auto clocked = [&clocks](uint8_t clock) {
+        for (uint8_t c : clocks)
+            if (c == clock)
+                return true;
+        return false;
+    };
+
+    // Phase 1: next state from pre-edge values. Unclocked state
+    // keeps its current value so the commit below is unconditional.
+    for (size_t i = 0; i < _prog.regPlans.size(); ++i) {
+        const RegPlanC &p = _prog.regPlans[i];
+        if (!clocked(p.clock)) {
+            RN[i] = V[p.q];
+            continue;
+        }
+        uint64_t nv =
+            ((V[p.d] >> p.sh) | (V[p.in2] << p.wsh)) & p.mask;
+        nv = V[p.rst] ? p.rstVal : nv;
+        bool take = (V[p.en] != 0) != (bool)p.inv;
+        RN[i] = take ? nv : V[p.q];
+    }
+    for (size_t i = 0; i < _prog.latches.size(); ++i) {
+        const LatchOp &l = _prog.latches[i];
+        if (!clocked(l.clock)) {
+            LT[i] = V[l.slot];
+            continue;
+        }
+        uint64_t addr = V[l.addr];
+        if (l.pow2)
+            addr &= l.depth;
+        else if (addr >= l.depth)
+            addr %= l.depth;
+        LT[i] = _mem[l.mem][addr];
+    }
+    _writeBuf.clear();
+    for (const WriteOp &w : _prog.writes) {
+        if (!clocked(w.clock) || !V[w.en])
+            continue;
+        uint64_t addr = V[w.addr];
+        if (w.pow2)
+            addr &= w.depth;
+        else if (addr >= w.depth)
+            addr %= w.depth;
+        _writeBuf.push_back({w.mem, addr, V[w.data] & w.mask});
+    }
+
+    // Phase 2: commit simultaneously.
+    for (size_t i = 0; i < _prog.regPlans.size(); ++i)
+        V[_prog.regPlans[i].q] = RN[i];
+    for (size_t i = 0; i < _prog.latches.size(); ++i)
+        V[_prog.latches[i].slot] = LT[i];
+    for (const MemWrite &w : _writeBuf)
+        _mem[w.mem][w.addr] = w.data;
+}
+
+void
+JitSim::step(uint8_t clock)
+{
+    _oneClock[0] = clock;
+    stepDomains(_oneClock);
+}
+
+void
+JitSim::stepDomains(const std::vector<uint8_t> &clocks)
+{
+    bool all = true;
+    for (uint8_t c = 0; c < (uint8_t)_design.clocks.size(); ++c) {
+        bool found = false;
+        for (uint8_t x : clocks)
+            if (x == c) {
+                found = true;
+                break;
+            }
+        if (!found) {
+            all = false;
+            break;
+        }
+    }
+    if (all)
+        fullStep();
+    else
+        filteredStep(clocks);
+    for (uint8_t clock : clocks)
+        ++_cycles[clock];
+    markDirty();
+}
+
+void
+JitSim::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        stepDomains(_allClocks);
+}
+
+uint64_t
+JitSim::regValue(uint32_t index)
+{
+    panic_if(index >= _prog.regSlot.size(),
+             "register index out of range");
+    return _v[_prog.regSlot[index]];
+}
+
+uint64_t
+JitSim::regByName(const std::string &name)
+{
+    auto it = _regIndex.find(name);
+    panic_if(it == _regIndex.end(), "unknown register '", name, "'");
+    return _v[_prog.regSlot[it->second]];
+}
+
+void
+JitSim::forceReg(uint32_t index, uint64_t value)
+{
+    panic_if(index >= _prog.regSlot.size(),
+             "register index out of range");
+    _v[_prog.regSlot[index]] =
+        truncToWidth(value, _design.regs[index].width);
+    markDirty();
+}
+
+void
+JitSim::forceRegByName(const std::string &name, uint64_t value)
+{
+    auto it = _regIndex.find(name);
+    panic_if(it == _regIndex.end(), "unknown register '", name, "'");
+    forceReg(it->second, value);
+}
+
+uint64_t
+JitSim::memWord(uint32_t mem_index, uint32_t addr) const
+{
+    panic_if(mem_index >= _mem.size(), "memory index out of range");
+    panic_if(addr >= _mem[mem_index].size(),
+             "memory address out of range");
+    return _mem[mem_index][addr];
+}
+
+void
+JitSim::forceMemWord(uint32_t mem_index, uint32_t addr,
+                     uint64_t value)
+{
+    panic_if(mem_index >= _mem.size(), "memory index out of range");
+    panic_if(addr >= _mem[mem_index].size(),
+             "memory address out of range");
+    _mem[mem_index][addr] =
+        truncToWidth(value, _design.mems[mem_index].width);
+    markDirty();
+}
+
+std::vector<uint64_t>
+JitSim::snapshotRegs()
+{
+    std::vector<uint64_t> image(_prog.regSlot.size());
+    for (size_t i = 0; i < image.size(); ++i)
+        image[i] = _v[_prog.regSlot[i]];
+    return image;
+}
+
+void
+JitSim::restoreRegs(const std::vector<uint64_t> &image)
+{
+    panic_if(image.size() != _prog.regSlot.size(),
+             "snapshot size mismatch");
+    for (size_t i = 0; i < image.size(); ++i)
+        _v[_prog.regSlot[i]] = image[i];
+    markDirty();
+}
+
+} // namespace zoomie::jit

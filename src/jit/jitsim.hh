@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Compiled-simulation engine: executes a jit::Program (the
+ * levelized rtl::Design lowered to flat bytecode by
+ * jit::compileProgram) behind the same sim::Engine surface as the
+ * interpreter, cycle-for-cycle observably identical to
+ * sim::Simulator. Two execution tiers: portable bytecode dispatch
+ * loops, and an optional native x86-64 tier (jit::NativeCode) used
+ * automatically when available — disable it with the constructor
+ * flag or by setting ZOOMIE_JIT_NATIVE=0 in the environment.
+ *
+ * Nets the compiler folded, fused or dead-code-eliminated have no
+ * slot in the value array; net() recomputes them on demand from the
+ * design graph (memoized per evaluation epoch), so the debugger-
+ * facing surface is complete even though the hot loop never
+ * materializes them.
+ */
+
+#ifndef ZOOMIE_JIT_JITSIM_HH
+#define ZOOMIE_JIT_JITSIM_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jit/bytecode.hh"
+#include "jit/native.hh"
+#include "rtl/ir.hh"
+#include "sim/engine.hh"
+
+namespace zoomie::jit {
+
+class JitSim : public sim::Engine
+{
+  public:
+    /**
+     * Compile and load @p design. @p enable_native selects the
+     * native tier when the platform supports it; pass false to
+     * force the portable bytecode loops (the ZOOMIE_JIT_NATIVE=0
+     * environment variable does the same without a code change).
+     */
+    explicit JitSim(const rtl::Design &design,
+                    bool enable_native = true);
+
+    std::string kind() const override { return "jit"; }
+
+    void reset() override;
+    void poke(const std::string &port, uint64_t value) override;
+    uint64_t net(rtl::NetId id) override;
+    uint64_t netByName(const std::string &name) override;
+    uint64_t peek(const std::string &port) override;
+    void step(uint8_t clock = 0) override;
+    void stepDomains(const std::vector<uint8_t> &clocks) override;
+    void run(uint64_t n) override;
+    uint64_t regValue(uint32_t index) override;
+    uint64_t regByName(const std::string &name) override;
+    void forceReg(uint32_t index, uint64_t value) override;
+    void forceRegByName(const std::string &name,
+                        uint64_t value) override;
+    uint64_t memWord(uint32_t mem_index,
+                     uint32_t addr) const override;
+    void forceMemWord(uint32_t mem_index, uint32_t addr,
+                      uint64_t value) override;
+
+    uint64_t cycles(uint8_t clock = 0) const override
+    {
+        return _cycles[clock];
+    }
+    void setCycles(uint8_t clock, uint64_t n) override
+    {
+        _cycles[clock] = n;
+    }
+
+    size_t syncLatchCount() const override
+    {
+        return _prog.latchSlot.size();
+    }
+    uint64_t syncLatchValue(size_t i) const override
+    {
+        return _v[_prog.latchSlot[i]];
+    }
+    void setSyncLatchValue(size_t i, uint64_t value) override
+    {
+        _v[_prog.latchSlot[i]] = value;
+        markDirty();
+    }
+
+    std::vector<uint64_t> snapshotRegs() override;
+    void restoreRegs(const std::vector<uint64_t> &image) override;
+
+    const rtl::Design &design() const override { return _design; }
+
+    /** The compiled program (introspection, tests, rdp stats). */
+    const Program &program() const { return _prog; }
+
+    /** True when the native tier is live (vs bytecode dispatch). */
+    bool nativeActive() const { return _native != nullptr; }
+
+  private:
+    /** Settle combinational slots if anything changed. */
+    void evaluate();
+    void markDirty()
+    {
+        _dirty = true;
+        ++_epoch;
+    }
+    /** One edge of every domain at once (the fast path). */
+    void fullStep();
+    /** One edge of an arbitrary domain subset (generic path). */
+    void filteredStep(const std::vector<uint8_t> &clocks);
+    /** Recompute an elided net from the design graph (memoized). */
+    uint64_t evalElided(rtl::NetId id);
+
+    const rtl::Design &_design;
+    Program _prog;
+    std::vector<uint64_t> _v;  ///< value array + commit scratch
+    std::vector<std::vector<uint64_t>> _mem;
+    std::vector<uint64_t> _cycles;
+    std::unordered_map<std::string, uint32_t> _inputIndex;
+    std::unordered_map<std::string, uint32_t> _outputIndex;
+    std::unordered_map<std::string, uint32_t> _regIndex;
+    bool _dirty = true;
+    std::vector<uint8_t> _oneClock;
+    std::vector<uint8_t> _allClocks;
+    std::unique_ptr<NativeCode> _native;
+
+    /** Per-epoch memo for on-demand elided-net evaluation. */
+    uint64_t _epoch = 1;
+    std::vector<uint64_t> _odStamp;
+    std::vector<uint64_t> _odVal;
+
+    /** Buffered memory writes for the filtered (clock-subset) path. */
+    struct MemWrite { uint32_t mem; uint64_t addr; uint64_t data; };
+    std::vector<MemWrite> _writeBuf;
+};
+
+} // namespace zoomie::jit
+
+#endif // ZOOMIE_JIT_JITSIM_HH

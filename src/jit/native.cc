@@ -1,0 +1,595 @@
+#include "native.hh"
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define ZOOMIE_JIT_NATIVE_IMPL 1
+#else
+#define ZOOMIE_JIT_NATIVE_IMPL 0
+#endif
+
+#if ZOOMIE_JIT_NATIVE_IMPL
+#include <cstring>
+#include <initializer_list>
+
+#include <sys/mman.h>
+#endif
+
+namespace zoomie::jit {
+
+#if ZOOMIE_JIT_NATIVE_IMPL
+
+namespace {
+
+/**
+ * x86-64 encoder over the slot model: rdi holds the value-array
+ * base for the whole function, every slot is [rdi + 8*slot], and
+ * rax/rcx/rdx are scratch (all caller-saved, so the generated
+ * functions need no prologue — they end in a bare ret).
+ */
+struct Emitter
+{
+    const Program &p;
+    const std::vector<std::vector<uint64_t>> &mems;
+    std::vector<uint8_t> code;
+
+    Emitter(const Program &prog,
+            const std::vector<std::vector<uint64_t>> &m)
+        : p(prog), mems(m)
+    {
+    }
+
+    void b1(uint8_t x) { code.push_back(x); }
+    void bs(std::initializer_list<uint8_t> xs)
+    {
+        for (auto x : xs)
+            code.push_back(x);
+    }
+    void d32(uint32_t x)
+    {
+        for (int i = 0; i < 4; ++i)
+            code.push_back((x >> (8 * i)) & 0xff);
+    }
+    void d64(uint64_t x)
+    {
+        for (int i = 0; i < 8; ++i)
+            code.push_back((x >> (8 * i)) & 0xff);
+    }
+    uint32_t disp(uint32_t slot) { return slot * 8; }
+
+    // mov r64, [rdi+slot] / mov [rdi+slot], rax
+    void ldRax(uint32_t s) { bs({0x48, 0x8B, 0x87}); d32(disp(s)); }
+    void ldRcx(uint32_t s) { bs({0x48, 0x8B, 0x8F}); d32(disp(s)); }
+    void ldRdx(uint32_t s) { bs({0x48, 0x8B, 0x97}); d32(disp(s)); }
+    void stRax(uint32_t s) { bs({0x48, 0x89, 0x87}); d32(disp(s)); }
+
+    // op rax, [rdi+slot]: and 0x23 / or 0x0B / xor 0x33 / add 0x03
+    // / sub 0x2B / cmp 0x3B / imul via 0x0F 0xAF
+    void aluMem(uint8_t opc, uint32_t s)
+    {
+        bs({0x48, opc, 0x87});
+        d32(disp(s));
+    }
+    void movRcxImm(uint64_t v)
+    {
+        bs({0x48, 0xB9});
+        d64(v);
+    }
+    void movRdxImm(uint64_t v)
+    {
+        if (v < (1ull << 32)) {
+            b1(0xBA);
+            d32((uint32_t)v);
+        } else {
+            bs({0x48, 0xBA});
+            d64(v);
+        }
+    }
+    void movRaxImm(uint64_t v)
+    {
+        if (v < (1ull << 32)) {
+            b1(0xB8);
+            d32((uint32_t)v);
+        } else {
+            bs({0x48, 0xB8});
+            d64(v);
+        }
+    }
+    // op rax, imm (alu /ext: add 0, or 1, and 4, sub 5, xor 6, cmp 7)
+    void aluImmRax(uint8_t ext, uint64_t imm)
+    {
+        if (imm < (1ull << 31)) {
+            bs({0x48, 0x81, (uint8_t)(0xC0 | (ext << 3))});
+            d32((uint32_t)imm);
+        } else {
+            movRcxImm(imm);
+            static const uint8_t rr[8] = {0x01, 0x09, 0, 0,
+                                          0x21, 0x29, 0x31, 0x39};
+            bs({0x48, rr[ext], 0xC8});
+        }
+    }
+    void aluImmRcx(uint8_t ext, uint64_t imm)
+    {
+        if (imm < (1ull << 31)) {
+            bs({0x48, 0x81, (uint8_t)(0xC1 | (ext << 3))});
+            d32((uint32_t)imm);
+        } else {
+            movRdxImm(imm);
+            static const uint8_t rr[8] = {0x01, 0x09, 0, 0,
+                                          0x21, 0x29, 0x31, 0x39};
+            bs({0x48, rr[ext], 0xD1});
+        }
+    }
+    void maskRax(uint64_t m)
+    {
+        if (m != ~0ull)
+            aluImmRax(4, m);
+    }
+    void shrRaxImm(uint8_t n)
+    {
+        if (n)
+            bs({0x48, 0xC1, 0xE8, n});
+    }
+    void shlRaxImm(uint8_t n)
+    {
+        if (n)
+            bs({0x48, 0xC1, 0xE0, n});
+    }
+    void shrRcxImm(uint8_t n)
+    {
+        if (n)
+            bs({0x48, 0xC1, 0xE9, n});
+    }
+    void shlRcxImm(uint8_t n)
+    {
+        if (n)
+            bs({0x48, 0xC1, 0xE1, n});
+    }
+    void orRaxRcx() { bs({0x48, 0x09, 0xC8}); }
+    void setccRax(uint8_t cc)  // setcc al; movzx eax, al
+    {
+        bs({0x0F, cc, 0xC0, 0x0F, 0xB6, 0xC0});
+    }
+    void testRaxRax() { bs({0x48, 0x85, 0xC0}); }
+    void testRcxRcx() { bs({0x48, 0x85, 0xC9}); }
+    void cmovzRaxMem(uint32_t s)
+    {
+        bs({0x48, 0x0F, 0x44, 0x87});
+        d32(disp(s));
+    }
+    void cmovnzRaxMem(uint32_t s)
+    {
+        bs({0x48, 0x0F, 0x45, 0x87});
+        d32(disp(s));
+    }
+    void cmovaeRaxMem(uint32_t s)
+    {
+        bs({0x48, 0x0F, 0x43, 0x87});
+        d32(disp(s));
+    }
+    void cmovzRaxRdx() { bs({0x48, 0x0F, 0x44, 0xC2}); }
+    void cmovnzRaxRdx() { bs({0x48, 0x0F, 0x45, 0xC2}); }
+    void cmovaeRaxRdx() { bs({0x48, 0x0F, 0x43, 0xC2}); }
+    void btRcxImm(uint8_t bit) { bs({0x48, 0x0F, 0xBA, 0xE1, bit}); }
+
+    /** Clamp rax into [0, depth): mask for pow2, guarded div else. */
+    void clampRax(uint64_t depth, bool pow2)
+    {
+        if (pow2) {
+            aluImmRax(4, depth - 1);
+            return;
+        }
+        movRcxImm(depth);
+        bs({0x48, 0x39, 0xC8});  // cmp rax, rcx
+        size_t jb = code.size();
+        bs({0x72, 0x00});        // jb +0 (patched below)
+        bs({0x31, 0xD2});        // xor edx, edx
+        bs({0x48, 0xF7, 0xF1});  // div rcx
+        bs({0x48, 0x89, 0xD0});  // mov rax, rdx
+        code[jb + 1] = (uint8_t)(code.size() - (jb + 2));
+    }
+    void memLoadRax(uint32_t m)  // rax = mems[m][rax]
+    {
+        movRcxImm((uint64_t)(uintptr_t)mems[m].data());
+        bs({0x48, 0x8B, 0x04, 0xC1});  // mov rax, [rcx + rax*8]
+    }
+    // rax/rcx = (V[s] >> sh) & mk
+    void sliceRax(uint32_t s, uint8_t sh, uint64_t mk)
+    {
+        ldRax(s);
+        shrRaxImm(sh);
+        maskRax(mk);
+    }
+    void sliceRcx(uint32_t s, uint8_t sh, uint64_t mk)
+    {
+        ldRcx(s);
+        shrRcxImm(sh);
+        if (mk != ~0ull)
+            aluImmRcx(4, mk);
+    }
+
+    void emitComb()
+    {
+        const uint32_t *A = p.ia.data();
+        const uint32_t *B = p.ib.data();
+        const uint32_t *C = p.ic.data();
+        const uint64_t *M = p.imask.data();
+        const uint64_t *I1 = p.immA.data();
+        const uint64_t *I2 = p.immB.data();
+        const uint8_t *S = p.ish.data();
+        const Ext *E = p.ext.data();
+        for (const Run &r : p.runs) {
+            for (uint32_t k = r.start; k < r.start + r.count; ++k) {
+                uint32_t dst = r.dstBase + (k - r.start);
+                switch (r.op) {
+                  case BOp::And:
+                    ldRax(A[k]); aluMem(0x23, B[k]); break;
+                  case BOp::Or:
+                    ldRax(A[k]); aluMem(0x0B, B[k]); break;
+                  case BOp::Xor:
+                    ldRax(A[k]); aluMem(0x33, B[k]); break;
+                  case BOp::Not:
+                    ldRax(A[k]);
+                    bs({0x48, 0xF7, 0xD0});  // not rax
+                    maskRax(M[k]);
+                    break;
+                  case BOp::Add:
+                    ldRax(A[k]); aluMem(0x03, B[k]); maskRax(M[k]);
+                    break;
+                  case BOp::Sub:
+                    ldRax(A[k]); aluMem(0x2B, B[k]); maskRax(M[k]);
+                    break;
+                  case BOp::Mul:
+                    ldRax(A[k]);
+                    bs({0x48, 0x0F, 0xAF, 0x87});  // imul rax, [rdi+B]
+                    d32(disp(B[k]));
+                    maskRax(M[k]);
+                    break;
+                  case BOp::Eq:
+                    ldRax(A[k]); aluMem(0x3B, B[k]); setccRax(0x94);
+                    break;
+                  case BOp::Ne:
+                    ldRax(A[k]); aluMem(0x3B, B[k]); setccRax(0x95);
+                    break;
+                  case BOp::Ult:
+                    ldRax(A[k]); aluMem(0x3B, B[k]); setccRax(0x92);
+                    break;
+                  case BOp::Ule:
+                    ldRax(A[k]); aluMem(0x3B, B[k]); setccRax(0x96);
+                    break;
+                  case BOp::Shl:
+                    ldRcx(B[k]);
+                    ldRax(A[k]);
+                    bs({0x48, 0xD3, 0xE0});        // shl rax, cl
+                    bs({0x31, 0xD2});              // xor edx, edx
+                    bs({0x48, 0x83, 0xF9, S[k]});  // cmp rcx, width
+                    cmovaeRaxRdx();
+                    maskRax(M[k]);
+                    break;
+                  case BOp::Shr:
+                    ldRcx(B[k]);
+                    ldRax(A[k]);
+                    bs({0x48, 0xD3, 0xE8});        // shr rax, cl
+                    bs({0x31, 0xD2});
+                    bs({0x48, 0x83, 0xF9, S[k]});
+                    cmovaeRaxRdx();
+                    break;
+                  case BOp::Mux:
+                    ldRcx(A[k]); testRcxRcx(); ldRax(B[k]);
+                    cmovzRaxMem(C[k]);
+                    break;
+                  case BOp::Concat:
+                    ldRax(A[k]); shlRaxImm(S[k]); aluMem(0x0B, B[k]);
+                    maskRax(M[k]);
+                    break;
+                  case BOp::Slice:
+                    sliceRax(A[k], S[k], M[k]);
+                    break;
+                  case BOp::ShlImm:
+                    ldRax(A[k]); shlRaxImm(S[k]); maskRax(M[k]);
+                    break;
+                  case BOp::RedAnd:
+                    ldRax(A[k]); aluImmRax(7, M[k]); setccRax(0x94);
+                    break;
+                  case BOp::RedOr:
+                    ldRax(A[k]); testRaxRax(); setccRax(0x95);
+                    break;
+                  case BOp::RedXor:
+                    bs({0xF3, 0x48, 0x0F, 0xB8, 0x87});  // popcnt
+                    d32(disp(A[k]));
+                    bs({0x83, 0xE0, 0x01});  // and eax, 1
+                    break;
+                  case BOp::MemRdAMask:
+                    ldRax(A[k]); aluImmRax(4, I1[k]);
+                    memLoadRax((uint32_t)M[k]);
+                    break;
+                  case BOp::MemRdAMod:
+                    ldRax(A[k]); clampRax(I1[k], false);
+                    memLoadRax((uint32_t)M[k]);
+                    break;
+                  case BOp::EqImm:
+                    ldRax(A[k]); aluImmRax(7, I1[k]); setccRax(0x94);
+                    break;
+                  case BOp::NeImm:
+                    ldRax(A[k]); aluImmRax(7, I1[k]); setccRax(0x95);
+                    break;
+                  case BOp::AndImm:
+                    ldRax(A[k]); aluImmRax(4, I1[k]); break;
+                  case BOp::OrImm:
+                    ldRax(A[k]); aluImmRax(1, I1[k]); break;
+                  case BOp::XorImm:
+                    ldRax(A[k]); aluImmRax(6, I1[k]); break;
+                  case BOp::AddImm:
+                    ldRax(A[k]); aluImmRax(0, I1[k]); maskRax(M[k]);
+                    break;
+                  case BOp::UltImm:
+                    ldRax(A[k]); aluImmRax(7, I1[k]); setccRax(0x92);
+                    break;
+                  case BOp::UleImm:
+                    ldRax(A[k]); aluImmRax(7, I1[k]); setccRax(0x96);
+                    break;
+                  case BOp::MuxImmB:
+                    ldRcx(A[k]); testRcxRcx(); movRaxImm(I1[k]);
+                    cmovzRaxMem(B[k]);
+                    break;
+                  case BOp::MuxImmC:
+                    ldRcx(A[k]); testRcxRcx(); ldRax(B[k]);
+                    movRdxImm(I1[k]); cmovzRaxRdx();
+                    break;
+                  case BOp::MuxImmBC:
+                    ldRcx(A[k]); testRcxRcx(); movRaxImm(I1[k]);
+                    movRdxImm(I2[k]); cmovzRaxRdx();
+                    break;
+                  case BOp::ConcatSS:
+                    sliceRax(A[k], E[k].sa, M[k]);
+                    shlRaxImm(E[k].wsh);
+                    sliceRcx(B[k], E[k].sb, E[k].mb);
+                    orRaxRcx();
+                    break;
+                  case BOp::XorSS:
+                    sliceRax(A[k], E[k].sa, M[k]);
+                    sliceRcx(B[k], E[k].sb, E[k].mb);
+                    bs({0x48, 0x31, 0xC8});  // xor rax, rcx
+                    break;
+                  case BOp::AndSS:
+                    sliceRax(A[k], E[k].sa, M[k]);
+                    sliceRcx(B[k], E[k].sb, E[k].mb);
+                    bs({0x48, 0x21, 0xC8});  // and rax, rcx
+                    break;
+                  case BOp::OrSS:
+                    sliceRax(A[k], E[k].sa, M[k]);
+                    sliceRcx(B[k], E[k].sb, E[k].mb);
+                    orRaxRcx();
+                    break;
+                  case BOp::ConcatSA:
+                    sliceRax(A[k], E[k].sa, E[k].mb);
+                    shlRaxImm(E[k].wsh);
+                    aluMem(0x0B, B[k]);
+                    break;
+                  case BOp::ConcatSB:
+                    ldRax(A[k]);
+                    shlRaxImm(E[k].wsh);
+                    sliceRcx(B[k], E[k].sb, E[k].mb);
+                    orRaxRcx();
+                    break;
+                  case BOp::XorSA:
+                    sliceRax(A[k], E[k].sa, E[k].mb);
+                    aluMem(0x33, B[k]);
+                    break;
+                  case BOp::AndSA:
+                    sliceRax(A[k], E[k].sa, E[k].mb);
+                    aluMem(0x23, B[k]);
+                    break;
+                  case BOp::OrSA:
+                    sliceRax(A[k], E[k].sa, E[k].mb);
+                    aluMem(0x0B, B[k]);
+                    break;
+                  case BOp::MuxEq:
+                    ldRcx(A[k]); aluImmRcx(7, E[k].mb); ldRax(B[k]);
+                    cmovnzRaxMem(C[k]);
+                    break;
+                  case BOp::MuxEqB:
+                    ldRcx(A[k]); aluImmRcx(7, E[k].mb);
+                    movRaxImm(I1[k]); cmovnzRaxMem(B[k]);
+                    break;
+                  case BOp::MuxEqC:
+                    ldRcx(A[k]); aluImmRcx(7, E[k].mb); ldRax(B[k]);
+                    movRdxImm(I1[k]); cmovnzRaxRdx();
+                    break;
+                  case BOp::MuxEqBC:
+                    ldRcx(A[k]); aluImmRcx(7, E[k].mb);
+                    movRaxImm(I1[k]); movRdxImm(I2[k]);
+                    cmovnzRaxRdx();
+                    break;
+                  case BOp::MuxS:
+                    ldRcx(A[k]); btRcxImm(E[k].sa); ldRax(B[k]);
+                    cmovaeRaxMem(C[k]);
+                    break;
+                  case BOp::MuxSB:
+                    ldRcx(A[k]); btRcxImm(E[k].sa);
+                    movRaxImm(I1[k]); cmovaeRaxMem(B[k]);
+                    break;
+                  case BOp::MuxSC:
+                    ldRcx(A[k]); btRcxImm(E[k].sa); ldRax(B[k]);
+                    movRdxImm(I1[k]); cmovaeRaxRdx();
+                    break;
+                  case BOp::MuxSBC:
+                    ldRcx(A[k]); btRcxImm(E[k].sa);
+                    movRaxImm(I1[k]); movRdxImm(I2[k]);
+                    cmovaeRaxRdx();
+                    break;
+                  case BOp::kNumOps:
+                    continue;
+                }
+                stRax(dst);
+            }
+        }
+    }
+
+    /** Next-value for register i of stream rs into rax. */
+    void emitRegNv(const RegStreams &rs, size_t i, bool shift)
+    {
+        if (shift) {
+            ldRax(rs.d[i]);
+            shrRaxImm(rs.sh[i]);
+            if (rs.in2[i] != 0) {
+                ldRcx(rs.in2[i]);
+                shlRcxImm(rs.wsh[i]);
+                orRaxRcx();
+            }
+            maskRax(rs.mask[i]);
+        } else {
+            ldRax(rs.d[i]);
+            maskRax(rs.mask[i]);
+        }
+    }
+
+    void emitRegGroup(const RegStreams &rs, bool direct, bool shift,
+                      bool full, bool en)
+    {
+        for (size_t i = 0; i < rs.size(); ++i) {
+            emitRegNv(rs, i, shift || full);
+            if (full) {
+                if (rs.rst[i] != 0) {
+                    ldRcx(rs.rst[i]);
+                    testRcxRcx();
+                    movRdxImm(rs.rstVal[i]);
+                    cmovnzRaxRdx();
+                }
+                ldRcx(rs.en[i]);
+                testRcxRcx();
+                if (rs.inv[i])
+                    cmovnzRaxMem(rs.q[i]);
+                else
+                    cmovzRaxMem(rs.q[i]);
+            } else if (en) {
+                ldRcx(rs.en[i]);
+                testRcxRcx();
+                cmovzRaxMem(rs.q[i]);
+            }
+            stRax(direct ? rs.q[i] : p.rnBase + rs.ix[i]);
+        }
+    }
+
+    void emitSeq()
+    {
+        emitRegGroup(p.bPlainF, false, false, false, false);
+        emitRegGroup(p.bShiftF, false, true, false, false);
+        emitRegGroup(p.bPlain, false, false, false, true);
+        emitRegGroup(p.bShift, false, true, false, true);
+        emitRegGroup(p.bFull, false, false, true, true);
+        for (size_t i = 0; i < p.latches.size(); ++i) {
+            const LatchOp &l = p.latches[i];
+            ldRax(l.addr);
+            // LatchOp.depth holds the mask (depth-1) when pow2.
+            clampRax(l.pow2 ? l.depth + 1 : l.depth, l.pow2);
+            memLoadRax(l.mem);
+            stRax(p.ltBase + (uint32_t)i);
+        }
+        for (const WriteOp &w : p.writes) {
+            ldRcx(w.en);
+            testRcxRcx();
+            size_t jz = code.size();
+            bs({0x0F, 0x84});  // jz skip (rel32 patched below)
+            d32(0);
+            ldRax(w.addr);
+            clampRax(w.pow2 ? w.depth + 1 : w.depth, w.pow2);
+            ldRdx(w.data);
+            if (w.mask != ~0ull) {
+                if (w.mask < (1ull << 31)) {
+                    bs({0x48, 0x81, 0xE2});  // and rdx, imm32
+                    d32((uint32_t)w.mask);
+                } else {
+                    movRcxImm(w.mask);
+                    bs({0x48, 0x21, 0xCA});  // and rdx, rcx
+                }
+            }
+            movRcxImm((uint64_t)(uintptr_t)mems[w.mem].data());
+            bs({0x48, 0x89, 0x14, 0xC1});  // mov [rcx+rax*8], rdx
+            uint32_t rel = (uint32_t)(code.size() - (jz + 6));
+            for (int q = 0; q < 4; ++q)
+                code[jz + 2 + q] = (rel >> (8 * q)) & 0xff;
+        }
+        emitRegGroup(p.dPlainF, true, false, false, false);
+        emitRegGroup(p.dShiftF, true, true, false, false);
+        emitRegGroup(p.dPlain, true, false, false, true);
+        emitRegGroup(p.dShift, true, true, false, true);
+        emitRegGroup(p.dFull, true, false, true, true);
+        auto commit = [&](const RegStreams &rs) {
+            for (size_t i = 0; i < rs.size(); ++i) {
+                ldRax(p.rnBase + rs.ix[i]);
+                stRax(rs.q[i]);
+            }
+        };
+        commit(p.bPlainF);
+        commit(p.bShiftF);
+        commit(p.bPlain);
+        commit(p.bShift);
+        commit(p.bFull);
+        for (size_t i = 0; i < p.latches.size(); ++i) {
+            ldRax(p.ltBase + (uint32_t)i);
+            stRax(p.latches[i].slot);
+        }
+    }
+};
+
+} // namespace
+
+bool
+NativeCode::supported()
+{
+    return true;
+}
+
+NativeCode::NativeCode(const Program &prog,
+                       const std::vector<std::vector<uint64_t>> &mems)
+{
+    Emitter e(prog, mems);
+    size_t combStart = e.code.size();
+    e.emitComb();
+    e.b1(0xC3);
+    size_t stepStart = e.code.size();
+    e.emitComb();
+    e.emitSeq();
+    e.b1(0xC3);
+
+    _len = e.code.size();
+    void *mapped = mmap(nullptr, _len, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mapped == MAP_FAILED) {
+        _len = 0;
+        return;  // ok() stays false; caller falls back to bytecode
+    }
+    memcpy(mapped, e.code.data(), _len);
+    if (mprotect(mapped, _len, PROT_READ | PROT_EXEC) != 0) {
+        munmap(mapped, _len);
+        _len = 0;
+        return;
+    }
+    _exec = static_cast<uint8_t *>(mapped);
+    _comb = reinterpret_cast<Fn>(_exec + combStart);
+    _step = reinterpret_cast<Fn>(_exec + stepStart);
+}
+
+NativeCode::~NativeCode()
+{
+    if (_exec)
+        munmap(_exec, _len);
+}
+
+#else // !ZOOMIE_JIT_NATIVE_IMPL
+
+bool
+NativeCode::supported()
+{
+    return false;
+}
+
+NativeCode::NativeCode(const Program &,
+                       const std::vector<std::vector<uint64_t>> &)
+{
+}
+
+NativeCode::~NativeCode() = default;
+
+#endif // ZOOMIE_JIT_NATIVE_IMPL
+
+} // namespace zoomie::jit

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Optional native x86-64 tier for the jit backend: turns a compiled
+ * jit::Program into straight-line machine code where every value
+ * slot is a fixed [base + disp32] memory operand — no dispatch, no
+ * operand-index loads. Falls back cleanly (ok() == false) on other
+ * architectures or if executable memory cannot be mapped; JitSim
+ * then runs the portable bytecode loops instead.
+ *
+ * The generated code hard-codes the memory-array base pointers, so
+ * the backing storage passed at construction must never reallocate
+ * while the NativeCode is alive (JitSim sizes its memories once).
+ */
+
+#ifndef ZOOMIE_JIT_NATIVE_HH
+#define ZOOMIE_JIT_NATIVE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "jit/bytecode.hh"
+
+namespace zoomie::jit {
+
+class NativeCode
+{
+  public:
+    /** True when this build/platform can emit native code at all. */
+    static bool supported();
+
+    /**
+     * Compile @p prog to machine code. @p mems is the engine's
+     * memory storage (one vector per rtl::Mem, sized to depth);
+     * its inner data pointers are baked into the generated code.
+     */
+    NativeCode(const Program &prog,
+               const std::vector<std::vector<uint64_t>> &mems);
+    ~NativeCode();
+
+    NativeCode(const NativeCode &) = delete;
+    NativeCode &operator=(const NativeCode &) = delete;
+
+    /** True when code generation succeeded. */
+    bool ok() const { return _step != nullptr; }
+
+    /** Bytes of generated machine code (introspection). */
+    size_t codeSize() const { return _len; }
+
+    /** Combinational settle: recompute every instruction slot. */
+    void comb(uint64_t *v) const { _comb(v); }
+
+    /** Full clock edge on every domain: comb + sequential commit. */
+    void step(uint64_t *v) const { _step(v); }
+
+  private:
+    using Fn = void (*)(uint64_t *);
+    Fn _comb = nullptr;
+    Fn _step = nullptr;
+    uint8_t *_exec = nullptr;
+    size_t _len = 0;
+};
+
+} // namespace zoomie::jit
+
+#endif // ZOOMIE_JIT_NATIVE_HH

@@ -354,6 +354,7 @@ Server::handleOpen(const Request &req, ConnState &,
     Json reply = okReply(req);
     reply.set("session", session->id());
     reply.set("design", session->config().design);
+    reply.set("backend", session->backend().kind());
     Json watch = Json::array();
     for (const std::string &signal :
          session->backend().instrumented().watchSignals)
@@ -614,6 +615,7 @@ Server::handleOpenSource(const Request &req, ConnState &conn,
     Json reply = okReply(req);
     reply.set("session", session->id());
     reply.set("design", "source");
+    reply.set("backend", session->backend().kind());
     reply.set("top", session->config().topModule);
     reply.set("nodes", design.nodes.size());
     reply.set("regs", design.regs.size());
@@ -664,6 +666,7 @@ Server::handleSessions(const Request &req, ConnState &,
         Json entry = Json::object();
         entry.set("session", id);
         entry.set("design", session->config().design);
+        entry.set("backend", session->backend().kind());
         entry.set("cycles", stats.cyclesRun.load());
         entry.set("run_requests", stats.runRequests.load());
         entry.set("exec_us", stats.execMicros.load());

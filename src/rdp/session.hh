@@ -105,8 +105,9 @@ struct SessionConfig
     /**
      * Execution backend: "fabric" (default) runs the configured
      * bitstream on the device model; "sim" interprets the same
-     * instrumented design in src/sim. Identical wire behavior is
-     * what the differential-test harness checks.
+     * instrumented design in src/sim; "jit" runs it through the
+     * compiled-simulation bytecode VM in src/jit. Identical wire
+     * behavior is what the differential-test harness checks.
      */
     std::string backend = "fabric";
 };

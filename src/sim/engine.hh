@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Abstract software-execution engine for rtl::Design. Zoomie has
+ * two ways to execute a design in software — the two-phase
+ * interpreter (sim::Simulator) and the compiled bytecode VM
+ * (jit::JitSim) — and both sit behind core::SimBackend, selected
+ * by the wire-level `backend` argument ("sim" vs "jit"). The
+ * Engine interface is the exact observable surface the two must
+ * agree on cycle-for-cycle: pokes, peeks, named net reads, domain
+ * stepping, state forcing, memory words, sync-read latches and
+ * register snapshots. The differential-test harness
+ * (src/difftest) checks that agreement mechanically.
+ */
+
+#ifndef ZOOMIE_SIM_ENGINE_HH
+#define ZOOMIE_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.hh"
+
+namespace zoomie::sim {
+
+/**
+ * One software execution of an rtl::Design. The design must
+ * outlive the engine. Combinational evaluation is lazy: nets are
+ * recomputed on demand after any poke, force or clock edge.
+ */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    /** Engine family name ("sim" or "jit"). */
+    virtual std::string kind() const = 0;
+
+    /** Load power-on register values and memory init images. */
+    virtual void reset() = 0;
+
+    /** Drive a top-level input (by port name). */
+    virtual void poke(const std::string &port, uint64_t value) = 0;
+
+    /** Read any net's current value (forces evaluation). */
+    virtual uint64_t net(rtl::NetId id) = 0;
+
+    /** Read a named net. Panics if the name is unknown. */
+    virtual uint64_t netByName(const std::string &name) = 0;
+
+    /** Read a top-level output by name. */
+    virtual uint64_t peek(const std::string &port) = 0;
+
+    /** Advance one edge of clock domain @p clock. */
+    virtual void step(uint8_t clock = 0) = 0;
+
+    /**
+     * Advance one edge of several clock domains *simultaneously*:
+     * every domain's next state is computed from the same pre-edge
+     * values, then all domains commit together — exactly how
+     * fpga::Device::stepGlobal clocks a multi-domain design.
+     */
+    virtual void stepDomains(const std::vector<uint8_t> &clocks) = 0;
+
+    /**
+     * Advance @p n edges of *every* clock domain simultaneously
+     * (the free-running-oscillator view of the design; identical
+     * to step(0) for single-clock designs).
+     */
+    virtual void run(uint64_t n) = 0;
+
+    /** Current value of register @p index. */
+    virtual uint64_t regValue(uint32_t index) = 0;
+
+    /** Current value of a register by hierarchical name. */
+    virtual uint64_t regByName(const std::string &name) = 0;
+
+    /** Debugger-style state forcing (immediate, like partial
+     *  reconfiguration on the fabric). */
+    virtual void forceReg(uint32_t index, uint64_t value) = 0;
+    virtual void forceRegByName(const std::string &name,
+                                uint64_t value) = 0;
+
+    /** Read one word of a memory. */
+    virtual uint64_t memWord(uint32_t mem_index,
+                             uint32_t addr) const = 0;
+
+    /** Force one word of a memory. */
+    virtual void forceMemWord(uint32_t mem_index, uint32_t addr,
+                              uint64_t value) = 0;
+
+    /** Edges taken on clock domain @p clock since construction. */
+    virtual uint64_t cycles(uint8_t clock = 0) const = 0;
+
+    /** Overwrite a domain's cycle counter (snapshot rewind). */
+    virtual void setCycles(uint8_t clock, uint64_t n) = 0;
+
+    /**
+     * Sync-read-port latch state, flattened in (mem, port)
+     * declaration order. Part of the design's complete state:
+     * backends that serialize engine state for snapshotting must
+     * include these alongside registers and memories.
+     */
+    virtual size_t syncLatchCount() const = 0;
+    virtual uint64_t syncLatchValue(size_t i) const = 0;
+    virtual void setSyncLatchValue(size_t i, uint64_t value) = 0;
+
+    /** Snapshot of all register values (index-aligned). */
+    virtual std::vector<uint64_t> snapshotRegs() = 0;
+
+    /** Restore a snapshotRegs() image. */
+    virtual void restoreRegs(const std::vector<uint64_t> &image) = 0;
+
+    /** The design under execution. */
+    virtual const rtl::Design &design() const = 0;
+};
+
+} // namespace zoomie::sim
+
+#endif // ZOOMIE_SIM_ENGINE_HH

@@ -16,6 +16,10 @@ Simulator::Simulator(const rtl::Design &design)
 {
     for (uint32_t i = 0; i < _design.inputs.size(); ++i)
         _inputIndex[_design.inputs[i].name] = i;
+    for (uint32_t i = 0; i < _design.outputs.size(); ++i)
+        _outputIndex[_design.outputs[i].name] = i;
+    for (uint32_t i = 0; i < _design.regs.size(); ++i)
+        _regIndex[_design.regs[i].name] = i;
 
     _memState.resize(_design.mems.size());
     for (uint32_t m = 0; m < _design.mems.size(); ++m) {
@@ -27,6 +31,14 @@ Simulator::Simulator(const rtl::Design &design)
         }
     }
     _syncReadLatch.assign(_syncPorts.size(), 0);
+
+    _regNext.reserve(_design.regs.size());
+    _latchNext.reserve(_syncPorts.size());
+    _memWrites.reserve(_design.mems.size());
+    _oneClock.resize(1, 0);
+    for (uint8_t c = 0; c < _design.clocks.size(); ++c)
+        _allClocks.push_back(c);
+
     reset();
 }
 
@@ -151,17 +163,17 @@ Simulator::netByName(const std::string &name)
 uint64_t
 Simulator::peek(const std::string &port)
 {
-    for (const auto &out : _design.outputs) {
-        if (out.name == port)
-            return net(out.net);
-    }
-    panic("unknown output port '", port, "'");
+    auto it = _outputIndex.find(port);
+    panic_if(it == _outputIndex.end(), "unknown output port '",
+             port, "'");
+    return net(_design.outputs[it->second].net);
 }
 
 void
 Simulator::step(uint8_t clock)
 {
-    stepDomains({clock});
+    _oneClock[0] = clock;
+    stepDomains(_oneClock);
 }
 
 void
@@ -176,9 +188,10 @@ Simulator::stepDomains(const std::vector<uint8_t> &clocks)
         return false;
     };
 
-    // Phase 1: compute next state from pre-edge values.
-    std::vector<std::pair<uint32_t, uint64_t>> reg_next;
-    reg_next.reserve(_design.regs.size());
+    // Phase 1: compute next state from pre-edge values. The
+    // scratch buffers are members reused across steps so the hot
+    // loop stays allocation-free once warm.
+    _regNext.clear();
     for (uint32_t i = 0; i < _design.regs.size(); ++i) {
         const rtl::Reg &reg = _design.regs[i];
         if (!clocked(reg.clock))
@@ -189,10 +202,10 @@ Simulator::stepDomains(const std::vector<uint8_t> &clocks)
             (reg.rst != rtl::kNoNet && _values[reg.rst])
                 ? reg.rstVal
                 : _values[reg.d];
-        reg_next.emplace_back(i, truncToWidth(next, reg.width));
+        _regNext.emplace_back(i, truncToWidth(next, reg.width));
     }
 
-    std::vector<std::pair<size_t, uint64_t>> latch_next;
+    _latchNext.clear();
     for (size_t i = 0; i < _syncPorts.size(); ++i) {
         const auto &ref = _syncPorts[i];
         const rtl::Mem &mem = _design.mems[ref.mem];
@@ -200,28 +213,27 @@ Simulator::stepDomains(const std::vector<uint8_t> &clocks)
         if (!clocked(port.clock))
             continue;
         uint64_t addr = _values[port.addr] % mem.depth;
-        latch_next.emplace_back(i, _memState[ref.mem][addr]);
+        _latchNext.emplace_back(i, _memState[ref.mem][addr]);
     }
 
-    struct MemWrite { uint32_t mem; uint64_t addr; uint64_t data; };
-    std::vector<MemWrite> writes;
+    _memWrites.clear();
     for (uint32_t m = 0; m < _design.mems.size(); ++m) {
         const rtl::Mem &mem = _design.mems[m];
         for (const auto &wp : mem.writePorts) {
             if (!clocked(wp.clock) || !_values[wp.en])
                 continue;
-            writes.push_back({m, _values[wp.addr] % mem.depth,
-                              truncToWidth(_values[wp.data],
-                                           mem.width)});
+            _memWrites.push_back({m, _values[wp.addr] % mem.depth,
+                                  truncToWidth(_values[wp.data],
+                                               mem.width)});
         }
     }
 
     // Phase 2: commit simultaneously.
-    for (const auto &[idx, val] : reg_next)
+    for (const auto &[idx, val] : _regNext)
         _regState[idx] = val;
-    for (const auto &[idx, val] : latch_next)
+    for (const auto &[idx, val] : _latchNext)
         _syncReadLatch[idx] = val;
-    for (const auto &w : writes)
+    for (const auto &w : _memWrites)
         _memState[w.mem][w.addr] = w.data;
 
     for (uint8_t clock : clocks)
@@ -233,7 +245,7 @@ void
 Simulator::run(uint64_t n)
 {
     for (uint64_t i = 0; i < n; ++i)
-        step(0);
+        stepDomains(_allClocks);
 }
 
 uint64_t
@@ -243,10 +255,17 @@ Simulator::regValue(uint32_t index)
     return _regState[index];
 }
 
+int
+Simulator::regIndexOf(const std::string &name) const
+{
+    auto it = _regIndex.find(name);
+    return it == _regIndex.end() ? -1 : static_cast<int>(it->second);
+}
+
 uint64_t
 Simulator::regByName(const std::string &name)
 {
-    int idx = _design.findReg(name);
+    int idx = regIndexOf(name);
     panic_if(idx < 0, "unknown register '", name, "'");
     return _regState[idx];
 }
@@ -263,7 +282,7 @@ Simulator::forceReg(uint32_t index, uint64_t value)
 void
 Simulator::forceRegByName(const std::string &name, uint64_t value)
 {
-    int idx = _design.findReg(name);
+    int idx = regIndexOf(name);
     panic_if(idx < 0, "unknown register '", name, "'");
     forceReg(static_cast<uint32_t>(idx), value);
 }

@@ -2,8 +2,9 @@
  * @file
  * Cycle-accurate two-phase simulator for rtl::Design. Used directly
  * for RTL-level verification and as the golden reference against
- * which the FPGA fabric execution (src/fpga) is differentially
- * tested. Also the engine behind the SVA reference evaluator.
+ * which the FPGA fabric execution (src/fpga) and the compiled
+ * bytecode VM (src/jit) are differentially tested. Also the engine
+ * behind the SVA reference evaluator.
  */
 
 #ifndef ZOOMIE_SIM_SIMULATOR_HH
@@ -15,36 +16,40 @@
 #include <vector>
 
 #include "rtl/ir.hh"
+#include "sim/engine.hh"
 
 namespace zoomie::sim {
 
 /**
- * Simulates one rtl::Design instance. The design must outlive the
+ * Simulates one rtl::Design instance by re-walking the levelized
+ * node table on every evaluation. The design must outlive the
  * simulator. Evaluation is lazy: combinational nets are recomputed
  * on demand after any input poke or clock edge.
  */
-class Simulator
+class Simulator : public Engine
 {
   public:
     explicit Simulator(const rtl::Design &design);
 
+    std::string kind() const override { return "sim"; }
+
     /** Load power-on register values and memory init images. */
-    void reset();
+    void reset() override;
 
     /** Drive a top-level input (by port name). */
-    void poke(const std::string &port, uint64_t value);
+    void poke(const std::string &port, uint64_t value) override;
 
     /** Read any net's current value (forces evaluation). */
-    uint64_t net(rtl::NetId id);
+    uint64_t net(rtl::NetId id) override;
 
     /** Read a named net. Panics if the name is unknown. */
-    uint64_t netByName(const std::string &name);
+    uint64_t netByName(const std::string &name) override;
 
     /** Read a top-level output by name. */
-    uint64_t peek(const std::string &port);
+    uint64_t peek(const std::string &port) override;
 
     /** Advance one edge of clock domain @p clock. */
-    void step(uint8_t clock = 0);
+    void step(uint8_t clock = 0) override;
 
     /**
      * Advance one edge of several clock domains *simultaneously*:
@@ -55,37 +60,50 @@ class Simulator
      * domain b samples a register in domain a (or vice versa), so
      * backends that must match the fabric cycle-for-cycle use this.
      */
-    void stepDomains(const std::vector<uint8_t> &clocks);
+    void stepDomains(const std::vector<uint8_t> &clocks) override;
 
-    /** Advance @p n edges of clock 0. */
-    void run(uint64_t n);
+    /**
+     * Advance @p n edges of every clock domain simultaneously.
+     * (Stepping only domain 0 on a multi-clock design would
+     * silently freeze the other domains — the free-running view
+     * clocks them all, exactly like fpga::Device::stepGlobal.)
+     */
+    void run(uint64_t n) override;
 
     /** Current value of register @p index. */
-    uint64_t regValue(uint32_t index);
+    uint64_t regValue(uint32_t index) override;
 
     /** Current value of a register by hierarchical name. */
-    uint64_t regByName(const std::string &name);
+    uint64_t regByName(const std::string &name) override;
 
     /**
      * Debugger-style state forcing: overwrite a register's current
      * value (takes effect immediately, as partial reconfiguration
      * would on the fabric).
      */
-    void forceReg(uint32_t index, uint64_t value);
-    void forceRegByName(const std::string &name, uint64_t value);
+    void forceReg(uint32_t index, uint64_t value) override;
+    void forceRegByName(const std::string &name,
+                        uint64_t value) override;
 
     /** Read one word of a memory. */
-    uint64_t memWord(uint32_t mem_index, uint32_t addr) const;
+    uint64_t memWord(uint32_t mem_index,
+                     uint32_t addr) const override;
 
     /** Force one word of a memory. */
     void forceMemWord(uint32_t mem_index, uint32_t addr,
-                      uint64_t value);
+                      uint64_t value) override;
 
     /** Edges taken on clock domain @p clock since construction. */
-    uint64_t cycles(uint8_t clock = 0) const { return _cycles[clock]; }
+    uint64_t cycles(uint8_t clock = 0) const override
+    {
+        return _cycles[clock];
+    }
 
     /** Overwrite a domain's cycle counter (snapshot rewind). */
-    void setCycles(uint8_t clock, uint64_t n) { _cycles[clock] = n; }
+    void setCycles(uint8_t clock, uint64_t n) override
+    {
+        _cycles[clock] = n;
+    }
 
     /**
      * Sync-read-port latch state, flattened in (mem, port)
@@ -93,24 +111,27 @@ class Simulator
      * backends that serialize simulator state for snapshotting
      * must include these alongside registers and memories.
      */
-    size_t syncLatchCount() const { return _syncReadLatch.size(); }
-    uint64_t syncLatchValue(size_t i) const
+    size_t syncLatchCount() const override
+    {
+        return _syncReadLatch.size();
+    }
+    uint64_t syncLatchValue(size_t i) const override
     {
         return _syncReadLatch[i];
     }
-    void setSyncLatchValue(size_t i, uint64_t value)
+    void setSyncLatchValue(size_t i, uint64_t value) override
     {
         _syncReadLatch[i] = value;
         markDirty();
     }
 
     /** Snapshot of all register values (index-aligned). */
-    std::vector<uint64_t> snapshotRegs();
+    std::vector<uint64_t> snapshotRegs() override;
 
     /** Restore a snapshotRegs() image. */
-    void restoreRegs(const std::vector<uint64_t> &image);
+    void restoreRegs(const std::vector<uint64_t> &image) override;
 
-    const rtl::Design &design() const { return _design; }
+    const rtl::Design &design() const override { return _design; }
 
   private:
     void evaluate();
@@ -124,11 +145,30 @@ class Simulator
     std::vector<uint64_t> _syncReadLatch; ///< per sync read port
     std::vector<uint64_t> _cycles;
     std::unordered_map<std::string, uint32_t> _inputIndex;
+    std::unordered_map<std::string, uint32_t> _outputIndex;
+    std::unordered_map<std::string, uint32_t> _regIndex;
     bool _dirty = true;
 
     /** Flattened sync-read-port bookkeeping: (mem, port) pairs. */
     struct SyncPortRef { uint32_t mem; uint32_t port; };
     std::vector<SyncPortRef> _syncPorts;
+
+    /**
+     * Reused per-step scratch: stepDomains is the hot path under
+     * every run/trace/difftest sweep, and constructing these
+     * buffers per call costs several heap round trips per cycle.
+     * Hoisted here they reach steady-state capacity after the
+     * first step and never allocate again (pinned by a test).
+     */
+    struct MemWrite { uint32_t mem; uint64_t addr; uint64_t data; };
+    std::vector<std::pair<uint32_t, uint64_t>> _regNext;
+    std::vector<std::pair<size_t, uint64_t>> _latchNext;
+    std::vector<MemWrite> _memWrites;
+    std::vector<uint8_t> _oneClock;   ///< step()'s single-domain arg
+    std::vector<uint8_t> _allClocks;  ///< run()'s every-domain arg
+
+    /** Look up a register index by name via _regIndex. */
+    int regIndexOf(const std::string &name) const;
 };
 
 } // namespace zoomie::sim

@@ -987,9 +987,6 @@ Mapper::computeCuts()
         cut.n = static_cast<uint8_t>(leaves.size());
         for (size_t i = 0; i < leaves.size(); ++i)
             cut.leaf[i] = leaves[i];
-        const unsigned minterms =
-            cut.n >= 6 ? 64 : (1u << (1u << cut.n));
-        (void)minterms;
         const uint64_t mask =
             cut.n == 6 ? ~0ULL : ((1ULL << (1u << cut.n)) - 1);
         cut.truth = result & mask;

@@ -42,23 +42,40 @@ pairedOptions()
 /** Sweep `count` seeded sequences over one design; fail loudly
  *  with the shrunk repro when any of them diverges. */
 void
-expectSweepClean(const GeneratorOptions &gen, size_t count)
+expectSweepClean(const GeneratorOptions &gen, size_t count,
+                 const LockstepOptions &options)
 {
     difftest::SweepResult result =
-        difftest::sweep(gen, pairedOptions(), count);
+        difftest::sweep(gen, options, count);
     EXPECT_EQ(result.sequences, count);
     if (!result.failure)
         return;
     ADD_FAILURE() << "backends diverged (seed "
                   << result.failingSeed << ", "
                   << result.failure->divergence.kind << " after '"
-                  << result.failure->divergence.command
-                  << "'):\n--- fabric ---\n"
-                  << result.failure->divergence.lhs
-                  << "\n--- sim ---\n"
+                  << result.failure->divergence.command << "'):\n--- "
+                  << options.backendA << " ---\n"
+                  << result.failure->divergence.lhs << "\n--- "
+                  << options.backendB << " ---\n"
                   << result.failure->divergence.rhs << "\nrepro:\n"
-                  << encodeRepro(*result.failure, pairedOptions(),
+                  << encodeRepro(*result.failure, options,
                                  result.failingSeed);
+}
+
+void
+expectSweepClean(const GeneratorOptions &gen, size_t count)
+{
+    expectSweepClean(gen, count, pairedOptions());
+}
+
+/** The fabric-vs-sim options retargeted at the jit engine. */
+LockstepOptions
+jitOptions(const std::string &backend_a)
+{
+    LockstepOptions options = pairedOptions();
+    options.backendA = backend_a;
+    options.backendB = "jit";
+    return options;
 }
 
 } // namespace
@@ -79,6 +96,10 @@ TEST(Difftest, NormalizeScrubsVolatileFields)
     // Reply-level ids (request echo) are NOT snapshot ids.
     EXPECT_EQ(difftest::normalizeLine(R"({"id":7,"ok":true})"),
               R"({"id":7,"ok":true})");
+    // Backend identity is the comparison axis, never a divergence.
+    EXPECT_EQ(difftest::normalizeLine(
+                  R"({"ok":true,"backend":"jit"})"),
+              R"({"ok":true})");
     // Non-JSON lines pass through for raw comparison.
     EXPECT_EQ(difftest::normalizeLine("not json"), "not json");
 }
@@ -190,6 +211,47 @@ TEST(Difftest, VerilogCorpusSweepsAgreeAcrossBackends)
     }
     // The sweep exercised real sessions, not just refusals.
     EXPECT_GE(opened, 10u);
+}
+
+// ---- the jit engine against both established backends -----------------
+
+TEST(Difftest, JitCounterSweepAgreesWithInterpreter)
+{
+    GeneratorOptions gen;
+    gen.design = "counter";
+    gen.seed = 6000;
+    gen.length = 24;
+    expectSweepClean(gen, 300, jitOptions("sim"));
+}
+
+TEST(Difftest, JitCounterSweepAgreesWithFabric)
+{
+    // The strong form of the backend-matrix claim: the compiled
+    // engine agrees with the fabric too, not just with the
+    // interpreter it was pinned against.
+    GeneratorOptions gen;
+    gen.design = "counter";
+    gen.seed = 6500;
+    gen.length = 24;
+    expectSweepClean(gen, 100, jitOptions("fabric"));
+}
+
+TEST(Difftest, JitTinyRvSweepAgreesWithInterpreter)
+{
+    GeneratorOptions gen;
+    gen.design = "tinyrv";
+    gen.seed = 7000;
+    gen.length = 20;
+    expectSweepClean(gen, 20, jitOptions("sim"));
+}
+
+TEST(Difftest, JitServSocSweepAgreesWithInterpreter)
+{
+    GeneratorOptions gen;
+    gen.design = "serv_soc";
+    gen.seed = 8000;
+    gen.length = 20;
+    expectSweepClean(gen, 30, jitOptions("sim"));
 }
 
 // ---- planted divergence: detection, shrinking, repro ------------------

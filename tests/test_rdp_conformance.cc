@@ -85,7 +85,7 @@ goldenTable()
             {"open",
              {{},
               R"({"cmd":"open","id":1,"design":"counter"})",
-              R"({"type":"reply","id":1,"cmd":"open","ok":true,"session":1,"design":"counter","watch":["mut/count"]})"}},
+              R"({"type":"reply","id":1,"cmd":"open","ok":true,"session":1,"design":"counter","backend":"fabric","watch":["mut/count"]})"}},
             {"close",
              {{kOpen},
               R"({"cmd":"close","id":1})",
@@ -93,7 +93,7 @@ goldenTable()
             {"sessions",
              {{kOpen},
               R"({"cmd":"sessions","id":1})",
-              R"({"type":"reply","id":1,"cmd":"sessions","ok":true,"sessions":[{"session":1,"design":"counter","cycles":0,"run_requests":0,"exec_us":0,"queue_wait_us":0,"pending_runs":0,"idle_us":0}]})"}},
+              R"({"type":"reply","id":1,"cmd":"sessions","ok":true,"sessions":[{"session":1,"design":"counter","backend":"fabric","cycles":0,"run_requests":0,"exec_us":0,"queue_wait_us":0,"pending_runs":0,"idle_us":0}]})"}},
             {"commands",
              {{},
               R"({"cmd":"commands","id":1})",
@@ -191,7 +191,7 @@ goldenTable()
             {"open_source",
              {{},
               R"({"cmd":"open_source","id":1,"text":"module counter(input clk, input en, output [15:0] value);\n  reg [15:0] count;\n  always @(posedge clk) if (en) count <= count + 1;\n  assign value = count;\nendmodule\n"})",
-              R"({"type":"reply","id":1,"cmd":"open_source","ok":true,"session":1,"design":"source","top":"counter","nodes":9,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"]})"}},
+              R"({"type":"reply","id":1,"cmd":"open_source","ok":true,"session":1,"design":"source","backend":"fabric","top":"counter","nodes":9,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"]})"}},
             {"poke",
              {{kOpenSource},
               R"({"cmd":"poke","id":1,"name":"en","value":1})",
@@ -429,7 +429,7 @@ TEST(RdpConformance, OpenSourceChunkedGolden)
         conn, quit);
     EXPECT_EQ(
         last.back(),
-        R"({"type":"reply","id":2,"cmd":"open_source","ok":true,"session":1,"design":"source","top":"counter","nodes":6,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"]})");
+        R"({"type":"reply","id":2,"cmd":"open_source","ok":true,"session":1,"design":"source","backend":"fabric","top":"counter","nodes":6,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"]})");
     EXPECT_EQ(server.sessions().count(), 1u);
 
     // An out-of-order chunk resets the buffer with a typed error.

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
 #include "rtl/builder.hh"
 #include "sim/simulator.hh"
 
@@ -239,4 +244,101 @@ TEST(Simulator, ReductionsMatchDefinition)
     s.poke("a", 0b11111);
     EXPECT_EQ(s.peek("and"), 1u);
     EXPECT_EQ(s.peek("xor"), 1u);
+}
+
+// ---- multi-domain run() semantics ------------------------------------
+
+TEST(Simulator, RunStepsAllDomainsSimultaneously)
+{
+    // Cross-coupled registers in different domains: run() must
+    // commit both domains from the same pre-edge values (a swap),
+    // not one domain after the other (which would copy one value
+    // over both).
+    Builder b("xclk");
+    uint8_t clk1 = b.addClock("clk1");
+    auto r0 = b.reg("r0", 8, 1, 0);
+    auto r1 = b.reg("r1", 8, 2, clk1);
+    b.connect(r0, r1.q);
+    b.connect(r1, r0.q);
+    b.output("o0", r0.q);
+    b.output("o1", r1.q);
+    rtl::Design d = b.finish();
+
+    sim::Simulator s(d);
+    s.run(1);
+    EXPECT_EQ(s.peek("o0"), 2u);
+    EXPECT_EQ(s.peek("o1"), 1u);
+    s.run(1);
+    EXPECT_EQ(s.peek("o0"), 1u);
+    EXPECT_EQ(s.peek("o1"), 2u);
+    // And every domain's counter advanced.
+    EXPECT_EQ(s.cycles(0), 2u);
+    EXPECT_EQ(s.cycles(1), 2u);
+}
+
+// ---- allocation-free hot path ----------------------------------------
+
+namespace {
+
+bool g_count_allocs = false;
+size_t g_alloc_count = 0;
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    if (g_count_allocs)
+        ++g_alloc_count;
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+TEST(Simulator, SteadyStateSteppingAllocatesNothing)
+{
+    // The interpreter's hot path (evaluate + commit, including the
+    // memory-write buffer and both scratch vectors) must reuse
+    // member scratch after warm-up: zero heap traffic per cycle.
+    Builder b("hot");
+    uint8_t clk1 = b.addClock("clk1");
+    Value din = b.input("din", 8);
+    auto r0 = b.reg("r0", 8, 0, 0);
+    auto r1 = b.reg("r1", 8, 0, clk1);
+    b.connect(r0, b.add(r0.q, din));
+    b.connect(r1, r0.q);
+    auto m = b.mem("m", 8, 16, rtl::MemStyle::Block);
+    Value q = b.memReadSync(m, b.slice(r0.q, 0, 4), clk1);
+    b.memWrite(m, b.slice(r1.q, 0, 4), r0.q, b.redOr(din), 0);
+    b.output("o", b.add(q, r1.q));
+    rtl::Design d = b.finish();
+
+    sim::Simulator s(d);
+    s.poke("din", 3);
+    const std::vector<uint8_t> domain0 = {0};
+    s.run(4);             // warm up every scratch buffer
+    s.stepDomains(domain0);
+
+    g_alloc_count = 0;
+    g_count_allocs = true;
+    s.run(100);
+    s.stepDomains(domain0);
+    g_count_allocs = false;
+    EXPECT_EQ(g_alloc_count, 0u);
 }
