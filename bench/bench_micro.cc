@@ -15,6 +15,7 @@
 #include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
 #include "jit/jitsim.hh"
+#include "lint/cache.hh"
 #include "lint/lint.hh"
 #include "rdp/server.hh"
 #include "rtl/builder.hh"
@@ -193,6 +194,28 @@ BM_LintServSoc(benchmark::State &state)
 }
 BENCHMARK(BM_LintServSoc);
 
+void
+BM_IncrementalRelint(benchmark::State &state)
+{
+    // Re-linting an unchanged design with a warm cache: the hash
+    // walk plus the whole-design replay, no pass executes. The
+    // delta to BM_LintServSoc is what the incremental engine saves
+    // on every no-op re-lint (the common CI rebuild case); the
+    // edited-module slice path is pinned by tests/test_lint_cache.
+    rtl::Design design = designs::buildServSoc({});
+    lint::Linter linter;
+    lint::AnalysisCache cache;
+    linter.run(design, lint::Options{}, &cache, nullptr);
+    for (auto _ : state) {
+        lint::Report report =
+            linter.run(design, lint::Options{}, &cache, nullptr);
+        benchmark::DoNotOptimize(report.diags.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            design.nodes.size());
+}
+BENCHMARK(BM_IncrementalRelint);
+
 /** A mid-size source: parameterized FIFO under a wrapper top. */
 const char *
 fifoSource()
@@ -242,8 +265,12 @@ BM_OpenSourceEndToEnd(benchmark::State &state)
 {
     // The full tenant-upload round trip: decode the JSONL request,
     // compile, lint-gate, admit a scheduled session — then close
-    // it so the registry slot recycles each iteration.
-    rdp::Server server;
+    // it so the registry slot recycles each iteration. Content
+    // caches are off: this is the cold baseline BM_CachedOpenSource
+    // is measured against.
+    rdp::ServerOptions options;
+    options.contentCaches = false;
+    rdp::Server server(options);
     rdp::Json req = rdp::Json::object();
     req.set("cmd", "open_source");
     req.set("text", fifoSource());
@@ -259,6 +286,33 @@ BM_OpenSourceEndToEnd(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OpenSourceEndToEnd);
+
+void
+BM_CachedOpenSource(benchmark::State &state)
+{
+    // The same upload round trip with the server's content caches
+    // on: after the warm-up open, every iteration's lint gate and
+    // partition synthesis are served from the caches. The delta to
+    // BM_OpenSourceEndToEnd is the analysis + synthesis work a
+    // second tenant uploading identical RTL no longer pays.
+    rdp::Server server;
+    rdp::Json req = rdp::Json::object();
+    req.set("cmd", "open_source");
+    req.set("text", fifoSource());
+    const std::string open_line = req.encode();
+    bool quit = false;
+    server.handleLine(open_line, quit);
+    server.handleLine(R"({"cmd":"close"})", quit);
+    for (auto _ : state) {
+        auto out = server.handleLine(open_line, quit);
+        benchmark::DoNotOptimize(out.data());
+        auto closed = server.handleLine(
+            R"({"cmd":"close"})", quit);
+        benchmark::DoNotOptimize(closed.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedOpenSource);
 
 std::unique_ptr<core::Platform>
 makeServSocPlatform()

@@ -9,10 +9,17 @@
  *     zoomie_lint [--design NAME] [--pass ID[,ID...]]
  *                 [--severity note|warning|error]
  *                 [--waivers FILE] [--show-waived] [--list-passes]
+ *                 [--cache-dir DIR] [--no-cache]
  *
  * Designs: counter, tinyrv, serv_soc, cohort, beehive.
+ * Caching: by default a run keeps an in-memory analysis cache
+ * (which only helps repeated runs inside one process); --cache-dir
+ * mirrors entries to DIR so *subsequent invocations* of identical
+ * RTL reuse the analysis, and --no-cache forces the cold path. The
+ * report text is byte-identical either way; cache probe counters go
+ * to stderr so stdout stays diffable.
  * Exit status: 0 = no unwaived errors, 1 = error findings,
- * 2 = bad usage or unreadable waiver file.
+ * 2 = bad usage, unknown pass id or unreadable waiver file.
  */
 
 #include <cstdio>
@@ -24,6 +31,7 @@
 #include "designs/cohort.hh"
 #include "designs/serv_soc.hh"
 #include "designs/tinyrv.hh"
+#include "lint/cache.hh"
 #include "lint/lint.hh"
 #include "rtl/builder.hh"
 
@@ -85,7 +93,8 @@ usage(const char *argv0)
         "          [--pass ID[,ID...]] "
         "[--severity note|warning|error]\n"
         "          [--waivers FILE] [--show-waived] "
-        "[--list-passes]\n",
+        "[--list-passes]\n"
+        "          [--cache-dir DIR] [--no-cache]\n",
         argv0);
     return 2;
 }
@@ -98,6 +107,8 @@ main(int argc, char **argv)
     std::string design_name = "tinyrv";
     lint::Options options;
     bool show_waived = false;
+    bool use_cache = true;
+    std::string cache_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -148,6 +159,13 @@ main(int argc, char **argv)
             }
         } else if (arg == "--show-waived") {
             show_waived = true;
+        } else if (arg == "--cache-dir") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            cache_dir = v;
+        } else if (arg == "--no-cache") {
+            use_cache = false;
         } else {
             std::fprintf(stderr, "zoomie_lint: unknown option %s\n",
                          arg.c_str());
@@ -165,15 +183,37 @@ main(int argc, char **argv)
     lint::Linter linter;
     for (const std::string &id : options.passes) {
         if (!linter.hasPass(id)) {
+            std::string known;
+            for (const std::string &pass :
+                 lint::Linter::passIds()) {
+                if (!known.empty())
+                    known += ", ";
+                known += pass;
+            }
             std::fprintf(stderr,
-                         "zoomie_lint: unknown pass '%s' (try "
-                         "--list-passes)\n",
-                         id.c_str());
+                         "zoomie_lint: unknown pass '%s' "
+                         "(known: %s)\n",
+                         id.c_str(), known.c_str());
             return 2;
         }
     }
 
-    lint::Report report = linter.run(design, options);
+    lint::Report report;
+    if (use_cache) {
+        lint::AnalysisCache cache(cache_dir);
+        lint::RunMetrics metrics;
+        report = linter.run(design, options, &cache, &metrics);
+        // Counters go to stderr: stdout stays byte-identical to an
+        // uncached run, so pipelines can diff reports freely.
+        std::fprintf(stderr,
+                     "zoomie_lint: cache %llu hit(s), %llu "
+                     "miss(es)%s\n",
+                     (unsigned long long)metrics.cacheHits,
+                     (unsigned long long)metrics.cacheMisses,
+                     cache_dir.empty() ? " (in-memory)" : "");
+    } else {
+        report = linter.run(design, options);
+    }
     std::string text = report.renderText(show_waived);
     std::fputs(text.c_str(), stdout);
     std::printf("%s: %zu errors, %zu warnings, %zu notes\n",

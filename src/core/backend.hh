@@ -44,6 +44,11 @@ class Backend
     /** Backend family name ("fabric", "sim", "jit"). */
     virtual std::string kind() const = 0;
 
+    /** Partition-artifact cache outcome of this backend's compile.
+     *  Backends that never synthesize (sim/jit) report 0/0. */
+    virtual uint64_t artifactHits() const { return 0; }
+    virtual uint64_t artifactMisses() const { return 0; }
+
     /** Instrumentation metadata (watch slots, assertions, ...). */
     virtual const InstrumentResult &instrumented() const = 0;
 
@@ -140,6 +145,14 @@ class FabricBackend : public Backend
     Platform &platform() { return *_platform; }
 
     std::string kind() const override { return "fabric"; }
+    uint64_t artifactHits() const override
+    {
+        return _platform->compileResult().artifactHits;
+    }
+    uint64_t artifactMisses() const override
+    {
+        return _platform->compileResult().artifactMisses;
+    }
     const InstrumentResult &instrumented() const override
     {
         return _platform->instrumented();

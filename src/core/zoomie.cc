@@ -18,6 +18,7 @@ Platform::create(const rtl::Design &user_design,
                  "VTI flow needs a MUT prefix (iterated module)");
         vti_opts.iteratedModules = {options.instrument.mutPrefix};
         vti_opts.overprovision = options.overprovision;
+        vti_opts.artifacts = options.artifacts;
         platform->_vti = std::make_unique<toolchain::Vti>(
             options.spec, vti_opts);
         platform->_result =
@@ -25,6 +26,7 @@ Platform::create(const rtl::Design &user_design,
     } else {
         platform->_vendor = std::make_unique<toolchain::VendorTool>(
             options.spec);
+        platform->_vendor->artifacts = options.artifacts;
         platform->_result =
             platform->_vendor->compile(platform->_meta.design);
     }

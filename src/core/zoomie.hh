@@ -32,6 +32,14 @@ struct PlatformOptions
      */
     bool useVti = false;
     double overprovision = 0.30;
+
+    /**
+     * Optional shared partition-artifact store (not owned): the
+     * compile flow consults it before synthesizing and publishes
+     * fresh results into it, so sessions compiling identical RTL
+     * share synthesis work. Null disables caching.
+     */
+    toolchain::ArtifactStore *artifacts = nullptr;
 };
 
 /** Owns the full bring-up: instrumented design to live debugger. */

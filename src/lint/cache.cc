@@ -1,0 +1,313 @@
+#include "lint/cache.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+#include "common/bits.hh"
+
+namespace zoomie::lint {
+
+namespace {
+
+constexpr char kMagic[4] = {'Z', 'L', 'C', '1'};
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(uint8_t(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(uint8_t(v >> (8 * i)));
+}
+
+void
+putStr(std::vector<uint8_t> &out, const std::string &s)
+{
+    putU32(out, uint32_t(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+struct Reader
+{
+    const uint8_t *p;
+    const uint8_t *end;
+
+    bool u8(uint8_t &v)
+    {
+        if (end - p < 1)
+            return false;
+        v = *p++;
+        return true;
+    }
+    bool u32(uint32_t &v)
+    {
+        if (end - p < 4)
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t(*p++) << (8 * i);
+        return true;
+    }
+    bool u64(uint64_t &v)
+    {
+        if (end - p < 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(*p++) << (8 * i);
+        return true;
+    }
+    bool str(std::string &s)
+    {
+        uint32_t len;
+        if (!u32(len) || uint64_t(end - p) < len)
+            return false;
+        s.assign(reinterpret_cast<const char *>(p), len);
+        p += len;
+        return true;
+    }
+};
+
+/** Keys are 16 hex digits, but sanitize anyway — a cache directory
+ *  must never be a path-traversal vector. */
+std::string
+safeName(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                  (c >= 'A' && c <= 'Z') || c == '-' || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+AnalysisCache::AnalysisCache(std::string dir, uint64_t max_bytes)
+    : _dir(std::move(dir)), _maxBytes(max_bytes)
+{
+}
+
+std::string
+AnalysisCache::pathFor(const std::string &key) const
+{
+    return _dir + "/" + safeName(key) + ".zlc";
+}
+
+std::vector<uint8_t>
+AnalysisCache::encode(const std::string &key,
+                      const std::vector<Diagnostic> &diags)
+{
+    std::vector<uint8_t> out;
+    out.reserve(64 + 32 * diags.size());
+    for (char c : kMagic)
+        out.push_back(uint8_t(c));
+    putStr(out, key);
+    putU32(out, uint32_t(diags.size()));
+    for (const Diagnostic &diag : diags) {
+        putStr(out, diag.pass);
+        out.push_back(uint8_t(diag.severity));
+        putStr(out, diag.scope);
+        putU32(out, uint32_t(diag.objects.size()));
+        for (const std::string &obj : diag.objects)
+            putStr(out, obj);
+        putStr(out, diag.message);
+        putStr(out, diag.fingerprint);
+        out.push_back(diag.waived ? 1 : 0);
+    }
+    putU64(out, fnv1a64(reinterpret_cast<const char *>(out.data()),
+                        out.size()));
+    return out;
+}
+
+bool
+AnalysisCache::decodeLocked(const std::string &key,
+                            const std::vector<uint8_t> &blob,
+                            std::vector<Diagnostic> &out) const
+{
+    if (blob.size() < 4 + 8 ||
+        memcmp(blob.data(), kMagic, 4) != 0)
+        return false;
+    // Checksum covers everything before the trailer; recomputed on
+    // every fetch so bit rot in memory or on disk is caught.
+    const size_t body = blob.size() - 8;
+    Reader tail{blob.data() + body, blob.data() + blob.size()};
+    uint64_t want = 0;
+    tail.u64(want);
+    if (fnv1a64(reinterpret_cast<const char *>(blob.data()), body) !=
+        want)
+        return false;
+
+    Reader r{blob.data() + 4, blob.data() + body};
+    std::string echo;
+    if (!r.str(echo) || echo != key)
+        return false; // collision or file renamed across keys
+    uint32_t count;
+    if (!r.u32(count))
+        return false;
+    std::vector<Diagnostic> diags;
+    diags.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        Diagnostic diag;
+        uint8_t severity, waived;
+        uint32_t num_objects;
+        if (!r.str(diag.pass) || !r.u8(severity) ||
+            !r.str(diag.scope) || !r.u32(num_objects))
+            return false;
+        diag.severity = Severity(severity);
+        if (severity > uint8_t(Severity::Error))
+            return false;
+        diag.objects.resize(num_objects);
+        for (uint32_t j = 0; j < num_objects; ++j) {
+            if (!r.str(diag.objects[j]))
+                return false;
+        }
+        if (!r.str(diag.message) || !r.str(diag.fingerprint) ||
+            !r.u8(waived))
+            return false;
+        diag.waived = waived != 0;
+        diags.push_back(std::move(diag));
+    }
+    if (r.p != r.end)
+        return false;
+    out.insert(out.end(), diags.begin(), diags.end());
+    return true;
+}
+
+void
+AnalysisCache::evictLocked(const std::string &key)
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return;
+    _stats.bytes -= it->second.size();
+    _stats.entries--;
+    _entries.erase(it);
+    for (auto order = _order.begin(); order != _order.end(); ++order) {
+        if (*order == key) {
+            _order.erase(order);
+            break;
+        }
+    }
+}
+
+void
+AnalysisCache::insertLocked(const std::string &key,
+                            std::vector<uint8_t> blob, bool to_disk)
+{
+    evictLocked(key);
+    while (!_order.empty() &&
+           _stats.bytes + blob.size() > _maxBytes) {
+        std::string victim = _order.front();
+        evictLocked(victim);
+        _stats.evictions++;
+        if (!_dir.empty())
+            std::remove(pathFor(victim).c_str());
+    }
+    _stats.bytes += blob.size();
+    _stats.entries++;
+    _order.push_back(key);
+    if (to_disk && !_dir.empty()) {
+        ::mkdir(_dir.c_str(), 0755);
+        // tmp + rename: a concurrent reader never sees a torn write.
+        std::string path = pathFor(key);
+        std::string tmp = path + ".tmp";
+        if (FILE *f = std::fopen(tmp.c_str(), "wb")) {
+            size_t wrote =
+                std::fwrite(blob.data(), 1, blob.size(), f);
+            std::fclose(f);
+            if (wrote == blob.size())
+                std::rename(tmp.c_str(), path.c_str());
+            else
+                std::remove(tmp.c_str());
+        }
+    }
+    _entries.emplace(key, std::move(blob));
+}
+
+bool
+AnalysisCache::fetch(const std::string &key,
+                     std::vector<Diagnostic> &out)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _entries.find(key);
+    if (it != _entries.end()) {
+        if (decodeLocked(key, it->second, out)) {
+            _stats.hits++;
+            return true;
+        }
+        evictLocked(key);
+        _stats.corruptEvictions++;
+        if (!_dir.empty())
+            std::remove(pathFor(key).c_str());
+        _stats.misses++;
+        return false;
+    }
+    if (!_dir.empty()) {
+        if (FILE *f = std::fopen(pathFor(key).c_str(), "rb")) {
+            std::vector<uint8_t> blob;
+            uint8_t buf[4096];
+            size_t got;
+            while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                blob.insert(blob.end(), buf, buf + got);
+            std::fclose(f);
+            if (decodeLocked(key, blob, out)) {
+                insertLocked(key, std::move(blob),
+                             /*to_disk=*/false);
+                _stats.hits++;
+                return true;
+            }
+            std::remove(pathFor(key).c_str());
+            _stats.corruptEvictions++;
+        }
+    }
+    _stats.misses++;
+    return false;
+}
+
+void
+AnalysisCache::store(const std::string &key,
+                     const std::vector<Diagnostic> &diags)
+{
+    std::vector<uint8_t> blob = encode(key, diags);
+    std::lock_guard<std::mutex> lock(_mu);
+    insertLocked(key, std::move(blob), /*to_disk=*/true);
+    _stats.stores++;
+}
+
+void
+AnalysisCache::erase(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    evictLocked(key);
+    if (!_dir.empty())
+        std::remove(pathFor(key).c_str());
+}
+
+AnalysisCache::Stats
+AnalysisCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _stats;
+}
+
+bool
+AnalysisCache::corruptEntryForTest(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _entries.find(key);
+    if (it == _entries.end() || it->second.size() < 13)
+        return false;
+    it->second[it->second.size() / 2] ^= 0x40;
+    return true;
+}
+
+} // namespace zoomie::lint

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Thread-safe content-addressed store for lint results: whole-design
+ * reports and per-module diagnostic slices, keyed by the digests from
+ * lint/modhash.hh. Entries live in memory under a byte cap (FIFO
+ * eviction) and, when a directory is configured, are mirrored to disk
+ * so independent processes — the CLI and a server, or two server
+ * runs — share work.
+ *
+ * Every entry is framed and checksummed ("ZLC1" magic, length-prefixed
+ * fields, FNV-1a-64 trailer). A corrupt or truncated entry — flipped
+ * byte on disk, partial write, key collision — fails the re-check, is
+ * evicted, and reports as a miss: poisoned data is never served.
+ */
+
+#ifndef ZOOMIE_LINT_CACHE_HH
+#define ZOOMIE_LINT_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lint/diagnostics.hh"
+
+namespace zoomie::lint {
+
+class AnalysisCache
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t stores = 0;
+        uint64_t evictions = 0;         ///< capacity evictions
+        uint64_t corruptEvictions = 0;  ///< checksum/format failures
+        uint64_t bytes = 0;             ///< resident blob bytes
+        uint64_t entries = 0;           ///< resident entry count
+    };
+
+    /** @param dir       optional directory for the disk mirror
+     *                   (created on first store; "" = memory only)
+     *  @param max_bytes in-memory byte cap; oldest entries evicted */
+    explicit AnalysisCache(std::string dir = "",
+                           uint64_t max_bytes = 64ull << 20);
+
+    AnalysisCache(const AnalysisCache &) = delete;
+    AnalysisCache &operator=(const AnalysisCache &) = delete;
+
+    /** Look up `key`; on a hit, appends the cached diagnostics to
+     *  `out` and returns true. A corrupt entry is evicted and counts
+     *  as a miss. */
+    bool fetch(const std::string &key, std::vector<Diagnostic> &out);
+
+    /** Serialize `diags` under `key` (overwrites). */
+    void store(const std::string &key,
+               const std::vector<Diagnostic> &diags);
+
+    /** Drop one entry (memory + disk). Used by tests to force the
+     *  per-module slice path after a whole-design hit. */
+    void erase(const std::string &key);
+
+    Stats stats() const;
+
+    /** Flip a payload byte of a resident entry, so tests can prove
+     *  the checksum re-check rejects poisoned data. Returns false if
+     *  the key is absent. */
+    bool corruptEntryForTest(const std::string &key);
+
+    /** Serialize one entry to the checked blob format (exposed for
+     *  the truncation test, which writes partial blobs to disk). */
+    static std::vector<uint8_t>
+    encode(const std::string &key, const std::vector<Diagnostic> &diags);
+
+  private:
+    bool decodeLocked(const std::string &key,
+                      const std::vector<uint8_t> &blob,
+                      std::vector<Diagnostic> &out) const;
+    void insertLocked(const std::string &key,
+                      std::vector<uint8_t> blob, bool to_disk);
+    void evictLocked(const std::string &key);
+    std::string pathFor(const std::string &key) const;
+
+    mutable std::mutex _mu;
+    std::string _dir;
+    uint64_t _maxBytes;
+    std::unordered_map<std::string, std::vector<uint8_t>> _entries;
+    std::deque<std::string> _order; ///< FIFO for capacity eviction
+    Stats _stats;
+};
+
+} // namespace zoomie::lint
+
+#endif // ZOOMIE_LINT_CACHE_HH

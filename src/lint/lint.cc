@@ -1,9 +1,12 @@
 #include "lint.hh"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "common/bits.hh"
+#include "lint/cache.hh"
+#include "lint/modhash.hh"
 #include "lint/passes.hh"
 
 namespace zoomie::lint {
@@ -358,57 +361,27 @@ Linter::passIds()
     return ids;
 }
 
-Report
-Linter::run(const rtl::Design &design, const Options &options) const
+namespace {
+
+/** Passes whose findings depend only on one module's items plus
+ *  the context the module hash already captures; safe to cache and
+ *  replay per module. The rest — structural, comb-loop,
+ *  reset-coverage — read design-global state and always run. */
+bool
+passIsModuleLocal(const std::string &id)
 {
-    Report report;
+    return id == "width" || id == "undriven" || id == "unused" ||
+           id == "dead-logic" || id == "mem-conflict" ||
+           id == "cdc" || id == "iface";
+}
 
-    std::set<std::string> selected(options.passes.begin(),
-                                   options.passes.end());
-    for (const std::string &id : selected) {
-        if (!hasPass(id)) {
-            std::string known;
-            for (const auto &pass : _passes) {
-                if (!known.empty())
-                    known += ", ";
-                known += pass->id();
-            }
-            report.add("lint", Severity::Error, "unknown-pass", "",
-                       {id},
-                       "unknown pass '" + id + "' (known: " +
-                           known + ")");
-        }
-    }
-
-    Analysis analysis(design);
-    auto wants = [&](const char *id) {
-        return selected.empty() || selected.count(id) != 0;
-    };
-
-    size_t skipped = 0;
-    for (const auto &pass : _passes) {
-        if (!wants(pass->id()))
-            continue;
-        // On a structurally unsound design (corrupt references)
-        // only the passes that never follow net references by
-        // value may run; Analysis computed the gate already.
-        std::string id = pass->id();
-        bool refSafe = id == "structural" || id == "comb-loop";
-        if (!analysis.sound() && !refSafe) {
-            ++skipped;
-            continue;
-        }
-        pass->run(analysis, report);
-    }
-    if (skipped > 0) {
-        report.add("lint", Severity::Note, "skipped", "", {},
-                   std::to_string(skipped) +
-                       " passes skipped: design is structurally "
-                       "unsound (see `structural` findings)");
-    }
-
-    std::vector<std::string> stale =
-        options.waivers.apply(report);
+/** Post-merge steps shared by cold, cached and L1-hit runs: waivers
+ *  first (so cached findings waive identically to fresh ones), then
+ *  stale-waiver notes, the severity floor, the canonical sort. */
+void
+finishReport(Report &report, const Options &options)
+{
+    std::vector<std::string> stale = options.waivers.apply(report);
     if (options.reportUnusedWaivers) {
         for (const std::string &fingerprint : stale) {
             report.add("lint", Severity::Note, "unused-waiver", "",
@@ -429,6 +402,176 @@ Linter::run(const rtl::Design &design, const Options &options) const
     }
 
     report.sort();
+}
+
+} // namespace
+
+Report
+Linter::run(const rtl::Design &design, const Options &options) const
+{
+    return run(design, options, nullptr, nullptr);
+}
+
+Report
+Linter::run(const rtl::Design &design, const Options &options,
+            AnalysisCache *cache, RunMetrics *metrics) const
+{
+    Report report;
+    RunMetrics scratch_metrics;
+    RunMetrics &m = metrics ? *metrics : scratch_metrics;
+    m = RunMetrics{};
+    m.cacheEnabled = cache != nullptr;
+
+    std::set<std::string> selected(options.passes.begin(),
+                                   options.passes.end());
+    for (const std::string &id : selected) {
+        if (!hasPass(id)) {
+            std::string known;
+            for (const auto &pass : _passes) {
+                if (!known.empty())
+                    known += ", ";
+                known += pass->id();
+            }
+            report.add("lint", Severity::Error, "unknown-pass", "",
+                       {id},
+                       "unknown pass '" + id + "' (known: " +
+                           known + ")");
+        }
+    }
+
+    // Canonical pass selection for cache keys: the *known* selected
+    // ids, sorted; empty means "all built-ins". Unknown ids never
+    // reach a key — their findings are recomputed fresh above.
+    std::vector<std::string> key_passes;
+    if (!selected.empty()) {
+        for (const auto &pass : _passes) {
+            if (selected.count(pass->id()) != 0)
+                key_passes.push_back(pass->id());
+        }
+        std::sort(key_passes.begin(), key_passes.end());
+    }
+
+    // The slice of `report` produced by passes (everything after the
+    // unknown-pass findings) is what the whole-design entry stores.
+    const size_t pre_pass_count = report.diags.size();
+
+    // L1: the complete pre-waiver report of an identical design
+    // under an identical pass selection. Valid even for unsound
+    // designs — the skipped-passes note is part of the entry.
+    if (cache) {
+        m.wholeKey = wholeDesignKey(design, key_passes);
+        std::vector<Diagnostic> cached;
+        if (cache->fetch(m.wholeKey, cached)) {
+            m.l1Hit = true;
+            m.cacheHits++;
+            report.diags.insert(report.diags.end(), cached.begin(),
+                                cached.end());
+            finishReport(report, options);
+            return report;
+        }
+        m.cacheMisses++;
+    }
+
+    Analysis analysis(design);
+    auto wants = [&](const char *id) {
+        return selected.empty() || selected.count(id) != 0;
+    };
+
+    // L2: per-module slices. Only meaningful when the module hashes
+    // themselves are meaningful — cone hashing requires a sound,
+    // acyclic design (the same precondition as constant
+    // propagation). Otherwise every pass runs unfiltered.
+    const bool sliceable =
+        cache && analysis.sound() && analysis.topo().ok;
+    m.sliceCaching = sliceable;
+
+    ModuleFilter stale;
+    std::map<std::string, std::string> module_keys;
+    std::vector<Diagnostic> cached_local;
+    if (sliceable) {
+        for (const ModuleHash &mh : moduleHashes(analysis)) {
+            std::string key = mh.key(key_passes);
+            module_keys[mh.module] = key;
+            std::vector<Diagnostic> slice;
+            if (cache->fetch(key, slice)) {
+                m.cacheHits++;
+                m.modules.push_back({mh.module, key, true});
+                cached_local.insert(cached_local.end(),
+                                    slice.begin(), slice.end());
+            } else {
+                m.cacheMisses++;
+                m.modules.push_back({mh.module, key, false});
+                stale.modules.insert(mh.module);
+            }
+        }
+    }
+
+    Report fresh_local; // filtered local-pass findings of this run
+    size_t skipped = 0;
+    for (const auto &pass : _passes) {
+        if (!wants(pass->id()))
+            continue;
+        // On a structurally unsound design (corrupt references)
+        // only the passes that never follow net references by
+        // value may run; Analysis computed the gate already.
+        std::string id = pass->id();
+        bool refSafe = id == "structural" || id == "comb-loop";
+        if (!analysis.sound() && !refSafe) {
+            ++skipped;
+            continue;
+        }
+        if (sliceable && passIsModuleLocal(id)) {
+            if (stale.modules.empty())
+                continue; // every module served from cache
+            pass->run(analysis, fresh_local, &stale);
+            for (const std::string &module : stale.modules)
+                m.invoked.emplace_back(id, module);
+        } else {
+            pass->run(analysis, report);
+            m.invoked.emplace_back(id, "*");
+        }
+    }
+
+    if (sliceable) {
+        // Store a slice for every stale module — including empty
+        // ones, so a clean module is a hit next time too. A finding
+        // landing outside every stale module would mean the
+        // emission filter leaked; keep it in the report (it is
+        // correct output) but never cache it under the wrong key.
+        std::map<std::string, std::vector<Diagnostic>> by_module;
+        for (const std::string &module : stale.modules)
+            by_module[module];
+        for (const Diagnostic &diag : fresh_local.diags) {
+            std::string module = moduleOfScope(diag.scope);
+            if (stale.modules.count(module) != 0)
+                by_module[module].push_back(diag);
+        }
+        for (const auto &[module, slice] : by_module)
+            cache->store(module_keys[module], slice);
+        report.diags.insert(report.diags.end(),
+                            cached_local.begin(),
+                            cached_local.end());
+        report.diags.insert(report.diags.end(),
+                            fresh_local.diags.begin(),
+                            fresh_local.diags.end());
+    }
+
+    if (skipped > 0) {
+        report.add("lint", Severity::Note, "skipped", "", {},
+                   std::to_string(skipped) +
+                       " passes skipped: design is structurally "
+                       "unsound (see `structural` findings)");
+    }
+
+    if (cache) {
+        std::vector<Diagnostic> all(
+            report.diags.begin() +
+                std::ptrdiff_t(pre_pass_count),
+            report.diags.end());
+        cache->store(m.wholeKey, all);
+    }
+
+    finishReport(report, options);
     return report;
 }
 

@@ -33,6 +33,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/diagnostics.hh"
@@ -40,6 +41,9 @@
 #include "rtl/ir.hh"
 
 namespace zoomie::lint {
+
+struct ModuleFilter; // modhash.hh
+class AnalysisCache; // cache.hh
 
 /**
  * Precomputed design facts shared by every pass. Construction
@@ -124,8 +128,17 @@ class Pass
     virtual ~Pass() = default;
     virtual const char *id() const = 0;
     virtual const char *description() const = 0;
-    virtual void run(const Analysis &analysis,
-                     Report &report) const = 0;
+
+    /**
+     * Emit findings into @p report. When @p filter is non-null the
+     * pass must emit only findings whose scope the filter wants —
+     * it may (and for cross-item checks must) still inspect the
+     * whole design. Passes whose findings depend on design-global
+     * state ignore the filter; the incremental driver never caches
+     * their output per-module.
+     */
+    virtual void run(const Analysis &analysis, Report &report,
+                     const ModuleFilter *filter = nullptr) const = 0;
 };
 
 /** Lint run configuration. */
@@ -143,6 +156,37 @@ struct Options
 
     /** Emit a note-severity finding for each stale waiver. */
     bool reportUnusedWaivers = true;
+};
+
+/**
+ * What a cached lint run actually did — drives the wire counters
+ * and the pass-invocation tests that pin incrementality.
+ */
+struct RunMetrics
+{
+    bool cacheEnabled = false;
+    /** Whole-design (L1) entry served the complete pre-waiver
+     *  report; no Analysis was built, no pass ran. */
+    bool l1Hit = false;
+    /** Per-module (L2) slice caching was applicable (design sound
+     *  and acyclic). */
+    bool sliceCaching = false;
+    uint64_t cacheHits = 0;   ///< L1 + L2 probe hits
+    uint64_t cacheMisses = 0; ///< L1 + L2 probe misses
+    std::string wholeKey;     ///< L1 key ("" when cache disabled)
+
+    /** One record per module considered for slice reuse. */
+    struct ModuleRecord
+    {
+        std::string module; ///< "" = top
+        std::string key;    ///< L2 cache key
+        bool reused = false;
+    };
+    std::vector<ModuleRecord> modules;
+
+    /** (pass id, module) pairs actually executed; module "*" means
+     *  the pass ran unfiltered (global pass, or caching off). */
+    std::vector<std::pair<std::string, std::string>> invoked;
 };
 
 /** The pass manager. */
@@ -171,6 +215,20 @@ class Linter
      */
     Report run(const rtl::Design &design,
                const Options &options = {}) const;
+
+    /**
+     * Cache-aware run. With a non-null @p cache the driver first
+     * probes the whole-design entry, then per-module slices, and
+     * runs passes only for modules whose content or context changed
+     * — merging cached and fresh findings into a report
+     * byte-identical to a cold run (waivers and the minimum
+     * severity filter are applied post-merge, fingerprints are
+     * unchanged). @p metrics, when non-null, receives what the run
+     * reused vs recomputed.
+     */
+    Report run(const rtl::Design &design, const Options &options,
+               AnalysisCache *cache,
+               RunMetrics *metrics = nullptr) const;
 
   private:
     std::vector<std::unique_ptr<Pass>> _passes;

@@ -1,0 +1,561 @@
+#include "lint/modhash.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/bits.hh"
+
+namespace zoomie::lint {
+
+namespace {
+
+/**
+ * Incremental FNV-1a-64 mixer with the diagnostics.cc separator
+ * idiom: every field is followed by a NUL so adjacent fields cannot
+ * alias ("ab"+"c" vs "a"+"bc").
+ */
+struct HashStream
+{
+    uint64_t h = kFnv1aBasis;
+
+    void mix(const char *data, size_t size)
+    {
+        h = fnv1a64(data, size, h);
+        char sep = '\0';
+        h = fnv1a64(&sep, 1, h);
+    }
+    void mix(const std::string &s) { mix(s.data(), s.size()); }
+    void mix(uint64_t v)
+    {
+        char bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = char(v >> (8 * i));
+        mix(bytes, sizeof(bytes));
+    }
+    void tag(char c) { mix(&c, 1); }
+};
+
+std::string
+hex16(uint64_t v)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[size_t(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+void
+mixNode(HashStream &s, const rtl::Design &design, rtl::NetId id)
+{
+    const rtl::Node &node = design.nodes[id];
+    // Global ids go into the digest: fallback display names embed
+    // them ("Add#1234"), so two layouts of the same logic are not
+    // interchangeable reports. Identical designs — and same-shape
+    // edits elsewhere — keep every id stable.
+    s.tag('n');
+    s.mix(uint64_t(id));
+    s.mix(uint64_t(node.op));
+    s.mix(uint64_t(node.width));
+    s.mix(uint64_t(node.a));
+    s.mix(uint64_t(node.b));
+    s.mix(uint64_t(node.c));
+    s.mix(node.imm);
+}
+
+void
+mixReg(HashStream &s, const rtl::Reg &reg)
+{
+    s.tag('r');
+    s.mix(reg.name);
+    s.mix(uint64_t(reg.q));
+    s.mix(uint64_t(reg.d));
+    s.mix(uint64_t(reg.en));
+    s.mix(uint64_t(reg.rst));
+    s.mix(reg.rstVal);
+    s.mix(reg.initVal);
+    s.mix(uint64_t(reg.width));
+    s.mix(uint64_t(reg.clock));
+}
+
+void
+mixMem(HashStream &s, const rtl::Mem &mem)
+{
+    s.tag('m');
+    s.mix(mem.name);
+    s.mix(uint64_t(mem.depth));
+    s.mix(uint64_t(mem.width));
+    s.mix(uint64_t(mem.style));
+    s.mix(uint64_t(mem.readPorts.size()));
+    for (const rtl::MemReadPort &rp : mem.readPorts) {
+        s.mix(uint64_t(rp.addr));
+        s.mix(uint64_t(rp.data));
+        s.mix(uint64_t(rp.sync));
+        s.mix(uint64_t(rp.clock));
+    }
+    s.mix(uint64_t(mem.writePorts.size()));
+    for (const rtl::MemWritePort &wp : mem.writePorts) {
+        s.mix(uint64_t(wp.addr));
+        s.mix(uint64_t(wp.data));
+        s.mix(uint64_t(wp.en));
+        s.mix(uint64_t(wp.clock));
+    }
+    s.mix(uint64_t(mem.init.size()));
+    for (uint64_t word : mem.init)
+        s.mix(word);
+}
+
+void
+mixIface(HashStream &s, const rtl::DecoupledIface &iface)
+{
+    s.tag('i');
+    s.mix(iface.name);
+    s.mix(iface.scope);
+    s.mix(uint64_t(iface.dir));
+    s.mix(uint64_t(iface.valid));
+    s.mix(uint64_t(iface.ready));
+    s.mix(uint64_t(iface.payload.size()));
+    for (rtl::NetId net : iface.payload)
+        s.mix(uint64_t(net));
+    s.mix(uint64_t(iface.irrevocable));
+}
+
+std::string
+scopeNameOf(const rtl::Design &design, uint32_t scope_id)
+{
+    return scope_id < design.scopeNames.size()
+               ? design.scopeNames[scope_id]
+               : "";
+}
+
+/** Sorted (name, net) alias list — unordered_map order is not a
+ *  serialization. */
+std::vector<std::pair<std::string, rtl::NetId>>
+sortedAliases(const rtl::Design &design)
+{
+    std::vector<std::pair<std::string, rtl::NetId>> aliases(
+        design.netNames.begin(), design.netNames.end());
+    std::sort(aliases.begin(), aliases.end());
+    return aliases;
+}
+
+/**
+ * Structural hash of a net's combinational input cone, terminated
+ * at sequential/source boundaries exactly like Analysis::combSources.
+ * Terminals hash by display name + width + clock (what findings
+ * print), interior nodes by op/width/imm/operands. Memoized; only
+ * called on sound, acyclic designs.
+ */
+class ConeHasher
+{
+  public:
+    explicit ConeHasher(const Analysis &analysis)
+        : _analysis(analysis), _design(analysis.design())
+    {
+        _memo.assign(_design.nodes.size(), 0);
+        _done.assign(_design.nodes.size(), false);
+    }
+
+    uint64_t hash(rtl::NetId root)
+    {
+        if (!_design.validNet(root))
+            return root == rtl::kNoNet ? 0x9e3779b97f4a7c15ULL
+                                       : uint64_t(root);
+        computeFrom(root);
+        return _memo[root];
+    }
+
+  private:
+    bool terminal(const rtl::Node &node) const
+    {
+        switch (node.op) {
+          case rtl::Op::RegQ:
+          case rtl::Op::Input:
+          case rtl::Op::MemRdSync:
+          case rtl::Op::Const:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    uint64_t leafHash(rtl::NetId id) const
+    {
+        const rtl::Node &node = _design.nodes[id];
+        HashStream s;
+        switch (node.op) {
+          case rtl::Op::Const:
+            s.tag('C');
+            s.mix(node.imm);
+            break;
+          case rtl::Op::RegQ: {
+            s.tag('R');
+            s.mix(_analysis.netName(id));
+            int reg = _analysis.regOfQ(id);
+            s.mix(uint64_t(
+                reg >= 0 ? _design.regs[size_t(reg)].clock : 0xff));
+            break;
+          }
+          case rtl::Op::Input:
+            s.tag('I');
+            s.mix(_analysis.netName(id));
+            break;
+          default: // MemRdSync
+            s.tag('D');
+            s.mix(_analysis.netName(id));
+            if (auto clock = _analysis.sourceClock(id))
+                s.mix(uint64_t(*clock));
+            break;
+        }
+        s.mix(uint64_t(node.width));
+        return s.h;
+    }
+
+    void computeFrom(rtl::NetId root)
+    {
+        // Iterative post-order: compute operand hashes first, then
+        // combine — the cone can be deeper than the call stack.
+        std::vector<std::pair<rtl::NetId, bool>> stack{{root, false}};
+        while (!stack.empty()) {
+            auto [id, expanded] = stack.back();
+            stack.pop_back();
+            if (_done[id])
+                continue;
+            const rtl::Node &node = _design.nodes[id];
+            if (terminal(node)) {
+                _memo[id] = leafHash(id);
+                _done[id] = true;
+                continue;
+            }
+            const unsigned arity = rtl::opArity(node.op);
+            const rtl::NetId ops[3] = {node.a, node.b, node.c};
+            if (!expanded) {
+                stack.emplace_back(id, true);
+                for (unsigned slot = 0; slot < arity; ++slot) {
+                    if (_design.validNet(ops[slot]) &&
+                        !_done[ops[slot]])
+                        stack.emplace_back(ops[slot], false);
+                }
+                continue;
+            }
+            HashStream s;
+            s.tag('N');
+            s.mix(uint64_t(node.op));
+            s.mix(uint64_t(node.width));
+            s.mix(node.imm);
+            for (unsigned slot = 0; slot < arity; ++slot) {
+                s.mix(_design.validNet(ops[slot])
+                          ? _memo[ops[slot]]
+                          : 0x9e3779b97f4a7c15ULL);
+            }
+            _memo[id] = s.h;
+            _done[id] = true;
+        }
+    }
+
+    const Analysis &_analysis;
+    const rtl::Design &_design;
+    std::vector<uint64_t> _memo;
+    std::vector<uint8_t> _done;
+};
+
+void
+mixPassSelection(HashStream &s,
+                 const std::vector<std::string> &sorted_passes)
+{
+    s.mix(uint64_t(sorted_passes.size()));
+    for (const std::string &id : sorted_passes)
+        s.mix(id);
+}
+
+} // namespace
+
+std::string
+moduleOfScope(const std::string &scope)
+{
+    size_t slash = scope.find('/');
+    return slash == std::string::npos ? scope
+                                      : scope.substr(0, slash);
+}
+
+std::string
+ModuleHash::key(const std::vector<std::string> &sorted_passes) const
+{
+    HashStream s;
+    s.mix(kModHashFormat);
+    s.tag('M');
+    s.mix(module);
+    s.mix(content);
+    s.mix(context);
+    mixPassSelection(s, sorted_passes);
+    return hex16(s.h);
+}
+
+uint64_t
+designHash(const rtl::Design &design)
+{
+    HashStream s;
+    s.mix(kModHashFormat);
+    s.mix(uint64_t(design.nodes.size()));
+    for (rtl::NetId id = 0; id < design.nodes.size(); ++id) {
+        mixNode(s, design, id);
+        s.mix(scopeNameOf(design,
+                          id < design.nodeScope.size()
+                              ? design.nodeScope[id]
+                              : 0));
+    }
+    s.mix(uint64_t(design.regs.size()));
+    for (size_t i = 0; i < design.regs.size(); ++i) {
+        mixReg(s, design.regs[i]);
+        s.mix(scopeNameOf(design, i < design.regScope.size()
+                                      ? design.regScope[i]
+                                      : 0));
+    }
+    s.mix(uint64_t(design.mems.size()));
+    for (size_t i = 0; i < design.mems.size(); ++i) {
+        mixMem(s, design.mems[i]);
+        s.mix(scopeNameOf(design, i < design.memScope.size()
+                                      ? design.memScope[i]
+                                      : 0));
+    }
+    s.mix(uint64_t(design.inputs.size()));
+    for (const rtl::InputPort &in : design.inputs) {
+        s.mix(in.name);
+        s.mix(uint64_t(in.net));
+        s.mix(uint64_t(in.width));
+    }
+    s.mix(uint64_t(design.outputs.size()));
+    for (const rtl::OutputPort &out : design.outputs) {
+        s.mix(out.name);
+        s.mix(uint64_t(out.net));
+    }
+    s.mix(uint64_t(design.clocks.size()));
+    for (const std::string &clock : design.clocks)
+        s.mix(clock);
+    s.mix(uint64_t(design.ifaces.size()));
+    for (const rtl::DecoupledIface &iface : design.ifaces)
+        mixIface(s, iface);
+    auto aliases = sortedAliases(design);
+    s.mix(uint64_t(aliases.size()));
+    for (const auto &[name, net] : aliases) {
+        s.mix(name);
+        s.mix(uint64_t(net));
+    }
+    // design.name deliberately excluded: the report never mentions
+    // it, and excluding it lets a CLI run share entries with a wire
+    // session compiling the same RTL under another name.
+    return s.h;
+}
+
+std::string
+wholeDesignKey(const rtl::Design &design,
+               const std::vector<std::string> &sorted_passes)
+{
+    HashStream s;
+    s.tag('D');
+    s.mix(designHash(design));
+    mixPassSelection(s, sorted_passes);
+    return hex16(s.h);
+}
+
+std::vector<ModuleHash>
+moduleHashes(const Analysis &analysis)
+{
+    const rtl::Design &design = analysis.design();
+
+    struct Acc
+    {
+        HashStream content;
+        HashStream context;
+        std::set<rtl::NetId> externalRefs;
+    };
+    // std::map: modules serialize and return in sorted order.
+    std::map<std::string, Acc> accs;
+    auto acc = [&accs](const std::string &module) -> Acc & {
+        auto [it, fresh] = accs.try_emplace(module);
+        if (fresh)
+            it->second.content.mix(kModHashFormat);
+        return it->second;
+    };
+    acc(""); // the top module always exists (owns the port lists)
+
+    auto nodeModule = [&](rtl::NetId id) {
+        return moduleOfScope(analysis.nodeScope(id));
+    };
+    auto regModule = [&](size_t i) {
+        return moduleOfScope(scopeNameOf(
+            design, i < design.regScope.size() ? design.regScope[i]
+                                               : 0));
+    };
+    auto memModule = [&](size_t i) {
+        return moduleOfScope(scopeNameOf(
+            design, i < design.memScope.size() ? design.memScope[i]
+                                               : 0));
+    };
+
+    // A reference from `module` to net `net`: external refs join the
+    // module's context set; external uses are summarized into the
+    // *owning* module's context (tag + detail), because use counts,
+    // consumer clocks and port naming are visible to its passes.
+    auto ref = [&](const std::string &module, rtl::NetId net) {
+        if (!design.validNet(net))
+            return;
+        if (nodeModule(net) != module)
+            acc(module).externalRefs.insert(net);
+    };
+    auto useTag = [&](const std::string &consumer_module,
+                      rtl::NetId net, char tag, uint64_t detail,
+                      const std::string &name_detail) {
+        if (!design.validNet(net))
+            return;
+        std::string owner = nodeModule(net);
+        if (owner == consumer_module)
+            return;
+        Acc &a = acc(owner);
+        a.context.tag('u');
+        a.context.tag(tag);
+        a.context.mix(uint64_t(net));
+        a.context.mix(detail);
+        a.context.mix(name_detail);
+    };
+
+    for (rtl::NetId id = 0; id < design.nodes.size(); ++id) {
+        const std::string module = nodeModule(id);
+        Acc &a = acc(module);
+        mixNode(a.content, design, id);
+        a.content.mix(analysis.nodeScope(id));
+        const rtl::Node &node = design.nodes[id];
+        const unsigned arity = rtl::opArity(node.op);
+        const rtl::NetId ops[3] = {node.a, node.b, node.c};
+        for (unsigned slot = 0; slot < arity; ++slot) {
+            ref(module, ops[slot]);
+            useTag(module, ops[slot], 'n', slot, "");
+        }
+    }
+
+    for (size_t i = 0; i < design.regs.size(); ++i) {
+        const rtl::Reg &reg = design.regs[i];
+        const std::string module = regModule(i);
+        Acc &a = acc(module);
+        mixReg(a.content, reg);
+        a.content.mix(scopeNameOf(
+            design, i < design.regScope.size() ? design.regScope[i]
+                                               : 0));
+        // d vs en/rst uses must stay distinct: the cdc
+        // synchronizer-head check accepts a foreign net on d but
+        // rejects it as a raw control.
+        const char fields[3] = {'d', 'e', 'r'};
+        const rtl::NetId field_nets[3] = {reg.d, reg.en, reg.rst};
+        for (int f = 0; f < 3; ++f) {
+            ref(module, field_nets[f]);
+            useTag(module, field_nets[f], fields[f], reg.clock,
+                   reg.name);
+        }
+        // The RegQ node itself usually lives in the same scope; if
+        // not, cross-module identity is covered by the general rule.
+        ref(module, reg.q);
+    }
+
+    for (size_t i = 0; i < design.mems.size(); ++i) {
+        const rtl::Mem &mem = design.mems[i];
+        const std::string module = memModule(i);
+        Acc &a = acc(module);
+        mixMem(a.content, mem);
+        a.content.mix(scopeNameOf(
+            design, i < design.memScope.size() ? design.memScope[i]
+                                               : 0));
+        for (const rtl::MemReadPort &rp : mem.readPorts) {
+            ref(module, rp.addr);
+            useTag(module, rp.addr, 'a', rp.clock, mem.name);
+            ref(module, rp.data);
+        }
+        for (const rtl::MemWritePort &wp : mem.writePorts) {
+            for (rtl::NetId net : {wp.addr, wp.data, wp.en}) {
+                ref(module, net);
+                useTag(module, net, 'w', wp.clock, mem.name);
+            }
+        }
+    }
+
+    for (const rtl::DecoupledIface &iface : design.ifaces) {
+        const std::string module = moduleOfScope(iface.scope);
+        Acc &a = acc(module);
+        mixIface(a.content, iface);
+        ref(module, iface.valid);
+        ref(module, iface.ready);
+        useTag(module, iface.valid, 'i', iface.irrevocable,
+               iface.name);
+        useTag(module, iface.ready, 'i', 2, iface.name);
+        for (rtl::NetId net : iface.payload) {
+            ref(module, net);
+            useTag(module, net, 'i', 3, iface.name);
+        }
+    }
+
+    // Port lists belong to the top module; output/input port naming
+    // of another module's net is context for that module.
+    {
+        Acc &top = acc("");
+        top.content.mix(uint64_t(design.inputs.size()));
+        for (const rtl::InputPort &in : design.inputs) {
+            top.content.mix(in.name);
+            top.content.mix(uint64_t(in.net));
+            top.content.mix(uint64_t(in.width));
+            ref("", in.net);
+            useTag("", in.net, 'I', in.width, in.name);
+        }
+        top.content.mix(uint64_t(design.outputs.size()));
+        for (const rtl::OutputPort &out : design.outputs) {
+            top.content.mix(out.name);
+            top.content.mix(uint64_t(out.net));
+            ref("", out.net);
+            useTag("", out.net, 'o', 0, out.name);
+        }
+    }
+
+    // Aliases: content of the owning module (they steer netName).
+    for (const auto &[name, net] : sortedAliases(design)) {
+        Acc &a = acc(design.validNet(net) ? nodeModule(net) : "");
+        a.content.tag('A');
+        a.content.mix(name);
+        a.content.mix(uint64_t(net));
+    }
+
+    // Design-wide tables every module's context depends on: clocks
+    // (cdc messages name them) and the interface name table (the
+    // duplicate-interface check spans modules).
+    HashStream shared;
+    shared.mix(uint64_t(design.clocks.size()));
+    for (const std::string &clock : design.clocks)
+        shared.mix(clock);
+    shared.mix(uint64_t(design.ifaces.size()));
+    for (const rtl::DecoupledIface &iface : design.ifaces) {
+        shared.mix(iface.name);
+        shared.mix(iface.scope);
+    }
+
+    ConeHasher cones(analysis);
+    std::vector<ModuleHash> out;
+    out.reserve(accs.size());
+    for (auto &[module, a] : accs) {
+        a.context.mix(shared.h);
+        a.context.mix(uint64_t(a.externalRefs.size()));
+        for (rtl::NetId net : a.externalRefs) {
+            a.context.mix(uint64_t(net));
+            a.context.mix(analysis.netName(net));
+            // Total use count: findings anchored here can depend on
+            // whether an externally-owned net is consumed at all
+            // (e.g. an unused-input check on a port net created in
+            // another module's scope).
+            a.context.mix(uint64_t(analysis.useCount(net)));
+            a.context.mix(cones.hash(net));
+        }
+        out.push_back({module, a.content.h, a.context.h});
+    }
+    return out;
+}
+
+} // namespace zoomie::lint

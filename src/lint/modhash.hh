@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Canonical, rebuild-stable content hashing of elaborated modules —
+ * the key side of the incremental lint engine and of the
+ * content-addressed compile cache (toolchain::ArtifactStore).
+ *
+ * A "module" is the first path segment of an item's hierarchical
+ * scope ("cpu/alu" and "cpu/dec" both belong to module "cpu"; the
+ * empty scope is the top module, which also owns the design's port
+ * lists). Each module gets two FNV-1a-64 digests:
+ *
+ *  - `content`: the module's own nodes/registers/memories/interfaces
+ *    (plus ports and aliases attributed to it), serialized in design
+ *    order. Identical designs serialize identically, so re-uploads
+ *    of the same RTL — in this process or another session — produce
+ *    the same digest.
+ *
+ *  - `context`: everything *outside* the module that its lint
+ *    findings can observe: the clock table, the design-wide
+ *    interface name table, and for every external net the module
+ *    references, its display name plus a structural hash of its
+ *    combinational input cone (terminated at registers, inputs,
+ *    synchronous read ports and constants — the same boundary the
+ *    Analysis cone walks use). External *uses* of the module's own
+ *    nets are summarized the same way, because use counts, consumer
+ *    clocks and output-port naming feed the unused/cdc/dead-logic
+ *    passes.
+ *
+ * An edit inside one module therefore changes that module's content
+ * digest, perturbs the context digests of exactly the modules whose
+ * visible cones it altered, and leaves everything else cacheable.
+ */
+
+#ifndef ZOOMIE_LINT_MODHASH_HH
+#define ZOOMIE_LINT_MODHASH_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+#include "rtl/ir.hh"
+
+namespace zoomie::lint {
+
+/** Bump when the serialization below changes shape: a stale format
+ *  must never decode as a hit against entries from a newer build. */
+inline constexpr uint64_t kModHashFormat = 1;
+
+/** First path segment of a hierarchical scope name ("" = top). */
+std::string moduleOfScope(const std::string &scope);
+
+/**
+ * Emission filter for scoped pass runs: a pass still iterates every
+ * item (cross-item bookkeeping like duplicate-name maps must see the
+ * whole design) but only pays for — and only emits — findings whose
+ * scope belongs to one of the selected modules.
+ */
+struct ModuleFilter
+{
+    std::set<std::string> modules;
+
+    bool wants(const std::string &scope) const
+    {
+        return modules.count(moduleOfScope(scope)) != 0;
+    }
+};
+
+/** The two digests of one module plus its cache key. */
+struct ModuleHash
+{
+    std::string module;   ///< "" = top
+    uint64_t content = 0;
+    uint64_t context = 0;
+
+    /** Cache key: format version + both digests + the selected pass
+     *  set (a slice cached under one pass selection must not serve a
+     *  run with another). 16 lowercase hex digits, fingerprint-style. */
+    std::string key(const std::vector<std::string> &sorted_passes) const;
+};
+
+/**
+ * FNV-1a-64 over the complete design — nodes, registers, memories,
+ * ports, interfaces, clocks, scopes and net-name aliases. The
+ * whole-design cache key for lint reports, and the basis of
+ * toolchain::ArtifactStore partition keys.
+ */
+uint64_t designHash(const rtl::Design &design);
+
+/** Whole-design cache key (format + designHash + pass selection). */
+std::string wholeDesignKey(const rtl::Design &design,
+                           const std::vector<std::string> &sorted_passes);
+
+/**
+ * Per-module digests. Requires a sound, acyclic analysis — the
+ * incremental driver bypasses slice caching otherwise.
+ */
+std::vector<ModuleHash> moduleHashes(const Analysis &analysis);
+
+} // namespace zoomie::lint
+
+#endif // ZOOMIE_LINT_MODHASH_HH

@@ -20,6 +20,7 @@
 #include <set>
 
 #include "common/bits.hh"
+#include "lint/modhash.hh"
 
 namespace zoomie::lint {
 
@@ -28,6 +29,14 @@ namespace {
 using rtl::kNoNet;
 using rtl::NetId;
 using rtl::Op;
+
+/** Emission gate for module-local passes: with no filter, emit
+ *  everything; with one, only findings anchored in its modules. */
+bool
+wantScope(const ModuleFilter *filter, const std::string &scope)
+{
+    return filter == nullptr || filter->wants(scope);
+}
 
 /** Scope of the node, reg or mem a finding anchors on. */
 std::string
@@ -68,7 +77,11 @@ class StructuralPass : public Pass
                "duplicate and shared state names";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    // Global: duplicate/shared-name checks span the whole design,
+    // so findings are never cached per module and the filter is
+    // ignored.
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *) const override
     {
         const rtl::Design &design = analysis.design();
         const size_t n = design.nodes.size();
@@ -236,7 +249,9 @@ class CombLoopPass : public Pass
         return "combinational cycles, localized as a named path";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    // Global: a cycle is a whole-design property.
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *) const override
     {
         const rtl::Design::TopoResult &topo = analysis.topo();
         if (topo.ok)
@@ -289,7 +304,8 @@ class WidthPass : public Pass
                "operands";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *filter) const override
     {
         const rtl::Design &design = analysis.design();
         const size_t n = design.nodes.size();
@@ -302,6 +318,8 @@ class WidthPass : public Pass
         };
 
         for (NetId id = 0; id < n; ++id) {
+            if (!wantScope(filter, analysis.nodeScope(id)))
+                continue;
             const rtl::Node &node = design.nodes[id];
             const std::string name = analysis.netName(id);
             switch (node.op) {
@@ -424,6 +442,8 @@ class WidthPass : public Pass
 
         for (size_t i = 0; i < design.regs.size(); ++i) {
             const rtl::Reg &reg = design.regs[i];
+            if (!wantScope(filter, regScopeOf(analysis, i)))
+                continue;
             if (reg.d < n && width(reg.d) != reg.width) {
                 report.add(this->id(), Severity::Error,
                            "reg-d-width", regScopeOf(analysis, i),
@@ -440,6 +460,8 @@ class WidthPass : public Pass
             if (mem.depth == 0)
                 continue; // structural territory
             std::string scope = memScopeOf(analysis, i);
+            if (!wantScope(filter, scope))
+                continue;
             auto addrCheck = [&](NetId addr, const char *what) {
                 if (addr >= n)
                     return;
@@ -505,10 +527,13 @@ class UndrivenPass : public Pass
         return "required connections left unconnected";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *filter) const override
     {
         const rtl::Design &design = analysis.design();
         for (NetId id = 0; id < design.nodes.size(); ++id) {
+            if (!wantScope(filter, analysis.nodeScope(id)))
+                continue;
             const rtl::Node &node = design.nodes[id];
             const unsigned arity = rtl::opArity(node.op);
             const NetId operands[3] = {node.a, node.b, node.c};
@@ -526,6 +551,8 @@ class UndrivenPass : public Pass
         }
         for (size_t i = 0; i < design.regs.size(); ++i) {
             const rtl::Reg &reg = design.regs[i];
+            if (!wantScope(filter, regScopeOf(analysis, i)))
+                continue;
             if (reg.d == kNoNet) {
                 report.add(this->id(), Severity::Error, "reg-d",
                            regScopeOf(analysis, i), {reg.name},
@@ -536,6 +563,8 @@ class UndrivenPass : public Pass
         for (size_t i = 0; i < design.mems.size(); ++i) {
             const rtl::Mem &mem = design.mems[i];
             std::string scope = memScopeOf(analysis, i);
+            if (!wantScope(filter, scope))
+                continue;
             auto need = [&](NetId net, const char *what) {
                 if (net != kNoNet)
                     return;
@@ -554,15 +583,19 @@ class UndrivenPass : public Pass
                 need(wp.en, "write en");
             }
         }
-        for (const rtl::OutputPort &out : design.outputs) {
-            if (out.net == kNoNet) {
-                report.add(this->id(), Severity::Error, "output",
-                           "", {out.name},
-                           "output '" + out.name +
-                               "' is unconnected");
+        if (wantScope(filter, "")) { // ports anchor at top
+            for (const rtl::OutputPort &out : design.outputs) {
+                if (out.net == kNoNet) {
+                    report.add(this->id(), Severity::Error,
+                               "output", "", {out.name},
+                               "output '" + out.name +
+                                   "' is unconnected");
+                }
             }
         }
         for (const rtl::DecoupledIface &iface : design.ifaces) {
+            if (!wantScope(filter, iface.scope))
+                continue;
             if (iface.valid == kNoNet || iface.ready == kNoNet) {
                 report.add(this->id(), Severity::Error, "iface",
                            iface.scope, {iface.name},
@@ -584,20 +617,25 @@ class UnusedPass : public Pass
         return "inputs, registers and read ports nothing consumes";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *filter) const override
     {
         const rtl::Design &design = analysis.design();
-        for (const rtl::InputPort &in : design.inputs) {
-            if (in.net != kNoNet &&
-                analysis.useCount(in.net) == 0) {
-                report.add(this->id(), Severity::Warning, "input",
-                           "", {in.name},
-                           "input '" + in.name +
-                               "' is never used");
+        if (wantScope(filter, "")) { // ports anchor at top
+            for (const rtl::InputPort &in : design.inputs) {
+                if (in.net != kNoNet &&
+                    analysis.useCount(in.net) == 0) {
+                    report.add(this->id(), Severity::Warning,
+                               "input", "", {in.name},
+                               "input '" + in.name +
+                                   "' is never used");
+                }
             }
         }
         for (size_t i = 0; i < design.regs.size(); ++i) {
             const rtl::Reg &reg = design.regs[i];
+            if (!wantScope(filter, regScopeOf(analysis, i)))
+                continue;
             if (reg.q != kNoNet &&
                 analysis.useCount(reg.q) == 0) {
                 report.add(this->id(), Severity::Warning, "reg",
@@ -609,6 +647,8 @@ class UnusedPass : public Pass
         for (size_t i = 0; i < design.mems.size(); ++i) {
             const rtl::Mem &mem = design.mems[i];
             std::string scope = memScopeOf(analysis, i);
+            if (!wantScope(filter, scope))
+                continue;
             size_t port = 0;
             for (const rtl::MemReadPort &rp : mem.readPorts) {
                 if (rp.data != kNoNet &&
@@ -644,11 +684,14 @@ class DeadLogicPass : public Pass
         return "logic that constant propagation proves inert";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *filter) const override
     {
         const rtl::Design &design = analysis.design();
         const size_t n = design.nodes.size();
         for (NetId id = 0; id < n; ++id) {
+            if (!wantScope(filter, analysis.nodeScope(id)))
+                continue;
             const rtl::Node &node = design.nodes[id];
             const std::string name = analysis.netName(id);
             if (node.op == Op::Mux) {
@@ -700,6 +743,8 @@ class DeadLogicPass : public Pass
         for (size_t i = 0; i < design.regs.size(); ++i) {
             const rtl::Reg &reg = design.regs[i];
             std::string scope = regScopeOf(analysis, i);
+            if (!wantScope(filter, scope))
+                continue;
             auto en = reg.en != kNoNet ? analysis.constOf(reg.en)
                                        : std::nullopt;
             if (en && *en == 0) {
@@ -735,6 +780,8 @@ class DeadLogicPass : public Pass
 
         for (size_t i = 0; i < design.mems.size(); ++i) {
             const rtl::Mem &mem = design.mems[i];
+            if (!wantScope(filter, memScopeOf(analysis, i)))
+                continue;
             for (const rtl::MemWritePort &wp : mem.writePorts) {
                 auto en = wp.en != kNoNet
                               ? analysis.constOf(wp.en)
@@ -762,11 +809,14 @@ class MemConflictPass : public Pass
         return "write-write conflicting memory ports";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *filter) const override
     {
         const rtl::Design &design = analysis.design();
         for (size_t i = 0; i < design.mems.size(); ++i) {
             const rtl::Mem &mem = design.mems[i];
+            if (!wantScope(filter, memScopeOf(analysis, i)))
+                continue;
             const auto &ports = mem.writePorts;
             for (size_t p = 0; p < ports.size(); ++p) {
                 for (size_t q = p + 1; q < ports.size(); ++q) {
@@ -834,7 +884,8 @@ class CdcPass : public Pass
         return "unsynchronized clock-domain crossings";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *filter) const override
     {
         const rtl::Design &design = analysis.design();
         if (design.clocks.size() < 2)
@@ -843,6 +894,8 @@ class CdcPass : public Pass
         for (size_t i = 0; i < design.regs.size(); ++i) {
             const rtl::Reg &reg = design.regs[i];
             std::string scope = regScopeOf(analysis, i);
+            if (!wantScope(filter, scope))
+                continue;
 
             // Control inputs must never cross domains raw.
             for (NetId control : {reg.en, reg.rst}) {
@@ -899,6 +952,8 @@ class CdcPass : public Pass
 
         for (size_t i = 0; i < design.mems.size(); ++i) {
             const rtl::Mem &mem = design.mems[i];
+            if (!wantScope(filter, memScopeOf(analysis, i)))
+                continue;
             std::set<uint8_t> domains;
             for (const rtl::MemReadPort &rp : mem.readPorts) {
                 if (rp.sync)
@@ -968,13 +1023,20 @@ class IfacePass : public Pass
         return "decoupled (valid/ready) interface contract checks";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *filter) const override
     {
         const rtl::Design &design = analysis.design();
+        // The duplicate-name map must see every interface even
+        // under a filter (the colliding pair can span modules; the
+        // module context hash covers the design-wide name table).
         std::map<std::string, size_t> names;
         for (size_t i = 0; i < design.ifaces.size(); ++i) {
             const rtl::DecoupledIface &iface = design.ifaces[i];
-            if (!names.try_emplace(iface.name, i).second) {
+            bool duplicate = !names.try_emplace(iface.name, i).second;
+            if (!wantScope(filter, iface.scope))
+                continue;
+            if (duplicate) {
                 report.add(this->id(), Severity::Warning,
                            "dup-iface", iface.scope, {iface.name},
                            "two interfaces share the name '" +
@@ -1029,7 +1091,11 @@ class ResetCoveragePass : public Pass
                "designs that use synchronous resets";
     }
 
-    void run(const Analysis &analysis, Report &report) const override
+    // Global: whether the design "uses synchronous resets" and the
+    // control-source cone set are whole-design properties — an edit
+    // anywhere can flip every finding, so this pass always runs.
+    void run(const Analysis &analysis, Report &report,
+             const ModuleFilter *) const override
     {
         const rtl::Design &design = analysis.design();
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 namespace zoomie::lint {
@@ -92,6 +93,10 @@ std::vector<std::string>
 WaiverSet::apply(Report &report) const
 {
     std::vector<std::string> unused;
+    // The same waiver file is often loaded once per partition into
+    // one set; report each stale fingerprint once per run, not once
+    // per copy.
+    std::set<std::string> reported;
     for (const Waiver &waiver : _entries) {
         bool matched = false;
         for (Diagnostic &diag : report.diags) {
@@ -102,7 +107,7 @@ WaiverSet::apply(Report &report) const
             diag.waived = true;
             matched = true;
         }
-        if (!matched)
+        if (!matched && reported.insert(waiver.fingerprint).second)
             unused.push_back(waiver.fingerprint);
     }
     return unused;

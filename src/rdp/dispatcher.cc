@@ -108,6 +108,7 @@ struct Dispatcher::Ctx
     Scheduler *scheduler;         ///< null for direct execution
     EventSink *sink;              ///< null: streaming unavailable
     size_t traceChunkBytes;       ///< trace_chunk payload cap
+    lint::AnalysisCache *lintCache; ///< null: uncached lint
 };
 
 struct Dispatcher::CommandSpec
@@ -796,19 +797,34 @@ cmdLint(Ctx &c, const Args &a)
     }
     // Unknown pass ids surface as typed errors on the wire (a
     // structured reply the conformance suite can pin), not as
-    // findings the way the library reports them.
+    // findings the way the library reports them. The detail lists
+    // the valid ids so a typo is self-correcting.
     static const lint::Linter linter;
     for (const std::string &id : options.passes) {
         if (!linter.hasPass(id)) {
+            std::string known;
+            for (const std::string &pass :
+                 lint::Linter::passIds()) {
+                if (!known.empty())
+                    known += ", ";
+                known += pass;
+            }
             throw CommandError{Errc::UnknownName,
-                               "unknown lint pass '" + id + "'"};
+                               "unknown lint pass '" + id +
+                                   "' (known: " + known + ")"};
         }
     }
 
     // Lint the *user* design: the instrumented one adds a gated
     // clock domain and scan plumbing that would drown the user's
-    // own findings in tool-inserted constructs.
-    lint::Report report = linter.run(s.userDesign(), options);
+    // own findings in tool-inserted constructs. Runs against the
+    // server's shared analysis cache when one is attached, so a
+    // re-lint after an edit recomputes only the changed modules.
+    lint::RunMetrics metrics;
+    lint::Report report =
+        linter.run(s.userDesign(), options, c.lintCache, &metrics);
+    s.stats().lintCacheHits += metrics.cacheHits;
+    s.stats().lintCacheMisses += metrics.cacheMisses;
 
     Json findings = Json::array();
     for (const lint::Diagnostic &diag : report.diags) {
@@ -834,6 +850,8 @@ cmdLint(Ctx &c, const Args &a)
             uint64_t(report.count(lint::Severity::Warning)));
     out.set("notes", uint64_t(report.count(lint::Severity::Note)));
     out.set("clean", report.clean());
+    out.set("cache_hits", metrics.cacheHits);
+    out.set("cache_misses", metrics.cacheMisses);
     return out;
 }
 
@@ -1056,7 +1074,8 @@ Dispatcher::execute(const Request &req)
         }
     }
 
-    Ctx ctx{_session, _ref, _scheduler, _sink, _traceChunkBytes};
+    Ctx ctx{_session, _ref,  _scheduler,
+            _sink,    _traceChunkBytes, _lintCache};
     try {
         Json fields;
         if (spec->yields) {

@@ -30,6 +30,10 @@
 #include "rdp/protocol.hh"
 #include "rdp/session.hh"
 
+namespace zoomie::lint {
+class AnalysisCache;
+}
+
 namespace zoomie::rdp {
 
 class Scheduler;
@@ -99,6 +103,16 @@ class Dispatcher
     }
 
     /**
+     * Attach a shared lint-analysis cache: the `lint` command runs
+     * incrementally against it and reports its probe counters.
+     * Null (the default) keeps the cold uncached path.
+     */
+    void setAnalysisCache(lint::AnalysisCache *cache)
+    {
+        _lintCache = cache;
+    }
+
+    /**
      * Validate arguments and run @p req against the session. Never
      * throws: command failures come back as `ok:false` replies.
      * Takes the session's device mutex internally; safe to call
@@ -158,6 +172,7 @@ class Dispatcher
     Scheduler *_scheduler = nullptr;
     EventSink *_sink = nullptr; ///< null: streaming unavailable
     size_t _traceChunkBytes = kDefaultTraceChunkBytes;
+    lint::AnalysisCache *_lintCache = nullptr; ///< null: uncached
 };
 
 } // namespace zoomie::rdp

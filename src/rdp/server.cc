@@ -203,6 +203,11 @@ Server::serverTable()
          1, false,
          {},
          &Server::handleSessions},
+        {"cache_stats",
+         "content-addressed analysis/compile cache counters",
+         2, false,
+         {},
+         &Server::handleCacheStats},
         {"commands",
          "machine-readable command schema",
          1, false,
@@ -339,6 +344,9 @@ Server::handleOpen(const Request &req, ConnState &,
         }
         config.backend = backend->asString();
     }
+
+    if (_options.contentCaches)
+        config.artifacts = &_artifacts;
 
     std::shared_ptr<Session> session;
     try {
@@ -550,10 +558,17 @@ Server::handleOpenSource(const Request &req, ConnState &conn,
     }
 
     // ---- the lint gate ------------------------------------------
+    //
+    // Runs against the server's shared analysis cache: a second
+    // upload of identical RTL (this connection or any other) reuses
+    // the first gate's per-module findings instead of re-analyzing.
+    lint::RunMetrics gateMetrics;
     if (lintGate) {
         lint::Linter linter;
-        lint::Report report =
-            linter.run(*result.design, lint::Options{});
+        lint::Report report = linter.run(
+            *result.design, lint::Options{},
+            _options.contentCaches ? &_analysisCache : nullptr,
+            &gateMetrics);
         if (report.errors() > 0) {
             Json findings = Json::array();
             for (const lint::Diagnostic &d : report.diags) {
@@ -602,6 +617,8 @@ Server::handleOpenSource(const Request &req, ConnState &conn,
     config.topModule = result.top;
     config.uploaded = std::make_shared<const rtl::Design>(
         std::move(*result.design));
+    if (_options.contentCaches)
+        config.artifacts = &_artifacts;
 
     std::shared_ptr<Session> session;
     try {
@@ -626,6 +643,15 @@ Server::handleOpenSource(const Request &req, ConnState &conn,
          session->backend().instrumented().watchSignals)
         watch.push(signal);
     reply.set("watch", std::move(watch));
+    // Cache outcomes of this very request: what the lint gate
+    // reused and whether bring-up found a prebuilt partition.
+    SessionStats &stats = session->stats();
+    stats.lintCacheHits += gateMetrics.cacheHits;
+    stats.lintCacheMisses += gateMetrics.cacheMisses;
+    reply.set("lint_cache_hits", gateMetrics.cacheHits);
+    reply.set("lint_cache_misses", gateMetrics.cacheMisses);
+    reply.set("artifact_hits", stats.artifactHits.load());
+    reply.set("artifact_misses", stats.artifactMisses.load());
     return reply;
 }
 
@@ -675,10 +701,43 @@ Server::handleSessions(const Request &req, ConnState &,
         entry.set("idle_us",
                   uint64_t(std::max<int64_t>(
                       0, now - stats.lastActiveMicros.load())));
+        entry.set("lint_cache_hits", stats.lintCacheHits.load());
+        entry.set("lint_cache_misses",
+                  stats.lintCacheMisses.load());
+        entry.set("artifact_hits", stats.artifactHits.load());
+        entry.set("artifact_misses", stats.artifactMisses.load());
         list.push(std::move(entry));
     }
     Json reply = okReply(req);
     reply.set("sessions", std::move(list));
+    return reply;
+}
+
+Json
+Server::handleCacheStats(const Request &req, ConnState &,
+                         std::vector<std::string> &)
+{
+    lint::AnalysisCache::Stats ls = _analysisCache.stats();
+    toolchain::ArtifactStore::Stats as = _artifacts.stats();
+    Json lintStats = Json::object();
+    lintStats.set("hits", ls.hits);
+    lintStats.set("misses", ls.misses);
+    lintStats.set("stores", ls.stores);
+    lintStats.set("entries", ls.entries);
+    lintStats.set("bytes", ls.bytes);
+    lintStats.set("evictions", ls.evictions);
+    lintStats.set("corrupt_evictions", ls.corruptEvictions);
+    Json artifactStats = Json::object();
+    artifactStats.set("hits", as.hits);
+    artifactStats.set("misses", as.misses);
+    artifactStats.set("stores", as.stores);
+    artifactStats.set("entries", as.entries);
+    artifactStats.set("bytes", as.bytes);
+    artifactStats.set("corrupt_evictions", as.corruptEvictions);
+    Json reply = okReply(req);
+    reply.set("enabled", _options.contentCaches);
+    reply.set("lint", std::move(lintStats));
+    reply.set("artifacts", std::move(artifactStats));
     return reply;
 }
 
@@ -874,6 +933,8 @@ Server::dispatchRequest(const Request &req, ConnState &conn,
     if (conn.version >= 2)
         dispatcher.setEventSink(conn.sink);
     dispatcher.setTraceChunkBytes(_options.traceChunkBytes);
+    if (_options.contentCaches)
+        dispatcher.setAnalysisCache(&_analysisCache);
     Dispatcher::Result result = dispatcher.execute(req);
     for (const Json &event : result.events) {
         if (conn.onEvent)

@@ -29,9 +29,11 @@
 #include <utility>
 #include <vector>
 
+#include "lint/cache.hh"
 #include "rdp/dispatcher.hh"
 #include "rdp/scheduler.hh"
 #include "rdp/session.hh"
+#include "toolchain/artifact_store.hh"
 
 namespace zoomie::rdp {
 
@@ -204,6 +206,15 @@ struct ServerOptions
     /** Upper bound on accumulated `open_source` RTL text bytes per
      *  connection (single-shot or chunked). */
     size_t maxSourceBytes = 1 << 20;
+
+    /**
+     * Enable the server-owned content-addressed caches: lint
+     * analysis slices (shared by the open_source gate and the
+     * `lint` command) and synthesized partition artifacts (shared
+     * by session bring-up). Off turns every probe into a miss-free
+     * cold path — benchmarks use this as the baseline.
+     */
+    bool contentCaches = true;
 };
 
 /**
@@ -257,6 +268,12 @@ class Server
     SessionRegistry &sessions() { return _registry; }
     Scheduler &scheduler() { return _scheduler; }
     const ServerOptions &options() const { return _options; }
+
+    /** Shared lint-analysis cache (exposed for tests/tools). */
+    lint::AnalysisCache &lintCache() { return _analysisCache; }
+
+    /** Shared partition-artifact store (exposed for tests/tools). */
+    toolchain::ArtifactStore &artifacts() { return _artifacts; }
 
     /**
      * Serve one transport until end-of-stream or a quit request.
@@ -326,6 +343,8 @@ class Server
                      std::vector<std::string> &out);
     Json handleSessions(const Request &req, ConnState &conn,
                         std::vector<std::string> &out);
+    Json handleCacheStats(const Request &req, ConnState &conn,
+                          std::vector<std::string> &out);
     Json handleCommands(const Request &req, ConnState &conn,
                         std::vector<std::string> &out);
     Json handleBatch(const Request &req, ConnState &conn,
@@ -337,6 +356,14 @@ class Server
     SessionRegistry _registry;
     Scheduler _scheduler;
     std::function<void()> _shutdownHook;
+
+    /**
+     * Server-lifetime content-addressed caches, shared by every
+     * connection and session (both are internally thread-safe).
+     * Consulted only when options().contentCaches is set.
+     */
+    lint::AnalysisCache _analysisCache;
+    toolchain::ArtifactStore _artifacts;
 };
 
 } // namespace zoomie::rdp

@@ -136,8 +136,13 @@ Session::Session(uint64_t id, SessionConfig config)
     }
     opts.instrument.watchSignals = _config.watchSignals;
     opts.instrument.assertions = _config.assertions;
+    opts.artifacts = _config.artifacts;
     _backend = core::makeBackend(_config.backend, _userDesign,
                                  std::move(opts));
+    // Fold the compile flow's partition-artifact outcome into the
+    // session counters the `sessions` command reports.
+    _stats.artifactHits += _backend->artifactHits();
+    _stats.artifactMisses += _backend->artifactMisses();
     // A pinned genesis snapshot (cycle 0) both establishes the
     // store's base image and guarantees time travel always has a
     // restore point at or before any requested cycle.

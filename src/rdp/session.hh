@@ -26,6 +26,10 @@
 #include "core/backend.hh"
 #include "core/snapshot.hh"
 
+namespace zoomie::lint {
+class AnalysisCache;
+}
+
 namespace zoomie::rdp {
 
 /** Monotonic microsecond stamp for idle tracking and metrics. */
@@ -70,6 +74,15 @@ struct SessionStats
      * restore for the device.
      */
     std::atomic<uint64_t> preemptEpoch{0};
+
+    // ---- content-cache counters ----------------------------------
+    // Accumulated across the session's lifetime: the open_source
+    // lint gate and every `lint` command add their probe counts;
+    // bring-up adds the compile flow's partition-artifact outcome.
+    std::atomic<uint64_t> lintCacheHits{0};
+    std::atomic<uint64_t> lintCacheMisses{0};
+    std::atomic<uint64_t> artifactHits{0};
+    std::atomic<uint64_t> artifactMisses{0};
 };
 
 /** What to bring up when a session opens. */
@@ -110,6 +123,14 @@ struct SessionConfig
      * behavior is what the differential-test harness checks.
      */
     std::string backend = "fabric";
+
+    /**
+     * Server-owned partition-artifact store (not owned, null
+     * disables): bring-up consults it before synthesizing, so a
+     * second session compiling identical RTL reuses the first
+     * session's partitions.
+     */
+    toolchain::ArtifactStore *artifacts = nullptr;
 };
 
 /**

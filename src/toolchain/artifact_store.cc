@@ -1,0 +1,301 @@
+#include "toolchain/artifact_store.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "lint/modhash.hh"
+
+namespace zoomie::toolchain {
+
+namespace {
+
+struct Mixer
+{
+    uint64_t h = kFnv1aBasis;
+
+    void mix(const char *data, size_t size)
+    {
+        h = fnv1a64(data, size, h);
+        char sep = '\0';
+        h = fnv1a64(&sep, 1, h);
+    }
+    void mix(const std::string &s) { mix(s.data(), s.size()); }
+    void mix(uint64_t v)
+    {
+        char bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = char(v >> (8 * i));
+        mix(bytes, sizeof(bytes));
+    }
+};
+
+std::string
+hex16(uint64_t v)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[size_t(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+void
+mixNetlist(Mixer &m, const synth::MappedNetlist &net)
+{
+    m.mix(net.name);
+    m.mix(uint64_t(net.numClocks));
+    m.mix(uint64_t(net.cells.size()));
+    for (const synth::MCell &cell : net.cells) {
+        m.mix(uint64_t(cell.kind));
+        m.mix(uint64_t(cell.nIn));
+        m.mix(uint64_t(cell.clock));
+        m.mix(uint64_t(cell.init));
+        m.mix(uint64_t(cell.rstVal));
+        for (synth::SigId in : cell.in)
+            m.mix(uint64_t(in));
+        m.mix(cell.truth);
+        m.mix(uint64_t(cell.src));
+        m.mix(uint64_t(cell.srcBit));
+        m.mix(uint64_t(cell.scope));
+    }
+    m.mix(uint64_t(net.rams.size()));
+    for (const synth::MRam &ram : net.rams) {
+        m.mix(uint64_t(ram.style));
+        m.mix(uint64_t(ram.srcMem));
+        m.mix(uint64_t(ram.depth));
+        m.mix(uint64_t(ram.width));
+        m.mix(uint64_t(ram.scope));
+        m.mix(uint64_t(ram.physCells));
+        m.mix(uint64_t(ram.readPorts.size()));
+        for (const auto &rp : ram.readPorts) {
+            for (synth::SigId sig : rp.addr)
+                m.mix(uint64_t(sig));
+            for (synth::SigId sig : rp.data)
+                m.mix(uint64_t(sig));
+            m.mix(uint64_t(rp.sync));
+            m.mix(uint64_t(rp.clock));
+        }
+        m.mix(uint64_t(ram.writePorts.size()));
+        for (const auto &wp : ram.writePorts) {
+            for (synth::SigId sig : wp.addr)
+                m.mix(uint64_t(sig));
+            for (synth::SigId sig : wp.data)
+                m.mix(uint64_t(sig));
+            m.mix(uint64_t(wp.en));
+            m.mix(uint64_t(wp.clock));
+        }
+        for (uint64_t word : ram.init)
+            m.mix(word);
+    }
+    m.mix(uint64_t(net.outputs.size()));
+    for (const auto &out : net.outputs) {
+        m.mix(out.name);
+        for (synth::SigId sig : out.bits)
+            m.mix(uint64_t(sig));
+    }
+    m.mix(uint64_t(net.inputs.size()));
+    for (const auto &in : net.inputs) {
+        m.mix(in.name);
+        for (synth::SigId sig : in.bits)
+            m.mix(uint64_t(sig));
+    }
+    m.mix(uint64_t(net.scopeNames.size()));
+    for (const std::string &scope : net.scopeNames)
+        m.mix(scope);
+    for (uint32_t id : net.boundaryInNets)
+        m.mix(uint64_t(id));
+    for (const auto &cells : net.boundaryInCells)
+        for (synth::SigId sig : cells)
+            m.mix(uint64_t(sig));
+    for (uint32_t id : net.boundaryOutNets)
+        m.mix(uint64_t(id));
+    for (const auto &sigs : net.boundaryOutSigs)
+        for (synth::SigId sig : sigs)
+            m.mix(uint64_t(sig));
+}
+
+} // namespace
+
+std::string
+ArtifactStore::partitionKey(const rtl::Design &design,
+                            const synth::MapOptions &options)
+{
+    Mixer m;
+    m.mix(uint64_t(1)); // key format version
+    m.mix(lint::designHash(design));
+    m.mix(uint64_t(options.lutramMaxBits));
+    m.mix(uint64_t(options.lutramMaxDepth));
+    std::vector<std::string> include = options.includePrefixes;
+    std::vector<std::string> exclude = options.excludePrefixes;
+    std::sort(include.begin(), include.end());
+    std::sort(exclude.begin(), exclude.end());
+    m.mix(uint64_t(include.size()));
+    for (const std::string &prefix : include)
+        m.mix(prefix);
+    m.mix(uint64_t(exclude.size()));
+    for (const std::string &prefix : exclude)
+        m.mix(prefix);
+    return hex16(m.h);
+}
+
+uint64_t
+ArtifactStore::digestOf(const Entry &entry)
+{
+    Mixer m;
+    mixNetlist(m, entry.netlist);
+    m.mix(uint64_t(entry.work.gatesLowered));
+    m.mix(uint64_t(entry.work.cutsEvaluated));
+    m.mix(uint64_t(entry.work.lutsEmitted));
+    m.mix(uint64_t(entry.regNames.size()));
+    for (const std::string &name : entry.regNames)
+        m.mix(name);
+    m.mix(uint64_t(entry.memNames.size()));
+    for (const std::string &name : entry.memNames)
+        m.mix(name);
+    return m.h;
+}
+
+uint64_t
+ArtifactStore::approxBytes(const Entry &entry)
+{
+    uint64_t bytes =
+        entry.netlist.cells.size() * sizeof(synth::MCell);
+    for (const synth::MRam &ram : entry.netlist.rams) {
+        bytes += sizeof(synth::MRam) +
+                 ram.init.size() * sizeof(uint64_t);
+        for (const auto &rp : ram.readPorts)
+            bytes += (rp.addr.size() + rp.data.size()) * 4;
+        for (const auto &wp : ram.writePorts)
+            bytes += (wp.addr.size() + wp.data.size()) * 4;
+    }
+    for (const std::string &name : entry.regNames)
+        bytes += name.size();
+    for (const std::string &name : entry.memNames)
+        bytes += name.size();
+    return bytes;
+}
+
+void
+ArtifactStore::store(const std::string &key,
+                     const synth::MappedNetlist &netlist,
+                     const synth::MapWork &work,
+                     const rtl::Design &design)
+{
+    Entry entry;
+    entry.netlist = netlist;
+    entry.work = work;
+    entry.regNames.reserve(design.regs.size());
+    for (const rtl::Reg &reg : design.regs)
+        entry.regNames.push_back(reg.name);
+    entry.memNames.reserve(design.mems.size());
+    for (const rtl::Mem &mem : design.mems)
+        entry.memNames.push_back(mem.name);
+    entry.digest = digestOf(entry);
+    entry.bytes = approxBytes(entry);
+
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _entries.find(key);
+    if (it != _entries.end()) {
+        _stats.bytes -= it->second.bytes;
+        _stats.entries--;
+        _entries.erase(it);
+    }
+    _stats.bytes += entry.bytes;
+    _stats.entries++;
+    _stats.stores++;
+    _entries.emplace(key, std::move(entry));
+}
+
+bool
+ArtifactStore::fetch(const std::string &key,
+                     const rtl::Design &design,
+                     synth::MappedNetlist &netlist,
+                     synth::MapWork &work)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        _stats.misses++;
+        return false;
+    }
+    Entry &entry = it->second;
+    if (digestOf(entry) != entry.digest) {
+        _stats.bytes -= entry.bytes;
+        _stats.entries--;
+        _entries.erase(it);
+        _stats.corruptEvictions++;
+        _stats.misses++;
+        return false;
+    }
+
+    // Re-base provenance by name onto the requesting design —
+    // FF cells and RAM blocks store *indices* into the design the
+    // entry was synthesized from. A name the design no longer has
+    // means the entry cannot serve it (should not happen when keys
+    // cover the whole design, but never trust an index blindly).
+    std::unordered_map<std::string, uint32_t> reg_index, mem_index;
+    for (uint32_t r = 0; r < design.regs.size(); ++r)
+        reg_index[design.regs[r].name] = r;
+    for (uint32_t m = 0; m < design.mems.size(); ++m)
+        mem_index[design.mems[m].name] = m;
+
+    synth::MappedNetlist copy = entry.netlist;
+    for (synth::MCell &cell : copy.cells) {
+        if (cell.kind != synth::CellKind::FF)
+            continue;
+        if (cell.src >= entry.regNames.size()) {
+            _stats.misses++;
+            return false;
+        }
+        auto ri = reg_index.find(entry.regNames[cell.src]);
+        if (ri == reg_index.end()) {
+            _stats.misses++;
+            return false;
+        }
+        cell.src = ri->second;
+    }
+    for (synth::MRam &ram : copy.rams) {
+        if (ram.srcMem >= entry.memNames.size()) {
+            _stats.misses++;
+            return false;
+        }
+        auto mi = mem_index.find(entry.memNames[ram.srcMem]);
+        if (mi == mem_index.end()) {
+            _stats.misses++;
+            return false;
+        }
+        ram.srcMem = mi->second;
+    }
+
+    netlist = std::move(copy);
+    work = entry.work;
+    _stats.hits++;
+    return true;
+}
+
+ArtifactStore::Stats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _stats;
+}
+
+bool
+ArtifactStore::corruptEntryForTest(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return false;
+    Entry &entry = it->second;
+    if (!entry.netlist.cells.empty())
+        entry.netlist.cells[entry.netlist.cells.size() / 2].truth ^=
+            0x1;
+    else
+        entry.work.gatesLowered ^= 0x1;
+    return true;
+}
+
+} // namespace zoomie::toolchain

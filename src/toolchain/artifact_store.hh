@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Content-addressed store for synthesized VTI partition artifacts:
+ * techmapped netlists plus their synthesis work counters, keyed by
+ * the design's content hash (lint::designHash) and the partition's
+ * map options. Two sessions compiling byte-identical RTL — the
+ * common case under the tenant upload workload — synthesize each
+ * partition once; every later compile fetches the mapped netlist
+ * and re-bases its register/memory provenance onto the requesting
+ * design by name, exactly like Vti's own incremental rebase.
+ *
+ * The key is conservative: it covers the *whole* design, not just
+ * the partition's slice, because partition boundaries reference
+ * global net ids. Identical uploads always hit; any edit misses all
+ * partitions. That trades per-edit reuse (Vti's own incremental
+ * path already covers it in-session) for cross-session correctness.
+ *
+ * Every entry carries a digest of its payload, re-checked on fetch:
+ * a poisoned entry is evicted and recomputed, never served.
+ */
+
+#ifndef ZOOMIE_TOOLCHAIN_ARTIFACT_STORE_HH
+#define ZOOMIE_TOOLCHAIN_ARTIFACT_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/ir.hh"
+#include "synth/netlist.hh"
+#include "synth/techmap.hh"
+
+namespace zoomie::toolchain {
+
+class ArtifactStore
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t stores = 0;
+        uint64_t corruptEvictions = 0;
+        uint64_t bytes = 0;   ///< approximate resident payload bytes
+        uint64_t entries = 0;
+    };
+
+    ArtifactStore() = default;
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    /** Cache key for one partition of @p design mapped under
+     *  @p options. 16 lowercase hex digits. */
+    static std::string partitionKey(const rtl::Design &design,
+                                    const synth::MapOptions &options);
+
+    /** Store a freshly mapped partition. @p design provides the
+     *  register/memory name tables provenance is recorded against. */
+    void store(const std::string &key,
+               const synth::MappedNetlist &netlist,
+               const synth::MapWork &work, const rtl::Design &design);
+
+    /**
+     * Fetch a partition. On a hit, copies the netlist and work
+     * counters out, with FF/RAM provenance re-based by name onto
+     * @p design; returns false (a miss) when the entry is absent,
+     * fails its digest re-check (then it is evicted), or names a
+     * register/memory @p design no longer has.
+     */
+    bool fetch(const std::string &key, const rtl::Design &design,
+               synth::MappedNetlist &netlist, synth::MapWork &work);
+
+    Stats stats() const;
+
+    /** Flip a bit of a resident entry's payload so tests can prove
+     *  the digest re-check refuses to serve poisoned artifacts. */
+    bool corruptEntryForTest(const std::string &key);
+
+  private:
+    struct Entry
+    {
+        synth::MappedNetlist netlist;
+        synth::MapWork work;
+        std::vector<std::string> regNames; ///< by design reg index
+        std::vector<std::string> memNames; ///< by design mem index
+        uint64_t digest = 0;
+        uint64_t bytes = 0;
+    };
+
+    static uint64_t digestOf(const Entry &entry);
+    static uint64_t approxBytes(const Entry &entry);
+
+    mutable std::mutex _mu;
+    std::unordered_map<std::string, Entry> _entries;
+    Stats _stats;
+};
+
+} // namespace zoomie::toolchain
+
+#endif // ZOOMIE_TOOLCHAIN_ARTIFACT_STORE_HH

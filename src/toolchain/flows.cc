@@ -20,7 +20,22 @@ VendorTool::compile(const rtl::Design &design) const
 {
     CompileResult result;
     MapWork map_work;
-    result.netlist = synth::techMap(design, {}, &map_work);
+    bool from_cache = false;
+    std::string key;
+    if (artifacts != nullptr) {
+        key = ArtifactStore::partitionKey(design, MapOptions{});
+        from_cache = artifacts->fetch(key, design, result.netlist,
+                                      map_work);
+        (from_cache ? result.artifactHits : result.artifactMisses) =
+            1;
+    }
+    if (!from_cache) {
+        // A hit restores the cached work counters too, so the
+        // modeled synth time below is identical either way.
+        result.netlist = synth::techMap(design, {}, &map_work);
+        if (artifacts != nullptr)
+            artifacts->store(key, result.netlist, map_work, design);
+    }
 
     PlaceWork place_work;
     result.placement = place(_spec, result.netlist, nullptr,
@@ -147,12 +162,39 @@ Vti::compileInitial(const rtl::Design &design)
     _parts.clear();
     _parts.resize(num_parts);
     _partWork.assign(num_parts, {});
+    _artifactHits = 0;
+    _artifactMisses = 0;
 
-    // Per-partition synthesis. Wall-clock: partitions compile in
-    // parallel, so the modeled synth time is the slowest partition.
+    // Per-partition synthesis, consulting the shared artifact store
+    // first: another session that compiled identical RTL already
+    // paid for these netlists. Wall-clock: partitions compile in
+    // parallel, so the modeled synth time is the slowest partition
+    // (a hit restores the cached work counters — the modeled times
+    // stay byte-identical to a cold compile).
     for (size_t p = 0; p < num_parts; ++p) {
-        _parts[p] = std::make_unique<MappedNetlist>(
-            synth::techMap(design, partOptions(p), &_partWork[p]));
+        MapOptions part_opts = partOptions(p);
+        bool from_cache = false;
+        std::string key;
+        if (_opts.artifacts != nullptr) {
+            key = ArtifactStore::partitionKey(design, part_opts);
+            auto fetched = std::make_unique<MappedNetlist>();
+            if (_opts.artifacts->fetch(key, design, *fetched,
+                                       _partWork[p])) {
+                _parts[p] = std::move(fetched);
+                from_cache = true;
+                ++_artifactHits;
+            } else {
+                ++_artifactMisses;
+            }
+        }
+        if (!from_cache) {
+            _parts[p] = std::make_unique<MappedNetlist>(synth::techMap(
+                design, part_opts, &_partWork[p]));
+            if (_opts.artifacts != nullptr) {
+                _opts.artifacts->store(key, *_parts[p], _partWork[p],
+                                       design);
+            }
+        }
         snapshotNames(p, design);
     }
     _hasState = true;
@@ -173,8 +215,31 @@ Vti::compileIncremental(const rtl::Design &design,
              "' was not declared iterated");
 
     _partWork.assign(_parts.size(), {});
-    *_parts[part_index] = synth::techMap(
-        design, partOptions(part_index), &_partWork[part_index]);
+    _artifactHits = 0;
+    _artifactMisses = 0;
+    MapOptions changed_opts = partOptions(part_index);
+    bool from_cache = false;
+    std::string key;
+    if (_opts.artifacts != nullptr) {
+        key = ArtifactStore::partitionKey(design, changed_opts);
+        auto fetched = std::make_unique<MappedNetlist>();
+        if (_opts.artifacts->fetch(key, design, *fetched,
+                                   _partWork[part_index])) {
+            *_parts[part_index] = std::move(*fetched);
+            from_cache = true;
+            ++_artifactHits;
+        } else {
+            ++_artifactMisses;
+        }
+    }
+    if (!from_cache) {
+        *_parts[part_index] = synth::techMap(
+            design, changed_opts, &_partWork[part_index]);
+        if (_opts.artifacts != nullptr) {
+            _opts.artifacts->store(key, *_parts[part_index],
+                                   _partWork[part_index], design);
+        }
+    }
     snapshotNames(part_index, design);
     for (size_t p = 0; p < _parts.size(); ++p) {
         if (p == part_index)
@@ -306,6 +371,8 @@ Vti::assemble(const rtl::Design &design, bool incremental,
         time.overhead = cost.toolStartup + cost.floorplanFixed;
     }
     result.time = time;
+    result.artifactHits = _artifactHits;
+    result.artifactMisses = _artifactMisses;
     return result;
 }
 

@@ -32,6 +32,7 @@
 #include "rtl/ir.hh"
 #include "synth/netlist.hh"
 #include "synth/techmap.hh"
+#include "toolchain/artifact_store.hh"
 #include "toolchain/bitgen.hh"
 #include "toolchain/costmodel.hh"
 #include "toolchain/timing.hh"
@@ -49,6 +50,9 @@ struct CompileResult
     TimingReport timing;
     synth::ResourceCount utilization;
     double peakUtilization = 0.0;
+    /** Partition-artifact cache outcome (0/0 with no store). */
+    uint64_t artifactHits = 0;
+    uint64_t artifactMisses = 0;
 };
 
 /** Monolithic vendor flow. */
@@ -73,6 +77,12 @@ class VendorTool
     /** Fraction of place/route work the vendor incremental mode
      *  still performs (the paper's ~10% savings hypothesis). */
     double replaceFraction = 0.85;
+
+    /** Optional shared artifact store: compile() fetches the mapped
+     *  netlist of an identical design instead of re-synthesizing
+     *  (the modeled synth time then reflects the cached work
+     *  counters, keeping results byte-identical). */
+    ArtifactStore *artifacts = nullptr;
 
   private:
     fpga::DeviceSpec _spec;
@@ -106,6 +116,10 @@ class Vti
 
         /** Waivers applied to the pre-compile lint report. */
         lint::WaiverSet lintWaivers;
+
+        /** Optional shared partition-artifact store consulted
+         *  before each partition synthesis. */
+        ArtifactStore *artifacts = nullptr;
     };
 
     Vti(fpga::DeviceSpec spec, Options options)
@@ -159,6 +173,11 @@ class Vti
     std::vector<std::vector<std::string>> _partMemNames;
     fpga::Placement _placement;
     bool _hasState = false;
+
+    /** Artifact-store outcome of the current compile call, copied
+     *  into the CompileResult by assemble(). */
+    uint64_t _artifactHits = 0;
+    uint64_t _artifactMisses = 0;
 };
 
 } // namespace zoomie::toolchain

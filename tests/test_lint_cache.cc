@@ -1,0 +1,697 @@
+/**
+ * @file
+ * The incremental lint engine and content-addressed caches, pinned
+ * from every angle the PR promises:
+ *
+ *  - differential sweep: cached-vs-cold lint reports byte-identical
+ *    over the whole Verilog accept corpus and serv_soc (with its
+ *    checked-in waiver file), on both the whole-design (L1) and the
+ *    per-module slice (L2) paths;
+ *  - incrementality: editing one module of a multi-module design
+ *    re-runs module-local analysis for *only* that module, pinned
+ *    by the RunMetrics pass-invocation list;
+ *  - integrity: poisoned or truncated cache entries are detected by
+ *    the checksum re-check and recomputed, never served;
+ *  - toolchain: cached-vs-cold VendorTool/Vti compile outputs are
+ *    byte-identical (bitstream *and* modeled times);
+ *  - concurrency: many threads sharing one AnalysisCache and one
+ *    ArtifactStore (the TSan job runs this file);
+ *  - the wire: a second open_source of identical RTL reports
+ *    partition-artifact hits through `cache_stats`/`sessions`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "designs/serv_soc.hh"
+#include "lint/cache.hh"
+#include "lint/lint.hh"
+#include "lint/modhash.hh"
+#include "rdp/server.hh"
+#include "rtl/builder.hh"
+#include "toolchain/flows.hh"
+#include "verilog/verilog.hh"
+
+using namespace zoomie;
+
+namespace {
+
+/** Every file in the accept corpus (mirrors test_verilog.cc). */
+const std::vector<std::string> kAcceptCorpus = {
+    "always_comb_if.v", "case_default.v", "classic_ports.v",
+    "concat_slice.v",   "counter.v",      "counter_enable.v",
+    "fifo.v",           "fsm_case.v",     "hierarchy.v",
+    "memory.v",         "multi_decl.v",   "mux_ternary.v",
+    "params.v",         "reductions.v",   "replication.v",
+    "rmw_bits.v",       "shift_ops.v",    "wide64.v",
+};
+
+std::string
+readCorpus(const std::string &name)
+{
+    std::string path =
+        std::string(ZOOMIE_VCORPUS_DIR) + "/accept/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(bool(in)) << "cannot read corpus file " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+rtl::Design
+compileCorpus(const std::string &name)
+{
+    verilog::CompileOptions options;
+    options.file = name;
+    verilog::CompileResult result =
+        verilog::compile(readCorpus(name), options);
+    EXPECT_TRUE(result.ok && result.design) << name;
+    return std::move(*result.design);
+}
+
+/** Full report text including waived findings: the byte-identity
+ *  oracle for every cached-vs-cold comparison. */
+std::string
+reportText(const lint::Report &report)
+{
+    return report.renderText(/*showWaived=*/true);
+}
+
+/**
+ * Two independent single-register modules plus top-level outputs.
+ * @p incA is modA's increment: changing it is an edit confined to
+ * modA (same node count, same net ids) — modB's and the top's
+ * content *and* context digests must survive it.
+ */
+rtl::Design
+buildDuo(uint64_t incA)
+{
+    rtl::Builder b("duo");
+    b.pushScope("modA");
+    auto a = b.reg("count", 16, 0);
+    b.connect(a, b.addLit(a.q, incA));
+    b.popScope();
+    b.pushScope("modB");
+    auto c = b.reg("count", 16, 0);
+    b.connect(c, b.addLit(c.q, 1));
+    b.popScope();
+    b.output("a_value", b.handleFor(a.q.id));
+    b.output("b_value", b.handleFor(c.q.id));
+    return b.finish();
+}
+
+/** The RDP demo counter (all logic inside scope "mut/"). */
+rtl::Design
+buildCounter()
+{
+    rtl::Builder b("app");
+    b.pushScope("mut");
+    auto count = b.reg("count", 16, 0);
+    b.connect(count, b.addLit(count.q, 1));
+    b.popScope();
+    b.output("value", b.handleFor(count.q.id));
+    return b.finish();
+}
+
+/**
+ * A two-tile accumulator SoC small enough for the stock test
+ * device; the artifact-cache tests compile it whole and partition
+ * it on "tileB/".
+ */
+rtl::Design
+buildSoc()
+{
+    rtl::Builder b("cache_soc");
+    rtl::Value in = b.input("in", 8);
+    b.pushScope("tileA");
+    auto accA = b.reg("acc", 8, 0);
+    b.connect(accA, b.add(accA.q, in));
+    b.popScope();
+    b.pushScope("tileB");
+    auto accB = b.reg("acc", 8, 0);
+    b.connect(accB, b.bxor(accB.q, in));
+    b.popScope();
+    b.output("sum", b.add(accA.q, accB.q));
+    return b.finish();
+}
+
+/** Module-local pass ids (the slice-cacheable set). */
+const std::set<std::string> kGlobalPasses = {
+    "structural", "comb-loop", "reset-coverage"};
+
+} // namespace
+
+// ---- differential sweep: cached == cold, byte for byte ---------------
+
+TEST(LintCacheSweep, CorpusWarmL1MatchesColdByteForByte)
+{
+    lint::Linter linter;
+    for (const std::string &name : kAcceptCorpus) {
+        SCOPED_TRACE(name);
+        rtl::Design design = compileCorpus(name);
+        std::string cold =
+            reportText(linter.run(design, lint::Options{}));
+
+        lint::AnalysisCache cache;
+        lint::RunMetrics first, second;
+        std::string warm1 = reportText(linter.run(
+            design, lint::Options{}, &cache, &first));
+        std::string warm2 = reportText(linter.run(
+            design, lint::Options{}, &cache, &second));
+
+        EXPECT_EQ(warm1, cold);
+        EXPECT_EQ(warm2, cold);
+        EXPECT_FALSE(first.l1Hit);
+        EXPECT_TRUE(second.l1Hit) << "second run must serve the "
+                                     "whole-design entry";
+        EXPECT_TRUE(second.invoked.empty())
+            << "an L1 hit must not execute any pass";
+    }
+}
+
+TEST(LintCacheSweep, CorpusSlicePathMatchesColdByteForByte)
+{
+    lint::Linter linter;
+    for (const std::string &name : kAcceptCorpus) {
+        SCOPED_TRACE(name);
+        rtl::Design design = compileCorpus(name);
+        std::string cold =
+            reportText(linter.run(design, lint::Options{}));
+
+        lint::AnalysisCache cache;
+        lint::RunMetrics populate, sliced;
+        linter.run(design, lint::Options{}, &cache, &populate);
+        // Dropping the whole-design entry forces the per-module
+        // slice path on the re-run.
+        ASSERT_FALSE(populate.wholeKey.empty());
+        cache.erase(populate.wholeKey);
+        std::string merged = reportText(linter.run(
+            design, lint::Options{}, &cache, &sliced));
+
+        EXPECT_EQ(merged, cold);
+        EXPECT_FALSE(sliced.l1Hit);
+        if (sliced.sliceCaching) {
+            EXPECT_GT(sliced.cacheHits, 0u) << "sound designs must "
+                                               "reuse module slices";
+            // Every module-local invocation would mean a slice was
+            // recomputed although nothing changed.
+            for (const auto &[pass, module] : sliced.invoked) {
+                EXPECT_TRUE(kGlobalPasses.count(pass))
+                    << pass << " re-ran for module '" << module
+                    << "' despite unchanged digests";
+            }
+        }
+    }
+}
+
+TEST(LintCacheSweep, ServSocWithWaiversMatchesCold)
+{
+    // Waivers are applied post-merge: the cached run must reproduce
+    // the waived report byte-for-byte, stale notes included.
+    lint::Options options;
+    std::string error;
+    ASSERT_TRUE(lint::WaiverSet::load(
+        std::string(ZOOMIE_WAIVER_DIR) + "/serv_soc.waive",
+        options.waivers, &error))
+        << error;
+
+    rtl::Design design = designs::buildServSoc({});
+    lint::Linter linter;
+    std::string cold = reportText(linter.run(design, options));
+
+    lint::AnalysisCache cache;
+    lint::RunMetrics first, second;
+    std::string warm1 =
+        reportText(linter.run(design, options, &cache, &first));
+    std::string warm2 =
+        reportText(linter.run(design, options, &cache, &second));
+    EXPECT_EQ(warm1, cold);
+    EXPECT_EQ(warm2, cold);
+    EXPECT_TRUE(second.l1Hit);
+
+    // And the slice path, with waivers still applied post-merge.
+    cache.erase(first.wholeKey);
+    lint::RunMetrics sliced;
+    std::string merged =
+        reportText(linter.run(design, options, &cache, &sliced));
+    EXPECT_EQ(merged, cold);
+}
+
+// ---- incrementality: one edited module re-lints alone ----------------
+
+TEST(LintCacheIncremental, EditReRunsOnlyTheChangedModule)
+{
+    lint::Linter linter;
+    lint::AnalysisCache cache;
+
+    lint::RunMetrics populate;
+    rtl::Design v0 = buildDuo(1);
+    linter.run(v0, lint::Options{}, &cache, &populate);
+    ASSERT_TRUE(populate.sliceCaching);
+
+    // The edit: modA increments by 2. Same shape, same net ids —
+    // only modA's content digest may change.
+    rtl::Design v1 = buildDuo(2);
+    std::string cold =
+        reportText(linter.run(v1, lint::Options{}));
+    lint::RunMetrics metrics;
+    std::string merged = reportText(
+        linter.run(v1, lint::Options{}, &cache, &metrics));
+
+    EXPECT_EQ(merged, cold) << "merged cached+fresh report must be "
+                               "byte-identical to a cold run";
+    EXPECT_FALSE(metrics.l1Hit);
+    ASSERT_TRUE(metrics.sliceCaching);
+
+    // Slice bookkeeping: modA stale, modB and the top reused.
+    EXPECT_EQ(metrics.cacheHits, 2u);   // modB + top slices
+    EXPECT_EQ(metrics.cacheMisses, 2u); // L1 + modA slice
+    for (const lint::RunMetrics::ModuleRecord &m : metrics.modules) {
+        if (m.module == "modA")
+            EXPECT_FALSE(m.reused);
+        else
+            EXPECT_TRUE(m.reused) << "module '" << m.module << "'";
+    }
+
+    // The pass-invocation counter that pins incrementality: every
+    // module-local pass execution names modA and nothing else.
+    bool sawLocal = false;
+    for (const auto &[pass, module] : metrics.invoked) {
+        if (kGlobalPasses.count(pass)) {
+            EXPECT_EQ(module, "*");
+            continue;
+        }
+        sawLocal = true;
+        EXPECT_EQ(module, "modA")
+            << pass << " re-ran for unchanged module '" << module
+            << "'";
+    }
+    EXPECT_TRUE(sawLocal);
+}
+
+TEST(LintCacheIncremental, IdenticalRerunExecutesNoPasses)
+{
+    lint::Linter linter;
+    lint::AnalysisCache cache;
+    rtl::Design design = buildDuo(1);
+    linter.run(design, lint::Options{}, &cache, nullptr);
+
+    lint::RunMetrics metrics;
+    linter.run(design, lint::Options{}, &cache, &metrics);
+    EXPECT_TRUE(metrics.l1Hit);
+    EXPECT_EQ(metrics.cacheHits, 1u);
+    EXPECT_EQ(metrics.cacheMisses, 0u);
+    EXPECT_TRUE(metrics.invoked.empty());
+}
+
+TEST(LintCacheIncremental, PassSelectionKeysAreDisjoint)
+{
+    // A slice cached under one pass selection must not serve a run
+    // with another: the selection is part of every key.
+    lint::Linter linter;
+    lint::AnalysisCache cache;
+    rtl::Design design = buildDuo(1);
+
+    lint::Options width_only;
+    width_only.passes = {"width"};
+    linter.run(design, width_only, &cache, nullptr);
+
+    lint::Options unused_only;
+    unused_only.passes = {"unused"};
+    lint::RunMetrics metrics;
+    std::string cached = reportText(
+        linter.run(design, unused_only, &cache, &metrics));
+    EXPECT_FALSE(metrics.l1Hit);
+    EXPECT_EQ(cached,
+              reportText(linter.run(design, unused_only)));
+}
+
+// ---- integrity: poisoned entries are recomputed, never served --------
+
+TEST(LintCacheIntegrity, CorruptedEntryIsEvictedAndRecomputed)
+{
+    lint::Linter linter;
+    lint::AnalysisCache cache;
+    rtl::Design design = designs::buildServSoc({});
+    std::string cold = reportText(linter.run(design, lint::Options{}));
+
+    lint::RunMetrics populate;
+    linter.run(design, lint::Options{}, &cache, &populate);
+    ASSERT_TRUE(cache.corruptEntryForTest(populate.wholeKey));
+
+    lint::RunMetrics metrics;
+    std::string recomputed = reportText(
+        linter.run(design, lint::Options{}, &cache, &metrics));
+    EXPECT_EQ(recomputed, cold);
+    EXPECT_FALSE(metrics.l1Hit)
+        << "a poisoned entry must never be served";
+    EXPECT_GE(cache.stats().corruptEvictions, 1u);
+}
+
+TEST(LintCacheIntegrity, TruncatedDiskEntryIsRejected)
+{
+    const std::string dir = "lint_cache_trunc_dir";
+    rtl::Design design = buildCounter();
+    lint::Linter linter;
+    std::string cold = reportText(linter.run(design, lint::Options{}));
+
+    std::string wholeKey;
+    {
+        lint::AnalysisCache cache(dir);
+        lint::RunMetrics populate;
+        linter.run(design, lint::Options{}, &cache, &populate);
+        wholeKey = populate.wholeKey;
+    }
+    ASSERT_FALSE(wholeKey.empty());
+
+    // Truncate the mirrored blob mid-payload: a partial write.
+    std::string path = dir + "/" + wholeKey + ".zlc";
+    {
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(bool(in)) << "no disk mirror at " << path;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string blob = buf.str();
+        ASSERT_GT(blob.size(), 8u);
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(blob.data(),
+                  std::streamsize(blob.size() / 2));
+    }
+
+    // A fresh cache instance falls back to disk, must detect the
+    // truncation, and recomputes an identical report.
+    lint::AnalysisCache cache(dir);
+    lint::RunMetrics metrics;
+    std::string recomputed = reportText(
+        linter.run(design, lint::Options{}, &cache, &metrics));
+    EXPECT_EQ(recomputed, cold);
+    EXPECT_FALSE(metrics.l1Hit);
+    EXPECT_GE(cache.stats().corruptEvictions, 1u);
+    std::remove(path.c_str());
+}
+
+// ---- satellite: stale-waiver notes are deduplicated ------------------
+
+TEST(LintWaivers, DuplicateStaleWaiversReportOnce)
+{
+    // The same waiver file loaded once per partition used to emit
+    // one stale note per copy; apply() now dedups by fingerprint.
+    lint::Options options;
+    for (int copy = 0; copy < 3; ++copy) {
+        lint::Waiver w;
+        w.fingerprint = "deadbeefdeadbeef";
+        options.waivers.add(w);
+    }
+    lint::Linter linter;
+    lint::Report report = linter.run(buildCounter(), options);
+    size_t staleNotes = 0;
+    for (const lint::Diagnostic &d : report.diags) {
+        if (d.pass == "lint" &&
+            d.message.find("waiver deadbeefdeadbeef") !=
+                std::string::npos)
+            ++staleNotes;
+    }
+    EXPECT_EQ(staleNotes, 1u);
+}
+
+// ---- toolchain: cached compiles are byte-identical -------------------
+
+namespace {
+
+void
+expectCompileResultsIdentical(const toolchain::CompileResult &a,
+                              const toolchain::CompileResult &b)
+{
+    EXPECT_EQ(a.bitstream, b.bitstream);
+    EXPECT_EQ(a.netlist.cells.size(), b.netlist.cells.size());
+    EXPECT_EQ(a.netlist.rams.size(), b.netlist.rams.size());
+    // Modeled wall-clock must match exactly: the cached path
+    // restores the synthesis work counters the cost model bills.
+    EXPECT_EQ(a.time.synth, b.time.synth);
+    EXPECT_EQ(a.time.place, b.time.place);
+    EXPECT_EQ(a.time.route, b.time.route);
+    EXPECT_EQ(a.time.bitgen, b.time.bitgen);
+    EXPECT_EQ(a.time.link, b.time.link);
+}
+
+} // namespace
+
+TEST(ArtifactCache, VendorToolCachedCompileIsByteIdentical)
+{
+    rtl::Design design = buildSoc();
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+
+    toolchain::VendorTool cold_tool(dev);
+    toolchain::CompileResult cold = cold_tool.compile(design);
+    EXPECT_EQ(cold.artifactHits, 0u);
+    EXPECT_EQ(cold.artifactMisses, 0u);
+
+    toolchain::ArtifactStore store;
+    toolchain::VendorTool tool(dev);
+    tool.artifacts = &store;
+    toolchain::CompileResult first = tool.compile(design);
+    EXPECT_EQ(first.artifactMisses, 1u);
+    toolchain::CompileResult second = tool.compile(design);
+    EXPECT_EQ(second.artifactHits, 1u);
+
+    expectCompileResultsIdentical(cold, first);
+    expectCompileResultsIdentical(cold, second);
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_EQ(store.stats().stores, 1u);
+}
+
+TEST(ArtifactCache, VtiSecondSessionReusesEveryPartition)
+{
+    rtl::Design design = buildSoc();
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+
+    toolchain::ArtifactStore store;
+    toolchain::Vti::Options opts;
+    opts.iteratedModules = {"tileB/"};
+    opts.artifacts = &store;
+
+    // Two Vti instances model two sessions compiling identical RTL.
+    toolchain::Vti first_session(dev, opts);
+    toolchain::CompileResult first =
+        first_session.compileInitial(design);
+    EXPECT_EQ(first.artifactHits, 0u);
+    EXPECT_GE(first.artifactMisses, 2u); // static + iterated part
+
+    toolchain::Vti second_session(dev, opts);
+    toolchain::CompileResult second =
+        second_session.compileInitial(design);
+    EXPECT_EQ(second.artifactMisses, 0u);
+    EXPECT_EQ(second.artifactHits, first.artifactMisses);
+
+    expectCompileResultsIdentical(first, second);
+}
+
+TEST(ArtifactCache, CorruptedArtifactIsRecomputed)
+{
+    rtl::Design design = buildCounter();
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+
+    toolchain::ArtifactStore store;
+    toolchain::VendorTool tool(dev);
+    tool.artifacts = &store;
+    toolchain::CompileResult first = tool.compile(design);
+
+    std::string key = toolchain::ArtifactStore::partitionKey(
+        design, synth::MapOptions{});
+    ASSERT_TRUE(store.corruptEntryForTest(key));
+
+    toolchain::CompileResult second = tool.compile(design);
+    EXPECT_EQ(second.artifactHits, 0u)
+        << "a poisoned artifact must never be served";
+    EXPECT_EQ(second.artifactMisses, 1u);
+    EXPECT_GE(store.stats().corruptEvictions, 1u);
+    expectCompileResultsIdentical(first, second);
+}
+
+// ---- concurrency: shared caches under parallel sessions --------------
+
+TEST(LintCacheConcurrency, ManyThreadsShareOneCache)
+{
+    // Run under TSan in CI: concurrent fetch/store/evict on one
+    // AnalysisCache and one ArtifactStore, mixed hit/miss traffic.
+    lint::Linter linter;
+    lint::AnalysisCache cache(/*dir=*/"", /*max_bytes=*/1 << 16);
+    toolchain::ArtifactStore store;
+    fpga::DeviceSpec dev = fpga::makeTestDevice();
+
+    rtl::Design duo = buildDuo(1);
+    std::string expected =
+        reportText(linter.run(duo, lint::Options{}));
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 8;
+    std::vector<std::string> failures(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                // Distinct designs per thread keep keys colliding
+                // and evicting under the tiny byte cap.
+                rtl::Design design = buildDuo(1 + (t + i) % 3);
+                lint::Report report = linter.run(
+                    design, lint::Options{}, &cache, nullptr);
+                if ((t + i) % 3 == 0 &&
+                    reportText(report) != expected) {
+                    failures[t] = "report mismatch at iter " +
+                                  std::to_string(i);
+                    return;
+                }
+                toolchain::VendorTool tool(dev);
+                tool.artifacts = &store;
+                toolchain::CompileResult res = tool.compile(design);
+                if (res.bitstream.empty()) {
+                    failures[t] = "empty bitstream at iter " +
+                                  std::to_string(i);
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_TRUE(failures[t].empty())
+            << "thread " << t << ": " << failures[t];
+    EXPECT_GT(store.stats().hits, 0u);
+}
+
+// ---- the wire: cache_stats / sessions / lint counters ----------------
+
+namespace {
+
+const std::string kUpload =
+    R"({"cmd":"open_source","text":"module counter(input clk, output [15:0] value);\n  reg [15:0] count;\n  always @(posedge clk) count <= count + 1;\n  assign value = count;\nendmodule\n"})";
+
+rdp::Json
+parsedReply(const std::vector<std::string> &out)
+{
+    EXPECT_FALSE(out.empty());
+    auto reply = rdp::Json::parse(out.back());
+    EXPECT_TRUE(reply) << out.back();
+    return reply ? *reply : rdp::Json::object();
+}
+
+uint64_t
+field(const rdp::Json &obj, const std::string &key)
+{
+    const rdp::Json *v = obj.find(key);
+    EXPECT_NE(v, nullptr) << "missing field " << key;
+    return v ? v->asU64() : 0;
+}
+
+} // namespace
+
+TEST(LintCacheWire, SecondUploadOfIdenticalRtlHitsBothCaches)
+{
+    rdp::Server server;
+    bool quit = false;
+
+    rdp::Json first = parsedReply(server.handleLine(kUpload, quit));
+    EXPECT_EQ(field(first, "artifact_hits"), 0u);
+    EXPECT_GT(field(first, "artifact_misses"), 0u);
+    EXPECT_GT(field(first, "lint_cache_misses"), 0u);
+
+    rdp::Json second =
+        parsedReply(server.handleLine(kUpload, quit));
+    EXPECT_GE(field(second, "artifact_hits"), 1u)
+        << "identical RTL must reuse the first session's partitions";
+    EXPECT_EQ(field(second, "artifact_misses"), 0u);
+    EXPECT_GE(field(second, "lint_cache_hits"), 1u);
+    EXPECT_EQ(field(second, "lint_cache_misses"), 0u);
+
+    // cache_stats aggregates both sessions' traffic.
+    rdp::Json stats = parsedReply(server.handleLine(
+        R"({"cmd":"cache_stats"})", quit));
+    const rdp::Json *artifacts = stats.find("artifacts");
+    ASSERT_NE(artifacts, nullptr);
+    EXPECT_GE(field(*artifacts, "hits"), 1u);
+    EXPECT_GT(field(*artifacts, "stores"), 0u);
+    const rdp::Json *lintStats = stats.find("lint");
+    ASSERT_NE(lintStats, nullptr);
+    EXPECT_GE(field(*lintStats, "hits"), 1u);
+
+    // And `sessions` carries the per-session counters.
+    rdp::Json sessions = parsedReply(
+        server.handleLine(R"({"cmd":"sessions"})", quit));
+    const rdp::Json *list = sessions.find("sessions");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 2u);
+    EXPECT_GE(field(list->at(1), "artifact_hits"), 1u);
+}
+
+TEST(LintCacheWire, RepeatedLintCommandHitsTheCache)
+{
+    rdp::Server server;
+    bool quit = false;
+    auto open = server.handleLine(
+        R"({"cmd":"open","design":"counter"})", quit);
+    ASSERT_NE(open.back().find("\"ok\":true"), std::string::npos);
+
+    rdp::Json first = parsedReply(
+        server.handleLine(R"({"cmd":"lint"})", quit));
+    EXPECT_EQ(field(first, "cache_hits"), 0u);
+    EXPECT_GT(field(first, "cache_misses"), 0u);
+
+    rdp::Json second = parsedReply(
+        server.handleLine(R"({"cmd":"lint"})", quit));
+    EXPECT_GE(field(second, "cache_hits"), 1u);
+    EXPECT_EQ(field(second, "cache_misses"), 0u);
+}
+
+TEST(LintCacheWire, UnknownPassListsTheValidIds)
+{
+    rdp::Server server;
+    bool quit = false;
+    auto open = server.handleLine(
+        R"({"cmd":"open","design":"counter"})", quit);
+    ASSERT_NE(open.back().find("\"ok\":true"), std::string::npos);
+
+    auto out = server.handleLine(
+        R"({"cmd":"lint","pass":"bogus"})", quit);
+    ASSERT_FALSE(out.empty());
+    EXPECT_NE(out.back().find("\"error\":\"unknown-name\""),
+              std::string::npos)
+        << out.back();
+    EXPECT_NE(out.back().find("known: structural, comb-loop"),
+              std::string::npos)
+        << out.back();
+}
+
+TEST(LintCacheWire, ContentCachesOffDisablesEverything)
+{
+    rdp::ServerOptions options;
+    options.contentCaches = false;
+    rdp::Server server(options);
+    bool quit = false;
+
+    parsedReply(server.handleLine(kUpload, quit));
+    rdp::Json second =
+        parsedReply(server.handleLine(kUpload, quit));
+    EXPECT_EQ(field(second, "artifact_hits"), 0u);
+    EXPECT_EQ(field(second, "artifact_misses"), 0u);
+    EXPECT_EQ(field(second, "lint_cache_hits"), 0u);
+    EXPECT_EQ(field(second, "lint_cache_misses"), 0u);
+
+    rdp::Json stats = parsedReply(server.handleLine(
+        R"({"cmd":"cache_stats"})", quit));
+    const rdp::Json *enabled = stats.find("enabled");
+    ASSERT_NE(enabled, nullptr);
+    EXPECT_FALSE(enabled->asBool());
+    const rdp::Json *lintStats = stats.find("lint");
+    ASSERT_NE(lintStats, nullptr);
+    EXPECT_EQ(field(*lintStats, "hits"), 0u);
+    EXPECT_EQ(field(*lintStats, "misses"), 0u);
+}

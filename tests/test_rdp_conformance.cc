@@ -81,7 +81,7 @@ goldenTable()
             {"hello",
              {{},
               R"({"cmd":"hello","id":1,"version":2})",
-              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","poke","forcemem","regs","snapshot","snapshots","restore","trace","info","assert","lint","hello","open","open_source","close","sessions","commands","batch","quit","shutdown"]})"}},
+              R"({"type":"reply","id":1,"cmd":"hello","ok":true,"server":"zoomie-server","protocol":"zoomie-rdp","version":2,"max_sessions":64,"workers":2,"commands":["run","pause","resume","step","break","watch","clear","print","x","force","poke","forcemem","regs","snapshot","snapshots","restore","trace","info","assert","lint","hello","open","open_source","close","sessions","cache_stats","commands","batch","quit","shutdown"]})"}},
             {"open",
              {{},
               R"({"cmd":"open","id":1,"design":"counter"})",
@@ -93,11 +93,15 @@ goldenTable()
             {"sessions",
              {{kOpen},
               R"({"cmd":"sessions","id":1})",
-              R"({"type":"reply","id":1,"cmd":"sessions","ok":true,"sessions":[{"session":1,"design":"counter","backend":"fabric","cycles":0,"run_requests":0,"exec_us":0,"queue_wait_us":0,"pending_runs":0,"idle_us":0}]})"}},
+              R"({"type":"reply","id":1,"cmd":"sessions","ok":true,"sessions":[{"session":1,"design":"counter","backend":"fabric","cycles":0,"run_requests":0,"exec_us":0,"queue_wait_us":0,"pending_runs":0,"idle_us":0,"lint_cache_hits":0,"lint_cache_misses":0,"artifact_hits":0,"artifact_misses":1}]})"}},
+            {"cache_stats",
+             {{},
+              R"({"cmd":"cache_stats","id":1})",
+              R"({"type":"reply","id":1,"cmd":"cache_stats","ok":true,"enabled":true,"lint":{"hits":0,"misses":0,"stores":0,"entries":0,"bytes":0,"evictions":0,"corrupt_evictions":0},"artifacts":{"hits":0,"misses":0,"stores":0,"entries":0,"bytes":0,"corrupt_evictions":0}})"}},
             {"commands",
              {{},
               R"({"cmd":"commands","id":1})",
-              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true,"min_version":1},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false,"min_version":1},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false,"min_version":1},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false,"min_version":1},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false,"min_version":1},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false,"min_version":1},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"poke","scope":"session","help":"drive a top-level input port","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false,"min_version":1},{"name":"snapshot","alias":"snap","scope":"session","help":"capture a pinned content-addressed snapshot","args":[],"events":false,"min_version":2},{"name":"snapshots","scope":"session","help":"list the snapshot ring, oldest first","args":[],"events":false,"min_version":2},{"name":"restore","scope":"session","help":"time-travel to CYCLE, or restore SNAPSHOT by id (default: newest)","args":[{"name":"cycle","type":"u64","required":false},{"name":"snapshot","type":"u64","required":false}],"events":false,"min_version":2},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true,"min_version":1},{"name":"info","scope":"session","help":"session status","args":[],"events":false,"min_version":1},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false,"min_version":1},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"backend","type":"string","required":false}],"min_version":1},{"name":"open_source","scope":"server","help":"compile uploaded Verilog into a new debug session","args":[{"name":"text","type":"string","required":false},{"name":"chunk","type":"string","required":false},{"name":"seq","type":"u64","required":false},{"name":"last","type":"bool","required":false},{"name":"top","type":"string","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"lint","type":"bool","required":false},{"name":"backend","type":"string","required":false}],"min_version":2},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
+              R"json({"type":"reply","id":1,"cmd":"commands","ok":true,"version":2,"commands":[{"name":"run","scope":"session","help":"advance the external clock N cycles","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"pause","scope":"session","help":"pause the MUT clock","args":[],"events":true,"min_version":1},{"name":"resume","alias":"c","scope":"session","help":"resume execution","args":[],"events":false,"min_version":1},{"name":"step","scope":"session","help":"execute exactly N MUT cycles, then pause","args":[{"name":"n","type":"u64","required":true}],"events":true,"min_version":1},{"name":"break","scope":"session","help":"value breakpoint on a watch slot (group: and|or)","args":[{"name":"slot","type":"u64","required":true},{"name":"value","type":"u64","required":true},{"name":"group","type":"string","required":false}],"events":false,"min_version":1},{"name":"watch","scope":"session","help":"watchpoint: pause when the slot's signal changes","args":[{"name":"slot","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"clear","scope":"session","help":"clear all triggers","args":[],"events":false,"min_version":1},{"name":"print","alias":"p","scope":"session","help":"read a register through the config plane","args":[{"name":"name","type":"string","required":true}],"events":false,"min_version":1},{"name":"x","scope":"session","help":"read a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true}],"events":false,"min_version":1},{"name":"force","scope":"session","help":"inject a register value","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"poke","scope":"session","help":"drive a top-level input port","args":[{"name":"name","type":"string","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"forcemem","scope":"session","help":"inject a memory word","args":[{"name":"name","type":"string","required":true},{"name":"addr","type":"u64","required":true},{"name":"value","type":"u64","required":true}],"events":false,"min_version":1},{"name":"regs","scope":"session","help":"dump every register under a scope prefix","args":[{"name":"prefix","type":"string","required":true}],"events":false,"min_version":1},{"name":"snapshot","alias":"snap","scope":"session","help":"capture a pinned content-addressed snapshot","args":[],"events":false,"min_version":2},{"name":"snapshots","scope":"session","help":"list the snapshot ring, oldest first","args":[],"events":false,"min_version":2},{"name":"restore","scope":"session","help":"time-travel to CYCLE, or restore SNAPSHOT by id (default: newest)","args":[{"name":"cycle","type":"u64","required":false},{"name":"snapshot","type":"u64","required":false}],"events":false,"min_version":2},{"name":"trace","scope":"session","help":"sample signals N cycles; stream VCD chunks or write FILE","args":[{"name":"n","type":"u64","required":true},{"name":"file","type":"string","required":false},{"name":"signals","type":"string","required":false}],"events":true,"min_version":1},{"name":"info","scope":"session","help":"session status","args":[],"events":false,"min_version":1},{"name":"assert","scope":"session","help":"enable/disable an assertion breakpoint","args":[{"name":"index","type":"u64","required":true},{"name":"on","type":"u64","required":false}],"events":false,"min_version":1},{"name":"lint","scope":"session","help":"static-analysis findings for the session's user design","args":[{"name":"pass","type":"string","required":false},{"name":"severity","type":"string","required":false}],"events":false,"min_version":1},{"name":"hello","scope":"server","help":"negotiate the protocol version","args":[{"name":"version","type":"u64","required":false},{"name":"min","type":"u64","required":false}],"min_version":1},{"name":"open","scope":"server","help":"bring up a new debug session","args":[{"name":"design","type":"string","required":false},{"name":"program","type":"array","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"backend","type":"string","required":false}],"min_version":1},{"name":"open_source","scope":"server","help":"compile uploaded Verilog into a new debug session","args":[{"name":"text","type":"string","required":false},{"name":"chunk","type":"string","required":false},{"name":"seq","type":"u64","required":false},{"name":"last","type":"bool","required":false},{"name":"top","type":"string","required":false},{"name":"watch","type":"array","required":false},{"name":"assertions","type":"array","required":false},{"name":"lint","type":"bool","required":false},{"name":"backend","type":"string","required":false}],"min_version":2},{"name":"close","scope":"server","help":"tear down a session","args":[{"name":"session","type":"u64","required":false}],"min_version":1},{"name":"sessions","scope":"server","help":"list open sessions with scheduling metrics","args":[],"min_version":1},{"name":"cache_stats","scope":"server","help":"content-addressed analysis/compile cache counters","args":[],"min_version":2},{"name":"commands","scope":"server","help":"machine-readable command schema","args":[],"min_version":1},{"name":"batch","scope":"server","help":"execute an ordered array of sub-requests","args":[{"name":"requests","type":"array","required":true},{"name":"abort_on_error","type":"bool","required":false}],"min_version":2},{"name":"quit","scope":"server","help":"end this connection","args":[],"min_version":1},{"name":"shutdown","scope":"server","help":"stop the whole server","args":[],"min_version":1}]})json"}},
             {"batch",
              {{kOpen},
               R"({"cmd":"batch","id":1,"requests":[{"cmd":"snapshot"}]})",
@@ -187,11 +191,11 @@ goldenTable()
             {"lint",
              {{kOpen},
               R"({"cmd":"lint","id":1})",
-              R"({"type":"reply","id":1,"cmd":"lint","ok":true,"design":"counter","findings":[],"errors":0,"warnings":0,"notes":0,"clean":true})"}},
+              R"({"type":"reply","id":1,"cmd":"lint","ok":true,"design":"counter","findings":[],"errors":0,"warnings":0,"notes":0,"clean":true,"cache_hits":0,"cache_misses":3})"}},
             {"open_source",
              {{},
               R"({"cmd":"open_source","id":1,"text":"module counter(input clk, input en, output [15:0] value);\n  reg [15:0] count;\n  always @(posedge clk) if (en) count <= count + 1;\n  assign value = count;\nendmodule\n"})",
-              R"({"type":"reply","id":1,"cmd":"open_source","ok":true,"session":1,"design":"source","backend":"fabric","top":"counter","nodes":9,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"]})"}},
+              R"({"type":"reply","id":1,"cmd":"open_source","ok":true,"session":1,"design":"source","backend":"fabric","top":"counter","nodes":9,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"],"lint_cache_hits":0,"lint_cache_misses":3,"artifact_hits":0,"artifact_misses":1})"}},
             {"poke",
              {{kOpenSource},
               R"({"cmd":"poke","id":1,"name":"en","value":1})",
@@ -429,7 +433,7 @@ TEST(RdpConformance, OpenSourceChunkedGolden)
         conn, quit);
     EXPECT_EQ(
         last.back(),
-        R"({"type":"reply","id":2,"cmd":"open_source","ok":true,"session":1,"design":"source","backend":"fabric","top":"counter","nodes":6,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"]})");
+        R"({"type":"reply","id":2,"cmd":"open_source","ok":true,"session":1,"design":"source","backend":"fabric","top":"counter","nodes":6,"regs":1,"mems":0,"state_bits":16,"watch":["mut/count"],"lint_cache_hits":0,"lint_cache_misses":3,"artifact_hits":0,"artifact_misses":1})");
     EXPECT_EQ(server.sessions().count(), 1u);
 
     // An out-of-order chunk resets the buffer with a typed error.
